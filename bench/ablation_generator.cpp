@@ -1,0 +1,139 @@
+// Ablation of the generator's injected mechanisms: each knob in
+// synth/scenario.h exists to reproduce one family of paper findings. This
+// bench disables one mechanism at a time and reruns the key measurement it
+// supports — demonstrating both that the mechanism is necessary (the finding
+// disappears without it) and that it is not confounded with the others.
+//
+//   mechanism            -> finding it carries
+//   node cascades        -> same-node correlation (Fig 1)
+//   rack cascades + facility -> same-rack correlation (Fig 2)
+//   weekly modulation    -> same-system correlation (Fig 3)
+//   facility events      -> power-impact structure (Figs 9-12)
+//   node-0 multipliers   -> node skew (Figs 4-6)
+#include "bench_common.h"
+#include "core/node_skew.h"
+
+namespace hpcfail {
+namespace {
+
+using namespace core;
+
+synth::Scenario BaseScenario() {
+  synth::Scenario sc;
+  sc.duration = 3 * kYear;
+  sc.systems.push_back(synth::Group1System("g", 256, 3 * kYear));
+  return sc;
+}
+
+struct Knobs {
+  bool node_cascades = true;
+  bool rack_cascades = true;
+  bool facility = true;
+  bool modulation = true;
+  bool node0 = true;
+};
+
+synth::Scenario Apply(const Knobs& k) {
+  synth::Scenario sc = BaseScenario();
+  synth::SystemScenario& s = sc.systems[0];
+  if (!k.node_cascades) {
+    for (auto& c : s.node_cascade) c.children.fill(0.0);
+    s.power_supply_cascade.children.fill(0.0);
+    s.fan_cascade.children.fill(0.0);
+  }
+  if (!k.rack_cascades) {
+    for (auto& c : s.rack_cascade) c.children.fill(0.0);
+  }
+  if (!k.facility) {
+    s.power_outage.events_per_year = 0.0;
+    s.power_spike.events_per_year = 0.0;
+    s.ups_failure.events_per_year = 0.0;
+    s.chiller_failure.events_per_year = 0.0;
+  }
+  if (!k.modulation) s.modulation_sigma = 0.0;
+  if (!k.node0) s.node0_rate_multiplier.fill(1.0);
+  return sc;
+}
+
+struct Measures {
+  double node_factor = 0.0;   // same-node week factor
+  double rack_factor = 0.0;   // rack-peer week factor
+  double system_factor = 0.0; // system-peer week factor
+  double node0_skew = 0.0;    // max/mean failures
+  int top_node = -1;          // id of the most failing node
+};
+
+Measures Measure(const synth::Scenario& sc, std::uint64_t seed) {
+  const Trace trace = synth::GenerateTrace(sc, seed);
+  const EventIndex idx(trace);
+  const WindowAnalyzer a(idx);
+  const auto any = EventFilter::Any();
+  Measures m;
+  m.node_factor = a.Compare(any, any, Scope::kSameNode, kWeek).factor;
+  m.rack_factor = a.Compare(any, any, Scope::kRackPeers, kWeek).factor;
+  m.system_factor = a.Compare(any, any, Scope::kSystemPeers, kWeek).factor;
+  const NodeSkewSummary skew = AnalyzeNodeSkew(idx, SystemId{0});
+  m.node0_skew = skew.max_over_mean;
+  m.top_node = skew.most_failing_node.value;
+  return m;
+}
+
+}  // namespace
+}  // namespace hpcfail
+
+int main() {
+  using namespace hpcfail;
+  using namespace hpcfail::core;
+  bench::PrintHeader(
+      "Ablation: which generator mechanism carries which paper finding?",
+      "each row disables one mechanism; the measurement it supports should "
+      "collapse toward 1x while the others survive");
+
+  struct Row {
+    const char* label;
+    Knobs knobs;
+  };
+  const Row rows[] = {
+      {"full generator", {}},
+      {"- node cascades", {.node_cascades = false}},
+      {"- rack cascades", {.rack_cascades = false}},
+      {"- facility events", {.facility = false}},
+      {"- weekly modulation", {.modulation = false}},
+      {"- node-0 role", {.node0 = false}},
+  };
+
+  Table t({"configuration", "node-week factor", "rack-week factor",
+           "system-week factor", "max-node skew", "top node"});
+  Measures full{}, no_node{}, no_mod{}, no_node0{};
+  for (const Row& row : rows) {
+    const Measures m = Measure(Apply(row.knobs), 11);
+    t.AddRow({row.label, FormatFactor(m.node_factor),
+              FormatFactor(m.rack_factor), FormatFactor(m.system_factor),
+              FormatDouble(m.node0_skew, 1), std::to_string(m.top_node)});
+    if (std::string(row.label) == "full generator") full = m;
+    if (std::string(row.label) == "- node cascades") no_node = m;
+    if (std::string(row.label) == "- weekly modulation") no_mod = m;
+    if (std::string(row.label) == "- node-0 role") no_node0 = m;
+  }
+  t.Print(std::cout);
+
+  PrintShapeCheck(std::cout, "node cascades carry the same-node correlation",
+                  full.node_factor / std::max(1.0, no_node.node_factor),
+                  "factor collapses without them",
+                  no_node.node_factor < 0.5 * full.node_factor);
+  PrintShapeCheck(std::cout, "modulation carries the same-system correlation",
+                  full.system_factor / std::max(0.1, no_mod.system_factor),
+                  "system factor moves toward 1x without it",
+                  no_mod.system_factor < full.system_factor);
+  // Without the login-node role the skew drops but does NOT vanish: the
+  // Hawkes clustering alone makes some node "unlucky" — exactly the paper's
+  // Section IV.C first hypothesis. What does vanish is the *identity*: the
+  // top node stops being node 0.
+  PrintShapeCheck(std::cout, "node-0 role carries the node-0 identity",
+                  full.node0_skew / std::max(1.0, no_node0.node0_skew),
+                  "skew shrinks and the top node stops being node 0; "
+                  "residual skew = the paper's 'unlucky node' effect",
+                  full.top_node == 0 && no_node0.top_node != 0 &&
+                      no_node0.node0_skew < 0.8 * full.node0_skew);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: the statistical-model view vs the paper's conditional view.
+// Section I positions the paper against prior work that "statistically
+// model[s] the empirical distribution of the inter-arrival time between
+// failures or analyz[es] the auto-correlation function". This bench runs
+// that classical pipeline on the same trace and shows how the correlations
+// of Figs. 1-3 surface at the distribution level: Weibull shape < 1
+// (decreasing hazard) and positive short-lag autocorrelation — real, but
+// far less actionable than "after a network failure this node has a 40%
+// chance of failing within a week".
+#include "bench_common.h"
+#include "core/interarrival.h"
+
+int main() {
+  using namespace hpcfail;
+  using namespace hpcfail::core;
+  bench::PrintHeader(
+      "Ablation: inter-arrival statistical models vs conditional view",
+      "the classical pipeline on the same data: distribution fits + ACF");
+  const Trace trace = bench::MakeBenchTrace();
+  const EventIndex idx(trace);
+
+  Table t({"system", "failures", "best fit (AIC)", "Weibull shape (system)",
+           "Weibull shape (per-node)", "daily ACF lag1", "lag3"});
+  double worst_node_shape = 1.0;
+  for (const SystemConfig& s : trace.systems()) {
+    if (trace.FailuresOfSystem(s.id).size() < 100) continue;
+    const InterarrivalAnalysis a = AnalyzeInterarrivals(idx, s.id);
+    t.AddRow({s.name, std::to_string(a.system_gaps_hours.size() + 1),
+              std::string(ToString(a.system_fits.front().distribution)),
+              FormatDouble(a.system_weibull.param1, 2),
+              FormatDouble(a.node_weibull.param1, 2),
+              FormatDouble(a.daily_count_acf.size() > 1
+                               ? a.daily_count_acf[1]
+                               : 0.0, 3),
+              FormatDouble(a.daily_count_acf.size() > 3
+                               ? a.daily_count_acf[3]
+                               : 0.0, 3)});
+    worst_node_shape = std::min(worst_node_shape, a.node_weibull.param1);
+  }
+  t.Print(std::cout);
+
+  PrintShapeCheck(std::cout, "per-node Weibull shapes below 1",
+                  worst_node_shape,
+                  "decreasing hazard == clustering (prior-work signature "
+                  "of the correlations in Figs. 1-3)",
+                  worst_node_shape < 1.0);
+
+  // The contrast the paper draws: the distribution view says "bursty"; the
+  // conditional view says *when* and *why*.
+  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
+  const WindowAnalyzer analyzer(g1);
+  const auto env = analyzer.Compare(
+      EventFilter::Of(FailureCategory::kEnvironment), EventFilter::Any(),
+      Scope::kSameNode, kWeek);
+  std::cout << "\nconditional view of the same clustering: P(fail within a "
+               "week | env failure) = "
+            << FormatPercent(env.conditional) << " vs "
+            << FormatPercent(env.baseline)
+            << " baseline — the information the Weibull shape averages "
+               "away.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared setup for the figure/table reproduction benches: every bench
+// generates the same LANL-like trace (full scale, 3 simulated years, fixed
+// seed) and prints paper-vs-measured rows for its figure.
+#pragma once
+
+#include <iostream>
+
+#include "core/report.h"
+#include "core/window_analysis.h"
+#include "synth/generate.h"
+
+namespace hpcfail::bench {
+
+inline constexpr std::uint64_t kBenchSeed = 2013;  // DSN 2013
+
+// The standard bench trace: all ten LANL-like systems, 3 simulated years.
+// (The paper's data spans 9 years; 3 years keeps every bench under ~10s
+// while leaving thousands of events per analysis. Pass a different scale /
+// duration for quick runs.)
+inline Trace MakeBenchTrace(double scale = 1.0, TimeSec duration = 3 * kYear) {
+  return synth::GenerateTrace(synth::LanlLikeScenario(scale, duration),
+                              kBenchSeed);
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::cout << "\n==================================================\n"
+            << title << "\n" << paper << "\n"
+            << "==================================================\n";
+}
+
+// Convenience: conditional-result row cells.
+inline std::vector<std::string> ConditionalCells(
+    const std::string& label, const core::ConditionalResult& r) {
+  return {label, core::FormatPercent(r.conditional, true),
+          core::FormatPercent(r.baseline), core::FormatFactor(r.factor),
+          core::SignificanceMarker(r.test),
+          std::to_string(r.num_triggers)};
+}
+
+inline const char* CategoryLabel(FailureCategory c) {
+  switch (c) {
+    case FailureCategory::kEnvironment: return "ENV";
+    case FailureCategory::kHardware: return "HW";
+    case FailureCategory::kHuman: return "HUMAN";
+    case FailureCategory::kNetwork: return "NET";
+    case FailureCategory::kSoftware: return "SW";
+    case FailureCategory::kUndetermined: return "UNDET";
+  }
+  return "?";
+}
+
+}  // namespace hpcfail::bench

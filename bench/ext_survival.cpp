@@ -1,0 +1,54 @@
+// Extension: time-to-next-failure survival curves per trigger type — the
+// whole-curve generalization of Fig. 1(a)'s fixed windows. Kaplan-Meier
+// estimation handles the censored tails the window analysis discards, and
+// the log-rank test formalizes the trigger-type ordering across every
+// horizon at once.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/survival_analysis.h"
+
+int main() {
+  using namespace hpcfail;
+  using namespace hpcfail::core;
+  bench::PrintHeader(
+      "Extension: time-to-next-failure survival curves (generalizes Fig 1a)",
+      "env/net-triggered survival drops fastest at every horizon, not just "
+      "day/week");
+  const Trace trace = bench::MakeBenchTrace();
+  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
+  const SurvivalAnalysis sa = AnalyzeTimeToNextFailure(g1);
+
+  Table t({"trigger", "n", "P(fail<=1d)", "P(fail<=1wk)",
+           "median time-to-next"});
+  for (const TriggerSurvival& ts : sa.by_trigger) {
+    if (ts.observations.size() < 3) continue;
+    const std::string median =
+        std::isinf(ts.median_hours)
+            ? "> observation"
+            : FormatDouble(ts.median_hours / 24.0, 1) + " days";
+    t.AddRow({std::string(ToString(ts.trigger)),
+              std::to_string(ts.observations.size()),
+              FormatDouble(100.0 * ts.failure_within_day, 1) + "%",
+              FormatDouble(100.0 * ts.failure_within_week, 1) + "%", median});
+  }
+  t.Print(std::cout);
+
+  std::cout << "log-rank env vs hw: chi2="
+            << FormatDouble(sa.env_vs_hw.statistic, 1)
+            << " p=" << FormatDouble(sa.env_vs_hw.p_value, 5)
+            << "; net vs sw: chi2=" << FormatDouble(sa.net_vs_sw.statistic, 1)
+            << " p=" << FormatDouble(sa.net_vs_sw.p_value, 5) << "\n";
+
+  const auto& env =
+      sa.by_trigger[static_cast<std::size_t>(FailureCategory::kEnvironment)];
+  const auto& hw =
+      sa.by_trigger[static_cast<std::size_t>(FailureCategory::kHardware)];
+  PrintShapeCheck(std::cout, "env survival drops faster than hw",
+                  env.failure_within_week /
+                      std::max(1e-9, hw.failure_within_week),
+                  "env/net strongest triggers across all horizons",
+                  env.failure_within_week > hw.failure_within_week &&
+                      sa.env_vs_hw.significant_99);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Section III.B and Figure 2: correlations between failures of
+// different nodes in the same rack (group-1 systems only; only those have
+// machine-layout files).
+//   - III.B text: rack-peer day (0.31% -> 1.2%, ~3X) and week (2.04% ->
+//     4.6%, ~2.3X) probabilities.
+//   - Fig 2(a): P(any failure of another rack node within week | type X).
+//   - Fig 2(b): same-type rack pairs (env up to 170X, sw ~10X).
+#include "bench_common.h"
+
+int main() {
+  using namespace hpcfail;
+  using namespace hpcfail::core;
+  using bench::CategoryLabel;
+  bench::PrintHeader(
+      "Figure 2 + Section III.B: same-rack failure correlations",
+      "paper: day 0.31%->1.2% (~3X), week 2.04%->4.6% (~2.3X); same-type "
+      "rack coupling up to 170X (env), ~10X (sw)");
+  const Trace trace = bench::MakeBenchTrace();
+  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
+  const WindowAnalyzer a(g1);
+  const auto any = EventFilter::Any();
+
+  {
+    const auto day = a.Compare(any, any, Scope::kRackPeers, kDay);
+    const auto week = a.Compare(any, any, Scope::kRackPeers, kWeek);
+    Table t({"window", "P(random)", "P(rack peer | failure)", "factor", "sig",
+             "paper"});
+    t.AddRow({"day", FormatPercent(day.baseline, true),
+              FormatPercent(day.conditional, true), FormatFactor(day.factor),
+              SignificanceMarker(day.test), "0.31% -> 1.2% (~3X)"});
+    t.AddRow({"week", FormatPercent(week.baseline, true),
+              FormatPercent(week.conditional, true),
+              FormatFactor(week.factor), SignificanceMarker(week.test),
+              "2.04% -> 4.6% (~2.3X)"});
+    std::cout << "\n-- Section III.B headline numbers --\n";
+    t.Print(std::cout);
+    PrintShapeCheck(std::cout, "rack-peer day factor", day.factor, "~3X",
+                    day.factor > 1.5 && day.factor < 15.0);
+  }
+
+  {
+    std::cout << "\n-- Fig 2(a): P(any rack-peer failure within week | "
+                 "type X) --\n";
+    Table t({"trigger", "P(week|X) [ci]", "P(random wk)", "factor", "sig",
+             "triggers"});
+    for (FailureCategory c : AllFailureCategories()) {
+      const auto r =
+          a.Compare(EventFilter::Of(c), any, Scope::kRackPeers, kWeek);
+      t.AddRow(bench::ConditionalCells(CategoryLabel(c), r));
+    }
+    t.Print(std::cout);
+  }
+
+  {
+    std::cout << "\n-- Fig 2(b): same-type rack pairs within a week --\n";
+    Table t({"type", "after same type", "after ANY", "random week",
+             "same/random"});
+    double env_factor = 0.0, sw_factor = 0.0;
+    for (FailureCategory c : AllFailureCategories()) {
+      const auto same = a.Compare(EventFilter::Of(c), EventFilter::Of(c),
+                                  Scope::kRackPeers, kWeek);
+      const auto after_any =
+          a.Compare(any, EventFilter::Of(c), Scope::kRackPeers, kWeek);
+      t.AddRow({CategoryLabel(c), FormatPercent(same.conditional, true),
+                FormatPercent(after_any.conditional),
+                FormatPercent(same.baseline), FormatFactor(same.factor)});
+      if (c == FailureCategory::kEnvironment) env_factor = same.factor;
+      if (c == FailureCategory::kSoftware) sw_factor = same.factor;
+    }
+    for (HardwareComponent c :
+         {HardwareComponent::kMemory, HardwareComponent::kCpu}) {
+      const auto same = a.Compare(EventFilter::Of(c), EventFilter::Of(c),
+                                  Scope::kRackPeers, kWeek);
+      const auto after_any =
+          a.Compare(any, EventFilter::Of(c), Scope::kRackPeers, kWeek);
+      t.AddRow({std::string(ToString(c)),
+                FormatPercent(same.conditional, true),
+                FormatPercent(after_any.conditional),
+                FormatPercent(same.baseline), FormatFactor(same.factor)});
+    }
+    t.Print(std::cout);
+    PrintShapeCheck(std::cout, "rack same-type env factor", env_factor,
+                    "up to 170X", env_factor > 10.0);
+    PrintShapeCheck(std::cout, "rack same-type sw factor", sw_factor,
+                    "~10X", sw_factor > 2.0);
+  }
+  return 0;
+}

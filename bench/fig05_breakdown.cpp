@@ -1,0 +1,51 @@
+// Reproduces Section IV.B and Figure 5: the relative root-cause breakdown of
+// the failure-prone node 0 against the rest of the system, for systems 18,
+// 19 and 20. The paper observes the dominant failure mode shifting from
+// hardware (rest of system) to software (node 0), with environment and
+// network over-represented.
+#include "bench_common.h"
+#include "core/node_skew.h"
+
+int main() {
+  using namespace hpcfail;
+  using namespace hpcfail::core;
+  using bench::CategoryLabel;
+  bench::PrintHeader(
+      "Figure 5 + Section IV.B: root-cause breakdown, node 0 vs rest",
+      "paper: node 0 shows higher shares of software/environment/network; "
+      "dominant mode shifts from hardware to software");
+  const Trace trace = bench::MakeBenchTrace();
+  const EventIndex idx(trace);
+
+  for (const SystemConfig& s : trace.systems()) {
+    if (s.name != "system18" && s.name != "system19" && s.name != "system20") {
+      continue;
+    }
+    const BreakdownComparison b = CompareBreakdown(idx, s.id, NodeId{0});
+    std::cout << "\n-- " << s.name << " --\n";
+    Table t({"category", "node 0 %", "rest of system %"});
+    for (FailureCategory c : AllFailureCategories()) {
+      const auto i = static_cast<std::size_t>(c);
+      t.AddRow({CategoryLabel(c), FormatDouble(b.node_percent[i], 1),
+                FormatDouble(b.rest_percent[i], 1)});
+    }
+    t.Print(std::cout);
+
+    const auto hw = static_cast<std::size_t>(FailureCategory::kHardware);
+    const auto sw = static_cast<std::size_t>(FailureCategory::kSoftware);
+    const auto env = static_cast<std::size_t>(FailureCategory::kEnvironment);
+    const auto net = static_cast<std::size_t>(FailureCategory::kNetwork);
+    PrintShapeCheck(std::cout, s.name + " hardware dominates the rest",
+                    b.rest_percent[hw] / std::max(1.0, b.rest_percent[sw]),
+                    "hw ~60% of failures system-wide",
+                    b.rest_percent[hw] > b.rest_percent[sw]);
+    PrintShapeCheck(
+        std::cout, s.name + " node-0 dominant mode shifts off hardware",
+        (b.node_percent[sw] + b.node_percent[env] + b.node_percent[net]) /
+            std::max(1.0, b.node_percent[hw]),
+        "sw/env/net over-represented in node 0",
+        b.node_percent[sw] + b.node_percent[env] + b.node_percent[net] >
+            b.node_percent[hw]);
+  }
+  return 0;
+}

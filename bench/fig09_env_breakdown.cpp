@@ -1,0 +1,44 @@
+// Reproduces Section VII and Figure 9: the breakdown of environmental
+// failures into power outages (49%), power spikes (21%), UPS (15%),
+// chillers (9%) and other environment (6%).
+#include "bench_common.h"
+#include "core/power_analysis.h"
+
+int main() {
+  using namespace hpcfail;
+  using namespace hpcfail::core;
+  bench::PrintHeader(
+      "Figure 9: breakdown of environmental failures",
+      "paper: 49% power outage, 21% power spike, 15% UPS, 9% chillers, "
+      "6% other environment");
+  const Trace trace = bench::MakeBenchTrace();
+  const EventIndex idx(trace);
+  const EnvironmentBreakdown b = BreakdownEnvironment(idx);
+
+  const double paper[kNumEnvironmentEvents] = {49.0, 21.0, 15.0, 9.0, 6.0};
+  Table t({"subcategory", "measured %", "paper %"});
+  for (EnvironmentEvent e : AllEnvironmentEvents()) {
+    const auto i = static_cast<std::size_t>(e);
+    t.AddRow({std::string(ToString(e)), FormatDouble(b.percent[i], 1),
+              FormatDouble(paper[i], 0)});
+  }
+  t.Print(std::cout);
+  std::cout << "total environmental failures: " << b.total << "\n";
+
+  const auto outage = static_cast<std::size_t>(EnvironmentEvent::kPowerOutage);
+  const auto spike = static_cast<std::size_t>(EnvironmentEvent::kPowerSpike);
+  const auto ups = static_cast<std::size_t>(EnvironmentEvent::kUps);
+  const auto chiller = static_cast<std::size_t>(EnvironmentEvent::kChiller);
+  PrintShapeCheck(std::cout, "outages are the largest subcategory",
+                  b.percent[outage] / 100.0, "49%",
+                  b.percent[outage] >= b.percent[spike] &&
+                      b.percent[outage] >= b.percent[ups] &&
+                      b.percent[outage] >= b.percent[chiller]);
+  PrintShapeCheck(std::cout, "power problems dominate (outage+spike+ups)",
+                  (b.percent[outage] + b.percent[spike] + b.percent[ups]) /
+                      100.0,
+                  "85%",
+                  b.percent[outage] + b.percent[spike] + b.percent[ups] >
+                      60.0);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces Section VIII and Figure 13: how temperature affects failures.
+//   - VIII.A/B: Poisson and negative-binomial regressions of hardware / CPU
+//     / DRAM failure counts on average, maximum and variance of node
+//     temperature — all insignificant in the paper.
+//   - Fig 13 (left): P(hardware failure within day/week/month | fan or
+//     chiller failure); fans ~40X on the next day, chillers 6-9X.
+//   - Fig 13 (right): per-component month probabilities; fans recur ~120X,
+//     MSC boards and midplanes appear, CPUs are untouched.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/power_analysis.h"
+#include "core/temperature_analysis.h"
+
+int main() {
+  using namespace hpcfail;
+  using namespace hpcfail::core;
+  bench::PrintHeader(
+      "Figure 13 + Section VIII: temperature and failures",
+      "paper: avg/max/var temperature insignificant; fan failures raise "
+      "hardware failures ~40X next-day, chillers 6-9X; fans recur ~120X");
+  const Trace trace = bench::MakeBenchTrace();
+  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
+  const WindowAnalyzer a(g1);
+
+  {
+    const auto temp_systems = SystemsWithTemperature(trace);
+    std::cout << "\n-- Section VIII.A/B: temperature regressions (system "
+              << trace.system(temp_systems.at(0)).name << ") --\n";
+    const auto regs = RegressFailuresOnTemperature(g1, temp_systems.at(0));
+    Table t({"covariate", "target", "Poisson p", "NegBin p", "paper"});
+    bool avg_insig = true;
+    for (const TemperatureRegression& r : regs) {
+      t.AddRow({r.covariate, r.target, FormatDouble(r.poisson_p, 4),
+                FormatDouble(r.negbin_p, 4), "insignificant"});
+      if (r.covariate == "avg_temp" && r.negbin_p < 0.01) avg_insig = false;
+    }
+    t.Print(std::cout);
+    PrintShapeCheck(std::cout, "average temperature not predictive", 1.0,
+                    "no significant correlation (Section VIII.A)", avg_insig);
+  }
+
+  {
+    std::cout << "\n-- Fig 13 (left): P(hardware failure | fan / chiller) --\n";
+    const auto impacts = CoolingFailureImpact(a);
+    Table t({"trigger", "day", "week", "month", "triggers"});
+    for (const CoolingImpact& ci : impacts) {
+      t.AddRow({ci.trigger, FormatConditional(ci.day),
+                FormatConditional(ci.week), FormatConditional(ci.month),
+                std::to_string(ci.month.num_triggers)});
+    }
+    t.Print(std::cout);
+    PrintShapeCheck(std::cout, "fan failures raise hw failures",
+                    impacts[0].day.factor, "~40X next day",
+                    impacts[0].day.factor > 3.0);
+    PrintShapeCheck(std::cout, "fans hit harder than chillers",
+                    impacts[0].month.factor /
+                        std::max(1.0, impacts[1].month.factor),
+                    "fan > chiller at every timespan",
+                    impacts[0].month.factor > impacts[1].month.factor);
+  }
+
+  {
+    std::cout << "\n-- Fig 13 (right): per-component month probabilities --\n";
+    for (const auto& [name, trigger] :
+         {std::pair{"fan failure", FanFilter()},
+          {"chiller failure", ChillerFilter()}}) {
+      std::cout << "after " << name << ":\n";
+      Table t({"component", "P(month | trigger)", "P(random month)", "factor",
+               "sig"});
+      for (const ComponentImpact& ci : HardwareComponentImpact(a, trigger)) {
+        t.AddRow({ci.component, FormatPercent(ci.month.conditional, true),
+                  FormatPercent(ci.month.baseline),
+                  FormatFactor(ci.month.factor),
+                  SignificanceMarker(ci.month.test)});
+      }
+      t.Print(std::cout);
+    }
+    const auto fan_impacts = HardwareComponentImpact(a, FanFilter());
+    double fan_self = 0.0, cpu = 0.0, msc = 0.0;
+    for (const ComponentImpact& ci : fan_impacts) {
+      if (ci.component == "fan" && std::isfinite(ci.month.factor)) {
+        fan_self = ci.month.factor;
+      }
+      if (ci.component == "cpu" && std::isfinite(ci.month.factor)) {
+        cpu = ci.month.factor;
+      }
+      if (ci.component == "msc_board" && std::isfinite(ci.month.factor)) {
+        msc = ci.month.factor;
+      }
+    }
+    PrintShapeCheck(std::cout, "fans recur strongest, CPUs untouched",
+                    fan_self / std::max(0.5, cpu),
+                    "fan ~120X, MSC/midplane >100X, CPU ~1X",
+                    fan_self > 5.0 && fan_self > 3.0 * std::max(1.0, cpu) &&
+                        msc > 1.0);
+  }
+  return 0;
+}

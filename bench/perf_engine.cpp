@@ -1,0 +1,171 @@
+// Performance benchmarks (google-benchmark) for the generator and the
+// analysis kernels, including the ablations DESIGN.md calls out:
+//   - indexed (binary-searched) window queries vs a naive scan;
+//   - trace generation cost vs system scale;
+//   - GLM fitting cost.
+#include <benchmark/benchmark.h>
+
+#include "core/joint_regression.h"
+#include "core/window_analysis.h"
+#include "stats/glm.h"
+#include "stats/rng.h"
+#include "synth/generate.h"
+
+namespace hpcfail {
+namespace {
+
+using namespace core;
+
+// Shared medium-size trace for the query benchmarks.
+const Trace& SharedTrace() {
+  static const Trace trace =
+      synth::GenerateTrace(synth::LanlLikeScenario(0.25, kYear), 7);
+  return trace;
+}
+
+const EventIndex& SharedIndex() {
+  static const EventIndex index(SharedTrace());
+  return index;
+}
+
+void BM_GenerateTrace(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  const auto scenario = synth::LanlLikeScenario(scale, kYear);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Trace t = synth::GenerateTrace(scenario, seed++);
+    benchmark::DoNotOptimize(t.num_failures());
+  }
+}
+BENCHMARK(BM_GenerateTrace)->Arg(5)->Arg(25)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EventIndexBuild(benchmark::State& state) {
+  const Trace& trace = SharedTrace();
+  for (auto _ : state) {
+    EventIndex idx(trace);
+    benchmark::DoNotOptimize(idx.Count(EventFilter::Any()));
+  }
+}
+BENCHMARK(BM_EventIndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_WindowQueryIndexed(benchmark::State& state) {
+  const EventIndex& idx = SharedIndex();
+  const SystemId sys = SharedTrace().systems()[0].id;
+  const int nodes = SharedTrace().systems()[0].num_nodes;
+  stats::Rng rng(3);
+  const EventFilter any = EventFilter::Any();
+  for (auto _ : state) {
+    const NodeId node{static_cast<int>(rng.Index(
+        static_cast<std::size_t>(nodes)))};
+    const TimeSec begin = rng.Int(0, kYear - kWeek);
+    benchmark::DoNotOptimize(
+        idx.CountAtNode(sys, node, {begin, begin + kWeek}, any));
+  }
+}
+BENCHMARK(BM_WindowQueryIndexed);
+
+// Ablation: the same query as a naive scan over the system's failures.
+void BM_WindowQueryNaiveScan(benchmark::State& state) {
+  const Trace& trace = SharedTrace();
+  const SystemId sys = trace.systems()[0].id;
+  const auto failures = trace.FailuresOfSystem(sys);
+  const int nodes = trace.systems()[0].num_nodes;
+  stats::Rng rng(3);
+  for (auto _ : state) {
+    const NodeId node{static_cast<int>(rng.Index(
+        static_cast<std::size_t>(nodes)))};
+    const TimeSec begin = rng.Int(0, kYear - kWeek);
+    int count = 0;
+    for (const FailureRecord& f : failures) {
+      if (f.node == node && f.start > begin && f.start <= begin + kWeek) {
+        ++count;
+      }
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_WindowQueryNaiveScan);
+
+void BM_ConditionalProbability(benchmark::State& state) {
+  const WindowAnalyzer a(SharedIndex());
+  for (auto _ : state) {
+    auto p = a.ConditionalProbability(EventFilter::Any(), EventFilter::Any(),
+                                      Scope::kSameNode, kWeek);
+    benchmark::DoNotOptimize(p.estimate);
+  }
+}
+BENCHMARK(BM_ConditionalProbability)->Unit(benchmark::kMillisecond);
+
+void BM_BaselineProbability(benchmark::State& state) {
+  const WindowAnalyzer a(SharedIndex());
+  for (auto _ : state) {
+    auto p = a.BaselineProbability(EventFilter::Any(), kWeek);
+    benchmark::DoNotOptimize(p.estimate);
+  }
+}
+BENCHMARK(BM_BaselineProbability)->Unit(benchmark::kMillisecond);
+
+void BM_RackScopeConditional(benchmark::State& state) {
+  const WindowAnalyzer a(SharedIndex());
+  for (auto _ : state) {
+    auto p = a.ConditionalProbability(EventFilter::Any(), EventFilter::Any(),
+                                      Scope::kRackPeers, kWeek);
+    benchmark::DoNotOptimize(p.estimate);
+  }
+}
+BENCHMARK(BM_RackScopeConditional)->Unit(benchmark::kMillisecond);
+
+void BM_FitPoisson(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(11);
+  stats::Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.Normal();
+    y[i] = rng.Poisson(std::exp(0.5 + 0.3 * x(i, 0)));
+  }
+  for (auto _ : state) {
+    auto fit = stats::FitPoisson(x, y);
+    benchmark::DoNotOptimize(fit.deviance);
+  }
+}
+BENCHMARK(BM_FitPoisson)->Arg(512)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_FitNegativeBinomial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(12);
+  stats::Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.Normal();
+    const double mu = std::exp(0.5 + 0.3 * x(i, 0));
+    std::gamma_distribution<double> gamma(2.0, mu / 2.0);
+    y[i] = rng.Poisson(gamma(rng.engine()));
+  }
+  for (auto _ : state) {
+    auto fit = stats::FitNegativeBinomial(x, y);
+    benchmark::DoNotOptimize(fit.theta);
+  }
+}
+BENCHMARK(BM_FitNegativeBinomial)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_JointRegression(benchmark::State& state) {
+  static const Trace trace = [] {
+    synth::Scenario sc;
+    sc.duration = kYear;
+    sc.systems.push_back(synth::System20Like(128, kYear));
+    return synth::GenerateTrace(sc, 13);
+  }();
+  static const EventIndex idx(trace);
+  for (auto _ : state) {
+    auto jr = FitJointRegression(idx, SystemId{0});
+    benchmark::DoNotOptimize(jr.poisson.deviance);
+  }
+}
+BENCHMARK(BM_JointRegression)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hpcfail
+
+BENCHMARK_MAIN();

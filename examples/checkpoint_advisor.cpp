@@ -1,0 +1,87 @@
+// Checkpoint advisor: the paper motivates its correlation study with
+// checkpoint scheduling — "it helps in the prediction of failures, which is
+// useful, for example, for scheduling application checkpoints". This example
+// turns the Section-III conditional probabilities into concrete advice: an
+// application should checkpoint far more aggressively in the day after its
+// node failed (especially after environment/network failures) than in steady
+// state.
+//
+// Checkpoint intervals use Young's first-order approximation
+//   t_opt = sqrt(2 * delta * MTBF)
+// where delta is the cost of writing one checkpoint and MTBF is estimated
+// from the measured window probabilities (MTBF ~ window / -ln(1 - p)).
+#include <cmath>
+#include <iostream>
+
+#include "core/report.h"
+#include "core/window_analysis.h"
+#include "synth/generate.h"
+
+namespace {
+
+using namespace hpcfail;
+using namespace hpcfail::core;
+
+// Converts a window probability into an exponential-equivalent MTBF.
+double MtbfHours(const stats::Proportion& p, TimeSec window) {
+  if (!p.defined() || p.estimate <= 0.0) return 1e9;
+  if (p.estimate >= 1.0) return static_cast<double>(window) / kHour / 100.0;
+  const double rate_per_window = -std::log(1.0 - p.estimate);
+  return static_cast<double>(window) / kHour / rate_per_window;
+}
+
+double YoungIntervalHours(double checkpoint_cost_hours, double mtbf_hours) {
+  return std::sqrt(2.0 * checkpoint_cost_hours * mtbf_hours);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "checkpoint advisor: adaptive checkpoint intervals from "
+               "failure-log correlations\n";
+  const double checkpoint_cost_hours = 0.1;  // 6 minutes to write state
+
+  synth::Scenario scenario;
+  scenario.duration = 3 * kYear;
+  scenario.systems.push_back(
+      synth::Group1System("prod", /*num_nodes=*/512, 3 * kYear));
+  const Trace trace = synth::GenerateTrace(scenario, 1);
+  const EventIndex index(trace);
+  const WindowAnalyzer analyzer(index);
+
+  // Steady state: the random-day failure probability.
+  const auto baseline =
+      analyzer.BaselineProbability(EventFilter::Any(), kDay);
+  const double steady_mtbf = MtbfHours(baseline, kDay);
+  std::cout << "steady-state node MTBF estimate: "
+            << FormatDouble(steady_mtbf / 24.0, 1) << " days -> checkpoint every "
+            << FormatDouble(YoungIntervalHours(checkpoint_cost_hours,
+                                               steady_mtbf), 1)
+            << " h\n\n";
+
+  // After a failure, the next-day hazard jumps; the advisor tightens the
+  // interval according to the observed trigger type.
+  Table t({"last failure on this node", "P(fail next day)", "cond. MTBF (h)",
+           "checkpoint every", "vs steady state"});
+  const double steady_interval =
+      YoungIntervalHours(checkpoint_cost_hours, steady_mtbf);
+  for (FailureCategory c : AllFailureCategories()) {
+    const auto cond = analyzer.ConditionalProbability(
+        EventFilter::Of(c), EventFilter::Any(), Scope::kSameNode, kDay);
+    if (cond.trials < 20) continue;  // not enough evidence
+    const double mtbf = MtbfHours(cond, kDay);
+    const double interval = YoungIntervalHours(checkpoint_cost_hours, mtbf);
+    t.AddRow({std::string(ToString(c)), FormatPercent(cond, false),
+              FormatDouble(mtbf, 1),
+              FormatDouble(interval, 2) + " h",
+              FormatDouble(interval / steady_interval, 2) + "x"});
+  }
+  t.Print(std::cout);
+
+  std::cout
+      << "\nreading: after environment/network failures the conditional MTBF "
+         "collapses,\nso jobs on the affected node should checkpoint several "
+         "times more often for a day\n(or be migrated, per Section I of the "
+         "paper).\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Exascale projection: the paper opens with the observation that "future
+// exascale systems are expected to combine the compute power of millions of
+// CPU cores" and that "even with relatively reliable individual components,
+// the sheer number of components will increase failure rates to
+// unprecedented levels". This example quantifies that: it scales a group-1
+// system up, measures the system-level MTBF and availability at each scale,
+// and projects the checkpoint overhead a full-system application would pay.
+#include <cmath>
+#include <iostream>
+
+#include "core/downtime.h"
+#include "core/report.h"
+#include "core/window_analysis.h"
+#include "synth/generate.h"
+
+namespace {
+
+using namespace hpcfail;
+using namespace hpcfail::core;
+
+// Fraction of wall-clock an application loses to checkpoints + rework at
+// the optimal Young interval: overhead ~ sqrt(2 * delta / MTBF).
+double CheckpointOverhead(double checkpoint_cost_hours, double mtbf_hours) {
+  return std::min(1.0, std::sqrt(2.0 * checkpoint_cost_hours / mtbf_hours));
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "exascale projection: system MTBF and checkpoint overhead vs scale\n"
+         "(per-node failure behaviour held fixed at the LANL-calibrated "
+         "rates)\n\n";
+  const double checkpoint_cost_hours = 0.25;  // full-system checkpoint
+
+  Table t({"nodes", "failures/yr", "system MTBF (h)", "availability",
+           "checkpoint overhead"});
+  for (int nodes : {256, 1024, 4096, 16384}) {
+    synth::Scenario scenario;
+    scenario.duration = kYear;
+    auto sys = synth::Group1System("scale", nodes, kYear);
+    // Large machines spread over more racks.
+    sys.racks_per_row = std::max(8, nodes / 256);
+    scenario.systems.push_back(std::move(sys));
+    const Trace trace = synth::GenerateTrace(scenario, 17);
+    const EventIndex index(trace);
+    const auto failures = trace.num_failures();
+    const double mtbf_hours =
+        failures > 0 ? 8760.0 / static_cast<double>(failures) : 8760.0;
+    const DowntimeAnalysis down = AnalyzeDowntime(index, SystemId{0});
+    t.AddRow({std::to_string(nodes), std::to_string(failures),
+              FormatDouble(mtbf_hours, 1),
+              FormatDouble(down.availability, 4),
+              FormatDouble(
+                  100.0 * CheckpointOverhead(checkpoint_cost_hours,
+                                             mtbf_hours), 1) + "%"});
+  }
+  t.Print(std::cout);
+
+  std::cout
+      << "\nreading: MTBF shrinks ~linearly with node count. At 16k nodes a\n"
+         "full-system application sees a failure every couple of hours and\n"
+         "spends a large share of its time checkpointing — the paper's\n"
+         "motivation for understanding (and predicting) failures rather\n"
+         "than only tolerating them. Correlation-aware scheduling "
+         "(checkpoint_advisor)\nrecovers part of that overhead.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Failure prediction with a proper time split: train the Section-XI
+// predictor on the first two-thirds of a trace and evaluate on the held-out
+// final third — the workflow a production deployment would follow (train on
+// history, alarm on the live system). Demonstrates trace slicing
+// (trace/transform.h), the predictor API and the precision/recall sweep.
+#include <iostream>
+
+#include "core/prediction.h"
+#include "core/report.h"
+#include "synth/generate.h"
+#include "trace/transform.h"
+
+int main() {
+  using namespace hpcfail;
+  using namespace hpcfail::core;
+  std::cout << "failure prediction with a train/test time split\n";
+
+  // One busy production system observed for three years.
+  synth::Scenario scenario;
+  scenario.duration = 3 * kYear;
+  auto sys = synth::Group1System("prod", 256, 3 * kYear);
+  for (double& r : sys.base_rate_per_hour) r *= 3.0;
+  scenario.systems.push_back(std::move(sys));
+  const Trace full = synth::GenerateTrace(scenario, 12);
+
+  // Train on the first 2 years, evaluate on the final year.
+  const TimeSec split = 2 * kYear;
+  const Trace train_trace = SliceTrace(full, {0, split});
+  const Trace eval_trace = SliceTrace(full, {split, 3 * kYear});
+  std::cout << "train: " << train_trace.num_failures() << " failures; eval: "
+            << eval_trace.num_failures() << " failures\n";
+
+  const EventIndex train(train_trace);
+  const EventIndex eval(eval_trace);
+  const FailurePredictor predictor(train, {});
+
+  std::cout << "\nlearned model (P(node fails within a day | last failure "
+               "type)):\n";
+  Table model({"last failure", "P(fail next day)", "vs baseline"});
+  for (FailureCategory c : AllFailureCategories()) {
+    model.AddRow({std::string(ToString(c)),
+                  FormatDouble(predictor.conditional(c), 4),
+                  FormatDouble(predictor.conditional(c) /
+                                   std::max(1e-9, predictor.baseline()), 1) +
+                      "x"});
+  }
+  model.Print(std::cout);
+
+  std::cout << "\noperating curve on the held-out year:\n";
+  Table curve({"threshold", "alarms/node-day", "precision", "recall", "F1"});
+  for (const PredictionEvaluation& e : SweepPredictor(predictor, eval)) {
+    curve.AddRow({FormatDouble(e.threshold, 4),
+                  FormatDouble(e.alarm_rate, 4),
+                  FormatDouble(e.precision, 3), FormatDouble(e.recall, 3),
+                  FormatDouble(e.f1, 3)});
+  }
+  curve.Print(std::cout);
+
+  std::cout
+      << "\nreading: alarms raised in the day after env/net failures catch a\n"
+         "disproportionate share of imminent failures — the operational value\n"
+         "of the paper's observation that failure *type* predicts follow-up\n"
+         "risk (Sections III and XI).\n";
+  return 0;
+}

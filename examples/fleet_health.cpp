@@ -1,0 +1,109 @@
+// Fleet health report: Sections IV-VI of the paper show that failures skew
+// heavily across nodes (the login node especially) and across users. This
+// example is a periodic fleet-health job: it flags failure-prone nodes with
+// the chi-square machinery, explains *why* they are prone (root-cause
+// breakdown + usage), and flags users whose workloads correlate with node
+// failures — then round-trips the trace through the CSV layer, as a real
+// deployment ingesting logs would.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+
+#include "core/node_skew.h"
+#include "core/report.h"
+#include "core/usage_analysis.h"
+#include "core/user_analysis.h"
+#include "synth/generate.h"
+#include "trace/csv.h"
+
+int main() {
+  using namespace hpcfail;
+  using namespace hpcfail::core;
+  std::cout << "fleet health report\n";
+
+  // Ingest: in production this would be csv::LoadTrace(<log dir>); here we
+  // synthesize a system-20-like machine and round-trip it through CSV to
+  // exercise the same path.
+  synth::Scenario scenario;
+  scenario.duration = 2 * kYear;
+  scenario.systems.push_back(synth::System20Like(256, 2 * kYear));
+  const Trace generated = synth::GenerateTrace(scenario, 99);
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "hpcfail_fleet").string();
+  csv::SaveTrace(generated, dir);
+  const Trace trace = csv::LoadTrace(dir);
+  std::filesystem::remove_all(dir);
+  const SystemId sys = trace.systems()[0].id;
+  const EventIndex index(trace);
+
+  // 1. Node skew: who is failing, and is it statistically real?
+  const NodeSkewSummary skew = AnalyzeNodeSkew(index, sys);
+  std::cout << "\nnodes: mean " << FormatDouble(skew.mean_failures, 1)
+            << " failures; max node " << skew.most_failing_node.value
+            << " with " << skew.max_failures << " ("
+            << FormatDouble(skew.max_over_mean, 1) << "x mean); equal-rate "
+            << (skew.equal_rates_test.significant_99 ? "REJECTED"
+                                                     : "not rejected")
+            << " (p=" << FormatDouble(skew.equal_rates_test.p_value, 4)
+            << ")\n";
+
+  // Flag every node above 4x the mean.
+  std::vector<int> prone;
+  for (std::size_t n = 0; n < skew.failures_per_node.size(); ++n) {
+    if (skew.failures_per_node[n] > 4.0 * skew.mean_failures) {
+      prone.push_back(static_cast<int>(n));
+    }
+  }
+  Table t({"prone node", "failures", "dominant cause", "util", "#jobs"});
+  const UsageAnalysis usage = AnalyzeUsage(index, sys);
+  for (int n : prone) {
+    const BreakdownComparison b = CompareBreakdown(index, sys, NodeId{n});
+    std::size_t dominant = 0;
+    for (std::size_t c = 1; c < b.node_percent.size(); ++c) {
+      if (b.node_percent[c] > b.node_percent[dominant]) dominant = c;
+    }
+    t.AddRow({std::to_string(n),
+              std::to_string(skew.failures_per_node[static_cast<std::size_t>(n)]),
+              std::string(ToString(static_cast<FailureCategory>(dominant))),
+              FormatDouble(usage.nodes[static_cast<std::size_t>(n)].utilization, 2),
+              std::to_string(usage.nodes[static_cast<std::size_t>(n)].num_jobs)});
+  }
+  t.Print(std::cout);
+
+  // 2. Usage coupling (Section V).
+  std::cout << "usage correlation: r(jobs, failures) = "
+            << FormatDouble(usage.jobs_vs_failures.r, 3) << " (excl. top node: "
+            << FormatDouble(usage.jobs_vs_failures_excl_top.r, 3) << ")\n";
+
+  // 3. User risk (Section VI): heaviest users with outlier failure rates.
+  const UserAnalysis users = AnalyzeUsers(trace, sys, 50);
+  std::cout << "user heterogeneity ANOVA: p="
+            << FormatDouble(users.rate_heterogeneity.p_value, 5)
+            << (users.rate_heterogeneity.significant_99
+                    ? " -> users differ significantly\n"
+                    : " -> no significant differences\n");
+  double mean_rate = 0.0;
+  for (const UserFailureStats& u : users.heaviest_users) {
+    mean_rate += u.failures_per_proc_day;
+  }
+  mean_rate /= std::max<std::size_t>(1, users.heaviest_users.size());
+  Table ut({"user", "proc-days", "failures/proc-day", "x mean"});
+  std::vector<UserFailureStats> risky = users.heaviest_users;
+  std::sort(risky.begin(), risky.end(),
+            [](const UserFailureStats& a, const UserFailureStats& b) {
+              return a.failures_per_proc_day > b.failures_per_proc_day;
+            });
+  for (std::size_t i = 0; i < 5 && i < risky.size(); ++i) {
+    ut.AddRow({std::to_string(risky[i].user.value),
+               FormatDouble(risky[i].processor_days, 0),
+               FormatDouble(risky[i].failures_per_proc_day, 5),
+               FormatDouble(risky[i].failures_per_proc_day /
+                                std::max(1e-12, mean_rate), 1)});
+  }
+  ut.Print(std::cout);
+  std::cout << "recommendation: review the top users' node access patterns; "
+               "the paper attributes\nthis skew to workloads exercising buggy "
+               "code paths or punishing hardware access\npatterns, not to "
+               "application bugs (application failures are excluded).\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Power-event postmortem: Section VII of the paper quantifies how power
+// problems breed hardware failures, storage-software failures and
+// unscheduled maintenance. This example is the tool an operator would run
+// the morning after a power event: it finds every power problem in a trace,
+// quantifies the elevated risk per component, and emits the inspection
+// checklist the paper's "lessons learned" recommend (check memory DIMMs and
+// node boards after spikes, inspect fans after PSU failures, ...).
+#include <algorithm>
+#include <iostream>
+
+#include "core/power_analysis.h"
+#include "core/report.h"
+#include "synth/generate.h"
+
+int main() {
+  using namespace hpcfail;
+  using namespace hpcfail::core;
+  std::cout << "power postmortem: component risk after power problems\n";
+
+  synth::Scenario scenario;
+  scenario.duration = 3 * kYear;
+  auto sys = synth::Group1System("prod", 256, 3 * kYear);
+  sys.power_outage.events_per_year = 2.0;
+  sys.power_spike.events_per_year = 4.0;
+  scenario.systems.push_back(std::move(sys));
+  const Trace trace = synth::GenerateTrace(scenario, 7);
+  const EventIndex index(trace);
+  const WindowAnalyzer analyzer(index);
+
+  // 1. Inventory of power problems in the log.
+  Table inv({"power problem", "records", "most recent (day)"});
+  for (PowerProblem p : AllPowerProblems()) {
+    const EventFilter f = PowerProblemFilter(p);
+    long long count = 0;
+    TimeSec latest = 0;
+    index.ForEach(f, [&](SystemId, const FailureRecord& r) {
+      ++count;
+      latest = std::max(latest, r.start);
+    });
+    inv.AddRow({std::string(ToString(p)), std::to_string(count),
+                count > 0 ? std::to_string(latest / kDay) : "-"});
+  }
+  inv.Print(std::cout);
+
+  // 2. For each power problem, rank components by month-window risk factor
+  //    and emit the inspection list.
+  for (PowerProblem p : AllPowerProblems()) {
+    const auto impacts =
+        HardwareComponentImpact(analyzer, PowerProblemFilter(p));
+    std::vector<const ComponentImpact*> ranked;
+    for (const ComponentImpact& ci : impacts) {
+      if (ci.month.test.significant_95 && ci.month.factor > 2.0) {
+        ranked.push_back(&ci);
+      }
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const ComponentImpact* a, const ComponentImpact* b) {
+                return a->month.factor > b->month.factor;
+              });
+    std::cout << "\nafter a " << ToString(p)
+              << ", inspect (month-window risk, highest first):\n";
+    if (ranked.empty()) {
+      std::cout << "  (no significantly elevated components)\n";
+      continue;
+    }
+    for (const ComponentImpact* ci : ranked) {
+      std::cout << "  - " << ci->component << ": "
+                << FormatPercent(ci->month.conditional) << " vs "
+                << FormatPercent(ci->month.baseline) << " baseline ("
+                << FormatFactor(ci->month.factor) << ")\n";
+    }
+  }
+
+  // 3. Maintenance-load forecast (Section VII.A.2).
+  std::cout << "\nunscheduled-maintenance forecast (month after event):\n";
+  for (PowerProblem p : AllPowerProblems()) {
+    const ConditionalResult m =
+        analyzer.MaintenanceAfter(PowerProblemFilter(p), kMonth);
+    if (!m.conditional.defined()) continue;
+    std::cout << "  - " << ToString(p) << ": "
+              << FormatPercent(m.conditional)
+              << " of affected nodes need unscheduled maintenance ("
+              << FormatFactor(m.factor) << " the random month)\n";
+  }
+
+  // 4. Storage-consistency warning (Section VII.B).
+  const auto sw = SoftwareComponentImpact(
+      analyzer, PowerProblemFilter(PowerProblem::kPowerOutage));
+  double storage = 0.0, other = 0.0;
+  for (const ComponentImpact& ci : sw) {
+    if (ci.component == "dst" || ci.component == "pfs" ||
+        ci.component == "cfs") {
+      storage += ci.month.conditional.estimate;
+    } else {
+      other += ci.month.conditional.estimate;
+    }
+  }
+  std::cout << "\nstorage subsystems carry "
+            << FormatDouble(100.0 * storage / std::max(1e-9, storage + other), 0)
+            << "% of the post-outage software failure probability:\n"
+               "verify DST/PFS/CFS consistency before resuming jobs.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "core/checkpoint_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hpcfail::core {
+
+CheckpointPolicy StaticPolicy(TimeSec interval) {
+  if (interval <= 0) throw std::invalid_argument("non-positive interval");
+  return [interval](TimeSec, std::optional<FailureCategory>) {
+    return interval;
+  };
+}
+
+CheckpointPolicy AdaptivePolicy(TimeSec base_interval,
+                                TimeSec elevated_interval, TimeSec memory,
+                                std::vector<FailureCategory> triggers) {
+  if (base_interval <= 0 || elevated_interval <= 0 || memory <= 0) {
+    throw std::invalid_argument("non-positive policy parameter");
+  }
+  return [=](TimeSec since, std::optional<FailureCategory> type) {
+    if (since > memory || !type) return base_interval;
+    if (!triggers.empty() &&
+        std::find(triggers.begin(), triggers.end(), *type) ==
+            triggers.end()) {
+      return base_interval;
+    }
+    return elevated_interval;
+  };
+}
+
+CheckpointSimResult SimulateCheckpointing(const EventIndex& index,
+                                          SystemId system,
+                                          const CheckpointSimConfig& config,
+                                          const CheckpointPolicy& policy) {
+  if (config.nodes.empty()) {
+    throw std::invalid_argument("application occupies no nodes");
+  }
+  if (!config.window.valid() || config.window.duration() <= 0) {
+    throw std::invalid_argument("invalid simulation window");
+  }
+  // Failures of the application's nodes inside the window, time-sorted.
+  std::vector<std::pair<TimeSec, FailureCategory>> hits;
+  for (const FailureRecord& f : index.failures_of(system)) {
+    if (f.start <= config.window.begin || f.start > config.window.end) {
+      continue;
+    }
+    if (std::find(config.nodes.begin(), config.nodes.end(), f.node) !=
+        config.nodes.end()) {
+      hits.emplace_back(f.start, f.category);
+    }
+  }
+
+  CheckpointSimResult out;
+  TimeSec t = config.window.begin;
+  TimeSec work_since_ckpt = 0;
+  std::size_t next_hit = 0;
+  TimeSec last_failure_time = std::numeric_limits<TimeSec>::min() / 2;
+  std::optional<FailureCategory> last_failure_type;
+
+  auto fail = [&](TimeSec when, FailureCategory type) {
+    out.lost_work += work_since_ckpt;
+    work_since_ckpt = 0;
+    ++out.failures;
+    last_failure_time = when;
+    last_failure_type = type;
+    const TimeSec restart_end =
+        std::min<TimeSec>(when + config.restart_cost, config.window.end);
+    out.restart_time += restart_end - when;
+    t = restart_end;
+    // Failures that strike while the application is already down are
+    // absorbed by the same restart.
+    while (next_hit < hits.size() && hits[next_hit].first <= t) ++next_hit;
+  };
+
+  while (t < config.window.end) {
+    const TimeSec since = t - last_failure_time;
+    const TimeSec interval =
+        std::max<TimeSec>(kMinute, policy(since, last_failure_type));
+    const TimeSec compute_end =
+        std::min<TimeSec>(t + interval, config.window.end);
+    // Does a failure interrupt the compute segment?
+    if (next_hit < hits.size() && hits[next_hit].first <= compute_end) {
+      const auto [when, type] = hits[next_hit];
+      ++next_hit;
+      work_since_ckpt += when - t;
+      fail(when, type);
+      continue;
+    }
+    work_since_ckpt += compute_end - t;
+    t = compute_end;
+    if (t >= config.window.end) break;
+    // Write the checkpoint; a failure during the write voids it.
+    const TimeSec ckpt_end =
+        std::min<TimeSec>(t + config.checkpoint_cost, config.window.end);
+    if (next_hit < hits.size() && hits[next_hit].first <= ckpt_end) {
+      const auto [when, type] = hits[next_hit];
+      ++next_hit;
+      out.checkpoint_time += when - t;
+      fail(when, type);
+      continue;
+    }
+    out.checkpoint_time += ckpt_end - t;
+    t = ckpt_end;
+    out.useful_work += work_since_ckpt;
+    work_since_ckpt = 0;
+    ++out.checkpoints;
+  }
+  // Work in flight at the end of the window is checkpointable.
+  out.useful_work += work_since_ckpt;
+
+  const double wall = static_cast<double>(config.window.duration());
+  out.overhead =
+      wall > 0.0 ? 1.0 - static_cast<double>(out.useful_work) / wall : 0.0;
+  return out;
+}
+
+}  // namespace hpcfail::core

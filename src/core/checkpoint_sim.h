@@ -1,0 +1,61 @@
+// Checkpoint/restart simulator: replays an application against the failure
+// records of a trace and measures the wall-clock cost of a checkpointing
+// policy. This closes the loop on the paper's motivation — Section I/III
+// argue failure correlations should inform checkpoint scheduling; the
+// simulator quantifies how much an adaptive, correlation-aware policy
+// actually saves over a static-interval one on trace data.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/event_index.h"
+
+namespace hpcfail::core {
+
+// A checkpointing policy returns the next checkpoint interval given the
+// time since the application's node set last failed (TimeSec max when it
+// never failed) and the category of that last failure.
+using CheckpointPolicy = std::function<TimeSec(
+    TimeSec since_last_failure, std::optional<FailureCategory> last_type)>;
+
+// Static-interval policy.
+CheckpointPolicy StaticPolicy(TimeSec interval);
+
+// Correlation-aware policy: `elevated_interval` while within `memory` of a
+// failure whose category is in `triggers` (empty = any category), else
+// `base_interval` (the paper's insight: hazard is elevated after failures,
+// especially environment/network ones).
+CheckpointPolicy AdaptivePolicy(TimeSec base_interval,
+                                TimeSec elevated_interval, TimeSec memory,
+                                std::vector<FailureCategory> triggers = {});
+
+struct CheckpointSimResult {
+  // All times in seconds of wall clock.
+  TimeSec useful_work = 0;      // progress retained
+  TimeSec checkpoint_time = 0;  // spent writing checkpoints
+  TimeSec lost_work = 0;        // progress discarded by failures
+  TimeSec restart_time = 0;     // spent restarting after failures
+  long long checkpoints = 0;
+  long long failures = 0;
+  double overhead = 0.0;  // 1 - useful_work / wall_clock
+};
+
+struct CheckpointSimConfig {
+  // Nodes the application occupies; a failure of any of them kills the run
+  // back to the last checkpoint.
+  std::vector<NodeId> nodes;
+  TimeSec checkpoint_cost = 6 * kMinute;
+  TimeSec restart_cost = 10 * kMinute;
+  // Portion of the trace to simulate over.
+  TimeInterval window;
+};
+
+// Replays the policy against the failures of `system` in the trace.
+// Deterministic: no randomness, pure replay.
+CheckpointSimResult SimulateCheckpointing(const EventIndex& index,
+                                          SystemId system,
+                                          const CheckpointSimConfig& config,
+                                          const CheckpointPolicy& policy);
+
+}  // namespace hpcfail::core

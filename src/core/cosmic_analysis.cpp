@@ -1,0 +1,101 @@
+#include "core/cosmic_analysis.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hpcfail::core {
+namespace {
+
+std::vector<MonthlyFluxPoint> BuildSeries(const EventIndex& index,
+                                          SystemId system,
+                                          const EventFilter& target) {
+  const Trace& trace = index.trace();
+  const SystemConfig& config = trace.system(system);
+  const auto n_months = static_cast<std::size_t>(
+      config.observed.duration() / kMonth);
+  if (n_months == 0) {
+    throw std::invalid_argument("AnalyzeCosmic: trace shorter than a month");
+  }
+  // Monthly average neutron counts.
+  std::vector<double> flux(n_months, 0.0);
+  std::vector<int> flux_n(n_months, 0);
+  for (const NeutronSample& s : trace.neutron_series()) {
+    const TimeSec rel = s.time - config.observed.begin;
+    if (rel < 0) continue;
+    const auto m = static_cast<std::size_t>(rel / kMonth);
+    if (m >= n_months) continue;
+    flux[m] += s.counts_per_minute;
+    ++flux_n[m];
+  }
+  // Distinct failing nodes per month.
+  std::vector<std::unordered_set<int>> failing(n_months);
+  for (const FailureRecord& f : index.failures_of(system)) {
+    if (!target.Matches(f)) continue;
+    const auto m =
+        static_cast<std::size_t>((f.start - config.observed.begin) / kMonth);
+    if (m < n_months) failing[m].insert(f.node.value);
+  }
+  std::vector<MonthlyFluxPoint> out;
+  for (std::size_t m = 0; m < n_months; ++m) {
+    if (flux_n[m] == 0) continue;  // no flux data for this month
+    MonthlyFluxPoint p;
+    p.month = static_cast<int>(m);
+    p.avg_neutron_counts = flux[m] / flux_n[m];
+    p.failing_nodes = static_cast<int>(failing[m].size());
+    p.failure_probability =
+        static_cast<double>(p.failing_nodes) / config.num_nodes;
+    out.push_back(p);
+  }
+  return out;
+}
+
+stats::GlmFit FitFlux(const std::vector<MonthlyFluxPoint>& series,
+                      double num_nodes) {
+  stats::Matrix x(series.size(), 1);
+  std::vector<double> y(series.size());
+  stats::GlmOptions opts;
+  opts.names = {"neutron_counts"};
+  opts.exposure.assign(series.size(), num_nodes);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    // Scale counts to thousands: keeps the IRLS design well-conditioned.
+    x(i, 0) = series[i].avg_neutron_counts / 1000.0;
+    y[i] = series[i].failing_nodes;
+  }
+  return stats::FitPoisson(x, y, opts);
+}
+
+}  // namespace
+
+CosmicAnalysis AnalyzeCosmic(const EventIndex& index, SystemId system) {
+  const Trace& trace = index.trace();
+  if (trace.neutron_series().empty()) {
+    throw std::invalid_argument("AnalyzeCosmic: trace has no neutron series");
+  }
+  CosmicAnalysis out;
+  out.system = system;
+  out.dram = BuildSeries(index, system,
+                         EventFilter::Of(HardwareComponent::kMemory));
+  out.cpu =
+      BuildSeries(index, system, EventFilter::Of(HardwareComponent::kCpu));
+
+  auto correlate = [](const std::vector<MonthlyFluxPoint>& series) {
+    std::vector<double> xs, ys;
+    for (const MonthlyFluxPoint& p : series) {
+      xs.push_back(p.avg_neutron_counts);
+      ys.push_back(p.failure_probability);
+    }
+    return stats::PearsonCorrelation(xs, ys);
+  };
+  // Correlations and regressions need a handful of months; shorter traces
+  // still get the raw series.
+  if (out.dram.size() >= 3) {
+    out.dram_corr = correlate(out.dram);
+    out.cpu_corr = correlate(out.cpu);
+    const double nodes = trace.system(system).num_nodes;
+    out.dram_glm = FitFlux(out.dram, nodes);
+    out.cpu_glm = FitFlux(out.cpu, nodes);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

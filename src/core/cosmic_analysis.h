@@ -1,0 +1,39 @@
+// Section IX / Fig. 14: cosmic radiation. Monthly DRAM / CPU failure
+// probability as a function of monthly average neutron counts, with Pearson
+// correlation and a Poisson-regression significance check.
+#pragma once
+
+#include <vector>
+
+#include "core/event_index.h"
+#include "stats/correlation.h"
+#include "stats/glm.h"
+
+namespace hpcfail::core {
+
+// One point of a Fig. 14 series.
+struct MonthlyFluxPoint {
+  int month = 0;                   // months since trace epoch
+  double avg_neutron_counts = 0.0;
+  // Fraction of the system's nodes that saw >= 1 failure of the target type
+  // this month (the paper's "monthly probability of a DRAM failure").
+  double failure_probability = 0.0;
+  int failing_nodes = 0;
+};
+
+struct CosmicAnalysis {
+  SystemId system;
+  std::vector<MonthlyFluxPoint> dram;  // target = memory failures
+  std::vector<MonthlyFluxPoint> cpu;   // target = cpu failures
+  // Correlation of monthly probability with monthly flux across months.
+  stats::CorrelationResult dram_corr;
+  stats::CorrelationResult cpu_corr;
+  // Poisson regression of monthly failure counts on flux (offset: nodes).
+  stats::GlmFit dram_glm;
+  stats::GlmFit cpu_glm;
+};
+
+// Requires the trace to carry a neutron series. Throws otherwise.
+CosmicAnalysis AnalyzeCosmic(const EventIndex& index, SystemId system);
+
+}  // namespace hpcfail::core

@@ -1,0 +1,72 @@
+#include "core/downtime.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace hpcfail::core {
+namespace {
+
+DowntimeSummary Summarize(std::vector<double>& hours) {
+  DowntimeSummary out;
+  out.count = static_cast<long long>(hours.size());
+  if (hours.empty()) return out;
+  out.mean_hours = stats::Mean(hours);
+  out.median_hours = stats::Median(hours);
+  out.p90_hours = stats::Quantile(hours, 0.9);
+  out.total_hours = stats::Sum(hours);
+  return out;
+}
+
+}  // namespace
+
+DowntimeAnalysis AnalyzeDowntime(const EventIndex& index, SystemId system) {
+  const SystemConfig& config = index.trace().system(system);
+  DowntimeAnalysis out;
+  out.system = system;
+
+  std::vector<double> all_hours;
+  std::array<std::vector<double>, kNumFailureCategories> per_category;
+  std::vector<double> node_down_hours(
+      static_cast<std::size_t>(config.num_nodes), 0.0);
+  for (const FailureRecord& f : index.failures_of(system)) {
+    const double h =
+        static_cast<double>(f.downtime()) / static_cast<double>(kHour);
+    all_hours.push_back(h);
+    per_category[static_cast<std::size_t>(f.category)].push_back(h);
+    node_down_hours[static_cast<std::size_t>(f.node.value)] += h;
+  }
+  for (const MaintenanceRecord& m : index.trace().maintenance()) {
+    if (m.system != system) continue;
+    node_down_hours[static_cast<std::size_t>(m.node.value)] +=
+        static_cast<double>(m.end - m.start) / static_cast<double>(kHour);
+  }
+
+  out.overall = Summarize(all_hours);
+  for (std::size_t c = 0; c < kNumFailureCategories; ++c) {
+    out.by_category[c] = Summarize(per_category[c]);
+  }
+
+  const double lifetime_hours =
+      static_cast<double>(config.observed.duration()) /
+      static_cast<double>(kHour);
+  if (lifetime_hours > 0.0 && config.num_nodes > 0) {
+    double total_down = 0.0;
+    for (std::size_t n = 0; n < node_down_hours.size(); ++n) {
+      // A node cannot be down longer than it was observed (overlapping
+      // outages would otherwise double count).
+      node_down_hours[n] = std::min(node_down_hours[n], lifetime_hours);
+      total_down += node_down_hours[n];
+      const double avail = 1.0 - node_down_hours[n] / lifetime_hours;
+      if (avail < out.worst_node_availability) {
+        out.worst_node_availability = avail;
+        out.worst_node = NodeId{static_cast<int>(n)};
+      }
+    }
+    out.availability =
+        1.0 - total_down / (lifetime_hours * config.num_nodes);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

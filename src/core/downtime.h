@@ -1,0 +1,37 @@
+// Downtime / repair-time analysis: every LANL failure record carries the
+// interval from outage to return-to-service. The paper's analyses focus on
+// occurrence, but availability is the operational currency; this module
+// summarizes repair times per root-cause category and computes per-node and
+// per-system availability.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/event_index.h"
+
+namespace hpcfail::core {
+
+struct DowntimeSummary {
+  long long count = 0;
+  double mean_hours = 0.0;
+  double median_hours = 0.0;
+  double p90_hours = 0.0;
+  double total_hours = 0.0;
+};
+
+struct DowntimeAnalysis {
+  SystemId system;
+  DowntimeSummary overall;
+  std::array<DowntimeSummary, kNumFailureCategories> by_category;
+  // Fraction of node-time the system's nodes were up (1 - downtime share),
+  // counting failure downtime and unscheduled maintenance.
+  double availability = 1.0;
+  // The node with the lowest availability and its value.
+  NodeId worst_node;
+  double worst_node_availability = 1.0;
+};
+
+DowntimeAnalysis AnalyzeDowntime(const EventIndex& index, SystemId system);
+
+}  // namespace hpcfail::core

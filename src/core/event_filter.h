@@ -1,0 +1,60 @@
+// Predicate over failure records: the paper's analyses condition on "a
+// failure of type X", where X is a high-level category, a hardware
+// component, a software subsystem or a specific power problem.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/failure.h"
+
+namespace hpcfail::core {
+
+struct EventFilter {
+  std::optional<FailureCategory> category;
+  std::optional<HardwareComponent> hardware;
+  std::optional<SoftwareComponent> software;
+  std::optional<EnvironmentEvent> environment;
+
+  bool Matches(const FailureRecord& r) const {
+    if (category && r.category != *category) return false;
+    if (hardware && r.hardware != hardware) return false;
+    if (software && r.software != software) return false;
+    if (environment && r.environment != environment) return false;
+    return true;
+  }
+
+  bool MatchesEverything() const {
+    return !category && !hardware && !software && !environment;
+  }
+
+  // Human-readable label for reports.
+  std::string Describe() const;
+
+  static EventFilter Any() { return {}; }
+  static EventFilter Of(FailureCategory c) {
+    EventFilter f;
+    f.category = c;
+    return f;
+  }
+  static EventFilter Of(HardwareComponent c) {
+    EventFilter f;
+    f.category = FailureCategory::kHardware;
+    f.hardware = c;
+    return f;
+  }
+  static EventFilter Of(SoftwareComponent c) {
+    EventFilter f;
+    f.category = FailureCategory::kSoftware;
+    f.software = c;
+    return f;
+  }
+  static EventFilter Of(EnvironmentEvent c) {
+    EventFilter f;
+    f.category = FailureCategory::kEnvironment;
+    f.environment = c;
+    return f;
+  }
+};
+
+}  // namespace hpcfail::core

@@ -1,0 +1,104 @@
+#include "core/export.h"
+
+#include <cmath>
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+namespace hpcfail::core {
+namespace {
+
+void WriteConditionalRow(std::ostream& os, const std::string& label,
+                         const ConditionalResult& r) {
+  os << label << ',' << r.conditional.estimate << ',' << r.conditional.ci_low
+     << ',' << r.conditional.ci_high << ',' << r.baseline.estimate << ','
+     << (std::isfinite(r.factor) ? r.factor : 0.0) << ','
+     << r.test.p_value << ',' << r.num_triggers << '\n';
+}
+
+}  // namespace
+
+void ExportTriggerSeries(std::ostream& os, const WindowAnalyzer& analyzer,
+                         Scope scope, TimeSec window) {
+  os.precision(10);
+  os << "trigger,conditional,ci_low,ci_high,baseline,factor,p_value,"
+        "triggers\n";
+  for (FailureCategory c : AllFailureCategories()) {
+    const ConditionalResult r = analyzer.Compare(
+        EventFilter::Of(c), EventFilter::Any(), scope, window);
+    WriteConditionalRow(os, std::string(ToString(c)), r);
+  }
+}
+
+void ExportPairwiseSeries(std::ostream& os, const WindowAnalyzer& analyzer,
+                          Scope scope, TimeSec window) {
+  os.precision(10);
+  os << "type,after_same_type,after_any,baseline,same_over_baseline\n";
+  for (FailureCategory c : AllFailureCategories()) {
+    const ConditionalResult same = analyzer.Compare(
+        EventFilter::Of(c), EventFilter::Of(c), scope, window);
+    const ConditionalResult any = analyzer.Compare(
+        EventFilter::Any(), EventFilter::Of(c), scope, window);
+    os << ToString(c) << ',' << same.conditional.estimate << ','
+       << any.conditional.estimate << ',' << same.baseline.estimate << ','
+       << (std::isfinite(same.factor) ? same.factor : 0.0) << '\n';
+  }
+}
+
+void ExportNodeCounts(std::ostream& os, const EventIndex& index,
+                      SystemId system) {
+  os << "node,failures\n";
+  const std::vector<int> counts =
+      index.NodeCounts(system, EventFilter::Any());
+  for (std::size_t n = 0; n < counts.size(); ++n) {
+    os << n << ',' << counts[n] << '\n';
+  }
+}
+
+void ExportComponentImpact(std::ostream& os,
+                           const std::vector<ComponentImpact>& impacts,
+                           const std::string& trigger_label) {
+  os.precision(10);
+  os << "trigger,component,conditional,baseline,factor,p_value\n";
+  for (const ComponentImpact& ci : impacts) {
+    os << trigger_label << ',' << ci.component << ','
+       << ci.month.conditional.estimate << ',' << ci.month.baseline.estimate
+       << ',' << (std::isfinite(ci.month.factor) ? ci.month.factor : 0.0)
+       << ',' << ci.month.test.p_value << '\n';
+  }
+}
+
+void ExportSpaceTime(std::ostream& os,
+                     const std::vector<SpaceTimePoint>& points) {
+  os << "node,day,problem\n";
+  for (const SpaceTimePoint& p : points) {
+    os << p.node.value << ','
+       << static_cast<double>(p.time) / static_cast<double>(kDay) << ','
+       << ToString(p.problem) << '\n';
+  }
+}
+
+void ExportFluxSeries(std::ostream& os,
+                      const std::vector<MonthlyFluxPoint>& series,
+                      const std::string& name) {
+  os.precision(10);
+  os << "series,month,neutron_counts,failure_probability,failing_nodes\n";
+  for (const MonthlyFluxPoint& p : series) {
+    os << name << ',' << p.month << ',' << p.avg_neutron_counts << ','
+       << p.failure_probability << ',' << p.failing_nodes << '\n';
+  }
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream os(p);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  os << contents;
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace hpcfail::core

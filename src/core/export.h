@@ -1,0 +1,52 @@
+// Export of analysis results as plain CSV series, for plotting with
+// gnuplot/matplotlib/R. Each exporter writes one tidy table (header + rows)
+// matching one paper figure's data, so the figures can be re-drawn rather
+// than only re-printed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/cosmic_analysis.h"
+#include "core/node_skew.h"
+#include "core/power_analysis.h"
+#include "core/window_analysis.h"
+
+namespace hpcfail::core {
+
+// Fig 1(a)/2(a)/3-style series: one row per trigger category with the
+// conditional probability, CI, baseline and factor at the given scope and
+// window.
+void ExportTriggerSeries(std::ostream& os, const WindowAnalyzer& analyzer,
+                         Scope scope, TimeSec window);
+
+// Fig 1(b)/2(b)-style series: one row per category with same-type,
+// after-any and baseline probabilities.
+void ExportPairwiseSeries(std::ostream& os, const WindowAnalyzer& analyzer,
+                          Scope scope, TimeSec window);
+
+// Fig 4 series: failures per node id.
+void ExportNodeCounts(std::ostream& os, const EventIndex& index,
+                      SystemId system);
+
+// Fig 10/11/13 (right)-style series: per-subcomponent month probabilities
+// after one trigger.
+void ExportComponentImpact(std::ostream& os,
+                           const std::vector<ComponentImpact>& impacts,
+                           const std::string& trigger_label);
+
+// Fig 12 series: node, time (days), problem kind.
+void ExportSpaceTime(std::ostream& os,
+                     const std::vector<SpaceTimePoint>& points);
+
+// Fig 14 series: month, flux, probability — one block per series name.
+void ExportFluxSeries(std::ostream& os,
+                      const std::vector<MonthlyFluxPoint>& series,
+                      const std::string& name);
+
+// Convenience: write any exporter's output to a file; creates parent
+// directories. Throws std::runtime_error when the file cannot be opened.
+void WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace hpcfail::core

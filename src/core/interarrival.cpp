@@ -1,0 +1,73 @@
+#include "core/interarrival.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/correlation.h"
+
+namespace hpcfail::core {
+
+InterarrivalAnalysis AnalyzeInterarrivals(const EventIndex& index,
+                                          SystemId system,
+                                          const EventFilter& filter,
+                                          int max_lag) {
+  const auto failures = index.failures_of(system);
+  const SystemConfig& config = index.trace().system(system);
+
+  InterarrivalAnalysis out;
+  out.system = system;
+
+  std::vector<TimeSec> times;
+  std::vector<std::vector<TimeSec>> per_node(
+      static_cast<std::size_t>(config.num_nodes));
+  for (const FailureRecord& f : failures) {
+    if (!filter.Matches(f)) continue;
+    times.push_back(f.start);
+    per_node[static_cast<std::size_t>(f.node.value)].push_back(f.start);
+  }
+  if (times.size() < 5) {
+    throw std::invalid_argument(
+        "AnalyzeInterarrivals: too few failures in system");
+  }
+
+  auto gaps_of = [](const std::vector<TimeSec>& ts) {
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      const TimeSec g = ts[i] - ts[i - 1];
+      // Identical timestamps (facility events) carry no spacing information
+      // for a continuous fit; floor at one minute.
+      gaps.push_back(std::max<double>(static_cast<double>(g),
+                                      static_cast<double>(kMinute)) /
+                     static_cast<double>(kHour));
+    }
+    return gaps;
+  };
+  out.system_gaps_hours = gaps_of(times);
+  for (const auto& node_times : per_node) {
+    const auto node_gaps = gaps_of(node_times);
+    out.node_gaps_hours.insert(out.node_gaps_hours.end(), node_gaps.begin(),
+                               node_gaps.end());
+  }
+
+  out.system_fits = stats::FitAll(out.system_gaps_hours);
+  out.system_weibull = stats::FitWeibull(out.system_gaps_hours);
+  if (out.node_gaps_hours.size() >= 3) {
+    out.node_weibull = stats::FitWeibull(out.node_gaps_hours);
+  }
+
+  // Daily failure counts and their autocorrelation.
+  const auto days =
+      static_cast<std::size_t>(config.observed.duration() / kDay);
+  std::vector<double> daily(std::max<std::size_t>(days, 1), 0.0);
+  for (TimeSec t : times) {
+    const auto d =
+        static_cast<std::size_t>((t - config.observed.begin) / kDay);
+    if (d < daily.size()) daily[d] += 1.0;
+  }
+  const int lag =
+      std::min<int>(max_lag, static_cast<int>(daily.size()) - 1);
+  if (lag >= 1) out.daily_count_acf = stats::Autocorrelation(daily, lag);
+  return out;
+}
+
+}  // namespace hpcfail::core

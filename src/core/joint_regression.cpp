@@ -1,0 +1,106 @@
+#include "core/joint_regression.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/usage_analysis.h"
+#include "trace/environment.h"
+
+namespace hpcfail::core {
+
+std::vector<std::string> JointCovariateNames() {
+  return {"avg_temp", "max_temp",  "temp_var", "num_hightemp",
+          "num_jobs", "util",      "PIR"};
+}
+
+std::vector<NodeCovariates> BuildJointCovariates(
+    const EventIndex& index, SystemId system,
+    std::optional<NodeId> exclude_node) {
+  const Trace& trace = index.trace();
+  const SystemConfig& config = trace.system(system);
+  const auto num_nodes = static_cast<std::size_t>(config.num_nodes);
+
+  const std::vector<int> fails = index.NodeCounts(system, EventFilter::Any());
+  const std::vector<NodeUsageStats> usage = ComputeNodeUsage(trace, system);
+
+  std::vector<std::vector<TemperatureSample>> grouped(num_nodes);
+  for (const TemperatureSample& s : trace.temperatures()) {
+    if (s.system == system) {
+      grouped[static_cast<std::size_t>(s.node.value)].push_back(s);
+    }
+  }
+
+  std::vector<NodeCovariates> out;
+  out.reserve(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    const NodeId node{static_cast<int>(n)};
+    if (exclude_node && node == *exclude_node) continue;
+    NodeCovariates row;
+    row.node = node;
+    row.fails_count = fails[n];
+    const TemperatureSummary t = SummarizeTemperature(grouped[n], node);
+    row.avg_temp = t.avg;
+    row.max_temp = t.max;
+    row.temp_var = t.variance;
+    row.num_hightemp = t.num_high_temp;
+    row.num_jobs = usage[n].num_jobs;
+    row.util = 100.0 * usage[n].utilization;  // percent, as in Table I
+    const auto placement = config.layout.placement(node);
+    row.pir = placement ? placement->position_in_rack : 0.0;
+    out.push_back(row);
+  }
+  return out;
+}
+
+namespace {
+
+JointRegression FitRows(std::vector<NodeCovariates> rows,
+                        const std::vector<std::string>& covariates) {
+  if (rows.size() < covariates.size() + 2) {
+    throw std::invalid_argument("joint regression: too few rows");
+  }
+  stats::Matrix x(rows.size(), covariates.size());
+  std::vector<double> y(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const NodeCovariates& r = rows[i];
+    y[i] = r.fails_count;
+    for (std::size_t j = 0; j < covariates.size(); ++j) {
+      const std::string& name = covariates[j];
+      double v = 0.0;
+      if (name == "avg_temp") v = r.avg_temp;
+      else if (name == "max_temp") v = r.max_temp;
+      else if (name == "temp_var") v = r.temp_var;
+      else if (name == "num_hightemp") v = r.num_hightemp;
+      else if (name == "num_jobs") v = r.num_jobs;
+      else if (name == "util") v = r.util;
+      else if (name == "PIR") v = r.pir;
+      else throw std::invalid_argument("unknown covariate: " + name);
+      x(i, j) = v;
+    }
+  }
+  stats::GlmOptions opts;
+  opts.names = covariates;
+  JointRegression out;
+  out.rows = std::move(rows);
+  out.poisson = stats::FitPoisson(x, y, opts);
+  out.negative_binomial = stats::FitNegativeBinomial(x, y, opts);
+  return out;
+}
+
+}  // namespace
+
+JointRegression FitJointRegression(const EventIndex& index, SystemId system,
+                                   std::optional<NodeId> exclude_node) {
+  return FitRows(BuildJointCovariates(index, system, exclude_node),
+                 JointCovariateNames());
+}
+
+JointRegression FitJointRegressionSubset(
+    const EventIndex& index, SystemId system,
+    const std::vector<std::string>& covariates,
+    std::optional<NodeId> exclude_node) {
+  return FitRows(BuildJointCovariates(index, system, exclude_node),
+                 covariates);
+}
+
+}  // namespace hpcfail::core

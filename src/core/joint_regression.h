@@ -1,0 +1,55 @@
+// Section X / Tables I-III: the joint regression. Builds the Table-I
+// covariates per node (temperature statistics, usage, position in rack) and
+// models total node outages with Poisson and negative binomial regression.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/event_index.h"
+#include "stats/glm.h"
+
+namespace hpcfail::core {
+
+// One node's row of the Table-I design matrix.
+struct NodeCovariates {
+  NodeId node;
+  double fails_count = 0.0;  // response variable
+  double avg_temp = 0.0;
+  double max_temp = 0.0;
+  double temp_var = 0.0;
+  double num_hightemp = 0.0;  // samples above 40C
+  double num_jobs = 0.0;
+  double util = 0.0;          // utilization in percent, as in the paper
+  double pir = 0.0;           // position in rack, 1 = bottom
+};
+
+// Names in Table I / II / III order.
+std::vector<std::string> JointCovariateNames();
+
+// Builds the per-node design rows for a system with job, temperature and
+// layout data (system-20-like). `exclude_node`: the paper reruns the models
+// without node 0.
+std::vector<NodeCovariates> BuildJointCovariates(
+    const EventIndex& index, SystemId system,
+    std::optional<NodeId> exclude_node = std::nullopt);
+
+struct JointRegression {
+  std::vector<NodeCovariates> rows;
+  stats::GlmFit poisson;           // Table II
+  stats::GlmFit negative_binomial; // Table III
+};
+
+JointRegression FitJointRegression(
+    const EventIndex& index, SystemId system,
+    std::optional<NodeId> exclude_node = std::nullopt);
+
+// Refits with a subset of the covariates (the paper's "rerun with only the
+// significant predictors"). `covariates` must be a subset of
+// JointCovariateNames().
+JointRegression FitJointRegressionSubset(
+    const EventIndex& index, SystemId system,
+    const std::vector<std::string>& covariates,
+    std::optional<NodeId> exclude_node = std::nullopt);
+
+}  // namespace hpcfail::core

@@ -1,0 +1,85 @@
+#include "core/location_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace hpcfail::core {
+namespace {
+
+struct Accumulator {
+  std::map<int, LocationBucket> buckets;
+
+  void Add(int key, int node_delta, long long failure_delta) {
+    LocationBucket& b = buckets[key];
+    b.key = key;
+    b.nodes += node_delta;
+    b.failures += failure_delta;
+  }
+
+  std::vector<LocationBucket> Finish() const {
+    std::vector<LocationBucket> out;
+    for (const auto& [key, bucket] : buckets) {
+      LocationBucket b = bucket;
+      b.failures_per_node =
+          b.nodes > 0 ? static_cast<double>(b.failures) / b.nodes : 0.0;
+      out.push_back(b);
+    }
+    return out;
+  }
+
+  stats::ChiSquareResult Test() const {
+    std::vector<double> counts, exposures;
+    for (const auto& [key, b] : buckets) {
+      counts.push_back(static_cast<double>(b.failures));
+      exposures.push_back(static_cast<double>(b.nodes));
+    }
+    if (counts.size() < 2) {
+      // A single bucket (e.g. all racks in one room row) carries no
+      // location signal; report the null result rather than failing.
+      return stats::ChiSquareResult{};
+    }
+    return stats::ChiSquareEqualRates(counts, exposures);
+  }
+};
+
+}  // namespace
+
+LocationAnalysis AnalyzeLocation(const EventIndex& index, SystemId system) {
+  const SystemConfig& config = index.trace().system(system);
+  if (config.layout.empty()) {
+    throw std::invalid_argument("AnalyzeLocation: system has no layout");
+  }
+  const std::vector<int> failures =
+      index.NodeCounts(system, EventFilter::Any());
+  const auto top = static_cast<std::size_t>(std::distance(
+      failures.begin(), std::max_element(failures.begin(), failures.end())));
+
+  LocationAnalysis out;
+  out.system = system;
+  Accumulator pos, row, col, pos_x, row_x, col_x;
+  for (const NodePlacement& p : config.layout.placements()) {
+    const auto n = static_cast<std::size_t>(p.node.value);
+    const long long f = failures[n];
+    pos.Add(p.position_in_rack, 1, f);
+    row.Add(p.room_row, 1, f);
+    col.Add(p.room_col, 1, f);
+    if (n != top) {
+      pos_x.Add(p.position_in_rack, 1, f);
+      row_x.Add(p.room_row, 1, f);
+      col_x.Add(p.room_col, 1, f);
+    }
+  }
+  out.by_position_in_rack = pos.Finish();
+  out.by_room_row = row.Finish();
+  out.by_room_col = col.Finish();
+  out.position_test = pos.Test();
+  out.row_test = row.Test();
+  out.col_test = col.Test();
+  out.position_test_excl_top = pos_x.Test();
+  out.row_test_excl_top = row_x.Test();
+  out.col_test_excl_top = col_x.Test();
+  return out;
+}
+
+}  // namespace hpcfail::core

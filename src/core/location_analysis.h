@@ -1,0 +1,40 @@
+// Section IV.C: does a node's physical location matter? The paper "checked
+// whether the location in the machine room or the location of a node within
+// a rack played any role, but ... could not find any clear patterns". This
+// module runs that check: failure rates by position-in-rack and by machine-
+// room row/column, each with a chi-square test for equal rates.
+#pragma once
+
+#include <vector>
+
+#include "core/event_index.h"
+#include "stats/chi_square.h"
+
+namespace hpcfail::core {
+
+struct LocationBucket {
+  int key = 0;          // position-in-rack, room row, or room column
+  int nodes = 0;        // nodes in this bucket
+  long long failures = 0;
+  double failures_per_node = 0.0;
+};
+
+struct LocationAnalysis {
+  SystemId system;
+  std::vector<LocationBucket> by_position_in_rack;
+  std::vector<LocationBucket> by_room_row;
+  std::vector<LocationBucket> by_room_col;
+  stats::ChiSquareResult position_test;  // H0: equal rates per shelf
+  stats::ChiSquareResult row_test;
+  stats::ChiSquareResult col_test;
+  // Same tests with the most failure-prone node removed: node 0 sits at a
+  // fixed shelf/row and would otherwise masquerade as a location effect.
+  stats::ChiSquareResult position_test_excl_top;
+  stats::ChiSquareResult row_test_excl_top;
+  stats::ChiSquareResult col_test_excl_top;
+};
+
+// Requires the system to have a machine layout. Throws otherwise.
+LocationAnalysis AnalyzeLocation(const EventIndex& index, SystemId system);
+
+}  // namespace hpcfail::core

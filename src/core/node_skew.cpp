@@ -1,0 +1,106 @@
+#include "core/node_skew.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hpcfail::core {
+
+NodeSkewSummary AnalyzeNodeSkew(const EventIndex& index, SystemId system) {
+  NodeSkewSummary out;
+  out.system = system;
+  out.failures_per_node = index.NodeCounts(system, EventFilter::Any());
+  const auto n = out.failures_per_node.size();
+  if (n == 0) return out;
+  long long total = std::accumulate(out.failures_per_node.begin(),
+                                    out.failures_per_node.end(), 0LL);
+  out.mean_failures = static_cast<double>(total) / static_cast<double>(n);
+  const auto max_it = std::max_element(out.failures_per_node.begin(),
+                                       out.failures_per_node.end());
+  out.max_failures = *max_it;
+  out.most_failing_node = NodeId{
+      static_cast<int>(std::distance(out.failures_per_node.begin(), max_it))};
+  out.max_over_mean = out.mean_failures > 0.0
+                          ? out.max_failures / out.mean_failures
+                          : 0.0;
+
+  if (total == 0) {
+    // A failure-free system trivially satisfies equal rates; the default
+    // ChiSquareResult (p = 1) says exactly that.
+    return out;
+  }
+  std::vector<double> counts(out.failures_per_node.begin(),
+                             out.failures_per_node.end());
+  out.equal_rates_test = stats::ChiSquareEqualRates(counts);
+  if (counts.size() > 2) {
+    std::vector<double> without_top = counts;
+    without_top.erase(without_top.begin() + out.most_failing_node.value);
+    double rest = 0.0;
+    for (double c : without_top) rest += c;
+    if (rest > 0.0) {
+      out.equal_rates_test_excl_top = stats::ChiSquareEqualRates(without_top);
+    }
+  }
+  return out;
+}
+
+BreakdownComparison CompareBreakdown(const EventIndex& index, SystemId system,
+                                     NodeId node) {
+  BreakdownComparison out;
+  out.node = node;
+  std::array<long long, kNumFailureCategories> node_counts{};
+  std::array<long long, kNumFailureCategories> rest_counts{};
+  for (const FailureRecord& f : index.failures_of(system)) {
+    auto& counts = f.node == node ? node_counts : rest_counts;
+    ++counts[static_cast<std::size_t>(f.category)];
+  }
+  const auto to_percent = [](const auto& counts, auto& percent) {
+    long long total = 0;
+    for (long long c : counts) total += c;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      percent[i] = total > 0
+                       ? 100.0 * static_cast<double>(counts[i]) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+  to_percent(node_counts, out.node_percent);
+  to_percent(rest_counts, out.rest_percent);
+  return out;
+}
+
+ProneNodeProbability CompareProneNode(const EventIndex& index, SystemId system,
+                                      NodeId node, const EventFilter& type,
+                                      TimeSec window) {
+  ProneNodeProbability out;
+  out.window = window;
+  WindowAnalyzer analyzer(index);
+  out.prone = analyzer.BaselineProbability(
+      type, window,
+      [system, node](SystemId s, NodeId n) { return s == system && n == node; });
+  out.rest = analyzer.BaselineProbability(
+      type, window,
+      [system, node](SystemId s, NodeId n) { return s == system && n != node; });
+  out.factor = stats::FactorIncrease(out.prone, out.rest);
+  // Chi-square on the two event counts with node-lifetime exposures.
+  const SystemConfig& config = index.trace().system(system);
+  const double node_exposure = 1.0;
+  const double rest_exposure = static_cast<double>(config.num_nodes - 1);
+  long long node_events = 0, rest_events = 0;
+  for (const FailureRecord& f : index.failures_of(system)) {
+    if (!type.Matches(f)) continue;
+    if (f.node == node) {
+      ++node_events;
+    } else {
+      ++rest_events;
+    }
+  }
+  if (node_events + rest_events > 0) {
+    const std::array<double, 2> counts = {static_cast<double>(node_events),
+                                          static_cast<double>(rest_events)};
+    const std::array<double, 2> exposures = {node_exposure, rest_exposure};
+    out.per_type_equal_rate = stats::ChiSquareEqualRates(counts, exposures);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

@@ -1,0 +1,53 @@
+// Section IV: do some nodes fail differently from others? Per-node failure
+// counts (Fig. 4), chi-square equal-rate tests, failure-prone node
+// detection, root-cause breakdown comparisons (Fig. 5) and per-type window
+// probabilities for prone nodes vs the rest (Fig. 6).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/window_analysis.h"
+#include "stats/chi_square.h"
+
+namespace hpcfail::core {
+
+struct NodeSkewSummary {
+  SystemId system;
+  std::vector<int> failures_per_node;  // index == node id (Fig. 4 series)
+  double mean_failures = 0.0;
+  NodeId most_failing_node;
+  int max_failures = 0;
+  double max_over_mean = 0.0;  // the "node 0 reported 19x more..." factor
+  stats::ChiSquareResult equal_rates_test;            // all nodes
+  stats::ChiSquareResult equal_rates_test_excl_top;   // without the top node
+};
+
+NodeSkewSummary AnalyzeNodeSkew(const EventIndex& index, SystemId system);
+
+// Fig. 5: relative root-cause breakdown (percent per category) for one node
+// versus all remaining nodes of the system.
+struct BreakdownComparison {
+  std::array<double, kNumFailureCategories> node_percent{};
+  std::array<double, kNumFailureCategories> rest_percent{};
+  NodeId node;
+};
+
+BreakdownComparison CompareBreakdown(const EventIndex& index, SystemId system,
+                                     NodeId node);
+
+// Fig. 6: probability that the prone node (vs an average remaining node)
+// sees >= 1 failure of the given type in a random day / week / month.
+struct ProneNodeProbability {
+  TimeSec window = 0;
+  stats::Proportion prone;  // the singled-out node
+  stats::Proportion rest;   // all other nodes pooled
+  double factor = 0.0;
+  stats::ChiSquareResult per_type_equal_rate;  // prone vs rest, this type
+};
+
+ProneNodeProbability CompareProneNode(const EventIndex& index, SystemId system,
+                                      NodeId node, const EventFilter& type,
+                                      TimeSec window);
+
+}  // namespace hpcfail::core

@@ -1,0 +1,121 @@
+#include "core/power_analysis.h"
+
+namespace hpcfail::core {
+
+std::string_view ToString(PowerProblem p) {
+  switch (p) {
+    case PowerProblem::kPowerOutage: return "power_outage";
+    case PowerProblem::kPowerSpike: return "power_spike";
+    case PowerProblem::kPowerSupplyFailure: return "power_supply_failure";
+    case PowerProblem::kUpsFailure: return "ups_failure";
+  }
+  return "invalid";
+}
+
+EventFilter PowerProblemFilter(PowerProblem p) {
+  switch (p) {
+    case PowerProblem::kPowerOutage:
+      return EventFilter::Of(EnvironmentEvent::kPowerOutage);
+    case PowerProblem::kPowerSpike:
+      return EventFilter::Of(EnvironmentEvent::kPowerSpike);
+    case PowerProblem::kPowerSupplyFailure:
+      return EventFilter::Of(HardwareComponent::kPowerSupply);
+    case PowerProblem::kUpsFailure:
+      return EventFilter::Of(EnvironmentEvent::kUps);
+  }
+  return EventFilter::Any();
+}
+
+EnvironmentBreakdown BreakdownEnvironment(const EventIndex& index) {
+  EnvironmentBreakdown out;
+  std::array<long long, kNumEnvironmentEvents> counts{};
+  index.ForEach(EventFilter::Of(FailureCategory::kEnvironment),
+                [&counts](SystemId, const FailureRecord& f) {
+                  if (f.environment) {
+                    ++counts[static_cast<std::size_t>(*f.environment)];
+                  }
+                });
+  for (long long c : counts) out.total += c;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out.percent[i] = out.total > 0 ? 100.0 * static_cast<double>(counts[i]) /
+                                         static_cast<double>(out.total)
+                                   : 0.0;
+  }
+  return out;
+}
+
+std::vector<PowerImpactRow> PowerImpactOn(const WindowAnalyzer& analyzer,
+                                          const EventFilter& target) {
+  std::vector<PowerImpactRow> out;
+  for (PowerProblem p : AllPowerProblems()) {
+    PowerImpactRow row;
+    row.problem = p;
+    const EventFilter trigger = PowerProblemFilter(p);
+    row.day = analyzer.Compare(trigger, target, Scope::kSameNode, kDay);
+    row.week = analyzer.Compare(trigger, target, Scope::kSameNode, kWeek);
+    row.month = analyzer.Compare(trigger, target, Scope::kSameNode, kMonth);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<ComponentImpact> HardwareComponentImpact(
+    const WindowAnalyzer& analyzer, const EventFilter& trigger,
+    TimeSec window) {
+  std::vector<ComponentImpact> out;
+  for (HardwareComponent c : AllHardwareComponents()) {
+    ComponentImpact ci;
+    ci.component = std::string(ToString(c));
+    ci.month = analyzer.Compare(trigger, EventFilter::Of(c), Scope::kSameNode,
+                                window);
+    out.push_back(std::move(ci));
+  }
+  return out;
+}
+
+std::vector<ComponentImpact> SoftwareComponentImpact(
+    const WindowAnalyzer& analyzer, const EventFilter& trigger,
+    TimeSec window) {
+  std::vector<ComponentImpact> out;
+  for (SoftwareComponent c : AllSoftwareComponents()) {
+    ComponentImpact ci;
+    ci.component = std::string(ToString(c));
+    ci.month = analyzer.Compare(trigger, EventFilter::Of(c), Scope::kSameNode,
+                                window);
+    out.push_back(std::move(ci));
+  }
+  return out;
+}
+
+std::vector<PowerImpactRow> MaintenanceImpact(const WindowAnalyzer& analyzer) {
+  std::vector<PowerImpactRow> out;
+  for (PowerProblem p : AllPowerProblems()) {
+    PowerImpactRow row;
+    row.problem = p;
+    const EventFilter trigger = PowerProblemFilter(p);
+    row.day = analyzer.MaintenanceAfter(trigger, kDay);
+    row.week = analyzer.MaintenanceAfter(trigger, kWeek);
+    row.month = analyzer.MaintenanceAfter(trigger, kMonth);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<SpaceTimePoint> PowerSpaceTime(const EventIndex& index,
+                                           SystemId system) {
+  std::vector<SpaceTimePoint> out;
+  for (const FailureRecord& f : index.failures_of(system)) {
+    if (f.environment == EnvironmentEvent::kPowerOutage) {
+      out.push_back({f.node, f.start, PowerProblem::kPowerOutage});
+    } else if (f.environment == EnvironmentEvent::kPowerSpike) {
+      out.push_back({f.node, f.start, PowerProblem::kPowerSpike});
+    } else if (f.environment == EnvironmentEvent::kUps) {
+      out.push_back({f.node, f.start, PowerProblem::kUpsFailure});
+    } else if (f.hardware == HardwareComponent::kPowerSupply) {
+      out.push_back({f.node, f.start, PowerProblem::kPowerSupplyFailure});
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

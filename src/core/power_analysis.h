@@ -1,0 +1,75 @@
+// Section VII: the impact of power problems. Environmental-failure breakdown
+// (Fig. 9), power-event impact on hardware / software / maintenance
+// (Figs. 10, 11, Section VII.A.2) and the space-time layout of power events
+// (Fig. 12).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/window_analysis.h"
+
+namespace hpcfail::core {
+
+// The paper's four power problems plus the node-local power supply unit.
+enum class PowerProblem : std::uint8_t {
+  kPowerOutage = 0,
+  kPowerSpike,
+  kPowerSupplyFailure,  // hardware subcategory, "recorded as hardware"
+  kUpsFailure,
+};
+inline constexpr int kNumPowerProblems = 4;
+std::string_view ToString(PowerProblem p);
+EventFilter PowerProblemFilter(PowerProblem p);
+
+constexpr std::array<PowerProblem, kNumPowerProblems> AllPowerProblems() {
+  return {PowerProblem::kPowerOutage, PowerProblem::kPowerSpike,
+          PowerProblem::kPowerSupplyFailure, PowerProblem::kUpsFailure};
+}
+
+// Fig. 9: share of environmental failures per subcategory, in percent.
+struct EnvironmentBreakdown {
+  std::array<double, kNumEnvironmentEvents> percent{};
+  long long total = 0;
+};
+EnvironmentBreakdown BreakdownEnvironment(const EventIndex& index);
+
+// One row of Fig. 10 (left) / Fig. 11 (left): the probability of a target
+// failure within day/week/month of each power problem vs a random window.
+struct PowerImpactRow {
+  PowerProblem problem;
+  ConditionalResult day;
+  ConditionalResult week;
+  ConditionalResult month;
+};
+std::vector<PowerImpactRow> PowerImpactOn(const WindowAnalyzer& analyzer,
+                                          const EventFilter& target);
+
+// Fig. 10 (right) / Fig. 11 (right) / Fig. 13 (right): per-subcomponent
+// month-window probabilities after one trigger.
+struct ComponentImpact {
+  std::string component;
+  ConditionalResult month;
+};
+std::vector<ComponentImpact> HardwareComponentImpact(
+    const WindowAnalyzer& analyzer, const EventFilter& trigger,
+    TimeSec window = kMonth);
+std::vector<ComponentImpact> SoftwareComponentImpact(
+    const WindowAnalyzer& analyzer, const EventFilter& trigger,
+    TimeSec window = kMonth);
+
+// Section VII.A.2: unscheduled maintenance within a month of each power
+// problem vs a random month.
+std::vector<PowerImpactRow> MaintenanceImpact(const WindowAnalyzer& analyzer);
+
+// Fig. 12: the space-time scatter of power-related failures in one system.
+struct SpaceTimePoint {
+  NodeId node;
+  TimeSec time = 0;
+  PowerProblem problem;
+};
+std::vector<SpaceTimePoint> PowerSpaceTime(const EventIndex& index,
+                                           SystemId system);
+
+}  // namespace hpcfail::core

@@ -1,0 +1,118 @@
+#include "core/prediction.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hpcfail::core {
+
+FailurePredictor::FailurePredictor(const EventIndex& train,
+                                   const PredictorConfig& config)
+    : config_(config) {
+  const WindowAnalyzer analyzer(train);
+  baseline_ =
+      analyzer.BaselineProbability(EventFilter::Any(), config.horizon)
+          .estimate;
+  if (config.type_aware) {
+    for (FailureCategory c : AllFailureCategories()) {
+      const stats::Proportion p = analyzer.ConditionalProbability(
+          EventFilter::Of(c), EventFilter::Any(), Scope::kSameNode,
+          config.horizon);
+      // Types never seen in training fall back to the baseline; a failure
+      // never *reduces* future risk in this model, so sparse types with no
+      // observed follow-ups are clamped to the baseline too.
+      conditional_[static_cast<std::size_t>(c)] =
+          p.trials > 0 ? std::max(p.estimate, baseline_) : baseline_;
+    }
+  } else {
+    const stats::Proportion p = analyzer.ConditionalProbability(
+        EventFilter::Any(), EventFilter::Any(), Scope::kSameNode,
+        config.horizon);
+    conditional_.fill(p.defined() ? p.estimate : baseline_);
+  }
+}
+
+double FailurePredictor::Score(std::optional<FailureCategory> last_type,
+                               std::optional<TimeSec> last_time,
+                               TimeSec now) const {
+  if (!last_type || !last_time || now - *last_time > config_.memory) {
+    return baseline_;
+  }
+  return conditional_[static_cast<std::size_t>(*last_type)];
+}
+
+PredictionEvaluation EvaluatePredictor(const FailurePredictor& predictor,
+                                       const EventIndex& eval,
+                                       double threshold) {
+  PredictionEvaluation out;
+  out.threshold = threshold;
+  const TimeSec horizon = predictor.config().horizon;
+  for (SystemId sys : eval.systems()) {
+    const SystemConfig& config = eval.trace().system(sys);
+    // Per-node failure times/types, in time order.
+    std::vector<std::vector<std::pair<TimeSec, FailureCategory>>> per_node(
+        static_cast<std::size_t>(config.num_nodes));
+    for (const FailureRecord& f : eval.failures_of(sys)) {
+      per_node[static_cast<std::size_t>(f.node.value)].emplace_back(
+          f.start, f.category);
+    }
+    for (int n = 0; n < config.num_nodes; ++n) {
+      const auto& events = per_node[static_cast<std::size_t>(n)];
+      std::size_t last = 0;  // index of the last event with time <= t
+      std::size_t next = 0;  // index of the first event with time > t
+      for (TimeSec t = config.observed.begin;
+           t + horizon <= config.observed.end; t += kDay) {
+        while (next < events.size() && events[next].first <= t) {
+          last = next;
+          ++next;
+        }
+        std::optional<FailureCategory> last_type;
+        std::optional<TimeSec> last_time;
+        if (next > 0) {
+          last_type = events[last].second;
+          last_time = events[last].first;
+        }
+        const double score = predictor.Score(last_type, last_time, t);
+        const bool alarm = score >= threshold;
+        // Ground truth: any failure in (t, t + horizon].
+        bool fails = false;
+        for (std::size_t i = next; i < events.size(); ++i) {
+          if (events[i].first > t + horizon) break;
+          fails = true;
+          break;
+        }
+        if (alarm && fails) ++out.true_positives;
+        else if (alarm && !fails) ++out.false_positives;
+        else if (!alarm && fails) ++out.false_negatives;
+        else ++out.true_negatives;
+      }
+    }
+  }
+  const double tp = static_cast<double>(out.true_positives);
+  const double fp = static_cast<double>(out.false_positives);
+  const double fn = static_cast<double>(out.false_negatives);
+  const double slots = tp + fp + fn + static_cast<double>(out.true_negatives);
+  out.precision = tp + fp > 0.0 ? tp / (tp + fp) : 0.0;
+  out.recall = tp + fn > 0.0 ? tp / (tp + fn) : 0.0;
+  out.f1 = out.precision + out.recall > 0.0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  out.alarm_rate = slots > 0.0 ? (tp + fp) / slots : 0.0;
+  return out;
+}
+
+std::vector<PredictionEvaluation> SweepPredictor(
+    const FailurePredictor& predictor, const EventIndex& eval) {
+  std::set<double> thresholds;
+  thresholds.insert(predictor.baseline() * 1.001);
+  for (FailureCategory c : AllFailureCategories()) {
+    thresholds.insert(predictor.conditional(c));
+  }
+  std::vector<PredictionEvaluation> out;
+  for (double t : thresholds) {
+    out.push_back(EvaluatePredictor(predictor, eval, t));
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

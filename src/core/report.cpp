@@ -1,0 +1,127 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcfail::core {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << " |\n";
+  };
+  auto print_sep = [&]() {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "+-" : "-+-") << std::string(width[c], '-');
+    }
+    os << "-+\n";
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string FormatPercent(const stats::Proportion& p, bool with_ci) {
+  if (!p.defined()) return "n/a";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << 100.0 * p.estimate << '%';
+  if (with_ci) {
+    os << " [" << std::setprecision(2) << 100.0 * p.ci_low << ','
+       << 100.0 * p.ci_high << ']';
+  }
+  return os.str();
+}
+
+std::string FormatFactor(double factor) {
+  if (!std::isfinite(factor)) return "n/a";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(factor >= 100 ? 0 : 1) << factor
+     << 'x';
+  return os.str();
+}
+
+std::string SignificanceMarker(const stats::TwoProportionTest& test) {
+  if (test.significant_99) return "**";
+  if (test.significant_95) return "*";
+  return "";
+}
+
+std::string FormatConditional(const ConditionalResult& r) {
+  std::ostringstream os;
+  os << FormatPercent(r.conditional) << " (" << FormatFactor(r.factor) << ")";
+  const std::string marker = SignificanceMarker(r.test);
+  if (!marker.empty()) os << ' ' << marker;
+  return os.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::vector<SystemId> SystemsOfGroup(const Trace& trace, SystemGroup group) {
+  std::vector<SystemId> out;
+  for (const SystemConfig& s : trace.systems()) {
+    if (s.group == group) out.push_back(s.id);
+  }
+  return out;
+}
+
+std::vector<SystemId> SystemsWithJobs(const Trace& trace) {
+  std::vector<SystemId> out;
+  for (const SystemConfig& s : trace.systems()) {
+    for (const JobRecord& j : trace.jobs()) {
+      if (j.system == s.id) {
+        out.push_back(s.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SystemId> SystemsWithTemperature(const Trace& trace) {
+  std::vector<SystemId> out;
+  for (const SystemConfig& s : trace.systems()) {
+    for (const TemperatureSample& t : trace.temperatures()) {
+      if (t.system == s.id) {
+        out.push_back(s.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void PrintShapeCheck(std::ostream& os, const std::string& label,
+                     double measured, const std::string& paper_expectation,
+                     bool ok) {
+  os << (ok ? "[shape OK]   " : "[shape MISS] ") << label << ": measured "
+     << FormatFactor(measured) << ", paper " << paper_expectation << "\n";
+}
+
+}  // namespace hpcfail::core

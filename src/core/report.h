@@ -1,0 +1,50 @@
+// Report rendering shared by the benches and examples: fixed-width ASCII
+// tables, probability formatting with confidence intervals and factor
+// annotations, and paper-vs-measured comparison rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/window_analysis.h"
+
+namespace hpcfail::core {
+
+// Minimal fixed-width table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "7.20%" / "7.20% [6.9,7.5]"
+std::string FormatPercent(const stats::Proportion& p, bool with_ci = false);
+// "14.3x" or "n/a" when undefined.
+std::string FormatFactor(double factor);
+// Significance marker from the two-sample test: "**" (99%), "*" (95%), "".
+std::string SignificanceMarker(const stats::TwoProportionTest& test);
+// One formatted comparison: "7.20% (14.3x) **".
+std::string FormatConditional(const ConditionalResult& r);
+// Fixed precision float.
+std::string FormatDouble(double v, int precision = 3);
+
+// Group selection helpers: the paper splits LANL systems by architecture.
+std::vector<SystemId> SystemsOfGroup(const Trace& trace, SystemGroup group);
+// Systems that have job records.
+std::vector<SystemId> SystemsWithJobs(const Trace& trace);
+// Systems that have temperature records.
+std::vector<SystemId> SystemsWithTemperature(const Trace& trace);
+
+// Prints "measured vs paper" shape-check lines used by the benches:
+//   [shape OK] fig1a env factor: measured 16.2x, paper ~14-23x (increase)
+void PrintShapeCheck(std::ostream& os, const std::string& label,
+                     double measured, const std::string& paper_expectation,
+                     bool ok);
+
+}  // namespace hpcfail::core

@@ -1,0 +1,67 @@
+#include "core/survival_analysis.h"
+
+#include <cmath>
+
+namespace hpcfail::core {
+
+SurvivalAnalysis AnalyzeTimeToNextFailure(const EventIndex& index) {
+  SurvivalAnalysis out;
+  for (FailureCategory c : AllFailureCategories()) {
+    out.by_trigger[static_cast<std::size_t>(c)].trigger = c;
+  }
+
+  for (SystemId sys : index.systems()) {
+    const SystemConfig& config = index.trace().system(sys);
+    // Per-node event sequences (time, category), already time-sorted.
+    std::vector<std::vector<std::pair<TimeSec, FailureCategory>>> per_node(
+        static_cast<std::size_t>(config.num_nodes));
+    for (const FailureRecord& f : index.failures_of(sys)) {
+      per_node[static_cast<std::size_t>(f.node.value)].emplace_back(
+          f.start, f.category);
+    }
+    for (const auto& events : per_node) {
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto [t, category] = events[i];
+        stats::SurvivalObservation o;
+        if (i + 1 < events.size()) {
+          o.time = static_cast<double>(events[i + 1].first - t) /
+                   static_cast<double>(kHour);
+          o.event = true;
+        } else {
+          o.time = static_cast<double>(config.observed.end - t) /
+                   static_cast<double>(kHour);
+          o.event = false;  // censored at end of observation
+        }
+        o.time = std::max(o.time, 1.0 / 60.0);  // floor at one minute
+        out.by_trigger[static_cast<std::size_t>(category)]
+            .observations.push_back(o);
+      }
+    }
+  }
+
+  for (TriggerSurvival& ts : out.by_trigger) {
+    if (ts.observations.size() < 3) continue;
+    const stats::KaplanMeier km(ts.observations);
+    ts.failure_within_day = 1.0 - km.Survival(24.0);
+    ts.failure_within_week = 1.0 - km.Survival(24.0 * 7.0);
+    ts.median_hours = km.MedianSurvival();
+  }
+
+  const auto& env =
+      out.by_trigger[static_cast<std::size_t>(FailureCategory::kEnvironment)];
+  const auto& hw =
+      out.by_trigger[static_cast<std::size_t>(FailureCategory::kHardware)];
+  const auto& net =
+      out.by_trigger[static_cast<std::size_t>(FailureCategory::kNetwork)];
+  const auto& sw =
+      out.by_trigger[static_cast<std::size_t>(FailureCategory::kSoftware)];
+  if (env.observations.size() >= 3 && hw.observations.size() >= 3) {
+    out.env_vs_hw = stats::LogRankTest(env.observations, hw.observations);
+  }
+  if (net.observations.size() >= 3 && sw.observations.size() >= 3) {
+    out.net_vs_sw = stats::LogRankTest(net.observations, sw.observations);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

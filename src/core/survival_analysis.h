@@ -1,0 +1,38 @@
+// Time-to-next-failure survival curves: the whole-curve generalization of
+// the paper's fixed-window conditional probabilities. For each trigger type
+// X, collect the time from every type-X failure to the SAME node's next
+// failure (right-censored at the end of observation) and estimate the
+// Kaplan-Meier curve; 1 - S(kWeek) recovers the Fig. 1(a) bars, and the
+// log-rank test formalizes "environment/network triggers are worse" across
+// all horizons simultaneously.
+#pragma once
+
+#include <array>
+
+#include "core/event_index.h"
+#include "stats/survival.h"
+
+namespace hpcfail::core {
+
+struct TriggerSurvival {
+  FailureCategory trigger = FailureCategory::kUndetermined;
+  std::vector<stats::SurvivalObservation> observations;  // in hours
+  // 1 - S(window): directly comparable to WindowAnalyzer conditionals.
+  double failure_within_day = 0.0;
+  double failure_within_week = 0.0;
+  double median_hours = 0.0;  // median time to next failure (inf possible)
+};
+
+struct SurvivalAnalysis {
+  std::array<TriggerSurvival, kNumFailureCategories> by_trigger;
+  // Log-rank: environment-triggered vs hardware-triggered survival.
+  stats::LogRankResult env_vs_hw;
+  // Log-rank: network-triggered vs software-triggered survival.
+  stats::LogRankResult net_vs_sw;
+};
+
+// Analyzes every indexed system's failures pooled. Triggers with fewer than
+// 3 observations yield empty curves (probabilities 0, median inf).
+SurvivalAnalysis AnalyzeTimeToNextFailure(const EventIndex& index);
+
+}  // namespace hpcfail::core

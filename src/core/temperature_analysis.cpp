@@ -1,0 +1,103 @@
+#include "core/temperature_analysis.h"
+
+#include <stdexcept>
+
+#include "trace/environment.h"
+
+namespace hpcfail::core {
+namespace {
+
+TemperatureRegression FitOne(const std::vector<double>& covariate,
+                             const std::vector<double>& counts,
+                             std::string covariate_name, std::string target) {
+  TemperatureRegression out;
+  out.covariate = std::move(covariate_name);
+  out.target = std::move(target);
+  stats::Matrix x(covariate.size(), 1);
+  for (std::size_t i = 0; i < covariate.size(); ++i) x(i, 0) = covariate[i];
+  stats::GlmOptions opts;
+  opts.names = {out.covariate};
+  out.poisson = stats::FitPoisson(x, counts, opts);
+  out.negative_binomial = stats::FitNegativeBinomial(x, counts, opts);
+  out.poisson_p = out.poisson.coefficient(out.covariate).p_value;
+  out.negbin_p = out.negative_binomial.coefficient(out.covariate).p_value;
+  return out;
+}
+
+}  // namespace
+
+std::vector<TemperatureRegression> RegressFailuresOnTemperature(
+    const EventIndex& index, SystemId system) {
+  const Trace& trace = index.trace();
+  const SystemConfig& config = trace.system(system);
+  const auto num_nodes = static_cast<std::size_t>(config.num_nodes);
+
+  // Per-node temperature summaries. One pass, grouped by node.
+  std::vector<TemperatureSummary> temp(num_nodes);
+  {
+    std::vector<std::vector<TemperatureSample>> grouped(num_nodes);
+    for (const TemperatureSample& s : trace.temperatures()) {
+      if (s.system == system) {
+        grouped[static_cast<std::size_t>(s.node.value)].push_back(s);
+      }
+    }
+    bool any = false;
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      temp[n] = SummarizeTemperature(grouped[n], NodeId{static_cast<int>(n)});
+      any |= temp[n].num_samples > 0;
+    }
+    if (!any) {
+      throw std::invalid_argument(
+          "RegressFailuresOnTemperature: system has no temperature log");
+    }
+  }
+
+  const std::vector<int> hw =
+      index.NodeCounts(system, EventFilter::Of(FailureCategory::kHardware));
+  const std::vector<int> cpu =
+      index.NodeCounts(system, EventFilter::Of(HardwareComponent::kCpu));
+  const std::vector<int> mem =
+      index.NodeCounts(system, EventFilter::Of(HardwareComponent::kMemory));
+
+  std::vector<double> avg(num_nodes), mx(num_nodes), var(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    avg[n] = temp[n].avg;
+    mx[n] = temp[n].max;
+    var[n] = temp[n].variance;
+  }
+  auto to_double = [](const std::vector<int>& v) {
+    return std::vector<double>(v.begin(), v.end());
+  };
+
+  std::vector<TemperatureRegression> out;
+  for (const auto& [name, cov] :
+       {std::pair{"avg_temp", &avg}, {"max_temp", &mx}, {"temp_var", &var}}) {
+    out.push_back(FitOne(*cov, to_double(hw), name, "hardware"));
+    out.push_back(FitOne(*cov, to_double(cpu), name, "cpu"));
+    out.push_back(FitOne(*cov, to_double(mem), name, "memory"));
+  }
+  return out;
+}
+
+EventFilter FanFilter() { return EventFilter::Of(HardwareComponent::kFan); }
+EventFilter ChillerFilter() {
+  return EventFilter::Of(EnvironmentEvent::kChiller);
+}
+
+std::vector<CoolingImpact> CoolingFailureImpact(
+    const WindowAnalyzer& analyzer) {
+  const EventFilter hw = EventFilter::Of(FailureCategory::kHardware);
+  std::vector<CoolingImpact> out;
+  for (const auto& [name, trigger] :
+       {std::pair{"fan", FanFilter()}, {"chiller", ChillerFilter()}}) {
+    CoolingImpact ci;
+    ci.trigger = name;
+    ci.day = analyzer.Compare(trigger, hw, Scope::kSameNode, kDay);
+    ci.week = analyzer.Compare(trigger, hw, Scope::kSameNode, kWeek);
+    ci.month = analyzer.Compare(trigger, hw, Scope::kSameNode, kMonth);
+    out.push_back(std::move(ci));
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

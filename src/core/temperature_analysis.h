@@ -1,0 +1,46 @@
+// Section VIII: how does temperature affect failures? Regression of per-node
+// hardware-failure counts on average / maximum / variance of temperature
+// (expected: insignificant) and the impact of fan/chiller failures, which
+// cause brief extreme temperatures (Fig. 13).
+#pragma once
+
+#include <vector>
+
+#include "core/window_analysis.h"
+#include "stats/glm.h"
+
+namespace hpcfail::core {
+
+// One regression of failure counts on a single temperature covariate.
+struct TemperatureRegression {
+  std::string covariate;        // "avg_temp", "max_temp", "temp_var"
+  std::string target;           // "hardware", "cpu", "memory"
+  stats::GlmFit poisson;
+  stats::GlmFit negative_binomial;
+  // Convenience: the covariate's p-values in both fits.
+  double poisson_p = 1.0;
+  double negbin_p = 1.0;
+};
+
+// Fits failures(target) ~ covariate for every (covariate, target) pair the
+// paper examines. Requires the system to have temperature samples.
+std::vector<TemperatureRegression> RegressFailuresOnTemperature(
+    const EventIndex& index, SystemId system);
+
+// Fig. 13 (left): hardware-failure probability within day/week/month of a
+// fan or chiller failure vs random windows.
+struct CoolingImpact {
+  std::string trigger;  // "fan" or "chiller"
+  ConditionalResult day;
+  ConditionalResult week;
+  ConditionalResult month;
+};
+std::vector<CoolingImpact> CoolingFailureImpact(const WindowAnalyzer& analyzer);
+
+// Fig. 13 (right): per-hardware-component month-window probabilities after
+// fan/chiller failures (reuses HardwareComponentImpact from power_analysis
+// in the benches; declared here for discoverability).
+EventFilter FanFilter();
+EventFilter ChillerFilter();
+
+}  // namespace hpcfail::core

@@ -1,0 +1,94 @@
+#include "core/usage_analysis.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcfail::core {
+namespace {
+
+TimeSec UnionLength(std::vector<TimeInterval>& ivs) {
+  if (ivs.empty()) return 0;
+  std::sort(ivs.begin(), ivs.end(),
+            [](const TimeInterval& a, const TimeInterval& b) {
+              return a.begin < b.begin;
+            });
+  TimeSec total = 0;
+  TimeSec begin = ivs.front().begin;
+  TimeSec end = ivs.front().end;
+  for (const TimeInterval& iv : ivs) {
+    if (iv.begin > end) {
+      total += end - begin;
+      begin = iv.begin;
+      end = iv.end;
+    } else {
+      end = std::max(end, iv.end);
+    }
+  }
+  return total + (end - begin);
+}
+
+}  // namespace
+
+std::vector<NodeUsageStats> ComputeNodeUsage(const Trace& trace,
+                                             SystemId system) {
+  const SystemConfig& config = trace.system(system);
+  std::vector<NodeUsageStats> out(static_cast<std::size_t>(config.num_nodes));
+  std::vector<std::vector<TimeInterval>> busy(
+      static_cast<std::size_t>(config.num_nodes));
+  for (int n = 0; n < config.num_nodes; ++n) {
+    out[static_cast<std::size_t>(n)].node = NodeId{n};
+  }
+  for (const JobRecord& j : trace.jobs()) {
+    if (j.system != system) continue;
+    for (NodeId n : j.nodes) {
+      const auto idx = static_cast<std::size_t>(n.value);
+      ++out[idx].num_jobs;
+      busy[idx].push_back(j.run_interval());
+    }
+  }
+  const auto duration = static_cast<double>(config.observed.duration());
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    out[n].busy_time = UnionLength(busy[n]);
+    out[n].utilization =
+        duration > 0.0 ? static_cast<double>(out[n].busy_time) / duration : 0.0;
+  }
+  return out;
+}
+
+UsageAnalysis AnalyzeUsage(const EventIndex& index, SystemId system) {
+  UsageAnalysis out;
+  out.system = system;
+  out.nodes = ComputeNodeUsage(index.trace(), system);
+  bool has_jobs = false;
+  for (const NodeUsageStats& n : out.nodes) has_jobs |= n.num_jobs > 0;
+  if (!has_jobs) {
+    throw std::invalid_argument("AnalyzeUsage: system has no job log");
+  }
+  const std::vector<int> failures = index.NodeCounts(system, EventFilter::Any());
+  std::vector<double> jobs, utils, fails;
+  for (std::size_t n = 0; n < out.nodes.size(); ++n) {
+    out.nodes[n].failures = failures[n];
+    jobs.push_back(out.nodes[n].num_jobs);
+    utils.push_back(out.nodes[n].utilization);
+    fails.push_back(failures[n]);
+  }
+  out.jobs_vs_failures = stats::PearsonCorrelation(jobs, fails);
+  out.util_vs_failures = stats::PearsonCorrelation(utils, fails);
+
+  const auto top = static_cast<std::size_t>(std::distance(
+      fails.begin(), std::max_element(fails.begin(), fails.end())));
+  out.top_node = NodeId{static_cast<int>(top)};
+  auto without = [top](std::vector<double> v) {
+    v.erase(v.begin() + static_cast<std::ptrdiff_t>(top));
+    return v;
+  };
+  if (out.nodes.size() > 3) {
+    out.jobs_vs_failures_excl_top =
+        stats::PearsonCorrelation(without(jobs), without(fails));
+    out.util_vs_failures_excl_top =
+        stats::PearsonCorrelation(without(utils), without(fails));
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

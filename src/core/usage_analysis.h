@@ -1,0 +1,42 @@
+// Section V / Fig. 7: does usage affect a node's reliability? Recomputes
+// per-node usage metrics from the job log (never from generator internals)
+// and correlates them with failure counts.
+#pragma once
+
+#include <vector>
+
+#include "core/event_index.h"
+#include "stats/correlation.h"
+
+namespace hpcfail::core {
+
+struct NodeUsageStats {
+  NodeId node;
+  int num_jobs = 0;
+  TimeSec busy_time = 0;
+  double utilization = 0.0;  // fraction of the observation period busy
+  int failures = 0;
+};
+
+struct UsageAnalysis {
+  SystemId system;
+  std::vector<NodeUsageStats> nodes;  // index == node id (Fig. 7 scatter)
+  // Pearson correlation between #jobs and #failures, with and without the
+  // most failure-prone node (Section V: 0.465 / 0.12, collapsing without
+  // node 0).
+  stats::CorrelationResult jobs_vs_failures;
+  stats::CorrelationResult jobs_vs_failures_excl_top;
+  stats::CorrelationResult util_vs_failures;
+  stats::CorrelationResult util_vs_failures_excl_top;
+  NodeId top_node;  // the excluded node
+};
+
+// Computes usage metrics from the trace's job records for one system.
+// Throws std::invalid_argument when the system has no job log.
+UsageAnalysis AnalyzeUsage(const EventIndex& index, SystemId system);
+
+// Per-node usage metrics only (shared with the joint regression).
+std::vector<NodeUsageStats> ComputeNodeUsage(const Trace& trace,
+                                             SystemId system);
+
+}  // namespace hpcfail::core

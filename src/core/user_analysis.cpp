@@ -1,0 +1,58 @@
+#include "core/user_analysis.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hpcfail::core {
+
+UserAnalysis AnalyzeUsers(const Trace& trace, SystemId system, int top_n) {
+  if (top_n < 2) throw std::invalid_argument("AnalyzeUsers: top_n < 2");
+  UserAnalysis out;
+  out.system = system;
+  std::unordered_map<UserId, UserFailureStats> by_user;
+  for (const JobRecord& j : trace.jobs()) {
+    if (j.system != system) continue;
+    // User 0 is the login/system pseudo-user in synthetic traces; it is a
+    // real workload on real traces, so it participates like any other user.
+    UserFailureStats& u = by_user[j.user];
+    u.user = j.user;
+    ++u.jobs;
+    if (j.killed_by_node_failure) ++u.killed_jobs;
+    u.processor_days += j.proc_seconds() / static_cast<double>(kDay);
+  }
+  if (by_user.empty()) {
+    throw std::invalid_argument("AnalyzeUsers: system has no job log");
+  }
+  out.total_users = static_cast<int>(by_user.size());
+
+  std::vector<UserFailureStats> users;
+  users.reserve(by_user.size());
+  for (auto& [id, u] : by_user) {
+    if (u.processor_days <= 0.0) continue;
+    u.failures_per_proc_day =
+        static_cast<double>(u.killed_jobs) / u.processor_days;
+    users.push_back(u);
+  }
+  std::sort(users.begin(), users.end(),
+            [](const UserFailureStats& a, const UserFailureStats& b) {
+              return a.processor_days > b.processor_days;
+            });
+  if (users.size() > static_cast<std::size_t>(top_n)) {
+    users.resize(static_cast<std::size_t>(top_n));
+  }
+  out.heaviest_users = users;
+
+  std::vector<double> counts, exposures;
+  for (const UserFailureStats& u : out.heaviest_users) {
+    counts.push_back(u.killed_jobs);
+    exposures.push_back(u.processor_days);
+  }
+  if (counts.size() >= 2) {
+    out.rate_heterogeneity =
+        stats::PoissonSaturatedVsCommonRate(counts, exposures);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

@@ -1,0 +1,36 @@
+// Section VI / Fig. 8: are some users more prone to node failures than
+// others? Per-user failures-per-processor-day (only counting jobs killed by
+// a node failure, not application bugs) and the Poisson saturated-vs-common-
+// rate ANOVA significance test.
+#pragma once
+
+#include <vector>
+
+#include "stats/anova.h"
+#include "trace/system.h"
+
+namespace hpcfail::core {
+
+struct UserFailureStats {
+  UserId user;
+  int jobs = 0;
+  int killed_jobs = 0;          // jobs that died to a node failure
+  double processor_days = 0.0;  // procs * runtime, in days
+  double failures_per_proc_day = 0.0;
+};
+
+struct UserAnalysis {
+  SystemId system;
+  // The heaviest users by processor-days, descending (Fig. 8's x-axis).
+  std::vector<UserFailureStats> heaviest_users;
+  // LRT of the saturated Poisson model (per-user rates) against the common-
+  // rate model over the heaviest users (Section VI's ANOVA).
+  stats::LikelihoodRatioResult rate_heterogeneity;
+  int total_users = 0;
+};
+
+// `top_n` selects the number of heaviest users (the paper uses 50). Users
+// with zero processor-days are skipped. Throws when the system has no jobs.
+UserAnalysis AnalyzeUsers(const Trace& trace, SystemId system, int top_n = 50);
+
+}  // namespace hpcfail::core

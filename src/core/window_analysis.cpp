@@ -1,0 +1,197 @@
+#include "core/window_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace hpcfail::core {
+
+std::string_view ToString(Scope s) {
+  switch (s) {
+    case Scope::kSameNode: return "same-node";
+    case Scope::kRackPeers: return "rack-peers";
+    case Scope::kSystemPeers: return "system-peers";
+  }
+  return "invalid";
+}
+
+stats::Proportion WindowAnalyzer::ConditionalProbability(
+    const EventFilter& trigger, const EventFilter& target, Scope scope,
+    TimeSec window) const {
+  long long trials = 0;
+  long long successes = 0;
+  for (SystemId sys : index_->systems()) {
+    const SystemConfig& config = index_->trace().system(sys);
+    const TimeSec horizon = config.observed.end;
+    for (const FailureRecord& f : index_->failures_of(sys)) {
+      if (!trigger.Matches(f)) continue;
+      if (f.start + window > horizon) continue;  // censored
+      const TimeInterval w{f.start, f.start + window};
+      switch (scope) {
+        case Scope::kSameNode:
+          // One trial per trigger: does this node fail again in the window?
+          ++trials;
+          if (index_->AnyAtNode(sys, f.node, w, target)) ++successes;
+          break;
+        case Scope::kRackPeers: {
+          // One trial per (trigger, rack-peer) pair: the paper's rack/system
+          // numbers are per-peer-node probabilities comparable to the
+          // per-node random-window baseline.
+          if (config.layout.empty()) continue;  // no rack information
+          int peers = 0;
+          const int hit =
+              index_->DistinctRackPeersWithEvent(sys, f.node, w, target,
+                                                 &peers);
+          trials += peers;
+          successes += hit;
+          break;
+        }
+        case Scope::kSystemPeers: {
+          int peers = 0;
+          const int hit = index_->DistinctSystemPeersWithEvent(
+              sys, f.node, w, target, &peers);
+          trials += peers;
+          successes += hit;
+          break;
+        }
+      }
+    }
+  }
+  return stats::WilsonProportion(successes, trials);
+}
+
+stats::Proportion WindowAnalyzer::BaselineProbability(
+    const EventFilter& target, TimeSec window,
+    const std::function<bool(SystemId, NodeId)>& node_predicate) const {
+  long long trials = 0;
+  long long successes = 0;
+  for (SystemId sys : index_->systems()) {
+    const SystemConfig& config = index_->trace().system(sys);
+    const TimeSec begin = config.observed.begin;
+    const long long windows_per_node = config.observed.duration() / window;
+    if (windows_per_node <= 0) continue;
+    // Count, per node, the number of distinct aligned windows containing at
+    // least one matching failure; every (node, window) pair is one trial.
+    std::vector<long long> hit_windows(
+        static_cast<std::size_t>(config.num_nodes), 0);
+    std::vector<long long> last_window(
+        static_cast<std::size_t>(config.num_nodes), -1);
+    for (const FailureRecord& f : index_->failures_of(sys)) {
+      if (!target.Matches(f)) continue;
+      const long long w = (f.start - begin) / window;
+      if (w < 0 || w >= windows_per_node) continue;
+      const auto n = static_cast<std::size_t>(f.node.value);
+      if (last_window[n] != w) {
+        last_window[n] = w;
+        ++hit_windows[n];
+      }
+    }
+    for (int n = 0; n < config.num_nodes; ++n) {
+      if (node_predicate && !node_predicate(sys, NodeId{n})) continue;
+      trials += windows_per_node;
+      successes += hit_windows[static_cast<std::size_t>(n)];
+    }
+  }
+  return stats::WilsonProportion(successes, trials);
+}
+
+ConditionalResult WindowAnalyzer::Compare(const EventFilter& trigger,
+                                          const EventFilter& target,
+                                          Scope scope, TimeSec window) const {
+  ConditionalResult out;
+  out.conditional = ConditionalProbability(trigger, target, scope, window);
+  out.baseline = BaselineProbability(target, window);
+  out.factor = stats::FactorIncrease(out.conditional, out.baseline);
+  out.test = stats::TestProportionsDiffer(
+      out.conditional.successes, out.conditional.trials,
+      out.baseline.successes, out.baseline.trials);
+  out.num_triggers = out.conditional.trials;
+  return out;
+}
+
+WindowAnalyzer::PairwiseMatrix WindowAnalyzer::PairwiseProbabilities(
+    Scope scope, TimeSec window) const {
+  PairwiseMatrix out{};
+  // Baselines depend only on the target type; compute each once.
+  std::array<stats::Proportion, kNumFailureCategories> baselines;
+  for (FailureCategory y : AllFailureCategories()) {
+    baselines[static_cast<std::size_t>(y)] =
+        BaselineProbability(EventFilter::Of(y), window);
+  }
+  for (FailureCategory x : AllFailureCategories()) {
+    for (FailureCategory y : AllFailureCategories()) {
+      ConditionalResult& r =
+          out[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)];
+      r.conditional = ConditionalProbability(EventFilter::Of(x),
+                                             EventFilter::Of(y), scope,
+                                             window);
+      r.baseline = baselines[static_cast<std::size_t>(y)];
+      r.factor = stats::FactorIncrease(r.conditional, r.baseline);
+      r.test = stats::TestProportionsDiffer(
+          r.conditional.successes, r.conditional.trials, r.baseline.successes,
+          r.baseline.trials);
+      r.num_triggers = r.conditional.trials;
+    }
+  }
+  return out;
+}
+
+ConditionalResult WindowAnalyzer::MaintenanceAfter(const EventFilter& trigger,
+                                                   TimeSec window) const {
+  // Conditional: any maintenance event at the trigger's node in the window.
+  // Maintenance streams are small; a per-(system, node) sorted copy makes
+  // the queries cheap.
+  long long trials = 0;
+  long long successes = 0;
+  long long base_trials = 0;
+  long long base_successes = 0;
+  for (SystemId sys : index_->systems()) {
+    const SystemConfig& config = index_->trace().system(sys);
+    std::vector<std::vector<TimeSec>> maint(
+        static_cast<std::size_t>(config.num_nodes));
+    for (const MaintenanceRecord& m : index_->trace().maintenance()) {
+      if (m.system == sys) {
+        maint[static_cast<std::size_t>(m.node.value)].push_back(m.start);
+      }
+    }
+    for (auto& v : maint) std::sort(v.begin(), v.end());
+    const TimeSec horizon = config.observed.end;
+    for (const FailureRecord& f : index_->failures_of(sys)) {
+      if (!trigger.Matches(f)) continue;
+      if (f.start + window > horizon) continue;
+      const auto& times = maint[static_cast<std::size_t>(f.node.value)];
+      auto it = std::upper_bound(times.begin(), times.end(), f.start);
+      ++trials;
+      if (it != times.end() && *it <= f.start + window) ++successes;
+    }
+    // Baseline: random aligned windows per node.
+    const long long windows_per_node = config.observed.duration() / window;
+    if (windows_per_node > 0) {
+      for (int n = 0; n < config.num_nodes; ++n) {
+        const auto& times = maint[static_cast<std::size_t>(n)];
+        long long hits = 0;
+        long long last = -1;
+        for (TimeSec t : times) {
+          const long long w = (t - config.observed.begin) / window;
+          if (w < 0 || w >= windows_per_node) continue;
+          if (w != last) {
+            last = w;
+            ++hits;
+          }
+        }
+        base_trials += windows_per_node;
+        base_successes += hits;
+      }
+    }
+  }
+  ConditionalResult out;
+  out.conditional = stats::WilsonProportion(successes, trials);
+  out.baseline = stats::WilsonProportion(base_successes, base_trials);
+  out.factor = stats::FactorIncrease(out.conditional, out.baseline);
+  out.test = stats::TestProportionsDiffer(successes, trials, base_successes,
+                                          base_trials);
+  out.num_triggers = trials;
+  return out;
+}
+
+}  // namespace hpcfail::core

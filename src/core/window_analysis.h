@@ -1,0 +1,82 @@
+// The paper's central measurement: conditional window probabilities.
+// "We use the data to determine the probability of a node failure in the
+// time window following a previous failure and compare this probability to
+// the probability of a node failure in a random window" (Section III), at
+// node, rack and system granularity, with 95% confidence intervals and
+// two-sample significance tests.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "core/event_index.h"
+#include "stats/proportion.h"
+
+namespace hpcfail::core {
+
+enum class Scope {
+  kSameNode,    // follow-up on the node that failed
+  kRackPeers,   // follow-up on another node of the same rack
+  kSystemPeers  // follow-up on another node of the same system
+};
+
+std::string_view ToString(Scope s);
+
+// One conditional-vs-baseline comparison, i.e. one bar of Figs. 1-3/10/11/13
+// together with its "NX" factor annotation and significance test.
+struct ConditionalResult {
+  stats::Proportion conditional;  // P(target in window | trigger)
+  stats::Proportion baseline;     // P(target in random window)
+  double factor = 0.0;            // conditional / baseline (NaN if undefined)
+  stats::TwoProportionTest test;  // conditional vs baseline
+  long long num_triggers = 0;
+};
+
+class WindowAnalyzer {
+ public:
+  // Analyzes the systems covered by `index` as one population (the paper
+  // aggregates group-1 and group-2 systems the same way).
+  explicit WindowAnalyzer(const EventIndex& index) : index_(&index) {}
+
+  // P(>=1 failure matching `target` at `scope`, within (t, t+window] of a
+  // trigger failure matching `trigger` at time t). Triggers whose window
+  // would run past the end of the observation period are censored (not
+  // counted as trials).
+  stats::Proportion ConditionalProbability(const EventFilter& trigger,
+                                           const EventFilter& target,
+                                           Scope scope, TimeSec window) const;
+
+  // Baseline: probability that a random node has >= 1 failure matching
+  // `target` in a random (aligned, disjoint) window of the given length.
+  // `node_predicate`, when set, restricts which nodes contribute windows
+  // (used by the node-0 analyses of Fig. 6).
+  stats::Proportion BaselineProbability(
+      const EventFilter& target, TimeSec window,
+      const std::function<bool(SystemId, NodeId)>& node_predicate = {}) const;
+
+  // Bundles conditional, baseline, factor and significance.
+  ConditionalResult Compare(const EventFilter& trigger,
+                            const EventFilter& target, Scope scope,
+                            TimeSec window) const;
+
+  // Probability of >= 1 unscheduled-maintenance event at the trigger's node
+  // within the window (Section VII.A.2), plus the random-window baseline.
+  ConditionalResult MaintenanceAfter(const EventFilter& trigger,
+                                     TimeSec window) const;
+
+  // Section III.A.3's "all pairwise probabilities p(x, y)": entry [x][y] is
+  // the comparison of P(type-y failure within the window after a type-x
+  // failure, same node) against the random-window baseline for type y.
+  using PairwiseMatrix =
+      std::array<std::array<ConditionalResult, kNumFailureCategories>,
+                 kNumFailureCategories>;
+  PairwiseMatrix PairwiseProbabilities(Scope scope, TimeSec window) const;
+
+  const EventIndex& index() const { return *index_; }
+
+ private:
+  const EventIndex* index_;
+};
+
+}  // namespace hpcfail::core

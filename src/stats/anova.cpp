@@ -1,0 +1,81 @@
+#include "stats/anova.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/special.h"
+
+namespace hpcfail::stats {
+
+LikelihoodRatioResult LikelihoodRatioTest(const GlmFit& full,
+                                          const GlmFit& reduced) {
+  if (full.family != reduced.family) {
+    throw std::invalid_argument("LRT: families differ");
+  }
+  if (full.n != reduced.n) {
+    throw std::invalid_argument("LRT: sample sizes differ");
+  }
+  if (full.coefficients.size() < reduced.coefficients.size()) {
+    throw std::invalid_argument("LRT: full model has fewer parameters");
+  }
+  LikelihoodRatioResult out;
+  out.statistic =
+      std::max(0.0, 2.0 * (full.log_likelihood - reduced.log_likelihood));
+  out.df = static_cast<double>(full.coefficients.size() -
+                               reduced.coefficients.size());
+  if (out.df == 0.0) {
+    out.p_value = 1.0;
+    return out;
+  }
+  out.p_value = ChiSquareSf(out.statistic, out.df);
+  out.significant_99 = out.p_value < 0.01;
+  return out;
+}
+
+LikelihoodRatioResult PoissonSaturatedVsCommonRate(
+    std::span<const double> counts, std::span<const double> exposures) {
+  if (counts.size() != exposures.size()) {
+    throw std::invalid_argument("SaturatedVsCommonRate: size mismatch");
+  }
+  std::vector<double> y, e;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] < 0.0 || exposures[i] < 0.0) {
+      throw std::invalid_argument("negative count or exposure");
+    }
+    if (exposures[i] == 0.0) {
+      if (counts[i] > 0.0) {
+        throw std::invalid_argument("events with zero exposure");
+      }
+      continue;
+    }
+    y.push_back(counts[i]);
+    e.push_back(exposures[i]);
+  }
+  if (y.size() < 2) {
+    throw std::invalid_argument("need at least two groups with exposure");
+  }
+  double sum_y = 0.0, sum_e = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    sum_y += y[i];
+    sum_e += e[i];
+  }
+  const double common_rate = sum_y / sum_e;
+  // Saturated model: mu_i = y_i (rate y_i / e_i). Common: mu_i = rate * e_i.
+  double ll_sat = 0.0, ll_common = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double mu_sat = std::max(y[i], 1e-300);
+    const double mu_common = std::max(common_rate * e[i], 1e-300);
+    if (y[i] > 0.0) ll_sat += y[i] * std::log(mu_sat);
+    ll_sat += -y[i] - LogGamma(y[i] + 1.0);  // mu_sat == y_i
+    ll_common += y[i] * std::log(mu_common) - mu_common - LogGamma(y[i] + 1.0);
+  }
+  LikelihoodRatioResult out;
+  out.statistic = std::max(0.0, 2.0 * (ll_sat - ll_common));
+  out.df = static_cast<double>(y.size() - 1);
+  out.p_value = ChiSquareSf(out.statistic, out.df);
+  out.significant_99 = out.p_value < 0.01;
+  return out;
+}
+
+}  // namespace hpcfail::stats

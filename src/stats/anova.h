@@ -1,0 +1,32 @@
+// Likelihood-ratio (deviance) tests between nested models. Section VI of the
+// paper fits a saturated Poisson model (every user has its own failure rate)
+// against a common-rate model and applies an ANOVA test; Section X compares
+// full and reduced regression models.
+#pragma once
+
+#include <span>
+
+#include "stats/glm.h"
+
+namespace hpcfail::stats {
+
+struct LikelihoodRatioResult {
+  double statistic = 0.0;  // 2 * (ll_full - ll_reduced) == deviance drop
+  double df = 0.0;
+  double p_value = 1.0;
+  bool significant_99 = false;
+};
+
+// Generic LRT between two nested GLM fits of the same family on the same
+// data. `full` must have at least as many parameters as `reduced`.
+LikelihoodRatioResult LikelihoodRatioTest(const GlmFit& full,
+                                          const GlmFit& reduced);
+
+// The Section-VI test: k groups with event counts and exposures. The
+// saturated Poisson model gives each group its own rate; the reduced model a
+// common rate. Returns the LRT with df = k - 1. Groups with zero exposure
+// are excluded.
+LikelihoodRatioResult PoissonSaturatedVsCommonRate(
+    std::span<const double> counts, std::span<const double> exposures);
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,41 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcfail::stats {
+
+BootstrapResult BootstrapCi(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    int resamples, double confidence) {
+  if (sample.empty()) throw std::invalid_argument("BootstrapCi: empty sample");
+  if (resamples < 2) throw std::invalid_argument("BootstrapCi: resamples < 2");
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument("BootstrapCi: confidence not in (0,1)");
+  }
+  BootstrapResult out;
+  out.estimate = statistic(sample);
+  out.resamples = resamples;
+  std::vector<double> stats(static_cast<std::size_t>(resamples));
+  std::vector<double> resample(sample.size());
+  for (int b = 0; b < resamples; ++b) {
+    for (double& v : resample) v = sample[rng.Index(sample.size())];
+    stats[static_cast<std::size_t>(b)] = statistic(resample);
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  auto at = [&stats](double q) {
+    const double pos = q * static_cast<double>(stats.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return stats[lo] * (1.0 - frac) + stats[hi] * frac;
+  };
+  out.ci_low = at(alpha);
+  out.ci_high = at(1.0 - alpha);
+  return out;
+}
+
+}  // namespace hpcfail::stats

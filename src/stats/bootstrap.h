@@ -1,0 +1,26 @@
+// Percentile bootstrap confidence intervals for arbitrary statistics.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace hpcfail::stats {
+
+struct BootstrapResult {
+  double estimate = 0.0;  // statistic on the original sample
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  int resamples = 0;
+};
+
+// Percentile bootstrap for a statistic of a single sample.
+// `statistic` receives a resampled vector (same size as `sample`).
+BootstrapResult BootstrapCi(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    int resamples = 1000, double confidence = 0.95);
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,70 @@
+#include "stats/chi_square.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/special.h"
+
+namespace hpcfail::stats {
+
+ChiSquareResult ChiSquareGoodnessOfFit(std::span<const double> observed,
+                                       std::span<const double> expected) {
+  if (observed.size() != expected.size()) {
+    throw std::invalid_argument("observed/expected size mismatch");
+  }
+  ChiSquareResult out;
+  int used = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) {
+      if (observed[i] > 0.0) {
+        throw std::invalid_argument(
+            "observed events in a cell with zero expectation");
+      }
+      continue;
+    }
+    const double d = observed[i] - expected[i];
+    out.statistic += d * d / expected[i];
+    ++used;
+  }
+  if (used < 2) throw std::invalid_argument("need at least two usable cells");
+  out.df = static_cast<double>(used - 1);
+  out.p_value = ChiSquareSf(out.statistic, out.df);
+  out.significant_99 = out.p_value < 0.01;
+  return out;
+}
+
+ChiSquareResult ChiSquareEqualRates(std::span<const double> counts,
+                                    std::span<const double> exposures) {
+  if (counts.size() != exposures.size()) {
+    throw std::invalid_argument("counts/exposures size mismatch");
+  }
+  double total_count = 0.0, total_exposure = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] < 0.0 || exposures[i] < 0.0) {
+      throw std::invalid_argument("negative count or exposure");
+    }
+    if (exposures[i] == 0.0) continue;
+    total_count += counts[i];
+    total_exposure += exposures[i];
+  }
+  if (total_exposure == 0.0) {
+    throw std::invalid_argument("all exposures are zero");
+  }
+  const double rate = total_count / total_exposure;
+  std::vector<double> obs, exp;
+  obs.reserve(counts.size());
+  exp.reserve(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (exposures[i] == 0.0) continue;
+    obs.push_back(counts[i]);
+    exp.push_back(rate * exposures[i]);
+  }
+  return ChiSquareGoodnessOfFit(obs, exp);
+}
+
+ChiSquareResult ChiSquareEqualRates(std::span<const double> counts) {
+  std::vector<double> exposures(counts.size(), 1.0);
+  return ChiSquareEqualRates(counts, exposures);
+}
+
+}  // namespace hpcfail::stats

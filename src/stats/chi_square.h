@@ -1,0 +1,31 @@
+// Chi-square tests. Section IV of the paper uses a "chi-square test for
+// differences between proportions" to reject the hypothesis that all nodes of
+// a system fail at equal rates.
+#pragma once
+
+#include <span>
+
+namespace hpcfail::stats {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double df = 0.0;
+  double p_value = 1.0;
+  bool significant_99 = false;  // the paper's 99% confidence level
+};
+
+// Tests H0: all groups share a common event rate. `counts[i]` is the number
+// of events observed in group i and `exposures[i]` its exposure (e.g. node
+// lifetime); expected counts under H0 are proportional to exposure. Groups
+// with zero exposure are skipped. Requires at least two usable groups.
+ChiSquareResult ChiSquareEqualRates(std::span<const double> counts,
+                                    std::span<const double> exposures);
+
+// Equal-exposure convenience overload (all exposures = 1).
+ChiSquareResult ChiSquareEqualRates(std::span<const double> counts);
+
+// Classic goodness-of-fit against explicit expected counts.
+ChiSquareResult ChiSquareGoodnessOfFit(std::span<const double> observed,
+                                       std::span<const double> expected);
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,110 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/special.h"
+
+namespace hpcfail::stats {
+namespace {
+
+std::vector<double> MidRanks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+CorrelationResult PearsonCorrelation(std::span<const double> xs,
+                                     std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("Pearson: size mismatch");
+  }
+  if (xs.size() < 3) {
+    throw std::invalid_argument("Pearson: need at least 3 points");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  CorrelationResult out;
+  out.n = static_cast<int>(xs.size());
+  if (sxx == 0.0 || syy == 0.0) return out;  // constant input
+  out.r = sxy / std::sqrt(sxx * syy);
+  out.r = std::clamp(out.r, -1.0, 1.0);
+  const double df = n - 2.0;
+  if (std::abs(out.r) >= 1.0) {
+    out.t = std::numeric_limits<double>::infinity();
+    out.p_value = 0.0;
+  } else {
+    out.t = out.r * std::sqrt(df / (1.0 - out.r * out.r));
+    out.p_value = StudentTTwoSidedP(out.t, df);
+  }
+  out.significant_95 = out.p_value < 0.05;
+  return out;
+}
+
+CorrelationResult SpearmanCorrelation(std::span<const double> xs,
+                                      std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("Spearman: size mismatch");
+  }
+  const std::vector<double> rx = MidRanks(xs);
+  const std::vector<double> ry = MidRanks(ys);
+  return PearsonCorrelation(rx, ry);
+}
+
+std::vector<double> Autocorrelation(std::span<const double> xs, int max_lag) {
+  if (xs.empty()) throw std::invalid_argument("Autocorrelation: empty input");
+  if (max_lag < 0 || static_cast<std::size_t>(max_lag) >= xs.size()) {
+    throw std::invalid_argument("Autocorrelation: bad max_lag");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= n;
+  double denom = 0.0;
+  for (double x : xs) denom += (x - mean) * (x - mean);
+  std::vector<double> out(static_cast<std::size_t>(max_lag) + 1, 0.0);
+  if (denom == 0.0) {
+    out[0] = 1.0;
+    return out;
+  }
+  for (int lag = 0; lag <= max_lag; ++lag) {
+    double num = 0.0;
+    for (std::size_t i = 0; i + static_cast<std::size_t>(lag) < xs.size(); ++i) {
+      num += (xs[i] - mean) * (xs[i + static_cast<std::size_t>(lag)] - mean);
+    }
+    out[static_cast<std::size_t>(lag)] = num / denom;
+  }
+  return out;
+}
+
+}  // namespace hpcfail::stats

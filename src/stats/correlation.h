@@ -1,0 +1,31 @@
+// Correlation measures: Pearson (Section V ties usage to failures via
+// Pearson's r), Spearman rank correlation, and autocorrelation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace hpcfail::stats {
+
+struct CorrelationResult {
+  double r = 0.0;
+  double t = 0.0;        // t statistic for H0: rho == 0
+  double p_value = 1.0;  // two-sided
+  int n = 0;
+  bool significant_95 = false;
+};
+
+// Pearson product-moment correlation with a t-test p-value. Requires
+// xs.size() == ys.size() >= 3 and non-constant inputs; constant input yields
+// r == 0 with p == 1 (no linear relationship measurable).
+CorrelationResult PearsonCorrelation(std::span<const double> xs,
+                                     std::span<const double> ys);
+
+// Spearman rank correlation (Pearson on mid-ranks; ties averaged).
+CorrelationResult SpearmanCorrelation(std::span<const double> xs,
+                                      std::span<const double> ys);
+
+// Sample autocorrelation of a series at lags 0..max_lag.
+std::vector<double> Autocorrelation(std::span<const double> xs, int max_lag);
+
+}  // namespace hpcfail::stats

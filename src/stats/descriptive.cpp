@@ -1,0 +1,87 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcfail::stats {
+
+double Sum(std::span<const double> xs) {
+  // Neumaier summation: robust even when the running sum shrinks back below
+  // earlier terms (traces mix huge counts with tiny probabilities).
+  double sum = 0.0, comp = 0.0;
+  for (double x : xs) {
+    const double t = sum + x;
+    if (std::abs(sum) >= std::abs(x)) {
+      comp += (sum - t) + x;
+    } else {
+      comp += (x - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + comp;
+}
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("Mean of empty span");
+  return Sum(xs) / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double PopulationVariance(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double Min(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("Min of empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("Max of empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("Quantile of empty span");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Quantile q not in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Median(std::span<const double> xs) { return Quantile(xs, 0.5); }
+
+std::vector<int> Histogram(std::span<const double> xs, double lo, double hi,
+                           int bins) {
+  if (bins < 1 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram needs bins >= 1 and hi > lo");
+  }
+  std::vector<int> out(static_cast<std::size_t>(bins), 0);
+  const double width = (hi - lo) / bins;
+  for (double x : xs) {
+    int b = static_cast<int>(std::floor((x - lo) / width));
+    b = std::clamp(b, 0, bins - 1);
+    ++out[static_cast<std::size_t>(b)];
+  }
+  return out;
+}
+
+}  // namespace hpcfail::stats

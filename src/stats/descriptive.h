@@ -1,0 +1,29 @@
+// Descriptive statistics over spans of doubles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace hpcfail::stats {
+
+double Mean(std::span<const double> xs);
+// Sample variance (n-1 denominator); returns 0 for n < 2.
+double Variance(std::span<const double> xs);
+// Population variance (n denominator); returns 0 for n < 1.
+double PopulationVariance(std::span<const double> xs);
+double StdDev(std::span<const double> xs);
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+double Sum(std::span<const double> xs);
+
+// Linear-interpolated quantile, q in [0,1]; median == Quantile(xs, 0.5).
+// Copies and sorts internally.
+double Quantile(std::span<const double> xs, double q);
+double Median(std::span<const double> xs);
+
+// Equal-width histogram over [lo, hi] with `bins` buckets; values outside the
+// range are clamped into the edge buckets.
+std::vector<int> Histogram(std::span<const double> xs, double lo, double hi,
+                           int bins);
+
+}  // namespace hpcfail::stats

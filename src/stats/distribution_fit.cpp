@@ -1,0 +1,237 @@
+#include "stats/distribution_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special.h"
+
+namespace hpcfail::stats {
+namespace {
+
+void CheckSamples(std::span<const double> xs) {
+  if (xs.size() < 3) {
+    throw std::invalid_argument("distribution fit needs >= 3 samples");
+  }
+  for (double x : xs) {
+    if (!(x > 0.0) || !std::isfinite(x)) {
+      throw std::invalid_argument("samples must be positive and finite");
+    }
+  }
+}
+
+double SumLog(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += std::log(x);
+  return s;
+}
+
+void FinishFit(DistributionFit& fit, std::span<const double> xs,
+               int num_params) {
+  fit.n = xs.size();
+  fit.aic = 2.0 * num_params - 2.0 * fit.log_likelihood;
+  fit.ks_statistic = KsStatistic(xs, fit);
+  fit.ks_p_value = KolmogorovPValue(fit.ks_statistic, xs.size());
+}
+
+}  // namespace
+
+std::string_view ToString(Distribution d) {
+  switch (d) {
+    case Distribution::kExponential: return "exponential";
+    case Distribution::kWeibull: return "weibull";
+    case Distribution::kLogNormal: return "lognormal";
+    case Distribution::kGamma: return "gamma";
+  }
+  return "invalid";
+}
+
+double DistributionFit::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  switch (distribution) {
+    case Distribution::kExponential:
+      return 1.0 - std::exp(-param1 * x);
+    case Distribution::kWeibull:
+      return 1.0 - std::exp(-std::pow(x / param2, param1));
+    case Distribution::kLogNormal:
+      return NormalCdf((std::log(x) - param1) / param2);
+    case Distribution::kGamma:
+      return RegularizedGammaP(param1, param2 * x);
+  }
+  return 0.0;
+}
+
+double DistributionFit::Mean() const {
+  switch (distribution) {
+    case Distribution::kExponential:
+      return 1.0 / param1;
+    case Distribution::kWeibull:
+      return param2 * std::exp(LogGamma(1.0 + 1.0 / param1));
+    case Distribution::kLogNormal:
+      return std::exp(param1 + param2 * param2 / 2.0);
+    case Distribution::kGamma:
+      return param1 / param2;
+  }
+  return 0.0;
+}
+
+DistributionFit FitExponential(std::span<const double> xs) {
+  CheckSamples(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double n = static_cast<double>(xs.size());
+  DistributionFit fit;
+  fit.distribution = Distribution::kExponential;
+  fit.param1 = n / sum;  // MLE rate
+  fit.log_likelihood = n * std::log(fit.param1) - fit.param1 * sum;
+  FinishFit(fit, xs, 1);
+  return fit;
+}
+
+DistributionFit FitWeibull(std::span<const double> xs) {
+  CheckSamples(xs);
+  const double n = static_cast<double>(xs.size());
+  const double mean_log = SumLog(xs) / n;
+  // Newton iteration on the profile MLE equation for the shape k:
+  //   g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0.
+  double k = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (double x : xs) {
+      const double xk = std::pow(x, k);
+      const double lx = std::log(x);
+      s0 += xk;
+      s1 += xk * lx;
+      s2 += xk * lx * lx;
+    }
+    const double g = s1 / s0 - 1.0 / k - mean_log;
+    const double gp = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+    const double step = g / gp;
+    double next = k - step;
+    if (next <= 0.0) next = k / 2.0;
+    next = std::clamp(next, 1e-3, 1e3);
+    if (std::abs(next - k) < 1e-12 * (k + 1e-12)) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+  double sk = 0.0;
+  for (double x : xs) sk += std::pow(x, k);
+  const double lambda = std::pow(sk / n, 1.0 / k);
+  DistributionFit fit;
+  fit.distribution = Distribution::kWeibull;
+  fit.param1 = k;
+  fit.param2 = lambda;
+  double ll = n * (std::log(k) - k * std::log(lambda));
+  for (double x : xs) {
+    ll += (k - 1.0) * std::log(x) - std::pow(x / lambda, k);
+  }
+  fit.log_likelihood = ll;
+  FinishFit(fit, xs, 2);
+  return fit;
+}
+
+DistributionFit FitLogNormal(std::span<const double> xs) {
+  CheckSamples(xs);
+  const double n = static_cast<double>(xs.size());
+  const double mu = SumLog(xs) / n;
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = std::log(x) - mu;
+    ss += d * d;
+  }
+  const double sigma = std::sqrt(std::max(ss / n, 1e-300));
+  DistributionFit fit;
+  fit.distribution = Distribution::kLogNormal;
+  fit.param1 = mu;
+  fit.param2 = sigma;
+  double ll = -n * (std::log(sigma) + 0.5 * std::log(2.0 * M_PI));
+  for (double x : xs) {
+    const double z = (std::log(x) - mu) / sigma;
+    ll += -std::log(x) - 0.5 * z * z;
+  }
+  fit.log_likelihood = ll;
+  FinishFit(fit, xs, 2);
+  return fit;
+}
+
+DistributionFit FitGamma(std::span<const double> xs) {
+  CheckSamples(xs);
+  const double n = static_cast<double>(xs.size());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / n;
+  const double mean_log = SumLog(xs) / n;
+  const double s = std::log(mean) - mean_log;  // >= 0 by Jensen
+  // Minka's initialization followed by Newton on the MLE equation
+  //   ln k - psi(k) = s.
+  double k = s > 0.0 ? (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) +
+                                            24.0 * s)) /
+                           (12.0 * s)
+                     : 1e3;
+  k = std::clamp(k, 1e-3, 1e6);
+  for (int iter = 0; iter < 100; ++iter) {
+    const double g = std::log(k) - Digamma(k) - s;
+    const double gp = 1.0 / k - Trigamma(k);
+    double next = k - g / gp;
+    if (next <= 0.0) next = k / 2.0;
+    next = std::clamp(next, 1e-3, 1e6);
+    if (std::abs(next - k) < 1e-12 * (k + 1e-12)) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+  const double beta = k / mean;  // rate
+  DistributionFit fit;
+  fit.distribution = Distribution::kGamma;
+  fit.param1 = k;
+  fit.param2 = beta;
+  double ll = n * (k * std::log(beta) - LogGamma(k));
+  for (double x : xs) ll += (k - 1.0) * std::log(x) - beta * x;
+  fit.log_likelihood = ll;
+  FinishFit(fit, xs, 2);
+  return fit;
+}
+
+std::vector<DistributionFit> FitAll(std::span<const double> xs) {
+  std::vector<DistributionFit> fits = {FitExponential(xs), FitWeibull(xs),
+                                       FitLogNormal(xs), FitGamma(xs)};
+  std::sort(fits.begin(), fits.end(),
+            [](const DistributionFit& a, const DistributionFit& b) {
+              return a.aic < b.aic;
+            });
+  return fits;
+}
+
+double KsStatistic(std::span<const double> xs, const DistributionFit& fit) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double cdf = fit.Cdf(sorted[i]);
+    const double hi = static_cast<double>(i + 1) / n - cdf;
+    const double lo = cdf - static_cast<double>(i) / n;
+    d = std::max({d, hi, lo});
+  }
+  return d;
+}
+
+double KolmogorovPValue(double d, std::size_t n) {
+  if (d <= 0.0) return 1.0;
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  // Stephens' small-sample correction, then the Kolmogorov series.
+  const double t = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term =
+        2.0 * std::pow(-1.0, k - 1) * std::exp(-2.0 * k * k * t * t);
+    sum += term;
+    if (std::abs(term) < 1e-12) break;
+  }
+  return std::clamp(sum, 0.0, 1.0);
+}
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,57 @@
+// Maximum-likelihood fitting of the lifetime distributions the failure-
+// modeling literature applies to inter-arrival times (the "statistical
+// models" the paper positions itself against, Section I): exponential,
+// Weibull, lognormal and gamma, with Kolmogorov-Smirnov goodness-of-fit and
+// AIC-based model selection.
+//
+// A Weibull shape < 1 (decreasing hazard) is the classical signature of the
+// clustering the paper studies directly: after surviving a while, a node is
+// *less* likely to fail — equivalently, failures bunch together.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hpcfail::stats {
+
+enum class Distribution : std::uint8_t {
+  kExponential,  // rate lambda
+  kWeibull,      // shape k, scale lambda
+  kLogNormal,    // mu, sigma of log
+  kGamma,        // shape k, rate beta
+};
+std::string_view ToString(Distribution d);
+
+struct DistributionFit {
+  Distribution distribution = Distribution::kExponential;
+  // Parameter meaning depends on the distribution, see the enum comments.
+  double param1 = 0.0;
+  double param2 = 0.0;
+  double log_likelihood = 0.0;
+  double aic = 0.0;          // 2k - 2 ln L
+  double ks_statistic = 0.0; // sup |F_empirical - F_fitted|
+  double ks_p_value = 0.0;   // asymptotic Kolmogorov p-value
+  std::size_t n = 0;
+
+  // CDF of the fitted distribution at x.
+  double Cdf(double x) const;
+  double Mean() const;
+};
+
+// All samples must be > 0; throws std::invalid_argument otherwise or when
+// fewer than 3 samples are given.
+DistributionFit FitExponential(std::span<const double> xs);
+DistributionFit FitWeibull(std::span<const double> xs);
+DistributionFit FitLogNormal(std::span<const double> xs);
+DistributionFit FitGamma(std::span<const double> xs);
+
+// Fits all four and returns them sorted by ascending AIC (best first).
+std::vector<DistributionFit> FitAll(std::span<const double> xs);
+
+// Kolmogorov-Smirnov machinery, exposed for reuse.
+double KsStatistic(std::span<const double> xs, const DistributionFit& fit);
+// Asymptotic Kolmogorov distribution survival function of sqrt(n) * D.
+double KolmogorovPValue(double d, std::size_t n);
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,383 @@
+#include "stats/glm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special.h"
+
+namespace hpcfail::stats {
+namespace {
+
+// Bounds keeping exp(eta) finite and weights positive through IRLS.
+constexpr double kEtaMin = -30.0;
+constexpr double kEtaMax = 30.0;
+constexpr double kThetaMin = 1e-3;
+constexpr double kThetaMax = 1e8;
+
+struct Design {
+  Matrix x;  // n x p including intercept column when requested
+  std::vector<std::string> names;
+  std::vector<double> log_exposure;
+};
+
+Design BuildDesign(const Matrix& x, std::span<const double> y,
+                   const GlmOptions& opts) {
+  const std::size_t n = y.size();
+  if (x.rows() != n && !(x.rows() == 0 && x.cols() == 0)) {
+    throw std::invalid_argument("glm: x rows must match y length");
+  }
+  if (n == 0) throw std::invalid_argument("glm: empty response");
+  for (double v : y) {
+    if (v < 0.0 || !std::isfinite(v)) {
+      throw std::invalid_argument("glm: response must be finite and >= 0");
+    }
+  }
+  const std::size_t k = x.cols();
+  if (!opts.add_intercept && k == 0) {
+    throw std::invalid_argument("glm: no covariates and no intercept");
+  }
+  Design d;
+  const std::size_t p = k + (opts.add_intercept ? 1 : 0);
+  d.x = Matrix(n, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t j = 0;
+    if (opts.add_intercept) d.x(i, j++) = 1.0;
+    for (std::size_t c = 0; c < k; ++c) d.x(i, j++) = x(i, c);
+  }
+  if (opts.add_intercept) d.names.push_back("(Intercept)");
+  for (std::size_t c = 0; c < k; ++c) {
+    if (c < opts.names.size()) {
+      d.names.push_back(opts.names[c]);
+    } else {
+      d.names.push_back("x" + std::to_string(c));
+    }
+  }
+  d.log_exposure.assign(n, 0.0);
+  if (!opts.exposure.empty()) {
+    if (opts.exposure.size() != n) {
+      throw std::invalid_argument("glm: exposure length mismatch");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(opts.exposure[i] > 0.0)) {
+        throw std::invalid_argument("glm: exposure must be positive");
+      }
+      d.log_exposure[i] = std::log(opts.exposure[i]);
+    }
+  }
+  return d;
+}
+
+double PoissonDeviance(std::span<const double> y,
+                       std::span<const double> mu) {
+  double dev = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double term = y[i] > 0.0 ? y[i] * std::log(y[i] / mu[i]) : 0.0;
+    dev += 2.0 * (term - (y[i] - mu[i]));
+  }
+  return dev;
+}
+
+double NegBinDeviance(std::span<const double> y, std::span<const double> mu,
+                      double theta) {
+  double dev = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double term = y[i] > 0.0 ? y[i] * std::log(y[i] / mu[i]) : 0.0;
+    dev += 2.0 * (term - (y[i] + theta) * std::log((y[i] + theta) /
+                                                   (mu[i] + theta)));
+  }
+  return dev;
+}
+
+// One full IRLS solve for fixed family weights. `weight_fn(mu)` returns the
+// IRLS weight for an observation with mean mu.
+template <typename WeightFn>
+bool Irls(const Design& d, std::span<const double> y, WeightFn weight_fn,
+          int max_iterations, double tolerance, std::vector<double>& beta,
+          std::vector<double>& mu, Matrix& fisher_inv, int& iterations) {
+  const std::size_t n = y.size();
+  const std::size_t p = d.x.cols();
+  // Initialize the working response from the data itself.
+  std::vector<double> eta(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    eta[i] = std::log(std::max(y[i], 0.1));
+  }
+  beta.assign(p, 0.0);
+  mu.assign(n, 0.0);
+  bool converged = false;
+  double prev_dev = std::numeric_limits<double>::infinity();
+  for (iterations = 0; iterations < max_iterations; ++iterations) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = std::clamp(eta[i], kEtaMin, kEtaMax);
+      mu[i] = std::exp(e);
+    }
+    // Weighted least squares: solve (X^T W X) beta = X^T W z.
+    Matrix xtwx(p, p);
+    std::vector<double> xtwz(p, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = weight_fn(mu[i]);
+      const double z =
+          (eta[i] - d.log_exposure[i]) + (y[i] - mu[i]) / mu[i];
+      for (std::size_t a = 0; a < p; ++a) {
+        const double xa = d.x(i, a);
+        if (xa == 0.0) continue;
+        xtwz[a] += w * xa * z;
+        for (std::size_t b = a; b < p; ++b) {
+          xtwx(a, b) += w * xa * d.x(i, b);
+        }
+      }
+    }
+    for (std::size_t a = 0; a < p; ++a) {
+      for (std::size_t b = 0; b < a; ++b) xtwx(a, b) = xtwx(b, a);
+    }
+    // Tiny ridge keeps near-collinear designs solvable without visibly
+    // biasing estimates.
+    for (std::size_t a = 0; a < p; ++a) xtwx(a, a) += 1e-10;
+    std::vector<double> new_beta = CholeskySolve(xtwx, xtwz);
+    for (std::size_t i = 0; i < n; ++i) {
+      double e = d.log_exposure[i];
+      for (std::size_t a = 0; a < p; ++a) e += d.x(i, a) * new_beta[a];
+      eta[i] = std::clamp(e, kEtaMin, kEtaMax);
+    }
+    for (std::size_t i = 0; i < n; ++i) mu[i] = std::exp(eta[i]);
+    const double dev = PoissonDeviance(y, mu);
+    beta = std::move(new_beta);
+    if (std::abs(dev - prev_dev) <
+        tolerance * (std::abs(dev) + tolerance)) {
+      converged = true;
+      ++iterations;
+      break;
+    }
+    prev_dev = dev;
+  }
+  // Fisher information at the final estimate (for standard errors).
+  const std::size_t pp = d.x.cols();
+  Matrix xtwx(pp, pp);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weight_fn(mu[i]);
+    for (std::size_t a = 0; a < pp; ++a) {
+      for (std::size_t b = a; b < pp; ++b) {
+        xtwx(a, b) += w * d.x(i, a) * d.x(i, b);
+      }
+    }
+  }
+  for (std::size_t a = 0; a < pp; ++a) {
+    for (std::size_t b = 0; b < a; ++b) xtwx(a, b) = xtwx(b, a);
+  }
+  for (std::size_t a = 0; a < pp; ++a) xtwx(a, a) += 1e-10;
+  fisher_inv = CholeskyInverse(xtwx);
+  return converged;
+}
+
+std::vector<GlmCoefficient> MakeCoefficients(const Design& d,
+                                             const std::vector<double>& beta,
+                                             const Matrix& fisher_inv) {
+  std::vector<GlmCoefficient> out;
+  out.reserve(beta.size());
+  for (std::size_t j = 0; j < beta.size(); ++j) {
+    GlmCoefficient c;
+    c.name = d.names[j];
+    c.estimate = beta[j];
+    c.std_error = std::sqrt(std::max(0.0, fisher_inv(j, j)));
+    if (c.std_error > 0.0) {
+      c.z = c.estimate / c.std_error;
+      c.p_value = 2.0 * NormalSf(std::abs(c.z));
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+// Intercept-only deviance, used as the null deviance.
+double NullDeviancePoisson(std::span<const double> y,
+                           const std::vector<double>& log_exposure) {
+  double sum_y = 0.0, sum_e = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    sum_y += y[i];
+    sum_e += std::exp(log_exposure[i]);
+  }
+  const double rate = sum_y / sum_e;
+  std::vector<double> mu(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    mu[i] = std::max(1e-300, rate * std::exp(log_exposure[i]));
+  }
+  return PoissonDeviance(y, mu);
+}
+
+// ML theta update by Newton iteration on the NB profile likelihood.
+double UpdateTheta(std::span<const double> y, std::span<const double> mu,
+                   double theta) {
+  for (int iter = 0; iter < 50; ++iter) {
+    double grad = 0.0, hess = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      grad += Digamma(y[i] + theta) - Digamma(theta) + std::log(theta) + 1.0 -
+              std::log(theta + mu[i]) - (y[i] + theta) / (theta + mu[i]);
+      hess += Trigamma(y[i] + theta) - Trigamma(theta) + 1.0 / theta -
+              2.0 / (theta + mu[i]) +
+              (y[i] + theta) / ((theta + mu[i]) * (theta + mu[i]));
+    }
+    if (hess >= 0.0) {
+      // Newton step unusable (likelihood locally convex); nudge along the
+      // gradient instead.
+      theta = std::clamp(theta * (grad > 0.0 ? 2.0 : 0.5), kThetaMin,
+                         kThetaMax);
+      continue;
+    }
+    const double step = grad / hess;
+    double next = theta - step;
+    if (next <= 0.0) next = theta / 2.0;
+    next = std::clamp(next, kThetaMin, kThetaMax);
+    if (std::abs(next - theta) < 1e-8 * (theta + 1e-8)) return next;
+    theta = next;
+  }
+  return theta;
+}
+
+}  // namespace
+
+double PoissonLogLikelihood(std::span<const double> y,
+                            std::span<const double> mu) {
+  if (y.size() != mu.size()) {
+    throw std::invalid_argument("PoissonLogLikelihood: size mismatch");
+  }
+  double ll = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double m = std::max(mu[i], 1e-300);
+    ll += y[i] * std::log(m) - m - LogGamma(y[i] + 1.0);
+  }
+  return ll;
+}
+
+double NegativeBinomialLogLikelihood(std::span<const double> y,
+                                     std::span<const double> mu,
+                                     double theta) {
+  if (y.size() != mu.size()) {
+    throw std::invalid_argument("NegBinLogLikelihood: size mismatch");
+  }
+  double ll = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double m = std::max(mu[i], 1e-300);
+    ll += LogGamma(y[i] + theta) - LogGamma(theta) - LogGamma(y[i] + 1.0) +
+          theta * std::log(theta) + y[i] * std::log(m) -
+          (theta + y[i]) * std::log(theta + m);
+  }
+  return ll;
+}
+
+double GlmFit::Predict(std::span<const double> row, double exposure) const {
+  std::size_t j = 0;
+  double eta = std::log(exposure);
+  if (!coefficients.empty() && coefficients[0].name == "(Intercept)") {
+    eta += coefficients[0].estimate;
+    j = 1;
+  }
+  if (row.size() != coefficients.size() - j) {
+    throw std::invalid_argument("Predict: covariate count mismatch");
+  }
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    eta += coefficients[j + c].estimate * row[c];
+  }
+  return std::exp(std::clamp(eta, kEtaMin, kEtaMax));
+}
+
+const GlmCoefficient& GlmFit::coefficient(const std::string& name) const {
+  for (const GlmCoefficient& c : coefficients) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("no coefficient named " + name);
+}
+
+GlmFit FitPoisson(const Matrix& x, std::span<const double> y,
+                  const GlmOptions& opts) {
+  const Design d = BuildDesign(x, y, opts);
+  std::vector<double> beta, mu;
+  Matrix fisher_inv;
+  int iterations = 0;
+  const bool converged =
+      Irls(d, y, [](double m) { return m; }, opts.max_iterations,
+           opts.tolerance, beta, mu, fisher_inv, iterations);
+  GlmFit fit;
+  fit.family = GlmFamily::kPoisson;
+  fit.coefficients = MakeCoefficients(d, beta, fisher_inv);
+  fit.deviance = PoissonDeviance(y, mu);
+  fit.null_deviance = NullDeviancePoisson(y, d.log_exposure);
+  fit.log_likelihood = PoissonLogLikelihood(y, mu);
+  fit.iterations = iterations;
+  fit.converged = converged;
+  fit.n = y.size();
+  return fit;
+}
+
+GlmFit FitNegativeBinomial(const Matrix& x, std::span<const double> y,
+                           const GlmOptions& opts) {
+  const Design d = BuildDesign(x, y, opts);
+  // Stage 0: Poisson fit provides initial means.
+  std::vector<double> beta, mu;
+  Matrix fisher_inv;
+  int iterations = 0;
+  Irls(d, y, [](double m) { return m; }, opts.max_iterations, opts.tolerance,
+       beta, mu, fisher_inv, iterations);
+
+  // Moment start for theta: var(y) = mu + mu^2/theta around fitted means.
+  double mean_mu = 0.0, excess = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    mean_mu += mu[i];
+    const double r = y[i] - mu[i];
+    excess += r * r - mu[i];
+  }
+  mean_mu /= static_cast<double>(y.size());
+  double theta = 10.0;
+  if (excess > 0.0) {
+    double mu2 = 0.0;
+    for (double m : mu) mu2 += m * m;
+    theta = std::clamp(mu2 / excess, kThetaMin, kThetaMax);
+  }
+
+  bool converged = false;
+  int total_iterations = iterations;
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (int outer = 0; outer < 50; ++outer) {
+    theta = UpdateTheta(y, mu, theta);
+    const double t = theta;
+    int inner = 0;
+    const bool beta_ok =
+        Irls(d, y, [t](double m) { return m / (1.0 + m / t); },
+             opts.max_iterations, opts.tolerance, beta, mu, fisher_inv,
+             inner);
+    total_iterations += inner;
+    const double ll = NegativeBinomialLogLikelihood(y, mu, theta);
+    if (beta_ok && std::abs(ll - prev_ll) < opts.tolerance *
+                                                (std::abs(ll) + 1.0)) {
+      converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  GlmFit fit;
+  fit.family = GlmFamily::kNegativeBinomial;
+  fit.coefficients = MakeCoefficients(d, beta, fisher_inv);
+  fit.deviance = NegBinDeviance(y, mu, theta);
+  {
+    // Null deviance: intercept-only NB model at the same theta.
+    double sum_y = 0.0, sum_e = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      sum_y += y[i];
+      sum_e += std::exp(d.log_exposure[i]);
+    }
+    const double rate = sum_y / sum_e;
+    std::vector<double> mu0(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      mu0[i] = std::max(1e-300, rate * std::exp(d.log_exposure[i]));
+    }
+    fit.null_deviance = NegBinDeviance(y, mu0, theta);
+  }
+  fit.log_likelihood = NegativeBinomialLogLikelihood(y, mu, theta);
+  fit.theta = theta;
+  fit.iterations = total_iterations;
+  fit.converged = converged;
+  fit.n = y.size();
+  return fit;
+}
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,78 @@
+// Generalized linear models with a log link, fitted by iteratively
+// reweighted least squares (IRLS): Poisson regression and negative binomial
+// (NB2) regression with maximum-likelihood dispersion. These are the models
+// the paper uses for Sections VI, VIII and X (Tables II and III).
+//
+// The coefficient table mirrors R's summary(glm(...)): estimate, standard
+// error (from the Fisher information at convergence), Wald z value, and the
+// two-sided p-value of H0: coefficient == 0.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/linalg.h"
+
+namespace hpcfail::stats {
+
+struct GlmCoefficient {
+  std::string name;
+  double estimate = 0.0;
+  double std_error = 0.0;
+  double z = 0.0;
+  double p_value = 1.0;
+};
+
+enum class GlmFamily { kPoisson, kNegativeBinomial };
+
+struct GlmFit {
+  GlmFamily family = GlmFamily::kPoisson;
+  std::vector<GlmCoefficient> coefficients;  // intercept first when present
+  double deviance = 0.0;
+  double null_deviance = 0.0;  // intercept-only model's deviance
+  double log_likelihood = 0.0;
+  double theta = 0.0;  // NB dispersion; unused (0) for Poisson
+  int iterations = 0;
+  bool converged = false;
+  std::size_t n = 0;
+
+  // Fitted mean for a covariate row (same order/columns as the fit, without
+  // the intercept column; exposure multiplies the mean).
+  double Predict(std::span<const double> row, double exposure = 1.0) const;
+
+  const GlmCoefficient& coefficient(const std::string& name) const;
+};
+
+struct GlmOptions {
+  bool add_intercept = true;
+  // Per-observation exposure; fitted mean = exposure * exp(x beta). Empty
+  // means exposure 1 everywhere.
+  std::vector<double> exposure;
+  // Covariate names (excluding intercept). Filled with x0, x1, ... if empty.
+  std::vector<std::string> names;
+  int max_iterations = 100;
+  double tolerance = 1e-9;
+};
+
+// Fits a Poisson GLM with log link. `x` holds one row per observation and
+// one column per covariate (no intercept column; set opts.add_intercept).
+// `y` holds the non-negative response counts.
+GlmFit FitPoisson(const Matrix& x, std::span<const double> y,
+                  const GlmOptions& opts = {});
+
+// Fits a negative binomial (NB2) GLM with log link. Theta (the dispersion
+// parameter; variance = mu + mu^2/theta) is estimated by ML, alternating
+// IRLS for beta with Newton steps on theta, like R's MASS::glm.nb.
+GlmFit FitNegativeBinomial(const Matrix& x, std::span<const double> y,
+                           const GlmOptions& opts = {});
+
+// Poisson log-likelihood of counts y under means mu (used by ANOVA too).
+double PoissonLogLikelihood(std::span<const double> y,
+                            std::span<const double> mu);
+
+// NB2 log-likelihood under means mu and dispersion theta.
+double NegativeBinomialLogLikelihood(std::span<const double> y,
+                                     std::span<const double> mu, double theta);
+
+}  // namespace hpcfail::stats

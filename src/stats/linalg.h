@@ -1,0 +1,66 @@
+// Small dense linear algebra, sized for GLM design matrices (thousands of
+// rows, a handful of columns). Row-major storage, bounds-checked accessors in
+// debug builds via assert.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace hpcfail::stats {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  // Construct from nested initializer lists: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix Transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix ScaledBy(double s) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// x^T y for equal-length vectors.
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+
+// Matrix-vector product A x.
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);
+
+// Solves A x = b for symmetric positive-definite A via Cholesky.
+// Throws std::runtime_error when A is not (numerically) SPD.
+std::vector<double> CholeskySolve(const Matrix& a, const std::vector<double>& b);
+
+// Inverse of an SPD matrix via Cholesky; used for the GLM covariance matrix.
+Matrix CholeskyInverse(const Matrix& a);
+
+// Solves A x = b for general square A via LU with partial pivoting.
+// Throws std::runtime_error on (numerical) singularity.
+std::vector<double> LuSolve(Matrix a, std::vector<double> b);
+
+}  // namespace hpcfail::stats

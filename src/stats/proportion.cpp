@@ -1,0 +1,98 @@
+#include "stats/proportion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/special.h"
+
+namespace hpcfail::stats {
+namespace {
+
+void CheckArgs(long long successes, long long trials, double confidence) {
+  if (trials < 0 || successes < 0 || successes > trials) {
+    throw std::invalid_argument("invalid successes/trials");
+  }
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument("confidence must be in (0,1)");
+  }
+}
+
+}  // namespace
+
+Proportion WilsonProportion(long long successes, long long trials,
+                            double confidence) {
+  CheckArgs(successes, trials, confidence);
+  Proportion out;
+  out.successes = successes;
+  out.trials = trials;
+  out.confidence = confidence;
+  if (trials == 0) return out;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  out.estimate = p;
+  const double z = NormalQuantile(0.5 + confidence / 2.0);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  out.ci_low = std::max(0.0, center - half);
+  out.ci_high = std::min(1.0, center + half);
+  return out;
+}
+
+Proportion WaldProportion(long long successes, long long trials,
+                          double confidence) {
+  CheckArgs(successes, trials, confidence);
+  Proportion out;
+  out.successes = successes;
+  out.trials = trials;
+  out.confidence = confidence;
+  if (trials == 0) return out;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  out.estimate = p;
+  const double z = NormalQuantile(0.5 + confidence / 2.0);
+  const double half = z * std::sqrt(p * (1.0 - p) / n);
+  out.ci_low = std::max(0.0, p - half);
+  out.ci_high = std::min(1.0, p + half);
+  return out;
+}
+
+TwoProportionTest TestProportionsDiffer(long long successes1,
+                                        long long trials1,
+                                        long long successes2,
+                                        long long trials2) {
+  CheckArgs(successes1, trials1, 0.95);
+  CheckArgs(successes2, trials2, 0.95);
+  TwoProportionTest out;
+  if (trials1 == 0 || trials2 == 0) return out;
+  const double n1 = static_cast<double>(trials1);
+  const double n2 = static_cast<double>(trials2);
+  const double p1 = static_cast<double>(successes1) / n1;
+  const double p2 = static_cast<double>(successes2) / n2;
+  const double pooled =
+      static_cast<double>(successes1 + successes2) / (n1 + n2);
+  const double se =
+      std::sqrt(pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2));
+  if (se == 0.0) {
+    // Both proportions are 0 or both are 1: no evidence of a difference.
+    return out;
+  }
+  out.z = (p1 - p2) / se;
+  out.p_value = 2.0 * NormalSf(std::abs(out.z));
+  out.significant_95 = out.p_value < 0.05;
+  out.significant_99 = out.p_value < 0.01;
+  return out;
+}
+
+double FactorIncrease(const Proportion& p1, const Proportion& p2) {
+  if (!p1.defined() || !p2.defined() || p2.estimate == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return p1.estimate / p2.estimate;
+}
+
+}  // namespace hpcfail::stats

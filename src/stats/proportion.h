@@ -1,0 +1,48 @@
+// Proportion estimation and comparison: the workhorse of the paper's
+// conditional-probability figures. Every bar in Figs. 1-3, 6, 10, 11, 13 is
+// an estimated proportion with a 95% confidence interval, and every "the
+// increase is significant" claim is a two-sample proportion test.
+#pragma once
+
+namespace hpcfail::stats {
+
+// An estimated proportion successes/trials with a confidence interval.
+struct Proportion {
+  long long successes = 0;
+  long long trials = 0;
+  double estimate = 0.0;  // successes / trials (0 when trials == 0)
+  double ci_low = 0.0;    // confidence interval bounds
+  double ci_high = 0.0;
+  double confidence = 0.95;
+
+  bool defined() const { return trials > 0; }
+};
+
+// Wilson score interval: well-behaved for extreme p and small n, which the
+// per-subcategory bars routinely hit. `confidence` in (0,1).
+Proportion WilsonProportion(long long successes, long long trials,
+                            double confidence = 0.95);
+
+// Wald (normal approximation) interval, provided for comparison/ablation.
+Proportion WaldProportion(long long successes, long long trials,
+                          double confidence = 0.95);
+
+// Two-sample z-test for equality of proportions (pooled variance); the
+// "two-sample hypothesis test" the paper uses throughout Section III.
+struct TwoProportionTest {
+  double z = 0.0;
+  double p_value = 1.0;       // two-sided
+  bool significant_95 = false;
+  bool significant_99 = false;
+};
+
+TwoProportionTest TestProportionsDiffer(long long successes1,
+                                        long long trials1,
+                                        long long successes2,
+                                        long long trials2);
+
+// Factor increase of p1 over p2 (the "NX" annotations on the paper's bars).
+// Returns NaN when either proportion is undefined or p2 == 0.
+double FactorIncrease(const Proportion& p1, const Proportion& p2);
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,59 @@
+// Seeded random-number utilities. Everything in hpcfail that draws random
+// numbers takes an explicit Rng so traces and resampling are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace hpcfail::stats {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double Uniform() { return uniform_(engine_); }
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+  // Uniform integer in [0, n).
+  std::size_t Index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::Index(0)");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t Int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+  bool Bernoulli(double p) { return Uniform() < p; }
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+  int Poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+  // Pareto-distributed value with minimum xm and shape alpha (heavy-tailed
+  // user activity in the workload generator).
+  double Pareto(double xm, double alpha) {
+    return xm / std::pow(1.0 - Uniform(), 1.0 / alpha);
+  }
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  // Derives an independent child stream (for per-subsystem generators).
+  Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace hpcfail::stats

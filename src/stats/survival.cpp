@@ -1,0 +1,128 @@
+#include "stats/survival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "stats/special.h"
+
+namespace hpcfail::stats {
+
+KaplanMeier::KaplanMeier(std::vector<SurvivalObservation> observations) {
+  if (observations.empty()) {
+    throw std::invalid_argument("KaplanMeier: no observations");
+  }
+  for (const SurvivalObservation& o : observations) {
+    if (!(o.time >= 0.0) || !std::isfinite(o.time)) {
+      throw std::invalid_argument("KaplanMeier: bad observation time");
+    }
+  }
+  n_ = observations.size();
+  std::sort(observations.begin(), observations.end(),
+            [](const SurvivalObservation& a, const SurvivalObservation& b) {
+              return a.time < b.time;
+            });
+  double survival = 1.0;
+  double greenwood = 0.0;  // sum d / (n (n - d))
+  std::size_t i = 0;
+  int at_risk = static_cast<int>(n_);
+  while (i < observations.size()) {
+    const double t = observations[i].time;
+    int events = 0;
+    int leaving = 0;
+    while (i < observations.size() && observations[i].time == t) {
+      events += observations[i].event ? 1 : 0;
+      ++leaving;
+      ++i;
+    }
+    if (events > 0) {
+      events_ += static_cast<std::size_t>(events);
+      survival *= 1.0 - static_cast<double>(events) / at_risk;
+      if (at_risk > events) {
+        greenwood += static_cast<double>(events) /
+                     (static_cast<double>(at_risk) * (at_risk - events));
+      }
+      SurvivalPoint p;
+      p.time = t;
+      p.survival = survival;
+      p.std_error = survival * std::sqrt(greenwood);
+      p.at_risk = at_risk;
+      p.events = events;
+      curve_.push_back(p);
+    }
+    at_risk -= leaving;
+  }
+}
+
+double KaplanMeier::Survival(double t) const {
+  double s = 1.0;
+  for (const SurvivalPoint& p : curve_) {
+    if (p.time > t) break;
+    s = p.survival;
+  }
+  return s;
+}
+
+double KaplanMeier::MedianSurvival() const {
+  for (const SurvivalPoint& p : curve_) {
+    if (p.survival <= 0.5) return p.time;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+LogRankResult LogRankTest(std::span<const SurvivalObservation> group1,
+                          std::span<const SurvivalObservation> group2) {
+  if (group1.empty() || group2.empty()) {
+    throw std::invalid_argument("LogRankTest: empty group");
+  }
+  // Merge distinct event times; track at-risk counts per group.
+  std::map<double, std::pair<int, int>> events_at;  // t -> (d1, d2)
+  for (const SurvivalObservation& o : group1) {
+    if (o.event) ++events_at[o.time].first;
+  }
+  for (const SurvivalObservation& o : group2) {
+    if (o.event) ++events_at[o.time].second;
+  }
+  LogRankResult out;
+  if (events_at.empty()) return out;
+
+  auto sorted_times = [](std::span<const SurvivalObservation> g) {
+    std::vector<double> times;
+    times.reserve(g.size());
+    for (const SurvivalObservation& o : g) times.push_back(o.time);
+    std::sort(times.begin(), times.end());
+    return times;
+  };
+  const std::vector<double> t1 = sorted_times(group1);
+  const std::vector<double> t2 = sorted_times(group2);
+  auto at_risk = [](const std::vector<double>& times, double t) {
+    // Subjects with observation time >= t.
+    return static_cast<int>(times.end() -
+                            std::lower_bound(times.begin(), times.end(), t));
+  };
+
+  double observed1 = 0.0, expected1 = 0.0, variance = 0.0;
+  for (const auto& [t, d] : events_at) {
+    const int n1 = at_risk(t1, t);
+    const int n2 = at_risk(t2, t);
+    const int n = n1 + n2;
+    const int deaths = d.first + d.second;
+    if (n <= 1 || deaths == 0) continue;
+    observed1 += d.first;
+    expected1 += static_cast<double>(deaths) * n1 / n;
+    variance += static_cast<double>(deaths) *
+                (static_cast<double>(n1) / n) *
+                (static_cast<double>(n2) / n) *
+                (static_cast<double>(n - deaths) / std::max(1, n - 1));
+  }
+  if (variance <= 0.0) return out;
+  const double z = observed1 - expected1;
+  out.statistic = z * z / variance;
+  out.p_value = ChiSquareSf(out.statistic, 1.0);
+  out.significant_99 = out.p_value < 0.01;
+  return out;
+}
+
+}  // namespace hpcfail::stats

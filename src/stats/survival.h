@@ -1,0 +1,59 @@
+// Survival analysis: Kaplan-Meier estimation with right-censoring and the
+// log-rank test. Time-to-next-failure is the survival-analysis view of the
+// paper's window probabilities: P(failure within W | trigger) is one point
+// of 1 - S(W); the KM curve gives every window length at once, and the
+// log-rank test compares trigger types over the whole curve rather than at
+// one horizon.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace hpcfail::stats {
+
+// One observation: time to the event, or time to censoring.
+struct SurvivalObservation {
+  double time = 0.0;
+  bool event = true;  // false = right-censored at `time`
+};
+
+// One step of the Kaplan-Meier curve.
+struct SurvivalPoint {
+  double time = 0.0;
+  double survival = 1.0;   // S(t) just after `time`
+  double std_error = 0.0;  // Greenwood standard error of S(t)
+  int at_risk = 0;         // subjects at risk just before `time`
+  int events = 0;          // events at `time`
+};
+
+class KaplanMeier {
+ public:
+  // Observations may be unsorted; times must be >= 0 and finite.
+  explicit KaplanMeier(std::vector<SurvivalObservation> observations);
+
+  const std::vector<SurvivalPoint>& curve() const { return curve_; }
+
+  // S(t): survival probability at time t (step function, right-continuous).
+  double Survival(double t) const;
+  // Median survival time; +inf when the curve never drops below 0.5.
+  double MedianSurvival() const;
+  std::size_t num_observations() const { return n_; }
+  std::size_t num_events() const { return events_; }
+
+ private:
+  std::vector<SurvivalPoint> curve_;
+  std::size_t n_ = 0;
+  std::size_t events_ = 0;
+};
+
+// Log-rank test of H0: both groups share one survival function.
+struct LogRankResult {
+  double statistic = 0.0;  // chi-square with 1 df
+  double p_value = 1.0;
+  bool significant_99 = false;
+};
+
+LogRankResult LogRankTest(std::span<const SurvivalObservation> group1,
+                          std::span<const SurvivalObservation> group2);
+
+}  // namespace hpcfail::stats

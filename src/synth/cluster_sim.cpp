@@ -1,0 +1,565 @@
+#include "synth/cluster_sim.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace hpcfail::synth {
+namespace {
+
+constexpr std::size_t kHwIdx =
+    static_cast<std::size_t>(FailureCategory::kHardware);
+constexpr std::size_t kCpuIdx =
+    static_cast<std::size_t>(HardwareComponent::kCpu);
+
+// Which cascade governs an event's offspring.
+enum class EventSource : std::uint8_t {
+  kNormal,    // node/rack/system cascades by category (+ PSU/fan extras)
+  kFacility,  // facility-event child: uses the facility cascade only
+  kChurn,     // offspring of a job dispatch: spawns nothing further special
+};
+
+struct PendingEvent {
+  NodeId node;
+  TimeSec time = 0;
+  FailureCategory category = FailureCategory::kUndetermined;
+  std::optional<HardwareComponent> hardware;
+  std::optional<SoftwareComponent> software;
+  std::optional<EnvironmentEvent> environment;
+  EventSource source = EventSource::kNormal;
+  // For facility-born events: which facility cascade to apply.
+  const CascadeSpec* facility_cascade = nullptr;
+};
+
+class Simulator {
+ public:
+  Simulator(const SystemScenario& sc, const MachineLayout& layout,
+            const ClusterSimInput& input, stats::Rng& rng)
+      : sc_(sc), layout_(layout), input_(input), rng_(rng) {
+    sc_.Validate();
+    if (!input_.usage_multiplier.empty() &&
+        input_.usage_multiplier.size() !=
+            static_cast<std::size_t>(sc_.num_nodes)) {
+      throw std::invalid_argument("usage_multiplier size mismatch");
+    }
+    // Precompute rack membership for rack-scoped child placement.
+    rack_members_.resize(static_cast<std::size_t>(layout_.num_racks()));
+    for (const NodePlacement& p : layout_.placements()) {
+      rack_members_[static_cast<std::size_t>(p.rack.value)].push_back(p.node);
+    }
+    rack_of_.resize(static_cast<std::size_t>(sc_.num_nodes), RackId{});
+    for (const NodePlacement& p : layout_.placements()) {
+      rack_of_[static_cast<std::size_t>(p.node.value)] = p.rack;
+    }
+  }
+
+  ClusterSimResult Run() {
+    GenerateModulation();
+    GenerateImmigrants();
+    GenerateFacilityEvents();
+    GenerateChurnChildren();
+    GenerateBaselineMaintenance();
+    ExpandCascades();
+    return Finish();
+  }
+
+ private:
+  double UsageMult(NodeId n) const {
+    if (input_.usage_multiplier.empty()) return 1.0;
+    return input_.usage_multiplier[static_cast<std::size_t>(n.value)];
+  }
+
+  double FluxFactor(TimeSec t) const {
+    if (input_.cpu_flux_factor.empty()) return 1.0;
+    auto m = static_cast<std::size_t>(t / kMonth);
+    m = std::min(m, input_.cpu_flux_factor.size() - 1);
+    return input_.cpu_flux_factor[m];
+  }
+
+  void GenerateModulation() {
+    const auto periods = static_cast<std::size_t>(
+        (sc_.duration + sc_.modulation_period - 1) / sc_.modulation_period);
+    modulation_.resize(std::max<std::size_t>(periods, 1));
+    const double sigma = sc_.modulation_sigma;
+    for (double& m : modulation_) {
+      // Mean-1 lognormal so modulation does not change average rates.
+      m = sigma > 0.0 ? std::exp(rng_.Normal(-sigma * sigma / 2.0, sigma))
+                      : 1.0;
+    }
+  }
+
+  double Modulation(TimeSec t) const {
+    auto p = static_cast<std::size_t>(t / sc_.modulation_period);
+    p = std::min(p, modulation_.size() - 1);
+    return modulation_[p];
+  }
+
+  // Immigrant (baseline) failures: piecewise-constant rates per node. The
+  // rate changes at modulation-period boundaries (and, through the flux
+  // factor, monthly), so we draw exponential gaps segment by segment.
+  void GenerateImmigrants() {
+    for (int n = 0; n < sc_.num_nodes; ++n) {
+      const NodeId node{n};
+      std::array<double, kNumFailureCategories> node_rate{};
+      for (std::size_t c = 0; c < kNumFailureCategories; ++c) {
+        node_rate[c] = sc_.base_rate_per_hour[c] / kHour;
+        if (n == 0) node_rate[c] *= sc_.node0_rate_multiplier[c];
+      }
+      const double usage = UsageMult(node);
+      // Usage stress applies to what the node itself runs, not to the
+      // facility: scale all but the environment lane.
+      for (std::size_t c = 0; c < kNumFailureCategories; ++c) {
+        if (c != static_cast<std::size_t>(FailureCategory::kEnvironment)) {
+          node_rate[c] *= usage;
+        }
+      }
+      TimeSec seg_start = 0;
+      while (seg_start < sc_.duration) {
+        const TimeSec seg_end =
+            std::min<TimeSec>(sc_.duration, seg_start + sc_.modulation_period);
+        const double mod = Modulation(seg_start);
+        const double flux = FluxFactor(seg_start);
+        // CPU lane carries the cosmic coupling; the hardware category rate
+        // is adjusted by the CPU share of the mix.
+        const double cpu_share = sc_.hardware_mix[kCpuIdx];
+        std::array<double, kNumFailureCategories> rate = node_rate;
+        rate[kHwIdx] *= (cpu_share * flux + (1.0 - cpu_share));
+        for (double& r : rate) r *= mod;
+        double total = 0.0;
+        for (double r : rate) total += r;
+        if (total <= 0.0) {
+          seg_start = seg_end;
+          continue;
+        }
+        double t = static_cast<double>(seg_start);
+        while (true) {
+          t += rng_.Exponential(total);
+          if (t >= static_cast<double>(seg_end)) break;
+          EmitImmigrant(node, static_cast<TimeSec>(t), rate, flux);
+        }
+        seg_start = seg_end;
+      }
+    }
+  }
+
+  void EmitImmigrant(NodeId node, TimeSec t,
+                     const std::array<double, kNumFailureCategories>& rate,
+                     double flux) {
+    // Pick the category proportional to the segment rates.
+    double total = 0.0;
+    for (double r : rate) total += r;
+    double u = rng_.Uniform() * total;
+    std::size_t cat = 0;
+    for (; cat + 1 < kNumFailureCategories; ++cat) {
+      if (u < rate[cat]) break;
+      u -= rate[cat];
+    }
+    PendingEvent e;
+    e.node = node;
+    e.time = t;
+    e.category = static_cast<FailureCategory>(cat);
+    e.source = EventSource::kNormal;
+    if (e.category == FailureCategory::kHardware) {
+      // Flux only tilts the CPU share of the mix.
+      auto mix = sc_.hardware_mix;
+      mix[kCpuIdx] *= flux;
+      e.hardware = SampleHardware(mix);
+    } else if (e.category == FailureCategory::kSoftware) {
+      e.software = SampleSoftware(sc_.software_mix);
+    } else if (e.category == FailureCategory::kEnvironment) {
+      e.environment = SampleEnvironment(sc_.environment_mix);
+    }
+    queue_.push_back(std::move(e));
+  }
+
+  HardwareComponent SampleHardware(
+      const std::array<double, kNumHardwareComponents>& mix) {
+    double total = 0.0;
+    for (double m : mix) total += m;
+    double u = rng_.Uniform() * total;
+    for (std::size_t i = 0; i + 1 < mix.size(); ++i) {
+      if (u < mix[i]) return static_cast<HardwareComponent>(i);
+      u -= mix[i];
+    }
+    return static_cast<HardwareComponent>(mix.size() - 1);
+  }
+
+  EnvironmentEvent SampleEnvironment(
+      const std::array<double, kNumEnvironmentEvents>& mix) {
+    double total = 0.0;
+    for (double m : mix) total += m;
+    double u = rng_.Uniform() * total;
+    for (std::size_t i = 0; i + 1 < mix.size(); ++i) {
+      if (u < mix[i]) return static_cast<EnvironmentEvent>(i);
+      u -= mix[i];
+    }
+    return static_cast<EnvironmentEvent>(mix.size() - 1);
+  }
+
+  SoftwareComponent SampleSoftware(
+      const std::array<double, kNumSoftwareComponents>& mix) {
+    double total = 0.0;
+    for (double m : mix) total += m;
+    double u = rng_.Uniform() * total;
+    for (std::size_t i = 0; i + 1 < mix.size(); ++i) {
+      if (u < mix[i]) return static_cast<SoftwareComponent>(i);
+      u -= mix[i];
+    }
+    return static_cast<SoftwareComponent>(mix.size() - 1);
+  }
+
+  // ---- Facility events ----------------------------------------------------
+
+  void GenerateFacilityEvents() {
+    GenerateFacilityType(sc_.power_outage, EnvironmentEvent::kPowerOutage,
+                         /*repeats=*/true);
+    GenerateFacilityType(sc_.power_spike, EnvironmentEvent::kPowerSpike,
+                         /*repeats=*/false);
+    GenerateFacilityType(sc_.ups_failure, EnvironmentEvent::kUps,
+                         /*repeats=*/true);
+    GenerateFacilityType(sc_.chiller_failure, EnvironmentEvent::kChiller,
+                         /*repeats=*/false);
+  }
+
+  void GenerateFacilityType(const FacilityEventSpec& spec,
+                            EnvironmentEvent kind, bool repeats) {
+    if (spec.events_per_year <= 0.0) return;
+    const double years = static_cast<double>(sc_.duration) / kYear;
+    const int n_events = rng_.Poisson(spec.events_per_year * years);
+    // A fifth of the racks draw 4x more UPS events: flaky UPS units recur on
+    // the same racks (Fig. 12's space-time pattern).
+    for (int i = 0; i < n_events; ++i) {
+      const TimeSec t = rng_.Int(0, sc_.duration - 1);
+      const std::vector<NodeId> affected = PickAffectedNodes(spec, kind);
+      StrikeFacility(spec, kind, t, affected);
+      if (repeats && rng_.Bernoulli(0.5)) {
+        // The same fault recurring (storm, failing UPS battery): the repeat
+        // hits the same node set shortly after.
+        const TimeSec t2 = t + static_cast<TimeSec>(rng_.Exponential(
+                                   1.0 / (5.0 * static_cast<double>(kDay))));
+        if (t2 < sc_.duration) StrikeFacility(spec, kind, t2, affected);
+      }
+    }
+  }
+
+  std::vector<NodeId> PickAffectedNodes(const FacilityEventSpec& spec,
+                                        EnvironmentEvent kind) {
+    const int want = std::max(
+        spec.min_nodes_affected,
+        static_cast<int>(spec.frac_nodes_affected * sc_.num_nodes));
+    const int count = std::min(want, sc_.num_nodes);
+    std::vector<NodeId> out;
+    if (count <= 0) return out;
+    if (spec.rack_scoped && !rack_members_.empty()) {
+      // Uniform rack choice: recurrence on the same rack comes from the
+      // repeat mechanism (a failing UPS strikes its rack again), which gives
+      // Fig. 12 its pattern without injecting a location effect — the paper
+      // found none (Section IV.C), and AnalyzeLocation must agree.
+      const std::size_t rack = rng_.Index(rack_members_.size());
+      const std::vector<NodeId>& members = rack_members_[rack];
+      std::vector<NodeId> pool = members;
+      const auto take = std::min<std::size_t>(pool.size(),
+                                              static_cast<std::size_t>(count));
+      for (std::size_t i = 0; i < take; ++i) {
+        const std::size_t j = i + rng_.Index(pool.size() - i);
+        std::swap(pool[i], pool[j]);
+        out.push_back(pool[i]);
+      }
+      return out;
+    }
+    if (kind == EnvironmentEvent::kPowerOutage) {
+      // Outages take out a contiguous range (a PDU feeds adjacent racks).
+      const int start = static_cast<int>(rng_.Index(
+          static_cast<std::size_t>(std::max(1, sc_.num_nodes - count + 1))));
+      for (int n = start; n < start + count; ++n) out.push_back(NodeId{n});
+      return out;
+    }
+    // Spikes / chiller shutdowns: scattered nodes.
+    std::vector<int> pool(static_cast<std::size_t>(sc_.num_nodes));
+    for (int n = 0; n < sc_.num_nodes; ++n) {
+      pool[static_cast<std::size_t>(n)] = n;
+    }
+    for (int i = 0; i < count; ++i) {
+      const std::size_t j =
+          static_cast<std::size_t>(i) +
+          rng_.Index(pool.size() - static_cast<std::size_t>(i));
+      std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+      out.push_back(NodeId{pool[static_cast<std::size_t>(i)]});
+    }
+    return out;
+  }
+
+  void StrikeFacility(const FacilityEventSpec& spec, EnvironmentEvent kind,
+                      TimeSec t, const std::vector<NodeId>& affected) {
+    if (kind == EnvironmentEvent::kChiller) chiller_events_.push_back(t);
+    for (NodeId node : affected) {
+      PendingEvent e;
+      e.node = node;
+      // Minutes of per-node jitter: operators log outages node by node.
+      e.time = t + rng_.Int(0, 10 * kMinute);
+      if (e.time >= sc_.duration) continue;
+      e.category = FailureCategory::kEnvironment;
+      e.environment = kind;
+      e.source = EventSource::kFacility;
+      e.facility_cascade = &spec.cascade;
+      queue_.push_back(std::move(e));
+    }
+  }
+
+  // ---- Usage churn ----------------------------------------------------------
+
+  void GenerateChurnChildren() {
+    const double base = sc_.workload.job_churn_hazard;
+    if (base <= 0.0) return;
+    for (const ChurnTrigger& c : input_.churn) {
+      const double expected = base * c.risk;
+      const int k = rng_.Poisson(expected);
+      for (int i = 0; i < k; ++i) {
+        PendingEvent e;
+        e.node = c.node;
+        e.time = c.time + static_cast<TimeSec>(
+                              rng_.Exponential(1.0 / (6.0 * kHour)));
+        if (e.time >= sc_.duration) continue;
+        e.source = EventSource::kChurn;
+        // Usage-induced failures: software bugs, punished hardware, or
+        // undetermined wedges.
+        const double u = rng_.Uniform();
+        if (u < 0.4) {
+          e.category = FailureCategory::kSoftware;
+          e.software = SampleSoftware(sc_.software_mix);
+        } else if (u < 0.8) {
+          e.category = FailureCategory::kHardware;
+          e.hardware = SampleHardware(sc_.hardware_mix);
+        } else {
+          e.category = FailureCategory::kUndetermined;
+        }
+        queue_.push_back(std::move(e));
+      }
+    }
+  }
+
+  void GenerateBaselineMaintenance() {
+    const double rate = sc_.base_maintenance_per_hour / kHour;
+    if (rate <= 0.0) return;
+    const double horizon = static_cast<double>(sc_.duration);
+    for (int n = 0; n < sc_.num_nodes; ++n) {
+      double t = 0.0;
+      while (true) {
+        t += rng_.Exponential(rate);
+        if (t >= horizon) break;
+        EmitMaintenance(NodeId{n}, static_cast<TimeSec>(t));
+      }
+    }
+  }
+
+  void EmitMaintenance(NodeId node, TimeSec t) {
+    MaintenanceRecord m;
+    m.system = input_.system;
+    m.node = node;
+    m.start = t;
+    m.end = t + static_cast<TimeSec>(
+                    rng_.LogNormal(std::log(4.0 * kHour), 0.6));
+    maintenance_.push_back(m);
+  }
+
+  // ---- Cascade expansion ----------------------------------------------------
+
+  void ExpandCascades() {
+    // The queue grows while we walk it; index-based iteration is safe with
+    // std::deque (no reallocation invalidation for indices we re-read).
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      // Copy: push_back may invalidate references into the deque's map.
+      const PendingEvent e = queue_[i];
+      if (e.source == EventSource::kChurn) continue;
+      if (e.source == EventSource::kFacility) {
+        SpawnChildren(e, *e.facility_cascade, e.node);
+        continue;
+      }
+      const auto cat = static_cast<std::size_t>(e.category);
+      SpawnChildren(e, sc_.node_cascade[cat], e.node);
+      SpawnScoped(e, sc_.rack_cascade[cat], /*rack_scope=*/true);
+      SpawnScoped(e, sc_.system_cascade[cat], /*rack_scope=*/false);
+      if (e.category == FailureCategory::kHardware && e.hardware) {
+        if (*e.hardware == HardwareComponent::kPowerSupply) {
+          SpawnChildren(e, sc_.power_supply_cascade, e.node);
+        } else if (*e.hardware == HardwareComponent::kFan) {
+          SpawnChildren(e, sc_.fan_cascade, e.node);
+        }
+      }
+    }
+  }
+
+  void SpawnChildren(const PendingEvent& parent, const CascadeSpec& cascade,
+                     NodeId target) {
+    for (std::size_t y = 0; y < kNumFailureCategories; ++y) {
+      const double expected = cascade.children[y];
+      if (expected <= 0.0) continue;
+      const int k = rng_.Poisson(expected);
+      for (int c = 0; c < k; ++c) {
+        PendingEvent child;
+        child.node = target;
+        child.time =
+            parent.time + static_cast<TimeSec>(rng_.Exponential(
+                              1.0 / static_cast<double>(cascade.mean_delay)));
+        if (child.time >= sc_.duration) continue;
+        child.category = static_cast<FailureCategory>(y);
+        child.source = EventSource::kNormal;
+        FillChildSubcategory(parent, cascade, child);
+        queue_.push_back(std::move(child));
+      }
+    }
+    if (cascade.maintenance_children > 0.0) {
+      const int k = rng_.Poisson(cascade.maintenance_children);
+      for (int c = 0; c < k; ++c) {
+        const TimeSec t =
+            parent.time + static_cast<TimeSec>(rng_.Exponential(
+                              1.0 / static_cast<double>(cascade.mean_delay)));
+        if (t < sc_.duration) EmitMaintenance(target, t);
+      }
+    }
+  }
+
+  void FillChildSubcategory(const PendingEvent& parent,
+                            const CascadeSpec& cascade, PendingEvent& child) {
+    switch (child.category) {
+      case FailureCategory::kHardware: {
+        // Hardware begets the same component with high probability
+        // (Section III.A.4: memory and CPU failures recur).
+        if (parent.category == FailureCategory::kHardware && parent.hardware &&
+            rng_.Bernoulli(sc_.same_component_inherit_prob)) {
+          child.hardware = parent.hardware;
+        } else if (cascade.hardware_mix) {
+          child.hardware = SampleHardware(*cascade.hardware_mix);
+        } else {
+          child.hardware = SampleHardware(sc_.hardware_mix);
+        }
+        break;
+      }
+      case FailureCategory::kSoftware: {
+        if (cascade.software_mix) {
+          child.software = SampleSoftware(*cascade.software_mix);
+        } else if (parent.category == FailureCategory::kSoftware &&
+                   parent.software &&
+                   rng_.Bernoulli(sc_.same_component_inherit_prob)) {
+          child.software = parent.software;
+        } else {
+          child.software = SampleSoftware(sc_.software_mix);
+        }
+        break;
+      }
+      case FailureCategory::kEnvironment:
+        // A recurring power problem keeps its identity: follow-up env
+        // failures of an outage are further outage records (keeps the Fig. 9
+        // subcategory breakdown honest and gives Fig. 12 its within-node
+        // temporal clusters).
+        if (parent.category == FailureCategory::kEnvironment &&
+            parent.environment &&
+            rng_.Bernoulli(sc_.same_component_inherit_prob)) {
+          child.environment = parent.environment;
+        } else {
+          child.environment = SampleEnvironment(sc_.environment_mix);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void SpawnScoped(const PendingEvent& parent, const CascadeSpec& cascade,
+                   bool rack_scope) {
+    // Children land on a uniformly random *other* node of the rack/system.
+    double total = cascade.total_children();
+    if (total <= 0.0) return;
+    const std::vector<NodeId>* pool = nullptr;
+    if (rack_scope) {
+      const RackId rack = rack_of_[static_cast<std::size_t>(parent.node.value)];
+      if (!rack.valid()) return;
+      pool = &rack_members_[static_cast<std::size_t>(rack.value)];
+      if (pool->size() < 2) return;
+    } else if (sc_.num_nodes < 2) {
+      return;
+    }
+    for (std::size_t y = 0; y < kNumFailureCategories; ++y) {
+      const double expected = cascade.children[y];
+      if (expected <= 0.0) continue;
+      const int k = rng_.Poisson(expected);
+      for (int c = 0; c < k; ++c) {
+        NodeId target = parent.node;
+        for (int attempt = 0; attempt < 8 && target == parent.node;
+             ++attempt) {
+          if (rack_scope) {
+            target = (*pool)[rng_.Index(pool->size())];
+          } else {
+            target = NodeId{static_cast<int>(
+                rng_.Index(static_cast<std::size_t>(sc_.num_nodes)))};
+          }
+        }
+        if (target == parent.node) continue;
+        PendingEvent child;
+        child.node = target;
+        child.time =
+            parent.time + static_cast<TimeSec>(rng_.Exponential(
+                              1.0 / static_cast<double>(cascade.mean_delay)));
+        if (child.time >= sc_.duration) continue;
+        child.category = static_cast<FailureCategory>(y);
+        child.source = EventSource::kNormal;
+        FillChildSubcategory(parent, cascade, child);
+        queue_.push_back(std::move(child));
+      }
+    }
+  }
+
+  ClusterSimResult Finish() {
+    ClusterSimResult out;
+    out.failures.reserve(queue_.size());
+    for (const PendingEvent& e : queue_) {
+      FailureRecord r;
+      r.system = input_.system;
+      r.node = e.node;
+      r.start = e.time;
+      const double downtime =
+          rng_.LogNormal(std::log(sc_.downtime_median_sec), sc_.downtime_sigma);
+      r.end = e.time + static_cast<TimeSec>(std::max(60.0, downtime));
+      r.category = e.category;
+      r.hardware = e.hardware;
+      r.software = e.software;
+      r.environment = e.environment;
+      out.failures.push_back(std::move(r));
+    }
+    auto by_time = [](const auto& a, const auto& b) {
+      if (a.start != b.start) return a.start < b.start;
+      return a.node < b.node;
+    };
+    std::sort(out.failures.begin(), out.failures.end(), by_time);
+    std::sort(maintenance_.begin(), maintenance_.end(), by_time);
+    out.maintenance = std::move(maintenance_);
+    std::sort(chiller_events_.begin(), chiller_events_.end());
+    out.chiller_events = std::move(chiller_events_);
+    return out;
+  }
+
+  const SystemScenario& sc_;
+  const MachineLayout& layout_;
+  const ClusterSimInput& input_;
+  stats::Rng& rng_;
+
+  std::deque<PendingEvent> queue_;
+  std::vector<MaintenanceRecord> maintenance_;
+  std::vector<TimeSec> chiller_events_;
+  std::vector<double> modulation_;
+  std::vector<std::vector<NodeId>> rack_members_;
+  std::vector<RackId> rack_of_;
+};
+
+}  // namespace
+
+ClusterSimResult SimulateCluster(const SystemScenario& scenario,
+                                 const MachineLayout& layout,
+                                 const ClusterSimInput& input,
+                                 stats::Rng& rng) {
+  return Simulator(scenario, layout, input, rng).Run();
+}
+
+}  // namespace hpcfail::synth

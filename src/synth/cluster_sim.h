@@ -1,0 +1,53 @@
+// Failure-process simulator for one system: a marked Hawkes branching
+// process. Immigrant failures arrive at piecewise-constant per-node rates
+// (modulated by the system-wide good/bad-period factor, node usage, the
+// node-0 role and the cosmic-ray flux on the CPU lane); facility events
+// (power outages / spikes / UPS / chiller) strike sets of nodes at once; and
+// every failure spawns Poisson-distributed follow-up failures on the same
+// node, on rack neighbors and across the system, per the scenario's cascade
+// specs. Generation cost is O(total events), independent of trace duration
+// resolution.
+#pragma once
+
+#include <vector>
+
+#include "stats/rng.h"
+#include "synth/scenario.h"
+#include "trace/failure.h"
+#include "trace/layout.h"
+
+namespace hpcfail::synth {
+
+// A (job, node) dispatch that plants a small usage-induced cascade.
+struct ChurnTrigger {
+  NodeId node;
+  TimeSec time = 0;
+  double risk = 1.0;  // submitting user's risk multiplier
+};
+
+struct ClusterSimInput {
+  SystemId system;
+  // Static per-node hazard multiplier from usage (1 + busy_boost * util);
+  // empty means 1.0 for every node.
+  std::vector<double> usage_multiplier;
+  std::vector<ChurnTrigger> churn;
+  // Cosmic-ray factor applied to the CPU baseline lane, one entry per
+  // kMonth of trace time; empty means 1.0.
+  std::vector<double> cpu_flux_factor;
+};
+
+struct ClusterSimResult {
+  std::vector<FailureRecord> failures;        // time-sorted
+  std::vector<MaintenanceRecord> maintenance; // time-sorted
+  // Start times of chiller facility events (temperature simulation input).
+  std::vector<TimeSec> chiller_events;
+};
+
+// Runs the simulation over [0, scenario.duration). `layout` must cover all
+// nodes (used for rack-scoped cascades and UPS events).
+ClusterSimResult SimulateCluster(const SystemScenario& scenario,
+                                 const MachineLayout& layout,
+                                 const ClusterSimInput& input,
+                                 stats::Rng& rng);
+
+}  // namespace hpcfail::synth

@@ -1,0 +1,120 @@
+#include "synth/environment_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcfail::synth {
+
+std::vector<TemperatureSample> SimulateTemperature(
+    const SystemScenario& scenario, SystemId system,
+    const std::vector<FailureRecord>& failures,
+    const std::vector<TimeSec>& chiller_events, stats::Rng& rng) {
+  const TemperatureSpec& spec = scenario.temperature;
+  std::vector<TemperatureSample> out;
+  if (!spec.enabled) return out;
+
+  // Collect per-node fan failure times (local excursions), time-sorted.
+  std::vector<std::vector<TimeSec>> fan_times(
+      static_cast<std::size_t>(scenario.num_nodes));
+  for (const FailureRecord& f : failures) {
+    if (f.hardware == HardwareComponent::kFan) {
+      fan_times[static_cast<std::size_t>(f.node.value)].push_back(f.start);
+    }
+  }
+  for (auto& v : fan_times) std::sort(v.begin(), v.end());
+
+  // Excursion contribution at time t from events at times `events`: linear
+  // decay from peak to zero over excursion_duration.
+  auto excursion = [&spec](const std::vector<TimeSec>& events, TimeSec t,
+                           double peak) {
+    double total = 0.0;
+    // Only the most recent events can matter; binary search the window.
+    auto it = std::upper_bound(events.begin(), events.end(), t);
+    while (it != events.begin()) {
+      --it;
+      const TimeSec age = t - *it;
+      if (age >= spec.excursion_duration) break;
+      const double frac = 1.0 - static_cast<double>(age) /
+                                    static_cast<double>(spec.excursion_duration);
+      total += peak * frac;
+    }
+    return total;
+  };
+
+  const auto n_samples =
+      static_cast<std::size_t>(scenario.duration / spec.sample_interval);
+  out.reserve(static_cast<std::size_t>(scenario.num_nodes) * n_samples);
+  for (int n = 0; n < scenario.num_nodes; ++n) {
+    const double node_offset = rng.Normal(0.0, spec.node_offset_stddev_c);
+    const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+    const auto& fans = fan_times[static_cast<std::size_t>(n)];
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      const TimeSec t = static_cast<TimeSec>(s) * spec.sample_interval;
+      TemperatureSample sample;
+      sample.system = system;
+      sample.node = NodeId{n};
+      sample.time = t;
+      const double diurnal =
+          spec.diurnal_amplitude_c *
+          std::sin(2.0 * M_PI * static_cast<double>(t % kDay) /
+                       static_cast<double>(kDay) +
+                   phase);
+      sample.celsius = spec.baseline_mean_c + node_offset + diurnal +
+                       rng.Normal(0.0, spec.noise_stddev_c) +
+                       excursion(fans, t, spec.fan_excursion_c) +
+                       excursion(chiller_events, t, spec.chiller_excursion_c);
+      out.push_back(sample);
+    }
+  }
+  return out;
+}
+
+std::vector<NeutronSample> SimulateNeutronSeries(const NeutronSpec& spec,
+                                                 TimeSec duration,
+                                                 stats::Rng& rng) {
+  std::vector<NeutronSample> out;
+  // Start the window on the rising flank of the solar cycle so even short
+  // traces see a meaningful flux trend.
+  const double phase = -M_PI / 2.0;
+  for (TimeSec t = 0; t < duration; t += spec.sample_interval) {
+    NeutronSample s;
+    s.time = t;
+    s.counts_per_minute =
+        spec.mean_counts +
+        spec.cycle_amplitude *
+            std::sin(2.0 * M_PI * static_cast<double>(t) /
+                         static_cast<double>(spec.cycle_period) +
+                     phase) +
+        rng.Normal(0.0, spec.noise_stddev);
+    s.counts_per_minute = std::max(1.0, s.counts_per_minute);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<double> CpuFluxFactors(const std::vector<NeutronSample>& series,
+                                   double mean_counts, double exponent,
+                                   TimeSec duration) {
+  const auto n_months =
+      static_cast<std::size_t>((duration + kMonth - 1) / kMonth);
+  std::vector<double> out(std::max<std::size_t>(n_months, 1), 1.0);
+  if (series.empty() || exponent == 0.0) return out;
+  for (std::size_t m = 0; m < out.size(); ++m) {
+    const TimeSec begin = static_cast<TimeSec>(m) * kMonth;
+    const TimeSec end = begin + kMonth;
+    double sum = 0.0;
+    int count = 0;
+    for (const NeutronSample& s : series) {
+      if (s.time >= begin && s.time < end) {
+        sum += s.counts_per_minute;
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    const double flux = sum / count;
+    out[m] = std::clamp(std::pow(flux / mean_counts, exponent), 0.3, 3.0);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::synth

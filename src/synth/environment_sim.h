@@ -1,0 +1,37 @@
+// Environment-series generators: per-node temperature samples (driven by
+// ambient noise, diurnal cycles and fan/chiller excursions) and the
+// cosmic-ray neutron-count series with its ~11-year solar cycle.
+#pragma once
+
+#include <vector>
+
+#include "stats/rng.h"
+#include "synth/scenario.h"
+#include "trace/environment.h"
+#include "trace/failure.h"
+
+namespace hpcfail::synth {
+
+// Generates periodic temperature samples for every node of the system.
+// `fan_failures` are (node, time) pairs of fan failures in the trace (each
+// causes a local excursion); `chiller_events` cause a system-wide excursion.
+// Temperature is generated as an *effect* of these events — it never feeds
+// back into failure rates — matching the paper's Section VIII finding that
+// ambient temperature is not a significant failure predictor.
+std::vector<TemperatureSample> SimulateTemperature(
+    const SystemScenario& scenario, SystemId system,
+    const std::vector<FailureRecord>& failures,
+    const std::vector<TimeSec>& chiller_events, stats::Rng& rng);
+
+// Generates the neutron-monitor series over [0, duration).
+std::vector<NeutronSample> SimulateNeutronSeries(const NeutronSpec& spec,
+                                                 TimeSec duration,
+                                                 stats::Rng& rng);
+
+// Per-month CPU-hazard factors (flux / mean)^exponent, clamped to [0.3, 3],
+// evaluated from a neutron series. Index = month since trace epoch.
+std::vector<double> CpuFluxFactors(const std::vector<NeutronSample>& series,
+                                   double mean_counts, double exponent,
+                                   TimeSec duration);
+
+}  // namespace hpcfail::synth

@@ -1,0 +1,100 @@
+#include "synth/generate.h"
+
+#include <algorithm>
+
+#include "stats/rng.h"
+#include "synth/cluster_sim.h"
+#include "synth/environment_sim.h"
+#include "synth/workload_sim.h"
+
+namespace hpcfail::synth {
+namespace {
+
+// Marks jobs that died because a node they ran on failed mid-run. Section VI
+// only counts these "killed by node failure" jobs.
+void MarkKilledJobs(std::vector<JobRecord>& jobs,
+                    const std::vector<FailureRecord>& failures,
+                    int num_nodes) {
+  // Per-node sorted failure start times for binary search.
+  std::vector<std::vector<TimeSec>> by_node(
+      static_cast<std::size_t>(num_nodes));
+  for (const FailureRecord& f : failures) {
+    by_node[static_cast<std::size_t>(f.node.value)].push_back(f.start);
+  }
+  for (auto& v : by_node) std::sort(v.begin(), v.end());
+  for (JobRecord& j : jobs) {
+    for (NodeId n : j.nodes) {
+      const auto& times = by_node[static_cast<std::size_t>(n.value)];
+      auto it = std::lower_bound(times.begin(), times.end(), j.dispatch);
+      if (it != times.end() && *it < j.end) {
+        j.killed_by_node_failure = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Trace GenerateTrace(const Scenario& scenario, std::uint64_t seed) {
+  scenario.Validate();
+  stats::Rng root(seed);
+  Trace trace;
+
+  // Shared external series.
+  stats::Rng neutron_rng = root.Fork();
+  std::vector<NeutronSample> neutrons =
+      SimulateNeutronSeries(scenario.neutron, scenario.duration, neutron_rng);
+
+  int next_system_id = 0;
+  int next_job_id = 0;
+  for (const SystemScenario& sys : scenario.systems) {
+    const SystemId id{next_system_id++};
+    stats::Rng sys_rng = root.Fork();
+
+    SystemConfig config;
+    config.id = id;
+    config.name = sys.name;
+    config.group = sys.group;
+    config.num_nodes = sys.num_nodes;
+    config.procs_per_node = sys.procs_per_node;
+    config.observed = {0, sys.duration};
+    config.layout = MachineLayout::Grid(sys.num_nodes, sys.nodes_per_rack,
+                                        sys.racks_per_row);
+    const MachineLayout& layout = config.layout;
+    trace.AddSystem(config);
+
+    // Usage first: the failure process depends on it.
+    WorkloadResult workload =
+        SimulateWorkload(sys, id, next_job_id, sys_rng);
+    // Jobs are dispatch-sorted, so scan for the max id rather than back().
+    for (const JobRecord& j : workload.jobs) {
+      next_job_id = std::max(next_job_id, j.id.value + 1);
+    }
+
+    ClusterSimInput input;
+    input.system = id;
+    input.usage_multiplier = workload.usage_multiplier;
+    input.churn = workload.churn;
+    input.cpu_flux_factor = CpuFluxFactors(
+        neutrons, scenario.neutron.mean_counts, sys.cpu_flux_exponent,
+        sys.duration);
+    ClusterSimResult sim = SimulateCluster(sys, layout, input, sys_rng);
+
+    MarkKilledJobs(workload.jobs, sim.failures, sys.num_nodes);
+
+    std::vector<TemperatureSample> temps = SimulateTemperature(
+        sys, id, sim.failures, sim.chiller_events, sys_rng);
+
+    for (FailureRecord& f : sim.failures) trace.AddFailure(std::move(f));
+    for (MaintenanceRecord& m : sim.maintenance) trace.AddMaintenance(m);
+    for (JobRecord& j : workload.jobs) trace.AddJob(std::move(j));
+    for (TemperatureSample& t : temps) trace.AddTemperature(t);
+  }
+
+  trace.SetNeutronSeries(std::move(neutrons));
+  trace.Finalize();
+  return trace;
+}
+
+}  // namespace hpcfail::synth

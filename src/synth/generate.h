@@ -1,0 +1,17 @@
+// One-call trace generation: wires the workload, cluster and environment
+// simulators together and returns a finalized Trace.
+#pragma once
+
+#include <cstdint>
+
+#include "synth/scenario.h"
+#include "trace/system.h"
+
+namespace hpcfail::synth {
+
+// Generates a complete multi-system trace. Identical (scenario, seed) pairs
+// produce identical traces. System ids are assigned 0, 1, ... in the order
+// the scenario lists them.
+Trace GenerateTrace(const Scenario& scenario, std::uint64_t seed);
+
+}  // namespace hpcfail::synth

@@ -1,0 +1,468 @@
+#include "synth/scenario.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hpcfail::synth {
+namespace {
+
+constexpr std::size_t kEnv =
+    static_cast<std::size_t>(FailureCategory::kEnvironment);
+constexpr std::size_t kHw = static_cast<std::size_t>(FailureCategory::kHardware);
+constexpr std::size_t kHum = static_cast<std::size_t>(FailureCategory::kHuman);
+constexpr std::size_t kNet = static_cast<std::size_t>(FailureCategory::kNetwork);
+constexpr std::size_t kSw = static_cast<std::size_t>(FailureCategory::kSoftware);
+constexpr std::size_t kUnd =
+    static_cast<std::size_t>(FailureCategory::kUndetermined);
+
+void CheckMix(const auto& mix, const char* what) {
+  double sum = 0.0;
+  for (double m : mix) {
+    if (m < 0.0) throw std::invalid_argument(std::string(what) + ": negative");
+    sum += m;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    throw std::invalid_argument(std::string(what) + ": mix must sum to 1");
+  }
+}
+
+void CheckCascade(const CascadeSpec& c, const char* what) {
+  for (double v : c.children) {
+    if (v < 0.0) {
+      throw std::invalid_argument(std::string(what) + ": negative children");
+    }
+  }
+  if (c.mean_delay <= 0) {
+    throw std::invalid_argument(std::string(what) + ": non-positive delay");
+  }
+  if (c.maintenance_children < 0.0) {
+    throw std::invalid_argument(std::string(what) + ": negative maintenance");
+  }
+  if (c.hardware_mix) CheckMix(*c.hardware_mix, what);
+  if (c.software_mix) CheckMix(*c.software_mix, what);
+}
+
+// Baseline hardware composition: "20% of hardware failures are attributed to
+// memory and 40% are attributed to CPU" (Section III.A.4); the remainder is
+// spread across boards, power supplies, fans and NICs.
+constexpr std::array<double, kNumHardwareComponents> kGroup1HardwareMix = {
+    /*cpu=*/0.40, /*memory=*/0.20, /*node_board=*/0.12, /*power_supply=*/0.10,
+    /*fan=*/0.06, /*msc_board=*/0.02, /*midplane=*/0.02, /*nic=*/0.04,
+    /*other=*/0.04};
+
+constexpr std::array<double, kNumSoftwareComponents> kGroup1SoftwareMix = {
+    /*dst=*/0.25, /*os=*/0.25, /*pfs=*/0.12, /*cfs=*/0.08,
+    /*patch_install=*/0.10, /*scheduler=*/0.08, /*other=*/0.12};
+
+// Same-node follow-up cascades for a group-like system. `scale` multiplies
+// all branching ratios (group-2 systems are more strongly self-exciting).
+std::array<CascadeSpec, kNumFailureCategories> MakeNodeCascades(double scale) {
+  std::array<CascadeSpec, kNumFailureCategories> out{};
+  auto set = [&](std::size_t trigger,
+                 std::array<double, kNumFailureCategories> children,
+                 TimeSec delay) {
+    CascadeSpec c;
+    for (std::size_t y = 0; y < kNumFailureCategories; ++y) {
+      c.children[y] = children[y] * scale;
+    }
+    c.mean_delay = delay;
+    out[trigger] = c;
+  };
+  // children order: {env, hw, human, net, sw, undet}. Environmental and
+  // network triggers breed the most follow-ups (Fig. 1a), with strong
+  // same-type components (Fig. 1b) and the env/net/sw cross-coupling the
+  // paper observed.
+  set(kEnv, {0.25, 0.08, 0.00, 0.06, 0.08, 0.03}, 2 * kDay);
+  set(kHw, {0.003, 0.11, 0.003, 0.005, 0.01, 0.01}, 2 * kDay);
+  set(kHum, {0.00, 0.03, 0.02, 0.00, 0.02, 0.00}, 2 * kDay);
+  set(kNet, {0.02, 0.07, 0.00, 0.22, 0.08, 0.03}, 2 * kDay);
+  set(kSw, {0.01, 0.02, 0.00, 0.02, 0.10, 0.01}, 2 * kDay);
+  set(kUnd, {0.00, 0.03, 0.00, 0.00, 0.02, 0.06}, 2 * kDay);
+  return out;
+}
+
+std::array<CascadeSpec, kNumFailureCategories> MakeRackCascades(double scale) {
+  std::array<CascadeSpec, kNumFailureCategories> out{};
+  auto set = [&](std::size_t trigger,
+                 std::array<double, kNumFailureCategories> children) {
+    CascadeSpec c;
+    for (std::size_t y = 0; y < kNumFailureCategories; ++y) {
+      c.children[y] = children[y] * scale;
+    }
+    c.mean_delay = 3 * kDay;
+    out[trigger] = c;
+  };
+  // Rack-mates share power feeds and cooling: the same-type coupling is much
+  // stronger than cross-type (Fig. 2 right; env 170X, sw ~10X).
+  set(kEnv, {0.10, 0.01, 0.00, 0.01, 0.01, 0.00});
+  set(kHw, {0.00, 0.05, 0.00, 0.00, 0.01, 0.00});
+  set(kHum, {0.00, 0.00, 0.01, 0.00, 0.00, 0.00});
+  set(kNet, {0.01, 0.01, 0.00, 0.06, 0.01, 0.00});
+  set(kSw, {0.01, 0.01, 0.00, 0.01, 0.08, 0.01});
+  set(kUnd, {0.00, 0.01, 0.00, 0.00, 0.01, 0.02});
+  return out;
+}
+
+std::array<CascadeSpec, kNumFailureCategories> MakeSystemCascades(
+    double scale) {
+  std::array<CascadeSpec, kNumFailureCategories> out{};
+  auto set = [&](std::size_t trigger,
+                 std::array<double, kNumFailureCategories> children) {
+    CascadeSpec c;
+    for (std::size_t y = 0; y < kNumFailureCategories; ++y) {
+      c.children[y] = children[y] * scale;
+    }
+    c.mean_delay = 3 * kDay;
+    out[trigger] = c;
+  };
+  // Small: most same-system correlation comes from facility events and the
+  // shared modulation factor, not direct causation (Fig. 3).
+  set(kEnv, {0.04, 0.01, 0.00, 0.01, 0.01, 0.00});
+  set(kHw, {0.00, 0.02, 0.00, 0.00, 0.01, 0.00});
+  set(kHum, {0.00, 0.00, 0.00, 0.00, 0.01, 0.00});
+  set(kNet, {0.01, 0.01, 0.00, 0.08, 0.02, 0.00});
+  set(kSw, {0.01, 0.01, 0.00, 0.01, 0.05, 0.00});
+  set(kUnd, {0.00, 0.01, 0.00, 0.00, 0.00, 0.01});
+  return out;
+}
+
+// Power-problem cascades, calibrated to Fig. 10/11: after power events the
+// node-board / power-supply / memory failure rates jump 5-30X within a
+// month, software problems concentrate in storage (DST/PFS/CFS), and
+// unscheduled maintenance jumps ~90X.
+CascadeSpec OutageCascade() {
+  CascadeSpec c;
+  c.children = {0.0, 0.35, 0.0, 0.02, 0.28, 0.02};
+  c.mean_delay = 8 * kDay;
+  c.hardware_mix = {{/*cpu=*/0.00, /*memory=*/0.20, /*node_board=*/0.35,
+                     /*power_supply=*/0.33, /*fan=*/0.05, /*msc=*/0.01,
+                     /*midplane=*/0.01, /*nic=*/0.02, /*other=*/0.03}};
+  c.software_mix = {{/*dst=*/0.50, /*os=*/0.08, /*pfs=*/0.18, /*cfs=*/0.12,
+                     /*patch=*/0.04, /*sched=*/0.03, /*other=*/0.05}};
+  c.maintenance_children = 0.25;
+  return c;
+}
+
+CascadeSpec SpikeCascade() {
+  CascadeSpec c;
+  // Spikes act on longer horizons (Fig. 10: "more apparent at longer
+  // timespans") and are harder on memory DIMMs than outages.
+  c.children = {0.0, 0.32, 0.0, 0.01, 0.14, 0.02};
+  c.mean_delay = 13 * kDay;
+  c.hardware_mix = {{0.00, 0.36, 0.28, 0.24, 0.05, 0.01, 0.01, 0.02, 0.03}};
+  c.software_mix = {{0.45, 0.10, 0.18, 0.12, 0.05, 0.04, 0.06}};
+  c.maintenance_children = 0.25;
+  return c;
+}
+
+CascadeSpec UpsCascade() {
+  CascadeSpec c;
+  c.children = {0.0, 0.30, 0.0, 0.01, 0.26, 0.02};
+  c.mean_delay = 6 * kDay;
+  c.hardware_mix = {{0.00, 0.30, 0.45, 0.15, 0.03, 0.01, 0.01, 0.02, 0.03}};
+  c.software_mix = {{0.55, 0.06, 0.16, 0.12, 0.04, 0.03, 0.04}};
+  c.maintenance_children = 0.28;
+  return c;
+}
+
+CascadeSpec ChillerCascade() {
+  CascadeSpec c;
+  c.children = {0.0, 0.20, 0.0, 0.0, 0.04, 0.01};
+  c.mean_delay = 6 * kDay;
+  // Chillers mostly stress memory DIMMs and node boards (Fig. 13 right).
+  c.hardware_mix = {{0.00, 0.45, 0.45, 0.04, 0.03, 0.01, 0.01, 0.00, 0.01}};
+  c.maintenance_children = 0.05;
+  return c;
+}
+
+CascadeSpec PowerSupplyCascade() {
+  CascadeSpec c;
+  // "For all components the increase ... is strongest following a power
+  // supply failure, ... more than 40X for fans and power supplies."
+  c.children = {0.0, 0.40, 0.0, 0.0, 0.12, 0.01};
+  c.mean_delay = 6 * kDay;
+  c.hardware_mix = {{0.00, 0.18, 0.20, 0.28, 0.28, 0.02, 0.02, 0.01, 0.01}};
+  c.software_mix = {{0.40, 0.12, 0.18, 0.12, 0.06, 0.05, 0.07}};
+  c.maintenance_children = 0.08;
+  return c;
+}
+
+CascadeSpec FanCascade() {
+  CascadeSpec c;
+  // Fan failures (brief extreme temperature): fans themselves recur ~120X,
+  // MSC boards and midplanes appear (Fig. 13 right), CPUs do not.
+  c.children = {0.0, 0.50, 0.0, 0.0, 0.05, 0.01};
+  c.mean_delay = 4 * kDay;
+  c.hardware_mix = {{0.00, 0.16, 0.16, 0.12, 0.34, 0.12, 0.08, 0.01, 0.01}};
+  c.maintenance_children = 0.04;
+  return c;
+}
+
+}  // namespace
+
+void SystemScenario::Validate() const {
+  if (num_nodes < 1 || procs_per_node < 1) {
+    throw std::invalid_argument("system needs nodes and processors");
+  }
+  if (nodes_per_rack < 1 || racks_per_row < 1) {
+    throw std::invalid_argument("bad rack geometry");
+  }
+  if (duration <= 0) throw std::invalid_argument("non-positive duration");
+  for (double r : base_rate_per_hour) {
+    if (r < 0.0) throw std::invalid_argument("negative base rate");
+  }
+  CheckMix(hardware_mix, "hardware_mix");
+  CheckMix(software_mix, "software_mix");
+  CheckMix(environment_mix, "environment_mix");
+  if (base_maintenance_per_hour < 0.0) {
+    throw std::invalid_argument("negative maintenance rate");
+  }
+  double worst_branching = 0.0;
+  for (std::size_t x = 0; x < kNumFailureCategories; ++x) {
+    CheckCascade(node_cascade[x], "node_cascade");
+    CheckCascade(rack_cascade[x], "rack_cascade");
+    CheckCascade(system_cascade[x], "system_cascade");
+    const double total = node_cascade[x].total_children() +
+                         rack_cascade[x].total_children() +
+                         system_cascade[x].total_children();
+    worst_branching = std::max(worst_branching, total);
+  }
+  // Failure-type-specific extra cascades also spawn failures that themselves
+  // branch; require comfortable subcriticality.
+  CheckCascade(power_supply_cascade, "power_supply_cascade");
+  CheckCascade(fan_cascade, "fan_cascade");
+  worst_branching = std::max(
+      worst_branching,
+      node_cascade[kHw].total_children() + rack_cascade[kHw].total_children() +
+          system_cascade[kHw].total_children() +
+          std::max(power_supply_cascade.total_children(),
+                   fan_cascade.total_children()));
+  if (worst_branching >= 0.98) {
+    throw std::invalid_argument(
+        "branching ratio >= 0.98: cascade process would (nearly) explode");
+  }
+  CheckCascade(power_outage.cascade, "power_outage");
+  CheckCascade(power_spike.cascade, "power_spike");
+  CheckCascade(ups_failure.cascade, "ups_failure");
+  CheckCascade(chiller_failure.cascade, "chiller_failure");
+  for (const FacilityEventSpec* f :
+       {&power_outage, &power_spike, &ups_failure, &chiller_failure}) {
+    if (f->events_per_year < 0.0 || f->frac_nodes_affected < 0.0 ||
+        f->frac_nodes_affected > 1.0 || f->min_nodes_affected < 0) {
+      throw std::invalid_argument("bad facility event spec");
+    }
+  }
+  for (double m : node0_rate_multiplier) {
+    if (m < 0.0) throw std::invalid_argument("negative node0 multiplier");
+  }
+  if (modulation_sigma < 0.0 || modulation_period <= 0) {
+    throw std::invalid_argument("bad modulation parameters");
+  }
+  if (same_component_inherit_prob < 0.0 || same_component_inherit_prob > 1.0) {
+    throw std::invalid_argument("bad inherit probability");
+  }
+  if (workload.enabled) {
+    if (workload.num_users < 1 || workload.jobs_per_day < 0.0 ||
+        workload.mean_job_runtime <= 0 || workload.mean_nodes_per_job < 1.0 ||
+        workload.user_activity_pareto_shape <= 0.0 ||
+        workload.user_risk_sigma < 0.0 || workload.busy_hazard_boost < 0.0 ||
+        workload.node0_extra_jobs_per_day < 0.0 ||
+        workload.job_churn_hazard < 0.0) {
+      throw std::invalid_argument("bad workload spec");
+    }
+  }
+  if (temperature.enabled && temperature.sample_interval <= 0) {
+    throw std::invalid_argument("bad temperature sample interval");
+  }
+  if (downtime_median_sec <= 0.0 || downtime_sigma < 0.0) {
+    throw std::invalid_argument("bad downtime distribution");
+  }
+}
+
+void Scenario::Validate() const {
+  if (systems.empty()) throw std::invalid_argument("scenario has no systems");
+  for (const SystemScenario& s : systems) s.Validate();
+  if (duration <= 0) throw std::invalid_argument("bad scenario duration");
+  if (neutron.sample_interval <= 0 || neutron.cycle_period <= 0 ||
+      neutron.mean_counts <= 0.0) {
+    throw std::invalid_argument("bad neutron spec");
+  }
+}
+
+SystemScenario Group1System(std::string name, int num_nodes,
+                            TimeSec duration) {
+  SystemScenario s;
+  s.name = std::move(name);
+  s.group = SystemGroup::kSmp;
+  s.num_nodes = num_nodes;
+  s.procs_per_node = 4;
+  s.nodes_per_rack = 32;
+  s.racks_per_row = 8;
+  s.duration = duration;
+
+  // Unconditional daily node-failure probability target: 0.31% (Section
+  // III.A.1). Immigrants supply roughly half of the observed events;
+  // cascades, facility events and usage churn the rest.
+  s.base_rate_per_hour[kEnv] = 3.0e-7;  // most env failures are facility-born
+  s.base_rate_per_hour[kHw] = 3.6e-5;
+  s.base_rate_per_hour[kHum] = 2.0e-6;
+  s.base_rate_per_hour[kNet] = 2.5e-6;
+  s.base_rate_per_hour[kSw] = 1.1e-5;
+  s.base_rate_per_hour[kUnd] = 5.0e-6;
+  s.hardware_mix = kGroup1HardwareMix;
+  s.software_mix = kGroup1SoftwareMix;
+  // Calibrated so the ~90X maintenance increase after power events
+  // (Section VII.A.2) lands on a ~0.3%-per-random-month baseline.
+  s.base_maintenance_per_hour = 4.0e-6;
+
+  s.node_cascade = MakeNodeCascades(1.0);
+  s.rack_cascade = MakeRackCascades(1.0);
+  s.system_cascade = MakeSystemCascades(1.0);
+  s.same_component_inherit_prob = 0.80;
+
+  // Login/scheduler node: hugely elevated environment/network/software
+  // rates, moderately elevated hardware (Figs. 4-6).
+  s.node0_rate_multiplier = {/*env=*/400.0, /*hw=*/3.0, /*human=*/1.5,
+                             /*net=*/200.0, /*sw=*/60.0, /*undet=*/15.0};
+
+  // Facility events, calibrated to the Fig. 9 breakdown (49% outages, 21%
+  // spikes, 15% UPS, 9% chillers, 6% other).
+  s.power_outage.events_per_year = 0.7;
+  s.power_outage.frac_nodes_affected = 0.025;
+  s.power_outage.min_nodes_affected = 8;
+  s.power_outage.cascade = OutageCascade();
+
+  s.power_spike.events_per_year = 2.0;
+  s.power_spike.frac_nodes_affected = 0.0;  // min_nodes only
+  s.power_spike.min_nodes_affected = 2;
+  s.power_spike.cascade = SpikeCascade();
+
+  s.ups_failure.events_per_year = 0.3;
+  s.ups_failure.frac_nodes_affected = 0.0;
+  s.ups_failure.min_nodes_affected = 6;
+  s.ups_failure.rack_scoped = true;
+  s.ups_failure.cascade = UpsCascade();
+
+  s.chiller_failure.events_per_year = 0.5;
+  s.chiller_failure.frac_nodes_affected = 0.008;
+  s.chiller_failure.min_nodes_affected = 4;
+  s.chiller_failure.cascade = ChillerCascade();
+
+  s.power_supply_cascade = PowerSupplyCascade();
+  s.fan_cascade = FanCascade();
+
+  s.modulation_sigma = 0.50;
+  s.cpu_flux_exponent = 2.5;
+  return s;
+}
+
+SystemScenario Group2System(std::string name, int num_nodes,
+                            TimeSec duration) {
+  SystemScenario s = Group1System(std::move(name), num_nodes, duration);
+  s.group = SystemGroup::kNuma;
+  s.procs_per_node = 128;
+  s.nodes_per_rack = 4;  // NUMA cabinets: one node is most of a rack
+  s.racks_per_row = 4;
+
+  // Unconditional daily node-failure probability target: 4.6% — the huge
+  // per-node component count of 128-processor NUMA nodes (Section III.A.2).
+  for (double& r : s.base_rate_per_hour) r *= 16.0;
+  s.base_rate_per_hour[kEnv] = 4.0e-6;
+
+  // Stronger self-excitation: day-after probability 21.45%, week 60.4%.
+  // (Multi-generation descendants make the effective within-week boost much
+  // larger than the direct branching ratio, so 1.4x on the group-1 ratios is
+  // enough; anything much higher would be supercritical together with the
+  // component cascades.)
+  s.node_cascade = MakeNodeCascades(1.4);
+  s.rack_cascade = MakeRackCascades(1.0);
+  s.system_cascade = MakeSystemCascades(1.5);
+  s.modulation_sigma = 0.7;
+  // Keep hardware-trigger total branching subcritical despite the scaled
+  // category cascades.
+  for (double& c : s.power_supply_cascade.children) c *= 0.6;
+  s.power_supply_cascade.maintenance_children *= 0.6;
+  for (double& c : s.fan_cascade.children) c *= 0.6;
+  s.fan_cascade.maintenance_children *= 0.6;
+
+  // Group-2 systems are small; facility events touch a larger share.
+  s.power_outage.frac_nodes_affected = 0.25;
+  s.power_outage.min_nodes_affected = 2;
+  s.power_outage.events_per_year = 1.0;
+  s.power_spike.min_nodes_affected = 1;
+  s.power_spike.events_per_year = 3.0;
+  s.ups_failure.min_nodes_affected = 2;
+  s.chiller_failure.frac_nodes_affected = 0.1;
+  s.chiller_failure.min_nodes_affected = 1;
+
+  s.node0_rate_multiplier = {30.0, 2.0, 1.5, 30.0, 10.0, 4.0};
+  return s;
+}
+
+SystemScenario System20Like(int num_nodes, TimeSec duration) {
+  SystemScenario s = Group1System("system20", num_nodes, duration);
+  s.workload.enabled = true;
+  s.workload.num_users = 420;
+  s.workload.jobs_per_day = 145.0;
+  s.temperature.enabled = true;
+  // Fig. 14 (right) shows system 20's CPU failures flat in neutron flux.
+  s.cpu_flux_exponent = 0.0;
+  return s;
+}
+
+SystemScenario System8Like(int num_nodes, TimeSec duration) {
+  SystemScenario s = Group1System("system8", num_nodes, duration);
+  s.workload.enabled = true;
+  s.workload.num_users = 450;
+  s.workload.jobs_per_day = 230.0;
+  return s;
+}
+
+Scenario LanlLikeScenario(double scale, TimeSec duration) {
+  if (!(scale > 0.0) || scale > 1.0) {
+    throw std::invalid_argument("scale must be in (0, 1]");
+  }
+  auto scaled = [scale](int n) { return std::max(8, static_cast<int>(n * scale)); };
+  Scenario sc;
+  sc.duration = duration;
+  // Seven group-1 systems: the three big ones the paper singles out
+  // (systems 18/19/20 with 1024/1024/512 nodes) plus four mid-size machines,
+  // and system 8 (256 nodes, usage logs).
+  sc.systems.push_back(Group1System("system3", scaled(128), duration));
+  sc.systems.push_back(Group1System("system4", scaled(164), duration));
+  sc.systems.push_back(Group1System("system5", scaled(256), duration));
+  sc.systems.push_back(System8Like(scaled(256), duration));
+  sc.systems.push_back(Group1System("system18", scaled(1024), duration));
+  sc.systems.push_back(Group1System("system19", scaled(1024), duration));
+  sc.systems.push_back(System20Like(scaled(512), duration));
+  // Three group-2 NUMA systems (70 nodes total in LANL's machines).
+  sc.systems.push_back(Group2System("system2", std::max(4, scaled(32)), duration));
+  sc.systems.push_back(Group2System("system16", std::max(4, scaled(16)), duration));
+  sc.systems.push_back(Group2System("system23", std::max(4, scaled(22)), duration));
+  return sc;
+}
+
+Scenario TinyScenario(TimeSec duration) {
+  Scenario sc;
+  sc.duration = duration;
+  SystemScenario s = Group1System("tiny", 16, duration);
+  s.nodes_per_rack = 8;
+  s.racks_per_row = 2;
+  // Rates x50 so short test traces still contain a few hundred events.
+  for (double& r : s.base_rate_per_hour) r *= 50.0;
+  s.base_maintenance_per_hour *= 5.0;
+  s.power_outage.events_per_year = 6.0;
+  s.power_spike.events_per_year = 10.0;
+  s.ups_failure.events_per_year = 4.0;
+  s.chiller_failure.events_per_year = 4.0;
+  s.workload.enabled = true;
+  s.workload.num_users = 20;
+  s.workload.jobs_per_day = 30.0;
+  s.temperature.enabled = true;
+  s.temperature.sample_interval = 2 * kHour;
+  sc.systems.push_back(std::move(s));
+  return sc;
+}
+
+}  // namespace hpcfail::synth

@@ -1,0 +1,184 @@
+#include "synth/scenario_config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+
+namespace hpcfail::synth {
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void Fail(std::size_t line, const std::string& msg) {
+  throw ConfigError(line, msg);
+}
+
+double ParseDouble(const std::string& v, std::size_t line) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return d;
+  } catch (const std::exception&) {
+    Fail(line, "expected a number, got '" + v + "'");
+  }
+}
+
+int ParseInt(const std::string& v, std::size_t line) {
+  const double d = ParseDouble(v, line);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) Fail(line, "expected an integer");
+  return i;
+}
+
+bool ParseBool(const std::string& v, std::size_t line) {
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  Fail(line, "expected a boolean, got '" + v + "'");
+}
+
+struct SystemBlock {
+  std::size_t line = 0;  // where [system] appeared
+  std::string preset = "group1";
+  std::string name;
+  int nodes = 0;  // 0 = preset default
+  int nodes_per_rack = 0;
+  double base_rate_scale = 1.0;
+  double outages = -1.0, spikes = -1.0, ups = -1.0, chillers = -1.0;
+  int workload = -1;     // -1 = preset default
+  double jobs_per_day = -1.0;
+  int temperature = -1;
+  double cpu_flux_exponent = -1e9;  // sentinel = preset default
+};
+
+SystemScenario Build(const SystemBlock& b, TimeSec duration) {
+  SystemScenario s;
+  const std::string name = b.name.empty() ? b.preset : b.name;
+  if (b.preset == "group1") {
+    s = Group1System(name, b.nodes > 0 ? b.nodes : 256, duration);
+  } else if (b.preset == "group2") {
+    s = Group2System(name, b.nodes > 0 ? b.nodes : 32, duration);
+  } else if (b.preset == "system8") {
+    s = System8Like(b.nodes > 0 ? b.nodes : 256, duration);
+    s.name = b.name.empty() ? s.name : b.name;
+  } else if (b.preset == "system20") {
+    s = System20Like(b.nodes > 0 ? b.nodes : 512, duration);
+    s.name = b.name.empty() ? s.name : b.name;
+  } else {
+    Fail(b.line, "unknown preset '" + b.preset + "'");
+  }
+  if (b.nodes_per_rack > 0) s.nodes_per_rack = b.nodes_per_rack;
+  if (b.base_rate_scale != 1.0) {
+    for (double& r : s.base_rate_per_hour) r *= b.base_rate_scale;
+  }
+  if (b.outages >= 0.0) s.power_outage.events_per_year = b.outages;
+  if (b.spikes >= 0.0) s.power_spike.events_per_year = b.spikes;
+  if (b.ups >= 0.0) s.ups_failure.events_per_year = b.ups;
+  if (b.chillers >= 0.0) s.chiller_failure.events_per_year = b.chillers;
+  if (b.workload >= 0) s.workload.enabled = b.workload != 0;
+  if (b.jobs_per_day >= 0.0) s.workload.jobs_per_day = b.jobs_per_day;
+  if (b.temperature >= 0) s.temperature.enabled = b.temperature != 0;
+  if (b.cpu_flux_exponent > -1e8) s.cpu_flux_exponent = b.cpu_flux_exponent;
+  return s;
+}
+
+}  // namespace
+
+ConfigError::ConfigError(std::size_t line, const std::string& message)
+    : std::runtime_error("scenario config line " + std::to_string(line) +
+                         ": " + message),
+      line_(line) {}
+
+Scenario LoadScenarioConfig(std::istream& is) {
+  Scenario scenario;
+  double duration_years = 3.0;
+  std::vector<SystemBlock> blocks;
+  SystemBlock* current = nullptr;
+
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    std::string line = raw;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line == "[system]") {
+      blocks.emplace_back();
+      blocks.back().line = lineno;
+      current = &blocks.back();
+      continue;
+    }
+    if (line.front() == '[') Fail(lineno, "unknown section " + line);
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) Fail(lineno, "expected key = value");
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (current == nullptr) {
+      // Global keys.
+      if (key == "duration_years") {
+        duration_years = ParseDouble(value, lineno);
+        if (duration_years <= 0.0) Fail(lineno, "duration must be positive");
+      } else if (key == "neutron_amplitude") {
+        scenario.neutron.cycle_amplitude = ParseDouble(value, lineno);
+      } else if (key == "neutron_mean") {
+        scenario.neutron.mean_counts = ParseDouble(value, lineno);
+      } else {
+        Fail(lineno, "unknown global key '" + key + "'");
+      }
+      continue;
+    }
+    // System keys.
+    if (key == "preset") current->preset = value;
+    else if (key == "name") current->name = value;
+    else if (key == "nodes") current->nodes = ParseInt(value, lineno);
+    else if (key == "nodes_per_rack") {
+      current->nodes_per_rack = ParseInt(value, lineno);
+    } else if (key == "base_rate_scale") {
+      current->base_rate_scale = ParseDouble(value, lineno);
+    } else if (key == "outages_per_year") {
+      current->outages = ParseDouble(value, lineno);
+    } else if (key == "spikes_per_year") {
+      current->spikes = ParseDouble(value, lineno);
+    } else if (key == "ups_per_year") {
+      current->ups = ParseDouble(value, lineno);
+    } else if (key == "chillers_per_year") {
+      current->chillers = ParseDouble(value, lineno);
+    } else if (key == "workload") {
+      current->workload = ParseBool(value, lineno) ? 1 : 0;
+    } else if (key == "jobs_per_day") {
+      current->jobs_per_day = ParseDouble(value, lineno);
+    } else if (key == "temperature") {
+      current->temperature = ParseBool(value, lineno) ? 1 : 0;
+    } else if (key == "cpu_flux_exponent") {
+      current->cpu_flux_exponent = ParseDouble(value, lineno);
+    } else {
+      Fail(lineno, "unknown system key '" + key + "'");
+    }
+  }
+
+  if (blocks.empty()) Fail(lineno + 1, "config defines no [system] section");
+  scenario.duration = static_cast<TimeSec>(duration_years * kYear);
+  for (const SystemBlock& b : blocks) {
+    scenario.systems.push_back(Build(b, scenario.duration));
+  }
+  scenario.Validate();
+  return scenario;
+}
+
+Scenario LoadScenarioConfigFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open scenario config: " + path);
+  }
+  return LoadScenarioConfig(is);
+}
+
+}  // namespace hpcfail::synth

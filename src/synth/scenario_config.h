@@ -1,0 +1,50 @@
+// Plain-text scenario configuration: lets the CLI (and downstream users)
+// define generator scenarios without recompiling. The format is a minimal
+// INI dialect:
+//
+//   # comment
+//   duration_years = 3
+//   neutron_amplitude = 500
+//
+//   [system]
+//   preset = group1           # group1 | group2 | system8 | system20
+//   name = prod
+//   nodes = 512
+//   nodes_per_rack = 32
+//   base_rate_scale = 1.0     # multiplies all baseline failure rates
+//   outages_per_year = 0.7
+//   spikes_per_year = 2.0
+//   ups_per_year = 0.3
+//   chillers_per_year = 0.5
+//   workload = true           # enable the job log
+//   jobs_per_day = 145
+//   temperature = true        # enable the temperature log
+//   cpu_flux_exponent = 2.5
+//
+// Unknown keys raise errors (typos should not silently do nothing); every
+// key is optional. Multiple [system] sections build multi-system scenarios.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "synth/scenario.h"
+
+namespace hpcfail::synth {
+
+// Thrown with the offending 1-based line number in the message.
+class ConfigError : public std::runtime_error {
+ public:
+  ConfigError(std::size_t line, const std::string& message);
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+// Parses a scenario config; the result is Validate()d before returning.
+Scenario LoadScenarioConfig(std::istream& is);
+Scenario LoadScenarioConfigFile(const std::string& path);
+
+}  // namespace hpcfail::synth

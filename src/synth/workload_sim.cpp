@@ -1,0 +1,200 @@
+#include "synth/workload_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hpcfail::synth {
+namespace {
+
+// Merge intervals and return total covered time.
+TimeSec UnionLength(std::vector<TimeInterval>& ivs) {
+  if (ivs.empty()) return 0;
+  std::sort(ivs.begin(), ivs.end(),
+            [](const TimeInterval& a, const TimeInterval& b) {
+              return a.begin < b.begin;
+            });
+  TimeSec total = 0;
+  TimeSec cur_begin = ivs.front().begin;
+  TimeSec cur_end = ivs.front().end;
+  for (const TimeInterval& iv : ivs) {
+    if (iv.begin > cur_end) {
+      total += cur_end - cur_begin;
+      cur_begin = iv.begin;
+      cur_end = iv.end;
+    } else {
+      cur_end = std::max(cur_end, iv.end);
+    }
+  }
+  total += cur_end - cur_begin;
+  return total;
+}
+
+}  // namespace
+
+WorkloadResult SimulateWorkload(const SystemScenario& scenario,
+                                SystemId system, int first_job_id,
+                                stats::Rng& rng) {
+  const WorkloadSpec& w = scenario.workload;
+  const auto num_nodes = static_cast<std::size_t>(scenario.num_nodes);
+  WorkloadResult out;
+  out.usage.resize(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    out.usage[n].node = NodeId{static_cast<int>(n)};
+  }
+  out.usage_multiplier.assign(num_nodes, 1.0);
+  if (!w.enabled) return out;
+
+  // ---- Users: heavy-tailed activity weights, lognormal risk multipliers.
+  // User 0 is the login/system pseudo-user that owns node-0 housekeeping.
+  const auto num_users = static_cast<std::size_t>(w.num_users);
+  std::vector<double> activity(num_users + 1, 0.0);
+  out.user_risk.assign(num_users + 1, 1.0);
+  // Login/housekeeping pseudo-jobs are light health checks: far less
+  // punishing per dispatch than real user workloads. (Node 0's elevated
+  // rates come mainly from its node0_rate_multiplier role, as in the paper,
+  // not from job churn.)
+  out.user_risk[0] = 0.3;
+  double activity_total = 0.0;
+  for (std::size_t u = 1; u <= num_users; ++u) {
+    activity[u] = rng.Pareto(1.0, w.user_activity_pareto_shape);
+    activity_total += activity[u];
+    out.user_risk[u] =
+        w.user_risk_sigma > 0.0 ? rng.LogNormal(0.0, w.user_risk_sigma) : 1.0;
+  }
+
+  // Scheduler affinity: low-id nodes are preferred, giving a utilization
+  // gradient across node ids (visible in Fig. 7's x-axis spread). On top of
+  // that, alternate nodes lean towards short interactive jobs vs long batch
+  // jobs — this decorrelates a node's job count from its utilization, which
+  // the Section-X joint regression needs to separate num_jobs from util.
+  std::vector<double> base_weight(num_nodes);
+  std::vector<double> short_weight(num_nodes), long_weight(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    base_weight[n] =
+        std::exp(-1.5 * static_cast<double>(n) /
+                 static_cast<double>(std::max<std::size_t>(num_nodes, 1)));
+    const double short_affinity = n % 2 == 0 ? 0.8 : 0.2;
+    short_weight[n] = base_weight[n] * short_affinity;
+    long_weight[n] = base_weight[n] * (1.0 - short_affinity);
+  }
+  const double short_total =
+      std::accumulate(short_weight.begin(), short_weight.end(), 0.0);
+  const double long_total =
+      std::accumulate(long_weight.begin(), long_weight.end(), 0.0);
+
+  auto sample_node = [&](bool short_job) {
+    const auto& weight = short_job ? short_weight : long_weight;
+    const double total = short_job ? short_total : long_total;
+    double u = rng.Uniform() * total;
+    for (std::size_t n = 0; n + 1 < num_nodes; ++n) {
+      if (u < weight[n]) return NodeId{static_cast<int>(n)};
+      u -= weight[n];
+    }
+    return NodeId{static_cast<int>(num_nodes - 1)};
+  };
+
+  auto sample_user = [&]() {
+    double u = rng.Uniform() * activity_total;
+    for (std::size_t id = 1; id + 1 <= num_users; ++id) {
+      if (u < activity[id]) return UserId{static_cast<int>(id)};
+      u -= activity[id];
+    }
+    return UserId{static_cast<int>(num_users)};
+  };
+
+  std::vector<std::vector<TimeInterval>> busy(num_nodes);
+  int next_job_id = first_job_id;
+
+  auto emit_job = [&](UserId user, TimeSec submit, TimeSec queue_delay,
+                      TimeSec runtime, std::vector<NodeId> nodes) {
+    JobRecord j;
+    j.id = JobId{next_job_id++};
+    j.system = system;
+    j.user = user;
+    j.submit = submit;
+    j.dispatch = submit + queue_delay;
+    j.end = std::min<TimeSec>(scenario.duration, j.dispatch + runtime);
+    if (j.dispatch >= scenario.duration || j.end <= j.dispatch) return;
+    j.procs = static_cast<int>(nodes.size()) * scenario.procs_per_node;
+    j.nodes = std::move(nodes);
+    for (NodeId n : j.nodes) {
+      const auto idx = static_cast<std::size_t>(n.value);
+      busy[idx].push_back({j.dispatch, j.end});
+      ++out.usage[idx].num_jobs;
+      out.churn.push_back(
+          {n, j.dispatch, out.user_risk[static_cast<std::size_t>(
+                              j.user.value)]});
+    }
+    out.jobs.push_back(std::move(j));
+  };
+
+  // ---- Main job stream: Poisson arrivals.
+  const double arrival_rate = w.jobs_per_day / static_cast<double>(kDay);
+  double t = 0.0;
+  while (true) {
+    t += rng.Exponential(arrival_rate);
+    if (t >= static_cast<double>(scenario.duration)) break;
+    const auto submit = static_cast<TimeSec>(t);
+    const auto queue_delay = static_cast<TimeSec>(
+        rng.Exponential(1.0 / static_cast<double>(w.mean_queue_delay)));
+    // Half the jobs are short interactive runs, half long batch runs; the
+    // overall mean runtime stays at w.mean_job_runtime.
+    const bool short_job = rng.Bernoulli(0.5);
+    const double mean_runtime =
+        static_cast<double>(w.mean_job_runtime) * (short_job ? 0.25 : 1.75);
+    const auto runtime = std::max<TimeSec>(
+        5 * kMinute,
+        static_cast<TimeSec>(rng.Exponential(1.0 / mean_runtime)));
+    // 1 + Poisson keeps at least one node and a configurable mean.
+    const int n_nodes = std::min(
+        scenario.num_nodes,
+        1 + rng.Poisson(std::max(0.0, w.mean_nodes_per_job - 1.0)));
+    std::vector<NodeId> nodes;
+    nodes.reserve(static_cast<std::size_t>(n_nodes));
+    for (int k = 0; k < n_nodes * 3 &&
+                    nodes.size() < static_cast<std::size_t>(n_nodes);
+         ++k) {
+      const NodeId cand = sample_node(short_job);
+      if (std::find(nodes.begin(), nodes.end(), cand) == nodes.end()) {
+        nodes.push_back(cand);
+      }
+    }
+    emit_job(sample_user(), submit, queue_delay, runtime, std::move(nodes));
+  }
+
+  // ---- Node-0 login/scheduler housekeeping jobs (short, frequent).
+  if (w.node0_extra_jobs_per_day > 0.0 && scenario.num_nodes > 0) {
+    const double rate = w.node0_extra_jobs_per_day / static_cast<double>(kDay);
+    double lt = 0.0;
+    while (true) {
+      lt += rng.Exponential(rate);
+      if (lt >= static_cast<double>(scenario.duration)) break;
+      const auto runtime = std::max<TimeSec>(
+          kMinute,
+          static_cast<TimeSec>(rng.Exponential(1.0 / (30.0 * kMinute))));
+      emit_job(UserId{0}, static_cast<TimeSec>(lt), 0, runtime, {NodeId{0}});
+    }
+  }
+
+  std::sort(out.jobs.begin(), out.jobs.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              if (a.dispatch != b.dispatch) return a.dispatch < b.dispatch;
+              return a.id < b.id;
+            });
+  std::sort(out.churn.begin(), out.churn.end(),
+            [](const ChurnTrigger& a, const ChurnTrigger& b) {
+              return a.time < b.time;
+            });
+
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    out.usage[n].busy_time = UnionLength(busy[n]);
+    out.usage[n].utilization = static_cast<double>(out.usage[n].busy_time) /
+                               static_cast<double>(scenario.duration);
+    out.usage_multiplier[n] =
+        1.0 + w.busy_hazard_boost * out.usage[n].utilization;
+  }
+  return out;
+}
+
+}  // namespace hpcfail::synth

@@ -1,0 +1,39 @@
+// Workload simulator: generates the per-job usage log (Sections V, VI) and
+// the usage-coupling inputs of the failure simulator — per-node utilization
+// multipliers and per-(job, node) churn triggers scaled by the submitting
+// user's risk factor.
+#pragma once
+
+#include <vector>
+
+#include "stats/rng.h"
+#include "synth/cluster_sim.h"
+#include "synth/scenario.h"
+#include "trace/job.h"
+
+namespace hpcfail::synth {
+
+struct NodeUsage {
+  NodeId node;
+  int num_jobs = 0;
+  TimeSec busy_time = 0;     // union of job intervals on this node
+  double utilization = 0.0;  // busy_time / duration
+};
+
+struct WorkloadResult {
+  std::vector<JobRecord> jobs;        // dispatch-ordered
+  std::vector<NodeUsage> usage;       // index == node id
+  std::vector<ChurnTrigger> churn;    // one per (job, node) dispatch
+  std::vector<double> user_risk;      // index == user id; [0] = login user
+  // 1 + busy_hazard_boost * utilization, per node; feeds ClusterSimInput.
+  std::vector<double> usage_multiplier;
+};
+
+// Simulates the job stream for one system over [0, scenario.duration).
+// Job ids are assigned starting at `first_job_id`. When the workload is
+// disabled, returns empty streams and all-ones multipliers.
+WorkloadResult SimulateWorkload(const SystemScenario& scenario,
+                                SystemId system, int first_job_id,
+                                stats::Rng& rng);
+
+}  // namespace hpcfail::synth

@@ -1,0 +1,411 @@
+#include "trace/csv.h"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace hpcfail::csv {
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void Fail(std::size_t line, const std::string& msg) {
+  throw ParseError(line, msg);
+}
+
+std::int64_t ParseInt(const std::string& field, std::size_t line) {
+  std::int64_t v = 0;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), v);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    Fail(line, "expected integer, got '" + field + "'");
+  }
+  return v;
+}
+
+double ParseDouble(const std::string& field, std::size_t line) {
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(field, &pos);
+    if (pos != field.size()) throw std::invalid_argument(field);
+    return v;
+  } catch (const std::exception&) {
+    Fail(line, "expected number, got '" + field + "'");
+  }
+}
+
+// Reads lines, validates the header, and hands each data row (already split)
+// to `row_fn(fields, line_number)`.
+template <typename RowFn>
+void ForEachRow(std::istream& is, const std::string& expected_header,
+                std::size_t expected_fields, RowFn row_fn) {
+  std::string line;
+  std::size_t lineno = 0;
+  if (!std::getline(is, line)) Fail(1, "empty input, missing header");
+  ++lineno;
+  if (line != expected_header) {
+    Fail(lineno, "bad header: expected '" + expected_header + "'");
+  }
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitLine(line);
+    if (fields.size() != expected_fields) {
+      Fail(lineno, "expected " + std::to_string(expected_fields) +
+                       " fields, got " + std::to_string(fields.size()));
+    }
+    row_fn(fields, lineno);
+  }
+}
+
+constexpr const char* kFailureHeader =
+    "system,node,start,end,category,subcategory";
+constexpr const char* kMaintenanceHeader = "system,node,start,end";
+constexpr const char* kJobHeader =
+    "job,system,user,submit,dispatch,end,procs,nodes,killed_by_node_failure";
+constexpr const char* kTemperatureHeader = "system,node,time,celsius";
+constexpr const char* kNeutronHeader = "time,counts_per_minute";
+constexpr const char* kSystemHeader =
+    "system,name,group,num_nodes,procs_per_node,observed_begin,observed_end";
+constexpr const char* kLayoutHeader =
+    "system,node,rack,position_in_rack,room_row,room_col";
+
+}  // namespace
+
+ParseError::ParseError(std::size_t line, const std::string& message)
+    : std::runtime_error("csv line " + std::to_string(line) + ": " + message),
+      line_(line) {}
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+void WriteFailures(std::ostream& os, const std::vector<FailureRecord>& v) {
+  os << kFailureHeader << '\n';
+  for (const FailureRecord& r : v) {
+    os << r.system.value << ',' << r.node.value << ',' << r.start << ','
+       << r.end << ',' << ToString(r.category) << ',';
+    if (r.hardware) {
+      os << ToString(*r.hardware);
+    } else if (r.software) {
+      os << ToString(*r.software);
+    } else if (r.environment) {
+      os << ToString(*r.environment);
+    }
+    os << '\n';
+  }
+}
+
+std::vector<FailureRecord> ReadFailures(std::istream& is) {
+  std::vector<FailureRecord> out;
+  ForEachRow(is, kFailureHeader, 6,
+             [&out](const std::vector<std::string>& f, std::size_t line) {
+               FailureRecord r;
+               r.system = SystemId{static_cast<int>(ParseInt(f[0], line))};
+               r.node = NodeId{static_cast<int>(ParseInt(f[1], line))};
+               r.start = ParseInt(f[2], line);
+               r.end = ParseInt(f[3], line);
+               auto cat = ParseFailureCategory(f[4]);
+               if (!cat) Fail(line, "unknown failure category '" + f[4] + "'");
+               r.category = *cat;
+               if (!f[5].empty()) {
+                 switch (r.category) {
+                   case FailureCategory::kHardware:
+                     r.hardware = ParseHardwareComponent(f[5]);
+                     if (!r.hardware) Fail(line, "unknown hw component");
+                     break;
+                   case FailureCategory::kSoftware:
+                     r.software = ParseSoftwareComponent(f[5]);
+                     if (!r.software) Fail(line, "unknown sw component");
+                     break;
+                   case FailureCategory::kEnvironment:
+                     r.environment = ParseEnvironmentEvent(f[5]);
+                     if (!r.environment) Fail(line, "unknown env event");
+                     break;
+                   default:
+                     Fail(line, "subcategory given for category without one");
+                 }
+               }
+               if (!r.consistent()) Fail(line, "inconsistent failure record");
+               out.push_back(std::move(r));
+             });
+  return out;
+}
+
+void WriteMaintenance(std::ostream& os,
+                      const std::vector<MaintenanceRecord>& v) {
+  os << kMaintenanceHeader << '\n';
+  for (const MaintenanceRecord& r : v) {
+    os << r.system.value << ',' << r.node.value << ',' << r.start << ','
+       << r.end << '\n';
+  }
+}
+
+std::vector<MaintenanceRecord> ReadMaintenance(std::istream& is) {
+  std::vector<MaintenanceRecord> out;
+  ForEachRow(is, kMaintenanceHeader, 4,
+             [&out](const std::vector<std::string>& f, std::size_t line) {
+               MaintenanceRecord r;
+               r.system = SystemId{static_cast<int>(ParseInt(f[0], line))};
+               r.node = NodeId{static_cast<int>(ParseInt(f[1], line))};
+               r.start = ParseInt(f[2], line);
+               r.end = ParseInt(f[3], line);
+               if (r.end < r.start) Fail(line, "negative maintenance window");
+               out.push_back(r);
+             });
+  return out;
+}
+
+void WriteJobs(std::ostream& os, const std::vector<JobRecord>& v) {
+  os << kJobHeader << '\n';
+  for (const JobRecord& j : v) {
+    os << j.id.value << ',' << j.system.value << ',' << j.user.value << ','
+       << j.submit << ',' << j.dispatch << ',' << j.end << ',' << j.procs
+       << ',';
+    for (std::size_t i = 0; i < j.nodes.size(); ++i) {
+      if (i > 0) os << ';';
+      os << j.nodes[i].value;
+    }
+    os << ',' << (j.killed_by_node_failure ? 1 : 0) << '\n';
+  }
+}
+
+std::vector<JobRecord> ReadJobs(std::istream& is) {
+  std::vector<JobRecord> out;
+  ForEachRow(is, kJobHeader, 9,
+             [&out](const std::vector<std::string>& f, std::size_t line) {
+               JobRecord j;
+               j.id = JobId{static_cast<int>(ParseInt(f[0], line))};
+               j.system = SystemId{static_cast<int>(ParseInt(f[1], line))};
+               j.user = UserId{static_cast<int>(ParseInt(f[2], line))};
+               j.submit = ParseInt(f[3], line);
+               j.dispatch = ParseInt(f[4], line);
+               j.end = ParseInt(f[5], line);
+               j.procs = static_cast<int>(ParseInt(f[6], line));
+               std::stringstream nodes(f[7]);
+               std::string part;
+               while (std::getline(nodes, part, ';')) {
+                 if (!part.empty()) {
+                   j.nodes.push_back(
+                       NodeId{static_cast<int>(ParseInt(part, line))});
+                 }
+               }
+               j.killed_by_node_failure = ParseInt(f[8], line) != 0;
+               if (!j.consistent()) Fail(line, "inconsistent job record");
+               out.push_back(std::move(j));
+             });
+  return out;
+}
+
+void WriteTemperatures(std::ostream& os,
+                       const std::vector<TemperatureSample>& v) {
+  os.precision(17);  // round-trip doubles exactly
+  os << kTemperatureHeader << '\n';
+  for (const TemperatureSample& s : v) {
+    os << s.system.value << ',' << s.node.value << ',' << s.time << ','
+       << s.celsius << '\n';
+  }
+}
+
+std::vector<TemperatureSample> ReadTemperatures(std::istream& is) {
+  std::vector<TemperatureSample> out;
+  ForEachRow(is, kTemperatureHeader, 4,
+             [&out](const std::vector<std::string>& f, std::size_t line) {
+               TemperatureSample s;
+               s.system = SystemId{static_cast<int>(ParseInt(f[0], line))};
+               s.node = NodeId{static_cast<int>(ParseInt(f[1], line))};
+               s.time = ParseInt(f[2], line);
+               s.celsius = ParseDouble(f[3], line);
+               out.push_back(s);
+             });
+  return out;
+}
+
+void WriteNeutrons(std::ostream& os, const std::vector<NeutronSample>& v) {
+  os.precision(17);  // round-trip doubles exactly
+  os << kNeutronHeader << '\n';
+  for (const NeutronSample& s : v) {
+    os << s.time << ',' << s.counts_per_minute << '\n';
+  }
+}
+
+std::vector<NeutronSample> ReadNeutrons(std::istream& is) {
+  std::vector<NeutronSample> out;
+  ForEachRow(is, kNeutronHeader, 2,
+             [&out](const std::vector<std::string>& f, std::size_t line) {
+               NeutronSample s;
+               s.time = ParseInt(f[0], line);
+               s.counts_per_minute = ParseDouble(f[1], line);
+               out.push_back(s);
+             });
+  return out;
+}
+
+void WriteSystems(std::ostream& os, const std::vector<SystemConfig>& v) {
+  os << kSystemHeader << '\n';
+  for (const SystemConfig& s : v) {
+    os << s.id.value << ',' << s.name << ',' << ToString(s.group) << ','
+       << s.num_nodes << ',' << s.procs_per_node << ',' << s.observed.begin
+       << ',' << s.observed.end << '\n';
+  }
+}
+
+std::vector<SystemConfig> ReadSystems(std::istream& is) {
+  std::vector<SystemConfig> out;
+  ForEachRow(is, kSystemHeader, 7,
+             [&out](const std::vector<std::string>& f, std::size_t line) {
+               SystemConfig s;
+               s.id = SystemId{static_cast<int>(ParseInt(f[0], line))};
+               s.name = f[1];
+               auto g = ParseSystemGroup(f[2]);
+               if (!g) Fail(line, "unknown system group '" + f[2] + "'");
+               s.group = *g;
+               s.num_nodes = static_cast<int>(ParseInt(f[3], line));
+               s.procs_per_node = static_cast<int>(ParseInt(f[4], line));
+               s.observed.begin = ParseInt(f[5], line);
+               s.observed.end = ParseInt(f[6], line);
+               out.push_back(std::move(s));
+             });
+  return out;
+}
+
+void WriteLayout(std::ostream& os, SystemId system, const MachineLayout& l) {
+  os << kLayoutHeader << '\n';
+  for (const NodePlacement& p : l.placements()) {
+    os << system.value << ',' << p.node.value << ',' << p.rack.value << ','
+       << p.position_in_rack << ',' << p.room_row << ',' << p.room_col << '\n';
+  }
+}
+
+std::vector<std::pair<SystemId, NodePlacement>> ReadLayout(std::istream& is) {
+  std::vector<std::pair<SystemId, NodePlacement>> out;
+  ForEachRow(is, kLayoutHeader, 6,
+             [&out](const std::vector<std::string>& f, std::size_t line) {
+               SystemId sys{static_cast<int>(ParseInt(f[0], line))};
+               NodePlacement p;
+               p.node = NodeId{static_cast<int>(ParseInt(f[1], line))};
+               p.rack = RackId{static_cast<int>(ParseInt(f[2], line))};
+               p.position_in_rack = static_cast<int>(ParseInt(f[3], line));
+               p.room_row = static_cast<int>(ParseInt(f[4], line));
+               p.room_col = static_cast<int>(ParseInt(f[5], line));
+               out.emplace_back(sys, p);
+             });
+  return out;
+}
+
+namespace {
+
+std::ofstream OpenOut(const fs::path& p) {
+  std::ofstream os(p);
+  if (!os) throw std::runtime_error("cannot open for writing: " + p.string());
+  return os;
+}
+
+std::ifstream OpenIn(const fs::path& p) {
+  std::ifstream is(p);
+  if (!is) throw std::runtime_error("cannot open for reading: " + p.string());
+  return is;
+}
+
+}  // namespace
+
+void SaveTrace(const Trace& trace, const std::string& dir) {
+  fs::create_directories(dir);
+  const fs::path base(dir);
+  {
+    auto os = OpenOut(base / "systems.csv");
+    WriteSystems(os, trace.systems());
+  }
+  {
+    auto os = OpenOut(base / "layout.csv");
+    os << kLayoutHeader << '\n';
+    for (const SystemConfig& s : trace.systems()) {
+      for (const NodePlacement& p : s.layout.placements()) {
+        os << s.id.value << ',' << p.node.value << ',' << p.rack.value << ','
+           << p.position_in_rack << ',' << p.room_row << ',' << p.room_col
+           << '\n';
+      }
+    }
+  }
+  {
+    auto os = OpenOut(base / "failures.csv");
+    WriteFailures(os, trace.failures());
+  }
+  {
+    auto os = OpenOut(base / "maintenance.csv");
+    WriteMaintenance(os, trace.maintenance());
+  }
+  {
+    auto os = OpenOut(base / "jobs.csv");
+    WriteJobs(os, trace.jobs());
+  }
+  {
+    auto os = OpenOut(base / "temperatures.csv");
+    WriteTemperatures(os, trace.temperatures());
+  }
+  {
+    auto os = OpenOut(base / "neutrons.csv");
+    WriteNeutrons(os, trace.neutron_series());
+  }
+}
+
+Trace LoadTrace(const std::string& dir) {
+  const fs::path base(dir);
+  Trace trace;
+
+  std::vector<SystemConfig> systems;
+  {
+    auto is = OpenIn(base / "systems.csv");
+    systems = ReadSystems(is);
+  }
+  {
+    auto is = OpenIn(base / "layout.csv");
+    auto rows = ReadLayout(is);
+    for (SystemConfig& s : systems) {
+      std::vector<NodePlacement> placements;
+      for (const auto& [sys, p] : rows) {
+        if (sys == s.id) placements.push_back(p);
+      }
+      s.layout = MachineLayout(std::move(placements));
+    }
+  }
+  for (SystemConfig& s : systems) trace.AddSystem(std::move(s));
+
+  {
+    auto is = OpenIn(base / "failures.csv");
+    for (FailureRecord& r : ReadFailures(is)) trace.AddFailure(std::move(r));
+  }
+  {
+    auto is = OpenIn(base / "maintenance.csv");
+    for (MaintenanceRecord& r : ReadMaintenance(is)) trace.AddMaintenance(r);
+  }
+  {
+    auto is = OpenIn(base / "jobs.csv");
+    for (JobRecord& r : ReadJobs(is)) trace.AddJob(std::move(r));
+  }
+  {
+    auto is = OpenIn(base / "temperatures.csv");
+    for (TemperatureSample& s : ReadTemperatures(is)) trace.AddTemperature(s);
+  }
+  {
+    auto is = OpenIn(base / "neutrons.csv");
+    trace.SetNeutronSeries(ReadNeutrons(is));
+  }
+  trace.Finalize();
+  return trace;
+}
+
+}  // namespace hpcfail::csv

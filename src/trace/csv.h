@@ -1,0 +1,56 @@
+// CSV serialization for every trace record type, plus whole-trace
+// directory-level save/load. The column layouts follow the spirit of the
+// public LANL data release so real data can be massaged in with a thin
+// conversion script.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/system.h"
+
+namespace hpcfail::csv {
+
+// Thrown on malformed input; carries the 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message);
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+// Splits one CSV line on commas. No quoting support: trace fields never
+// contain commas, and rejecting quotes keeps parsing unambiguous.
+std::vector<std::string> SplitLine(const std::string& line);
+
+// ---- Per-stream writers. Each writes a header row then one row per record.
+void WriteFailures(std::ostream& os, const std::vector<FailureRecord>& v);
+void WriteMaintenance(std::ostream& os, const std::vector<MaintenanceRecord>& v);
+void WriteJobs(std::ostream& os, const std::vector<JobRecord>& v);
+void WriteTemperatures(std::ostream& os, const std::vector<TemperatureSample>& v);
+void WriteNeutrons(std::ostream& os, const std::vector<NeutronSample>& v);
+void WriteSystems(std::ostream& os, const std::vector<SystemConfig>& v);
+void WriteLayout(std::ostream& os, SystemId system, const MachineLayout& l);
+
+// ---- Per-stream readers. Validate the header and every row; throw
+// ParseError on malformed input.
+std::vector<FailureRecord> ReadFailures(std::istream& is);
+std::vector<MaintenanceRecord> ReadMaintenance(std::istream& is);
+std::vector<JobRecord> ReadJobs(std::istream& is);
+std::vector<TemperatureSample> ReadTemperatures(std::istream& is);
+std::vector<NeutronSample> ReadNeutrons(std::istream& is);
+// Reads systems without layouts (layouts are stored separately).
+std::vector<SystemConfig> ReadSystems(std::istream& is);
+// Returns placements grouped by system id, in file order.
+std::vector<std::pair<SystemId, NodePlacement>> ReadLayout(std::istream& is);
+
+// ---- Whole-trace persistence. `dir` receives systems.csv, failures.csv,
+// maintenance.csv, jobs.csv, temperatures.csv, neutrons.csv, layout.csv.
+void SaveTrace(const Trace& trace, const std::string& dir);
+Trace LoadTrace(const std::string& dir);
+
+}  // namespace hpcfail::csv

@@ -1,0 +1,32 @@
+#include "trace/environment.h"
+
+#include <algorithm>
+
+namespace hpcfail {
+
+TemperatureSummary SummarizeTemperature(
+    const std::vector<TemperatureSample>& samples, NodeId node) {
+  TemperatureSummary out;
+  double sum = 0.0;
+  for (const TemperatureSample& s : samples) {
+    if (s.node != node) continue;
+    ++out.num_samples;
+    sum += s.celsius;
+    out.max = out.num_samples == 1 ? s.celsius : std::max(out.max, s.celsius);
+    if (s.celsius > kHighTempThresholdC) ++out.num_high_temp;
+  }
+  if (out.num_samples == 0) return out;
+  out.avg = sum / out.num_samples;
+  double ss = 0.0;
+  for (const TemperatureSample& s : samples) {
+    if (s.node != node) continue;
+    const double d = s.celsius - out.avg;
+    ss += d * d;
+  }
+  // Population variance; with thousands of periodic samples the distinction
+  // from the sample variance is immaterial, and it is defined for n == 1.
+  out.variance = ss / out.num_samples;
+  return out;
+}
+
+}  // namespace hpcfail

@@ -1,0 +1,52 @@
+// Environment-log records: periodic node temperature samples (available for
+// LANL system 20) and the external neutron-monitor series used in Section IX.
+#pragma once
+
+#include <vector>
+
+#include "trace/types.h"
+
+namespace hpcfail {
+
+// One reading from a node's motherboard temperature sensor, in degrees C.
+struct TemperatureSample {
+  SystemId system;
+  NodeId node;
+  TimeSec time = 0;
+  double celsius = 0.0;
+
+  friend bool operator==(const TemperatureSample&,
+                         const TemperatureSample&) = default;
+};
+
+// The paper counts "severe temperature warnings" when ambient temperature
+// exceeds 40C (Table I, num_hightemp).
+inline constexpr double kHighTempThresholdC = 40.0;
+
+// Cosmic-ray-induced neutron counts, as collected by a neutron-monitor
+// station. The paper uses 1-minute-resolution counts from Climax, CO and
+// aggregates them monthly; we store the series at whatever resolution the
+// source provides.
+struct NeutronSample {
+  TimeSec time = 0;
+  double counts_per_minute = 0.0;
+
+  friend bool operator==(const NeutronSample&, const NeutronSample&) = default;
+};
+
+// Per-node summary statistics over a set of temperature samples; these are
+// exactly the temperature covariates of Table I.
+struct TemperatureSummary {
+  double avg = 0.0;
+  double max = 0.0;
+  double variance = 0.0;
+  int num_high_temp = 0;  // samples above kHighTempThresholdC
+  int num_samples = 0;
+};
+
+// Computes the Table-I temperature covariates from samples belonging to one
+// node. Samples from other nodes are ignored.
+TemperatureSummary SummarizeTemperature(
+    const std::vector<TemperatureSample>& samples, NodeId node);
+
+}  // namespace hpcfail

@@ -1,0 +1,139 @@
+#include "trace/failure.h"
+
+namespace hpcfail {
+namespace {
+
+template <typename Enum, std::size_t N>
+std::optional<Enum> ParseByName(
+    std::string_view s, const std::array<Enum, N>& all) {
+  for (Enum e : all) {
+    if (ToString(e) == s) return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view ToString(FailureCategory c) {
+  switch (c) {
+    case FailureCategory::kEnvironment: return "environment";
+    case FailureCategory::kHardware: return "hardware";
+    case FailureCategory::kHuman: return "human";
+    case FailureCategory::kNetwork: return "network";
+    case FailureCategory::kSoftware: return "software";
+    case FailureCategory::kUndetermined: return "undetermined";
+  }
+  return "invalid";
+}
+
+std::string_view ToString(HardwareComponent c) {
+  switch (c) {
+    case HardwareComponent::kCpu: return "cpu";
+    case HardwareComponent::kMemory: return "memory";
+    case HardwareComponent::kNodeBoard: return "node_board";
+    case HardwareComponent::kPowerSupply: return "power_supply";
+    case HardwareComponent::kFan: return "fan";
+    case HardwareComponent::kMscBoard: return "msc_board";
+    case HardwareComponent::kMidplane: return "midplane";
+    case HardwareComponent::kNic: return "nic";
+    case HardwareComponent::kOtherHardware: return "other_hardware";
+  }
+  return "invalid";
+}
+
+std::string_view ToString(SoftwareComponent c) {
+  switch (c) {
+    case SoftwareComponent::kDst: return "dst";
+    case SoftwareComponent::kOs: return "os";
+    case SoftwareComponent::kPfs: return "pfs";
+    case SoftwareComponent::kCfs: return "cfs";
+    case SoftwareComponent::kPatchInstall: return "patch_install";
+    case SoftwareComponent::kScheduler: return "scheduler";
+    case SoftwareComponent::kOtherSoftware: return "other_software";
+  }
+  return "invalid";
+}
+
+std::string_view ToString(EnvironmentEvent c) {
+  switch (c) {
+    case EnvironmentEvent::kPowerOutage: return "power_outage";
+    case EnvironmentEvent::kPowerSpike: return "power_spike";
+    case EnvironmentEvent::kUps: return "ups";
+    case EnvironmentEvent::kChiller: return "chiller";
+    case EnvironmentEvent::kOtherEnvironment: return "other_environment";
+  }
+  return "invalid";
+}
+
+std::optional<FailureCategory> ParseFailureCategory(std::string_view s) {
+  return ParseByName(s, AllFailureCategories());
+}
+std::optional<HardwareComponent> ParseHardwareComponent(std::string_view s) {
+  return ParseByName(s, AllHardwareComponents());
+}
+std::optional<SoftwareComponent> ParseSoftwareComponent(std::string_view s) {
+  return ParseByName(s, AllSoftwareComponents());
+}
+std::optional<EnvironmentEvent> ParseEnvironmentEvent(std::string_view s) {
+  return ParseByName(s, AllEnvironmentEvents());
+}
+
+bool FailureRecord::consistent() const {
+  if (end < start) return false;
+  const bool is_hw = category == FailureCategory::kHardware;
+  const bool is_sw = category == FailureCategory::kSoftware;
+  const bool is_env = category == FailureCategory::kEnvironment;
+  if (hardware.has_value() && !is_hw) return false;
+  if (software.has_value() && !is_sw) return false;
+  if (environment.has_value() && !is_env) return false;
+  return true;
+}
+
+FailureRecord MakeHardwareFailure(SystemId sys, NodeId node, TimeSec start,
+                                  TimeSec end, HardwareComponent component) {
+  FailureRecord r;
+  r.system = sys;
+  r.node = node;
+  r.start = start;
+  r.end = end;
+  r.category = FailureCategory::kHardware;
+  r.hardware = component;
+  return r;
+}
+
+FailureRecord MakeSoftwareFailure(SystemId sys, NodeId node, TimeSec start,
+                                  TimeSec end, SoftwareComponent component) {
+  FailureRecord r;
+  r.system = sys;
+  r.node = node;
+  r.start = start;
+  r.end = end;
+  r.category = FailureCategory::kSoftware;
+  r.software = component;
+  return r;
+}
+
+FailureRecord MakeEnvironmentFailure(SystemId sys, NodeId node, TimeSec start,
+                                     TimeSec end, EnvironmentEvent event) {
+  FailureRecord r;
+  r.system = sys;
+  r.node = node;
+  r.start = start;
+  r.end = end;
+  r.category = FailureCategory::kEnvironment;
+  r.environment = event;
+  return r;
+}
+
+FailureRecord MakeFailure(SystemId sys, NodeId node, TimeSec start, TimeSec end,
+                          FailureCategory category) {
+  FailureRecord r;
+  r.system = sys;
+  r.node = node;
+  r.start = start;
+  r.end = end;
+  r.category = category;
+  return r;
+}
+
+}  // namespace hpcfail

@@ -1,0 +1,147 @@
+// Failure-event taxonomy and records, mirroring the LANL operational-data
+// schema used by the paper: six high-level root-cause categories plus the
+// lower-level hardware / software / environment subcategories the evaluation
+// drills into.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "trace/types.h"
+
+namespace hpcfail {
+
+// High-level root-cause categories (Section II of the paper).
+enum class FailureCategory : std::uint8_t {
+  kEnvironment = 0,
+  kHardware,
+  kHuman,
+  kNetwork,
+  kSoftware,
+  kUndetermined,
+};
+inline constexpr int kNumFailureCategories = 6;
+
+// Hardware subcategories with dedicated records in the data (Figs. 10, 13).
+enum class HardwareComponent : std::uint8_t {
+  kCpu = 0,
+  kMemory,       // memory DIMMs
+  kNodeBoard,
+  kPowerSupply,  // per-node power supply unit
+  kFan,
+  kMscBoard,
+  kMidplane,
+  kNic,
+  kOtherHardware,
+};
+inline constexpr int kNumHardwareComponents = 9;
+
+// Software subcategories (Fig. 11 right).
+enum class SoftwareComponent : std::uint8_t {
+  kDst = 0,       // distributed storage system
+  kOs,
+  kPfs,           // parallel file system
+  kCfs,           // cluster file system
+  kPatchInstall,
+  kScheduler,
+  kOtherSoftware,
+};
+inline constexpr int kNumSoftwareComponents = 7;
+
+// Environment subcategories (Fig. 9).
+enum class EnvironmentEvent : std::uint8_t {
+  kPowerOutage = 0,
+  kPowerSpike,
+  kUps,
+  kChiller,
+  kOtherEnvironment,
+};
+inline constexpr int kNumEnvironmentEvents = 5;
+
+std::string_view ToString(FailureCategory c);
+std::string_view ToString(HardwareComponent c);
+std::string_view ToString(SoftwareComponent c);
+std::string_view ToString(EnvironmentEvent c);
+
+// Parse helpers used by the CSV reader; return nullopt on unknown text.
+std::optional<FailureCategory> ParseFailureCategory(std::string_view s);
+std::optional<HardwareComponent> ParseHardwareComponent(std::string_view s);
+std::optional<SoftwareComponent> ParseSoftwareComponent(std::string_view s);
+std::optional<EnvironmentEvent> ParseEnvironmentEvent(std::string_view s);
+
+constexpr std::array<FailureCategory, kNumFailureCategories>
+AllFailureCategories() {
+  return {FailureCategory::kEnvironment, FailureCategory::kHardware,
+          FailureCategory::kHuman,       FailureCategory::kNetwork,
+          FailureCategory::kSoftware,    FailureCategory::kUndetermined};
+}
+
+constexpr std::array<HardwareComponent, kNumHardwareComponents>
+AllHardwareComponents() {
+  return {HardwareComponent::kCpu,        HardwareComponent::kMemory,
+          HardwareComponent::kNodeBoard,  HardwareComponent::kPowerSupply,
+          HardwareComponent::kFan,        HardwareComponent::kMscBoard,
+          HardwareComponent::kMidplane,   HardwareComponent::kNic,
+          HardwareComponent::kOtherHardware};
+}
+
+constexpr std::array<SoftwareComponent, kNumSoftwareComponents>
+AllSoftwareComponents() {
+  return {SoftwareComponent::kDst,           SoftwareComponent::kOs,
+          SoftwareComponent::kPfs,           SoftwareComponent::kCfs,
+          SoftwareComponent::kPatchInstall,  SoftwareComponent::kScheduler,
+          SoftwareComponent::kOtherSoftware};
+}
+
+constexpr std::array<EnvironmentEvent, kNumEnvironmentEvents>
+AllEnvironmentEvents() {
+  return {EnvironmentEvent::kPowerOutage, EnvironmentEvent::kPowerSpike,
+          EnvironmentEvent::kUps,         EnvironmentEvent::kChiller,
+          EnvironmentEvent::kOtherEnvironment};
+}
+
+// One node outage, the unit record of the LANL failure logs. At most one of
+// the subcategory fields is set, and only when it matches `category`.
+struct FailureRecord {
+  SystemId system;
+  NodeId node;
+  TimeSec start = 0;    // when the outage began
+  TimeSec end = 0;      // when the node was returned to service
+  FailureCategory category = FailureCategory::kUndetermined;
+  std::optional<HardwareComponent> hardware;
+  std::optional<SoftwareComponent> software;
+  std::optional<EnvironmentEvent> environment;
+
+  TimeSec downtime() const { return end - start; }
+
+  // Schema invariant: subcategory presence must agree with category.
+  bool consistent() const;
+
+  friend bool operator==(const FailureRecord&, const FailureRecord&) = default;
+};
+
+// Convenience constructors that keep the category/subcategory pairing correct.
+FailureRecord MakeHardwareFailure(SystemId sys, NodeId node, TimeSec start,
+                                  TimeSec end, HardwareComponent component);
+FailureRecord MakeSoftwareFailure(SystemId sys, NodeId node, TimeSec start,
+                                  TimeSec end, SoftwareComponent component);
+FailureRecord MakeEnvironmentFailure(SystemId sys, NodeId node, TimeSec start,
+                                     TimeSec end, EnvironmentEvent event);
+FailureRecord MakeFailure(SystemId sys, NodeId node, TimeSec start, TimeSec end,
+                          FailureCategory category);
+
+// Unscheduled-maintenance event (Section VII.A.2): hardware-related downtime
+// that is not itself a node failure.
+struct MaintenanceRecord {
+  SystemId system;
+  NodeId node;
+  TimeSec start = 0;
+  TimeSec end = 0;
+
+  friend bool operator==(const MaintenanceRecord&,
+                         const MaintenanceRecord&) = default;
+};
+
+}  // namespace hpcfail

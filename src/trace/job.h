@@ -1,0 +1,44 @@
+// Usage-log records: per-job entries as found in the LANL job logs for
+// systems 8 and 20 (Section II of the paper).
+#pragma once
+
+#include <vector>
+
+#include "trace/types.h"
+
+namespace hpcfail {
+
+// One scheduled job. `nodes` lists every node the job ran on; `procs` is the
+// number of processors the user requested.
+struct JobRecord {
+  JobId id;
+  SystemId system;
+  UserId user;
+  TimeSec submit = 0;    // entered the queue
+  TimeSec dispatch = 0;  // left the queue, started running
+  TimeSec end = 0;       // finished (successfully or not)
+  int procs = 0;
+  std::vector<NodeId> nodes;
+  // True when the job was killed by a failure of one of its nodes (rather
+  // than finishing or failing for application-level reasons). Section VI only
+  // counts these.
+  bool killed_by_node_failure = false;
+
+  TimeSec queue_delay() const { return dispatch - submit; }
+  TimeSec runtime() const { return end - dispatch; }
+  TimeInterval run_interval() const { return {dispatch, end}; }
+
+  // Processor-seconds consumed; Section VI normalizes per processor-day.
+  double proc_seconds() const {
+    return static_cast<double>(procs) * static_cast<double>(runtime());
+  }
+
+  bool consistent() const {
+    return submit <= dispatch && dispatch <= end && procs >= 1 &&
+           !nodes.empty();
+  }
+
+  friend bool operator==(const JobRecord&, const JobRecord&) = default;
+};
+
+}  // namespace hpcfail

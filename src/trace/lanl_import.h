@@ -1,0 +1,71 @@
+// Importer for the raw LANL operational-data release (the CSVs behind the
+// paper, published at institute.lanl.gov/data/fdata). The release's exact
+// column order has varied across mirrors, so the importer takes a column
+// mapping plus tolerant parsers for the release's conventions:
+//   - timestamps like "MM/DD/YYYY HH:MM" (converted to seconds since the
+//     Unix epoch);
+//   - free-text root-cause labels ("Facilities", "Human Error", ...) mapped
+//     by keyword onto the hpcfail taxonomy;
+//   - free-text hardware/software component labels ("Memory Dimm", "CPU",
+//     "Distributed Storage", ...) mapped likewise.
+// Rows that cannot be parsed are collected (with reasons) rather than
+// aborting the import: real operational logs are never perfectly clean.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/failure.h"
+
+namespace hpcfail::lanl {
+
+struct ImportConfig {
+  // 0-based column indices into each CSV row.
+  int col_system = 0;
+  int col_node = 1;
+  int col_start = 2;       // problem-started timestamp
+  int col_end = 3;         // problem-fixed timestamp
+  int col_category = 4;    // high-level root cause
+  int col_subcategory = 5; // detailed cause; -1 when absent
+  bool has_header = true;
+  char delimiter = ',';
+};
+
+struct ImportIssue {
+  std::size_t line = 0;
+  std::string reason;
+};
+
+struct ImportResult {
+  std::vector<FailureRecord> failures;
+  std::vector<ImportIssue> skipped;
+};
+
+// Parses "MM/DD/YYYY HH:MM" (also accepts "MM/DD/YY HH:MM" with a 2000
+// pivot and an optional ":SS"); returns seconds since the Unix epoch, or
+// nullopt on malformed input. Calendar arithmetic is self-contained (no
+// timezone: the release is wall-clock local time and only differences
+// matter to the analyses).
+std::optional<TimeSec> ParseLanlTimestamp(std::string_view text);
+
+// Keyword mapping from the release's free-text root-cause labels:
+//   facilities/environment/power -> kEnvironment, hardware -> kHardware,
+//   human -> kHuman, network -> kNetwork, software -> kSoftware,
+//   undetermined/unknown -> kUndetermined.
+std::optional<FailureCategory> MapLanlCategory(std::string_view text);
+
+// Keyword mapping for detailed causes, conditioned on the category
+// ("memory dimm" -> kMemory, "node board" -> kNodeBoard, "dst" ->
+// kDst, "power outage" -> kPowerOutage, ...). Unrecognized text maps to the
+// category's catch-all subcategory.
+std::optional<HardwareComponent> MapLanlHardware(std::string_view text);
+std::optional<SoftwareComponent> MapLanlSoftware(std::string_view text);
+std::optional<EnvironmentEvent> MapLanlEnvironment(std::string_view text);
+
+// Reads a whole failure log. Node outages with end < start or unparsable
+// mandatory fields are reported in `skipped`.
+ImportResult ImportFailures(std::istream& is, const ImportConfig& config);
+
+}  // namespace hpcfail::lanl

@@ -1,0 +1,79 @@
+#include "trace/layout.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hpcfail {
+
+MachineLayout::MachineLayout(std::vector<NodePlacement> placements)
+    : placements_(std::move(placements)) {
+  std::sort(placements_.begin(), placements_.end(),
+            [](const NodePlacement& a, const NodePlacement& b) {
+              return a.node < b.node;
+            });
+  for (std::size_t i = 1; i < placements_.size(); ++i) {
+    if (placements_[i].node == placements_[i - 1].node) {
+      throw std::invalid_argument("duplicate node placement in MachineLayout");
+    }
+  }
+  for (const NodePlacement& p : placements_) {
+    if (!p.node.valid() || !p.rack.valid() || p.position_in_rack < 1 ||
+        p.position_in_rack > kMaxPositionInRack) {
+      throw std::invalid_argument("invalid node placement");
+    }
+  }
+}
+
+std::optional<NodePlacement> MachineLayout::placement(NodeId node) const {
+  auto it = std::lower_bound(placements_.begin(), placements_.end(), node,
+                             [](const NodePlacement& p, NodeId n) {
+                               return p.node < n;
+                             });
+  if (it == placements_.end() || it->node != node) return std::nullopt;
+  return *it;
+}
+
+std::optional<RackId> MachineLayout::rack_of(NodeId node) const {
+  auto p = placement(node);
+  if (!p) return std::nullopt;
+  return p->rack;
+}
+
+std::vector<NodeId> MachineLayout::nodes_in_rack(RackId rack) const {
+  std::vector<NodeId> out;
+  for (const NodePlacement& p : placements_) {
+    if (p.rack == rack) out.push_back(p.node);
+  }
+  return out;
+}
+
+int MachineLayout::num_racks() const {
+  std::unordered_set<RackId> racks;
+  for (const NodePlacement& p : placements_) racks.insert(p.rack);
+  return static_cast<int>(racks.size());
+}
+
+MachineLayout MachineLayout::Grid(int num_nodes, int nodes_per_rack,
+                                  int racks_per_row) {
+  if (num_nodes < 0 || nodes_per_rack < 1 || racks_per_row < 1) {
+    throw std::invalid_argument("invalid grid layout parameters");
+  }
+  std::vector<NodePlacement> placements;
+  placements.reserve(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    const int rack = n / nodes_per_rack;
+    NodePlacement p;
+    p.node = NodeId{n};
+    p.rack = RackId{rack};
+    // Fill racks bottom-up, wrapping if a rack holds more nodes than
+    // kMaxPositionInRack distinct shelf positions.
+    p.position_in_rack = (n % nodes_per_rack) % kMaxPositionInRack + 1;
+    p.room_row = rack / racks_per_row;
+    p.room_col = rack % racks_per_row;
+    placements.push_back(p);
+  }
+  return MachineLayout(std::move(placements));
+}
+
+}  // namespace hpcfail

@@ -1,0 +1,57 @@
+// Machine-room layout: which rack a node sits in, its position inside the
+// rack, and where the rack stands in the room ("machine layout" files,
+// Section II / Section IV.C of the paper).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace hpcfail {
+
+// Placement of one node. Position-in-rack follows the paper's Table I
+// convention: 1 = bottom of the rack, kMaxPositionInRack = top.
+struct NodePlacement {
+  NodeId node;
+  RackId rack;
+  int position_in_rack = 1;  // 1..kMaxPositionInRack
+  // Rack coordinates on the machine-room floor grid.
+  int room_row = 0;
+  int room_col = 0;
+
+  friend bool operator==(const NodePlacement&, const NodePlacement&) = default;
+};
+
+inline constexpr int kMaxPositionInRack = 5;
+
+// Layout of one system. Lookup is by node id; placements need not cover every
+// node (the LANL layout files only exist for group-1 systems).
+class MachineLayout {
+ public:
+  MachineLayout() = default;
+  explicit MachineLayout(std::vector<NodePlacement> placements);
+
+  // nullopt when the node has no recorded placement.
+  std::optional<NodePlacement> placement(NodeId node) const;
+  std::optional<RackId> rack_of(NodeId node) const;
+
+  // All nodes recorded in rack `rack`, in node-id order.
+  std::vector<NodeId> nodes_in_rack(RackId rack) const;
+
+  const std::vector<NodePlacement>& placements() const { return placements_; }
+  int num_racks() const;
+  bool empty() const { return placements_.empty(); }
+
+  // Builds a standard layout: nodes 0..num_nodes-1 filled into racks of
+  // `nodes_per_rack` bottom-up, racks laid out row-major on a floor grid
+  // `racks_per_row` wide. This mirrors how LANL group-1 machines were racked.
+  static MachineLayout Grid(int num_nodes, int nodes_per_rack,
+                            int racks_per_row);
+
+ private:
+  // Sorted by node id for binary search.
+  std::vector<NodePlacement> placements_;
+};
+
+}  // namespace hpcfail

@@ -1,0 +1,174 @@
+#include "trace/system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcfail {
+
+std::string_view ToString(SystemGroup g) {
+  switch (g) {
+    case SystemGroup::kSmp: return "smp";
+    case SystemGroup::kNuma: return "numa";
+  }
+  return "invalid";
+}
+
+std::optional<SystemGroup> ParseSystemGroup(std::string_view s) {
+  if (s == "smp") return SystemGroup::kSmp;
+  if (s == "numa") return SystemGroup::kNuma;
+  return std::nullopt;
+}
+
+void Trace::AddSystem(SystemConfig config) {
+  if (!config.id.valid()) {
+    throw std::invalid_argument("system id must be valid");
+  }
+  if (config.num_nodes <= 0 || config.procs_per_node <= 0) {
+    throw std::invalid_argument("system must have nodes and processors");
+  }
+  if (!config.observed.valid()) {
+    throw std::invalid_argument("system observation interval is invalid");
+  }
+  if (FindSystem(config.id) != nullptr) {
+    throw std::invalid_argument("duplicate system id");
+  }
+  systems_.push_back(std::move(config));
+  finalized_ = false;
+}
+
+namespace {
+
+void CheckNode(const SystemConfig* sys, NodeId node, const char* what) {
+  if (sys == nullptr) {
+    throw std::invalid_argument(std::string(what) + ": unknown system");
+  }
+  if (!node.valid() || node.value >= sys->num_nodes) {
+    throw std::invalid_argument(std::string(what) + ": node out of range");
+  }
+}
+
+}  // namespace
+
+void Trace::AddFailure(FailureRecord r) {
+  CheckNode(FindSystem(r.system), r.node, "AddFailure");
+  if (!r.consistent()) {
+    throw std::invalid_argument("AddFailure: inconsistent record");
+  }
+  failures_.push_back(std::move(r));
+  finalized_ = false;
+}
+
+void Trace::AddMaintenance(MaintenanceRecord r) {
+  CheckNode(FindSystem(r.system), r.node, "AddMaintenance");
+  if (r.end < r.start) {
+    throw std::invalid_argument("AddMaintenance: negative duration");
+  }
+  maintenance_.push_back(r);
+  finalized_ = false;
+}
+
+void Trace::AddJob(JobRecord r) {
+  const SystemConfig* sys = FindSystem(r.system);
+  if (!r.consistent()) {
+    throw std::invalid_argument("AddJob: inconsistent record");
+  }
+  for (NodeId n : r.nodes) CheckNode(sys, n, "AddJob");
+  jobs_.push_back(std::move(r));
+  finalized_ = false;
+}
+
+void Trace::AddTemperature(TemperatureSample s) {
+  CheckNode(FindSystem(s.system), s.node, "AddTemperature");
+  temperatures_.push_back(s);
+  finalized_ = false;
+}
+
+void Trace::SetNeutronSeries(std::vector<NeutronSample> series) {
+  std::sort(series.begin(), series.end(),
+            [](const NeutronSample& a, const NeutronSample& b) {
+              return a.time < b.time;
+            });
+  neutrons_ = std::move(series);
+}
+
+void Trace::Finalize() {
+  if (finalized_) return;
+  auto by_time_node = [](const auto& a, const auto& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.system != b.system) return a.system < b.system;
+    return a.node < b.node;
+  };
+  std::sort(failures_.begin(), failures_.end(), by_time_node);
+  std::sort(maintenance_.begin(), maintenance_.end(), by_time_node);
+  std::sort(jobs_.begin(), jobs_.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              if (a.dispatch != b.dispatch) return a.dispatch < b.dispatch;
+              return a.id < b.id;
+            });
+  std::sort(temperatures_.begin(), temperatures_.end(),
+            [](const TemperatureSample& a, const TemperatureSample& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.node < b.node;
+            });
+  finalized_ = true;
+}
+
+void Trace::CheckFinalized() const {
+  if (!finalized_) {
+    throw std::logic_error(
+        "Trace accessed before Finalize(); call Finalize() after loading");
+  }
+}
+
+const SystemConfig* Trace::FindSystem(SystemId id) const {
+  for (const SystemConfig& s : systems_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+const SystemConfig& Trace::system(SystemId id) const {
+  const SystemConfig* s = FindSystem(id);
+  if (s == nullptr) throw std::out_of_range("unknown system id");
+  return *s;
+}
+
+const std::vector<FailureRecord>& Trace::failures() const {
+  CheckFinalized();
+  return failures_;
+}
+const std::vector<MaintenanceRecord>& Trace::maintenance() const {
+  CheckFinalized();
+  return maintenance_;
+}
+const std::vector<JobRecord>& Trace::jobs() const {
+  CheckFinalized();
+  return jobs_;
+}
+const std::vector<TemperatureSample>& Trace::temperatures() const {
+  CheckFinalized();
+  return temperatures_;
+}
+const std::vector<NeutronSample>& Trace::neutron_series() const {
+  return neutrons_;
+}
+
+std::vector<FailureRecord> Trace::FailuresOfSystem(SystemId id) const {
+  CheckFinalized();
+  std::vector<FailureRecord> out;
+  for (const FailureRecord& f : failures_) {
+    if (f.system == id) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<JobRecord> Trace::JobsOfSystem(SystemId id) const {
+  CheckFinalized();
+  std::vector<JobRecord> out;
+  for (const JobRecord& j : jobs_) {
+    if (j.system == id) out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace hpcfail

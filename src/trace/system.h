@@ -1,0 +1,91 @@
+// SystemConfig describes one HPC cluster; Trace bundles every log stream the
+// paper analyzes for a set of systems.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/environment.h"
+#include "trace/failure.h"
+#include "trace/job.h"
+#include "trace/layout.h"
+#include "trace/types.h"
+
+namespace hpcfail {
+
+// Hardware architecture groups from Section II.
+enum class SystemGroup : std::uint8_t {
+  kSmp = 0,   // group-1: 4-way SMP nodes
+  kNuma = 1,  // group-2: NUMA nodes with ~128 processors each
+};
+
+std::string_view ToString(SystemGroup g);
+std::optional<SystemGroup> ParseSystemGroup(std::string_view s);
+
+// Static description of one cluster.
+struct SystemConfig {
+  SystemId id;
+  std::string name;
+  SystemGroup group = SystemGroup::kSmp;
+  int num_nodes = 0;
+  int procs_per_node = 0;
+  // Observation period covered by the logs.
+  TimeInterval observed;
+  MachineLayout layout;  // empty when no layout file exists
+
+  int num_procs() const { return num_nodes * procs_per_node; }
+};
+
+// A complete multi-system trace. Event streams are stored sorted by start
+// time (ties by node id); Trace validates and maintains this invariant so the
+// analyses can binary search.
+class Trace {
+ public:
+  Trace() = default;
+
+  // Systems must have unique ids. Throws std::invalid_argument on violation.
+  void AddSystem(SystemConfig config);
+
+  // Record insertion. Records may be added in any order; call Finalize()
+  // (or let an analysis do it implicitly via the sorted accessors) before
+  // querying. Records referencing unknown systems/nodes throw.
+  void AddFailure(FailureRecord r);
+  void AddMaintenance(MaintenanceRecord r);
+  void AddJob(JobRecord r);
+  void AddTemperature(TemperatureSample s);
+  void SetNeutronSeries(std::vector<NeutronSample> series);
+
+  // Sorts all streams and checks record consistency. Idempotent.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  const std::vector<SystemConfig>& systems() const { return systems_; }
+  const SystemConfig* FindSystem(SystemId id) const;
+  const SystemConfig& system(SystemId id) const;  // throws if absent
+
+  const std::vector<FailureRecord>& failures() const;
+  const std::vector<MaintenanceRecord>& maintenance() const;
+  const std::vector<JobRecord>& jobs() const;
+  const std::vector<TemperatureSample>& temperatures() const;
+  const std::vector<NeutronSample>& neutron_series() const;
+
+  // Failures belonging to one system, in time order.
+  std::vector<FailureRecord> FailuresOfSystem(SystemId id) const;
+  std::vector<JobRecord> JobsOfSystem(SystemId id) const;
+
+  std::size_t num_failures() const { return failures_.size(); }
+
+ private:
+  void CheckFinalized() const;
+
+  std::vector<SystemConfig> systems_;
+  std::vector<FailureRecord> failures_;
+  std::vector<MaintenanceRecord> maintenance_;
+  std::vector<JobRecord> jobs_;
+  std::vector<TemperatureSample> temperatures_;
+  std::vector<NeutronSample> neutrons_;
+  bool finalized_ = false;
+};
+
+}  // namespace hpcfail

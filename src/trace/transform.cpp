@@ -1,0 +1,85 @@
+#include "trace/transform.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcfail {
+namespace {
+
+// Copies the record streams of `source` into `dest` subject to a keep
+// predicate on (system, anchor time).
+template <typename Keep>
+void CopyRecords(const Trace& source, Trace& dest, const Keep& keep) {
+  for (const FailureRecord& f : source.failures()) {
+    if (keep(f.system, f.start)) dest.AddFailure(f);
+  }
+  for (const MaintenanceRecord& m : source.maintenance()) {
+    if (keep(m.system, m.start)) dest.AddMaintenance(m);
+  }
+  for (const JobRecord& j : source.jobs()) {
+    if (keep(j.system, j.dispatch)) dest.AddJob(j);
+  }
+  for (const TemperatureSample& t : source.temperatures()) {
+    if (keep(t.system, t.time)) dest.AddTemperature(t);
+  }
+}
+
+}  // namespace
+
+Trace SliceTrace(const Trace& trace, TimeInterval window) {
+  if (!window.valid() || window.duration() <= 0) {
+    throw std::invalid_argument("SliceTrace: invalid window");
+  }
+  Trace out;
+  for (const SystemConfig& s : trace.systems()) {
+    SystemConfig c = s;
+    c.observed.begin = std::max(s.observed.begin, window.begin);
+    c.observed.end = std::min(s.observed.end, window.end);
+    if (c.observed.duration() <= 0) continue;  // no overlap: drop the system
+    out.AddSystem(std::move(c));
+  }
+  CopyRecords(trace, out, [&](SystemId sys, TimeSec t) {
+    return out.FindSystem(sys) != nullptr && window.contains(t);
+  });
+  std::vector<NeutronSample> neutrons;
+  for (const NeutronSample& n : trace.neutron_series()) {
+    if (window.contains(n.time)) neutrons.push_back(n);
+  }
+  out.SetNeutronSeries(std::move(neutrons));
+  out.Finalize();
+  return out;
+}
+
+Trace FilterSystems(const Trace& trace, std::span<const SystemId> systems) {
+  Trace out;
+  for (SystemId id : systems) {
+    out.AddSystem(trace.system(id));  // throws on unknown id
+  }
+  CopyRecords(trace, out, [&out](SystemId sys, TimeSec) {
+    return out.FindSystem(sys) != nullptr;
+  });
+  out.SetNeutronSeries(trace.neutron_series());
+  out.Finalize();
+  return out;
+}
+
+Trace MergeTraces(const Trace& a, const Trace& b) {
+  Trace out;
+  for (const SystemConfig& s : a.systems()) out.AddSystem(s);
+  for (const SystemConfig& s : b.systems()) {
+    if (a.FindSystem(s.id) != nullptr) {
+      throw std::invalid_argument("MergeTraces: duplicate system id " +
+                                  std::to_string(s.id.value));
+    }
+    out.AddSystem(s);
+  }
+  const auto keep_all = [](SystemId, TimeSec) { return true; };
+  CopyRecords(a, out, keep_all);
+  CopyRecords(b, out, keep_all);
+  out.SetNeutronSeries(a.neutron_series().empty() ? b.neutron_series()
+                                                  : a.neutron_series());
+  out.Finalize();
+  return out;
+}
+
+}  // namespace hpcfail

@@ -1,0 +1,27 @@
+// Trace transformations: time slicing (the proper way to build train/test
+// splits for prediction work), system filtering, and merging of traces
+// collected separately. All transforms return new finalized traces and
+// leave the input untouched.
+#pragma once
+
+#include <span>
+
+#include "trace/system.h"
+
+namespace hpcfail {
+
+// Restricts a trace to [begin, end): every record whose anchor time (start
+// for failures/maintenance, dispatch for jobs, sample time for temperatures
+// and neutrons) falls inside the window is kept, with times left absolute;
+// each system's observed interval is intersected with the window. Systems
+// whose observation becomes empty are dropped. Throws on an invalid window.
+Trace SliceTrace(const Trace& trace, TimeInterval window);
+
+// Keeps only the given systems (and their records). Unknown ids throw.
+Trace FilterSystems(const Trace& trace, std::span<const SystemId> systems);
+
+// Merges two traces collected over the same epoch. System ids must be
+// disjoint; the neutron series is taken from `a` when both have one.
+Trace MergeTraces(const Trace& a, const Trace& b);
+
+}  // namespace hpcfail

@@ -1,0 +1,70 @@
+// Core vocabulary types shared by every hpcfail subsystem: strong identifiers
+// and the time axis used by all traces.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace hpcfail {
+
+// All trace timestamps are seconds since an arbitrary trace epoch. Traces are
+// self-contained; absolute calendar time never matters to the analyses, only
+// durations and ordering.
+using TimeSec = std::int64_t;
+
+inline constexpr TimeSec kMinute = 60;
+inline constexpr TimeSec kHour = 60 * kMinute;
+inline constexpr TimeSec kDay = 24 * kHour;
+inline constexpr TimeSec kWeek = 7 * kDay;
+// The paper's "month" windows are calendar-agnostic; we follow the common
+// 30-day convention.
+inline constexpr TimeSec kMonth = 30 * kDay;
+inline constexpr TimeSec kYear = 365 * kDay;
+
+// A half-open time interval [begin, end).
+struct TimeInterval {
+  TimeSec begin = 0;
+  TimeSec end = 0;
+
+  constexpr TimeSec duration() const { return end - begin; }
+  constexpr bool contains(TimeSec t) const { return t >= begin && t < end; }
+  constexpr bool valid() const { return end >= begin; }
+
+  friend constexpr bool operator==(const TimeInterval&,
+                                   const TimeInterval&) = default;
+};
+
+// Strongly-typed integer identifier. Distinct Tag types make it a compile
+// error to pass a NodeId where a UserId is expected.
+template <typename Tag>
+struct Id {
+  std::int32_t value = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value >= 0; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+using SystemId = Id<struct SystemIdTag>;
+using NodeId = Id<struct NodeIdTag>;
+using RackId = Id<struct RackIdTag>;
+using UserId = Id<struct UserIdTag>;
+using JobId = Id<struct JobIdTag>;
+
+inline constexpr NodeId kInvalidNode{};
+
+}  // namespace hpcfail
+
+namespace std {
+template <typename Tag>
+struct hash<hpcfail::Id<Tag>> {
+  size_t operator()(hpcfail::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+}  // namespace std

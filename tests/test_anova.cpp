@@ -1,0 +1,117 @@
+#include "stats/anova.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(SaturatedVsCommonRate, EqualRatesNotSignificant) {
+  Rng rng(11);
+  std::vector<double> counts, exposures;
+  for (int i = 0; i < 30; ++i) {
+    const double e = rng.Uniform(10.0, 100.0);
+    exposures.push_back(e);
+    counts.push_back(rng.Poisson(0.2 * e));
+  }
+  const LikelihoodRatioResult r =
+      PoissonSaturatedVsCommonRate(counts, exposures);
+  EXPECT_DOUBLE_EQ(r.df, 29.0);
+  EXPECT_FALSE(r.significant_99);
+}
+
+TEST(SaturatedVsCommonRate, HeterogeneousRatesDetected) {
+  // The Section-VI situation: users with genuinely different failure rates.
+  Rng rng(12);
+  std::vector<double> counts, exposures;
+  for (int i = 0; i < 30; ++i) {
+    const double e = rng.Uniform(10.0, 100.0);
+    const double rate = i % 2 == 0 ? 0.05 : 0.5;
+    exposures.push_back(e);
+    counts.push_back(rng.Poisson(rate * e));
+  }
+  const LikelihoodRatioResult r =
+      PoissonSaturatedVsCommonRate(counts, exposures);
+  EXPECT_TRUE(r.significant_99);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(SaturatedVsCommonRate, PerfectlyCommonDataGivesZeroStatistic) {
+  const std::vector<double> counts = {10, 20, 40};
+  const std::vector<double> exposures = {1, 2, 4};
+  const LikelihoodRatioResult r =
+      PoissonSaturatedVsCommonRate(counts, exposures);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(SaturatedVsCommonRate, SkipsZeroExposureGroups) {
+  const std::vector<double> counts = {10, 0, 20};
+  const std::vector<double> exposures = {1, 0, 2};
+  const LikelihoodRatioResult r =
+      PoissonSaturatedVsCommonRate(counts, exposures);
+  EXPECT_DOUBLE_EQ(r.df, 1.0);
+}
+
+TEST(SaturatedVsCommonRate, RejectsBadInput) {
+  EXPECT_THROW(
+      PoissonSaturatedVsCommonRate(std::vector<double>{1},
+                                   std::vector<double>{1, 2}),
+      std::invalid_argument);
+  EXPECT_THROW(PoissonSaturatedVsCommonRate(std::vector<double>{1, -2},
+                                            std::vector<double>{1, 2}),
+               std::invalid_argument);
+  // Events with zero exposure are contradictory.
+  EXPECT_THROW(PoissonSaturatedVsCommonRate(std::vector<double>{1, 2},
+                                            std::vector<double>{0, 2}),
+               std::invalid_argument);
+}
+
+TEST(LikelihoodRatioTest, NestedModelComparison) {
+  Rng rng(13);
+  const int n = 1000;
+  Matrix x2(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    x2(static_cast<std::size_t>(i), 0) = a;
+    x2(static_cast<std::size_t>(i), 1) = b;
+    y[static_cast<std::size_t>(i)] = rng.Poisson(std::exp(0.5 + 0.8 * a));
+  }
+  Matrix x1(n, 1);
+  for (int i = 0; i < n; ++i) {
+    x1(static_cast<std::size_t>(i), 0) = x2(static_cast<std::size_t>(i), 0);
+  }
+  const GlmFit full = FitPoisson(x2, y);
+  const GlmFit reduced = FitPoisson(x1, y);
+  const LikelihoodRatioResult r = LikelihoodRatioTest(full, reduced);
+  EXPECT_DOUBLE_EQ(r.df, 1.0);
+  // The dropped covariate is pure noise: not significant.
+  EXPECT_FALSE(r.significant_99);
+
+  // Dropping the real covariate is significant.
+  Matrix xb(n, 1);
+  for (int i = 0; i < n; ++i) {
+    xb(static_cast<std::size_t>(i), 0) = x2(static_cast<std::size_t>(i), 1);
+  }
+  const GlmFit reduced_wrong = FitPoisson(xb, y);
+  const LikelihoodRatioResult r2 = LikelihoodRatioTest(full, reduced_wrong);
+  EXPECT_TRUE(r2.significant_99);
+}
+
+TEST(LikelihoodRatioTest, RejectsMismatchedModels) {
+  Rng rng(14);
+  Matrix x(10, 1);
+  std::vector<double> y(10, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    x(static_cast<std::size_t>(i), 0) = rng.Normal();
+  }
+  const GlmFit pois = FitPoisson(x, y);
+  const GlmFit nb = FitNegativeBinomial(x, y);
+  EXPECT_THROW(LikelihoodRatioTest(pois, nb), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

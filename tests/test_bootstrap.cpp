@@ -1,0 +1,65 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(Bootstrap, MeanCiContainsSampleMean) {
+  Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.Normal(5.0, 2.0));
+  const BootstrapResult r = BootstrapCi(
+      sample, [](std::span<const double> xs) { return Mean(xs); }, rng, 500);
+  EXPECT_NEAR(r.estimate, Mean(sample), 1e-12);
+  EXPECT_LE(r.ci_low, r.estimate);
+  EXPECT_GE(r.ci_high, r.estimate);
+  // With n = 200, sigma = 2: CI half-width ~ 1.96 * 2 / sqrt(200) ~ 0.28.
+  EXPECT_LT(r.ci_high - r.ci_low, 1.0);
+  EXPECT_GT(r.ci_high - r.ci_low, 0.2);
+}
+
+TEST(Bootstrap, ConstantSampleHasDegenerateCi) {
+  Rng rng(2);
+  const std::vector<double> sample(50, 3.0);
+  const BootstrapResult r = BootstrapCi(
+      sample, [](std::span<const double> xs) { return Mean(xs); }, rng, 200);
+  EXPECT_DOUBLE_EQ(r.ci_low, 3.0);
+  EXPECT_DOUBLE_EQ(r.ci_high, 3.0);
+}
+
+TEST(Bootstrap, WorksForMedian) {
+  Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 101; ++i) sample.push_back(static_cast<double>(i));
+  const BootstrapResult r = BootstrapCi(
+      sample, [](std::span<const double> xs) { return Median(xs); }, rng, 300);
+  EXPECT_DOUBLE_EQ(r.estimate, 50.0);
+  EXPECT_GT(r.ci_high, r.ci_low);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  std::vector<double> sample;
+  Rng data_rng(4);
+  for (int i = 0; i < 50; ++i) sample.push_back(data_rng.Normal());
+  Rng rng1(99), rng2(99);
+  const auto stat = [](std::span<const double> xs) { return Mean(xs); };
+  const BootstrapResult a = BootstrapCi(sample, stat, rng1, 100);
+  const BootstrapResult b = BootstrapCi(sample, stat, rng2, 100);
+  EXPECT_DOUBLE_EQ(a.ci_low, b.ci_low);
+  EXPECT_DOUBLE_EQ(a.ci_high, b.ci_high);
+}
+
+TEST(Bootstrap, RejectsBadArguments) {
+  Rng rng(5);
+  const auto stat = [](std::span<const double> xs) { return Mean(xs); };
+  EXPECT_THROW(BootstrapCi({}, stat, rng), std::invalid_argument);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(BootstrapCi(one, stat, rng, 1), std::invalid_argument);
+  EXPECT_THROW(BootstrapCi(one, stat, rng, 100, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

@@ -1,0 +1,169 @@
+#include "core/checkpoint_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+Trace TraceWithFailures(const std::vector<std::pair<int, TimeSec>>& fails) {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sys";
+  c.num_nodes = 8;
+  c.procs_per_node = 4;
+  c.observed = {0, 100 * kDay};
+  t.AddSystem(c);
+  for (const auto& [node, when] : fails) {
+    t.AddFailure(MakeFailure(SystemId{0}, NodeId{node}, when, when + kHour,
+                             FailureCategory::kHardware));
+  }
+  t.Finalize();
+  return t;
+}
+
+CheckpointSimConfig BasicConfig() {
+  CheckpointSimConfig cfg;
+  cfg.nodes = {NodeId{0}, NodeId{1}};
+  cfg.checkpoint_cost = 6 * kMinute;
+  cfg.restart_cost = 10 * kMinute;
+  cfg.window = {0, 10 * kDay};
+  return cfg;
+}
+
+TEST(CheckpointSim, NoFailuresOnlyCheckpointOverhead) {
+  const Trace t = TraceWithFailures({});
+  const EventIndex idx(t);
+  const CheckpointSimConfig cfg = BasicConfig();
+  const CheckpointSimResult r =
+      SimulateCheckpointing(idx, SystemId{0}, cfg, StaticPolicy(kHour));
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_EQ(r.lost_work, 0);
+  EXPECT_GT(r.checkpoints, 0);
+  // Accounting closes: work + checkpoints == window.
+  EXPECT_EQ(r.useful_work + r.checkpoint_time, cfg.window.duration());
+  // Overhead ~ cost/(interval+cost) = 6/66.
+  EXPECT_NEAR(r.overhead, 6.0 / 66.0, 0.01);
+}
+
+TEST(CheckpointSim, FailureLosesWorkSinceCheckpoint) {
+  // One failure at day 1 + 30min; hourly checkpoints mean <= 1h+cost lost.
+  const Trace t = TraceWithFailures({{0, kDay + 30 * kMinute}});
+  const EventIndex idx(t);
+  const CheckpointSimConfig cfg = BasicConfig();
+  const CheckpointSimResult r =
+      SimulateCheckpointing(idx, SystemId{0}, cfg, StaticPolicy(kHour));
+  EXPECT_EQ(r.failures, 1);
+  EXPECT_GT(r.lost_work, 0);
+  EXPECT_LE(r.lost_work, kHour + cfg.checkpoint_cost);
+  EXPECT_EQ(r.restart_time, cfg.restart_cost);
+  EXPECT_EQ(r.useful_work + r.checkpoint_time + r.lost_work + r.restart_time,
+            cfg.window.duration());
+}
+
+TEST(CheckpointSim, FailuresOfOtherNodesDontMatter) {
+  const Trace t = TraceWithFailures({{5, kDay}, {6, 2 * kDay}});
+  const EventIndex idx(t);
+  const CheckpointSimResult r = SimulateCheckpointing(
+      idx, SystemId{0}, BasicConfig(), StaticPolicy(kHour));
+  EXPECT_EQ(r.failures, 0);
+}
+
+TEST(CheckpointSim, BackToBackFailuresAbsorbedByRestart) {
+  // Two failures 2 minutes apart: the second strikes during the restart and
+  // is absorbed (no double restart).
+  const Trace t =
+      TraceWithFailures({{0, kDay}, {1, kDay + 2 * kMinute}});
+  const EventIndex idx(t);
+  const CheckpointSimResult r = SimulateCheckpointing(
+      idx, SystemId{0}, BasicConfig(), StaticPolicy(kHour));
+  EXPECT_EQ(r.failures, 1);
+}
+
+TEST(CheckpointSim, ShorterIntervalLosesLessWorkUnderFire) {
+  // Cluster of failures: a tighter interval preserves more work.
+  std::vector<std::pair<int, TimeSec>> storm;
+  for (int i = 0; i < 20; ++i) {
+    storm.push_back({0, kDay + i * 5 * kHour});
+  }
+  const Trace t = TraceWithFailures(storm);
+  const EventIndex idx(t);
+  const CheckpointSimConfig cfg = BasicConfig();
+  const CheckpointSimResult tight =
+      SimulateCheckpointing(idx, SystemId{0}, cfg, StaticPolicy(kHour));
+  const CheckpointSimResult loose =
+      SimulateCheckpointing(idx, SystemId{0}, cfg, StaticPolicy(8 * kHour));
+  EXPECT_LT(tight.lost_work, loose.lost_work);
+}
+
+TEST(CheckpointSim, AdaptivePolicySwitchesInterval) {
+  const auto policy = AdaptivePolicy(4 * kHour, kHour, kDay,
+                                     {FailureCategory::kEnvironment});
+  EXPECT_EQ(policy(2 * kDay, FailureCategory::kEnvironment), 4 * kHour);
+  EXPECT_EQ(policy(kHour, FailureCategory::kEnvironment), kHour);
+  EXPECT_EQ(policy(kHour, FailureCategory::kHardware), 4 * kHour);
+  EXPECT_EQ(policy(kHour, std::nullopt), 4 * kHour);
+}
+
+TEST(CheckpointSim, AdaptiveBeatsStaticOnBurstyTrace) {
+  // On a correlated (Hawkes) trace, tightening the interval for a day after
+  // each failure preserves work without paying the tight interval's
+  // checkpoint cost all the time.
+  synth::Scenario sc;
+  sc.duration = kYear;
+  auto sys = synth::Group1System("g", 16, kYear);
+  for (double& r : sys.base_rate_per_hour) r *= 60.0;
+  sc.systems.push_back(sys);
+  const Trace t = synth::GenerateTrace(sc, 5);
+  const EventIndex idx(t);
+  CheckpointSimConfig cfg;
+  cfg.nodes = {NodeId{1}, NodeId{2}, NodeId{3}, NodeId{4}};
+  cfg.window = {0, kYear};
+  // Baselines chosen near the Young optimum for the steady-state rate.
+  const CheckpointSimResult fixed =
+      SimulateCheckpointing(idx, SystemId{0}, cfg, StaticPolicy(8 * kHour));
+  const CheckpointSimResult adaptive = SimulateCheckpointing(
+      idx, SystemId{0}, cfg, AdaptivePolicy(8 * kHour, 2 * kHour, 2 * kDay));
+  EXPECT_LT(adaptive.lost_work, fixed.lost_work);
+  EXPECT_LE(adaptive.overhead, fixed.overhead + 0.01);
+}
+
+TEST(CheckpointSim, AccountingAlwaysCloses) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 6);
+  const EventIndex idx(t);
+  CheckpointSimConfig cfg;
+  cfg.nodes = {NodeId{0}, NodeId{5}, NodeId{9}};
+  cfg.window = {10 * kDay, 170 * kDay};
+  for (TimeSec interval : {kHour, 4 * kHour, kDay}) {
+    const CheckpointSimResult r = SimulateCheckpointing(
+        idx, t.systems()[0].id, cfg, StaticPolicy(interval));
+    EXPECT_EQ(
+        r.useful_work + r.checkpoint_time + r.lost_work + r.restart_time,
+        cfg.window.duration())
+        << "interval " << interval;
+    EXPECT_GE(r.overhead, 0.0);
+    EXPECT_LE(r.overhead, 1.0);
+  }
+}
+
+TEST(CheckpointSim, RejectsBadConfig) {
+  const Trace t = TraceWithFailures({});
+  const EventIndex idx(t);
+  CheckpointSimConfig cfg = BasicConfig();
+  cfg.nodes.clear();
+  EXPECT_THROW(
+      SimulateCheckpointing(idx, SystemId{0}, cfg, StaticPolicy(kHour)),
+      std::invalid_argument);
+  cfg = BasicConfig();
+  cfg.window = {10, 10};
+  EXPECT_THROW(
+      SimulateCheckpointing(idx, SystemId{0}, cfg, StaticPolicy(kHour)),
+      std::invalid_argument);
+  EXPECT_THROW(StaticPolicy(0), std::invalid_argument);
+  EXPECT_THROW(AdaptivePolicy(0, kHour, kDay), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

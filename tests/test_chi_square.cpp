@@ -1,0 +1,93 @@
+#include "stats/chi_square.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(GoodnessOfFit, KnownStatistic) {
+  // Observed {10, 20, 30}, expected {20, 20, 20}:
+  // chi2 = 100/20 + 0 + 100/20 = 10, df = 2, p ~ 0.0067.
+  const std::vector<double> obs = {10, 20, 30};
+  const std::vector<double> exp = {20, 20, 20};
+  const ChiSquareResult r = ChiSquareGoodnessOfFit(obs, exp);
+  EXPECT_NEAR(r.statistic, 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.df, 2.0);
+  EXPECT_NEAR(r.p_value, 0.006738, 1e-5);
+  EXPECT_TRUE(r.significant_99);
+}
+
+TEST(GoodnessOfFit, PerfectFit) {
+  const std::vector<double> obs = {5, 5, 5};
+  const ChiSquareResult r = ChiSquareGoodnessOfFit(obs, obs);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+  EXPECT_FALSE(r.significant_99);
+}
+
+TEST(GoodnessOfFit, SkipsZeroExpectationCells) {
+  const std::vector<double> obs = {10, 0, 10};
+  const std::vector<double> exp = {10, 0, 10};
+  const ChiSquareResult r = ChiSquareGoodnessOfFit(obs, exp);
+  EXPECT_DOUBLE_EQ(r.df, 1.0);  // only 2 usable cells
+}
+
+TEST(GoodnessOfFit, RejectsEventsInImpossibleCell) {
+  const std::vector<double> obs = {10, 5};
+  const std::vector<double> exp = {10, 0};
+  EXPECT_THROW(ChiSquareGoodnessOfFit(obs, exp), std::invalid_argument);
+}
+
+TEST(GoodnessOfFit, RejectsSizeMismatch) {
+  const std::vector<double> obs = {1, 2};
+  const std::vector<double> exp = {1, 2, 3};
+  EXPECT_THROW(ChiSquareGoodnessOfFit(obs, exp), std::invalid_argument);
+}
+
+TEST(EqualRates, UniformCountsNotSignificant) {
+  const std::vector<double> counts = {48, 52, 50, 49, 51};
+  const ChiSquareResult r = ChiSquareEqualRates(counts);
+  EXPECT_FALSE(r.significant_99);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(EqualRates, OneHotNodeIsDetected) {
+  // The Fig. 4 situation: one node with 30x the failures of the rest.
+  std::vector<double> counts(100, 3.0);
+  counts[0] = 90.0;
+  const ChiSquareResult r = ChiSquareEqualRates(counts);
+  EXPECT_TRUE(r.significant_99);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(EqualRates, ExposureWeighting) {
+  // Rates equal once exposure is accounted for: not significant.
+  const std::vector<double> counts = {10, 20, 40};
+  const std::vector<double> exposures = {1.0, 2.0, 4.0};
+  const ChiSquareResult r = ChiSquareEqualRates(counts, exposures);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_FALSE(r.significant_99);
+}
+
+TEST(EqualRates, ZeroExposureGroupsSkipped) {
+  const std::vector<double> counts = {10, 0, 12};
+  const std::vector<double> exposures = {1.0, 0.0, 1.0};
+  const ChiSquareResult r = ChiSquareEqualRates(counts, exposures);
+  EXPECT_DOUBLE_EQ(r.df, 1.0);
+}
+
+TEST(EqualRates, RejectsAllZeroExposure) {
+  const std::vector<double> counts = {0, 0};
+  const std::vector<double> exposures = {0.0, 0.0};
+  EXPECT_THROW(ChiSquareEqualRates(counts, exposures), std::invalid_argument);
+}
+
+TEST(EqualRates, RejectsNegativeInput) {
+  const std::vector<double> counts = {-1, 5};
+  EXPECT_THROW(ChiSquareEqualRates(counts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

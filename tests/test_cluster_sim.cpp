@@ -1,0 +1,280 @@
+#include "synth/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace hpcfail::synth {
+namespace {
+
+SystemScenario TestSystem(TimeSec duration = 365 * kDay) {
+  SystemScenario s = Group1System("test", 32, duration);
+  s.nodes_per_rack = 8;
+  // x20 rates so short simulations produce enough events to assert on.
+  for (double& r : s.base_rate_per_hour) r *= 20.0;
+  return s;
+}
+
+ClusterSimResult RunSim(const SystemScenario& s, std::uint64_t seed) {
+  const MachineLayout layout =
+      MachineLayout::Grid(s.num_nodes, s.nodes_per_rack, s.racks_per_row);
+  ClusterSimInput input;
+  input.system = SystemId{0};
+  stats::Rng rng(seed);
+  return SimulateCluster(s, layout, input, rng);
+}
+
+TEST(ClusterSim, ProducesEvents) {
+  const ClusterSimResult r = RunSim(TestSystem(), 1);
+  EXPECT_GT(r.failures.size(), 100u);
+}
+
+TEST(ClusterSim, AllRecordsConsistentAndInWindow) {
+  const SystemScenario s = TestSystem();
+  const ClusterSimResult r = RunSim(s, 2);
+  for (const FailureRecord& f : r.failures) {
+    EXPECT_TRUE(f.consistent());
+    EXPECT_GE(f.start, 0);
+    EXPECT_LT(f.start, s.duration);
+    EXPECT_GT(f.end, f.start);
+    EXPECT_GE(f.node.value, 0);
+    EXPECT_LT(f.node.value, s.num_nodes);
+    EXPECT_EQ(f.system, SystemId{0});
+  }
+  for (const MaintenanceRecord& m : r.maintenance) {
+    EXPECT_GE(m.start, 0);
+    EXPECT_LT(m.start, s.duration);
+    EXPECT_GE(m.end, m.start);
+  }
+}
+
+TEST(ClusterSim, FailuresAreTimeSorted) {
+  const ClusterSimResult r = RunSim(TestSystem(), 3);
+  EXPECT_TRUE(std::is_sorted(
+      r.failures.begin(), r.failures.end(),
+      [](const FailureRecord& a, const FailureRecord& b) {
+        return a.start < b.start;
+      }));
+}
+
+TEST(ClusterSim, DeterministicPerSeed) {
+  const SystemScenario s = TestSystem();
+  const ClusterSimResult a = RunSim(s, 4);
+  const ClusterSimResult b = RunSim(s, 4);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.maintenance, b.maintenance);
+  EXPECT_EQ(a.chiller_events, b.chiller_events);
+}
+
+TEST(ClusterSim, DifferentSeedsDiffer) {
+  const SystemScenario s = TestSystem();
+  const ClusterSimResult a = RunSim(s, 5);
+  const ClusterSimResult b = RunSim(s, 6);
+  EXPECT_NE(a.failures.size(), b.failures.size());
+}
+
+TEST(ClusterSim, SubcategoriesMatchCategories) {
+  const ClusterSimResult r = RunSim(TestSystem(), 7);
+  int hw_with_component = 0;
+  for (const FailureRecord& f : r.failures) {
+    if (f.category == FailureCategory::kHardware) {
+      EXPECT_TRUE(f.hardware.has_value());
+      ++hw_with_component;
+    }
+    if (f.category == FailureCategory::kSoftware) {
+      EXPECT_TRUE(f.software.has_value());
+    }
+    if (f.category == FailureCategory::kEnvironment) {
+      EXPECT_TRUE(f.environment.has_value());
+    }
+  }
+  EXPECT_GT(hw_with_component, 0);
+}
+
+TEST(ClusterSim, HardwareMixRoughlyHonored) {
+  const SystemScenario s = TestSystem(3 * kYear);
+  const ClusterSimResult r = RunSim(s, 8);
+  std::map<HardwareComponent, int> counts;
+  int hw_total = 0;
+  for (const FailureRecord& f : r.failures) {
+    if (f.hardware) {
+      ++counts[*f.hardware];
+      ++hw_total;
+    }
+  }
+  ASSERT_GT(hw_total, 500);
+  // CPU ~40% and memory ~20% of hardware failures (Section III.A.4). The
+  // same-component cascade inheritance preserves the marginal mix.
+  const double cpu_share =
+      static_cast<double>(counts[HardwareComponent::kCpu]) / hw_total;
+  const double mem_share =
+      static_cast<double>(counts[HardwareComponent::kMemory]) / hw_total;
+  EXPECT_NEAR(cpu_share, 0.40, 0.10);
+  EXPECT_NEAR(mem_share, 0.20, 0.08);
+}
+
+TEST(ClusterSim, NodeZeroIsFailureProne) {
+  const SystemScenario s = TestSystem(3 * kYear);
+  const ClusterSimResult r = RunSim(s, 9);
+  std::vector<int> per_node(static_cast<std::size_t>(s.num_nodes), 0);
+  for (const FailureRecord& f : r.failures) {
+    ++per_node[static_cast<std::size_t>(f.node.value)];
+  }
+  double mean_rest = 0.0;
+  for (std::size_t n = 1; n < per_node.size(); ++n) mean_rest += per_node[n];
+  mean_rest /= static_cast<double>(per_node.size() - 1);
+  EXPECT_GT(per_node[0], 3.0 * mean_rest);
+}
+
+TEST(ClusterSim, SelfExcitationRaisesShortGapFrequency) {
+  // Inter-failure gaps on the same node must be overdispersed relative to a
+  // Poisson process: the fraction of gaps under 2 days should clearly exceed
+  // the exponential prediction with the same mean.
+  const SystemScenario s = TestSystem(3 * kYear);
+  const ClusterSimResult r = RunSim(s, 10);
+  std::vector<std::vector<TimeSec>> per_node(
+      static_cast<std::size_t>(s.num_nodes));
+  for (const FailureRecord& f : r.failures) {
+    per_node[static_cast<std::size_t>(f.node.value)].push_back(f.start);
+  }
+  double short_gaps = 0, gaps = 0, total_gap = 0;
+  for (const auto& times : per_node) {
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      const TimeSec gap = times[i] - times[i - 1];
+      ++gaps;
+      total_gap += static_cast<double>(gap);
+      if (gap < 2 * kDay) ++short_gaps;
+    }
+  }
+  ASSERT_GT(gaps, 200);
+  const double observed_short = short_gaps / gaps;
+  const double mean_gap = total_gap / gaps;
+  const double poisson_short =
+      1.0 - std::exp(-2.0 * static_cast<double>(kDay) / mean_gap);
+  EXPECT_GT(observed_short, 1.5 * poisson_short);
+}
+
+TEST(ClusterSim, FacilityOutagesHitMultipleNodesAtOnce) {
+  SystemScenario s = TestSystem(3 * kYear);
+  s.power_outage.events_per_year = 4.0;
+  const ClusterSimResult r = RunSim(s, 11);
+  // Group outage records within an 11-minute jitter window.
+  std::vector<TimeSec> outage_times;
+  for (const FailureRecord& f : r.failures) {
+    if (f.environment == EnvironmentEvent::kPowerOutage) {
+      outage_times.push_back(f.start);
+    }
+  }
+  ASSERT_GT(outage_times.size(), 8u);
+  std::sort(outage_times.begin(), outage_times.end());
+  int best_burst = 1, current = 1;
+  for (std::size_t i = 1; i < outage_times.size(); ++i) {
+    if (outage_times[i] - outage_times[i - 1] <= 11 * kMinute) {
+      best_burst = std::max(best_burst, ++current);
+    } else {
+      current = 1;
+    }
+  }
+  EXPECT_GE(best_burst, s.power_outage.min_nodes_affected / 2);
+}
+
+TEST(ClusterSim, ChillerEventsAreReported) {
+  SystemScenario s = TestSystem(3 * kYear);
+  s.chiller_failure.events_per_year = 5.0;
+  const ClusterSimResult r = RunSim(s, 12);
+  EXPECT_GT(r.chiller_events.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(r.chiller_events.begin(),
+                             r.chiller_events.end()));
+}
+
+TEST(ClusterSim, UsageMultiplierRaisesRates) {
+  SystemScenario s = TestSystem(kYear);
+  s.node0_rate_multiplier = {1, 1, 1, 1, 1, 1};  // isolate the usage effect
+  const MachineLayout layout =
+      MachineLayout::Grid(s.num_nodes, s.nodes_per_rack, s.racks_per_row);
+  ClusterSimInput hot;
+  hot.system = SystemId{0};
+  hot.usage_multiplier.assign(static_cast<std::size_t>(s.num_nodes), 1.0);
+  // Crank the first half of the nodes.
+  for (int n = 0; n < s.num_nodes / 2; ++n) {
+    hot.usage_multiplier[static_cast<std::size_t>(n)] = 3.0;
+  }
+  stats::Rng rng(13);
+  const ClusterSimResult r = SimulateCluster(s, layout, hot, rng);
+  long long first_half = 0, second_half = 0;
+  for (const FailureRecord& f : r.failures) {
+    (f.node.value < s.num_nodes / 2 ? first_half : second_half) += 1;
+  }
+  EXPECT_GT(first_half, 2 * second_half);
+}
+
+TEST(ClusterSim, ChurnTriggersProduceFailures) {
+  SystemScenario s = TestSystem(kYear);
+  for (double& r : s.base_rate_per_hour) r = 0.0;  // churn only
+  s.power_outage.events_per_year = 0.0;
+  s.power_spike.events_per_year = 0.0;
+  s.ups_failure.events_per_year = 0.0;
+  s.chiller_failure.events_per_year = 0.0;
+  s.base_maintenance_per_hour = 0.0;
+  s.workload.job_churn_hazard = 0.05;
+  const MachineLayout layout =
+      MachineLayout::Grid(s.num_nodes, s.nodes_per_rack, s.racks_per_row);
+  ClusterSimInput input;
+  input.system = SystemId{0};
+  for (int i = 0; i < 2000; ++i) {
+    input.churn.push_back({NodeId{i % s.num_nodes},
+                           static_cast<TimeSec>(i) * kHour, 1.0});
+  }
+  stats::Rng rng(14);
+  const ClusterSimResult r = SimulateCluster(s, layout, input, rng);
+  // ~2000 * 0.05 = 100 direct churn failures plus their cascades.
+  EXPECT_GT(r.failures.size(), 50u);
+  EXPECT_LT(r.failures.size(), 400u);
+}
+
+TEST(ClusterSim, CpuFluxFactorTiltsCpuFailures) {
+  SystemScenario s = TestSystem(kYear);
+  const MachineLayout layout =
+      MachineLayout::Grid(s.num_nodes, s.nodes_per_rack, s.racks_per_row);
+  ClusterSimInput input;
+  input.system = SystemId{0};
+  // First half of the year: 3x CPU hazard; second half: 0.3x.
+  input.cpu_flux_factor.assign(13, 0.3);
+  for (int m = 0; m < 6; ++m) input.cpu_flux_factor[m] = 3.0;
+  stats::Rng rng(15);
+  const ClusterSimResult r = SimulateCluster(s, layout, input, rng);
+  int cpu_first = 0, cpu_second = 0;
+  for (const FailureRecord& f : r.failures) {
+    if (f.hardware == HardwareComponent::kCpu) {
+      (f.start < s.duration / 2 ? cpu_first : cpu_second) += 1;
+    }
+  }
+  EXPECT_GT(cpu_first, 2 * cpu_second);
+}
+
+TEST(ClusterSim, ZeroRatesProduceNoFailures) {
+  SystemScenario s = TestSystem(kYear);
+  for (double& r : s.base_rate_per_hour) r = 0.0;
+  s.power_outage.events_per_year = 0.0;
+  s.power_spike.events_per_year = 0.0;
+  s.ups_failure.events_per_year = 0.0;
+  s.chiller_failure.events_per_year = 0.0;
+  s.base_maintenance_per_hour = 0.0;
+  const ClusterSimResult r = RunSim(s, 16);
+  EXPECT_TRUE(r.failures.empty());
+  EXPECT_TRUE(r.maintenance.empty());
+}
+
+TEST(ClusterSim, SingleNodeSystemWorks) {
+  SystemScenario s = TestSystem(kYear);
+  s.num_nodes = 1;
+  s.nodes_per_rack = 1;
+  const ClusterSimResult r = RunSim(s, 17);
+  for (const FailureRecord& f : r.failures) {
+    EXPECT_EQ(f.node, NodeId{0});
+  }
+}
+
+}  // namespace
+}  // namespace hpcfail::synth

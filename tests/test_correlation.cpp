@@ -1,0 +1,120 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  const CorrelationResult r = PearsonCorrelation(x, y);
+  EXPECT_NEAR(r.r, 1.0, 1e-12);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_TRUE(r.significant_95);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y).r, -1.0, 1e-12);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 1, 4, 3, 5};
+  // r = 0.8 for this classic example.
+  EXPECT_NEAR(PearsonCorrelation(x, y).r, 0.8, 1e-12);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  const std::vector<double> x = {3, 3, 3, 3};
+  const std::vector<double> y = {1, 2, 3, 4};
+  const CorrelationResult r = PearsonCorrelation(x, y);
+  EXPECT_DOUBLE_EQ(r.r, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(Pearson, RejectsBadInput) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1, 2};
+  EXPECT_THROW(PearsonCorrelation(x, y), std::invalid_argument);
+  const std::vector<double> z = {1, 2, 3};
+  EXPECT_THROW(PearsonCorrelation(x, z), std::invalid_argument);
+}
+
+TEST(Pearson, InvariantUnderAffineTransform) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(rng.Normal());
+    y.push_back(0.5 * x.back() + rng.Normal());
+  }
+  const double r1 = PearsonCorrelation(x, y).r;
+  std::vector<double> x2;
+  for (double v : x) x2.push_back(3.0 * v - 7.0);
+  EXPECT_NEAR(PearsonCorrelation(x2, y).r, r1, 1e-12);
+}
+
+TEST(Pearson, IndependentDataNotSignificant) {
+  Rng rng(99);
+  int significant = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 40; ++i) {
+      x.push_back(rng.Normal());
+      y.push_back(rng.Normal());
+    }
+    if (PearsonCorrelation(x, y).significant_95) ++significant;
+  }
+  EXPECT_LT(significant, 25);  // ~5% expected
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};  // x^3
+  EXPECT_NEAR(SpearmanCorrelation(x, y).r, 1.0, 1e-12);
+  // Pearson is below 1 for the same data.
+  EXPECT_LT(PearsonCorrelation(x, y).r, 1.0);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(SpearmanCorrelation(x, y).r, 1.0, 1e-12);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> x = {1, 3, 2, 5, 4, 6};
+  const std::vector<double> acf = Autocorrelation(x, 2);
+  ASSERT_EQ(acf.size(), 3u);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegativeAtLagOne) {
+  std::vector<double> x;
+  for (int i = 0; i < 50; ++i) x.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  const std::vector<double> acf = Autocorrelation(x, 1);
+  EXPECT_LT(acf[1], -0.9);
+}
+
+TEST(Autocorrelation, ConstantSeries) {
+  const std::vector<double> x = {2, 2, 2, 2};
+  const std::vector<double> acf = Autocorrelation(x, 2);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  EXPECT_DOUBLE_EQ(acf[1], 0.0);
+}
+
+TEST(Autocorrelation, RejectsBadLag) {
+  const std::vector<double> x = {1, 2, 3};
+  EXPECT_THROW(Autocorrelation(x, 3), std::invalid_argument);
+  EXPECT_THROW(Autocorrelation(x, -1), std::invalid_argument);
+  EXPECT_THROW(Autocorrelation({}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

@@ -1,0 +1,120 @@
+#include "core/cosmic_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+// A group-1 system with strong CPU-flux coupling over a long window.
+Trace CosmicTrace(double exponent, std::uint64_t seed) {
+  synth::Scenario sc;
+  sc.duration = 5 * kYear;
+  sc.neutron.cycle_amplitude = 800.0;  // strong swing over the window
+  auto sys = synth::Group1System("sys", 64, 5 * kYear);
+  for (double& r : sys.base_rate_per_hour) r *= 10.0;  // dense statistics
+  sys.cpu_flux_exponent = exponent;
+  sc.systems.push_back(sys);
+  return synth::GenerateTrace(sc, seed);
+}
+
+TEST(Cosmic, SeriesCoverMonths) {
+  const Trace t = CosmicTrace(2.5, 71);
+  const EventIndex idx(t);
+  const CosmicAnalysis c = AnalyzeCosmic(idx, SystemId{0});
+  EXPECT_GT(c.dram.size(), 50u);
+  EXPECT_EQ(c.dram.size(), c.cpu.size());
+  for (const MonthlyFluxPoint& p : c.dram) {
+    EXPECT_GT(p.avg_neutron_counts, 0.0);
+    EXPECT_GE(p.failure_probability, 0.0);
+    EXPECT_LE(p.failure_probability, 1.0);
+  }
+}
+
+TEST(Cosmic, CpuCorrelatedWhenCoupled) {
+  // Section IX / Fig. 14 right: CPU failures track neutron flux.
+  const Trace t = CosmicTrace(2.5, 72);
+  const EventIndex idx(t);
+  const CosmicAnalysis c = AnalyzeCosmic(idx, SystemId{0});
+  EXPECT_GT(c.cpu_corr.r, 0.2);
+  EXPECT_GT(c.cpu_glm.coefficient("neutron_counts").estimate, 0.0);
+  EXPECT_LT(c.cpu_glm.coefficient("neutron_counts").p_value, 0.05);
+}
+
+TEST(Cosmic, DramUncorrelated) {
+  // Fig. 14 left: no DRAM-flux association (ECC masks soft errors).
+  const Trace t = CosmicTrace(2.5, 73);
+  const EventIndex idx(t);
+  const CosmicAnalysis c = AnalyzeCosmic(idx, SystemId{0});
+  EXPECT_LT(std::abs(c.dram_corr.r), 0.25);
+}
+
+TEST(Cosmic, NoCouplingMeansNoCpuCorrelation) {
+  // System-20-like negative control: exponent 0.
+  const Trace t = CosmicTrace(0.0, 74);
+  const EventIndex idx(t);
+  const CosmicAnalysis c = AnalyzeCosmic(idx, SystemId{0});
+  EXPECT_GT(c.cpu_glm.coefficient("neutron_counts").p_value, 0.01);
+}
+
+TEST(Cosmic, ThrowsWithoutNeutronSeries) {
+  Trace t;
+  SystemConfig cfg;
+  cfg.id = SystemId{0};
+  cfg.name = "sys";
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 4;
+  cfg.observed = {0, kYear};
+  t.AddSystem(cfg);
+  t.Finalize();
+  const EventIndex idx(t);
+  EXPECT_THROW(AnalyzeCosmic(idx, SystemId{0}), std::invalid_argument);
+}
+
+TEST(Cosmic, ThrowsOnSubMonthTrace) {
+  Trace t;
+  SystemConfig cfg;
+  cfg.id = SystemId{0};
+  cfg.name = "sys";
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 4;
+  cfg.observed = {0, 10 * kDay};
+  t.AddSystem(cfg);
+  t.SetNeutronSeries({{0, 4000.0}});
+  t.Finalize();
+  const EventIndex idx(t);
+  EXPECT_THROW(AnalyzeCosmic(idx, SystemId{0}), std::invalid_argument);
+}
+
+TEST(Cosmic, FailingNodesCountedDistinctly) {
+  // Two failures of the same node in one month count one failing node.
+  Trace t;
+  SystemConfig cfg;
+  cfg.id = SystemId{0};
+  cfg.name = "sys";
+  cfg.num_nodes = 10;
+  cfg.procs_per_node = 4;
+  cfg.observed = {0, 2 * kMonth};
+  t.AddSystem(cfg);
+  t.SetNeutronSeries({{0, 4000.0}, {kMonth, 4100.0}});
+  t.AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{3}, kDay, kDay + kHour,
+                                   HardwareComponent::kMemory));
+  t.AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{3}, 2 * kDay,
+                                   2 * kDay + kHour,
+                                   HardwareComponent::kMemory));
+  t.AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{4}, kMonth + kDay,
+                                   kMonth + kDay + kHour,
+                                   HardwareComponent::kCpu));
+  t.Finalize();
+  const EventIndex idx(t);
+  const CosmicAnalysis c = AnalyzeCosmic(idx, SystemId{0});
+  ASSERT_EQ(c.dram.size(), 2u);
+  EXPECT_EQ(c.dram[0].failing_nodes, 1);
+  EXPECT_DOUBLE_EQ(c.dram[0].failure_probability, 0.1);
+  EXPECT_EQ(c.dram[1].failing_nodes, 0);
+  EXPECT_EQ(c.cpu[1].failing_nodes, 1);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

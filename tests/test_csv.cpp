@@ -1,0 +1,201 @@
+#include "trace/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "synth/generate.h"
+
+namespace hpcfail::csv {
+namespace {
+
+TEST(SplitLine, BasicSplitting) {
+  EXPECT_EQ(SplitLine("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitLine(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitLine(","), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Failures, RoundTrip) {
+  std::vector<FailureRecord> in;
+  in.push_back(MakeHardwareFailure(SystemId{1}, NodeId{2}, 100, 200,
+                                   HardwareComponent::kMemory));
+  in.push_back(MakeSoftwareFailure(SystemId{1}, NodeId{3}, 300, 400,
+                                   SoftwareComponent::kDst));
+  in.push_back(MakeEnvironmentFailure(SystemId{2}, NodeId{0}, 500, 600,
+                                      EnvironmentEvent::kUps));
+  in.push_back(
+      MakeFailure(SystemId{2}, NodeId{1}, 700, 800, FailureCategory::kHuman));
+  std::stringstream ss;
+  WriteFailures(ss, in);
+  const std::vector<FailureRecord> out = ReadFailures(ss);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Failures, RejectsBadHeader) {
+  std::stringstream ss("wrong,header\n");
+  EXPECT_THROW(ReadFailures(ss), ParseError);
+}
+
+TEST(Failures, RejectsWrongFieldCount) {
+  std::stringstream ss("system,node,start,end,category,subcategory\n1,2,3\n");
+  try {
+    ReadFailures(ss);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Failures, RejectsUnknownCategory) {
+  std::stringstream ss(
+      "system,node,start,end,category,subcategory\n1,2,3,4,gremlins,\n");
+  EXPECT_THROW(ReadFailures(ss), ParseError);
+}
+
+TEST(Failures, RejectsSubcategoryOnPlainCategory) {
+  std::stringstream ss(
+      "system,node,start,end,category,subcategory\n1,2,3,4,human,cpu\n");
+  EXPECT_THROW(ReadFailures(ss), ParseError);
+}
+
+TEST(Failures, RejectsNonNumericFields) {
+  std::stringstream ss(
+      "system,node,start,end,category,subcategory\n1,two,3,4,human,\n");
+  EXPECT_THROW(ReadFailures(ss), ParseError);
+}
+
+TEST(Failures, SkipsEmptyLines) {
+  std::stringstream ss(
+      "system,node,start,end,category,subcategory\n\n1,2,3,4,human,\n\n");
+  EXPECT_EQ(ReadFailures(ss).size(), 1u);
+}
+
+TEST(Failures, EmptyInputThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(ReadFailures(ss), ParseError);
+}
+
+TEST(Maintenance, RoundTrip) {
+  std::vector<MaintenanceRecord> in = {{SystemId{0}, NodeId{1}, 10, 20},
+                                       {SystemId{1}, NodeId{2}, 30, 40}};
+  std::stringstream ss;
+  WriteMaintenance(ss, in);
+  EXPECT_EQ(ReadMaintenance(ss), in);
+}
+
+TEST(Maintenance, RejectsNegativeWindow) {
+  std::stringstream ss("system,node,start,end\n0,1,100,50\n");
+  EXPECT_THROW(ReadMaintenance(ss), ParseError);
+}
+
+TEST(Jobs, RoundTrip) {
+  std::vector<JobRecord> in;
+  JobRecord j;
+  j.id = JobId{7};
+  j.system = SystemId{1};
+  j.user = UserId{42};
+  j.submit = 100;
+  j.dispatch = 150;
+  j.end = 500;
+  j.procs = 8;
+  j.nodes = {NodeId{3}, NodeId{5}};
+  j.killed_by_node_failure = true;
+  in.push_back(j);
+  j.id = JobId{8};
+  j.nodes = {NodeId{0}};
+  j.killed_by_node_failure = false;
+  in.push_back(j);
+  std::stringstream ss;
+  WriteJobs(ss, in);
+  EXPECT_EQ(ReadJobs(ss), in);
+}
+
+TEST(Jobs, RejectsInconsistentRecord) {
+  std::stringstream ss(
+      "job,system,user,submit,dispatch,end,procs,nodes,killed_by_node_failure"
+      "\n1,0,1,100,50,200,4,0;1,0\n");
+  EXPECT_THROW(ReadJobs(ss), ParseError);
+}
+
+TEST(Temperatures, RoundTrip) {
+  std::vector<TemperatureSample> in = {{SystemId{0}, NodeId{1}, 100, 25.5},
+                                       {SystemId{0}, NodeId{2}, 200, -3.25}};
+  std::stringstream ss;
+  WriteTemperatures(ss, in);
+  EXPECT_EQ(ReadTemperatures(ss), in);
+}
+
+TEST(Neutrons, RoundTrip) {
+  std::vector<NeutronSample> in = {{0, 4000.5}, {kMonth, 4100.25}};
+  std::stringstream ss;
+  WriteNeutrons(ss, in);
+  EXPECT_EQ(ReadNeutrons(ss), in);
+}
+
+TEST(Systems, RoundTrip) {
+  SystemConfig c;
+  c.id = SystemId{2};
+  c.name = "system2";
+  c.group = SystemGroup::kNuma;
+  c.num_nodes = 32;
+  c.procs_per_node = 128;
+  c.observed = {0, kYear};
+  std::stringstream ss;
+  WriteSystems(ss, {c});
+  const auto out = ReadSystems(ss);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, c.id);
+  EXPECT_EQ(out[0].name, c.name);
+  EXPECT_EQ(out[0].group, c.group);
+  EXPECT_EQ(out[0].num_nodes, c.num_nodes);
+  EXPECT_EQ(out[0].procs_per_node, c.procs_per_node);
+  EXPECT_EQ(out[0].observed, c.observed);
+}
+
+TEST(Layout, RoundTrip) {
+  const MachineLayout layout = MachineLayout::Grid(8, 4, 2);
+  std::stringstream ss;
+  WriteLayout(ss, SystemId{5}, layout);
+  const auto rows = ReadLayout(ss);
+  ASSERT_EQ(rows.size(), 8u);
+  for (const auto& [sys, p] : rows) {
+    EXPECT_EQ(sys, SystemId{5});
+    EXPECT_EQ(layout.placement(p.node), p);
+  }
+}
+
+TEST(TraceDirectory, SaveLoadRoundTrip) {
+  const auto scenario = synth::TinyScenario(60 * kDay);
+  const Trace in = synth::GenerateTrace(scenario, 7);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "hpcfail_csv_test").string();
+  SaveTrace(in, dir);
+  const Trace out = LoadTrace(dir);
+  EXPECT_EQ(in.failures(), out.failures());
+  EXPECT_EQ(in.maintenance(), out.maintenance());
+  EXPECT_EQ(in.jobs(), out.jobs());
+  EXPECT_EQ(in.neutron_series(), out.neutron_series());
+  ASSERT_EQ(in.systems().size(), out.systems().size());
+  for (std::size_t i = 0; i < in.systems().size(); ++i) {
+    EXPECT_EQ(in.systems()[i].name, out.systems()[i].name);
+    EXPECT_EQ(in.systems()[i].layout.placements(),
+              out.systems()[i].layout.placements());
+  }
+  // Temperatures round-trip through decimal formatting; spot-check counts
+  // and one value rather than full bitwise equality.
+  ASSERT_EQ(in.temperatures().size(), out.temperatures().size());
+  if (!in.temperatures().empty()) {
+    EXPECT_NEAR(in.temperatures()[0].celsius, out.temperatures()[0].celsius,
+                1e-4);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceDirectory, LoadMissingDirectoryThrows) {
+  EXPECT_THROW(LoadTrace("/nonexistent/hpcfail"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcfail::csv

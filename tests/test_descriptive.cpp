@@ -1,0 +1,83 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcfail::stats {
+namespace {
+
+const std::vector<double> kSample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Mean, KnownValue) { EXPECT_DOUBLE_EQ(Mean(kSample), 5.0); }
+
+TEST(Mean, ThrowsOnEmpty) {
+  EXPECT_THROW(Mean(std::span<const double>{}), std::invalid_argument);
+}
+
+TEST(Variance, SampleVariance) {
+  // Sum of squared deviations = 32, n-1 = 7.
+  EXPECT_NEAR(Variance(kSample), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Variance, PopulationVariance) {
+  EXPECT_NEAR(PopulationVariance(kSample), 4.0, 1e-12);
+}
+
+TEST(Variance, DegenerateCases) {
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(Variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationVariance(one), 0.0);
+}
+
+TEST(StdDev, IsSqrtOfVariance) {
+  EXPECT_NEAR(StdDev(kSample) * StdDev(kSample), Variance(kSample), 1e-12);
+}
+
+TEST(MinMax, KnownValues) {
+  EXPECT_DOUBLE_EQ(Min(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(Max(kSample), 9.0);
+}
+
+TEST(Sum, KahanAccuracy) {
+  // 1 + 1e16 - 1e16 naive summation would lose the 1.
+  const std::vector<double> v = {1.0, 1e16, -1e16};
+  EXPECT_DOUBLE_EQ(Sum(v), 1.0);
+}
+
+TEST(Quantile, MedianAndInterpolation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> v = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Median(v), 5.0);
+}
+
+TEST(Quantile, RejectsBadArguments) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(Quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(Quantile(v, 1.1), std::invalid_argument);
+  EXPECT_THROW(Quantile(std::span<const double>{}, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  const std::vector<double> v = {-1.0, 0.5, 1.5, 2.5, 10.0};
+  const std::vector<int> h = Histogram(v, 0.0, 3.0, 3);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], 2);  // -1.0 clamped in, 0.5
+  EXPECT_EQ(h[1], 1);  // 1.5
+  EXPECT_EQ(h[2], 2);  // 2.5, 10.0 clamped in
+}
+
+TEST(Histogram, RejectsBadArguments) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(Histogram(v, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(v, 1.0, 1.0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

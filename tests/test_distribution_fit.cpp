@@ -1,0 +1,179 @@
+#include "stats/distribution_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace hpcfail::stats {
+namespace {
+
+std::vector<double> Draw(Rng& rng, Distribution d, double p1, double p2,
+                         int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    switch (d) {
+      case Distribution::kExponential:
+        out.push_back(rng.Exponential(p1));
+        break;
+      case Distribution::kWeibull: {
+        // Inverse CDF: lambda * (-ln U)^{1/k}.
+        out.push_back(p2 * std::pow(-std::log(1.0 - rng.Uniform()),
+                                    1.0 / p1));
+        break;
+      }
+      case Distribution::kLogNormal:
+        out.push_back(rng.LogNormal(p1, p2));
+        break;
+      case Distribution::kGamma: {
+        std::gamma_distribution<double> g(p1, 1.0 / p2);
+        out.push_back(g(rng.engine()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(FitExponential, RecoversRate) {
+  Rng rng(1);
+  const auto xs = Draw(rng, Distribution::kExponential, 2.5, 0.0, 5000);
+  const DistributionFit fit = FitExponential(xs);
+  EXPECT_NEAR(fit.param1, 2.5, 0.1);
+  EXPECT_NEAR(fit.Mean(), 0.4, 0.02);
+  EXPECT_GT(fit.ks_p_value, 0.01);  // correct model fits
+}
+
+TEST(FitWeibull, RecoversShapeAndScale) {
+  Rng rng(2);
+  const auto xs = Draw(rng, Distribution::kWeibull, 0.7, 3.0, 5000);
+  const DistributionFit fit = FitWeibull(xs);
+  EXPECT_NEAR(fit.param1, 0.7, 0.05);
+  EXPECT_NEAR(fit.param2, 3.0, 0.25);
+  EXPECT_GT(fit.ks_p_value, 0.01);
+}
+
+TEST(FitWeibull, ShapeOneMatchesExponential) {
+  Rng rng(3);
+  const auto xs = Draw(rng, Distribution::kExponential, 1.5, 0.0, 5000);
+  const DistributionFit w = FitWeibull(xs);
+  EXPECT_NEAR(w.param1, 1.0, 0.06);  // exponential == Weibull shape 1
+}
+
+TEST(FitLogNormal, RecoversParameters) {
+  Rng rng(4);
+  const auto xs = Draw(rng, Distribution::kLogNormal, 0.5, 1.2, 5000);
+  const DistributionFit fit = FitLogNormal(xs);
+  EXPECT_NEAR(fit.param1, 0.5, 0.06);
+  EXPECT_NEAR(fit.param2, 1.2, 0.06);
+  EXPECT_GT(fit.ks_p_value, 0.01);
+}
+
+TEST(FitGamma, RecoversParameters) {
+  Rng rng(5);
+  const auto xs = Draw(rng, Distribution::kGamma, 2.0, 0.5, 5000);
+  const DistributionFit fit = FitGamma(xs);
+  EXPECT_NEAR(fit.param1, 2.0, 0.2);
+  EXPECT_NEAR(fit.param2, 0.5, 0.06);
+  EXPECT_NEAR(fit.Mean(), 4.0, 0.2);
+}
+
+TEST(FitAll, SelectsTrueModelByAic) {
+  Rng rng(6);
+  const auto xs = Draw(rng, Distribution::kLogNormal, 0.0, 1.5, 4000);
+  const auto fits = FitAll(xs);
+  ASSERT_EQ(fits.size(), 4u);
+  EXPECT_EQ(fits[0].distribution, Distribution::kLogNormal);
+  for (std::size_t i = 1; i < fits.size(); ++i) {
+    EXPECT_GE(fits[i].aic, fits[i - 1].aic);
+  }
+}
+
+TEST(FitAll, ExponentialDataKeepsExponentialCompetitive) {
+  // On exponential data the nesting 2-parameter families (Weibull, gamma)
+  // cannot beat the exponential by more than sampling noise plus the AIC
+  // penalty, so the exponential stays within a few AIC units of the best.
+  Rng rng(7);
+  const auto xs = Draw(rng, Distribution::kExponential, 1.0, 0.0, 3000);
+  const auto fits = FitAll(xs);
+  double exp_aic = 0.0;
+  for (const DistributionFit& f : fits) {
+    if (f.distribution == Distribution::kExponential) exp_aic = f.aic;
+  }
+  EXPECT_LT(exp_aic - fits.front().aic, 10.0);
+}
+
+TEST(KsTest, DetectsWrongModel) {
+  Rng rng(8);
+  // Heavy-tailed lognormal data vs exponential fit: KS must reject.
+  const auto xs = Draw(rng, Distribution::kLogNormal, 0.0, 2.0, 2000);
+  const DistributionFit expo = FitExponential(xs);
+  EXPECT_LT(expo.ks_p_value, 0.01);
+}
+
+TEST(KsStatistic, PerfectFitIsSmall) {
+  Rng rng(9);
+  const auto xs = Draw(rng, Distribution::kExponential, 1.0, 0.0, 2000);
+  const DistributionFit fit = FitExponential(xs);
+  EXPECT_LT(fit.ks_statistic, 0.05);
+}
+
+TEST(KolmogorovPValue, KnownBehaviour) {
+  EXPECT_DOUBLE_EQ(KolmogorovPValue(0.0, 100), 1.0);
+  // sqrt(n)*D = 1.36 is the classic 5% critical point.
+  EXPECT_NEAR(KolmogorovPValue(0.136, 100), 0.05, 0.01);
+  EXPECT_LT(KolmogorovPValue(0.3, 100), 1e-6);
+}
+
+TEST(DistributionFit, CdfProperties) {
+  Rng rng(10);
+  const auto xs = Draw(rng, Distribution::kWeibull, 1.5, 2.0, 500);
+  for (const DistributionFit& fit : FitAll(xs)) {
+    EXPECT_DOUBLE_EQ(fit.Cdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(fit.Cdf(-1.0), 0.0);
+    double prev = 0.0;
+    for (double x = 0.1; x < 20.0; x += 0.5) {
+      const double c = fit.Cdf(x);
+      EXPECT_GE(c, prev - 1e-12);
+      EXPECT_LE(c, 1.0);
+      prev = c;
+    }
+    EXPECT_GT(fit.Cdf(1e6), 0.999);
+  }
+}
+
+TEST(DistributionFit, RejectsBadInput) {
+  const std::vector<double> too_few = {1.0, 2.0};
+  EXPECT_THROW(FitExponential(too_few), std::invalid_argument);
+  const std::vector<double> with_zero = {1.0, 0.0, 2.0};
+  EXPECT_THROW(FitWeibull(with_zero), std::invalid_argument);
+  const std::vector<double> with_negative = {1.0, -2.0, 2.0};
+  EXPECT_THROW(FitGamma(with_negative), std::invalid_argument);
+}
+
+TEST(ToString, Names) {
+  EXPECT_EQ(ToString(Distribution::kExponential), "exponential");
+  EXPECT_EQ(ToString(Distribution::kWeibull), "weibull");
+  EXPECT_EQ(ToString(Distribution::kLogNormal), "lognormal");
+  EXPECT_EQ(ToString(Distribution::kGamma), "gamma");
+}
+
+// Property sweep: Weibull MLE recovers shapes across the clustering (<1)
+// and wear-out (>1) regimes.
+class WeibullShapeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeibullShapeTest, ShapeRecovered) {
+  const double shape = GetParam();
+  Rng rng(static_cast<std::uint64_t>(shape * 1000));
+  const auto xs = Draw(rng, Distribution::kWeibull, shape, 1.0, 4000);
+  const DistributionFit fit = FitWeibull(xs);
+  EXPECT_NEAR(fit.param1, shape, 0.08 * shape + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeibullShapeTest,
+                         ::testing::Values(0.4, 0.7, 1.0, 1.5, 2.5, 4.0));
+
+}  // namespace
+}  // namespace hpcfail::stats

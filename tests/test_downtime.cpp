@@ -1,0 +1,87 @@
+#include "core/downtime.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+Trace HandTrace() {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sys";
+  c.num_nodes = 4;
+  c.procs_per_node = 4;
+  c.observed = {0, 100 * kDay};
+  t.AddSystem(c);
+  // Node 0: 2h hardware outage; node 1: 6h software outage + 4h maintenance.
+  t.AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{0}, 10 * kDay,
+                                   10 * kDay + 2 * kHour,
+                                   HardwareComponent::kCpu));
+  t.AddFailure(MakeSoftwareFailure(SystemId{0}, NodeId{1}, 20 * kDay,
+                                   20 * kDay + 6 * kHour,
+                                   SoftwareComponent::kOs));
+  t.AddMaintenance({SystemId{0}, NodeId{1}, 30 * kDay, 30 * kDay + 4 * kHour});
+  t.Finalize();
+  return t;
+}
+
+TEST(Downtime, SummariesAreExact) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  const DowntimeAnalysis a = AnalyzeDowntime(idx, SystemId{0});
+  EXPECT_EQ(a.overall.count, 2);
+  EXPECT_DOUBLE_EQ(a.overall.mean_hours, 4.0);
+  EXPECT_DOUBLE_EQ(a.overall.median_hours, 4.0);
+  EXPECT_DOUBLE_EQ(a.overall.total_hours, 8.0);
+  const auto hw = static_cast<std::size_t>(FailureCategory::kHardware);
+  const auto sw = static_cast<std::size_t>(FailureCategory::kSoftware);
+  EXPECT_EQ(a.by_category[hw].count, 1);
+  EXPECT_DOUBLE_EQ(a.by_category[hw].mean_hours, 2.0);
+  EXPECT_DOUBLE_EQ(a.by_category[sw].mean_hours, 6.0);
+}
+
+TEST(Downtime, AvailabilityIncludesMaintenance) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  const DowntimeAnalysis a = AnalyzeDowntime(idx, SystemId{0});
+  // Total down: 2 + 6 + 4 = 12 hours over 4 nodes x 2400 hours.
+  EXPECT_NEAR(a.availability, 1.0 - 12.0 / (4.0 * 2400.0), 1e-12);
+  // Worst node is node 1 (10h down).
+  EXPECT_EQ(a.worst_node, NodeId{1});
+  EXPECT_NEAR(a.worst_node_availability, 1.0 - 10.0 / 2400.0, 1e-12);
+}
+
+TEST(Downtime, EmptySystem) {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "idle";
+  c.num_nodes = 2;
+  c.procs_per_node = 4;
+  c.observed = {0, kYear};
+  t.AddSystem(c);
+  t.Finalize();
+  const EventIndex idx(t);
+  const DowntimeAnalysis a = AnalyzeDowntime(idx, SystemId{0});
+  EXPECT_EQ(a.overall.count, 0);
+  EXPECT_DOUBLE_EQ(a.availability, 1.0);
+}
+
+TEST(Downtime, GeneratedTraceIsPlausible) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 9);
+  const EventIndex idx(t);
+  const DowntimeAnalysis a = AnalyzeDowntime(idx, t.systems()[0].id);
+  EXPECT_GT(a.overall.count, 50);
+  // Downtime medians around the configured 2h lognormal median.
+  EXPECT_GT(a.overall.median_hours, 0.5);
+  EXPECT_LT(a.overall.median_hours, 8.0);
+  EXPECT_GT(a.availability, 0.8);
+  EXPECT_LE(a.availability, 1.0);
+  EXPECT_GE(a.overall.p90_hours, a.overall.median_hours);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

@@ -1,0 +1,75 @@
+#include "trace/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcfail {
+namespace {
+
+std::vector<TemperatureSample> Samples(NodeId node,
+                                       std::initializer_list<double> temps) {
+  std::vector<TemperatureSample> out;
+  TimeSec t = 0;
+  for (double c : temps) {
+    out.push_back({SystemId{0}, node, t, c});
+    t += kHour;
+  }
+  return out;
+}
+
+TEST(SummarizeTemperature, EmptyInput) {
+  const TemperatureSummary s = SummarizeTemperature({}, NodeId{0});
+  EXPECT_EQ(s.num_samples, 0);
+  EXPECT_EQ(s.avg, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(SummarizeTemperature, BasicStatistics) {
+  const auto samples = Samples(NodeId{0}, {20.0, 30.0, 40.0});
+  const TemperatureSummary s = SummarizeTemperature(samples, NodeId{0});
+  EXPECT_EQ(s.num_samples, 3);
+  EXPECT_DOUBLE_EQ(s.avg, 30.0);
+  EXPECT_DOUBLE_EQ(s.max, 40.0);
+  // Population variance of {20,30,40} = 200/3.
+  EXPECT_NEAR(s.variance, 200.0 / 3.0, 1e-9);
+  EXPECT_EQ(s.num_high_temp, 0);  // 40.0 is not > 40.0
+}
+
+TEST(SummarizeTemperature, CountsHighTempExcursions) {
+  const auto samples = Samples(NodeId{0}, {35.0, 41.0, 45.0, 39.9});
+  const TemperatureSummary s = SummarizeTemperature(samples, NodeId{0});
+  EXPECT_EQ(s.num_high_temp, 2);
+}
+
+TEST(SummarizeTemperature, IgnoresOtherNodes) {
+  auto samples = Samples(NodeId{0}, {20.0, 22.0});
+  auto other = Samples(NodeId{1}, {90.0, 95.0});
+  samples.insert(samples.end(), other.begin(), other.end());
+  const TemperatureSummary s = SummarizeTemperature(samples, NodeId{0});
+  EXPECT_EQ(s.num_samples, 2);
+  EXPECT_DOUBLE_EQ(s.avg, 21.0);
+  EXPECT_DOUBLE_EQ(s.max, 22.0);
+}
+
+TEST(SummarizeTemperature, SingleSampleHasZeroVariance) {
+  const auto samples = Samples(NodeId{0}, {25.0});
+  const TemperatureSummary s = SummarizeTemperature(samples, NodeId{0});
+  EXPECT_EQ(s.num_samples, 1);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 25.0);
+}
+
+TEST(SummarizeTemperature, NegativeTemperaturesHandled) {
+  const auto samples = Samples(NodeId{0}, {-10.0, 10.0});
+  const TemperatureSummary s = SummarizeTemperature(samples, NodeId{0});
+  EXPECT_DOUBLE_EQ(s.avg, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.variance, 100.0);
+}
+
+TEST(HighTempThreshold, MatchesPaperTableI) {
+  // Table I: num_hightemp counts samples exceeding 40C.
+  EXPECT_DOUBLE_EQ(kHighTempThresholdC, 40.0);
+}
+
+}  // namespace
+}  // namespace hpcfail

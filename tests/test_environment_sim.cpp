@@ -1,0 +1,165 @@
+#include "synth/environment_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcfail::synth {
+namespace {
+
+SystemScenario TempScenario() {
+  SystemScenario s = Group1System("t", 8, 30 * kDay);
+  s.temperature.enabled = true;
+  s.temperature.sample_interval = kHour;
+  return s;
+}
+
+TEST(TemperatureSim, DisabledProducesNothing) {
+  SystemScenario s = Group1System("t", 8, 30 * kDay);
+  stats::Rng rng(1);
+  EXPECT_TRUE(SimulateTemperature(s, SystemId{0}, {}, {}, rng).empty());
+}
+
+TEST(TemperatureSim, SampleCountAndFields) {
+  const SystemScenario s = TempScenario();
+  stats::Rng rng(2);
+  const auto samples = SimulateTemperature(s, SystemId{4}, {}, {}, rng);
+  EXPECT_EQ(samples.size(),
+            static_cast<std::size_t>(8 * (30 * kDay / kHour)));
+  for (std::size_t i = 0; i < samples.size(); i += 97) {
+    EXPECT_EQ(samples[i].system, SystemId{4});
+    EXPECT_GE(samples[i].node.value, 0);
+    EXPECT_LT(samples[i].node.value, 8);
+    EXPECT_GE(samples[i].time, 0);
+    EXPECT_LT(samples[i].time, 30 * kDay);
+  }
+}
+
+TEST(TemperatureSim, BaselineNearConfiguredMean) {
+  const SystemScenario s = TempScenario();
+  stats::Rng rng(3);
+  const auto samples = SimulateTemperature(s, SystemId{0}, {}, {}, rng);
+  double sum = 0.0;
+  for (const TemperatureSample& t : samples) sum += t.celsius;
+  EXPECT_NEAR(sum / static_cast<double>(samples.size()),
+              s.temperature.baseline_mean_c, 2.0);
+}
+
+TEST(TemperatureSim, FanFailureCausesLocalExcursion) {
+  const SystemScenario s = TempScenario();
+  std::vector<FailureRecord> failures;
+  failures.push_back(MakeHardwareFailure(SystemId{0}, NodeId{3}, 10 * kDay,
+                                         10 * kDay + kHour,
+                                         HardwareComponent::kFan));
+  stats::Rng rng(4);
+  const auto samples = SimulateTemperature(s, SystemId{0}, failures, {}, rng);
+  double peak_node3 = 0.0, peak_node2 = 0.0;
+  for (const TemperatureSample& t : samples) {
+    if (t.time >= 10 * kDay && t.time < 10 * kDay + 6 * kHour) {
+      if (t.node == NodeId{3}) peak_node3 = std::max(peak_node3, t.celsius);
+      if (t.node == NodeId{2}) peak_node2 = std::max(peak_node2, t.celsius);
+    }
+  }
+  // The failing node spikes far above its neighbor.
+  EXPECT_GT(peak_node3, peak_node2 + 10.0);
+  EXPECT_GT(peak_node3, kHighTempThresholdC);
+}
+
+TEST(TemperatureSim, ChillerEventWarmsWholeSystem) {
+  const SystemScenario s = TempScenario();
+  stats::Rng rng(5);
+  const auto samples =
+      SimulateTemperature(s, SystemId{0}, {}, {15 * kDay}, rng);
+  double during = 0.0, before = 0.0;
+  int n_during = 0, n_before = 0;
+  for (const TemperatureSample& t : samples) {
+    if (t.time >= 15 * kDay && t.time < 15 * kDay + 6 * kHour) {
+      during += t.celsius;
+      ++n_during;
+    } else if (t.time >= 14 * kDay && t.time < 14 * kDay + 6 * kHour) {
+      before += t.celsius;
+      ++n_before;
+    }
+  }
+  ASSERT_GT(n_during, 0);
+  ASSERT_GT(n_before, 0);
+  EXPECT_GT(during / n_during, before / n_before + 4.0);
+}
+
+TEST(TemperatureSim, ExcursionDecays) {
+  const SystemScenario s = TempScenario();
+  std::vector<FailureRecord> failures;
+  failures.push_back(MakeHardwareFailure(SystemId{0}, NodeId{0}, 10 * kDay,
+                                         10 * kDay + kHour,
+                                         HardwareComponent::kFan));
+  stats::Rng rng(6);
+  const auto samples = SimulateTemperature(s, SystemId{0}, failures, {}, rng);
+  // Well after excursion_duration the node is back to baseline.
+  double later = 0.0;
+  int n_later = 0;
+  for (const TemperatureSample& t : samples) {
+    if (t.node == NodeId{0} && t.time >= 12 * kDay && t.time < 13 * kDay) {
+      later += t.celsius;
+      ++n_later;
+    }
+  }
+  ASSERT_GT(n_later, 0);
+  EXPECT_LT(later / n_later, kHighTempThresholdC);
+}
+
+TEST(NeutronSim, SeriesLengthAndPositivity) {
+  NeutronSpec spec;
+  stats::Rng rng(7);
+  const auto series = SimulateNeutronSeries(spec, 3 * kYear, rng);
+  // One sample at every interval start strictly inside [0, duration).
+  EXPECT_EQ(series.size(),
+            static_cast<std::size_t>((3 * kYear + kMonth - 1) / kMonth));
+  for (const NeutronSample& s : series) {
+    EXPECT_GT(s.counts_per_minute, 0.0);
+  }
+}
+
+TEST(NeutronSim, SolarCycleCreatesTrend) {
+  NeutronSpec spec;
+  spec.noise_stddev = 0.0;
+  stats::Rng rng(8);
+  const auto series = SimulateNeutronSeries(spec, 5 * kYear, rng);
+  // Starting at the minimum of the cycle, counts must rise over the window.
+  EXPECT_GT(series.back().counts_per_minute,
+            series.front().counts_per_minute + 100.0);
+}
+
+TEST(CpuFluxFactors, EmptyOrZeroExponentIsFlat) {
+  const auto flat = CpuFluxFactors({}, 4000.0, 2.0, kYear);
+  for (double f : flat) EXPECT_DOUBLE_EQ(f, 1.0);
+  NeutronSpec spec;
+  stats::Rng rng(9);
+  const auto series = SimulateNeutronSeries(spec, kYear, rng);
+  const auto zero = CpuFluxFactors(series, 4000.0, 0.0, kYear);
+  for (double f : zero) EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(CpuFluxFactors, TracksFluxMonotonically) {
+  std::vector<NeutronSample> series;
+  for (int m = 0; m < 12; ++m) {
+    series.push_back({static_cast<TimeSec>(m) * kMonth,
+                      3500.0 + 100.0 * m});
+  }
+  const auto factors = CpuFluxFactors(series, 4000.0, 2.0, kYear);
+  // ceil(365d / 30d) = 13 months; the last has no samples and stays at 1.
+  ASSERT_EQ(factors.size(), 13u);
+  EXPECT_LT(factors.front(), 1.0);
+  EXPECT_GT(factors[11], 1.0);
+  EXPECT_DOUBLE_EQ(factors[12], 1.0);
+  for (std::size_t m = 1; m < 12; ++m) {
+    EXPECT_GE(factors[m], factors[m - 1]);
+  }
+}
+
+TEST(CpuFluxFactors, ClampsExtremes) {
+  std::vector<NeutronSample> series = {{0, 100000.0}, {kMonth, 1.0}};
+  const auto factors = CpuFluxFactors(series, 4000.0, 3.0, 2 * kMonth);
+  EXPECT_DOUBLE_EQ(factors[0], 3.0);
+  EXPECT_DOUBLE_EQ(factors[1], 0.3);
+}
+
+}  // namespace
+}  // namespace hpcfail::synth

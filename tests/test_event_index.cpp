@@ -1,0 +1,197 @@
+#include "core/event_index.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+// A hand-built trace with known failures.
+Trace HandTrace() {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sys0";
+  c.num_nodes = 8;
+  c.procs_per_node = 4;
+  c.observed = {0, 100 * kDay};
+  c.layout = MachineLayout::Grid(8, 4, 2);  // racks {0..3}, {4..7}
+  t.AddSystem(c);
+  SystemConfig d = c;
+  d.id = SystemId{1};
+  d.name = "sys1";
+  t.AddSystem(d);
+
+  // sys0: node 1 fails at day 10 (hw/cpu), day 12 (hw/memory);
+  //        node 2 fails at day 11 (sw/dst); node 5 at day 11 (network).
+  t.AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{1}, 10 * kDay,
+                                   10 * kDay + kHour, HardwareComponent::kCpu));
+  t.AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{1}, 12 * kDay,
+                                   12 * kDay + kHour,
+                                   HardwareComponent::kMemory));
+  t.AddFailure(MakeSoftwareFailure(SystemId{0}, NodeId{2}, 11 * kDay,
+                                   11 * kDay + kHour, SoftwareComponent::kDst));
+  t.AddFailure(MakeFailure(SystemId{0}, NodeId{5}, 11 * kDay,
+                           11 * kDay + kHour, FailureCategory::kNetwork));
+  // sys1: one failure, should not leak into sys0 queries.
+  t.AddFailure(MakeFailure(SystemId{1}, NodeId{0}, 10 * kDay,
+                           10 * kDay + kHour, FailureCategory::kHuman));
+  t.Finalize();
+  return t;
+}
+
+TEST(EventIndex, IndexesAllSystemsByDefault) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  EXPECT_EQ(idx.systems().size(), 2u);
+  EXPECT_EQ(idx.Count(EventFilter::Any()), 5);
+}
+
+TEST(EventIndex, RestrictsToRequestedSystems) {
+  const Trace t = HandTrace();
+  const std::vector<SystemId> only = {SystemId{0}};
+  const EventIndex idx(t, only);
+  EXPECT_EQ(idx.Count(EventFilter::Any()), 4);
+  EXPECT_THROW(idx.failures_of(SystemId{1}), std::out_of_range);
+}
+
+TEST(EventIndex, CountAtNodeRespectsHalfOpenWindow) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  // Window (10d, 12d]: catches the day-12 failure, not the day-10 one.
+  EXPECT_EQ(idx.CountAtNode(SystemId{0}, NodeId{1}, {10 * kDay, 12 * kDay},
+                            EventFilter::Any()),
+            1);
+  // Window (9d, 10d]: catches the day-10 failure exactly at the boundary.
+  EXPECT_EQ(idx.CountAtNode(SystemId{0}, NodeId{1}, {9 * kDay, 10 * kDay},
+                            EventFilter::Any()),
+            1);
+  // Window (12d, 20d]: nothing.
+  EXPECT_EQ(idx.CountAtNode(SystemId{0}, NodeId{1}, {12 * kDay, 20 * kDay},
+                            EventFilter::Any()),
+            0);
+}
+
+TEST(EventIndex, FiltersBySubcategory) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  EXPECT_EQ(idx.CountAtNode(SystemId{0}, NodeId{1}, {0, 50 * kDay},
+                            EventFilter::Of(HardwareComponent::kMemory)),
+            1);
+  EXPECT_EQ(idx.CountAtNode(SystemId{0}, NodeId{1}, {0, 50 * kDay},
+                            EventFilter::Of(HardwareComponent::kCpu)),
+            1);
+  EXPECT_EQ(idx.CountAtNode(SystemId{0}, NodeId{1}, {0, 50 * kDay},
+                            EventFilter::Of(SoftwareComponent::kDst)),
+            0);
+}
+
+TEST(EventIndex, RackPeersExcludeSelf) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  // Node 1's rack is {0,1,2,3}. Window (10d, 12d] contains node 2's failure
+  // (same rack) and node 1's own day-12 failure (excluded: self).
+  EXPECT_TRUE(idx.AnyAtRackPeers(SystemId{0}, NodeId{1},
+                                 {10 * kDay, 12 * kDay}, EventFilter::Any()));
+  // Node 5's rack is {4..7}: no peer failures there.
+  EXPECT_FALSE(idx.AnyAtRackPeers(SystemId{0}, NodeId{5},
+                                  {0, 50 * kDay}, EventFilter::Any()));
+}
+
+TEST(EventIndex, DistinctRackPeerCounting) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  int peers = 0;
+  const int hit = idx.DistinctRackPeersWithEvent(
+      SystemId{0}, NodeId{1}, {9 * kDay, 13 * kDay}, EventFilter::Any(),
+      &peers);
+  EXPECT_EQ(peers, 3);  // rack of 4 minus self
+  EXPECT_EQ(hit, 1);    // only node 2
+}
+
+TEST(EventIndex, DistinctSystemPeerCounting) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  int peers = 0;
+  const int hit = idx.DistinctSystemPeersWithEvent(
+      SystemId{0}, NodeId{1}, {9 * kDay, 13 * kDay}, EventFilter::Any(),
+      &peers);
+  EXPECT_EQ(peers, 7);
+  EXPECT_EQ(hit, 2);  // nodes 2 and 5
+}
+
+TEST(EventIndex, RepeatFailuresOnOneNodeCountOnceAsPeer) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  // From node 2's perspective: node 1 fails twice in (9d, 13d], node 5 once.
+  int peers = 0;
+  const int hit = idx.DistinctSystemPeersWithEvent(
+      SystemId{0}, NodeId{2}, {9 * kDay, 13 * kDay}, EventFilter::Any(),
+      &peers);
+  EXPECT_EQ(hit, 2);  // node 1 (twice -> once) + node 5
+}
+
+TEST(EventIndex, NodeCounts) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  const std::vector<int> counts =
+      idx.NodeCounts(SystemId{0}, EventFilter::Any());
+  ASSERT_EQ(counts.size(), 8u);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[5], 1);
+  EXPECT_EQ(counts[0], 0);
+}
+
+TEST(EventIndex, ForEachVisitsMatchesOnly) {
+  const Trace t = HandTrace();
+  const EventIndex idx(t);
+  int visits = 0;
+  idx.ForEach(EventFilter::Of(FailureCategory::kHardware),
+              [&visits](SystemId sys, const FailureRecord& f) {
+                EXPECT_EQ(sys, SystemId{0});
+                EXPECT_EQ(f.category, FailureCategory::kHardware);
+                ++visits;
+              });
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(EventFilter, DescribeIsHumanReadable) {
+  EXPECT_EQ(EventFilter::Any().Describe(), "any");
+  EXPECT_EQ(EventFilter::Of(FailureCategory::kNetwork).Describe(), "network");
+  EXPECT_EQ(EventFilter::Of(HardwareComponent::kFan).Describe(), "fan");
+  EXPECT_EQ(EventFilter::Of(EnvironmentEvent::kUps).Describe(), "ups");
+}
+
+// Property: binary-searched window queries agree with a naive scan on a
+// generated trace, across random windows.
+TEST(EventIndexProperty, WindowQueriesMatchNaiveScan) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 3);
+  const EventIndex idx(t);
+  const SystemId sys = t.systems()[0].id;
+  const auto failures = t.FailuresOfSystem(sys);
+  stats::Rng rng(99);
+  const EventFilter filters[] = {
+      EventFilter::Any(), EventFilter::Of(FailureCategory::kHardware),
+      EventFilter::Of(HardwareComponent::kMemory)};
+  for (int rep = 0; rep < 200; ++rep) {
+    const NodeId node{static_cast<int>(rng.Index(16))};
+    const TimeSec begin = rng.Int(0, 180 * kDay);
+    const TimeInterval w{begin, begin + rng.Int(kHour, 30 * kDay)};
+    for (const EventFilter& f : filters) {
+      int naive = 0;
+      for (const FailureRecord& r : failures) {
+        if (r.node == node && r.start > w.begin && r.start <= w.end &&
+            f.Matches(r)) {
+          ++naive;
+        }
+      }
+      EXPECT_EQ(idx.CountAtNode(sys, node, w, f), naive);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpcfail::core

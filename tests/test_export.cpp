@@ -1,0 +1,148 @@
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+int CountLines(const std::string& s) {
+  int n = 0;
+  for (char c : s) n += c == '\n' ? 1 : 0;
+  return n;
+}
+
+std::vector<std::string> SplitCsvRow(const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  return out;
+}
+
+class ExportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new Trace(synth::GenerateTrace(synth::TinyScenario(), 77));
+    index_ = new EventIndex(*trace_);
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete trace_;
+    index_ = nullptr;
+    trace_ = nullptr;
+  }
+  static Trace* trace_;
+  static EventIndex* index_;
+};
+Trace* ExportTest::trace_ = nullptr;
+EventIndex* ExportTest::index_ = nullptr;
+
+TEST_F(ExportTest, TriggerSeriesHasOneRowPerCategory) {
+  const WindowAnalyzer a(*index_);
+  std::ostringstream os;
+  ExportTriggerSeries(os, a, Scope::kSameNode, kWeek);
+  const std::string out = os.str();
+  EXPECT_EQ(CountLines(out), 1 + kNumFailureCategories);
+  EXPECT_EQ(out.substr(0, 7), "trigger");
+  // Every data row has 8 fields.
+  std::stringstream ss(out);
+  std::string line;
+  std::getline(ss, line);  // header
+  while (std::getline(ss, line)) {
+    EXPECT_EQ(SplitCsvRow(line).size(), 8u) << line;
+  }
+}
+
+TEST_F(ExportTest, TriggerSeriesValuesAreProbabilities) {
+  const WindowAnalyzer a(*index_);
+  std::ostringstream os;
+  ExportTriggerSeries(os, a, Scope::kSameNode, kWeek);
+  std::stringstream ss(os.str());
+  std::string line;
+  std::getline(ss, line);
+  while (std::getline(ss, line)) {
+    const auto f = SplitCsvRow(line);
+    const double conditional = std::stod(f[1]);
+    const double lo = std::stod(f[2]);
+    const double hi = std::stod(f[3]);
+    EXPECT_GE(conditional, 0.0);
+    EXPECT_LE(conditional, 1.0);
+    EXPECT_LE(lo, conditional + 1e-12);
+    EXPECT_GE(hi, conditional - 1e-12);
+  }
+}
+
+TEST_F(ExportTest, PairwiseSeriesShape) {
+  const WindowAnalyzer a(*index_);
+  std::ostringstream os;
+  ExportPairwiseSeries(os, a, Scope::kSameNode, kWeek);
+  EXPECT_EQ(CountLines(os.str()), 1 + kNumFailureCategories);
+}
+
+TEST_F(ExportTest, NodeCountsMatchIndex) {
+  std::ostringstream os;
+  ExportNodeCounts(os, *index_, trace_->systems()[0].id);
+  std::stringstream ss(os.str());
+  std::string line;
+  std::getline(ss, line);
+  long long total = 0;
+  int rows = 0;
+  while (std::getline(ss, line)) {
+    total += std::stoll(SplitCsvRow(line)[1]);
+    ++rows;
+  }
+  EXPECT_EQ(rows, trace_->systems()[0].num_nodes);
+  EXPECT_EQ(total, static_cast<long long>(trace_->num_failures()));
+}
+
+TEST_F(ExportTest, ComponentImpactSeries) {
+  const WindowAnalyzer a(*index_);
+  const auto impacts = HardwareComponentImpact(
+      a, PowerProblemFilter(PowerProblem::kPowerOutage));
+  std::ostringstream os;
+  ExportComponentImpact(os, impacts, "power_outage");
+  EXPECT_EQ(CountLines(os.str()), 1 + kNumHardwareComponents);
+  EXPECT_NE(os.str().find("power_outage,cpu,"), std::string::npos);
+}
+
+TEST_F(ExportTest, SpaceTimeSeries) {
+  const auto points = PowerSpaceTime(*index_, trace_->systems()[0].id);
+  std::ostringstream os;
+  ExportSpaceTime(os, points);
+  EXPECT_EQ(CountLines(os.str()), 1 + static_cast<int>(points.size()));
+}
+
+TEST_F(ExportTest, FluxSeries) {
+  std::vector<MonthlyFluxPoint> series = {
+      {0, 4000.0, 0.05, 2}, {1, 4100.0, 0.0, 0}};
+  std::ostringstream os;
+  ExportFluxSeries(os, series, "dram");
+  const std::string out = os.str();
+  EXPECT_EQ(CountLines(out), 3);
+  EXPECT_NE(out.find("dram,0,4000"), std::string::npos);
+}
+
+TEST(WriteFile, CreatesParentDirectoriesAndWrites) {
+  const auto dir = std::filesystem::temp_directory_path() / "hpcfail_export";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "a" / "b.csv").string();
+  WriteFile(path, "x,y\n1,2\n");
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "x,y");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WriteFile, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(WriteFile("/proc/hpcfail/nope.csv", "x"), std::exception);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

@@ -1,0 +1,118 @@
+#include "trace/failure.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcfail {
+namespace {
+
+TEST(FailureCategory, RoundTripsThroughStrings) {
+  for (FailureCategory c : AllFailureCategories()) {
+    const auto parsed = ParseFailureCategory(ToString(c));
+    ASSERT_TRUE(parsed.has_value()) << ToString(c);
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+TEST(HardwareComponent, RoundTripsThroughStrings) {
+  for (HardwareComponent c : AllHardwareComponents()) {
+    const auto parsed = ParseHardwareComponent(ToString(c));
+    ASSERT_TRUE(parsed.has_value()) << ToString(c);
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+TEST(SoftwareComponent, RoundTripsThroughStrings) {
+  for (SoftwareComponent c : AllSoftwareComponents()) {
+    const auto parsed = ParseSoftwareComponent(ToString(c));
+    ASSERT_TRUE(parsed.has_value()) << ToString(c);
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+TEST(EnvironmentEvent, RoundTripsThroughStrings) {
+  for (EnvironmentEvent c : AllEnvironmentEvents()) {
+    const auto parsed = ParseEnvironmentEvent(ToString(c));
+    ASSERT_TRUE(parsed.has_value()) << ToString(c);
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+TEST(EnumParsing, RejectsUnknownNames) {
+  EXPECT_FALSE(ParseFailureCategory("bogus").has_value());
+  EXPECT_FALSE(ParseHardwareComponent("HW").has_value());
+  EXPECT_FALSE(ParseSoftwareComponent("").has_value());
+  EXPECT_FALSE(ParseEnvironmentEvent("power").has_value());
+}
+
+TEST(EnumParsing, IsCaseSensitive) {
+  EXPECT_FALSE(ParseFailureCategory("Hardware").has_value());
+  EXPECT_TRUE(ParseFailureCategory("hardware").has_value());
+}
+
+TEST(AllEnumerators, CountsMatchConstants) {
+  EXPECT_EQ(AllFailureCategories().size(),
+            static_cast<std::size_t>(kNumFailureCategories));
+  EXPECT_EQ(AllHardwareComponents().size(),
+            static_cast<std::size_t>(kNumHardwareComponents));
+  EXPECT_EQ(AllSoftwareComponents().size(),
+            static_cast<std::size_t>(kNumSoftwareComponents));
+  EXPECT_EQ(AllEnvironmentEvents().size(),
+            static_cast<std::size_t>(kNumEnvironmentEvents));
+}
+
+TEST(MakeHardwareFailure, ProducesConsistentRecord) {
+  const FailureRecord r = MakeHardwareFailure(
+      SystemId{1}, NodeId{2}, 100, 200, HardwareComponent::kMemory);
+  EXPECT_TRUE(r.consistent());
+  EXPECT_EQ(r.category, FailureCategory::kHardware);
+  EXPECT_EQ(r.hardware, HardwareComponent::kMemory);
+  EXPECT_FALSE(r.software.has_value());
+  EXPECT_FALSE(r.environment.has_value());
+  EXPECT_EQ(r.downtime(), 100);
+}
+
+TEST(MakeSoftwareFailure, ProducesConsistentRecord) {
+  const FailureRecord r = MakeSoftwareFailure(SystemId{0}, NodeId{0}, 0, 60,
+                                              SoftwareComponent::kPfs);
+  EXPECT_TRUE(r.consistent());
+  EXPECT_EQ(r.category, FailureCategory::kSoftware);
+  EXPECT_EQ(r.software, SoftwareComponent::kPfs);
+}
+
+TEST(MakeEnvironmentFailure, ProducesConsistentRecord) {
+  const FailureRecord r = MakeEnvironmentFailure(
+      SystemId{0}, NodeId{3}, 10, 20, EnvironmentEvent::kPowerOutage);
+  EXPECT_TRUE(r.consistent());
+  EXPECT_EQ(r.category, FailureCategory::kEnvironment);
+  EXPECT_EQ(r.environment, EnvironmentEvent::kPowerOutage);
+}
+
+TEST(MakeFailure, PlainCategoriesHaveNoSubcategory) {
+  const FailureRecord r =
+      MakeFailure(SystemId{0}, NodeId{1}, 5, 6, FailureCategory::kNetwork);
+  EXPECT_TRUE(r.consistent());
+  EXPECT_FALSE(r.hardware || r.software || r.environment);
+}
+
+TEST(FailureRecord, InconsistentWhenSubcategoryMismatchesCategory) {
+  FailureRecord r =
+      MakeFailure(SystemId{0}, NodeId{1}, 5, 6, FailureCategory::kNetwork);
+  r.hardware = HardwareComponent::kCpu;
+  EXPECT_FALSE(r.consistent());
+}
+
+TEST(FailureRecord, InconsistentWhenNegativeDowntime) {
+  FailureRecord r =
+      MakeFailure(SystemId{0}, NodeId{1}, 10, 5, FailureCategory::kHuman);
+  EXPECT_FALSE(r.consistent());
+}
+
+TEST(FailureRecord, SoftwareSubcategoryOnHardwareIsInconsistent) {
+  FailureRecord r = MakeHardwareFailure(SystemId{0}, NodeId{0}, 0, 1,
+                                        HardwareComponent::kCpu);
+  r.software = SoftwareComponent::kOs;
+  EXPECT_FALSE(r.consistent());
+}
+
+}  // namespace
+}  // namespace hpcfail

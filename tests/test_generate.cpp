@@ -1,0 +1,118 @@
+#include "synth/generate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hpcfail::synth {
+namespace {
+
+TEST(Generate, TinyScenarioProducesCompleteTrace) {
+  const Trace t = GenerateTrace(TinyScenario(), 1);
+  EXPECT_TRUE(t.finalized());
+  ASSERT_EQ(t.systems().size(), 1u);
+  EXPECT_GT(t.num_failures(), 100u);
+  EXPECT_FALSE(t.jobs().empty());
+  EXPECT_FALSE(t.temperatures().empty());
+  EXPECT_FALSE(t.neutron_series().empty());
+}
+
+TEST(Generate, DeterministicPerSeed) {
+  const Scenario sc = TinyScenario(90 * kDay);
+  const Trace a = GenerateTrace(sc, 7);
+  const Trace b = GenerateTrace(sc, 7);
+  EXPECT_EQ(a.failures(), b.failures());
+  EXPECT_EQ(a.jobs(), b.jobs());
+  EXPECT_EQ(a.maintenance(), b.maintenance());
+  EXPECT_EQ(a.neutron_series(), b.neutron_series());
+}
+
+TEST(Generate, DifferentSeedsDiffer) {
+  const Scenario sc = TinyScenario(90 * kDay);
+  const Trace a = GenerateTrace(sc, 1);
+  const Trace b = GenerateTrace(sc, 2);
+  EXPECT_NE(a.num_failures(), b.num_failures());
+}
+
+TEST(Generate, SystemIdsAreSequential) {
+  const Scenario sc = LanlLikeScenario(0.05, 90 * kDay);
+  const Trace t = GenerateTrace(sc, 3);
+  ASSERT_EQ(t.systems().size(), sc.systems.size());
+  for (std::size_t i = 0; i < t.systems().size(); ++i) {
+    EXPECT_EQ(t.systems()[i].id, SystemId{static_cast<int>(i)});
+    EXPECT_EQ(t.systems()[i].name, sc.systems[i].name);
+  }
+}
+
+TEST(Generate, LayoutCoversAllNodes) {
+  const Trace t = GenerateTrace(TinyScenario(), 4);
+  const SystemConfig& s = t.systems()[0];
+  EXPECT_EQ(s.layout.placements().size(),
+            static_cast<std::size_t>(s.num_nodes));
+}
+
+TEST(Generate, KilledJobsAreExactlyThoseOverlappingFailures) {
+  const Trace t = GenerateTrace(TinyScenario(), 5);
+  // Recompute the flag independently and compare.
+  int killed = 0;
+  for (const JobRecord& j : t.jobs()) {
+    bool overlaps = false;
+    for (const FailureRecord& f : t.failures()) {
+      if (f.system != j.system) continue;
+      if (f.start < j.dispatch || f.start >= j.end) continue;
+      if (std::find(j.nodes.begin(), j.nodes.end(), f.node) !=
+          j.nodes.end()) {
+        overlaps = true;
+        break;
+      }
+    }
+    EXPECT_EQ(j.killed_by_node_failure, overlaps) << "job " << j.id.value;
+    killed += j.killed_by_node_failure ? 1 : 0;
+  }
+  // The tiny scenario's high failure rates guarantee some kills.
+  EXPECT_GT(killed, 0);
+}
+
+TEST(Generate, JobIdsUniqueAcrossSystems) {
+  Scenario sc;
+  sc.duration = 90 * kDay;
+  sc.systems.push_back(System8Like(16, 90 * kDay));
+  sc.systems.push_back(System20Like(16, 90 * kDay));
+  const Trace t = GenerateTrace(sc, 6);
+  std::vector<int> ids;
+  for (const JobRecord& j : t.jobs()) ids.push_back(j.id.value);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(Generate, NeutronSeriesSpansDuration) {
+  const Scenario sc = TinyScenario(180 * kDay);
+  const Trace t = GenerateTrace(sc, 7);
+  ASSERT_FALSE(t.neutron_series().empty());
+  EXPECT_EQ(t.neutron_series().front().time, 0);
+  EXPECT_GE(t.neutron_series().back().time, 150 * kDay);
+}
+
+TEST(Generate, ValidatesScenario) {
+  Scenario bad = TinyScenario();
+  bad.systems[0].num_nodes = 0;
+  EXPECT_THROW(GenerateTrace(bad, 1), std::invalid_argument);
+}
+
+TEST(Generate, TemperatureOnlyForEnabledSystems) {
+  Scenario sc;
+  sc.duration = 60 * kDay;
+  sc.systems.push_back(Group1System("plain", 8, 60 * kDay));
+  sc.systems.push_back(System20Like(8, 60 * kDay));
+  const Trace t = GenerateTrace(sc, 8);
+  bool plain_has_temp = false, s20_has_temp = false;
+  for (const TemperatureSample& s : t.temperatures()) {
+    if (s.system == SystemId{0}) plain_has_temp = true;
+    if (s.system == SystemId{1}) s20_has_temp = true;
+  }
+  EXPECT_FALSE(plain_has_temp);
+  EXPECT_TRUE(s20_has_temp);
+}
+
+}  // namespace
+}  // namespace hpcfail::synth

@@ -1,0 +1,267 @@
+#include "stats/glm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace hpcfail::stats {
+namespace {
+
+// Generates Poisson data with log-link mean exp(b0 + b1 x).
+struct PoissonData {
+  Matrix x;
+  std::vector<double> y;
+};
+
+PoissonData MakePoissonData(double b0, double b1, int n, Rng& rng) {
+  PoissonData d;
+  d.x = Matrix(static_cast<std::size_t>(n), 1);
+  d.y.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Uniform(-1.0, 1.0);
+    d.x(static_cast<std::size_t>(i), 0) = x;
+    d.y[static_cast<std::size_t>(i)] = rng.Poisson(std::exp(b0 + b1 * x));
+  }
+  return d;
+}
+
+TEST(Poisson, RecoversKnownCoefficients) {
+  Rng rng(42);
+  const PoissonData d = MakePoissonData(1.0, 0.7, 4000, rng);
+  const GlmFit fit = FitPoisson(d.x, d.y);
+  EXPECT_TRUE(fit.converged);
+  ASSERT_EQ(fit.coefficients.size(), 2u);
+  EXPECT_EQ(fit.coefficients[0].name, "(Intercept)");
+  EXPECT_NEAR(fit.coefficients[0].estimate, 1.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[1].estimate, 0.7, 0.05);
+}
+
+TEST(Poisson, WaldTestDetectsSignal) {
+  Rng rng(43);
+  const PoissonData d = MakePoissonData(0.5, 0.8, 2000, rng);
+  const GlmFit fit = FitPoisson(d.x, d.y);
+  EXPECT_LT(fit.coefficients[1].p_value, 1e-6);
+  EXPECT_GT(std::abs(fit.coefficients[1].z), 5.0);
+}
+
+TEST(Poisson, NullCovariateNotSignificant) {
+  Rng rng(44);
+  // y independent of x.
+  Matrix x(1000, 1);
+  std::vector<double> y(1000);
+  for (int i = 0; i < 1000; ++i) {
+    x(static_cast<std::size_t>(i), 0) = rng.Uniform(-1.0, 1.0);
+    y[static_cast<std::size_t>(i)] = rng.Poisson(2.0);
+  }
+  const GlmFit fit = FitPoisson(x, y);
+  EXPECT_GT(fit.coefficients[1].p_value, 0.01);
+  EXPECT_NEAR(fit.coefficients[1].estimate, 0.0, 0.1);
+}
+
+TEST(Poisson, InterceptOnlyMatchesLogMean) {
+  const std::vector<double> y = {1, 2, 3, 4, 10};
+  const GlmFit fit = FitPoisson(Matrix(5, 0), y);
+  ASSERT_EQ(fit.coefficients.size(), 1u);
+  EXPECT_NEAR(fit.coefficients[0].estimate, std::log(4.0), 1e-6);
+  EXPECT_NEAR(fit.deviance, fit.null_deviance, 1e-9);
+}
+
+TEST(Poisson, ExposureOffsetRecoversRate) {
+  Rng rng(45);
+  // Counts over varying exposures with constant rate 0.5/unit.
+  const int n = 500;
+  Matrix x(n, 0);
+  std::vector<double> y(n);
+  GlmOptions opts;
+  opts.exposure.resize(n);
+  for (int i = 0; i < n; ++i) {
+    const double e = rng.Uniform(1.0, 50.0);
+    opts.exposure[static_cast<std::size_t>(i)] = e;
+    y[static_cast<std::size_t>(i)] = rng.Poisson(0.5 * e);
+  }
+  const GlmFit fit = FitPoisson(x, y, opts);
+  EXPECT_NEAR(fit.coefficients[0].estimate, std::log(0.5), 0.05);
+}
+
+TEST(Poisson, NamesAreApplied) {
+  Rng rng(46);
+  const PoissonData d = MakePoissonData(0.2, 0.1, 100, rng);
+  GlmOptions opts;
+  opts.names = {"load"};
+  const GlmFit fit = FitPoisson(d.x, d.y, opts);
+  EXPECT_EQ(fit.coefficients[1].name, "load");
+  EXPECT_NO_THROW(fit.coefficient("load"));
+  EXPECT_THROW(fit.coefficient("missing"), std::out_of_range);
+}
+
+TEST(Poisson, PredictMatchesLink) {
+  Rng rng(47);
+  const PoissonData d = MakePoissonData(1.0, 0.5, 2000, rng);
+  const GlmFit fit = FitPoisson(d.x, d.y);
+  const double b0 = fit.coefficients[0].estimate;
+  const double b1 = fit.coefficients[1].estimate;
+  const std::vector<double> row = {0.3};
+  EXPECT_NEAR(fit.Predict(row), std::exp(b0 + 0.3 * b1), 1e-9);
+  EXPECT_NEAR(fit.Predict(row, 10.0), 10.0 * std::exp(b0 + 0.3 * b1), 1e-9);
+}
+
+TEST(Poisson, RejectsBadInput) {
+  Matrix x(3, 1);
+  const std::vector<double> y_neg = {1, -1, 2};
+  EXPECT_THROW(FitPoisson(x, y_neg), std::invalid_argument);
+  const std::vector<double> y_short = {1, 2};
+  EXPECT_THROW(FitPoisson(x, y_short), std::invalid_argument);
+  const std::vector<double> y_ok = {1, 2, 3};
+  GlmOptions opts;
+  opts.exposure = {1.0, 0.0, 1.0};
+  EXPECT_THROW(FitPoisson(x, y_ok, opts), std::invalid_argument);
+}
+
+TEST(Poisson, DevianceDecreasesWithRealCovariate) {
+  Rng rng(48);
+  const PoissonData d = MakePoissonData(0.5, 0.9, 1000, rng);
+  const GlmFit fit = FitPoisson(d.x, d.y);
+  EXPECT_LT(fit.deviance, fit.null_deviance);
+}
+
+TEST(Poisson, ScalingCovariateScalesCoefficient) {
+  Rng rng(49);
+  const PoissonData d = MakePoissonData(0.3, 0.6, 1500, rng);
+  const GlmFit fit1 = FitPoisson(d.x, d.y);
+  Matrix x10 = d.x;
+  for (std::size_t i = 0; i < x10.rows(); ++i) x10(i, 0) *= 10.0;
+  const GlmFit fit10 = FitPoisson(x10, d.y);
+  EXPECT_NEAR(fit10.coefficients[1].estimate,
+              fit1.coefficients[1].estimate / 10.0, 1e-6);
+  // z-statistics are scale invariant.
+  EXPECT_NEAR(fit10.coefficients[1].z, fit1.coefficients[1].z, 1e-4);
+}
+
+TEST(NegativeBinomial, RecoversCoefficientsAndTheta) {
+  Rng rng(50);
+  const double b0 = 1.2, b1 = 0.5, theta = 3.0;
+  const int n = 4000;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    const double xv = rng.Uniform(-1.0, 1.0);
+    x(static_cast<std::size_t>(i), 0) = xv;
+    const double mu = std::exp(b0 + b1 * xv);
+    // NB via gamma-Poisson mixture.
+    std::gamma_distribution<double> gamma(theta, mu / theta);
+    y[static_cast<std::size_t>(i)] = rng.Poisson(gamma(rng.engine()));
+  }
+  const GlmFit fit = FitNegativeBinomial(x, y);
+  EXPECT_NEAR(fit.coefficients[0].estimate, b0, 0.08);
+  EXPECT_NEAR(fit.coefficients[1].estimate, b1, 0.08);
+  EXPECT_NEAR(fit.theta, theta, 0.8);
+}
+
+TEST(NegativeBinomial, NearPoissonDataGivesLargeTheta) {
+  Rng rng(51);
+  const PoissonData d = MakePoissonData(1.0, 0.4, 2000, rng);
+  const GlmFit fit = FitNegativeBinomial(d.x, d.y);
+  // Pure Poisson data: theta should drift to a large value.
+  EXPECT_GT(fit.theta, 50.0);
+  EXPECT_NEAR(fit.coefficients[1].estimate, 0.4, 0.1);
+}
+
+TEST(NegativeBinomial, WiderErrorsThanPoissonOnOverdispersedData) {
+  Rng rng(52);
+  const int n = 2000;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    const double xv = rng.Uniform(-1.0, 1.0);
+    x(static_cast<std::size_t>(i), 0) = xv;
+    const double mu = std::exp(1.0 + 0.5 * xv);
+    std::gamma_distribution<double> gamma(1.0, mu);  // theta = 1, very noisy
+    y[static_cast<std::size_t>(i)] = rng.Poisson(gamma(rng.engine()));
+  }
+  const GlmFit pois = FitPoisson(x, y);
+  const GlmFit nb = FitNegativeBinomial(x, y);
+  // Overdispersion inflates the honest (NB) standard errors.
+  EXPECT_GT(nb.coefficients[1].std_error, pois.coefficients[1].std_error);
+  EXPECT_GT(nb.log_likelihood, pois.log_likelihood);
+}
+
+TEST(Poisson, AllZeroResponseConverges) {
+  // Degenerate but legal data: the MLE intercept runs to -inf; the fit must
+  // stay finite (eta clamp) and predict ~0 rather than blow up.
+  Rng rng(53);
+  Matrix x(50, 1);
+  for (int i = 0; i < 50; ++i) {
+    x(static_cast<std::size_t>(i), 0) = rng.Uniform(-1.0, 1.0);
+  }
+  const std::vector<double> y(50, 0.0);
+  const GlmFit fit = FitPoisson(x, y);
+  EXPECT_TRUE(std::isfinite(fit.coefficients[0].estimate));
+  const std::vector<double> row = {0.0};
+  EXPECT_LT(fit.Predict(row), 1e-6);
+  EXPECT_NEAR(fit.deviance, 0.0, 1e-6);
+}
+
+TEST(Poisson, NearCollinearCovariatesStaySolvable) {
+  // Two covariates differing by 1e-8 noise: the ridge keeps the IRLS solve
+  // alive; the *sum* of the two coefficients is identified even though the
+  // split is not.
+  Rng rng(54);
+  const int n = 1000;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Uniform(-1.0, 1.0);
+    x(static_cast<std::size_t>(i), 0) = v;
+    x(static_cast<std::size_t>(i), 1) = v + 1e-8 * rng.Normal();
+    y[static_cast<std::size_t>(i)] = rng.Poisson(std::exp(0.5 + 0.6 * v));
+  }
+  const GlmFit fit = FitPoisson(x, y);
+  const double sum =
+      fit.coefficients[1].estimate + fit.coefficients[2].estimate;
+  EXPECT_NEAR(sum, 0.6, 0.1);
+  EXPECT_TRUE(std::isfinite(fit.coefficients[1].std_error));
+}
+
+TEST(Poisson, LargeCountsHandled) {
+  Rng rng(55);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.Uniform(-0.5, 0.5);
+    x(static_cast<std::size_t>(i), 0) = v;
+    y[static_cast<std::size_t>(i)] = rng.Poisson(std::exp(8.0 + v));
+  }
+  const GlmFit fit = FitPoisson(x, y);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.coefficients[0].estimate, 8.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[1].estimate, 1.0, 0.1);
+}
+
+TEST(NegativeBinomial, AllZeroResponseStaysFinite) {
+  Matrix x(20, 0);
+  const std::vector<double> y(20, 0.0);
+  const GlmFit fit = FitNegativeBinomial(x, y);
+  EXPECT_TRUE(std::isfinite(fit.coefficients[0].estimate));
+  EXPECT_TRUE(std::isfinite(fit.theta));
+}
+
+TEST(LogLikelihoods, HandComputedValues) {
+  const std::vector<double> y = {0, 1, 2};
+  const std::vector<double> mu = {0.5, 1.0, 2.0};
+  // Poisson: sum y log mu - mu - log(y!).
+  const double expected = (0.0 - 0.5 - 0.0) + (0.0 - 1.0 - 0.0) +
+                          (2.0 * std::log(2.0) - 2.0 - std::log(2.0));
+  EXPECT_NEAR(PoissonLogLikelihood(y, mu), expected, 1e-12);
+}
+
+TEST(LogLikelihoods, NegBinApproachesPoissonForLargeTheta) {
+  const std::vector<double> y = {0, 1, 2, 5};
+  const std::vector<double> mu = {0.5, 1.0, 2.0, 4.0};
+  EXPECT_NEAR(NegativeBinomialLogLikelihood(y, mu, 1e7),
+              PoissonLogLikelihood(y, mu), 1e-3);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

@@ -1,0 +1,234 @@
+// End-to-end integration: generate a LANL-like trace and verify that every
+// analysis rediscovers the structure the generator injected — the full
+// pipeline the benches run, at reduced scale.
+#include <gtest/gtest.h>
+
+#include "core/cosmic_analysis.h"
+#include "core/joint_regression.h"
+#include "core/node_skew.h"
+#include "core/power_analysis.h"
+#include "core/report.h"
+#include "core/temperature_analysis.h"
+#include "core/usage_analysis.h"
+#include "core/user_analysis.h"
+#include "core/window_analysis.h"
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new Trace(
+        synth::GenerateTrace(synth::LanlLikeScenario(0.25, 2 * kYear), 2013));
+    g1_ = new EventIndex(*trace_, SystemsOfGroup(*trace_, SystemGroup::kSmp));
+    g2_ = new EventIndex(*trace_, SystemsOfGroup(*trace_, SystemGroup::kNuma));
+  }
+  static void TearDownTestSuite() {
+    delete g1_;
+    delete g2_;
+    delete trace_;
+    g1_ = g2_ = nullptr;
+    trace_ = nullptr;
+  }
+
+  static Trace* trace_;
+  static EventIndex* g1_;
+  static EventIndex* g2_;
+};
+
+Trace* IntegrationTest::trace_ = nullptr;
+EventIndex* IntegrationTest::g1_ = nullptr;
+EventIndex* IntegrationTest::g2_ = nullptr;
+
+TEST_F(IntegrationTest, UnconditionalDailyProbabilitiesMatchPaperOrder) {
+  const WindowAnalyzer a1(*g1_), a2(*g2_);
+  const auto b1 = a1.BaselineProbability(EventFilter::Any(), kDay);
+  const auto b2 = a2.BaselineProbability(EventFilter::Any(), kDay);
+  // Paper: 0.31% (group 1) and 4.6% (group 2).
+  EXPECT_GT(b1.estimate, 0.001);
+  EXPECT_LT(b1.estimate, 0.008);
+  EXPECT_GT(b2.estimate, 0.02);
+  EXPECT_LT(b2.estimate, 0.09);
+}
+
+TEST_F(IntegrationTest, SameNodeCorrelationSignificant) {
+  for (const EventIndex* idx : {g1_, g2_}) {
+    const WindowAnalyzer a(*idx);
+    const auto day =
+        a.Compare(EventFilter::Any(), EventFilter::Any(), Scope::kSameNode,
+                  kDay);
+    EXPECT_GT(day.factor, 3.0);
+    EXPECT_TRUE(day.test.significant_99);
+  }
+}
+
+TEST_F(IntegrationTest, EnvironmentAndNetworkAreStrongestTriggers) {
+  // Fig. 1a: env/net triggers beat the hardware trigger in group 1.
+  const WindowAnalyzer a(*g1_);
+  const auto env = a.Compare(EventFilter::Of(FailureCategory::kEnvironment),
+                             EventFilter::Any(), Scope::kSameNode, kWeek);
+  const auto net = a.Compare(EventFilter::Of(FailureCategory::kNetwork),
+                             EventFilter::Any(), Scope::kSameNode, kWeek);
+  const auto hw = a.Compare(EventFilter::Of(FailureCategory::kHardware),
+                            EventFilter::Any(), Scope::kSameNode, kWeek);
+  EXPECT_GT(env.factor, hw.factor);
+  EXPECT_GT(net.factor, hw.factor);
+  // Paper: 30-50% chance of failure in the week after env/net failures.
+  EXPECT_GT(env.conditional.estimate, 0.25);
+}
+
+TEST_F(IntegrationTest, SameTypeFollowUpStrongerThanAnyType) {
+  // Fig. 1b: same-type follow-up factors dwarf any-type factors.
+  const WindowAnalyzer a(*g1_);
+  for (FailureCategory c : {FailureCategory::kEnvironment,
+                            FailureCategory::kNetwork,
+                            FailureCategory::kSoftware}) {
+    const auto same = a.Compare(EventFilter::Of(c), EventFilter::Of(c),
+                                Scope::kSameNode, kWeek);
+    const auto baseline_factor =
+        a.Compare(EventFilter::Any(), EventFilter::Of(c), Scope::kSameNode,
+                  kWeek);
+    EXPECT_GT(same.factor, baseline_factor.factor)
+        << "category " << ToString(c);
+  }
+}
+
+TEST_F(IntegrationTest, MemoryBegetsMemory) {
+  // Section III.A.4: the weekly memory-after-memory probability is tens of
+  // times the random-week probability.
+  const WindowAnalyzer a(*g1_);
+  const auto mem = a.Compare(EventFilter::Of(HardwareComponent::kMemory),
+                             EventFilter::Of(HardwareComponent::kMemory),
+                             Scope::kSameNode, kWeek);
+  EXPECT_GT(mem.factor, 10.0);
+  EXPECT_TRUE(mem.test.significant_99);
+}
+
+TEST_F(IntegrationTest, RackCorrelationWeakerThanNodeStrongerThanBaseline) {
+  const WindowAnalyzer a(*g1_);
+  const auto node = a.Compare(EventFilter::Any(), EventFilter::Any(),
+                              Scope::kSameNode, kDay);
+  const auto rack = a.Compare(EventFilter::Any(), EventFilter::Any(),
+                              Scope::kRackPeers, kDay);
+  EXPECT_GT(rack.factor, 1.2);
+  EXPECT_LT(rack.factor, node.factor);
+}
+
+TEST_F(IntegrationTest, SystemCorrelationWeakest) {
+  const WindowAnalyzer a(*g1_);
+  const auto rack = a.Compare(EventFilter::Any(), EventFilter::Any(),
+                              Scope::kRackPeers, kWeek);
+  const auto sys = a.Compare(EventFilter::Any(), EventFilter::Any(),
+                             Scope::kSystemPeers, kWeek);
+  EXPECT_GT(sys.factor, 1.0);
+  EXPECT_LT(sys.factor, rack.factor);
+}
+
+TEST_F(IntegrationTest, NodeZeroSkewAcrossBigSystems) {
+  // Fig. 4: node 0 tops every large group-1 system, and equal rates are
+  // rejected even after removing it.
+  for (const SystemConfig& s : trace_->systems()) {
+    if (s.group != SystemGroup::kSmp || s.num_nodes < 100) continue;
+    const NodeSkewSummary skew = AnalyzeNodeSkew(*g1_, s.id);
+    EXPECT_EQ(skew.most_failing_node, NodeId{0}) << s.name;
+    EXPECT_GT(skew.max_over_mean, 5.0) << s.name;
+    EXPECT_TRUE(skew.equal_rates_test.significant_99) << s.name;
+    EXPECT_TRUE(skew.equal_rates_test_excl_top.significant_99) << s.name;
+  }
+}
+
+TEST_F(IntegrationTest, ProneNodeShiftsToSoftwareDominance) {
+  // Fig. 5: hardware dominates the rest; software/network/env dominate
+  // node 0.
+  for (const SystemConfig& s : trace_->systems()) {
+    if (s.name != "system20") continue;
+    const BreakdownComparison b = CompareBreakdown(*g1_, s.id, NodeId{0});
+    const auto hw = static_cast<std::size_t>(FailureCategory::kHardware);
+    const auto sw = static_cast<std::size_t>(FailureCategory::kSoftware);
+    EXPECT_GT(b.rest_percent[hw], b.rest_percent[sw]);
+    EXPECT_GT(b.node_percent[sw] + b.node_percent[static_cast<std::size_t>(
+                                       FailureCategory::kNetwork)],
+              b.node_percent[hw]);
+  }
+}
+
+TEST_F(IntegrationTest, PowerEventsRaiseHardwareAndSoftwareFailures) {
+  const WindowAnalyzer a(*g1_);
+  const auto hw_rows =
+      PowerImpactOn(a, EventFilter::Of(FailureCategory::kHardware));
+  const auto sw_rows =
+      PowerImpactOn(a, EventFilter::Of(FailureCategory::kSoftware));
+  for (const auto& rows : {hw_rows, sw_rows}) {
+    for (const PowerImpactRow& r : rows) {
+      if (r.month.num_triggers < 10) continue;
+      EXPECT_GT(r.month.factor, 1.5) << ToString(r.problem);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, EnvBreakdownDominatedByPower) {
+  const EnvironmentBreakdown b = BreakdownEnvironment(*g1_);
+  ASSERT_GT(b.total, 100);
+  const double outage =
+      b.percent[static_cast<std::size_t>(EnvironmentEvent::kPowerOutage)];
+  // Fig. 9: outages are the single largest subcategory (49%).
+  for (std::size_t i = 0; i < b.percent.size(); ++i) {
+    if (i == static_cast<std::size_t>(EnvironmentEvent::kPowerOutage)) {
+      continue;
+    }
+    EXPECT_GE(outage, b.percent[i]);
+  }
+}
+
+TEST_F(IntegrationTest, UsageCorrelatesWithFailures) {
+  for (SystemId sys : SystemsWithJobs(*trace_)) {
+    const UsageAnalysis u = AnalyzeUsage(*g1_, sys);
+    EXPECT_GT(u.jobs_vs_failures.r, 0.05);
+    EXPECT_LT(u.jobs_vs_failures_excl_top.r, u.jobs_vs_failures.r);
+  }
+}
+
+TEST_F(IntegrationTest, UserFailureRatesHeterogeneous) {
+  for (SystemId sys : SystemsWithJobs(*trace_)) {
+    const UserAnalysis u = AnalyzeUsers(*trace_, sys, 50);
+    EXPECT_TRUE(u.rate_heterogeneity.significant_99);
+  }
+}
+
+TEST_F(IntegrationTest, TemperatureInsignificantButFanFailuresMatter) {
+  const auto temp_systems = SystemsWithTemperature(*trace_);
+  ASSERT_FALSE(temp_systems.empty());
+  const auto regs = RegressFailuresOnTemperature(*g1_, temp_systems[0]);
+  for (const TemperatureRegression& r : regs) {
+    if (r.covariate == "avg_temp" && r.target == "hardware") {
+      EXPECT_GT(r.negbin_p, 0.01);
+    }
+  }
+  const WindowAnalyzer a(*g1_);
+  const auto cooling = CoolingFailureImpact(a);
+  EXPECT_GT(cooling[0].month.factor, 2.0);  // fans
+}
+
+TEST_F(IntegrationTest, CosmicCouplingOnlyWhereInjected) {
+  // Group-1 systems except system20 carry the CPU-flux coupling.
+  for (const SystemConfig& s : trace_->systems()) {
+    if (s.name == "system18") {
+      const CosmicAnalysis c = AnalyzeCosmic(*g1_, s.id);
+      EXPECT_GT(c.cpu_corr.r, 0.0);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, JointRegressionFindsUsageSignificant) {
+  const auto temp_systems = SystemsWithTemperature(*trace_);
+  ASSERT_FALSE(temp_systems.empty());
+  const JointRegression jr =
+      FitJointRegression(*g1_, temp_systems[0], NodeId{0});
+  EXPECT_LT(jr.negative_binomial.coefficient("num_jobs").p_value, 0.05);
+  EXPECT_GT(jr.negative_binomial.coefficient("PIR").p_value, 0.01);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

@@ -1,0 +1,101 @@
+#include "core/interarrival.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+TEST(Interarrival, GapCountsMatchEventCounts) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 1);
+  const EventIndex idx(t);
+  const SystemId sys = t.systems()[0].id;
+  const InterarrivalAnalysis a = AnalyzeInterarrivals(idx, sys);
+  EXPECT_EQ(a.system_gaps_hours.size(), t.FailuresOfSystem(sys).size() - 1);
+  for (double g : a.system_gaps_hours) EXPECT_GT(g, 0.0);
+}
+
+TEST(Interarrival, HawkesTraceHasClusteringSignature) {
+  // The generator's self-excitation must show up as a Weibull shape < 1 on
+  // per-node gaps (decreasing hazard == bursty) and positive lag-1
+  // autocorrelation of daily counts.
+  synth::Scenario sc;
+  sc.duration = 3 * kYear;
+  auto sys = synth::Group1System("g", 64, 3 * kYear);
+  for (double& r : sys.base_rate_per_hour) r *= 10.0;
+  sc.systems.push_back(sys);
+  const Trace t = synth::GenerateTrace(sc, 2);
+  const EventIndex idx(t);
+  const InterarrivalAnalysis a = AnalyzeInterarrivals(idx, SystemId{0});
+  EXPECT_LT(a.node_weibull.param1, 0.95);
+  ASSERT_GT(a.daily_count_acf.size(), 2u);
+  EXPECT_GT(a.daily_count_acf[1], 0.02);
+}
+
+TEST(Interarrival, PoissonControlHasNoClustering) {
+  // Negative control: all cascades/facility events/modulation off -> the
+  // process is (piecewise) Poisson, Weibull shape ~1, ACF ~0.
+  synth::Scenario sc;
+  sc.duration = 3 * kYear;
+  auto sys = synth::Group1System("g", 64, 3 * kYear);
+  for (double& r : sys.base_rate_per_hour) r *= 10.0;
+  for (auto& c : sys.node_cascade) c.children.fill(0.0);
+  for (auto& c : sys.rack_cascade) c.children.fill(0.0);
+  for (auto& c : sys.system_cascade) c.children.fill(0.0);
+  sys.power_supply_cascade.children.fill(0.0);
+  sys.fan_cascade.children.fill(0.0);
+  sys.power_outage.events_per_year = 0.0;
+  sys.power_spike.events_per_year = 0.0;
+  sys.ups_failure.events_per_year = 0.0;
+  sys.chiller_failure.events_per_year = 0.0;
+  sys.modulation_sigma = 0.0;
+  sys.node0_rate_multiplier.fill(1.0);
+  sc.systems.push_back(sys);
+  const Trace t = synth::GenerateTrace(sc, 3);
+  const EventIndex idx(t);
+  const InterarrivalAnalysis a = AnalyzeInterarrivals(idx, SystemId{0});
+  EXPECT_NEAR(a.system_weibull.param1, 1.0, 0.1);
+  EXPECT_LT(std::abs(a.daily_count_acf[1]), 0.1);
+}
+
+TEST(Interarrival, FilterRestrictsStream) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 4);
+  const EventIndex idx(t);
+  const SystemId sys = t.systems()[0].id;
+  const InterarrivalAnalysis all = AnalyzeInterarrivals(idx, sys);
+  const InterarrivalAnalysis hw = AnalyzeInterarrivals(
+      idx, sys, EventFilter::Of(FailureCategory::kHardware));
+  EXPECT_LT(hw.system_gaps_hours.size(), all.system_gaps_hours.size());
+}
+
+TEST(Interarrival, FitsSortedByAic) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 5);
+  const EventIndex idx(t);
+  const InterarrivalAnalysis a =
+      AnalyzeInterarrivals(idx, t.systems()[0].id);
+  ASSERT_EQ(a.system_fits.size(), 4u);
+  for (std::size_t i = 1; i < a.system_fits.size(); ++i) {
+    EXPECT_GE(a.system_fits[i].aic, a.system_fits[i - 1].aic);
+  }
+}
+
+TEST(Interarrival, ThrowsOnTooFewFailures) {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sparse";
+  c.num_nodes = 4;
+  c.procs_per_node = 4;
+  c.observed = {0, kYear};
+  t.AddSystem(c);
+  t.AddFailure(MakeFailure(SystemId{0}, NodeId{0}, kDay, kDay + kHour,
+                           FailureCategory::kHardware));
+  t.Finalize();
+  const EventIndex idx(t);
+  EXPECT_THROW(AnalyzeInterarrivals(idx, SystemId{0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

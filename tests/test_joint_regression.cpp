@@ -1,0 +1,115 @@
+#include "core/joint_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+Trace System20Trace(std::uint64_t seed = 81) {
+  synth::Scenario sc;
+  sc.duration = 2 * kYear;
+  auto sys = synth::System20Like(128, 2 * kYear);
+  sys.temperature.sample_interval = 12 * kHour;
+  sc.systems.push_back(sys);
+  return synth::GenerateTrace(sc, seed);
+}
+
+TEST(Covariates, RowsCoverAllNodes) {
+  const Trace t = System20Trace();
+  const EventIndex idx(t);
+  const auto rows = BuildJointCovariates(idx, SystemId{0});
+  EXPECT_EQ(rows.size(), 128u);
+  for (const NodeCovariates& r : rows) {
+    EXPECT_GE(r.fails_count, 0.0);
+    EXPECT_GT(r.avg_temp, 0.0);       // temperature log exists
+    EXPECT_GE(r.max_temp, r.avg_temp);
+    EXPECT_GE(r.util, 0.0);
+    EXPECT_LE(r.util, 100.0);
+    EXPECT_GE(r.pir, 1.0);
+    EXPECT_LE(r.pir, kMaxPositionInRack);
+  }
+}
+
+TEST(Covariates, ExcludeNodeDropsRow) {
+  const Trace t = System20Trace();
+  const EventIndex idx(t);
+  const auto rows = BuildJointCovariates(idx, SystemId{0}, NodeId{0});
+  EXPECT_EQ(rows.size(), 127u);
+  for (const NodeCovariates& r : rows) EXPECT_NE(r.node, NodeId{0});
+}
+
+TEST(JointRegression, FitsBothModels) {
+  const Trace t = System20Trace();
+  const EventIndex idx(t);
+  const JointRegression jr = FitJointRegression(idx, SystemId{0});
+  // Intercept + 7 covariates, in Table I order.
+  EXPECT_EQ(jr.poisson.coefficients.size(), 8u);
+  EXPECT_EQ(jr.negative_binomial.coefficients.size(), 8u);
+  EXPECT_EQ(jr.poisson.coefficients[1].name, "avg_temp");
+  EXPECT_EQ(jr.poisson.coefficients[7].name, "PIR");
+  EXPECT_GT(jr.negative_binomial.theta, 0.0);
+}
+
+TEST(JointRegression, UsageVariablesSignificantTemperatureNot) {
+  // The paper's Table II/III headline: num_jobs and util are significant;
+  // temperature and PIR are not. The generator injects exactly that causal
+  // structure. (Assert on the NB fit, which is robust to the node-0
+  // overdispersion; the paper reaches the same conclusion with both.)
+  const Trace t = System20Trace();
+  const EventIndex idx(t);
+  const JointRegression jr = FitJointRegression(idx, SystemId{0}, NodeId{0});
+  const auto& nb = jr.negative_binomial;
+  EXPECT_LT(nb.coefficient("num_jobs").p_value, 0.05);
+  EXPECT_GT(nb.coefficient("avg_temp").p_value, 0.01);
+  EXPECT_GT(nb.coefficient("PIR").p_value, 0.01);
+}
+
+TEST(JointRegression, SubsetRefit) {
+  const Trace t = System20Trace();
+  const EventIndex idx(t);
+  const JointRegression jr = FitJointRegressionSubset(
+      idx, SystemId{0}, {"num_jobs", "util"});
+  EXPECT_EQ(jr.poisson.coefficients.size(), 3u);
+  EXPECT_EQ(jr.poisson.coefficients[1].name, "num_jobs");
+  EXPECT_EQ(jr.poisson.coefficients[2].name, "util");
+}
+
+TEST(JointRegression, SubsetRejectsUnknownName) {
+  const Trace t = System20Trace();
+  const EventIndex idx(t);
+  EXPECT_THROW(
+      FitJointRegressionSubset(idx, SystemId{0}, {"num_jobs", "bogus"}),
+      std::invalid_argument);
+}
+
+TEST(JointRegression, CovariateNamesMatchTableI) {
+  const auto names = JointCovariateNames();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names[0], "avg_temp");
+  EXPECT_EQ(names[1], "max_temp");
+  EXPECT_EQ(names[2], "temp_var");
+  EXPECT_EQ(names[3], "num_hightemp");
+  EXPECT_EQ(names[4], "num_jobs");
+  EXPECT_EQ(names[5], "util");
+  EXPECT_EQ(names[6], "PIR");
+}
+
+TEST(JointRegression, TooFewRowsThrows) {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "small";
+  c.num_nodes = 4;  // fewer rows than covariates + 2
+  c.procs_per_node = 4;
+  c.observed = {0, kYear};
+  c.layout = MachineLayout::Grid(4, 4, 1);
+  t.AddSystem(c);
+  t.Finalize();
+  const EventIndex idx(t);
+  EXPECT_THROW(FitJointRegression(idx, SystemId{0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

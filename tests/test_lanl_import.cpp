@@ -1,0 +1,171 @@
+#include "trace/lanl_import.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hpcfail::lanl {
+namespace {
+
+TEST(Timestamp, FourDigitYear) {
+  // 01/01/1970 00:00 is the epoch.
+  EXPECT_EQ(ParseLanlTimestamp("01/01/1970 00:00"), TimeSec{0});
+  EXPECT_EQ(ParseLanlTimestamp("01/02/1970 00:00"), kDay);
+  EXPECT_EQ(ParseLanlTimestamp("01/01/1970 01:30"), kHour + 30 * kMinute);
+}
+
+TEST(Timestamp, KnownDate) {
+  // 03/01/1972 00:00: 1970 (365) + 1971 (365) + Jan (31) + Feb 1972 (29,
+  // leap) = 790 days.
+  EXPECT_EQ(ParseLanlTimestamp("03/01/1972 00:00"), 790 * kDay);
+}
+
+TEST(Timestamp, TwoDigitYearPivot) {
+  EXPECT_EQ(ParseLanlTimestamp("01/01/96 00:00"),
+            ParseLanlTimestamp("01/01/1996 00:00"));
+  EXPECT_EQ(ParseLanlTimestamp("01/01/05 00:00"),
+            ParseLanlTimestamp("01/01/2005 00:00"));
+}
+
+TEST(Timestamp, OptionalSeconds) {
+  EXPECT_EQ(*ParseLanlTimestamp("01/01/1970 00:00:45"), TimeSec{45});
+}
+
+TEST(Timestamp, RejectsGarbage) {
+  EXPECT_FALSE(ParseLanlTimestamp("").has_value());
+  EXPECT_FALSE(ParseLanlTimestamp("yesterday").has_value());
+  EXPECT_FALSE(ParseLanlTimestamp("13/01/2000 00:00").has_value());  // month
+  EXPECT_FALSE(ParseLanlTimestamp("02/30/2001 00:00").has_value());  // day
+  EXPECT_FALSE(ParseLanlTimestamp("01/01/2001 25:00").has_value());  // hour
+  EXPECT_FALSE(ParseLanlTimestamp("01/01/2001").has_value());  // no time
+}
+
+TEST(Timestamp, LeapDayAccepted) {
+  EXPECT_TRUE(ParseLanlTimestamp("02/29/2004 12:00").has_value());
+  EXPECT_FALSE(ParseLanlTimestamp("02/29/2003 12:00").has_value());
+}
+
+TEST(CategoryMapping, KeywordsWork) {
+  EXPECT_EQ(MapLanlCategory("Facilities"), FailureCategory::kEnvironment);
+  EXPECT_EQ(MapLanlCategory("Environment"), FailureCategory::kEnvironment);
+  EXPECT_EQ(MapLanlCategory("Hardware"), FailureCategory::kHardware);
+  EXPECT_EQ(MapLanlCategory("Human Error"), FailureCategory::kHuman);
+  EXPECT_EQ(MapLanlCategory("NETWORK"), FailureCategory::kNetwork);
+  EXPECT_EQ(MapLanlCategory("Software"), FailureCategory::kSoftware);
+  EXPECT_EQ(MapLanlCategory("Undetermined"),
+            FailureCategory::kUndetermined);
+  EXPECT_FALSE(MapLanlCategory("gremlins").has_value());
+  EXPECT_FALSE(MapLanlCategory("").has_value());
+}
+
+TEST(SubcategoryMapping, Hardware) {
+  EXPECT_EQ(MapLanlHardware("Memory Dimm"), HardwareComponent::kMemory);
+  EXPECT_EQ(MapLanlHardware("CPU"), HardwareComponent::kCpu);
+  EXPECT_EQ(MapLanlHardware("Node Board"), HardwareComponent::kNodeBoard);
+  EXPECT_EQ(MapLanlHardware("Power Supply"),
+            HardwareComponent::kPowerSupply);
+  EXPECT_EQ(MapLanlHardware("Fan Assembly"), HardwareComponent::kFan);
+  EXPECT_EQ(MapLanlHardware("mystery widget"),
+            HardwareComponent::kOtherHardware);
+}
+
+TEST(SubcategoryMapping, SoftwareAndEnvironment) {
+  EXPECT_EQ(MapLanlSoftware("Distributed Storage"), SoftwareComponent::kDst);
+  EXPECT_EQ(MapLanlSoftware("Parallel File System"),
+            SoftwareComponent::kPfs);
+  EXPECT_EQ(MapLanlSoftware("Kernel panic"), SoftwareComponent::kOs);
+  EXPECT_EQ(MapLanlEnvironment("Power Outage"),
+            EnvironmentEvent::kPowerOutage);
+  EXPECT_EQ(MapLanlEnvironment("Power Spike"),
+            EnvironmentEvent::kPowerSpike);
+  EXPECT_EQ(MapLanlEnvironment("UPS"), EnvironmentEvent::kUps);
+  EXPECT_EQ(MapLanlEnvironment("Chiller down"), EnvironmentEvent::kChiller);
+  EXPECT_EQ(MapLanlEnvironment("flood"),
+            EnvironmentEvent::kOtherEnvironment);
+}
+
+TEST(Import, ParsesWellFormedLog) {
+  std::stringstream log(
+      "system,node,started,fixed,cause,detail\n"
+      "20,0,06/10/2003 14:30,06/10/2003 16:00,Hardware,Memory Dimm\n"
+      "20,12,06/11/2003 09:00,06/11/2003 09:45,Facilities,Power Outage\n"
+      "20,3,06/12/2003 01:00,06/12/2003 02:00,Software,Distributed Storage\n");
+  const ImportResult r = ImportFailures(log, {});
+  ASSERT_EQ(r.failures.size(), 3u);
+  EXPECT_TRUE(r.skipped.empty());
+  EXPECT_EQ(r.failures[0].system, SystemId{20});
+  EXPECT_EQ(r.failures[0].node, NodeId{0});
+  EXPECT_EQ(r.failures[0].category, FailureCategory::kHardware);
+  EXPECT_EQ(r.failures[0].hardware, HardwareComponent::kMemory);
+  EXPECT_EQ(r.failures[0].downtime(), TimeSec{90 * kMinute});
+  EXPECT_EQ(r.failures[1].environment, EnvironmentEvent::kPowerOutage);
+  EXPECT_EQ(r.failures[2].software, SoftwareComponent::kDst);
+  EXPECT_TRUE(r.failures[0].consistent());
+}
+
+TEST(Import, SkipsMalformedRowsWithReasons) {
+  std::stringstream log(
+      "system,node,started,fixed,cause,detail\n"
+      "20,0,06/10/2003 14:30,06/10/2003 16:00,Hardware,CPU\n"
+      "20,abc,06/10/2003 14:30,06/10/2003 16:00,Hardware,CPU\n"
+      "20,1,garbage,06/10/2003 16:00,Hardware,CPU\n"
+      "20,2,06/10/2003 14:30,06/10/2003 12:00,Hardware,CPU\n"
+      "20,3,06/10/2003 14:30,06/10/2003 16:00,Gremlins,CPU\n"
+      "short,row\n");
+  const ImportResult r = ImportFailures(log, {});
+  EXPECT_EQ(r.failures.size(), 1u);
+  ASSERT_EQ(r.skipped.size(), 5u);
+  EXPECT_EQ(r.skipped[0].line, 3u);
+  EXPECT_EQ(r.skipped[0].reason, "bad system/node id");
+  EXPECT_EQ(r.skipped[1].reason, "bad start timestamp");
+  EXPECT_EQ(r.skipped[2].reason, "end before start");
+  EXPECT_EQ(r.skipped[3].reason, "unrecognized root-cause category");
+  EXPECT_EQ(r.skipped[4].reason, "too few columns");
+}
+
+TEST(Import, MissingEndBecomesZeroDowntime) {
+  std::stringstream log(
+      "system,node,started,fixed,cause,detail\n"
+      "5,7,01/02/2000 08:00,,Network,\n");
+  const ImportResult r = ImportFailures(log, {});
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].downtime(), TimeSec{0});
+  EXPECT_EQ(r.failures[0].category, FailureCategory::kNetwork);
+}
+
+TEST(Import, CustomColumnMapping) {
+  // Detail column before the cause column, extra leading column.
+  std::stringstream log(
+      "x,system,node,started,fixed,detail,cause\n"
+      "ignored,2,5,03/04/2001 10:00,03/04/2001 11:00,Fan,Hardware\n");
+  ImportConfig cfg;
+  cfg.col_system = 1;
+  cfg.col_node = 2;
+  cfg.col_start = 3;
+  cfg.col_end = 4;
+  cfg.col_subcategory = 5;
+  cfg.col_category = 6;
+  const ImportResult r = ImportFailures(log, cfg);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].hardware, HardwareComponent::kFan);
+}
+
+TEST(Import, QuotedAndPaddedFieldsAreTrimmed) {
+  std::stringstream log(
+      "system,node,started,fixed,cause,detail\n"
+      " 20 , 0 ,\"06/10/2003 14:30\",\"06/10/2003 16:00\", Hardware , \"CPU\"\n");
+  const ImportResult r = ImportFailures(log, {});
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].hardware, HardwareComponent::kCpu);
+}
+
+TEST(Import, NoHeaderMode) {
+  std::stringstream log("20,0,06/10/2003 14:30,06/10/2003 16:00,Hardware,CPU\n");
+  ImportConfig cfg;
+  cfg.has_header = false;
+  const ImportResult r = ImportFailures(log, cfg);
+  EXPECT_EQ(r.failures.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hpcfail::lanl

@@ -1,0 +1,119 @@
+#include "trace/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcfail {
+namespace {
+
+TEST(MachineLayout, EmptyByDefault) {
+  MachineLayout layout;
+  EXPECT_TRUE(layout.empty());
+  EXPECT_EQ(layout.num_racks(), 0);
+  EXPECT_FALSE(layout.placement(NodeId{0}).has_value());
+}
+
+TEST(MachineLayout, GridFillsRacksInOrder) {
+  const MachineLayout layout = MachineLayout::Grid(10, 4, 2);
+  EXPECT_EQ(layout.num_racks(), 3);
+  EXPECT_EQ(layout.rack_of(NodeId{0}), RackId{0});
+  EXPECT_EQ(layout.rack_of(NodeId{3}), RackId{0});
+  EXPECT_EQ(layout.rack_of(NodeId{4}), RackId{1});
+  EXPECT_EQ(layout.rack_of(NodeId{9}), RackId{2});
+}
+
+TEST(MachineLayout, GridAssignsPositionsBottomUp) {
+  const MachineLayout layout = MachineLayout::Grid(6, 3, 2);
+  EXPECT_EQ(layout.placement(NodeId{0})->position_in_rack, 1);
+  EXPECT_EQ(layout.placement(NodeId{1})->position_in_rack, 2);
+  EXPECT_EQ(layout.placement(NodeId{2})->position_in_rack, 3);
+  EXPECT_EQ(layout.placement(NodeId{3})->position_in_rack, 1);
+}
+
+TEST(MachineLayout, GridPositionsStayWithinBounds) {
+  // Racks larger than kMaxPositionInRack wrap shelf positions.
+  const MachineLayout layout = MachineLayout::Grid(64, 32, 4);
+  for (const NodePlacement& p : layout.placements()) {
+    EXPECT_GE(p.position_in_rack, 1);
+    EXPECT_LE(p.position_in_rack, kMaxPositionInRack);
+  }
+}
+
+TEST(MachineLayout, GridRoomCoordinatesAreRowMajor) {
+  const MachineLayout layout = MachineLayout::Grid(12, 2, 3);
+  // 6 racks in rows of 3.
+  EXPECT_EQ(layout.placement(NodeId{0})->room_row, 0);
+  EXPECT_EQ(layout.placement(NodeId{0})->room_col, 0);
+  EXPECT_EQ(layout.placement(NodeId{4})->room_row, 0);  // rack 2
+  EXPECT_EQ(layout.placement(NodeId{4})->room_col, 2);
+  EXPECT_EQ(layout.placement(NodeId{6})->room_row, 1);  // rack 3
+  EXPECT_EQ(layout.placement(NodeId{6})->room_col, 0);
+}
+
+TEST(MachineLayout, NodesInRackReturnsMembers) {
+  const MachineLayout layout = MachineLayout::Grid(8, 4, 2);
+  const std::vector<NodeId> rack0 = layout.nodes_in_rack(RackId{0});
+  ASSERT_EQ(rack0.size(), 4u);
+  EXPECT_EQ(rack0[0], NodeId{0});
+  EXPECT_EQ(rack0[3], NodeId{3});
+  EXPECT_TRUE(layout.nodes_in_rack(RackId{5}).empty());
+}
+
+TEST(MachineLayout, UnknownNodeHasNoPlacement) {
+  const MachineLayout layout = MachineLayout::Grid(4, 2, 2);
+  EXPECT_FALSE(layout.placement(NodeId{4}).has_value());
+  EXPECT_FALSE(layout.rack_of(NodeId{100}).has_value());
+}
+
+TEST(MachineLayout, RejectsDuplicateNodes) {
+  std::vector<NodePlacement> placements(2);
+  placements[0] = {NodeId{0}, RackId{0}, 1, 0, 0};
+  placements[1] = {NodeId{0}, RackId{1}, 2, 0, 1};
+  EXPECT_THROW(MachineLayout{placements}, std::invalid_argument);
+}
+
+TEST(MachineLayout, RejectsInvalidPositions) {
+  std::vector<NodePlacement> placements(1);
+  placements[0] = {NodeId{0}, RackId{0}, 0, 0, 0};  // position < 1
+  EXPECT_THROW(MachineLayout{placements}, std::invalid_argument);
+  placements[0].position_in_rack = kMaxPositionInRack + 1;
+  EXPECT_THROW(MachineLayout{placements}, std::invalid_argument);
+}
+
+TEST(MachineLayout, RejectsInvalidGridParameters) {
+  EXPECT_THROW(MachineLayout::Grid(-1, 4, 2), std::invalid_argument);
+  EXPECT_THROW(MachineLayout::Grid(8, 0, 2), std::invalid_argument);
+  EXPECT_THROW(MachineLayout::Grid(8, 4, 0), std::invalid_argument);
+}
+
+TEST(MachineLayout, ZeroNodesGridIsEmpty) {
+  const MachineLayout layout = MachineLayout::Grid(0, 4, 2);
+  EXPECT_TRUE(layout.empty());
+}
+
+// Property: every node of a grid appears exactly once across all racks.
+class GridPropertyTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(GridPropertyTest, EveryNodePlacedExactlyOnce) {
+  const auto [num_nodes, nodes_per_rack] = GetParam();
+  const MachineLayout layout =
+      MachineLayout::Grid(num_nodes, nodes_per_rack, 4);
+  EXPECT_EQ(layout.placements().size(), static_cast<std::size_t>(num_nodes));
+  std::size_t total = 0;
+  for (int r = 0; r < layout.num_racks(); ++r) {
+    total += layout.nodes_in_rack(RackId{r}).size();
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    EXPECT_TRUE(layout.placement(NodeId{n}).has_value()) << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridPropertyTest,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{7, 3},
+                                           std::tuple{32, 32},
+                                           std::tuple{100, 8},
+                                           std::tuple{512, 32}));
+
+}  // namespace
+}  // namespace hpcfail

@@ -1,0 +1,150 @@
+#include "stats/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(Matrix, InitializerListConstruction) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, RejectsRaggedInitializer) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(1, 2), 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Multiplication) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplicationShapeMismatch) {
+  const Matrix a{{1, 2}};
+  const Matrix b{{1, 2}};
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ((a - b)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.ScaledBy(2.0)(1, 0), 6.0);
+}
+
+TEST(Dot, BasicAndMismatch) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_THROW(Dot({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(MatVec, Basic) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const std::vector<double> x = {1, 1};
+  const std::vector<double> y = MatVec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(CholeskySolve, KnownSystem) {
+  // SPD matrix [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+  const Matrix a{{4, 2}, {2, 3}};
+  const std::vector<double> x = CholeskySolve(a, {6, 5});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(CholeskySolve, RejectsNonSpd) {
+  const Matrix a{{1, 2}, {2, 1}};  // indefinite
+  EXPECT_THROW(CholeskySolve(a, {1, 1}), std::runtime_error);
+}
+
+TEST(CholeskySolve, RejectsNonSquare) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_THROW(CholeskySolve(a, {1, 1}), std::invalid_argument);
+}
+
+TEST(CholeskyInverse, InverseTimesOriginalIsIdentity) {
+  const Matrix a{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}};
+  const Matrix inv = CholeskyInverse(a);
+  const Matrix prod = a * inv;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(LuSolve, KnownSystem) {
+  const Matrix a{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+  const std::vector<double> x = LuSolve(a, {8, -11, -3});
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+  EXPECT_NEAR(x[2], -1.0, 1e-10);
+}
+
+TEST(LuSolve, HandlesPivoting) {
+  // Zero on the diagonal forces a row swap.
+  const Matrix a{{0, 1}, {1, 0}};
+  const std::vector<double> x = LuSolve(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuSolve, RejectsSingular) {
+  const Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(LuSolve(a, {1, 2}), std::runtime_error);
+}
+
+// Property: CholeskySolve and LuSolve agree on random SPD systems.
+class SolveAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveAgreementTest, CholeskyMatchesLu) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 1000 + 17);
+  // Build SPD A = B^T B + n*I.
+  Matrix b(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.Normal();
+  }
+  Matrix a = b.Transpose() * b;
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += n;
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  for (double& v : rhs) v = rng.Normal();
+  const std::vector<double> x1 = CholeskySolve(a, rhs);
+  const std::vector<double> x2 = LuSolve(a, rhs);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x1[static_cast<std::size_t>(i)], x2[static_cast<std::size_t>(i)],
+                1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveAgreementTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace hpcfail::stats

@@ -1,0 +1,133 @@
+#include "core/node_skew.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+Trace SkewedTrace(int hot_node_failures, int rest_failures_per_node) {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sys";
+  c.num_nodes = 16;
+  c.procs_per_node = 4;
+  c.observed = {0, 1000 * kDay};
+  t.AddSystem(c);
+  TimeSec when = kDay;
+  for (int i = 0; i < hot_node_failures; ++i) {
+    t.AddFailure(MakeFailure(SystemId{0}, NodeId{0}, when, when + kHour,
+                             i % 2 == 0 ? FailureCategory::kSoftware
+                                        : FailureCategory::kNetwork));
+    when += kDay;
+  }
+  for (int n = 1; n < 16; ++n) {
+    for (int i = 0; i < rest_failures_per_node; ++i) {
+      t.AddFailure(MakeFailure(SystemId{0}, NodeId{n}, when, when + kHour,
+                               FailureCategory::kHardware));
+      when += kDay / 2;
+    }
+  }
+  t.Finalize();
+  return t;
+}
+
+TEST(NodeSkew, DetectsHotNode) {
+  const Trace t = SkewedTrace(60, 3);
+  const EventIndex idx(t);
+  const NodeSkewSummary s = AnalyzeNodeSkew(idx, SystemId{0});
+  EXPECT_EQ(s.most_failing_node, NodeId{0});
+  EXPECT_EQ(s.max_failures, 60);
+  EXPECT_GT(s.max_over_mean, 5.0);
+  EXPECT_TRUE(s.equal_rates_test.significant_99);
+}
+
+TEST(NodeSkew, UniformSystemNotSignificant) {
+  const Trace t = SkewedTrace(3, 3);
+  const EventIndex idx(t);
+  const NodeSkewSummary s = AnalyzeNodeSkew(idx, SystemId{0});
+  EXPECT_FALSE(s.equal_rates_test.significant_99);
+}
+
+TEST(NodeSkew, ExcludingTopNodeTestIsComputed) {
+  // Hot node 0 plus a secondary hot node 1: removing node 0 still rejects.
+  Trace t = SkewedTrace(60, 2);
+  for (int i = 0; i < 30; ++i) {
+    t.AddFailure(MakeFailure(SystemId{0}, NodeId{1},
+                             500 * kDay + i * kDay, 500 * kDay + i * kDay + 1,
+                             FailureCategory::kHardware));
+  }
+  t.Finalize();
+  const EventIndex idx(t);
+  const NodeSkewSummary s = AnalyzeNodeSkew(idx, SystemId{0});
+  EXPECT_TRUE(s.equal_rates_test_excl_top.significant_99);
+}
+
+TEST(NodeSkew, PerNodeCountsMatch) {
+  const Trace t = SkewedTrace(10, 2);
+  const EventIndex idx(t);
+  const NodeSkewSummary s = AnalyzeNodeSkew(idx, SystemId{0});
+  ASSERT_EQ(s.failures_per_node.size(), 16u);
+  EXPECT_EQ(s.failures_per_node[0], 10);
+  for (std::size_t n = 1; n < 16; ++n) EXPECT_EQ(s.failures_per_node[n], 2);
+  EXPECT_NEAR(s.mean_failures, (10.0 + 15 * 2.0) / 16.0, 1e-12);
+}
+
+TEST(Breakdown, PercentagesSumTo100) {
+  const Trace t = SkewedTrace(40, 3);
+  const EventIndex idx(t);
+  const BreakdownComparison b = CompareBreakdown(idx, SystemId{0}, NodeId{0});
+  double node_sum = 0.0, rest_sum = 0.0;
+  for (double p : b.node_percent) node_sum += p;
+  for (double p : b.rest_percent) rest_sum += p;
+  EXPECT_NEAR(node_sum, 100.0, 1e-9);
+  EXPECT_NEAR(rest_sum, 100.0, 1e-9);
+}
+
+TEST(Breakdown, DominantModeShiftVisible) {
+  // Fig. 5: in the prone node the dominant mode shifts away from hardware.
+  const Trace t = SkewedTrace(40, 3);
+  const EventIndex idx(t);
+  const BreakdownComparison b = CompareBreakdown(idx, SystemId{0}, NodeId{0});
+  const auto sw = static_cast<std::size_t>(FailureCategory::kSoftware);
+  const auto hw = static_cast<std::size_t>(FailureCategory::kHardware);
+  EXPECT_GT(b.node_percent[sw], b.node_percent[hw]);
+  EXPECT_GT(b.rest_percent[hw], b.rest_percent[sw]);
+}
+
+TEST(ProneNode, WindowProbabilitiesAndFactor) {
+  const Trace t = SkewedTrace(60, 3);
+  const EventIndex idx(t);
+  const ProneNodeProbability p = CompareProneNode(
+      idx, SystemId{0}, NodeId{0}, EventFilter::Any(), kWeek);
+  EXPECT_TRUE(p.prone.defined());
+  EXPECT_TRUE(p.rest.defined());
+  EXPECT_GT(p.factor, 3.0);
+  EXPECT_TRUE(p.per_type_equal_rate.significant_99);
+}
+
+TEST(ProneNode, TypeRestrictedComparison) {
+  const Trace t = SkewedTrace(60, 3);
+  const EventIndex idx(t);
+  // All of node 0's failures are sw/net; hardware prone-vs-rest goes the
+  // other way.
+  const ProneNodeProbability hw = CompareProneNode(
+      idx, SystemId{0}, NodeId{0},
+      EventFilter::Of(FailureCategory::kHardware), kWeek);
+  EXPECT_EQ(hw.prone.successes, 0);
+  EXPECT_GT(hw.rest.estimate, 0.0);
+}
+
+TEST(ProneNode, GeneratedTraceNodeZeroIsProne) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 21);
+  const EventIndex idx(t);
+  const NodeSkewSummary s = AnalyzeNodeSkew(idx, t.systems()[0].id);
+  // The generator's login-node effect: node 0 tops the counts.
+  EXPECT_EQ(s.most_failing_node, NodeId{0});
+  EXPECT_TRUE(s.equal_rates_test.significant_99);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

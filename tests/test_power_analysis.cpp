@@ -1,0 +1,172 @@
+#include "core/power_analysis.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+// Realistic (non-saturating) per-node rates with many facility events, so
+// the month-window conditional probabilities have room above the baseline.
+Trace PowerTrace(std::uint64_t seed = 51) {
+  synth::Scenario sc;
+  sc.duration = 3 * kYear;
+  auto sys = synth::Group1System("p", 96, 3 * kYear);
+  for (double& r : sys.base_rate_per_hour) r *= 2.0;
+  sys.power_outage.events_per_year = 12.0;
+  sys.power_spike.events_per_year = 16.0;
+  sys.ups_failure.events_per_year = 10.0;
+  sys.chiller_failure.events_per_year = 10.0;
+  sc.systems.push_back(std::move(sys));
+  return synth::GenerateTrace(sc, seed);
+}
+
+TEST(PowerProblem, NamesAndFilters) {
+  EXPECT_EQ(ToString(PowerProblem::kPowerOutage), "power_outage");
+  EXPECT_EQ(ToString(PowerProblem::kUpsFailure), "ups_failure");
+  const EventFilter f = PowerProblemFilter(PowerProblem::kPowerSupplyFailure);
+  EXPECT_EQ(f.category, FailureCategory::kHardware);
+  EXPECT_EQ(f.hardware, HardwareComponent::kPowerSupply);
+  const EventFilter g = PowerProblemFilter(PowerProblem::kPowerSpike);
+  EXPECT_EQ(g.environment, EnvironmentEvent::kPowerSpike);
+}
+
+TEST(EnvironmentBreakdown, PercentagesSumTo100) {
+  const Trace t = PowerTrace();
+  const EventIndex idx(t);
+  const EnvironmentBreakdown b = BreakdownEnvironment(idx);
+  ASSERT_GT(b.total, 0);
+  double sum = 0.0;
+  for (double p : b.percent) sum += p;
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(EnvironmentBreakdown, PowerProblemsDominate) {
+  // Fig. 9: outages + spikes + UPS are the majority of env failures.
+  const Trace t = PowerTrace();
+  const EventIndex idx(t);
+  const EnvironmentBreakdown b = BreakdownEnvironment(idx);
+  const double power =
+      b.percent[static_cast<std::size_t>(EnvironmentEvent::kPowerOutage)] +
+      b.percent[static_cast<std::size_t>(EnvironmentEvent::kPowerSpike)] +
+      b.percent[static_cast<std::size_t>(EnvironmentEvent::kUps)];
+  EXPECT_GT(power, 50.0);
+}
+
+TEST(PowerImpact, HardwareFailuresElevatedAfterPowerEvents) {
+  const Trace t = PowerTrace();
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto rows =
+      PowerImpactOn(a, EventFilter::Of(FailureCategory::kHardware));
+  ASSERT_EQ(rows.size(), 4u);
+  for (const PowerImpactRow& r : rows) {
+    if (r.month.num_triggers < 5) continue;  // too few events to assert
+    EXPECT_GT(r.month.factor, 2.0)
+        << ToString(r.problem) << " month factor " << r.month.factor;
+  }
+}
+
+TEST(PowerImpact, SoftwareFailuresElevatedAfterOutages) {
+  const Trace t = PowerTrace();
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto rows =
+      PowerImpactOn(a, EventFilter::Of(FailureCategory::kSoftware));
+  const PowerImpactRow& outage = rows[0];
+  ASSERT_EQ(outage.problem, PowerProblem::kPowerOutage);
+  EXPECT_GT(outage.month.factor, 2.0);
+}
+
+TEST(ComponentImpact, CpuUnaffectedByPower) {
+  // Fig. 10 right: "The only component that showed no clear signs of
+  // increased failure rates after any of the power problems are CPUs."
+  const Trace t = PowerTrace();
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto impacts = HardwareComponentImpact(
+      a, PowerProblemFilter(PowerProblem::kPowerOutage));
+  double cpu_factor = 0.0, board_factor = 0.0;
+  for (const ComponentImpact& ci : impacts) {
+    if (ci.component == "cpu" && std::isfinite(ci.month.factor)) {
+      cpu_factor = ci.month.factor;
+    }
+    if (ci.component == "node_board" && std::isfinite(ci.month.factor)) {
+      board_factor = ci.month.factor;
+    }
+  }
+  EXPECT_GT(board_factor, 3.0);
+  EXPECT_LT(cpu_factor, board_factor / 2.0);
+}
+
+TEST(ComponentImpact, StorageSoftwareDominatesAfterOutages) {
+  // Fig. 11 right: DST/PFS/CFS carry the software impact of power problems.
+  const Trace t = PowerTrace();
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto impacts = SoftwareComponentImpact(
+      a, PowerProblemFilter(PowerProblem::kPowerOutage));
+  double dst = 0.0, os = 0.0;
+  for (const ComponentImpact& ci : impacts) {
+    if (ci.component == "dst") dst = ci.month.conditional.estimate;
+    if (ci.component == "os") os = ci.month.conditional.estimate;
+  }
+  EXPECT_GT(dst, os);
+}
+
+TEST(MaintenanceImpact, ElevatedAfterPowerProblems) {
+  const Trace t = PowerTrace();
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto rows = MaintenanceImpact(a);
+  ASSERT_EQ(rows.size(), 4u);
+  const PowerImpactRow& outage = rows[0];
+  if (outage.month.num_triggers >= 5 && outage.month.baseline.estimate > 0) {
+    EXPECT_GT(outage.month.factor, 5.0);
+  }
+}
+
+TEST(SpaceTime, ExtractsAllPowerEvents) {
+  const Trace t = PowerTrace();
+  const EventIndex idx(t);
+  const auto points = PowerSpaceTime(idx, t.systems()[0].id);
+  ASSERT_FALSE(points.empty());
+  long long expected = 0;
+  for (const FailureRecord& f : t.failures()) {
+    if (f.environment == EnvironmentEvent::kPowerOutage ||
+        f.environment == EnvironmentEvent::kPowerSpike ||
+        f.environment == EnvironmentEvent::kUps ||
+        f.hardware == HardwareComponent::kPowerSupply) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(static_cast<long long>(points.size()), expected);
+  for (const SpaceTimePoint& p : points) {
+    EXPECT_GE(p.node.value, 0);
+    EXPECT_GE(p.time, 0);
+  }
+}
+
+TEST(SpaceTime, OutagesClusterInTime) {
+  // Fig. 12: outages strike many nodes at nearly the same moment.
+  const Trace t = PowerTrace();
+  const EventIndex idx(t);
+  const auto points = PowerSpaceTime(idx, t.systems()[0].id);
+  std::vector<TimeSec> outages;
+  for (const SpaceTimePoint& p : points) {
+    if (p.problem == PowerProblem::kPowerOutage) outages.push_back(p.time);
+  }
+  ASSERT_GT(outages.size(), 10u);
+  std::sort(outages.begin(), outages.end());
+  int clustered = 0;
+  for (std::size_t i = 1; i < outages.size(); ++i) {
+    if (outages[i] - outages[i - 1] <= 11 * kMinute) ++clustered;
+  }
+  // Most outage records arrive in same-instant bursts.
+  EXPECT_GT(clustered, static_cast<int>(outages.size()) / 3);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

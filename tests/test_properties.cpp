@@ -1,0 +1,176 @@
+// Cross-module property tests: statistical guarantees (CI coverage of the
+// GLM Wald intervals), equivalence of the indexed peer queries against
+// naive scans, consistency of window probabilities across window lengths,
+// and generator rate conformance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/window_analysis.h"
+#include "stats/glm.h"
+#include "stats/rng.h"
+#include "synth/generate.h"
+
+namespace hpcfail {
+namespace {
+
+using namespace core;
+
+TEST(GlmProperty, WaldIntervalCoverageNearNominal) {
+  // 95% Wald intervals on the slope of a Poisson GLM should cover the true
+  // slope ~95% of the time.
+  stats::Rng rng(21);
+  const double true_b1 = 0.6;
+  int covered = 0;
+  const int reps = 300;
+  for (int r = 0; r < reps; ++r) {
+    const int n = 400;
+    stats::Matrix x(n, 1);
+    std::vector<double> y(n);
+    for (int i = 0; i < n; ++i) {
+      const double xv = rng.Uniform(-1.0, 1.0);
+      x(static_cast<std::size_t>(i), 0) = xv;
+      y[static_cast<std::size_t>(i)] =
+          rng.Poisson(std::exp(0.8 + true_b1 * xv));
+    }
+    const stats::GlmFit fit = stats::FitPoisson(x, y);
+    const auto& c = fit.coefficients[1];
+    if (std::abs(c.estimate - true_b1) <= 1.959964 * c.std_error) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / reps;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LT(coverage, 0.99);
+}
+
+TEST(IndexProperty, PeerQueriesMatchNaiveScan) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 31);
+  const EventIndex idx(t);
+  const SystemId sys = t.systems()[0].id;
+  const SystemConfig& config = t.systems()[0];
+  const auto failures = t.FailuresOfSystem(sys);
+  stats::Rng rng(32);
+  for (int rep = 0; rep < 100; ++rep) {
+    const NodeId node{static_cast<int>(
+        rng.Index(static_cast<std::size_t>(config.num_nodes)))};
+    const TimeSec begin = rng.Int(0, 170 * kDay);
+    const TimeInterval w{begin, begin + rng.Int(kHour, 20 * kDay)};
+    const EventFilter filter =
+        rep % 2 == 0 ? EventFilter::Any()
+                     : EventFilter::Of(FailureCategory::kHardware);
+    // Naive: distinct system peers with a matching event in the window.
+    std::vector<int> sys_seen, rack_seen;
+    const RackId rack = *config.layout.rack_of(node);
+    for (const FailureRecord& f : failures) {
+      if (f.node == node || f.start <= w.begin || f.start > w.end) continue;
+      if (!filter.Matches(f)) continue;
+      if (std::find(sys_seen.begin(), sys_seen.end(), f.node.value) ==
+          sys_seen.end()) {
+        sys_seen.push_back(f.node.value);
+      }
+      if (config.layout.rack_of(f.node) == rack &&
+          std::find(rack_seen.begin(), rack_seen.end(), f.node.value) ==
+              rack_seen.end()) {
+        rack_seen.push_back(f.node.value);
+      }
+    }
+    int peers = 0;
+    EXPECT_EQ(idx.DistinctSystemPeersWithEvent(sys, node, w, filter, &peers),
+              static_cast<int>(sys_seen.size()));
+    EXPECT_EQ(peers, config.num_nodes - 1);
+    EXPECT_EQ(idx.DistinctRackPeersWithEvent(sys, node, w, filter, &peers),
+              static_cast<int>(rack_seen.size()));
+  }
+}
+
+TEST(WindowProperty, BaselinesComposeAcrossWindowLengths) {
+  // With independent days, P(week) = 1 - (1 - P(day))^7; positive
+  // correlation makes the true weekly probability *smaller* than the
+  // independent composition. Verify direction and rough magnitude.
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(2 * kYear), 33);
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const double p_day =
+      a.BaselineProbability(EventFilter::Any(), kDay).estimate;
+  const double p_week =
+      a.BaselineProbability(EventFilter::Any(), kWeek).estimate;
+  const double independent = 1.0 - std::pow(1.0 - p_day, 7.0);
+  EXPECT_LT(p_week, independent + 1e-9);
+  EXPECT_GT(p_week, 0.3 * independent);
+}
+
+TEST(WindowProperty, ConditionalBoundsRespected) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 34);
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  for (FailureCategory c : AllFailureCategories()) {
+    for (Scope scope :
+         {Scope::kSameNode, Scope::kRackPeers, Scope::kSystemPeers}) {
+      const auto p = a.ConditionalProbability(EventFilter::Of(c),
+                                              EventFilter::Any(), scope,
+                                              kWeek);
+      EXPECT_GE(p.successes, 0);
+      EXPECT_LE(p.successes, p.trials);
+      if (p.defined()) {
+        EXPECT_GE(p.ci_low, 0.0);
+        EXPECT_LE(p.ci_high, 1.0);
+        EXPECT_LE(p.ci_low, p.estimate + 1e-12);
+        EXPECT_GE(p.ci_high, p.estimate - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(GeneratorProperty, FacilityEventRatesConform) {
+  // Counting outage *events* (bursts within the 10-minute jitter window)
+  // over many years should match the configured Poisson rate, including the
+  // ~1.5x repeat factor.
+  synth::Scenario sc;
+  sc.duration = 3 * kYear;
+  auto sys = synth::Group1System("g", 64, 3 * kYear);
+  sys.power_outage.events_per_year = 8.0;
+  sc.systems.push_back(sys);
+  double total_events = 0.0;
+  const int seeds = 5;
+  for (int seed = 0; seed < seeds; ++seed) {
+    const Trace t =
+        synth::GenerateTrace(sc, static_cast<std::uint64_t>(seed + 50));
+    std::vector<TimeSec> times;
+    for (const FailureRecord& f : t.failures()) {
+      if (f.environment == EnvironmentEvent::kPowerOutage) {
+        times.push_back(f.start);
+      }
+    }
+    std::sort(times.begin(), times.end());
+    int bursts = times.empty() ? 0 : 1;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      if (times[i] - times[i - 1] > 11 * kMinute) ++bursts;
+    }
+    total_events += bursts;
+  }
+  const double per_year = total_events / (seeds * 3.0);
+  // Configured 8/year, repeats add ~50%, follow-up env children (inheriting
+  // the outage label) add a little more; cascade-born records can also fall
+  // outside the jitter window of their parent burst.
+  EXPECT_GT(per_year, 6.0);
+  EXPECT_LT(per_year, 26.0);
+}
+
+TEST(GeneratorProperty, SeedsProduceSimilarAggregateRates) {
+  // Different seeds must agree on aggregate statistics within sampling
+  // noise: no seed-dependent structural drift.
+  synth::Scenario sc = synth::TinyScenario(kYear);
+  std::vector<double> rates;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Trace t = synth::GenerateTrace(sc, seed);
+    rates.push_back(static_cast<double>(t.num_failures()));
+  }
+  const double mean =
+      (rates[0] + rates[1] + rates[2] + rates[3] + rates[4]) / 5.0;
+  for (double r : rates) {
+    EXPECT_GT(r, 0.5 * mean);
+    EXPECT_LT(r, 1.7 * mean);
+  }
+}
+
+}  // namespace
+}  // namespace hpcfail

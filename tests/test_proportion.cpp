@@ -1,0 +1,168 @@
+#include "stats/proportion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(Wilson, PointEstimate) {
+  const Proportion p = WilsonProportion(30, 100);
+  EXPECT_DOUBLE_EQ(p.estimate, 0.3);
+  EXPECT_EQ(p.successes, 30);
+  EXPECT_EQ(p.trials, 100);
+}
+
+TEST(Wilson, KnownInterval) {
+  // Wilson 95% for 30/100: approximately [0.2189, 0.3958].
+  const Proportion p = WilsonProportion(30, 100);
+  EXPECT_NEAR(p.ci_low, 0.2189, 5e-4);
+  EXPECT_NEAR(p.ci_high, 0.3958, 5e-4);
+}
+
+TEST(Wilson, ZeroSuccessesHasPositiveUpperBound) {
+  const Proportion p = WilsonProportion(0, 50);
+  EXPECT_DOUBLE_EQ(p.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(p.ci_low, 0.0);
+  EXPECT_GT(p.ci_high, 0.0);
+  EXPECT_LT(p.ci_high, 0.15);
+}
+
+TEST(Wilson, AllSuccesses) {
+  const Proportion p = WilsonProportion(50, 50);
+  EXPECT_DOUBLE_EQ(p.estimate, 1.0);
+  EXPECT_LT(p.ci_low, 1.0);
+  EXPECT_DOUBLE_EQ(p.ci_high, 1.0);
+}
+
+TEST(Wilson, UndefinedOnZeroTrials) {
+  const Proportion p = WilsonProportion(0, 0);
+  EXPECT_FALSE(p.defined());
+}
+
+TEST(Wilson, IntervalContainsEstimate) {
+  for (long long s : {0LL, 1LL, 5LL, 50LL, 99LL, 100LL}) {
+    const Proportion p = WilsonProportion(s, 100);
+    EXPECT_LE(p.ci_low, p.estimate + 1e-12);
+    EXPECT_GE(p.ci_high, p.estimate - 1e-12);
+  }
+}
+
+TEST(Wilson, HigherConfidenceWidensInterval) {
+  const Proportion p95 = WilsonProportion(20, 80, 0.95);
+  const Proportion p99 = WilsonProportion(20, 80, 0.99);
+  EXPECT_LT(p99.ci_low, p95.ci_low);
+  EXPECT_GT(p99.ci_high, p95.ci_high);
+}
+
+TEST(Wilson, RejectsBadArguments) {
+  EXPECT_THROW(WilsonProportion(5, 3), std::invalid_argument);
+  EXPECT_THROW(WilsonProportion(-1, 3), std::invalid_argument);
+  EXPECT_THROW(WilsonProportion(1, 3, 0.0), std::invalid_argument);
+  EXPECT_THROW(WilsonProportion(1, 3, 1.0), std::invalid_argument);
+}
+
+TEST(Wald, MatchesTextbookFormula) {
+  const Proportion p = WaldProportion(40, 100);
+  const double half = 1.959963985 * std::sqrt(0.4 * 0.6 / 100.0);
+  EXPECT_NEAR(p.ci_low, 0.4 - half, 1e-9);
+  EXPECT_NEAR(p.ci_high, 0.4 + half, 1e-9);
+}
+
+TEST(Wald, DegeneratesAtZero) {
+  // The known Wald pathology: zero-width interval at p = 0. Wilson avoids it.
+  const Proportion wald = WaldProportion(0, 50);
+  EXPECT_DOUBLE_EQ(wald.ci_high, 0.0);
+  const Proportion wilson = WilsonProportion(0, 50);
+  EXPECT_GT(wilson.ci_high, 0.0);
+}
+
+TEST(TwoProportionTest, DetectsClearDifference) {
+  const TwoProportionTest t = TestProportionsDiffer(80, 100, 20, 100);
+  EXPECT_GT(t.z, 5.0);
+  EXPECT_LT(t.p_value, 1e-6);
+  EXPECT_TRUE(t.significant_95);
+  EXPECT_TRUE(t.significant_99);
+}
+
+TEST(TwoProportionTest, NoDifference) {
+  const TwoProportionTest t = TestProportionsDiffer(30, 100, 30, 100);
+  EXPECT_NEAR(t.z, 0.0, 1e-12);
+  EXPECT_NEAR(t.p_value, 1.0, 1e-12);
+  EXPECT_FALSE(t.significant_95);
+}
+
+TEST(TwoProportionTest, KnownValue) {
+  // p1 = 0.5 (50/100), p2 = 0.4 (40/100): pooled = 0.45,
+  // se = sqrt(0.45*0.55*0.02) ~ 0.070356, z ~ 1.4213.
+  const TwoProportionTest t = TestProportionsDiffer(50, 100, 40, 100);
+  EXPECT_NEAR(t.z, 1.4213, 1e-3);
+  EXPECT_FALSE(t.significant_95);
+}
+
+TEST(TwoProportionTest, ZeroTrialsGivesNull) {
+  const TwoProportionTest t = TestProportionsDiffer(0, 0, 5, 10);
+  EXPECT_EQ(t.p_value, 1.0);
+  EXPECT_FALSE(t.significant_95);
+}
+
+TEST(TwoProportionTest, BothExtremeGivesNull) {
+  const TwoProportionTest t = TestProportionsDiffer(0, 50, 0, 70);
+  EXPECT_EQ(t.p_value, 1.0);
+}
+
+TEST(FactorIncrease, BasicRatio) {
+  const Proportion a = WilsonProportion(20, 100);
+  const Proportion b = WilsonProportion(5, 100);
+  EXPECT_DOUBLE_EQ(FactorIncrease(a, b), 4.0);
+}
+
+TEST(FactorIncrease, UndefinedCases) {
+  const Proportion a = WilsonProportion(20, 100);
+  const Proportion zero = WilsonProportion(0, 100);
+  const Proportion empty = WilsonProportion(0, 0);
+  EXPECT_TRUE(std::isnan(FactorIncrease(a, zero)));
+  EXPECT_TRUE(std::isnan(FactorIncrease(a, empty)));
+  EXPECT_TRUE(std::isnan(FactorIncrease(empty, a)));
+}
+
+// Property: Wilson 95% CIs cover the true p roughly 95% of the time.
+TEST(WilsonCoverage, ApproximatelyNominal) {
+  Rng rng(123);
+  const double true_p = 0.07;
+  const int n = 200;
+  int covered = 0;
+  const int reps = 2000;
+  for (int r = 0; r < reps; ++r) {
+    long long successes = 0;
+    for (int i = 0; i < n; ++i) successes += rng.Bernoulli(true_p) ? 1 : 0;
+    const Proportion p = WilsonProportion(successes, n);
+    if (p.ci_low <= true_p && true_p <= p.ci_high) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / reps;
+  EXPECT_GT(coverage, 0.92);
+  EXPECT_LT(coverage, 0.98);
+}
+
+// Property: the two-sample test controls false positives near nominal rate.
+TEST(TwoProportionTest, FalsePositiveRateNearAlpha) {
+  Rng rng(77);
+  const double p = 0.2;
+  int false_pos = 0;
+  const int reps = 2000;
+  for (int r = 0; r < reps; ++r) {
+    long long s1 = 0, s2 = 0;
+    for (int i = 0; i < 150; ++i) s1 += rng.Bernoulli(p) ? 1 : 0;
+    for (int i = 0; i < 150; ++i) s2 += rng.Bernoulli(p) ? 1 : 0;
+    if (TestProportionsDiffer(s1, 150, s2, 150).significant_95) ++false_pos;
+  }
+  const double rate = static_cast<double>(false_pos) / reps;
+  EXPECT_GT(rate, 0.02);
+  EXPECT_LT(rate, 0.09);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

@@ -1,0 +1,87 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| 22"), std::string::npos);
+  EXPECT_NE(out.find("+-"), std::string::npos);
+}
+
+TEST(Table, RejectsWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(FormatPercent, Formatting) {
+  const stats::Proportion p = stats::WilsonProportion(72, 1000);
+  EXPECT_EQ(FormatPercent(p), "7.20%");
+  const std::string with_ci = FormatPercent(p, true);
+  EXPECT_NE(with_ci.find('['), std::string::npos);
+  EXPECT_EQ(FormatPercent(stats::WilsonProportion(0, 0)), "n/a");
+}
+
+TEST(FormatFactor, Formatting) {
+  EXPECT_EQ(FormatFactor(14.26), "14.3x");
+  EXPECT_EQ(FormatFactor(150.4), "150x");
+  EXPECT_EQ(FormatFactor(std::numeric_limits<double>::quiet_NaN()), "n/a");
+}
+
+TEST(SignificanceMarker, Levels) {
+  stats::TwoProportionTest t;
+  EXPECT_EQ(SignificanceMarker(t), "");
+  t.significant_95 = true;
+  EXPECT_EQ(SignificanceMarker(t), "*");
+  t.significant_99 = true;
+  EXPECT_EQ(SignificanceMarker(t), "**");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(FormatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(GroupSelection, SplitsByArchitecture) {
+  const Trace t =
+      synth::GenerateTrace(synth::LanlLikeScenario(0.05, 30 * kDay), 91);
+  const auto g1 = SystemsOfGroup(t, SystemGroup::kSmp);
+  const auto g2 = SystemsOfGroup(t, SystemGroup::kNuma);
+  EXPECT_EQ(g1.size(), 7u);
+  EXPECT_EQ(g2.size(), 3u);
+}
+
+TEST(GroupSelection, SystemsWithJobsAndTemperature) {
+  const Trace t =
+      synth::GenerateTrace(synth::LanlLikeScenario(0.05, 30 * kDay), 92);
+  const auto with_jobs = SystemsWithJobs(t);
+  EXPECT_EQ(with_jobs.size(), 2u);  // system8- and system20-like
+  const auto with_temp = SystemsWithTemperature(t);
+  EXPECT_EQ(with_temp.size(), 1u);  // system20-like
+}
+
+TEST(ShapeCheck, PrintsVerdict) {
+  std::ostringstream os;
+  PrintShapeCheck(os, "test factor", 12.5, "~10-20x", true);
+  EXPECT_NE(os.str().find("[shape OK]"), std::string::npos);
+  EXPECT_NE(os.str().find("12.5x"), std::string::npos);
+  std::ostringstream os2;
+  PrintShapeCheck(os2, "test factor", 0.5, "~10-20x", false);
+  EXPECT_NE(os2.str().find("[shape MISS]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

@@ -1,0 +1,124 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(5.0, 10.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 10.0);
+  }
+}
+
+TEST(Rng, IndexInRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Index(10), 10u);
+  }
+  EXPECT_THROW(rng.Index(0), std::invalid_argument);
+}
+
+TEST(Rng, IntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.Int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(10);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(12);
+  long long sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Poisson(3.5);
+  EXPECT_NEAR(static_cast<double>(sum) / 20000.0, 3.5, 0.1);
+}
+
+TEST(Rng, ParetoIsHeavyTailedAboveMinimum) {
+  Rng rng(13);
+  double max_seen = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.Pareto(1.0, 1.2);
+    EXPECT_GE(v, 1.0);
+    max_seen = std::max(max_seen, v);
+  }
+  // Heavy tail: some samples far above the minimum.
+  EXPECT_GT(max_seen, 20.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(14);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(42);
+  b.Fork();
+  int same = 0;
+  Rng fresh(42);
+  Rng fresh_child = fresh.Fork();
+  for (int i = 0; i < 100; ++i) {
+    const double x = child.Uniform();
+    const double y = fresh_child.Uniform();
+    if (x == y) ++same;
+  }
+  EXPECT_EQ(same, 100);  // deterministic fork
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

@@ -1,0 +1,138 @@
+#include "synth/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcfail::synth {
+namespace {
+
+TEST(Presets, AllValidate) {
+  EXPECT_NO_THROW(Group1System("g1", 128).Validate());
+  EXPECT_NO_THROW(Group2System("g2", 32).Validate());
+  EXPECT_NO_THROW(System20Like().Validate());
+  EXPECT_NO_THROW(System8Like().Validate());
+  EXPECT_NO_THROW(LanlLikeScenario(1.0).Validate());
+  EXPECT_NO_THROW(LanlLikeScenario(0.1).Validate());
+  EXPECT_NO_THROW(TinyScenario().Validate());
+}
+
+TEST(Presets, GroupArchitecturesMatchPaper) {
+  const SystemScenario g1 = Group1System("a", 128);
+  EXPECT_EQ(g1.group, SystemGroup::kSmp);
+  EXPECT_EQ(g1.procs_per_node, 4);  // 4-way SMP nodes
+  const SystemScenario g2 = Group2System("b", 32);
+  EXPECT_EQ(g2.group, SystemGroup::kNuma);
+  EXPECT_EQ(g2.procs_per_node, 128);  // NUMA nodes with 128 processors
+}
+
+TEST(Presets, Group2RatesAreHigher) {
+  const SystemScenario g1 = Group1System("a", 128);
+  const SystemScenario g2 = Group2System("b", 32);
+  double r1 = 0.0, r2 = 0.0;
+  for (double r : g1.base_rate_per_hour) r1 += r;
+  for (double r : g2.base_rate_per_hour) r2 += r;
+  EXPECT_GT(r2, 5.0 * r1);
+}
+
+TEST(Presets, System20HasUsageAndTemperature) {
+  const SystemScenario s = System20Like();
+  EXPECT_TRUE(s.workload.enabled);
+  EXPECT_TRUE(s.temperature.enabled);
+  // Fig. 14: system 20's CPU failures show no flux coupling.
+  EXPECT_DOUBLE_EQ(s.cpu_flux_exponent, 0.0);
+}
+
+TEST(Presets, Group1HasFluxCoupling) {
+  EXPECT_GT(Group1System("a", 128).cpu_flux_exponent, 0.0);
+}
+
+TEST(Presets, LanlLikeHasTenSystems) {
+  const Scenario sc = LanlLikeScenario(1.0);
+  EXPECT_EQ(sc.systems.size(), 10u);
+  int numa = 0;
+  for (const SystemScenario& s : sc.systems) {
+    if (s.group == SystemGroup::kNuma) ++numa;
+  }
+  EXPECT_EQ(numa, 3);  // three group-2 systems
+}
+
+TEST(Presets, ScaleShrinksNodeCounts) {
+  const Scenario full = LanlLikeScenario(1.0);
+  const Scenario half = LanlLikeScenario(0.5);
+  for (std::size_t i = 0; i < full.systems.size(); ++i) {
+    EXPECT_LE(half.systems[i].num_nodes, full.systems[i].num_nodes);
+  }
+}
+
+TEST(Presets, ScaleRejectsOutOfRange) {
+  EXPECT_THROW(LanlLikeScenario(0.0), std::invalid_argument);
+  EXPECT_THROW(LanlLikeScenario(1.5), std::invalid_argument);
+}
+
+TEST(Presets, NodeZeroIsFailureProne) {
+  const SystemScenario s = Group1System("a", 128);
+  // env/net/sw multipliers dominate: the login-node effect of Section IV.
+  const auto env = static_cast<std::size_t>(FailureCategory::kEnvironment);
+  const auto net = static_cast<std::size_t>(FailureCategory::kNetwork);
+  const auto hw = static_cast<std::size_t>(FailureCategory::kHardware);
+  EXPECT_GT(s.node0_rate_multiplier[env], 100.0);
+  EXPECT_GT(s.node0_rate_multiplier[net], 100.0);
+  EXPECT_LT(s.node0_rate_multiplier[hw], 10.0);
+}
+
+TEST(Validate, RejectsNegativeRates) {
+  SystemScenario s = Group1System("a", 16);
+  s.base_rate_per_hour[0] = -1.0;
+  EXPECT_THROW(s.Validate(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsBadMix) {
+  SystemScenario s = Group1System("a", 16);
+  s.hardware_mix[0] += 0.5;  // no longer sums to 1
+  EXPECT_THROW(s.Validate(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsSupercriticalBranching) {
+  SystemScenario s = Group1System("a", 16);
+  for (auto& c : s.node_cascade) {
+    for (double& v : c.children) v = 0.3;  // 1.8 total per trigger
+  }
+  EXPECT_THROW(s.Validate(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsBadGeometry) {
+  SystemScenario s = Group1System("a", 16);
+  s.nodes_per_rack = 0;
+  EXPECT_THROW(s.Validate(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsBadFacilitySpec) {
+  SystemScenario s = Group1System("a", 16);
+  s.power_outage.frac_nodes_affected = 1.5;
+  EXPECT_THROW(s.Validate(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsBadWorkload) {
+  SystemScenario s = System20Like(64);
+  s.workload.num_users = 0;
+  EXPECT_THROW(s.Validate(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsNonPositiveDelay) {
+  SystemScenario s = Group1System("a", 16);
+  s.node_cascade[0].mean_delay = 0;
+  EXPECT_THROW(s.Validate(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsEmptyScenario) {
+  Scenario sc;
+  EXPECT_THROW(sc.Validate(), std::invalid_argument);
+}
+
+TEST(CascadeSpec, TotalChildren) {
+  CascadeSpec c;
+  c.children = {0.1, 0.2, 0.0, 0.0, 0.3, 0.0};
+  EXPECT_NEAR(c.total_children(), 0.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpcfail::synth

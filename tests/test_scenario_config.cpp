@@ -1,0 +1,133 @@
+#include "synth/scenario_config.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "synth/generate.h"
+
+namespace hpcfail::synth {
+namespace {
+
+TEST(ScenarioConfig, MinimalConfig) {
+  std::stringstream cfg("[system]\n");
+  const Scenario sc = LoadScenarioConfig(cfg);
+  ASSERT_EQ(sc.systems.size(), 1u);
+  EXPECT_EQ(sc.systems[0].group, SystemGroup::kSmp);  // group1 default
+  EXPECT_EQ(sc.duration, 3 * kYear);
+}
+
+TEST(ScenarioConfig, FullConfig) {
+  std::stringstream cfg(
+      "# a test scenario\n"
+      "duration_years = 2\n"
+      "neutron_amplitude = 800\n"
+      "\n"
+      "[system]\n"
+      "preset = group1\n"
+      "name = prod\n"
+      "nodes = 128\n"
+      "nodes_per_rack = 16\n"
+      "base_rate_scale = 2.5\n"
+      "outages_per_year = 4\n"
+      "workload = true\n"
+      "jobs_per_day = 99\n"
+      "temperature = yes\n"
+      "cpu_flux_exponent = 0\n"
+      "\n"
+      "[system]\n"
+      "preset = group2\n"
+      "nodes = 16\n");
+  const Scenario sc = LoadScenarioConfig(cfg);
+  EXPECT_EQ(sc.duration, 2 * kYear);
+  EXPECT_DOUBLE_EQ(sc.neutron.cycle_amplitude, 800.0);
+  ASSERT_EQ(sc.systems.size(), 2u);
+  const SystemScenario& s = sc.systems[0];
+  EXPECT_EQ(s.name, "prod");
+  EXPECT_EQ(s.num_nodes, 128);
+  EXPECT_EQ(s.nodes_per_rack, 16);
+  EXPECT_DOUBLE_EQ(s.power_outage.events_per_year, 4.0);
+  EXPECT_TRUE(s.workload.enabled);
+  EXPECT_DOUBLE_EQ(s.workload.jobs_per_day, 99.0);
+  EXPECT_TRUE(s.temperature.enabled);
+  EXPECT_DOUBLE_EQ(s.cpu_flux_exponent, 0.0);
+  // base_rate_scale applied on top of the preset.
+  const SystemScenario base = Group1System("x", 128);
+  EXPECT_NEAR(s.base_rate_per_hour[1], 2.5 * base.base_rate_per_hour[1],
+              1e-15);
+  EXPECT_EQ(sc.systems[1].group, SystemGroup::kNuma);
+}
+
+TEST(ScenarioConfig, PresetsResolve) {
+  for (const char* preset : {"group1", "group2", "system8", "system20"}) {
+    std::stringstream cfg(std::string("[system]\npreset = ") + preset + "\n");
+    EXPECT_NO_THROW(LoadScenarioConfig(cfg)) << preset;
+  }
+}
+
+TEST(ScenarioConfig, GeneratedTraceWorks) {
+  std::stringstream cfg(
+      "duration_years = 0.2\n[system]\nnodes = 16\nbase_rate_scale = 30\n");
+  const Scenario sc = LoadScenarioConfig(cfg);
+  const Trace t = GenerateTrace(sc, 1);
+  EXPECT_GT(t.num_failures(), 10u);
+}
+
+TEST(ScenarioConfig, RejectsUnknownKeys) {
+  std::stringstream global("durationyears = 2\n[system]\n");
+  EXPECT_THROW(LoadScenarioConfig(global), ConfigError);
+  std::stringstream system("[system]\nnodez = 4\n");
+  EXPECT_THROW(LoadScenarioConfig(system), ConfigError);
+}
+
+TEST(ScenarioConfig, RejectsUnknownPresetAndSection) {
+  std::stringstream preset("[system]\npreset = exascale\n");
+  EXPECT_THROW(LoadScenarioConfig(preset), ConfigError);
+  std::stringstream section("[cluster]\n");
+  EXPECT_THROW(LoadScenarioConfig(section), ConfigError);
+}
+
+TEST(ScenarioConfig, RejectsMalformedValues) {
+  std::stringstream nonnum("[system]\nnodes = many\n");
+  EXPECT_THROW(LoadScenarioConfig(nonnum), ConfigError);
+  std::stringstream nonbool("[system]\nworkload = maybe\n");
+  EXPECT_THROW(LoadScenarioConfig(nonbool), ConfigError);
+  std::stringstream noeq("[system]\nnodes 4\n");
+  EXPECT_THROW(LoadScenarioConfig(noeq), ConfigError);
+  std::stringstream negdur("duration_years = -1\n[system]\n");
+  EXPECT_THROW(LoadScenarioConfig(negdur), ConfigError);
+}
+
+TEST(ScenarioConfig, RejectsEmptyConfig) {
+  std::stringstream cfg("# nothing here\n");
+  EXPECT_THROW(LoadScenarioConfig(cfg), ConfigError);
+}
+
+TEST(ScenarioConfig, ErrorsCarryLineNumbers) {
+  std::stringstream cfg("duration_years = 2\n[system]\nbogus = 1\n");
+  try {
+    LoadScenarioConfig(cfg);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ScenarioConfig, CommentsAndWhitespaceIgnored) {
+  std::stringstream cfg(
+      "  # leading comment\n"
+      "\n"
+      "   [system]   \n"
+      "  nodes   =   24   # trailing comment\n");
+  const Scenario sc = LoadScenarioConfig(cfg);
+  EXPECT_EQ(sc.systems[0].num_nodes, 24);
+}
+
+TEST(ScenarioConfig, MissingFileThrows) {
+  EXPECT_THROW(LoadScenarioConfigFile("/nonexistent/scenario.conf"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcfail::synth

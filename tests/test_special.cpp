@@ -1,0 +1,182 @@
+#include "stats/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(LogGamma, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(LogGamma(0.0), std::domain_error);
+  EXPECT_THROW(LogGamma(-1.0), std::domain_error);
+}
+
+TEST(Digamma, KnownValues) {
+  constexpr double kEulerMascheroni = 0.5772156649015329;
+  EXPECT_NEAR(Digamma(1.0), -kEulerMascheroni, 1e-9);
+  EXPECT_NEAR(Digamma(2.0), 1.0 - kEulerMascheroni, 1e-9);
+  EXPECT_NEAR(Digamma(0.5), -kEulerMascheroni - 2.0 * std::log(2.0), 1e-9);
+  // Recurrence: psi(x+1) = psi(x) + 1/x.
+  EXPECT_NEAR(Digamma(3.7), Digamma(2.7) + 1.0 / 2.7, 1e-9);
+}
+
+TEST(Trigamma, KnownValues) {
+  EXPECT_NEAR(Trigamma(1.0), M_PI * M_PI / 6.0, 1e-9);
+  EXPECT_NEAR(Trigamma(0.5), M_PI * M_PI / 2.0, 1e-9);
+  // Recurrence: psi'(x+1) = psi'(x) - 1/x^2.
+  EXPECT_NEAR(Trigamma(5.2), Trigamma(4.2) - 1.0 / (4.2 * 4.2), 1e-9);
+}
+
+TEST(RegularizedGamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 700.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGamma, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12) << x;
+  }
+}
+
+TEST(RegularizedGamma, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 3.0, 10.0, 100.0}) {
+    for (double x : {0.1, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, RejectsBadArguments) {
+  EXPECT_THROW(RegularizedGammaP(0.0, 1.0), std::domain_error);
+  EXPECT_THROW(RegularizedGammaP(1.0, -1.0), std::domain_error);
+}
+
+TEST(RegularizedBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedBeta(0.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedBeta(1.0, 2.0, 3.0), 1.0);
+}
+
+TEST(RegularizedBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedBeta(x, 1.0, 1.0), x, 1e-12) << x;
+  }
+}
+
+TEST(RegularizedBeta, SymmetryRelation) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.2, 0.5, 0.7}) {
+    EXPECT_NEAR(RegularizedBeta(x, 2.5, 4.0),
+                1.0 - RegularizedBeta(1.0 - x, 4.0, 2.5), 1e-12);
+  }
+}
+
+TEST(RegularizedBeta, KnownValue) {
+  // I_{0.5}(2, 2) = 0.5 by symmetry; I_{0.25}(2, 2) = 3x^2 - 2x^3 at 0.25.
+  EXPECT_NEAR(RegularizedBeta(0.5, 2.0, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(RegularizedBeta(0.25, 2.0, 2.0),
+              3 * 0.0625 - 2 * 0.015625, 1e-12);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(2.575829304), 0.995, 1e-9);
+}
+
+TEST(NormalSf, ComplementsCdf) {
+  for (double z : {-3.0, -1.0, 0.0, 0.5, 2.0, 4.0}) {
+    EXPECT_NEAR(NormalCdf(z) + NormalSf(z), 1.0, 1e-14) << z;
+  }
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829304, 1e-8);
+}
+
+TEST(NormalQuantile, RejectsBoundaries) {
+  EXPECT_THROW(NormalQuantile(0.0), std::domain_error);
+  EXPECT_THROW(NormalQuantile(1.0), std::domain_error);
+}
+
+TEST(ChiSquare, KnownValues) {
+  // Chi-square with 1 df: CDF(3.841) ~ 0.95.
+  EXPECT_NEAR(ChiSquareCdf(3.841458821, 1.0), 0.95, 1e-8);
+  // 2 df: CDF(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(ChiSquareCdf(4.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+  // 5 df upper tail at 11.0705 ~ 0.05.
+  EXPECT_NEAR(ChiSquareSf(11.0705, 5.0), 0.05, 1e-5);
+}
+
+TEST(ChiSquare, NegativeArgument) {
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(-1.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareSf(-1.0, 3.0), 1.0);
+}
+
+TEST(StudentT, KnownValues) {
+  // With 10 df, |t| = 2.228 gives two-sided p ~ 0.05.
+  EXPECT_NEAR(StudentTTwoSidedP(2.228138852, 10.0), 0.05, 1e-6);
+  // t = 0 gives p = 1.
+  EXPECT_NEAR(StudentTTwoSidedP(0.0, 5.0), 1.0, 1e-12);
+  // Symmetric in t.
+  EXPECT_NEAR(StudentTTwoSidedP(1.7, 7.0), StudentTTwoSidedP(-1.7, 7.0),
+              1e-12);
+}
+
+TEST(FDist, KnownValues) {
+  // F(1, d2) = T(d2)^2: SF at t^2 equals the t two-sided p.
+  const double t = 2.228138852;
+  EXPECT_NEAR(FDistSf(t * t, 1.0, 10.0), 0.05, 1e-6);
+  EXPECT_DOUBLE_EQ(FDistSf(0.0, 3.0, 4.0), 1.0);
+}
+
+TEST(PoissonCdf, KnownValues) {
+  // P[X <= 0] = exp(-lambda).
+  EXPECT_NEAR(PoissonCdf(0, 2.0), std::exp(-2.0), 1e-12);
+  // P[X <= 1] = exp(-l)(1 + l).
+  EXPECT_NEAR(PoissonCdf(1, 2.0), std::exp(-2.0) * 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PoissonCdf(-1, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(PoissonCdf(5, 0.0), 1.0);
+}
+
+// Property sweep: distribution functions are monotone.
+class MonotoneCdfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonotoneCdfTest, ChiSquareCdfIsMonotone) {
+  const double df = GetParam();
+  double prev = 0.0;
+  for (double x = 0.0; x <= 50.0; x += 0.5) {
+    const double v = ChiSquareCdf(x, df);
+    EXPECT_GE(v, prev - 1e-12);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreesOfFreedom, MonotoneCdfTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0, 50.0));
+
+}  // namespace
+}  // namespace hpcfail::stats

@@ -1,0 +1,193 @@
+#include "stats/survival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/survival_analysis.h"
+#include "core/window_analysis.h"
+#include "stats/rng.h"
+#include "synth/generate.h"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(KaplanMeier, TextbookExample) {
+  // Events at 1, 2; censored at 1.5; event at 3.
+  //   t=1: S = 3/4; t=2: at risk 2 (after censoring), S = 3/4 * 1/2 = 3/8;
+  //   t=3: at risk 1, S = 0.
+  std::vector<SurvivalObservation> obs = {
+      {1.0, true}, {1.5, false}, {2.0, true}, {3.0, true}};
+  const KaplanMeier km(obs);
+  EXPECT_DOUBLE_EQ(km.Survival(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(km.Survival(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(km.Survival(1.9), 0.75);
+  EXPECT_DOUBLE_EQ(km.Survival(2.0), 0.375);
+  EXPECT_DOUBLE_EQ(km.Survival(3.0), 0.0);
+  EXPECT_EQ(km.num_events(), 3u);
+  EXPECT_DOUBLE_EQ(km.MedianSurvival(), 2.0);
+}
+
+TEST(KaplanMeier, NoCensoringMatchesEmpiricalCdf) {
+  std::vector<SurvivalObservation> obs;
+  for (int i = 1; i <= 10; ++i) {
+    obs.push_back({static_cast<double>(i), true});
+  }
+  const KaplanMeier km(obs);
+  EXPECT_NEAR(km.Survival(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(km.Survival(9.0), 0.1, 1e-12);
+}
+
+TEST(KaplanMeier, AllCensoredStaysAtOne) {
+  std::vector<SurvivalObservation> obs = {{1.0, false}, {2.0, false}};
+  const KaplanMeier km(obs);
+  EXPECT_DOUBLE_EQ(km.Survival(100.0), 1.0);
+  EXPECT_TRUE(std::isinf(km.MedianSurvival()));
+  EXPECT_EQ(km.num_events(), 0u);
+}
+
+TEST(KaplanMeier, TiedEventTimesHandled) {
+  std::vector<SurvivalObservation> obs = {
+      {1.0, true}, {1.0, true}, {2.0, true}, {2.0, false}};
+  const KaplanMeier km(obs);
+  // t=1: 4 at risk, 2 events -> S = 0.5; t=2: 2 at risk, 1 event -> 0.25.
+  EXPECT_DOUBLE_EQ(km.Survival(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(km.Survival(2.0), 0.25);
+}
+
+TEST(KaplanMeier, RecoversExponentialSurvival) {
+  Rng rng(41);
+  std::vector<SurvivalObservation> obs;
+  const double rate = 0.5;
+  for (int i = 0; i < 4000; ++i) {
+    const double t = rng.Exponential(rate);
+    // Censor at 5.0 (administrative end of study).
+    obs.push_back(t < 5.0 ? SurvivalObservation{t, true}
+                          : SurvivalObservation{5.0, false});
+  }
+  const KaplanMeier km(obs);
+  for (double t : {0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(km.Survival(t), std::exp(-rate * t), 0.03) << t;
+  }
+}
+
+TEST(KaplanMeier, GreenwoodErrorsShrinkWithSampleSize) {
+  Rng rng(42);
+  auto make = [&rng](int n) {
+    std::vector<SurvivalObservation> obs;
+    for (int i = 0; i < n; ++i) obs.push_back({rng.Exponential(1.0), true});
+    return KaplanMeier(obs);
+  };
+  const KaplanMeier small = make(50);
+  const KaplanMeier large = make(5000);
+  // Compare SE near the median.
+  auto se_near_median = [](const KaplanMeier& km) {
+    double best = 1.0;
+    for (const SurvivalPoint& p : km.curve()) {
+      if (p.survival <= 0.5) return p.std_error;
+      best = p.std_error;
+    }
+    return best;
+  };
+  EXPECT_GT(se_near_median(small), 3.0 * se_near_median(large));
+}
+
+TEST(KaplanMeier, RejectsBadInput) {
+  EXPECT_THROW(KaplanMeier({}), std::invalid_argument);
+  EXPECT_THROW(KaplanMeier({{-1.0, true}}), std::invalid_argument);
+}
+
+TEST(LogRank, IdenticalGroupsNotSignificant) {
+  Rng rng(43);
+  std::vector<SurvivalObservation> g1, g2;
+  for (int i = 0; i < 300; ++i) {
+    g1.push_back({rng.Exponential(1.0), true});
+    g2.push_back({rng.Exponential(1.0), true});
+  }
+  const LogRankResult r = LogRankTest(g1, g2);
+  EXPECT_FALSE(r.significant_99);
+}
+
+TEST(LogRank, DifferentHazardsDetected) {
+  Rng rng(44);
+  std::vector<SurvivalObservation> fast, slow;
+  for (int i = 0; i < 300; ++i) {
+    fast.push_back({rng.Exponential(2.0), true});
+    slow.push_back({rng.Exponential(0.5), true});
+  }
+  const LogRankResult r = LogRankTest(fast, slow);
+  EXPECT_TRUE(r.significant_99);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(LogRank, RejectsEmptyGroups) {
+  std::vector<SurvivalObservation> g = {{1.0, true}};
+  EXPECT_THROW(LogRankTest(g, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats
+
+namespace hpcfail::core {
+namespace {
+
+TEST(TimeToNextFailure, MatchesWindowAnalyzerApproximately) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(2 * kYear), 45);
+  const EventIndex idx(t);
+  const SurvivalAnalysis sa = AnalyzeTimeToNextFailure(idx);
+  const WindowAnalyzer wa(idx);
+  for (FailureCategory c : AllFailureCategories()) {
+    const TriggerSurvival& ts =
+        sa.by_trigger[static_cast<std::size_t>(c)];
+    if (ts.observations.size() < 100) continue;
+    const auto window = wa.ConditionalProbability(
+        EventFilter::Of(c), EventFilter::Any(), Scope::kSameNode, kWeek);
+    // KM handles censoring that the window analyzer drops, so the values
+    // agree only approximately.
+    EXPECT_NEAR(ts.failure_within_week, window.estimate, 0.12)
+        << ToString(c);
+  }
+}
+
+TEST(TimeToNextFailure, EnvironmentTriggersShortenSurvival) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(2 * kYear), 46);
+  const EventIndex idx(t);
+  const SurvivalAnalysis sa = AnalyzeTimeToNextFailure(idx);
+  const auto& env =
+      sa.by_trigger[static_cast<std::size_t>(FailureCategory::kEnvironment)];
+  const auto& hw =
+      sa.by_trigger[static_cast<std::size_t>(FailureCategory::kHardware)];
+  ASSERT_GE(env.observations.size(), 3u);
+  ASSERT_GE(hw.observations.size(), 3u);
+  EXPECT_GT(env.failure_within_week, hw.failure_within_week);
+  EXPECT_TRUE(sa.env_vs_hw.significant_99);
+}
+
+TEST(TimeToNextFailure, CensoredTailsHandled) {
+  // Last failures of each node are censored, never events.
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sys";
+  c.num_nodes = 2;
+  c.procs_per_node = 4;
+  c.observed = {0, 100 * kDay};
+  t.AddSystem(c);
+  t.AddFailure(MakeFailure(SystemId{0}, NodeId{0}, 10 * kDay,
+                           10 * kDay + kHour, FailureCategory::kHardware));
+  t.AddFailure(MakeFailure(SystemId{0}, NodeId{0}, 20 * kDay,
+                           20 * kDay + kHour, FailureCategory::kHardware));
+  t.Finalize();
+  const EventIndex idx(t);
+  const SurvivalAnalysis sa = AnalyzeTimeToNextFailure(idx);
+  const auto& hw =
+      sa.by_trigger[static_cast<std::size_t>(FailureCategory::kHardware)];
+  ASSERT_EQ(hw.observations.size(), 2u);
+  // One observed gap (10 days), one censored tail (80 days).
+  int events = 0;
+  for (const auto& o : hw.observations) events += o.event ? 1 : 0;
+  EXPECT_EQ(events, 1);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

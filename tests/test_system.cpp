@@ -1,0 +1,223 @@
+#include "trace/system.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcfail {
+namespace {
+
+SystemConfig SmallSystem(int id = 0, int nodes = 4) {
+  SystemConfig c;
+  c.id = SystemId{id};
+  c.name = "sys" + std::to_string(id);
+  c.group = SystemGroup::kSmp;
+  c.num_nodes = nodes;
+  c.procs_per_node = 4;
+  c.observed = {0, 100 * kDay};
+  return c;
+}
+
+TEST(SystemGroup, RoundTripsThroughStrings) {
+  EXPECT_EQ(ParseSystemGroup(ToString(SystemGroup::kSmp)), SystemGroup::kSmp);
+  EXPECT_EQ(ParseSystemGroup(ToString(SystemGroup::kNuma)),
+            SystemGroup::kNuma);
+  EXPECT_FALSE(ParseSystemGroup("cluster").has_value());
+}
+
+TEST(SystemConfig, NumProcs) {
+  const SystemConfig c = SmallSystem(0, 8);
+  EXPECT_EQ(c.num_procs(), 32);
+}
+
+TEST(Trace, AddSystemRejectsDuplicates) {
+  Trace t;
+  t.AddSystem(SmallSystem(0));
+  EXPECT_THROW(t.AddSystem(SmallSystem(0)), std::invalid_argument);
+}
+
+TEST(Trace, AddSystemRejectsInvalidConfigs) {
+  Trace t;
+  SystemConfig bad = SmallSystem(0);
+  bad.num_nodes = 0;
+  EXPECT_THROW(t.AddSystem(bad), std::invalid_argument);
+  bad = SmallSystem(1);
+  bad.observed = {100, 50};
+  EXPECT_THROW(t.AddSystem(bad), std::invalid_argument);
+  bad = SmallSystem(2);
+  bad.id = SystemId{};
+  EXPECT_THROW(t.AddSystem(bad), std::invalid_argument);
+}
+
+TEST(Trace, AddFailureValidatesSystemAndNode) {
+  Trace t;
+  t.AddSystem(SmallSystem(0, 4));
+  EXPECT_THROW(t.AddFailure(MakeFailure(SystemId{9}, NodeId{0}, 0, 1,
+                                        FailureCategory::kHardware)),
+               std::invalid_argument);
+  EXPECT_THROW(t.AddFailure(MakeFailure(SystemId{0}, NodeId{4}, 0, 1,
+                                        FailureCategory::kHardware)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(t.AddFailure(MakeFailure(SystemId{0}, NodeId{3}, 0, 1,
+                                           FailureCategory::kHardware)));
+}
+
+TEST(Trace, AddFailureRejectsInconsistentRecords) {
+  Trace t;
+  t.AddSystem(SmallSystem());
+  FailureRecord r =
+      MakeFailure(SystemId{0}, NodeId{0}, 0, 1, FailureCategory::kNetwork);
+  r.hardware = HardwareComponent::kCpu;
+  EXPECT_THROW(t.AddFailure(r), std::invalid_argument);
+}
+
+TEST(Trace, AccessorsThrowBeforeFinalize) {
+  Trace t;
+  t.AddSystem(SmallSystem());
+  t.AddFailure(
+      MakeFailure(SystemId{0}, NodeId{0}, 0, 1, FailureCategory::kHuman));
+  EXPECT_THROW(t.failures(), std::logic_error);
+  t.Finalize();
+  EXPECT_NO_THROW(t.failures());
+}
+
+TEST(Trace, FinalizeSortsFailuresByTime) {
+  Trace t;
+  t.AddSystem(SmallSystem());
+  t.AddFailure(
+      MakeFailure(SystemId{0}, NodeId{1}, 500, 501, FailureCategory::kHuman));
+  t.AddFailure(
+      MakeFailure(SystemId{0}, NodeId{0}, 100, 101, FailureCategory::kHuman));
+  t.AddFailure(
+      MakeFailure(SystemId{0}, NodeId{2}, 300, 301, FailureCategory::kHuman));
+  t.Finalize();
+  const auto& f = t.failures();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].start, 100);
+  EXPECT_EQ(f[1].start, 300);
+  EXPECT_EQ(f[2].start, 500);
+}
+
+TEST(Trace, FinalizeIsIdempotent) {
+  Trace t;
+  t.AddSystem(SmallSystem());
+  t.Finalize();
+  t.Finalize();
+  EXPECT_TRUE(t.finalized());
+}
+
+TEST(Trace, MutationUnfinalizes) {
+  Trace t;
+  t.AddSystem(SmallSystem());
+  t.Finalize();
+  t.AddFailure(
+      MakeFailure(SystemId{0}, NodeId{0}, 0, 1, FailureCategory::kHuman));
+  EXPECT_FALSE(t.finalized());
+}
+
+TEST(Trace, FindSystemAndSystemAccessor) {
+  Trace t;
+  t.AddSystem(SmallSystem(3));
+  EXPECT_NE(t.FindSystem(SystemId{3}), nullptr);
+  EXPECT_EQ(t.FindSystem(SystemId{4}), nullptr);
+  EXPECT_EQ(t.system(SystemId{3}).name, "sys3");
+  EXPECT_THROW(t.system(SystemId{4}), std::out_of_range);
+}
+
+TEST(Trace, FailuresOfSystemFilters) {
+  Trace t;
+  t.AddSystem(SmallSystem(0));
+  t.AddSystem(SmallSystem(1));
+  t.AddFailure(
+      MakeFailure(SystemId{0}, NodeId{0}, 10, 11, FailureCategory::kHuman));
+  t.AddFailure(
+      MakeFailure(SystemId{1}, NodeId{0}, 20, 21, FailureCategory::kHuman));
+  t.AddFailure(
+      MakeFailure(SystemId{1}, NodeId{1}, 30, 31, FailureCategory::kHuman));
+  t.Finalize();
+  EXPECT_EQ(t.FailuresOfSystem(SystemId{0}).size(), 1u);
+  EXPECT_EQ(t.FailuresOfSystem(SystemId{1}).size(), 2u);
+}
+
+TEST(Trace, AddJobValidatesNodes) {
+  Trace t;
+  t.AddSystem(SmallSystem(0, 2));
+  JobRecord j;
+  j.id = JobId{0};
+  j.system = SystemId{0};
+  j.user = UserId{1};
+  j.submit = 0;
+  j.dispatch = 10;
+  j.end = 20;
+  j.procs = 4;
+  j.nodes = {NodeId{0}, NodeId{5}};  // node 5 out of range
+  EXPECT_THROW(t.AddJob(j), std::invalid_argument);
+  j.nodes = {NodeId{0}, NodeId{1}};
+  EXPECT_NO_THROW(t.AddJob(j));
+}
+
+TEST(Trace, AddJobRejectsInconsistentTimes) {
+  Trace t;
+  t.AddSystem(SmallSystem());
+  JobRecord j;
+  j.id = JobId{0};
+  j.system = SystemId{0};
+  j.user = UserId{1};
+  j.submit = 100;
+  j.dispatch = 50;  // dispatched before submit
+  j.end = 200;
+  j.procs = 4;
+  j.nodes = {NodeId{0}};
+  EXPECT_THROW(t.AddJob(j), std::invalid_argument);
+}
+
+TEST(Trace, JobsSortedByDispatch) {
+  Trace t;
+  t.AddSystem(SmallSystem());
+  for (int i = 0; i < 3; ++i) {
+    JobRecord j;
+    j.id = JobId{i};
+    j.system = SystemId{0};
+    j.user = UserId{1};
+    j.submit = (3 - i) * 100;
+    j.dispatch = (3 - i) * 100 + 1;
+    j.end = (3 - i) * 100 + 50;
+    j.procs = 4;
+    j.nodes = {NodeId{0}};
+    t.AddJob(j);
+  }
+  t.Finalize();
+  const auto& jobs = t.jobs();
+  EXPECT_LT(jobs[0].dispatch, jobs[1].dispatch);
+  EXPECT_LT(jobs[1].dispatch, jobs[2].dispatch);
+}
+
+TEST(Trace, MaintenanceRejectsNegativeDuration) {
+  Trace t;
+  t.AddSystem(SmallSystem());
+  MaintenanceRecord m{SystemId{0}, NodeId{0}, 100, 50};
+  EXPECT_THROW(t.AddMaintenance(m), std::invalid_argument);
+}
+
+TEST(Trace, NeutronSeriesSortedOnSet) {
+  Trace t;
+  t.SetNeutronSeries({{200, 4000.0}, {100, 3900.0}});
+  const auto& s = t.neutron_series();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].time, 100);
+  EXPECT_EQ(s[1].time, 200);
+}
+
+TEST(JobRecord, DerivedQuantities) {
+  JobRecord j;
+  j.submit = 100;
+  j.dispatch = 160;
+  j.end = 160 + kHour;
+  j.procs = 8;
+  j.nodes = {NodeId{0}, NodeId{1}};
+  EXPECT_EQ(j.queue_delay(), 60);
+  EXPECT_EQ(j.runtime(), kHour);
+  EXPECT_DOUBLE_EQ(j.proc_seconds(), 8.0 * kHour);
+  EXPECT_TRUE(j.consistent());
+}
+
+}  // namespace
+}  // namespace hpcfail

@@ -1,0 +1,121 @@
+#include "core/temperature_analysis.h"
+
+#include "core/power_analysis.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+// Realistic per-node rates (no saturation of month windows) with temperature
+// sensing enabled and frequent chiller events.
+Trace TempTrace(std::uint64_t seed = 61) {
+  synth::Scenario sc;
+  sc.duration = 3 * kYear;
+  auto sys = synth::Group1System("t", 96, 3 * kYear);
+  for (double& r : sys.base_rate_per_hour) r *= 2.0;
+  sys.temperature.enabled = true;
+  sys.temperature.sample_interval = 12 * kHour;
+  sys.chiller_failure.events_per_year = 8.0;
+  sc.systems.push_back(std::move(sys));
+  return synth::GenerateTrace(sc, seed);
+}
+
+TEST(TemperatureRegression, ProducesAllNineFits) {
+  const Trace t = TempTrace();
+  const EventIndex idx(t);
+  const auto regs = RegressFailuresOnTemperature(idx, t.systems()[0].id);
+  // 3 covariates x 3 targets.
+  EXPECT_EQ(regs.size(), 9u);
+  for (const TemperatureRegression& r : regs) {
+    EXPECT_GE(r.poisson_p, 0.0);
+    EXPECT_LE(r.poisson_p, 1.0);
+    EXPECT_GE(r.negbin_p, 0.0);
+    EXPECT_LE(r.negbin_p, 1.0);
+    EXPECT_EQ(r.poisson.coefficients.size(), 2u);  // intercept + covariate
+  }
+}
+
+TEST(TemperatureRegression, AverageTemperatureIsInsignificant) {
+  // Section VIII.A: the generator injects NO causal path from ambient
+  // temperature to failures, so avg_temp must be insignificant for
+  // hardware failures (negative control). With a tiny 16-node system the
+  // Poisson fit can alias node-0's extreme counts, so assert on the honest
+  // (overdispersion-aware) negative binomial p-value.
+  const Trace t = TempTrace();
+  const EventIndex idx(t);
+  const auto regs = RegressFailuresOnTemperature(idx, t.systems()[0].id);
+  for (const TemperatureRegression& r : regs) {
+    if (r.covariate == "avg_temp" && r.target == "hardware") {
+      EXPECT_GT(r.negbin_p, 0.01) << "avg_temp should not predict failures";
+    }
+  }
+}
+
+TEST(TemperatureRegression, ThrowsWithoutTemperatureLog) {
+  synth::Scenario sc;
+  sc.duration = 60 * kDay;
+  sc.systems.push_back(synth::Group1System("plain", 8, 60 * kDay));
+  const Trace t = synth::GenerateTrace(sc, 62);
+  const EventIndex idx(t);
+  EXPECT_THROW(RegressFailuresOnTemperature(idx, SystemId{0}),
+               std::invalid_argument);
+}
+
+TEST(CoolingImpact, FanFailuresRaiseHardwareFailures) {
+  const Trace t = TempTrace();
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto impacts = CoolingFailureImpact(a);
+  ASSERT_EQ(impacts.size(), 2u);
+  EXPECT_EQ(impacts[0].trigger, "fan");
+  EXPECT_EQ(impacts[1].trigger, "chiller");
+  // Fig. 13: clear increases following fan failures at all timespans.
+  const CoolingImpact& fan = impacts[0];
+  if (fan.month.num_triggers >= 5) {
+    EXPECT_GT(fan.month.factor, 2.0);
+    EXPECT_GT(fan.week.factor, 2.0);
+  }
+}
+
+TEST(CoolingImpact, FanStrongerThanChiller) {
+  // Fig. 13 left: "Fan failures have a stronger effect for all timespans."
+  const Trace t = TempTrace();
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto impacts = CoolingFailureImpact(a);
+  const auto& fan = impacts[0];
+  const auto& chiller = impacts[1];
+  if (fan.month.num_triggers >= 5 && chiller.month.num_triggers >= 5) {
+    EXPECT_GT(fan.month.factor, chiller.month.factor);
+  }
+}
+
+TEST(Filters, FanAndChiller) {
+  EXPECT_EQ(FanFilter().hardware, HardwareComponent::kFan);
+  EXPECT_EQ(ChillerFilter().environment, EnvironmentEvent::kChiller);
+}
+
+TEST(CoolingImpact, FanCascadeTargetsNonCpuComponents) {
+  // Fig. 13 right: fans themselves recur most; CPUs are untouched.
+  const Trace t = TempTrace();
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto impacts = HardwareComponentImpact(a, FanFilter());
+  double fan_self = 0.0, cpu = 0.0;
+  for (const ComponentImpact& ci : impacts) {
+    if (ci.component == "fan" && std::isfinite(ci.month.factor)) {
+      fan_self = ci.month.factor;
+    }
+    if (ci.component == "cpu" && std::isfinite(ci.month.factor)) {
+      cpu = ci.month.factor;
+    }
+  }
+  EXPECT_GT(fan_self, cpu);
+}
+
+}  // namespace
+}  // namespace hpcfail::core

@@ -1,0 +1,117 @@
+#include "trace/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generate.h"
+
+namespace hpcfail {
+namespace {
+
+Trace SampleTrace() { return synth::GenerateTrace(synth::TinyScenario(), 5); }
+
+TEST(SliceTrace, KeepsOnlyWindowedRecords) {
+  const Trace t = SampleTrace();
+  const TimeInterval window{30 * kDay, 90 * kDay};
+  const Trace sliced = SliceTrace(t, window);
+  ASSERT_EQ(sliced.systems().size(), 1u);
+  EXPECT_EQ(sliced.systems()[0].observed, window);
+  long long expected = 0;
+  for (const FailureRecord& f : t.failures()) {
+    if (window.contains(f.start)) ++expected;
+  }
+  EXPECT_EQ(static_cast<long long>(sliced.num_failures()), expected);
+  for (const FailureRecord& f : sliced.failures()) {
+    EXPECT_TRUE(window.contains(f.start));
+  }
+  for (const JobRecord& j : sliced.jobs()) {
+    EXPECT_TRUE(window.contains(j.dispatch));
+  }
+}
+
+TEST(SliceTrace, TimesStayAbsolute) {
+  const Trace t = SampleTrace();
+  const Trace sliced = SliceTrace(t, {30 * kDay, 90 * kDay});
+  ASSERT_FALSE(sliced.failures().empty());
+  EXPECT_GE(sliced.failures().front().start, 30 * kDay);
+}
+
+TEST(SliceTrace, NonOverlappingSystemsDropped) {
+  const Trace t = SampleTrace();  // observed [0, 180d)
+  const Trace sliced = SliceTrace(t, {200 * kDay, 300 * kDay});
+  EXPECT_TRUE(sliced.systems().empty());
+  EXPECT_EQ(sliced.num_failures(), 0u);
+}
+
+TEST(SliceTrace, RejectsInvalidWindow) {
+  const Trace t = SampleTrace();
+  EXPECT_THROW(SliceTrace(t, {10, 10}), std::invalid_argument);
+  EXPECT_THROW(SliceTrace(t, {20, 10}), std::invalid_argument);
+}
+
+TEST(SliceTrace, SplitsPartitionTheTrace) {
+  // Train/test split property: the two halves partition every stream.
+  const Trace t = SampleTrace();
+  const TimeSec mid = 90 * kDay;
+  const Trace train = SliceTrace(t, {0, mid});
+  const Trace test = SliceTrace(t, {mid, 180 * kDay});
+  EXPECT_EQ(train.num_failures() + test.num_failures(), t.num_failures());
+  EXPECT_EQ(train.jobs().size() + test.jobs().size(), t.jobs().size());
+  EXPECT_EQ(train.temperatures().size() + test.temperatures().size(),
+            t.temperatures().size());
+}
+
+TEST(FilterSystems, KeepsRequestedSystemsOnly) {
+  const Trace t =
+      synth::GenerateTrace(synth::LanlLikeScenario(0.05, 60 * kDay), 6);
+  const std::vector<SystemId> want = {SystemId{0}, SystemId{7}};
+  const Trace filtered = FilterSystems(t, want);
+  EXPECT_EQ(filtered.systems().size(), 2u);
+  for (const FailureRecord& f : filtered.failures()) {
+    EXPECT_TRUE(f.system == SystemId{0} || f.system == SystemId{7});
+  }
+  EXPECT_EQ(filtered.FailuresOfSystem(SystemId{0}).size(),
+            t.FailuresOfSystem(SystemId{0}).size());
+  EXPECT_FALSE(filtered.neutron_series().empty());
+}
+
+TEST(FilterSystems, UnknownSystemThrows) {
+  const Trace t = SampleTrace();
+  const std::vector<SystemId> want = {SystemId{99}};
+  EXPECT_THROW(FilterSystems(t, want), std::out_of_range);
+}
+
+TEST(MergeTraces, CombinesDisjointSystems) {
+  synth::Scenario a;
+  a.duration = 60 * kDay;
+  a.systems.push_back(synth::Group1System("a", 16, 60 * kDay));
+  synth::Scenario b = a;
+  b.systems[0].name = "b";
+  const Trace ta = synth::GenerateTrace(a, 1);
+  Trace tb_raw = synth::GenerateTrace(b, 2);
+  // Renumber tb's system to avoid the id collision.
+  Trace tb;
+  SystemConfig cfg = tb_raw.systems()[0];
+  cfg.id = SystemId{1};
+  tb.AddSystem(cfg);
+  for (FailureRecord f : tb_raw.failures()) {
+    f.system = SystemId{1};
+    tb.AddFailure(std::move(f));
+  }
+  tb.Finalize();
+
+  const Trace merged = MergeTraces(ta, tb);
+  EXPECT_EQ(merged.systems().size(), 2u);
+  EXPECT_EQ(merged.num_failures(),
+            ta.num_failures() + tb.num_failures());
+  EXPECT_EQ(merged.FailuresOfSystem(SystemId{1}).size(),
+            tb.num_failures());
+}
+
+TEST(MergeTraces, RejectsDuplicateSystemIds) {
+  const Trace a = SampleTrace();
+  const Trace b = SampleTrace();
+  EXPECT_THROW(MergeTraces(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail

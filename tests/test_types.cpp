@@ -1,0 +1,76 @@
+#include "trace/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace hpcfail {
+namespace {
+
+TEST(TimeConstants, AreConsistent) {
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kWeek, 7 * kDay);
+  EXPECT_EQ(kMonth, 30 * kDay);
+  EXPECT_EQ(kYear, 365 * kDay);
+}
+
+TEST(TimeInterval, DurationAndContains) {
+  const TimeInterval iv{10, 20};
+  EXPECT_EQ(iv.duration(), 10);
+  EXPECT_TRUE(iv.valid());
+  EXPECT_TRUE(iv.contains(10));   // inclusive begin
+  EXPECT_TRUE(iv.contains(19));
+  EXPECT_FALSE(iv.contains(20));  // exclusive end
+  EXPECT_FALSE(iv.contains(9));
+}
+
+TEST(TimeInterval, EmptyIntervalContainsNothing) {
+  const TimeInterval iv{5, 5};
+  EXPECT_EQ(iv.duration(), 0);
+  EXPECT_TRUE(iv.valid());
+  EXPECT_FALSE(iv.contains(5));
+}
+
+TEST(TimeInterval, InvalidWhenEndBeforeBegin) {
+  const TimeInterval iv{10, 5};
+  EXPECT_FALSE(iv.valid());
+}
+
+TEST(Id, DefaultIsInvalid) {
+  NodeId n;
+  EXPECT_FALSE(n.valid());
+  EXPECT_EQ(n.value, -1);
+}
+
+TEST(Id, ExplicitConstructionIsValid) {
+  NodeId n{7};
+  EXPECT_TRUE(n.valid());
+  EXPECT_EQ(n.value, 7);
+}
+
+TEST(Id, ComparesByValue) {
+  EXPECT_EQ(NodeId{3}, NodeId{3});
+  EXPECT_NE(NodeId{3}, NodeId{4});
+  EXPECT_LT(NodeId{3}, NodeId{4});
+}
+
+TEST(Id, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, UserId>);
+  static_assert(!std::is_same_v<SystemId, RackId>);
+}
+
+TEST(Id, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId{1});
+  set.insert(NodeId{2});
+  set.insert(NodeId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(NodeId{2}));
+  EXPECT_FALSE(set.contains(NodeId{3}));
+}
+
+TEST(Id, InvalidNodeConstant) { EXPECT_FALSE(kInvalidNode.valid()); }
+
+}  // namespace
+}  // namespace hpcfail

@@ -1,0 +1,259 @@
+#include "core/window_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+// One 4-node system observed for 100 days with fully controlled failures.
+Trace ControlledTrace(const std::vector<std::pair<int, TimeSec>>& failures) {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sys";
+  c.num_nodes = 4;
+  c.procs_per_node = 4;
+  c.observed = {0, 100 * kDay};
+  c.layout = MachineLayout::Grid(4, 2, 2);
+  t.AddSystem(c);
+  for (const auto& [node, time] : failures) {
+    t.AddFailure(MakeFailure(SystemId{0}, NodeId{node}, time, time + kHour,
+                             FailureCategory::kHardware));
+  }
+  t.Finalize();
+  return t;
+}
+
+TEST(Baseline, ExactWindowArithmetic) {
+  // Node 0 fails on days 5 and 6 (same week), node 1 on day 50.
+  const Trace t = ControlledTrace({{0, 5 * kDay + kHour},
+                                   {0, 6 * kDay},
+                                   {1, 50 * kDay}});
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  // Weekly baseline: 14 aligned weeks x 4 nodes = 56 windows; node 0's two
+  // failures share week 0, node 1's failure is in week 7: 2 hit windows.
+  const stats::Proportion p = a.BaselineProbability(EventFilter::Any(), kWeek);
+  EXPECT_EQ(p.trials, 56);
+  EXPECT_EQ(p.successes, 2);
+  EXPECT_NEAR(p.estimate, 2.0 / 56.0, 1e-12);
+}
+
+TEST(Baseline, DailyWindows) {
+  const Trace t = ControlledTrace({{2, 10 * kDay + 5 * kHour}});
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const stats::Proportion p = a.BaselineProbability(EventFilter::Any(), kDay);
+  EXPECT_EQ(p.trials, 400);  // 100 days x 4 nodes
+  EXPECT_EQ(p.successes, 1);
+}
+
+TEST(Baseline, NodePredicateRestricts) {
+  const Trace t = ControlledTrace({{0, 10 * kDay}, {1, 20 * kDay}});
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const stats::Proportion p = a.BaselineProbability(
+      EventFilter::Any(), kDay,
+      [](SystemId, NodeId n) { return n == NodeId{0}; });
+  EXPECT_EQ(p.trials, 100);
+  EXPECT_EQ(p.successes, 1);
+}
+
+TEST(Conditional, SameNodeFollowUpDetected) {
+  // Node 0 fails at day 10 and again at day 10 + 3h: the first failure's
+  // one-day window contains the second; the second's contains nothing.
+  const Trace t = ControlledTrace({{0, 10 * kDay}, {0, 10 * kDay + 3 * kHour}});
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const stats::Proportion p = a.ConditionalProbability(
+      EventFilter::Any(), EventFilter::Any(), Scope::kSameNode, kDay);
+  EXPECT_EQ(p.trials, 2);
+  EXPECT_EQ(p.successes, 1);
+}
+
+TEST(Conditional, TriggerWindowCensoredAtObservationEnd) {
+  // A failure on day 99.9 has no full one-day window left: censored.
+  const Trace t = ControlledTrace({{0, 99 * kDay + 23 * kHour}});
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const stats::Proportion p = a.ConditionalProbability(
+      EventFilter::Any(), EventFilter::Any(), Scope::kSameNode, kDay);
+  EXPECT_EQ(p.trials, 0);
+}
+
+TEST(Conditional, RackPeerPairSemantics) {
+  // Node 0 fails at day 10; rack mate node 1 fails at day 12 (within week).
+  const Trace t = ControlledTrace({{0, 10 * kDay}, {1, 12 * kDay}});
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const stats::Proportion p = a.ConditionalProbability(
+      EventFilter::Any(), EventFilter::Any(), Scope::kRackPeers, kWeek);
+  // Two triggers; each has 1 rack peer (racks of 2). Node 0's window hits
+  // node 1; node 1's window (12d..19d] has nothing.
+  EXPECT_EQ(p.trials, 2);
+  EXPECT_EQ(p.successes, 1);
+}
+
+TEST(Conditional, SystemPeerPairSemantics) {
+  const Trace t = ControlledTrace({{0, 10 * kDay}, {3, 11 * kDay}});
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const stats::Proportion p = a.ConditionalProbability(
+      EventFilter::Any(), EventFilter::Any(), Scope::kSystemPeers, kWeek);
+  // Each trigger has 3 peers; node 0's window hits node 3 once.
+  EXPECT_EQ(p.trials, 6);
+  EXPECT_EQ(p.successes, 1);
+}
+
+TEST(Conditional, TypedTriggerAndTarget) {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sys";
+  c.num_nodes = 2;
+  c.procs_per_node = 4;
+  c.observed = {0, 100 * kDay};
+  t.AddSystem(c);
+  t.AddFailure(MakeEnvironmentFailure(SystemId{0}, NodeId{0}, 10 * kDay,
+                                      10 * kDay + kHour,
+                                      EnvironmentEvent::kPowerOutage));
+  t.AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{0}, 12 * kDay,
+                                   12 * kDay + kHour,
+                                   HardwareComponent::kNodeBoard));
+  t.Finalize();
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const stats::Proportion p = a.ConditionalProbability(
+      EventFilter::Of(EnvironmentEvent::kPowerOutage),
+      EventFilter::Of(FailureCategory::kHardware), Scope::kSameNode, kWeek);
+  EXPECT_EQ(p.trials, 1);
+  EXPECT_EQ(p.successes, 1);
+  // Reverse direction: hardware trigger, outage target within a week: no.
+  const stats::Proportion q = a.ConditionalProbability(
+      EventFilter::Of(FailureCategory::kHardware),
+      EventFilter::Of(EnvironmentEvent::kPowerOutage), Scope::kSameNode,
+      kWeek);
+  EXPECT_EQ(q.successes, 0);
+}
+
+TEST(Compare, BundlesFactorAndSignificance) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 11);
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const ConditionalResult r = a.Compare(EventFilter::Any(), EventFilter::Any(),
+                                        Scope::kSameNode, kDay);
+  EXPECT_GT(r.num_triggers, 0);
+  EXPECT_TRUE(r.conditional.defined());
+  EXPECT_TRUE(r.baseline.defined());
+  // The generator injects same-node correlation: factor clearly above 1 and
+  // statistically significant.
+  EXPECT_GT(r.factor, 2.0);
+  EXPECT_TRUE(r.test.significant_99);
+}
+
+TEST(Compare, WindowMonotonicity) {
+  // P(failure in window) grows with window length, conditional and baseline.
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 12);
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto day = a.Compare(EventFilter::Any(), EventFilter::Any(),
+                             Scope::kSameNode, kDay);
+  const auto week = a.Compare(EventFilter::Any(), EventFilter::Any(),
+                              Scope::kSameNode, kWeek);
+  const auto month = a.Compare(EventFilter::Any(), EventFilter::Any(),
+                               Scope::kSameNode, kMonth);
+  EXPECT_LE(day.conditional.estimate, week.conditional.estimate + 1e-9);
+  EXPECT_LE(week.conditional.estimate, month.conditional.estimate + 1e-9);
+  EXPECT_LE(day.baseline.estimate, week.baseline.estimate + 1e-9);
+  EXPECT_LE(week.baseline.estimate, month.baseline.estimate + 1e-9);
+}
+
+TEST(MaintenanceAfter, DetectsInjectedMaintenanceCascades) {
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 13);
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const ConditionalResult r = a.MaintenanceAfter(
+      EventFilter::Of(EnvironmentEvent::kPowerOutage), kMonth);
+  // The tiny scenario has outages; each plants maintenance children.
+  if (r.num_triggers > 0 && r.baseline.estimate > 0.0) {
+    EXPECT_GT(r.conditional.estimate, r.baseline.estimate);
+  }
+}
+
+TEST(MaintenanceAfter, HandBuiltCase) {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sys";
+  c.num_nodes = 2;
+  c.procs_per_node = 4;
+  c.observed = {0, 100 * kDay};
+  t.AddSystem(c);
+  t.AddFailure(MakeEnvironmentFailure(SystemId{0}, NodeId{0}, 10 * kDay,
+                                      10 * kDay + kHour,
+                                      EnvironmentEvent::kPowerOutage));
+  t.AddMaintenance({SystemId{0}, NodeId{0}, 15 * kDay, 15 * kDay + 4 * kHour});
+  t.Finalize();
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const ConditionalResult r = a.MaintenanceAfter(
+      EventFilter::Of(EnvironmentEvent::kPowerOutage), kMonth);
+  EXPECT_EQ(r.conditional.trials, 1);
+  EXPECT_EQ(r.conditional.successes, 1);
+  // Baseline: 3 aligned months x 2 nodes = 6 windows, 1 with maintenance.
+  EXPECT_EQ(r.baseline.trials, 6);
+  EXPECT_EQ(r.baseline.successes, 1);
+}
+
+TEST(PairwiseMatrix, DiagonalDominatesAndMatchesDirectQueries) {
+  // Realistic (non-saturating) rates: window saturation at TinyScenario's
+  // cranked rates compresses the factors and breaks diagonal dominance.
+  synth::Scenario sc;
+  sc.duration = 3 * kYear;
+  auto sys = synth::Group1System("g", 96, 3 * kYear);
+  for (double& r : sys.base_rate_per_hour) r *= 3.0;
+  sc.systems.push_back(sys);
+  const Trace t = synth::GenerateTrace(sc, 14);
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto matrix = a.PairwiseProbabilities(Scope::kSameNode, kWeek);
+  // Entries agree with the equivalent direct Compare() calls.
+  const auto direct =
+      a.Compare(EventFilter::Of(FailureCategory::kHardware),
+                EventFilter::Of(FailureCategory::kSoftware),
+                Scope::kSameNode, kWeek);
+  const auto& cell =
+      matrix[static_cast<std::size_t>(FailureCategory::kHardware)]
+            [static_cast<std::size_t>(FailureCategory::kSoftware)];
+  EXPECT_EQ(cell.conditional.successes, direct.conditional.successes);
+  EXPECT_EQ(cell.conditional.trials, direct.conditional.trials);
+  EXPECT_EQ(cell.baseline.successes, direct.baseline.successes);
+  // The paper's III.A.3 claim: a same-type trigger raises the follow-up
+  // probability of that type more than a random (any-type) trigger does.
+  // (Neither strict row nor column dominance holds — environment is a
+  // "super-trigger" that raises everything — matching the paper.)
+  for (FailureCategory x :
+       {FailureCategory::kHardware, FailureCategory::kSoftware,
+        FailureCategory::kNetwork}) {
+    const auto xi = static_cast<std::size_t>(x);
+    if (matrix[xi][xi].num_triggers < 50) continue;
+    const auto after_any = a.Compare(EventFilter::Any(), EventFilter::Of(x),
+                                     Scope::kSameNode, kWeek);
+    EXPECT_GT(matrix[xi][xi].conditional.estimate,
+              after_any.conditional.estimate)
+        << ToString(x);
+    EXPECT_GT(matrix[xi][xi].factor, 1.0);
+    EXPECT_TRUE(matrix[xi][xi].test.significant_99) << ToString(x);
+  }
+}
+
+TEST(ScopeNames, AreStable) {
+  EXPECT_EQ(ToString(Scope::kSameNode), "same-node");
+  EXPECT_EQ(ToString(Scope::kRackPeers), "rack-peers");
+  EXPECT_EQ(ToString(Scope::kSystemPeers), "system-peers");
+}
+
+}  // namespace
+}  // namespace hpcfail::core

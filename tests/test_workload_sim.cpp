@@ -1,0 +1,164 @@
+#include "synth/workload_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcfail::synth {
+namespace {
+
+SystemScenario WorkloadScenario() {
+  SystemScenario s = System20Like(/*num_nodes=*/32, /*duration=*/120 * kDay);
+  s.workload.jobs_per_day = 40.0;
+  s.workload.num_users = 15;
+  return s;
+}
+
+TEST(Workload, DisabledProducesEmptyStreams) {
+  SystemScenario s = Group1System("a", 8, 30 * kDay);
+  stats::Rng rng(1);
+  const WorkloadResult r = SimulateWorkload(s, SystemId{0}, 0, rng);
+  EXPECT_TRUE(r.jobs.empty());
+  EXPECT_TRUE(r.churn.empty());
+  ASSERT_EQ(r.usage_multiplier.size(), 8u);
+  for (double m : r.usage_multiplier) EXPECT_DOUBLE_EQ(m, 1.0);
+}
+
+TEST(Workload, JobsAreConsistent) {
+  const SystemScenario s = WorkloadScenario();
+  stats::Rng rng(2);
+  const WorkloadResult r = SimulateWorkload(s, SystemId{3}, 100, rng);
+  ASSERT_FALSE(r.jobs.empty());
+  for (const JobRecord& j : r.jobs) {
+    EXPECT_TRUE(j.consistent()) << j.id.value;
+    EXPECT_EQ(j.system, SystemId{3});
+    EXPECT_GE(j.dispatch, 0);
+    EXPECT_LE(j.end, s.duration);
+    for (NodeId n : j.nodes) {
+      EXPECT_GE(n.value, 0);
+      EXPECT_LT(n.value, s.num_nodes);
+    }
+    EXPECT_EQ(j.procs,
+              static_cast<int>(j.nodes.size()) * s.procs_per_node);
+  }
+}
+
+TEST(Workload, JobIdsStartAtFirstIdAndAreUnique) {
+  const SystemScenario s = WorkloadScenario();
+  stats::Rng rng(3);
+  const WorkloadResult r = SimulateWorkload(s, SystemId{0}, 500, rng);
+  std::vector<int> ids;
+  for (const JobRecord& j : r.jobs) {
+    EXPECT_GE(j.id.value, 500);
+    ids.push_back(j.id.value);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(Workload, JobCountNearExpectation) {
+  const SystemScenario s = WorkloadScenario();
+  stats::Rng rng(4);
+  const WorkloadResult r = SimulateWorkload(s, SystemId{0}, 0, rng);
+  // 40 jobs/day * 120 days user jobs + node-0 login jobs.
+  const double expected_user_jobs = 40.0 * 120.0;
+  long user_jobs = 0;
+  for (const JobRecord& j : r.jobs) {
+    if (j.user != UserId{0}) ++user_jobs;
+  }
+  EXPECT_NEAR(static_cast<double>(user_jobs), expected_user_jobs,
+              5.0 * std::sqrt(expected_user_jobs));
+}
+
+TEST(Workload, NodeZeroRunsLoginJobs) {
+  const SystemScenario s = WorkloadScenario();
+  stats::Rng rng(5);
+  const WorkloadResult r = SimulateWorkload(s, SystemId{0}, 0, rng);
+  long login_jobs = 0;
+  for (const JobRecord& j : r.jobs) {
+    if (j.user == UserId{0}) {
+      ++login_jobs;
+      ASSERT_EQ(j.nodes.size(), 1u);
+      EXPECT_EQ(j.nodes[0], NodeId{0});
+    }
+  }
+  EXPECT_GT(login_jobs, 1000);  // ~40/day * 120 days
+  // Node 0 ends up with by far the most jobs (Fig. 7's marker).
+  int max_other = 0;
+  for (std::size_t n = 1; n < r.usage.size(); ++n) {
+    max_other = std::max(max_other, r.usage[n].num_jobs);
+  }
+  EXPECT_GT(r.usage[0].num_jobs, max_other);
+}
+
+TEST(Workload, UtilizationWithinBounds) {
+  const SystemScenario s = WorkloadScenario();
+  stats::Rng rng(6);
+  const WorkloadResult r = SimulateWorkload(s, SystemId{0}, 0, rng);
+  for (const NodeUsage& u : r.usage) {
+    EXPECT_GE(u.utilization, 0.0);
+    EXPECT_LE(u.utilization, 1.0);
+    EXPECT_LE(u.busy_time, s.duration);
+  }
+}
+
+TEST(Workload, SchedulerAffinityCreatesUtilizationGradient) {
+  const SystemScenario s = WorkloadScenario();
+  stats::Rng rng(7);
+  const WorkloadResult r = SimulateWorkload(s, SystemId{0}, 0, rng);
+  // Average utilization of the first quartile of nodes exceeds the last.
+  const std::size_t q = r.usage.size() / 4;
+  double low_ids = 0.0, high_ids = 0.0;
+  for (std::size_t n = 0; n < q; ++n) low_ids += r.usage[n].utilization;
+  for (std::size_t n = r.usage.size() - q; n < r.usage.size(); ++n) {
+    high_ids += r.usage[n].utilization;
+  }
+  EXPECT_GT(low_ids, high_ids);
+}
+
+TEST(Workload, ChurnTriggersMatchJobNodePairs) {
+  const SystemScenario s = WorkloadScenario();
+  stats::Rng rng(8);
+  const WorkloadResult r = SimulateWorkload(s, SystemId{0}, 0, rng);
+  std::size_t pairs = 0;
+  for (const JobRecord& j : r.jobs) pairs += j.nodes.size();
+  EXPECT_EQ(r.churn.size(), pairs);
+  for (const ChurnTrigger& c : r.churn) {
+    EXPECT_GE(c.time, 0);
+    EXPECT_LT(c.time, s.duration);
+    EXPECT_GT(c.risk, 0.0);
+  }
+}
+
+TEST(Workload, UsageMultiplierReflectsUtilization) {
+  const SystemScenario s = WorkloadScenario();
+  stats::Rng rng(9);
+  const WorkloadResult r = SimulateWorkload(s, SystemId{0}, 0, rng);
+  for (std::size_t n = 0; n < r.usage.size(); ++n) {
+    EXPECT_NEAR(r.usage_multiplier[n],
+                1.0 + s.workload.busy_hazard_boost * r.usage[n].utilization,
+                1e-12);
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  const SystemScenario s = WorkloadScenario();
+  stats::Rng rng1(10), rng2(10);
+  const WorkloadResult a = SimulateWorkload(s, SystemId{0}, 0, rng1);
+  const WorkloadResult b = SimulateWorkload(s, SystemId{0}, 0, rng2);
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.usage_multiplier, b.usage_multiplier);
+}
+
+TEST(Workload, UserRisksAreHeterogeneous) {
+  const SystemScenario s = WorkloadScenario();
+  stats::Rng rng(11);
+  const WorkloadResult r = SimulateWorkload(s, SystemId{0}, 0, rng);
+  double lo = 1e9, hi = 0.0;
+  for (std::size_t u = 1; u < r.user_risk.size(); ++u) {
+    lo = std::min(lo, r.user_risk[u]);
+    hi = std::max(hi, r.user_risk[u]);
+  }
+  EXPECT_GT(hi / lo, 2.0);  // Section VI: users differ materially
+}
+
+}  // namespace
+}  // namespace hpcfail::synth

@@ -1,0 +1,216 @@
+// hpcfail_report: one-shot analysis report over a failure trace.
+//
+//   hpcfail_report --synth [scale] [years] [seed]   # synthetic trace
+//   hpcfail_report --trace <dir>                    # CSV trace directory
+//   hpcfail_report --lanl <failures.csv> <nodes-per-system>
+//                                                   # raw LANL failure log
+//
+// Prints, per system: record counts, failure-rate summary, the same-node
+// correlation headline, root-cause breakdown, node skew, downtime and
+// availability, inter-arrival Weibull shape — and, where job/temperature
+// logs exist, the usage and user analyses. This is the tool an operator
+// would point at their own logs.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "core/downtime.h"
+#include "core/interarrival.h"
+#include "core/node_skew.h"
+#include "core/power_analysis.h"
+#include "core/report.h"
+#include "core/usage_analysis.h"
+#include "core/user_analysis.h"
+#include "core/window_analysis.h"
+#include "synth/generate.h"
+#include "trace/csv.h"
+#include "synth/scenario_config.h"
+#include "trace/lanl_import.h"
+
+namespace {
+
+using namespace hpcfail;
+using namespace hpcfail::core;
+
+Trace LoadLanl(const std::string& path, int nodes_per_system) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  const lanl::ImportResult imported = lanl::ImportFailures(is, {});
+  std::cerr << "imported " << imported.failures.size() << " failures, skipped "
+            << imported.skipped.size() << " rows\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, imported.skipped.size());
+       ++i) {
+    std::cerr << "  line " << imported.skipped[i].line << ": "
+              << imported.skipped[i].reason << "\n";
+  }
+  // Build system configs from what the log mentions.
+  std::map<int, std::pair<TimeSec, TimeSec>> span;  // system -> [min, max]
+  for (const FailureRecord& f : imported.failures) {
+    auto [it, inserted] =
+        span.try_emplace(f.system.value, f.start, f.end);
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, f.start);
+      it->second.second = std::max(it->second.second, f.end);
+    }
+  }
+  Trace trace;
+  for (const auto& [sys, window] : span) {
+    SystemConfig c;
+    c.id = SystemId{sys};
+    c.name = "system" + std::to_string(sys);
+    c.group = SystemGroup::kSmp;
+    c.num_nodes = nodes_per_system;
+    c.procs_per_node = 4;
+    c.observed = {window.first, window.second + kDay};
+    trace.AddSystem(std::move(c));
+  }
+  for (const FailureRecord& f : imported.failures) {
+    if (f.node.value < nodes_per_system) trace.AddFailure(f);
+  }
+  trace.Finalize();
+  return trace;
+}
+
+void Report(const Trace& trace) {
+  const EventIndex idx(trace);
+  const WindowAnalyzer analyzer(idx);
+
+  std::cout << "=== trace overview ===\n";
+  Table overview({"system", "group", "nodes", "days", "failures",
+                  "fails/node-yr", "availability"});
+  for (const SystemConfig& s : trace.systems()) {
+    const auto fails = trace.FailuresOfSystem(s.id).size();
+    const double years =
+        static_cast<double>(s.observed.duration()) / kYear;
+    const DowntimeAnalysis down = AnalyzeDowntime(idx, s.id);
+    overview.AddRow(
+        {s.name, std::string(ToString(s.group)), std::to_string(s.num_nodes),
+         std::to_string(s.observed.duration() / kDay), std::to_string(fails),
+         FormatDouble(years > 0 ? fails / (years * s.num_nodes) : 0.0, 2),
+         FormatDouble(down.availability, 4)});
+  }
+  overview.Print(std::cout);
+
+  std::cout << "\n=== failure correlations (all systems pooled) ===\n";
+  Table corr({"measure", "P(random)", "P(conditional)", "factor", "sig"});
+  for (const auto& [label, window] :
+       {std::pair{"same node, next day", kDay},
+        {"same node, next week", kWeek}}) {
+    const auto r = analyzer.Compare(EventFilter::Any(), EventFilter::Any(),
+                                    Scope::kSameNode, window);
+    corr.AddRow({label, FormatPercent(r.baseline),
+                 FormatPercent(r.conditional), FormatFactor(r.factor),
+                 SignificanceMarker(r.test)});
+  }
+  corr.Print(std::cout);
+
+  std::cout << "\nstrongest follow-up triggers (week window):\n";
+  Table trig({"trigger type", "P(any failure | trigger)", "factor", "sig"});
+  for (FailureCategory c : AllFailureCategories()) {
+    const auto r = analyzer.Compare(EventFilter::Of(c), EventFilter::Any(),
+                                    Scope::kSameNode, kWeek);
+    if (r.num_triggers < 10) continue;
+    trig.AddRow({std::string(ToString(c)), FormatPercent(r.conditional),
+                 FormatFactor(r.factor), SignificanceMarker(r.test)});
+  }
+  trig.Print(std::cout);
+
+  std::cout << "\n=== per-system detail ===\n";
+  for (const SystemConfig& s : trace.systems()) {
+    const auto failures = trace.FailuresOfSystem(s.id);
+    if (failures.size() < 10) continue;
+    std::cout << "\n-- " << s.name << " --\n";
+    const NodeSkewSummary skew = AnalyzeNodeSkew(idx, s.id);
+    std::cout << "node skew: max node " << skew.most_failing_node.value
+              << " at " << FormatDouble(skew.max_over_mean, 1)
+              << "x the mean; equal rates "
+              << (skew.equal_rates_test.significant_99 ? "REJECTED"
+                                                       : "not rejected")
+              << "\n";
+    const DowntimeAnalysis down = AnalyzeDowntime(idx, s.id);
+    std::cout << "downtime: median "
+              << FormatDouble(down.overall.median_hours, 1) << "h, p90 "
+              << FormatDouble(down.overall.p90_hours, 1) << "h; worst node "
+              << down.worst_node.value << " at "
+              << FormatDouble(down.worst_node_availability, 4)
+              << " availability\n";
+    try {
+      const InterarrivalAnalysis ia = AnalyzeInterarrivals(idx, s.id);
+      std::cout << "inter-arrival: best fit "
+                << ToString(ia.system_fits.front().distribution)
+                << ", per-node Weibull shape "
+                << FormatDouble(ia.node_weibull.param1, 2)
+                << (ia.node_weibull.param1 < 0.9
+                        ? " (clustered: shape < 1)"
+                        : "")
+                << "\n";
+    } catch (const std::exception&) {
+      // too few events; skip
+    }
+  }
+
+  const EnvironmentBreakdown env = BreakdownEnvironment(idx);
+  if (env.total > 20) {
+    std::cout << "\n=== environmental failures ===\n";
+    Table t({"subcategory", "share"});
+    for (EnvironmentEvent e : AllEnvironmentEvents()) {
+      t.AddRow({std::string(ToString(e)),
+                FormatDouble(env.percent[static_cast<std::size_t>(e)], 1) +
+                    "%"});
+    }
+    t.Print(std::cout);
+  }
+
+  for (SystemId sys : SystemsWithJobs(trace)) {
+    std::cout << "\n=== usage analysis: " << trace.system(sys).name
+              << " ===\n";
+    const UsageAnalysis u = AnalyzeUsage(idx, sys);
+    std::cout << "r(jobs, failures) = " << FormatDouble(u.jobs_vs_failures.r, 3)
+              << " (excluding top node: "
+              << FormatDouble(u.jobs_vs_failures_excl_top.r, 3) << ")\n";
+    const UserAnalysis users = AnalyzeUsers(trace, sys, 50);
+    std::cout << "user-rate heterogeneity: LRT p="
+              << FormatDouble(users.rate_heterogeneity.p_value, 5) << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 2 && std::strcmp(argv[1], "--trace") == 0 && argc >= 3) {
+      Report(hpcfail::csv::LoadTrace(argv[2]));
+    } else if (argc >= 2 && std::strcmp(argv[1], "--lanl") == 0 && argc >= 4) {
+      Report(LoadLanl(argv[2], std::atoi(argv[3])));
+    } else if (argc >= 2 && std::strcmp(argv[1], "--scenario") == 0 &&
+               argc >= 3) {
+      const std::uint64_t seed = argc >= 4
+                                     ? std::strtoull(argv[3], nullptr, 10)
+                                     : 1;
+      Report(hpcfail::synth::GenerateTrace(
+          hpcfail::synth::LoadScenarioConfigFile(argv[2]), seed));
+    } else if (argc >= 2 && std::strcmp(argv[1], "--synth") == 0) {
+      const double scale = argc >= 3 ? std::atof(argv[2]) : 0.5;
+      const double years = argc >= 4 ? std::atof(argv[3]) : 2.0;
+      const std::uint64_t seed = argc >= 5
+                                     ? std::strtoull(argv[4], nullptr, 10)
+                                     : 1;
+      Report(hpcfail::synth::GenerateTrace(
+          hpcfail::synth::LanlLikeScenario(
+              scale, static_cast<hpcfail::TimeSec>(years * hpcfail::kYear)),
+          seed));
+    } else {
+      std::cerr << "usage:\n"
+                << "  hpcfail_report --synth [scale] [years] [seed]\n"
+                << "  hpcfail_report --scenario <config-file> [seed]\n"
+                << "  hpcfail_report --trace <csv-trace-dir>\n"
+                << "  hpcfail_report --lanl <failures.csv> <nodes/system>\n";
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
