@@ -81,7 +81,8 @@ Measures Measure(const synth::Scenario& sc, std::uint64_t seed) {
 }  // namespace
 }  // namespace hpcfail
 
-int main() {
+int main(int argc, char** argv) {
+  hpcfail::bench::InitFromArgs(argc, argv);
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(

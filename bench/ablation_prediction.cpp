@@ -29,7 +29,8 @@ void PrintSweep(const std::string& name, const FailurePredictor& p,
 }  // namespace
 }  // namespace hpcfail
 
-int main() {
+int main(int argc, char** argv) {
+  hpcfail::bench::InitFromArgs(argc, argv);
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(

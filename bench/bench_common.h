@@ -3,8 +3,11 @@
 // seed) and prints paper-vs-measured rows for its figure.
 #pragma once
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
+#include "core/parallel.h"
 #include "core/report.h"
 #include "core/window_analysis.h"
 #include "synth/generate.h"
@@ -12,6 +15,28 @@
 namespace hpcfail::bench {
 
 inline constexpr std::uint64_t kBenchSeed = 2013;  // DSN 2013
+
+// Shared flag handling for the figure/table binaries: `--threads N` sets the
+// worker count for the parallel kernels (default: hardware concurrency; 1
+// forces the serial path). Results are identical for every value.
+inline void InitFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --threads requires a value\n";
+        std::exit(2);
+      }
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0) {
+        std::cerr << "error: --threads expects a non-negative integer, got '"
+                  << argv[i] << "'\n";
+        std::exit(2);
+      }
+      core::SetDefaultThreadCount(static_cast<int>(n));
+    }
+  }
+}
 
 // The standard bench trace: all ten LANL-like systems, 3 simulated years.
 // (The paper's data spans 9 years; 3 years keeps every bench under ~10s

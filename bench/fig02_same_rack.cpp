@@ -7,7 +7,8 @@
 //   - Fig 2(b): same-type rack pairs (env up to 170X, sw ~10X).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hpcfail::bench::InitFromArgs(argc, argv);
   using namespace hpcfail;
   using namespace hpcfail::core;
   using bench::CategoryLabel;

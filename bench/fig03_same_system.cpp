@@ -43,7 +43,8 @@ void SystemScope(const WindowAnalyzer& a, const std::string& group,
 }  // namespace
 }  // namespace hpcfail
 
-int main() {
+int main(int argc, char** argv) {
+  hpcfail::bench::InitFromArgs(argc, argv);
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(

@@ -6,7 +6,8 @@
 #include "bench_common.h"
 #include "core/node_skew.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hpcfail::bench::InitFromArgs(argc, argv);
   using namespace hpcfail;
   using namespace hpcfail::core;
   using bench::CategoryLabel;

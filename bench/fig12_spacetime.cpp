@@ -60,7 +60,8 @@ double SameNodeClustering(const std::vector<SpaceTimePoint>& pts,
 }  // namespace
 }  // namespace hpcfail
 
-int main() {
+int main(int argc, char** argv) {
+  hpcfail::bench::InitFromArgs(argc, argv);
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(

@@ -12,7 +12,8 @@
 #include "core/power_analysis.h"
 #include "core/temperature_analysis.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hpcfail::bench::InitFromArgs(argc, argv);
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(

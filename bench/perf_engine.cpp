@@ -2,11 +2,16 @@
 // analysis kernels, including the ablations DESIGN.md calls out:
 //   - indexed (binary-searched) window queries vs a naive scan;
 //   - trace generation cost vs system scale;
-//   - GLM fitting cost.
+//   - GLM fitting cost;
+//   - serial vs parallel execution of the hot kernels (the /threads:N
+//     benchmarks; N=1 is the serial path, results are bit-identical).
 #include <benchmark/benchmark.h>
 
 #include "core/joint_regression.h"
+#include "core/parallel.h"
 #include "core/window_analysis.h"
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
 #include "stats/glm.h"
 #include "stats/rng.h"
 #include "synth/generate.h"
@@ -149,6 +154,60 @@ void BM_FitNegativeBinomial(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FitNegativeBinomial)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+// Restores the default thread count when a benchmark scope ends, so the
+// /threads:N benchmarks cannot leak their setting into later ones.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) { core::SetDefaultThreadCount(n); }
+  ~ThreadCountGuard() { core::SetDefaultThreadCount(0); }
+};
+
+// The 36-cell pairwise matrix on the shared medium trace: the headline
+// parallel kernel. /threads:1 is the serial baseline for the speedup.
+void BM_PairwiseMatrix(benchmark::State& state) {
+  const WindowAnalyzer a(SharedIndex());
+  ThreadCountGuard guard(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto matrix = a.PairwiseProbabilities(Scope::kSameNode, kWeek);
+    benchmark::DoNotOptimize(matrix[0][0].conditional.estimate);
+  }
+}
+BENCHMARK(BM_PairwiseMatrix)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Bootstrap(benchmark::State& state) {
+  ThreadCountGuard guard(static_cast<int>(state.range(0)));
+  stats::Rng data_rng(21);
+  std::vector<double> sample;
+  for (int i = 0; i < 4096; ++i) sample.push_back(data_rng.LogNormal(1.0, 0.7));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    stats::Rng rng(seed++);
+    const auto r = stats::BootstrapCi(
+        sample, [](std::span<const double> xs) { return stats::Median(xs); },
+        rng, 2000);
+    benchmark::DoNotOptimize(r.ci_high);
+  }
+}
+BENCHMARK(BM_Bootstrap)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Full ten-system generation with one task per system.
+void BM_GenerateTraceParallel(benchmark::State& state) {
+  ThreadCountGuard guard(static_cast<int>(state.range(0)));
+  const auto scenario = synth::LanlLikeScenario(0.25, kYear);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Trace t = synth::GenerateTrace(scenario, seed++);
+    benchmark::DoNotOptimize(t.num_failures());
+  }
+}
+BENCHMARK(BM_GenerateTraceParallel)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_JointRegression(benchmark::State& state) {
   static const Trace trace = [] {

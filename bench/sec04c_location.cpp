@@ -8,7 +8,8 @@
 #include "bench_common.h"
 #include "core/location_analysis.h"
 
-int main() {
+int main(int argc, char** argv) {
+  hpcfail::bench::InitFromArgs(argc, argv);
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(

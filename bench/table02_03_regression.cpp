@@ -33,7 +33,8 @@ void PrintFit(const std::string& title, const stats::GlmFit& fit) {
 }  // namespace
 }  // namespace hpcfail
 
-int main() {
+int main(int argc, char** argv) {
+  hpcfail::bench::InitFromArgs(argc, argv);
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkpoint.dir/ablation_checkpoint.cpp.o"
+  "CMakeFiles/ablation_checkpoint.dir/ablation_checkpoint.cpp.o.d"
+  "ablation_checkpoint"
+  "ablation_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_generator.dir/ablation_generator.cpp.o"
+  "CMakeFiles/ablation_generator.dir/ablation_generator.cpp.o.d"
+  "ablation_generator"
+  "ablation_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

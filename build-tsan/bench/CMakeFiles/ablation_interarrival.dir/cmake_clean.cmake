@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interarrival.dir/ablation_interarrival.cpp.o"
+  "CMakeFiles/ablation_interarrival.dir/ablation_interarrival.cpp.o.d"
+  "ablation_interarrival"
+  "ablation_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prediction.dir/ablation_prediction.cpp.o"
+  "CMakeFiles/ablation_prediction.dir/ablation_prediction.cpp.o.d"
+  "ablation_prediction"
+  "ablation_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

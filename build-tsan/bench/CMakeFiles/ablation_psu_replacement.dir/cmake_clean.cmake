@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_psu_replacement.dir/ablation_psu_replacement.cpp.o"
+  "CMakeFiles/ablation_psu_replacement.dir/ablation_psu_replacement.cpp.o.d"
+  "ablation_psu_replacement"
+  "ablation_psu_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_psu_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

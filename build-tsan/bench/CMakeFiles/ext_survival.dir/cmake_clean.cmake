@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_survival.dir/ext_survival.cpp.o"
+  "CMakeFiles/ext_survival.dir/ext_survival.cpp.o.d"
+  "ext_survival"
+  "ext_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

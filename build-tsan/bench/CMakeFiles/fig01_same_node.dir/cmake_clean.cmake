@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_same_node.dir/fig01_same_node.cpp.o"
+  "CMakeFiles/fig01_same_node.dir/fig01_same_node.cpp.o.d"
+  "fig01_same_node"
+  "fig01_same_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_same_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

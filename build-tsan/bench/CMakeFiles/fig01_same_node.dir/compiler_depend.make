@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_same_node.
+# This may be replaced when dependencies are built.

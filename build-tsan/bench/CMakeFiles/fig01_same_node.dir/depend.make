@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_same_node.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_same_rack.dir/fig02_same_rack.cpp.o"
+  "CMakeFiles/fig02_same_rack.dir/fig02_same_rack.cpp.o.d"
+  "fig02_same_rack"
+  "fig02_same_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_same_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_same_system.dir/fig03_same_system.cpp.o"
+  "CMakeFiles/fig03_same_system.dir/fig03_same_system.cpp.o.d"
+  "fig03_same_system"
+  "fig03_same_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_same_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_node_skew.dir/fig04_node_skew.cpp.o"
+  "CMakeFiles/fig04_node_skew.dir/fig04_node_skew.cpp.o.d"
+  "fig04_node_skew"
+  "fig04_node_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_node_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

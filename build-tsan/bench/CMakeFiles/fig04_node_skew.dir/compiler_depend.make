@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_node_skew.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_breakdown.dir/fig05_breakdown.cpp.o"
+  "CMakeFiles/fig05_breakdown.dir/fig05_breakdown.cpp.o.d"
+  "fig05_breakdown"
+  "fig05_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

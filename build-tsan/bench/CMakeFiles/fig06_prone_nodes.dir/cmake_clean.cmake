@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_prone_nodes.dir/fig06_prone_nodes.cpp.o"
+  "CMakeFiles/fig06_prone_nodes.dir/fig06_prone_nodes.cpp.o.d"
+  "fig06_prone_nodes"
+  "fig06_prone_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_prone_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

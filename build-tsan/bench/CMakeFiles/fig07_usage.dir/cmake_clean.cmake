@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_usage.dir/fig07_usage.cpp.o"
+  "CMakeFiles/fig07_usage.dir/fig07_usage.cpp.o.d"
+  "fig07_usage"
+  "fig07_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_users.dir/fig08_users.cpp.o"
+  "CMakeFiles/fig08_users.dir/fig08_users.cpp.o.d"
+  "fig08_users"
+  "fig08_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

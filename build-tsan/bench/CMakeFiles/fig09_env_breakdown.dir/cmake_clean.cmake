@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_env_breakdown.dir/fig09_env_breakdown.cpp.o"
+  "CMakeFiles/fig09_env_breakdown.dir/fig09_env_breakdown.cpp.o.d"
+  "fig09_env_breakdown"
+  "fig09_env_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_env_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

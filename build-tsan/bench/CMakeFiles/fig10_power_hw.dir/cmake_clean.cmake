@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_power_hw.dir/fig10_power_hw.cpp.o"
+  "CMakeFiles/fig10_power_hw.dir/fig10_power_hw.cpp.o.d"
+  "fig10_power_hw"
+  "fig10_power_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_power_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

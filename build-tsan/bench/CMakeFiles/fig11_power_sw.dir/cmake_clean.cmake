@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_power_sw.dir/fig11_power_sw.cpp.o"
+  "CMakeFiles/fig11_power_sw.dir/fig11_power_sw.cpp.o.d"
+  "fig11_power_sw"
+  "fig11_power_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_power_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

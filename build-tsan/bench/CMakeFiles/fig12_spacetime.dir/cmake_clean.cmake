@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_spacetime.dir/fig12_spacetime.cpp.o"
+  "CMakeFiles/fig12_spacetime.dir/fig12_spacetime.cpp.o.d"
+  "fig12_spacetime"
+  "fig12_spacetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_spacetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

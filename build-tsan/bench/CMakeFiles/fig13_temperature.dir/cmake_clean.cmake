@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_temperature.dir/fig13_temperature.cpp.o"
+  "CMakeFiles/fig13_temperature.dir/fig13_temperature.cpp.o.d"
+  "fig13_temperature"
+  "fig13_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cosmic.dir/fig14_cosmic.cpp.o"
+  "CMakeFiles/fig14_cosmic.dir/fig14_cosmic.cpp.o.d"
+  "fig14_cosmic"
+  "fig14_cosmic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cosmic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_engine.dir/perf_engine.cpp.o"
+  "CMakeFiles/perf_engine.dir/perf_engine.cpp.o.d"
+  "perf_engine"
+  "perf_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec04c_location.dir/sec04c_location.cpp.o"
+  "CMakeFiles/sec04c_location.dir/sec04c_location.cpp.o.d"
+  "sec04c_location"
+  "sec04c_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec04c_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec04c_location.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_03_regression.dir/table02_03_regression.cpp.o"
+  "CMakeFiles/table02_03_regression.dir/table02_03_regression.cpp.o.d"
+  "table02_03_regression"
+  "table02_03_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_03_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table02_03_regression.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_advisor.dir/checkpoint_advisor.cpp.o"
+  "CMakeFiles/checkpoint_advisor.dir/checkpoint_advisor.cpp.o.d"
+  "checkpoint_advisor"
+  "checkpoint_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exascale_projection.dir/exascale_projection.cpp.o"
+  "CMakeFiles/exascale_projection.dir/exascale_projection.cpp.o.d"
+  "exascale_projection"
+  "exascale_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exascale_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exascale_projection.
+# This may be replaced when dependencies are built.

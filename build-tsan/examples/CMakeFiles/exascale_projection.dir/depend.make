@@ -1,0 +1,2 @@
+# Empty dependencies file for exascale_projection.
+# This may be replaced when dependencies are built.

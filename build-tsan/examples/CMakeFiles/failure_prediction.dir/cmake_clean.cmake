@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_prediction.dir/failure_prediction.cpp.o"
+  "CMakeFiles/failure_prediction.dir/failure_prediction.cpp.o.d"
+  "failure_prediction"
+  "failure_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

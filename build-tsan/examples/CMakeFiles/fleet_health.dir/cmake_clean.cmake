@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_health.dir/fleet_health.cpp.o"
+  "CMakeFiles/fleet_health.dir/fleet_health.cpp.o.d"
+  "fleet_health"
+  "fleet_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fleet_health.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_postmortem.dir/power_postmortem.cpp.o"
+  "CMakeFiles/power_postmortem.dir/power_postmortem.cpp.o.d"
+  "power_postmortem"
+  "power_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint_sim.cpp" "src/core/CMakeFiles/hpcfail_core.dir/checkpoint_sim.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/checkpoint_sim.cpp.o.d"
+  "/root/repo/src/core/cosmic_analysis.cpp" "src/core/CMakeFiles/hpcfail_core.dir/cosmic_analysis.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/cosmic_analysis.cpp.o.d"
+  "/root/repo/src/core/downtime.cpp" "src/core/CMakeFiles/hpcfail_core.dir/downtime.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/downtime.cpp.o.d"
+  "/root/repo/src/core/event_index.cpp" "src/core/CMakeFiles/hpcfail_core.dir/event_index.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/event_index.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/hpcfail_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/interarrival.cpp" "src/core/CMakeFiles/hpcfail_core.dir/interarrival.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/interarrival.cpp.o.d"
+  "/root/repo/src/core/joint_regression.cpp" "src/core/CMakeFiles/hpcfail_core.dir/joint_regression.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/joint_regression.cpp.o.d"
+  "/root/repo/src/core/location_analysis.cpp" "src/core/CMakeFiles/hpcfail_core.dir/location_analysis.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/location_analysis.cpp.o.d"
+  "/root/repo/src/core/node_skew.cpp" "src/core/CMakeFiles/hpcfail_core.dir/node_skew.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/node_skew.cpp.o.d"
+  "/root/repo/src/core/power_analysis.cpp" "src/core/CMakeFiles/hpcfail_core.dir/power_analysis.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/power_analysis.cpp.o.d"
+  "/root/repo/src/core/prediction.cpp" "src/core/CMakeFiles/hpcfail_core.dir/prediction.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/prediction.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/hpcfail_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/survival_analysis.cpp" "src/core/CMakeFiles/hpcfail_core.dir/survival_analysis.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/survival_analysis.cpp.o.d"
+  "/root/repo/src/core/temperature_analysis.cpp" "src/core/CMakeFiles/hpcfail_core.dir/temperature_analysis.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/temperature_analysis.cpp.o.d"
+  "/root/repo/src/core/usage_analysis.cpp" "src/core/CMakeFiles/hpcfail_core.dir/usage_analysis.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/usage_analysis.cpp.o.d"
+  "/root/repo/src/core/user_analysis.cpp" "src/core/CMakeFiles/hpcfail_core.dir/user_analysis.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/user_analysis.cpp.o.d"
+  "/root/repo/src/core/window_analysis.cpp" "src/core/CMakeFiles/hpcfail_core.dir/window_analysis.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/window_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/hpcfail_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

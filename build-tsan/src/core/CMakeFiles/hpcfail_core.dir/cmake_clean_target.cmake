@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpcfail_core.a"
+)

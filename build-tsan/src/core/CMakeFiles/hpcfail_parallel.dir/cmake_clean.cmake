@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_parallel.dir/parallel.cpp.o"
+  "CMakeFiles/hpcfail_parallel.dir/parallel.cpp.o.d"
+  "libhpcfail_parallel.a"
+  "libhpcfail_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

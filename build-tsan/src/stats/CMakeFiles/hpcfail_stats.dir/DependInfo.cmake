@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/anova.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/anova.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/anova.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/chi_square.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/chi_square.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/chi_square.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distribution_fit.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/distribution_fit.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/distribution_fit.cpp.o.d"
+  "/root/repo/src/stats/glm.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/glm.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/glm.cpp.o.d"
+  "/root/repo/src/stats/linalg.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/linalg.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/linalg.cpp.o.d"
+  "/root/repo/src/stats/proportion.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/proportion.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/proportion.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/survival.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/survival.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/survival.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/hpcfail_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_stats.dir/anova.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/anova.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/chi_square.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/chi_square.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/correlation.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/distribution_fit.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/distribution_fit.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/glm.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/glm.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/linalg.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/linalg.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/proportion.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/proportion.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/special.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/special.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/survival.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/survival.cpp.o.d"
+  "libhpcfail_stats.a"
+  "libhpcfail_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

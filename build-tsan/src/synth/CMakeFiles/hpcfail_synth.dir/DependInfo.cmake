@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/cluster_sim.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/cluster_sim.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/synth/environment_sim.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/environment_sim.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/environment_sim.cpp.o.d"
+  "/root/repo/src/synth/generate.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/generate.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/generate.cpp.o.d"
+  "/root/repo/src/synth/scenario.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/scenario.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/scenario.cpp.o.d"
+  "/root/repo/src/synth/scenario_config.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/scenario_config.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/scenario_config.cpp.o.d"
+  "/root/repo/src/synth/workload_sim.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/workload_sim.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/workload_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/hpcfail_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_synth.dir/cluster_sim.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/hpcfail_synth.dir/environment_sim.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/environment_sim.cpp.o.d"
+  "CMakeFiles/hpcfail_synth.dir/generate.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/generate.cpp.o.d"
+  "CMakeFiles/hpcfail_synth.dir/scenario.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/scenario.cpp.o.d"
+  "CMakeFiles/hpcfail_synth.dir/scenario_config.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/scenario_config.cpp.o.d"
+  "CMakeFiles/hpcfail_synth.dir/workload_sim.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/workload_sim.cpp.o.d"
+  "libhpcfail_synth.a"
+  "libhpcfail_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

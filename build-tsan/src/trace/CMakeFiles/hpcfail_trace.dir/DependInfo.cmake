@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/environment.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/environment.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/environment.cpp.o.d"
+  "/root/repo/src/trace/failure.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/failure.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/failure.cpp.o.d"
+  "/root/repo/src/trace/lanl_import.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/lanl_import.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/lanl_import.cpp.o.d"
+  "/root/repo/src/trace/layout.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/layout.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/layout.cpp.o.d"
+  "/root/repo/src/trace/system.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/system.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/system.cpp.o.d"
+  "/root/repo/src/trace/transform.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/transform.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

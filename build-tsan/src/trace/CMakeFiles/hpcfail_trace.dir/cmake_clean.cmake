@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_trace.dir/csv.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/hpcfail_trace.dir/environment.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/environment.cpp.o.d"
+  "CMakeFiles/hpcfail_trace.dir/failure.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/failure.cpp.o.d"
+  "CMakeFiles/hpcfail_trace.dir/lanl_import.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/lanl_import.cpp.o.d"
+  "CMakeFiles/hpcfail_trace.dir/layout.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/layout.cpp.o.d"
+  "CMakeFiles/hpcfail_trace.dir/system.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/system.cpp.o.d"
+  "CMakeFiles/hpcfail_trace.dir/transform.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/transform.cpp.o.d"
+  "libhpcfail_trace.a"
+  "libhpcfail_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

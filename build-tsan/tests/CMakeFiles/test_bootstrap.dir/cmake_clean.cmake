@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bootstrap.dir/test_bootstrap.cpp.o"
+  "CMakeFiles/test_bootstrap.dir/test_bootstrap.cpp.o.d"
+  "test_bootstrap"
+  "test_bootstrap.pdb"
+  "test_bootstrap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_sim.dir/test_checkpoint_sim.cpp.o"
+  "CMakeFiles/test_checkpoint_sim.dir/test_checkpoint_sim.cpp.o.d"
+  "test_checkpoint_sim"
+  "test_checkpoint_sim.pdb"
+  "test_checkpoint_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chi_square.dir/test_chi_square.cpp.o"
+  "CMakeFiles/test_chi_square.dir/test_chi_square.cpp.o.d"
+  "test_chi_square"
+  "test_chi_square.pdb"
+  "test_chi_square[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chi_square.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

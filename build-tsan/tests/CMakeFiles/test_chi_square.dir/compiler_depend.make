@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_chi_square.
+# This may be replaced when dependencies are built.

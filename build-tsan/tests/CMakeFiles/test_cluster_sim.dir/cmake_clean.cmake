@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_sim.dir/test_cluster_sim.cpp.o"
+  "CMakeFiles/test_cluster_sim.dir/test_cluster_sim.cpp.o.d"
+  "test_cluster_sim"
+  "test_cluster_sim.pdb"
+  "test_cluster_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_correlation.dir/test_correlation.cpp.o"
+  "CMakeFiles/test_correlation.dir/test_correlation.cpp.o.d"
+  "test_correlation"
+  "test_correlation.pdb"
+  "test_correlation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosmic_analysis.dir/test_cosmic_analysis.cpp.o"
+  "CMakeFiles/test_cosmic_analysis.dir/test_cosmic_analysis.cpp.o.d"
+  "test_cosmic_analysis"
+  "test_cosmic_analysis.pdb"
+  "test_cosmic_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosmic_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_descriptive.dir/test_descriptive.cpp.o"
+  "CMakeFiles/test_descriptive.dir/test_descriptive.cpp.o.d"
+  "test_descriptive"
+  "test_descriptive.pdb"
+  "test_descriptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_descriptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distribution_fit.dir/test_distribution_fit.cpp.o"
+  "CMakeFiles/test_distribution_fit.dir/test_distribution_fit.cpp.o.d"
+  "test_distribution_fit"
+  "test_distribution_fit.pdb"
+  "test_distribution_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distribution_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_downtime.dir/test_downtime.cpp.o"
+  "CMakeFiles/test_downtime.dir/test_downtime.cpp.o.d"
+  "test_downtime"
+  "test_downtime.pdb"
+  "test_downtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_downtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

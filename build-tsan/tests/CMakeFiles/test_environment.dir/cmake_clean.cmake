@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_environment.dir/test_environment.cpp.o"
+  "CMakeFiles/test_environment.dir/test_environment.cpp.o.d"
+  "test_environment"
+  "test_environment.pdb"
+  "test_environment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_environment_sim.dir/test_environment_sim.cpp.o"
+  "CMakeFiles/test_environment_sim.dir/test_environment_sim.cpp.o.d"
+  "test_environment_sim"
+  "test_environment_sim.pdb"
+  "test_environment_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_environment_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

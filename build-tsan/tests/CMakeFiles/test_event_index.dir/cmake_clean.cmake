@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_index.dir/test_event_index.cpp.o"
+  "CMakeFiles/test_event_index.dir/test_event_index.cpp.o.d"
+  "test_event_index"
+  "test_event_index.pdb"
+  "test_event_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

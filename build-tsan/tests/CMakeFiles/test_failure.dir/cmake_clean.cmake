@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure.dir/test_failure.cpp.o"
+  "CMakeFiles/test_failure.dir/test_failure.cpp.o.d"
+  "test_failure"
+  "test_failure.pdb"
+  "test_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generate.dir/test_generate.cpp.o"
+  "CMakeFiles/test_generate.dir/test_generate.cpp.o.d"
+  "test_generate"
+  "test_generate.pdb"
+  "test_generate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

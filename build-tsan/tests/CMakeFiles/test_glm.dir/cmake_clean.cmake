@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glm.dir/test_glm.cpp.o"
+  "CMakeFiles/test_glm.dir/test_glm.cpp.o.d"
+  "test_glm"
+  "test_glm.pdb"
+  "test_glm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interarrival.dir/test_interarrival.cpp.o"
+  "CMakeFiles/test_interarrival.dir/test_interarrival.cpp.o.d"
+  "test_interarrival"
+  "test_interarrival.pdb"
+  "test_interarrival[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_joint_regression.dir/test_joint_regression.cpp.o"
+  "CMakeFiles/test_joint_regression.dir/test_joint_regression.cpp.o.d"
+  "test_joint_regression"
+  "test_joint_regression.pdb"
+  "test_joint_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_joint_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

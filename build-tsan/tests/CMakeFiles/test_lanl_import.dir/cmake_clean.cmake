@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lanl_import.dir/test_lanl_import.cpp.o"
+  "CMakeFiles/test_lanl_import.dir/test_lanl_import.cpp.o.d"
+  "test_lanl_import"
+  "test_lanl_import.pdb"
+  "test_lanl_import[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lanl_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

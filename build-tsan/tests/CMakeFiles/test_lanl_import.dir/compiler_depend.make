@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_lanl_import.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lanl_import.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_location_analysis.dir/test_location_analysis.cpp.o"
+  "CMakeFiles/test_location_analysis.dir/test_location_analysis.cpp.o.d"
+  "test_location_analysis"
+  "test_location_analysis.pdb"
+  "test_location_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_location_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

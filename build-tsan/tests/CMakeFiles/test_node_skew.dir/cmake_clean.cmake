@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_skew.dir/test_node_skew.cpp.o"
+  "CMakeFiles/test_node_skew.dir/test_node_skew.cpp.o.d"
+  "test_node_skew"
+  "test_node_skew.pdb"
+  "test_node_skew[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

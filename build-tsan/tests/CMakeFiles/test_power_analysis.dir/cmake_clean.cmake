@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_analysis.dir/test_power_analysis.cpp.o"
+  "CMakeFiles/test_power_analysis.dir/test_power_analysis.cpp.o.d"
+  "test_power_analysis"
+  "test_power_analysis.pdb"
+  "test_power_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prediction.dir/test_prediction.cpp.o"
+  "CMakeFiles/test_prediction.dir/test_prediction.cpp.o.d"
+  "test_prediction"
+  "test_prediction.pdb"
+  "test_prediction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proportion.dir/test_proportion.cpp.o"
+  "CMakeFiles/test_proportion.dir/test_proportion.cpp.o.d"
+  "test_proportion"
+  "test_proportion.pdb"
+  "test_proportion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_config.dir/test_scenario_config.cpp.o"
+  "CMakeFiles/test_scenario_config.dir/test_scenario_config.cpp.o.d"
+  "test_scenario_config"
+  "test_scenario_config.pdb"
+  "test_scenario_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

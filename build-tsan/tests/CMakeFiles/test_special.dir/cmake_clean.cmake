@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_special.dir/test_special.cpp.o"
+  "CMakeFiles/test_special.dir/test_special.cpp.o.d"
+  "test_special"
+  "test_special.pdb"
+  "test_special[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_special.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_temperature_analysis.cpp" "tests/CMakeFiles/test_temperature_analysis.dir/test_temperature_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_temperature_analysis.dir/test_temperature_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/synth/CMakeFiles/hpcfail_synth.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/hpcfail_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/hpcfail_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

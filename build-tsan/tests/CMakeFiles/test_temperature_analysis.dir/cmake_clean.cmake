@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_temperature_analysis.dir/test_temperature_analysis.cpp.o"
+  "CMakeFiles/test_temperature_analysis.dir/test_temperature_analysis.cpp.o.d"
+  "test_temperature_analysis"
+  "test_temperature_analysis.pdb"
+  "test_temperature_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_temperature_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_usage_analysis.dir/test_usage_analysis.cpp.o"
+  "CMakeFiles/test_usage_analysis.dir/test_usage_analysis.cpp.o.d"
+  "test_usage_analysis"
+  "test_usage_analysis.pdb"
+  "test_usage_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_usage_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

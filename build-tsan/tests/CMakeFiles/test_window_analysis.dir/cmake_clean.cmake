@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_analysis.dir/test_window_analysis.cpp.o"
+  "CMakeFiles/test_window_analysis.dir/test_window_analysis.cpp.o.d"
+  "test_window_analysis"
+  "test_window_analysis.pdb"
+  "test_window_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_report.dir/hpcfail_report.cpp.o"
+  "CMakeFiles/hpcfail_report.dir/hpcfail_report.cpp.o.d"
+  "hpcfail_report"
+  "hpcfail_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

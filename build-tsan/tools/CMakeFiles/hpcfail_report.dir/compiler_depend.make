@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpcfail_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpcfail_report.
+# This may be replaced when dependencies are built.

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/hpcfail_core.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpcfail_parallel.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

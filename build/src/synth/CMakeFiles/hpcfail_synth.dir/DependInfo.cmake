@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpcfail_parallel.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

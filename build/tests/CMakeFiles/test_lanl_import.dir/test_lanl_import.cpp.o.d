@@ -141,6 +141,8 @@ tests/CMakeFiles/test_lanl_import.dir/test_lanl_import.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/limits \
+ /root/repo/src/trace/system.h /root/repo/src/trace/environment.h \
+ /root/repo/src/trace/job.h /root/repo/src/trace/layout.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

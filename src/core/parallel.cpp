@@ -1,0 +1,151 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+
+namespace hpcfail::core {
+namespace {
+
+std::atomic<int> g_default_threads{0};  // 0 = hardware default
+
+thread_local bool tls_on_worker_thread = false;
+
+// One process-wide pool, created on first parallel use, sized so that the
+// caller thread plus the workers saturate the hardware. Never destroyed
+// (workers are detached-by-leak at exit) so static-destruction order can't
+// race in-flight tasks.
+ThreadPool& SharedPool() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max(1, HardwareThreadCount() - 1));
+  return *pool;
+}
+
+}  // namespace
+
+int HardwareThreadCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int DefaultThreadCount() {
+  const int n = g_default_threads.load(std::memory_order_relaxed);
+  return n > 0 ? n : HardwareThreadCount();
+}
+
+void SetDefaultThreadCount(int n) {
+  g_default_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool ThreadPool::OnWorkerThread() { return tls_on_worker_thread; }
+
+void ThreadPool::WorkerLoop() {
+  tls_on_worker_thread = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 int threads) {
+  if (n == 0) return;
+  int want = threads > 0 ? threads : DefaultThreadCount();
+  if (static_cast<std::size_t>(want) > n) want = static_cast<int>(n);
+  // Serial path: one thread requested, trivially small loop, or we are
+  // already inside a pool worker (nested region) — run inline.
+  if (want <= 1 || ThreadPool::OnWorkerThread()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  ThreadPool& pool = SharedPool();
+
+  // Shared per-call state: an index dispenser, the first exception, and a
+  // completion latch counting finished helper tasks.
+  struct CallState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    int helpers_pending = 0;
+  };
+  auto state = std::make_shared<CallState>();
+
+  const auto drain = [&body, n](CallState& s) {
+    while (!s.failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s.error_mu);
+        if (!s.error) s.error = std::current_exception();
+        s.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // The caller acts as one lane; want - 1 helper tasks join it (fewer if the
+  // pool is shutting down — correctness never depends on helpers running).
+  int helpers = 0;
+  for (int i = 0; i < want - 1; ++i) {
+    const bool submitted = pool.Submit([state, drain] {
+      drain(*state);
+      {
+        std::lock_guard<std::mutex> lock(state->done_mu);
+        --state->helpers_pending;
+      }
+      state->done_cv.notify_one();
+    });
+    if (submitted) ++helpers;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->done_mu);
+    state->helpers_pending += helpers;
+  }
+
+  drain(*state);
+
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(lock, [&state] { return state->helpers_pending <= 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace hpcfail::core

@@ -1,0 +1,88 @@
+// A small reusable thread pool plus ParallelFor / ParallelReduce helpers for
+// the analysis kernels. Every parallel result is deterministic: ParallelFor
+// partitions work by index, ParallelReduce folds per-index results in strict
+// index order on the calling thread, so output is bit-identical to the serial
+// path regardless of thread count. Nested parallel calls (a parallel region
+// invoked from inside a pool worker) degrade to the serial path rather than
+// deadlocking on pool capacity.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hpcfail::core {
+
+// Threads the process has to offer (>= 1 even when the runtime reports 0).
+int HardwareThreadCount();
+
+// Process-wide default used by parallel calls with `threads == 0`.
+// SetDefaultThreadCount(n <= 0) restores the hardware default. Tools expose
+// this as `--threads N`; N = 1 forces the serial path everywhere.
+int DefaultThreadCount();
+void SetDefaultThreadCount(int n);
+
+// Fixed-size worker pool. Tasks submitted after shutdown started are
+// rejected; the destructor drains every queued task before joining.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Returns false (and does not run the task) once
+  // shutdown has begun.
+  bool Submit(std::function<void()> task);
+
+  // True when called from one of this process's pool worker threads (any
+  // pool); parallel helpers use it to serialize nested regions.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs body(i) for every i in [0, n). `threads == 0` uses
+// DefaultThreadCount(); the effective count is also capped at n. With one
+// effective thread (or when already inside a pool worker) the loop runs
+// inline on the caller — the exact same `body` invocations in the same
+// order. The first exception thrown by any body is rethrown on the calling
+// thread; remaining un-started iterations are skipped.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 int threads = 0);
+
+// Computes task(i) for every i (possibly in parallel), then folds the
+// results serially in increasing index order:
+//   acc = combine(std::move(acc), std::move(result_i))
+// The fold order never depends on the thread count, so the reduction is
+// bit-identical to a serial loop.
+template <typename T, typename TaskFn, typename CombineFn>
+T ParallelReduce(std::size_t n, T init, TaskFn&& task, CombineFn&& combine,
+                 int threads = 0) {
+  std::vector<std::optional<T>> results(n);
+  ParallelFor(
+      n, [&](std::size_t i) { results[i].emplace(task(i)); }, threads);
+  T acc = std::move(init);
+  for (std::optional<T>& r : results) {
+    acc = combine(std::move(acc), std::move(*r));
+  }
+  return acc;
+}
+
+}  // namespace hpcfail::core

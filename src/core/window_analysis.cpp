@@ -2,9 +2,42 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <unordered_set>
 
+#include "core/parallel.h"
+
 namespace hpcfail::core {
+namespace {
+
+// Success/trial counters for one shard (one system). Shards are merged in
+// system order by ParallelReduce, so pooled counts are identical to the
+// serial accumulation.
+struct Counts {
+  long long successes = 0;
+  long long trials = 0;
+
+  Counts& operator+=(const Counts& o) {
+    successes += o.successes;
+    trials += o.trials;
+    return *this;
+  }
+};
+
+Counts MergeCounts(Counts acc, Counts c) {
+  acc += c;
+  return acc;
+}
+
+void ValidateWindow(TimeSec window, const char* fn) {
+  if (window <= 0) {
+    throw std::invalid_argument(std::string(fn) +
+                                ": window must be positive, got " +
+                                std::to_string(window));
+  }
+}
+
+}  // namespace
 
 std::string_view ToString(Scope s) {
   switch (s) {
@@ -18,11 +51,13 @@ std::string_view ToString(Scope s) {
 stats::Proportion WindowAnalyzer::ConditionalProbability(
     const EventFilter& trigger, const EventFilter& target, Scope scope,
     TimeSec window) const {
-  long long trials = 0;
-  long long successes = 0;
-  for (SystemId sys : index_->systems()) {
+  ValidateWindow(window, "ConditionalProbability");
+  const std::vector<SystemId>& systems = index_->systems();
+  const auto count_system = [&](std::size_t s) {
+    const SystemId sys = systems[s];
     const SystemConfig& config = index_->trace().system(sys);
     const TimeSec horizon = config.observed.end;
+    Counts c;
     for (const FailureRecord& f : index_->failures_of(sys)) {
       if (!trigger.Matches(f)) continue;
       if (f.start + window > horizon) continue;  // censored
@@ -30,8 +65,8 @@ stats::Proportion WindowAnalyzer::ConditionalProbability(
       switch (scope) {
         case Scope::kSameNode:
           // One trial per trigger: does this node fail again in the window?
-          ++trials;
-          if (index_->AnyAtNode(sys, f.node, w, target)) ++successes;
+          ++c.trials;
+          if (index_->AnyAtNode(sys, f.node, w, target)) ++c.successes;
           break;
         case Scope::kRackPeers: {
           // One trial per (trigger, rack-peer) pair: the paper's rack/system
@@ -42,34 +77,39 @@ stats::Proportion WindowAnalyzer::ConditionalProbability(
           const int hit =
               index_->DistinctRackPeersWithEvent(sys, f.node, w, target,
                                                  &peers);
-          trials += peers;
-          successes += hit;
+          c.trials += peers;
+          c.successes += hit;
           break;
         }
         case Scope::kSystemPeers: {
           int peers = 0;
           const int hit = index_->DistinctSystemPeersWithEvent(
               sys, f.node, w, target, &peers);
-          trials += peers;
-          successes += hit;
+          c.trials += peers;
+          c.successes += hit;
           break;
         }
       }
     }
-  }
-  return stats::WilsonProportion(successes, trials);
+    return c;
+  };
+  const Counts total =
+      ParallelReduce(systems.size(), Counts{}, count_system, MergeCounts);
+  return stats::WilsonProportion(total.successes, total.trials);
 }
 
 stats::Proportion WindowAnalyzer::BaselineProbability(
     const EventFilter& target, TimeSec window,
     const std::function<bool(SystemId, NodeId)>& node_predicate) const {
-  long long trials = 0;
-  long long successes = 0;
-  for (SystemId sys : index_->systems()) {
+  ValidateWindow(window, "BaselineProbability");
+  const std::vector<SystemId>& systems = index_->systems();
+  const auto count_system = [&](std::size_t s) {
+    const SystemId sys = systems[s];
     const SystemConfig& config = index_->trace().system(sys);
     const TimeSec begin = config.observed.begin;
     const long long windows_per_node = config.observed.duration() / window;
-    if (windows_per_node <= 0) continue;
+    Counts c;
+    if (windows_per_node <= 0) return c;
     // Count, per node, the number of distinct aligned windows containing at
     // least one matching failure; every (node, window) pair is one trial.
     std::vector<long long> hit_windows(
@@ -88,16 +128,20 @@ stats::Proportion WindowAnalyzer::BaselineProbability(
     }
     for (int n = 0; n < config.num_nodes; ++n) {
       if (node_predicate && !node_predicate(sys, NodeId{n})) continue;
-      trials += windows_per_node;
-      successes += hit_windows[static_cast<std::size_t>(n)];
+      c.trials += windows_per_node;
+      c.successes += hit_windows[static_cast<std::size_t>(n)];
     }
-  }
-  return stats::WilsonProportion(successes, trials);
+    return c;
+  };
+  const Counts total =
+      ParallelReduce(systems.size(), Counts{}, count_system, MergeCounts);
+  return stats::WilsonProportion(total.successes, total.trials);
 }
 
 ConditionalResult WindowAnalyzer::Compare(const EventFilter& trigger,
                                           const EventFilter& target,
                                           Scope scope, TimeSec window) const {
+  ValidateWindow(window, "Compare");
   ConditionalResult out;
   out.conditional = ConditionalProbability(trigger, target, scope, window);
   out.baseline = BaselineProbability(target, window);
@@ -111,42 +155,51 @@ ConditionalResult WindowAnalyzer::Compare(const EventFilter& trigger,
 
 WindowAnalyzer::PairwiseMatrix WindowAnalyzer::PairwiseProbabilities(
     Scope scope, TimeSec window) const {
+  ValidateWindow(window, "PairwiseProbabilities");
   PairwiseMatrix out{};
   // Baselines depend only on the target type; compute each once.
   std::array<stats::Proportion, kNumFailureCategories> baselines;
-  for (FailureCategory y : AllFailureCategories()) {
-    baselines[static_cast<std::size_t>(y)] =
-        BaselineProbability(EventFilter::Of(y), window);
-  }
-  for (FailureCategory x : AllFailureCategories()) {
-    for (FailureCategory y : AllFailureCategories()) {
-      ConditionalResult& r =
-          out[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)];
-      r.conditional = ConditionalProbability(EventFilter::Of(x),
-                                             EventFilter::Of(y), scope,
-                                             window);
-      r.baseline = baselines[static_cast<std::size_t>(y)];
-      r.factor = stats::FactorIncrease(r.conditional, r.baseline);
-      r.test = stats::TestProportionsDiffer(
-          r.conditional.successes, r.conditional.trials, r.baseline.successes,
-          r.baseline.trials);
-      r.num_triggers = r.conditional.trials;
-    }
-  }
+  ParallelFor(kNumFailureCategories, [&](std::size_t y) {
+    baselines[y] = BaselineProbability(
+        EventFilter::Of(static_cast<FailureCategory>(y)), window);
+  });
+  // The 36 cells are independent; each cell's counts come from the same
+  // deterministic per-system reduction as the serial path, so the matrix is
+  // identical for every thread count.
+  ParallelFor(kNumFailureCategories * kNumFailureCategories,
+              [&](std::size_t cell) {
+                const std::size_t xi = cell / kNumFailureCategories;
+                const std::size_t yi = cell % kNumFailureCategories;
+                ConditionalResult& r = out[xi][yi];
+                r.conditional = ConditionalProbability(
+                    EventFilter::Of(static_cast<FailureCategory>(xi)),
+                    EventFilter::Of(static_cast<FailureCategory>(yi)), scope,
+                    window);
+                r.baseline = baselines[yi];
+                r.factor = stats::FactorIncrease(r.conditional, r.baseline);
+                r.test = stats::TestProportionsDiffer(
+                    r.conditional.successes, r.conditional.trials,
+                    r.baseline.successes, r.baseline.trials);
+                r.num_triggers = r.conditional.trials;
+              });
   return out;
 }
 
 ConditionalResult WindowAnalyzer::MaintenanceAfter(const EventFilter& trigger,
                                                    TimeSec window) const {
+  ValidateWindow(window, "MaintenanceAfter");
   // Conditional: any maintenance event at the trigger's node in the window.
   // Maintenance streams are small; a per-(system, node) sorted copy makes
-  // the queries cheap.
-  long long trials = 0;
-  long long successes = 0;
-  long long base_trials = 0;
-  long long base_successes = 0;
-  for (SystemId sys : index_->systems()) {
+  // the queries cheap. Sharded by system like the other kernels.
+  struct MaintCounts {
+    Counts cond;
+    Counts base;
+  };
+  const std::vector<SystemId>& systems = index_->systems();
+  const auto count_system = [&](std::size_t s) {
+    const SystemId sys = systems[s];
     const SystemConfig& config = index_->trace().system(sys);
+    MaintCounts c;
     std::vector<std::vector<TimeSec>> maint(
         static_cast<std::size_t>(config.num_nodes));
     for (const MaintenanceRecord& m : index_->trace().maintenance()) {
@@ -161,8 +214,8 @@ ConditionalResult WindowAnalyzer::MaintenanceAfter(const EventFilter& trigger,
       if (f.start + window > horizon) continue;
       const auto& times = maint[static_cast<std::size_t>(f.node.value)];
       auto it = std::upper_bound(times.begin(), times.end(), f.start);
-      ++trials;
-      if (it != times.end() && *it <= f.start + window) ++successes;
+      ++c.cond.trials;
+      if (it != times.end() && *it <= f.start + window) ++c.cond.successes;
     }
     // Baseline: random aligned windows per node.
     const long long windows_per_node = config.observed.duration() / window;
@@ -179,18 +232,30 @@ ConditionalResult WindowAnalyzer::MaintenanceAfter(const EventFilter& trigger,
             ++hits;
           }
         }
-        base_trials += windows_per_node;
-        base_successes += hits;
+        c.base.trials += windows_per_node;
+        c.base.successes += hits;
       }
     }
-  }
+    return c;
+  };
+  const MaintCounts total = ParallelReduce(
+      systems.size(), MaintCounts{}, count_system,
+      [](MaintCounts acc, MaintCounts c) {
+        acc.cond += c.cond;
+        acc.base += c.base;
+        return acc;
+      });
   ConditionalResult out;
-  out.conditional = stats::WilsonProportion(successes, trials);
-  out.baseline = stats::WilsonProportion(base_successes, base_trials);
+  out.conditional =
+      stats::WilsonProportion(total.cond.successes, total.cond.trials);
+  out.baseline =
+      stats::WilsonProportion(total.base.successes, total.base.trials);
   out.factor = stats::FactorIncrease(out.conditional, out.baseline);
-  out.test = stats::TestProportionsDiffer(successes, trials, base_successes,
-                                          base_trials);
-  out.num_triggers = trials;
+  out.test = stats::TestProportionsDiffer(total.cond.successes,
+                                          total.cond.trials,
+                                          total.base.successes,
+                                          total.base.trials);
+  out.num_triggers = total.cond.trials;
   return out;
 }
 

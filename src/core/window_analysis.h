@@ -33,6 +33,11 @@ struct ConditionalResult {
   long long num_triggers = 0;
 };
 
+// All WindowAnalyzer queries run sharded by system on the process thread
+// pool (core::SetDefaultThreadCount; 1 forces the serial path) and merge
+// per-shard counters in system order, so results are bit-identical for
+// every thread count. Every public entry point throws std::invalid_argument
+// when `window <= 0` (the baselines divide by it).
 class WindowAnalyzer {
  public:
   // Analyzes the systems covered by `index` as one population (the paper
@@ -50,7 +55,8 @@ class WindowAnalyzer {
   // Baseline: probability that a random node has >= 1 failure matching
   // `target` in a random (aligned, disjoint) window of the given length.
   // `node_predicate`, when set, restricts which nodes contribute windows
-  // (used by the node-0 analyses of Fig. 6).
+  // (used by the node-0 analyses of Fig. 6); it may be invoked from several
+  // threads at once and must be safe to call concurrently.
   stats::Proportion BaselineProbability(
       const EventFilter& target, TimeSec window,
       const std::function<bool(SystemId, NodeId)>& node_predicate = {}) const;

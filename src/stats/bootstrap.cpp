@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+
+#include "core/parallel.h"
 
 namespace hpcfail::stats {
 
@@ -18,12 +21,20 @@ BootstrapResult BootstrapCi(
   BootstrapResult out;
   out.estimate = statistic(sample);
   out.resamples = resamples;
+  // Derive one child seed per replicate from the caller's stream (serially,
+  // so the seeds depend only on the caller's Rng state), then fan the
+  // replicates out. Each replicate draws from its own stream, which makes
+  // the resampled statistics identical for every thread count.
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(resamples));
+  for (std::uint64_t& s : seeds) s = rng.engine()() ^ 0x9e3779b97f4a7c15ULL;
   std::vector<double> stats(static_cast<std::size_t>(resamples));
-  std::vector<double> resample(sample.size());
-  for (int b = 0; b < resamples; ++b) {
-    for (double& v : resample) v = sample[rng.Index(sample.size())];
-    stats[static_cast<std::size_t>(b)] = statistic(resample);
-  }
+  core::ParallelFor(
+      static_cast<std::size_t>(resamples), [&](std::size_t b) {
+        Rng replicate_rng(seeds[b]);
+        std::vector<double> resample(sample.size());
+        for (double& v : resample) v = sample[replicate_rng.Index(sample.size())];
+        stats[b] = statistic(resample);
+      });
   std::sort(stats.begin(), stats.end());
   const double alpha = (1.0 - confidence) / 2.0;
   auto at = [&stats](double q) {

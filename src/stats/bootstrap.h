@@ -18,6 +18,9 @@ struct BootstrapResult {
 
 // Percentile bootstrap for a statistic of a single sample.
 // `statistic` receives a resampled vector (same size as `sample`).
+// Replicates run in parallel (core::SetDefaultThreadCount) on independent
+// RNG streams derived from `rng`, so results depend only on the seed — never
+// on the thread count — and `statistic` must be safe to call concurrently.
 BootstrapResult BootstrapCi(
     std::span<const double> sample,
     const std::function<double(std::span<const double>)>& statistic, Rng& rng,

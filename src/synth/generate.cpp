@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
 #include "stats/rng.h"
 #include "synth/cluster_sim.h"
 #include "synth/environment_sim.h"
@@ -34,6 +35,14 @@ void MarkKilledJobs(std::vector<JobRecord>& jobs,
   }
 }
 
+// Everything one system's simulation produces; built in parallel, merged
+// into the Trace in scenario order.
+struct SystemResult {
+  WorkloadResult workload;
+  ClusterSimResult sim;
+  std::vector<TemperatureSample> temps;
+};
+
 }  // namespace
 
 Trace GenerateTrace(const Scenario& scenario, std::uint64_t seed) {
@@ -46,14 +55,20 @@ Trace GenerateTrace(const Scenario& scenario, std::uint64_t seed) {
   std::vector<NeutronSample> neutrons =
       SimulateNeutronSeries(scenario.neutron, scenario.duration, neutron_rng);
 
-  int next_system_id = 0;
-  int next_job_id = 0;
-  for (const SystemScenario& sys : scenario.systems) {
-    const SystemId id{next_system_id++};
-    stats::Rng sys_rng = root.Fork();
-
-    SystemConfig config;
-    config.id = id;
+  // RNG forks and system configs are derived serially so the streams depend
+  // only on (scenario, seed); the per-system simulations then run in
+  // parallel, one task per system. Jobs are generated with ids starting at 0
+  // and offset during the ordered merge below, which reproduces the serial
+  // id chaining exactly — output is identical for every thread count.
+  const std::size_t num_systems = scenario.systems.size();
+  std::vector<stats::Rng> sys_rngs;
+  sys_rngs.reserve(num_systems);
+  std::vector<SystemConfig> configs(num_systems);
+  for (std::size_t i = 0; i < num_systems; ++i) {
+    const SystemScenario& sys = scenario.systems[i];
+    sys_rngs.push_back(root.Fork());
+    SystemConfig& config = configs[i];
+    config.id = SystemId{static_cast<int>(i)};
     config.name = sys.name;
     config.group = sys.group;
     config.num_nodes = sys.num_nodes;
@@ -61,35 +76,46 @@ Trace GenerateTrace(const Scenario& scenario, std::uint64_t seed) {
     config.observed = {0, sys.duration};
     config.layout = MachineLayout::Grid(sys.num_nodes, sys.nodes_per_rack,
                                         sys.racks_per_row);
-    const MachineLayout& layout = config.layout;
-    trace.AddSystem(config);
+  }
+
+  std::vector<SystemResult> results(num_systems);
+  core::ParallelFor(num_systems, [&](std::size_t i) {
+    const SystemScenario& sys = scenario.systems[i];
+    const SystemId id = configs[i].id;
+    stats::Rng sys_rng = sys_rngs[i];
+    SystemResult& r = results[i];
 
     // Usage first: the failure process depends on it.
-    WorkloadResult workload =
-        SimulateWorkload(sys, id, next_job_id, sys_rng);
-    // Jobs are dispatch-sorted, so scan for the max id rather than back().
-    for (const JobRecord& j : workload.jobs) {
-      next_job_id = std::max(next_job_id, j.id.value + 1);
-    }
+    r.workload = SimulateWorkload(sys, id, /*first_job_id=*/0, sys_rng);
 
     ClusterSimInput input;
     input.system = id;
-    input.usage_multiplier = workload.usage_multiplier;
-    input.churn = workload.churn;
+    input.usage_multiplier = r.workload.usage_multiplier;
+    input.churn = r.workload.churn;
     input.cpu_flux_factor = CpuFluxFactors(
         neutrons, scenario.neutron.mean_counts, sys.cpu_flux_exponent,
         sys.duration);
-    ClusterSimResult sim = SimulateCluster(sys, layout, input, sys_rng);
+    r.sim = SimulateCluster(sys, configs[i].layout, input, sys_rng);
 
-    MarkKilledJobs(workload.jobs, sim.failures, sys.num_nodes);
+    MarkKilledJobs(r.workload.jobs, r.sim.failures, sys.num_nodes);
 
-    std::vector<TemperatureSample> temps = SimulateTemperature(
-        sys, id, sim.failures, sim.chiller_events, sys_rng);
+    r.temps = SimulateTemperature(sys, id, r.sim.failures,
+                                  r.sim.chiller_events, sys_rng);
+  });
 
-    for (FailureRecord& f : sim.failures) trace.AddFailure(std::move(f));
-    for (MaintenanceRecord& m : sim.maintenance) trace.AddMaintenance(m);
-    for (JobRecord& j : workload.jobs) trace.AddJob(std::move(j));
-    for (TemperatureSample& t : temps) trace.AddTemperature(t);
+  int next_job_id = 0;
+  for (std::size_t i = 0; i < num_systems; ++i) {
+    trace.AddSystem(std::move(configs[i]));
+    SystemResult& r = results[i];
+    const int base_job_id = next_job_id;
+    for (JobRecord& j : r.workload.jobs) {
+      j.id = JobId{j.id.value + base_job_id};
+      next_job_id = std::max(next_job_id, j.id.value + 1);
+    }
+    for (FailureRecord& f : r.sim.failures) trace.AddFailure(std::move(f));
+    for (MaintenanceRecord& m : r.sim.maintenance) trace.AddMaintenance(m);
+    for (JobRecord& j : r.workload.jobs) trace.AddJob(std::move(j));
+    for (TemperatureSample& t : r.temps) trace.AddTemperature(t);
   }
 
   trace.SetNeutronSeries(std::move(neutrons));

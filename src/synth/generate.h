@@ -10,8 +10,10 @@
 namespace hpcfail::synth {
 
 // Generates a complete multi-system trace. Identical (scenario, seed) pairs
-// produce identical traces. System ids are assigned 0, 1, ... in the order
-// the scenario lists them.
+// produce identical traces regardless of the thread count (systems simulate
+// in parallel, one task each, on serially pre-forked RNG streams; see
+// core::SetDefaultThreadCount). System ids are assigned 0, 1, ... in the
+// order the scenario lists them.
 Trace GenerateTrace(const Scenario& scenario, std::uint64_t seed);
 
 }  // namespace hpcfail::synth

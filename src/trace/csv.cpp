@@ -36,6 +36,14 @@ double ParseDouble(const std::string& field, std::size_t line) {
   }
 }
 
+// std::getline splits on '\n' only, so a CRLF-terminated file (Windows
+// editors, Excel exports) leaves a trailing '\r' on every line — which used
+// to surface as a baffling "bad header" error and a stray '\r' glued to the
+// last field of each row. Strip it before header comparison and splitting.
+void StripTrailingCr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 // Reads lines, validates the header, and hands each data row (already split)
 // to `row_fn(fields, line_number)`.
 template <typename RowFn>
@@ -45,11 +53,13 @@ void ForEachRow(std::istream& is, const std::string& expected_header,
   std::size_t lineno = 0;
   if (!std::getline(is, line)) Fail(1, "empty input, missing header");
   ++lineno;
+  StripTrailingCr(line);
   if (line != expected_header) {
     Fail(lineno, "bad header: expected '" + expected_header + "'");
   }
   while (std::getline(is, line)) {
     ++lineno;
+    StripTrailingCr(line);
     if (line.empty()) continue;
     std::vector<std::string> fields = SplitLine(line);
     if (fields.size() != expected_fields) {

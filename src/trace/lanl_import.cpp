@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 #include <istream>
+#include <map>
 
 namespace hpcfail::lanl {
 namespace {
@@ -277,6 +278,47 @@ ImportResult ImportFailures(std::istream& is, const ImportConfig& config) {
     }
     out.failures.push_back(std::move(r));
   }
+  return out;
+}
+
+AssembleResult AssembleTrace(const ImportResult& imported,
+                             int nodes_per_system) {
+  // Per-system observation span and largest node id seen.
+  struct SystemSpan {
+    TimeSec begin = 0;
+    TimeSec end = 0;
+    int max_node = 0;
+  };
+  std::map<int, SystemSpan> spans;
+  for (const FailureRecord& f : imported.failures) {
+    auto [it, inserted] =
+        spans.try_emplace(f.system.value, SystemSpan{f.start, f.end, 0});
+    if (!inserted) {
+      it->second.begin = std::min(it->second.begin, f.start);
+      it->second.end = std::max(it->second.end, f.end);
+    }
+    it->second.max_node = std::max(it->second.max_node, f.node.value);
+  }
+  AssembleResult out;
+  for (const auto& [sys, span] : spans) {
+    SystemConfig c;
+    c.id = SystemId{sys};
+    c.name = "system" + std::to_string(sys);
+    c.group = SystemGroup::kSmp;
+    c.num_nodes =
+        nodes_per_system > 0 ? nodes_per_system : span.max_node + 1;
+    c.procs_per_node = 4;
+    c.observed = {span.begin, span.end + kDay};
+    out.trace.AddSystem(std::move(c));
+  }
+  for (const FailureRecord& f : imported.failures) {
+    if (nodes_per_system > 0 && f.node.value >= nodes_per_system) {
+      ++out.dropped_out_of_range;
+      continue;
+    }
+    out.trace.AddFailure(f);
+  }
+  out.trace.Finalize();
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "trace/failure.h"
+#include "trace/system.h"
 
 namespace hpcfail::lanl {
 
@@ -67,5 +68,22 @@ std::optional<EnvironmentEvent> MapLanlEnvironment(std::string_view text);
 // Reads a whole failure log. Node outages with end < start or unparsable
 // mandatory fields are reported in `skipped`.
 ImportResult ImportFailures(std::istream& is, const ImportConfig& config);
+
+struct AssembleResult {
+  Trace trace;
+  // Failures discarded because node >= nodes_per_system. Never discarded
+  // silently: callers should surface this count to the operator.
+  long long dropped_out_of_range = 0;
+};
+
+// Builds a finalized Trace from imported failures. One SystemConfig is
+// synthesized per system id seen in the log, observed from the earliest
+// failure start to one day past the latest failure end. When
+// `nodes_per_system > 0` every system gets exactly that many nodes and
+// failures at out-of-range node ids are counted in `dropped_out_of_range`;
+// when `nodes_per_system <= 0` each system is auto-sized to the largest node
+// id it logs (max + 1) and nothing is dropped.
+AssembleResult AssembleTrace(const ImportResult& imported,
+                             int nodes_per_system);
 
 }  // namespace hpcfail::lanl

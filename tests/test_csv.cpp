@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "synth/generate.h"
@@ -31,6 +32,46 @@ TEST(Failures, RoundTrip) {
   WriteFailures(ss, in);
   const std::vector<FailureRecord> out = ReadFailures(ss);
   EXPECT_EQ(in, out);
+}
+
+TEST(Failures, CrlfInputImportsIdenticallyToLf) {
+  // A Windows-edited trace used to fail with "bad header" (the '\r' glued to
+  // the header) or leave '\r' on the last field of every row.
+  std::vector<FailureRecord> in;
+  in.push_back(MakeHardwareFailure(SystemId{1}, NodeId{2}, 100, 200,
+                                   HardwareComponent::kMemory));
+  in.push_back(
+      MakeFailure(SystemId{2}, NodeId{1}, 700, 800, FailureCategory::kHuman));
+  std::stringstream lf;
+  WriteFailures(lf, in);
+  // Rewrite with CRLF line endings.
+  std::string text = lf.str();
+  std::string crlf_text;
+  for (char c : text) {
+    if (c == '\n') crlf_text += '\r';
+    crlf_text += c;
+  }
+  std::stringstream crlf(crlf_text);
+  const std::vector<FailureRecord> from_crlf = ReadFailures(crlf);
+  EXPECT_EQ(from_crlf, in);
+}
+
+TEST(Failures, CrlfOnlyBlankLinesAreSkipped) {
+  std::stringstream ss(
+      "system,node,start,end,category,subcategory\r\n\r\n1,2,3,4,human,\r\n");
+  EXPECT_EQ(ReadFailures(ss).size(), 1u);
+}
+
+TEST(Systems, CrlfPreservesTrailingStringField) {
+  // The last field is the one that used to keep the stray '\r'; check a
+  // stream whose last column is numeric and one mid-row string column.
+  std::stringstream ss(
+      "system,name,group,num_nodes,procs_per_node,observed_begin,"
+      "observed_end\r\n0,alpha,smp,8,4,0,1000\r\n");
+  const auto systems = ReadSystems(ss);
+  ASSERT_EQ(systems.size(), 1u);
+  EXPECT_EQ(systems[0].name, "alpha");
+  EXPECT_EQ(systems[0].observed.end, 1000);
 }
 
 TEST(Failures, RejectsBadHeader) {
@@ -195,6 +236,45 @@ TEST(TraceDirectory, SaveLoadRoundTrip) {
 
 TEST(TraceDirectory, LoadMissingDirectoryThrows) {
   EXPECT_THROW(LoadTrace("/nonexistent/hpcfail"), std::runtime_error);
+}
+
+TEST(TraceDirectory, CrlfDirectoryLoadsIdenticallyToLf) {
+  // Rewrite every CSV of a saved trace with CRLF endings (as a Windows
+  // editor would) and check the loaded trace matches the LF original.
+  const auto scenario = synth::TinyScenario(60 * kDay);
+  const Trace in = synth::GenerateTrace(scenario, 7);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "hpcfail_csv_crlf_test")
+          .string();
+  SaveTrace(in, dir);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::string text;
+    {
+      std::ifstream is(entry.path(), std::ios::binary);
+      std::stringstream buf;
+      buf << is.rdbuf();
+      text = buf.str();
+    }
+    std::string crlf;
+    for (char c : text) {
+      if (c == '\n') crlf += '\r';
+      crlf += c;
+    }
+    std::ofstream os(entry.path(), std::ios::binary);
+    os << crlf;
+  }
+  const Trace out = LoadTrace(dir);
+  EXPECT_EQ(in.failures(), out.failures());
+  EXPECT_EQ(in.maintenance(), out.maintenance());
+  EXPECT_EQ(in.jobs(), out.jobs());
+  EXPECT_EQ(in.neutron_series(), out.neutron_series());
+  ASSERT_EQ(in.systems().size(), out.systems().size());
+  for (std::size_t i = 0; i < in.systems().size(); ++i) {
+    EXPECT_EQ(in.systems()[i].name, out.systems()[i].name);
+    EXPECT_EQ(in.systems()[i].layout.placements(),
+              out.systems()[i].layout.placements());
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -167,5 +167,61 @@ TEST(Import, NoHeaderMode) {
   EXPECT_EQ(r.failures.size(), 1u);
 }
 
+TEST(Assemble, CountsDroppedOutOfRangeRecords) {
+  // Records at node >= nodes_per_system used to vanish silently; now they
+  // are counted so the caller can report them.
+  ImportResult imported;
+  for (int node : {0, 1, 7, 120, 300}) {
+    FailureRecord r;
+    r.system = SystemId{3};
+    r.node = NodeId{node};
+    r.start = node * kDay;
+    r.end = r.start + kHour;
+    r.category = FailureCategory::kHardware;
+    imported.failures.push_back(r);
+  }
+  const AssembleResult out = AssembleTrace(imported, /*nodes_per_system=*/8);
+  EXPECT_EQ(out.dropped_out_of_range, 2);  // nodes 120 and 300
+  EXPECT_EQ(out.trace.num_failures(), 3u);
+  EXPECT_EQ(out.trace.system(SystemId{3}).num_nodes, 8);
+}
+
+TEST(Assemble, AutoSizesSystemsFromMaxNodeId) {
+  ImportResult imported;
+  const auto add = [&imported](int sys, int node, TimeSec start) {
+    FailureRecord r;
+    r.system = SystemId{sys};
+    r.node = NodeId{node};
+    r.start = start;
+    r.end = start + kHour;
+    r.category = FailureCategory::kSoftware;
+    imported.failures.push_back(r);
+  };
+  add(0, 12, kDay);
+  add(0, 3, 2 * kDay);
+  add(5, 0, 3 * kDay);
+  // nodes_per_system <= 0: size each system from its own log; drop nothing.
+  const AssembleResult out = AssembleTrace(imported, 0);
+  EXPECT_EQ(out.dropped_out_of_range, 0);
+  EXPECT_EQ(out.trace.num_failures(), 3u);
+  EXPECT_EQ(out.trace.system(SystemId{0}).num_nodes, 13);  // max id 12
+  EXPECT_EQ(out.trace.system(SystemId{5}).num_nodes, 1);
+}
+
+TEST(Assemble, ObservationSpansTheLog) {
+  ImportResult imported;
+  FailureRecord r;
+  r.system = SystemId{0};
+  r.node = NodeId{0};
+  r.start = 10 * kDay;
+  r.end = 10 * kDay + 2 * kHour;
+  r.category = FailureCategory::kNetwork;
+  imported.failures.push_back(r);
+  const AssembleResult out = AssembleTrace(imported, 0);
+  const SystemConfig& c = out.trace.system(SystemId{0});
+  EXPECT_EQ(c.observed.begin, 10 * kDay);
+  EXPECT_EQ(c.observed.end, 11 * kDay + 2 * kHour);  // +1 day slack
+}
+
 }  // namespace
 }  // namespace hpcfail::lanl

@@ -1,0 +1,240 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/window_analysis.h"
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+#include "synth/generate.h"
+
+namespace hpcfail::core {
+namespace {
+
+// Restores the process default so tests cannot leak thread settings.
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { SetDefaultThreadCount(0); }
+};
+
+TEST(ThreadConfig, DefaultIsHardwareAndSettable) {
+  ThreadCountGuard guard;
+  EXPECT_GE(HardwareThreadCount(), 1);
+  EXPECT_EQ(DefaultThreadCount(), HardwareThreadCount());
+  SetDefaultThreadCount(3);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  SetDefaultThreadCount(0);  // restore hardware default
+  EXPECT_EQ(DefaultThreadCount(), HardwareThreadCount());
+  SetDefaultThreadCount(-5);  // nonpositive also restores
+  EXPECT_EQ(DefaultThreadCount(), HardwareThreadCount());
+}
+
+TEST(ThreadPool, RunsEveryTaskBeforeShutdown) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(pool.Submit([&done] { ++done; }));
+    }
+    // Destructor drains the queue and joins the workers.
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, MinimumOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  while (!ran.load()) std::this_thread::yield();
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelFor(kN, [&hits](std::size_t i) { ++hits[i]; }, threads);
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleElement) {
+  ParallelFor(0, [](std::size_t) { FAIL() << "body called for n=0"; }, 4);
+  int calls = 0;
+  ParallelFor(1, [&calls](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesExceptionsToCaller) {
+  for (int threads : {1, 4}) {
+    EXPECT_THROW(
+        ParallelFor(
+            100,
+            [](std::size_t i) {
+              if (i == 37) throw std::runtime_error("boom");
+            },
+            threads),
+        std::runtime_error)
+        << "threads " << threads;
+  }
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  // A parallel region launched from inside another must not deadlock; inner
+  // regions degrade to the serial path on pool workers.
+  std::atomic<int> total{0};
+  ParallelFor(8, [&total](std::size_t) {
+    ParallelFor(8, [&total](std::size_t) { ++total; }, 4);
+  }, 4);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelReduce, OrderedFoldIsDeterministic) {
+  // Floating-point summation order matters; the ordered fold must give the
+  // bit-identical result for every thread count.
+  std::vector<double> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto sum_with = [&values](int threads) {
+    return ParallelReduce(
+        values.size(), 0.0, [&values](std::size_t i) { return values[i]; },
+        [](double acc, double v) { return acc + v; }, threads);
+  };
+  const double serial = sum_with(1);
+  for (int threads : {2, 4, 8}) {
+    const double parallel = sum_with(threads);
+    EXPECT_EQ(serial, parallel) << "threads " << threads;  // exact, not NEAR
+  }
+}
+
+TEST(ParallelReduce, PropagatesTaskExceptions) {
+  EXPECT_THROW(ParallelReduce(
+                   10, 0,
+                   [](std::size_t i) -> int {
+                     if (i == 5) throw std::invalid_argument("bad shard");
+                     return static_cast<int>(i);
+                   },
+                   [](int a, int b) { return a + b; }, 4),
+               std::invalid_argument);
+}
+
+// ---- Serial vs parallel equality on a seeded trace: the determinism
+// guarantee the analysis layer advertises.
+
+class SerialParallelEquality : public ::testing::Test {
+ protected:
+  void TearDown() override { SetDefaultThreadCount(0); }
+
+  static const Trace& SeededTrace() {
+    static const Trace trace =
+        synth::GenerateTrace(synth::LanlLikeScenario(0.1, kYear), 99);
+    return trace;
+  }
+};
+
+TEST_F(SerialParallelEquality, PairwiseMatrixAllCellsBitIdentical) {
+  const EventIndex idx(SeededTrace());
+  const WindowAnalyzer a(idx);
+  SetDefaultThreadCount(1);
+  const auto serial = a.PairwiseProbabilities(Scope::kSameNode, kWeek);
+  SetDefaultThreadCount(4);
+  const auto parallel = a.PairwiseProbabilities(Scope::kSameNode, kWeek);
+  for (std::size_t x = 0; x < kNumFailureCategories; ++x) {
+    for (std::size_t y = 0; y < kNumFailureCategories; ++y) {
+      const ConditionalResult& s = serial[x][y];
+      const ConditionalResult& p = parallel[x][y];
+      ASSERT_EQ(s.conditional.successes, p.conditional.successes)
+          << "cell " << x << "," << y;
+      ASSERT_EQ(s.conditional.trials, p.conditional.trials);
+      ASSERT_EQ(s.baseline.successes, p.baseline.successes);
+      ASSERT_EQ(s.baseline.trials, p.baseline.trials);
+      // Bit-identical doubles, not approximately equal.
+      ASSERT_EQ(s.conditional.estimate, p.conditional.estimate);
+      ASSERT_EQ(s.baseline.estimate, p.baseline.estimate);
+      ASSERT_EQ(s.factor, p.factor);
+      ASSERT_EQ(s.test.z, p.test.z);
+      ASSERT_EQ(s.num_triggers, p.num_triggers);
+    }
+  }
+}
+
+TEST_F(SerialParallelEquality, ConditionalAndBaselineAcrossScopes) {
+  const EventIndex idx(SeededTrace());
+  const WindowAnalyzer a(idx);
+  for (Scope scope :
+       {Scope::kSameNode, Scope::kRackPeers, Scope::kSystemPeers}) {
+    SetDefaultThreadCount(1);
+    const auto serial = a.ConditionalProbability(
+        EventFilter::Any(), EventFilter::Any(), scope, kWeek);
+    const auto serial_base = a.BaselineProbability(EventFilter::Any(), kWeek);
+    SetDefaultThreadCount(8);
+    const auto parallel = a.ConditionalProbability(
+        EventFilter::Any(), EventFilter::Any(), scope, kWeek);
+    const auto parallel_base =
+        a.BaselineProbability(EventFilter::Any(), kWeek);
+    EXPECT_EQ(serial.successes, parallel.successes) << ToString(scope);
+    EXPECT_EQ(serial.trials, parallel.trials) << ToString(scope);
+    EXPECT_EQ(serial.estimate, parallel.estimate) << ToString(scope);
+    EXPECT_EQ(serial_base.successes, parallel_base.successes);
+    EXPECT_EQ(serial_base.trials, parallel_base.trials);
+  }
+}
+
+TEST_F(SerialParallelEquality, MaintenanceAfterMatches) {
+  const EventIndex idx(SeededTrace());
+  const WindowAnalyzer a(idx);
+  SetDefaultThreadCount(1);
+  const auto serial = a.MaintenanceAfter(EventFilter::Any(), kWeek);
+  SetDefaultThreadCount(4);
+  const auto parallel = a.MaintenanceAfter(EventFilter::Any(), kWeek);
+  EXPECT_EQ(serial.conditional.successes, parallel.conditional.successes);
+  EXPECT_EQ(serial.conditional.trials, parallel.conditional.trials);
+  EXPECT_EQ(serial.baseline.successes, parallel.baseline.successes);
+  EXPECT_EQ(serial.baseline.trials, parallel.baseline.trials);
+  EXPECT_EQ(serial.factor, parallel.factor);
+}
+
+TEST_F(SerialParallelEquality, BootstrapMatchesForEveryThreadCount) {
+  std::vector<double> sample;
+  stats::Rng data_rng(7);
+  for (int i = 0; i < 500; ++i) sample.push_back(data_rng.Normal(10.0, 3.0));
+  const auto stat = [](std::span<const double> xs) {
+    return stats::Median(xs);
+  };
+  SetDefaultThreadCount(1);
+  stats::Rng rng_serial(42);
+  const auto serial = stats::BootstrapCi(sample, stat, rng_serial, 400);
+  for (int threads : {2, 4, 8}) {
+    SetDefaultThreadCount(threads);
+    stats::Rng rng_parallel(42);
+    const auto parallel = stats::BootstrapCi(sample, stat, rng_parallel, 400);
+    EXPECT_EQ(serial.estimate, parallel.estimate) << "threads " << threads;
+    EXPECT_EQ(serial.ci_low, parallel.ci_low) << "threads " << threads;
+    EXPECT_EQ(serial.ci_high, parallel.ci_high) << "threads " << threads;
+  }
+}
+
+TEST_F(SerialParallelEquality, GenerateTraceIdenticalAcrossThreadCounts) {
+  const auto scenario = synth::LanlLikeScenario(0.1, kYear / 2);
+  SetDefaultThreadCount(1);
+  const Trace serial = synth::GenerateTrace(scenario, 321);
+  SetDefaultThreadCount(4);
+  const Trace parallel = synth::GenerateTrace(scenario, 321);
+  ASSERT_EQ(serial.failures().size(), parallel.failures().size());
+  EXPECT_EQ(serial.failures(), parallel.failures());
+  EXPECT_EQ(serial.maintenance(), parallel.maintenance());
+  ASSERT_EQ(serial.jobs().size(), parallel.jobs().size());
+  EXPECT_EQ(serial.jobs(), parallel.jobs());
+  EXPECT_EQ(serial.temperatures(), parallel.temperatures());
+  EXPECT_EQ(serial.neutron_series(), parallel.neutron_series());
+}
+
+}  // namespace
+}  // namespace hpcfail::core

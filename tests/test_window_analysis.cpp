@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "synth/generate.h"
 
 namespace hpcfail::core {
@@ -247,6 +249,33 @@ TEST(PairwiseMatrix, DiagonalDominatesAndMatchesDirectQueries) {
     EXPECT_GT(matrix[xi][xi].factor, 1.0);
     EXPECT_TRUE(matrix[xi][xi].test.significant_99) << ToString(x);
   }
+}
+
+TEST(WindowValidation, ZeroAndNegativeWindowsThrow) {
+  // window <= 0 used to reach a division by `window` (UB / garbage trials);
+  // every public entry point now rejects it up front.
+  const Trace t = ControlledTrace({{0, 10 * kDay}});
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  const auto any = EventFilter::Any();
+  for (TimeSec bad : {TimeSec{0}, TimeSec{-kDay}}) {
+    EXPECT_THROW(a.ConditionalProbability(any, any, Scope::kSameNode, bad),
+                 std::invalid_argument);
+    EXPECT_THROW(a.BaselineProbability(any, bad), std::invalid_argument);
+    EXPECT_THROW(a.Compare(any, any, Scope::kSameNode, bad),
+                 std::invalid_argument);
+    EXPECT_THROW(a.PairwiseProbabilities(Scope::kSameNode, bad),
+                 std::invalid_argument);
+    EXPECT_THROW(a.MaintenanceAfter(any, bad), std::invalid_argument);
+  }
+}
+
+TEST(WindowValidation, PositiveWindowStillWorks) {
+  const Trace t = ControlledTrace({{0, 10 * kDay}});
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  EXPECT_NO_THROW(a.Compare(EventFilter::Any(), EventFilter::Any(),
+                            Scope::kSameNode, kDay));
 }
 
 TEST(ScopeNames, AreStable) {

@@ -2,20 +2,27 @@
 //
 //   hpcfail_report --synth [scale] [years] [seed]   # synthetic trace
 //   hpcfail_report --trace <dir>                    # CSV trace directory
-//   hpcfail_report --lanl <failures.csv> <nodes-per-system>
+//   hpcfail_report --lanl <failures.csv> [nodes-per-system]
 //                                                   # raw LANL failure log
+//
+// `--threads N` (anywhere on the command line) sets the worker count for
+// the parallel analysis kernels; the default is the hardware concurrency
+// and N=1 forces the serial path. Results are identical either way.
 //
 // Prints, per system: record counts, failure-rate summary, the same-node
 // correlation headline, root-cause breakdown, node skew, downtime and
 // availability, inter-arrival Weibull shape — and, where job/temperature
 // logs exist, the usage and user analyses. This is the tool an operator
 // would point at their own logs.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
+#include <string>
+#include <vector>
 
 #include "core/downtime.h"
+#include "core/parallel.h"
 #include "core/interarrival.h"
 #include "core/node_skew.h"
 #include "core/power_analysis.h"
@@ -44,32 +51,15 @@ Trace LoadLanl(const std::string& path, int nodes_per_system) {
     std::cerr << "  line " << imported.skipped[i].line << ": "
               << imported.skipped[i].reason << "\n";
   }
-  // Build system configs from what the log mentions.
-  std::map<int, std::pair<TimeSec, TimeSec>> span;  // system -> [min, max]
-  for (const FailureRecord& f : imported.failures) {
-    auto [it, inserted] =
-        span.try_emplace(f.system.value, f.start, f.end);
-    if (!inserted) {
-      it->second.first = std::min(it->second.first, f.start);
-      it->second.second = std::max(it->second.second, f.end);
-    }
+  lanl::AssembleResult assembled =
+      lanl::AssembleTrace(imported, nodes_per_system);
+  if (assembled.dropped_out_of_range > 0) {
+    std::cerr << "dropped " << assembled.dropped_out_of_range
+              << " failures with node id >= " << nodes_per_system
+              << " (pass 0 or omit nodes-per-system to auto-size each system"
+                 " from its log)\n";
   }
-  Trace trace;
-  for (const auto& [sys, window] : span) {
-    SystemConfig c;
-    c.id = SystemId{sys};
-    c.name = "system" + std::to_string(sys);
-    c.group = SystemGroup::kSmp;
-    c.num_nodes = nodes_per_system;
-    c.procs_per_node = 4;
-    c.observed = {window.first, window.second + kDay};
-    trace.AddSystem(std::move(c));
-  }
-  for (const FailureRecord& f : imported.failures) {
-    if (f.node.value < nodes_per_system) trace.AddFailure(f);
-  }
-  trace.Finalize();
-  return trace;
+  return std::move(assembled.trace);
 }
 
 void Report(const Trace& trace) {
@@ -177,12 +167,37 @@ void Report(const Trace& trace) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** raw_argv) {
   try {
+    // Strip `--threads N` wherever it appears; the remaining positional
+    // arguments keep their old meanings.
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+      if (std::strcmp(raw_argv[i], "--threads") == 0) {
+        if (i + 1 >= argc) {
+          std::cerr << "error: --threads requires a value\n";
+          return 2;
+        }
+        char* end = nullptr;
+        const long n = std::strtol(raw_argv[++i], &end, 10);
+        if (end == raw_argv[i] || *end != '\0' || n < 0) {
+          std::cerr << "error: --threads expects a non-negative integer, got '"
+                    << raw_argv[i] << "'\n";
+          return 2;
+        }
+        core::SetDefaultThreadCount(static_cast<int>(n));
+        continue;
+      }
+      args.push_back(raw_argv[i]);
+    }
+    argc = static_cast<int>(args.size());
+    char** argv = args.data();
+
     if (argc >= 2 && std::strcmp(argv[1], "--trace") == 0 && argc >= 3) {
       Report(hpcfail::csv::LoadTrace(argv[2]));
-    } else if (argc >= 2 && std::strcmp(argv[1], "--lanl") == 0 && argc >= 4) {
-      Report(LoadLanl(argv[2], std::atoi(argv[3])));
+    } else if (argc >= 2 && std::strcmp(argv[1], "--lanl") == 0 && argc >= 3) {
+      // nodes-per-system omitted or 0: auto-size from the log.
+      Report(LoadLanl(argv[2], argc >= 4 ? std::atoi(argv[3]) : 0));
     } else if (argc >= 2 && std::strcmp(argv[1], "--scenario") == 0 &&
                argc >= 3) {
       const std::uint64_t seed = argc >= 4
@@ -202,10 +217,13 @@ int main(int argc, char** argv) {
           seed));
     } else {
       std::cerr << "usage:\n"
-                << "  hpcfail_report --synth [scale] [years] [seed]\n"
-                << "  hpcfail_report --scenario <config-file> [seed]\n"
-                << "  hpcfail_report --trace <csv-trace-dir>\n"
-                << "  hpcfail_report --lanl <failures.csv> <nodes/system>\n";
+                << "  hpcfail_report [--threads N] --synth [scale] [years]"
+                   " [seed]\n"
+                << "  hpcfail_report [--threads N] --scenario <config-file>"
+                   " [seed]\n"
+                << "  hpcfail_report [--threads N] --trace <csv-trace-dir>\n"
+                << "  hpcfail_report [--threads N] --lanl <failures.csv>"
+                   " [nodes/system]\n";
       return 2;
     }
   } catch (const std::exception& e) {
