@@ -1,0 +1,122 @@
+// Throughput benchmarks (google-benchmark) for the streaming subsystem:
+// sustained events/sec for the full engine (index + window tracker +
+// summary + predictor) under serial one-by-one ingestion and under sharded
+// catch-up replay at 1/2/4/8 threads. The counters set SetItemsProcessed,
+// so google-benchmark reports items_per_second — the throughput baseline
+// future PRs compare against.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/prediction.h"
+#include "stream/engine.h"
+#include "synth/generate.h"
+
+namespace hpcfail {
+namespace {
+
+// Shared medium-size trace: same scale as perf_engine's query benches.
+const Trace& SharedTrace() {
+  static const Trace trace =
+      synth::GenerateTrace(synth::LanlLikeScenario(0.25, kYear), 7);
+  return trace;
+}
+
+stream::EngineConfig BenchConfig(TimeSec tolerance) {
+  stream::EngineConfig cfg;
+  cfg.stream.reorder_tolerance = tolerance;
+  cfg.window.trigger = core::EventFilter::Any();
+  cfg.window.target = core::EventFilter::Any();
+  cfg.window.window = kWeek;
+  return cfg;
+}
+
+const core::FailurePredictor& SharedPredictor() {
+  static const core::EventIndex index(SharedTrace());
+  static const core::FailurePredictor predictor(index,
+                                                core::PredictorConfig{});
+  return predictor;
+}
+
+// One event at a time through the full operator pipeline (the --follow
+// path), sorted input (tolerance 0).
+void BM_StreamIngestSerial(benchmark::State& state) {
+  const Trace& trace = SharedTrace();
+  const std::vector<FailureRecord>& events = trace.failures();
+  for (auto _ : state) {
+    stream::StreamEngine engine(trace.systems(), BenchConfig(0));
+    engine.AttachPredictor(SharedPredictor(),
+                           SharedPredictor().baseline());
+    for (const FailureRecord& r : events) engine.Ingest(r);
+    engine.Finish();
+    benchmark::DoNotOptimize(engine.counters().released);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_StreamIngestSerial)->Unit(benchmark::kMillisecond);
+
+// Sharded catch-up replay of the whole backlog at N threads (the --trace
+// file path). N=1 forces the serial path; results are bit-identical.
+void BM_StreamCatchUp(benchmark::State& state) {
+  const Trace& trace = SharedTrace();
+  const std::vector<FailureRecord>& events = trace.failures();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    stream::StreamEngine engine(trace.systems(), BenchConfig(0));
+    engine.AttachPredictor(SharedPredictor(),
+                           SharedPredictor().baseline());
+    engine.CatchUp(events, threads);
+    engine.Finish();
+    benchmark::DoNotOptimize(engine.counters().released);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_StreamCatchUp)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Out-of-order ingestion with a one-day reorder buffer: the price of the
+// buffered (start, system, node) re-sort relative to sorted input.
+void BM_StreamIngestOutOfOrder(benchmark::State& state) {
+  const Trace& trace = SharedTrace();
+  std::vector<FailureRecord> events = trace.failures();
+  for (std::size_t i = 0; i + 1 < events.size(); i += 2) {
+    if (events[i + 1].start - events[i].start < kDay) {
+      std::swap(events[i], events[i + 1]);
+    }
+  }
+  for (auto _ : state) {
+    stream::StreamEngine engine(trace.systems(), BenchConfig(kDay));
+    for (const FailureRecord& r : events) engine.Ingest(r);
+    engine.Finish();
+    benchmark::DoNotOptimize(engine.counters().released);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_StreamIngestOutOfOrder)->Unit(benchmark::kMillisecond);
+
+// Checkpoint cost at full stream state (all operators loaded).
+void BM_StreamCheckpoint(benchmark::State& state) {
+  const Trace& trace = SharedTrace();
+  stream::StreamEngine engine(trace.systems(), BenchConfig(0));
+  engine.CatchUp(trace.failures(), 1);
+  for (auto _ : state) {
+    std::ostringstream os;
+    engine.SaveCheckpoint(os);
+    benchmark::DoNotOptimize(os.str().size());
+  }
+}
+BENCHMARK(BM_StreamCheckpoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hpcfail
+
+BENCHMARK_MAIN();

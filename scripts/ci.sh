@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 verify (full build + ctest) plus a
+# ThreadSanitizer build of the streaming tests — the stream engine runs its
+# catch-up replay on the thread pool, so its tests are the ones a data race
+# would bite first.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== tsan: streaming tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DHPCFAIL_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target \
+  test_stream_index test_stream_parity test_stream_snapshot hpcfail_stream
+./build-tsan/tests/test_stream_index
+./build-tsan/tests/test_stream_parity
+./build-tsan/tests/test_stream_snapshot
+./build-tsan/tools/hpcfail_stream --selftest
+
+echo "ci: all green"

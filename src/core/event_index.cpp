@@ -1,20 +1,8 @@
 #include "core/event_index.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace hpcfail::core {
-namespace {
-
-// First event with time > t (window semantics are half-open (begin, end]).
-std::vector<EventRef>::const_iterator FirstAfter(
-    const std::vector<EventRef>& refs, TimeSec t) {
-  return std::upper_bound(
-      refs.begin(), refs.end(), t,
-      [](TimeSec value, const EventRef& ref) { return value < ref.time; });
-}
-
-}  // namespace
 
 std::string EventFilter::Describe() const {
   if (hardware) return std::string(ToString(*hardware));
@@ -31,51 +19,26 @@ EventIndex::EventIndex(const Trace& trace, std::span<const SystemId> systems)
   } else {
     systems_.assign(systems.begin(), systems.end());
   }
+  events_.reserve(systems_.size());
   for (SystemId id : systems_) {
-    SystemEvents se;
-    se.id = id;
-    se.config = &trace.system(id);
-    se.failures = trace.FailuresOfSystem(id);
-    const auto num_nodes = static_cast<std::size_t>(se.config->num_nodes);
-    se.by_node.resize(num_nodes);
-    se.rack_of.assign(num_nodes, RackId{});
-    const MachineLayout& layout = se.config->layout;
-    int num_racks = 0;
-    for (const NodePlacement& p : layout.placements()) {
-      se.rack_of[static_cast<std::size_t>(p.node.value)] = p.rack;
-      num_racks = std::max(num_racks, p.rack.value + 1);
-    }
-    se.by_rack.resize(static_cast<std::size_t>(num_racks));
-    se.rack_size.assign(static_cast<std::size_t>(num_racks), 0);
-    for (const NodePlacement& p : layout.placements()) {
-      ++se.rack_size[static_cast<std::size_t>(p.rack.value)];
-    }
-    se.all.reserve(se.failures.size());
-    for (std::uint32_t i = 0; i < se.failures.size(); ++i) {
-      const FailureRecord& f = se.failures[i];
-      EventRef ref{f.start, f.node, i};
-      se.all.push_back(ref);
-      se.by_node[static_cast<std::size_t>(f.node.value)].push_back(ref);
-      const RackId rack = se.rack_of[static_cast<std::size_t>(f.node.value)];
-      if (rack.valid()) {
-        se.by_rack[static_cast<std::size_t>(rack.value)].push_back(ref);
-      }
-    }
-    // `failures` is time-sorted already (Trace::Finalize), so the per-node
-    // and per-rack lists built in order are sorted too.
+    SystemEventStore se;
+    se.Init(trace.system(id));
+    // FailuresOfSystem is time-sorted (Trace::Finalize), so appending in
+    // order keeps every per-node / per-rack list sorted too.
+    for (const FailureRecord& f : trace.FailuresOfSystem(id)) se.Append(f);
     events_.push_back(std::move(se));
   }
 }
 
-const EventIndex::SystemEvents* EventIndex::Find(SystemId sys) const {
-  for (const SystemEvents& se : events_) {
+const SystemEventStore* EventIndex::Find(SystemId sys) const {
+  for (const SystemEventStore& se : events_) {
     if (se.id == sys) return &se;
   }
   return nullptr;
 }
 
-const EventIndex::SystemEvents& EventIndex::Get(SystemId sys) const {
-  const SystemEvents* se = Find(sys);
+const SystemEventStore& EventIndex::Get(SystemId sys) const {
+  const SystemEventStore* se = Find(sys);
   if (se == nullptr) throw std::out_of_range("system not indexed");
   return *se;
 }
@@ -86,102 +49,44 @@ std::span<const FailureRecord> EventIndex::failures_of(SystemId sys) const {
 
 bool EventIndex::AnyAtNode(SystemId sys, NodeId node, TimeInterval window,
                            const EventFilter& filter) const {
-  return CountAtNode(sys, node, window, filter) > 0;
+  return Get(sys).AnyAtNode(node, window, filter);
 }
 
 int EventIndex::CountAtNode(SystemId sys, NodeId node, TimeInterval window,
                             const EventFilter& filter) const {
-  const SystemEvents& se = Get(sys);
-  const auto& refs = se.by_node.at(static_cast<std::size_t>(node.value));
-  int count = 0;
-  for (auto it = FirstAfter(refs, window.begin);
-       it != refs.end() && it->time <= window.end; ++it) {
-    if (filter.Matches(se.failures[it->record])) ++count;
-  }
-  return count;
+  return Get(sys).CountAtNode(node, window, filter);
 }
 
 bool EventIndex::AnyAtRackPeers(SystemId sys, NodeId node, TimeInterval window,
                                 const EventFilter& filter) const {
-  const SystemEvents& se = Get(sys);
-  const RackId rack = se.rack_of.at(static_cast<std::size_t>(node.value));
-  if (!rack.valid()) return false;
-  const auto& refs = se.by_rack[static_cast<std::size_t>(rack.value)];
-  for (auto it = FirstAfter(refs, window.begin);
-       it != refs.end() && it->time <= window.end; ++it) {
-    if (it->node != node && filter.Matches(se.failures[it->record])) {
-      return true;
-    }
-  }
-  return false;
+  return Get(sys).AnyAtRackPeers(node, window, filter);
 }
 
 bool EventIndex::AnyAtSystemPeers(SystemId sys, NodeId node,
                                   TimeInterval window,
                                   const EventFilter& filter) const {
-  const SystemEvents& se = Get(sys);
-  for (auto it = FirstAfter(se.all, window.begin);
-       it != se.all.end() && it->time <= window.end; ++it) {
-    if (it->node != node && filter.Matches(se.failures[it->record])) {
-      return true;
-    }
-  }
-  return false;
+  return Get(sys).AnyAtSystemPeers(node, window, filter);
 }
-
-namespace {
-
-// Counts distinct nodes (excluding `self`) with a matching event in the
-// window. Windows hold few events, so a flat unique-list beats a hash set.
-template <typename FailureVec>
-int CountDistinctPeers(const std::vector<EventRef>& refs,
-                       const FailureVec& failures, NodeId self,
-                       TimeInterval window, const EventFilter& filter) {
-  std::vector<std::int32_t> seen;
-  for (auto it = FirstAfter(refs, window.begin);
-       it != refs.end() && it->time <= window.end; ++it) {
-    if (it->node == self) continue;
-    if (!filter.Matches(failures[it->record])) continue;
-    if (std::find(seen.begin(), seen.end(), it->node.value) == seen.end()) {
-      seen.push_back(it->node.value);
-    }
-  }
-  return static_cast<int>(seen.size());
-}
-
-}  // namespace
 
 int EventIndex::DistinctRackPeersWithEvent(SystemId sys, NodeId node,
                                            TimeInterval window,
                                            const EventFilter& filter,
                                            int* num_peers) const {
-  const SystemEvents& se = Get(sys);
-  const RackId rack = se.rack_of.at(static_cast<std::size_t>(node.value));
-  if (!rack.valid()) {
-    if (num_peers != nullptr) *num_peers = 0;
-    return 0;
-  }
-  if (num_peers != nullptr) {
-    *num_peers = std::max(
-        0, se.rack_size[static_cast<std::size_t>(rack.value)] - 1);
-  }
-  const auto& refs = se.by_rack[static_cast<std::size_t>(rack.value)];
-  return CountDistinctPeers(refs, se.failures, node, window, filter);
+  return Get(sys).DistinctRackPeersWithEvent(node, window, filter, num_peers);
 }
 
 int EventIndex::DistinctSystemPeersWithEvent(SystemId sys, NodeId node,
                                              TimeInterval window,
                                              const EventFilter& filter,
                                              int* num_peers) const {
-  const SystemEvents& se = Get(sys);
-  if (num_peers != nullptr) *num_peers = std::max(0, se.config->num_nodes - 1);
-  return CountDistinctPeers(se.all, se.failures, node, window, filter);
+  return Get(sys).DistinctSystemPeersWithEvent(node, window, filter,
+                                               num_peers);
 }
 
 void EventIndex::ForEach(
     const EventFilter& filter,
     const std::function<void(SystemId, const FailureRecord&)>& fn) const {
-  for (const SystemEvents& se : events_) {
+  for (const SystemEventStore& se : events_) {
     for (const FailureRecord& f : se.failures) {
       if (filter.Matches(f)) fn(se.id, f);
     }
@@ -190,7 +95,7 @@ void EventIndex::ForEach(
 
 long long EventIndex::Count(const EventFilter& filter) const {
   long long count = 0;
-  for (const SystemEvents& se : events_) {
+  for (const SystemEventStore& se : events_) {
     for (const FailureRecord& f : se.failures) {
       if (filter.Matches(f)) ++count;
     }
@@ -200,7 +105,7 @@ long long EventIndex::Count(const EventFilter& filter) const {
 
 std::vector<int> EventIndex::NodeCounts(SystemId sys,
                                         const EventFilter& filter) const {
-  const SystemEvents& se = Get(sys);
+  const SystemEventStore& se = Get(sys);
   std::vector<int> out(se.by_node.size(), 0);
   for (const FailureRecord& f : se.failures) {
     if (filter.Matches(f)) ++out[static_cast<std::size_t>(f.node.value)];

@@ -1,24 +1,19 @@
 // Time-sorted failure indexes per node, rack and system with binary-searched
 // window queries — the query layer under every conditional-probability
 // analysis. Construction is O(F log F); window queries are O(log F + k)
-// where k is the number of events inside the window.
+// where k is the number of events inside the window. The per-system storage
+// and query kernels live in core/event_store.h and are shared with the
+// streaming stream::IncrementalEventIndex.
 #pragma once
 
 #include <functional>
 #include <span>
 #include <vector>
 
-#include "core/event_filter.h"
+#include "core/event_store.h"
 #include "trace/system.h"
 
 namespace hpcfail::core {
-
-// A compact reference to a failure record inside one system's stream.
-struct EventRef {
-  TimeSec time = 0;
-  NodeId node;
-  std::uint32_t record = 0;  // index into SystemEvents::failures
-};
 
 class EventIndex {
  public:
@@ -78,23 +73,12 @@ class EventIndex {
   std::vector<int> NodeCounts(SystemId sys, const EventFilter& filter) const;
 
  private:
-  struct SystemEvents {
-    SystemId id;
-    const SystemConfig* config = nullptr;
-    std::vector<FailureRecord> failures;        // time-sorted
-    std::vector<std::vector<EventRef>> by_node; // index == node id
-    std::vector<std::vector<EventRef>> by_rack; // index == rack id
-    std::vector<EventRef> all;                  // time-sorted
-    std::vector<RackId> rack_of;                // index == node id
-    std::vector<int> rack_size;                 // index == rack id
-  };
-
-  const SystemEvents* Find(SystemId sys) const;
-  const SystemEvents& Get(SystemId sys) const;  // throws when absent
+  const SystemEventStore* Find(SystemId sys) const;
+  const SystemEventStore& Get(SystemId sys) const;  // throws when absent
 
   const Trace* trace_;
   std::vector<SystemId> systems_;
-  std::vector<SystemEvents> events_;
+  std::vector<SystemEventStore> events_;
 };
 
 }  // namespace hpcfail::core

@@ -1,0 +1,155 @@
+#include "core/event_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcfail::core {
+namespace {
+
+// First event with time > t (window semantics are half-open (begin, end]).
+std::vector<EventRef>::const_iterator FirstAfter(
+    const std::vector<EventRef>& refs, TimeSec t) {
+  return std::upper_bound(
+      refs.begin(), refs.end(), t,
+      [](TimeSec value, const EventRef& ref) { return value < ref.time; });
+}
+
+// Counts distinct nodes (excluding `self`) with a matching event in the
+// window. Windows hold few events, so a flat unique-list beats a hash set.
+int CountDistinctPeers(const std::vector<EventRef>& refs,
+                       const std::vector<FailureRecord>& failures, NodeId self,
+                       TimeInterval window, const EventFilter& filter) {
+  std::vector<std::int32_t> seen;
+  for (auto it = FirstAfter(refs, window.begin);
+       it != refs.end() && it->time <= window.end; ++it) {
+    if (it->node == self) continue;
+    if (!filter.Matches(failures[it->record])) continue;
+    if (std::find(seen.begin(), seen.end(), it->node.value) == seen.end()) {
+      seen.push_back(it->node.value);
+    }
+  }
+  return static_cast<int>(seen.size());
+}
+
+}  // namespace
+
+void SystemEventStore::Init(const SystemConfig& system_config) {
+  id = system_config.id;
+  config = &system_config;
+  failures.clear();
+  all.clear();
+  const auto num_nodes = static_cast<std::size_t>(config->num_nodes);
+  by_node.assign(num_nodes, {});
+  rack_of.assign(num_nodes, RackId{});
+  const MachineLayout& layout = config->layout;
+  int num_racks = 0;
+  for (const NodePlacement& p : layout.placements()) {
+    rack_of[static_cast<std::size_t>(p.node.value)] = p.rack;
+    num_racks = std::max(num_racks, p.rack.value + 1);
+  }
+  by_rack.assign(static_cast<std::size_t>(num_racks), {});
+  rack_size.assign(static_cast<std::size_t>(num_racks), 0);
+  for (const NodePlacement& p : layout.placements()) {
+    ++rack_size[static_cast<std::size_t>(p.rack.value)];
+  }
+}
+
+void SystemEventStore::Append(const FailureRecord& f) {
+  if (!failures.empty() && f.start < failures.back().start) {
+    throw std::invalid_argument(
+        "SystemEventStore::Append: records must arrive time-sorted");
+  }
+  const auto record = static_cast<std::uint32_t>(failures.size());
+  failures.push_back(f);
+  const EventRef ref{f.start, f.node, record};
+  all.push_back(ref);
+  by_node[static_cast<std::size_t>(f.node.value)].push_back(ref);
+  const RackId rack = rack_of[static_cast<std::size_t>(f.node.value)];
+  if (rack.valid()) {
+    by_rack[static_cast<std::size_t>(rack.value)].push_back(ref);
+  }
+}
+
+void SystemEventStore::RebuildRefs() {
+  all.clear();
+  for (auto& v : by_node) v.clear();
+  for (auto& v : by_rack) v.clear();
+  for (std::uint32_t i = 0; i < failures.size(); ++i) {
+    const FailureRecord& f = failures[i];
+    const EventRef ref{f.start, f.node, i};
+    all.push_back(ref);
+    by_node[static_cast<std::size_t>(f.node.value)].push_back(ref);
+    const RackId rack = rack_of[static_cast<std::size_t>(f.node.value)];
+    if (rack.valid()) {
+      by_rack[static_cast<std::size_t>(rack.value)].push_back(ref);
+    }
+  }
+}
+
+bool SystemEventStore::AnyAtNode(NodeId node, TimeInterval window,
+                                 const EventFilter& filter) const {
+  return CountAtNode(node, window, filter) > 0;
+}
+
+int SystemEventStore::CountAtNode(NodeId node, TimeInterval window,
+                                  const EventFilter& filter) const {
+  const auto& refs = by_node.at(static_cast<std::size_t>(node.value));
+  int count = 0;
+  for (auto it = FirstAfter(refs, window.begin);
+       it != refs.end() && it->time <= window.end; ++it) {
+    if (filter.Matches(failures[it->record])) ++count;
+  }
+  return count;
+}
+
+bool SystemEventStore::AnyAtRackPeers(NodeId node, TimeInterval window,
+                                      const EventFilter& filter) const {
+  const RackId rack = rack_of.at(static_cast<std::size_t>(node.value));
+  if (!rack.valid()) return false;
+  const auto& refs = by_rack[static_cast<std::size_t>(rack.value)];
+  for (auto it = FirstAfter(refs, window.begin);
+       it != refs.end() && it->time <= window.end; ++it) {
+    if (it->node != node && filter.Matches(failures[it->record])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SystemEventStore::AnyAtSystemPeers(NodeId node, TimeInterval window,
+                                        const EventFilter& filter) const {
+  for (auto it = FirstAfter(all, window.begin);
+       it != all.end() && it->time <= window.end; ++it) {
+    if (it->node != node && filter.Matches(failures[it->record])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int SystemEventStore::DistinctRackPeersWithEvent(NodeId node,
+                                                 TimeInterval window,
+                                                 const EventFilter& filter,
+                                                 int* num_peers) const {
+  const RackId rack = rack_of.at(static_cast<std::size_t>(node.value));
+  if (!rack.valid()) {
+    if (num_peers != nullptr) *num_peers = 0;
+    return 0;
+  }
+  if (num_peers != nullptr) {
+    *num_peers =
+        std::max(0, rack_size[static_cast<std::size_t>(rack.value)] - 1);
+  }
+  const auto& refs = by_rack[static_cast<std::size_t>(rack.value)];
+  return CountDistinctPeers(refs, failures, node, window, filter);
+}
+
+int SystemEventStore::DistinctSystemPeersWithEvent(NodeId node,
+                                                   TimeInterval window,
+                                                   const EventFilter& filter,
+                                                   int* num_peers) const {
+  if (num_peers != nullptr) *num_peers = std::max(0, config->num_nodes - 1);
+  return CountDistinctPeers(all, failures, node, window, filter);
+}
+
+}  // namespace hpcfail::core

@@ -1,0 +1,71 @@
+// Per-system failure storage with binary-searched window queries, shared by
+// the batch EventIndex and the streaming IncrementalEventIndex. Both engines
+// answer window queries through this one implementation, so streaming results
+// can be bit-identical to batch results by construction.
+//
+// A store holds one system's failures in (start, node) order together with
+// per-node / per-rack ref lists. Records may only be appended in
+// non-decreasing time order (Append checks); the batch index appends a
+// pre-sorted trace, the stream index appends events as the watermark releases
+// them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event_filter.h"
+#include "trace/system.h"
+
+namespace hpcfail::core {
+
+// A compact reference to a failure record inside one system's stream.
+struct EventRef {
+  TimeSec time = 0;
+  NodeId node;
+  std::uint32_t record = 0;  // index into SystemEventStore::failures
+};
+
+struct SystemEventStore {
+  SystemId id;
+  const SystemConfig* config = nullptr;
+  std::vector<FailureRecord> failures;         // time-sorted
+  std::vector<std::vector<EventRef>> by_node;  // index == node id
+  std::vector<std::vector<EventRef>> by_rack;  // index == rack id
+  std::vector<EventRef> all;                   // time-sorted
+  std::vector<RackId> rack_of;                 // index == node id
+  std::vector<int> rack_size;                  // index == rack id
+
+  // Sizes the node/rack maps from `config` (which must outlive the store)
+  // and clears any stored events.
+  void Init(const SystemConfig& system_config);
+
+  // Appends one record (start must be >= the last appended start; throws
+  // std::invalid_argument otherwise — both callers feed time-sorted data).
+  void Append(const FailureRecord& f);
+
+  // Rebuilds by_node / by_rack / all from `failures` (used after restoring
+  // the failure list from a snapshot).
+  void RebuildRefs();
+
+  // ---- Window queries. Window semantics are half-open (begin, end].
+  bool AnyAtNode(NodeId node, TimeInterval window,
+                 const EventFilter& filter) const;
+  int CountAtNode(NodeId node, TimeInterval window,
+                  const EventFilter& filter) const;
+  // False when the system has no layout.
+  bool AnyAtRackPeers(NodeId node, TimeInterval window,
+                      const EventFilter& filter) const;
+  bool AnyAtSystemPeers(NodeId node, TimeInterval window,
+                        const EventFilter& filter) const;
+  // Distinct peer nodes with >= 1 matching failure in the window; the total
+  // number of peers is returned via `num_peers`. Rack version returns 0/0
+  // when the node has no recorded rack.
+  int DistinctRackPeersWithEvent(NodeId node, TimeInterval window,
+                                 const EventFilter& filter,
+                                 int* num_peers) const;
+  int DistinctSystemPeersWithEvent(NodeId node, TimeInterval window,
+                                   const EventFilter& filter,
+                                   int* num_peers) const;
+};
+
+}  // namespace hpcfail::core

@@ -31,6 +31,16 @@ FailurePredictor::FailurePredictor(const EventIndex& train,
   }
 }
 
+FailurePredictor FailurePredictor::FromTable(
+    const PredictorConfig& config, double baseline,
+    const std::array<double, kNumFailureCategories>& conditional) {
+  FailurePredictor p;
+  p.config_ = config;
+  p.baseline_ = baseline;
+  p.conditional_ = conditional;
+  return p;
+}
+
 double FailurePredictor::Score(std::optional<FailureCategory> last_type,
                                std::optional<TimeSec> last_time,
                                TimeSec now) const {
@@ -45,6 +55,7 @@ PredictionEvaluation EvaluatePredictor(const FailurePredictor& predictor,
                                        double threshold) {
   PredictionEvaluation out;
   out.threshold = threshold;
+  if (eval.Count(EventFilter::Any()) == 0) return out;  // nothing to predict
   const TimeSec horizon = predictor.config().horizon;
   for (SystemId sys : eval.systems()) {
     const SystemConfig& config = eval.trace().system(sys);

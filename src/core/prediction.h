@@ -33,6 +33,13 @@ class FailurePredictor {
   // Learns the probability table from the given (training) index.
   FailurePredictor(const EventIndex& train, const PredictorConfig& config);
 
+  // Rebuilds a predictor from an already-learned table (checkpoint restore
+  // in the streaming engine; see stream/stream_predictor.h). Scores are
+  // bit-identical to the predictor the table was read from.
+  static FailurePredictor FromTable(
+      const PredictorConfig& config, double baseline,
+      const std::array<double, kNumFailureCategories>& conditional);
+
   // The learned P(failure within horizon | last failure of type X within
   // memory window). For type-blind predictors all types share one value.
   double conditional(FailureCategory trigger) const {
@@ -47,6 +54,8 @@ class FailurePredictor {
                std::optional<TimeSec> last_time, TimeSec now) const;
 
  private:
+  FailurePredictor() = default;  // for FromTable
+
   PredictorConfig config_;
   double baseline_ = 0.0;
   std::array<double, kNumFailureCategories> conditional_{};
@@ -67,6 +76,9 @@ struct PredictionEvaluation {
   double alarm_rate = 0.0;  // alarms / slots
 };
 
+// An evaluation index with zero failures yields a zeroed evaluation (only
+// the threshold is set): there is no ground-truth positive to score against,
+// and the precision/recall/alarm-rate ratios would otherwise be 0/0.
 PredictionEvaluation EvaluatePredictor(const FailurePredictor& predictor,
                                        const EventIndex& eval,
                                        double threshold);

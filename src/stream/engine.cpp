@@ -1,0 +1,74 @@
+#include "stream/engine.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace hpcfail::stream {
+
+StreamEngine::StreamEngine(std::vector<SystemConfig> systems,
+                           EngineConfig config)
+    : index_(std::move(systems), config.stream),
+      tracker_(index_.systems(), config.window),
+      summary_(index_.systems().size()) {
+  index_.SetSink([this](std::size_t system_index, const FailureRecord& f) {
+    tracker_.OnEvent(system_index, f);
+    summary_.OnEvent(system_index, f);
+    if (predictor_) predictor_->OnEvent(system_index, f);
+  });
+}
+
+void StreamEngine::AttachPredictor(core::FailurePredictor predictor,
+                                   double threshold) {
+  if (counters().accepted > 0) {
+    throw std::logic_error(
+        "StreamEngine: predictor must be attached before ingestion starts");
+  }
+  predictor_.emplace(index_.systems(), std::move(predictor), threshold);
+}
+
+IngestStatus StreamEngine::Ingest(const FailureRecord& r) {
+  return index_.Ingest(r);
+}
+
+IngestCounters StreamEngine::CatchUp(std::span<const FailureRecord> records,
+                                     int threads) {
+  return index_.CatchUp(records, threads);
+}
+
+void StreamEngine::Finish() {
+  index_.Finish();
+  tracker_.Finish();
+}
+
+void StreamEngine::SaveCheckpoint(std::ostream& out) const {
+  snapshot::Writer w;
+  index_.SaveTo(w);
+  tracker_.SaveTo(w);
+  summary_.SaveTo(w);
+  w.PutBool(predictor_.has_value());
+  if (predictor_) predictor_->SaveTo(w);
+  snapshot::WriteEnvelope(out, w.payload());
+}
+
+void StreamEngine::RestoreCheckpoint(std::istream& in) {
+  const std::string payload = snapshot::ReadEnvelope(in);
+  snapshot::Reader r(payload);
+  index_.LoadFrom(r);
+  tracker_.LoadFrom(r);
+  summary_.LoadFrom(r);
+  const bool has_predictor = r.GetBool();
+  if (has_predictor != predictor_.has_value()) {
+    throw snapshot::SnapshotError(
+        has_predictor
+            ? "snapshot has a predictor but none is attached to this engine"
+            : "snapshot has no predictor but one is attached to this engine");
+  }
+  if (predictor_) predictor_->LoadFrom(r);
+  if (!r.AtEnd()) {
+    throw snapshot::SnapshotError("snapshot has trailing bytes");
+  }
+}
+
+}  // namespace hpcfail::stream

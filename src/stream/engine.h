@@ -1,0 +1,79 @@
+// StreamEngine: the composed online pipeline. An IncrementalEventIndex
+// orders/releases arriving failures; its sink fans each released event out
+// to the online operators — StreamingWindowTracker (conditional-probability
+// windows), StreamingSummary (count/mean/M2 downtime stats) and an optional
+// StreamingPredictor (live hazard scoring). All operator state is
+// per-system, so sharded CatchUp() replay over the thread pool is
+// bit-identical to one-by-one ingestion.
+//
+// Checkpointing: SaveCheckpoint() writes every piece of mutable state
+// (index stores, reorder buffer, operator lanes) into one versioned binary
+// snapshot; a fresh engine built with the same configuration restores it
+// with RestoreCheckpoint() and continues the stream exactly where the saved
+// one stopped.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "stream/incremental_index.h"
+#include "stream/stream_predictor.h"
+#include "stream/stream_stats.h"
+#include "stream/window_tracker.h"
+
+namespace hpcfail::stream {
+
+struct EngineConfig {
+  StreamConfig stream;          // reorder tolerance
+  WindowTrackerConfig window;   // trigger/target/window for the tracker
+};
+
+class StreamEngine {
+ public:
+  StreamEngine(std::vector<SystemConfig> systems, EngineConfig config);
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  // Attaches a live hazard scorer (e.g. a predictor trained on a historical
+  // trace). Must be attached before any event is ingested, and before
+  // RestoreCheckpoint() of a snapshot that was taken with one attached.
+  void AttachPredictor(core::FailurePredictor predictor, double threshold);
+  bool has_predictor() const { return predictor_.has_value(); }
+
+  // Feeds one event through the index into every operator.
+  IngestStatus Ingest(const FailureRecord& r);
+
+  // Sharded backlog replay (see IncrementalEventIndex::CatchUp).
+  IngestCounters CatchUp(std::span<const FailureRecord> records,
+                         int threads = 0);
+
+  // Flushes the reorder buffer and resolves every pending window. After
+  // this, tracker results equal the batch analyzer on the same events.
+  void Finish();
+
+  const IncrementalEventIndex& index() const { return index_; }
+  const StreamingWindowTracker& tracker() const { return tracker_; }
+  const StreamingSummary& summary() const { return summary_; }
+  // Valid only when has_predictor().
+  const StreamingPredictor& predictor() const { return *predictor_; }
+
+  TimeSec watermark() const { return index_.watermark(); }
+  const IngestCounters& counters() const { return index_.counters(); }
+
+  // Versioned binary snapshot of all mutable state (envelope format in
+  // stream/snapshot.h). Restore throws snapshot::SnapshotError on any
+  // corruption or configuration mismatch.
+  void SaveCheckpoint(std::ostream& out) const;
+  void RestoreCheckpoint(std::istream& in);
+
+ private:
+  IncrementalEventIndex index_;
+  StreamingWindowTracker tracker_;
+  StreamingSummary summary_;
+  std::optional<StreamingPredictor> predictor_;
+};
+
+}  // namespace hpcfail::stream

@@ -1,0 +1,374 @@
+#include "stream/incremental_index.h"
+
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace hpcfail::stream {
+namespace {
+
+void PutRecord(snapshot::Writer& w, const FailureRecord& f) {
+  w.PutU32(static_cast<std::uint32_t>(f.system.value));
+  w.PutU32(static_cast<std::uint32_t>(f.node.value));
+  w.PutI64(f.start);
+  w.PutI64(f.end);
+  w.PutU8(static_cast<std::uint8_t>(f.category));
+  // Subcategory: 0 = none, else 1 + enum value (category disambiguates).
+  std::uint8_t sub = 0;
+  if (f.hardware) sub = 1 + static_cast<std::uint8_t>(*f.hardware);
+  if (f.software) sub = 1 + static_cast<std::uint8_t>(*f.software);
+  if (f.environment) sub = 1 + static_cast<std::uint8_t>(*f.environment);
+  w.PutU8(sub);
+}
+
+FailureRecord GetRecord(snapshot::Reader& r) {
+  FailureRecord f;
+  f.system = SystemId{static_cast<std::int32_t>(r.GetU32())};
+  f.node = NodeId{static_cast<std::int32_t>(r.GetU32())};
+  f.start = r.GetI64();
+  f.end = r.GetI64();
+  const std::uint8_t cat = r.GetU8();
+  if (cat >= kNumFailureCategories) {
+    throw snapshot::SnapshotError("invalid failure category");
+  }
+  f.category = static_cast<FailureCategory>(cat);
+  const std::uint8_t sub = r.GetU8();
+  if (sub != 0) {
+    switch (f.category) {
+      case FailureCategory::kHardware:
+        if (sub > kNumHardwareComponents) {
+          throw snapshot::SnapshotError("invalid hardware subcategory");
+        }
+        f.hardware = static_cast<HardwareComponent>(sub - 1);
+        break;
+      case FailureCategory::kSoftware:
+        if (sub > kNumSoftwareComponents) {
+          throw snapshot::SnapshotError("invalid software subcategory");
+        }
+        f.software = static_cast<SoftwareComponent>(sub - 1);
+        break;
+      case FailureCategory::kEnvironment:
+        if (sub > kNumEnvironmentEvents) {
+          throw snapshot::SnapshotError("invalid environment subcategory");
+        }
+        f.environment = static_cast<EnvironmentEvent>(sub - 1);
+        break;
+      default:
+        throw snapshot::SnapshotError("subcategory on category without one");
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+IncrementalEventIndex::IncrementalEventIndex(std::vector<SystemConfig> systems,
+                                             StreamConfig config)
+    : config_(config), systems_(std::move(systems)) {
+  if (systems_.empty()) {
+    throw std::invalid_argument(
+        "IncrementalEventIndex: at least one system required");
+  }
+  if (config_.reorder_tolerance < 0) {
+    throw std::invalid_argument(
+        "IncrementalEventIndex: reorder_tolerance must be >= 0");
+  }
+  for (std::size_t i = 0; i < systems_.size(); ++i) {
+    for (std::size_t j = i + 1; j < systems_.size(); ++j) {
+      if (systems_[i].id == systems_[j].id) {
+        throw std::invalid_argument(
+            "IncrementalEventIndex: duplicate system id");
+      }
+    }
+  }
+  stores_.resize(systems_.size());
+  for (std::size_t i = 0; i < systems_.size(); ++i) {
+    stores_[i].Init(systems_[i]);
+  }
+}
+
+TimeSec IncrementalEventIndex::watermark() const {
+  if (finished_) return std::numeric_limits<TimeSec>::max();
+  if (!any_seen_) return kNoWatermark;
+  // Saturating subtraction: trace epochs near the representable minimum
+  // must not wrap around to +infinity.
+  if (max_seen_ < kNoWatermark + config_.reorder_tolerance) {
+    return kNoWatermark;
+  }
+  return max_seen_ - config_.reorder_tolerance;
+}
+
+int IncrementalEventIndex::FindSystemIndex(SystemId sys) const {
+  for (std::size_t i = 0; i < systems_.size(); ++i) {
+    if (systems_[i].id == sys) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const core::SystemEventStore& IncrementalEventIndex::Get(SystemId sys) const {
+  const int i = FindSystemIndex(sys);
+  if (i < 0) throw std::out_of_range("system not indexed");
+  return stores_[static_cast<std::size_t>(i)];
+}
+
+IngestStatus IncrementalEventIndex::Classify(const FailureRecord& r,
+                                             std::size_t* system_index) {
+  const int idx = FindSystemIndex(r.system);
+  if (idx < 0) {
+    ++counters_.rejected_unknown_system;
+    return IngestStatus::kRejectedUnknownSystem;
+  }
+  const SystemConfig& sys = systems_[static_cast<std::size_t>(idx)];
+  // Mirrors Trace::AddFailure's validation so any record a batch Trace
+  // accepts also streams (parity), and vice versa.
+  if (!r.node.valid() || r.node.value >= sys.num_nodes || !r.consistent()) {
+    ++counters_.rejected_bad_record;
+    return IngestStatus::kRejectedBadRecord;
+  }
+  if (any_seen_ && r.start < watermark()) {
+    ++counters_.rejected_late;
+    return IngestStatus::kRejectedLate;
+  }
+  *system_index = static_cast<std::size_t>(idx);
+  return IngestStatus::kAccepted;
+}
+
+void IncrementalEventIndex::Process(std::size_t system_index,
+                                    const FailureRecord& r) {
+  stores_[system_index].Append(r);
+  if (sink_) sink_(system_index, r);
+}
+
+void IncrementalEventIndex::Drain() {
+  const TimeSec wm = watermark();
+  while (!buffer_.empty()) {
+    const auto it = buffer_.begin();
+    if (!finished_ && it->record.start >= wm) break;
+    Process(it->system_index, it->record);
+    ++counters_.released;
+    buffer_.erase(it);
+  }
+}
+
+IngestStatus IncrementalEventIndex::Ingest(const FailureRecord& r) {
+  if (finished_) {
+    throw std::logic_error("IncrementalEventIndex: Ingest after Finish");
+  }
+  std::size_t system_index = 0;
+  const IngestStatus status = Classify(r, &system_index);
+  if (status != IngestStatus::kAccepted) return status;
+  ++counters_.accepted;
+  buffer_.insert(Buffered{r, system_index, next_seq_++});
+  if (!any_seen_ || r.start > max_seen_) {
+    max_seen_ = r.start;
+    any_seen_ = true;
+  }
+  Drain();
+  return status;
+}
+
+IngestCounters IncrementalEventIndex::CatchUp(
+    std::span<const FailureRecord> records, int threads) {
+  if (finished_) {
+    throw std::logic_error("IncrementalEventIndex: CatchUp after Finish");
+  }
+  const IngestCounters before = counters_;
+  // Phase 1 (serial, cheap): classify and buffer every record, advancing
+  // the watermark exactly as repeated Ingest() calls would — acceptance
+  // depends only on the running maximum, never on what was released.
+  for (const FailureRecord& r : records) {
+    std::size_t system_index = 0;
+    if (Classify(r, &system_index) != IngestStatus::kAccepted) continue;
+    ++counters_.accepted;
+    buffer_.insert(Buffered{r, system_index, next_seq_++});
+    if (!any_seen_ || r.start > max_seen_) {
+      max_seen_ = r.start;
+      any_seen_ = true;
+    }
+  }
+  // Phase 2: pop everything below the final watermark, grouped by system.
+  // Within a system the popped order is the release order, so feeding each
+  // group serially through one shard reproduces the serial path exactly.
+  const TimeSec wm = watermark();
+  std::vector<std::vector<Buffered>> shards(systems_.size());
+  long long popped = 0;
+  while (!buffer_.empty() && buffer_.begin()->record.start < wm) {
+    const auto it = buffer_.begin();
+    shards[it->system_index].push_back(*it);
+    ++popped;
+    buffer_.erase(it);
+  }
+  core::ParallelFor(
+      systems_.size(),
+      [&](std::size_t s) {
+        for (const Buffered& b : shards[s]) Process(s, b.record);
+      },
+      threads);
+  counters_.released += popped;
+
+  IngestCounters delta;
+  delta.accepted = counters_.accepted - before.accepted;
+  delta.released = counters_.released - before.released;
+  delta.rejected_late = counters_.rejected_late - before.rejected_late;
+  delta.rejected_unknown_system =
+      counters_.rejected_unknown_system - before.rejected_unknown_system;
+  delta.rejected_bad_record =
+      counters_.rejected_bad_record - before.rejected_bad_record;
+  return delta;
+}
+
+void IncrementalEventIndex::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  Drain();
+}
+
+std::span<const FailureRecord> IncrementalEventIndex::failures_of(
+    SystemId sys) const {
+  return Get(sys).failures;
+}
+
+bool IncrementalEventIndex::AnyAtNode(SystemId sys, NodeId node,
+                                      TimeInterval window,
+                                      const core::EventFilter& filter) const {
+  return Get(sys).AnyAtNode(node, window, filter);
+}
+
+int IncrementalEventIndex::CountAtNode(SystemId sys, NodeId node,
+                                       TimeInterval window,
+                                       const core::EventFilter& filter) const {
+  return Get(sys).CountAtNode(node, window, filter);
+}
+
+bool IncrementalEventIndex::AnyAtRackPeers(
+    SystemId sys, NodeId node, TimeInterval window,
+    const core::EventFilter& filter) const {
+  return Get(sys).AnyAtRackPeers(node, window, filter);
+}
+
+bool IncrementalEventIndex::AnyAtSystemPeers(
+    SystemId sys, NodeId node, TimeInterval window,
+    const core::EventFilter& filter) const {
+  return Get(sys).AnyAtSystemPeers(node, window, filter);
+}
+
+int IncrementalEventIndex::DistinctRackPeersWithEvent(
+    SystemId sys, NodeId node, TimeInterval window,
+    const core::EventFilter& filter, int* num_peers) const {
+  return Get(sys).DistinctRackPeersWithEvent(node, window, filter, num_peers);
+}
+
+int IncrementalEventIndex::DistinctSystemPeersWithEvent(
+    SystemId sys, NodeId node, TimeInterval window,
+    const core::EventFilter& filter, int* num_peers) const {
+  return Get(sys).DistinctSystemPeersWithEvent(node, window, filter,
+                                               num_peers);
+}
+
+long long IncrementalEventIndex::Count(const core::EventFilter& filter) const {
+  long long count = 0;
+  for (const core::SystemEventStore& se : stores_) {
+    for (const FailureRecord& f : se.failures) {
+      if (filter.Matches(f)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<int> IncrementalEventIndex::NodeCounts(
+    SystemId sys, const core::EventFilter& filter) const {
+  const core::SystemEventStore& se = Get(sys);
+  std::vector<int> out(se.by_node.size(), 0);
+  for (const FailureRecord& f : se.failures) {
+    if (filter.Matches(f)) ++out[static_cast<std::size_t>(f.node.value)];
+  }
+  return out;
+}
+
+std::uint64_t IncrementalEventIndex::ConfigFingerprint() const {
+  snapshot::Writer w;
+  w.PutI64(config_.reorder_tolerance);
+  w.PutU64(systems_.size());
+  for (const SystemConfig& s : systems_) {
+    w.PutU32(static_cast<std::uint32_t>(s.id.value));
+    w.PutU32(static_cast<std::uint32_t>(s.num_nodes));
+    w.PutI64(s.observed.begin);
+    w.PutI64(s.observed.end);
+    w.PutU64(s.layout.placements().size());
+  }
+  return snapshot::Fnv1a64(w.payload());
+}
+
+void IncrementalEventIndex::SaveTo(snapshot::Writer& w) const {
+  w.PutU64(ConfigFingerprint());
+  w.PutBool(any_seen_);
+  w.PutBool(finished_);
+  w.PutI64(max_seen_);
+  w.PutU64(next_seq_);
+  w.PutI64(counters_.accepted);
+  w.PutI64(counters_.released);
+  w.PutI64(counters_.rejected_late);
+  w.PutI64(counters_.rejected_unknown_system);
+  w.PutI64(counters_.rejected_bad_record);
+  w.PutU64(buffer_.size());
+  for (const Buffered& b : buffer_) {
+    PutRecord(w, b.record);
+    w.PutU64(b.seq);
+  }
+  w.PutU64(stores_.size());
+  for (const core::SystemEventStore& se : stores_) {
+    w.PutU64(se.failures.size());
+    for (const FailureRecord& f : se.failures) PutRecord(w, f);
+  }
+}
+
+void IncrementalEventIndex::LoadFrom(snapshot::Reader& r) {
+  if (r.GetU64() != ConfigFingerprint()) {
+    throw snapshot::SnapshotError(
+        "snapshot was taken with a different system/stream configuration");
+  }
+  any_seen_ = r.GetBool();
+  finished_ = r.GetBool();
+  max_seen_ = r.GetI64();
+  next_seq_ = r.GetU64();
+  counters_.accepted = r.GetI64();
+  counters_.released = r.GetI64();
+  counters_.rejected_late = r.GetI64();
+  counters_.rejected_unknown_system = r.GetI64();
+  counters_.rejected_bad_record = r.GetI64();
+  buffer_.clear();
+  const std::size_t buffered = r.GetSize(23);  // min bytes per record + seq
+  for (std::size_t i = 0; i < buffered; ++i) {
+    Buffered b;
+    b.record = GetRecord(r);
+    b.seq = r.GetU64();
+    const int idx = FindSystemIndex(b.record.system);
+    if (idx < 0) throw snapshot::SnapshotError("buffered record system");
+    b.system_index = static_cast<std::size_t>(idx);
+    buffer_.insert(std::move(b));
+  }
+  const std::size_t num_stores = r.GetSize(8);
+  if (num_stores != stores_.size()) {
+    throw snapshot::SnapshotError("system count mismatch");
+  }
+  for (std::size_t s = 0; s < stores_.size(); ++s) {
+    stores_[s].Init(systems_[s]);
+    const std::size_t n = r.GetSize(22);
+    stores_[s].failures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const FailureRecord f = GetRecord(r);
+      if (f.system != systems_[s].id || !f.node.valid() ||
+          f.node.value >= systems_[s].num_nodes) {
+        throw snapshot::SnapshotError("stored record out of range");
+      }
+      if (!stores_[s].failures.empty() &&
+          f.start < stores_[s].failures.back().start) {
+        throw snapshot::SnapshotError("stored records out of order");
+      }
+      stores_[s].failures.push_back(f);
+    }
+    stores_[s].RebuildRefs();
+  }
+}
+
+}  // namespace hpcfail::stream

@@ -1,0 +1,171 @@
+// Online counterpart of core::EventIndex: accepts failure events one at a
+// time, tolerates bounded out-of-order delivery, and keeps the same
+// per-system / per-node / per-rack structures (core::SystemEventStore) so
+// window queries answer through the exact same code as the batch index.
+//
+// Ordering model. Events are buffered in a reorder buffer and released to
+// the stores (and the registered sink) in (start, system, node) order — the
+// same total order Trace::Finalize sorts by — once the watermark passes
+// them. The watermark trails the newest event seen by `reorder_tolerance`
+// seconds: an event may arrive up to that much earlier than the newest
+// event already ingested; anything older is rejected as late (counted, not
+// silently dropped). With tolerance 0 the input must be time-sorted.
+//
+// Determinism. The released sequence depends only on the ingested sequence,
+// never on batching: feeding a trace event-by-event, via CatchUp() in one
+// call, or split around a checkpoint/restore cycle yields bit-identical
+// store contents and sink deliveries per system.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/event_store.h"
+#include "stream/snapshot.h"
+#include "trace/system.h"
+
+namespace hpcfail::stream {
+
+struct StreamConfig {
+  // How far behind the newest ingested event a new event's start may lie
+  // before it is rejected as late. 0 requires time-sorted input.
+  TimeSec reorder_tolerance = 0;
+};
+
+enum class IngestStatus {
+  kAccepted,               // buffered; will be released by the watermark
+  kRejectedLate,           // start is before the current watermark
+  kRejectedUnknownSystem,  // system id not configured
+  kRejectedBadRecord,      // node out of range or inconsistent record
+};
+
+struct IngestCounters {
+  long long accepted = 0;
+  long long released = 0;
+  long long rejected_late = 0;
+  long long rejected_unknown_system = 0;
+  long long rejected_bad_record = 0;
+
+  long long rejected() const {
+    return rejected_late + rejected_unknown_system + rejected_bad_record;
+  }
+};
+
+class IncrementalEventIndex {
+ public:
+  // Watermark value before any event has been ingested.
+  static constexpr TimeSec kNoWatermark =
+      std::numeric_limits<TimeSec>::min();
+
+  explicit IncrementalEventIndex(std::vector<SystemConfig> systems,
+                                 StreamConfig config = {});
+
+  IncrementalEventIndex(const IncrementalEventIndex&) = delete;
+  IncrementalEventIndex& operator=(const IncrementalEventIndex&) = delete;
+
+  // Receives every released record, in release order. During CatchUp the
+  // sink runs on pool workers, one task per system: calls for the same
+  // system_index never overlap, calls for different systems may.
+  using Sink = std::function<void(std::size_t system_index,
+                                  const FailureRecord&)>;
+  void SetSink(Sink sink) { sink_ = std::move(sink); }
+
+  // Feeds one event; releases everything the advanced watermark uncovers.
+  // Throws std::logic_error after Finish().
+  IngestStatus Ingest(const FailureRecord& r);
+
+  // Sharded catch-up replay of a backlog: classifies/buffers every record
+  // exactly like repeated Ingest() calls, then processes the released
+  // events per system on the thread pool (core::SetDefaultThreadCount;
+  // threads == 1 forces the serial path). Final state is bit-identical to
+  // one-by-one ingestion for every thread count.
+  IngestCounters CatchUp(std::span<const FailureRecord> records,
+                         int threads = 0);
+
+  // Flushes the reorder buffer (watermark -> +infinity). Further Ingest()
+  // calls throw. Idempotent.
+  void Finish();
+  bool finished() const { return finished_; }
+
+  TimeSec watermark() const;
+  std::size_t num_buffered() const { return buffer_.size(); }
+  const IngestCounters& counters() const { return counters_; }
+
+  // Configured systems, in indexing order.
+  const std::vector<SystemConfig>& systems() const { return systems_; }
+  const StreamConfig& config() const { return config_; }
+
+  // ---- Queries over released events, mirroring core::EventIndex.
+  std::span<const FailureRecord> failures_of(SystemId sys) const;
+  bool AnyAtNode(SystemId sys, NodeId node, TimeInterval window,
+                 const core::EventFilter& filter) const;
+  int CountAtNode(SystemId sys, NodeId node, TimeInterval window,
+                  const core::EventFilter& filter) const;
+  bool AnyAtRackPeers(SystemId sys, NodeId node, TimeInterval window,
+                      const core::EventFilter& filter) const;
+  bool AnyAtSystemPeers(SystemId sys, NodeId node, TimeInterval window,
+                        const core::EventFilter& filter) const;
+  int DistinctRackPeersWithEvent(SystemId sys, NodeId node,
+                                 TimeInterval window,
+                                 const core::EventFilter& filter,
+                                 int* num_peers) const;
+  int DistinctSystemPeersWithEvent(SystemId sys, NodeId node,
+                                   TimeInterval window,
+                                   const core::EventFilter& filter,
+                                   int* num_peers) const;
+  long long Count(const core::EventFilter& filter) const;
+  std::vector<int> NodeCounts(SystemId sys,
+                              const core::EventFilter& filter) const;
+
+  // ---- Checkpointing. Saves/restores all mutable state (stores, reorder
+  // buffer, watermark, counters). LoadFrom validates that the snapshot was
+  // taken with the same system configuration and throws SnapshotError
+  // otherwise. The sink is NOT re-fired for restored events.
+  void SaveTo(snapshot::Writer& w) const;
+  void LoadFrom(snapshot::Reader& r);
+
+ private:
+  struct Buffered {
+    FailureRecord record;
+    std::size_t system_index = 0;
+    std::uint64_t seq = 0;  // arrival order; breaks full ties
+  };
+  struct BufferedOrder {
+    bool operator()(const Buffered& a, const Buffered& b) const {
+      if (a.record.start != b.record.start) {
+        return a.record.start < b.record.start;
+      }
+      if (a.record.system != b.record.system) {
+        return a.record.system < b.record.system;
+      }
+      if (a.record.node != b.record.node) return a.record.node < b.record.node;
+      return a.seq < b.seq;
+    }
+  };
+
+  const core::SystemEventStore& Get(SystemId sys) const;
+  int FindSystemIndex(SystemId sys) const;  // -1 when unknown
+  IngestStatus Classify(const FailureRecord& r, std::size_t* system_index);
+  // Releases one record into its store and the sink.
+  void Process(std::size_t system_index, const FailureRecord& r);
+  // Pops and processes every buffered event below the watermark.
+  void Drain();
+  std::uint64_t ConfigFingerprint() const;
+
+  StreamConfig config_;
+  std::vector<SystemConfig> systems_;
+  std::vector<core::SystemEventStore> stores_;
+  std::multiset<Buffered, BufferedOrder> buffer_;
+  Sink sink_;
+  TimeSec max_seen_ = kNoWatermark;
+  bool any_seen_ = false;
+  bool finished_ = false;
+  std::uint64_t next_seq_ = 0;
+  IngestCounters counters_;
+};
+
+}  // namespace hpcfail::stream

@@ -1,0 +1,130 @@
+#include "stream/snapshot.h"
+
+#include <bit>
+#include <istream>
+#include <ostream>
+
+namespace hpcfail::stream::snapshot {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'P', 'C', 'F', 'S', 'N', 'A', 'P'};
+
+void AppendLe(std::string& out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+void Writer::PutU8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+void Writer::PutU32(std::uint32_t v) { AppendLe(buffer_, v, 4); }
+void Writer::PutU64(std::uint64_t v) { AppendLe(buffer_, v, 8); }
+void Writer::PutI64(std::int64_t v) {
+  PutU64(static_cast<std::uint64_t>(v));
+}
+void Writer::PutDouble(double v) { PutU64(std::bit_cast<std::uint64_t>(v)); }
+void Writer::PutString(std::string_view s) {
+  PutU64(s.size());
+  buffer_.append(s.data(), s.size());
+}
+
+const unsigned char* Reader::Take(std::size_t n) {
+  if (n > data_.size() - pos_) {
+    throw SnapshotError("payload truncated");
+  }
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Reader::GetU8() { return *Take(1); }
+
+std::uint32_t Reader::GetU32() {
+  const unsigned char* p = Take(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::GetU64() {
+  const unsigned char* p = Take(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t Reader::GetI64() {
+  return static_cast<std::int64_t>(GetU64());
+}
+
+double Reader::GetDouble() { return std::bit_cast<double>(GetU64()); }
+
+std::string Reader::GetString() {
+  const std::size_t n = GetSize(1);
+  const unsigned char* p = Take(n);
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+std::size_t Reader::GetSize(std::size_t min_element_bytes) {
+  const std::uint64_t n = GetU64();
+  if (min_element_bytes > 0 && n > remaining() / min_element_bytes) {
+    throw SnapshotError("container size exceeds payload");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void WriteEnvelope(std::ostream& os, std::string_view payload) {
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  AppendLe(header, kFormatVersion, 4);
+  AppendLe(header, payload.size(), 8);
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  std::string footer;
+  AppendLe(footer, Fnv1a64(payload), 8);
+  os.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  if (!os) throw std::runtime_error("snapshot: stream write failed");
+}
+
+std::string ReadEnvelope(std::istream& is) {
+  char magic[sizeof(kMagic)];
+  if (!is.read(magic, sizeof(magic)) ||
+      std::string_view(magic, sizeof(magic)) !=
+          std::string_view(kMagic, sizeof(kMagic))) {
+    throw SnapshotError("bad magic (not a snapshot file?)");
+  }
+  char fixed[12];
+  if (!is.read(fixed, sizeof(fixed))) throw SnapshotError("truncated header");
+  Reader header(std::string_view(fixed, sizeof(fixed)));
+  const std::uint32_t version = header.GetU32();
+  if (version != kFormatVersion) {
+    throw SnapshotError("unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t size = header.GetU64();
+  // A torn header can claim an absurd size; cap before allocating.
+  if (size > (1ULL << 32)) throw SnapshotError("payload size implausible");
+  std::string payload(static_cast<std::size_t>(size), '\0');
+  if (!is.read(payload.data(), static_cast<std::streamsize>(size))) {
+    throw SnapshotError("truncated payload");
+  }
+  char sum[8];
+  if (!is.read(sum, sizeof(sum))) throw SnapshotError("missing checksum");
+  Reader footer(std::string_view(sum, sizeof(sum)));
+  if (footer.GetU64() != Fnv1a64(payload)) {
+    throw SnapshotError("checksum mismatch (corrupted snapshot)");
+  }
+  return payload;
+}
+
+}  // namespace hpcfail::stream::snapshot

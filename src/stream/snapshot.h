@@ -1,0 +1,92 @@
+// Versioned binary snapshots for the streaming engine's checkpoint/restore.
+//
+// A snapshot is a flat little-endian byte payload (built with Writer, decoded
+// with Reader) wrapped in an envelope:
+//
+//   bytes 0-7   magic "HPCFSNAP"
+//   bytes 8-11  format version (u32)
+//   bytes 12-19 payload size in bytes (u64)
+//   ...         payload
+//   last 8      FNV-1a 64-bit checksum of the payload (u64)
+//
+// Readers reject unknown magic/version, short reads and checksum mismatches
+// with SnapshotError — a consumer resuming from a torn or corrupted file
+// must fail loudly, never resume from garbage state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hpcfail::stream::snapshot {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& message)
+      : std::runtime_error("snapshot: " + message) {}
+};
+
+// Append-only payload builder.
+class Writer {
+ public:
+  void PutU8(std::uint8_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutI64(std::int64_t v);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutDouble(double v);  // IEEE-754 bit pattern, exact round-trip
+  void PutString(std::string_view s);
+
+  const std::string& payload() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+// Sequential payload decoder; every getter throws SnapshotError when the
+// payload is too short. Does not own the bytes: the payload string must
+// outlive the Reader (keep ReadEnvelope's result in a named local).
+class Reader {
+ public:
+  explicit Reader(std::string_view payload) : data_(payload) {}
+
+  std::uint8_t GetU8();
+  std::uint32_t GetU32();
+  std::uint64_t GetU64();
+  std::int64_t GetI64();
+  bool GetBool() { return GetU8() != 0; }
+  double GetDouble();
+  std::string GetString();
+
+  // Bounds-checked u64 for container sizes: throws when the claimed size
+  // exceeds the bytes remaining (each element needs >= min_element_bytes),
+  // so a corrupted length cannot trigger an enormous allocation.
+  std::size_t GetSize(std::size_t min_element_bytes);
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const unsigned char* Take(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// FNV-1a 64-bit hash of a byte string.
+std::uint64_t Fnv1a64(std::string_view bytes);
+
+// Wraps `payload` in the envelope and writes it to `os`; throws
+// std::runtime_error when the stream write fails.
+void WriteEnvelope(std::ostream& os, std::string_view payload);
+
+// Reads and validates an envelope; returns the payload. Throws SnapshotError
+// on bad magic, unsupported version, truncation or checksum mismatch.
+std::string ReadEnvelope(std::istream& is);
+
+}  // namespace hpcfail::stream::snapshot

@@ -1,0 +1,134 @@
+#include "stream/stream_predictor.h"
+
+namespace hpcfail::stream {
+
+StreamingPredictor::StreamingPredictor(
+    const std::vector<SystemConfig>& systems,
+    core::FailurePredictor predictor, double threshold)
+    : predictor_(std::move(predictor)), threshold_(threshold) {
+  lanes_.resize(systems.size());
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const auto num_nodes = static_cast<std::size_t>(systems[i].num_nodes);
+    lanes_[i].last_type.assign(num_nodes, -1);
+    lanes_[i].last_time.assign(num_nodes, 0);
+  }
+}
+
+double StreamingPredictor::OnEvent(std::size_t system_index,
+                                   const FailureRecord& f) {
+  Lane& lane = lanes_.at(system_index);
+  const auto n = static_cast<std::size_t>(f.node.value);
+  std::optional<FailureCategory> last_type;
+  std::optional<TimeSec> last_time;
+  if (lane.last_type[n] >= 0) {
+    last_type = static_cast<FailureCategory>(lane.last_type[n]);
+    last_time = lane.last_time[n];
+  }
+  const double score = predictor_.Score(last_type, last_time, f.start);
+  ++lane.events_scored;
+  if (score >= threshold_) ++lane.alarms;
+  lane.last_type[n] = static_cast<std::int8_t>(f.category);
+  lane.last_time[n] = f.start;
+  return score;
+}
+
+double StreamingPredictor::ScoreNode(std::size_t system_index, NodeId node,
+                                     TimeSec now) const {
+  const Lane& lane = lanes_.at(system_index);
+  const auto n = static_cast<std::size_t>(node.value);
+  std::optional<FailureCategory> last_type;
+  std::optional<TimeSec> last_time;
+  if (lane.last_type.at(n) >= 0) {
+    last_type = static_cast<FailureCategory>(lane.last_type[n]);
+    last_time = lane.last_time[n];
+  }
+  return predictor_.Score(last_type, last_time, now);
+}
+
+long long StreamingPredictor::events_scored() const {
+  long long total = 0;
+  for (const Lane& lane : lanes_) total += lane.events_scored;
+  return total;
+}
+
+long long StreamingPredictor::alarms() const {
+  long long total = 0;
+  for (const Lane& lane : lanes_) total += lane.alarms;
+  return total;
+}
+
+double StreamingPredictor::alarm_rate() const {
+  const long long scored = events_scored();
+  return scored > 0 ? static_cast<double>(alarms()) /
+                          static_cast<double>(scored)
+                    : 0.0;
+}
+
+std::uint64_t StreamingPredictor::ConfigFingerprint() const {
+  snapshot::Writer w;
+  w.PutU64(lanes_.size());
+  for (const Lane& lane : lanes_) w.PutU64(lane.last_type.size());
+  return snapshot::Fnv1a64(w.payload());
+}
+
+void StreamingPredictor::SaveTo(snapshot::Writer& w) const {
+  w.PutU64(ConfigFingerprint());
+  // Learned table + config: restoring rebuilds the predictor via FromTable,
+  // so a resumed consumer scores identically without retraining.
+  const core::PredictorConfig& cfg = predictor_.config();
+  w.PutI64(cfg.horizon);
+  w.PutI64(cfg.memory);
+  w.PutBool(cfg.type_aware);
+  w.PutDouble(predictor_.baseline());
+  for (FailureCategory c : AllFailureCategories()) {
+    w.PutDouble(predictor_.conditional(c));
+  }
+  w.PutDouble(threshold_);
+  w.PutU64(lanes_.size());
+  for (const Lane& lane : lanes_) {
+    w.PutI64(lane.events_scored);
+    w.PutI64(lane.alarms);
+    w.PutU64(lane.last_type.size());
+    for (std::size_t n = 0; n < lane.last_type.size(); ++n) {
+      w.PutU8(static_cast<std::uint8_t>(lane.last_type[n] + 1));  // 0 = none
+      w.PutI64(lane.last_time[n]);
+    }
+  }
+}
+
+void StreamingPredictor::LoadFrom(snapshot::Reader& r) {
+  if (r.GetU64() != ConfigFingerprint()) {
+    throw snapshot::SnapshotError(
+        "snapshot was taken with a different predictor configuration");
+  }
+  core::PredictorConfig cfg;
+  cfg.horizon = r.GetI64();
+  cfg.memory = r.GetI64();
+  cfg.type_aware = r.GetBool();
+  const double baseline = r.GetDouble();
+  std::array<double, kNumFailureCategories> conditional{};
+  for (double& c : conditional) c = r.GetDouble();
+  predictor_ = core::FailurePredictor::FromTable(cfg, baseline, conditional);
+  threshold_ = r.GetDouble();
+  if (r.GetU64() != lanes_.size()) {
+    throw snapshot::SnapshotError("predictor lane count mismatch");
+  }
+  for (Lane& lane : lanes_) {
+    lane.events_scored = r.GetI64();
+    lane.alarms = r.GetI64();
+    const std::size_t nodes = r.GetSize(9);
+    if (nodes != lane.last_type.size()) {
+      throw snapshot::SnapshotError("predictor node count mismatch");
+    }
+    for (std::size_t n = 0; n < nodes; ++n) {
+      const std::uint8_t type = r.GetU8();
+      if (type > kNumFailureCategories) {
+        throw snapshot::SnapshotError("predictor last-failure type invalid");
+      }
+      lane.last_type[n] = static_cast<std::int8_t>(type) - 1;
+      lane.last_time[n] = r.GetI64();
+    }
+  }
+}
+
+}  // namespace hpcfail::stream

@@ -1,0 +1,63 @@
+// Online wrapper around core::FailurePredictor: keeps each node's most
+// recent failure (type and time) as the stream flows and scores every
+// arriving failure against the live state — the deployment loop the paper
+// motivates (alarm -> checkpoint/migrate) run against a live log feed
+// instead of a post-hoc trace.
+//
+// Scores are produced by the batch predictor's own Score(), fed with the
+// per-node state accumulated from the released event order, so streaming
+// scores are bit-identical to a batch walk over the same (finalized) trace.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/prediction.h"
+#include "stream/snapshot.h"
+
+namespace hpcfail::stream {
+
+class StreamingPredictor {
+ public:
+  // `systems` must outlive the predictor. `threshold` is the alarm cut-off
+  // on the hazard score (same semantics as EvaluatePredictor).
+  StreamingPredictor(const std::vector<SystemConfig>& systems,
+                     core::FailurePredictor predictor, double threshold);
+
+  // Scores the arriving failure against the node's state BEFORE this event
+  // (its most recent previous failure), then folds the event into the
+  // state. Returns the hazard score; alarms are counted internally.
+  // Touches only `system_index`'s state (safe for sharded catch-up).
+  double OnEvent(std::size_t system_index, const FailureRecord& f);
+
+  // Hazard score of any node at any time against the live state (no state
+  // change) — what an operator dashboard polls.
+  double ScoreNode(std::size_t system_index, NodeId node, TimeSec now) const;
+
+  long long events_scored() const;
+  long long alarms() const;
+  // Alarms / events scored (0 when nothing scored yet).
+  double alarm_rate() const;
+
+  double threshold() const { return threshold_; }
+  const core::FailurePredictor& predictor() const { return predictor_; }
+
+  void SaveTo(snapshot::Writer& w) const;
+  void LoadFrom(snapshot::Reader& r);
+
+ private:
+  struct Lane {
+    std::vector<std::int8_t> last_type;  // -1 = none yet
+    std::vector<TimeSec> last_time;
+    long long events_scored = 0;
+    long long alarms = 0;
+  };
+
+  std::uint64_t ConfigFingerprint() const;
+
+  core::FailurePredictor predictor_;
+  double threshold_ = 0.0;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace hpcfail::stream

@@ -1,0 +1,119 @@
+#include "stream/stream_stats.h"
+
+#include <cmath>
+
+namespace hpcfail::stream {
+
+void RunningStats::Add(double x) {
+  ++count;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (x - mean);
+}
+
+RunningStats RunningStats::Merge(const RunningStats& a, const RunningStats& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  RunningStats out;
+  out.count = a.count + b.count;
+  const double delta = b.mean - a.mean;
+  const double nb_over_n =
+      static_cast<double>(b.count) / static_cast<double>(out.count);
+  out.mean = a.mean + delta * nb_over_n;
+  out.m2 = a.m2 + b.m2 +
+           delta * delta * static_cast<double>(a.count) * nb_over_n;
+  return out;
+}
+
+double RunningStats::variance() const {
+  return count < 2 ? 0.0 : m2 / static_cast<double>(count - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+StreamingSummary::StreamingSummary(std::size_t num_systems) {
+  lanes_.resize(num_systems);
+}
+
+void StreamingSummary::OnEvent(std::size_t system_index,
+                               const FailureRecord& f) {
+  Lane& lane = lanes_.at(system_index);
+  const double downtime = static_cast<double>(f.downtime());
+  lane.all.Add(downtime);
+  lane.by_category[static_cast<std::size_t>(f.category)].Add(downtime);
+}
+
+RunningStats StreamingSummary::Downtime() const {
+  RunningStats out;
+  for (const Lane& lane : lanes_) out = RunningStats::Merge(out, lane.all);
+  return out;
+}
+
+RunningStats StreamingSummary::DowntimeOf(FailureCategory c) const {
+  RunningStats out;
+  for (const Lane& lane : lanes_) {
+    out = RunningStats::Merge(out,
+                              lane.by_category[static_cast<std::size_t>(c)]);
+  }
+  return out;
+}
+
+long long StreamingSummary::total_events() const {
+  long long total = 0;
+  for (const Lane& lane : lanes_) total += lane.all.count;
+  return total;
+}
+
+long long StreamingSummary::CountOf(FailureCategory c) const {
+  long long total = 0;
+  for (const Lane& lane : lanes_) {
+    total += lane.by_category[static_cast<std::size_t>(c)].count;
+  }
+  return total;
+}
+
+RunningStats StreamingSummary::DowntimeOfSystem(
+    std::size_t system_index) const {
+  return lanes_.at(system_index).all;
+}
+
+namespace {
+
+void PutStats(snapshot::Writer& w, const RunningStats& s) {
+  w.PutI64(s.count);
+  w.PutDouble(s.mean);
+  w.PutDouble(s.m2);
+}
+
+RunningStats GetStats(snapshot::Reader& r) {
+  RunningStats s;
+  s.count = r.GetI64();
+  s.mean = r.GetDouble();
+  s.m2 = r.GetDouble();
+  if (s.count < 0) {
+    throw snapshot::SnapshotError("summary accumulator count is negative");
+  }
+  return s;
+}
+
+}  // namespace
+
+void StreamingSummary::SaveTo(snapshot::Writer& w) const {
+  w.PutU64(lanes_.size());
+  for (const Lane& lane : lanes_) {
+    PutStats(w, lane.all);
+    for (const RunningStats& s : lane.by_category) PutStats(w, s);
+  }
+}
+
+void StreamingSummary::LoadFrom(snapshot::Reader& r) {
+  if (r.GetU64() != lanes_.size()) {
+    throw snapshot::SnapshotError("summary lane count mismatch");
+  }
+  for (Lane& lane : lanes_) {
+    lane.all = GetStats(r);
+    for (RunningStats& s : lane.by_category) s = GetStats(r);
+  }
+}
+
+}  // namespace hpcfail::stream

@@ -1,0 +1,65 @@
+// Streaming summary statistics: count / mean / M2 (Welford) over event
+// downtime, total and per failure category, accumulated per system as the
+// stream flows. Reports merge the per-system accumulators in system order
+// with Chan's pairwise formula, so the result is one deterministic double
+// sequence regardless of catch-up thread count or checkpoint boundaries.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "stream/snapshot.h"
+#include "trace/failure.h"
+#include "trace/system.h"
+
+namespace hpcfail::stream {
+
+// One Welford accumulator: count, running mean, and M2 (sum of squared
+// deviations from the running mean).
+struct RunningStats {
+  long long count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void Add(double x);
+  // Chan's parallel merge; associative over disjoint accumulators.
+  static RunningStats Merge(const RunningStats& a, const RunningStats& b);
+
+  // Sample variance (n-1 denominator); 0 for count < 2.
+  double variance() const;
+  double stddev() const;
+
+  friend bool operator==(const RunningStats&, const RunningStats&) = default;
+};
+
+class StreamingSummary {
+ public:
+  explicit StreamingSummary(std::size_t num_systems);
+
+  // Folds one released event into its system's accumulators. Touches only
+  // `system_index`'s state (safe for sharded catch-up).
+  void OnEvent(std::size_t system_index, const FailureRecord& f);
+
+  // Merged-over-systems views (system order, deterministic).
+  RunningStats Downtime() const;
+  RunningStats DowntimeOf(FailureCategory c) const;
+  long long total_events() const;
+  long long CountOf(FailureCategory c) const;
+
+  // Per-system views.
+  std::size_t num_systems() const { return lanes_.size(); }
+  RunningStats DowntimeOfSystem(std::size_t system_index) const;
+
+  void SaveTo(snapshot::Writer& w) const;
+  void LoadFrom(snapshot::Reader& r);
+
+ private:
+  struct Lane {
+    RunningStats all;
+    std::array<RunningStats, kNumFailureCategories> by_category{};
+  };
+
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace hpcfail::stream

@@ -1,0 +1,277 @@
+#include "stream/window_tracker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcfail::stream {
+namespace {
+
+void PutFilter(snapshot::Writer& w, const core::EventFilter& f) {
+  w.PutU8(f.category ? 1 + static_cast<std::uint8_t>(*f.category) : 0);
+  w.PutU8(f.hardware ? 1 + static_cast<std::uint8_t>(*f.hardware) : 0);
+  w.PutU8(f.software ? 1 + static_cast<std::uint8_t>(*f.software) : 0);
+  w.PutU8(f.environment ? 1 + static_cast<std::uint8_t>(*f.environment) : 0);
+}
+
+// Adds `value` to a small distinct-list (the streaming analogue of the
+// batch CountDistinctPeers unique-list).
+void AddDistinct(std::vector<std::int32_t>& seen, std::int32_t value) {
+  if (std::find(seen.begin(), seen.end(), value) == seen.end()) {
+    seen.push_back(value);
+  }
+}
+
+}  // namespace
+
+StreamingWindowTracker::StreamingWindowTracker(
+    const std::vector<SystemConfig>& systems, WindowTrackerConfig config)
+    : config_(std::move(config)) {
+  if (config_.window <= 0) {
+    throw std::invalid_argument(
+        "StreamingWindowTracker: window must be positive, got " +
+        std::to_string(config_.window));
+  }
+  lanes_.resize(systems.size());
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    Lane& lane = lanes_[i];
+    lane.config = &systems[i];
+    const auto num_nodes = static_cast<std::size_t>(lane.config->num_nodes);
+    lane.rack_of.assign(num_nodes, RackId{});
+    int num_racks = 0;
+    for (const NodePlacement& p : lane.config->layout.placements()) {
+      lane.rack_of[static_cast<std::size_t>(p.node.value)] = p.rack;
+      num_racks = std::max(num_racks, p.rack.value + 1);
+    }
+    lane.rack_size.assign(static_cast<std::size_t>(num_racks), 0);
+    for (const NodePlacement& p : lane.config->layout.placements()) {
+      ++lane.rack_size[static_cast<std::size_t>(p.rack.value)];
+    }
+    lane.windows_per_node =
+        lane.config->observed.duration() / config_.window;
+    lane.baseline_hits.assign(num_nodes, 0);
+    lane.baseline_last.assign(num_nodes, -1);
+  }
+}
+
+void StreamingWindowTracker::Resolve(Lane& lane, const PendingWindow& p) {
+  // Same node: one trial per trigger.
+  ++lane.same_node.trials;
+  if (p.same_node_hit) ++lane.same_node.successes;
+  // Rack peers: one trial per peer node of the trigger's rack. Matches the
+  // batch path, where a missing layout (or an unplaced node) contributes
+  // zero trials.
+  const RackId rack = lane.rack_of[static_cast<std::size_t>(p.node.value)];
+  if (rack.valid()) {
+    lane.rack_peers.trials += std::max(
+        0, lane.rack_size[static_cast<std::size_t>(rack.value)] - 1);
+    lane.rack_peers.successes += static_cast<long long>(p.rack_seen.size());
+  }
+  // System peers: one trial per other node of the system.
+  lane.system_peers.trials += std::max(0, lane.config->num_nodes - 1);
+  lane.system_peers.successes += static_cast<long long>(p.sys_seen.size());
+}
+
+void StreamingWindowTracker::ResolveBefore(Lane& lane, TimeSec t) {
+  // A window (start, start + W] is final once every event with time
+  // <= start + W has been seen, i.e. once stream time exceeds start + W.
+  while (!lane.pending.empty() &&
+         lane.pending.front().start + config_.window < t) {
+    Resolve(lane, lane.pending.front());
+    lane.pending.pop_front();
+  }
+}
+
+void StreamingWindowTracker::OnEvent(std::size_t system_index,
+                                     const FailureRecord& f) {
+  Lane& lane = lanes_.at(system_index);
+  ResolveBefore(lane, f.start);
+  if (config_.target.Matches(f)) {
+    // Update every open window this event falls into. Windows at the same
+    // start as the event are excluded: the batch query interval is the
+    // half-open (start, start + W].
+    const RackId event_rack =
+        lane.rack_of[static_cast<std::size_t>(f.node.value)];
+    for (PendingWindow& p : lane.pending) {
+      if (p.start >= f.start) break;  // pending is ordered by start
+      if (p.node == f.node) {
+        p.same_node_hit = true;
+        continue;
+      }
+      AddDistinct(p.sys_seen, f.node.value);
+      if (event_rack.valid() &&
+          event_rack == lane.rack_of[static_cast<std::size_t>(p.node.value)]) {
+        AddDistinct(p.rack_seen, f.node.value);
+      }
+    }
+    // Baseline: distinct aligned windows with >= 1 matching failure, one
+    // running window index per node (events arrive time-sorted per system,
+    // so the index is non-decreasing — identical to the batch scan).
+    if (lane.windows_per_node > 0) {
+      const long long w =
+          (f.start - lane.config->observed.begin) / config_.window;
+      if (w >= 0 && w < lane.windows_per_node) {
+        const auto n = static_cast<std::size_t>(f.node.value);
+        if (lane.baseline_last[n] != w) {
+          lane.baseline_last[n] = w;
+          ++lane.baseline_hits[n];
+        }
+      }
+    }
+  }
+  // Triggers whose window would run past the end of the observation period
+  // are censored, exactly like the batch analyzer.
+  if (config_.trigger.Matches(f) &&
+      f.start + config_.window <= lane.config->observed.end) {
+    lane.pending.push_back(PendingWindow{f.start, f.node});
+  }
+}
+
+void StreamingWindowTracker::AdvanceTo(std::size_t system_index,
+                                       TimeSec watermark) {
+  ResolveBefore(lanes_.at(system_index), watermark);
+}
+
+void StreamingWindowTracker::Finish() {
+  for (Lane& lane : lanes_) {
+    while (!lane.pending.empty()) {
+      Resolve(lane, lane.pending.front());
+      lane.pending.pop_front();
+    }
+  }
+}
+
+core::ConditionalResult StreamingWindowTracker::Result(
+    core::Scope scope) const {
+  Counts cond;
+  Counts base;
+  // Merge per-system counters in system order — the same deterministic fold
+  // as the batch analyzer's ParallelReduce.
+  for (const Lane& lane : lanes_) {
+    const Counts* c = nullptr;
+    switch (scope) {
+      case core::Scope::kSameNode: c = &lane.same_node; break;
+      case core::Scope::kRackPeers: c = &lane.rack_peers; break;
+      case core::Scope::kSystemPeers: c = &lane.system_peers; break;
+    }
+    cond.successes += c->successes;
+    cond.trials += c->trials;
+    if (lane.windows_per_node > 0) {
+      base.trials += lane.windows_per_node * lane.config->num_nodes;
+      for (const long long h : lane.baseline_hits) base.successes += h;
+    }
+  }
+  core::ConditionalResult out;
+  out.conditional = stats::WilsonProportion(cond.successes, cond.trials);
+  out.baseline = stats::WilsonProportion(base.successes, base.trials);
+  out.factor = stats::FactorIncrease(out.conditional, out.baseline);
+  out.test = stats::TestProportionsDiffer(
+      out.conditional.successes, out.conditional.trials,
+      out.baseline.successes, out.baseline.trials);
+  out.num_triggers = out.conditional.trials;
+  return out;
+}
+
+long long StreamingWindowTracker::resolved_triggers() const {
+  long long total = 0;
+  for (const Lane& lane : lanes_) total += lane.same_node.trials;
+  return total;
+}
+
+std::size_t StreamingWindowTracker::pending_windows() const {
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.pending.size();
+  return total;
+}
+
+std::uint64_t StreamingWindowTracker::ConfigFingerprint() const {
+  snapshot::Writer w;
+  w.PutI64(config_.window);
+  PutFilter(w, config_.trigger);
+  PutFilter(w, config_.target);
+  w.PutU64(lanes_.size());
+  for (const Lane& lane : lanes_) {
+    w.PutU32(static_cast<std::uint32_t>(lane.config->id.value));
+    w.PutU32(static_cast<std::uint32_t>(lane.config->num_nodes));
+    w.PutI64(lane.config->observed.begin);
+    w.PutI64(lane.config->observed.end);
+  }
+  return snapshot::Fnv1a64(w.payload());
+}
+
+void StreamingWindowTracker::SaveTo(snapshot::Writer& w) const {
+  w.PutU64(ConfigFingerprint());
+  w.PutU64(lanes_.size());
+  for (const Lane& lane : lanes_) {
+    w.PutI64(lane.same_node.successes);
+    w.PutI64(lane.same_node.trials);
+    w.PutI64(lane.rack_peers.successes);
+    w.PutI64(lane.rack_peers.trials);
+    w.PutI64(lane.system_peers.successes);
+    w.PutI64(lane.system_peers.trials);
+    w.PutU64(lane.pending.size());
+    for (const PendingWindow& p : lane.pending) {
+      w.PutI64(p.start);
+      w.PutU32(static_cast<std::uint32_t>(p.node.value));
+      w.PutBool(p.same_node_hit);
+      w.PutU64(p.rack_seen.size());
+      for (const std::int32_t n : p.rack_seen) {
+        w.PutU32(static_cast<std::uint32_t>(n));
+      }
+      w.PutU64(p.sys_seen.size());
+      for (const std::int32_t n : p.sys_seen) {
+        w.PutU32(static_cast<std::uint32_t>(n));
+      }
+    }
+    w.PutU64(lane.baseline_hits.size());
+    for (const long long h : lane.baseline_hits) w.PutI64(h);
+    for (const long long l : lane.baseline_last) w.PutI64(l);
+  }
+}
+
+void StreamingWindowTracker::LoadFrom(snapshot::Reader& r) {
+  if (r.GetU64() != ConfigFingerprint()) {
+    throw snapshot::SnapshotError(
+        "snapshot was taken with a different window-tracker configuration");
+  }
+  if (r.GetU64() != lanes_.size()) {
+    throw snapshot::SnapshotError("window-tracker lane count mismatch");
+  }
+  for (Lane& lane : lanes_) {
+    lane.same_node.successes = r.GetI64();
+    lane.same_node.trials = r.GetI64();
+    lane.rack_peers.successes = r.GetI64();
+    lane.rack_peers.trials = r.GetI64();
+    lane.system_peers.successes = r.GetI64();
+    lane.system_peers.trials = r.GetI64();
+    lane.pending.clear();
+    const std::size_t pending = r.GetSize(13);
+    for (std::size_t i = 0; i < pending; ++i) {
+      PendingWindow p;
+      p.start = r.GetI64();
+      p.node = NodeId{static_cast<std::int32_t>(r.GetU32())};
+      if (!p.node.valid() || p.node.value >= lane.config->num_nodes) {
+        throw snapshot::SnapshotError("pending window node out of range");
+      }
+      p.same_node_hit = r.GetBool();
+      const std::size_t racks = r.GetSize(4);
+      p.rack_seen.reserve(racks);
+      for (std::size_t k = 0; k < racks; ++k) {
+        p.rack_seen.push_back(static_cast<std::int32_t>(r.GetU32()));
+      }
+      const std::size_t sys = r.GetSize(4);
+      p.sys_seen.reserve(sys);
+      for (std::size_t k = 0; k < sys; ++k) {
+        p.sys_seen.push_back(static_cast<std::int32_t>(r.GetU32()));
+      }
+      lane.pending.push_back(std::move(p));
+    }
+    const std::size_t nodes = r.GetSize(16);
+    if (nodes != lane.baseline_hits.size()) {
+      throw snapshot::SnapshotError("baseline node count mismatch");
+    }
+    for (long long& h : lane.baseline_hits) h = r.GetI64();
+    for (long long& l : lane.baseline_last) l = r.GetI64();
+  }
+}
+
+}  // namespace hpcfail::stream

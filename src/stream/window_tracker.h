@@ -1,0 +1,106 @@
+// Online version of the paper's central measurement: conditional failure
+// probability in the window after a failure vs the random-window baseline
+// (WindowAnalyzer::Compare), tracked incrementally at same-node, rack-peer
+// and system-peer scope from a single pass over the event stream.
+//
+// Algorithm. Every trigger failure opens a pending window kept in a
+// per-system ring buffer (deque) ordered by start time. Each arriving event
+// updates the pending windows it falls into (same-node hit flag, distinct
+// rack/system peer sets), and a pending window is resolved into the
+// success/trial counters as soon as the stream time passes its end — so
+// every event is appended once and resolved once (amortized O(1) eviction),
+// plus one scan of the windows currently open. Baseline hits use the same
+// aligned-window bookkeeping as the batch analyzer (one running
+// last-window-index per node).
+//
+// Parity. Counts depend only on the per-system event order the
+// IncrementalEventIndex releases (time-sorted). After Finish(), Result() is
+// bit-identical to WindowAnalyzer::Compare on the same data — asserted by
+// tests/test_stream_parity.cpp — including after out-of-order delivery
+// within tolerance, sharded catch-up at any thread count, and a
+// checkpoint/restore cycle.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/window_analysis.h"
+#include "stream/snapshot.h"
+
+namespace hpcfail::stream {
+
+struct WindowTrackerConfig {
+  core::EventFilter trigger;  // which failures open a window
+  core::EventFilter target;   // which follow-ups count as a success
+  TimeSec window = kWeek;
+};
+
+class StreamingWindowTracker {
+ public:
+  // `systems` must outlive the tracker (the streaming engine owns both).
+  // Throws std::invalid_argument when window <= 0, like the batch analyzer.
+  StreamingWindowTracker(const std::vector<SystemConfig>& systems,
+                         WindowTrackerConfig config);
+
+  // Feeds one released event. Events must arrive in non-decreasing start
+  // order per system; system_index is the position in `systems`. Touches
+  // only that system's state, so distinct systems may be fed concurrently.
+  void OnEvent(std::size_t system_index, const FailureRecord& f);
+
+  // Resolves every pending window that can no longer change given that all
+  // events before `watermark` have been delivered for `system_index`.
+  void AdvanceTo(std::size_t system_index, TimeSec watermark);
+
+  // Resolves everything (end of stream).
+  void Finish();
+
+  // Conditional-vs-baseline comparison over the resolved windows of all
+  // systems, assembled exactly like WindowAnalyzer::Compare. Mid-stream
+  // this reflects resolved triggers only; after Finish() it equals the
+  // batch result on the same events.
+  core::ConditionalResult Result(core::Scope scope) const;
+
+  // Resolved trigger windows so far (same-node scope trial count).
+  long long resolved_triggers() const;
+  // Open windows across all systems (bounded by the event rate x window).
+  std::size_t pending_windows() const;
+
+  const WindowTrackerConfig& config() const { return config_; }
+
+  void SaveTo(snapshot::Writer& w) const;
+  void LoadFrom(snapshot::Reader& r);
+
+ private:
+  struct Counts {
+    long long successes = 0;
+    long long trials = 0;
+  };
+  struct PendingWindow {
+    TimeSec start = 0;
+    NodeId node;
+    bool same_node_hit = false;
+    std::vector<std::int32_t> rack_seen;  // distinct rack peers that fired
+    std::vector<std::int32_t> sys_seen;   // distinct system peers that fired
+  };
+  struct Lane {
+    // Derived from the system config (not snapshotted).
+    const SystemConfig* config = nullptr;
+    std::vector<RackId> rack_of;  // index == node id
+    std::vector<int> rack_size;   // index == rack id
+    long long windows_per_node = 0;
+    // Mutable stream state.
+    std::deque<PendingWindow> pending;  // ordered by start
+    Counts same_node, rack_peers, system_peers;
+    std::vector<long long> baseline_hits;  // per node
+    std::vector<long long> baseline_last;  // last counted window, -1 = none
+  };
+
+  void Resolve(Lane& lane, const PendingWindow& p);
+  void ResolveBefore(Lane& lane, TimeSec t);
+  std::uint64_t ConfigFingerprint() const;
+
+  WindowTrackerConfig config_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace hpcfail::stream

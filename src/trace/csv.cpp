@@ -53,6 +53,7 @@ void ForEachRow(std::istream& is, const std::string& expected_header,
   std::size_t lineno = 0;
   if (!std::getline(is, line)) Fail(1, "empty input, missing header");
   ++lineno;
+  StripLeadingBom(line);
   StripTrailingCr(line);
   if (line != expected_header) {
     Fail(lineno, "bad header: expected '" + expected_header + "'");
@@ -88,6 +89,13 @@ ParseError::ParseError(std::size_t line, const std::string& message)
     : std::runtime_error("csv line " + std::to_string(line) + ": " + message),
       line_(line) {}
 
+void StripLeadingBom(std::string& line) {
+  if (line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' &&
+      line[2] == '\xBF') {
+    line.erase(0, 3);
+  }
+}
+
 std::vector<std::string> SplitLine(const std::string& line) {
   std::vector<std::string> out;
   std::size_t start = 0;
@@ -119,38 +127,51 @@ void WriteFailures(std::ostream& os, const std::vector<FailureRecord>& v) {
   }
 }
 
+const std::string& FailuresHeader() {
+  static const std::string header = kFailureHeader;
+  return header;
+}
+
+FailureRecord ParseFailureRow(const std::vector<std::string>& f,
+                              std::size_t line) {
+  if (f.size() != 6) {
+    Fail(line, "expected 6 fields, got " + std::to_string(f.size()));
+  }
+  FailureRecord r;
+  r.system = SystemId{static_cast<int>(ParseInt(f[0], line))};
+  r.node = NodeId{static_cast<int>(ParseInt(f[1], line))};
+  r.start = ParseInt(f[2], line);
+  r.end = ParseInt(f[3], line);
+  auto cat = ParseFailureCategory(f[4]);
+  if (!cat) Fail(line, "unknown failure category '" + f[4] + "'");
+  r.category = *cat;
+  if (!f[5].empty()) {
+    switch (r.category) {
+      case FailureCategory::kHardware:
+        r.hardware = ParseHardwareComponent(f[5]);
+        if (!r.hardware) Fail(line, "unknown hw component");
+        break;
+      case FailureCategory::kSoftware:
+        r.software = ParseSoftwareComponent(f[5]);
+        if (!r.software) Fail(line, "unknown sw component");
+        break;
+      case FailureCategory::kEnvironment:
+        r.environment = ParseEnvironmentEvent(f[5]);
+        if (!r.environment) Fail(line, "unknown env event");
+        break;
+      default:
+        Fail(line, "subcategory given for category without one");
+    }
+  }
+  if (!r.consistent()) Fail(line, "inconsistent failure record");
+  return r;
+}
+
 std::vector<FailureRecord> ReadFailures(std::istream& is) {
   std::vector<FailureRecord> out;
   ForEachRow(is, kFailureHeader, 6,
              [&out](const std::vector<std::string>& f, std::size_t line) {
-               FailureRecord r;
-               r.system = SystemId{static_cast<int>(ParseInt(f[0], line))};
-               r.node = NodeId{static_cast<int>(ParseInt(f[1], line))};
-               r.start = ParseInt(f[2], line);
-               r.end = ParseInt(f[3], line);
-               auto cat = ParseFailureCategory(f[4]);
-               if (!cat) Fail(line, "unknown failure category '" + f[4] + "'");
-               r.category = *cat;
-               if (!f[5].empty()) {
-                 switch (r.category) {
-                   case FailureCategory::kHardware:
-                     r.hardware = ParseHardwareComponent(f[5]);
-                     if (!r.hardware) Fail(line, "unknown hw component");
-                     break;
-                   case FailureCategory::kSoftware:
-                     r.software = ParseSoftwareComponent(f[5]);
-                     if (!r.software) Fail(line, "unknown sw component");
-                     break;
-                   case FailureCategory::kEnvironment:
-                     r.environment = ParseEnvironmentEvent(f[5]);
-                     if (!r.environment) Fail(line, "unknown env event");
-                     break;
-                   default:
-                     Fail(line, "subcategory given for category without one");
-                 }
-               }
-               if (!r.consistent()) Fail(line, "inconsistent failure record");
-               out.push_back(std::move(r));
+               out.push_back(ParseFailureRow(f, line));
              });
   return out;
 }

@@ -27,6 +27,22 @@ class ParseError : public std::runtime_error {
 // contain commas, and rejecting quotes keeps parsing unambiguous.
 std::vector<std::string> SplitLine(const std::string& line);
 
+// Removes a UTF-8 byte-order mark, if present. Spreadsheet "CSV UTF-8"
+// exports prefix the first line with one; left in place it glues onto the
+// first header field and fails the header check.
+void StripLeadingBom(std::string& line);
+
+// ---- Row-level failure parsing, shared with streaming consumers that read
+// one line at a time instead of a whole file.
+
+// The failures.csv header row ("system,node,start,end,category,subcategory").
+const std::string& FailuresHeader();
+
+// Parses one already-split failures.csv row (6 fields). Throws ParseError
+// (with the given line number) on malformed fields.
+FailureRecord ParseFailureRow(const std::vector<std::string>& fields,
+                              std::size_t line);
+
 // ---- Per-stream writers. Each writes a header row then one row per record.
 void WriteFailures(std::ostream& os, const std::vector<FailureRecord>& v);
 void WriteMaintenance(std::ostream& os, const std::vector<MaintenanceRecord>& v);

@@ -56,6 +56,57 @@ TEST(Failures, CrlfInputImportsIdenticallyToLf) {
   EXPECT_EQ(from_crlf, in);
 }
 
+TEST(Failures, Utf8BomInputImportsIdenticallyToPlain) {
+  // Spreadsheet "CSV UTF-8" exports prefix a byte-order mark; glued to the
+  // first header field it used to fail the header check just like CRLF did.
+  std::vector<FailureRecord> in;
+  in.push_back(MakeHardwareFailure(SystemId{1}, NodeId{2}, 100, 200,
+                                   HardwareComponent::kMemory));
+  in.push_back(
+      MakeFailure(SystemId{2}, NodeId{1}, 700, 800, FailureCategory::kHuman));
+  std::stringstream plain;
+  WriteFailures(plain, in);
+  std::stringstream bom("\xEF\xBB\xBF" + plain.str());
+  EXPECT_EQ(ReadFailures(bom), in);
+}
+
+TEST(Failures, BomAndCrlfTogetherImportIdentically) {
+  std::vector<FailureRecord> in;
+  in.push_back(MakeSoftwareFailure(SystemId{3}, NodeId{0}, 10, 20,
+                                   SoftwareComponent::kOs));
+  std::stringstream lf;
+  WriteFailures(lf, in);
+  std::string crlf_text = "\xEF\xBB\xBF";
+  for (char c : lf.str()) {
+    if (c == '\n') crlf_text += '\r';
+    crlf_text += c;
+  }
+  std::stringstream ss(crlf_text);
+  EXPECT_EQ(ReadFailures(ss), in);
+}
+
+TEST(Failures, BomOnlyOnFirstLineIsStripped) {
+  // A BOM sequence inside a data row is not whitespace — it must still be
+  // rejected as a malformed field, not silently stripped.
+  std::stringstream ss(
+      "system,node,start,end,category,subcategory\n"
+      "\xEF\xBB\xBF"
+      "1,2,100,200,hardware,memory\n");
+  EXPECT_THROW(ReadFailures(ss), ParseError);
+}
+
+TEST(StripLeadingBom, OnlyStripsExactPrefix) {
+  std::string s = "\xEF\xBB\xBFsystem";
+  StripLeadingBom(s);
+  EXPECT_EQ(s, "system");
+  std::string partial = "\xEF\xBBx";
+  StripLeadingBom(partial);
+  EXPECT_EQ(partial, "\xEF\xBBx");
+  std::string empty;
+  StripLeadingBom(empty);
+  EXPECT_EQ(empty, "");
+}
+
 TEST(Failures, CrlfOnlyBlankLinesAreSkipped) {
   std::stringstream ss(
       "system,node,start,end,category,subcategory\r\n\r\n1,2,3,4,human,\r\n");

@@ -123,6 +123,62 @@ TEST(Predictor, SweepProducesMonotoneAlarmRates) {
   }
 }
 
+TEST(Predictor, EmptyEvaluationIndexYieldsZeroedEvaluation) {
+  const Split s = MakeSplit();
+  const EventIndex train(s.train_trace);
+  const FailurePredictor p(train, {});
+  // An observed system that logged zero failures: the ratios would be 0/0.
+  Trace empty;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "quiet";
+  c.num_nodes = 16;
+  c.procs_per_node = 2;
+  c.observed = {0, 90 * kDay};
+  empty.AddSystem(c);
+  empty.Finalize();
+  const EventIndex eval(empty);
+
+  const PredictionEvaluation e = EvaluatePredictor(p, eval, p.baseline());
+  EXPECT_DOUBLE_EQ(e.threshold, p.baseline());
+  EXPECT_EQ(e.true_positives, 0);
+  EXPECT_EQ(e.false_positives, 0);
+  EXPECT_EQ(e.false_negatives, 0);
+  EXPECT_EQ(e.true_negatives, 0);
+  EXPECT_EQ(e.precision, 0.0);
+  EXPECT_EQ(e.recall, 0.0);
+  EXPECT_EQ(e.f1, 0.0);
+  EXPECT_EQ(e.alarm_rate, 0.0);
+
+  const auto sweep = SweepPredictor(p, eval);
+  for (const PredictionEvaluation& step : sweep) {
+    EXPECT_EQ(step.true_positives + step.false_positives +
+                  step.false_negatives + step.true_negatives,
+              0);
+    EXPECT_EQ(step.alarm_rate, 0.0);
+  }
+}
+
+TEST(Predictor, FromTableReproducesLearnedScores) {
+  const Split s = MakeSplit();
+  const EventIndex train(s.train_trace);
+  const FailurePredictor learned(train, {});
+  std::array<double, kNumFailureCategories> table{};
+  for (FailureCategory c : AllFailureCategories()) {
+    table[static_cast<std::size_t>(c)] = learned.conditional(c);
+  }
+  const FailurePredictor rebuilt = FailurePredictor::FromTable(
+      learned.config(), learned.baseline(), table);
+  EXPECT_EQ(rebuilt.baseline(), learned.baseline());
+  for (FailureCategory c : AllFailureCategories()) {
+    EXPECT_EQ(rebuilt.conditional(c), learned.conditional(c));
+    EXPECT_EQ(rebuilt.Score(c, 10 * kDay, 11 * kDay),
+              learned.Score(c, 10 * kDay, 11 * kDay));
+  }
+  EXPECT_EQ(rebuilt.Score(std::nullopt, std::nullopt, kDay),
+            learned.Score(std::nullopt, std::nullopt, kDay));
+}
+
 TEST(Predictor, TypeBlindHasUniformConditionals) {
   const Split s = MakeSplit();
   const EventIndex train(s.train_trace);

@@ -1,0 +1,219 @@
+#include "stream/incremental_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/event_index.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
+
+namespace hpcfail::stream {
+namespace {
+
+Trace HandTrace() {
+  Trace t;
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sys0";
+  c.num_nodes = 8;
+  c.procs_per_node = 4;
+  c.observed = {0, 100 * kDay};
+  c.layout = MachineLayout::Grid(8, 4, 2);
+  t.AddSystem(c);
+  SystemConfig d = c;
+  d.id = SystemId{1};
+  d.name = "sys1";
+  t.AddSystem(d);
+  t.AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{1}, 10 * kDay,
+                                   10 * kDay + kHour, HardwareComponent::kCpu));
+  t.AddFailure(MakeSoftwareFailure(SystemId{0}, NodeId{2}, 11 * kDay,
+                                   11 * kDay + kHour, SoftwareComponent::kDst));
+  t.AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{1}, 12 * kDay,
+                                   12 * kDay + kHour,
+                                   HardwareComponent::kMemory));
+  t.AddFailure(MakeFailure(SystemId{1}, NodeId{0}, 10 * kDay,
+                           10 * kDay + kHour, FailureCategory::kHuman));
+  t.Finalize();
+  return t;
+}
+
+TEST(IncrementalIndex, RequiresSystemsAndNonNegativeTolerance) {
+  EXPECT_THROW(IncrementalEventIndex({}, {}), std::invalid_argument);
+  const Trace t = HandTrace();
+  EXPECT_THROW(IncrementalEventIndex(t.systems(), {.reorder_tolerance = -1}),
+               std::invalid_argument);
+  std::vector<SystemConfig> dup = {t.systems()[0], t.systems()[0]};
+  EXPECT_THROW(IncrementalEventIndex(dup, {}), std::invalid_argument);
+}
+
+TEST(IncrementalIndex, SortedIngestReleasesUpToWatermark) {
+  const Trace t = HandTrace();
+  IncrementalEventIndex idx(t.systems(), {.reorder_tolerance = 0});
+  EXPECT_EQ(idx.watermark(), IncrementalEventIndex::kNoWatermark);
+  for (const FailureRecord& r : t.failures()) {
+    EXPECT_EQ(idx.Ingest(r), IngestStatus::kAccepted);
+  }
+  // Tolerance 0: everything before the newest start is released; events AT
+  // the watermark stay buffered until something newer arrives.
+  EXPECT_EQ(idx.watermark(), 12 * kDay);
+  EXPECT_EQ(idx.counters().accepted, 4);
+  EXPECT_EQ(idx.counters().released, 3);
+  EXPECT_EQ(idx.num_buffered(), 1u);
+  idx.Finish();
+  EXPECT_EQ(idx.counters().released, 4);
+  EXPECT_EQ(idx.num_buffered(), 0u);
+  EXPECT_THROW(idx.Ingest(t.failures()[0]), std::logic_error);
+  idx.Finish();  // idempotent
+}
+
+TEST(IncrementalIndex, RejectionsAreCountedNotSilent) {
+  const Trace t = HandTrace();
+  IncrementalEventIndex idx(t.systems(), {.reorder_tolerance = kDay});
+  for (const FailureRecord& r : t.failures()) idx.Ingest(r);
+
+  // Late: more than a day behind the newest start (12d), watermark is 11d.
+  FailureRecord late = t.failures()[0];
+  late.start = 10 * kDay;
+  late.end = late.start + kHour;
+  EXPECT_EQ(idx.Ingest(late), IngestStatus::kRejectedLate);
+
+  FailureRecord unknown = t.failures()[0];
+  unknown.system = SystemId{99};
+  EXPECT_EQ(idx.Ingest(unknown), IngestStatus::kRejectedUnknownSystem);
+
+  FailureRecord bad_node = t.failures().back();
+  bad_node.node = NodeId{999};
+  EXPECT_EQ(idx.Ingest(bad_node), IngestStatus::kRejectedBadRecord);
+
+  EXPECT_EQ(idx.counters().rejected_late, 1);
+  EXPECT_EQ(idx.counters().rejected_unknown_system, 1);
+  EXPECT_EQ(idx.counters().rejected_bad_record, 1);
+  EXPECT_EQ(idx.counters().rejected(), 3);
+  EXPECT_EQ(idx.counters().accepted, 4);
+}
+
+TEST(IncrementalIndex, AtWatermarkEventIsStillAccepted) {
+  const Trace t = HandTrace();
+  IncrementalEventIndex idx(t.systems(), {.reorder_tolerance = kDay});
+  for (const FailureRecord& r : t.failures()) idx.Ingest(r);
+  FailureRecord at_mark = t.failures()[0];
+  at_mark.start = idx.watermark();
+  at_mark.end = at_mark.start + kHour;
+  EXPECT_EQ(idx.Ingest(at_mark), IngestStatus::kAccepted);
+}
+
+TEST(IncrementalIndex, SinkSeesPerSystemTimeOrder) {
+  const Trace t = HandTrace();
+  IncrementalEventIndex idx(t.systems(), {.reorder_tolerance = 2 * kDay});
+  std::vector<std::vector<TimeSec>> seen(t.systems().size());
+  idx.SetSink([&seen](std::size_t sys, const FailureRecord& r) {
+    seen[sys].push_back(r.start);
+  });
+  // Out-of-order arrival within tolerance.
+  std::vector<FailureRecord> events = t.failures();
+  std::swap(events[0], events[2]);  // 12d first, then 11d, 10d, 10d
+  for (const FailureRecord& r : events) {
+    EXPECT_EQ(idx.Ingest(r), IngestStatus::kAccepted);
+  }
+  idx.Finish();
+  for (const auto& lane : seen) {
+    EXPECT_TRUE(std::is_sorted(lane.begin(), lane.end()));
+  }
+  EXPECT_EQ(seen[0].size(), 3u);
+  EXPECT_EQ(seen[1].size(), 1u);
+}
+
+TEST(IncrementalIndex, QueriesMatchBatchIndexAfterFinish) {
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 11);
+  const core::EventIndex batch(trace);
+  IncrementalEventIndex inc(trace.systems(), {.reorder_tolerance = 0});
+  for (const FailureRecord& r : trace.failures()) inc.Ingest(r);
+  inc.Finish();
+
+  const core::EventFilter any = core::EventFilter::Any();
+  EXPECT_EQ(inc.Count(any), batch.Count(any));
+  for (const SystemConfig& s : trace.systems()) {
+    ASSERT_EQ(inc.failures_of(s.id).size(), batch.failures_of(s.id).size());
+    EXPECT_EQ(inc.NodeCounts(s.id, any), batch.NodeCounts(s.id, any));
+    const TimeInterval w{s.observed.begin, s.observed.begin + 30 * kDay};
+    for (int n = 0; n < std::min(s.num_nodes, 16); ++n) {
+      const NodeId node{n};
+      EXPECT_EQ(inc.CountAtNode(s.id, node, w, any),
+                batch.CountAtNode(s.id, node, w, any));
+      EXPECT_EQ(inc.AnyAtRackPeers(s.id, node, w, any),
+                batch.AnyAtRackPeers(s.id, node, w, any));
+      int inc_peers = 0, batch_peers = 0;
+      EXPECT_EQ(
+          inc.DistinctSystemPeersWithEvent(s.id, node, w, any, &inc_peers),
+          batch.DistinctSystemPeersWithEvent(s.id, node, w, any,
+                                             &batch_peers));
+      EXPECT_EQ(inc_peers, batch_peers);
+    }
+  }
+}
+
+TEST(IncrementalIndex, CatchUpMatchesSerialIngestAtEveryThreadCount) {
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 13);
+  std::vector<FailureRecord> events = trace.failures();
+  // Local shuffle within a one-day tolerance.
+  for (std::size_t i = 0; i + 1 < events.size(); i += 2) {
+    if (events[i + 1].start - events[i].start < kDay) {
+      std::swap(events[i], events[i + 1]);
+    }
+  }
+
+  const StreamConfig cfg{.reorder_tolerance = kDay};
+  IncrementalEventIndex serial(trace.systems(), cfg);
+  std::vector<std::vector<FailureRecord>> serial_seen(trace.systems().size());
+  serial.SetSink([&](std::size_t sys, const FailureRecord& r) {
+    serial_seen[sys].push_back(r);
+  });
+  for (const FailureRecord& r : events) serial.Ingest(r);
+  serial.Finish();
+
+  for (const int threads : {1, 2, 4, 8}) {
+    IncrementalEventIndex sharded(trace.systems(), cfg);
+    std::vector<std::vector<FailureRecord>> seen(trace.systems().size());
+    sharded.SetSink([&](std::size_t sys, const FailureRecord& r) {
+      seen[sys].push_back(r);
+    });
+    const IngestCounters delta = sharded.CatchUp(events, threads);
+    sharded.Finish();
+    EXPECT_EQ(delta.accepted, serial.counters().accepted);
+    EXPECT_EQ(sharded.counters().released, serial.counters().released);
+    for (std::size_t s = 0; s < seen.size(); ++s) {
+      EXPECT_EQ(seen[s], serial_seen[s]) << "threads=" << threads;
+    }
+    for (const SystemConfig& s : trace.systems()) {
+      EXPECT_EQ(sharded.failures_of(s.id).size(),
+                serial.failures_of(s.id).size());
+    }
+  }
+}
+
+TEST(IncrementalIndex, CatchUpSplitAcrossCallsMatchesOneCall) {
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 17);
+  const std::vector<FailureRecord>& events = trace.failures();
+  const std::size_t split = events.size() / 3;
+
+  IncrementalEventIndex one(trace.systems(), {});
+  one.CatchUp(events, 2);
+  one.Finish();
+
+  IncrementalEventIndex two(trace.systems(), {});
+  two.CatchUp(std::span(events).subspan(0, split), 2);
+  two.CatchUp(std::span(events).subspan(split), 2);
+  two.Finish();
+
+  EXPECT_EQ(one.counters().released, two.counters().released);
+  for (const SystemConfig& s : trace.systems()) {
+    const auto a = one.failures_of(s.id);
+    const auto b = two.failures_of(s.id);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+}  // namespace
+}  // namespace hpcfail::stream

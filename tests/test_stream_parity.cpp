@@ -1,0 +1,269 @@
+// The tentpole guarantee: streaming results are bit-identical to the batch
+// analyzers on the same data — for sorted input, out-of-order input within
+// the tolerance bound, sharded catch-up at several thread counts, and
+// across a checkpoint/restore cycle (test_stream_snapshot.cpp covers the
+// snapshot-specific cases).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/prediction.h"
+#include "core/window_analysis.h"
+#include "stats/descriptive.h"
+#include "stream/engine.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
+
+namespace hpcfail::stream {
+namespace {
+
+using core::ConditionalResult;
+using core::EventFilter;
+using core::Scope;
+
+const Trace& SharedTrace() {
+  static const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 5);
+  return trace;
+}
+
+// Deterministic local shuffle: swaps adjacent events whose starts are
+// closer than `tolerance`, so arrival order violates time order but every
+// event stays within the reorder bound.
+std::vector<FailureRecord> Shuffled(const std::vector<FailureRecord>& sorted,
+                                    TimeSec tolerance) {
+  std::vector<FailureRecord> out = sorted;
+  for (std::size_t i = 0; i + 1 < out.size(); i += 2) {
+    if (out[i + 1].start - out[i].start < tolerance) {
+      std::swap(out[i], out[i + 1]);
+    }
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const ConditionalResult& stream,
+                        const ConditionalResult& batch) {
+  EXPECT_EQ(stream.conditional.successes, batch.conditional.successes);
+  EXPECT_EQ(stream.conditional.trials, batch.conditional.trials);
+  EXPECT_EQ(stream.conditional.estimate, batch.conditional.estimate);
+  EXPECT_EQ(stream.conditional.ci_low, batch.conditional.ci_low);
+  EXPECT_EQ(stream.conditional.ci_high, batch.conditional.ci_high);
+  EXPECT_EQ(stream.baseline.successes, batch.baseline.successes);
+  EXPECT_EQ(stream.baseline.trials, batch.baseline.trials);
+  EXPECT_EQ(stream.baseline.estimate, batch.baseline.estimate);
+  if (std::isnan(batch.factor)) {
+    EXPECT_TRUE(std::isnan(stream.factor));
+  } else {
+    EXPECT_EQ(stream.factor, batch.factor);
+  }
+  EXPECT_EQ(stream.test.z, batch.test.z);
+  EXPECT_EQ(stream.test.p_value, batch.test.p_value);
+  EXPECT_EQ(stream.num_triggers, batch.num_triggers);
+}
+
+struct Case {
+  EventFilter trigger;
+  EventFilter target;
+  TimeSec window;
+};
+
+std::vector<Case> Cases() {
+  return {
+      {EventFilter::Any(), EventFilter::Any(), kWeek},
+      {EventFilter::Any(), EventFilter::Any(), kDay},
+      {EventFilter::Of(FailureCategory::kHardware), EventFilter::Any(),
+       kWeek},
+      {EventFilter::Of(FailureCategory::kSoftware),
+       EventFilter::Of(FailureCategory::kSoftware), 3 * kDay},
+  };
+}
+
+TEST(StreamParity, TrackerMatchesBatchAnalyzerOnSortedInput) {
+  const Trace& trace = SharedTrace();
+  const core::EventIndex batch_idx(trace);
+  const core::WindowAnalyzer analyzer(batch_idx);
+  for (const Case& c : Cases()) {
+    StreamingWindowTracker tracker(
+        trace.systems(), {.trigger = c.trigger, .target = c.target,
+                          .window = c.window});
+    IncrementalEventIndex idx(trace.systems(), {});
+    idx.SetSink([&tracker](std::size_t sys, const FailureRecord& r) {
+      tracker.OnEvent(sys, r);
+    });
+    for (const FailureRecord& r : trace.failures()) idx.Ingest(r);
+    idx.Finish();
+    tracker.Finish();
+    for (const Scope scope :
+         {Scope::kSameNode, Scope::kRackPeers, Scope::kSystemPeers}) {
+      ExpectBitIdentical(
+          tracker.Result(scope),
+          analyzer.Compare(c.trigger, c.target, scope, c.window));
+    }
+  }
+}
+
+TEST(StreamParity, TrackerMatchesBatchUnderOutOfOrderDelivery) {
+  const Trace& trace = SharedTrace();
+  const core::EventIndex batch_idx(trace);
+  const core::WindowAnalyzer analyzer(batch_idx);
+  const TimeSec tolerance = kDay;
+  const std::vector<FailureRecord> events =
+      Shuffled(trace.failures(), tolerance);
+
+  StreamingWindowTracker tracker(
+      trace.systems(),
+      {.trigger = EventFilter::Any(), .target = EventFilter::Any(),
+       .window = kWeek});
+  IncrementalEventIndex idx(trace.systems(),
+                            {.reorder_tolerance = tolerance});
+  idx.SetSink([&tracker](std::size_t sys, const FailureRecord& r) {
+    tracker.OnEvent(sys, r);
+  });
+  for (const FailureRecord& r : events) {
+    ASSERT_EQ(idx.Ingest(r), IngestStatus::kAccepted);
+  }
+  idx.Finish();
+  tracker.Finish();
+  for (const Scope scope :
+       {Scope::kSameNode, Scope::kRackPeers, Scope::kSystemPeers}) {
+    ExpectBitIdentical(tracker.Result(scope),
+                       analyzer.Compare(EventFilter::Any(),
+                                        EventFilter::Any(), scope, kWeek));
+  }
+}
+
+TEST(StreamParity, EngineCatchUpMatchesBatchAtEveryThreadCount) {
+  const Trace& trace = SharedTrace();
+  const core::EventIndex batch_idx(trace);
+  const core::WindowAnalyzer analyzer(batch_idx);
+  const std::vector<FailureRecord> events = Shuffled(trace.failures(), kDay);
+
+  EngineConfig cfg;
+  cfg.stream.reorder_tolerance = kDay;
+  cfg.window.trigger = EventFilter::Any();
+  cfg.window.target = EventFilter::Any();
+  cfg.window.window = kWeek;
+
+  for (const int threads : {1, 2, 4, 8}) {
+    StreamEngine engine(trace.systems(), cfg);
+    engine.CatchUp(events, threads);
+    engine.Finish();
+    EXPECT_EQ(engine.counters().rejected(), 0);
+    for (const Scope scope :
+         {Scope::kSameNode, Scope::kRackPeers, Scope::kSystemPeers}) {
+      ExpectBitIdentical(engine.tracker().Result(scope),
+                         analyzer.Compare(EventFilter::Any(),
+                                          EventFilter::Any(), scope, kWeek));
+    }
+  }
+}
+
+TEST(StreamParity, PredictorScoresBitIdenticalToBatchWalk) {
+  const Trace& trace = SharedTrace();
+  const core::EventIndex batch_idx(trace);
+  const core::FailurePredictor predictor(batch_idx, core::PredictorConfig{});
+  const double threshold = predictor.baseline();
+
+  // Batch reference: walk the finalized (sorted) trace with per-node
+  // last-failure state, scoring each event before folding it in.
+  std::vector<double> reference;
+  {
+    std::vector<std::vector<std::pair<int, TimeSec>>> last;
+    for (const SystemConfig& s : trace.systems()) {
+      last.emplace_back(static_cast<std::size_t>(s.num_nodes),
+                        std::pair<int, TimeSec>{-1, 0});
+    }
+    for (const FailureRecord& r : trace.failures()) {
+      std::size_t sys = 0;
+      while (trace.systems()[sys].id != r.system) ++sys;
+      auto& slot = last[sys][static_cast<std::size_t>(r.node.value)];
+      std::optional<FailureCategory> t;
+      std::optional<TimeSec> at;
+      if (slot.first >= 0) {
+        t = static_cast<FailureCategory>(slot.first);
+        at = slot.second;
+      }
+      reference.push_back(predictor.Score(t, at, r.start));
+      slot = {static_cast<int>(r.category), r.start};
+    }
+  }
+
+  // Streaming: out-of-order arrival, scores collected in release order.
+  // Released order is per-system time-sorted and globally (start, system,
+  // node)-sorted — the same order as the batch walk.
+  StreamingPredictor streaming(trace.systems(), predictor, threshold);
+  std::vector<double> scores;
+  IncrementalEventIndex idx(trace.systems(), {.reorder_tolerance = kDay});
+  idx.SetSink([&](std::size_t sys, const FailureRecord& r) {
+    scores.push_back(streaming.OnEvent(sys, r));
+  });
+  for (const FailureRecord& r : Shuffled(trace.failures(), kDay)) {
+    idx.Ingest(r);
+  }
+  idx.Finish();
+
+  ASSERT_EQ(scores.size(), reference.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_EQ(scores[i], reference[i]) << "event " << i;
+  }
+  EXPECT_EQ(streaming.events_scored(),
+            static_cast<long long>(reference.size()));
+  long long ref_alarms = 0;
+  for (const double s : reference) {
+    if (s >= threshold) ++ref_alarms;
+  }
+  EXPECT_EQ(streaming.alarms(), ref_alarms);
+}
+
+TEST(StreamParity, SummaryMatchesBatchDescriptiveStats) {
+  const Trace& trace = SharedTrace();
+  StreamEngine engine(trace.systems(), [] {
+    EngineConfig cfg;
+    cfg.window.trigger = EventFilter::Any();
+    cfg.window.target = EventFilter::Any();
+    return cfg;
+  }());
+  engine.CatchUp(trace.failures(), 4);
+  engine.Finish();
+
+  std::vector<double> downtimes;
+  for (const FailureRecord& r : trace.failures()) {
+    downtimes.push_back(static_cast<double>(r.downtime()));
+  }
+  const RunningStats merged = engine.summary().Downtime();
+  EXPECT_EQ(merged.count, static_cast<long long>(downtimes.size()));
+  EXPECT_NEAR(merged.mean, stats::Mean(downtimes),
+              1e-9 * std::abs(stats::Mean(downtimes)));
+  EXPECT_NEAR(merged.variance(), stats::Variance(downtimes),
+              1e-9 * stats::Variance(downtimes));
+
+  long long by_cat = 0;
+  for (FailureCategory c : AllFailureCategories()) {
+    by_cat += engine.summary().CountOf(c);
+  }
+  EXPECT_EQ(by_cat, merged.count);
+}
+
+TEST(StreamParity, SummaryMergeIsIndependentOfSplitPoint) {
+  // Merging per-system accumulators must not depend on how the stream was
+  // chunked: any CatchUp split yields the same merged doubles.
+  const Trace& trace = SharedTrace();
+  const auto run = [&](std::size_t split) {
+    StreamingSummary summary(trace.systems().size());
+    IncrementalEventIndex idx(trace.systems(), {});
+    idx.SetSink([&summary](std::size_t sys, const FailureRecord& r) {
+      summary.OnEvent(sys, r);
+    });
+    const std::vector<FailureRecord>& events = trace.failures();
+    idx.CatchUp(std::span(events).subspan(0, split), 2);
+    idx.CatchUp(std::span(events).subspan(split), 2);
+    idx.Finish();
+    return summary.Downtime();
+  };
+  const RunningStats a = run(1);
+  const RunningStats b = run(SharedTrace().failures().size() / 2);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace hpcfail::stream

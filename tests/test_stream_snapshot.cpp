@@ -1,0 +1,281 @@
+// Checkpoint/restore: snapshot primitives, the envelope format, full-engine
+// round trips (snapshot mid-stream, restore fresh, finish, compare against
+// an uninterrupted run) and rejection of corrupted/truncated/mismatched
+// snapshots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "core/prediction.h"
+#include "core/window_analysis.h"
+#include "stream/engine.h"
+#include "stream/snapshot.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
+
+namespace hpcfail::stream {
+namespace {
+
+using core::EventFilter;
+using core::Scope;
+
+TEST(Snapshot, WriterReaderRoundTrip) {
+  snapshot::Writer w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutBool(true);
+  w.PutDouble(-0.1);
+  w.PutString("hello");
+
+  snapshot::Reader r(w.payload());
+  EXPECT_EQ(r.GetU8(), 0xAB);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetI64(), -42);
+  EXPECT_TRUE(r.GetBool());
+  EXPECT_EQ(r.GetDouble(), -0.1);
+  EXPECT_EQ(r.GetString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_THROW(r.GetU8(), snapshot::SnapshotError);
+}
+
+TEST(Snapshot, DoubleRoundTripIsExact) {
+  snapshot::Writer w;
+  const double values[] = {0.0, -0.0, 1e-300, 1e300,
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()};
+  for (const double v : values) w.PutDouble(v);
+  snapshot::Reader r(w.payload());
+  for (const double v : values) {
+    const double got = r.GetDouble();
+    if (std::isnan(v)) {
+      EXPECT_TRUE(std::isnan(got));
+    } else {
+      EXPECT_EQ(got, v);
+      EXPECT_EQ(std::signbit(got), std::signbit(v));
+    }
+  }
+}
+
+TEST(Snapshot, GetSizeRejectsImplausibleContainerLength) {
+  snapshot::Writer w;
+  w.PutU64(1'000'000'000ULL);  // claims a billion elements...
+  w.PutU8(1);                  // ...with one byte of payload behind it
+  snapshot::Reader r(w.payload());
+  EXPECT_THROW(r.GetSize(8), snapshot::SnapshotError);
+}
+
+TEST(Snapshot, EnvelopeRoundTrip) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  snapshot::WriteEnvelope(ss, "payload bytes");
+  EXPECT_EQ(snapshot::ReadEnvelope(ss), "payload bytes");
+}
+
+TEST(Snapshot, EnvelopeRejectsCorruption) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  snapshot::WriteEnvelope(ss, "payload bytes");
+  const std::string good = ss.str();
+
+  {  // bad magic
+    std::string bytes = good;
+    bytes[0] = 'X';
+    std::istringstream is(bytes);
+    EXPECT_THROW(snapshot::ReadEnvelope(is), snapshot::SnapshotError);
+  }
+  {  // unsupported version
+    std::string bytes = good;
+    bytes[8] = 99;
+    std::istringstream is(bytes);
+    EXPECT_THROW(snapshot::ReadEnvelope(is), snapshot::SnapshotError);
+  }
+  {  // flipped payload byte -> checksum mismatch
+    std::string bytes = good;
+    bytes[22] ^= 0x01;
+    std::istringstream is(bytes);
+    EXPECT_THROW(snapshot::ReadEnvelope(is), snapshot::SnapshotError);
+  }
+  {  // truncation at every prefix length
+    for (std::size_t n = 0; n < good.size(); ++n) {
+      std::istringstream is(good.substr(0, n));
+      EXPECT_THROW(snapshot::ReadEnvelope(is), snapshot::SnapshotError)
+          << "prefix " << n;
+    }
+  }
+  {  // implausible declared size must not trigger a giant allocation
+    std::string bytes = good;
+    for (int i = 12; i < 20; ++i) bytes[static_cast<std::size_t>(i)] = '\xFF';
+    std::istringstream is(bytes);
+    EXPECT_THROW(snapshot::ReadEnvelope(is), snapshot::SnapshotError);
+  }
+}
+
+// ---- Full-engine round trips.
+
+EngineConfig TestConfig() {
+  EngineConfig cfg;
+  cfg.stream.reorder_tolerance = kDay;
+  cfg.window.trigger = EventFilter::Any();
+  cfg.window.target = EventFilter::Any();
+  cfg.window.window = kWeek;
+  return cfg;
+}
+
+const Trace& SharedTrace() {
+  static const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 23);
+  return trace;
+}
+
+const core::FailurePredictor& SharedPredictor() {
+  static const core::EventIndex index(SharedTrace());
+  static const core::FailurePredictor predictor(index,
+                                                core::PredictorConfig{});
+  return predictor;
+}
+
+std::unique_ptr<StreamEngine> MakeEngine() {
+  auto engine =
+      std::make_unique<StreamEngine>(SharedTrace().systems(), TestConfig());
+  engine->AttachPredictor(SharedPredictor(), SharedPredictor().baseline());
+  return engine;
+}
+
+TEST(EngineSnapshot, MidStreamRestoreFinishesIdentically) {
+  const std::vector<FailureRecord>& events = SharedTrace().failures();
+  const std::size_t split = events.size() / 2;
+
+  auto uninterrupted = MakeEngine();
+  for (const FailureRecord& r : events) uninterrupted->Ingest(r);
+  uninterrupted->Finish();
+
+  auto head = MakeEngine();
+  for (std::size_t i = 0; i < split; ++i) head->Ingest(events[i]);
+  std::stringstream snap(std::ios::in | std::ios::out | std::ios::binary);
+  head->SaveCheckpoint(snap);
+
+  // Fresh engine, as a restarted process would build it.
+  auto resumed = MakeEngine();
+  resumed->RestoreCheckpoint(snap);
+  EXPECT_EQ(resumed->counters().accepted, head->counters().accepted);
+  EXPECT_EQ(resumed->watermark(), head->watermark());
+  EXPECT_EQ(resumed->index().num_buffered(), head->index().num_buffered());
+  for (std::size_t i = split; i < events.size(); ++i) {
+    resumed->Ingest(events[i]);
+  }
+  resumed->Finish();
+
+  for (const Scope scope :
+       {Scope::kSameNode, Scope::kRackPeers, Scope::kSystemPeers}) {
+    const auto a = resumed->tracker().Result(scope);
+    const auto b = uninterrupted->tracker().Result(scope);
+    EXPECT_EQ(a.conditional.estimate, b.conditional.estimate);
+    EXPECT_EQ(a.conditional.trials, b.conditional.trials);
+    EXPECT_EQ(a.baseline.estimate, b.baseline.estimate);
+    EXPECT_EQ(a.test.p_value, b.test.p_value);
+  }
+  EXPECT_EQ(resumed->summary().Downtime(), uninterrupted->summary().Downtime());
+  EXPECT_EQ(resumed->predictor().alarms(), uninterrupted->predictor().alarms());
+  EXPECT_EQ(resumed->predictor().events_scored(),
+            uninterrupted->predictor().events_scored());
+  EXPECT_EQ(resumed->counters().released, uninterrupted->counters().released);
+}
+
+TEST(EngineSnapshot, RestoreWithReorderBufferInFlight) {
+  // Snapshot taken while events sit in the reorder buffer: the buffered
+  // events must survive the round trip and release later in order.
+  const std::vector<FailureRecord>& events = SharedTrace().failures();
+  auto head = MakeEngine();
+  for (std::size_t i = 0; i < events.size() / 2; ++i) head->Ingest(events[i]);
+  ASSERT_GT(head->index().num_buffered(), 0u);
+
+  std::stringstream snap(std::ios::in | std::ios::out | std::ios::binary);
+  head->SaveCheckpoint(snap);
+  auto resumed = MakeEngine();
+  resumed->RestoreCheckpoint(snap);
+
+  head->Finish();
+  resumed->Finish();
+  EXPECT_EQ(resumed->counters().released, head->counters().released);
+  EXPECT_EQ(resumed->summary().Downtime(), head->summary().Downtime());
+}
+
+TEST(EngineSnapshot, CorruptedPayloadIsRejected) {
+  auto head = MakeEngine();
+  for (const FailureRecord& r : SharedTrace().failures()) head->Ingest(r);
+  std::stringstream snap(std::ios::in | std::ios::out | std::ios::binary);
+  head->SaveCheckpoint(snap);
+  std::string bytes = snap.str();
+  bytes[bytes.size() / 3] ^= 0x40;
+  std::istringstream is(bytes);
+  auto victim = MakeEngine();
+  EXPECT_THROW(victim->RestoreCheckpoint(is), snapshot::SnapshotError);
+}
+
+TEST(EngineSnapshot, TruncatedFileIsRejected) {
+  auto head = MakeEngine();
+  for (const FailureRecord& r : SharedTrace().failures()) head->Ingest(r);
+  std::stringstream snap(std::ios::in | std::ios::out | std::ios::binary);
+  head->SaveCheckpoint(snap);
+  const std::string bytes = snap.str();
+  std::istringstream torn(bytes.substr(0, bytes.size() - 9));
+  auto victim = MakeEngine();
+  EXPECT_THROW(victim->RestoreCheckpoint(torn), snapshot::SnapshotError);
+}
+
+TEST(EngineSnapshot, ConfigMismatchIsRejected) {
+  auto head = MakeEngine();
+  std::stringstream snap(std::ios::in | std::ios::out | std::ios::binary);
+  head->SaveCheckpoint(snap);
+
+  {  // different reorder tolerance
+    EngineConfig other = TestConfig();
+    other.stream.reorder_tolerance = 2 * kDay;
+    StreamEngine victim(SharedTrace().systems(), other);
+    victim.AttachPredictor(SharedPredictor(), SharedPredictor().baseline());
+    std::istringstream is(snap.str());
+    EXPECT_THROW(victim.RestoreCheckpoint(is), snapshot::SnapshotError);
+  }
+  {  // predictor attached at save time but missing at restore
+    StreamEngine victim(SharedTrace().systems(), TestConfig());
+    std::istringstream is(snap.str());
+    EXPECT_THROW(victim.RestoreCheckpoint(is), snapshot::SnapshotError);
+  }
+  {  // fewer systems configured
+    std::vector<SystemConfig> fewer(SharedTrace().systems().begin(),
+                                    SharedTrace().systems().end() - 1);
+    if (!fewer.empty()) {
+      StreamEngine victim(fewer, TestConfig());
+      victim.AttachPredictor(SharedPredictor(), SharedPredictor().baseline());
+      std::istringstream is(snap.str());
+      EXPECT_THROW(victim.RestoreCheckpoint(is), snapshot::SnapshotError);
+    }
+  }
+}
+
+TEST(EngineSnapshot, DoubleRestoreIsDeterministic) {
+  auto head = MakeEngine();
+  const std::vector<FailureRecord>& events = SharedTrace().failures();
+  for (std::size_t i = 0; i < events.size() / 4; ++i) head->Ingest(events[i]);
+  std::stringstream snap(std::ios::in | std::ios::out | std::ios::binary);
+  head->SaveCheckpoint(snap);
+
+  auto a = MakeEngine();
+  auto b = MakeEngine();
+  std::istringstream is_a(snap.str());
+  std::istringstream is_b(snap.str());
+  a->RestoreCheckpoint(is_a);
+  b->RestoreCheckpoint(is_b);
+  std::stringstream out_a(std::ios::in | std::ios::out | std::ios::binary);
+  std::stringstream out_b(std::ios::in | std::ios::out | std::ios::binary);
+  a->SaveCheckpoint(out_a);
+  b->SaveCheckpoint(out_b);
+  EXPECT_EQ(out_a.str(), out_b.str());
+  EXPECT_EQ(out_a.str(), snap.str());  // save(restore(x)) == x
+}
+
+}  // namespace
+}  // namespace hpcfail::stream

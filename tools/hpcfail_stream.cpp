@@ -1,0 +1,535 @@
+// hpcfail_stream: live streaming analysis over a failure log feed.
+//
+//   hpcfail_stream --trace <csv-trace-dir> [options]
+//   hpcfail_stream --selftest
+//
+// The trace directory provides the machine configuration (systems.csv +
+// layout.csv). The failure feed is <dir>/failures.csv by default and can be
+// any file in the same schema — or stdin — via --input:
+//
+//   --input FILE|-       failure feed (failures.csv schema); "-" = stdin
+//   --follow             keep tailing the feed for appended rows
+//   --tolerance SECONDS  out-of-order tolerance (default 0 = sorted input)
+//   --window SECONDS     follow-up window length (default one week)
+//   --every N            emit a JSON metrics line every N accepted events
+//                        (default 1000)
+//   --threads N          worker threads for the catch-up replay (default:
+//                        hardware concurrency; 1 forces the serial path)
+//   --train DIR          train a hazard predictor on this CSV trace dir and
+//                        score every arriving failure against it
+//   --predictor-threshold T  alarm threshold (default: learned baseline)
+//   --checkpoint FILE    snapshot the stream state at every metrics
+//                        emission and at end of feed
+//   --restore FILE       restore a snapshot before ingesting (engine must
+//                        be configured identically to the saved run)
+//
+// Each metrics line is one JSON object: ingest counters, watermark,
+// events/sec, the live conditional-vs-baseline window probabilities at
+// node/rack/system scope, downtime summary stats, and the predictor alarm
+// rate when one is attached.
+//
+// --selftest runs an end-to-end smoke against the batch analyzer (used as a
+// ctest entry): stream a synthetic trace out of order, checkpoint/restore
+// mid-stream, and require bit-identical window results.
+//
+// --make-demo DIR [scale] [years] [seed] writes a synthetic CSV trace
+// directory (LANL-like scenario) and exits — a self-contained way to try
+// the streaming pipeline without real logs.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/prediction.h"
+#include "core/window_analysis.h"
+#include "stream/engine.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
+#include "trace/csv.h"
+
+namespace {
+
+using namespace hpcfail;
+
+struct Options {
+  std::string trace_dir;
+  std::string input;  // empty = <trace_dir>/failures.csv, "-" = stdin
+  bool follow = false;
+  TimeSec tolerance = 0;
+  TimeSec window = kWeek;
+  long long every = 1000;
+  int threads = 0;
+  std::string train_dir;
+  double predictor_threshold = -1.0;  // < 0 = use the learned baseline
+  std::string checkpoint_path;
+  std::string restore_path;
+};
+
+void AppendJsonNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  out += os.str();
+}
+
+void AppendScope(std::string& out, const char* name,
+                 const stream::StreamEngine& engine, core::Scope scope) {
+  const core::ConditionalResult r = engine.tracker().Result(scope);
+  out += '"';
+  out += name;
+  out += "\":{\"p_conditional\":";
+  AppendJsonNumber(out, r.conditional.estimate);
+  out += ",\"p_baseline\":";
+  AppendJsonNumber(out, r.baseline.estimate);
+  out += ",\"factor\":";
+  AppendJsonNumber(out, r.factor);
+  out += ",\"triggers\":" + std::to_string(r.num_triggers) + "}";
+}
+
+void EmitMetrics(std::ostream& os, const stream::StreamEngine& engine,
+                 double events_per_sec, bool final) {
+  const stream::IngestCounters& c = engine.counters();
+  std::string out = "{\"accepted\":" + std::to_string(c.accepted) +
+                    ",\"released\":" + std::to_string(c.released) +
+                    ",\"rejected_late\":" + std::to_string(c.rejected_late) +
+                    ",\"rejected_bad\":" +
+                    std::to_string(c.rejected_unknown_system +
+                                   c.rejected_bad_record) +
+                    ",\"buffered\":" +
+                    std::to_string(engine.index().num_buffered());
+  out += ",\"watermark\":";
+  if (engine.watermark() == stream::IncrementalEventIndex::kNoWatermark) {
+    out += "null";
+  } else {
+    out += std::to_string(engine.watermark());
+  }
+  out += ",\"events_per_sec\":";
+  AppendJsonNumber(out, events_per_sec);
+  out += ",\"pending_windows\":" +
+         std::to_string(engine.tracker().pending_windows()) + ",";
+  AppendScope(out, "same_node", engine, core::Scope::kSameNode);
+  out += ',';
+  AppendScope(out, "rack_peers", engine, core::Scope::kRackPeers);
+  out += ',';
+  AppendScope(out, "system_peers", engine, core::Scope::kSystemPeers);
+  const stream::RunningStats down = engine.summary().Downtime();
+  out += ",\"downtime\":{\"count\":" + std::to_string(down.count) +
+         ",\"mean_hours\":";
+  AppendJsonNumber(out, down.mean / 3600.0);
+  out += ",\"stddev_hours\":";
+  AppendJsonNumber(out, down.stddev() / 3600.0);
+  out += "}";
+  if (engine.has_predictor()) {
+    const stream::StreamingPredictor& p = engine.predictor();
+    out += ",\"predictor\":{\"scored\":" + std::to_string(p.events_scored()) +
+           ",\"alarms\":" + std::to_string(p.alarms()) + ",\"alarm_rate\":";
+    AppendJsonNumber(out, p.alarm_rate());
+    out += "}";
+  }
+  out += final ? ",\"final\":true}" : "}";
+  os << out << "\n" << std::flush;
+}
+
+void SaveCheckpoint(const stream::StreamEngine& engine,
+                    const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot write " + tmp);
+    engine.SaveCheckpoint(os);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
+}
+
+// Parses one feed line (already header-validated stream); returns false on
+// a malformed row, which streaming must survive (counted, not fatal).
+bool ParseFeedLine(std::string line, std::size_t line_no, FailureRecord* out) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) return false;
+  try {
+    *out = csv::ParseFailureRow(csv::SplitLine(line), line_no);
+  } catch (const csv::ParseError& e) {
+    std::cerr << "hpcfail_stream: skipping line " << e.line() << ": "
+              << e.what() << "\n";
+    return false;
+  }
+  return true;
+}
+
+int RunStream(const Options& opt) {
+  const Trace config_trace = csv::LoadTrace(opt.trace_dir);
+  stream::EngineConfig cfg;
+  cfg.stream.reorder_tolerance = opt.tolerance;
+  cfg.window.trigger = core::EventFilter::Any();
+  cfg.window.target = core::EventFilter::Any();
+  cfg.window.window = opt.window;
+  stream::StreamEngine engine(config_trace.systems(), cfg);
+
+  if (!opt.train_dir.empty()) {
+    const Trace train = csv::LoadTrace(opt.train_dir);
+    const core::EventIndex train_idx(train);
+    core::FailurePredictor predictor(train_idx, core::PredictorConfig{});
+    const double baseline = predictor.baseline();
+    // Default alarm cut-off: the smallest learned conditional above the
+    // baseline, so an alarm means "this node is in an elevated-hazard
+    // state" rather than firing on every event.
+    double threshold = opt.predictor_threshold;
+    if (threshold < 0) {
+      threshold = baseline;
+      for (FailureCategory c : AllFailureCategories()) {
+        const double p = predictor.conditional(c);
+        if (p > baseline && (threshold == baseline || p < threshold)) {
+          threshold = p;
+        }
+      }
+    }
+    engine.AttachPredictor(std::move(predictor), threshold);
+    std::cerr << "hpcfail_stream: predictor trained on " << opt.train_dir
+              << " (baseline " << baseline << ", threshold " << threshold
+              << ")\n";
+  }
+
+  if (!opt.restore_path.empty()) {
+    std::ifstream is(opt.restore_path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot open " + opt.restore_path);
+    engine.RestoreCheckpoint(is);
+    std::cerr << "hpcfail_stream: restored " << opt.restore_path << " ("
+              << engine.counters().accepted << " events already ingested)\n";
+  }
+
+  const std::string input_path =
+      opt.input.empty() ? opt.trace_dir + "/failures.csv" : opt.input;
+  const bool from_stdin = input_path == "-";
+  std::ifstream file;
+  if (!from_stdin) {
+    file.open(input_path);
+    if (!file) throw std::runtime_error("cannot open " + input_path);
+  }
+  std::istream& is = from_stdin ? std::cin : file;
+
+  // Header row (BOM/CRLF tolerant, like the batch reader).
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error(input_path + ": empty feed (no header row)");
+  }
+  csv::StripLeadingBom(line);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != csv::FailuresHeader()) {
+    throw std::runtime_error(input_path + ": bad header row '" + line + "'");
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const auto rate = [&](long long events) {
+    const double secs = elapsed();
+    return secs > 0 ? static_cast<double>(events) / secs : 0.0;
+  };
+  const auto emit = [&] {
+    EmitMetrics(std::cout, engine, rate(engine.counters().accepted), false);
+    if (!opt.checkpoint_path.empty()) {
+      SaveCheckpoint(engine, opt.checkpoint_path);
+    }
+  };
+
+  std::size_t line_no = 1;
+  long long since_emit = 0;
+  if (!opt.follow && !from_stdin) {
+    // Whole file available up front: sharded catch-up replay, one chunk per
+    // metrics interval so progress still streams out.
+    std::vector<FailureRecord> chunk;
+    chunk.reserve(static_cast<std::size_t>(opt.every));
+    const auto flush_chunk = [&] {
+      if (chunk.empty()) return;
+      engine.CatchUp(chunk, opt.threads);
+      chunk.clear();
+      emit();
+    };
+    while (std::getline(is, line)) {
+      ++line_no;
+      FailureRecord r;
+      if (!ParseFeedLine(std::move(line), line_no, &r)) continue;
+      chunk.push_back(r);
+      if (chunk.size() >= static_cast<std::size_t>(opt.every)) flush_chunk();
+    }
+    flush_chunk();
+  } else {
+    // Tail mode: ingest line-by-line; on EOF either stop (stdin closed) or
+    // poll for appended rows.
+    for (;;) {
+      if (!std::getline(is, line)) {
+        if (!opt.follow || from_stdin) break;
+        is.clear();
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        continue;
+      }
+      ++line_no;
+      FailureRecord r;
+      if (!ParseFeedLine(std::move(line), line_no, &r)) continue;
+      if (engine.Ingest(r) == stream::IngestStatus::kAccepted &&
+          ++since_emit >= opt.every) {
+        since_emit = 0;
+        emit();
+      }
+    }
+  }
+
+  if (!opt.checkpoint_path.empty()) {
+    // Final pre-Finish snapshot: a later run restores it and resumes.
+    SaveCheckpoint(engine, opt.checkpoint_path);
+  }
+  engine.Finish();
+  EmitMetrics(std::cout, engine, rate(engine.counters().accepted), true);
+  return 0;
+}
+
+// ---- --selftest: end-to-end smoke against the batch path.
+
+bool SameResult(const core::ConditionalResult& a,
+                const core::ConditionalResult& b) {
+  const auto same_prop = [](const stats::Proportion& x,
+                            const stats::Proportion& y) {
+    return x.successes == y.successes && x.trials == y.trials &&
+           x.estimate == y.estimate && x.ci_low == y.ci_low &&
+           x.ci_high == y.ci_high;
+  };
+  const bool factor_same =
+      a.factor == b.factor || (std::isnan(a.factor) && std::isnan(b.factor));
+  return same_prop(a.conditional, b.conditional) &&
+         same_prop(a.baseline, b.baseline) && factor_same &&
+         a.test.z == b.test.z && a.test.p_value == b.test.p_value &&
+         a.num_triggers == b.num_triggers;
+}
+
+int Selftest() {
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::cerr << (ok ? "  ok: " : "  FAIL: ") << what << "\n";
+    if (!ok) ++failures;
+  };
+
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 7);
+  const std::vector<FailureRecord>& sorted = trace.failures();
+  check(sorted.size() > 100, "synthetic trace has events");
+
+  // Batch references.
+  const core::EventIndex batch_idx(trace);
+  const core::WindowAnalyzer analyzer(batch_idx);
+  const core::FailurePredictor predictor(batch_idx, core::PredictorConfig{});
+  const double threshold = predictor.baseline();
+  core::ConditionalResult batch[3];
+  const core::Scope scopes[3] = {core::Scope::kSameNode,
+                                 core::Scope::kRackPeers,
+                                 core::Scope::kSystemPeers};
+  for (int i = 0; i < 3; ++i) {
+    batch[i] = analyzer.Compare(core::EventFilter::Any(),
+                                core::EventFilter::Any(), scopes[i], kWeek);
+  }
+
+  // Deterministic local shuffle: swap adjacent events closer than the
+  // tolerance, so arrival order violates time order but stays in bound.
+  const TimeSec tolerance = kDay;
+  std::vector<FailureRecord> shuffled = sorted;
+  for (std::size_t i = 0; i + 1 < shuffled.size(); i += 2) {
+    if (shuffled[i + 1].start - shuffled[i].start < tolerance) {
+      std::swap(shuffled[i], shuffled[i + 1]);
+    }
+  }
+
+  stream::EngineConfig cfg;
+  cfg.stream.reorder_tolerance = tolerance;
+  cfg.window.trigger = core::EventFilter::Any();
+  cfg.window.target = core::EventFilter::Any();
+  cfg.window.window = kWeek;
+
+  const auto make_engine = [&] {
+    auto engine =
+        std::make_unique<stream::StreamEngine>(trace.systems(), cfg);
+    engine->AttachPredictor(predictor, threshold);
+    return engine;
+  };
+
+  // Uninterrupted out-of-order run.
+  auto full = make_engine();
+  for (const FailureRecord& r : shuffled) full->Ingest(r);
+  full->Finish();
+  check(full->counters().rejected() == 0, "no events rejected in bound");
+  for (int i = 0; i < 3; ++i) {
+    check(SameResult(full->tracker().Result(scopes[i]), batch[i]),
+          "stream window result bit-identical to batch");
+  }
+  check(full->summary().total_events() ==
+            static_cast<long long>(sorted.size()),
+        "summary counted every event");
+
+  // Predictor reference: walk the batch-sorted trace with per-node state.
+  {
+    long long alarms = 0;
+    std::vector<std::vector<std::pair<int, TimeSec>>> last;
+    for (const SystemConfig& s : trace.systems()) {
+      last.emplace_back(static_cast<std::size_t>(s.num_nodes),
+                        std::pair<int, TimeSec>{-1, 0});
+    }
+    for (const FailureRecord& r : sorted) {
+      std::size_t sys = 0;
+      while (trace.systems()[sys].id != r.system) ++sys;
+      auto& slot = last[sys][static_cast<std::size_t>(r.node.value)];
+      std::optional<FailureCategory> t;
+      std::optional<TimeSec> at;
+      if (slot.first >= 0) {
+        t = static_cast<FailureCategory>(slot.first);
+        at = slot.second;
+      }
+      if (predictor.Score(t, at, r.start) >= threshold) ++alarms;
+      slot = {static_cast<int>(r.category), r.start};
+    }
+    check(full->predictor().events_scored() ==
+              static_cast<long long>(sorted.size()),
+          "predictor scored every event");
+    check(full->predictor().alarms() == alarms,
+          "stream alarm count matches batch walk");
+  }
+
+  // Checkpoint mid-stream, restore into a fresh engine, finish, compare.
+  auto head = make_engine();
+  const std::size_t split = shuffled.size() / 2;
+  for (std::size_t i = 0; i < split; ++i) head->Ingest(shuffled[i]);
+  std::stringstream snap(std::ios::in | std::ios::out | std::ios::binary);
+  head->SaveCheckpoint(snap);
+
+  auto resumed = make_engine();
+  resumed->RestoreCheckpoint(snap);
+  for (std::size_t i = split; i < shuffled.size(); ++i) {
+    resumed->Ingest(shuffled[i]);
+  }
+  resumed->Finish();
+  for (int i = 0; i < 3; ++i) {
+    check(SameResult(resumed->tracker().Result(scopes[i]), batch[i]),
+          "post-restore window result bit-identical to batch");
+  }
+  check(resumed->predictor().alarms() == full->predictor().alarms(),
+        "post-restore alarm count matches");
+
+  // Corrupted snapshot must be rejected.
+  {
+    std::string bytes = snap.str();
+    bytes[bytes.size() / 2] ^= 0x5a;
+    std::istringstream bad(bytes);
+    auto victim = make_engine();
+    bool threw = false;
+    try {
+      victim->RestoreCheckpoint(bad);
+    } catch (const stream::snapshot::SnapshotError&) {
+      threw = true;
+    }
+    check(threw, "corrupted snapshot rejected");
+  }
+
+  // Metrics emission renders valid-looking JSON.
+  {
+    std::ostringstream os;
+    EmitMetrics(os, *full, 1234.5, true);
+    const std::string json = os.str();
+    check(json.find("\"same_node\"") != std::string::npos &&
+              json.find("\"alarm_rate\"") != std::string::npos &&
+              json.back() == '\n',
+          "metrics line renders");
+  }
+
+  std::cerr << (failures == 0 ? "selftest: all checks passed\n"
+                              : "selftest: FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int MakeDemo(int argc, char** argv, int i) {
+  if (i >= argc) throw std::runtime_error("--make-demo requires a directory");
+  const std::string dir = argv[i++];
+  const double scale = i < argc ? std::atof(argv[i++]) : 0.3;
+  const double years = i < argc ? std::atof(argv[i++]) : 1.0;
+  const std::uint64_t seed =
+      i < argc ? std::strtoull(argv[i], nullptr, 10) : 1;
+  const Trace trace = synth::GenerateTrace(
+      synth::LanlLikeScenario(scale,
+                              static_cast<TimeSec>(years * hpcfail::kYear)),
+      seed);
+  csv::SaveTrace(trace, dir);
+  std::cerr << "hpcfail_stream: wrote " << trace.num_failures()
+            << " failures across " << trace.systems().size()
+            << " systems to " << dir << "\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    Options opt;
+    bool selftest = false;
+    const auto need_value = [&](int i) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(argv[i]) + " requires a value");
+      }
+      return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--selftest") == 0) selftest = true;
+      else if (std::strcmp(a, "--make-demo") == 0)
+        return MakeDemo(argc, argv, i + 1);
+      else if (std::strcmp(a, "--trace") == 0) opt.trace_dir = need_value(i++);
+      else if (std::strcmp(a, "--input") == 0) opt.input = need_value(i++);
+      else if (std::strcmp(a, "--follow") == 0) opt.follow = true;
+      else if (std::strcmp(a, "--tolerance") == 0)
+        opt.tolerance = std::atoll(need_value(i++));
+      else if (std::strcmp(a, "--window") == 0)
+        opt.window = std::atoll(need_value(i++));
+      else if (std::strcmp(a, "--every") == 0)
+        opt.every = std::max(1LL, std::atoll(need_value(i++)));
+      else if (std::strcmp(a, "--threads") == 0)
+        opt.threads = std::atoi(need_value(i++));
+      else if (std::strcmp(a, "--train") == 0) opt.train_dir = need_value(i++);
+      else if (std::strcmp(a, "--predictor-threshold") == 0)
+        opt.predictor_threshold = std::atof(need_value(i++));
+      else if (std::strcmp(a, "--checkpoint") == 0)
+        opt.checkpoint_path = need_value(i++);
+      else if (std::strcmp(a, "--restore") == 0)
+        opt.restore_path = need_value(i++);
+      else
+        throw std::runtime_error(std::string("unknown option ") + a);
+    }
+    if (selftest) return Selftest();
+    if (opt.trace_dir.empty()) {
+      std::cerr
+          << "usage:\n"
+          << "  hpcfail_stream --trace <csv-trace-dir> [--input FILE|-]\n"
+          << "      [--follow] [--tolerance S] [--window S] [--every N]\n"
+          << "      [--threads N] [--train DIR] [--predictor-threshold T]\n"
+          << "      [--checkpoint FILE] [--restore FILE]\n"
+          << "  hpcfail_stream --make-demo <dir> [scale] [years] [seed]\n"
+          << "  hpcfail_stream --selftest\n";
+      return 2;
+    }
+    if (opt.threads > 0) core::SetDefaultThreadCount(opt.threads);
+    return RunStream(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
