@@ -15,13 +15,26 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== tsan: streaming tests under ThreadSanitizer =="
+echo "== tsan: streaming + observability tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DHPCFAIL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target \
-  test_stream_index test_stream_parity test_stream_snapshot hpcfail_stream
+  test_stream_index test_stream_parity test_stream_snapshot \
+  test_metrics test_obs_integration test_csv_fuzz hpcfail_stream
 ./build-tsan/tests/test_stream_index
 ./build-tsan/tests/test_stream_parity
 ./build-tsan/tests/test_stream_snapshot
+./build-tsan/tests/test_metrics
+./build-tsan/tests/test_obs_integration
+./build-tsan/tests/test_csv_fuzz
 ./build-tsan/tools/hpcfail_stream --selftest
+
+echo "== obs-off: compile with instrumentation disabled =="
+# The HPCFAIL_OBS=OFF path must keep compiling (the macros stub every
+# mutator); run the two suites that assert the disabled-path semantics.
+cmake -B build-noobs -S . -DHPCFAIL_OBS=OFF
+cmake --build build-noobs -j "$JOBS" --target \
+  test_metrics test_obs_integration hpcfail_report hpcfail_stream
+./build-noobs/tests/test_metrics
+./build-noobs/tests/test_obs_integration
 
 echo "ci: all green"

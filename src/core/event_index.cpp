@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace hpcfail::core {
 
 std::string EventFilter::Describe() const {
@@ -14,11 +17,13 @@ std::string EventFilter::Describe() const {
 
 EventIndex::EventIndex(const Trace& trace, std::span<const SystemId> systems)
     : trace_(&trace) {
+  obs::ScopedTimer timer("index_build");
   if (systems.empty()) {
     for (const SystemConfig& s : trace.systems()) systems_.push_back(s.id);
   } else {
     systems_.assign(systems.begin(), systems.end());
   }
+  long long indexed = 0;
   events_.reserve(systems_.size());
   for (SystemId id : systems_) {
     SystemEventStore se;
@@ -26,8 +31,16 @@ EventIndex::EventIndex(const Trace& trace, std::span<const SystemId> systems)
     // FailuresOfSystem is time-sorted (Trace::Finalize), so appending in
     // order keeps every per-node / per-rack list sorted too.
     for (const FailureRecord& f : trace.FailuresOfSystem(id)) se.Append(f);
+    indexed += static_cast<long long>(se.failures.size());
     events_.push_back(std::move(se));
   }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("hpcfail_index_builds_total",
+                 "Batch EventIndex constructions")
+      .Increment();
+  reg.GetCounter("hpcfail_index_records_total",
+                 "Failure records indexed by batch EventIndex builds")
+      .Add(indexed);
 }
 
 const SystemEventStore* EventIndex::Find(SystemId sys) const {

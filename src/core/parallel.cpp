@@ -4,8 +4,42 @@
 #include <exception>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace hpcfail::core {
 namespace {
+
+// Registered once; every hot-path touch is a relaxed shard add or a gauge
+// store (see obs/metrics.h).
+struct PoolMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& tasks_submitted = reg.GetCounter(
+      "hpcfail_pool_tasks_submitted_total",
+      "Tasks accepted into the shared thread pool queue");
+  obs::Counter& tasks_run = reg.GetCounter(
+      "hpcfail_pool_tasks_run_total", "Tasks executed by pool workers");
+  obs::Counter& tasks_rejected = reg.GetCounter(
+      "hpcfail_pool_tasks_rejected_total",
+      "Tasks rejected because the pool was shutting down");
+  obs::Gauge& queue_depth = reg.GetGauge(
+      "hpcfail_pool_queue_depth", "Tasks currently waiting in the pool queue");
+  obs::Counter& regions = reg.GetCounter(
+      "hpcfail_parallel_regions_total",
+      "ParallelFor regions fanned out across the pool");
+  obs::Counter& regions_inline = reg.GetCounter(
+      "hpcfail_parallel_regions_inline_total",
+      "ParallelFor regions run inline (1 thread, tiny loop, or nested)");
+  obs::Counter& items = reg.GetCounter(
+      "hpcfail_parallel_items_total", "Loop indices executed by ParallelFor");
+  obs::Counter& items_stolen = reg.GetCounter(
+      "hpcfail_parallel_items_stolen_total",
+      "Loop indices claimed by pool helper lanes rather than the caller");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
 
 std::atomic<int> g_default_threads{0};  // 0 = hardware default
 
@@ -55,11 +89,17 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
+  PoolMetrics& metrics = PoolMetrics::Get();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_) return false;
+    if (shutting_down_) {
+      metrics.tasks_rejected.Increment();
+      return false;
+    }
     queue_.push_back(std::move(task));
+    metrics.queue_depth.Set(static_cast<double>(queue_.size()));
   }
+  metrics.tasks_submitted.Increment();
   cv_.notify_one();
   return true;
 }
@@ -68,6 +108,7 @@ bool ThreadPool::OnWorkerThread() { return tls_on_worker_thread; }
 
 void ThreadPool::WorkerLoop() {
   tls_on_worker_thread = true;
+  PoolMetrics& metrics = PoolMetrics::Get();
   while (true) {
     std::function<void()> task;
     {
@@ -76,8 +117,10 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      metrics.queue_depth.Set(static_cast<double>(queue_.size()));
     }
     task();
+    metrics.tasks_run.Increment();
   }
 }
 
@@ -90,9 +133,14 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
   // already inside a pool worker (nested region) — run inline.
   if (want <= 1 || ThreadPool::OnWorkerThread()) {
     for (std::size_t i = 0; i < n; ++i) body(i);
+    PoolMetrics& metrics = PoolMetrics::Get();
+    metrics.regions_inline.Increment();
+    metrics.items.Add(static_cast<long long>(n));
     return;
   }
 
+  PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.regions.Increment();
   ThreadPool& pool = SharedPool();
 
   // Shared per-call state: an index dispenser, the first exception, and a
@@ -108,18 +156,23 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
   };
   auto state = std::make_shared<CallState>();
 
-  const auto drain = [&body, n](CallState& s) {
+  // Returns the number of indices this lane executed; lanes aggregate into
+  // the item counters once, not per index, to keep the loop body clean.
+  const auto drain = [&body, n](CallState& s) -> long long {
+    long long executed = 0;
     while (!s.failed.load(std::memory_order_relaxed)) {
       const std::size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       try {
         body(i);
+        ++executed;
       } catch (...) {
         std::lock_guard<std::mutex> lock(s.error_mu);
         if (!s.error) s.error = std::current_exception();
         s.failed.store(true, std::memory_order_relaxed);
       }
     }
+    return executed;
   };
 
   // The caller acts as one lane; want - 1 helper tasks join it (fewer if the
@@ -127,7 +180,10 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
   int helpers = 0;
   for (int i = 0; i < want - 1; ++i) {
     const bool submitted = pool.Submit([state, drain] {
-      drain(*state);
+      const long long executed = drain(*state);
+      PoolMetrics& m = PoolMetrics::Get();
+      m.items.Add(executed);
+      m.items_stolen.Add(executed);
       {
         std::lock_guard<std::mutex> lock(state->done_mu);
         --state->helpers_pending;
@@ -141,7 +197,7 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
     state->helpers_pending += helpers;
   }
 
-  drain(*state);
+  metrics.items.Add(drain(*state));
 
   std::unique_lock<std::mutex> lock(state->done_mu);
   state->done_cv.wait(lock, [&state] { return state->helpers_pending <= 0; });

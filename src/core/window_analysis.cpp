@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "core/parallel.h"
+#include "obs/span.h"
 
 namespace hpcfail::core {
 namespace {
@@ -142,6 +143,7 @@ ConditionalResult WindowAnalyzer::Compare(const EventFilter& trigger,
                                           const EventFilter& target,
                                           Scope scope, TimeSec window) const {
   ValidateWindow(window, "Compare");
+  obs::ScopedTimer timer("window_query");
   ConditionalResult out;
   out.conditional = ConditionalProbability(trigger, target, scope, window);
   out.baseline = BaselineProbability(target, window);

@@ -1,0 +1,140 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace hpcfail::obs {
+namespace {
+
+// Shortest decimal form that round-trips the double (%.17g is exact but
+// noisy; try increasing precision until the value survives a re-parse).
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return FormatDouble(v);
+}
+
+// Help strings are user-free today, but escape anyway so a future help text
+// with a backslash or newline cannot corrupt the exposition format.
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void WritePrometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    if (!c.help.empty()) {
+      os << "# HELP " << c.name << ' ' << EscapeHelp(c.help) << '\n';
+    }
+    os << "# TYPE " << c.name << " counter\n";
+    os << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    if (!g.help.empty()) {
+      os << "# HELP " << g.name << ' ' << EscapeHelp(g.help) << '\n';
+    }
+    os << "# TYPE " << g.name << " gauge\n";
+    os << g.name << ' ' << FormatDouble(g.value) << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    if (!h.help.empty()) {
+      os << "# HELP " << h.name << ' ' << EscapeHelp(h.help) << '\n';
+    }
+    os << "# TYPE " << h.name << " histogram\n";
+    long long cumulative = 0;
+    for (const auto& [bound, count] : h.buckets) {
+      cumulative += count;
+      os << h.name << "_bucket{le=\"" << FormatDouble(bound) << "\"} "
+         << cumulative << '\n';
+    }
+    os << h.name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << h.name << "_sum " << FormatDouble(h.sum) << '\n';
+    os << h.name << "_count " << h.count << '\n';
+  }
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  WritePrometheus(os, snapshot);
+  return os.str();
+}
+
+void WriteJson(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << EscapeJson(snapshot.counters[i].name)
+       << "\":" << snapshot.counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << EscapeJson(snapshot.gauges[i].name)
+       << "\":" << JsonNumber(snapshot.gauges[i].value);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) os << ',';
+    os << '"' << EscapeJson(h.name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << JsonNumber(h.sum) << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) os << ',';
+      os << '[' << JsonNumber(h.buckets[b].first) << ','
+         << h.buckets[b].second << ']';
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+std::string JsonLine(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  WriteJson(os, snapshot);
+  return os.str();
+}
+
+}  // namespace hpcfail::obs

@@ -1,0 +1,28 @@
+// Exporters for a MetricsSnapshot:
+//
+//   * WritePrometheus — the Prometheus text exposition format (one HELP/TYPE
+//     block per metric, histogram buckets as cumulative `le` series). Suited
+//     to a scrape file (`hpcfail_stream --metrics-out`).
+//   * WriteJson / JsonLine — one compact JSON object
+//     {"counters":{...},"gauges":{...},"histograms":{...}}; `hpcfail_stream`
+//     emits one per metrics interval.
+//
+// Output is deterministic for a given snapshot: metrics appear sorted by
+// name, doubles render with round-trip precision, and non-finite gauge
+// values become null (JSON) / NaN (Prometheus).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hpcfail::obs {
+
+void WritePrometheus(std::ostream& os, const MetricsSnapshot& snapshot);
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+void WriteJson(std::ostream& os, const MetricsSnapshot& snapshot);
+std::string JsonLine(const MetricsSnapshot& snapshot);  // no trailing newline
+
+}  // namespace hpcfail::obs

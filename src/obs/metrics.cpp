@@ -1,0 +1,202 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcfail::obs {
+
+#if HPCFAIL_OBS_ENABLED
+std::size_t Counter::ShardIndex() noexcept {
+  // Threads take successive shard slots; hashing the std::thread::id would
+  // risk clustering. The slot is fixed per thread for its lifetime.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return slot;
+}
+#endif
+
+double Histogram::BucketUpperBound(int i) noexcept {
+  return std::ldexp(1.0, i - kBias);
+}
+
+int Histogram::BucketFor(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN land in the first bucket
+  // Bucket i covers (2^(i-kBias-1), 2^(i-kBias)]: exact powers of two stay
+  // in their own bucket, everything above spills into the next.
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+  int bucket = exp - 1 + kBias;             // frac == 0.5 exactly -> 2^(exp-1)
+  if (frac > 0.5) ++bucket;
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+void Histogram::Observe(double v) noexcept {
+#if HPCFAIL_OBS_ENABLED
+  buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+#else
+  (void)v;
+#endif
+}
+
+long long Histogram::count() const noexcept {
+#if HPCFAIL_OBS_ENABLED
+  return count_.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
+
+double Histogram::sum() const noexcept {
+#if HPCFAIL_OBS_ENABLED
+  return sum_.load(std::memory_order_relaxed);
+#else
+  return 0.0;
+#endif
+}
+
+long long Histogram::BucketCount(int i) const noexcept {
+#if HPCFAIL_OBS_ENABLED
+  if (i < 0 || i >= kNumBuckets) return 0;
+  return buckets_[i].load(std::memory_order_relaxed);
+#else
+  (void)i;
+  return 0;
+#endif
+}
+
+#if HPCFAIL_OBS_ENABLED
+void Histogram::Reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+#endif
+
+const MetricsSnapshot::CounterValue* MetricsSnapshot::FindCounter(
+    std::string_view name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::GaugeValue* MetricsSnapshot::FindGauge(
+    std::string_view name) const {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumented call sites cache references that may be
+  // touched by pool workers during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(std::string_view name,
+                                                  std::string_view help,
+                                                  Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = kind;
+    e.help = std::string(help);
+    switch (kind) {
+      case Kind::kCounter:
+        e.counter.reset(new Counter());
+        break;
+      case Kind::kGauge:
+        e.gauge.reset(new Gauge());
+        break;
+      case Kind::kHistogram:
+        e.histogram.reset(new Histogram());
+        break;
+    }
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different type");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  return *GetEntry(name, help, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  return *GetEntry(name, help, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help) {
+  return *GetEntry(name, help, Kind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out.counters.push_back({name, entry.help, entry.counter->Value()});
+        break;
+      case Kind::kGauge:
+        out.gauges.push_back({name, entry.help, entry.gauge->Value()});
+        break;
+      case Kind::kHistogram: {
+        MetricsSnapshot::HistogramValue h;
+        h.name = name;
+        h.help = entry.help;
+        h.count = entry.histogram->count();
+        h.sum = entry.histogram->sum();
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const long long n = entry.histogram->BucketCount(i);
+          if (n > 0) h.buckets.emplace_back(Histogram::BucketUpperBound(i), n);
+        }
+        out.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace hpcfail::obs

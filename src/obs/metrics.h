@@ -1,0 +1,237 @@
+// Process-wide observability metrics: counters, gauges and fixed log-scale
+// histograms collected in a MetricsRegistry and exported as Prometheus text
+// or a JSON snapshot (obs/export.h).
+//
+// Hot-path cost model. Counter::Add is one relaxed atomic add into a
+// per-thread shard (threads hash onto kNumShards cache-line-padded slots),
+// merged on read — no locks, no contention on the common path, and totals
+// are exact because every shard update is itself atomic. Gauges are one
+// relaxed atomic store. Histograms are a relaxed add on the bucket plus
+// count/sum, used for stage-level (not per-event) observations. Metric
+// *registration* takes a mutex and is meant to happen once per call site
+// (keep the returned reference in a function-local static).
+//
+// Compile-time kill switch. Building with -DHPCFAIL_OBS=OFF (CMake option)
+// sets HPCFAIL_OBS_ENABLED=0: every mutator compiles to a no-op, ScopedTimer
+// (obs/span.h) performs no clock reads, and reads return zeros. The
+// instrumented call sites compile unchanged either way.
+//
+// Determinism. Metrics observe, they never feed back into analysis results:
+// the stream/batch parity suites run with instrumentation enabled and stay
+// bit-identical (tests/test_obs_integration.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef HPCFAIL_OBS_ENABLED
+#define HPCFAIL_OBS_ENABLED 1
+#endif
+
+namespace hpcfail::obs {
+
+// True when the build carries live instrumentation; tests use this to skip
+// assertions about counted values in a -DHPCFAIL_OBS=OFF build.
+inline constexpr bool kEnabled = HPCFAIL_OBS_ENABLED != 0;
+
+// Monotonically increasing event count. Add is wait-free: a relaxed
+// fetch_add on the calling thread's shard.
+class Counter {
+ public:
+  void Add(long long n) noexcept {
+#if HPCFAIL_OBS_ENABLED
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  void Increment() noexcept { Add(1); }
+
+  // Sum over all shards. Exact once writers are quiescent; may miss
+  // in-flight adds while they race (never double-counts).
+  long long Value() const noexcept {
+#if HPCFAIL_OBS_ENABLED
+    long long total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+#else
+    return 0;
+#endif
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+#if HPCFAIL_OBS_ENABLED
+  static constexpr std::size_t kNumShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<long long> value{0};
+  };
+  static std::size_t ShardIndex() noexcept;
+  void Reset() noexcept {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+  Shard shards_[kNumShards];
+#else
+  void Reset() noexcept {}
+#endif
+};
+
+// Last-writer-wins instantaneous value (queue depth, watermark lag, a live
+// rate). Set is a relaxed store; Add is a CAS loop for the rare cumulative
+// use.
+class Gauge {
+ public:
+  void Set(double v) noexcept {
+#if HPCFAIL_OBS_ENABLED
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(double delta) noexcept {
+#if HPCFAIL_OBS_ENABLED
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+#else
+    (void)delta;
+#endif
+  }
+  double Value() const noexcept {
+#if HPCFAIL_OBS_ENABLED
+    return value_.load(std::memory_order_relaxed);
+#else
+    return 0.0;
+#endif
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+#if HPCFAIL_OBS_ENABLED
+  void Reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+#else
+  void Reset() noexcept {}
+#endif
+};
+
+// Distribution of positive values over fixed base-2 log-scale buckets:
+// bucket i holds observations in (2^(i-kBias-1), 2^(i-kBias)], spanning
+// 2^-32 .. 2^31 — wide enough for seconds-valued stage timings (sub-ns to
+// decades) and for byte counts. Every update is a relaxed atomic add, so
+// concurrent observation counts are exact.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kBias = 32;
+
+  // Upper bound (inclusive) of bucket i: 2^(i - kBias).
+  static double BucketUpperBound(int i) noexcept;
+  // Bucket receiving value v (<= 0 maps to bucket 0; huge values clamp to
+  // the last bucket).
+  static int BucketFor(double v) noexcept;
+
+  void Observe(double v) noexcept;
+
+  long long count() const noexcept;
+  double sum() const noexcept;
+  long long BucketCount(int i) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+#if HPCFAIL_OBS_ENABLED
+  void Reset() noexcept;
+  std::atomic<long long> buckets_[kNumBuckets] = {};
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+#else
+  void Reset() noexcept {}
+#endif
+};
+
+// Point-in-time copy of every registered metric, sorted by name — the input
+// to the exporters and to invariant checks in tests.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::string help;
+    long long value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::string help;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::string help;
+    long long count = 0;
+    double sum = 0.0;
+    // (upper_bound, count) for every non-empty bucket, ascending bound.
+    std::vector<std::pair<double, long long>> buckets;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  // nullptr when `name` is absent.
+  const CounterValue* FindCounter(std::string_view name) const;
+  const GaugeValue* FindGauge(std::string_view name) const;
+  const HistogramValue* FindHistogram(std::string_view name) const;
+};
+
+// Owns metrics by name. Get* registers on first use and returns the same
+// stable reference afterwards; re-registering a name as a different metric
+// type throws std::logic_error. Instrument through Global(); tests build
+// private registries for golden-output checks.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name, std::string_view help = {});
+  Gauge& GetGauge(std::string_view name, std::string_view help = {});
+  Histogram& GetHistogram(std::string_view name, std::string_view help = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered metric (registration survives). Test-only:
+  // callers must ensure no concurrent writers.
+  void ResetForTest();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetEntry(std::string_view name, std::string_view help, Kind kind);
+
+  mutable std::mutex mu_;
+  // std::map: stable iteration order -> deterministic export order.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace hpcfail::obs

@@ -1,0 +1,82 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace hpcfail::obs {
+
+SpanTracer& SpanTracer::Global() {
+  // Leaked for the same static-destruction reason as the global registry.
+  static SpanTracer* tracer = new SpanTracer(&MetricsRegistry::Global());
+  return *tracer;
+}
+
+void SpanTracer::Record(std::string_view stage, double seconds) {
+#if HPCFAIL_OBS_ENABLED
+  Histogram* histogram = nullptr;
+  if (registry_) {
+    histogram = &registry_->GetHistogram(
+        "hpcfail_stage_" + std::string(stage) + "_seconds",
+        "Wall time of one '" + std::string(stage) + "' stage execution");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = aggregates_.find(stage);
+    if (it == aggregates_.end()) {
+      it = aggregates_
+               .emplace(std::string(stage),
+                        SpanAggregate{std::string(stage), 0, 0.0, seconds,
+                                      seconds})
+               .first;
+    }
+    SpanAggregate& agg = it->second;
+    ++agg.count;
+    agg.total_seconds += seconds;
+    agg.min_seconds = std::min(agg.min_seconds, seconds);
+    agg.max_seconds = std::max(agg.max_seconds, seconds);
+
+    if (ring_.size() < kRingCapacity) {
+      ring_.push_back({std::string(stage), seconds, next_seq_});
+    } else {
+      ring_[static_cast<std::size_t>(next_seq_ % kRingCapacity)] = {
+          std::string(stage), seconds, next_seq_};
+    }
+    ++next_seq_;
+  }
+  if (histogram) histogram->Observe(seconds);
+#else
+  (void)stage;
+  (void)seconds;
+#endif
+}
+
+std::vector<SpanRecord> SpanTracer::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out = ring_;
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::vector<SpanAggregate> SpanTracer::Aggregates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanAggregate> out;
+  out.reserve(aggregates_.size());
+  for (const auto& [name, agg] : aggregates_) out.push_back(agg);
+  return out;  // map order == sorted by stage name
+}
+
+std::uint64_t SpanTracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+void SpanTracer::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aggregates_.clear();
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace hpcfail::obs

@@ -1,0 +1,131 @@
+// Stage-level span tracing: ScopedTimer measures one wall-clock span
+// (steady clock) and records it into a SpanTracer, which keeps
+//
+//   * a bounded ring buffer of the most recent spans (kRingCapacity), and
+//   * cumulative per-stage aggregates (count / total / min / max), the data
+//     behind `hpcfail_report --profile`'s stage-timing table, and
+//   * a registry histogram `hpcfail_stage_<stage>_seconds` per stage, so
+//     stage timings also show up in the Prometheus / JSON exports.
+//
+// Spans are stage-granular (ingest, sort, window_query, bootstrap,
+// checkpoint, ...), NOT per-event: Record takes a mutex and is called a
+// handful of times per analysis, never inside per-record loops. With
+// HPCFAIL_OBS_ENABLED=0 ScopedTimer performs no clock reads and Record is
+// never reached.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hpcfail::obs {
+
+// One recorded span, oldest-first in SpanTracer::Recent().
+struct SpanRecord {
+  std::string stage;
+  double seconds = 0.0;
+  std::uint64_t seq = 0;  // global record order, starts at 0
+};
+
+// Cumulative per-stage timing statistics.
+struct SpanAggregate {
+  std::string stage;
+  long long count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+class SpanTracer {
+ public:
+  static constexpr std::size_t kRingCapacity = 256;
+
+  // `registry` receives the per-stage histograms; nullptr disables that
+  // mirror (private tracers in tests).
+  explicit SpanTracer(MetricsRegistry* registry = nullptr)
+      : registry_(registry) {}
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  // Process-wide tracer, mirrored into MetricsRegistry::Global().
+  static SpanTracer& Global();
+
+  void Record(std::string_view stage, double seconds);
+
+  // Most recent spans, oldest first (at most kRingCapacity).
+  std::vector<SpanRecord> Recent() const;
+  // Per-stage aggregates sorted by stage name.
+  std::vector<SpanAggregate> Aggregates() const;
+  // Spans recorded over the tracer's lifetime (>= Recent().size()).
+  std::uint64_t total_recorded() const;
+
+  // Clears spans and aggregates (not the mirrored registry histograms).
+  void ResetForTest();
+
+ private:
+  MetricsRegistry* registry_;
+  mutable std::mutex mu_;
+  std::map<std::string, SpanAggregate, std::less<>> aggregates_;
+  std::vector<SpanRecord> ring_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// Times its own lifetime and records into SpanTracer::Global() (or the
+// tracer given) under `stage`. Stop() ends the span early; the destructor
+// is then a no-op.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* stage, SpanTracer* tracer = nullptr)
+#if HPCFAIL_OBS_ENABLED
+      : stage_(stage),
+        tracer_(tracer),
+        start_(std::chrono::steady_clock::now()) {
+  }
+#else
+  {
+    (void)stage;
+    (void)tracer;
+  }
+#endif
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Records the span now and returns its length in seconds.
+  double Stop() {
+#if HPCFAIL_OBS_ENABLED
+    if (stopped_) return 0.0;
+    stopped_ = true;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    (tracer_ ? *tracer_ : SpanTracer::Global()).Record(stage_, seconds);
+    return seconds;
+#else
+    return 0.0;
+#endif
+  }
+
+  ~ScopedTimer() {
+#if HPCFAIL_OBS_ENABLED
+    if (!stopped_) Stop();
+#endif
+  }
+
+ private:
+#if HPCFAIL_OBS_ENABLED
+  const char* stage_;
+  SpanTracer* tracer_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+#endif
+};
+
+}  // namespace hpcfail::obs

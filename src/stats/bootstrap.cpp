@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "obs/span.h"
 
 namespace hpcfail::stats {
 
@@ -18,6 +19,7 @@ BootstrapResult BootstrapCi(
   if (!(confidence > 0.0) || !(confidence < 1.0)) {
     throw std::invalid_argument("BootstrapCi: confidence not in (0,1)");
   }
+  obs::ScopedTimer timer("bootstrap");
   BootstrapResult out;
   out.estimate = statistic(sample);
   out.resamples = resamples;

@@ -5,7 +5,38 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace hpcfail::stream {
+namespace {
+
+// Checkpoint/restore happen off the per-event hot path, so these go
+// straight to the global registry each call.
+struct CheckpointMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& checkpoints = reg.GetCounter(
+      "hpcfail_stream_checkpoints_total", "Engine checkpoints written");
+  obs::Counter& checkpoint_bytes = reg.GetCounter(
+      "hpcfail_stream_checkpoint_bytes_total",
+      "Total bytes written by checkpoints, including the envelope");
+  obs::Counter& restores = reg.GetCounter(
+      "hpcfail_stream_restores_total", "Engine checkpoint restore attempts");
+  obs::Counter& restore_failures = reg.GetCounter(
+      "hpcfail_stream_restore_failures_total",
+      "Checkpoint restores that failed validation");
+
+  static CheckpointMetrics& Get() {
+    static CheckpointMetrics m;
+    return m;
+  }
+};
+
+// Envelope framing around the payload: 8-byte magic, 4-byte version,
+// 8-byte payload size, then an 8-byte checksum after the payload.
+constexpr long long kEnvelopeBytes = 28;
+
+}  // namespace
 
 StreamEngine::StreamEngine(std::vector<SystemConfig> systems,
                            EngineConfig config)
@@ -43,6 +74,7 @@ void StreamEngine::Finish() {
 }
 
 void StreamEngine::SaveCheckpoint(std::ostream& out) const {
+  obs::ScopedTimer timer("checkpoint");
   snapshot::Writer w;
   index_.SaveTo(w);
   tracker_.SaveTo(w);
@@ -50,24 +82,36 @@ void StreamEngine::SaveCheckpoint(std::ostream& out) const {
   w.PutBool(predictor_.has_value());
   if (predictor_) predictor_->SaveTo(w);
   snapshot::WriteEnvelope(out, w.payload());
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  metrics.checkpoints.Increment();
+  metrics.checkpoint_bytes.Add(static_cast<long long>(w.payload().size()) +
+                               kEnvelopeBytes);
 }
 
 void StreamEngine::RestoreCheckpoint(std::istream& in) {
-  const std::string payload = snapshot::ReadEnvelope(in);
-  snapshot::Reader r(payload);
-  index_.LoadFrom(r);
-  tracker_.LoadFrom(r);
-  summary_.LoadFrom(r);
-  const bool has_predictor = r.GetBool();
-  if (has_predictor != predictor_.has_value()) {
-    throw snapshot::SnapshotError(
-        has_predictor
-            ? "snapshot has a predictor but none is attached to this engine"
-            : "snapshot has no predictor but one is attached to this engine");
-  }
-  if (predictor_) predictor_->LoadFrom(r);
-  if (!r.AtEnd()) {
-    throw snapshot::SnapshotError("snapshot has trailing bytes");
+  obs::ScopedTimer timer("restore");
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  metrics.restores.Increment();
+  try {
+    const std::string payload = snapshot::ReadEnvelope(in);
+    snapshot::Reader r(payload);
+    index_.LoadFrom(r);
+    tracker_.LoadFrom(r);
+    summary_.LoadFrom(r);
+    const bool has_predictor = r.GetBool();
+    if (has_predictor != predictor_.has_value()) {
+      throw snapshot::SnapshotError(
+          has_predictor
+              ? "snapshot has a predictor but none is attached to this engine"
+              : "snapshot has no predictor but one is attached to this engine");
+    }
+    if (predictor_) predictor_->LoadFrom(r);
+    if (!r.AtEnd()) {
+      throw snapshot::SnapshotError("snapshot has trailing bytes");
+    }
+  } catch (...) {
+    metrics.restore_failures.Increment();
+    throw;
   }
 }
 

@@ -3,9 +3,48 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace hpcfail::stream {
 namespace {
+
+// Process-level ingest counters. Unlike the per-engine IngestCounters
+// (which checkpoint/restore as engine state), these track what THIS process
+// actually did, across every engine it builds — the operator-facing totals
+// in the Prometheus/JSON exports. Hot-path updates are relaxed shard adds
+// and gauge stores; release counts batch one add per Drain()/CatchUp().
+struct StreamMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& ingested = reg.GetCounter(
+      "hpcfail_stream_ingested_total",
+      "Records presented to the streaming index (accepted + rejected)");
+  obs::Counter& accepted = reg.GetCounter(
+      "hpcfail_stream_accepted_total", "Records accepted into the reorder buffer");
+  obs::Counter& released = reg.GetCounter(
+      "hpcfail_stream_released_total",
+      "Records released past the watermark into the stores/operators");
+  obs::Counter& rejected_late = reg.GetCounter(
+      "hpcfail_stream_rejected_late_total",
+      "Records rejected for arriving behind the watermark");
+  obs::Counter& rejected_unknown = reg.GetCounter(
+      "hpcfail_stream_rejected_unknown_system_total",
+      "Records rejected for an unconfigured system id");
+  obs::Counter& rejected_bad = reg.GetCounter(
+      "hpcfail_stream_rejected_bad_record_total",
+      "Records rejected as inconsistent or out of node range");
+  obs::Gauge& buffered = reg.GetGauge(
+      "hpcfail_stream_reorder_buffered",
+      "Records currently waiting in the reorder buffer");
+  obs::Gauge& watermark_lag = reg.GetGauge(
+      "hpcfail_stream_watermark_lag_seconds",
+      "Age of the oldest buffered record relative to the newest seen");
+
+  static StreamMetrics& Get() {
+    static StreamMetrics m;
+    return m;
+  }
+};
 
 void PutRecord(snapshot::Writer& w, const FailureRecord& f) {
   w.PutU32(static_cast<std::uint32_t>(f.system.value));
@@ -113,9 +152,12 @@ const core::SystemEventStore& IncrementalEventIndex::Get(SystemId sys) const {
 
 IngestStatus IncrementalEventIndex::Classify(const FailureRecord& r,
                                              std::size_t* system_index) {
+  StreamMetrics& metrics = StreamMetrics::Get();
+  metrics.ingested.Increment();
   const int idx = FindSystemIndex(r.system);
   if (idx < 0) {
     ++counters_.rejected_unknown_system;
+    metrics.rejected_unknown.Increment();
     return IngestStatus::kRejectedUnknownSystem;
   }
   const SystemConfig& sys = systems_[static_cast<std::size_t>(idx)];
@@ -123,12 +165,15 @@ IngestStatus IncrementalEventIndex::Classify(const FailureRecord& r,
   // accepts also streams (parity), and vice versa.
   if (!r.node.valid() || r.node.value >= sys.num_nodes || !r.consistent()) {
     ++counters_.rejected_bad_record;
+    metrics.rejected_bad.Increment();
     return IngestStatus::kRejectedBadRecord;
   }
   if (any_seen_ && r.start < watermark()) {
     ++counters_.rejected_late;
+    metrics.rejected_late.Increment();
     return IngestStatus::kRejectedLate;
   }
+  metrics.accepted.Increment();
   *system_index = static_cast<std::size_t>(idx);
   return IngestStatus::kAccepted;
 }
@@ -141,13 +186,22 @@ void IncrementalEventIndex::Process(std::size_t system_index,
 
 void IncrementalEventIndex::Drain() {
   const TimeSec wm = watermark();
+  long long released = 0;
   while (!buffer_.empty()) {
     const auto it = buffer_.begin();
     if (!finished_ && it->record.start >= wm) break;
     Process(it->system_index, it->record);
     ++counters_.released;
+    ++released;
     buffer_.erase(it);
   }
+  StreamMetrics& metrics = StreamMetrics::Get();
+  if (released > 0) metrics.released.Add(released);
+  metrics.buffered.Set(static_cast<double>(buffer_.size()));
+  metrics.watermark_lag.Set(
+      buffer_.empty() ? 0.0
+                      : static_cast<double>(max_seen_ -
+                                            buffer_.begin()->record.start));
 }
 
 IngestStatus IncrementalEventIndex::Ingest(const FailureRecord& r) {
@@ -172,6 +226,7 @@ IngestCounters IncrementalEventIndex::CatchUp(
   if (finished_) {
     throw std::logic_error("IncrementalEventIndex: CatchUp after Finish");
   }
+  obs::ScopedTimer timer("stream_catchup");
   const IngestCounters before = counters_;
   // Phase 1 (serial, cheap): classify and buffer every record, advancing
   // the watermark exactly as repeated Ingest() calls would — acceptance
@@ -205,6 +260,13 @@ IngestCounters IncrementalEventIndex::CatchUp(
       },
       threads);
   counters_.released += popped;
+  StreamMetrics& metrics = StreamMetrics::Get();
+  if (popped > 0) metrics.released.Add(popped);
+  metrics.buffered.Set(static_cast<double>(buffer_.size()));
+  metrics.watermark_lag.Set(
+      buffer_.empty() ? 0.0
+                      : static_cast<double>(max_seen_ -
+                                            buffer_.begin()->record.start));
 
   IngestCounters delta;
   delta.accepted = counters_.accepted - before.accepted;

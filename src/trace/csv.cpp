@@ -6,12 +6,43 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace hpcfail::csv {
 namespace {
 
 namespace fs = std::filesystem;
 
+// Reader health counters: every malformed row, silently tolerated fixup
+// (CRLF, BOM) and skipped blank line is visible here, so "how dirty was
+// that log file" never requires re-reading it.
+struct CsvMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& lines = reg.GetCounter(
+      "hpcfail_csv_lines_total", "Lines read by the CSV readers (incl. headers)");
+  obs::Counter& rows = reg.GetCounter(
+      "hpcfail_csv_rows_total", "Data rows handed to a row parser");
+  obs::Counter& blank_lines = reg.GetCounter(
+      "hpcfail_csv_blank_lines_total", "Blank data lines skipped");
+  obs::Counter& parse_errors = reg.GetCounter(
+      "hpcfail_csv_parse_errors_total", "Rows/fields rejected with ParseError");
+  obs::Counter& crlf_fixups = reg.GetCounter(
+      "hpcfail_csv_crlf_fixups_total", "Lines with a trailing CR stripped");
+  obs::Counter& bom_fixups = reg.GetCounter(
+      "hpcfail_csv_bom_fixups_total", "Leading UTF-8 BOMs stripped");
+  obs::Counter& failure_records = reg.GetCounter(
+      "hpcfail_csv_failure_records_total",
+      "failures.csv rows parsed successfully (batch and stream paths)");
+
+  static CsvMetrics& Get() {
+    static CsvMetrics m;
+    return m;
+  }
+};
+
 [[noreturn]] void Fail(std::size_t line, const std::string& msg) {
+  CsvMetrics::Get().parse_errors.Increment();
   throw ParseError(line, msg);
 }
 
@@ -41,7 +72,10 @@ double ParseDouble(const std::string& field, std::size_t line) {
 // to surface as a baffling "bad header" error and a stray '\r' glued to the
 // last field of each row. Strip it before header comparison and splitting.
 void StripTrailingCr(std::string& line) {
-  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+    CsvMetrics::Get().crlf_fixups.Increment();
+  }
 }
 
 // Reads lines, validates the header, and hands each data row (already split)
@@ -49,10 +83,12 @@ void StripTrailingCr(std::string& line) {
 template <typename RowFn>
 void ForEachRow(std::istream& is, const std::string& expected_header,
                 std::size_t expected_fields, RowFn row_fn) {
+  CsvMetrics& metrics = CsvMetrics::Get();
   std::string line;
   std::size_t lineno = 0;
   if (!std::getline(is, line)) Fail(1, "empty input, missing header");
   ++lineno;
+  metrics.lines.Increment();
   StripLeadingBom(line);
   StripTrailingCr(line);
   if (line != expected_header) {
@@ -60,8 +96,13 @@ void ForEachRow(std::istream& is, const std::string& expected_header,
   }
   while (std::getline(is, line)) {
     ++lineno;
+    metrics.lines.Increment();
     StripTrailingCr(line);
-    if (line.empty()) continue;
+    if (line.empty()) {
+      metrics.blank_lines.Increment();
+      continue;
+    }
+    metrics.rows.Increment();
     std::vector<std::string> fields = SplitLine(line);
     if (fields.size() != expected_fields) {
       Fail(lineno, "expected " + std::to_string(expected_fields) +
@@ -93,6 +134,7 @@ void StripLeadingBom(std::string& line) {
   if (line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' &&
       line[2] == '\xBF') {
     line.erase(0, 3);
+    CsvMetrics::Get().bom_fixups.Increment();
   }
 }
 
@@ -164,6 +206,7 @@ FailureRecord ParseFailureRow(const std::vector<std::string>& f,
     }
   }
   if (!r.consistent()) Fail(line, "inconsistent failure record");
+  CsvMetrics::Get().failure_records.Increment();
   return r;
 }
 
@@ -394,6 +437,7 @@ void SaveTrace(const Trace& trace, const std::string& dir) {
 }
 
 Trace LoadTrace(const std::string& dir) {
+  obs::ScopedTimer timer("ingest");
   const fs::path base(dir);
   Trace trace;
 

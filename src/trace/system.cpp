@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/span.h"
+
 namespace hpcfail {
 
 std::string_view ToString(SystemGroup g) {
@@ -93,6 +95,7 @@ void Trace::SetNeutronSeries(std::vector<NeutronSample> series) {
 
 void Trace::Finalize() {
   if (finalized_) return;
+  obs::ScopedTimer timer("sort");
   auto by_time_node = [](const auto& a, const auto& b) {
     if (a.start != b.start) return a.start < b.start;
     if (a.system != b.system) return a.system < b.system;

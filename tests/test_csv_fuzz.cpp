@@ -1,0 +1,204 @@
+// Property/fuzz tests for the CSV failure reader. The reader's contract:
+//
+//   * it never crashes on corrupted input — it either parses or throws
+//     csv::ParseError;
+//   * it never silently drops a valid record — benign real-world dirt
+//     (UTF-8 BOM, CRLF line endings, blank lines) parses to exactly the
+//     records written, and every tolerated fixup / rejected row is counted
+//     in the hpcfail_csv_* reader metrics.
+//
+// Corruptions are deterministic (seeded stats::Rng), so a failure here is
+// reproducible from the iteration number alone.
+#include "trace/csv.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "stats/rng.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
+
+namespace {
+
+using namespace hpcfail;
+
+long long CounterValue(const char* name) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  const obs::MetricsSnapshot::CounterValue* c = snap.FindCounter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+// Deltas of the reader counters around a block of parsing work.
+struct CsvCounterDelta {
+  long long lines, rows, blanks, errors, crlf, bom, records;
+
+  static CsvCounterDelta Now() {
+    return {CounterValue("hpcfail_csv_lines_total"),
+            CounterValue("hpcfail_csv_rows_total"),
+            CounterValue("hpcfail_csv_blank_lines_total"),
+            CounterValue("hpcfail_csv_parse_errors_total"),
+            CounterValue("hpcfail_csv_crlf_fixups_total"),
+            CounterValue("hpcfail_csv_bom_fixups_total"),
+            CounterValue("hpcfail_csv_failure_records_total")};
+  }
+  CsvCounterDelta Since(const CsvCounterDelta& start) const {
+    return {lines - start.lines, rows - start.rows,     blanks - start.blanks,
+            errors - start.errors, crlf - start.crlf,   bom - start.bom,
+            records - start.records};
+  }
+};
+
+// A small but structurally rich valid failures.csv payload.
+std::string ValidFailuresCsv(std::vector<FailureRecord>* records_out) {
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 11);
+  std::vector<FailureRecord> records = trace.failures();
+  records.resize(std::min<std::size_t>(records.size(), 200));
+  std::ostringstream os;
+  csv::WriteFailures(os, records);
+  if (records_out != nullptr) *records_out = records;
+  return os.str();
+}
+
+bool SameRecord(const FailureRecord& a, const FailureRecord& b) {
+  return a.system == b.system && a.node == b.node && a.start == b.start &&
+         a.end == b.end && a.category == b.category &&
+         a.hardware == b.hardware && a.software == b.software &&
+         a.environment == b.environment;
+}
+
+TEST(CsvFuzz, BenignDirtParsesEveryRecord) {
+  std::vector<FailureRecord> expected;
+  const std::string clean = ValidFailuresCsv(&expected);
+
+  // BOM + CRLF on every line + interleaved blank lines: the ugliest file a
+  // spreadsheet round-trip produces.
+  std::string dirty = "\xEF\xBB\xBF";
+  std::size_t data_lines = 0;
+  std::istringstream lines(clean);
+  std::string line;
+  while (std::getline(lines, line)) {
+    dirty += line + "\r\n";
+    ++data_lines;
+    if (data_lines % 7 == 0) dirty += "\r\n";  // blank line
+  }
+  const std::size_t blanks = data_lines / 7;
+
+  const CsvCounterDelta before = CsvCounterDelta::Now();
+  std::istringstream is(dirty);
+  const std::vector<FailureRecord> parsed = csv::ReadFailures(is);
+
+  ASSERT_EQ(parsed.size(), expected.size()) << "silently dropped a record";
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_TRUE(SameRecord(parsed[i], expected[i])) << "record " << i;
+  }
+  if (obs::kEnabled) {
+    const CsvCounterDelta d = CsvCounterDelta::Now().Since(before);
+    EXPECT_EQ(d.records, static_cast<long long>(expected.size()));
+    EXPECT_EQ(d.rows, static_cast<long long>(expected.size()));
+    EXPECT_EQ(d.lines, static_cast<long long>(data_lines + blanks));
+    EXPECT_EQ(d.blanks, static_cast<long long>(blanks));
+    EXPECT_EQ(d.crlf, static_cast<long long>(data_lines + blanks));
+    EXPECT_EQ(d.bom, 1);
+    EXPECT_EQ(d.errors, 0);
+  }
+}
+
+TEST(CsvFuzz, OverlongFieldIsRejectedNotCrashed) {
+  std::string payload = csv::FailuresHeader() + "\n";
+  payload += "0,0,100,200," + std::string(100000, 'x') + ",\n";
+  const CsvCounterDelta before = CsvCounterDelta::Now();
+  std::istringstream is(payload);
+  EXPECT_THROW(csv::ReadFailures(is), csv::ParseError);
+  if (obs::kEnabled) {
+    EXPECT_GE(CsvCounterDelta::Now().Since(before).errors, 1);
+  }
+}
+
+TEST(CsvFuzz, RandomCorruptionsNeverCrashOrMiscount) {
+  const std::string clean = ValidFailuresCsv(nullptr);
+  stats::Rng rng(20260806);
+
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string payload = clean;
+    // 1-3 random corruptions per iteration.
+    const int n_corruptions = 1 + static_cast<int>(rng.Index(3));
+    for (int c = 0; c < n_corruptions; ++c) {
+      switch (rng.Index(6)) {
+        case 0:  // truncate at a random offset
+          payload.resize(rng.Index(payload.size() + 1));
+          break;
+        case 1:  // stray NUL byte
+          if (!payload.empty()) payload[rng.Index(payload.size())] = '\0';
+          break;
+        case 2:  // random byte flip
+          if (!payload.empty()) {
+            payload[rng.Index(payload.size())] =
+                static_cast<char>(rng.Int(0, 255));
+          }
+          break;
+        case 3: {  // overlong field injected mid-file
+          const std::size_t at = rng.Index(payload.size() + 1);
+          payload.insert(at, std::string(rng.Index(5000), 'z'));
+          break;
+        }
+        case 4: {  // duplicated chunk (tears a row in two)
+          const std::size_t at = rng.Index(payload.size() + 1);
+          payload.insert(at, payload.substr(at / 2, rng.Index(64)));
+          break;
+        }
+        case 5: {  // random newline insertion
+          const std::size_t at = rng.Index(payload.size() + 1);
+          payload.insert(at, rng.Bernoulli(0.5) ? "\n" : "\r\n");
+          break;
+        }
+      }
+    }
+
+    const CsvCounterDelta before = CsvCounterDelta::Now();
+    std::istringstream is(payload);
+    bool threw = false;
+    std::size_t parsed = 0;
+    try {
+      parsed = csv::ReadFailures(is).size();
+    } catch (const csv::ParseError&) {
+      threw = true;
+    }
+    if (!obs::kEnabled) continue;
+    const CsvCounterDelta d = CsvCounterDelta::Now().Since(before);
+    if (threw) {
+      // A rejected file is never silent: the error was counted.
+      EXPECT_GE(d.errors, 1) << "iteration " << iter;
+    } else {
+      // A parsed file accounts for every line: what was returned matches
+      // what the reader metrics say it parsed, with nothing unaccounted.
+      EXPECT_EQ(d.errors, 0) << "iteration " << iter;
+      EXPECT_EQ(d.records, static_cast<long long>(parsed))
+          << "iteration " << iter;
+      EXPECT_EQ(d.rows, d.records) << "iteration " << iter;
+      EXPECT_EQ(d.lines, 1 + d.rows + d.blanks) << "iteration " << iter;
+    }
+  }
+}
+
+TEST(CsvFuzz, TruncationAtEveryLineBoundaryParsesPrefix) {
+  std::vector<FailureRecord> expected;
+  const std::string clean = ValidFailuresCsv(&expected);
+  // Cut the file after each complete line: every prefix is a valid file
+  // holding exactly the first k records — none may be dropped.
+  std::vector<std::size_t> boundaries;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (clean[i] == '\n') boundaries.push_back(i + 1);
+  }
+  ASSERT_EQ(boundaries.size(), expected.size() + 1);  // header + rows
+  for (std::size_t k = 0; k < boundaries.size(); ++k) {
+    std::istringstream is(clean.substr(0, boundaries[k]));
+    const std::vector<FailureRecord> parsed = csv::ReadFailures(is);
+    EXPECT_EQ(parsed.size(), k) << "prefix of " << boundaries[k] << " bytes";
+  }
+}
+
+}  // namespace

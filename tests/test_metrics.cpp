@@ -1,0 +1,237 @@
+// Unit tests for the observability layer (src/obs): counter / gauge /
+// histogram semantics, registry behaviour, exact totals under a
+// multi-threaded hammer, and golden outputs for the Prometheus and JSON
+// exporters. Value assertions are skipped in a -DHPCFAIL_OBS=OFF build,
+// where every mutator is compiled to a no-op by design.
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+
+namespace {
+
+using hpcfail::obs::Histogram;
+using hpcfail::obs::JsonLine;
+using hpcfail::obs::MetricsRegistry;
+using hpcfail::obs::MetricsSnapshot;
+using hpcfail::obs::PrometheusText;
+
+TEST(Counter, AddIncrementValue) {
+  if (!hpcfail::obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  MetricsRegistry reg;
+  hpcfail::obs::Counter& c = reg.GetCounter("c_total");
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+}
+
+TEST(Counter, RegistryReturnsStableReference) {
+  MetricsRegistry reg;
+  hpcfail::obs::Counter& a = reg.GetCounter("same_total", "first help wins");
+  hpcfail::obs::Counter& b = reg.GetCounter("same_total", "ignored");
+  EXPECT_EQ(&a, &b);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_NE(snap.FindCounter("same_total"), nullptr);
+  EXPECT_EQ(snap.FindCounter("same_total")->help, "first help wins");
+}
+
+TEST(Registry, TypeConflictThrows) {
+  MetricsRegistry reg;
+  reg.GetCounter("x");
+  EXPECT_THROW(reg.GetGauge("x"), std::logic_error);
+  EXPECT_THROW(reg.GetHistogram("x"), std::logic_error);
+  reg.GetGauge("y");
+  EXPECT_THROW(reg.GetCounter("y"), std::logic_error);
+}
+
+TEST(Gauge, SetAndAdd) {
+  if (!hpcfail::obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  MetricsRegistry reg;
+  hpcfail::obs::Gauge& g = reg.GetGauge("g");
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.0);
+  g.Set(-7.0);
+  EXPECT_DOUBLE_EQ(g.Value(), -7.0);
+}
+
+TEST(Histogram, BucketMapping) {
+  // Bucket i covers (2^(i-kBias-1), 2^(i-kBias)]; exact powers of two stay
+  // in their own bucket.
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(Histogram::kBias), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(Histogram::kBias + 1), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(Histogram::kBias - 1), 0.5);
+  EXPECT_EQ(Histogram::BucketFor(1.0), Histogram::kBias);
+  EXPECT_EQ(Histogram::BucketFor(0.5), Histogram::kBias - 1);
+  EXPECT_EQ(Histogram::BucketFor(0.6), Histogram::kBias);
+  EXPECT_EQ(Histogram::BucketFor(1.5), Histogram::kBias + 1);
+  // Degenerate and extreme values clamp instead of indexing out of range.
+  EXPECT_EQ(Histogram::BucketFor(0.0), 0);
+  EXPECT_EQ(Histogram::BucketFor(-3.0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1e300), Histogram::kNumBuckets - 1);
+  // Every bucket's upper bound lands in its own bucket.
+  for (int i = 1; i < Histogram::kNumBuckets - 1; ++i) {
+    EXPECT_EQ(Histogram::BucketFor(Histogram::BucketUpperBound(i)), i) << i;
+  }
+}
+
+TEST(Histogram, ObserveCountsAndSums) {
+  if (!hpcfail::obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("h_seconds");
+  h.Observe(0.75);
+  h.Observe(0.75);
+  h.Observe(3.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 4.5);
+  EXPECT_EQ(h.BucketCount(Histogram::kBias), 2);      // (0.5, 1]
+  EXPECT_EQ(h.BucketCount(Histogram::kBias + 2), 1);  // (2, 4]
+}
+
+TEST(Metrics, MultiThreadedHammerIsExact) {
+  if (!hpcfail::obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  MetricsRegistry reg;
+  hpcfail::obs::Counter& c = reg.GetCounter("hammer_total");
+  hpcfail::obs::Gauge& g = reg.GetGauge("hammer_gauge");
+  Histogram& h = reg.GetHistogram("hammer_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        g.Add(1.0);
+        h.Observe(0.5);  // exactly representable: the sum has no rounding
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  constexpr long long kTotal = 1LL * kThreads * kPerThread;
+  EXPECT_EQ(c.Value(), kTotal);
+  EXPECT_DOUBLE_EQ(g.Value(), static_cast<double>(kTotal));
+  EXPECT_EQ(h.count(), kTotal);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 * static_cast<double>(kTotal));
+  EXPECT_EQ(h.BucketCount(Histogram::kBias - 1), kTotal);
+}
+
+TEST(Registry, SnapshotSortsByName) {
+  MetricsRegistry reg;
+  reg.GetCounter("zebra_total");
+  reg.GetCounter("alpha_total");
+  reg.GetGauge("mid_gauge");
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha_total");
+  EXPECT_EQ(snap.counters[1].name, "zebra_total");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.FindGauge("mid_gauge"), &snap.gauges[0]);
+  EXPECT_EQ(snap.FindCounter("missing"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("alpha_total"), nullptr);
+}
+
+TEST(Registry, ResetForTestZeroesButKeepsRegistration) {
+  if (!hpcfail::obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  MetricsRegistry reg;
+  hpcfail::obs::Counter& c = reg.GetCounter("r_total");
+  hpcfail::obs::Gauge& g = reg.GetGauge("r_gauge");
+  Histogram& h = reg.GetHistogram("r_seconds");
+  c.Add(5);
+  g.Set(1.5);
+  h.Observe(2.0);
+  reg.ResetForTest();
+  EXPECT_EQ(c.Value(), 0);
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  // Same references are still registered under the same names.
+  EXPECT_EQ(&reg.GetCounter("r_total"), &c);
+  EXPECT_EQ(reg.Snapshot().counters.size(), 1u);
+}
+
+TEST(Export, PrometheusGolden) {
+  if (!hpcfail::obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  MetricsRegistry reg;
+  reg.GetCounter("demo_total", "Demo events").Add(3);
+  reg.GetGauge("demo_depth", "Depth").Set(2.5);
+  Histogram& h = reg.GetHistogram("demo_seconds", "Latency");
+  h.Observe(0.75);
+  h.Observe(0.75);
+  h.Observe(3.0);
+  EXPECT_EQ(PrometheusText(reg.Snapshot()),
+            "# HELP demo_total Demo events\n"
+            "# TYPE demo_total counter\n"
+            "demo_total 3\n"
+            "# HELP demo_depth Depth\n"
+            "# TYPE demo_depth gauge\n"
+            "demo_depth 2.5\n"
+            "# HELP demo_seconds Latency\n"
+            "# TYPE demo_seconds histogram\n"
+            "demo_seconds_bucket{le=\"1\"} 2\n"
+            "demo_seconds_bucket{le=\"4\"} 3\n"
+            "demo_seconds_bucket{le=\"+Inf\"} 3\n"
+            "demo_seconds_sum 4.5\n"
+            "demo_seconds_count 3\n");
+}
+
+TEST(Export, JsonGolden) {
+  if (!hpcfail::obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  MetricsRegistry reg;
+  reg.GetCounter("demo_total", "Demo events").Add(3);
+  reg.GetGauge("demo_depth", "Depth").Set(2.5);
+  Histogram& h = reg.GetHistogram("demo_seconds", "Latency");
+  h.Observe(0.75);
+  h.Observe(0.75);
+  h.Observe(3.0);
+  EXPECT_EQ(JsonLine(reg.Snapshot()),
+            "{\"counters\":{\"demo_total\":3},"
+            "\"gauges\":{\"demo_depth\":2.5},"
+            "\"histograms\":{\"demo_seconds\":{\"count\":3,\"sum\":4.5,"
+            "\"buckets\":[[1,2],[4,1]]}}}");
+}
+
+TEST(Export, NonFiniteGaugeValues) {
+  if (!hpcfail::obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  MetricsRegistry reg;
+  reg.GetGauge("g_nan").Set(std::numeric_limits<double>::quiet_NaN());
+  reg.GetGauge("g_inf").Set(std::numeric_limits<double>::infinity());
+  const MetricsSnapshot snap = reg.Snapshot();
+  const std::string prom = PrometheusText(snap);
+  EXPECT_NE(prom.find("g_nan NaN\n"), std::string::npos);
+  EXPECT_NE(prom.find("g_inf +Inf\n"), std::string::npos);
+  EXPECT_EQ(JsonLine(snap),
+            "{\"counters\":{},"
+            "\"gauges\":{\"g_inf\":null,\"g_nan\":null},"
+            "\"histograms\":{}}");
+}
+
+TEST(Export, RoundTripDoubleFormatting) {
+  if (!hpcfail::obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  // 0.1 has no short exact form: the exporter must emit enough digits to
+  // round-trip but no more than 17 significant digits.
+  MetricsRegistry reg;
+  reg.GetGauge("g").Set(0.1);
+  const std::string prom = PrometheusText(reg.Snapshot());
+  const std::size_t pos = prom.find("\ng ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string text = prom.substr(pos + 3, prom.find('\n', pos + 1) -
+                                                    (pos + 3));
+  EXPECT_DOUBLE_EQ(std::stod(text), 0.1);
+}
+
+TEST(Registry, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace

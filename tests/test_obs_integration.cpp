@@ -1,0 +1,289 @@
+// Integration tests for the observability wiring: run real batch analysis
+// and a streaming session end to end, then check that the expected metric
+// names exist in the global registry and that the cross-metric invariants
+// hold (ingested = accepted + rejected, span totals match stage counts,
+// checkpoint/restore accounting). Counted-value assertions are delta-based
+// — the global registry accumulates across test cases by design — and are
+// skipped in a -DHPCFAIL_OBS=OFF build.
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/event_index.h"
+#include "core/parallel.h"
+#include "core/window_analysis.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "stats/bootstrap.h"
+#include "stats/rng.h"
+#include "stream/engine.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
+
+namespace {
+
+using namespace hpcfail;
+
+long long CounterValue(const obs::MetricsSnapshot& snap, const char* name) {
+  const obs::MetricsSnapshot::CounterValue* c = snap.FindCounter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+long long HistogramCount(const obs::MetricsSnapshot& snap, const char* name) {
+  const obs::MetricsSnapshot::HistogramValue* h = snap.FindHistogram(name);
+  return h != nullptr ? h->count : 0;
+}
+
+TEST(ObsIntegration, BatchAnalysisRecordsStagesAndCounters) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 3);
+  const core::EventIndex idx(trace);
+  const core::WindowAnalyzer analyzer(idx);
+  const core::ConditionalResult r =
+      analyzer.Compare(core::EventFilter::Any(), core::EventFilter::Any(),
+                       core::Scope::kSameNode, kWeek);
+  EXPECT_GE(r.num_triggers, 0);
+  stats::Rng rng(5);
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  stats::BootstrapCi(
+      sample,
+      [](std::span<const double> s) {
+        double total = 0;
+        for (double v : s) total += v;
+        return total / static_cast<double>(s.size());
+      },
+      rng, 50, 0.95);
+
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(CounterValue(after, "hpcfail_index_builds_total") -
+                CounterValue(before, "hpcfail_index_builds_total"),
+            1);
+  EXPECT_EQ(CounterValue(after, "hpcfail_index_records_total") -
+                CounterValue(before, "hpcfail_index_records_total"),
+            static_cast<long long>(trace.num_failures()));
+  // One span per instrumented stage this test drove.
+  for (const char* stage :
+       {"hpcfail_stage_sort_seconds", "hpcfail_stage_index_build_seconds",
+        "hpcfail_stage_window_query_seconds",
+        "hpcfail_stage_bootstrap_seconds"}) {
+    EXPECT_GE(HistogramCount(after, stage) - HistogramCount(before, stage), 1)
+        << stage;
+  }
+}
+
+TEST(ObsIntegration, ParallelForAccountsEveryItemExactlyOnce) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  std::vector<int> out(10000, 0);
+  core::ParallelFor(out.size(), [&](std::size_t i) { out[i] = 1; });
+  core::ParallelFor(
+      out.size(), [&](std::size_t i) { out[i] += 1; }, /*threads=*/1);
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  // Items are counted once each whether a worker, a stealing caller, or the
+  // serial path ran them: two sweeps over 10000 items = exactly 20000.
+  EXPECT_EQ(CounterValue(after, "hpcfail_parallel_items_total") -
+                CounterValue(before, "hpcfail_parallel_items_total"),
+            20000);
+  EXPECT_GE(CounterValue(after, "hpcfail_parallel_regions_inline_total") -
+                CounterValue(before, "hpcfail_parallel_regions_inline_total"),
+            1);  // the threads=1 sweep takes the inline path
+  EXPECT_EQ(std::count(out.begin(), out.end(), 2),
+            static_cast<long long>(out.size()));
+}
+
+TEST(ObsIntegration, StreamSessionCountersAndInvariants) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 7);
+  const std::vector<FailureRecord>& sorted = trace.failures();
+  ASSERT_GT(sorted.size(), 10u);
+
+  stream::EngineConfig cfg;
+  cfg.stream.reorder_tolerance = kDay;
+  cfg.window.trigger = core::EventFilter::Any();
+  cfg.window.target = core::EventFilter::Any();
+  cfg.window.window = kWeek;
+  stream::StreamEngine engine(trace.systems(), cfg);
+
+  for (const FailureRecord& r : sorted) {
+    ASSERT_EQ(engine.Ingest(r), stream::IngestStatus::kAccepted);
+  }
+  // One rejection of each kind.
+  FailureRecord bad = sorted.front();
+  bad.node = NodeId{1 << 20};
+  EXPECT_EQ(engine.Ingest(bad), stream::IngestStatus::kRejectedBadRecord);
+  FailureRecord unknown = sorted.front();
+  unknown.system = SystemId{424242};
+  EXPECT_EQ(engine.Ingest(unknown),
+            stream::IngestStatus::kRejectedUnknownSystem);
+  FailureRecord late = sorted.front();
+  late.start = sorted.front().start - 10 * kYear;
+  late.end = late.start + 1;
+  EXPECT_EQ(engine.Ingest(late), stream::IngestStatus::kRejectedLate);
+  engine.Finish();
+
+  // Checkpoint, then restore into an identically configured engine.
+  std::stringstream snap(std::ios::in | std::ios::out | std::ios::binary);
+  engine.SaveCheckpoint(snap);
+  stream::StreamEngine restored(trace.systems(), cfg);
+  restored.RestoreCheckpoint(snap);
+
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  const auto delta = [&](const char* name) {
+    return CounterValue(after, name) - CounterValue(before, name);
+  };
+  const long long n = static_cast<long long>(sorted.size());
+  EXPECT_EQ(delta("hpcfail_stream_ingested_total"), n + 3);
+  EXPECT_EQ(delta("hpcfail_stream_accepted_total"), n);
+  EXPECT_EQ(delta("hpcfail_stream_rejected_bad_record_total"), 1);
+  EXPECT_EQ(delta("hpcfail_stream_rejected_unknown_system_total"), 1);
+  EXPECT_EQ(delta("hpcfail_stream_rejected_late_total"), 1);
+  // The load-bearing invariant: every presented record is accounted for.
+  EXPECT_EQ(delta("hpcfail_stream_ingested_total"),
+            delta("hpcfail_stream_accepted_total") +
+                delta("hpcfail_stream_rejected_bad_record_total") +
+                delta("hpcfail_stream_rejected_unknown_system_total") +
+                delta("hpcfail_stream_rejected_late_total"));
+  // Finished engine: everything accepted was released downstream.
+  EXPECT_EQ(delta("hpcfail_stream_released_total"),
+            delta("hpcfail_stream_accepted_total"));
+  // Checkpoint/restore accounting (obs counters are process-level: the
+  // restore reloads engine state but never rewinds these).
+  EXPECT_EQ(delta("hpcfail_stream_checkpoints_total"), 1);
+  EXPECT_GT(delta("hpcfail_stream_checkpoint_bytes_total"), 0);
+  EXPECT_EQ(delta("hpcfail_stream_restores_total"), 1);
+  EXPECT_EQ(delta("hpcfail_stream_restore_failures_total"), 0);
+  EXPECT_GE(HistogramCount(after, "hpcfail_stage_checkpoint_seconds") -
+                HistogramCount(before, "hpcfail_stage_checkpoint_seconds"),
+            1);
+  EXPECT_GE(HistogramCount(after, "hpcfail_stage_restore_seconds") -
+                HistogramCount(before, "hpcfail_stage_restore_seconds"),
+            1);
+  // Gauges reflect the drained end state.
+  const obs::MetricsSnapshot::GaugeValue* buffered =
+      after.FindGauge("hpcfail_stream_reorder_buffered");
+  ASSERT_NE(buffered, nullptr);
+  EXPECT_EQ(buffered->value, 0.0);
+
+  // Determinism: metrics observe, they never perturb analysis. The restored
+  // engine answers identically to the original.
+  for (core::Scope scope : {core::Scope::kSameNode, core::Scope::kRackPeers,
+                            core::Scope::kSystemPeers}) {
+    const core::ConditionalResult a = engine.tracker().Result(scope);
+    const core::ConditionalResult b = restored.tracker().Result(scope);
+    EXPECT_EQ(a.conditional.successes, b.conditional.successes);
+    EXPECT_EQ(a.conditional.trials, b.conditional.trials);
+    EXPECT_EQ(a.baseline.successes, b.baseline.successes);
+    EXPECT_EQ(a.baseline.trials, b.baseline.trials);
+  }
+}
+
+TEST(ObsIntegration, CatchUpMatchesSerialIngestAndCounts) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 9);
+  stream::EngineConfig cfg;
+  cfg.stream.reorder_tolerance = kDay;
+  cfg.window.trigger = core::EventFilter::Any();
+  cfg.window.target = core::EventFilter::Any();
+  cfg.window.window = kWeek;
+
+  stream::StreamEngine serial(trace.systems(), cfg);
+  for (const FailureRecord& r : trace.failures()) serial.Ingest(r);
+  serial.Finish();
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  stream::StreamEngine batched(trace.systems(), cfg);
+  batched.CatchUp(trace.failures(), /*threads=*/4);
+  batched.Finish();
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+
+  const long long n = static_cast<long long>(trace.failures().size());
+  EXPECT_EQ(CounterValue(after, "hpcfail_stream_accepted_total") -
+                CounterValue(before, "hpcfail_stream_accepted_total"),
+            n);
+  EXPECT_EQ(CounterValue(after, "hpcfail_stream_released_total") -
+                CounterValue(before, "hpcfail_stream_released_total"),
+            n);
+  EXPECT_GE(HistogramCount(after, "hpcfail_stage_stream_catchup_seconds") -
+                HistogramCount(before, "hpcfail_stage_stream_catchup_seconds"),
+            1);
+  // Threaded catch-up with instrumentation on still matches serial ingest.
+  for (core::Scope scope : {core::Scope::kSameNode, core::Scope::kRackPeers,
+                            core::Scope::kSystemPeers}) {
+    const core::ConditionalResult a = serial.tracker().Result(scope);
+    const core::ConditionalResult b = batched.tracker().Result(scope);
+    EXPECT_EQ(a.conditional.successes, b.conditional.successes);
+    EXPECT_EQ(a.conditional.trials, b.conditional.trials);
+    EXPECT_EQ(a.num_triggers, b.num_triggers);
+  }
+}
+
+TEST(ObsIntegration, SpanTracerAggregatesMatchRecordedSpans) {
+  obs::SpanTracer tracer;  // private: no registry mirror, no cross-test noise
+  {
+    obs::ScopedTimer a("alpha", &tracer);
+    obs::ScopedTimer b("beta", &tracer);
+  }
+  {
+    obs::ScopedTimer again("alpha", &tracer);
+  }
+  if (!obs::kEnabled) {
+    EXPECT_EQ(tracer.total_recorded(), 0u);  // timers compiled to no-ops
+    return;
+  }
+  EXPECT_EQ(tracer.total_recorded(), 3u);
+  const std::vector<obs::SpanAggregate> aggs = tracer.Aggregates();
+  ASSERT_EQ(aggs.size(), 2u);  // span stages == distinct stage count
+  EXPECT_EQ(aggs[0].stage, "alpha");
+  EXPECT_EQ(aggs[0].count, 2);
+  EXPECT_EQ(aggs[1].stage, "beta");
+  EXPECT_EQ(aggs[1].count, 1);
+  long long total_count = 0;
+  for (const obs::SpanAggregate& a : aggs) {
+    total_count += a.count;
+    EXPECT_GE(a.min_seconds, 0.0);
+    EXPECT_LE(a.min_seconds, a.max_seconds);
+    EXPECT_GE(a.total_seconds, a.max_seconds);
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(total_count), tracer.total_recorded());
+  EXPECT_EQ(tracer.Recent().size(), 3u);
+}
+
+TEST(ObsIntegration, SpanRingIsBoundedButAggregatesAreNot) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  obs::SpanTracer tracer;
+  const std::size_t n = obs::SpanTracer::kRingCapacity + 44;
+  for (std::size_t i = 0; i < n; ++i) tracer.Record("stage", 0.001);
+  EXPECT_EQ(tracer.total_recorded(), n);
+  EXPECT_EQ(tracer.Recent().size(), obs::SpanTracer::kRingCapacity);
+  // Oldest-first and contiguous: the ring kept the most recent spans.
+  const std::vector<obs::SpanRecord> recent = tracer.Recent();
+  EXPECT_EQ(recent.front().seq, n - obs::SpanTracer::kRingCapacity);
+  EXPECT_EQ(recent.back().seq, n - 1);
+  const std::vector<obs::SpanAggregate> aggs = tracer.Aggregates();
+  ASSERT_EQ(aggs.size(), 1u);
+  EXPECT_EQ(aggs[0].count, static_cast<long long>(n));
+}
+
+TEST(ObsIntegration, StageHistogramsMirrorIntoRegistry) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  obs::MetricsRegistry reg;
+  obs::SpanTracer tracer(&reg);
+  tracer.Record("mystage", 0.75);
+  tracer.Record("mystage", 3.0);
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  const obs::MetricsSnapshot::HistogramValue* h =
+      snap.FindHistogram("hpcfail_stage_mystage_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2);
+  EXPECT_DOUBLE_EQ(h->sum, 3.75);
+}
+
+}  // namespace

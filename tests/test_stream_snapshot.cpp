@@ -5,12 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <set>
 #include <sstream>
+#include <string>
 
 #include "core/prediction.h"
 #include "core/window_analysis.h"
+#include "obs/metrics.h"
 #include "stream/engine.h"
 #include "stream/snapshot.h"
 #include "synth/generate.h"
@@ -253,6 +257,114 @@ TEST(EngineSnapshot, ConfigMismatchIsRejected) {
       std::istringstream is(snap.str());
       EXPECT_THROW(victim.RestoreCheckpoint(is), snapshot::SnapshotError);
     }
+  }
+}
+
+long long ObsCounterValue(const char* name) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  const obs::MetricsSnapshot::CounterValue* c = snap.FindCounter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+void PatchLeU64(std::string* bytes, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+TEST(EngineSnapshot, CorruptionMatrixYieldsDistinctErrors) {
+  // Envelope layout: 8B magic | 4B version | 8B payload size | payload
+  // (first 8B = config fingerprint) | 8B FNV-1a checksum. Each corruption
+  // class must surface its own descriptive error — an operator debugging a
+  // bad restore needs to know whether the file is foreign, torn, bit-rotted
+  // or from a differently configured engine — and every failed restore must
+  // land in the restore-failure metric.
+  auto head = MakeEngine();
+  for (const FailureRecord& r : SharedTrace().failures()) head->Ingest(r);
+  std::stringstream snap(std::ios::in | std::ios::out | std::ios::binary);
+  head->SaveCheckpoint(snap);
+  const std::string good = snap.str();
+  ASSERT_GT(good.size(), 36u);
+
+  const long long failures_before =
+      ObsCounterValue("hpcfail_stream_restore_failures_total");
+  const long long restores_before =
+      ObsCounterValue("hpcfail_stream_restores_total");
+
+  const auto restore_error = [&](const std::string& bytes) -> std::string {
+    std::istringstream is(bytes);
+    auto victim = MakeEngine();
+    try {
+      victim->RestoreCheckpoint(is);
+    } catch (const snapshot::SnapshotError& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  std::set<std::string> errors;
+  {  // corrupted magic
+    std::string bytes = good;
+    bytes[0] = 'X';
+    const std::string err = restore_error(bytes);
+    EXPECT_EQ(err, "snapshot: bad magic (not a snapshot file?)");
+    errors.insert(err);
+  }
+  {  // unsupported version
+    std::string bytes = good;
+    bytes[8] = 99;
+    const std::string err = restore_error(bytes);
+    EXPECT_EQ(err, "snapshot: unsupported version 99");
+    errors.insert(err);
+  }
+  {  // absurd declared payload size
+    std::string bytes = good;
+    for (std::size_t i = 12; i < 20; ++i) bytes[i] = '\xFF';
+    const std::string err = restore_error(bytes);
+    EXPECT_EQ(err, "snapshot: payload size implausible");
+    errors.insert(err);
+  }
+  {  // file torn mid-payload
+    const std::string err = restore_error(good.substr(0, 24));
+    EXPECT_EQ(err, "snapshot: truncated payload");
+    errors.insert(err);
+  }
+  {  // payload intact but checksum footer cut short
+    const std::string err = restore_error(good.substr(0, good.size() - 5));
+    EXPECT_EQ(err, "snapshot: missing checksum");
+    errors.insert(err);
+  }
+  {  // bit rot in the checksum itself
+    std::string bytes = good;
+    bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+    const std::string err = restore_error(bytes);
+    EXPECT_EQ(err, "snapshot: checksum mismatch (corrupted snapshot)");
+    errors.insert(err);
+  }
+  {  // payload flipped AND checksum recomputed: the envelope verifies, so
+     // the semantic validation inside the payload must catch it instead.
+    std::string bytes = good;
+    bytes[20] = static_cast<char>(bytes[20] ^ 0x01);  // config fingerprint
+    const std::string_view payload(bytes.data() + 20, bytes.size() - 28);
+    PatchLeU64(&bytes, bytes.size() - 8, snapshot::Fnv1a64(payload));
+    const std::string err = restore_error(bytes);
+    EXPECT_EQ(err,
+              "snapshot: snapshot was taken with a different system/stream "
+              "configuration");
+    errors.insert(err);
+  }
+  // Seven corruption classes, seven distinct diagnostics.
+  EXPECT_EQ(errors.size(), 7u);
+  EXPECT_EQ(errors.count(""), 0u);
+
+  if (hpcfail::obs::kEnabled) {
+    EXPECT_EQ(ObsCounterValue("hpcfail_stream_restore_failures_total") -
+                  failures_before,
+              7);
+    EXPECT_EQ(ObsCounterValue("hpcfail_stream_restores_total") -
+                  restores_before,
+              7);
   }
 }
 

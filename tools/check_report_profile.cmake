@@ -1,0 +1,13 @@
+# ctest helper: hpcfail_report --profile must exit 0 and print the stage
+# timing table (the header prints even in a -DHPCFAIL_OBS=OFF build).
+execute_process(
+  COMMAND ${REPORT_BIN} --profile --synth 0.1 0.5 1
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hpcfail_report --profile failed (rc=${rc}): ${err}")
+endif()
+if(NOT out MATCHES "=== stage timings ===")
+  message(FATAL_ERROR "no stage-timing table in --profile output:\n${out}")
+endif()

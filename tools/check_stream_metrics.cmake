@@ -1,0 +1,38 @@
+# ctest helper: hpcfail_stream --metrics-out must write a Prometheus text
+# file and emit registry-snapshot JSON lines on stdout.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${STREAM_BIN} --make-demo ${WORK_DIR}/demo 0.1 0.5 1
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hpcfail_stream --make-demo failed (rc=${rc}): ${err}")
+endif()
+
+execute_process(
+  COMMAND ${STREAM_BIN} --trace ${WORK_DIR}/demo
+          --metrics-out ${WORK_DIR}/metrics.prom
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hpcfail_stream run failed (rc=${rc}): ${err}")
+endif()
+
+# stdout: one registry snapshot JSON object per metrics interval.
+if(NOT out MATCHES "\"counters\"")
+  message(FATAL_ERROR "stdout is not registry-snapshot JSON:\n${out}")
+endif()
+
+if(NOT EXISTS ${WORK_DIR}/metrics.prom)
+  message(FATAL_ERROR "--metrics-out did not create metrics.prom")
+endif()
+file(READ ${WORK_DIR}/metrics.prom prom)
+if(NOT prom MATCHES "# TYPE hpcfail_stream_ingested_total counter")
+  message(FATAL_ERROR "metrics.prom lacks the exposition preamble:\n${prom}")
+endif()
+if(NOT prom MATCHES "\nhpcfail_stream_ingested_total ")
+  message(FATAL_ERROR "metrics.prom lacks the ingested counter:\n${prom}")
+endif()

@@ -9,6 +9,10 @@
 // the parallel analysis kernels; the default is the hardware concurrency
 // and N=1 forces the serial path. Results are identical either way.
 //
+// `--profile` (anywhere on the command line) appends a stage-timing table
+// (ingest, sort, index_build, window_query, bootstrap, ...) collected by
+// the observability span tracer while the report ran.
+//
 // Prints, per system: record counts, failure-rate summary, the same-node
 // correlation headline, root-cause breakdown, node skew, downtime and
 // availability, inter-arrival Weibull shape — and, where job/temperature
@@ -30,6 +34,7 @@
 #include "core/usage_analysis.h"
 #include "core/user_analysis.h"
 #include "core/window_analysis.h"
+#include "obs/span.h"
 #include "synth/generate.h"
 #include "trace/csv.h"
 #include "synth/scenario_config.h"
@@ -165,14 +170,41 @@ void Report(const Trace& trace) {
   }
 }
 
+// The header prints even in a -DHPCFAIL_OBS=OFF build (with an explanatory
+// note instead of rows), so `--profile` output stays greppable either way.
+void PrintProfile() {
+  std::cout << "\n=== stage timings ===\n";
+  const std::vector<obs::SpanAggregate> stages =
+      obs::SpanTracer::Global().Aggregates();
+  if (!obs::kEnabled) {
+    std::cout << "(instrumentation compiled out: built with -DHPCFAIL_OBS=OFF)\n";
+    return;
+  }
+  Table t({"stage", "calls", "total_ms", "mean_ms", "min_ms", "max_ms"});
+  for (const obs::SpanAggregate& a : stages) {
+    const double mean =
+        a.count > 0 ? a.total_seconds / static_cast<double>(a.count) : 0.0;
+    t.AddRow({a.stage, std::to_string(a.count),
+              FormatDouble(a.total_seconds * 1e3, 3),
+              FormatDouble(mean * 1e3, 3), FormatDouble(a.min_seconds * 1e3, 3),
+              FormatDouble(a.max_seconds * 1e3, 3)});
+  }
+  t.Print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** raw_argv) {
   try {
-    // Strip `--threads N` wherever it appears; the remaining positional
-    // arguments keep their old meanings.
+    // Strip `--threads N` / `--profile` wherever they appear; the
+    // remaining positional arguments keep their old meanings.
+    bool profile = false;
     std::vector<char*> args;
     for (int i = 0; i < argc; ++i) {
+      if (std::strcmp(raw_argv[i], "--profile") == 0) {
+        profile = true;
+        continue;
+      }
       if (std::strcmp(raw_argv[i], "--threads") == 0) {
         if (i + 1 >= argc) {
           std::cerr << "error: --threads requires a value\n";
@@ -217,15 +249,17 @@ int main(int argc, char** raw_argv) {
           seed));
     } else {
       std::cerr << "usage:\n"
-                << "  hpcfail_report [--threads N] --synth [scale] [years]"
-                   " [seed]\n"
-                << "  hpcfail_report [--threads N] --scenario <config-file>"
-                   " [seed]\n"
-                << "  hpcfail_report [--threads N] --trace <csv-trace-dir>\n"
-                << "  hpcfail_report [--threads N] --lanl <failures.csv>"
-                   " [nodes/system]\n";
+                << "  hpcfail_report [--threads N] [--profile] --synth"
+                   " [scale] [years] [seed]\n"
+                << "  hpcfail_report [--threads N] [--profile] --scenario"
+                   " <config-file> [seed]\n"
+                << "  hpcfail_report [--threads N] [--profile] --trace"
+                   " <csv-trace-dir>\n"
+                << "  hpcfail_report [--threads N] [--profile] --lanl"
+                   " <failures.csv> [nodes/system]\n";
       return 2;
     }
+    if (profile) PrintProfile();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -22,11 +22,15 @@
 //                        emission and at end of feed
 //   --restore FILE       restore a snapshot before ingesting (engine must
 //                        be configured identically to the saved run)
+//   --metrics-out FILE   rewrite FILE (atomically, tmp+rename) with a
+//                        Prometheus text snapshot of the metrics registry
+//                        at every emission and at end of feed
 //
-// Each metrics line is one JSON object: ingest counters, watermark,
-// events/sec, the live conditional-vs-baseline window probabilities at
-// node/rack/system scope, downtime summary stats, and the predictor alarm
-// rate when one is attached.
+// Each metrics line is one JSON snapshot of the process metrics registry
+// ({"counters":{...},"gauges":{...},"histograms":{...}}): ingest counters,
+// watermark lag, events/sec, the live conditional-vs-baseline window
+// probabilities at node/rack/system scope, downtime summary stats, stage
+// timing histograms, and the predictor alarm rate when one is attached.
 //
 // --selftest runs an end-to-end smoke against the batch analyzer (used as a
 // ctest entry): stream a synthetic trace out of order, checkpoint/restore
@@ -38,6 +42,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +56,8 @@
 #include "core/parallel.h"
 #include "core/prediction.h"
 #include "core/window_analysis.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "stream/engine.h"
 #include "synth/generate.h"
 #include "synth/scenario.h"
@@ -72,75 +79,87 @@ struct Options {
   double predictor_threshold = -1.0;  // < 0 = use the learned baseline
   std::string checkpoint_path;
   std::string restore_path;
+  std::string metrics_out;
 };
 
-void AppendJsonNumber(std::string& out, double v) {
-  if (!std::isfinite(v)) {
-    out += "null";
-    return;
+// Publishes the engine's live analysis state as gauges in the global
+// registry. The emitted line is then exactly the registry snapshot — the
+// ingest counters come from the instrumented streaming index itself, so
+// there is no hand-rolled JSON to drift out of sync with the engine.
+void PublishAnalysisGauges(const stream::StreamEngine& engine,
+                           double events_per_sec, bool final) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const auto set = [&reg](const std::string& name, std::string_view help,
+                          double v) { reg.GetGauge(name, help).Set(v); };
+  const struct {
+    const char* name;
+    core::Scope scope;
+  } kScopes[] = {{"same_node", core::Scope::kSameNode},
+                 {"rack_peers", core::Scope::kRackPeers},
+                 {"system_peers", core::Scope::kSystemPeers}};
+  for (const auto& s : kScopes) {
+    const core::ConditionalResult r = engine.tracker().Result(s.scope);
+    const std::string prefix = std::string("hpcfail_window_") + s.name;
+    set(prefix + "_p_conditional",
+        "Live conditional follow-up probability at this scope",
+        r.conditional.estimate);
+    set(prefix + "_p_baseline",
+        "Live random-window baseline probability at this scope",
+        r.baseline.estimate);
+    set(prefix + "_factor", "Conditional over baseline factor increase",
+        r.factor);
+    set(prefix + "_triggers", "Completed trigger windows at this scope",
+        static_cast<double>(r.num_triggers));
   }
-  std::ostringstream os;
-  os.precision(10);
-  os << v;
-  out += os.str();
-}
-
-void AppendScope(std::string& out, const char* name,
-                 const stream::StreamEngine& engine, core::Scope scope) {
-  const core::ConditionalResult r = engine.tracker().Result(scope);
-  out += '"';
-  out += name;
-  out += "\":{\"p_conditional\":";
-  AppendJsonNumber(out, r.conditional.estimate);
-  out += ",\"p_baseline\":";
-  AppendJsonNumber(out, r.baseline.estimate);
-  out += ",\"factor\":";
-  AppendJsonNumber(out, r.factor);
-  out += ",\"triggers\":" + std::to_string(r.num_triggers) + "}";
+  set("hpcfail_stream_events_per_sec",
+      "Accepted events per wall-clock second since the feed opened",
+      events_per_sec);
+  set("hpcfail_stream_pending_windows",
+      "Follow-up windows still open past the watermark",
+      static_cast<double>(engine.tracker().pending_windows()));
+  set("hpcfail_stream_watermark_seconds",
+      "Release watermark in trace time (NaN until the first event)",
+      engine.watermark() == stream::IncrementalEventIndex::kNoWatermark
+          ? std::numeric_limits<double>::quiet_NaN()
+          : static_cast<double>(engine.watermark()));
+  const stream::RunningStats down = engine.summary().Downtime();
+  set("hpcfail_downtime_count", "Failure records with a repair interval",
+      static_cast<double>(down.count));
+  set("hpcfail_downtime_mean_hours", "Mean repair time", down.mean / 3600.0);
+  set("hpcfail_downtime_stddev_hours", "Repair time standard deviation",
+      down.stddev() / 3600.0);
+  if (engine.has_predictor()) {
+    const stream::StreamingPredictor& p = engine.predictor();
+    set("hpcfail_predictor_scored", "Events scored by the hazard predictor",
+        static_cast<double>(p.events_scored()));
+    set("hpcfail_predictor_alarms", "Events scoring at or above the threshold",
+        static_cast<double>(p.alarms()));
+    set("hpcfail_predictor_alarm_rate", "Alarms per scored event",
+        p.alarm_rate());
+  }
+  set("hpcfail_stream_final", "1 once the feed is closed and drained",
+      final ? 1.0 : 0.0);
 }
 
 void EmitMetrics(std::ostream& os, const stream::StreamEngine& engine,
                  double events_per_sec, bool final) {
-  const stream::IngestCounters& c = engine.counters();
-  std::string out = "{\"accepted\":" + std::to_string(c.accepted) +
-                    ",\"released\":" + std::to_string(c.released) +
-                    ",\"rejected_late\":" + std::to_string(c.rejected_late) +
-                    ",\"rejected_bad\":" +
-                    std::to_string(c.rejected_unknown_system +
-                                   c.rejected_bad_record) +
-                    ",\"buffered\":" +
-                    std::to_string(engine.index().num_buffered());
-  out += ",\"watermark\":";
-  if (engine.watermark() == stream::IncrementalEventIndex::kNoWatermark) {
-    out += "null";
-  } else {
-    out += std::to_string(engine.watermark());
+  PublishAnalysisGauges(engine, events_per_sec, final);
+  os << obs::JsonLine(obs::MetricsRegistry::Global().Snapshot()) << "\n"
+     << std::flush;
+}
+
+// Rewrites `path` with a Prometheus text snapshot; tmp+rename so a scraper
+// never reads a half-written file.
+void WriteMetricsFile(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot write " + tmp);
+    obs::WritePrometheus(os, obs::MetricsRegistry::Global().Snapshot());
   }
-  out += ",\"events_per_sec\":";
-  AppendJsonNumber(out, events_per_sec);
-  out += ",\"pending_windows\":" +
-         std::to_string(engine.tracker().pending_windows()) + ",";
-  AppendScope(out, "same_node", engine, core::Scope::kSameNode);
-  out += ',';
-  AppendScope(out, "rack_peers", engine, core::Scope::kRackPeers);
-  out += ',';
-  AppendScope(out, "system_peers", engine, core::Scope::kSystemPeers);
-  const stream::RunningStats down = engine.summary().Downtime();
-  out += ",\"downtime\":{\"count\":" + std::to_string(down.count) +
-         ",\"mean_hours\":";
-  AppendJsonNumber(out, down.mean / 3600.0);
-  out += ",\"stddev_hours\":";
-  AppendJsonNumber(out, down.stddev() / 3600.0);
-  out += "}";
-  if (engine.has_predictor()) {
-    const stream::StreamingPredictor& p = engine.predictor();
-    out += ",\"predictor\":{\"scored\":" + std::to_string(p.events_scored()) +
-           ",\"alarms\":" + std::to_string(p.alarms()) + ",\"alarm_rate\":";
-    AppendJsonNumber(out, p.alarm_rate());
-    out += "}";
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
   }
-  out += final ? ",\"final\":true}" : "}";
-  os << out << "\n" << std::flush;
 }
 
 void SaveCheckpoint(const stream::StreamEngine& engine,
@@ -244,6 +263,7 @@ int RunStream(const Options& opt) {
   };
   const auto emit = [&] {
     EmitMetrics(std::cout, engine, rate(engine.counters().accepted), false);
+    if (!opt.metrics_out.empty()) WriteMetricsFile(opt.metrics_out);
     if (!opt.checkpoint_path.empty()) {
       SaveCheckpoint(engine, opt.checkpoint_path);
     }
@@ -297,6 +317,7 @@ int RunStream(const Options& opt) {
   }
   engine.Finish();
   EmitMetrics(std::cout, engine, rate(engine.counters().accepted), true);
+  if (!opt.metrics_out.empty()) WriteMetricsFile(opt.metrics_out);
   return 0;
 }
 
@@ -442,15 +463,50 @@ int Selftest() {
     check(threw, "corrupted snapshot rejected");
   }
 
-  // Metrics emission renders valid-looking JSON.
+  // Metrics emission renders the registry snapshot as one JSON line.
   {
     std::ostringstream os;
     EmitMetrics(os, *full, 1234.5, true);
     const std::string json = os.str();
-    check(json.find("\"same_node\"") != std::string::npos &&
-              json.find("\"alarm_rate\"") != std::string::npos &&
+    check(json.find("\"counters\"") != std::string::npos &&
+              json.find("\"hpcfail_window_same_node_p_conditional\"") !=
+                  std::string::npos &&
+              json.find("\"hpcfail_predictor_alarm_rate\"") !=
+                  std::string::npos &&
               json.back() == '\n',
           "metrics line renders");
+  }
+
+  // Observability: the runs above must leave a coherent registry behind.
+  if (obs::kEnabled) {
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+    const auto counter = [&snap](const char* name) -> long long {
+      const obs::MetricsSnapshot::CounterValue* c = snap.FindCounter(name);
+      return c != nullptr ? c->value : -1;
+    };
+    check(counter("hpcfail_stream_ingested_total") > 0,
+          "stream ingest counters registered");
+    check(counter("hpcfail_stream_ingested_total") ==
+              counter("hpcfail_stream_accepted_total") +
+                  counter("hpcfail_stream_rejected_late_total") +
+                  counter("hpcfail_stream_rejected_unknown_system_total") +
+                  counter("hpcfail_stream_rejected_bad_record_total"),
+          "ingested splits into accepted + rejected");
+    // `head` is abandoned mid-stream (checkpointed, never finished), so a
+    // tail of its accepted events legitimately stays buffered.
+    check(counter("hpcfail_stream_released_total") > 0 &&
+              counter("hpcfail_stream_released_total") <=
+                  counter("hpcfail_stream_accepted_total"),
+          "released stays within accepted");
+    check(counter("hpcfail_stream_checkpoints_total") >= 1 &&
+              counter("hpcfail_stream_checkpoint_bytes_total") > 0,
+          "checkpoint counters advanced");
+    check(counter("hpcfail_stream_restore_failures_total") >= 1,
+          "failed restore was counted");
+    const std::string prom = obs::PrometheusText(snap);
+    check(prom.find("# TYPE hpcfail_stream_ingested_total counter") !=
+              std::string::npos,
+          "prometheus exposition renders");
   }
 
   std::cerr << (failures == 0 ? "selftest: all checks passed\n"
@@ -511,6 +567,8 @@ int main(int argc, char** argv) {
         opt.checkpoint_path = need_value(i++);
       else if (std::strcmp(a, "--restore") == 0)
         opt.restore_path = need_value(i++);
+      else if (std::strcmp(a, "--metrics-out") == 0)
+        opt.metrics_out = need_value(i++);
       else
         throw std::runtime_error(std::string("unknown option ") + a);
     }
@@ -521,7 +579,7 @@ int main(int argc, char** argv) {
           << "  hpcfail_stream --trace <csv-trace-dir> [--input FILE|-]\n"
           << "      [--follow] [--tolerance S] [--window S] [--every N]\n"
           << "      [--threads N] [--train DIR] [--predictor-threshold T]\n"
-          << "      [--checkpoint FILE] [--restore FILE]\n"
+          << "      [--checkpoint FILE] [--restore FILE] [--metrics-out FILE]\n"
           << "  hpcfail_stream --make-demo <dir> [scale] [years] [seed]\n"
           << "  hpcfail_stream --selftest\n";
       return 2;
