@@ -12,15 +12,18 @@
 #include "core/checkpoint_sim.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "ablation_checkpoint");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Ablation: correlation-aware checkpoint scheduling",
       "claim (Sections I/III/XI): failure correlations should inform "
       "checkpoint scheduling");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
 
   // Pick the system-18 analogue: big, busy, group 1.
   SystemId sys;

@@ -63,9 +63,11 @@ struct Measures {
   int top_node = -1;          // id of the most failing node
 };
 
-Measures Measure(const synth::Scenario& sc, std::uint64_t seed) {
-  const Trace trace = synth::GenerateTrace(sc, seed);
-  const EventIndex idx(trace);
+Measures Measure(const synth::Scenario& sc, std::uint64_t seed,
+                 const engine::SessionOptions& opts) {
+  const engine::AnalysisSession session =
+      engine::AnalysisSession::FromScenario(sc, seed, opts);
+  const EventIndex& idx = session.index();
   const WindowAnalyzer a(idx);
   const auto any = EventFilter::Any();
   Measures m;
@@ -82,7 +84,8 @@ Measures Measure(const synth::Scenario& sc, std::uint64_t seed) {
 }  // namespace hpcfail
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "ablation_generator");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
@@ -106,8 +109,9 @@ int main(int argc, char** argv) {
   Table t({"configuration", "node-week factor", "rack-week factor",
            "system-week factor", "max-node skew", "top node"});
   Measures full{}, no_node{}, no_mod{}, no_node0{};
+  const auto session_opts = engine::MakeSessionOptions(bench_args.std_opts);
   for (const Row& row : rows) {
-    const Measures m = Measure(Apply(row.knobs), 11);
+    const Measures m = Measure(Apply(row.knobs), 11, session_opts);
     t.AddRow({row.label, FormatFactor(m.node_factor),
               FormatFactor(m.rack_factor), FormatFactor(m.system_factor),
               FormatDouble(m.node0_skew, 1), std::to_string(m.top_node)});

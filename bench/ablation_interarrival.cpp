@@ -11,14 +11,17 @@
 #include "core/interarrival.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "ablation_interarrival");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Ablation: inter-arrival statistical models vs conditional view",
       "the classical pipeline on the same data: distribution fits + ACF");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
 
   Table t({"system", "failures", "best fit (AIC)", "Weibull shape (system)",
            "Weibull shape (per-node)", "daily ACF lag1", "lag3"});
@@ -48,7 +51,8 @@ int main(int argc, char** argv) {
 
   // The contrast the paper draws: the distribution view says "bursty"; the
   // conditional view says *when* and *why*.
-  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
+  const EventIndex g1 =
+      session.IndexFor(SystemsOfGroup(trace, SystemGroup::kSmp));
   const WindowAnalyzer analyzer(g1);
   const auto env = analyzer.Compare(
       EventFilter::Of(FailureCategory::kEnvironment), EventFilter::Any(),

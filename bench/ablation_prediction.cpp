@@ -30,7 +30,8 @@ void PrintSweep(const std::string& name, const FailurePredictor& p,
 }  // namespace hpcfail
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "ablation_prediction");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
@@ -38,14 +39,20 @@ int main(int argc, char** argv) {
       "claim: prediction models should consider failure root causes, not "
       "just time/space correlation");
 
-  // Train on one trace, evaluate on an independently seeded one.
+  // Train on one trace, evaluate on an independently seeded one. Each is
+  // its own cached session (distinct seeds -> distinct cache entries).
   const auto scenario = synth::LanlLikeScenario(0.5, 2 * kYear);
-  const Trace train_trace = synth::GenerateTrace(scenario, 1);
-  const Trace eval_trace = synth::GenerateTrace(scenario, 2);
-  const EventIndex train(train_trace,
-                         SystemsOfGroup(train_trace, SystemGroup::kSmp));
-  const EventIndex eval(eval_trace,
-                        SystemsOfGroup(eval_trace, SystemGroup::kSmp));
+  const auto opts = engine::MakeSessionOptions(bench_args.std_opts);
+  const engine::AnalysisSession train_session =
+      engine::AnalysisSession::FromScenario(scenario, 1, opts);
+  const engine::AnalysisSession eval_session =
+      engine::AnalysisSession::FromScenario(scenario, 2, opts);
+  const Trace& train_trace = train_session.trace();
+  const Trace& eval_trace = eval_session.trace();
+  const EventIndex train = train_session.IndexFor(
+      SystemsOfGroup(train_trace, SystemGroup::kSmp));
+  const EventIndex eval = eval_session.IndexFor(
+      SystemsOfGroup(eval_trace, SystemGroup::kSmp));
 
   PredictorConfig aware_cfg;
   aware_cfg.type_aware = true;

@@ -10,7 +10,8 @@
 #include "core/power_analysis.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "ablation_psu_replacement");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
@@ -18,7 +19,8 @@ int main(int argc, char** argv) {
       "claim: a failing PSU breeds auto-correlated outages; replacing it "
       "quickly avoids them");
 
-  auto run = [](bool prompt_replacement, std::uint64_t seed) {
+  const auto session_opts = engine::MakeSessionOptions(bench_args.std_opts);
+  auto run = [&session_opts](bool prompt_replacement, std::uint64_t seed) {
     synth::Scenario sc;
     sc.duration = 3 * kYear;
     auto sys = synth::Group1System("prod", 512, 3 * kYear);
@@ -30,7 +32,8 @@ int main(int argc, char** argv) {
       sys.power_supply_cascade.maintenance_children = 0.0;
     }
     sc.systems.push_back(std::move(sys));
-    return synth::GenerateTrace(sc, seed);
+    return engine::AnalysisSession::FromScenario(std::move(sc), seed,
+                                                 session_opts);
   };
 
   Table t({"policy", "total failures", "hw failures",
@@ -41,8 +44,10 @@ int main(int argc, char** argv) {
   for (const bool prompt : {false, true}) {
     double failures = 0.0, hw = 0.0, fan_after = 0.0, avail = 0.0;
     for (int seed = 1; seed <= seeds; ++seed) {
-      const Trace trace = run(prompt, static_cast<std::uint64_t>(seed));
-      const EventIndex idx(trace);
+      const engine::AnalysisSession session =
+          run(prompt, static_cast<std::uint64_t>(seed));
+      const Trace& trace = session.trace();
+      const EventIndex& idx = session.index();
       const WindowAnalyzer analyzer(idx);
       failures += static_cast<double>(trace.num_failures());
       for (const FailureRecord& f : trace.failures()) {

@@ -1,50 +1,73 @@
-// Shared setup for the figure/table reproduction benches: every bench
-// generates the same LANL-like trace (full scale, 3 simulated years, fixed
-// seed) and prints paper-vs-measured rows for its figure.
+// Shared setup for the figure/table reproduction benches. Every bench runs
+// through an engine::AnalysisSession: the same LANL-like trace (full scale,
+// 3 simulated years, fixed seed) acquired through the content-addressed
+// artifact cache, with per-system event stores built once and shared by
+// every index subset the bench carves.
+//
+// Flag surface (engine::ArgParser; unknown flags exit 2):
+//   --threads N    worker threads (0 = hardware concurrency, 1 = serial)
+//   --seed S       generator seed (default 2013)
+//   --cache-dir D  artifact cache directory
+//   --no-cache     bypass the artifact cache
+//   --json         machine-readable output (where the bench supports it)
+//   --scale X      scenario scale factor (default 1.0)
+//   --years Y      simulated duration in years (default 3)
+//
+// Results are identical for every --threads value, and bit-identical on
+// stdout whether the trace came from the cache (warm) or the generator
+// (cold) — session diagnostics go to stderr only.
 #pragma once
 
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/parallel.h"
 #include "core/report.h"
 #include "core/window_analysis.h"
-#include "synth/generate.h"
+#include "engine/labels.h"
+#include "engine/session.h"
+#include "synth/scenario.h"
 
 namespace hpcfail::bench {
 
-inline constexpr std::uint64_t kBenchSeed = 2013;  // DSN 2013
+inline constexpr std::uint64_t kBenchSeed = engine::kDefaultSeed;  // DSN 2013
 
-// Shared flag handling for the figure/table binaries: `--threads N` sets the
-// worker count for the parallel kernels (default: hardware concurrency; 1
-// forces the serial path). Results are identical for every value.
-inline void InitFromArgs(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      if (i + 1 >= argc) {
-        std::cerr << "error: --threads requires a value\n";
-        std::exit(2);
-      }
-      char* end = nullptr;
-      const long n = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || n < 0) {
-        std::cerr << "error: --threads expects a non-negative integer, got '"
-                  << argv[i] << "'\n";
-        std::exit(2);
-      }
-      core::SetDefaultThreadCount(static_cast<int>(n));
-    }
+struct BenchArgs {
+  engine::StandardOptions std_opts;
+  double scale = 1.0;
+  double years = 3.0;
+
+  TimeSec duration() const {
+    return static_cast<TimeSec>(years * static_cast<double>(kYear));
   }
+};
+
+// Parses the shared bench flags and applies process-level settings
+// (--threads). Unknown arguments are rejected with exit code 2.
+inline BenchArgs ParseArgs(int argc, const char* const* argv,
+                           const std::string& program) {
+  BenchArgs args;
+  engine::ArgParser parser(program,
+                           "Reproduces one figure/table of the paper on a "
+                           "synthetic LANL-like trace.");
+  engine::AddStandardOptions(parser, &args.std_opts);
+  parser.AddDouble("scale", &args.scale,
+                   "scenario scale factor (nodes and rates)");
+  parser.AddDouble("years", &args.years, "simulated duration in years");
+  parser.ParseOrExit(argc, argv);
+  engine::ApplyStandardOptions(args.std_opts);
+  return args;
 }
 
-// The standard bench trace: all ten LANL-like systems, 3 simulated years.
-// (The paper's data spans 9 years; 3 years keeps every bench under ~10s
-// while leaving thousands of events per analysis. Pass a different scale /
-// duration for quick runs.)
-inline Trace MakeBenchTrace(double scale = 1.0, TimeSec duration = 3 * kYear) {
-  return synth::GenerateTrace(synth::LanlLikeScenario(scale, duration),
-                              kBenchSeed);
+// The standard bench session. Acquisition diagnostics (cache hit/miss,
+// load time) go to stderr so stdout stays bit-identical cold vs warm.
+inline engine::AnalysisSession MakeBenchSession(const BenchArgs& args) {
+  engine::AnalysisSession session = engine::AnalysisSession::FromScenario(
+      synth::LanlLikeScenario(args.scale, args.duration()),
+      args.std_opts.seed, engine::MakeSessionOptions(args.std_opts));
+  std::cerr << "session: " << session.StatsJson() << "\n";
+  return session;
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper) {
@@ -62,16 +85,9 @@ inline std::vector<std::string> ConditionalCells(
           std::to_string(r.num_triggers)};
 }
 
+// Back-compat alias; the labels live in engine/labels.h now.
 inline const char* CategoryLabel(FailureCategory c) {
-  switch (c) {
-    case FailureCategory::kEnvironment: return "ENV";
-    case FailureCategory::kHardware: return "HW";
-    case FailureCategory::kHuman: return "HUMAN";
-    case FailureCategory::kNetwork: return "NET";
-    case FailureCategory::kSoftware: return "SW";
-    case FailureCategory::kUndetermined: return "UNDET";
-  }
-  return "?";
+  return engine::ShortCategoryLabel(c);
 }
 
 }  // namespace hpcfail::bench

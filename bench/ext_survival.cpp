@@ -9,15 +9,19 @@
 #include "core/survival_analysis.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "ext_survival");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Extension: time-to-next-failure survival curves (generalizes Fig 1a)",
       "env/net-triggered survival drops fastest at every horizon, not just "
       "day/week");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex g1 =
+      session.IndexFor(SystemsOfGroup(trace, SystemGroup::kSmp));
   const SurvivalAnalysis sa = AnalyzeTimeToNextFailure(g1);
 
   Table t({"trigger", "n", "P(fail<=1d)", "P(fail<=1wk)",

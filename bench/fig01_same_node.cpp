@@ -128,16 +128,21 @@ void PairwiseMatrixView(const WindowAnalyzer& a, const std::string& group) {
 }  // namespace hpcfail
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig01_same_node");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Figure 1 + Section III.A: same-node failure correlations",
       "paper: group1 0.31%->7.2% (day), 2.04%->15.64% (week); "
       "group2 4.6%->21.45%, 22.5%->60.4%; env/net strongest triggers");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
-  const EventIndex g2(trace, SystemsOfGroup(trace, SystemGroup::kNuma));
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex g1 =
+      session.IndexFor(SystemsOfGroup(trace, SystemGroup::kSmp));
+  const EventIndex g2 =
+      session.IndexFor(SystemsOfGroup(trace, SystemGroup::kNuma));
   const WindowAnalyzer a1(g1), a2(g2);
 
   HeadlineNumbers(a1, "LANL group 1", "0.31% -> 7.2% (~20X)",

@@ -8,7 +8,8 @@
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig02_same_rack");
   using namespace hpcfail;
   using namespace hpcfail::core;
   using bench::CategoryLabel;
@@ -16,8 +17,11 @@ int main(int argc, char** argv) {
       "Figure 2 + Section III.B: same-rack failure correlations",
       "paper: day 0.31%->1.2% (~3X), week 2.04%->4.6% (~2.3X); same-type "
       "rack coupling up to 170X (env), ~10X (sw)");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex g1 =
+      session.IndexFor(SystemsOfGroup(trace, SystemGroup::kSmp));
   const WindowAnalyzer a(g1);
   const auto any = EventFilter::Any();
 

@@ -44,16 +44,21 @@ void SystemScope(const WindowAnalyzer& a, const std::string& group,
 }  // namespace hpcfail
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig03_same_system");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Figure 3 + Section III.C: same-system failure correlations",
       "paper: group1 2.04%->2.68% weekly; group2 22.5%->35.3%; increases "
       "weaker than rack scope");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
-  const EventIndex g2(trace, SystemsOfGroup(trace, SystemGroup::kNuma));
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex g1 =
+      session.IndexFor(SystemsOfGroup(trace, SystemGroup::kSmp));
+  const EventIndex g2 =
+      session.IndexFor(SystemsOfGroup(trace, SystemGroup::kNuma));
   SystemScope(WindowAnalyzer(g1), "LANL group 1", "2.04% -> 2.68%");
   SystemScope(WindowAnalyzer(g2), "LANL group 2", "22.5% -> 35.3%");
 

@@ -8,15 +8,18 @@
 #include "core/node_skew.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig04_node_skew");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Figure 4 + Section IV.A: do some nodes fail more than others?",
       "paper: node 0 has 19X (sys 20) to >30X (sys 19) the average; "
       "chi-square rejects equal rates (p < 2.2e-16), also without node 0");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
 
   for (const SystemConfig& s : trace.systems()) {
     if (s.name != "system18" && s.name != "system19" && s.name != "system20") {

@@ -7,7 +7,8 @@
 #include "core/node_skew.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig05_breakdown");
   using namespace hpcfail;
   using namespace hpcfail::core;
   using bench::CategoryLabel;
@@ -15,8 +16,10 @@ int main(int argc, char** argv) {
       "Figure 5 + Section IV.B: root-cause breakdown, node 0 vs rest",
       "paper: node 0 shows higher shares of software/environment/network; "
       "dominant mode shifts from hardware to software");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
 
   for (const SystemConfig& s : trace.systems()) {
     if (s.name != "system18" && s.name != "system19" && s.name != "system20") {

@@ -8,7 +8,8 @@
 #include "core/node_skew.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig06_prone_nodes");
   using namespace hpcfail;
   using namespace hpcfail::core;
   using bench::CategoryLabel;
@@ -16,8 +17,10 @@ int main(int argc, char** argv) {
       "Figure 6 + Section IV.B: failure probabilities, node 0 vs rest",
       "paper: increases strongest for env (~2000X) and net (500-1000X), "
       "sw 36-118X, hw 5-10X; human errors not significantly skewed");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
 
   for (const SystemConfig& s : trace.systems()) {
     if (s.name != "system18" && s.name != "system19" && s.name != "system20") {

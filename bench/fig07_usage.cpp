@@ -9,15 +9,18 @@
 #include "core/usage_analysis.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig07_usage");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Figure 7 + Section V: usage vs node reliability",
       "paper: Pearson r(jobs, failures) = 0.465 (sys 8), 0.12 (sys 20); "
       "correlation collapses without node 0; node 0 tops usage and failures");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
 
   for (SystemId sys : SystemsWithJobs(trace)) {
     const SystemConfig& config = trace.system(sys);

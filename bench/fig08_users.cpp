@@ -6,14 +6,17 @@
 #include "core/user_analysis.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig08_users");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Figure 8 + Section VI: per-user failure rates",
       "paper: large discrepancy in failures per processor-day across the 50 "
       "heaviest users; saturated Poisson model beats common-rate at 99%");
-  const Trace trace = bench::MakeBenchTrace();
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
 
   for (SystemId sys : SystemsWithJobs(trace)) {
     const SystemConfig& config = trace.system(sys);

@@ -5,15 +5,18 @@
 #include "core/power_analysis.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig09_env_breakdown");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Figure 9: breakdown of environmental failures",
       "paper: 49% power outage, 21% power spike, 15% UPS, 9% chillers, "
       "6% other environment");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
   const EnvironmentBreakdown b = BreakdownEnvironment(idx);
 
   const double paper[kNumEnvironmentEvents] = {49.0, 21.0, 15.0, 9.0, 6.0};

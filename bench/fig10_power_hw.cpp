@@ -14,7 +14,8 @@
 #include "core/power_analysis.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig10_power_hw");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
@@ -22,8 +23,11 @@ int main(int argc, char** argv) {
       "paper: all four power problems raise hardware failure rates 5-10X "
       "within a month; CPUs are the only untouched component; maintenance "
       "jumps 30-100X");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex g1 =
+      session.IndexFor(SystemsOfGroup(trace, SystemGroup::kSmp));
   const WindowAnalyzer a(g1);
 
   {

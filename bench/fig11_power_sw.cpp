@@ -8,15 +8,19 @@
 #include "core/power_analysis.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig11_power_sw");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Figure 11 + Section VII.B: power problems vs software failures",
       "paper: software failures up 45X (outage) / 29X (UPS) / 10-20X "
       "(spike, PSU) within a week; DST/PFS/CFS carry most of the impact");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex g1 =
+      session.IndexFor(SystemsOfGroup(trace, SystemGroup::kSmp));
   const WindowAnalyzer a(g1);
 
   {

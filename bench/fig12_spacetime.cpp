@@ -61,15 +61,18 @@ double SameNodeClustering(const std::vector<SpaceTimePoint>& pts,
 }  // namespace hpcfail
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig12_spacetime");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Figure 12 + Section VII.C: space-time layout of power problems",
       "paper (system 2): outages/UPS correlate across nodes and time; "
       "spikes are scattered; PSU failures cluster only within a node");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
   const SystemConfig* sys2 = nullptr;
   for (const SystemConfig& s : trace.systems()) {
     if (s.name == "system2") sys2 = &s;

@@ -13,15 +13,19 @@
 #include "core/temperature_analysis.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig13_temperature");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Figure 13 + Section VIII: temperature and failures",
       "paper: avg/max/var temperature insignificant; fan failures raise "
       "hardware failures ~40X next-day, chillers 6-9X; fans recur ~120X");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex g1(trace, SystemsOfGroup(trace, SystemGroup::kSmp));
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex g1 =
+      session.IndexFor(SystemsOfGroup(trace, SystemGroup::kSmp));
   const WindowAnalyzer a(g1);
 
   {

@@ -9,15 +9,18 @@
 #include "core/cosmic_analysis.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "fig14_cosmic");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Figure 14 + Section IX: neutron flux vs DRAM / CPU failures",
       "paper: DRAM flat in flux for all systems; CPU mildly positive in "
       "systems 2, 18, 19 (not 20)");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
 
   for (const SystemConfig& s : trace.systems()) {
     if (s.name != "system2" && s.name != "system18" && s.name != "system19" &&

@@ -5,11 +5,23 @@
 //   - GLM fitting cost;
 //   - serial vs parallel execution of the hot kernels (the /threads:N
 //     benchmarks; N=1 is the serial path, results are bit-identical).
+//
+// With --json the google-benchmark harness is bypassed entirely: the binary
+// emits one JSON object with the session acquisition cost (cold generation
+// vs warm artifact-cache load) and per-thread-count kernel throughput — the
+// machine-readable baseline BENCH_baseline.json is written from.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string_view>
 
 #include "core/joint_regression.h"
 #include "core/parallel.h"
 #include "core/window_analysis.h"
+#include "engine/session.h"
 #include "stats/bootstrap.h"
 #include "stats/descriptive.h"
 #include "stats/glm.h"
@@ -224,7 +236,117 @@ void BM_JointRegression(benchmark::State& state) {
 }
 BENCHMARK(BM_JointRegression)->Unit(benchmark::kMillisecond);
 
+// ---- --json mode: hand-rolled timing, no google-benchmark involved.
+
+template <typename Fn>
+double BestSeconds(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+int RunJsonMode(int argc, const char* const* argv) {
+  engine::StandardOptions std_opts;
+  double scale = 0.25;
+  int reps = 3;
+  engine::ArgParser parser(
+      "perf_engine",
+      "Machine-readable perf baseline: session acquisition (cold generation "
+      "vs warm artifact-cache load) and kernel throughput per thread count.");
+  engine::AddStandardOptions(parser, &std_opts);
+  parser.AddDouble("scale", &scale, "scenario scale factor");
+  parser.AddInt("reps", &reps, "timing repetitions (best-of)");
+  parser.ParseOrExit(argc, argv);
+
+  const auto scenario = synth::LanlLikeScenario(scale, kYear);
+  const engine::SessionOptions cached = engine::MakeSessionOptions(std_opts);
+  engine::SessionOptions uncached = cached;
+  uncached.cache.enabled = false;
+
+  // Cold: generator every time. Warm: artifact-cache load every time (the
+  // cache is primed first; with --no-cache this degenerates to cold).
+  std::size_t num_failures = 0;
+  const double cold_s = BestSeconds(reps, [&] {
+    const engine::AnalysisSession s =
+        engine::AnalysisSession::FromScenario(scenario, std_opts.seed,
+                                              uncached);
+    num_failures = s.trace().num_failures();
+  });
+  {
+    const engine::AnalysisSession prime =
+        engine::AnalysisSession::FromScenario(scenario, std_opts.seed, cached);
+    (void)prime;
+  }
+  bool warm_hit = false;
+  const double warm_s = BestSeconds(reps, [&] {
+    const engine::AnalysisSession s =
+        engine::AnalysisSession::FromScenario(scenario, std_opts.seed, cached);
+    warm_hit = s.stats().cache_hit;
+  });
+
+  const engine::AnalysisSession session =
+      engine::AnalysisSession::FromScenario(scenario, std_opts.seed, cached);
+  const WindowAnalyzer analyzer(session.index());
+
+  std::ostringstream out;
+  out.precision(6);
+  out << "{\"bench\":\"perf_engine\",\"scale\":" << scale
+      << ",\"seed\":" << std_opts.seed
+      << ",\"num_failures\":" << num_failures
+      << ",\"session\":{\"cold_seconds\":" << cold_s
+      << ",\"warm_seconds\":" << warm_s << ",\"warm_cache_hit\":"
+      << (warm_hit ? "true" : "false") << ",\"warm_speedup\":"
+      << (warm_s > 0.0 ? cold_s / warm_s : 0.0) << "}";
+
+  out << ",\"pairwise_matrix_seconds\":{";
+  bool first = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadCountGuard guard(threads);
+    const double s = BestSeconds(reps, [&] {
+      auto matrix = analyzer.PairwiseProbabilities(Scope::kSameNode, kWeek);
+      benchmark::DoNotOptimize(matrix[0][0].conditional.estimate);
+    });
+    out << (first ? "" : ",") << "\"" << threads << "\":" << s;
+    first = false;
+  }
+  out << "},\"generate_events_per_sec\":{";
+  first = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadCountGuard guard(threads);
+    const double s = BestSeconds(reps, [&] {
+      Trace t = synth::GenerateTrace(scenario, std_opts.seed);
+      benchmark::DoNotOptimize(t.num_failures());
+    });
+    out << (first ? "" : ",") << "\"" << threads
+        << "\":" << (s > 0.0 ? static_cast<double>(num_failures) / s : 0.0);
+    first = false;
+  }
+  out << "}}";
+  std::cout << out.str() << "\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace hpcfail
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark rejects flags it does not know, so the --json mode is
+  // dispatched before benchmark::Initialize ever sees the argument list.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      return hpcfail::RunJsonMode(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

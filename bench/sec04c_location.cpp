@@ -9,14 +9,17 @@
 #include "core/location_analysis.h"
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "sec04c_location");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
       "Section IV.C: does physical location matter?",
       "paper: no clear patterns by machine-room area or position in rack");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
 
   bool any_shelf_effect = false;
   for (const SystemConfig& s : trace.systems()) {

@@ -34,7 +34,8 @@ void PrintFit(const std::string& title, const stats::GlmFit& fit) {
 }  // namespace hpcfail
 
 int main(int argc, char** argv) {
-  hpcfail::bench::InitFromArgs(argc, argv);
+  const hpcfail::bench::BenchArgs bench_args =
+      hpcfail::bench::ParseArgs(argc, argv, "table02_03_regression");
   using namespace hpcfail;
   using namespace hpcfail::core;
   bench::PrintHeader(
@@ -42,8 +43,10 @@ int main(int argc, char** argv) {
       "paper: num_jobs (z=7.17/3.86) and util (z=-5.34/-3.42) significant "
       "in both models; temperature and PIR insignificant; usage "
       "significance survives removing node 0");
-  const Trace trace = bench::MakeBenchTrace();
-  const EventIndex idx(trace);
+  const engine::AnalysisSession session =
+      bench::MakeBenchSession(bench_args);
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
   const auto temp_systems = SystemsWithTemperature(trace);
   const SystemId sys = temp_systems.at(0);
   std::cout << "system: " << trace.system(sys).name << " ("

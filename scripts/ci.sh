@@ -28,6 +28,38 @@ cmake --build build-tsan -j "$JOBS" --target \
 ./build-tsan/tests/test_csv_fuzz
 ./build-tsan/tools/hpcfail_stream --selftest
 
+echo "== cache determinism: warm run must be byte-identical to cold =="
+# The artifact cache's core guarantee (DESIGN.md "Engine layer"): a warm
+# load can change timing, never results. Run the report cold (fresh cache
+# dir), then warm, and require bit-identical stdout; the stderr session
+# lines must show store-then-hit or the gate is not actually exercising
+# the cache.
+CACHE_TMP="$(mktemp -d)"
+trap 'rm -rf "$CACHE_TMP"' EXIT
+./build/tools/hpcfail_report --synth --scale 0.2 --years 1 --seed 7 \
+  --cache-dir "$CACHE_TMP/cache" \
+  > "$CACHE_TMP/cold.out" 2> "$CACHE_TMP/cold.err"
+./build/tools/hpcfail_report --synth --scale 0.2 --years 1 --seed 7 \
+  --cache-dir "$CACHE_TMP/cache" \
+  > "$CACHE_TMP/warm.out" 2> "$CACHE_TMP/warm.err"
+diff "$CACHE_TMP/cold.out" "$CACHE_TMP/warm.out" \
+  || { echo "ci: warm cache output differs from cold" >&2; exit 1; }
+grep -q '"cache_stored":true' "$CACHE_TMP/cold.err" \
+  || { echo "ci: cold run did not store a cache entry" >&2; exit 1; }
+grep -q '"cache_hit":true' "$CACHE_TMP/warm.err" \
+  || { echo "ci: warm run did not hit the cache" >&2; exit 1; }
+
+echo "== asan: cache load/store path under AddressSanitizer =="
+# The cache decodes attacker-ish bytes (truncated/corrupt entries) with
+# hand-rolled framing; run the corruption matrix and session tests under
+# ASan so an overread in the decode path fails loudly.
+cmake -B build-asan -S . -DHPCFAIL_SANITIZE=address
+cmake --build build-asan -j "$JOBS" --target \
+  test_engine_cache test_engine_session test_arg_parser
+./build-asan/tests/test_engine_cache
+./build-asan/tests/test_engine_session
+./build-asan/tests/test_arg_parser
+
 echo "== obs-off: compile with instrumentation disabled =="
 # The HPCFAIL_OBS=OFF path must keep compiling (the macros stub every
 # mutator); run the two suites that assert the disabled-path semantics.

@@ -16,36 +16,45 @@ std::string EventFilter::Describe() const {
 }
 
 EventIndex::EventIndex(const Trace& trace, std::span<const SystemId> systems)
-    : trace_(&trace) {
-  obs::ScopedTimer timer("index_build");
-  if (systems.empty()) {
-    for (const SystemConfig& s : trace.systems()) systems_.push_back(s.id);
-  } else {
-    systems_.assign(systems.begin(), systems.end());
-  }
-  long long indexed = 0;
-  events_.reserve(systems_.size());
-  for (SystemId id : systems_) {
-    SystemEventStore se;
-    se.Init(trace.system(id));
-    // FailuresOfSystem is time-sorted (Trace::Finalize), so appending in
-    // order keeps every per-node / per-rack list sorted too.
-    for (const FailureRecord& f : trace.FailuresOfSystem(id)) se.Append(f);
-    indexed += static_cast<long long>(se.failures.size());
-    events_.push_back(std::move(se));
-  }
+    : EventIndex(trace,
+                 std::make_shared<const EventStoreSet>(
+                     EventStoreSet::Build(trace, systems)),
+                 systems) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  long long indexed = 0;
+  for (const SystemEventStore* se : events_) {
+    indexed += static_cast<long long>(se->failures.size());
+  }
   reg.GetCounter("hpcfail_index_builds_total",
-                 "Batch EventIndex constructions")
+                 "Batch EventIndex store builds")
       .Increment();
   reg.GetCounter("hpcfail_index_records_total",
                  "Failure records indexed by batch EventIndex builds")
       .Add(indexed);
 }
 
+EventIndex::EventIndex(const Trace& trace,
+                       std::shared_ptr<const EventStoreSet> set,
+                       std::span<const SystemId> systems)
+    : trace_(&trace), set_(std::move(set)) {
+  if (systems.empty()) {
+    for (const SystemEventStore& se : set_->stores) systems_.push_back(se.id);
+  } else {
+    systems_.assign(systems.begin(), systems.end());
+  }
+  events_.reserve(systems_.size());
+  for (SystemId id : systems_) {
+    const SystemEventStore* se = set_->Find(id);
+    if (se == nullptr) {
+      throw std::out_of_range("EventIndex: system has no prebuilt store");
+    }
+    events_.push_back(se);
+  }
+}
+
 const SystemEventStore* EventIndex::Find(SystemId sys) const {
-  for (const SystemEventStore& se : events_) {
-    if (se.id == sys) return &se;
+  for (const SystemEventStore* se : events_) {
+    if (se->id == sys) return se;
   }
   return nullptr;
 }
@@ -99,17 +108,17 @@ int EventIndex::DistinctSystemPeersWithEvent(SystemId sys, NodeId node,
 void EventIndex::ForEach(
     const EventFilter& filter,
     const std::function<void(SystemId, const FailureRecord&)>& fn) const {
-  for (const SystemEventStore& se : events_) {
-    for (const FailureRecord& f : se.failures) {
-      if (filter.Matches(f)) fn(se.id, f);
+  for (const SystemEventStore* se : events_) {
+    for (const FailureRecord& f : se->failures) {
+      if (filter.Matches(f)) fn(se->id, f);
     }
   }
 }
 
 long long EventIndex::Count(const EventFilter& filter) const {
   long long count = 0;
-  for (const SystemEventStore& se : events_) {
-    for (const FailureRecord& f : se.failures) {
+  for (const SystemEventStore* se : events_) {
+    for (const FailureRecord& f : se->failures) {
       if (filter.Matches(f)) ++count;
     }
   }

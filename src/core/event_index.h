@@ -1,12 +1,20 @@
 // Time-sorted failure indexes per node, rack and system with binary-searched
 // window queries — the query layer under every conditional-probability
-// analysis. Construction is O(F log F); window queries are O(log F + k)
-// where k is the number of events inside the window. The per-system storage
-// and query kernels live in core/event_store.h and are shared with the
-// streaming stream::IncrementalEventIndex.
+// analysis. Construction from a finalized trace is one linear pass; window
+// queries are O(log F + k) where k is the number of events inside the
+// window. The per-system storage and query kernels live in
+// core/event_store.h and are shared with the streaming
+// stream::IncrementalEventIndex.
+//
+// An EventIndex is a *view*: the per-system stores live in a shared
+// EventStoreSet, so several indexes (e.g. the all-systems index plus the
+// group-1 / group-2 subsets a figure bench compares) reference one build of
+// the stores instead of re-indexing the trace per subset. Copying an index
+// copies the view, not the stores.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -17,8 +25,16 @@ namespace hpcfail::core {
 
 class EventIndex {
  public:
-  // Indexes the failures of the given systems (all systems when empty).
+  // Indexes the failures of the given systems (all systems when empty),
+  // building a private store set.
   EventIndex(const Trace& trace, std::span<const SystemId> systems = {});
+
+  // View onto prebuilt stores (all of `set`'s systems when `systems` is
+  // empty). Throws std::out_of_range when a requested system has no store.
+  // The engine-layer AnalysisSession uses this to serve every analyzer from
+  // one store build (possibly restored from the artifact cache).
+  EventIndex(const Trace& trace, std::shared_ptr<const EventStoreSet> set,
+             std::span<const SystemId> systems = {});
 
   // Systems covered, in indexing order.
   const std::vector<SystemId>& systems() const { return systems_; }
@@ -78,7 +94,8 @@ class EventIndex {
 
   const Trace* trace_;
   std::vector<SystemId> systems_;
-  std::vector<SystemEventStore> events_;
+  std::shared_ptr<const EventStoreSet> set_;
+  std::vector<const SystemEventStore*> events_;  // selected views into set_
 };
 
 }  // namespace hpcfail::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/span.h"
+
 namespace hpcfail::core {
 namespace {
 
@@ -150,6 +152,46 @@ int SystemEventStore::DistinctSystemPeersWithEvent(NodeId node,
                                                    int* num_peers) const {
   if (num_peers != nullptr) *num_peers = std::max(0, config->num_nodes - 1);
   return CountDistinctPeers(all, failures, node, window, filter);
+}
+
+const SystemEventStore* EventStoreSet::Find(SystemId sys) const {
+  for (const SystemEventStore& se : stores) {
+    if (se.id == sys) return &se;
+  }
+  return nullptr;
+}
+
+EventStoreSet EventStoreSet::Build(const Trace& trace,
+                                   std::span<const SystemId> systems) {
+  obs::ScopedTimer timer("index_build");
+  EventStoreSet set;
+  std::vector<SystemId> wanted;
+  if (systems.empty()) {
+    for (const SystemConfig& s : trace.systems()) wanted.push_back(s.id);
+  } else {
+    wanted.assign(systems.begin(), systems.end());
+  }
+  set.stores.reserve(wanted.size());
+  // slot[system id] -> store index, so the single pass below is O(1) per
+  // record. System ids are small dense integers (trace validates them).
+  std::int32_t max_id = -1;
+  for (SystemId id : wanted) max_id = std::max(max_id, id.value);
+  std::vector<std::int32_t> slot(static_cast<std::size_t>(max_id + 1), -1);
+  for (SystemId id : wanted) {
+    slot[static_cast<std::size_t>(id.value)] =
+        static_cast<std::int32_t>(set.stores.size());
+    SystemEventStore se;
+    se.Init(trace.system(id));
+    set.stores.push_back(std::move(se));
+  }
+  // trace.failures() is (start, system, node)-sorted, so each system's
+  // subsequence arrives time-sorted and Append's ordering check holds.
+  for (const FailureRecord& f : trace.failures()) {
+    if (f.system.value > max_id) continue;
+    const std::int32_t s = slot[static_cast<std::size_t>(f.system.value)];
+    if (s >= 0) set.stores[static_cast<std::size_t>(s)].Append(f);
+  }
+  return set;
 }
 
 }  // namespace hpcfail::core

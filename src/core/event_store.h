@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/event_filter.h"
@@ -66,6 +67,25 @@ struct SystemEventStore {
   int DistinctSystemPeersWithEvent(NodeId node, TimeInterval window,
                                    const EventFilter& filter,
                                    int* num_peers) const;
+};
+
+// An immutable bundle of per-system stores built once per trace and shared
+// (via shared_ptr) by every EventIndex view onto it. Building is one linear
+// pass over the trace's time-sorted failure stream — O(F + N) instead of the
+// O(S * F) per-system rescans a store-per-index design pays — and is the
+// unit the engine-layer artifact cache snapshots.
+struct EventStoreSet {
+  std::vector<SystemEventStore> stores;  // trace system order (or subset)
+
+  // nullptr when `sys` has no store in the set.
+  const SystemEventStore* Find(SystemId sys) const;
+
+  // Builds stores for `systems` (all systems of the trace when empty) in a
+  // single pass over trace.failures(). The trace must stay alive and
+  // unmodified while the set (or any index sharing it) is in use: stores
+  // keep pointers into its system configs.
+  static EventStoreSet Build(const Trace& trace,
+                             std::span<const SystemId> systems = {});
 };
 
 }  // namespace hpcfail::core

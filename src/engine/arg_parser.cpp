@@ -1,0 +1,184 @@
+#include "engine/arg_parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcfail::engine {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::AddFlag(const std::string& name, bool* out,
+                        const std::string& help) {
+  options_.push_back({name, Kind::kFlag, out, help, *out ? "true" : "false"});
+}
+
+void ArgParser::AddInt(const std::string& name, int* out,
+                       const std::string& help) {
+  options_.push_back({name, Kind::kInt, out, help, std::to_string(*out)});
+}
+
+void ArgParser::AddUint64(const std::string& name, std::uint64_t* out,
+                          const std::string& help) {
+  options_.push_back({name, Kind::kUint64, out, help, std::to_string(*out)});
+}
+
+void ArgParser::AddDouble(const std::string& name, double* out,
+                          const std::string& help) {
+  options_.push_back({name, Kind::kDouble, out, help, std::to_string(*out)});
+}
+
+void ArgParser::AddString(const std::string& name, std::string* out,
+                          const std::string& help) {
+  options_.push_back(
+      {name, Kind::kString, out, help, out->empty() ? "\"\"" : *out});
+}
+
+void ArgParser::AllowPositionals(std::vector<std::string>* out) {
+  positionals_ = out;
+}
+
+const ArgParser::Option* ArgParser::Find(const std::string& name) const {
+  for (const Option& o : options_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+bool ArgParser::SetValue(const Option& opt, const std::string& value,
+                         std::string* error) {
+  try {
+    std::size_t used = 0;
+    switch (opt.kind) {
+      case Kind::kFlag:
+        break;  // handled by caller
+      case Kind::kInt: {
+        const int v = std::stoi(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        *static_cast<int*>(opt.out) = v;
+        break;
+      }
+      case Kind::kUint64: {
+        if (!value.empty() && value[0] == '-') {
+          throw std::invalid_argument(value);
+        }
+        const unsigned long long v = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        *static_cast<std::uint64_t*>(opt.out) = v;
+        break;
+      }
+      case Kind::kDouble: {
+        const double v = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        *static_cast<double*>(opt.out) = v;
+        break;
+      }
+      case Kind::kString:
+        *static_cast<std::string*>(opt.out) = value;
+        break;
+    }
+  } catch (const std::exception&) {
+    if (error != nullptr) {
+      *error = "--" + opt.name + ": invalid value '" + value + "'";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ArgParser::TryParse(int argc, const char* const* argv,
+                         std::string* error) {
+  help_ = false;
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!flags_done && arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    if (!flags_done && arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      if (arg == "--help") {
+        help_ = true;
+        return true;
+      }
+      std::string name = arg.substr(2);
+      std::string inline_value;
+      bool has_inline = false;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_inline = true;
+      }
+      const Option* opt = Find(name);
+      if (opt == nullptr) {
+        if (error != nullptr) *error = "unknown argument '--" + name + "'";
+        return false;
+      }
+      if (opt->kind == Kind::kFlag) {
+        if (has_inline) {
+          if (error != nullptr) {
+            *error = "--" + name + " does not take a value";
+          }
+          return false;
+        }
+        *static_cast<bool*>(opt->out) = true;
+        continue;
+      }
+      std::string value;
+      if (has_inline) {
+        value = inline_value;
+      } else {
+        if (i + 1 >= argc) {
+          if (error != nullptr) *error = "--" + name + " requires a value";
+          return false;
+        }
+        value = argv[++i];
+      }
+      if (!SetValue(*opt, value, error)) return false;
+      continue;
+    }
+    if (positionals_ != nullptr) {
+      positionals_->push_back(arg);
+      continue;
+    }
+    if (error != nullptr) *error = "unknown argument '" + arg + "'";
+    return false;
+  }
+  return true;
+}
+
+void ArgParser::ParseOrExit(int argc, const char* const* argv) {
+  std::string error;
+  if (!TryParse(argc, argv, &error)) {
+    std::fprintf(stderr, "%s: error: %s\n%s", program_.c_str(), error.c_str(),
+                 Usage().c_str());
+    std::exit(2);
+  }
+  if (help_) {
+    std::fputs(Usage().c_str(), stdout);
+    std::exit(0);
+  }
+}
+
+std::string ArgParser::Usage() const {
+  std::string out = "usage: " + program_;
+  if (!options_.empty()) out += " [options]";
+  if (positionals_ != nullptr) out += " [args...]";
+  out += "\n";
+  if (!description_.empty()) out += description_ + "\n";
+  if (!options_.empty()) out += "options:\n";
+  for (const Option& o : options_) {
+    std::string line = "  --" + o.name;
+    if (o.kind != Kind::kFlag) line += " <value>";
+    line += "  ";
+    while (line.size() < 26) line += ' ';
+    line += o.help + " (default: " + o.default_text + ")\n";
+    out += line;
+  }
+  out += "  --help                  show this message and exit\n";
+  return out;
+}
+
+}  // namespace hpcfail::engine

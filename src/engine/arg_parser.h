@@ -1,0 +1,72 @@
+// Declarative command-line parsing for every hpcfail binary (benches and
+// tools), replacing bench_common.h's hand-rolled loop. Two deliberate
+// behavior changes from that loop:
+//
+//   * unknown flags are ERRORS (exit code 2), not silently ignored — a typo
+//     like `--thread 8` used to run the bench single-threaded without a word;
+//   * every binary gets the same standard surface: --threads, --seed,
+//     --cache-dir, --no-cache, --json, --help.
+//
+// Positional arguments are rejected unless the binary opts in with
+// AllowPositionals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcfail::engine {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description = {});
+
+  // Register flags. `name` is without the leading "--". The output pointer
+  // must outlive Parse; its current value is the default shown in --help.
+  void AddFlag(const std::string& name, bool* out, const std::string& help);
+  void AddInt(const std::string& name, int* out, const std::string& help);
+  void AddUint64(const std::string& name, std::uint64_t* out,
+                 const std::string& help);
+  void AddDouble(const std::string& name, double* out,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* out,
+                 const std::string& help);
+
+  // Accept bare (non-flag) arguments into `out` instead of erroring.
+  void AllowPositionals(std::vector<std::string>* out);
+
+  // Parses argv[1..). Returns false with a message in `error` on any unknown
+  // flag, missing value, or malformed number. `--` ends flag parsing; later
+  // arguments are positionals. Testable (no exit / no printing).
+  bool TryParse(int argc, const char* const* argv, std::string* error);
+
+  // TryParse + standard process behavior: on error prints the message and
+  // usage to stderr and exits 2; on --help prints usage to stdout and exits
+  // 0.
+  void ParseOrExit(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_; }
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kUint64, kDouble, kString };
+  struct Option {
+    std::string name;
+    Kind kind;
+    void* out;
+    std::string help;
+    std::string default_text;
+  };
+
+  const Option* Find(const std::string& name) const;
+  bool SetValue(const Option& opt, const std::string& value,
+                std::string* error);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+  std::vector<std::string>* positionals_ = nullptr;
+  bool help_ = false;
+};
+
+}  // namespace hpcfail::engine

@@ -1,0 +1,145 @@
+#include "engine/fingerprint.h"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+
+namespace hpcfail::engine {
+
+void FingerprintHasher::Bytes(std::string_view bytes) {
+  for (const char c : bytes) {
+    hash_ ^= static_cast<unsigned char>(c);
+    hash_ *= 0x100000001b3ULL;
+  }
+}
+
+void FingerprintHasher::U64(std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  Bytes(std::string_view(buf, sizeof(buf)));
+}
+
+void FingerprintHasher::F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+
+namespace {
+
+void HashCascade(FingerprintHasher& h, const synth::CascadeSpec& c) {
+  for (const double v : c.children) h.F64(v);
+  h.I64(c.mean_delay);
+  h.Bool(c.hardware_mix.has_value());
+  if (c.hardware_mix) {
+    for (const double v : *c.hardware_mix) h.F64(v);
+  }
+  h.Bool(c.software_mix.has_value());
+  if (c.software_mix) {
+    for (const double v : *c.software_mix) h.F64(v);
+  }
+  h.F64(c.maintenance_children);
+}
+
+void HashFacility(FingerprintHasher& h, const synth::FacilityEventSpec& f) {
+  h.F64(f.events_per_year);
+  h.F64(f.frac_nodes_affected);
+  h.I64(f.min_nodes_affected);
+  HashCascade(h, f.cascade);
+  h.Bool(f.rack_scoped);
+}
+
+void HashWorkload(FingerprintHasher& h, const synth::WorkloadSpec& w) {
+  h.Bool(w.enabled);
+  h.I64(w.num_users);
+  h.F64(w.jobs_per_day);
+  h.I64(w.mean_job_runtime);
+  h.I64(w.mean_queue_delay);
+  h.F64(w.mean_nodes_per_job);
+  h.F64(w.user_activity_pareto_shape);
+  h.F64(w.user_risk_sigma);
+  h.F64(w.busy_hazard_boost);
+  h.F64(w.node0_extra_jobs_per_day);
+  h.F64(w.job_churn_hazard);
+}
+
+void HashTemperature(FingerprintHasher& h, const synth::TemperatureSpec& t) {
+  h.Bool(t.enabled);
+  h.I64(t.sample_interval);
+  h.F64(t.baseline_mean_c);
+  h.F64(t.node_offset_stddev_c);
+  h.F64(t.diurnal_amplitude_c);
+  h.F64(t.noise_stddev_c);
+  h.F64(t.fan_excursion_c);
+  h.F64(t.chiller_excursion_c);
+  h.I64(t.excursion_duration);
+}
+
+void HashSystem(FingerprintHasher& h, const synth::SystemScenario& s) {
+  h.Str(s.name);
+  h.U64(static_cast<std::uint64_t>(s.group));
+  h.I64(s.num_nodes);
+  h.I64(s.procs_per_node);
+  h.I64(s.nodes_per_rack);
+  h.I64(s.racks_per_row);
+  h.I64(s.duration);
+  for (const double v : s.base_rate_per_hour) h.F64(v);
+  for (const double v : s.hardware_mix) h.F64(v);
+  for (const double v : s.software_mix) h.F64(v);
+  for (const double v : s.environment_mix) h.F64(v);
+  h.F64(s.base_maintenance_per_hour);
+  for (const synth::CascadeSpec& c : s.node_cascade) HashCascade(h, c);
+  for (const synth::CascadeSpec& c : s.rack_cascade) HashCascade(h, c);
+  for (const synth::CascadeSpec& c : s.system_cascade) HashCascade(h, c);
+  h.F64(s.same_component_inherit_prob);
+  for (const double v : s.node0_rate_multiplier) h.F64(v);
+  HashFacility(h, s.power_outage);
+  HashFacility(h, s.power_spike);
+  HashFacility(h, s.ups_failure);
+  HashFacility(h, s.chiller_failure);
+  HashCascade(h, s.power_supply_cascade);
+  HashCascade(h, s.fan_cascade);
+  HashWorkload(h, s.workload);
+  HashTemperature(h, s.temperature);
+  h.F64(s.modulation_sigma);
+  h.I64(s.modulation_period);
+  h.F64(s.cpu_flux_exponent);
+  h.F64(s.downtime_median_sec);
+  h.F64(s.downtime_sigma);
+}
+
+}  // namespace
+
+std::uint64_t HashScenario(const synth::Scenario& scenario,
+                           std::uint64_t seed) {
+  FingerprintHasher h;
+  h.Str("hpcfail-scenario");
+  h.U64(seed);
+  h.U64(scenario.systems.size());
+  for (const synth::SystemScenario& s : scenario.systems) HashSystem(h, s);
+  h.F64(scenario.neutron.mean_counts);
+  h.F64(scenario.neutron.cycle_amplitude);
+  h.I64(scenario.neutron.cycle_period);
+  h.F64(scenario.neutron.noise_stddev);
+  h.I64(scenario.neutron.sample_interval);
+  h.I64(scenario.duration);
+  return h.value();
+}
+
+std::optional<std::uint64_t> HashFileContents(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  FingerprintHasher h;
+  char buf[1 << 16];
+  while (is.read(buf, sizeof(buf)) || is.gcount() > 0) {
+    h.Bytes(std::string_view(buf, static_cast<std::size_t>(is.gcount())));
+  }
+  return h.value();
+}
+
+std::string FingerprintHex(std::uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf, 16);
+}
+
+}  // namespace hpcfail::engine

@@ -1,0 +1,57 @@
+// Content fingerprints for the engine-layer artifact cache. A fingerprint is
+// an FNV-1a-64 hash over a canonical byte serialization of everything that
+// determines a trace's content:
+//
+//   synthetic  -> every scenario knob + the generator seed
+//   CSV / LANL -> the raw bytes of the input files (content-addressed: a
+//                 touched-but-unchanged file still hits, an edited file
+//                 misses)
+//
+// plus the trace schema version (trace_cache.h), so cache entries written by
+// an older record layout can never be misread as current ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "synth/scenario.h"
+
+namespace hpcfail::engine {
+
+// Incremental FNV-1a-64 over typed appends. Field order and widths are part
+// of the cache contract: reordering or widening a field is a schema change
+// (bump trace_cache.h's kTraceSchemaVersion).
+class FingerprintHasher {
+ public:
+  void Bytes(std::string_view bytes);
+  void U64(std::uint64_t v);
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v);  // IEEE-754 bit pattern
+  void Bool(bool v) { U64(v ? 1 : 0); }
+  void Str(std::string_view s) {
+    U64(s.size());
+    Bytes(s);
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+// Hashes every knob of the scenario, in declaration order. NOTE: adding a
+// field to synth/scenario.h requires extending this function AND bumping
+// kTraceSchemaVersion; tests/test_engine_cache.cpp checks that distinct
+// scenarios and seeds produce distinct fingerprints.
+std::uint64_t HashScenario(const synth::Scenario& scenario,
+                           std::uint64_t seed);
+
+// Hashes the raw bytes of one file; nullopt when the file cannot be read.
+std::optional<std::uint64_t> HashFileContents(const std::string& path);
+
+// Fingerprint as a fixed-width lowercase hex string (cache file stem).
+std::string FingerprintHex(std::uint64_t fingerprint);
+
+}  // namespace hpcfail::engine

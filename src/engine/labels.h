@@ -1,0 +1,23 @@
+// Short display labels shared by the figure benches, the report tool and the
+// stream tool (previously duplicated in bench/bench_common.h and tools/).
+#pragma once
+
+#include "trace/failure.h"
+
+namespace hpcfail::engine {
+
+// Compact column labels for the six root-cause categories, as printed in the
+// paper's figures ("HW", "SW", ...). ToString(c) remains the long/CSV form.
+inline const char* ShortCategoryLabel(FailureCategory c) {
+  switch (c) {
+    case FailureCategory::kEnvironment: return "ENV";
+    case FailureCategory::kHardware: return "HW";
+    case FailureCategory::kHuman: return "HUMAN";
+    case FailureCategory::kNetwork: return "NET";
+    case FailureCategory::kSoftware: return "SW";
+    case FailureCategory::kUndetermined: return "UNDET";
+  }
+  return "?";
+}
+
+}  // namespace hpcfail::engine

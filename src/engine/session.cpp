@@ -1,0 +1,184 @@
+#include "engine/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/parallel.h"
+#include "engine/fingerprint.h"
+#include "obs/span.h"
+
+namespace hpcfail::engine {
+
+namespace {
+
+struct Acquired {
+  Trace trace;
+  AnalysisSession::Stats stats;
+};
+
+Acquired CacheOrAcquireImpl(const TraceSource& source,
+                            const SessionOptions& options) {
+  Acquired out;
+  out.stats.source = source.kind();
+  out.stats.label = source.label();
+  out.stats.fingerprint = source.Fingerprint();
+  out.stats.cache_enabled =
+      options.cache.enabled && out.stats.fingerprint.has_value();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ArtifactCache cache(options.cache);
+  bool acquired = false;
+  if (out.stats.cache_enabled) {
+    if (std::optional<Trace> cached =
+            cache.TryLoad(*out.stats.fingerprint, &out.stats.cache_diagnostic)) {
+      out.trace = *std::move(cached);
+      out.stats.cache_hit = true;
+      acquired = true;
+    }
+  } else {
+    out.stats.cache_diagnostic =
+        options.cache.enabled ? "unfingerprintable source" : "cache disabled";
+  }
+  if (!acquired) {
+    out.trace = source.Acquire();
+    if (out.stats.cache_enabled) {
+      std::string store_diag;
+      out.stats.cache_stored =
+          cache.Store(*out.stats.fingerprint, out.trace, &store_diag);
+      if (!out.stats.cache_stored) {
+        out.stats.cache_diagnostic += "; store failed: " + store_diag;
+      }
+    }
+  }
+  out.stats.load_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.stats.num_systems = out.trace.systems().size();
+  out.stats.num_failures = out.trace.num_failures();
+  return out;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+namespace {
+
+std::pair<Trace, AnalysisSession::Stats> CacheOrAcquire(
+    const TraceSource& source, const SessionOptions& options) {
+  Acquired out = CacheOrAcquireImpl(source, options);
+  return {std::move(out.trace), std::move(out.stats)};
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(std::pair<Trace, Stats> acquired)
+    : trace_(std::make_shared<const Trace>(std::move(acquired.first))),
+      stores_(std::make_shared<const core::EventStoreSet>(
+          core::EventStoreSet::Build(*trace_))),
+      index_(*trace_, stores_),
+      stats_(std::move(acquired.second)) {}
+
+AnalysisSession::AnalysisSession(std::unique_ptr<TraceSource> source,
+                                 SessionOptions options)
+    : AnalysisSession(CacheOrAcquire(*source, options)) {}
+
+AnalysisSession AnalysisSession::FromScenario(synth::Scenario scenario,
+                                              std::uint64_t seed,
+                                              SessionOptions options) {
+  return AnalysisSession(MakeScenarioSource(std::move(scenario), seed),
+                         std::move(options));
+}
+
+AnalysisSession AnalysisSession::FromCsvDir(std::string dir,
+                                            SessionOptions options) {
+  return AnalysisSession(MakeCsvDirSource(std::move(dir)),
+                         std::move(options));
+}
+
+AnalysisSession AnalysisSession::FromCheckpoint(std::string checkpoint_path,
+                                                std::string trace_dir,
+                                                stream::EngineConfig config,
+                                                SessionOptions options) {
+  return AnalysisSession(
+      MakeCheckpointSource(std::move(checkpoint_path), std::move(trace_dir),
+                           config),
+      std::move(options));
+}
+
+AnalysisSession AnalysisSession::FromLanl(std::string path,
+                                          int nodes_per_system,
+                                          SessionOptions options) {
+  return AnalysisSession(MakeLanlSource(std::move(path), nodes_per_system),
+                         std::move(options));
+}
+
+core::EventIndex AnalysisSession::IndexFor(
+    std::span<const SystemId> systems) const {
+  return core::EventIndex(*trace_, stores_, systems);
+}
+
+std::string AnalysisSession::StatsJson() const {
+  std::string out = "{\"source\":";
+  AppendJsonString(&out, ToString(stats_.source));
+  out += ",\"label\":";
+  AppendJsonString(&out, stats_.label);
+  out += ",\"fingerprint\":";
+  if (stats_.fingerprint) {
+    AppendJsonString(&out, FingerprintHex(*stats_.fingerprint));
+  } else {
+    out += "null";
+  }
+  out += ",\"cache_enabled\":";
+  out += stats_.cache_enabled ? "true" : "false";
+  out += ",\"cache_hit\":";
+  out += stats_.cache_hit ? "true" : "false";
+  out += ",\"cache_stored\":";
+  out += stats_.cache_stored ? "true" : "false";
+  out += ",\"cache_diagnostic\":";
+  AppendJsonString(&out, stats_.cache_diagnostic);
+  out += ",\"load_seconds\":" + std::to_string(stats_.load_seconds);
+  out += ",\"num_systems\":" + std::to_string(stats_.num_systems);
+  out += ",\"num_failures\":" + std::to_string(stats_.num_failures);
+  out += "}";
+  return out;
+}
+
+void AddStandardOptions(ArgParser& parser, StandardOptions* opts) {
+  parser.AddInt("threads", &opts->threads,
+                "worker threads for parallel kernels (0 = hardware "
+                "concurrency, 1 = serial)");
+  parser.AddUint64("seed", &opts->seed, "synthetic-generation seed");
+  parser.AddString("cache-dir", &opts->cache_dir,
+                   "artifact cache directory (\"\" = $HPCFAIL_CACHE_DIR or "
+                   ".hpcfail-cache)");
+  parser.AddFlag("no-cache", &opts->no_cache,
+                 "bypass the artifact cache (no load, no store)");
+  parser.AddFlag("json", &opts->json, "emit machine-readable JSON output");
+}
+
+void ApplyStandardOptions(const StandardOptions& opts) {
+  core::SetDefaultThreadCount(opts.threads);
+}
+
+SessionOptions MakeSessionOptions(const StandardOptions& opts) {
+  SessionOptions session;
+  session.cache.dir = opts.cache_dir;
+  session.cache.enabled = !opts.no_cache;
+  return session;
+}
+
+}  // namespace hpcfail::engine

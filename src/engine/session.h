@@ -1,0 +1,116 @@
+// AnalysisSession: the one entry point every binary (figure benches,
+// hpcfail_report, hpcfail_stream replay) uses to go from "inputs" to "trace +
+// prebuilt event index". It owns the acquisition chain:
+//
+//   TraceSource -> [artifact cache probe] -> Trace -> EventStoreSet
+//
+// On construction the session fingerprints the source, probes the
+// content-addressed artifact cache (engine/trace_cache.h), falls back to
+// TraceSource::Acquire() on any miss, stores the result for the next run,
+// and builds the per-system event stores once. Cold and warm runs yield
+// bit-identical traces — the cache can change only timing, never results —
+// and every step is visible in stats() / StatsJson().
+//
+// Index access: index() is the all-systems view; IndexFor() makes subset
+// views (e.g. group-1 vs group-2 systems) that SHARE the session's prebuilt
+// stores, so a bench carving five subsets pays for one store build.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "core/event_index.h"
+#include "engine/arg_parser.h"
+#include "engine/trace_cache.h"
+#include "engine/trace_source.h"
+
+namespace hpcfail::engine {
+
+// The repo-wide default generator seed (DSN 2013, the paper's venue/year).
+inline constexpr std::uint64_t kDefaultSeed = 2013;
+
+struct SessionOptions {
+  CacheConfig cache;  // dir (empty = DefaultCacheDir()), enabled
+};
+
+class AnalysisSession {
+ public:
+  struct Stats {
+    SourceKind source = SourceKind::kScenario;
+    std::string label;
+    std::optional<std::uint64_t> fingerprint;
+    bool cache_enabled = false;
+    bool cache_hit = false;
+    bool cache_stored = false;
+    std::string cache_diagnostic;  // "hit", "no cache entry", "corrupt ..."
+    double load_seconds = 0.0;     // acquire-or-load wall time
+    std::size_t num_systems = 0;
+    std::size_t num_failures = 0;
+  };
+
+  explicit AnalysisSession(std::unique_ptr<TraceSource> source,
+                           SessionOptions options = {});
+
+  static AnalysisSession FromScenario(synth::Scenario scenario,
+                                      std::uint64_t seed,
+                                      SessionOptions options = {});
+  static AnalysisSession FromCsvDir(std::string dir,
+                                    SessionOptions options = {});
+  static AnalysisSession FromCheckpoint(std::string checkpoint_path,
+                                        std::string trace_dir,
+                                        stream::EngineConfig config,
+                                        SessionOptions options = {});
+  static AnalysisSession FromLanl(std::string path, int nodes_per_system,
+                                  SessionOptions options = {});
+
+  AnalysisSession(AnalysisSession&&) = default;
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
+
+  const Trace& trace() const { return *trace_; }
+
+  // All-systems index over the session's shared stores.
+  const core::EventIndex& index() const { return index_; }
+
+  // Subset view sharing the same stores (no per-call store rebuild). Throws
+  // std::out_of_range for a system the trace does not contain.
+  core::EventIndex IndexFor(std::span<const SystemId> systems) const;
+
+  const Stats& stats() const { return stats_; }
+  // One JSON object (single line, no trailing newline) with every Stats
+  // field; fingerprint is rendered as 16 hex digits.
+  std::string StatsJson() const;
+
+ private:
+  AnalysisSession(std::pair<Trace, Stats> acquired);
+
+  // Heap-held so the index's internal pointers survive moves of the session.
+  std::shared_ptr<const Trace> trace_;
+  std::shared_ptr<const core::EventStoreSet> stores_;
+  core::EventIndex index_;
+  Stats stats_;
+};
+
+// ---- Shared standard flags (--threads, --seed, --cache-dir, --no-cache,
+// --json), used by every bench and tool so the surface stays uniform.
+
+struct StandardOptions {
+  int threads = 0;                    // 0 = hardware concurrency
+  std::uint64_t seed = kDefaultSeed;  // synthetic-generation seed
+  std::string cache_dir;              // empty = DefaultCacheDir()
+  bool no_cache = false;
+  bool json = false;
+};
+
+void AddStandardOptions(ArgParser& parser, StandardOptions* opts);
+
+// Applies process-level settings (worker thread count).
+void ApplyStandardOptions(const StandardOptions& opts);
+
+SessionOptions MakeSessionOptions(const StandardOptions& opts);
+
+}  // namespace hpcfail::engine

@@ -1,0 +1,359 @@
+#include "engine/trace_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "engine/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace hpcfail::engine {
+
+namespace snapshot = stream::snapshot;
+
+namespace {
+
+constexpr std::string_view kArtifactTag = "HFTRACE0";
+
+obs::Counter& CacheCounter(const char* name, const char* help) {
+  return obs::MetricsRegistry::Global().GetCounter(name, help);
+}
+
+void RecordMiss() {
+  CacheCounter("hpcfail_cache_miss_total",
+               "Artifact cache lookups that fell back to regeneration")
+      .Increment();
+}
+
+void PutSystem(snapshot::Writer* w, const SystemConfig& s) {
+  w->PutI64(s.id.value);
+  w->PutString(s.name);
+  w->PutU8(static_cast<std::uint8_t>(s.group));
+  w->PutI64(s.num_nodes);
+  w->PutI64(s.procs_per_node);
+  w->PutI64(s.observed.begin);
+  w->PutI64(s.observed.end);
+  const auto& placements = s.layout.placements();
+  w->PutU64(placements.size());
+  for (const NodePlacement& p : placements) {
+    w->PutI64(p.node.value);
+    w->PutI64(p.rack.value);
+    w->PutI64(p.position_in_rack);
+    w->PutI64(p.room_row);
+    w->PutI64(p.room_col);
+  }
+}
+
+SystemConfig GetSystem(snapshot::Reader* r) {
+  SystemConfig s;
+  s.id = SystemId{static_cast<std::int32_t>(r->GetI64())};
+  s.name = r->GetString();
+  const std::uint8_t group = r->GetU8();
+  if (group > static_cast<std::uint8_t>(SystemGroup::kNuma)) {
+    throw snapshot::SnapshotError("bad system group");
+  }
+  s.group = static_cast<SystemGroup>(group);
+  s.num_nodes = static_cast<int>(r->GetI64());
+  s.procs_per_node = static_cast<int>(r->GetI64());
+  s.observed.begin = r->GetI64();
+  s.observed.end = r->GetI64();
+  std::vector<NodePlacement> placements(r->GetSize(5 * 8));
+  for (NodePlacement& p : placements) {
+    p.node = NodeId{static_cast<std::int32_t>(r->GetI64())};
+    p.rack = RackId{static_cast<std::int32_t>(r->GetI64())};
+    p.position_in_rack = static_cast<int>(r->GetI64());
+    p.room_row = static_cast<int>(r->GetI64());
+    p.room_col = static_cast<int>(r->GetI64());
+  }
+  if (!placements.empty()) s.layout = MachineLayout(std::move(placements));
+  return s;
+}
+
+void PutFailure(snapshot::Writer* w, const FailureRecord& f) {
+  w->PutI64(f.system.value);
+  w->PutI64(f.node.value);
+  w->PutI64(f.start);
+  w->PutI64(f.end);
+  w->PutU8(static_cast<std::uint8_t>(f.category));
+  if (f.hardware) {
+    w->PutU8(1);
+    w->PutU8(static_cast<std::uint8_t>(*f.hardware));
+  } else if (f.software) {
+    w->PutU8(2);
+    w->PutU8(static_cast<std::uint8_t>(*f.software));
+  } else if (f.environment) {
+    w->PutU8(3);
+    w->PutU8(static_cast<std::uint8_t>(*f.environment));
+  } else {
+    w->PutU8(0);
+    w->PutU8(0);
+  }
+}
+
+FailureRecord GetFailure(snapshot::Reader* r) {
+  FailureRecord f;
+  f.system = SystemId{static_cast<std::int32_t>(r->GetI64())};
+  f.node = NodeId{static_cast<std::int32_t>(r->GetI64())};
+  f.start = r->GetI64();
+  f.end = r->GetI64();
+  const std::uint8_t category = r->GetU8();
+  if (category >= kNumFailureCategories) {
+    throw snapshot::SnapshotError("bad failure category");
+  }
+  f.category = static_cast<FailureCategory>(category);
+  const std::uint8_t tag = r->GetU8();
+  const std::uint8_t sub = r->GetU8();
+  switch (tag) {
+    case 0:
+      break;
+    case 1:
+      if (sub >= kNumHardwareComponents) {
+        throw snapshot::SnapshotError("bad hardware component");
+      }
+      f.hardware = static_cast<HardwareComponent>(sub);
+      break;
+    case 2:
+      if (sub >= kNumSoftwareComponents) {
+        throw snapshot::SnapshotError("bad software component");
+      }
+      f.software = static_cast<SoftwareComponent>(sub);
+      break;
+    case 3:
+      if (sub >= kNumEnvironmentEvents) {
+        throw snapshot::SnapshotError("bad environment event");
+      }
+      f.environment = static_cast<EnvironmentEvent>(sub);
+      break;
+    default:
+      throw snapshot::SnapshotError("bad subcategory tag");
+  }
+  return f;
+}
+
+void PutJob(snapshot::Writer* w, const JobRecord& j) {
+  w->PutI64(j.id.value);
+  w->PutI64(j.system.value);
+  w->PutI64(j.user.value);
+  w->PutI64(j.submit);
+  w->PutI64(j.dispatch);
+  w->PutI64(j.end);
+  w->PutI64(j.procs);
+  w->PutU64(j.nodes.size());
+  for (NodeId n : j.nodes) w->PutI64(n.value);
+  w->PutBool(j.killed_by_node_failure);
+}
+
+JobRecord GetJob(snapshot::Reader* r) {
+  JobRecord j;
+  j.id = JobId{static_cast<std::int32_t>(r->GetI64())};
+  j.system = SystemId{static_cast<std::int32_t>(r->GetI64())};
+  j.user = UserId{static_cast<std::int32_t>(r->GetI64())};
+  j.submit = r->GetI64();
+  j.dispatch = r->GetI64();
+  j.end = r->GetI64();
+  j.procs = static_cast<int>(r->GetI64());
+  j.nodes.resize(r->GetSize(8));
+  for (NodeId& n : j.nodes) {
+    n = NodeId{static_cast<std::int32_t>(r->GetI64())};
+  }
+  j.killed_by_node_failure = r->GetBool();
+  return j;
+}
+
+}  // namespace
+
+void SerializeTrace(const Trace& trace, snapshot::Writer* w) {
+  const auto& systems = trace.systems();
+  w->PutU64(systems.size());
+  for (const SystemConfig& s : systems) PutSystem(w, s);
+  w->PutU64(trace.failures().size());
+  for (const FailureRecord& f : trace.failures()) PutFailure(w, f);
+  w->PutU64(trace.maintenance().size());
+  for (const MaintenanceRecord& m : trace.maintenance()) {
+    w->PutI64(m.system.value);
+    w->PutI64(m.node.value);
+    w->PutI64(m.start);
+    w->PutI64(m.end);
+  }
+  w->PutU64(trace.jobs().size());
+  for (const JobRecord& j : trace.jobs()) PutJob(w, j);
+  w->PutU64(trace.temperatures().size());
+  for (const TemperatureSample& t : trace.temperatures()) {
+    w->PutI64(t.system.value);
+    w->PutI64(t.node.value);
+    w->PutI64(t.time);
+    w->PutDouble(t.celsius);
+  }
+  w->PutU64(trace.neutron_series().size());
+  for (const NeutronSample& n : trace.neutron_series()) {
+    w->PutI64(n.time);
+    w->PutDouble(n.counts_per_minute);
+  }
+}
+
+Trace DeserializeTrace(snapshot::Reader* r) {
+  std::vector<SystemConfig> systems(r->GetSize(8));
+  for (SystemConfig& s : systems) s = GetSystem(r);
+  std::vector<FailureRecord> failures(r->GetSize(4 * 8 + 3));
+  for (FailureRecord& f : failures) f = GetFailure(r);
+  std::vector<MaintenanceRecord> maintenance(r->GetSize(4 * 8));
+  for (MaintenanceRecord& m : maintenance) {
+    m.system = SystemId{static_cast<std::int32_t>(r->GetI64())};
+    m.node = NodeId{static_cast<std::int32_t>(r->GetI64())};
+    m.start = r->GetI64();
+    m.end = r->GetI64();
+  }
+  std::vector<JobRecord> jobs(r->GetSize(7 * 8 + 8 + 1));
+  for (JobRecord& j : jobs) j = GetJob(r);
+  std::vector<TemperatureSample> temperatures(r->GetSize(3 * 8 + 8));
+  for (TemperatureSample& t : temperatures) {
+    t.system = SystemId{static_cast<std::int32_t>(r->GetI64())};
+    t.node = NodeId{static_cast<std::int32_t>(r->GetI64())};
+    t.time = r->GetI64();
+    t.celsius = r->GetDouble();
+  }
+  std::vector<NeutronSample> neutrons(r->GetSize(2 * 8));
+  for (NeutronSample& n : neutrons) {
+    n.time = r->GetI64();
+    n.counts_per_minute = r->GetDouble();
+  }
+  return Trace::FromSorted(std::move(systems), std::move(failures),
+                           std::move(maintenance), std::move(jobs),
+                           std::move(temperatures), std::move(neutrons));
+}
+
+std::string DefaultCacheDir() {
+  if (const char* env = std::getenv("HPCFAIL_CACHE_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return ".hpcfail-cache";
+}
+
+ArtifactCache::ArtifactCache(CacheConfig config) : config_(std::move(config)) {
+  if (config_.dir.empty()) config_.dir = DefaultCacheDir();
+}
+
+std::string ArtifactCache::EntryPath(std::uint64_t fingerprint) const {
+  return config_.dir + "/trace-" + FingerprintHex(fingerprint) + ".bin";
+}
+
+std::optional<Trace> ArtifactCache::TryLoad(std::uint64_t fingerprint,
+                                            std::string* diagnostic) {
+  if (!config_.enabled) {
+    if (diagnostic != nullptr) *diagnostic = "cache disabled";
+    return std::nullopt;
+  }
+  const std::string path = EntryPath(fingerprint);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (diagnostic != nullptr) *diagnostic = "no cache entry";
+    RecordMiss();
+    return std::nullopt;
+  }
+  obs::ScopedTimer timer("cache_load");
+  std::string reason;
+  try {
+    const std::string payload = snapshot::ReadEnvelope(is);
+    snapshot::Reader r(payload);
+    if (r.GetString() != kArtifactTag) {
+      throw snapshot::SnapshotError("wrong artifact tag");
+    }
+    const std::uint32_t schema = r.GetU32();
+    const std::uint64_t stored_key = r.GetU64();
+    if (schema != kTraceSchemaVersion) {
+      reason = "stale cache schema (entry v" + std::to_string(schema) +
+               ", current v" + std::to_string(kTraceSchemaVersion) + ")";
+    } else if (stored_key != fingerprint) {
+      reason = "cache fingerprint mismatch (entry " +
+               FingerprintHex(stored_key) + ", expected " +
+               FingerprintHex(fingerprint) + ")";
+    } else {
+      Trace trace = DeserializeTrace(&r);
+      if (!r.AtEnd()) {
+        throw snapshot::SnapshotError("trailing bytes after trace payload");
+      }
+      CacheCounter("hpcfail_cache_hit_total",
+                   "Artifact cache lookups served from disk")
+          .Increment();
+      CacheCounter("hpcfail_cache_bytes_read_total",
+                   "Bytes of cached artifacts read")
+          .Add(static_cast<long long>(payload.size()));
+      if (diagnostic != nullptr) *diagnostic = "hit";
+      return trace;
+    }
+  } catch (const snapshot::SnapshotError& e) {
+    reason = std::string("corrupt cache entry (") + e.what() + ")";
+  } catch (const std::invalid_argument& e) {
+    reason = std::string("corrupt cache entry (") + e.what() + ")";
+  }
+  // Any unusable entry is deleted so the next run stores a fresh one; a
+  // stale-schema or mislabeled entry would otherwise miss forever.
+  is.close();
+  std::remove(path.c_str());
+  RecordMiss();
+  CacheCounter("hpcfail_cache_evicted_corrupt_total",
+               "Unusable cache entries deleted during load")
+      .Increment();
+  if (diagnostic != nullptr) *diagnostic = reason;
+  return std::nullopt;
+}
+
+bool ArtifactCache::Store(std::uint64_t fingerprint, const Trace& trace,
+                          std::string* diagnostic) {
+  if (!config_.enabled) {
+    if (diagnostic != nullptr) *diagnostic = "cache disabled";
+    return false;
+  }
+  obs::ScopedTimer timer("cache_store");
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec) {
+    if (diagnostic != nullptr) {
+      *diagnostic =
+          "cannot create cache dir " + config_.dir + ": " + ec.message();
+    }
+    return false;
+  }
+  snapshot::Writer w;
+  w.PutString(kArtifactTag);
+  w.PutU32(kTraceSchemaVersion);
+  w.PutU64(fingerprint);
+  SerializeTrace(trace, &w);
+  const std::string path = EntryPath(fingerprint);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      if (diagnostic != nullptr) *diagnostic = "cannot write " + tmp;
+      return false;
+    }
+    try {
+      snapshot::WriteEnvelope(os, w.payload());
+    } catch (const std::exception& e) {
+      if (diagnostic != nullptr) *diagnostic = e.what();
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (diagnostic != nullptr) {
+      *diagnostic = "cannot rename " + tmp + " to " + path;
+    }
+    return false;
+  }
+  CacheCounter("hpcfail_cache_store_total", "Artifact cache entries written")
+      .Increment();
+  CacheCounter("hpcfail_cache_bytes_written_total",
+               "Bytes of cached artifacts written")
+      .Add(static_cast<long long>(w.payload().size()));
+  if (diagnostic != nullptr) *diagnostic = "stored " + path;
+  return true;
+}
+
+}  // namespace hpcfail::engine

@@ -1,0 +1,85 @@
+// Content-addressed on-disk artifact cache for acquired traces: a warm run
+// loads the sorted trace from a checksummed binary snapshot instead of
+// regenerating (synthetic) or reparsing (CSV) and re-sorting it.
+//
+// Each entry is one file, `<dir>/trace-<fingerprint16hex>.bin`, using the
+// stream/snapshot.h envelope (magic, format version, payload size, FNV-1a-64
+// checksum) around a payload of
+//
+//   artifact tag "HFTRACE0"   — rejects snapshots of other artifact kinds
+//   u32 trace schema version  — kTraceSchemaVersion; stale entries miss
+//   u64 key fingerprint       — must equal the requested key; a renamed or
+//                               colliding file misses instead of lying
+//   serialized trace          — systems (incl. layout + observed interval),
+//                               failures, maintenance, jobs, temperatures,
+//                               neutron series, all in Finalize() order
+//
+// Every failure mode degrades to a miss with a distinct human-readable
+// diagnostic (TryLoad's `diagnostic` out-param) and the caller regenerates:
+// the cache can cost a rebuild, never a wrong answer. Unreadable entries are
+// deleted so the next store self-heals. Writes go through tmp+rename, so a
+// torn write never leaves a half-entry under the content-addressed name.
+//
+// Instrumentation (src/obs/): cache_load / cache_store spans plus
+// hpcfail_cache_{hit,miss,store,evicted_corrupt}_total and
+// hpcfail_cache_bytes_{read,written}_total counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "stream/snapshot.h"
+#include "trace/system.h"
+
+namespace hpcfail::engine {
+
+// Bump whenever the serialized trace layout or the fingerprint recipe
+// (engine/fingerprint.cpp) changes; older entries then miss as "stale
+// schema" instead of being misdecoded.
+inline constexpr std::uint32_t kTraceSchemaVersion = 1;
+
+// Cache location resolution: explicit dir > $HPCFAIL_CACHE_DIR > the
+// in-tree default ".hpcfail-cache" (gitignored).
+std::string DefaultCacheDir();
+
+struct CacheConfig {
+  std::string dir;       // empty = DefaultCacheDir()
+  bool enabled = true;   // false (--no-cache) bypasses load AND store
+};
+
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(CacheConfig config);
+
+  bool enabled() const { return config_.enabled; }
+  const std::string& dir() const { return config_.dir; }
+  // Entry path for a key (exists or not).
+  std::string EntryPath(std::uint64_t fingerprint) const;
+
+  // Returns the cached trace on a hit; nullopt on any miss, with the reason
+  // ("no cache entry", "corrupt cache entry (...)", "stale cache schema
+  // (...)", "cache fingerprint mismatch (...)", ...) in `diagnostic`.
+  std::optional<Trace> TryLoad(std::uint64_t fingerprint,
+                               std::string* diagnostic);
+
+  // Serializes and stores `trace` under the key; returns false (with a
+  // diagnostic) when the directory or file cannot be written — callers
+  // treat that as a warning, never an error.
+  bool Store(std::uint64_t fingerprint, const Trace& trace,
+             std::string* diagnostic);
+
+ private:
+  CacheConfig config_;
+};
+
+// Trace-section codec (the payload minus the tag/schema/fingerprint
+// header), exposed for tests (corruption matrix) and for future artifact
+// kinds. Serialize requires a finalized trace; Deserialize validates every
+// record and stream ordering via Trace::FromSorted and throws
+// snapshot::SnapshotError / std::invalid_argument on any corruption the
+// checksum did not catch.
+void SerializeTrace(const Trace& trace, stream::snapshot::Writer* w);
+Trace DeserializeTrace(stream::snapshot::Reader* r);
+
+}  // namespace hpcfail::engine

@@ -1,0 +1,230 @@
+#include "engine/trace_source.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include <algorithm>
+#include <iostream>
+
+#include "engine/fingerprint.h"
+#include "synth/generate.h"
+#include "trace/csv.h"
+#include "trace/lanl_import.h"
+
+namespace hpcfail::engine {
+
+std::string_view ToString(SourceKind k) {
+  switch (k) {
+    case SourceKind::kScenario: return "scenario";
+    case SourceKind::kCsvDir: return "csv";
+    case SourceKind::kStreamCheckpoint: return "checkpoint";
+    case SourceKind::kLanlCsv: return "lanl";
+  }
+  return "invalid";
+}
+
+namespace {
+
+class ScenarioSource final : public TraceSource {
+ public:
+  ScenarioSource(synth::Scenario scenario, std::uint64_t seed)
+      : scenario_(std::move(scenario)), seed_(seed) {}
+
+  SourceKind kind() const override { return SourceKind::kScenario; }
+
+  std::string label() const override {
+    return "scenario systems=" + std::to_string(scenario_.systems.size()) +
+           " seed=" + std::to_string(seed_);
+  }
+
+  std::optional<std::uint64_t> Fingerprint() const override {
+    return HashScenario(scenario_, seed_);
+  }
+
+  Trace Acquire() const override {
+    return synth::GenerateTrace(scenario_, seed_);
+  }
+
+ private:
+  synth::Scenario scenario_;
+  std::uint64_t seed_;
+};
+
+// The trace CSVs csv::LoadTrace reads, in the order they are hashed.
+constexpr const char* kTraceCsvs[] = {
+    "systems.csv",      "failures.csv", "maintenance.csv", "jobs.csv",
+    "temperatures.csv", "neutrons.csv", "layout.csv",
+};
+
+class CsvDirSource final : public TraceSource {
+ public:
+  explicit CsvDirSource(std::string dir) : dir_(std::move(dir)) {}
+
+  SourceKind kind() const override { return SourceKind::kCsvDir; }
+
+  std::string label() const override { return "csv dir " + dir_; }
+
+  std::optional<std::uint64_t> Fingerprint() const override {
+    // Content-addressed over the raw bytes of every stream file; a missing
+    // optional file hashes as "absent" (distinct from present-but-empty).
+    // Without a readable systems.csv the import cannot succeed, so bypass
+    // the cache and let Acquire() raise the real error.
+    FingerprintHasher h;
+    h.Str("hpcfail-csv-dir");
+    bool any = false;
+    for (const char* name : kTraceCsvs) {
+      const std::optional<std::uint64_t> file =
+          HashFileContents(dir_ + "/" + name);
+      h.Bool(file.has_value());
+      if (file) {
+        h.U64(*file);
+        any = true;
+      }
+    }
+    if (!any) return std::nullopt;
+    return h.value();
+  }
+
+  Trace Acquire() const override { return csv::LoadTrace(dir_); }
+
+ private:
+  std::string dir_;
+};
+
+class CheckpointSource final : public TraceSource {
+ public:
+  CheckpointSource(std::string checkpoint_path, std::string trace_dir,
+                   stream::EngineConfig config)
+      : checkpoint_path_(std::move(checkpoint_path)),
+        trace_dir_(std::move(trace_dir)),
+        config_(config) {}
+
+  SourceKind kind() const override { return SourceKind::kStreamCheckpoint; }
+
+  std::string label() const override {
+    return "checkpoint " + checkpoint_path_ + " (systems from " + trace_dir_ +
+           ")";
+  }
+
+  std::optional<std::uint64_t> Fingerprint() const override {
+    // The replayed trace depends on the checkpoint bytes, the machine
+    // configuration, and the engine config the checkpoint requires.
+    const std::optional<std::uint64_t> ckpt =
+        HashFileContents(checkpoint_path_);
+    const std::optional<std::uint64_t> systems =
+        HashFileContents(trace_dir_ + "/systems.csv");
+    if (!ckpt || !systems) return std::nullopt;
+    FingerprintHasher h;
+    h.Str("hpcfail-stream-checkpoint");
+    h.U64(*ckpt);
+    h.U64(*systems);
+    const std::optional<std::uint64_t> layout =
+        HashFileContents(trace_dir_ + "/layout.csv");
+    h.Bool(layout.has_value());
+    if (layout) h.U64(*layout);
+    h.I64(config_.stream.reorder_tolerance);
+    h.I64(config_.window.window);
+    return h.value();
+  }
+
+  Trace Acquire() const override {
+    const Trace config_trace = csv::LoadTrace(trace_dir_);
+    stream::StreamEngine engine(config_trace.systems(), config_);
+    std::ifstream is(checkpoint_path_, std::ios::binary);
+    if (!is) {
+      throw std::runtime_error("cannot open checkpoint " + checkpoint_path_);
+    }
+    engine.RestoreCheckpoint(is);
+    engine.Finish();
+
+    Trace trace;
+    for (const SystemConfig& s : config_trace.systems()) trace.AddSystem(s);
+    for (const SystemConfig& s : config_trace.systems()) {
+      for (const FailureRecord& f : engine.index().failures_of(s.id)) {
+        trace.AddFailure(f);
+      }
+    }
+    trace.Finalize();
+    return trace;
+  }
+
+ private:
+  std::string checkpoint_path_;
+  std::string trace_dir_;
+  stream::EngineConfig config_;
+};
+
+class LanlSource final : public TraceSource {
+ public:
+  LanlSource(std::string path, int nodes_per_system)
+      : path_(std::move(path)), nodes_per_system_(nodes_per_system) {}
+
+  SourceKind kind() const override { return SourceKind::kLanlCsv; }
+
+  std::string label() const override {
+    return "lanl log " + path_ +
+           " nodes/system=" + std::to_string(nodes_per_system_);
+  }
+
+  std::optional<std::uint64_t> Fingerprint() const override {
+    const std::optional<std::uint64_t> log = HashFileContents(path_);
+    if (!log) return std::nullopt;
+    FingerprintHasher h;
+    h.Str("hpcfail-lanl-import");
+    h.U64(*log);
+    h.I64(nodes_per_system_);
+    return h.value();
+  }
+
+  Trace Acquire() const override {
+    std::ifstream is(path_);
+    if (!is) throw std::runtime_error("cannot open " + path_);
+    const lanl::ImportResult imported = lanl::ImportFailures(is, {});
+    std::cerr << "imported " << imported.failures.size()
+              << " failures, skipped " << imported.skipped.size() << " rows\n";
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(5, imported.skipped.size()); ++i) {
+      std::cerr << "  line " << imported.skipped[i].line << ": "
+                << imported.skipped[i].reason << "\n";
+    }
+    lanl::AssembleResult assembled =
+        lanl::AssembleTrace(imported, nodes_per_system_);
+    if (assembled.dropped_out_of_range > 0) {
+      std::cerr << "dropped " << assembled.dropped_out_of_range
+                << " failures with node id >= " << nodes_per_system_
+                << " (pass 0 or omit nodes-per-system to auto-size each"
+                   " system from its log)\n";
+    }
+    return std::move(assembled.trace);
+  }
+
+ private:
+  std::string path_;
+  int nodes_per_system_;
+};
+
+}  // namespace
+
+std::unique_ptr<TraceSource> MakeScenarioSource(synth::Scenario scenario,
+                                                std::uint64_t seed) {
+  return std::make_unique<ScenarioSource>(std::move(scenario), seed);
+}
+
+std::unique_ptr<TraceSource> MakeCsvDirSource(std::string dir) {
+  return std::make_unique<CsvDirSource>(std::move(dir));
+}
+
+std::unique_ptr<TraceSource> MakeCheckpointSource(std::string checkpoint_path,
+                                                  std::string trace_dir,
+                                                  stream::EngineConfig config) {
+  return std::make_unique<CheckpointSource>(std::move(checkpoint_path),
+                                            std::move(trace_dir), config);
+}
+
+std::unique_ptr<TraceSource> MakeLanlSource(std::string path,
+                                            int nodes_per_system) {
+  return std::make_unique<LanlSource>(std::move(path), nodes_per_system);
+}
+
+}  // namespace hpcfail::engine

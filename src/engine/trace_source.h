@@ -1,0 +1,77 @@
+// TraceSource: where a trace comes from, behind one interface. A source can
+// (a) fingerprint its inputs cheaply — without generating or parsing
+// anything — so the artifact cache can answer first, and (b) acquire the
+// full trace when the cache misses.
+//
+// Three acquisition modes cover every binary in the repo:
+//
+//   scenario    — synthetic generation (synth::GenerateTrace); fingerprint
+//                 hashes every scenario knob + the seed
+//   csv dir     — LANL-style CSV import (csv::LoadTrace); fingerprint hashes
+//                 the raw bytes of every trace CSV in the directory
+//   checkpoint  — a stream-engine checkpoint replayed into a batch trace;
+//                 fingerprint hashes the checkpoint bytes + systems.csv +
+//                 the engine configuration
+//   lanl        — a raw LANL failure log (lanl::ImportFailures +
+//                 AssembleTrace); fingerprint hashes the log bytes + the
+//                 nodes-per-system assembly parameter
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "stream/engine.h"
+#include "synth/scenario.h"
+#include "trace/system.h"
+
+namespace hpcfail::engine {
+
+enum class SourceKind : std::uint8_t {
+  kScenario = 0,
+  kCsvDir,
+  kStreamCheckpoint,
+  kLanlCsv,
+};
+
+std::string_view ToString(SourceKind k);
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  virtual SourceKind kind() const = 0;
+  // Human-readable input description for diagnostics ("scenario lanl-like
+  // seed=2013", "csv dir data/", "checkpoint ckpt.bin").
+  virtual std::string label() const = 0;
+
+  // Content fingerprint of the inputs; nullopt when they cannot be read
+  // (missing file) — the session then bypasses the cache and lets Acquire()
+  // raise the real error.
+  virtual std::optional<std::uint64_t> Fingerprint() const = 0;
+
+  // Produces the finalized trace. Throws on unreadable/malformed input.
+  virtual Trace Acquire() const = 0;
+};
+
+std::unique_ptr<TraceSource> MakeScenarioSource(synth::Scenario scenario,
+                                                std::uint64_t seed);
+
+std::unique_ptr<TraceSource> MakeCsvDirSource(std::string dir);
+
+// Replays a stream-engine checkpoint into a batch trace: systems come from
+// `<trace_dir>/systems.csv` (+ layout.csv when present), the checkpoint is
+// restored into a fresh StreamEngine built with `config`, and the released
+// failures become the trace's failure stream.
+std::unique_ptr<TraceSource> MakeCheckpointSource(std::string checkpoint_path,
+                                                  std::string trace_dir,
+                                                  stream::EngineConfig config);
+
+// Imports a raw LANL failure log (the paper's published dataset format).
+// `nodes_per_system` <= 0 auto-sizes each system from the log itself.
+std::unique_ptr<TraceSource> MakeLanlSource(std::string path,
+                                            int nodes_per_system);
+
+}  // namespace hpcfail::engine

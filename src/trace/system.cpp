@@ -116,6 +116,73 @@ void Trace::Finalize() {
   finalized_ = true;
 }
 
+Trace Trace::FromSorted(std::vector<SystemConfig> systems,
+                        std::vector<FailureRecord> failures,
+                        std::vector<MaintenanceRecord> maintenance,
+                        std::vector<JobRecord> jobs,
+                        std::vector<TemperatureSample> temperatures,
+                        std::vector<NeutronSample> neutrons) {
+  obs::ScopedTimer timer("trace_restore");
+  Trace trace;
+  for (SystemConfig& s : systems) trace.AddSystem(std::move(s));
+
+  const auto by_time_node = [](const auto& a, const auto& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.system != b.system) return a.system < b.system;
+    return a.node < b.node;
+  };
+  const auto require = [](bool ok, const char* what) {
+    if (!ok) {
+      throw std::invalid_argument(std::string("Trace::FromSorted: ") + what);
+    }
+  };
+
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const FailureRecord& f = failures[i];
+    CheckNode(trace.FindSystem(f.system), f.node, "FromSorted failure");
+    require(f.consistent(), "inconsistent failure record");
+    require(i == 0 || !by_time_node(f, failures[i - 1]),
+            "failure stream out of order");
+  }
+  for (std::size_t i = 0; i < maintenance.size(); ++i) {
+    const MaintenanceRecord& m = maintenance[i];
+    CheckNode(trace.FindSystem(m.system), m.node, "FromSorted maintenance");
+    require(m.end >= m.start, "maintenance record with negative duration");
+    require(i == 0 || !by_time_node(m, maintenance[i - 1]),
+            "maintenance stream out of order");
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobRecord& j = jobs[i];
+    const SystemConfig* sys = trace.FindSystem(j.system);
+    require(j.consistent(), "inconsistent job record");
+    for (NodeId n : j.nodes) CheckNode(sys, n, "FromSorted job");
+    require(i == 0 || jobs[i - 1].dispatch < j.dispatch ||
+                (jobs[i - 1].dispatch == j.dispatch &&
+                 !(j.id < jobs[i - 1].id)),
+            "job stream out of order");
+  }
+  for (std::size_t i = 0; i < temperatures.size(); ++i) {
+    const TemperatureSample& t = temperatures[i];
+    CheckNode(trace.FindSystem(t.system), t.node, "FromSorted temperature");
+    require(i == 0 || temperatures[i - 1].time < t.time ||
+                (temperatures[i - 1].time == t.time &&
+                 !(t.node < temperatures[i - 1].node)),
+            "temperature stream out of order");
+  }
+  for (std::size_t i = 1; i < neutrons.size(); ++i) {
+    require(neutrons[i - 1].time <= neutrons[i].time,
+            "neutron series out of order");
+  }
+
+  trace.failures_ = std::move(failures);
+  trace.maintenance_ = std::move(maintenance);
+  trace.jobs_ = std::move(jobs);
+  trace.temperatures_ = std::move(temperatures);
+  trace.neutrons_ = std::move(neutrons);
+  trace.finalized_ = true;
+  return trace;
+}
+
 void Trace::CheckFinalized() const {
   if (!finalized_) {
     throw std::logic_error(

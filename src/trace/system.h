@@ -60,6 +60,18 @@ class Trace {
   void Finalize();
   bool finalized() const { return finalized_; }
 
+  // Restore path for deserializers (the engine-layer artifact cache): adopts
+  // streams that are *already* in Finalize() order, skipping the re-sort.
+  // Every record is still range- and consistency-checked (one linear pass),
+  // and out-of-order streams throw std::invalid_argument — a corrupted or
+  // hand-edited snapshot must fail loudly, never produce a mis-sorted trace.
+  static Trace FromSorted(std::vector<SystemConfig> systems,
+                          std::vector<FailureRecord> failures,
+                          std::vector<MaintenanceRecord> maintenance,
+                          std::vector<JobRecord> jobs,
+                          std::vector<TemperatureSample> temperatures,
+                          std::vector<NeutronSample> neutrons);
+
   const std::vector<SystemConfig>& systems() const { return systems_; }
   const SystemConfig* FindSystem(SystemId id) const;
   const SystemConfig& system(SystemId id) const;  // throws if absent

@@ -1,0 +1,194 @@
+// engine::ArgParser is the shared flag surface for all 25 benches and both
+// tools; these tests pin its contract, especially the deliberate behavior
+// change from bench_common.h's old loop: unknown flags are hard errors
+// (exit code 2), not silently ignored.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/arg_parser.h"
+#include "engine/session.h"
+
+namespace hpcfail::engine {
+namespace {
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(ArgParser, ParsesAllKindsInBothValueForms) {
+  bool flag = false;
+  int i = 1;
+  std::uint64_t u = 2;
+  double d = 0.5;
+  std::string s = "default";
+  ArgParser p("prog");
+  p.AddFlag("flag", &flag, "a flag");
+  p.AddInt("int", &i, "an int");
+  p.AddUint64("u64", &u, "a u64");
+  p.AddDouble("dbl", &d, "a double");
+  p.AddString("str", &s, "a string");
+
+  const auto argv = Argv(
+      {"--flag", "--int", "-3", "--u64=18446744073709551615", "--dbl=2.25",
+       "--str", "hello"});
+  std::string error;
+  ASSERT_TRUE(p.TryParse(static_cast<int>(argv.size()), argv.data(), &error))
+      << error;
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(i, -3);
+  EXPECT_EQ(u, 18446744073709551615ULL);
+  EXPECT_EQ(d, 2.25);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ArgParser, DefaultsSurviveWhenNotPassed) {
+  int i = 42;
+  std::string s = "keep";
+  ArgParser p("prog");
+  p.AddInt("int", &i, "an int");
+  p.AddString("str", &s, "a string");
+  const auto argv = Argv({});
+  std::string error;
+  ASSERT_TRUE(p.TryParse(static_cast<int>(argv.size()), argv.data(), &error));
+  EXPECT_EQ(i, 42);
+  EXPECT_EQ(s, "keep");
+}
+
+TEST(ArgParser, UnknownFlagIsAnError) {
+  int threads = 0;
+  ArgParser p("prog");
+  p.AddInt("threads", &threads, "worker threads");
+  // The motivating typo: `--thread 8` used to silently run single-threaded.
+  const auto argv = Argv({"--thread", "8"});
+  std::string error;
+  EXPECT_FALSE(p.TryParse(static_cast<int>(argv.size()), argv.data(), &error));
+  EXPECT_NE(error.find("unknown argument '--thread'"), std::string::npos)
+      << error;
+}
+
+TEST(ArgParser, MissingValueIsAnError) {
+  int i = 0;
+  ArgParser p("prog");
+  p.AddInt("int", &i, "an int");
+  const auto argv = Argv({"--int"});
+  std::string error;
+  EXPECT_FALSE(p.TryParse(static_cast<int>(argv.size()), argv.data(), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ArgParser, MalformedNumbersAreErrors) {
+  int i = 0;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  ArgParser p("prog");
+  p.AddInt("int", &i, "an int");
+  p.AddUint64("u64", &u, "a u64");
+  p.AddDouble("dbl", &d, "a double");
+  for (const char* bad :
+       {"--int=abc", "--int=3.5", "--u64=-1", "--dbl=1.2.3", "--dbl="}) {
+    const auto argv = Argv({bad});
+    std::string error;
+    EXPECT_FALSE(
+        p.TryParse(static_cast<int>(argv.size()), argv.data(), &error))
+        << bad << " should be rejected";
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(ArgParser, PositionalsRejectedUnlessOptedIn) {
+  ArgParser p("prog");
+  const auto argv = Argv({"stray"});
+  std::string error;
+  EXPECT_FALSE(p.TryParse(static_cast<int>(argv.size()), argv.data(), &error));
+
+  std::vector<std::string> pos;
+  ArgParser q("prog");
+  q.AllowPositionals(&pos);
+  std::string error2;
+  ASSERT_TRUE(
+      q.TryParse(static_cast<int>(argv.size()), argv.data(), &error2));
+  EXPECT_EQ(pos, std::vector<std::string>({"stray"}));
+}
+
+TEST(ArgParser, DoubleDashEndsFlagParsing) {
+  bool flag = false;
+  std::vector<std::string> pos;
+  ArgParser p("prog");
+  p.AddFlag("flag", &flag, "a flag");
+  p.AllowPositionals(&pos);
+  const auto argv = Argv({"--flag", "--", "--flag", "-x"});
+  std::string error;
+  ASSERT_TRUE(p.TryParse(static_cast<int>(argv.size()), argv.data(), &error))
+      << error;
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(pos, std::vector<std::string>({"--flag", "-x"}));
+}
+
+TEST(ArgParser, HelpIsRecordedNotAnError) {
+  ArgParser p("prog", "does things");
+  const auto argv = Argv({"--help"});
+  std::string error;
+  ASSERT_TRUE(p.TryParse(static_cast<int>(argv.size()), argv.data(), &error));
+  EXPECT_TRUE(p.help_requested());
+}
+
+TEST(ArgParser, UsageListsEveryOptionWithDefaults) {
+  int threads = 0;
+  double scale = 0.25;
+  ArgParser p("prog", "test program");
+  p.AddInt("threads", &threads, "worker threads");
+  p.AddDouble("scale", &scale, "scenario scale");
+  const std::string usage = p.Usage();
+  EXPECT_NE(usage.find("prog"), std::string::npos);
+  EXPECT_NE(usage.find("--threads"), std::string::npos);
+  EXPECT_NE(usage.find("--scale"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, StandardOptionsWireIntoSessionOptions) {
+  StandardOptions std_opts;
+  ArgParser p("prog");
+  AddStandardOptions(p, &std_opts);
+  const auto argv = Argv(
+      {"--threads", "3", "--seed", "99", "--cache-dir", "/tmp/c",
+       "--no-cache", "--json"});
+  std::string error;
+  ASSERT_TRUE(p.TryParse(static_cast<int>(argv.size()), argv.data(), &error))
+      << error;
+  EXPECT_EQ(std_opts.threads, 3);
+  EXPECT_EQ(std_opts.seed, 99u);
+  EXPECT_TRUE(std_opts.json);
+
+  const SessionOptions session = MakeSessionOptions(std_opts);
+  EXPECT_EQ(session.cache.dir, "/tmp/c");
+  EXPECT_FALSE(session.cache.enabled);
+}
+
+// ParseOrExit's contract is process-level; pin the exit code with a death
+// test so a refactor cannot quietly go back to "ignore and continue".
+TEST(ArgParserDeathTest, UnknownFlagExitsWithCode2) {
+  const auto argv = Argv({"--bogus"});
+  EXPECT_EXIT(
+      {
+        ArgParser p("prog");
+        p.ParseOrExit(static_cast<int>(argv.size()), argv.data());
+      },
+      ::testing::ExitedWithCode(2), "unknown argument '--bogus'");
+}
+
+TEST(ArgParserDeathTest, HelpExitsWithCode0) {
+  const auto argv = Argv({"--help"});
+  EXPECT_EXIT(
+      {
+        ArgParser p("prog", "test program");
+        p.ParseOrExit(static_cast<int>(argv.size()), argv.data());
+      },
+      ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace hpcfail::engine

@@ -1,0 +1,319 @@
+// The artifact cache's contract: a warm load is bit-identical to a cold
+// acquisition, and every way an entry can be unusable (truncation, flipped
+// bytes, stale schema, wrong key, wrong artifact kind) degrades to a miss
+// with a distinct diagnostic, deletes the bad entry, and regenerates —
+// the cache can cost a rebuild, never a wrong answer.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/window_analysis.h"
+#include "engine/session.h"
+#include "engine/trace_cache.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
+
+namespace hpcfail::engine {
+namespace {
+
+using core::ConditionalResult;
+using core::EventFilter;
+using core::Scope;
+using core::WindowAnalyzer;
+
+class EngineCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/hpcfail_cache_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  SessionOptions Options() const {
+    SessionOptions o;
+    o.cache.dir = dir_;
+    return o;
+  }
+
+  AnalysisSession MakeSession(std::uint64_t seed = 7) const {
+    return AnalysisSession::FromScenario(synth::TinyScenario(), seed,
+                                         Options());
+  }
+
+  std::string EntryPathOf(const AnalysisSession& s) const {
+    ArtifactCache cache(Options().cache);
+    return cache.EntryPath(*s.stats().fingerprint);
+  }
+
+  std::string dir_;
+};
+
+void ExpectSameResult(const ConditionalResult& a, const ConditionalResult& b) {
+  EXPECT_EQ(a.conditional.successes, b.conditional.successes);
+  EXPECT_EQ(a.conditional.trials, b.conditional.trials);
+  EXPECT_EQ(a.conditional.estimate, b.conditional.estimate);
+  EXPECT_EQ(a.conditional.ci_low, b.conditional.ci_low);
+  EXPECT_EQ(a.conditional.ci_high, b.conditional.ci_high);
+  EXPECT_EQ(a.baseline.successes, b.baseline.successes);
+  EXPECT_EQ(a.baseline.trials, b.baseline.trials);
+  EXPECT_EQ(a.baseline.estimate, b.baseline.estimate);
+  EXPECT_TRUE(a.factor == b.factor ||
+              (std::isnan(a.factor) && std::isnan(b.factor)));
+  EXPECT_EQ(a.test.z, b.test.z);
+  EXPECT_EQ(a.test.p_value, b.test.p_value);
+  EXPECT_EQ(a.num_triggers, b.num_triggers);
+}
+
+void ExpectSameTrace(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.systems().size(), b.systems().size());
+  for (std::size_t i = 0; i < a.systems().size(); ++i) {
+    const SystemConfig& x = a.systems()[i];
+    const SystemConfig& y = b.systems()[i];
+    EXPECT_EQ(x.id.value, y.id.value);
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.group, y.group);
+    EXPECT_EQ(x.num_nodes, y.num_nodes);
+    EXPECT_EQ(x.procs_per_node, y.procs_per_node);
+    EXPECT_EQ(x.observed.begin, y.observed.begin);
+    EXPECT_EQ(x.observed.end, y.observed.end);
+    ASSERT_EQ(x.layout.placements().size(), y.layout.placements().size());
+    for (std::size_t p = 0; p < x.layout.placements().size(); ++p) {
+      EXPECT_EQ(x.layout.placements()[p].rack.value,
+                y.layout.placements()[p].rack.value);
+      EXPECT_EQ(x.layout.placements()[p].position_in_rack,
+                y.layout.placements()[p].position_in_rack);
+    }
+  }
+  ASSERT_EQ(a.failures().size(), b.failures().size());
+  for (std::size_t i = 0; i < a.failures().size(); ++i) {
+    const FailureRecord& x = a.failures()[i];
+    const FailureRecord& y = b.failures()[i];
+    EXPECT_EQ(x.system.value, y.system.value);
+    EXPECT_EQ(x.node.value, y.node.value);
+    EXPECT_EQ(x.start, y.start);
+    EXPECT_EQ(x.end, y.end);
+    EXPECT_EQ(x.category, y.category);
+    EXPECT_EQ(x.hardware, y.hardware);
+    EXPECT_EQ(x.software, y.software);
+    EXPECT_EQ(x.environment, y.environment);
+  }
+  ASSERT_EQ(a.maintenance().size(), b.maintenance().size());
+  ASSERT_EQ(a.jobs().size(), b.jobs().size());
+  for (std::size_t i = 0; i < a.jobs().size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].user.value, b.jobs()[i].user.value);
+    EXPECT_EQ(a.jobs()[i].nodes.size(), b.jobs()[i].nodes.size());
+    EXPECT_EQ(a.jobs()[i].killed_by_node_failure,
+              b.jobs()[i].killed_by_node_failure);
+  }
+  ASSERT_EQ(a.temperatures().size(), b.temperatures().size());
+  for (std::size_t i = 0; i < a.temperatures().size(); ++i) {
+    EXPECT_EQ(a.temperatures()[i].time, b.temperatures()[i].time);
+    EXPECT_EQ(a.temperatures()[i].celsius, b.temperatures()[i].celsius);
+  }
+  ASSERT_EQ(a.neutron_series().size(), b.neutron_series().size());
+}
+
+TEST_F(EngineCacheTest, WarmLoadIsBitIdenticalToColdAcquire) {
+  const AnalysisSession cold = MakeSession();
+  ASSERT_FALSE(cold.stats().cache_hit);
+  ASSERT_TRUE(cold.stats().cache_stored);
+
+  const AnalysisSession warm = MakeSession();
+  ASSERT_TRUE(warm.stats().cache_hit);
+  EXPECT_EQ(warm.stats().cache_diagnostic, "hit");
+
+  ExpectSameTrace(cold.trace(), warm.trace());
+
+  // The headline analyses must agree bit-for-bit across every scope and
+  // window length — the cache may change timing, never results.
+  const WindowAnalyzer a(cold.index());
+  const WindowAnalyzer b(warm.index());
+  const EventFilter any = EventFilter::Any();
+  for (const Scope scope :
+       {Scope::kSameNode, Scope::kRackPeers, Scope::kSystemPeers}) {
+    for (const TimeSec window : {kDay, kWeek, kMonth}) {
+      SCOPED_TRACE(std::string(ToString(scope)) + " window=" +
+                   std::to_string(window));
+      ExpectSameResult(a.Compare(any, any, scope, window),
+                       b.Compare(any, any, scope, window));
+    }
+  }
+}
+
+TEST_F(EngineCacheTest, DistinctSeedsGetDistinctEntries) {
+  const AnalysisSession s7 = MakeSession(7);
+  const AnalysisSession s8 = MakeSession(8);
+  EXPECT_NE(*s7.stats().fingerprint, *s8.stats().fingerprint);
+  EXPECT_FALSE(s8.stats().cache_hit);  // not served seed 7's trace
+  EXPECT_TRUE(std::filesystem::exists(EntryPathOf(s7)));
+  EXPECT_TRUE(std::filesystem::exists(EntryPathOf(s8)));
+}
+
+TEST_F(EngineCacheTest, NoCacheBypassesLoadAndStore) {
+  SessionOptions o = Options();
+  o.cache.enabled = false;
+  const AnalysisSession s =
+      AnalysisSession::FromScenario(synth::TinyScenario(), 7, o);
+  EXPECT_FALSE(s.stats().cache_enabled);
+  EXPECT_FALSE(s.stats().cache_hit);
+  EXPECT_FALSE(s.stats().cache_stored);
+  EXPECT_EQ(s.stats().cache_diagnostic, "cache disabled");
+  EXPECT_FALSE(std::filesystem::exists(dir_));
+
+  // And the trace is identical to a cached acquisition of the same seed.
+  const AnalysisSession cached = MakeSession(7);
+  ExpectSameTrace(s.trace(), cached.trace());
+}
+
+// ---- Corruption matrix. Every case: distinct diagnostic, entry deleted,
+// next session silently regenerates (and re-stores a good entry).
+
+class CorruptionTest : public EngineCacheTest {
+ protected:
+  // Populates the cache and returns the entry path + fingerprint.
+  void Prime() {
+    const AnalysisSession s = MakeSession();
+    ASSERT_TRUE(s.stats().cache_stored);
+    fingerprint_ = *s.stats().fingerprint;
+    path_ = EntryPathOf(s);
+    ASSERT_TRUE(std::filesystem::exists(path_));
+  }
+
+  std::string ReadEntry() const {
+    std::ifstream is(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(is),
+            std::istreambuf_iterator<char>()};
+  }
+
+  void WriteEntry(const std::string& bytes) const {
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Writes a hand-composed entry with the given tag/schema/key around the
+  // real trace payload for `fingerprint_`'s scenario.
+  void ComposeEntry(std::string_view tag, std::uint32_t schema,
+                    std::uint64_t stored_key) const {
+    const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 7);
+    stream::snapshot::Writer w;
+    w.PutString(tag);
+    w.PutU32(schema);
+    w.PutU64(stored_key);
+    SerializeTrace(trace, &w);
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    stream::snapshot::WriteEnvelope(os, w.payload());
+  }
+
+  // The corrupted entry must (a) miss with `expect_diagnostic`, (b) be
+  // deleted, and (c) leave the session fully functional via regeneration.
+  void ExpectMissAndSelfHeal(const std::string& expect_diagnostic) {
+    ArtifactCache cache(Options().cache);
+    std::string diagnostic;
+    EXPECT_FALSE(cache.TryLoad(fingerprint_, &diagnostic).has_value());
+    EXPECT_NE(diagnostic.find(expect_diagnostic), std::string::npos)
+        << "actual diagnostic: " << diagnostic;
+    EXPECT_FALSE(std::filesystem::exists(path_)) << "bad entry not deleted";
+
+    // Silent fallback: the session regenerates, matches the pristine trace,
+    // and re-stores a loadable entry.
+    const AnalysisSession regen = MakeSession();
+    EXPECT_FALSE(regen.stats().cache_hit);
+    EXPECT_TRUE(regen.stats().cache_stored);
+    ExpectSameTrace(regen.trace(),
+                    AnalysisSession::FromScenario(synth::TinyScenario(), 7,
+                                                  Options())
+                        .trace());
+    const AnalysisSession warm = MakeSession();
+    EXPECT_TRUE(warm.stats().cache_hit);
+  }
+
+  std::uint64_t fingerprint_ = 0;
+  std::string path_;
+};
+
+TEST_F(CorruptionTest, TruncatedFile) {
+  Prime();
+  const std::string bytes = ReadEntry();
+  WriteEntry(bytes.substr(0, bytes.size() / 2));
+  ExpectMissAndSelfHeal("corrupt cache entry");
+}
+
+TEST_F(CorruptionTest, FlippedByteFailsChecksum) {
+  Prime();
+  std::string bytes = ReadEntry();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x5a);
+  WriteEntry(bytes);
+  ExpectMissAndSelfHeal("corrupt cache entry");
+}
+
+TEST_F(CorruptionTest, StaleSchemaVersion) {
+  Prime();
+  ComposeEntry("HFTRACE0", kTraceSchemaVersion + 1, fingerprint_);
+  ExpectMissAndSelfHeal("stale cache schema");
+}
+
+TEST_F(CorruptionTest, MismatchedFingerprint) {
+  Prime();
+  ComposeEntry("HFTRACE0", kTraceSchemaVersion, fingerprint_ ^ 0x1);
+  ExpectMissAndSelfHeal("cache fingerprint mismatch");
+}
+
+TEST_F(CorruptionTest, WrongArtifactTag) {
+  Prime();
+  ComposeEntry("HFOTHER0", kTraceSchemaVersion, fingerprint_);
+  ExpectMissAndSelfHeal("wrong artifact tag");
+}
+
+TEST_F(CorruptionTest, DiagnosticsAreDistinct) {
+  // The four mandated corruption classes must be tellable apart from the
+  // diagnostic alone (an operator debugging a cache should not guess).
+  Prime();
+  const std::string bytes = ReadEntry();
+  std::vector<std::string> diagnostics;
+
+  WriteEntry(bytes.substr(0, 16));  // truncated
+  ArtifactCache cache(Options().cache);
+  std::string d;
+  cache.TryLoad(fingerprint_, &d);
+  diagnostics.push_back(d);
+
+  std::string flipped = bytes;
+  flipped[flipped.size() - 4] ^= 0x77;  // checksum region
+  WriteEntry(flipped);
+  cache.TryLoad(fingerprint_, &d);
+  diagnostics.push_back(d);
+
+  ComposeEntry("HFTRACE0", kTraceSchemaVersion + 9, fingerprint_);
+  cache.TryLoad(fingerprint_, &d);
+  diagnostics.push_back(d);
+
+  ComposeEntry("HFTRACE0", kTraceSchemaVersion, ~fingerprint_);
+  cache.TryLoad(fingerprint_, &d);
+  diagnostics.push_back(d);
+
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    EXPECT_FALSE(diagnostics[i].empty());
+    for (std::size_t j = i + 1; j < diagnostics.size(); ++j) {
+      EXPECT_NE(diagnostics[i], diagnostics[j])
+          << "cases " << i << " and " << j << " are indistinguishable";
+    }
+  }
+}
+
+TEST_F(EngineCacheTest, SerializeRoundTripsThroughReader) {
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 3);
+  stream::snapshot::Writer w;
+  SerializeTrace(trace, &w);
+  stream::snapshot::Reader r(w.payload());
+  const Trace back = DeserializeTrace(&r);
+  EXPECT_TRUE(r.AtEnd());
+  ExpectSameTrace(trace, back);
+}
+
+}  // namespace
+}  // namespace hpcfail::engine

@@ -1,0 +1,134 @@
+// AnalysisSession is the one entry point from "inputs" to "trace + index";
+// these tests pin its stats surface, the store-sharing IndexFor contract,
+// and the FromCsvDir round trip.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/session.h"
+#include "synth/scenario.h"
+#include "trace/csv.h"
+
+namespace hpcfail::engine {
+namespace {
+
+class EngineSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/hpcfail_session_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  SessionOptions Options() const {
+    SessionOptions o;
+    o.cache.dir = dir_ + "/cache";
+    return o;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(EngineSessionTest, FromScenarioPopulatesStats) {
+  const AnalysisSession s =
+      AnalysisSession::FromScenario(synth::TinyScenario(), 11, Options());
+  const AnalysisSession::Stats& st = s.stats();
+  EXPECT_EQ(st.source, SourceKind::kScenario);
+  EXPECT_FALSE(st.label.empty());
+  ASSERT_TRUE(st.fingerprint.has_value());
+  EXPECT_TRUE(st.cache_enabled);
+  EXPECT_GT(st.num_systems, 0u);
+  EXPECT_EQ(st.num_systems, s.trace().systems().size());
+  EXPECT_EQ(st.num_failures, s.trace().failures().size());
+  EXPECT_GE(st.load_seconds, 0.0);
+}
+
+TEST_F(EngineSessionTest, StatsJsonCarriesEveryField) {
+  const AnalysisSession s =
+      AnalysisSession::FromScenario(synth::TinyScenario(), 11, Options());
+  const std::string json = s.StatsJson();
+  for (const char* key :
+       {"\"source\":", "\"label\":", "\"fingerprint\":", "\"cache_enabled\":",
+        "\"cache_hit\":", "\"cache_stored\":", "\"cache_diagnostic\":",
+        "\"load_seconds\":", "\"num_systems\":", "\"num_failures\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing: "
+                                                 << json;
+  }
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must be a single line";
+  EXPECT_NE(json.find("\"source\":\"scenario\""), std::string::npos) << json;
+}
+
+TEST_F(EngineSessionTest, SameInputsAreDeterministic) {
+  SessionOptions no_cache;
+  no_cache.cache.enabled = false;
+  const AnalysisSession a =
+      AnalysisSession::FromScenario(synth::TinyScenario(), 5, no_cache);
+  const AnalysisSession b =
+      AnalysisSession::FromScenario(synth::TinyScenario(), 5, no_cache);
+  EXPECT_EQ(*a.stats().fingerprint, *b.stats().fingerprint);
+  ASSERT_EQ(a.trace().failures().size(), b.trace().failures().size());
+  EXPECT_EQ(a.trace().failures(), b.trace().failures());
+}
+
+TEST_F(EngineSessionTest, IndexCoversAllSystems) {
+  const AnalysisSession s =
+      AnalysisSession::FromScenario(synth::TinyScenario(), 11, Options());
+  EXPECT_EQ(s.index().systems().size(), s.trace().systems().size());
+  std::size_t indexed = 0;
+  for (const SystemConfig& sys : s.trace().systems()) {
+    indexed += s.index().failures_of(sys.id).size();
+  }
+  EXPECT_EQ(indexed, s.trace().failures().size());
+}
+
+TEST_F(EngineSessionTest, IndexForMakesSubsetViewsOverSharedStores) {
+  const AnalysisSession s =
+      AnalysisSession::FromScenario(synth::TinyScenario(), 11, Options());
+  ASSERT_FALSE(s.trace().systems().empty());
+  const SystemId first = s.trace().systems().front().id;
+
+  const std::vector<SystemId> subset = {first};
+  const core::EventIndex view = s.IndexFor(subset);
+  ASSERT_EQ(view.systems().size(), 1u);
+  EXPECT_EQ(view.systems().front().value, first.value);
+
+  // The subset view serves the same per-system data as the full index —
+  // same store build, narrower system list.
+  const auto full = s.index().failures_of(first);
+  const auto sub = view.failures_of(first);
+  ASSERT_EQ(full.size(), sub.size());
+  EXPECT_EQ(full.data(), sub.data()) << "subset view must share stores";
+}
+
+TEST_F(EngineSessionTest, IndexForUnknownSystemThrows) {
+  const AnalysisSession s =
+      AnalysisSession::FromScenario(synth::TinyScenario(), 11, Options());
+  const std::vector<SystemId> bogus = {SystemId{9999}};
+  EXPECT_THROW((void)s.IndexFor(bogus), std::out_of_range);
+}
+
+TEST_F(EngineSessionTest, FromCsvDirRoundTripsAndCaches) {
+  const AnalysisSession made =
+      AnalysisSession::FromScenario(synth::TinyScenario(), 11, Options());
+  const std::string trace_dir = dir_ + "/trace";
+  csv::SaveTrace(made.trace(), trace_dir);
+
+  const AnalysisSession cold = AnalysisSession::FromCsvDir(trace_dir,
+                                                           Options());
+  EXPECT_EQ(cold.stats().source, SourceKind::kCsvDir);
+  EXPECT_FALSE(cold.stats().cache_hit);
+  EXPECT_TRUE(cold.stats().cache_stored);
+  EXPECT_EQ(cold.trace().failures(), made.trace().failures());
+
+  const AnalysisSession warm = AnalysisSession::FromCsvDir(trace_dir,
+                                                           Options());
+  EXPECT_TRUE(warm.stats().cache_hit);
+  EXPECT_EQ(warm.trace().failures(), cold.trace().failures());
+}
+
+}  // namespace
+}  // namespace hpcfail::engine

@@ -1,7 +1,8 @@
 # ctest helper: hpcfail_report --profile must exit 0 and print the stage
 # timing table (the header prints even in a -DHPCFAIL_OBS=OFF build).
 execute_process(
-  COMMAND ${REPORT_BIN} --profile --synth 0.1 0.5 1
+  COMMAND ${REPORT_BIN} --profile --synth --scale 0.1 --years 0.5 --seed 1
+          --no-cache
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err
   RESULT_VARIABLE rc)

@@ -4,7 +4,8 @@ file(REMOVE_RECURSE ${WORK_DIR})
 file(MAKE_DIRECTORY ${WORK_DIR})
 
 execute_process(
-  COMMAND ${STREAM_BIN} --make-demo ${WORK_DIR}/demo 0.1 0.5 1
+  COMMAND ${STREAM_BIN} --make-demo ${WORK_DIR}/demo --scale 0.1 --years 0.5
+          --seed 1 --cache-dir ${WORK_DIR}/cache
   ERROR_VARIABLE err
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
@@ -13,6 +14,7 @@ endif()
 
 execute_process(
   COMMAND ${STREAM_BIN} --trace ${WORK_DIR}/demo
+          --cache-dir ${WORK_DIR}/cache
           --metrics-out ${WORK_DIR}/metrics.prom
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err

@@ -1,17 +1,30 @@
 // hpcfail_report: one-shot analysis report over a failure trace.
 //
-//   hpcfail_report --synth [scale] [years] [seed]   # synthetic trace
-//   hpcfail_report --trace <dir>                    # CSV trace directory
-//   hpcfail_report --lanl <failures.csv> [nodes-per-system]
-//                                                   # raw LANL failure log
+//   hpcfail_report --synth [--scale X] [--years Y] [--seed S]
+//   hpcfail_report --scenario <config-file> [--seed S]
+//   hpcfail_report --trace <csv-trace-dir>
+//   hpcfail_report --lanl <failures.csv> [--nodes-per-system N]
+//   hpcfail_report --checkpoint <snapshot> --trace <csv-trace-dir>
+//                  [--tolerance S] [--window S]
 //
-// `--threads N` (anywhere on the command line) sets the worker count for
-// the parallel analysis kernels; the default is the hardware concurrency
-// and N=1 forces the serial path. Results are identical either way.
+// Every mode is an engine::AnalysisSession: the trace is fingerprinted,
+// probed in the content-addressed artifact cache, and acquired only on a
+// miss — a second run over the same inputs loads the cached binary trace
+// instead of regenerating/re-importing. `--no-cache` bypasses the cache,
+// `--cache-dir` relocates it, and the session summary (hit/miss, load
+// time) goes to stderr so stdout stays identical cold vs warm.
 //
-// `--profile` (anywhere on the command line) appends a stage-timing table
-// (ingest, sort, index_build, window_query, bootstrap, ...) collected by
-// the observability span tracer while the report ran.
+// The --checkpoint mode replays a `hpcfail_stream --checkpoint` snapshot
+// into a batch trace (systems from the --trace dir) and reports on it —
+// the post-incident path from a live stream to the full batch analysis.
+//
+// `--threads N` sets the worker count for the parallel analysis kernels;
+// the default is the hardware concurrency and N=1 forces the serial path.
+// Results are identical either way. `--profile` appends a stage-timing
+// table (ingest, sort, index_build, window_query, bootstrap, ...) collected
+// by the observability span tracer while the report ran. `--json` prints
+// the session stats object to stdout instead of the human report. Unknown
+// flags are rejected with exit code 2.
 //
 // Prints, per system: record counts, failure-rate summary, the same-node
 // correlation headline, root-cause breakdown, node skew, downtime and
@@ -19,8 +32,6 @@
 // logs exist, the usage and user analyses. This is the tool an operator
 // would point at their own logs.
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -34,41 +45,19 @@
 #include "core/usage_analysis.h"
 #include "core/user_analysis.h"
 #include "core/window_analysis.h"
+#include "engine/session.h"
 #include "obs/span.h"
-#include "synth/generate.h"
-#include "trace/csv.h"
+#include "synth/scenario.h"
 #include "synth/scenario_config.h"
-#include "trace/lanl_import.h"
 
 namespace {
 
 using namespace hpcfail;
 using namespace hpcfail::core;
 
-Trace LoadLanl(const std::string& path, int nodes_per_system) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open " + path);
-  const lanl::ImportResult imported = lanl::ImportFailures(is, {});
-  std::cerr << "imported " << imported.failures.size() << " failures, skipped "
-            << imported.skipped.size() << " rows\n";
-  for (std::size_t i = 0; i < std::min<std::size_t>(5, imported.skipped.size());
-       ++i) {
-    std::cerr << "  line " << imported.skipped[i].line << ": "
-              << imported.skipped[i].reason << "\n";
-  }
-  lanl::AssembleResult assembled =
-      lanl::AssembleTrace(imported, nodes_per_system);
-  if (assembled.dropped_out_of_range > 0) {
-    std::cerr << "dropped " << assembled.dropped_out_of_range
-              << " failures with node id >= " << nodes_per_system
-              << " (pass 0 or omit nodes-per-system to auto-size each system"
-                 " from its log)\n";
-  }
-  return std::move(assembled.trace);
-}
-
-void Report(const Trace& trace) {
-  const EventIndex idx(trace);
+void Report(const engine::AnalysisSession& session) {
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
   const WindowAnalyzer analyzer(idx);
 
   std::cout << "=== trace overview ===\n";
@@ -194,70 +183,98 @@ void PrintProfile() {
 
 }  // namespace
 
-int main(int argc, char** raw_argv) {
+int main(int argc, char** argv) {
   try {
-    // Strip `--threads N` / `--profile` wherever they appear; the
-    // remaining positional arguments keep their old meanings.
+    engine::StandardOptions std_opts;
+    bool synth = false;
     bool profile = false;
-    std::vector<char*> args;
-    for (int i = 0; i < argc; ++i) {
-      if (std::strcmp(raw_argv[i], "--profile") == 0) {
-        profile = true;
-        continue;
-      }
-      if (std::strcmp(raw_argv[i], "--threads") == 0) {
-        if (i + 1 >= argc) {
-          std::cerr << "error: --threads requires a value\n";
-          return 2;
-        }
-        char* end = nullptr;
-        const long n = std::strtol(raw_argv[++i], &end, 10);
-        if (end == raw_argv[i] || *end != '\0' || n < 0) {
-          std::cerr << "error: --threads expects a non-negative integer, got '"
-                    << raw_argv[i] << "'\n";
-          return 2;
-        }
-        core::SetDefaultThreadCount(static_cast<int>(n));
-        continue;
-      }
-      args.push_back(raw_argv[i]);
-    }
-    argc = static_cast<int>(args.size());
-    char** argv = args.data();
+    std::string scenario_file, trace_dir, lanl_file, checkpoint_file;
+    double scale = 0.5;
+    double years = 2.0;
+    int nodes_per_system = 0;
+    std::uint64_t tolerance = 0;
+    std::uint64_t window = static_cast<std::uint64_t>(hpcfail::kWeek);
 
-    if (argc >= 2 && std::strcmp(argv[1], "--trace") == 0 && argc >= 3) {
-      Report(hpcfail::csv::LoadTrace(argv[2]));
-    } else if (argc >= 2 && std::strcmp(argv[1], "--lanl") == 0 && argc >= 3) {
-      // nodes-per-system omitted or 0: auto-size from the log.
-      Report(LoadLanl(argv[2], argc >= 4 ? std::atoi(argv[3]) : 0));
-    } else if (argc >= 2 && std::strcmp(argv[1], "--scenario") == 0 &&
-               argc >= 3) {
-      const std::uint64_t seed = argc >= 4
-                                     ? std::strtoull(argv[3], nullptr, 10)
-                                     : 1;
-      Report(hpcfail::synth::GenerateTrace(
-          hpcfail::synth::LoadScenarioConfigFile(argv[2]), seed));
-    } else if (argc >= 2 && std::strcmp(argv[1], "--synth") == 0) {
-      const double scale = argc >= 3 ? std::atof(argv[2]) : 0.5;
-      const double years = argc >= 4 ? std::atof(argv[3]) : 2.0;
-      const std::uint64_t seed = argc >= 5
-                                     ? std::strtoull(argv[4], nullptr, 10)
-                                     : 1;
-      Report(hpcfail::synth::GenerateTrace(
+    engine::ArgParser parser(
+        "hpcfail_report",
+        "One-shot analysis report over a failure trace. Pick exactly one "
+        "source mode: --synth, --scenario, --trace, --lanl, or --checkpoint "
+        "(which replays a stream snapshot over --trace's systems).");
+    engine::AddStandardOptions(parser, &std_opts);
+    parser.AddFlag("synth", &synth,
+                   "synthetic LANL-like trace (--scale/--years/--seed)");
+    parser.AddString("scenario", &scenario_file,
+                     "generate from this scenario config file");
+    parser.AddString("trace", &trace_dir, "CSV trace directory");
+    parser.AddString("lanl", &lanl_file, "raw LANL failure log (CSV)");
+    parser.AddString("checkpoint", &checkpoint_file,
+                     "replay this stream-engine snapshot (systems from "
+                     "--trace)");
+    parser.AddDouble("scale", &scale, "--synth scenario scale factor");
+    parser.AddDouble("years", &years, "--synth simulated duration in years");
+    parser.AddInt("nodes-per-system", &nodes_per_system,
+                  "--lanl assembly parameter (0 = auto-size from the log)");
+    parser.AddUint64("tolerance", &tolerance,
+                     "--checkpoint replay out-of-order tolerance in seconds");
+    parser.AddUint64("window", &window,
+                     "--checkpoint replay follow-up window in seconds");
+    parser.AddFlag("profile", &profile,
+                   "append the observability stage-timing table");
+    parser.ParseOrExit(argc, argv);
+    engine::ApplyStandardOptions(std_opts);
+    const engine::SessionOptions session_opts =
+        engine::MakeSessionOptions(std_opts);
+
+    const int modes = (synth ? 1 : 0) + (scenario_file.empty() ? 0 : 1) +
+                      (lanl_file.empty() ? 0 : 1) +
+                      (checkpoint_file.empty() ? 0 : 1) +
+                      (!trace_dir.empty() && checkpoint_file.empty() ? 1 : 0);
+    if (modes != 1) {
+      std::cerr << "hpcfail_report: pick exactly one of --synth, --scenario, "
+                   "--trace, --lanl, --checkpoint\n"
+                << parser.Usage();
+      return 2;
+    }
+
+    const auto make_session = [&]() -> engine::AnalysisSession {
+      if (!checkpoint_file.empty()) {
+        if (trace_dir.empty()) {
+          throw std::runtime_error(
+              "--checkpoint needs --trace <dir> for the machine "
+              "configuration");
+        }
+        stream::EngineConfig cfg;
+        cfg.stream.reorder_tolerance = static_cast<hpcfail::TimeSec>(tolerance);
+        cfg.window.trigger = EventFilter::Any();
+        cfg.window.target = EventFilter::Any();
+        cfg.window.window = static_cast<hpcfail::TimeSec>(window);
+        return engine::AnalysisSession::FromCheckpoint(
+            checkpoint_file, trace_dir, cfg, session_opts);
+      }
+      if (!trace_dir.empty()) {
+        return engine::AnalysisSession::FromCsvDir(trace_dir, session_opts);
+      }
+      if (!lanl_file.empty()) {
+        return engine::AnalysisSession::FromLanl(lanl_file, nodes_per_system,
+                                                 session_opts);
+      }
+      if (!scenario_file.empty()) {
+        return engine::AnalysisSession::FromScenario(
+            hpcfail::synth::LoadScenarioConfigFile(scenario_file),
+            std_opts.seed, session_opts);
+      }
+      return engine::AnalysisSession::FromScenario(
           hpcfail::synth::LanlLikeScenario(
               scale, static_cast<hpcfail::TimeSec>(years * hpcfail::kYear)),
-          seed));
+          std_opts.seed, session_opts);
+    };
+
+    const engine::AnalysisSession session = make_session();
+    std::cerr << "hpcfail_report: session " << session.StatsJson() << "\n";
+    if (std_opts.json) {
+      std::cout << session.StatsJson() << "\n";
     } else {
-      std::cerr << "usage:\n"
-                << "  hpcfail_report [--threads N] [--profile] --synth"
-                   " [scale] [years] [seed]\n"
-                << "  hpcfail_report [--threads N] [--profile] --scenario"
-                   " <config-file> [seed]\n"
-                << "  hpcfail_report [--threads N] [--profile] --trace"
-                   " <csv-trace-dir>\n"
-                << "  hpcfail_report [--threads N] [--profile] --lanl"
-                   " <failures.csv> [nodes/system]\n";
-      return 2;
+      Report(session);
     }
     if (profile) PrintProfile();
   } catch (const std::exception& e) {

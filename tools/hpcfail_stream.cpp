@@ -26,6 +26,12 @@
 //                        Prometheus text snapshot of the metrics registry
 //                        at every emission and at end of feed
 //
+// Plus the engine-standard flags (--threads, --seed, --cache-dir,
+// --no-cache, --json, --help); unknown flags exit 2. Trace-directory loads
+// (--trace, --train) and --make-demo generation go through
+// engine::AnalysisSession, so repeated runs hit the content-addressed
+// artifact cache instead of re-parsing/re-generating.
+//
 // Each metrics line is one JSON snapshot of the process metrics registry
 // ({"counters":{...},"gauges":{...},"histograms":{...}}): ingest counters,
 // watermark lag, events/sec, the live conditional-vs-baseline window
@@ -36,9 +42,9 @@
 // ctest entry): stream a synthetic trace out of order, checkpoint/restore
 // mid-stream, and require bit-identical window results.
 //
-// --make-demo DIR [scale] [years] [seed] writes a synthetic CSV trace
-// directory (LANL-like scenario) and exits — a self-contained way to try
-// the streaming pipeline without real logs.
+// --make-demo DIR (with --scale/--years/--seed) writes a synthetic CSV
+// trace directory (LANL-like scenario) and exits — a self-contained way to
+// try the streaming pipeline without real logs.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -56,6 +62,7 @@
 #include "core/parallel.h"
 #include "core/prediction.h"
 #include "core/window_analysis.h"
+#include "engine/session.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "stream/engine.h"
@@ -80,6 +87,7 @@ struct Options {
   std::string checkpoint_path;
   std::string restore_path;
   std::string metrics_out;
+  engine::SessionOptions session;
 };
 
 // Publishes the engine's live analysis state as gauges in the global
@@ -191,7 +199,11 @@ bool ParseFeedLine(std::string line, std::size_t line_no, FailureRecord* out) {
 }
 
 int RunStream(const Options& opt) {
-  const Trace config_trace = csv::LoadTrace(opt.trace_dir);
+  const engine::AnalysisSession config_session =
+      engine::AnalysisSession::FromCsvDir(opt.trace_dir, opt.session);
+  std::cerr << "hpcfail_stream: session " << config_session.StatsJson()
+            << "\n";
+  const Trace& config_trace = config_session.trace();
   stream::EngineConfig cfg;
   cfg.stream.reorder_tolerance = opt.tolerance;
   cfg.window.trigger = core::EventFilter::Any();
@@ -200,9 +212,12 @@ int RunStream(const Options& opt) {
   stream::StreamEngine engine(config_trace.systems(), cfg);
 
   if (!opt.train_dir.empty()) {
-    const Trace train = csv::LoadTrace(opt.train_dir);
-    const core::EventIndex train_idx(train);
-    core::FailurePredictor predictor(train_idx, core::PredictorConfig{});
+    const engine::AnalysisSession train_session =
+        engine::AnalysisSession::FromCsvDir(opt.train_dir, opt.session);
+    std::cerr << "hpcfail_stream: session " << train_session.StatsJson()
+              << "\n";
+    core::FailurePredictor predictor(train_session.index(),
+                                     core::PredictorConfig{});
     const double baseline = predictor.baseline();
     // Default alarm cut-off: the smallest learned conditional above the
     // baseline, so an alarm means "this node is in an elevated-hazard
@@ -516,17 +531,15 @@ int Selftest() {
 
 }  // namespace
 
-int MakeDemo(int argc, char** argv, int i) {
-  if (i >= argc) throw std::runtime_error("--make-demo requires a directory");
-  const std::string dir = argv[i++];
-  const double scale = i < argc ? std::atof(argv[i++]) : 0.3;
-  const double years = i < argc ? std::atof(argv[i++]) : 1.0;
-  const std::uint64_t seed =
-      i < argc ? std::strtoull(argv[i], nullptr, 10) : 1;
-  const Trace trace = synth::GenerateTrace(
-      synth::LanlLikeScenario(scale,
-                              static_cast<TimeSec>(years * hpcfail::kYear)),
-      seed);
+int MakeDemo(const std::string& dir, double scale, double years,
+             const hpcfail::engine::StandardOptions& std_opts) {
+  const engine::AnalysisSession session =
+      engine::AnalysisSession::FromScenario(
+          synth::LanlLikeScenario(
+              scale, static_cast<TimeSec>(years * hpcfail::kYear)),
+          std_opts.seed, engine::MakeSessionOptions(std_opts));
+  std::cerr << "hpcfail_stream: session " << session.StatsJson() << "\n";
+  const Trace& trace = session.trace();
   csv::SaveTrace(trace, dir);
   std::cerr << "hpcfail_stream: wrote " << trace.num_failures()
             << " failures across " << trace.systems().size()
@@ -537,54 +550,68 @@ int MakeDemo(int argc, char** argv, int i) {
 int main(int argc, char** argv) {
   try {
     Options opt;
+    engine::StandardOptions std_opts;
     bool selftest = false;
-    const auto need_value = [&](int i) -> const char* {
-      if (i + 1 >= argc) {
-        throw std::runtime_error(std::string(argv[i]) + " requires a value");
-      }
-      return argv[i + 1];
-    };
-    for (int i = 1; i < argc; ++i) {
-      const char* a = argv[i];
-      if (std::strcmp(a, "--selftest") == 0) selftest = true;
-      else if (std::strcmp(a, "--make-demo") == 0)
-        return MakeDemo(argc, argv, i + 1);
-      else if (std::strcmp(a, "--trace") == 0) opt.trace_dir = need_value(i++);
-      else if (std::strcmp(a, "--input") == 0) opt.input = need_value(i++);
-      else if (std::strcmp(a, "--follow") == 0) opt.follow = true;
-      else if (std::strcmp(a, "--tolerance") == 0)
-        opt.tolerance = std::atoll(need_value(i++));
-      else if (std::strcmp(a, "--window") == 0)
-        opt.window = std::atoll(need_value(i++));
-      else if (std::strcmp(a, "--every") == 0)
-        opt.every = std::max(1LL, std::atoll(need_value(i++)));
-      else if (std::strcmp(a, "--threads") == 0)
-        opt.threads = std::atoi(need_value(i++));
-      else if (std::strcmp(a, "--train") == 0) opt.train_dir = need_value(i++);
-      else if (std::strcmp(a, "--predictor-threshold") == 0)
-        opt.predictor_threshold = std::atof(need_value(i++));
-      else if (std::strcmp(a, "--checkpoint") == 0)
-        opt.checkpoint_path = need_value(i++);
-      else if (std::strcmp(a, "--restore") == 0)
-        opt.restore_path = need_value(i++);
-      else if (std::strcmp(a, "--metrics-out") == 0)
-        opt.metrics_out = need_value(i++);
-      else
-        throw std::runtime_error(std::string("unknown option ") + a);
-    }
+    std::string make_demo_dir;
+    double scale = 0.3;
+    double years = 1.0;
+    std::uint64_t tolerance = 0;
+    std::uint64_t window = static_cast<std::uint64_t>(kWeek);
+    std::uint64_t every = 1000;
+
+    engine::ArgParser parser(
+        "hpcfail_stream",
+        "Live streaming analysis over a failure log feed (see --trace), "
+        "plus --selftest and --make-demo modes.");
+    engine::AddStandardOptions(parser, &std_opts);
+    parser.AddString("trace", &opt.trace_dir,
+                     "CSV trace directory (systems.csv + layout.csv); the "
+                     "feed defaults to <dir>/failures.csv");
+    parser.AddString("input", &opt.input,
+                     "failure feed in the failures.csv schema; \"-\" = stdin");
+    parser.AddFlag("follow", &opt.follow,
+                   "keep tailing the feed for appended rows");
+    parser.AddUint64("tolerance", &tolerance,
+                     "out-of-order tolerance in seconds (0 = sorted input)");
+    parser.AddUint64("window", &window, "follow-up window length in seconds");
+    parser.AddUint64("every", &every,
+                     "emit a JSON metrics line every N accepted events");
+    parser.AddString("train", &opt.train_dir,
+                     "train a hazard predictor on this CSV trace dir");
+    parser.AddDouble("predictor-threshold", &opt.predictor_threshold,
+                     "alarm threshold (< 0 = learned baseline)");
+    parser.AddString("checkpoint", &opt.checkpoint_path,
+                     "snapshot stream state here at every emission");
+    parser.AddString("restore", &opt.restore_path,
+                     "restore this snapshot before ingesting");
+    parser.AddString("metrics-out", &opt.metrics_out,
+                     "rewrite FILE (tmp+rename) with a Prometheus snapshot "
+                     "at every emission");
+    parser.AddFlag("selftest", &selftest,
+                   "run the stream-vs-batch smoke checks and exit");
+    parser.AddString("make-demo", &make_demo_dir,
+                     "write a synthetic CSV trace directory here and exit "
+                     "(size via --scale/--years/--seed)");
+    parser.AddDouble("scale", &scale, "--make-demo scenario scale factor");
+    parser.AddDouble("years", &years, "--make-demo simulated years");
+    parser.ParseOrExit(argc, argv);
+    engine::ApplyStandardOptions(std_opts);
+    opt.tolerance = static_cast<TimeSec>(tolerance);
+    opt.window = static_cast<TimeSec>(window);
+    opt.every = std::max(1LL, static_cast<long long>(every));
+    opt.threads = std_opts.threads;
+    opt.session = engine::MakeSessionOptions(std_opts);
+
     if (selftest) return Selftest();
+    if (!make_demo_dir.empty()) {
+      return MakeDemo(make_demo_dir, scale, years, std_opts);
+    }
     if (opt.trace_dir.empty()) {
-      std::cerr
-          << "usage:\n"
-          << "  hpcfail_stream --trace <csv-trace-dir> [--input FILE|-]\n"
-          << "      [--follow] [--tolerance S] [--window S] [--every N]\n"
-          << "      [--threads N] [--train DIR] [--predictor-threshold T]\n"
-          << "      [--checkpoint FILE] [--restore FILE] [--metrics-out FILE]\n"
-          << "  hpcfail_stream --make-demo <dir> [scale] [years] [seed]\n"
-          << "  hpcfail_stream --selftest\n";
+      std::cerr << "hpcfail_stream: one of --trace, --selftest, or "
+                   "--make-demo is required\n"
+                << parser.Usage();
       return 2;
     }
-    if (opt.threads > 0) core::SetDefaultThreadCount(opt.threads);
     return RunStream(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
