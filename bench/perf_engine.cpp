@@ -305,6 +305,42 @@ int RunJsonMode(int argc, const char* const* argv) {
       << (warm_hit ? "true" : "false") << ",\"warm_speedup\":"
       << (warm_s > 0.0 ? cold_s / warm_s : 0.0) << "}";
 
+  // Query-phase workloads shaped like the figures the analyses feed:
+  // per-category conditional-vs-baseline comparisons at each scope
+  // (Figs. 1-3) and the full pairwise matrix (Fig. 12). Single-threaded on
+  // purpose — the number isolates the store's window-query kernels, not the
+  // thread pool.
+  out << ",\"query_phase_seconds\":{";
+  {
+    ThreadCountGuard guard(1);
+    const struct {
+      const char* key;
+      Scope scope;
+    } kScopes[] = {
+        {"fig01_same_node", Scope::kSameNode},
+        {"fig02_rack_peers", Scope::kRackPeers},
+        {"fig03_system_peers", Scope::kSystemPeers},
+    };
+    double total = 0.0;
+    for (const auto& sc : kScopes) {
+      const double s = BestSeconds(reps, [&] {
+        for (const FailureCategory cat : AllFailureCategories()) {
+          const auto r = analyzer.Compare(EventFilter::Of(cat),
+                                          EventFilter::Any(), sc.scope, kWeek);
+          benchmark::DoNotOptimize(r.conditional.estimate);
+        }
+      });
+      total += s;
+      out << "\"" << sc.key << "\":" << s << ",";
+    }
+    const double fig12 = BestSeconds(reps, [&] {
+      auto matrix = analyzer.PairwiseProbabilities(Scope::kSameNode, kWeek);
+      benchmark::DoNotOptimize(matrix[0][0].conditional.estimate);
+    });
+    total += fig12;
+    out << "\"fig12_pairwise\":" << fig12 << ",\"total\":" << total << "}";
+  }
+
   out << ",\"pairwise_matrix_seconds\":{";
   bool first = true;
   for (const int threads : {1, 2, 4, 8}) {

@@ -60,6 +60,37 @@ cmake --build build-asan -j "$JOBS" --target \
 ./build-asan/tests/test_engine_session
 ./build-asan/tests/test_arg_parser
 
+echo "== perf smoke: query kernels must not regress vs BENCH_baseline.json =="
+# Guards the columnar store's headline numbers: run the perf_engine JSON
+# bench (same scale/seed the baseline was recorded with) and fail on a >25%
+# regression of the serial pairwise-matrix time. Absolute numbers are
+# machine-dependent; the gate compares against a baseline recorded on the
+# same host, so only genuine slowdowns trip it.
+./build/bench/perf_engine --json --seed 2013 --reps 8 \
+  > "$CACHE_TMP/perf.json"
+python3 - "$CACHE_TMP/perf.json" BENCH_baseline.json <<'PYEOF'
+import json, sys
+now = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))["perf_engine"]
+checks = [
+    ("pairwise_matrix_seconds[1]",
+     now["pairwise_matrix_seconds"]["1"],
+     base["pairwise_matrix_seconds"]["1"]),
+]
+failed = False
+for name, got, want in checks:
+    ratio = got / want if want > 0 else float("inf")
+    status = "ok" if ratio <= 1.25 else "REGRESSION"
+    print(f"perf: {name}: {got:.6g}s vs baseline {want:.6g}s "
+          f"(x{ratio:.2f}) {status}")
+    failed |= ratio > 1.25
+if "query_phase_seconds" in now:
+    q = now["query_phase_seconds"]
+    print(f"perf: query_phase total {q['total']:.6g}s "
+          f"(fig12 pairwise {q['fig12_pairwise']:.6g}s)")
+sys.exit(1 if failed else 0)
+PYEOF
+
 echo "== obs-off: compile with instrumentation disabled =="
 # The HPCFAIL_OBS=OFF path must keep compiling (the macros stub every
 # mutator); run the two suites that assert the disabled-path semantics.

@@ -23,7 +23,7 @@ EventIndex::EventIndex(const Trace& trace, std::span<const SystemId> systems)
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   long long indexed = 0;
   for (const SystemEventStore* se : events_) {
-    indexed += static_cast<long long>(se->failures.size());
+    indexed += static_cast<long long>(se->size());
   }
   reg.GetCounter("hpcfail_index_builds_total",
                  "Batch EventIndex store builds")
@@ -65,8 +65,8 @@ const SystemEventStore& EventIndex::Get(SystemId sys) const {
   return *se;
 }
 
-std::span<const FailureRecord> EventIndex::failures_of(SystemId sys) const {
-  return Get(sys).failures;
+RecordSpan EventIndex::failures_of(SystemId sys) const {
+  return Get(sys).records();
 }
 
 bool EventIndex::AnyAtNode(SystemId sys, NodeId node, TimeInterval window,
@@ -109,30 +109,25 @@ void EventIndex::ForEach(
     const EventFilter& filter,
     const std::function<void(SystemId, const FailureRecord&)>& fn) const {
   for (const SystemEventStore* se : events_) {
-    for (const FailureRecord& f : se->failures) {
-      if (filter.Matches(f)) fn(se->id, f);
-    }
+    // Columnar scan for the match test; only matches materialize a record.
+    se->ForEachMatching(filter, [&](std::size_t i) {
+      const FailureRecord f = se->Record(i);
+      fn(se->id, f);
+    });
   }
 }
 
 long long EventIndex::Count(const EventFilter& filter) const {
   long long count = 0;
   for (const SystemEventStore* se : events_) {
-    for (const FailureRecord& f : se->failures) {
-      if (filter.Matches(f)) ++count;
-    }
+    count += se->CountMatching(filter);
   }
   return count;
 }
 
 std::vector<int> EventIndex::NodeCounts(SystemId sys,
                                         const EventFilter& filter) const {
-  const SystemEventStore& se = Get(sys);
-  std::vector<int> out(se.by_node.size(), 0);
-  for (const FailureRecord& f : se.failures) {
-    if (filter.Matches(f)) ++out[static_cast<std::size_t>(f.node.value)];
-  }
-  return out;
+  return Get(sys).NodeCounts(filter);
 }
 
 }  // namespace hpcfail::core

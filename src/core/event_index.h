@@ -40,8 +40,15 @@ class EventIndex {
   const std::vector<SystemId>& systems() const { return systems_; }
   const Trace& trace() const { return *trace_; }
 
-  // All failures of one indexed system, time-sorted.
-  std::span<const FailureRecord> failures_of(SystemId sys) const;
+  // All failures of one indexed system, time-sorted. Records are
+  // materialized from the store's columns on demand; iterate or index the
+  // span like a container of FailureRecord.
+  RecordSpan failures_of(SystemId sys) const;
+
+  // Columnar access to one system's store — the analyzers' hot loops read
+  // the (starts, nodes, cats, subs) columns directly instead of
+  // materializing records. Throws std::out_of_range when not indexed.
+  const SystemEventStore& store(SystemId sys) const { return Get(sys); }
 
   // True when >= 1 failure matching `filter` occurs at the node in the
   // half-open interval (window.begin, window.end].

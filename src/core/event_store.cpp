@@ -8,38 +8,173 @@
 namespace hpcfail::core {
 namespace {
 
-// First event with time > t (window semantics are half-open (begin, end]).
-std::vector<EventRef>::const_iterator FirstAfter(
-    const std::vector<EventRef>& refs, TimeSec t) {
-  return std::upper_bound(
-      refs.begin(), refs.end(), t,
-      [](TimeSec value, const EventRef& ref) { return value < ref.time; });
+// Row range [lo, hi) of events inside the half-open window (begin, end],
+// found by binary search over a time column.
+struct RowRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  std::size_t count() const { return hi - lo; }
+  bool empty() const { return lo >= hi; }
+};
+
+RowRange WindowRange(const std::vector<TimeSec>& times, TimeInterval window) {
+  RowRange r;
+  r.lo = static_cast<std::size_t>(
+      std::upper_bound(times.begin(), times.end(), window.begin) -
+      times.begin());
+  r.hi = static_cast<std::size_t>(
+      std::upper_bound(times.begin() + static_cast<std::ptrdiff_t>(r.lo),
+                       times.end(), window.end) -
+      times.begin());
+  return r;
 }
 
-// Counts distinct nodes (excluding `self`) with a matching event in the
-// window. Windows hold few events, so a flat unique-list beats a hash set.
-int CountDistinctPeers(const std::vector<EventRef>& refs,
-                       const std::vector<FailureRecord>& failures, NodeId self,
-                       TimeInterval window, const EventFilter& filter) {
-  std::vector<std::int32_t> seen;
-  for (auto it = FirstAfter(refs, window.begin);
-       it != refs.end() && it->time <= window.end; ++it) {
-    if (it->node == self) continue;
-    if (!filter.Matches(failures[it->record])) continue;
-    if (std::find(seen.begin(), seen.end(), it->node.value) == seen.end()) {
-      seen.push_back(it->node.value);
+// Matching rows in [lo, hi) of a (cat, sub) column pair. The loop is
+// branch-free over the byte columns so the compiler can vectorize it.
+int CountMatchesInRange(const std::uint8_t* cats, const std::uint8_t* subs,
+                        RowRange r, CompiledFilter cf) {
+  if (cf.MatchesNothing() || r.empty()) return 0;
+  if (cf.MatchesEverything()) return static_cast<int>(r.count());
+  int count = 0;
+  if (cf.sub == 0) {
+    for (std::size_t i = r.lo; i < r.hi; ++i) {
+      count += static_cast<int>(cats[i] == cf.cat);
+    }
+  } else {
+    for (std::size_t i = r.lo; i < r.hi; ++i) {
+      count += static_cast<int>((cats[i] == cf.cat) & (subs[i] == cf.sub));
     }
   }
-  return static_cast<int>(seen.size());
+  return count;
+}
+
+// Any row in [lo, hi) on a node other than `self` matching the filter.
+bool AnyPeerMatchInRange(const std::int32_t* nodes, const std::uint8_t* cats,
+                         const std::uint8_t* subs, RowRange r,
+                         std::int32_t self, CompiledFilter cf) {
+  if (cf.MatchesNothing()) return false;
+  if (cf.MatchesEverything()) {
+    for (std::size_t i = r.lo; i < r.hi; ++i) {
+      if (nodes[i] != self) return true;
+    }
+    return false;
+  }
+  for (std::size_t i = r.lo; i < r.hi; ++i) {
+    if (nodes[i] != self && cf.Matches(cats[i], subs[i])) return true;
+  }
+  return false;
+}
+
+// Distinct nodes (excluding `self`) with a matching row in [lo, hi).
+// Sort-and-unique over the gathered node ids: O(k log k) where k is the
+// number of events inside the window, replacing the old O(k^2) flat-list
+// dedup.
+int CountDistinctPeersInRange(const std::int32_t* nodes,
+                              const std::uint8_t* cats,
+                              const std::uint8_t* subs, RowRange r,
+                              std::int32_t self, CompiledFilter cf) {
+  if (cf.MatchesNothing() || r.empty()) return 0;
+  std::vector<std::int32_t> seen;
+  seen.reserve(r.count());
+  const bool all = cf.MatchesEverything();
+  for (std::size_t i = r.lo; i < r.hi; ++i) {
+    if (nodes[i] != self && (all || cf.Matches(cats[i], subs[i]))) {
+      seen.push_back(nodes[i]);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  return static_cast<int>(std::unique(seen.begin(), seen.end()) -
+                          seen.begin());
+}
+
+// Packs the subcategory the way the columns store it: 0 = none, else
+// 1 + enum value. Only meaningful for consistent records.
+std::uint8_t PackSubcategory(const FailureRecord& f) {
+  if (f.hardware) return 1 + static_cast<std::uint8_t>(*f.hardware);
+  if (f.software) return 1 + static_cast<std::uint8_t>(*f.software);
+  if (f.environment) return 1 + static_cast<std::uint8_t>(*f.environment);
+  return 0;
 }
 
 }  // namespace
 
+CompiledFilter CompiledFilter::From(const EventFilter& f) {
+  CompiledFilter c;
+  const int subfields = static_cast<int>(f.hardware.has_value()) +
+                        static_cast<int>(f.software.has_value()) +
+                        static_cast<int>(f.environment.has_value());
+  if (subfields > 1) {
+    // A consistent record carries at most one subcategory; requiring two
+    // matches nothing.
+    c.check_cat = true;
+    c.cat = 0xFF;
+    return c;
+  }
+  std::optional<FailureCategory> need;
+  if (f.hardware) {
+    need = FailureCategory::kHardware;
+    c.sub = 1 + static_cast<std::uint8_t>(*f.hardware);
+  }
+  if (f.software) {
+    need = FailureCategory::kSoftware;
+    c.sub = 1 + static_cast<std::uint8_t>(*f.software);
+  }
+  if (f.environment) {
+    need = FailureCategory::kEnvironment;
+    c.sub = 1 + static_cast<std::uint8_t>(*f.environment);
+  }
+  if (f.category) {
+    if (need && *need != *f.category) {
+      // e.g. a hardware subcategory under a software category.
+      c.check_cat = true;
+      c.cat = 0xFF;
+      c.sub = 0;
+      return c;
+    }
+    need = *f.category;
+  }
+  if (need) {
+    c.check_cat = true;
+    c.cat = static_cast<std::uint8_t>(*need);
+  }
+  return c;
+}
+
+FailureRecord SystemEventStore::Record(std::size_t i) const {
+  FailureRecord f;
+  f.system = id;
+  f.node = NodeId{nodes[i]};
+  f.start = starts[i];
+  f.end = ends[i];
+  f.category = static_cast<FailureCategory>(cats[i]);
+  const std::uint8_t sub = subs[i];
+  if (sub != 0) {
+    switch (f.category) {
+      case FailureCategory::kHardware:
+        f.hardware = static_cast<HardwareComponent>(sub - 1);
+        break;
+      case FailureCategory::kSoftware:
+        f.software = static_cast<SoftwareComponent>(sub - 1);
+        break;
+      case FailureCategory::kEnvironment:
+        f.environment = static_cast<EnvironmentEvent>(sub - 1);
+        break;
+      default:
+        break;  // unreachable: Append rejects inconsistent records
+    }
+  }
+  return f;
+}
+
 void SystemEventStore::Init(const SystemConfig& system_config) {
   id = system_config.id;
   config = &system_config;
-  failures.clear();
-  all.clear();
+  starts.clear();
+  ends.clear();
+  nodes.clear();
+  cats.clear();
+  subs.clear();
   const auto num_nodes = static_cast<std::size_t>(config->num_nodes);
   by_node.assign(num_nodes, {});
   rack_of.assign(num_nodes, RackId{});
@@ -56,36 +191,75 @@ void SystemEventStore::Init(const SystemConfig& system_config) {
   }
 }
 
+void SystemEventStore::Reserve(std::size_t n) {
+  starts.reserve(n);
+  ends.reserve(n);
+  nodes.reserve(n);
+  cats.reserve(n);
+  subs.reserve(n);
+}
+
 void SystemEventStore::Append(const FailureRecord& f) {
-  if (!failures.empty() && f.start < failures.back().start) {
+  if (f.system != id) {
+    throw std::invalid_argument(
+        "SystemEventStore::Append: record belongs to another system");
+  }
+  if (!f.node.valid() ||
+      static_cast<std::size_t>(f.node.value) >= by_node.size()) {
+    throw std::invalid_argument(
+        "SystemEventStore::Append: node out of range");
+  }
+  if (!f.consistent()) {
+    // Inconsistent records cannot be packed into the (category, subcat)
+    // columns losslessly; both ingest paths validate before appending.
+    throw std::invalid_argument(
+        "SystemEventStore::Append: inconsistent record");
+  }
+  if (!starts.empty() && f.start < starts.back()) {
     throw std::invalid_argument(
         "SystemEventStore::Append: records must arrive time-sorted");
   }
-  const auto record = static_cast<std::uint32_t>(failures.size());
-  failures.push_back(f);
-  const EventRef ref{f.start, f.node, record};
-  all.push_back(ref);
-  by_node[static_cast<std::size_t>(f.node.value)].push_back(ref);
+  const std::uint8_t cat = static_cast<std::uint8_t>(f.category);
+  const std::uint8_t sub = PackSubcategory(f);
+  starts.push_back(f.start);
+  ends.push_back(f.end);
+  nodes.push_back(f.node.value);
+  cats.push_back(cat);
+  subs.push_back(sub);
+
+  EventColumns& nc = by_node[static_cast<std::size_t>(f.node.value)];
+  nc.times.push_back(f.start);
+  nc.cats.push_back(cat);
+  nc.subs.push_back(sub);
+
   const RackId rack = rack_of[static_cast<std::size_t>(f.node.value)];
   if (rack.valid()) {
-    by_rack[static_cast<std::size_t>(rack.value)].push_back(ref);
+    EventColumns& rc = by_rack[static_cast<std::size_t>(rack.value)];
+    rc.times.push_back(f.start);
+    rc.nodes.push_back(f.node.value);
+    rc.cats.push_back(cat);
+    rc.subs.push_back(sub);
   }
 }
 
-void SystemEventStore::RebuildRefs() {
-  all.clear();
-  for (auto& v : by_node) v.clear();
-  for (auto& v : by_rack) v.clear();
-  for (std::uint32_t i = 0; i < failures.size(); ++i) {
-    const FailureRecord& f = failures[i];
-    const EventRef ref{f.start, f.node, i};
-    all.push_back(ref);
-    by_node[static_cast<std::size_t>(f.node.value)].push_back(ref);
-    const RackId rack = rack_of[static_cast<std::size_t>(f.node.value)];
-    if (rack.valid()) {
-      by_rack[static_cast<std::size_t>(rack.value)].push_back(ref);
+long long SystemEventStore::CountMatching(const EventFilter& filter) const {
+  const CompiledFilter cf = CompiledFilter::From(filter);
+  return CountMatchesInRange(cats.data(), subs.data(), RowRange{0, size()},
+                             cf);
+}
+
+std::vector<int> SystemEventStore::NodeCounts(
+    const EventFilter& filter) const {
+  std::vector<int> out(by_node.size(), 0);
+  const CompiledFilter cf = CompiledFilter::From(filter);
+  if (cf.MatchesNothing()) return out;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cf.Matches(cats[i], subs[i])) {
+      ++out[static_cast<std::size_t>(nodes[i])];
     }
   }
+  return out;
 }
 
 bool SystemEventStore::AnyAtNode(NodeId node, TimeInterval window,
@@ -95,38 +269,43 @@ bool SystemEventStore::AnyAtNode(NodeId node, TimeInterval window,
 
 int SystemEventStore::CountAtNode(NodeId node, TimeInterval window,
                                   const EventFilter& filter) const {
-  const auto& refs = by_node.at(static_cast<std::size_t>(node.value));
-  int count = 0;
-  for (auto it = FirstAfter(refs, window.begin);
-       it != refs.end() && it->time <= window.end; ++it) {
-    if (filter.Matches(failures[it->record])) ++count;
-  }
-  return count;
+  const EventColumns& c = by_node.at(static_cast<std::size_t>(node.value));
+  const RowRange r = WindowRange(c.times, window);
+  return CountMatchesInRange(c.cats.data(), c.subs.data(), r,
+                             CompiledFilter::From(filter));
 }
 
 bool SystemEventStore::AnyAtRackPeers(NodeId node, TimeInterval window,
                                       const EventFilter& filter) const {
   const RackId rack = rack_of.at(static_cast<std::size_t>(node.value));
   if (!rack.valid()) return false;
-  const auto& refs = by_rack[static_cast<std::size_t>(rack.value)];
-  for (auto it = FirstAfter(refs, window.begin);
-       it != refs.end() && it->time <= window.end; ++it) {
-    if (it->node != node && filter.Matches(failures[it->record])) {
-      return true;
-    }
+  const EventColumns& c = by_rack[static_cast<std::size_t>(rack.value)];
+  const RowRange r = WindowRange(c.times, window);
+  if (r.empty()) return false;
+  const CompiledFilter cf = CompiledFilter::From(filter);
+  if (cf.MatchesEverything()) {
+    // Peers have an event iff the rack window holds more events than the
+    // node itself does: two extra binary searches instead of a scan.
+    return r.count() >
+           static_cast<std::size_t>(
+               CountAtNode(node, window, EventFilter::Any()));
   }
-  return false;
+  return AnyPeerMatchInRange(c.nodes.data(), c.cats.data(), c.subs.data(), r,
+                             node.value, cf);
 }
 
 bool SystemEventStore::AnyAtSystemPeers(NodeId node, TimeInterval window,
                                         const EventFilter& filter) const {
-  for (auto it = FirstAfter(all, window.begin);
-       it != all.end() && it->time <= window.end; ++it) {
-    if (it->node != node && filter.Matches(failures[it->record])) {
-      return true;
-    }
+  const RowRange r = WindowRange(starts, window);
+  if (r.empty()) return false;
+  const CompiledFilter cf = CompiledFilter::From(filter);
+  if (cf.MatchesEverything()) {
+    return r.count() >
+           static_cast<std::size_t>(
+               CountAtNode(node, window, EventFilter::Any()));
   }
-  return false;
+  return AnyPeerMatchInRange(nodes.data(), cats.data(), subs.data(), r,
+                             node.value, cf);
 }
 
 int SystemEventStore::DistinctRackPeersWithEvent(NodeId node,
@@ -142,8 +321,10 @@ int SystemEventStore::DistinctRackPeersWithEvent(NodeId node,
     *num_peers =
         std::max(0, rack_size[static_cast<std::size_t>(rack.value)] - 1);
   }
-  const auto& refs = by_rack[static_cast<std::size_t>(rack.value)];
-  return CountDistinctPeers(refs, failures, node, window, filter);
+  const EventColumns& c = by_rack[static_cast<std::size_t>(rack.value)];
+  return CountDistinctPeersInRange(c.nodes.data(), c.cats.data(),
+                                   c.subs.data(), WindowRange(c.times, window),
+                                   node.value, CompiledFilter::From(filter));
 }
 
 int SystemEventStore::DistinctSystemPeersWithEvent(NodeId node,
@@ -151,7 +332,9 @@ int SystemEventStore::DistinctSystemPeersWithEvent(NodeId node,
                                                    const EventFilter& filter,
                                                    int* num_peers) const {
   if (num_peers != nullptr) *num_peers = std::max(0, config->num_nodes - 1);
-  return CountDistinctPeers(all, failures, node, window, filter);
+  return CountDistinctPeersInRange(nodes.data(), cats.data(), subs.data(),
+                                   WindowRange(starts, window), node.value,
+                                   CompiledFilter::From(filter));
 }
 
 const SystemEventStore* EventStoreSet::Find(SystemId sys) const {
@@ -169,7 +352,12 @@ EventStoreSet EventStoreSet::Build(const Trace& trace,
   if (systems.empty()) {
     for (const SystemConfig& s : trace.systems()) wanted.push_back(s.id);
   } else {
-    wanted.assign(systems.begin(), systems.end());
+    // Invalid (negative) ids would index the slot table out of bounds below;
+    // skip them the same way unknown-system records are skipped. The caller
+    // notices when it looks its system up (EventIndex throws).
+    for (SystemId id : systems) {
+      if (id.valid()) wanted.push_back(id);
+    }
   }
   set.stores.reserve(wanted.size());
   // slot[system id] -> store index, so the single pass below is O(1) per
@@ -186,8 +374,10 @@ EventStoreSet EventStoreSet::Build(const Trace& trace,
   }
   // trace.failures() is (start, system, node)-sorted, so each system's
   // subsequence arrives time-sorted and Append's ordering check holds.
+  // Records with system ids outside [0, max_id] — including negative ids
+  // from untrusted import or replay paths — are skipped, not indexed.
   for (const FailureRecord& f : trace.failures()) {
-    if (f.system.value > max_id) continue;
+    if (f.system.value < 0 || f.system.value > max_id) continue;
     const std::int32_t s = slot[static_cast<std::size_t>(f.system.value)];
     if (s >= 0) set.stores[static_cast<std::size_t>(s)].Append(f);
   }

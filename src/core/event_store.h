@@ -3,14 +3,25 @@
 // answer window queries through this one implementation, so streaming results
 // can be bit-identical to batch results by construction.
 //
-// A store holds one system's failures in (start, node) order together with
-// per-node / per-rack ref lists. Records may only be appended in
-// non-decreasing time order (Append checks); the batch index appends a
-// pre-sorted trace, the stream index appends events as the watermark releases
-// them.
+// Layout: struct-of-arrays. The window-query hot path only ever touches
+// (start, node, category, subcategory), so those live in parallel columns —
+// one global set per store (record id == column index, time-sorted) plus
+// per-node and per-rack column bundles for the scoped queries. The query
+// kernels are branch-light loops over the byte-wide category/subcategory
+// columns that the compiler can vectorize; nothing on the query path chases
+// a pointer into a 48-byte record anymore. Full FailureRecords are
+// materialized on demand (Record / records()) for the analyses that want
+// whole events; they are exact reconstructions because Append only accepts
+// consistent records (see FailureRecord::consistent()).
+//
+// A store holds one system's failures in (start, node) order. Records may
+// only be appended in non-decreasing time order (Append checks); the batch
+// index appends a pre-sorted trace, the stream index appends events as the
+// watermark releases them.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <vector>
 
@@ -19,34 +30,171 @@
 
 namespace hpcfail::core {
 
-// A compact reference to a failure record inside one system's stream.
-struct EventRef {
-  TimeSec time = 0;
-  NodeId node;
-  std::uint32_t record = 0;  // index into SystemEventStore::failures
+// An EventFilter compiled against the packed (category, subcategory) columns:
+// one byte equality per column instead of optional<enum> comparisons. Only
+// valid over consistent records (subcategory presence agrees with category),
+// which Append guarantees for everything a store holds.
+struct CompiledFilter {
+  std::uint8_t cat = 0;   // FailureCategory value; 0xFF = matches nothing
+  std::uint8_t sub = 0;   // 0 = any subcategory, else 1 + enum value
+  bool check_cat = false;
+
+  static CompiledFilter From(const EventFilter& f);
+
+  // True when every consistent record matches (EventFilter::Any()).
+  bool MatchesEverything() const { return !check_cat && sub == 0; }
+  // True when no record can match (contradictory filter, e.g. a hardware
+  // subcategory combined with a software category).
+  bool MatchesNothing() const { return check_cat && cat == 0xFF; }
+
+  bool Matches(std::uint8_t record_cat, std::uint8_t record_sub) const {
+    return (!check_cat || record_cat == cat) &&
+           (sub == 0 || record_sub == sub);
+  }
+};
+
+struct SystemEventStore;
+
+// Random-access view over a store's records, materializing each
+// FailureRecord from the columns on demand. Iterators return records by
+// value; `for (const FailureRecord& f : span)` binds each to the loop-scope
+// temporary exactly like iterating a vector of records did.
+class RecordSpan {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = FailureRecord;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = FailureRecord;
+
+    iterator() = default;
+    iterator(const SystemEventStore* store, std::size_t i)
+        : store_(store), i_(i) {}
+
+    FailureRecord operator*() const;
+    FailureRecord operator[](difference_type n) const { return *(*this + n); }
+
+    iterator& operator++() { ++i_; return *this; }
+    iterator operator++(int) { iterator t = *this; ++i_; return t; }
+    iterator& operator--() { --i_; return *this; }
+    iterator operator--(int) { iterator t = *this; --i_; return t; }
+    iterator& operator+=(difference_type n) {
+      i_ = static_cast<std::size_t>(static_cast<difference_type>(i_) + n);
+      return *this;
+    }
+    iterator& operator-=(difference_type n) { return *this += -n; }
+    friend iterator operator+(iterator it, difference_type n) {
+      return it += n;
+    }
+    friend iterator operator+(difference_type n, iterator it) {
+      return it += n;
+    }
+    friend iterator operator-(iterator it, difference_type n) {
+      return it -= n;
+    }
+    friend difference_type operator-(const iterator& a, const iterator& b) {
+      return static_cast<difference_type>(a.i_) -
+             static_cast<difference_type>(b.i_);
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.i_ == b.i_ && a.store_ == b.store_;
+    }
+    friend auto operator<=>(const iterator& a, const iterator& b) {
+      return a.i_ <=> b.i_;
+    }
+
+   private:
+    const SystemEventStore* store_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  RecordSpan() = default;
+  explicit RecordSpan(const SystemEventStore* store) : store_(store) {}
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  FailureRecord operator[](std::size_t i) const;
+  FailureRecord front() const { return (*this)[0]; }
+  FailureRecord back() const { return (*this)[size() - 1]; }
+  iterator begin() const { return iterator(store_, 0); }
+  iterator end() const { return iterator(store_, size()); }
+
+  // Identity of the backing store; two spans over the same store share the
+  // same column build (used by the subset-view sharing assertions).
+  const SystemEventStore* store() const { return store_; }
+
+ private:
+  const SystemEventStore* store_ = nullptr;
 };
 
 struct SystemEventStore {
+  // Parallel columns over one scope's events (a node's list or a rack's
+  // list), kept in append (time) order. `nodes` stays empty in the per-node
+  // bundles — there the node is the list index.
+  struct EventColumns {
+    std::vector<TimeSec> times;
+    std::vector<std::int32_t> nodes;
+    std::vector<std::uint8_t> cats;
+    std::vector<std::uint8_t> subs;  // 0 = none, else 1 + enum value
+  };
+
   SystemId id;
   const SystemConfig* config = nullptr;
-  std::vector<FailureRecord> failures;         // time-sorted
-  std::vector<std::vector<EventRef>> by_node;  // index == node id
-  std::vector<std::vector<EventRef>> by_rack;  // index == rack id
-  std::vector<EventRef> all;                   // time-sorted
-  std::vector<RackId> rack_of;                 // index == node id
-  std::vector<int> rack_size;                  // index == rack id
+
+  // ---- Global columns: record id == index, sorted by (start, node).
+  std::vector<TimeSec> starts;
+  std::vector<TimeSec> ends;
+  std::vector<std::int32_t> nodes;
+  std::vector<std::uint8_t> cats;
+  std::vector<std::uint8_t> subs;  // 0 = none, else 1 + enum value
+
+  std::vector<EventColumns> by_node;  // index == node id
+  std::vector<EventColumns> by_rack;  // index == rack id
+  std::vector<RackId> rack_of;        // index == node id
+  std::vector<int> rack_size;         // index == rack id
+
+  std::size_t size() const { return starts.size(); }
+
+  // Reconstructs record `i` exactly (Append only accepts consistent
+  // records, so the packed subcategory round-trips losslessly).
+  FailureRecord Record(std::size_t i) const;
+
+  // View over all records, time-sorted.
+  RecordSpan records() const { return RecordSpan(this); }
 
   // Sizes the node/rack maps from `config` (which must outlive the store)
   // and clears any stored events.
   void Init(const SystemConfig& system_config);
 
-  // Appends one record (start must be >= the last appended start; throws
-  // std::invalid_argument otherwise — both callers feed time-sorted data).
+  // Pre-sizes the global columns for `n` records.
+  void Reserve(std::size_t n);
+
+  // Appends one record and updates every column bundle. Throws
+  // std::invalid_argument unless the record belongs to this system, names a
+  // valid node, is consistent() and arrives with start >= the last appended
+  // start — both callers feed validated, time-sorted data.
   void Append(const FailureRecord& f);
 
-  // Rebuilds by_node / by_rack / all from `failures` (used after restoring
-  // the failure list from a snapshot).
-  void RebuildRefs();
+  // Visits the index of every record matching `filter`, in time order — the
+  // columnar scan behind the analyzer trigger loops. Callers read the
+  // columns (starts/nodes/...) directly at the visited indexes.
+  template <typename Fn>
+  void ForEachMatching(const EventFilter& filter, Fn&& fn) const {
+    const CompiledFilter cf = CompiledFilter::From(filter);
+    if (cf.MatchesNothing()) return;
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cf.Matches(cats[i], subs[i])) fn(i);
+    }
+  }
+
+  // Total records matching the filter (full-column scan).
+  long long CountMatching(const EventFilter& filter) const;
+
+  // Per-node counts of records matching the filter (index == node id).
+  std::vector<int> NodeCounts(const EventFilter& filter) const;
 
   // ---- Window queries. Window semantics are half-open (begin, end].
   bool AnyAtNode(NodeId node, TimeInterval window,
@@ -69,6 +217,16 @@ struct SystemEventStore {
                                    int* num_peers) const;
 };
 
+inline FailureRecord RecordSpan::operator[](std::size_t i) const {
+  return store_->Record(i);
+}
+inline std::size_t RecordSpan::size() const {
+  return store_ == nullptr ? 0 : store_->size();
+}
+inline FailureRecord RecordSpan::iterator::operator*() const {
+  return store_->Record(i_);
+}
+
 // An immutable bundle of per-system stores built once per trace and shared
 // (via shared_ptr) by every EventIndex view onto it. Building is one linear
 // pass over the trace's time-sorted failure stream — O(F + N) instead of the
@@ -81,9 +239,11 @@ struct EventStoreSet {
   const SystemEventStore* Find(SystemId sys) const;
 
   // Builds stores for `systems` (all systems of the trace when empty) in a
-  // single pass over trace.failures(). The trace must stay alive and
-  // unmodified while the set (or any index sharing it) is in use: stores
-  // keep pointers into its system configs.
+  // single pass over trace.failures(). Invalid (negative) system ids in
+  // `systems` are skipped, matching how records with out-of-range system
+  // ids are skipped. The trace must stay alive and unmodified while the set
+  // (or any index sharing it) is in use: stores keep pointers into its
+  // system configs.
   static EventStoreSet Build(const Trace& trace,
                              std::span<const SystemId> systems = {});
 };

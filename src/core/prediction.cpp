@@ -59,12 +59,14 @@ PredictionEvaluation EvaluatePredictor(const FailurePredictor& predictor,
   const TimeSec horizon = predictor.config().horizon;
   for (SystemId sys : eval.systems()) {
     const SystemConfig& config = eval.trace().system(sys);
-    // Per-node failure times/types, in time order.
+    // Per-node failure times/types, in time order, read straight from the
+    // store's (start, node, category) columns.
     std::vector<std::vector<std::pair<TimeSec, FailureCategory>>> per_node(
         static_cast<std::size_t>(config.num_nodes));
-    for (const FailureRecord& f : eval.failures_of(sys)) {
-      per_node[static_cast<std::size_t>(f.node.value)].emplace_back(
-          f.start, f.category);
+    const SystemEventStore& se = eval.store(sys);
+    for (std::size_t i = 0; i < se.size(); ++i) {
+      per_node[static_cast<std::size_t>(se.nodes[i])].emplace_back(
+          se.starts[i], static_cast<FailureCategory>(se.cats[i]));
     }
     for (int n = 0; n < config.num_nodes; ++n) {
       const auto& events = per_node[static_cast<std::size_t>(n)];

@@ -58,40 +58,44 @@ stats::Proportion WindowAnalyzer::ConditionalProbability(
     const SystemId sys = systems[s];
     const SystemConfig& config = index_->trace().system(sys);
     const TimeSec horizon = config.observed.end;
+    const bool no_layout = config.layout.empty();
+    const SystemEventStore& se = index_->store(sys);
     Counts c;
-    for (const FailureRecord& f : index_->failures_of(sys)) {
-      if (!trigger.Matches(f)) continue;
-      if (f.start + window > horizon) continue;  // censored
-      const TimeInterval w{f.start, f.start + window};
+    // Columnar trigger scan: the loop only needs (start, node) of matching
+    // records, read straight from the store's columns.
+    se.ForEachMatching(trigger, [&](std::size_t i) {
+      const TimeSec start = se.starts[i];
+      if (start + window > horizon) return;  // censored
+      const NodeId node{se.nodes[i]};
+      const TimeInterval w{start, start + window};
       switch (scope) {
         case Scope::kSameNode:
           // One trial per trigger: does this node fail again in the window?
           ++c.trials;
-          if (index_->AnyAtNode(sys, f.node, w, target)) ++c.successes;
+          if (se.AnyAtNode(node, w, target)) ++c.successes;
           break;
         case Scope::kRackPeers: {
           // One trial per (trigger, rack-peer) pair: the paper's rack/system
           // numbers are per-peer-node probabilities comparable to the
           // per-node random-window baseline.
-          if (config.layout.empty()) continue;  // no rack information
+          if (no_layout) return;  // no rack information
           int peers = 0;
           const int hit =
-              index_->DistinctRackPeersWithEvent(sys, f.node, w, target,
-                                                 &peers);
+              se.DistinctRackPeersWithEvent(node, w, target, &peers);
           c.trials += peers;
           c.successes += hit;
           break;
         }
         case Scope::kSystemPeers: {
           int peers = 0;
-          const int hit = index_->DistinctSystemPeersWithEvent(
-              sys, f.node, w, target, &peers);
+          const int hit =
+              se.DistinctSystemPeersWithEvent(node, w, target, &peers);
           c.trials += peers;
           c.successes += hit;
           break;
         }
       }
-    }
+    });
     return c;
   };
   const Counts total =
@@ -117,16 +121,16 @@ stats::Proportion WindowAnalyzer::BaselineProbability(
         static_cast<std::size_t>(config.num_nodes), 0);
     std::vector<long long> last_window(
         static_cast<std::size_t>(config.num_nodes), -1);
-    for (const FailureRecord& f : index_->failures_of(sys)) {
-      if (!target.Matches(f)) continue;
-      const long long w = (f.start - begin) / window;
-      if (w < 0 || w >= windows_per_node) continue;
-      const auto n = static_cast<std::size_t>(f.node.value);
+    const SystemEventStore& se = index_->store(sys);
+    se.ForEachMatching(target, [&](std::size_t i) {
+      const long long w = (se.starts[i] - begin) / window;
+      if (w < 0 || w >= windows_per_node) return;
+      const auto n = static_cast<std::size_t>(se.nodes[i]);
       if (last_window[n] != w) {
         last_window[n] = w;
         ++hit_windows[n];
       }
-    }
+    });
     for (int n = 0; n < config.num_nodes; ++n) {
       if (node_predicate && !node_predicate(sys, NodeId{n})) continue;
       c.trials += windows_per_node;
@@ -155,6 +159,59 @@ ConditionalResult WindowAnalyzer::Compare(const EventFilter& trigger,
   return out;
 }
 
+namespace {
+
+// All same-node pairwise cells from one pass over each node's columns.
+// Every event is a trigger of its own category; the (t, t+window] range is
+// found once per trigger and a category bitmask answers all six targets at
+// once — instead of 36 ConditionalProbability calls each rescanning the
+// trigger column and binary-searching per cell. The counts are the same
+// integers the per-cell path produces, so the matrix is bit-identical.
+struct PairwiseCounts {
+  std::array<std::array<long long, kNumFailureCategories>,
+             kNumFailureCategories>
+      successes{};
+  std::array<long long, kNumFailureCategories> trials{};
+
+  PairwiseCounts& operator+=(const PairwiseCounts& o) {
+    for (std::size_t x = 0; x < kNumFailureCategories; ++x) {
+      trials[x] += o.trials[x];
+      for (std::size_t y = 0; y < kNumFailureCategories; ++y) {
+        successes[x][y] += o.successes[x][y];
+      }
+    }
+    return *this;
+  }
+};
+
+PairwiseCounts CountSameNodePairs(const SystemEventStore& se, TimeSec window,
+                                  TimeSec horizon) {
+  PairwiseCounts c;
+  for (const SystemEventStore::EventColumns& nc : se.by_node) {
+    const std::size_t n = nc.times.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TimeSec t = nc.times[i];
+      if (t + window > horizon) break;  // times sorted: the rest is censored
+      // Window (t, t+window]: skip ties at exactly t, then mask the
+      // categories seen until the window closes.
+      std::size_t j = i + 1;
+      while (j < n && nc.times[j] == t) ++j;
+      std::uint32_t mask = 0;
+      for (; j < n && nc.times[j] <= t + window; ++j) {
+        mask |= 1u << nc.cats[j];
+      }
+      const auto cx = static_cast<std::size_t>(nc.cats[i]);
+      ++c.trials[cx];
+      for (std::size_t cy = 0; cy < kNumFailureCategories; ++cy) {
+        c.successes[cx][cy] += (mask >> cy) & 1u;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
 WindowAnalyzer::PairwiseMatrix WindowAnalyzer::PairwiseProbabilities(
     Scope scope, TimeSec window) const {
   ValidateWindow(window, "PairwiseProbabilities");
@@ -165,6 +222,34 @@ WindowAnalyzer::PairwiseMatrix WindowAnalyzer::PairwiseProbabilities(
     baselines[y] = BaselineProbability(
         EventFilter::Of(static_cast<FailureCategory>(y)), window);
   });
+  if (scope == Scope::kSameNode) {
+    const std::vector<SystemId>& systems = index_->systems();
+    const PairwiseCounts total = ParallelReduce(
+        systems.size(), PairwiseCounts{},
+        [&](std::size_t s) {
+          const SystemConfig& config = index_->trace().system(systems[s]);
+          return CountSameNodePairs(index_->store(systems[s]), window,
+                                    config.observed.end);
+        },
+        [](PairwiseCounts acc, PairwiseCounts c) {
+          acc += c;
+          return acc;
+        });
+    for (std::size_t xi = 0; xi < kNumFailureCategories; ++xi) {
+      for (std::size_t yi = 0; yi < kNumFailureCategories; ++yi) {
+        ConditionalResult& r = out[xi][yi];
+        r.conditional = stats::WilsonProportion(total.successes[xi][yi],
+                                                total.trials[xi]);
+        r.baseline = baselines[yi];
+        r.factor = stats::FactorIncrease(r.conditional, r.baseline);
+        r.test = stats::TestProportionsDiffer(
+            r.conditional.successes, r.conditional.trials,
+            r.baseline.successes, r.baseline.trials);
+        r.num_triggers = r.conditional.trials;
+      }
+    }
+    return out;
+  }
   // The 36 cells are independent; each cell's counts come from the same
   // deterministic per-system reduction as the serial path, so the matrix is
   // identical for every thread count.
@@ -211,14 +296,15 @@ ConditionalResult WindowAnalyzer::MaintenanceAfter(const EventFilter& trigger,
     }
     for (auto& v : maint) std::sort(v.begin(), v.end());
     const TimeSec horizon = config.observed.end;
-    for (const FailureRecord& f : index_->failures_of(sys)) {
-      if (!trigger.Matches(f)) continue;
-      if (f.start + window > horizon) continue;
-      const auto& times = maint[static_cast<std::size_t>(f.node.value)];
-      auto it = std::upper_bound(times.begin(), times.end(), f.start);
+    const SystemEventStore& se = index_->store(sys);
+    se.ForEachMatching(trigger, [&](std::size_t i) {
+      const TimeSec start = se.starts[i];
+      if (start + window > horizon) return;
+      const auto& times = maint[static_cast<std::size_t>(se.nodes[i])];
+      auto it = std::upper_bound(times.begin(), times.end(), start);
       ++c.cond.trials;
-      if (it != times.end() && *it <= f.start + window) ++c.cond.successes;
-    }
+      if (it != times.end() && *it <= start + window) ++c.cond.successes;
+    });
     // Baseline: random aligned windows per node.
     const long long windows_per_node = config.observed.duration() / window;
     if (windows_per_node > 0) {

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <utility>
+
+#include "trace/numeric.h"
 
 namespace hpcfail::engine {
 
@@ -70,9 +73,11 @@ bool ArgParser::SetValue(const Option& opt, const std::string& value,
         break;
       }
       case Kind::kDouble: {
-        const double v = std::stod(value, &used);
-        if (used != value.size()) throw std::invalid_argument(value);
-        *static_cast<double*>(opt.out) = v;
+        // Locale-independent (trace/numeric.h): --scale 0.25 must mean the
+        // same thing under a comma-decimal LC_NUMERIC.
+        const std::optional<double> v = ParseDoubleText(value);
+        if (!v) throw std::invalid_argument(value);
+        *static_cast<double*>(opt.out) = *v;
         break;
       }
       case Kind::kString:

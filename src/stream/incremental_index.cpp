@@ -285,9 +285,8 @@ void IncrementalEventIndex::Finish() {
   Drain();
 }
 
-std::span<const FailureRecord> IncrementalEventIndex::failures_of(
-    SystemId sys) const {
-  return Get(sys).failures;
+core::RecordSpan IncrementalEventIndex::failures_of(SystemId sys) const {
+  return Get(sys).records();
 }
 
 bool IncrementalEventIndex::AnyAtNode(SystemId sys, NodeId node,
@@ -330,21 +329,14 @@ int IncrementalEventIndex::DistinctSystemPeersWithEvent(
 long long IncrementalEventIndex::Count(const core::EventFilter& filter) const {
   long long count = 0;
   for (const core::SystemEventStore& se : stores_) {
-    for (const FailureRecord& f : se.failures) {
-      if (filter.Matches(f)) ++count;
-    }
+    count += se.CountMatching(filter);
   }
   return count;
 }
 
 std::vector<int> IncrementalEventIndex::NodeCounts(
     SystemId sys, const core::EventFilter& filter) const {
-  const core::SystemEventStore& se = Get(sys);
-  std::vector<int> out(se.by_node.size(), 0);
-  for (const FailureRecord& f : se.failures) {
-    if (filter.Matches(f)) ++out[static_cast<std::size_t>(f.node.value)];
-  }
-  return out;
+  return Get(sys).NodeCounts(filter);
 }
 
 std::uint64_t IncrementalEventIndex::ConfigFingerprint() const {
@@ -379,8 +371,8 @@ void IncrementalEventIndex::SaveTo(snapshot::Writer& w) const {
   }
   w.PutU64(stores_.size());
   for (const core::SystemEventStore& se : stores_) {
-    w.PutU64(se.failures.size());
-    for (const FailureRecord& f : se.failures) PutRecord(w, f);
+    w.PutU64(se.size());
+    for (std::size_t i = 0; i < se.size(); ++i) PutRecord(w, se.Record(i));
   }
 }
 
@@ -407,6 +399,14 @@ void IncrementalEventIndex::LoadFrom(snapshot::Reader& r) {
     const int idx = FindSystemIndex(b.record.system);
     if (idx < 0) throw snapshot::SnapshotError("buffered record system");
     b.system_index = static_cast<std::size_t>(idx);
+    // A buffered record is released into a store later; reject now anything
+    // the store's Append would refuse, so a corrupt snapshot fails at
+    // restore instead of mid-stream.
+    if (!b.record.node.valid() ||
+        b.record.node.value >= systems_[b.system_index].num_nodes ||
+        !b.record.consistent()) {
+      throw snapshot::SnapshotError("buffered record out of range");
+    }
     buffer_.insert(std::move(b));
   }
   const std::size_t num_stores = r.GetSize(8);
@@ -416,20 +416,24 @@ void IncrementalEventIndex::LoadFrom(snapshot::Reader& r) {
   for (std::size_t s = 0; s < stores_.size(); ++s) {
     stores_[s].Init(systems_[s]);
     const std::size_t n = r.GetSize(22);
-    stores_[s].failures.reserve(n);
+    stores_[s].Reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       const FailureRecord f = GetRecord(r);
       if (f.system != systems_[s].id || !f.node.valid() ||
           f.node.value >= systems_[s].num_nodes) {
         throw snapshot::SnapshotError("stored record out of range");
       }
-      if (!stores_[s].failures.empty() &&
-          f.start < stores_[s].failures.back().start) {
+      if (!f.consistent()) {
+        // e.g. end < start: GetRecord guarantees the category/subcategory
+        // pairing, but the time fields come straight from the snapshot.
+        throw snapshot::SnapshotError("inconsistent stored record");
+      }
+      if (stores_[s].size() > 0 && f.start < stores_[s].starts.back()) {
         throw snapshot::SnapshotError("stored records out of order");
       }
-      stores_[s].failures.push_back(f);
+      // Append maintains every column bundle incrementally; no rebuild pass.
+      stores_[s].Append(f);
     }
-    stores_[s].RebuildRefs();
   }
 }
 

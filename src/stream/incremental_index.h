@@ -100,7 +100,7 @@ class IncrementalEventIndex {
   const StreamConfig& config() const { return config_; }
 
   // ---- Queries over released events, mirroring core::EventIndex.
-  std::span<const FailureRecord> failures_of(SystemId sys) const;
+  core::RecordSpan failures_of(SystemId sys) const;
   bool AnyAtNode(SystemId sys, NodeId node, TimeInterval window,
                  const core::EventFilter& filter) const;
   int CountAtNode(SystemId sys, NodeId node, TimeInterval window,

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <istream>
 
+#include "trace/numeric.h"
+
 namespace hpcfail::synth {
 namespace {
 
@@ -20,14 +22,11 @@ std::string Trim(const std::string& s) {
 }
 
 double ParseDouble(const std::string& v, std::size_t line) {
-  try {
-    std::size_t pos = 0;
-    const double d = std::stod(v, &pos);
-    if (pos != v.size()) throw std::invalid_argument(v);
-    return d;
-  } catch (const std::exception&) {
-    Fail(line, "expected a number, got '" + v + "'");
-  }
+  // Locale-independent (trace/numeric.h): a comma-decimal LC_NUMERIC must
+  // not change how a scenario file parses.
+  const std::optional<double> d = ParseDoubleText(v);
+  if (!d) Fail(line, "expected a number, got '" + v + "'");
+  return *d;
 }
 
 int ParseInt(const std::string& v, std::size_t line) {

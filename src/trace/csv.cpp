@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "trace/numeric.h"
 
 namespace hpcfail::csv {
 namespace {
@@ -57,14 +58,11 @@ std::int64_t ParseInt(const std::string& field, std::size_t line) {
 }
 
 double ParseDouble(const std::string& field, std::size_t line) {
-  try {
-    std::size_t pos = 0;
-    double v = std::stod(field, &pos);
-    if (pos != field.size()) throw std::invalid_argument(field);
-    return v;
-  } catch (const std::exception&) {
-    Fail(line, "expected number, got '" + field + "'");
-  }
+  // Locale-independent (trace/numeric.h): std::stod would parse "3.5" as 3
+  // under a comma-decimal LC_NUMERIC, silently corrupting every value.
+  const std::optional<double> v = ParseDoubleText(field);
+  if (!v) Fail(line, "expected number, got '" + field + "'");
+  return *v;
 }
 
 // std::getline splits on '\n' only, so a CRLF-terminated file (Windows

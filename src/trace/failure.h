@@ -116,7 +116,11 @@ struct FailureRecord {
 
   TimeSec downtime() const { return end - start; }
 
-  // Schema invariant: subcategory presence must agree with category.
+  // Schema invariant: subcategory presence must agree with category, every
+  // enum value must be in range, and end must not precede start. Both
+  // ingest paths (Trace::AddFailure and the stream index) enforce this, so
+  // stored records always pack losslessly into (category, subcategory)
+  // byte encodings.
   bool consistent() const;
 
   friend bool operator==(const FailureRecord&, const FailureRecord&) = default;

@@ -1,0 +1,47 @@
+#include "trace/numeric.h"
+
+#include <cctype>
+#include <charconv>
+#include <version>
+
+#if !defined(__cpp_lib_to_chars) || __cpp_lib_to_chars < 201611L
+#include <locale>
+#include <sstream>
+#include <string>
+#endif
+
+namespace hpcfail {
+
+std::optional<double> ParseDoubleText(std::string_view s) {
+  // std::stod skipped leading whitespace and accepted a '+' sign;
+  // std::from_chars does neither, so normalize first.
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  if (!s.empty() && s.front() == '+') {
+    s.remove_prefix(1);
+    if (!s.empty() && (s.front() == '+' || s.front() == '-')) {
+      return std::nullopt;  // "+-1" and friends
+    }
+  }
+  if (s.empty()) return std::nullopt;
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+#else
+  // Toolchain without floating-point from_chars: an istringstream imbued
+  // with the classic locale is slower but equally locale-proof.
+  std::istringstream is{std::string(s)};
+  is.imbue(std::locale::classic());
+  double v = 0.0;
+  is >> v;
+  if (is.fail() || is.peek() != std::istringstream::traits_type::eof()) {
+    return std::nullopt;
+  }
+  return v;
+#endif
+}
+
+}  // namespace hpcfail

@@ -1,0 +1,19 @@
+// Locale-independent numeric parsing. std::stod/strtod honor LC_NUMERIC, so
+// a host running under a comma-decimal locale (de_DE, fr_FR, ...) silently
+// parses "3.5" as 3 — every text surface that reads numbers (CSV traces,
+// scenario configs, CLI flags) goes through this helper instead, which
+// always uses the C-locale decimal point.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace hpcfail {
+
+// Parses the ENTIRE string as a double, mirroring the accepted forms of the
+// previous std::stod call sites minus locale dependence: optional leading
+// whitespace, optional sign, decimal or scientific notation, "inf"/"nan".
+// Returns nullopt when the text is empty, malformed, or has trailing junk.
+std::optional<double> ParseDoubleText(std::string_view s);
+
+}  // namespace hpcfail

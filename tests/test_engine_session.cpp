@@ -101,7 +101,7 @@ TEST_F(EngineSessionTest, IndexForMakesSubsetViewsOverSharedStores) {
   const auto full = s.index().failures_of(first);
   const auto sub = view.failures_of(first);
   ASSERT_EQ(full.size(), sub.size());
-  EXPECT_EQ(full.data(), sub.data()) << "subset view must share stores";
+  EXPECT_EQ(full.store(), sub.store()) << "subset view must share stores";
 }
 
 TEST_F(EngineSessionTest, IndexForUnknownSystemThrows) {

@@ -1,0 +1,384 @@
+// The SoA refactor contract: the columnar SystemEventStore must answer every
+// window query bit-identically to a naive scan over the materialized records
+// (the old array-of-structs semantics). These tests pin that equivalence
+// across scopes, windows and filters on a generated trace, plus the
+// regression guards that rode along: negative system ids in
+// EventStoreSet::Build, exact record reconstruction from the packed columns,
+// and CompiledFilter's handling of contradictory filters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/event_index.h"
+#include "core/event_store.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
+
+namespace hpcfail::core {
+namespace {
+
+// ---- Naive oracle: the pre-refactor semantics, written as the obvious
+// linear scan over whole FailureRecords. Window is half-open (begin, end].
+
+bool InWindow(TimeSec start, TimeInterval w) {
+  return start > w.begin && start <= w.end;
+}
+
+struct Oracle {
+  const SystemConfig* config = nullptr;
+  std::vector<FailureRecord> events;  // time-sorted
+  std::vector<RackId> rack_of;        // index == node id
+  std::vector<int> rack_size;         // index == rack id
+
+  explicit Oracle(const SystemEventStore& se) {
+    config = se.config;
+    for (const FailureRecord& f : se.records()) events.push_back(f);
+    rack_of.assign(static_cast<std::size_t>(config->num_nodes), RackId{});
+    int num_racks = 0;
+    for (const NodePlacement& p : config->layout.placements()) {
+      rack_of[static_cast<std::size_t>(p.node.value)] = p.rack;
+      num_racks = std::max(num_racks, p.rack.value + 1);
+    }
+    rack_size.assign(static_cast<std::size_t>(num_racks), 0);
+    for (const NodePlacement& p : config->layout.placements()) {
+      ++rack_size[static_cast<std::size_t>(p.rack.value)];
+    }
+  }
+
+  int CountAtNode(NodeId node, TimeInterval w, const EventFilter& f) const {
+    int n = 0;
+    for (const FailureRecord& r : events) {
+      n += (r.node == node && InWindow(r.start, w) && f.Matches(r)) ? 1 : 0;
+    }
+    return n;
+  }
+
+  bool AnyAtRackPeers(NodeId node, TimeInterval w,
+                      const EventFilter& f) const {
+    const RackId rack = rack_of[static_cast<std::size_t>(node.value)];
+    if (!rack.valid()) return false;
+    for (const FailureRecord& r : events) {
+      if (r.node != node &&
+          rack_of[static_cast<std::size_t>(r.node.value)] == rack &&
+          InWindow(r.start, w) && f.Matches(r)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool AnyAtSystemPeers(NodeId node, TimeInterval w,
+                        const EventFilter& f) const {
+    for (const FailureRecord& r : events) {
+      if (r.node != node && InWindow(r.start, w) && f.Matches(r)) return true;
+    }
+    return false;
+  }
+
+  int DistinctRackPeers(NodeId node, TimeInterval w, const EventFilter& f,
+                        int* num_peers) const {
+    const RackId rack = rack_of[static_cast<std::size_t>(node.value)];
+    if (!rack.valid()) {
+      *num_peers = 0;
+      return 0;
+    }
+    *num_peers =
+        std::max(0, rack_size[static_cast<std::size_t>(rack.value)] - 1);
+    std::set<std::int32_t> seen;
+    for (const FailureRecord& r : events) {
+      if (r.node != node &&
+          rack_of[static_cast<std::size_t>(r.node.value)] == rack &&
+          InWindow(r.start, w) && f.Matches(r)) {
+        seen.insert(r.node.value);
+      }
+    }
+    return static_cast<int>(seen.size());
+  }
+
+  int DistinctSystemPeers(NodeId node, TimeInterval w, const EventFilter& f,
+                          int* num_peers) const {
+    *num_peers = std::max(0, config->num_nodes - 1);
+    std::set<std::int32_t> seen;
+    for (const FailureRecord& r : events) {
+      if (r.node != node && InWindow(r.start, w) && f.Matches(r)) {
+        seen.insert(r.node.value);
+      }
+    }
+    return static_cast<int>(seen.size());
+  }
+};
+
+std::vector<EventFilter> FilterGrid() {
+  std::vector<EventFilter> filters = {
+      EventFilter::Any(),
+      EventFilter::Of(FailureCategory::kHardware),
+      EventFilter::Of(FailureCategory::kSoftware),
+      EventFilter::Of(FailureCategory::kEnvironment),
+      EventFilter::Of(FailureCategory::kNetwork),
+      EventFilter::Of(HardwareComponent::kCpu),
+      EventFilter::Of(HardwareComponent::kMemory),
+      EventFilter::Of(SoftwareComponent::kScheduler),
+      EventFilter::Of(EnvironmentEvent::kPowerOutage),
+  };
+  // Subcategory without an explicit category: the subcategory implies it.
+  EventFilter sub_only;
+  sub_only.hardware = HardwareComponent::kNic;
+  filters.push_back(sub_only);
+  // Contradiction: hardware subcategory under the software category.
+  EventFilter contradiction;
+  contradiction.category = FailureCategory::kSoftware;
+  contradiction.hardware = HardwareComponent::kCpu;
+  filters.push_back(contradiction);
+  // Two subcategories at once: matches nothing.
+  EventFilter two_subs;
+  two_subs.hardware = HardwareComponent::kCpu;
+  two_subs.software = SoftwareComponent::kOs;
+  filters.push_back(two_subs);
+  return filters;
+}
+
+std::vector<TimeInterval> WindowGrid(const SystemEventStore& se) {
+  const TimeSec lo = se.size() > 0 ? se.starts.front() : 0;
+  const TimeSec hi = se.size() > 0 ? se.starts.back() : 0;
+  const TimeSec mid = lo + (hi - lo) / 2;
+  return {
+      {lo - kDay, hi + kDay},  // everything
+      {mid, mid + kWeek},      // interior week
+      {mid, mid + kHour},      // narrow
+      {mid, mid},              // empty (begin == end)
+      {hi, hi + kWeek},        // past the last event (boundary exclusive)
+      {lo - 2 * kDay, lo - kDay},  // before the first event
+      {se.size() > 0 ? se.starts[se.size() / 3] : 0, mid},  // exact-boundary
+  };
+}
+
+class SoaParityTest : public ::testing::Test {
+ protected:
+  static const Trace& SharedTrace() {
+    static const Trace trace =
+        synth::GenerateTrace(synth::TinyScenario(), 2013);
+    return trace;
+  }
+};
+
+TEST_F(SoaParityTest, WindowQueriesMatchNaiveScanAcrossScopes) {
+  const EventStoreSet set = EventStoreSet::Build(SharedTrace());
+  ASSERT_FALSE(set.stores.empty());
+  for (const SystemEventStore& se : set.stores) {
+    ASSERT_GT(se.size(), 100u) << "trace too small to exercise the kernels";
+    const Oracle oracle(se);
+    const std::vector<NodeId> nodes = {
+        NodeId{0}, NodeId{se.config->num_nodes / 2},
+        NodeId{se.config->num_nodes - 1}};
+    for (const EventFilter& f : FilterGrid()) {
+      for (const TimeInterval w : WindowGrid(se)) {
+        for (const NodeId node : nodes) {
+          EXPECT_EQ(se.CountAtNode(node, w, f),
+                    oracle.CountAtNode(node, w, f));
+          EXPECT_EQ(se.AnyAtNode(node, w, f),
+                    oracle.CountAtNode(node, w, f) > 0);
+          EXPECT_EQ(se.AnyAtRackPeers(node, w, f),
+                    oracle.AnyAtRackPeers(node, w, f));
+          EXPECT_EQ(se.AnyAtSystemPeers(node, w, f),
+                    oracle.AnyAtSystemPeers(node, w, f));
+          int got_peers = -1, want_peers = -1;
+          EXPECT_EQ(se.DistinctRackPeersWithEvent(node, w, f, &got_peers),
+                    oracle.DistinctRackPeers(node, w, f, &want_peers));
+          EXPECT_EQ(got_peers, want_peers);
+          EXPECT_EQ(se.DistinctSystemPeersWithEvent(node, w, f, &got_peers),
+                    oracle.DistinctSystemPeers(node, w, f, &want_peers));
+          EXPECT_EQ(got_peers, want_peers);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SoaParityTest, CountMatchingAndNodeCountsMatchNaiveScan) {
+  const EventStoreSet set = EventStoreSet::Build(SharedTrace());
+  for (const SystemEventStore& se : set.stores) {
+    const Oracle oracle(se);
+    for (const EventFilter& f : FilterGrid()) {
+      long long want = 0;
+      std::vector<int> want_nodes(
+          static_cast<std::size_t>(se.config->num_nodes), 0);
+      for (const FailureRecord& r : oracle.events) {
+        if (f.Matches(r)) {
+          ++want;
+          ++want_nodes[static_cast<std::size_t>(r.node.value)];
+        }
+      }
+      EXPECT_EQ(se.CountMatching(f), want);
+      EXPECT_EQ(se.NodeCounts(f), want_nodes);
+    }
+  }
+}
+
+TEST_F(SoaParityTest, RecordsReconstructExactlyFromColumns) {
+  const EventStoreSet set = EventStoreSet::Build(SharedTrace());
+  for (const SystemEventStore& se : set.stores) {
+    const std::vector<FailureRecord> want =
+        SharedTrace().FailuresOfSystem(se.id);
+    ASSERT_EQ(se.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(se.Record(i), want[i]) << "record " << i;
+    }
+    // The span view materializes the same records.
+    std::size_t i = 0;
+    for (const FailureRecord& f : se.records()) {
+      EXPECT_EQ(f, want[i]) << "span record " << i;
+      ++i;
+    }
+  }
+}
+
+TEST(SoaNoLayout, RackQueriesDegradeGracefully) {
+  // A system without a machine layout has no rack structure: rack-peer
+  // queries must answer false/0-of-0, system-peer queries still work.
+  Trace trace;
+  SystemConfig cfg;
+  cfg.id = SystemId{0};
+  cfg.name = "flat";
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 1;
+  cfg.observed = {0, 100 * kDay};
+  trace.AddSystem(cfg);
+  for (int i = 0; i < 8; ++i) {
+    FailureRecord f;
+    f.system = SystemId{0};
+    f.node = NodeId{i % 4};
+    f.start = (i + 1) * kDay;
+    f.end = f.start + kHour;
+    f.category = FailureCategory::kHardware;
+    f.hardware = HardwareComponent::kCpu;
+    trace.AddFailure(f);
+  }
+  trace.Finalize();
+
+  const EventStoreSet set = EventStoreSet::Build(trace);
+  ASSERT_EQ(set.stores.size(), 1u);
+  const SystemEventStore& se = set.stores[0];
+  const TimeInterval w{0, 100 * kDay};
+  const EventFilter any = EventFilter::Any();
+  EXPECT_FALSE(se.AnyAtRackPeers(NodeId{0}, w, any));
+  int peers = -1;
+  EXPECT_EQ(se.DistinctRackPeersWithEvent(NodeId{0}, w, any, &peers), 0);
+  EXPECT_EQ(peers, 0);
+  EXPECT_TRUE(se.AnyAtSystemPeers(NodeId{0}, w, any));
+  EXPECT_EQ(se.DistinctSystemPeersWithEvent(NodeId{0}, w, any, &peers), 3);
+  EXPECT_EQ(peers, 3);
+}
+
+// ---- Regression: negative system ids must not index out of bounds.
+
+TEST(EventStoreSetBuild, SkipsInvalidSystemIdsInSubset) {
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 7);
+  const SystemId valid = trace.systems().front().id;
+  const std::vector<SystemId> wanted = {SystemId{-1}, valid, SystemId{-42}};
+  const EventStoreSet set = EventStoreSet::Build(trace, wanted);
+  ASSERT_EQ(set.stores.size(), 1u);
+  EXPECT_EQ(set.stores[0].id, valid);
+  EXPECT_EQ(set.stores[0].size(),
+            trace.FailuresOfSystem(valid).size());
+  EXPECT_EQ(set.Find(SystemId{-1}), nullptr);
+}
+
+TEST(EventStoreSetBuild, AllInvalidSubsetYieldsEmptySet) {
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 7);
+  const std::vector<SystemId> wanted = {SystemId{-1}};
+  const EventStoreSet set = EventStoreSet::Build(trace, wanted);
+  EXPECT_TRUE(set.stores.empty());
+}
+
+// ---- Append validation: the packed columns are only lossless for records
+// the ingest paths are allowed to store.
+
+SystemConfig FourNodeConfig() {
+  SystemConfig cfg;
+  cfg.id = SystemId{3};
+  cfg.name = "val";
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 1;
+  cfg.observed = {0, kYear};
+  return cfg;
+}
+
+FailureRecord GoodRecord(TimeSec start) {
+  FailureRecord f;
+  f.system = SystemId{3};
+  f.node = NodeId{1};
+  f.start = start;
+  f.end = start + kHour;
+  f.category = FailureCategory::kSoftware;
+  f.software = SoftwareComponent::kOs;
+  return f;
+}
+
+TEST(EventStoreAppend, RejectsWhatColumnsCannotRepresent) {
+  const SystemConfig cfg = FourNodeConfig();
+  SystemEventStore se;
+  se.Init(cfg);
+  se.Append(GoodRecord(kDay));
+
+  FailureRecord wrong_system = GoodRecord(2 * kDay);
+  wrong_system.system = SystemId{4};
+  EXPECT_THROW(se.Append(wrong_system), std::invalid_argument);
+
+  FailureRecord bad_node = GoodRecord(2 * kDay);
+  bad_node.node = NodeId{4};
+  EXPECT_THROW(se.Append(bad_node), std::invalid_argument);
+
+  FailureRecord negative_node = GoodRecord(2 * kDay);
+  negative_node.node = NodeId{-1};
+  EXPECT_THROW(se.Append(negative_node), std::invalid_argument);
+
+  FailureRecord mismatched = GoodRecord(2 * kDay);
+  mismatched.hardware = HardwareComponent::kCpu;  // two subcategories
+  EXPECT_THROW(se.Append(mismatched), std::invalid_argument);
+
+  FailureRecord bad_enum = GoodRecord(2 * kDay);
+  bad_enum.category = static_cast<FailureCategory>(200);
+  bad_enum.software.reset();
+  EXPECT_THROW(se.Append(bad_enum), std::invalid_argument);
+
+  FailureRecord out_of_order = GoodRecord(kDay - 1);
+  EXPECT_THROW(se.Append(out_of_order), std::invalid_argument);
+
+  EXPECT_EQ(se.size(), 1u) << "failed appends must not partially commit";
+}
+
+// ---- CompiledFilter unit behavior.
+
+TEST(CompiledFilterTest, AnyMatchesEverything) {
+  const CompiledFilter cf = CompiledFilter::From(EventFilter::Any());
+  EXPECT_TRUE(cf.MatchesEverything());
+  EXPECT_FALSE(cf.MatchesNothing());
+}
+
+TEST(CompiledFilterTest, ContradictionsMatchNothing) {
+  EventFilter contradiction;
+  contradiction.category = FailureCategory::kNetwork;
+  contradiction.environment = EnvironmentEvent::kPowerSpike;
+  EXPECT_TRUE(CompiledFilter::From(contradiction).MatchesNothing());
+
+  EventFilter two_subs;
+  two_subs.software = SoftwareComponent::kPfs;
+  two_subs.environment = EnvironmentEvent::kChiller;
+  EXPECT_TRUE(CompiledFilter::From(two_subs).MatchesNothing());
+}
+
+TEST(CompiledFilterTest, SubcategoryImpliesCategory) {
+  EventFilter sub_only;
+  sub_only.hardware = HardwareComponent::kCpu;
+  const CompiledFilter cf = CompiledFilter::From(sub_only);
+  EXPECT_TRUE(cf.check_cat);
+  EXPECT_EQ(cf.cat, static_cast<std::uint8_t>(FailureCategory::kHardware));
+  EXPECT_EQ(cf.sub, 1 + static_cast<std::uint8_t>(HardwareComponent::kCpu));
+  EXPECT_FALSE(cf.MatchesNothing());
+}
+
+}  // namespace
+}  // namespace hpcfail::core

@@ -1,0 +1,155 @@
+// Numeric parsing must be locale-independent: a process running under a
+// comma-decimal LC_NUMERIC (de_DE and friends) must parse "0.25" in CSV
+// files, scenario configs and command-line flags exactly as the C locale
+// does. These tests force a hostile locale two ways — a custom numpunct
+// facet installed as the C++ global locale (always available), plus
+// setlocale() with real comma-decimal locales when the host has them — and
+// assert every double-parsing entry point is unaffected.
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <filesystem>
+#include <locale>
+#include <sstream>
+#include <string>
+
+#include "engine/arg_parser.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
+#include "synth/scenario_config.h"
+#include "trace/csv.h"
+#include "trace/numeric.h"
+
+namespace hpcfail {
+namespace {
+
+// numpunct facet that makes ',' the decimal separator — the behavior a
+// de_DE.UTF-8 global locale would install, minus the OS dependency.
+class CommaDecimal : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+// Installs the hostile locale for one test's lifetime: C++ global locale
+// with the comma facet, and (when the host provides one) a real
+// comma-decimal C locale for LC_NUMERIC so stod-style paths are stressed
+// too. Restores both on destruction.
+class HostileLocale {
+ public:
+  HostileLocale()
+      : saved_cxx_(std::locale()),
+        saved_c_(std::setlocale(LC_NUMERIC, nullptr)) {
+    std::locale::global(std::locale(std::locale::classic(),
+                                    new CommaDecimal));
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        c_locale_applied_ = true;
+        break;
+      }
+    }
+  }
+  ~HostileLocale() {
+    std::setlocale(LC_NUMERIC, saved_c_.c_str());
+    std::locale::global(saved_cxx_);
+  }
+
+  bool c_locale_applied() const { return c_locale_applied_; }
+
+ private:
+  std::locale saved_cxx_;
+  std::string saved_c_;
+  bool c_locale_applied_ = false;
+};
+
+TEST(LocaleNumeric, HostileLocaleActuallyChangesStreamParsing) {
+  // Sanity: the facet really is hostile — an un-imbued stream under the
+  // global locale stops a "0.25" parse at the '.'.
+  HostileLocale hostile;
+  std::istringstream is("0.25");
+  double v = -1.0;
+  is >> v;
+  EXPECT_NE(v, 0.25) << "global locale not applied; test is vacuous";
+}
+
+TEST(LocaleNumeric, ParseDoubleTextIgnoresGlobalLocale) {
+  HostileLocale hostile;
+  EXPECT_EQ(ParseDoubleText("0.25"), 0.25);
+  EXPECT_EQ(ParseDoubleText("-1.5e3"), -1500.0);
+  EXPECT_EQ(ParseDoubleText("  +2.5"), 2.5);
+  EXPECT_EQ(ParseDoubleText("1000000"), 1e6);
+  // Comma decimals are rejected in every locale: trace files are specified
+  // with '.' decimals, so "3,14" is a format error, not 3.14 (and not 3).
+  EXPECT_FALSE(ParseDoubleText("3,14").has_value());
+  EXPECT_FALSE(ParseDoubleText("1.234,5").has_value());
+  EXPECT_FALSE(ParseDoubleText("").has_value());
+  EXPECT_FALSE(ParseDoubleText("abc").has_value());
+  EXPECT_FALSE(ParseDoubleText("1.5x").has_value());
+  EXPECT_FALSE(ParseDoubleText("+-1").has_value());
+}
+
+TEST(LocaleNumeric, ArgParserDoubleIgnoresGlobalLocale) {
+  HostileLocale hostile;
+  double scale = 1.0;
+  engine::ArgParser parser("test", "");
+  parser.AddDouble("scale", &scale, "scale factor");
+  const char* argv[] = {"test", "--scale", "0.25"};
+  std::string error;
+  ASSERT_TRUE(parser.TryParse(3, argv, &error)) << error;
+  EXPECT_EQ(scale, 0.25);
+
+  const char* argv_bad[] = {"test", "--scale", "0,25"};
+  EXPECT_FALSE(parser.TryParse(3, argv_bad, &error));
+}
+
+TEST(LocaleNumeric, ScenarioConfigIgnoresGlobalLocale) {
+  HostileLocale hostile;
+  std::istringstream config(
+      "duration_years = 0.5\n"
+      "[system]\n"
+      "preset = group1\n"
+      "nodes = 8\n"
+      "base_rate_scale = 0.25\n");
+  const synth::Scenario sc = synth::LoadScenarioConfig(config);
+  EXPECT_EQ(sc.duration, static_cast<TimeSec>(0.5 * kYear));
+
+  std::istringstream comma("duration_years = 0,5\n[system]\npreset = group1\n");
+  EXPECT_THROW(synth::LoadScenarioConfig(comma), synth::ConfigError);
+}
+
+TEST(LocaleNumeric, CsvRoundTripIgnoresGlobalLocale) {
+  // Save a trace under the classic locale, then load it twice — once
+  // normally, once under the hostile locale. Identical traces prove the
+  // reader never consults the global locale.
+  const std::string dir = ::testing::TempDir() + "/hpcfail_locale_csv";
+  std::filesystem::remove_all(dir);
+  const Trace made = synth::GenerateTrace(synth::TinyScenario(), 17);
+  csv::SaveTrace(made, dir);
+
+  const Trace classic = csv::LoadTrace(dir);
+  Trace hostile_load;
+  {
+    HostileLocale hostile;
+    hostile_load = csv::LoadTrace(dir);
+  }
+  EXPECT_EQ(hostile_load.failures(), classic.failures());
+  EXPECT_EQ(hostile_load.temperatures().size(), classic.temperatures().size());
+  for (std::size_t i = 0; i < classic.temperatures().size(); ++i) {
+    EXPECT_EQ(hostile_load.temperatures()[i].celsius,
+              classic.temperatures()[i].celsius)
+        << "sample " << i;
+  }
+  ASSERT_EQ(hostile_load.neutron_series().size(),
+            classic.neutron_series().size());
+  for (std::size_t i = 0; i < classic.neutron_series().size(); ++i) {
+    EXPECT_EQ(hostile_load.neutron_series()[i].counts_per_minute,
+              classic.neutron_series()[i].counts_per_minute)
+        << "sample " << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hpcfail

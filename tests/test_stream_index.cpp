@@ -93,6 +93,52 @@ TEST(IncrementalIndex, RejectionsAreCountedNotSilent) {
   EXPECT_EQ(idx.counters().accepted, 4);
 }
 
+TEST(IncrementalIndex, BadEnumRecordsAreRejectedAtIngest) {
+  // Records whose category/subcategory cannot round-trip a checkpoint (out
+  // of enum range, or a subcategory on the wrong category) must be turned
+  // away at ingest as rejected_bad_record — never stored, so every record a
+  // snapshot serializes is restorable.
+  const Trace t = HandTrace();
+  IncrementalEventIndex idx(t.systems(), {.reorder_tolerance = kDay});
+  for (const FailureRecord& r : t.failures()) idx.Ingest(r);
+  const long long accepted_before = idx.counters().accepted;
+
+  FailureRecord bad_cat = t.failures().back();
+  bad_cat.category = static_cast<FailureCategory>(200);
+  bad_cat.hardware.reset();
+  bad_cat.software.reset();
+  bad_cat.environment.reset();
+  EXPECT_EQ(idx.Ingest(bad_cat), IngestStatus::kRejectedBadRecord);
+
+  FailureRecord bad_sub = t.failures().back();
+  bad_sub.category = FailureCategory::kHardware;
+  bad_sub.hardware = static_cast<HardwareComponent>(100);
+  bad_sub.software.reset();
+  bad_sub.environment.reset();
+  EXPECT_EQ(idx.Ingest(bad_sub), IngestStatus::kRejectedBadRecord);
+
+  FailureRecord wrong_pairing = t.failures().back();
+  wrong_pairing.category = FailureCategory::kSoftware;
+  wrong_pairing.hardware = HardwareComponent::kCpu;
+  wrong_pairing.software.reset();
+  wrong_pairing.environment.reset();
+  EXPECT_EQ(idx.Ingest(wrong_pairing), IngestStatus::kRejectedBadRecord);
+
+  EXPECT_EQ(idx.counters().rejected_bad_record, 3);
+  EXPECT_EQ(idx.counters().accepted, accepted_before);
+
+  // The poison never reached a store, so a checkpoint round-trips cleanly.
+  idx.Finish();
+  snapshot::Writer w;
+  idx.SaveTo(w);
+  IncrementalEventIndex restored(t.systems(), {.reorder_tolerance = kDay});
+  snapshot::Reader r(w.payload());
+  restored.LoadFrom(r);
+  EXPECT_EQ(restored.counters().rejected_bad_record, 3);
+  EXPECT_EQ(restored.Count(core::EventFilter::Any()),
+            idx.Count(core::EventFilter::Any()));
+}
+
 TEST(IncrementalIndex, AtWatermarkEventIsStillAccepted) {
   const Trace t = HandTrace();
   IncrementalEventIndex idx(t.systems(), {.reorder_tolerance = kDay});

@@ -368,6 +368,78 @@ TEST(EngineSnapshot, CorruptionMatrixYieldsDistinctErrors) {
   }
 }
 
+TEST(EngineSnapshot, BadRecordEnumsInPayloadAreRejectedAtRestore) {
+  // Corruption-matrix companion for record payloads: flip a stored record's
+  // category/subcategory byte to an out-of-range value and recompute the
+  // checksum, so the envelope verifies and only the per-record validation
+  // inside LoadFrom stands between the corruption and the query columns.
+  auto head = MakeEngine();
+  for (const FailureRecord& r : SharedTrace().failures()) head->Ingest(r);
+  head->Finish();  // drain the reorder buffer: payload holds only stores
+  std::stringstream snap(std::ios::in | std::ios::out | std::ios::binary);
+  head->SaveCheckpoint(snap);
+  ASSERT_EQ(head->index().num_buffered(), 0u);
+  const std::string good = snap.str();
+
+  // Walk the known layout to the first stored record. Envelope header is
+  // 20 bytes; the index payload opens with fingerprint u64, 2 bool bytes,
+  // max_seen i64, next_seq u64, five i64 counters, buffer count u64 (= 0),
+  // store count u64, then per store: size u64 + 26-byte records
+  // (u32 system, u32 node, i64 start, i64 end, u8 category, u8 sub).
+  const auto read_u64 = [&](std::size_t at) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) |
+          static_cast<unsigned char>(good[at + static_cast<std::size_t>(i)]);
+    }
+    return v;
+  };
+  std::size_t pos = 20 + 8 + 2 + 8 + 8 + 5 * 8;
+  ASSERT_EQ(read_u64(pos), 0u) << "reorder buffer should be empty";
+  pos += 8;
+  const std::uint64_t num_stores = read_u64(pos);
+  pos += 8;
+  ASSERT_GT(num_stores, 0u);
+  std::uint64_t store_size = 0;
+  for (std::uint64_t s = 0; s < num_stores; ++s) {
+    store_size = read_u64(pos);
+    pos += 8;
+    if (store_size > 0) break;
+    ASSERT_LT(s + 1, num_stores) << "no store holds any record";
+  }
+  ASSERT_GT(store_size, 0u);
+  const std::size_t cat_at = pos + 24;  // first record's category byte
+  const std::size_t sub_at = pos + 25;
+
+  const auto corrupt_and_restore = [&](std::size_t at,
+                                       char value) -> std::string {
+    std::string bytes = good;
+    bytes[at] = value;
+    const std::string_view payload(bytes.data() + 20, bytes.size() - 28);
+    PatchLeU64(&bytes, bytes.size() - 8, snapshot::Fnv1a64(payload));
+    std::istringstream is(bytes);
+    auto victim = MakeEngine();
+    try {
+      victim->RestoreCheckpoint(is);
+    } catch (const snapshot::SnapshotError& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  EXPECT_EQ(corrupt_and_restore(cat_at, '\x7F'),
+            "snapshot: invalid failure category");
+  // Which message fires depends on the first record's category; all that
+  // matters is that an out-of-range subcategory byte cannot restore.
+  const std::set<std::string> subcategory_errors = {
+      "snapshot: invalid hardware subcategory",
+      "snapshot: invalid software subcategory",
+      "snapshot: invalid environment subcategory",
+      "snapshot: subcategory on category without one"};
+  const std::string sub_err = corrupt_and_restore(sub_at, '\x7F');
+  EXPECT_EQ(subcategory_errors.count(sub_err), 1u) << "got: " << sub_err;
+}
+
 TEST(EngineSnapshot, DoubleRestoreIsDeterministic) {
   auto head = MakeEngine();
   const std::vector<FailureRecord>& events = SharedTrace().failures();

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "synth/generate.h"
@@ -248,6 +249,40 @@ TEST(PairwiseMatrix, DiagonalDominatesAndMatchesDirectQueries) {
         << ToString(x);
     EXPECT_GT(matrix[xi][xi].factor, 1.0);
     EXPECT_TRUE(matrix[xi][xi].test.significant_99) << ToString(x);
+  }
+}
+
+TEST(PairwiseMatrix, FastPathMatchesPerCellQueriesInEveryCell) {
+  // PairwiseProbabilities(kSameNode) runs a one-pass kernel over the node
+  // columns instead of 36 ConditionalProbability calls; every cell must be
+  // bit-identical to the per-cell path it replaced.
+  const Trace t = synth::GenerateTrace(synth::TinyScenario(), 29);
+  const EventIndex idx(t);
+  const WindowAnalyzer a(idx);
+  for (const TimeSec window : {kDay, kWeek}) {
+    const auto matrix = a.PairwiseProbabilities(Scope::kSameNode, window);
+    for (std::size_t x = 0; x < kNumFailureCategories; ++x) {
+      for (std::size_t y = 0; y < kNumFailureCategories; ++y) {
+        const auto direct = a.Compare(
+            EventFilter::Of(static_cast<FailureCategory>(x)),
+            EventFilter::Of(static_cast<FailureCategory>(y)),
+            Scope::kSameNode, window);
+        const ConditionalResult& cell = matrix[x][y];
+        EXPECT_EQ(cell.conditional.successes, direct.conditional.successes)
+            << "cell " << x << "," << y;
+        EXPECT_EQ(cell.conditional.trials, direct.conditional.trials);
+        EXPECT_EQ(cell.conditional.estimate, direct.conditional.estimate);
+        EXPECT_EQ(cell.baseline.successes, direct.baseline.successes);
+        EXPECT_EQ(cell.baseline.trials, direct.baseline.trials);
+        if (std::isnan(direct.factor)) {
+          EXPECT_TRUE(std::isnan(cell.factor));
+        } else {
+          EXPECT_EQ(cell.factor, direct.factor);
+        }
+        EXPECT_EQ(cell.test.p_value, direct.test.p_value);
+        EXPECT_EQ(cell.num_triggers, direct.num_triggers);
+      }
+    }
   }
 }
 
