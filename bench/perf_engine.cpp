@@ -12,13 +12,17 @@
 // machine-readable baseline BENCH_baseline.json is written from.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <limits>
 #include <sstream>
 #include <string_view>
+#include <vector>
 
+#include "core/event_store.h"
 #include "core/joint_regression.h"
+#include "core/simd.h"
 #include "core/parallel.h"
 #include "core/window_analysis.h"
 #include "engine/session.h"
@@ -364,7 +368,87 @@ int RunJsonMode(int argc, const char* const* argv) {
         << "\":" << (s > 0.0 ? static_cast<double>(num_failures) / s : 0.0);
     first = false;
   }
-  out << "}}";
+  out << "}";
+
+  // Per-kernel timings for the SIMD layer, measured directly against the
+  // active dispatch table over the trace's packed columns (the same data
+  // shape the store scans). Seconds are per kernel call over the full
+  // column; the level string records what dispatch picked so regressions
+  // can be attributed to a level change vs a kernel change.
+  {
+    core::RecordBlock block;
+    const auto& events = session.trace().failures();
+    block.reserve(events.size());
+    std::int32_t max_node = 0;
+    for (const FailureRecord& f : events) {
+      block.PushBack(f);
+      max_node = std::max(max_node, f.node.value);
+    }
+    const std::size_t n = block.size();
+    const auto num_nodes = static_cast<std::size_t>(max_node) + 1;
+    const core::simd::KernelTable& kernels = core::simd::Active();
+    // A category-only filter (hardware) and a subcategory filter keep the
+    // compare kernels honest: neither all-match nor no-match.
+    const auto cat =
+        static_cast<std::uint8_t>(FailureCategory::kHardware);
+    const std::uint8_t sub =
+        1 + static_cast<std::uint8_t>(HardwareComponent::kMemory);
+    core::simd::ByteFilter filter;
+    filter.mode = core::simd::ByteFilter::kCat;
+    filter.cat = cat;
+    constexpr int kIters = 512;
+    const auto per_call = [&](auto&& body) {
+      const double s = BestSeconds(reps, [&] {
+        for (int i = 0; i < kIters; ++i) body();
+      });
+      return s / kIters;
+    };
+    const double count_s = per_call([&] {
+      benchmark::DoNotOptimize(kernels.count_matches(
+          block.cats.data(), block.subs.data(), n, cat, sub));
+    });
+    const double find_s = per_call([&] {
+      std::size_t hits = 0;
+      for (std::size_t i = kernels.find_next_match(
+               block.cats.data(), block.subs.data(), n, 0, cat, sub);
+           i < n; i = kernels.find_next_match(block.cats.data(),
+                                             block.subs.data(), n, i + 1,
+                                             cat, sub)) {
+        ++hits;
+      }
+      benchmark::DoNotOptimize(hits);
+    });
+    const double any_peer_s = per_call([&] {
+      benchmark::DoNotOptimize(kernels.any_peer_match(
+          block.nodes.data(), block.cats.data(), block.subs.data(), n,
+          block.nodes[0], filter));
+    });
+    std::vector<std::uint64_t> bitmap((num_nodes + 63) / 64);
+    const double mark_s = per_call([&] {
+      std::fill(bitmap.begin(), bitmap.end(), 0);
+      kernels.mark_matching_nodes(block.nodes.data(), block.cats.data(),
+                                  block.subs.data(), n, filter,
+                                  bitmap.data());
+      benchmark::DoNotOptimize(bitmap[0]);
+    });
+    const double validate_s = per_call([&] {
+      benchmark::DoNotOptimize(kernels.validate_block(
+          block.starts.data(), block.ends.data(), block.nodes.data(),
+          block.cats.data(), block.subs.data(), n, max_node + 1));
+    });
+    const double mask_s = per_call([&] {
+      benchmark::DoNotOptimize(kernels.category_mask(block.cats.data(), n));
+    });
+    out << ",\"simd_level\":\"" << core::simd::ToString(kernels.level)
+        << "\",\"kernel_seconds\":{\"count_matches\":" << count_s
+        << ",\"find_next_match\":" << find_s
+        << ",\"any_peer_match\":" << any_peer_s
+        << ",\"mark_matching_nodes\":" << mark_s
+        << ",\"validate_block\":" << validate_s
+        << ",\"category_mask\":" << mask_s << "}";
+  }
+
+  out << "}";
   std::cout << out.str() << "\n";
   return 0;
 }

@@ -10,15 +10,20 @@
 // catch-up at each thread count (the numbers BENCH_baseline.json records).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "core/event_store.h"
 #include "core/parallel.h"
 #include "core/prediction.h"
+#include "core/simd.h"
 #include "engine/session.h"
 #include "stream/engine.h"
 #include "synth/generate.h"
@@ -175,24 +180,68 @@ int RunJsonMode(int argc, const char* const* argv) {
   std::ostringstream out;
   out.precision(6);
   out << "{\"bench\":\"perf_stream\",\"seed\":" << std_opts.seed
-      << ",\"num_events\":" << events.size()
-      << ",\"ingest_serial_events_per_sec\":"
+      << ",\"num_events\":" << events.size();
+
+  // Thread counts above the machine's concurrency are clamped: on a small
+  // box an 8-thread catch-up would only measure oversubscription noise, not
+  // the sharded path. Each distinct effective count is timed once and
+  // reused, and the effective counts are reported next to the requested
+  // keys so the JSON says what was actually run.
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  out << ",\"hardware_concurrency\":" << hw;
+
+  std::map<int, double> by_effective;
+  out << ",\"ingest_serial_events_per_sec\":"
       << (serial_s > 0.0 ? num_events / serial_s : 0.0)
       << ",\"catchup_events_per_sec\":{";
   bool first = true;
+  std::ostringstream effective_out;
   for (const int threads : {1, 2, 4, 8}) {
-    const double s = BestSeconds(reps, [&] {
-      stream::StreamEngine engine(trace.systems(), BenchConfig(0));
-      engine.AttachPredictor(predictor, predictor.baseline());
-      engine.CatchUp(events, threads);
-      engine.Finish();
-      benchmark::DoNotOptimize(engine.counters().released);
-    });
+    const int effective = std::min(threads, hw);
+    if (!by_effective.contains(effective)) {
+      by_effective[effective] = BestSeconds(reps, [&] {
+        stream::StreamEngine engine(trace.systems(), BenchConfig(0));
+        engine.AttachPredictor(predictor, predictor.baseline());
+        engine.CatchUp(events, effective);
+        engine.Finish();
+        benchmark::DoNotOptimize(engine.counters().released);
+      });
+    }
+    const double s = by_effective[effective];
     out << (first ? "" : ",") << "\"" << threads
         << "\":" << (s > 0.0 ? num_events / s : 0.0);
+    effective_out << (first ? "" : ",") << "\"" << threads
+                  << "\":" << effective;
     first = false;
   }
-  out << "}}";
+  out << "},\"catchup_threads_effective\":{" << effective_out.str() << "}";
+
+  // The one SIMD kernel on the streaming hot path: block validation, as run
+  // by CatchUp/AppendBlock over the staged columns. Per-call seconds for
+  // the whole backlog, at the active dispatch level.
+  {
+    core::RecordBlock block;
+    block.reserve(events.size());
+    std::int32_t max_node = 0;
+    for (const FailureRecord& r : events) {
+      block.PushBack(r);
+      max_node = std::max(max_node, r.node.value);
+    }
+    const core::simd::KernelTable& kernels = core::simd::Active();
+    constexpr int kKernelIters = 512;
+    const double validate_s = BestSeconds(reps, [&] {
+      for (int i = 0; i < kKernelIters; ++i) {
+        benchmark::DoNotOptimize(kernels.validate_block(
+            block.starts.data(), block.ends.data(), block.nodes.data(),
+            block.cats.data(), block.subs.data(), block.size(),
+            max_node + 1));
+      }
+    });
+    out << ",\"simd_level\":\"" << core::simd::ToString(kernels.level)
+        << "\",\"kernel_seconds\":{\"validate_block\":"
+        << validate_s / kKernelIters << "}";
+  }
+  out << "}";
   std::cout << out.str() << "\n";
   return 0;
 }

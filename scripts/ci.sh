@@ -2,7 +2,10 @@
 # CI entry point: the tier-1 verify (full build + ctest) plus a
 # ThreadSanitizer build of the streaming tests — the stream engine runs its
 # catch-up replay on the thread pool, so its tests are the ones a data race
-# would bite first.
+# would bite first — a cache-determinism diff, ASan/UBSan runs of the cache
+# and SIMD-kernel suites, a forced-scalar (-DHPCFAIL_SIMD=OFF) build that
+# must answer byte-identically, and a two-sided perf gate against the
+# committed BENCH_pr6.json baseline.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -49,45 +52,91 @@ grep -q '"cache_stored":true' "$CACHE_TMP/cold.err" \
 grep -q '"cache_hit":true' "$CACHE_TMP/warm.err" \
   || { echo "ci: warm run did not hit the cache" >&2; exit 1; }
 
-echo "== asan: cache load/store path under AddressSanitizer =="
+echo "== asan+ubsan: cache paths and SIMD kernels under sanitizers =="
 # The cache decodes attacker-ish bytes (truncated/corrupt entries) with
 # hand-rolled framing; run the corruption matrix and session tests under
-# ASan so an overread in the decode path fails loudly.
+# ASan so an overread in the decode path fails loudly. The SIMD kernel
+# parity suite rides along: vector loads with scalar tail handling are
+# exactly where an off-by-one reads past a column.
 cmake -B build-asan -S . -DHPCFAIL_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target \
-  test_engine_cache test_engine_session test_arg_parser
+  test_engine_cache test_engine_session test_arg_parser test_simd_kernels
 ./build-asan/tests/test_engine_cache
 ./build-asan/tests/test_engine_session
 ./build-asan/tests/test_arg_parser
+./build-asan/tests/test_simd_kernels
+# UBSan separately: misaligned vector casts and integer overflow in the
+# packed (category, subcategory) arithmetic would surface here, not in ASan.
+cmake -B build-ubsan -S . -DHPCFAIL_SANITIZE=undefined
+cmake --build build-ubsan -j "$JOBS" --target \
+  test_simd_kernels test_event_store_soa
+./build-ubsan/tests/test_simd_kernels
+./build-ubsan/tests/test_event_store_soa
 
-echo "== perf smoke: query kernels must not regress vs BENCH_baseline.json =="
-# Guards the columnar store's headline numbers: run the perf_engine JSON
-# bench (same scale/seed the baseline was recorded with) and fail on a >25%
-# regression of the serial pairwise-matrix time. Absolute numbers are
-# machine-dependent; the gate compares against a baseline recorded on the
-# same host, so only genuine slowdowns trip it.
+echo "== simd-off: forced-scalar build must answer byte-identically =="
+# -DHPCFAIL_SIMD=OFF compiles the vector tables out entirely (not just the
+# dispatch override): the kernel contracts and the analyses must hold with
+# only the scalar reference implementations, and a full report must be
+# byte-identical to the SIMD build's.
+cmake -B build-nosimd -S . -DHPCFAIL_SIMD=OFF
+cmake --build build-nosimd -j "$JOBS" --target \
+  test_simd_kernels test_event_store_soa test_window_analysis \
+  test_stream_parity hpcfail_report
+./build-nosimd/tests/test_simd_kernels
+./build-nosimd/tests/test_event_store_soa
+./build-nosimd/tests/test_window_analysis
+./build-nosimd/tests/test_stream_parity
+./build-nosimd/tools/hpcfail_report --synth --scale 0.2 --years 1 --seed 7 \
+  --no-cache > "$CACHE_TMP/nosimd.out" 2> /dev/null
+./build/tools/hpcfail_report --synth --scale 0.2 --years 1 --seed 7 \
+  --no-cache > "$CACHE_TMP/simd.out" 2> /dev/null
+diff "$CACHE_TMP/simd.out" "$CACHE_TMP/nosimd.out" \
+  || { echo "ci: forced-scalar report differs from SIMD report" >&2; exit 1; }
+
+echo "== perf smoke: two-sided gate vs BENCH_pr6.json =="
+# Guards both headline numbers against the committed baseline: the serial
+# pairwise-matrix time (query kernels) must not be >25% slower, and serial
+# stream ingest must not drop >25% below the recorded events/sec. Absolute
+# numbers are machine-dependent; the gate compares against a baseline
+# recorded on the same host, so only genuine slowdowns trip it.
 ./build/bench/perf_engine --json --seed 2013 --reps 8 \
   > "$CACHE_TMP/perf.json"
-python3 - "$CACHE_TMP/perf.json" BENCH_baseline.json <<'PYEOF'
+./build/bench/perf_stream --json --seed 2013 --reps 8 \
+  > "$CACHE_TMP/perf_stream.json"
+python3 - "$CACHE_TMP/perf.json" "$CACHE_TMP/perf_stream.json" \
+  BENCH_pr6.json <<'PYEOF'
 import json, sys
-now = json.load(open(sys.argv[1]))
-base = json.load(open(sys.argv[2]))["perf_engine"]
-checks = [
-    ("pairwise_matrix_seconds[1]",
-     now["pairwise_matrix_seconds"]["1"],
-     base["pairwise_matrix_seconds"]["1"]),
-]
+now_engine = json.load(open(sys.argv[1]))
+now_stream = json.load(open(sys.argv[2]))
+base = json.load(open(sys.argv[3]))
+base_engine = base["perf_engine"]
+base_stream = base["perf_stream"]
 failed = False
-for name, got, want in checks:
-    ratio = got / want if want > 0 else float("inf")
-    status = "ok" if ratio <= 1.25 else "REGRESSION"
-    print(f"perf: {name}: {got:.6g}s vs baseline {want:.6g}s "
-          f"(x{ratio:.2f}) {status}")
-    failed |= ratio > 1.25
-if "query_phase_seconds" in now:
-    q = now["query_phase_seconds"]
+# Side 1: seconds must not grow >25%.
+got = now_engine["pairwise_matrix_seconds"]["1"]
+want = base_engine["pairwise_matrix_seconds"]["1"]
+ratio = got / want if want > 0 else float("inf")
+status = "ok" if ratio <= 1.25 else "REGRESSION"
+print(f"perf: pairwise_matrix_seconds[1]: {got:.6g}s vs baseline "
+      f"{want:.6g}s (x{ratio:.2f}) {status}")
+failed |= ratio > 1.25
+# Side 2: throughput must not drop >25%.
+got = now_stream["ingest_serial_events_per_sec"]
+want = base_stream["ingest_serial_events_per_sec"]
+ratio = got / want if want > 0 else 0.0
+status = "ok" if ratio >= 0.75 else "REGRESSION"
+print(f"perf: ingest_serial_events_per_sec: {got:.6g} vs baseline "
+      f"{want:.6g} (x{ratio:.2f}) {status}")
+failed |= ratio < 0.75
+if "query_phase_seconds" in now_engine:
+    q = now_engine["query_phase_seconds"]
     print(f"perf: query_phase total {q['total']:.6g}s "
           f"(fig12 pairwise {q['fig12_pairwise']:.6g}s)")
+if "kernel_seconds" in now_engine:
+    level = now_engine.get("simd_level", "?")
+    ks = ", ".join(f"{k}={v:.3g}s"
+                   for k, v in now_engine["kernel_seconds"].items())
+    print(f"perf: simd_level={level} kernels: {ks}")
 sys.exit(1 if failed else 0)
 PYEOF
 

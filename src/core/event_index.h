@@ -85,11 +85,13 @@ class EventIndex {
                                    int* num_peers) const;
 
   // Visits every failure matching `filter` across the indexed systems.
+  // Rides each store's ForEachMatching, i.e. the simd::Active()
+  // find_next_match kernel for sparse filters.
   void ForEach(const EventFilter& filter,
                const std::function<void(SystemId, const FailureRecord&)>& fn)
       const;
 
-  // Total failures matching a filter.
+  // Total failures matching a filter (count_matches kernel per store).
   long long Count(const EventFilter& filter) const;
 
   // Per-node failure counts for one system (index == node id).

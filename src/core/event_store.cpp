@@ -1,7 +1,10 @@
 #include "core/event_store.h"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "obs/span.h"
 
@@ -30,71 +33,46 @@ RowRange WindowRange(const std::vector<TimeSec>& times, TimeInterval window) {
   return r;
 }
 
-// Matching rows in [lo, hi) of a (cat, sub) column pair. The loop is
-// branch-free over the byte columns so the compiler can vectorize it.
+// Matching rows in [lo, hi) of a (cat, sub) column pair, via the active
+// count_matches kernel.
 int CountMatchesInRange(const std::uint8_t* cats, const std::uint8_t* subs,
                         RowRange r, CompiledFilter cf) {
   if (cf.MatchesNothing() || r.empty()) return 0;
   if (cf.MatchesEverything()) return static_cast<int>(r.count());
-  int count = 0;
-  if (cf.sub == 0) {
-    for (std::size_t i = r.lo; i < r.hi; ++i) {
-      count += static_cast<int>(cats[i] == cf.cat);
-    }
-  } else {
-    for (std::size_t i = r.lo; i < r.hi; ++i) {
-      count += static_cast<int>((cats[i] == cf.cat) & (subs[i] == cf.sub));
-    }
-  }
-  return count;
+  return static_cast<int>(simd::Active().count_matches(
+      cats + r.lo, subs + r.lo, r.count(), cf.cat, cf.sub));
 }
 
 // Any row in [lo, hi) on a node other than `self` matching the filter.
 bool AnyPeerMatchInRange(const std::int32_t* nodes, const std::uint8_t* cats,
                          const std::uint8_t* subs, RowRange r,
                          std::int32_t self, CompiledFilter cf) {
-  if (cf.MatchesNothing()) return false;
-  if (cf.MatchesEverything()) {
-    for (std::size_t i = r.lo; i < r.hi; ++i) {
-      if (nodes[i] != self) return true;
-    }
-    return false;
-  }
-  for (std::size_t i = r.lo; i < r.hi; ++i) {
-    if (nodes[i] != self && cf.Matches(cats[i], subs[i])) return true;
-  }
-  return false;
+  if (cf.MatchesNothing() || r.empty()) return false;
+  return simd::Active().any_peer_match(nodes + r.lo, cats + r.lo, subs + r.lo,
+                                       r.count(), self, cf.Byte());
 }
 
 // Distinct nodes (excluding `self`) with a matching row in [lo, hi).
-// Sort-and-unique over the gathered node ids: O(k log k) where k is the
-// number of events inside the window, replacing the old O(k^2) flat-list
-// dedup.
+// The mark_matching_nodes kernel sets one bit per matching node in a
+// node-indexed bitmap; clearing the self bit and popcounting yields the
+// distinct-peer count — same answer as the old sort+unique gather, without
+// the gather buffer or the sort. The scratch bitmap is thread-local because
+// the pairwise matrix calls this from every worker thread.
 int CountDistinctPeersInRange(const std::int32_t* nodes,
                               const std::uint8_t* cats,
                               const std::uint8_t* subs, RowRange r,
-                              std::int32_t self, CompiledFilter cf) {
+                              std::int32_t self, CompiledFilter cf,
+                              std::size_t num_nodes) {
   if (cf.MatchesNothing() || r.empty()) return 0;
-  std::vector<std::int32_t> seen;
-  seen.reserve(r.count());
-  const bool all = cf.MatchesEverything();
-  for (std::size_t i = r.lo; i < r.hi; ++i) {
-    if (nodes[i] != self && (all || cf.Matches(cats[i], subs[i]))) {
-      seen.push_back(nodes[i]);
-    }
-  }
-  std::sort(seen.begin(), seen.end());
-  return static_cast<int>(std::unique(seen.begin(), seen.end()) -
-                          seen.begin());
-}
-
-// Packs the subcategory the way the columns store it: 0 = none, else
-// 1 + enum value. Only meaningful for consistent records.
-std::uint8_t PackSubcategory(const FailureRecord& f) {
-  if (f.hardware) return 1 + static_cast<std::uint8_t>(*f.hardware);
-  if (f.software) return 1 + static_cast<std::uint8_t>(*f.software);
-  if (f.environment) return 1 + static_cast<std::uint8_t>(*f.environment);
-  return 0;
+  static thread_local std::vector<std::uint64_t> bitmap;
+  bitmap.assign((num_nodes + 63) / 64, 0);
+  simd::Active().mark_matching_nodes(nodes + r.lo, cats + r.lo, subs + r.lo,
+                                     r.count(), cf.Byte(), bitmap.data());
+  const auto self_u = static_cast<std::uint32_t>(self);
+  bitmap[self_u >> 6] &= ~(std::uint64_t{1} << (self_u & 63));
+  int count = 0;
+  for (const std::uint64_t word : bitmap) count += std::popcount(word);
+  return count;
 }
 
 }  // namespace
@@ -199,6 +177,37 @@ void SystemEventStore::Reserve(std::size_t n) {
   subs.reserve(n);
 }
 
+namespace {
+
+// Appends one packed row to the global columns and the per-node / per-rack
+// bundles. Shared by every append path; validation happens in the callers.
+inline void PushRow(SystemEventStore& s, TimeSec start, TimeSec end,
+                    std::int32_t node, std::uint8_t cat, std::uint8_t sub) {
+  s.starts.push_back(start);
+  s.ends.push_back(end);
+  s.nodes.push_back(node);
+  s.cats.push_back(cat);
+  s.subs.push_back(sub);
+
+  SystemEventStore::EventColumns& nc =
+      s.by_node[static_cast<std::size_t>(node)];
+  nc.times.push_back(start);
+  nc.cats.push_back(cat);
+  nc.subs.push_back(sub);
+
+  const RackId rack = s.rack_of[static_cast<std::size_t>(node)];
+  if (rack.valid()) {
+    SystemEventStore::EventColumns& rc =
+        s.by_rack[static_cast<std::size_t>(rack.value)];
+    rc.times.push_back(start);
+    rc.nodes.push_back(node);
+    rc.cats.push_back(cat);
+    rc.subs.push_back(sub);
+  }
+}
+
+}  // namespace
+
 void SystemEventStore::Append(const FailureRecord& f) {
   if (f.system != id) {
     throw std::invalid_argument(
@@ -219,26 +228,94 @@ void SystemEventStore::Append(const FailureRecord& f) {
     throw std::invalid_argument(
         "SystemEventStore::Append: records must arrive time-sorted");
   }
-  const std::uint8_t cat = static_cast<std::uint8_t>(f.category);
-  const std::uint8_t sub = PackSubcategory(f);
+  PushRow(*this, f.start, f.end, f.node.value,
+          static_cast<std::uint8_t>(f.category), PackSubcategory(f));
+}
+
+void SystemEventStore::AppendTrusted(const FailureRecord& f) {
+  assert(f.system == id);
+  assert(f.node.valid() &&
+         static_cast<std::size_t>(f.node.value) < by_node.size());
+  assert(f.consistent());
+  assert(starts.empty() || f.start >= starts.back());
+  PushRow(*this, f.start, f.end, f.node.value,
+          static_cast<std::uint8_t>(f.category), PackSubcategory(f));
+}
+
+void RecordBlock::clear() {
+  starts.clear();
+  ends.clear();
+  nodes.clear();
+  cats.clear();
+  subs.clear();
+}
+
+void RecordBlock::reserve(std::size_t n) {
+  starts.reserve(n);
+  ends.reserve(n);
+  nodes.reserve(n);
+  cats.reserve(n);
+  subs.reserve(n);
+}
+
+void RecordBlock::PushBack(const FailureRecord& f) {
+  const int subfields = static_cast<int>(f.hardware.has_value()) +
+                        static_cast<int>(f.software.has_value()) +
+                        static_cast<int>(f.environment.has_value());
+  // Pack in int space: a raw enum byte of 255 would wrap 1 + value to 0
+  // ("no subcategory") in uint8 space and slip past validation.
+  int packed = 0;
+  bool structure_ok = subfields <= 1;
+  if (structure_ok) {
+    if (f.hardware) {
+      packed = 1 + static_cast<int>(*f.hardware);
+      structure_ok = f.category == FailureCategory::kHardware;
+    } else if (f.software) {
+      packed = 1 + static_cast<int>(*f.software);
+      structure_ok = f.category == FailureCategory::kSoftware;
+    } else if (f.environment) {
+      packed = 1 + static_cast<int>(*f.environment);
+      structure_ok = f.category == FailureCategory::kEnvironment;
+    }
+  }
+  const std::uint8_t sub =
+      (!structure_ok || packed > 0xFF)
+          ? simd::kInvalidPackedSub
+          : static_cast<std::uint8_t>(packed);
   starts.push_back(f.start);
   ends.push_back(f.end);
   nodes.push_back(f.node.value);
-  cats.push_back(cat);
+  cats.push_back(static_cast<std::uint8_t>(f.category));
   subs.push_back(sub);
+}
 
-  EventColumns& nc = by_node[static_cast<std::size_t>(f.node.value)];
-  nc.times.push_back(f.start);
-  nc.cats.push_back(cat);
-  nc.subs.push_back(sub);
-
-  const RackId rack = rack_of[static_cast<std::size_t>(f.node.value)];
-  if (rack.valid()) {
-    EventColumns& rc = by_rack[static_cast<std::size_t>(rack.value)];
-    rc.times.push_back(f.start);
-    rc.nodes.push_back(f.node.value);
-    rc.cats.push_back(cat);
-    rc.subs.push_back(sub);
+void SystemEventStore::AppendBlock(const RecordBlock& block) {
+  const std::size_t n = block.size();
+  if (n == 0) return;
+  const std::size_t bad = simd::Active().validate_block(
+      block.starts.data(), block.ends.data(), block.nodes.data(),
+      block.cats.data(), block.subs.data(), n,
+      static_cast<std::int32_t>(by_node.size()));
+  if (bad < n) {
+    throw std::invalid_argument(
+        "SystemEventStore::AppendBlock: invalid record at block index " +
+        std::to_string(bad));
+  }
+  if (!starts.empty() && block.starts.front() < starts.back()) {
+    throw std::invalid_argument(
+        "SystemEventStore::AppendBlock: records must arrive time-sorted");
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (block.starts[i] < block.starts[i - 1]) {
+      throw std::invalid_argument(
+          "SystemEventStore::AppendBlock: block not time-sorted at index " +
+          std::to_string(i));
+    }
+  }
+  Reserve(size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PushRow(*this, block.starts[i], block.ends[i], block.nodes[i],
+            block.cats[i], block.subs[i]);
   }
 }
 
@@ -254,12 +331,24 @@ std::vector<int> SystemEventStore::NodeCounts(
   const CompiledFilter cf = CompiledFilter::From(filter);
   if (cf.MatchesNothing()) return out;
   const std::size_t n = size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (cf.Matches(cats[i], subs[i])) {
+  if (cf.MatchesEverything()) {
+    for (std::size_t i = 0; i < n; ++i) {
       ++out[static_cast<std::size_t>(nodes[i])];
     }
+    return out;
+  }
+  const simd::KernelTable& k = simd::Active();
+  for (std::size_t i =
+           k.find_next_match(cats.data(), subs.data(), n, 0, cf.cat, cf.sub);
+       i < n; i = k.find_next_match(cats.data(), subs.data(), n, i + 1,
+                                    cf.cat, cf.sub)) {
+    ++out[static_cast<std::size_t>(nodes[i])];
   }
   return out;
+}
+
+std::uint32_t SystemEventStore::CategoriesPresent() const {
+  return simd::Active().category_mask(cats.data(), size());
 }
 
 bool SystemEventStore::AnyAtNode(NodeId node, TimeInterval window,
@@ -324,7 +413,8 @@ int SystemEventStore::DistinctRackPeersWithEvent(NodeId node,
   const EventColumns& c = by_rack[static_cast<std::size_t>(rack.value)];
   return CountDistinctPeersInRange(c.nodes.data(), c.cats.data(),
                                    c.subs.data(), WindowRange(c.times, window),
-                                   node.value, CompiledFilter::From(filter));
+                                   node.value, CompiledFilter::From(filter),
+                                   static_cast<std::size_t>(config->num_nodes));
 }
 
 int SystemEventStore::DistinctSystemPeersWithEvent(NodeId node,
@@ -334,7 +424,8 @@ int SystemEventStore::DistinctSystemPeersWithEvent(NodeId node,
   if (num_peers != nullptr) *num_peers = std::max(0, config->num_nodes - 1);
   return CountDistinctPeersInRange(nodes.data(), cats.data(), subs.data(),
                                    WindowRange(starts, window), node.value,
-                                   CompiledFilter::From(filter));
+                                   CompiledFilter::From(filter),
+                                   static_cast<std::size_t>(config->num_nodes));
 }
 
 const SystemEventStore* EventStoreSet::Find(SystemId sys) const {
@@ -373,13 +464,27 @@ EventStoreSet EventStoreSet::Build(const Trace& trace,
     set.stores.push_back(std::move(se));
   }
   // trace.failures() is (start, system, node)-sorted, so each system's
-  // subsequence arrives time-sorted and Append's ordering check holds.
+  // subsequence arrives time-sorted and AppendBlock's ordering check holds.
   // Records with system ids outside [0, max_id] — including negative ids
   // from untrusted import or replay paths — are skipped, not indexed.
+  // Records are staged into per-system column blocks so validation runs
+  // through the vectorized block kernel instead of per-record consistent().
+  constexpr std::size_t kBuildBlock = 1024;
+  std::vector<RecordBlock> blocks(set.stores.size());
   for (const FailureRecord& f : trace.failures()) {
     if (f.system.value < 0 || f.system.value > max_id) continue;
     const std::int32_t s = slot[static_cast<std::size_t>(f.system.value)];
-    if (s >= 0) set.stores[static_cast<std::size_t>(s)].Append(f);
+    if (s < 0) continue;
+    RecordBlock& b = blocks[static_cast<std::size_t>(s)];
+    if (b.empty()) b.reserve(kBuildBlock);
+    b.PushBack(f);
+    if (b.size() >= kBuildBlock) {
+      set.stores[static_cast<std::size_t>(s)].AppendBlock(b);
+      b.clear();
+    }
+  }
+  for (std::size_t s = 0; s < blocks.size(); ++s) {
+    if (!blocks[s].empty()) set.stores[s].AppendBlock(blocks[s]);
   }
   return set;
 }

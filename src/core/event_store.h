@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/event_filter.h"
+#include "core/simd.h"
 #include "trace/system.h"
 
 namespace hpcfail::core {
@@ -51,7 +52,37 @@ struct CompiledFilter {
     return (!check_cat || record_cat == cat) &&
            (sub == 0 || record_sub == sub);
   }
+
+  // The same filter in the SIMD kernels' vocabulary. Callers dispose of
+  // MatchesNothing() before building one (a ByteFilter has no "matches
+  // nothing" mode). A sub != 0 filter always carries check_cat, so the two
+  // remaining modes map onto kCat / kCatSub.
+  simd::ByteFilter Byte() const {
+    simd::ByteFilter b;
+    if (sub != 0) {
+      b.mode = simd::ByteFilter::kCatSub;
+      b.cat = cat;
+      b.sub = sub;
+    } else if (check_cat) {
+      b.mode = simd::ByteFilter::kCat;
+      b.cat = cat;
+    }
+    return b;
+  }
 };
+
+// Packs a record's subcategory the way the columns store it: 0 = none, else
+// 1 + enum value. Only meaningful for consistent() records, where at most
+// one subcategory is set and its enum value fits a byte — the packing every
+// store column and CompiledFilter::Matches assumes. Shared by the store
+// append paths and by streaming operators that compile filters once and
+// match released records against the packed bytes.
+inline std::uint8_t PackSubcategory(const FailureRecord& f) {
+  if (f.hardware) return 1 + static_cast<std::uint8_t>(*f.hardware);
+  if (f.software) return 1 + static_cast<std::uint8_t>(*f.software);
+  if (f.environment) return 1 + static_cast<std::uint8_t>(*f.environment);
+  return 0;
+}
 
 struct SystemEventStore;
 
@@ -129,6 +160,31 @@ class RecordSpan {
   const SystemEventStore* store_ = nullptr;
 };
 
+// Column-format staging buffer for block-validated appends: callers pack
+// records into it, then hand the whole block to
+// SystemEventStore::AppendBlock, which runs the vectorized ValidateBlock
+// kernel once over the columns instead of calling FailureRecord::
+// consistent() per record. Records whose optional-field structure cannot be
+// packed losslessly (two subcategories set, or a subcategory under the
+// wrong category) are staged with the simd::kInvalidPackedSub sentinel so
+// the block check stays exactly as strict as consistent().
+struct RecordBlock {
+  std::vector<TimeSec> starts;
+  std::vector<TimeSec> ends;
+  std::vector<std::int32_t> nodes;
+  std::vector<std::uint8_t> cats;
+  std::vector<std::uint8_t> subs;
+
+  std::size_t size() const { return starts.size(); }
+  bool empty() const { return starts.empty(); }
+  void clear();
+  void reserve(std::size_t n);
+
+  // Packs one record's columns. The system id is NOT staged: the caller
+  // routes blocks to the right store (AppendBlock documents the contract).
+  void PushBack(const FailureRecord& f);
+};
+
 struct SystemEventStore {
   // Parallel columns over one scope's events (a node's list or a rack's
   // list), kept in append (time) order. `nodes` stays empty in the per-node
@@ -177,16 +233,44 @@ struct SystemEventStore {
   // start — both callers feed validated, time-sorted data.
   void Append(const FailureRecord& f);
 
+  // Appends one already-validated record without re-running consistent():
+  // the streaming ingest path validates at admission (Classify) and must
+  // not pay for validation twice per record. Debug builds assert the
+  // Append preconditions; release builds trust the caller.
+  void AppendTrusted(const FailureRecord& f);
+
+  // Appends a staged block after one vectorized validation pass over its
+  // columns (node range, end >= start, category/subcategory pairing — the
+  // same invariants Append enforces per record) plus the time-order check.
+  // Throws std::invalid_argument naming the first offending row index.
+  // The caller guarantees every staged record belongs to this system;
+  // RecordBlock does not carry a system column.
+  void AppendBlock(const RecordBlock& block);
+
+  // Bit i set iff some stored record has category i (category_mask kernel).
+  // Analyses iterating all six categories use it to skip absent ones.
+  std::uint32_t CategoriesPresent() const;
+
   // Visits the index of every record matching `filter`, in time order — the
   // columnar scan behind the analyzer trigger loops. Callers read the
-  // columns (starts/nodes/...) directly at the visited indexes.
+  // columns (starts/nodes/...) directly at the visited indexes. Sparse
+  // filters ride the find_next_match kernel: the vector compare skips
+  // non-matching stretches a whole register at a time.
   template <typename Fn>
   void ForEachMatching(const EventFilter& filter, Fn&& fn) const {
     const CompiledFilter cf = CompiledFilter::From(filter);
     if (cf.MatchesNothing()) return;
     const std::size_t n = size();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (cf.Matches(cats[i], subs[i])) fn(i);
+    if (cf.MatchesEverything()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    const simd::KernelTable& k = simd::Active();
+    for (std::size_t i =
+             k.find_next_match(cats.data(), subs.data(), n, 0, cf.cat, cf.sub);
+         i < n; i = k.find_next_match(cats.data(), subs.data(), n, i + 1,
+                                      cf.cat, cf.sub)) {
+      fn(i);
     }
   }
 

@@ -1,0 +1,799 @@
+#include "core/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "trace/failure.h"
+
+#if HPCFAIL_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+#define HPCFAIL_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define HPCFAIL_SIMD_X86 0
+#endif
+
+#if HPCFAIL_SIMD_ENABLED && defined(__ARM_NEON)
+#define HPCFAIL_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define HPCFAIL_SIMD_NEON 0
+#endif
+
+namespace hpcfail::core::simd {
+namespace {
+
+// Highest packed subcategory value (1 + enum) each category admits; 0 for
+// categories with no subcategory. Indexed by the FailureCategory byte, so
+// the kernels never re-derive the pairing rule per row. The enum order is a
+// load-bearing part of the packed encoding; pin it.
+static_assert(static_cast<int>(FailureCategory::kEnvironment) == 0);
+static_assert(static_cast<int>(FailureCategory::kHardware) == 1);
+static_assert(static_cast<int>(FailureCategory::kHuman) == 2);
+static_assert(static_cast<int>(FailureCategory::kNetwork) == 3);
+static_assert(static_cast<int>(FailureCategory::kSoftware) == 4);
+static_assert(static_cast<int>(FailureCategory::kUndetermined) == 5);
+static_assert(kNumFailureCategories == 6);
+constexpr std::uint8_t kMaxPackedSub[kNumFailureCategories] = {
+    static_cast<std::uint8_t>(kNumEnvironmentEvents),   // environment
+    static_cast<std::uint8_t>(kNumHardwareComponents),  // hardware
+    0,                                                  // human
+    0,                                                  // network
+    static_cast<std::uint8_t>(kNumSoftwareComponents),  // software
+    0,                                                  // undetermined
+};
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations. Every vector level must reproduce these
+// bit-for-bit; tests/test_simd_kernels.cpp enforces it.
+
+std::size_t ScalarCountMatches(const std::uint8_t* cats,
+                               const std::uint8_t* subs, std::size_t n,
+                               std::uint8_t cat, std::uint8_t sub) {
+  std::size_t count = 0;
+  if (sub == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      count += static_cast<std::size_t>(cats[i] == cat);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      count += static_cast<std::size_t>((cats[i] == cat) & (subs[i] == sub));
+    }
+  }
+  return count;
+}
+
+std::size_t ScalarFindNextMatch(const std::uint8_t* cats,
+                                const std::uint8_t* subs, std::size_t n,
+                                std::size_t from, std::uint8_t cat,
+                                std::uint8_t sub) {
+  if (sub == 0) {
+    for (std::size_t i = from; i < n; ++i) {
+      if (cats[i] == cat) return i;
+    }
+    return n;
+  }
+  for (std::size_t i = from; i < n; ++i) {
+    if (cats[i] == cat && subs[i] == sub) return i;
+  }
+  return n;
+}
+
+bool ScalarAnyPeerMatch(const std::int32_t* nodes, const std::uint8_t* cats,
+                        const std::uint8_t* subs, std::size_t n,
+                        std::int32_t self, ByteFilter filter) {
+  switch (filter.mode) {
+    case ByteFilter::kEverything:
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nodes[i] != self) return true;
+      }
+      return false;
+    case ByteFilter::kCat:
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nodes[i] != self && cats[i] == filter.cat) return true;
+      }
+      return false;
+    case ByteFilter::kCatSub:
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nodes[i] != self && cats[i] == filter.cat &&
+            subs[i] == filter.sub) {
+          return true;
+        }
+      }
+      return false;
+  }
+  return false;
+}
+
+void ScalarMarkMatchingNodes(const std::int32_t* nodes,
+                             const std::uint8_t* cats,
+                             const std::uint8_t* subs, std::size_t n,
+                             ByteFilter filter, std::uint64_t* bitmap) {
+  switch (filter.mode) {
+    case ByteFilter::kEverything:
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto node = static_cast<std::uint32_t>(nodes[i]);
+        bitmap[node >> 6] |= std::uint64_t{1} << (node & 63);
+      }
+      return;
+    case ByteFilter::kCat:
+      for (std::size_t i = 0; i < n; ++i) {
+        if (cats[i] == filter.cat) {
+          const auto node = static_cast<std::uint32_t>(nodes[i]);
+          bitmap[node >> 6] |= std::uint64_t{1} << (node & 63);
+        }
+      }
+      return;
+    case ByteFilter::kCatSub:
+      for (std::size_t i = 0; i < n; ++i) {
+        if (cats[i] == filter.cat && subs[i] == filter.sub) {
+          const auto node = static_cast<std::uint32_t>(nodes[i]);
+          bitmap[node >> 6] |= std::uint64_t{1} << (node & 63);
+        }
+      }
+      return;
+  }
+}
+
+bool RowValid(std::int64_t start, std::int64_t end, std::int32_t node,
+              std::uint8_t cat, std::uint8_t sub, std::int32_t num_nodes) {
+  if (node < 0 || node >= num_nodes) return false;
+  if (end < start) return false;
+  if (cat >= kNumFailureCategories) return false;
+  return sub <= kMaxPackedSub[cat];
+}
+
+std::size_t ScalarValidateBlock(const std::int64_t* starts,
+                                const std::int64_t* ends,
+                                const std::int32_t* nodes,
+                                const std::uint8_t* cats,
+                                const std::uint8_t* subs, std::size_t n,
+                                std::int32_t num_nodes) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!RowValid(starts[i], ends[i], nodes[i], cats[i], subs[i],
+                  num_nodes)) {
+      return i;
+    }
+  }
+  return n;
+}
+
+std::uint32_t ScalarCategoryMask(const std::uint8_t* cats, std::size_t n) {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i) mask |= 1u << cats[i];
+  return mask;
+}
+
+constexpr KernelTable kScalarTable = {
+    Level::kScalar,        ScalarCountMatches,      ScalarFindNextMatch,
+    ScalarAnyPeerMatch,    ScalarMarkMatchingNodes, ScalarValidateBlock,
+    ScalarCategoryMask,
+};
+
+#if HPCFAIL_SIMD_X86
+// ---------------------------------------------------------------------------
+// SSE2 (x86-64 baseline — always available, no extra flags).
+
+std::size_t Sse2CountMatches(const std::uint8_t* cats,
+                             const std::uint8_t* subs, std::size_t n,
+                             std::uint8_t cat, std::uint8_t sub) {
+  const __m128i vcat = _mm_set1_epi8(static_cast<char>(cat));
+  const __m128i vsub = _mm_set1_epi8(static_cast<char>(sub));
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t total = 0;
+  std::size_t i = 0;
+  while (i + 16 <= n) {
+    // 0xFF lanes subtract as -1; flush through SAD before 255 iterations
+    // can overflow a byte accumulator.
+    __m128i acc = zero;
+    int iters = 0;
+    for (; i + 16 <= n && iters < 255; i += 16, ++iters) {
+      __m128i m = _mm_cmpeq_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cats + i)), vcat);
+      if (sub != 0) {
+        m = _mm_and_si128(
+            m, _mm_cmpeq_epi8(
+                   _mm_loadu_si128(reinterpret_cast<const __m128i*>(subs + i)),
+                   vsub));
+      }
+      acc = _mm_sub_epi8(acc, m);
+    }
+    const __m128i sad = _mm_sad_epu8(acc, zero);
+    total += static_cast<std::size_t>(_mm_cvtsi128_si64(sad)) +
+             static_cast<std::size_t>(
+                 _mm_cvtsi128_si64(_mm_unpackhi_epi64(sad, sad)));
+  }
+  return total + ScalarCountMatches(cats + i, subs + i, n - i, cat, sub);
+}
+
+std::size_t Sse2FindNextMatch(const std::uint8_t* cats,
+                              const std::uint8_t* subs, std::size_t n,
+                              std::size_t from, std::uint8_t cat,
+                              std::uint8_t sub) {
+  const __m128i vcat = _mm_set1_epi8(static_cast<char>(cat));
+  const __m128i vsub = _mm_set1_epi8(static_cast<char>(sub));
+  std::size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    __m128i m = _mm_cmpeq_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cats + i)), vcat);
+    if (sub != 0) {
+      m = _mm_and_si128(
+          m, _mm_cmpeq_epi8(
+                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(subs + i)),
+                 vsub));
+    }
+    const int mask = _mm_movemask_epi8(m);
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctz(
+                     static_cast<unsigned>(mask)));
+    }
+  }
+  return ScalarFindNextMatch(cats, subs, n, i, cat, sub);
+}
+
+// Byte mask of rows in [i, i+16) matching `filter` (kEverything handled by
+// the callers before the loop).
+inline int Sse2MatchMask16(const std::uint8_t* cats, const std::uint8_t* subs,
+                           std::size_t i, ByteFilter filter) {
+  __m128i m = _mm_cmpeq_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(cats + i)),
+      _mm_set1_epi8(static_cast<char>(filter.cat)));
+  if (filter.mode == ByteFilter::kCatSub) {
+    m = _mm_and_si128(
+        m, _mm_cmpeq_epi8(
+               _mm_loadu_si128(reinterpret_cast<const __m128i*>(subs + i)),
+               _mm_set1_epi8(static_cast<char>(filter.sub))));
+  }
+  return _mm_movemask_epi8(m);
+}
+
+bool Sse2AnyPeerMatch(const std::int32_t* nodes, const std::uint8_t* cats,
+                      const std::uint8_t* subs, std::size_t n,
+                      std::int32_t self, ByteFilter filter) {
+  if (filter.mode == ByteFilter::kEverything) {
+    return ScalarAnyPeerMatch(nodes, cats, subs, n, self, filter);
+  }
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    unsigned mask = static_cast<unsigned>(Sse2MatchMask16(cats, subs, i,
+                                                          filter));
+    while (mask != 0) {
+      const std::size_t b = static_cast<std::size_t>(__builtin_ctz(mask));
+      if (nodes[i + b] != self) return true;
+      mask &= mask - 1;
+    }
+  }
+  return ScalarAnyPeerMatch(nodes + i, cats + i, subs + i, n - i, self,
+                            filter);
+}
+
+void Sse2MarkMatchingNodes(const std::int32_t* nodes, const std::uint8_t* cats,
+                           const std::uint8_t* subs, std::size_t n,
+                           ByteFilter filter, std::uint64_t* bitmap) {
+  if (filter.mode == ByteFilter::kEverything) {
+    ScalarMarkMatchingNodes(nodes, cats, subs, n, filter, bitmap);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    unsigned mask = static_cast<unsigned>(Sse2MatchMask16(cats, subs, i,
+                                                          filter));
+    while (mask != 0) {
+      const std::size_t b = static_cast<std::size_t>(__builtin_ctz(mask));
+      const auto node = static_cast<std::uint32_t>(nodes[i + b]);
+      bitmap[node >> 6] |= std::uint64_t{1} << (node & 63);
+      mask &= mask - 1;
+    }
+  }
+  ScalarMarkMatchingNodes(nodes + i, cats + i, subs + i, n - i, filter,
+                          bitmap);
+}
+
+std::size_t Sse2ValidateBlock(const std::int64_t* starts,
+                              const std::int64_t* ends,
+                              const std::int32_t* nodes,
+                              const std::uint8_t* cats,
+                              const std::uint8_t* subs, std::size_t n,
+                              std::int32_t num_nodes) {
+  // Select max-packed-sub per lane with three compares (no pshufb in SSE2):
+  // categories 2, 3 and 5 admit no subcategory, so their lanes stay 0.
+  const __m128i vc_env = _mm_set1_epi8(0);
+  const __m128i vc_hw = _mm_set1_epi8(1);
+  const __m128i vc_sw = _mm_set1_epi8(4);
+  const __m128i vmax_env = _mm_set1_epi8(static_cast<char>(kMaxPackedSub[0]));
+  const __m128i vmax_hw = _mm_set1_epi8(static_cast<char>(kMaxPackedSub[1]));
+  const __m128i vmax_sw = _mm_set1_epi8(static_cast<char>(kMaxPackedSub[4]));
+  const __m128i vfive = _mm_set1_epi8(5);
+  const __m128i vzero = _mm_setzero_si128();
+  const __m128i vnum = _mm_set1_epi32(num_nodes);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cats + i));
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(subs + i));
+    // cat <= 5  <=>  max_epu8(cat, 5) == 5.
+    const __m128i cat_ok = _mm_cmpeq_epi8(_mm_max_epu8(c, vfive), vfive);
+    __m128i maxsub = _mm_and_si128(_mm_cmpeq_epi8(c, vc_env), vmax_env);
+    maxsub = _mm_or_si128(maxsub,
+                          _mm_and_si128(_mm_cmpeq_epi8(c, vc_hw), vmax_hw));
+    maxsub = _mm_or_si128(maxsub,
+                          _mm_and_si128(_mm_cmpeq_epi8(c, vc_sw), vmax_sw));
+    // sub <= maxsub  <=>  min_epu8(sub, maxsub) == sub.
+    const __m128i sub_ok = _mm_cmpeq_epi8(_mm_min_epu8(s, maxsub), s);
+    unsigned ok = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_and_si128(cat_ok, sub_ok)));
+    // Nodes: 4 lanes of int32 per vector, 4 vectors per 16-record chunk.
+    for (int v = 0; v < 4; ++v) {
+      const __m128i nd = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(nodes + i + 4 * v));
+      // 0 <= node < num_nodes: node > -1 and num_nodes > node.
+      const __m128i node_ok = _mm_and_si128(
+          _mm_cmpgt_epi32(nd, _mm_sub_epi32(vzero, _mm_set1_epi32(1))),
+          _mm_cmpgt_epi32(vnum, nd));
+      const unsigned lanes = static_cast<unsigned>(
+          _mm_movemask_ps(_mm_castsi128_ps(node_ok)));
+      // Spread the 4 lane bits back onto the 4 record positions.
+      unsigned spread = 0;
+      for (int l = 0; l < 4; ++l) {
+        if ((lanes >> l) & 1u) spread |= 1u << l;
+      }
+      ok &= ~(0xFu << (4 * v)) | (spread << (4 * v));
+    }
+    // Times: no 64-bit compare in SSE2; scalar over the chunk.
+    for (int r = 0; r < 16; ++r) {
+      if (ends[i + static_cast<std::size_t>(r)] <
+          starts[i + static_cast<std::size_t>(r)]) {
+        ok &= ~(1u << r);
+      }
+    }
+    if (ok != 0xFFFFu) {
+      return i + static_cast<std::size_t>(__builtin_ctz(~ok & 0xFFFFu));
+    }
+  }
+  const std::size_t tail =
+      ScalarValidateBlock(starts + i, ends + i, nodes + i, cats + i, subs + i,
+                          n - i, num_nodes);
+  return i + tail;
+}
+
+std::uint32_t Sse2CategoryMask(const std::uint8_t* cats, std::size_t n) {
+  std::uint32_t mask = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n && mask != 0x3Fu; i += 16) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cats + i));
+    for (std::uint8_t cat = 0; cat < kNumFailureCategories; ++cat) {
+      if ((mask >> cat) & 1u) continue;
+      if (_mm_movemask_epi8(_mm_cmpeq_epi8(
+              c, _mm_set1_epi8(static_cast<char>(cat)))) != 0) {
+        mask |= 1u << cat;
+      }
+    }
+  }
+  return mask | ScalarCategoryMask(cats + i, n - i);
+}
+
+constexpr KernelTable kSse2Table = {
+    Level::kSse2,        Sse2CountMatches,      Sse2FindNextMatch,
+    Sse2AnyPeerMatch,    Sse2MarkMatchingNodes, Sse2ValidateBlock,
+    Sse2CategoryMask,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2, compiled with a function target attribute so the translation unit
+// needs no global -mavx2; selected only when __builtin_cpu_supports agrees.
+
+#define HPCFAIL_AVX2 __attribute__((target("avx2")))
+
+HPCFAIL_AVX2 std::size_t Avx2CountMatches(const std::uint8_t* cats,
+                                          const std::uint8_t* subs,
+                                          std::size_t n, std::uint8_t cat,
+                                          std::uint8_t sub) {
+  const __m256i vcat = _mm256_set1_epi8(static_cast<char>(cat));
+  const __m256i vsub = _mm256_set1_epi8(static_cast<char>(sub));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t total = 0;
+  std::size_t i = 0;
+  while (i + 32 <= n) {
+    __m256i acc = zero;
+    int iters = 0;
+    for (; i + 32 <= n && iters < 255; i += 32, ++iters) {
+      __m256i m = _mm256_cmpeq_epi8(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cats + i)),
+          vcat);
+      if (sub != 0) {
+        m = _mm256_and_si256(
+            m, _mm256_cmpeq_epi8(_mm256_loadu_si256(
+                                     reinterpret_cast<const __m256i*>(subs +
+                                                                      i)),
+                                 vsub));
+      }
+      acc = _mm256_sub_epi8(acc, m);
+    }
+    const __m256i sad = _mm256_sad_epu8(acc, zero);
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), sad);
+    total += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  }
+  return total + ScalarCountMatches(cats + i, subs + i, n - i, cat, sub);
+}
+
+HPCFAIL_AVX2 std::size_t Avx2FindNextMatch(const std::uint8_t* cats,
+                                           const std::uint8_t* subs,
+                                           std::size_t n, std::size_t from,
+                                           std::uint8_t cat,
+                                           std::uint8_t sub) {
+  const __m256i vcat = _mm256_set1_epi8(static_cast<char>(cat));
+  const __m256i vsub = _mm256_set1_epi8(static_cast<char>(sub));
+  std::size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    __m256i m = _mm256_cmpeq_epi8(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cats + i)), vcat);
+    if (sub != 0) {
+      m = _mm256_and_si256(
+          m, _mm256_cmpeq_epi8(
+                 _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i*>(subs + i)),
+                 vsub));
+    }
+    const unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(m));
+    if (mask != 0) return i + static_cast<std::size_t>(__builtin_ctz(mask));
+  }
+  return ScalarFindNextMatch(cats, subs, n, i, cat, sub);
+}
+
+HPCFAIL_AVX2 inline unsigned Avx2MatchMask32(const std::uint8_t* cats,
+                                             const std::uint8_t* subs,
+                                             std::size_t i,
+                                             ByteFilter filter) {
+  __m256i m = _mm256_cmpeq_epi8(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cats + i)),
+      _mm256_set1_epi8(static_cast<char>(filter.cat)));
+  if (filter.mode == ByteFilter::kCatSub) {
+    m = _mm256_and_si256(
+        m, _mm256_cmpeq_epi8(
+               _mm256_loadu_si256(reinterpret_cast<const __m256i*>(subs + i)),
+               _mm256_set1_epi8(static_cast<char>(filter.sub))));
+  }
+  return static_cast<unsigned>(_mm256_movemask_epi8(m));
+}
+
+HPCFAIL_AVX2 bool Avx2AnyPeerMatch(const std::int32_t* nodes,
+                                   const std::uint8_t* cats,
+                                   const std::uint8_t* subs, std::size_t n,
+                                   std::int32_t self, ByteFilter filter) {
+  if (filter.mode == ByteFilter::kEverything) {
+    return ScalarAnyPeerMatch(nodes, cats, subs, n, self, filter);
+  }
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    unsigned mask = Avx2MatchMask32(cats, subs, i, filter);
+    while (mask != 0) {
+      const std::size_t b = static_cast<std::size_t>(__builtin_ctz(mask));
+      if (nodes[i + b] != self) return true;
+      mask &= mask - 1;
+    }
+  }
+  return ScalarAnyPeerMatch(nodes + i, cats + i, subs + i, n - i, self,
+                            filter);
+}
+
+HPCFAIL_AVX2 void Avx2MarkMatchingNodes(const std::int32_t* nodes,
+                                        const std::uint8_t* cats,
+                                        const std::uint8_t* subs,
+                                        std::size_t n, ByteFilter filter,
+                                        std::uint64_t* bitmap) {
+  if (filter.mode == ByteFilter::kEverything) {
+    ScalarMarkMatchingNodes(nodes, cats, subs, n, filter, bitmap);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    unsigned mask = Avx2MatchMask32(cats, subs, i, filter);
+    while (mask != 0) {
+      const std::size_t b = static_cast<std::size_t>(__builtin_ctz(mask));
+      const auto node = static_cast<std::uint32_t>(nodes[i + b]);
+      bitmap[node >> 6] |= std::uint64_t{1} << (node & 63);
+      mask &= mask - 1;
+    }
+  }
+  ScalarMarkMatchingNodes(nodes + i, cats + i, subs + i, n - i, filter,
+                          bitmap);
+}
+
+HPCFAIL_AVX2 std::size_t Avx2ValidateBlock(const std::int64_t* starts,
+                                           const std::int64_t* ends,
+                                           const std::int32_t* nodes,
+                                           const std::uint8_t* cats,
+                                           const std::uint8_t* subs,
+                                           std::size_t n,
+                                           std::int32_t num_nodes) {
+  // Per-lane max-packed-sub via vpshufb: the table repeats in both 128-bit
+  // lanes; category bytes 0..5 index it directly, anything larger fails the
+  // cat <= 5 test so its (aliased) table lookup never matters.
+  const __m256i table = _mm256_setr_epi8(
+      static_cast<char>(kMaxPackedSub[0]), static_cast<char>(kMaxPackedSub[1]),
+      static_cast<char>(kMaxPackedSub[2]), static_cast<char>(kMaxPackedSub[3]),
+      static_cast<char>(kMaxPackedSub[4]), static_cast<char>(kMaxPackedSub[5]),
+      0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+      static_cast<char>(kMaxPackedSub[0]), static_cast<char>(kMaxPackedSub[1]),
+      static_cast<char>(kMaxPackedSub[2]), static_cast<char>(kMaxPackedSub[3]),
+      static_cast<char>(kMaxPackedSub[4]), static_cast<char>(kMaxPackedSub[5]),
+      0, 0, 0, 0, 0, 0, 0, 0, 0, 0);
+  const __m256i vfive = _mm256_set1_epi8(5);
+  const __m256i vnum = _mm256_set1_epi32(num_nodes);
+  const __m256i vminus1 = _mm256_set1_epi32(-1);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cats + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(subs + i));
+    const __m256i cat_ok =
+        _mm256_cmpeq_epi8(_mm256_max_epu8(c, vfive), vfive);
+    const __m256i maxsub = _mm256_shuffle_epi8(table, c);
+    const __m256i sub_ok =
+        _mm256_cmpeq_epi8(_mm256_min_epu8(s, maxsub), s);
+    std::uint32_t ok = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_and_si256(cat_ok, sub_ok)));
+    // Nodes: 8 int32 lanes per vector, 4 vectors per 32-record chunk.
+    for (int v = 0; v < 4; ++v) {
+      const __m256i nd = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(nodes + i + 8 * v));
+      const __m256i node_ok = _mm256_and_si256(
+          _mm256_cmpgt_epi32(nd, vminus1), _mm256_cmpgt_epi32(vnum, nd));
+      const std::uint32_t lanes = static_cast<std::uint32_t>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(node_ok)));
+      ok &= ~(0xFFu << (8 * v)) | (lanes << (8 * v));
+    }
+    // Times: 4 int64 lanes per vector, 8 vectors per chunk; end >= start
+    // means NOT (start > end).
+    for (int v = 0; v < 8; ++v) {
+      const __m256i st = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(starts + i + 4 * v));
+      const __m256i en = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ends + i + 4 * v));
+      const std::uint32_t bad = static_cast<std::uint32_t>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(st, en))));
+      ok &= ~(bad << (4 * v));
+    }
+    if (ok != 0xFFFFFFFFu) {
+      return i + static_cast<std::size_t>(__builtin_ctz(~ok));
+    }
+  }
+  const std::size_t tail =
+      ScalarValidateBlock(starts + i, ends + i, nodes + i, cats + i, subs + i,
+                          n - i, num_nodes);
+  return i + tail;
+}
+
+HPCFAIL_AVX2 std::uint32_t Avx2CategoryMask(const std::uint8_t* cats,
+                                            std::size_t n) {
+  std::uint32_t mask = 0;
+  std::size_t i = 0;
+  for (; i + 32 <= n && mask != 0x3Fu; i += 32) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cats + i));
+    for (std::uint8_t cat = 0; cat < kNumFailureCategories; ++cat) {
+      if ((mask >> cat) & 1u) continue;
+      if (_mm256_movemask_epi8(_mm256_cmpeq_epi8(
+              c, _mm256_set1_epi8(static_cast<char>(cat)))) != 0) {
+        mask |= 1u << cat;
+      }
+    }
+  }
+  return mask | ScalarCategoryMask(cats + i, n - i);
+}
+
+constexpr KernelTable kAvx2Table = {
+    Level::kAvx2,        Avx2CountMatches,      Avx2FindNextMatch,
+    Avx2AnyPeerMatch,    Avx2MarkMatchingNodes, Avx2ValidateBlock,
+    Avx2CategoryMask,
+};
+
+bool CpuHasAvx2() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+#endif  // HPCFAIL_SIMD_X86
+
+#if HPCFAIL_SIMD_NEON
+// ---------------------------------------------------------------------------
+// NEON (AArch64). Mask extraction uses the shrn-by-4 idiom: narrow the
+// 8-bit lane mask to one nibble per lane, read the result as a u64 where
+// matching lane i contributes nibble 0xF at bit 4*i.
+
+inline std::uint64_t NeonNibbleMask(uint8x16_t m) {
+  const uint8x8_t narrowed =
+      vshrn_n_u16(vreinterpretq_u16_u8(m), 4);
+  return vget_lane_u64(vreinterpret_u64_u8(narrowed), 0);
+}
+
+inline uint8x16_t NeonMatch16(const std::uint8_t* cats,
+                              const std::uint8_t* subs, std::size_t i,
+                              std::uint8_t cat, std::uint8_t sub) {
+  uint8x16_t m = vceqq_u8(vld1q_u8(cats + i), vdupq_n_u8(cat));
+  if (sub != 0) {
+    m = vandq_u8(m, vceqq_u8(vld1q_u8(subs + i), vdupq_n_u8(sub)));
+  }
+  return m;
+}
+
+std::size_t NeonCountMatches(const std::uint8_t* cats,
+                             const std::uint8_t* subs, std::size_t n,
+                             std::uint8_t cat, std::uint8_t sub) {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  while (i + 16 <= n) {
+    uint8x16_t acc = vdupq_n_u8(0);
+    int iters = 0;
+    for (; i + 16 <= n && iters < 255; i += 16, ++iters) {
+      acc = vsubq_u8(acc, NeonMatch16(cats, subs, i, cat, sub));
+    }
+    total += vaddlvq_u8(acc);
+  }
+  return total + ScalarCountMatches(cats + i, subs + i, n - i, cat, sub);
+}
+
+std::size_t NeonFindNextMatch(const std::uint8_t* cats,
+                              const std::uint8_t* subs, std::size_t n,
+                              std::size_t from, std::uint8_t cat,
+                              std::uint8_t sub) {
+  std::size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    const std::uint64_t mask =
+        NeonNibbleMask(NeonMatch16(cats, subs, i, cat, sub));
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctzll(mask)) / 4;
+    }
+  }
+  return ScalarFindNextMatch(cats, subs, n, i, cat, sub);
+}
+
+bool NeonAnyPeerMatch(const std::int32_t* nodes, const std::uint8_t* cats,
+                      const std::uint8_t* subs, std::size_t n,
+                      std::int32_t self, ByteFilter filter) {
+  if (filter.mode == ByteFilter::kEverything) {
+    return ScalarAnyPeerMatch(nodes, cats, subs, n, self, filter);
+  }
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    std::uint64_t mask =
+        NeonNibbleMask(NeonMatch16(cats, subs, i, filter.cat,
+                                   filter.mode == ByteFilter::kCatSub
+                                       ? filter.sub
+                                       : 0));
+    while (mask != 0) {
+      const std::size_t b =
+          static_cast<std::size_t>(__builtin_ctzll(mask)) / 4;
+      if (nodes[i + b] != self) return true;
+      mask &= ~(std::uint64_t{0xF} << (4 * b));
+    }
+  }
+  return ScalarAnyPeerMatch(nodes + i, cats + i, subs + i, n - i, self,
+                            filter);
+}
+
+void NeonMarkMatchingNodes(const std::int32_t* nodes, const std::uint8_t* cats,
+                           const std::uint8_t* subs, std::size_t n,
+                           ByteFilter filter, std::uint64_t* bitmap) {
+  if (filter.mode == ByteFilter::kEverything) {
+    ScalarMarkMatchingNodes(nodes, cats, subs, n, filter, bitmap);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    std::uint64_t mask =
+        NeonNibbleMask(NeonMatch16(cats, subs, i, filter.cat,
+                                   filter.mode == ByteFilter::kCatSub
+                                       ? filter.sub
+                                       : 0));
+    while (mask != 0) {
+      const std::size_t b =
+          static_cast<std::size_t>(__builtin_ctzll(mask)) / 4;
+      const auto node = static_cast<std::uint32_t>(nodes[i + b]);
+      bitmap[node >> 6] |= std::uint64_t{1} << (node & 63);
+      mask &= ~(std::uint64_t{0xF} << (4 * b));
+    }
+  }
+  ScalarMarkMatchingNodes(nodes + i, cats + i, subs + i, n - i, filter,
+                          bitmap);
+}
+
+constexpr KernelTable kNeonTable = {
+    Level::kNeon,        NeonCountMatches,      NeonFindNextMatch,
+    NeonAnyPeerMatch,    NeonMarkMatchingNodes, ScalarValidateBlock,
+    ScalarCategoryMask,
+};
+#endif  // HPCFAIL_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+
+const KernelTable* ResolveOverride(std::string_view want) {
+  if (want == "scalar" || want == "off") return &kScalarTable;
+#if HPCFAIL_SIMD_X86
+  if (want == "sse2") return &kSse2Table;
+  if (want == "avx2" && CpuHasAvx2()) return &kAvx2Table;
+#endif
+#if HPCFAIL_SIMD_NEON
+  if (want == "neon") return &kNeonTable;
+#endif
+  // Unknown or unsupported request: degrade to scalar, never to an illegal
+  // instruction.
+  return &kScalarTable;
+}
+
+const KernelTable* ResolveActive() {
+  if (const char* env = std::getenv("HPCFAIL_SIMD");
+      env != nullptr && *env != '\0') {
+    return ResolveOverride(env);
+  }
+#if HPCFAIL_SIMD_X86
+  if (CpuHasAvx2()) return &kAvx2Table;
+  return &kSse2Table;
+#elif HPCFAIL_SIMD_NEON
+  return &kNeonTable;
+#else
+  return &kScalarTable;
+#endif
+}
+
+}  // namespace
+
+const char* ToString(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kSse2: return "sse2";
+    case Level::kAvx2: return "avx2";
+    case Level::kNeon: return "neon";
+  }
+  return "invalid";
+}
+
+const KernelTable& Active() {
+  static const KernelTable* const table = ResolveActive();
+  return *table;
+}
+
+const KernelTable& Scalar() { return kScalarTable; }
+
+const KernelTable* TableFor(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &kScalarTable;
+    case Level::kSse2:
+#if HPCFAIL_SIMD_X86
+      return &kSse2Table;
+#else
+      return nullptr;
+#endif
+    case Level::kAvx2:
+#if HPCFAIL_SIMD_X86
+      return CpuHasAvx2() ? &kAvx2Table : nullptr;
+#else
+      return nullptr;
+#endif
+    case Level::kNeon:
+#if HPCFAIL_SIMD_NEON
+      return &kNeonTable;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::vector<Level> SupportedLevels() {
+  std::vector<Level> levels = {Level::kScalar};
+  for (const Level l : {Level::kSse2, Level::kAvx2, Level::kNeon}) {
+    if (TableFor(l) != nullptr) levels.push_back(l);
+  }
+  return levels;
+}
+
+}  // namespace hpcfail::core::simd

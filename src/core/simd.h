@@ -1,0 +1,143 @@
+// Explicit SIMD kernels over the columnar event store's byte columns, with
+// runtime dispatch between instruction-set levels.
+//
+// Why a dedicated layer: the SoA store's query loops (compiled-filter
+// compare, distinct-peer dedup, block validation) are byte-wide and
+// branch-light, but only the simplest of them autovectorize; the
+// gather/dedup and table-lookup paths do not. These kernels make the
+// vector shape explicit and give every call site one scalar reference
+// implementation to be proven bit-identical against
+// (tests/test_simd_kernels.cpp).
+//
+// Kernel contracts (all levels must agree bit-for-bit):
+//   CountMatches(cats, subs, n, cat, sub)
+//       number of rows i in [0, n) with cats[i] == cat and, when sub != 0,
+//       subs[i] == sub. sub == 0 means "any subcategory".
+//   FindNextMatch(cats, subs, n, from, cat, sub)
+//       smallest i in [from, n) matching as above; n when none.
+//   AnyPeerMatch(nodes, cats, subs, n, self, filter)
+//       true when any row matches `filter` and nodes[i] != self.
+//   MarkMatchingNodes(nodes, cats, subs, n, filter, bitmap)
+//       sets bit nodes[i] in `bitmap` for every matching row. The caller
+//       owns the (zeroed) bitmap, clears the self bit and popcounts — the
+//       distinct-peer count, replacing the old sort+unique gather.
+//   ValidateBlock(starts, ends, nodes, cats, subs, n, num_nodes)
+//       index of the first row violating the store's record invariants
+//       (node in [0, num_nodes), end >= start, category in range, packed
+//       subcategory consistent with the category); n when the whole block
+//       is valid. The packed-subcategory sentinel 0xFF never validates, so
+//       stagers can mark records whose optional-field structure is broken
+//       (two subcategories, or a subcategory under the wrong category) and
+//       keep the block check exactly as strict as FailureRecord::
+//       consistent() plus the node-range check.
+//   CategoryMask(cats, n)
+//       bitwise OR of (1u << cats[i]) over the block. Callers guarantee
+//       cats[i] < 8 (store columns hold validated categories < 6).
+//
+// Dispatch. The active level is resolved once per process:
+//   - compile-time: building with -DHPCFAIL_SIMD=OFF (CMake) defines
+//     HPCFAIL_SIMD_ENABLED=0 and compiles only the scalar table — the
+//     forced-scalar build CI proves byte-identical against;
+//   - runtime: on x86-64 the AVX2 table is selected via
+//     __builtin_cpu_supports("avx2") (the AVX2 bodies are compiled with a
+//     function target attribute, so no global -mavx2 flag is needed);
+//     SSE2 is the x86-64 baseline. On AArch64 the NEON table is selected
+//     at compile time.
+//   - override: the HPCFAIL_SIMD environment variable ("scalar", "sse2",
+//     "avx2", "neon") forces a level; an unsupported request falls back to
+//     scalar, never to an illegal instruction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#ifndef HPCFAIL_SIMD_ENABLED
+#define HPCFAIL_SIMD_ENABLED 1
+#endif
+
+namespace hpcfail::core::simd {
+
+// True when the build carries the vector kernel tables at all
+// (-DHPCFAIL_SIMD=OFF compiles them out).
+inline constexpr bool kEnabled = HPCFAIL_SIMD_ENABLED != 0;
+
+enum class Level : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+const char* ToString(Level level);
+
+// Byte-column filter, mirroring core::CompiledFilter's match semantics
+// without depending on it (event_store.h includes this header). `mode`
+// selects the inner loop; kEverything matches every row.
+struct ByteFilter {
+  enum Mode : std::uint8_t { kEverything = 0, kCat = 1, kCatSub = 2 };
+  std::uint8_t cat = 0;
+  std::uint8_t sub = 0;
+  Mode mode = kEverything;
+
+  bool Matches(std::uint8_t c, std::uint8_t s) const {
+    switch (mode) {
+      case kEverything: return true;
+      case kCat: return c == cat;
+      case kCatSub: return c == cat && s == sub;
+    }
+    return false;
+  }
+};
+
+// Packed-subcategory sentinel: ValidateBlock rejects any row whose sub
+// byte carries it. RecordBlock::PushBack stores it for records whose
+// optional-field structure cannot be packed losslessly.
+inline constexpr std::uint8_t kInvalidPackedSub = 0xFF;
+
+// One level's kernel implementations. All pointers are always non-null.
+struct KernelTable {
+  Level level = Level::kScalar;
+
+  std::size_t (*count_matches)(const std::uint8_t* cats,
+                               const std::uint8_t* subs, std::size_t n,
+                               std::uint8_t cat, std::uint8_t sub) = nullptr;
+  std::size_t (*find_next_match)(const std::uint8_t* cats,
+                                 const std::uint8_t* subs, std::size_t n,
+                                 std::size_t from, std::uint8_t cat,
+                                 std::uint8_t sub) = nullptr;
+  bool (*any_peer_match)(const std::int32_t* nodes, const std::uint8_t* cats,
+                         const std::uint8_t* subs, std::size_t n,
+                         std::int32_t self, ByteFilter filter) = nullptr;
+  void (*mark_matching_nodes)(const std::int32_t* nodes,
+                              const std::uint8_t* cats,
+                              const std::uint8_t* subs, std::size_t n,
+                              ByteFilter filter,
+                              std::uint64_t* bitmap) = nullptr;
+  std::size_t (*validate_block)(const std::int64_t* starts,
+                                const std::int64_t* ends,
+                                const std::int32_t* nodes,
+                                const std::uint8_t* cats,
+                                const std::uint8_t* subs, std::size_t n,
+                                std::int32_t num_nodes) = nullptr;
+  std::uint32_t (*category_mask)(const std::uint8_t* cats,
+                                 std::size_t n) = nullptr;
+};
+
+// The process-wide active table, resolved on first use (thread-safe) from
+// the compile-time configuration, the CPU, and the HPCFAIL_SIMD override.
+const KernelTable& Active();
+
+// The scalar reference table (always available; what parity tests compare
+// against).
+const KernelTable& Scalar();
+
+// Table for a specific level, or nullptr when that level is not compiled
+// in or not supported by this CPU. Scalar is never null.
+const KernelTable* TableFor(Level level);
+
+// Levels usable on this machine in this build, ascending (always contains
+// kScalar). Parity tests iterate this.
+std::vector<Level> SupportedLevels();
+
+}  // namespace hpcfail::core::simd

@@ -187,6 +187,10 @@ struct PairwiseCounts {
 PairwiseCounts CountSameNodePairs(const SystemEventStore& se, TimeSec window,
                                   TimeSec horizon) {
   PairwiseCounts c;
+  // Once a trigger's window has seen every category the system records at
+  // all, the mask cannot change; the category_mask kernel gives that upper
+  // bound once per system so wide windows stop scanning early.
+  const std::uint32_t full = se.CategoriesPresent();
   for (const SystemEventStore::EventColumns& nc : se.by_node) {
     const std::size_t n = nc.times.size();
     for (std::size_t i = 0; i < n; ++i) {
@@ -197,7 +201,7 @@ PairwiseCounts CountSameNodePairs(const SystemEventStore& se, TimeSec window,
       std::size_t j = i + 1;
       while (j < n && nc.times[j] == t) ++j;
       std::uint32_t mask = 0;
-      for (; j < n && nc.times[j] <= t + window; ++j) {
+      for (; j < n && nc.times[j] <= t + window && mask != full; ++j) {
         mask |= 1u << nc.cats[j];
       }
       const auto cx = static_cast<std::size_t>(nc.cats[i]);
@@ -250,6 +254,13 @@ WindowAnalyzer::PairwiseMatrix WindowAnalyzer::PairwiseProbabilities(
     }
     return out;
   }
+  // Trigger categories no system records produce zero trials whatever the
+  // target; fill those rows with the same WilsonProportion(0, 0) the full
+  // scan would compute instead of running 6 cross-system scans each.
+  std::uint32_t present = 0;
+  for (const SystemId sys : index_->systems()) {
+    present |= index_->store(sys).CategoriesPresent();
+  }
   // The 36 cells are independent; each cell's counts come from the same
   // deterministic per-system reduction as the serial path, so the matrix is
   // identical for every thread count.
@@ -258,7 +269,9 @@ WindowAnalyzer::PairwiseMatrix WindowAnalyzer::PairwiseProbabilities(
                 const std::size_t xi = cell / kNumFailureCategories;
                 const std::size_t yi = cell % kNumFailureCategories;
                 ConditionalResult& r = out[xi][yi];
-                r.conditional = ConditionalProbability(
+                r.conditional = ((present >> xi) & 1u) == 0
+                                    ? stats::WilsonProportion(0, 0)
+                                    : ConditionalProbability(
                     EventFilter::Of(static_cast<FailureCategory>(xi)),
                     EventFilter::Of(static_cast<FailureCategory>(yi)), scope,
                     window);

@@ -1,13 +1,24 @@
 #include "stream/incremental_index.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
 namespace hpcfail::stream {
 namespace {
+
+// Largest system id the dense FindSystemIndex slot table will be built for;
+// a handful of engines with adversarially huge ids must not each allocate a
+// giant table, so those fall back to the linear scan.
+constexpr std::int32_t kMaxDenseSystemId = 4096;
+
+// Consumed-prefix length beyond which Drain/CatchUp erase the prefix
+// instead of letting the buffer vector grow without bound.
+constexpr std::size_t kCompactThreshold = 1024;
 
 // Process-level ingest counters. Unlike the per-engine IngestCounters
 // (which checkpoint/restore as engine state), these track what THIS process
@@ -124,6 +135,19 @@ IncrementalEventIndex::IncrementalEventIndex(std::vector<SystemConfig> systems,
   for (std::size_t i = 0; i < systems_.size(); ++i) {
     stores_[i].Init(systems_[i]);
   }
+  std::int32_t max_id = -1;
+  bool dense = true;
+  for (const SystemConfig& s : systems_) {
+    if (s.id.value > kMaxDenseSystemId) dense = false;
+    max_id = std::max(max_id, s.id.value);
+  }
+  if (dense) {
+    sys_slot_.assign(static_cast<std::size_t>(max_id + 1), -1);
+    for (std::size_t i = 0; i < systems_.size(); ++i) {
+      sys_slot_[static_cast<std::size_t>(systems_[i].id.value)] =
+          static_cast<std::int32_t>(i);
+    }
+  }
 }
 
 TimeSec IncrementalEventIndex::watermark() const {
@@ -138,6 +162,13 @@ TimeSec IncrementalEventIndex::watermark() const {
 }
 
 int IncrementalEventIndex::FindSystemIndex(SystemId sys) const {
+  if (!sys_slot_.empty()) {
+    if (sys.value < 0 ||
+        static_cast<std::size_t>(sys.value) >= sys_slot_.size()) {
+      return -1;
+    }
+    return sys_slot_[static_cast<std::size_t>(sys.value)];
+  }
   for (std::size_t i = 0; i < systems_.size(); ++i) {
     if (systems_[i].id == sys) return static_cast<int>(i);
   }
@@ -180,28 +211,50 @@ IngestStatus IncrementalEventIndex::Classify(const FailureRecord& r,
 
 void IncrementalEventIndex::Process(std::size_t system_index,
                                     const FailureRecord& r) {
-  stores_[system_index].Append(r);
+  // Classify validated the record at admission and the watermark releases
+  // in time order, so the store need not re-validate (the serial ingest
+  // path used to pay consistent() twice per record).
+  stores_[system_index].AppendTrusted(r);
   if (sink_) sink_(system_index, r);
+}
+
+void IncrementalEventIndex::InsertBuffered(Buffered b) {
+  const auto it = std::upper_bound(
+      buffer_.begin() + static_cast<std::ptrdiff_t>(head_), buffer_.end(), b,
+      BufferedOrder{});
+  buffer_.insert(it, std::move(b));
+}
+
+void IncrementalEventIndex::CompactBuffer() {
+  if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  } else if (head_ >= kCompactThreshold && head_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
 }
 
 void IncrementalEventIndex::Drain() {
   const TimeSec wm = watermark();
   long long released = 0;
-  while (!buffer_.empty()) {
-    const auto it = buffer_.begin();
-    if (!finished_ && it->record.start >= wm) break;
-    Process(it->system_index, it->record);
+  while (head_ < buffer_.size()) {
+    const Buffered& b = buffer_[head_];
+    if (!finished_ && b.record.start >= wm) break;
+    Process(b.system_index, b.record);
     ++counters_.released;
     ++released;
-    buffer_.erase(it);
+    ++head_;
   }
+  CompactBuffer();
   StreamMetrics& metrics = StreamMetrics::Get();
   if (released > 0) metrics.released.Add(released);
-  metrics.buffered.Set(static_cast<double>(buffer_.size()));
+  metrics.buffered.Set(static_cast<double>(num_buffered()));
   metrics.watermark_lag.Set(
-      buffer_.empty() ? 0.0
-                      : static_cast<double>(max_seen_ -
-                                            buffer_.begin()->record.start));
+      head_ == buffer_.size()
+          ? 0.0
+          : static_cast<double>(max_seen_ - buffer_[head_].record.start));
 }
 
 IngestStatus IncrementalEventIndex::Ingest(const FailureRecord& r) {
@@ -212,7 +265,7 @@ IngestStatus IncrementalEventIndex::Ingest(const FailureRecord& r) {
   const IngestStatus status = Classify(r, &system_index);
   if (status != IngestStatus::kAccepted) return status;
   ++counters_.accepted;
-  buffer_.insert(Buffered{r, system_index, next_seq_++});
+  InsertBuffered(Buffered{r, system_index, next_seq_++});
   if (!any_seen_ || r.start > max_seen_) {
     max_seen_ = r.start;
     any_seen_ = true;
@@ -235,7 +288,7 @@ IngestCounters IncrementalEventIndex::CatchUp(
     std::size_t system_index = 0;
     if (Classify(r, &system_index) != IngestStatus::kAccepted) continue;
     ++counters_.accepted;
-    buffer_.insert(Buffered{r, system_index, next_seq_++});
+    InsertBuffered(Buffered{r, system_index, next_seq_++});
     if (!any_seen_ || r.start > max_seen_) {
       max_seen_ = r.start;
       any_seen_ = true;
@@ -247,26 +300,39 @@ IngestCounters IncrementalEventIndex::CatchUp(
   const TimeSec wm = watermark();
   std::vector<std::vector<Buffered>> shards(systems_.size());
   long long popped = 0;
-  while (!buffer_.empty() && buffer_.begin()->record.start < wm) {
-    const auto it = buffer_.begin();
-    shards[it->system_index].push_back(*it);
+  while (head_ < buffer_.size() && buffer_[head_].record.start < wm) {
+    shards[buffer_[head_].system_index].push_back(std::move(buffer_[head_]));
     ++popped;
-    buffer_.erase(it);
+    ++head_;
   }
+  CompactBuffer();
   core::ParallelFor(
       systems_.size(),
       [&](std::size_t s) {
-        for (const Buffered& b : shards[s]) Process(s, b.record);
+        if (shards[s].empty()) return;
+        if (sink_) {
+          // The sink observes store state per delivery; keep the exact
+          // append/sink interleaving of the serial path.
+          for (const Buffered& b : shards[s]) Process(s, b.record);
+          return;
+        }
+        // No sink: stage the shard's columns and let the vectorized block
+        // kernel validate once, then bulk-append — the batched path the
+        // per-record loop cannot use (Ingest must return a status per call).
+        core::RecordBlock block;
+        block.reserve(shards[s].size());
+        for (const Buffered& b : shards[s]) block.PushBack(b.record);
+        stores_[s].AppendBlock(block);
       },
       threads);
   counters_.released += popped;
   StreamMetrics& metrics = StreamMetrics::Get();
   if (popped > 0) metrics.released.Add(popped);
-  metrics.buffered.Set(static_cast<double>(buffer_.size()));
+  metrics.buffered.Set(static_cast<double>(num_buffered()));
   metrics.watermark_lag.Set(
-      buffer_.empty() ? 0.0
-                      : static_cast<double>(max_seen_ -
-                                            buffer_.begin()->record.start));
+      head_ == buffer_.size()
+          ? 0.0
+          : static_cast<double>(max_seen_ - buffer_[head_].record.start));
 
   IngestCounters delta;
   delta.accepted = counters_.accepted - before.accepted;
@@ -364,10 +430,10 @@ void IncrementalEventIndex::SaveTo(snapshot::Writer& w) const {
   w.PutI64(counters_.rejected_late);
   w.PutI64(counters_.rejected_unknown_system);
   w.PutI64(counters_.rejected_bad_record);
-  w.PutU64(buffer_.size());
-  for (const Buffered& b : buffer_) {
-    PutRecord(w, b.record);
-    w.PutU64(b.seq);
+  w.PutU64(num_buffered());
+  for (std::size_t i = head_; i < buffer_.size(); ++i) {
+    PutRecord(w, buffer_[i].record);
+    w.PutU64(buffer_[i].seq);
   }
   w.PutU64(stores_.size());
   for (const core::SystemEventStore& se : stores_) {
@@ -381,6 +447,11 @@ void IncrementalEventIndex::LoadFrom(snapshot::Reader& r) {
     throw snapshot::SnapshotError(
         "snapshot was taken with a different system/stream configuration");
   }
+  // Restoring overwrites counters_ wholesale; remember this engine's
+  // pre-restore contribution so the process-level obs counters can be
+  // reconciled below instead of drifting away from CountersDelta (they used
+  // to: exports disagreed with the engine after every restore).
+  const IngestCounters before = counters_;
   any_seen_ = r.GetBool();
   finished_ = r.GetBool();
   max_seen_ = r.GetI64();
@@ -391,7 +462,9 @@ void IncrementalEventIndex::LoadFrom(snapshot::Reader& r) {
   counters_.rejected_unknown_system = r.GetI64();
   counters_.rejected_bad_record = r.GetI64();
   buffer_.clear();
+  head_ = 0;
   const std::size_t buffered = r.GetSize(23);  // min bytes per record + seq
+  buffer_.reserve(buffered);
   for (std::size_t i = 0; i < buffered; ++i) {
     Buffered b;
     b.record = GetRecord(r);
@@ -407,8 +480,11 @@ void IncrementalEventIndex::LoadFrom(snapshot::Reader& r) {
         !b.record.consistent()) {
       throw snapshot::SnapshotError("buffered record out of range");
     }
-    buffer_.insert(std::move(b));
+    buffer_.push_back(std::move(b));
   }
+  // SaveTo writes the buffer in order, but the bytes come from outside;
+  // restore the sort invariant rather than assume it.
+  std::sort(buffer_.begin(), buffer_.end(), BufferedOrder{});
   const std::size_t num_stores = r.GetSize(8);
   if (num_stores != stores_.size()) {
     throw snapshot::SnapshotError("system count mismatch");
@@ -416,25 +492,44 @@ void IncrementalEventIndex::LoadFrom(snapshot::Reader& r) {
   for (std::size_t s = 0; s < stores_.size(); ++s) {
     stores_[s].Init(systems_[s]);
     const std::size_t n = r.GetSize(22);
-    stores_[s].Reserve(n);
+    core::RecordBlock block;
+    block.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       const FailureRecord f = GetRecord(r);
-      if (f.system != systems_[s].id || !f.node.valid() ||
-          f.node.value >= systems_[s].num_nodes) {
+      if (f.system != systems_[s].id) {
         throw snapshot::SnapshotError("stored record out of range");
       }
-      if (!f.consistent()) {
-        // e.g. end < start: GetRecord guarantees the category/subcategory
-        // pairing, but the time fields come straight from the snapshot.
-        throw snapshot::SnapshotError("inconsistent stored record");
-      }
-      if (stores_[s].size() > 0 && f.start < stores_[s].starts.back()) {
-        throw snapshot::SnapshotError("stored records out of order");
-      }
-      // Append maintains every column bundle incrementally; no rebuild pass.
-      stores_[s].Append(f);
+      block.PushBack(f);
+    }
+    // One vectorized validation pass per store replaces the per-record
+    // consistent() calls: node range, end >= start, category/subcategory
+    // pairing and time order are all checked before anything is appended.
+    try {
+      stores_[s].AppendBlock(block);
+    } catch (const std::invalid_argument& e) {
+      throw snapshot::SnapshotError(std::string("invalid stored record: ") +
+                                    e.what());
     }
   }
+  // Re-sync the process-level metrics with the restored counter values:
+  // exports must agree with counters() after a restore, whether the
+  // snapshot is ahead of or behind this engine's pre-restore state
+  // (Counter::Add accepts negative deltas for the latter).
+  StreamMetrics& metrics = StreamMetrics::Get();
+  metrics.ingested.Add((counters_.accepted + counters_.rejected()) -
+                       (before.accepted + before.rejected()));
+  metrics.accepted.Add(counters_.accepted - before.accepted);
+  metrics.released.Add(counters_.released - before.released);
+  metrics.rejected_late.Add(counters_.rejected_late - before.rejected_late);
+  metrics.rejected_unknown.Add(counters_.rejected_unknown_system -
+                               before.rejected_unknown_system);
+  metrics.rejected_bad.Add(counters_.rejected_bad_record -
+                           before.rejected_bad_record);
+  metrics.buffered.Set(static_cast<double>(num_buffered()));
+  metrics.watermark_lag.Set(
+      buffer_.empty()
+          ? 0.0
+          : static_cast<double>(max_seen_ - buffer_.front().record.start));
 }
 
 }  // namespace hpcfail::stream

@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <set>
 #include <span>
 #include <vector>
 
@@ -92,7 +91,7 @@ class IncrementalEventIndex {
   bool finished() const { return finished_; }
 
   TimeSec watermark() const;
-  std::size_t num_buffered() const { return buffer_.size(); }
+  std::size_t num_buffered() const { return buffer_.size() - head_; }
   const IngestCounters& counters() const { return counters_; }
 
   // Configured systems, in indexing order.
@@ -152,6 +151,11 @@ class IncrementalEventIndex {
   IngestStatus Classify(const FailureRecord& r, std::size_t* system_index);
   // Releases one record into its store and the sink.
   void Process(std::size_t system_index, const FailureRecord& r);
+  // Sorted insert into the reorder buffer (same total order the old
+  // multiset kept, without a node allocation per record).
+  void InsertBuffered(Buffered b);
+  // Drops the consumed [0, head_) prefix once it dominates the vector.
+  void CompactBuffer();
   // Pops and processes every buffered event below the watermark.
   void Drain();
   std::uint64_t ConfigFingerprint() const;
@@ -159,7 +163,16 @@ class IncrementalEventIndex {
   StreamConfig config_;
   std::vector<SystemConfig> systems_;
   std::vector<core::SystemEventStore> stores_;
-  std::multiset<Buffered, BufferedOrder> buffer_;
+  // Reorder buffer: a BufferedOrder-sorted vector plus a consumed-prefix
+  // cursor. Live entries are [head_, size()). Streaming input is nearly
+  // sorted, so inserts land close to the tail and releases advance head_ —
+  // both without the per-record malloc/free the multiset paid.
+  std::vector<Buffered> buffer_;
+  std::size_t head_ = 0;
+  // Dense system-id -> index map (kept only while ids stay small, see
+  // kMaxDenseSystemId); empty means FindSystemIndex falls back to the
+  // linear scan.
+  std::vector<std::int32_t> sys_slot_;
   Sink sink_;
   TimeSec max_seen_ = kNoWatermark;
   bool any_seen_ = false;

@@ -21,11 +21,17 @@ void AddDistinct(std::vector<std::int32_t>& seen, std::int32_t value) {
   }
 }
 
+// Consumed prefixes of the pending vector are erased once they pass this
+// length and dominate the vector (same policy as the index reorder buffer).
+constexpr std::size_t kPendingCompactThreshold = 64;
+
 }  // namespace
 
 StreamingWindowTracker::StreamingWindowTracker(
     const std::vector<SystemConfig>& systems, WindowTrackerConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      trigger_cf_(core::CompiledFilter::From(config_.trigger)),
+      target_cf_(core::CompiledFilter::From(config_.target)) {
   if (config_.window <= 0) {
     throw std::invalid_argument(
         "StreamingWindowTracker: window must be positive, got " +
@@ -74,10 +80,24 @@ void StreamingWindowTracker::Resolve(Lane& lane, const PendingWindow& p) {
 void StreamingWindowTracker::ResolveBefore(Lane& lane, TimeSec t) {
   // A window (start, start + W] is final once every event with time
   // <= start + W has been seen, i.e. once stream time exceeds start + W.
-  while (!lane.pending.empty() &&
-         lane.pending.front().start + config_.window < t) {
-    Resolve(lane, lane.pending.front());
-    lane.pending.pop_front();
+  while (lane.head < lane.pending.size() &&
+         lane.pending[lane.head].start + config_.window < t) {
+    PendingWindow& p = lane.pending[lane.head];
+    Resolve(lane, p);
+    p.rack_seen.clear();
+    p.sys_seen.clear();
+    lane.pool.push_back(std::move(p));
+    ++lane.head;
+  }
+  if (lane.head == lane.pending.size()) {
+    lane.pending.clear();
+    lane.head = 0;
+  } else if (lane.head >= kPendingCompactThreshold &&
+             lane.head >= lane.pending.size() / 2) {
+    lane.pending.erase(lane.pending.begin(),
+                       lane.pending.begin() +
+                           static_cast<std::ptrdiff_t>(lane.head));
+    lane.head = 0;
   }
 }
 
@@ -85,13 +105,19 @@ void StreamingWindowTracker::OnEvent(std::size_t system_index,
                                      const FailureRecord& f) {
   Lane& lane = lanes_.at(system_index);
   ResolveBefore(lane, f.start);
-  if (config_.target.Matches(f)) {
+  // Match against the packed byte encoding once per event; released records
+  // are consistent, so the packing is lossless and CompiledFilter::Matches
+  // decides exactly like EventFilter::Matches on the full record.
+  const auto cat = static_cast<std::uint8_t>(f.category);
+  const std::uint8_t sub = core::PackSubcategory(f);
+  if (target_cf_.Matches(cat, sub)) {
     // Update every open window this event falls into. Windows at the same
     // start as the event are excluded: the batch query interval is the
     // half-open (start, start + W].
     const RackId event_rack =
         lane.rack_of[static_cast<std::size_t>(f.node.value)];
-    for (PendingWindow& p : lane.pending) {
+    for (std::size_t i = lane.head; i < lane.pending.size(); ++i) {
+      PendingWindow& p = lane.pending[i];
       if (p.start >= f.start) break;  // pending is ordered by start
       if (p.node == f.node) {
         p.same_node_hit = true;
@@ -120,9 +146,17 @@ void StreamingWindowTracker::OnEvent(std::size_t system_index,
   }
   // Triggers whose window would run past the end of the observation period
   // are censored, exactly like the batch analyzer.
-  if (config_.trigger.Matches(f) &&
+  if (trigger_cf_.Matches(cat, sub) &&
       f.start + config_.window <= lane.config->observed.end) {
-    lane.pending.push_back(PendingWindow{f.start, f.node});
+    PendingWindow w;
+    if (!lane.pool.empty()) {
+      w = std::move(lane.pool.back());  // seen-lists keep their capacity
+      lane.pool.pop_back();
+    }
+    w.start = f.start;
+    w.node = f.node;
+    w.same_node_hit = false;
+    lane.pending.push_back(std::move(w));
   }
 }
 
@@ -133,10 +167,11 @@ void StreamingWindowTracker::AdvanceTo(std::size_t system_index,
 
 void StreamingWindowTracker::Finish() {
   for (Lane& lane : lanes_) {
-    while (!lane.pending.empty()) {
-      Resolve(lane, lane.pending.front());
-      lane.pending.pop_front();
+    for (std::size_t i = lane.head; i < lane.pending.size(); ++i) {
+      Resolve(lane, lane.pending[i]);
     }
+    lane.pending.clear();
+    lane.head = 0;
   }
 }
 
@@ -179,7 +214,7 @@ long long StreamingWindowTracker::resolved_triggers() const {
 
 std::size_t StreamingWindowTracker::pending_windows() const {
   std::size_t total = 0;
-  for (const Lane& lane : lanes_) total += lane.pending.size();
+  for (const Lane& lane : lanes_) total += lane.pending.size() - lane.head;
   return total;
 }
 
@@ -208,8 +243,9 @@ void StreamingWindowTracker::SaveTo(snapshot::Writer& w) const {
     w.PutI64(lane.rack_peers.trials);
     w.PutI64(lane.system_peers.successes);
     w.PutI64(lane.system_peers.trials);
-    w.PutU64(lane.pending.size());
-    for (const PendingWindow& p : lane.pending) {
+    w.PutU64(lane.pending.size() - lane.head);
+    for (std::size_t i = lane.head; i < lane.pending.size(); ++i) {
+      const PendingWindow& p = lane.pending[i];
       w.PutI64(p.start);
       w.PutU32(static_cast<std::uint32_t>(p.node.value));
       w.PutBool(p.same_node_hit);
@@ -244,6 +280,7 @@ void StreamingWindowTracker::LoadFrom(snapshot::Reader& r) {
     lane.system_peers.successes = r.GetI64();
     lane.system_peers.trials = r.GetI64();
     lane.pending.clear();
+    lane.head = 0;
     const std::size_t pending = r.GetSize(13);
     for (std::size_t i = 0; i < pending; ++i) {
       PendingWindow p;

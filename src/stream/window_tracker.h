@@ -4,7 +4,7 @@
 // and system-peer scope from a single pass over the event stream.
 //
 // Algorithm. Every trigger failure opens a pending window kept in a
-// per-system ring buffer (deque) ordered by start time. Each arriving event
+// per-system consumed-prefix vector ordered by start time. Each arriving event
 // updates the pending windows it falls into (same-node hit flag, distinct
 // rack/system peer sets), and a pending window is resolved into the
 // success/trial counters as soon as the stream time passes its end — so
@@ -21,9 +21,9 @@
 // checkpoint/restore cycle.
 #pragma once
 
-#include <deque>
 #include <vector>
 
+#include "core/event_store.h"
 #include "core/window_analysis.h"
 #include "stream/snapshot.h"
 
@@ -88,8 +88,14 @@ class StreamingWindowTracker {
     std::vector<RackId> rack_of;  // index == node id
     std::vector<int> rack_size;   // index == rack id
     long long windows_per_node = 0;
-    // Mutable stream state.
-    std::deque<PendingWindow> pending;  // ordered by start
+    // Mutable stream state. Open windows, ordered by start; live entries
+    // are [head, pending.size()) — resolved windows advance `head` and are
+    // recycled through `pool` so their rack/sys distinct-lists keep their
+    // heap capacity instead of paying a malloc/free per trigger (the
+    // per-event deque churn dominated the streaming-engine ingest profile).
+    std::vector<PendingWindow> pending;
+    std::size_t head = 0;
+    std::vector<PendingWindow> pool;  // recycled windows, capacity retained
     Counts same_node, rack_peers, system_peers;
     std::vector<long long> baseline_hits;  // per node
     std::vector<long long> baseline_last;  // last counted window, -1 = none
@@ -100,6 +106,12 @@ class StreamingWindowTracker {
   std::uint64_t ConfigFingerprint() const;
 
   WindowTrackerConfig config_;
+  // The trigger/target filters compiled against the packed (category,
+  // subcategory) byte encoding: two byte compares per event instead of four
+  // optional<enum> compares, valid because OnEvent only ever sees released
+  // (validated, consistent) records.
+  core::CompiledFilter trigger_cf_;
+  core::CompiledFilter target_cf_;
   std::vector<Lane> lanes_;
 };
 

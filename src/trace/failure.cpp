@@ -78,37 +78,6 @@ std::optional<EnvironmentEvent> ParseEnvironmentEvent(std::string_view s) {
   return ParseByName(s, AllEnvironmentEvents());
 }
 
-bool FailureRecord::consistent() const {
-  if (end < start) return false;
-  // Enum values must be in range: records built programmatically (LANL
-  // import glue, checkpoint replay, fuzzed input) can carry any byte in an
-  // enum slot, and an out-of-range value would round-trip wrongly through
-  // every packed (category, subcategory) encoding — the stream checkpoint
-  // and the columnar event store both use one.
-  if (static_cast<std::uint8_t>(category) >= kNumFailureCategories) {
-    return false;
-  }
-  if (hardware.has_value() &&
-      static_cast<std::uint8_t>(*hardware) >= kNumHardwareComponents) {
-    return false;
-  }
-  if (software.has_value() &&
-      static_cast<std::uint8_t>(*software) >= kNumSoftwareComponents) {
-    return false;
-  }
-  if (environment.has_value() &&
-      static_cast<std::uint8_t>(*environment) >= kNumEnvironmentEvents) {
-    return false;
-  }
-  const bool is_hw = category == FailureCategory::kHardware;
-  const bool is_sw = category == FailureCategory::kSoftware;
-  const bool is_env = category == FailureCategory::kEnvironment;
-  if (hardware.has_value() && !is_hw) return false;
-  if (software.has_value() && !is_sw) return false;
-  if (environment.has_value() && !is_env) return false;
-  return true;
-}
-
 FailureRecord MakeHardwareFailure(SystemId sys, NodeId node, TimeSec start,
                                   TimeSec end, HardwareComponent component) {
   FailureRecord r;

@@ -120,8 +120,37 @@ struct FailureRecord {
   // enum value must be in range, and end must not precede start. Both
   // ingest paths (Trace::AddFailure and the stream index) enforce this, so
   // stored records always pack losslessly into (category, subcategory)
-  // byte encodings.
-  bool consistent() const;
+  // byte encodings. Defined inline: streaming ingest calls it once per
+  // admitted record, and an outline call was measurable there. Enum values
+  // are checked because records built programmatically (LANL import glue,
+  // checkpoint replay, fuzzed input) can carry any byte in an enum slot,
+  // and an out-of-range value would round-trip wrongly through every
+  // packed (category, subcategory) encoding.
+  bool consistent() const {
+    if (end < start) return false;
+    if (static_cast<std::uint8_t>(category) >= kNumFailureCategories) {
+      return false;
+    }
+    if (hardware.has_value() &&
+        static_cast<std::uint8_t>(*hardware) >= kNumHardwareComponents) {
+      return false;
+    }
+    if (software.has_value() &&
+        static_cast<std::uint8_t>(*software) >= kNumSoftwareComponents) {
+      return false;
+    }
+    if (environment.has_value() &&
+        static_cast<std::uint8_t>(*environment) >= kNumEnvironmentEvents) {
+      return false;
+    }
+    const bool is_hw = category == FailureCategory::kHardware;
+    const bool is_sw = category == FailureCategory::kSoftware;
+    const bool is_env = category == FailureCategory::kEnvironment;
+    if (hardware.has_value() && !is_hw) return false;
+    if (software.has_value() && !is_sw) return false;
+    if (environment.has_value() && !is_env) return false;
+    return true;
+  }
 
   friend bool operator==(const FailureRecord&, const FailureRecord&) = default;
 };

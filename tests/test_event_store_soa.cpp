@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/event_index.h"
@@ -348,6 +349,145 @@ TEST(EventStoreAppend, RejectsWhatColumnsCannotRepresent) {
   EXPECT_THROW(se.Append(out_of_order), std::invalid_argument);
 
   EXPECT_EQ(se.size(), 1u) << "failed appends must not partially commit";
+}
+
+// ---- AppendBlock: the kernel-validated bulk path must leave the store
+// byte-identical to per-record Append, and reject exactly what Append
+// rejects (naming the first offending row).
+
+TEST_F(SoaParityTest, AppendBlockMatchesPerRecordAppend) {
+  for (const SystemConfig& cfg : SharedTrace().systems()) {
+    const std::vector<FailureRecord> events =
+        SharedTrace().FailuresOfSystem(cfg.id);
+    ASSERT_FALSE(events.empty());
+
+    SystemEventStore per_record;
+    per_record.Init(cfg);
+    for (const FailureRecord& f : events) per_record.Append(f);
+
+    // Split into uneven chunks so block boundaries land mid-stream.
+    SystemEventStore blocked;
+    blocked.Init(cfg);
+    RecordBlock block;
+    std::size_t i = 0;
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}, events.size()}) {
+      block.clear();
+      for (std::size_t k = 0; k < chunk && i < events.size(); ++k, ++i) {
+        block.PushBack(events[i]);
+      }
+      blocked.AppendBlock(block);
+    }
+    ASSERT_EQ(i, events.size());
+
+    EXPECT_EQ(blocked.starts, per_record.starts);
+    EXPECT_EQ(blocked.ends, per_record.ends);
+    EXPECT_EQ(blocked.nodes, per_record.nodes);
+    EXPECT_EQ(blocked.cats, per_record.cats);
+    EXPECT_EQ(blocked.subs, per_record.subs);
+    ASSERT_EQ(blocked.by_node.size(), per_record.by_node.size());
+    for (std::size_t nd = 0; nd < blocked.by_node.size(); ++nd) {
+      EXPECT_EQ(blocked.by_node[nd].times, per_record.by_node[nd].times);
+      EXPECT_EQ(blocked.by_node[nd].cats, per_record.by_node[nd].cats);
+      EXPECT_EQ(blocked.by_node[nd].subs, per_record.by_node[nd].subs);
+    }
+    ASSERT_EQ(blocked.by_rack.size(), per_record.by_rack.size());
+    for (std::size_t rk = 0; rk < blocked.by_rack.size(); ++rk) {
+      EXPECT_EQ(blocked.by_rack[rk].times, per_record.by_rack[rk].times);
+      EXPECT_EQ(blocked.by_rack[rk].nodes, per_record.by_rack[rk].nodes);
+      EXPECT_EQ(blocked.by_rack[rk].cats, per_record.by_rack[rk].cats);
+      EXPECT_EQ(blocked.by_rack[rk].subs, per_record.by_rack[rk].subs);
+    }
+  }
+}
+
+TEST(EventStoreAppendBlock, RejectsFirstBadRowWithoutPartialCommit) {
+  const SystemConfig cfg = FourNodeConfig();
+
+  // Each mutation breaks one invariant the validate kernel must catch.
+  const auto corrupt = [&](std::size_t bad_index, auto&& mutate) {
+    SystemEventStore se;
+    se.Init(cfg);
+    se.Append(GoodRecord(kDay));
+    RecordBlock block;
+    for (int k = 0; k < 5; ++k) {
+      block.PushBack(GoodRecord(2 * kDay + k * kHour));
+    }
+    mutate(block, bad_index);
+    try {
+      se.AppendBlock(block);
+      ADD_FAILURE() << "AppendBlock accepted a corrupt block";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(std::to_string(bad_index)),
+                std::string::npos)
+          << "error should name row " << bad_index << ", got: " << e.what();
+    }
+    EXPECT_EQ(se.size(), 1u) << "failed block must not partially commit";
+  };
+
+  corrupt(2, [](RecordBlock& b, std::size_t i) { b.nodes[i] = 4; });
+  corrupt(3, [](RecordBlock& b, std::size_t i) { b.nodes[i] = -1; });
+  corrupt(0, [](RecordBlock& b, std::size_t i) {
+    b.ends[i] = b.starts[i] - 1;
+  });
+  corrupt(4, [](RecordBlock& b, std::size_t i) { b.cats[i] = 6; });
+  corrupt(1, [](RecordBlock& b, std::size_t i) { b.cats[i] = 0xFF; });
+  // Subcategory out of range for the category (software has 7 components).
+  corrupt(2, [](RecordBlock& b, std::size_t i) { b.subs[i] = 8; });
+  // The staging sentinel for structurally broken records must never pass.
+  corrupt(3, [](RecordBlock& b, std::size_t i) {
+    b.subs[i] = simd::kInvalidPackedSub;
+  });
+  // Subcategory under a category that allows none (human/network).
+  corrupt(4, [](RecordBlock& b, std::size_t i) {
+    b.cats[i] = static_cast<std::uint8_t>(FailureCategory::kHuman);
+    b.subs[i] = 1;
+  });
+}
+
+TEST(EventStoreAppendBlock, RejectsTimeOrderViolations) {
+  const SystemConfig cfg = FourNodeConfig();
+
+  // Intra-block disorder.
+  {
+    SystemEventStore se;
+    se.Init(cfg);
+    RecordBlock block;
+    block.PushBack(GoodRecord(2 * kDay));
+    block.PushBack(GoodRecord(kDay));
+    EXPECT_THROW(se.AppendBlock(block), std::invalid_argument);
+    EXPECT_EQ(se.size(), 0u);
+  }
+  // Block starts before the store's last record.
+  {
+    SystemEventStore se;
+    se.Init(cfg);
+    se.Append(GoodRecord(2 * kDay));
+    RecordBlock block;
+    block.PushBack(GoodRecord(kDay));
+    EXPECT_THROW(se.AppendBlock(block), std::invalid_argument);
+    EXPECT_EQ(se.size(), 1u);
+  }
+  // Structurally unpackable record staged via PushBack: the sentinel.
+  {
+    SystemEventStore se;
+    se.Init(cfg);
+    RecordBlock block;
+    FailureRecord two_subs = GoodRecord(kDay);
+    two_subs.hardware = HardwareComponent::kCpu;  // plus software
+    block.PushBack(two_subs);
+    EXPECT_EQ(block.subs[0], simd::kInvalidPackedSub);
+    EXPECT_THROW(se.AppendBlock(block), std::invalid_argument);
+    EXPECT_EQ(se.size(), 0u);
+  }
+  // An empty block is a no-op.
+  {
+    SystemEventStore se;
+    se.Init(cfg);
+    RecordBlock block;
+    se.AppendBlock(block);
+    EXPECT_EQ(se.size(), 0u);
+  }
 }
 
 // ---- CompiledFilter unit behavior.

@@ -140,11 +140,16 @@ TEST(ObsIntegration, StreamSessionCountersAndInvariants) {
     return CounterValue(after, name) - CounterValue(before, name);
   };
   const long long n = static_cast<long long>(sorted.size());
-  EXPECT_EQ(delta("hpcfail_stream_ingested_total"), n + 3);
-  EXPECT_EQ(delta("hpcfail_stream_accepted_total"), n);
-  EXPECT_EQ(delta("hpcfail_stream_rejected_bad_record_total"), 1);
-  EXPECT_EQ(delta("hpcfail_stream_rejected_unknown_system_total"), 1);
-  EXPECT_EQ(delta("hpcfail_stream_rejected_late_total"), 1);
+  // The registry totals the ingest counters across engines, and a restore
+  // reconciles the restored engine's contribution with its snapshot (the
+  // exports must agree with the engine's counters() afterwards). Here two
+  // engines contribute: the live one and the restored copy of it, so every
+  // ingest counter appears twice.
+  EXPECT_EQ(delta("hpcfail_stream_ingested_total"), 2 * (n + 3));
+  EXPECT_EQ(delta("hpcfail_stream_accepted_total"), 2 * n);
+  EXPECT_EQ(delta("hpcfail_stream_rejected_bad_record_total"), 2);
+  EXPECT_EQ(delta("hpcfail_stream_rejected_unknown_system_total"), 2);
+  EXPECT_EQ(delta("hpcfail_stream_rejected_late_total"), 2);
   // The load-bearing invariant: every presented record is accounted for.
   EXPECT_EQ(delta("hpcfail_stream_ingested_total"),
             delta("hpcfail_stream_accepted_total") +
@@ -154,8 +159,7 @@ TEST(ObsIntegration, StreamSessionCountersAndInvariants) {
   // Finished engine: everything accepted was released downstream.
   EXPECT_EQ(delta("hpcfail_stream_released_total"),
             delta("hpcfail_stream_accepted_total"));
-  // Checkpoint/restore accounting (obs counters are process-level: the
-  // restore reloads engine state but never rewinds these).
+  // Checkpoint/restore accounting.
   EXPECT_EQ(delta("hpcfail_stream_checkpoints_total"), 1);
   EXPECT_GT(delta("hpcfail_stream_checkpoint_bytes_total"), 0);
   EXPECT_EQ(delta("hpcfail_stream_restores_total"), 1);
@@ -183,6 +187,63 @@ TEST(ObsIntegration, StreamSessionCountersAndInvariants) {
     EXPECT_EQ(a.baseline.successes, b.baseline.successes);
     EXPECT_EQ(a.baseline.trials, b.baseline.trials);
   }
+}
+
+TEST(ObsIntegration, RestoreReconcilesStreamCountersWithSnapshot) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  // Regression: LoadFrom used to restore the engine's counters_ without
+  // touching the registry, so the Prometheus/JSON exports disagreed with
+  // counters() after every restore. The restore must add (or subtract —
+  // snapshots can be older than the engine's current state) exactly the
+  // counter delta it applies to the engine.
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 11);
+  const std::vector<FailureRecord>& sorted = trace.failures();
+  stream::EngineConfig cfg;
+  cfg.stream.reorder_tolerance = kDay;
+  cfg.window.trigger = core::EventFilter::Any();
+  cfg.window.target = core::EventFilter::Any();
+  cfg.window.window = kWeek;
+
+  stream::StreamEngine head(trace.systems(), cfg);
+  // An empty-engine checkpoint, for the rewind leg below.
+  std::stringstream empty_snap(std::ios::in | std::ios::out |
+                               std::ios::binary);
+  head.SaveCheckpoint(empty_snap);
+  for (const FailureRecord& r : sorted) head.Ingest(r);
+  FailureRecord bad = sorted.front();
+  bad.node = NodeId{1 << 20};
+  ASSERT_EQ(head.Ingest(bad), stream::IngestStatus::kRejectedBadRecord);
+  head.Finish();
+  std::stringstream full_snap(std::ios::in | std::ios::out |
+                              std::ios::binary);
+  head.SaveCheckpoint(full_snap);
+
+  const auto counter = [](const char* name) {
+    return CounterValue(obs::MetricsRegistry::Global().Snapshot(), name);
+  };
+  const long long n = static_cast<long long>(sorted.size());
+
+  // Restoring into a fresh engine adds the snapshot's counters.
+  stream::StreamEngine restored(trace.systems(), cfg);
+  const long long accepted_0 = counter("hpcfail_stream_accepted_total");
+  const long long released_0 = counter("hpcfail_stream_released_total");
+  const long long rejected_0 = counter("hpcfail_stream_rejected_bad_record_total");
+  const long long ingested_0 = counter("hpcfail_stream_ingested_total");
+  restored.RestoreCheckpoint(full_snap);
+  EXPECT_EQ(restored.counters().accepted, n);
+  EXPECT_EQ(counter("hpcfail_stream_accepted_total") - accepted_0, n);
+  EXPECT_EQ(counter("hpcfail_stream_released_total") - released_0, n);
+  EXPECT_EQ(counter("hpcfail_stream_rejected_bad_record_total") - rejected_0,
+            1);
+  EXPECT_EQ(counter("hpcfail_stream_ingested_total") - ingested_0, n + 1);
+
+  // Rewinding the same engine to the empty checkpoint subtracts it again.
+  restored.RestoreCheckpoint(empty_snap);
+  EXPECT_EQ(restored.counters().accepted, 0);
+  EXPECT_EQ(counter("hpcfail_stream_accepted_total"), accepted_0);
+  EXPECT_EQ(counter("hpcfail_stream_released_total"), released_0);
+  EXPECT_EQ(counter("hpcfail_stream_rejected_bad_record_total"), rejected_0);
+  EXPECT_EQ(counter("hpcfail_stream_ingested_total"), ingested_0);
 }
 
 TEST(ObsIntegration, CatchUpMatchesSerialIngestAndCounts) {
