@@ -1,0 +1,437 @@
+// Load generator for hpcfaild / the serve subsystem. Three modes:
+//
+//   perf_service --json              in-process Server, full load profile
+//   perf_service --json --smoke      the same but a small/fast profile
+//   perf_service --connect H:P ...   drive an external hpcfaild instead
+//   perf_service --connect H:P --get /metrics
+//                                    one HTTP GET, body to stdout (curl-less
+//                                    scraping for scripts; exit 1 on !200)
+//
+// The load profile: N concurrent clients over the line protocol, mixed
+// cold/warm — warm requests all hit ONE scenario (after a prewarm build they
+// must be pool hits), cold requests use per-client seeds (each is a session
+// build; with more clients than pool capacity they also exercise LRU
+// eviction). Every response is validated (OK frame, payload length); an ERR
+// frame that is not 503 counts as failed. 503 sheds are counted separately —
+// shedding is the server behaving as designed under overload, not a failure.
+//
+// Output: one JSON object with ok/failed/shed counts, overall throughput,
+// and p50/p95/p99 latency split by warm/cold — the numbers BENCH_pr7.json
+// records and scripts/ci.sh gates against.
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/arg_parser.h"
+#include "engine/session.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace hpcfail {
+namespace {
+
+// ---- Minimal line-protocol client ----------------------------------------
+
+class LineClient {
+ public:
+  ~LineClient() { Close(); }
+
+  bool Connect(const std::string& host, int port, std::string* error) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      *error = "bad host: " + host;
+      Close();
+      return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      *error = std::string("connect: ") + std::strerror(errno);
+      Close();
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool SendLine(const std::string& line) {
+    std::string framed = line + "\n";
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads one response frame. Returns false on socket error/EOF. On success,
+  // *status is 200 for an OK frame (payload filled in) or the ERR code.
+  bool ReadResponse(int* status, std::string* payload) {
+    std::string header;
+    if (!ReadLine(&header)) return false;
+    if (header.rfind("OK ", 0) == 0) {
+      const std::size_t want = std::stoul(header.substr(3));
+      payload->clear();
+      while (payload->size() < want) {
+        const std::size_t need = want - payload->size();
+        if (buffer_.empty() && !Fill()) return false;
+        const std::size_t take = std::min(need, buffer_.size());
+        payload->append(buffer_, 0, take);
+        buffer_.erase(0, take);
+      }
+      *status = serve::kStatusOk;
+      return true;
+    }
+    if (header.rfind("ERR ", 0) == 0) {
+      *status = std::atoi(header.c_str() + 4);
+      *payload = header;
+      return true;
+    }
+    return false;
+  }
+
+  // One raw HTTP GET on a fresh connection semantics (server closes).
+  // Returns the status code, body in *payload; -1 on socket failure.
+  int HttpGet(const std::string& path, std::string* payload) {
+    if (!SendLineRaw("GET " + path + " HTTP/1.1\r\n\r\n")) return -1;
+    std::string all;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      all.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (all.rfind("HTTP/1.1 ", 0) != 0) return -1;
+    const int status = std::atoi(all.c_str() + 9);
+    const std::size_t body = all.find("\r\n\r\n");
+    *payload = body == std::string::npos ? "" : all.substr(body + 4);
+    return status;
+  }
+
+ private:
+  bool SendLineRaw(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool Fill() {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+  }
+
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      if (!Fill()) return false;
+    }
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// ---- Latency bookkeeping --------------------------------------------------
+
+struct Tally {
+  std::vector<double> latencies;  // seconds, successful requests only
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+
+  void Merge(const Tally& other) {
+    latencies.insert(latencies.end(), other.latencies.begin(),
+                     other.latencies.end());
+    ok += other.ok;
+    failed += other.failed;
+    shed += other.shed;
+  }
+};
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+void RunClient(const std::string& host, int port, const std::string& command,
+               int iterations, Tally* out) {
+  for (int i = 0; i < iterations; ++i) {
+    LineClient client;
+    std::string error;
+    if (!client.Connect(host, port, &error)) {
+      ++out->failed;
+      continue;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    int status = 0;
+    std::string payload;
+    if (!client.SendLine(command) || !client.ReadResponse(&status, &payload)) {
+      ++out->failed;
+      continue;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (status == serve::kStatusOk) {
+      ++out->ok;
+      out->latencies.push_back(seconds);
+    } else if (status == serve::kStatusOverloaded) {
+      ++out->shed;
+    } else {
+      ++out->failed;
+    }
+  }
+}
+
+struct PhaseResult {
+  Tally tally;
+  double wall_seconds = 0.0;
+};
+
+PhaseResult RunPhase(const std::string& host, int port, int clients,
+                     int iterations,
+                     const std::function<std::string(int)>& command_for) {
+  std::vector<Tally> tallies(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(RunClient, host, port, command_for(c), iterations,
+                         &tallies[static_cast<std::size_t>(c)]);
+  }
+  for (std::thread& t : threads) t.join();
+  PhaseResult result;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (Tally& t : tallies) result.tally.Merge(t);
+  return result;
+}
+
+void PrintPhaseJson(std::ostream& os, const char* name, PhaseResult& phase) {
+  Tally& t = phase.tally;
+  const std::uint64_t total = t.ok + t.failed + t.shed;
+  os << "  \"" << name << "\": {\n"
+     << "   \"requests\": " << total << ",\n"
+     << "   \"ok\": " << t.ok << ",\n"
+     << "   \"failed\": " << t.failed << ",\n"
+     << "   \"shed\": " << t.shed << ",\n"
+     << "   \"wall_seconds\": " << phase.wall_seconds << ",\n"
+     << "   \"throughput_rps\": "
+     << (phase.wall_seconds > 0.0
+             ? static_cast<double>(t.ok) / phase.wall_seconds
+             : 0.0)
+     << ",\n"
+     << "   \"p50_seconds\": " << Percentile(t.latencies, 0.50) << ",\n"
+     << "   \"p95_seconds\": " << Percentile(t.latencies, 0.95) << ",\n"
+     << "   \"p99_seconds\": " << Percentile(t.latencies, 0.99) << "\n"
+     << "  }";
+}
+
+}  // namespace
+}  // namespace hpcfail
+
+int main(int argc, char** argv) {
+  using namespace hpcfail;
+
+  engine::StandardOptions std_opts;
+  std::string connect;
+  std::string get_path;
+  int clients = 32;
+  int warm_iters = 8;
+  int cold_clients = 6;
+  bool smoke = false;
+  double scale = 0.1;
+  double years = 0.5;
+
+  engine::ArgParser parser(
+      "perf_service",
+      "Concurrent load generator for hpcfaild: mixed cold/warm line-protocol "
+      "requests, machine-readable latency percentiles.");
+  parser.AddString("connect", &connect,
+                   "host:port of an external hpcfaild (default: run an "
+                   "in-process server)");
+  parser.AddString("get", &get_path,
+                   "with --connect: one HTTP GET, print the body, exit "
+                   "0 iff 200");
+  parser.AddInt("clients", &clients, "concurrent warm-phase clients");
+  parser.AddInt("warm-iters", &warm_iters, "requests per warm client");
+  parser.AddInt("cold-clients", &cold_clients,
+                "cold-phase clients (distinct seeds, one build each)");
+  parser.AddFlag("smoke", &smoke, "small fast profile for CI smoke jobs");
+  parser.AddDouble("scale", &scale, "scenario scale for every request");
+  parser.AddDouble("years", &years, "scenario years for every request");
+  engine::AddStandardOptions(parser, &std_opts);
+  parser.ParseOrExit(argc, argv);
+  engine::ApplyStandardOptions(std_opts);
+
+  if (smoke) {
+    clients = std::min(clients, 8);
+    warm_iters = std::min(warm_iters, 3);
+    cold_clients = std::min(cold_clients, 2);
+  }
+
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  // --get: curl-less scrape for scripts, nothing else.
+  if (!get_path.empty()) {
+    if (connect.empty()) {
+      std::cerr << "--get requires --connect\n";
+      return 2;
+    }
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--connect must be host:port\n";
+      return 2;
+    }
+    host = connect.substr(0, colon);
+    port = std::atoi(connect.c_str() + colon + 1);
+    LineClient client;
+    std::string error;
+    if (!client.Connect(host, port, &error)) {
+      std::cerr << "perf_service: " << error << "\n";
+      return 1;
+    }
+    std::string body;
+    const int status = client.HttpGet(get_path, &body);
+    std::cout << body;
+    if (status != serve::kStatusOk) {
+      std::cerr << "perf_service: GET " << get_path << " -> " << status
+                << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // Target: external daemon or an in-process server.
+  std::unique_ptr<serve::Server> server;
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--connect must be host:port\n";
+      return 2;
+    }
+    host = connect.substr(0, colon);
+    port = std::atoi(connect.c_str() + colon + 1);
+  } else {
+    serve::ServerConfig config;
+    config.workers = std::max(4, clients / 4);
+    config.queue_depth = static_cast<std::size_t>(clients) * 2 + 16;
+    config.pool_capacity = 4;  // < cold_clients on the full profile: evicts
+    config.session = engine::MakeSessionOptions(std_opts);
+    server = std::make_unique<serve::Server>(std::move(config));
+    try {
+      server->Start();
+    } catch (const std::exception& e) {
+      std::cerr << "perf_service: " << e.what() << "\n";
+      return 1;
+    }
+    port = server->port();
+  }
+
+  std::ostringstream warm_cmd;
+  warm_cmd << "REPORT scale=" << scale << " years=" << years
+           << " seed=" << std_opts.seed;
+
+  // Prewarm: one build so the warm phase measures pure pool hits.
+  {
+    Tally t;
+    RunClient(host, port, warm_cmd.str(), 1, &t);
+    if (t.ok != 1) {
+      std::cerr << "perf_service: prewarm request failed\n";
+      return 1;
+    }
+  }
+
+  PhaseResult warm = RunPhase(host, port, clients, warm_iters,
+                              [&](int) { return warm_cmd.str(); });
+
+  PhaseResult cold = RunPhase(host, port, cold_clients, 1, [&](int c) {
+    std::ostringstream cmd;
+    cmd << "REPORT scale=" << scale << " years=" << years
+        << " seed=" << (std_opts.seed + 1000 + static_cast<unsigned>(c));
+    return cmd.str();
+  });
+
+  if (server != nullptr) server->Shutdown();
+
+  std::ostringstream out;
+  out << "{\n"
+      << " \"bench\": \"perf_service\",\n"
+      << " \"clients\": " << clients << ",\n"
+      << " \"warm_iters\": " << warm_iters << ",\n"
+      << " \"cold_clients\": " << cold_clients << ",\n"
+      << " \"scale\": " << scale << ",\n"
+      << " \"years\": " << years << ",\n"
+      << " \"seed\": " << std_opts.seed << ",\n"
+      << " \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  PrintPhaseJson(out, "warm", warm);
+  out << ",\n";
+  PrintPhaseJson(out, "cold", cold);
+  out << "\n}\n";
+  std::cout << out.str();
+
+  // Zero tolerance for real failures: sheds are policy, failures are bugs.
+  const bool ok = warm.tally.failed == 0 && cold.tally.failed == 0 &&
+                  warm.tally.ok > 0;
+  return ok ? 0 : 1;
+}

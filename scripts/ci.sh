@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 verify (full build + ctest) plus a
-# ThreadSanitizer build of the streaming tests — the stream engine runs its
-# catch-up replay on the thread pool, so its tests are the ones a data race
-# would bite first — a cache-determinism diff, ASan/UBSan runs of the cache
-# and SIMD-kernel suites, a forced-scalar (-DHPCFAIL_SIMD=OFF) build that
-# must answer byte-identically, and a two-sided perf gate against the
-# committed BENCH_pr6.json baseline.
+# ThreadSanitizer build of the streaming, observability, and serve tests —
+# the serve subsystem (accept thread + worker pool + session pool) and the
+# stream engine's catch-up replay are where a data race would bite first —
+# a cache-determinism diff, ASan/UBSan runs of the cache and SIMD-kernel
+# suites, a forced-scalar (-DHPCFAIL_SIMD=OFF) build that must answer
+# byte-identically, an hpcfaild end-to-end smoke (concurrent load, served
+# bytes vs CLI bytes, /metrics scrape, SIGTERM drain), and a two-sided perf
+# gate against the committed BENCH_pr7.json baseline.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -18,11 +20,15 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== tsan: streaming + observability tests under ThreadSanitizer =="
+echo "== tsan: streaming + observability + serve tests under ThreadSanitizer =="
+# The serve subsystem is the most concurrent code in the repo (accept thread
+# + worker pool + session pool + shared metrics registry); its tests and the
+# engine single-flight tests run with the race detector live.
 cmake -B build-tsan -S . -DHPCFAIL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target \
   test_stream_index test_stream_parity test_stream_snapshot \
-  test_metrics test_obs_integration test_csv_fuzz hpcfail_stream
+  test_metrics test_obs_integration test_csv_fuzz hpcfail_stream \
+  test_serve_protocol test_session_pool test_serve_server test_engine_cache
 ./build-tsan/tests/test_stream_index
 ./build-tsan/tests/test_stream_parity
 ./build-tsan/tests/test_stream_snapshot
@@ -30,6 +36,10 @@ cmake --build build-tsan -j "$JOBS" --target \
 ./build-tsan/tests/test_obs_integration
 ./build-tsan/tests/test_csv_fuzz
 ./build-tsan/tools/hpcfail_stream --selftest
+./build-tsan/tests/test_serve_protocol
+./build-tsan/tests/test_session_pool
+./build-tsan/tests/test_serve_server
+./build-tsan/tests/test_engine_cache
 
 echo "== cache determinism: warm run must be byte-identical to cold =="
 # The artifact cache's core guarantee (DESIGN.md "Engine layer"): a warm
@@ -93,24 +103,65 @@ cmake --build build-nosimd -j "$JOBS" --target \
 diff "$CACHE_TMP/simd.out" "$CACHE_TMP/nosimd.out" \
   || { echo "ci: forced-scalar report differs from SIMD report" >&2; exit 1; }
 
-echo "== perf smoke: two-sided gate vs BENCH_pr6.json =="
-# Guards both headline numbers against the committed baseline: the serial
-# pairwise-matrix time (query kernels) must not be >25% slower, and serial
-# stream ingest must not drop >25% below the recorded events/sec. Absolute
-# numbers are machine-dependent; the gate compares against a baseline
-# recorded on the same host, so only genuine slowdowns trip it.
+echo "== service smoke: hpcfaild end to end =="
+# Start the daemon on an ephemeral port, drive it with perf_service
+# (concurrent clients, zero tolerance for non-shed failures), check the
+# served report is byte-identical to the CLI's, scrape /metrics, then
+# SIGTERM and require a graceful drain ("stopped" + exit 0).
+cmake --build build -j "$JOBS" --target hpcfaild perf_service
+./build/tools/hpcfaild --port 0 --no-cache \
+  > "$CACHE_TMP/hpcfaild.out" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 50); do
+  grep -q '^listening on ' "$CACHE_TMP/hpcfaild.out" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$CACHE_TMP/hpcfaild.out")"
+[ -n "$PORT" ] || { echo "ci: hpcfaild never reported its port" >&2; exit 1; }
+./build/bench/perf_service --smoke --connect "127.0.0.1:$PORT" \
+  > "$CACHE_TMP/service_smoke.json" \
+  || { echo "ci: perf_service smoke failed against hpcfaild" >&2; exit 1; }
+./build/bench/perf_service --connect "127.0.0.1:$PORT" \
+  --get '/report?scale=0.2&years=1&seed=7' > "$CACHE_TMP/served.out" \
+  || { echo "ci: GET /report failed" >&2; exit 1; }
+diff "$CACHE_TMP/served.out" "$CACHE_TMP/cold.out" \
+  || { echo "ci: served report differs from hpcfail_report's" >&2; exit 1; }
+./build/bench/perf_service --connect "127.0.0.1:$PORT" --get /metrics \
+  > "$CACHE_TMP/scrape.txt" \
+  || { echo "ci: /metrics scrape failed" >&2; exit 1; }
+grep -q '^hpcfail_serve_requests_total ' "$CACHE_TMP/scrape.txt" \
+  || { echo "ci: scrape missing serve counters" >&2; exit 1; }
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" \
+  || { echo "ci: hpcfaild exited non-zero on SIGTERM" >&2; exit 1; }
+grep -q '^stopped$' "$CACHE_TMP/hpcfaild.out" \
+  || { echo "ci: hpcfaild did not drain cleanly" >&2; exit 1; }
+
+echo "== perf smoke: two-sided gate vs BENCH_pr7.json =="
+# Guards the headline numbers against the committed baseline: the serial
+# pairwise-matrix time (query kernels) must not be >25% slower, serial
+# stream ingest must not drop >25% below the recorded events/sec, and the
+# service's warm-query p99 must not more than double (service latency on a
+# loaded 1-core host is noisy, so its gate is looser than the kernels').
+# Absolute numbers are machine-dependent; the gate compares against a
+# baseline recorded on the same host, so only genuine slowdowns trip it.
 ./build/bench/perf_engine --json --seed 2013 --reps 8 \
   > "$CACHE_TMP/perf.json"
 ./build/bench/perf_stream --json --seed 2013 --reps 8 \
   > "$CACHE_TMP/perf_stream.json"
+./build/bench/perf_service --no-cache --seed 2013 \
+  > "$CACHE_TMP/perf_service.json" \
+  || { echo "ci: perf_service reported request failures" >&2; exit 1; }
 python3 - "$CACHE_TMP/perf.json" "$CACHE_TMP/perf_stream.json" \
-  BENCH_pr6.json <<'PYEOF'
+  "$CACHE_TMP/perf_service.json" BENCH_pr7.json <<'PYEOF'
 import json, sys
 now_engine = json.load(open(sys.argv[1]))
 now_stream = json.load(open(sys.argv[2]))
-base = json.load(open(sys.argv[3]))
+now_service = json.load(open(sys.argv[3]))
+base = json.load(open(sys.argv[4]))
 base_engine = base["perf_engine"]
 base_stream = base["perf_stream"]
+base_service = base["perf_service"]
 failed = False
 # Side 1: seconds must not grow >25%.
 got = now_engine["pairwise_matrix_seconds"]["1"]
@@ -128,6 +179,19 @@ status = "ok" if ratio >= 0.75 else "REGRESSION"
 print(f"perf: ingest_serial_events_per_sec: {got:.6g} vs baseline "
       f"{want:.6g} (x{ratio:.2f}) {status}")
 failed |= ratio < 0.75
+# Side 3: warm service p99 must not more than double; failures must be zero.
+got = now_service["warm"]["p99_seconds"]
+want = base_service["warm"]["p99_seconds"]
+ratio = got / want if want > 0 else float("inf")
+status = "ok" if ratio <= 2.0 else "REGRESSION"
+print(f"perf: service warm p99: {got:.6g}s vs baseline {want:.6g}s "
+      f"(x{ratio:.2f}) {status}")
+failed |= ratio > 2.0
+for phase in ("warm", "cold"):
+    if now_service[phase]["failed"] != 0:
+        print(f"perf: service {phase} phase had "
+              f"{now_service[phase]['failed']} failed requests REGRESSION")
+        failed = True
 if "query_phase_seconds" in now_engine:
     q = now_engine["query_phase_seconds"]
     print(f"perf: query_phase total {q['total']:.6g}s "

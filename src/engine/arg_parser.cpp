@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <optional>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "trace/numeric.h"
@@ -167,20 +168,73 @@ void ArgParser::ParseOrExit(int argc, const char* const* argv) {
   }
 }
 
+namespace {
+
+constexpr std::size_t kUsageWidth = 78;
+constexpr std::size_t kHelpColumn = 26;
+
+// Word-wraps `text` into `out`, starting at column `start` on the current
+// line, indenting continuation lines to kHelpColumn. Words longer than the
+// width are emitted unbroken (never split mid-word).
+void AppendWrapped(const std::string& text, std::size_t start,
+                   std::string* out) {
+  std::size_t column = start;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    const std::size_t space = text.find(' ', pos);
+    const std::string_view word =
+        std::string_view(text).substr(pos, space == std::string::npos
+                                               ? std::string::npos
+                                               : space - pos);
+    pos = space == std::string::npos ? text.size() : space + 1;
+    if (word.empty()) continue;
+    const std::size_t needed = word.size() + (first ? 0 : 1);
+    if (!first && column + needed > kUsageWidth) {
+      out->push_back('\n');
+      out->append(kHelpColumn, ' ');
+      column = kHelpColumn;
+      out->append(word);
+      column += word.size();
+    } else {
+      if (!first) {
+        out->push_back(' ');
+        ++column;
+      }
+      out->append(word);
+      column += needed - (first ? 0 : 1);
+    }
+    first = false;
+  }
+  out->push_back('\n');
+}
+
+}  // namespace
+
 std::string ArgParser::Usage() const {
   std::string out = "usage: " + program_;
   if (!options_.empty()) out += " [options]";
   if (positionals_ != nullptr) out += " [args...]";
   out += "\n";
-  if (!description_.empty()) out += description_ + "\n";
+  if (!description_.empty()) AppendWrapped(description_, 0, &out);
   if (!options_.empty()) out += "options:\n";
   for (const Option& o : options_) {
     std::string line = "  --" + o.name;
     if (o.kind != Kind::kFlag) line += " <value>";
     line += "  ";
-    while (line.size() < 26) line += ' ';
-    line += o.help + " (default: " + o.default_text + ")\n";
+    // A long flag name pushes its help text onto the next line so the help
+    // column stays aligned.
+    if (line.size() > kHelpColumn) {
+      line.pop_back();
+      line.pop_back();
+      line += "\n";
+      line.append(kHelpColumn, ' ');
+    } else {
+      while (line.size() < kHelpColumn) line += ' ';
+    }
     out += line;
+    AppendWrapped(o.help + " (default: " + o.default_text + ")", kHelpColumn,
+                  &out);
   }
   out += "  --help                  show this message and exit\n";
   return out;

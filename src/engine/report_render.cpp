@@ -1,0 +1,200 @@
+#include "engine/report_render.h"
+
+#include <ostream>
+#include <utility>
+
+#include "core/downtime.h"
+#include "core/interarrival.h"
+#include "core/node_skew.h"
+#include "core/power_analysis.h"
+#include "core/report.h"
+#include "core/usage_analysis.h"
+#include "core/user_analysis.h"
+#include "core/window_analysis.h"
+
+namespace hpcfail::engine {
+
+namespace {
+
+using core::DowntimeAnalysis;
+using core::EnvironmentBreakdown;
+using core::EventFilter;
+using core::EventIndex;
+using core::FormatDouble;
+using core::FormatFactor;
+using core::FormatPercent;
+using core::InterarrivalAnalysis;
+using core::NodeSkewSummary;
+using core::Scope;
+using core::SignificanceMarker;
+using core::Table;
+using core::UsageAnalysis;
+using core::UserAnalysis;
+using core::WindowAnalyzer;
+
+void CheckCancel(const CancelFn& cancel, const char* where) {
+  if (cancel && cancel()) throw RenderCancelled(where);
+}
+
+}  // namespace
+
+void RenderOverview(const AnalysisSession& session, std::ostream& os,
+                    const CancelFn& cancel) {
+  CheckCancel(cancel, "overview");
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
+  os << "=== trace overview ===\n";
+  Table overview({"system", "group", "nodes", "days", "failures",
+                  "fails/node-yr", "availability"});
+  for (const SystemConfig& s : trace.systems()) {
+    CheckCancel(cancel, "overview");
+    const auto fails = trace.FailuresOfSystem(s.id).size();
+    const double years =
+        static_cast<double>(s.observed.duration()) / kYear;
+    const DowntimeAnalysis down = core::AnalyzeDowntime(idx, s.id);
+    overview.AddRow(
+        {s.name, std::string(ToString(s.group)), std::to_string(s.num_nodes),
+         std::to_string(s.observed.duration() / kDay), std::to_string(fails),
+         FormatDouble(years > 0 ? fails / (years * s.num_nodes) : 0.0, 2),
+         FormatDouble(down.availability, 4)});
+  }
+  overview.Print(os);
+}
+
+void RenderCorrelations(const AnalysisSession& session, std::ostream& os,
+                        const CancelFn& cancel) {
+  CheckCancel(cancel, "correlations");
+  const WindowAnalyzer analyzer(session.index());
+  os << "\n=== failure correlations (all systems pooled) ===\n";
+  Table corr({"measure", "P(random)", "P(conditional)", "factor", "sig"});
+  for (const auto& [label, window] :
+       {std::pair{"same node, next day", kDay},
+        {"same node, next week", kWeek}}) {
+    const auto r = analyzer.Compare(EventFilter::Any(), EventFilter::Any(),
+                                    Scope::kSameNode, window);
+    corr.AddRow({label, FormatPercent(r.baseline),
+                 FormatPercent(r.conditional), FormatFactor(r.factor),
+                 SignificanceMarker(r.test)});
+  }
+  corr.Print(os);
+
+  CheckCancel(cancel, "correlations");
+  os << "\nstrongest follow-up triggers (week window):\n";
+  Table trig({"trigger type", "P(any failure | trigger)", "factor", "sig"});
+  for (FailureCategory c : AllFailureCategories()) {
+    CheckCancel(cancel, "correlations");
+    const auto r = analyzer.Compare(EventFilter::Of(c), EventFilter::Any(),
+                                    Scope::kSameNode, kWeek);
+    if (r.num_triggers < 10) continue;
+    trig.AddRow({std::string(ToString(c)), FormatPercent(r.conditional),
+                 FormatFactor(r.factor), SignificanceMarker(r.test)});
+  }
+  trig.Print(os);
+}
+
+void RenderPerSystem(const AnalysisSession& session, std::ostream& os,
+                     const CancelFn& cancel) {
+  CheckCancel(cancel, "persystem");
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
+  os << "\n=== per-system detail ===\n";
+  for (const SystemConfig& s : trace.systems()) {
+    CheckCancel(cancel, "persystem");
+    const auto failures = trace.FailuresOfSystem(s.id);
+    if (failures.size() < 10) continue;
+    os << "\n-- " << s.name << " --\n";
+    const NodeSkewSummary skew = core::AnalyzeNodeSkew(idx, s.id);
+    os << "node skew: max node " << skew.most_failing_node.value << " at "
+       << FormatDouble(skew.max_over_mean, 1) << "x the mean; equal rates "
+       << (skew.equal_rates_test.significant_99 ? "REJECTED" : "not rejected")
+       << "\n";
+    const DowntimeAnalysis down = core::AnalyzeDowntime(idx, s.id);
+    os << "downtime: median " << FormatDouble(down.overall.median_hours, 1)
+       << "h, p90 " << FormatDouble(down.overall.p90_hours, 1)
+       << "h; worst node " << down.worst_node.value << " at "
+       << FormatDouble(down.worst_node_availability, 4) << " availability\n";
+    try {
+      const InterarrivalAnalysis ia = core::AnalyzeInterarrivals(idx, s.id);
+      os << "inter-arrival: best fit "
+         << ToString(ia.system_fits.front().distribution)
+         << ", per-node Weibull shape "
+         << FormatDouble(ia.node_weibull.param1, 2)
+         << (ia.node_weibull.param1 < 0.9 ? " (clustered: shape < 1)" : "")
+         << "\n";
+    } catch (const std::exception&) {
+      // too few events; skip
+    }
+  }
+}
+
+void RenderEnvironment(const AnalysisSession& session, std::ostream& os,
+                       const CancelFn& cancel) {
+  CheckCancel(cancel, "environment");
+  const EnvironmentBreakdown env = core::BreakdownEnvironment(session.index());
+  if (env.total > 20) {
+    os << "\n=== environmental failures ===\n";
+    Table t({"subcategory", "share"});
+    for (EnvironmentEvent e : AllEnvironmentEvents()) {
+      t.AddRow({std::string(ToString(e)),
+                FormatDouble(env.percent[static_cast<std::size_t>(e)], 1) +
+                    "%"});
+    }
+    t.Print(os);
+  }
+}
+
+void RenderUsage(const AnalysisSession& session, std::ostream& os,
+                 const CancelFn& cancel) {
+  CheckCancel(cancel, "usage");
+  const Trace& trace = session.trace();
+  const EventIndex& idx = session.index();
+  for (SystemId sys : core::SystemsWithJobs(trace)) {
+    CheckCancel(cancel, "usage");
+    os << "\n=== usage analysis: " << trace.system(sys).name << " ===\n";
+    const UsageAnalysis u = core::AnalyzeUsage(idx, sys);
+    os << "r(jobs, failures) = " << FormatDouble(u.jobs_vs_failures.r, 3)
+       << " (excluding top node: "
+       << FormatDouble(u.jobs_vs_failures_excl_top.r, 3) << ")\n";
+    const UserAnalysis users = core::AnalyzeUsers(trace, sys, 50);
+    os << "user-rate heterogeneity: LRT p="
+       << FormatDouble(users.rate_heterogeneity.p_value, 5) << "\n";
+  }
+}
+
+void RenderReport(const AnalysisSession& session, std::ostream& os,
+                  const CancelFn& cancel) {
+  RenderOverview(session, os, cancel);
+  RenderCorrelations(session, os, cancel);
+  RenderPerSystem(session, os, cancel);
+  RenderEnvironment(session, os, cancel);
+  RenderUsage(session, os, cancel);
+}
+
+bool RenderNamed(std::string_view name, const AnalysisSession& session,
+                 std::ostream& os, const CancelFn& cancel) {
+  if (name == "report") {
+    RenderReport(session, os, cancel);
+  } else if (name == "overview") {
+    RenderOverview(session, os, cancel);
+  } else if (name == "correlations") {
+    RenderCorrelations(session, os, cancel);
+  } else if (name == "persystem") {
+    RenderPerSystem(session, os, cancel);
+  } else if (name == "environment") {
+    RenderEnvironment(session, os, cancel);
+  } else if (name == "usage") {
+    RenderUsage(session, os, cancel);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const std::vector<std::string>& RenderableNames() {
+  static const std::vector<std::string> names = {
+      "correlations", "environment", "overview",
+      "persystem",    "report",      "usage"};
+  return names;
+}
+
+}  // namespace hpcfail::engine

@@ -1,0 +1,62 @@
+// The operator-facing analysis report, factored out of hpcfail_report so
+// the CLI and the hpcfaild service render the SAME bytes. RenderReport is
+// the whole report; the section renderers compose to it exactly, so a
+// service query for one named table returns a byte-identical substring of
+// what `hpcfail_report` prints for the same trace.
+//
+// Cancellation. Every renderer takes an optional CancelFn checked between
+// sections and inside the per-system loops (the cooperative cancellation
+// points for hpcfaild's per-request deadlines). When it returns true the
+// renderer throws RenderCancelled; nothing more is written to `os`, but
+// bytes already streamed stay streamed — callers who need all-or-nothing
+// render into an intermediate buffer (the service does).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/session.h"
+
+namespace hpcfail::engine {
+
+// Returns true to abort rendering (e.g. a request deadline expired).
+using CancelFn = std::function<bool()>;
+
+class RenderCancelled : public std::runtime_error {
+ public:
+  explicit RenderCancelled(const std::string& where)
+      : std::runtime_error("render cancelled at " + where) {}
+};
+
+// Sections, in report order. Each starts with its own heading; every
+// section after the first begins with the "\n" separator the full report
+// would print there, so concatenating all sections == RenderReport.
+void RenderOverview(const AnalysisSession& session, std::ostream& os,
+                    const CancelFn& cancel = {});
+void RenderCorrelations(const AnalysisSession& session, std::ostream& os,
+                        const CancelFn& cancel = {});
+void RenderPerSystem(const AnalysisSession& session, std::ostream& os,
+                     const CancelFn& cancel = {});
+void RenderEnvironment(const AnalysisSession& session, std::ostream& os,
+                       const CancelFn& cancel = {});
+void RenderUsage(const AnalysisSession& session, std::ostream& os,
+                 const CancelFn& cancel = {});
+
+// The full report: every section above, in order.
+void RenderReport(const AnalysisSession& session, std::ostream& os,
+                  const CancelFn& cancel = {});
+
+// Named-section lookup for the service ("overview", "correlations",
+// "persystem", "environment", "usage", "report"). Returns false for an
+// unknown name, leaving `os` untouched.
+bool RenderNamed(std::string_view name, const AnalysisSession& session,
+                 std::ostream& os, const CancelFn& cancel = {});
+
+// The names RenderNamed accepts, sorted, for error messages and --help.
+const std::vector<std::string>& RenderableNames();
+
+}  // namespace hpcfail::engine

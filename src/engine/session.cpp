@@ -5,6 +5,7 @@
 
 #include "core/parallel.h"
 #include "engine/fingerprint.h"
+#include "engine/single_flight.h"
 #include "obs/span.h"
 
 namespace hpcfail::engine {
@@ -29,10 +30,25 @@ Acquired CacheOrAcquireImpl(const TraceSource& source,
   ArtifactCache cache(options.cache);
   bool acquired = false;
   if (out.stats.cache_enabled) {
+    // Single-flight: serialize same-fingerprint acquisitions so N
+    // concurrent cold sessions run ONE build. Whoever waited here re-probes
+    // the cache below and loads the entry the builder just stored; distinct
+    // fingerprints proceed in parallel.
+    KeyedMutex::Guard flight = KeyedMutex::Global().Lock(*out.stats.fingerprint);
     if (std::optional<Trace> cached =
             cache.TryLoad(*out.stats.fingerprint, &out.stats.cache_diagnostic)) {
       out.trace = *std::move(cached);
       out.stats.cache_hit = true;
+      acquired = true;
+    }
+    if (!acquired) {
+      out.trace = source.Acquire();
+      std::string store_diag;
+      out.stats.cache_stored =
+          cache.Store(*out.stats.fingerprint, out.trace, &store_diag);
+      if (!out.stats.cache_stored) {
+        out.stats.cache_diagnostic += "; store failed: " + store_diag;
+      }
       acquired = true;
     }
   } else {
@@ -41,14 +57,6 @@ Acquired CacheOrAcquireImpl(const TraceSource& source,
   }
   if (!acquired) {
     out.trace = source.Acquire();
-    if (out.stats.cache_enabled) {
-      std::string store_diag;
-      out.stats.cache_stored =
-          cache.Store(*out.stats.fingerprint, out.trace, &store_diag);
-      if (!out.stats.cache_stored) {
-        out.stats.cache_diagnostic += "; store failed: " + store_diag;
-      }
-    }
   }
   out.stats.load_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

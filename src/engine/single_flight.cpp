@@ -1,0 +1,65 @@
+#include "engine/single_flight.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace hpcfail::engine {
+
+KeyedMutex& KeyedMutex::Global() {
+  // Leaked like the metrics registry: sessions may be built during static
+  // destruction of other translation units.
+  static KeyedMutex* instance = new KeyedMutex();
+  return *instance;
+}
+
+KeyedMutex::Guard::Guard(Guard&& other) noexcept
+    : owner_(other.owner_), key_(other.key_), waited_(other.waited_) {
+  other.owner_ = nullptr;
+}
+
+KeyedMutex::Guard::~Guard() {
+  if (owner_ != nullptr) owner_->Unlock(key_);
+}
+
+KeyedMutex::Guard KeyedMutex::Lock(std::uint64_t key) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = entries_[key];
+    if (!slot) slot = std::make_shared<Entry>();
+    ++slot->refs;
+    entry = slot;
+  }
+  bool waited = false;
+  if (!entry->m.try_lock()) {
+    waited = true;
+    obs::MetricsRegistry::Global()
+        .GetCounter("hpcfail_engine_build_singleflight_waits_total",
+                    "Trace acquisitions that waited behind a concurrent "
+                    "same-fingerprint build instead of duplicating it")
+        .Increment();
+    entry->m.lock();
+  }
+  return Guard(this, key, waited);
+}
+
+void KeyedMutex::Unlock(std::uint64_t key) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    entry = it->second;
+    if (--it->second->refs == 0) entries_.erase(it);
+  }
+  // Unlock outside mu_ (and via the shared_ptr, so the Entry outlives the
+  // map erase even when a racer grabs a fresh entry for the same key).
+  entry->m.unlock();
+}
+
+std::size_t KeyedMutex::live_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace hpcfail::engine

@@ -1,0 +1,76 @@
+// Single-flight serialization of trace builds by fingerprint. Before this,
+// two threads opening sessions with the same fingerprint at the same moment
+// both missed the (empty) cache and both ran the full acquire — N concurrent
+// requests for one trace meant N generator runs and N racing Store()s (the
+// tmp+rename kept entries intact, but the work was duplicated N times: the
+// classic cache stampede hpcfaild would hit on every cold popular key).
+//
+// KeyedMutex hands out one mutex per live key: the first thread in builds
+// and stores, the others block on the same key and — re-probing the cache
+// after they acquire — load the entry the builder just wrote. Distinct keys
+// never contend. The per-key entry is refcounted and reclaimed when the
+// last holder releases, so the map stays bounded by in-flight builds, not
+// by history.
+//
+// Instrumentation: hpcfail_engine_build_singleflight_waits_total counts
+// acquisitions that had to wait behind a same-key builder (the requests a
+// stampede would have duplicated).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace hpcfail::engine {
+
+class KeyedMutex {
+ public:
+  KeyedMutex() = default;
+  KeyedMutex(const KeyedMutex&) = delete;
+  KeyedMutex& operator=(const KeyedMutex&) = delete;
+
+  // Process-wide instance used by AnalysisSession acquisition.
+  static KeyedMutex& Global();
+
+  class Guard {
+   public:
+    Guard(Guard&& other) noexcept;
+    Guard& operator=(Guard&&) = delete;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard();
+
+    // True when this acquisition blocked behind another holder of the same
+    // key (i.e. the work was about to be duplicated).
+    bool waited() const { return waited_; }
+
+   private:
+    friend class KeyedMutex;
+    Guard(KeyedMutex* owner, std::uint64_t key, bool waited)
+        : owner_(owner), key_(key), waited_(waited) {}
+    KeyedMutex* owner_;
+    std::uint64_t key_;
+    bool waited_;
+  };
+
+  // Blocks until `key` is exclusively held by the caller.
+  Guard Lock(std::uint64_t key);
+
+  // Live per-key entries (keys some Guard currently holds or waits on).
+  // Exposed so tests can assert the map does not leak.
+  std::size_t live_keys() const;
+
+ private:
+  struct Entry {
+    std::mutex m;
+    int refs = 0;  // guarded by mu_
+  };
+
+  void Unlock(std::uint64_t key);
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace hpcfail::engine

@@ -1,0 +1,51 @@
+// Per-request deadlines for hpcfaild. A Deadline is an absolute steady-clock
+// point; enforcement is cooperative — the request handler checks expired()
+// between analysis stages (and engine::RenderReport checks it inside its
+// per-system loops via the CancelFn bridge), so a request never holds a
+// worker much past its budget, and never needs thread cancellation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace hpcfail::serve {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // No deadline: never expires.
+  Deadline() = default;
+
+  static Deadline AfterMillis(std::int64_t ms) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool unlimited() const { return !has_deadline_; }
+  bool expired() const { return has_deadline_ && Clock::now() >= at_; }
+  Clock::time_point at() const { return at_; }
+
+  // Remaining budget, clamped at zero; a large sentinel when unlimited.
+  std::chrono::milliseconds remaining() const {
+    if (!has_deadline_) return std::chrono::milliseconds(1 << 30);
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - Clock::now());
+    return left.count() > 0 ? left : std::chrono::milliseconds(0);
+  }
+
+  // Bridge to engine::CancelFn-style callbacks.
+  std::function<bool()> AsCancelFn() const {
+    const Deadline copy = *this;
+    return [copy] { return copy.expired(); };
+  }
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace hpcfail::serve

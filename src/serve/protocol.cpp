@@ -1,0 +1,293 @@
+#include "serve/protocol.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/numeric.h"
+
+namespace hpcfail::serve {
+
+namespace {
+
+std::vector<std::string_view> SplitOn(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (!s.empty()) {
+    const std::size_t pos = s.find(sep);
+    if (pos == std::string_view::npos) {
+      out.push_back(s);
+      break;
+    }
+    out.push_back(s.substr(0, pos));
+    s.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// key=value pairs separated by `sep` into request params; tokens without
+// '=' are rejected (they are neither commands nor parameters by now).
+bool ParseParams(std::string_view s, char sep, bool url_encoded,
+                 Request* out, std::string* error) {
+  for (std::string_view token : SplitOn(s, sep)) {
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      if (error != nullptr) {
+        *error = "malformed parameter '" + std::string(token) +
+                 "' (expected key=value)";
+      }
+      return false;
+    }
+    std::string key(token.substr(0, eq));
+    std::string value(token.substr(eq + 1));
+    if (url_encoded) {
+      key = UrlDecode(key);
+      value = UrlDecode(value);
+    }
+    out->params[key] = value;
+  }
+  return true;
+}
+
+bool UnknownCommand(std::string_view what, std::string* error) {
+  if (error != nullptr) {
+    *error = "unknown command '" + std::string(what) + "'";
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view StatusText(int code) {
+  switch (code) {
+    case kStatusOk:
+      return "OK";
+    case kStatusBadRequest:
+      return "Bad Request";
+    case kStatusNotFound:
+      return "Not Found";
+    case kStatusInternalError:
+      return "Internal Server Error";
+    case kStatusOverloaded:
+      return "Service Unavailable";
+    case kStatusDeadlineExceeded:
+      return "Gateway Timeout";
+    default:
+      return "Error";
+  }
+}
+
+std::string_view ToString(Verb v) {
+  switch (v) {
+    case Verb::kPing:
+      return "PING";
+    case Verb::kHealth:
+      return "HEALTH";
+    case Verb::kMetrics:
+      return "METRICS";
+    case Verb::kStats:
+      return "STATS";
+    case Verb::kReport:
+      return "REPORT";
+    case Verb::kTable:
+      return "TABLE";
+    case Verb::kSleep:
+      return "SLEEP";
+    case Verb::kQuit:
+      return "QUIT";
+  }
+  return "?";
+}
+
+double Request::GetDouble(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  const std::optional<double> v = ParseDoubleText(it->second);
+  if (!v) {
+    throw std::invalid_argument("parameter " + key + ": invalid number '" +
+                                it->second + "'");
+  }
+  return *v;
+}
+
+std::uint64_t Request::GetUint64(const std::string& key,
+                                 std::uint64_t fallback) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  const std::string& s = it->second;
+  if (s.empty() || s[0] == '-') {
+    throw std::invalid_argument("parameter " + key + ": invalid integer '" +
+                                s + "'");
+  }
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parameter " + key + ": invalid integer '" +
+                                s + "'");
+  }
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() && HexValue(s[i + 1]) >= 0 &&
+               HexValue(s[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexValue(s[i + 1]) * 16 +
+                                      HexValue(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+bool ParseCommandLine(std::string_view line, Request* out,
+                      std::string* error) {
+  // Tolerate CR from CRLF-minded clients.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.remove_suffix(1);
+  }
+  while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+  if (line.empty()) return UnknownCommand("", error);
+
+  *out = Request{};
+  const std::size_t sp = line.find(' ');
+  const std::string_view word = line.substr(0, sp);
+  std::string_view rest =
+      sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
+
+  if (word == "PING") {
+    out->verb = Verb::kPing;
+  } else if (word == "HEALTH") {
+    out->verb = Verb::kHealth;
+  } else if (word == "METRICS") {
+    out->verb = Verb::kMetrics;
+  } else if (word == "STATS") {
+    out->verb = Verb::kStats;
+  } else if (word == "REPORT") {
+    out->verb = Verb::kReport;
+  } else if (word == "TABLE") {
+    out->verb = Verb::kTable;
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    const std::size_t tsp = rest.find(' ');
+    out->target = std::string(rest.substr(0, tsp));
+    rest = tsp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(tsp + 1);
+    if (out->target.empty()) {
+      if (error != nullptr) *error = "TABLE requires a table name";
+      return false;
+    }
+  } else if (word == "SLEEP") {
+    out->verb = Verb::kSleep;
+  } else if (word == "QUIT") {
+    out->verb = Verb::kQuit;
+  } else {
+    return UnknownCommand(word, error);
+  }
+  return ParseParams(rest, ' ', /*url_encoded=*/false, out, error);
+}
+
+bool ParseHttpRequestLine(std::string_view line, Request* out,
+                          std::string* error) {
+  while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  *out = Request{};
+  out->http = true;
+
+  const std::vector<std::string_view> parts = SplitOn(line, ' ');
+  if (parts.size() < 2 || parts[0] != "GET") {
+    if (error != nullptr) {
+      *error = "only GET requests are supported";
+    }
+    return false;
+  }
+  std::string_view target = parts[1];
+  std::string_view query;
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    query = target.substr(q + 1);
+    target = target.substr(0, q);
+  }
+  if (target.empty() || target[0] != '/') {
+    if (error != nullptr) *error = "malformed request path";
+    return false;
+  }
+  target.remove_prefix(1);
+  const std::size_t slash = target.find('/');
+  const std::string_view head = target.substr(0, slash);
+  const std::string_view tail = slash == std::string_view::npos
+                                    ? std::string_view{}
+                                    : target.substr(slash + 1);
+
+  if (head == "healthz" && tail.empty()) {
+    out->verb = Verb::kHealth;
+  } else if (head == "metrics" && tail.empty()) {
+    out->verb = Verb::kMetrics;
+  } else if (head == "stats" && tail.empty()) {
+    out->verb = Verb::kStats;
+  } else if (head == "report" && tail.empty()) {
+    out->verb = Verb::kReport;
+  } else if (head == "table" && !tail.empty() &&
+             tail.find('/') == std::string_view::npos) {
+    out->verb = Verb::kTable;
+    out->target = UrlDecode(tail);
+  } else if (head == "debug" && tail == "sleep") {
+    out->verb = Verb::kSleep;
+  } else {
+    if (error != nullptr) {
+      *error = "no such path '/" + std::string(target) + "'";
+    }
+    return false;
+  }
+  return ParseParams(query, '&', /*url_encoded=*/true, out, error);
+}
+
+std::string LineOk(std::string_view payload) {
+  std::string out = "OK " + std::to_string(payload.size()) + "\n";
+  out.append(payload);
+  return out;
+}
+
+std::string LineError(int code, std::string_view message) {
+  std::string out = "ERR " + std::to_string(code) + " ";
+  // Keep the frame one line: the message must not embed newlines.
+  for (const char c : message) out.push_back(c == '\n' ? ' ' : c);
+  out.push_back('\n');
+  return out;
+}
+
+std::string HttpResponse(int code, std::string_view body,
+                         std::string_view content_type) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " ";
+  out.append(StatusText(code));
+  out += "\r\nContent-Type: ";
+  out.append(content_type);
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out.append(body);
+  return out;
+}
+
+std::string ErrorResponse(const Request& request, int code,
+                          std::string_view message) {
+  if (request.http) {
+    std::string body(message);
+    if (body.empty() || body.back() != '\n') body.push_back('\n');
+    return HttpResponse(code, body);
+  }
+  return LineError(code, message);
+}
+
+}  // namespace hpcfail::serve

@@ -1,0 +1,95 @@
+// The hpcfaild wire protocol (DESIGN.md "Service layer" has the full spec).
+//
+// Two request syntaxes share one Request shape and one handler path:
+//
+//   * line protocol — one command per '\n'-terminated line:
+//         PING
+//         HEALTH
+//         METRICS
+//         STATS scale=0.5 years=1 seed=7
+//         REPORT scale=0.5 years=1 seed=7 deadline_ms=2000
+//         TABLE overview scale=0.5 years=1 seed=7
+//         SLEEP ms=50            (only with test endpoints enabled)
+//         QUIT
+//     responses: "OK <nbytes>\n" + exactly nbytes of payload, or
+//     "ERR <code> <message>\n" with HTTP-mirrored codes (400/404/500/503/504).
+//
+//   * HTTP/1.1 GET mapping — the same queries as paths, for curl/Prometheus:
+//         GET /healthz | /metrics | /stats | /report | /table/<name>
+//             | /debug/sleep?ms=50
+//     query parameters (?scale=0.5&years=1&seed=7&deadline_ms=2000) are the
+//     line protocol's key=value arguments. Responses are Connection: close
+//     with Content-Length, status 200/400/404/500/503/504.
+//
+// Parsing here is pure string -> Request / Response framing; sockets and
+// dispatch live in serve/server.*.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace hpcfail::serve {
+
+// Status codes (mirroring HTTP in both syntaxes).
+inline constexpr int kStatusOk = 200;
+inline constexpr int kStatusBadRequest = 400;
+inline constexpr int kStatusNotFound = 404;
+inline constexpr int kStatusInternalError = 500;
+inline constexpr int kStatusOverloaded = 503;
+inline constexpr int kStatusDeadlineExceeded = 504;
+
+std::string_view StatusText(int code);
+
+enum class Verb {
+  kPing,
+  kHealth,
+  kMetrics,
+  kStats,
+  kReport,
+  kTable,
+  kSleep,
+  kQuit,
+};
+
+std::string_view ToString(Verb v);
+
+struct Request {
+  bool http = false;
+  Verb verb = Verb::kPing;
+  std::string target;  // TABLE <name> / /table/<name>
+  std::map<std::string, std::string> params;
+
+  // Missing key -> fallback. Malformed numeric values throw
+  // std::invalid_argument (the server answers 400).
+  double GetDouble(const std::string& key, double fallback) const;
+  std::uint64_t GetUint64(const std::string& key,
+                          std::uint64_t fallback) const;
+};
+
+// Parses one line-protocol command (no trailing newline). Returns false
+// with a message in `error` on an unknown command or malformed token;
+// numeric validation happens later in Request::Get*.
+bool ParseCommandLine(std::string_view line, Request* out,
+                      std::string* error);
+
+// Parses an HTTP request line ("GET /table/overview?scale=0.5 HTTP/1.1")
+// and maps the path onto the same Request shape. Only GET is accepted.
+bool ParseHttpRequestLine(std::string_view line, Request* out,
+                          std::string* error);
+
+// Response framing.
+std::string LineOk(std::string_view payload);
+std::string LineError(int code, std::string_view message);
+std::string HttpResponse(int code, std::string_view body,
+                         std::string_view content_type = "text/plain; "
+                                                         "charset=utf-8");
+
+// Renders an error in the syntax the request arrived in.
+std::string ErrorResponse(const Request& request, int code,
+                          std::string_view message);
+
+// Percent-decodes %XX and '+' (exposed for tests).
+std::string UrlDecode(std::string_view s);
+
+}  // namespace hpcfail::serve

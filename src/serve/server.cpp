@@ -1,0 +1,556 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "engine/report_render.h"
+#include "engine/trace_source.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "synth/scenario.h"
+
+namespace hpcfail::serve {
+
+namespace {
+
+constexpr std::size_t kMaxRequestLine = 64 * 1024;
+
+obs::Counter& ServeCounter(const char* name, const char* help) {
+  return obs::MetricsRegistry::Global().GetCounter(name, help);
+}
+
+void CountRequest() {
+  ServeCounter("hpcfail_serve_requests_total", "Requests dispatched").
+      Increment();
+}
+
+void CountError(int code) {
+  ServeCounter("hpcfail_serve_errors_total",
+               "Requests answered with an error status")
+      .Increment();
+  if (code == kStatusDeadlineExceeded) {
+    ServeCounter("hpcfail_serve_deadline_exceeded_total",
+                 "Requests that ran past their deadline")
+        .Increment();
+  }
+}
+
+void ObserveLatency(const Request& request, double seconds) {
+  // Per-endpoint latency histograms (no labels in the registry, so the
+  // endpoint is part of the metric name).
+  std::string name = "hpcfail_serve_";
+  for (const char c : ToString(request.verb)) {
+    name.push_back(static_cast<char>(c - 'A' + 'a'));
+  }
+  name += "_latency_seconds";
+  obs::MetricsRegistry::Global()
+      .GetHistogram(name, "Wall time of one request on this endpoint")
+      .Observe(seconds);
+}
+
+// Full write with EINTR handling; SIGPIPE suppressed per call.
+bool WriteAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ServeCounter("hpcfail_serve_bytes_written_total",
+               "Response bytes written to clients")
+      .Add(static_cast<long long>(data.size()));
+  return true;
+}
+
+void SetRecvTimeout(int fd, int millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      pool_(SessionPool::Config{config_.pool_capacity}) {
+  if (config_.workers < 1) {
+    throw std::invalid_argument("ServerConfig.workers must be >= 1");
+  }
+  if (config_.queue_depth < 1) {
+    throw std::invalid_argument("ServerConfig.queue_depth must be >= 1");
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("invalid listen host: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind " + config_.host + ":" +
+                             std::to_string(config_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, static_cast<int>(config_.queue_depth)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void Server::Shutdown() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the accept poll; it closes the listen socket (stop accepting).
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Workers drain whatever was already admitted, then exit.
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  for (int* fd : {&wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  pool_.Clear();
+  running_.store(false, std::memory_order_release);
+}
+
+bool Server::EnqueueConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= config_.queue_depth) return false;
+    queue_.push_back(fd);
+    obs::MetricsRegistry::Global()
+        .GetGauge("hpcfail_serve_queue_depth",
+                  "Connections admitted and waiting for a worker")
+        .Set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+int Server::DequeueConnection() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [this] {
+    return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+  });
+  if (queue_.empty()) return -1;  // stopping and nothing left to drain
+  const int fd = queue_.front();
+  queue_.pop_front();
+  obs::MetricsRegistry::Global()
+      .GetGauge("hpcfail_serve_queue_depth",
+                "Connections admitted and waiting for a worker")
+      .Set(static_cast<double>(queue_.size()));
+  return fd;
+}
+
+void Server::ShedConnection(int fd) {
+  ServeCounter("hpcfail_serve_shed_total",
+               "Connections refused with 503 because the admission queue "
+               "was full")
+      .Increment();
+  // Answer in the client's syntax if its first bytes already arrived;
+  // default to the line frame. Never block the accept thread.
+  char peek[4] = {};
+  const ssize_t n = ::recv(fd, peek, sizeof(peek), MSG_PEEK | MSG_DONTWAIT);
+  const bool http = n == 4 && std::memcmp(peek, "GET ", 4) == 0;
+  const std::string response =
+      http ? HttpResponse(kStatusOverloaded, "overloaded\n")
+           : LineError(kStatusOverloaded, "overloaded");
+  const ssize_t w [[maybe_unused]] =
+      ::send(fd, response.data(), response.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+  ::close(fd);
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      ServeCounter("hpcfail_serve_accepted_total", "Connections accepted")
+          .Increment();
+      if (!EnqueueConnection(fd)) ShedConnection(fd);
+    }
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    const int fd = DequeueConnection();
+    if (fd < 0) return;
+    obs::MetricsRegistry::Global()
+        .GetGauge("hpcfail_serve_inflight", "Requests currently executing")
+        .Add(1.0);
+    HandleConnection(fd);
+    obs::MetricsRegistry::Global()
+        .GetGauge("hpcfail_serve_inflight", "Requests currently executing")
+        .Add(-1.0);
+  }
+}
+
+Deadline Server::DeadlineFor(const Request& request) const {
+  const std::uint64_t ms = request.GetUint64(
+      "deadline_ms",
+      config_.default_deadline_ms <= 0
+          ? 0
+          : static_cast<std::uint64_t>(config_.default_deadline_ms));
+  return ms == 0 ? Deadline{}
+                 : Deadline::AfterMillis(static_cast<std::int64_t>(ms));
+}
+
+std::string Server::HandleQuery(const Request& request) {
+  obs::ScopedTimer parse_timer("serve_parse");
+  const double scale = request.GetDouble("scale", 0.25);
+  const double years = request.GetDouble("years", 1.0);
+  const std::uint64_t seed =
+      request.GetUint64("seed", engine::kDefaultSeed);
+  if (!(scale > 0.0) || scale > config_.max_scale) {
+    return ErrorResponse(request, kStatusBadRequest,
+                         "scale must be in (0, " +
+                             std::to_string(config_.max_scale) + "]");
+  }
+  if (!(years > 0.0) || years > config_.max_years) {
+    return ErrorResponse(request, kStatusBadRequest,
+                         "years must be in (0, " +
+                             std::to_string(config_.max_years) + "]");
+  }
+  if (request.verb == Verb::kTable &&
+      !std::binary_search(engine::RenderableNames().begin(),
+                          engine::RenderableNames().end(), request.target)) {
+    std::string known;
+    for (const std::string& n : engine::RenderableNames()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return ErrorResponse(request, kStatusNotFound,
+                         "unknown table '" + request.target +
+                             "' (known: " + known + ")");
+  }
+  parse_timer.Stop();
+
+  const Deadline deadline = DeadlineFor(request);
+  const synth::Scenario scenario = synth::LanlLikeScenario(
+      scale, static_cast<TimeSec>(years * static_cast<double>(kYear)));
+  const std::unique_ptr<engine::TraceSource> source =
+      engine::MakeScenarioSource(scenario, seed);
+  const std::optional<std::uint64_t> fingerprint = source->Fingerprint();
+  if (!fingerprint) {
+    return ErrorResponse(request, kStatusInternalError,
+                         "scenario is unfingerprintable");
+  }
+  if (deadline.expired()) {
+    return ErrorResponse(request, kStatusDeadlineExceeded,
+                         "deadline exceeded before session acquisition");
+  }
+
+  SessionPool::Acquired acquired;
+  {
+    obs::ScopedTimer session_timer("serve_session");
+    acquired = pool_.Acquire(
+        *fingerprint,
+        [&] {
+          return engine::AnalysisSession::FromScenario(scenario, seed,
+                                                       config_.session);
+        },
+        deadline);
+  }
+  if (acquired.outcome == SessionPool::Outcome::kTimedOut) {
+    return ErrorResponse(request, kStatusDeadlineExceeded,
+                         "deadline exceeded waiting for session build");
+  }
+
+  obs::ScopedTimer render_timer("serve_render");
+  std::ostringstream body;
+  try {
+    if (request.verb == Verb::kStats) {
+      body << acquired.session->StatsJson() << "\n";
+    } else {
+      const std::string target =
+          request.verb == Verb::kReport ? "report" : request.target;
+      engine::RenderNamed(target, *acquired.session, body,
+                          deadline.AsCancelFn());
+    }
+  } catch (const engine::RenderCancelled&) {
+    return ErrorResponse(request, kStatusDeadlineExceeded,
+                         "deadline exceeded during render");
+  }
+  render_timer.Stop();
+
+  return request.http ? HttpResponse(kStatusOk, body.str())
+                      : LineOk(body.str());
+}
+
+std::string Server::HandleSleep(const Request& request) {
+  if (!config_.enable_test_endpoints) {
+    return ErrorResponse(request, kStatusNotFound,
+                         "test endpoints are disabled");
+  }
+  const std::uint64_t ms = request.GetUint64("ms", 10);
+  const Deadline deadline = DeadlineFor(request);
+  // Sleep in small ticks so a deadline still cancels a silly value. This
+  // endpoint exists to occupy workers in the overload/drain tests; it is
+  // deliberately NOT interrupted by Shutdown — drain must finish it.
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+  while (std::chrono::steady_clock::now() < until) {
+    if (deadline.expired()) {
+      return ErrorResponse(request, kStatusDeadlineExceeded,
+                           "deadline exceeded while sleeping");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::string body = "slept " + std::to_string(ms) + "ms\n";
+  return request.http ? HttpResponse(kStatusOk, body) : LineOk(body);
+}
+
+std::string Server::HandleRequest(const Request& request) {
+  CountRequest();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string response;
+  try {
+    switch (request.verb) {
+      case Verb::kPing:
+        response = request.http ? HttpResponse(kStatusOk, "pong\n")
+                                : LineOk("pong\n");
+        break;
+      case Verb::kHealth:
+        response = request.http ? HttpResponse(kStatusOk, "ok\n")
+                                : LineOk("ok\n");
+        break;
+      case Verb::kMetrics: {
+        const std::string text =
+            obs::PrometheusText(obs::MetricsRegistry::Global().Snapshot());
+        response = request.http
+                       ? HttpResponse(kStatusOk, text,
+                                      "text/plain; version=0.0.4; "
+                                      "charset=utf-8")
+                       : LineOk(text);
+        break;
+      }
+      case Verb::kStats:
+      case Verb::kReport:
+      case Verb::kTable:
+        response = HandleQuery(request);
+        break;
+      case Verb::kSleep:
+        response = HandleSleep(request);
+        break;
+      case Verb::kQuit:
+        response = LineOk("bye\n");
+        break;
+    }
+  } catch (const std::invalid_argument& e) {
+    response = ErrorResponse(request, kStatusBadRequest, e.what());
+  } catch (const std::exception& e) {
+    response = ErrorResponse(request, kStatusInternalError, e.what());
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ObserveLatency(request, seconds);
+  // Re-derive the status from the wire text for the error counters: the
+  // code lives at a fixed offset in both framings.
+  const bool is_error = request.http
+                            ? response.compare(0, 10, "HTTP/1.1 2") != 0
+                            : response.compare(0, 4, "ERR ") == 0;
+  if (is_error) {
+    const int code =
+        std::atoi(response.c_str() + (request.http ? 9 : 4));
+    CountError(code);
+  }
+  return response;
+}
+
+void Server::HandleConnection(int fd) {
+  // Short receive timeout: the read loop wakes to notice drain and idle
+  // budgets without dedicated per-connection timers.
+  SetRecvTimeout(fd, 100);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string buffer;
+  const auto idle_start = std::chrono::steady_clock::now();
+  const auto idle_budget =
+      std::chrono::milliseconds(config_.idle_timeout_ms);
+  bool http = false;
+  bool saw_any = false;
+
+  for (;;) {
+    // Extract one complete line if we have it.
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      saw_any = true;
+      if (!http && line.compare(0, 4, "GET ") == 0) http = true;
+
+      if (http) {
+        // Read and discard headers until the blank line, then answer one
+        // request and close (Connection: close semantics).
+        std::string header_line;
+        for (;;) {
+          const std::size_t hnl = buffer.find('\n');
+          if (hnl == std::string::npos) {
+            char chunk[4096];
+            const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0) {
+              if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                if (stopping_.load(std::memory_order_acquire)) break;
+                continue;
+              }
+              break;  // client went away mid-headers
+            }
+            buffer.append(chunk, static_cast<std::size_t>(n));
+            if (buffer.size() > kMaxRequestLine) break;
+            continue;
+          }
+          header_line = buffer.substr(0, hnl);
+          buffer.erase(0, hnl + 1);
+          if (header_line.empty() || header_line == "\r") break;
+        }
+        Request request;
+        std::string error;
+        std::string response;
+        if (ParseHttpRequestLine(line, &request, &error)) {
+          response = HandleRequest(request);
+        } else {
+          Request http_shape;
+          http_shape.http = true;
+          response = ErrorResponse(http_shape,
+                                   error.find("no such path") == 0
+                                       ? kStatusNotFound
+                                       : kStatusBadRequest,
+                                   error);
+          CountRequest();
+          CountError(error.find("no such path") == 0 ? kStatusNotFound
+                                                     : kStatusBadRequest);
+        }
+        WriteAll(fd, response);
+        break;  // close
+      }
+
+      // Line protocol.
+      Request request;
+      std::string error;
+      if (!ParseCommandLine(line, &request, &error)) {
+        CountRequest();
+        CountError(kStatusBadRequest);
+        if (!WriteAll(fd, LineError(kStatusBadRequest, error))) break;
+        continue;
+      }
+      const std::string response = HandleRequest(request);
+      if (!WriteAll(fd, response)) break;
+      if (request.verb == Verb::kQuit) break;
+      if (stopping_.load(std::memory_order_acquire)) break;  // drain: close
+      continue;
+    }
+
+    if (buffer.size() > kMaxRequestLine) {
+      CountRequest();
+      CountError(kStatusBadRequest);
+      WriteAll(fd, LineError(kStatusBadRequest, "request line too long"));
+      break;
+    }
+
+    // Need more bytes.
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Timeout tick: notice drain and idle budgets.
+      if (stopping_.load(std::memory_order_acquire) && !saw_any) break;
+      if (stopping_.load(std::memory_order_acquire) && buffer.empty()) break;
+      if (std::chrono::steady_clock::now() - idle_start > idle_budget) break;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    break;
+  }
+  ::close(fd);
+}
+
+}  // namespace hpcfail::serve

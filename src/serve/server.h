@@ -1,0 +1,113 @@
+// hpcfaild's network engine: a TCP listener on loopback (or a given host)
+// speaking the serve/protocol.h wire protocol, a bounded admission queue,
+// and a fixed worker pool sharing one SessionPool.
+//
+// Production concerns, by construction:
+//
+//   * admission control — the accept thread enqueues connections into a
+//     bounded queue; when the queue is full the connection is answered
+//     `503 overloaded` immediately and closed (explicit shedding, never an
+//     unbounded backlog and never a hang);
+//   * single-flight warm path — requests resolve their scenario to a trace
+//     fingerprint and share sessions through SessionPool: N concurrent
+//     requests for one cold fingerprint run one build;
+//   * per-request deadlines — every query carries a deadline (config
+//     default, per-request `deadline_ms=` override); expiry inside the
+//     renderer answers `504 deadline exceeded` via cooperative
+//     cancellation checks (engine::RenderReport's CancelFn);
+//   * graceful drain — Shutdown() stops accepting, lets queued and
+//     executing requests finish, joins every thread, then clears the pool.
+//     Idle keep-alive connections are closed at the next read tick.
+//
+// Observability: request/shed/error counters, queue-depth and in-flight
+// gauges, a per-endpoint latency histogram, and serve_* spans per request
+// stage, all in the global registry (scrape them via GET /metrics).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/session.h"
+#include "serve/protocol.h"
+#include "serve/session_pool.h"
+
+namespace hpcfail::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;                  // 0 = ephemeral; see Server::port()
+  int workers = 4;               // request worker threads (>= 1)
+  std::size_t queue_depth = 64;  // bounded admission queue (>= 1)
+  std::size_t pool_capacity = 8;
+  std::int64_t default_deadline_ms = 10'000;  // 0 = no deadline
+  std::int64_t idle_timeout_ms = 30'000;      // line-protocol idle budget
+  bool enable_test_endpoints = false;  // SLEEP / /debug/sleep
+  double max_scale = 4.0;   // request validation bound for scale=
+  double max_years = 10.0;  // request validation bound for years=
+  engine::SessionOptions session;  // cache options for built sessions
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();  // calls Shutdown() if still running
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and spawns the accept + worker threads. Throws
+  // std::runtime_error on any socket failure.
+  void Start();
+
+  // The bound port (after Start); useful with config.port == 0.
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Graceful drain: stop accepting, answer everything already admitted,
+  // join all threads, clear the pool. Idempotent.
+  void Shutdown();
+
+  SessionPool& pool() { return pool_; }
+  const ServerConfig& config() const { return config_; }
+
+  // Dispatches one parsed request and returns the full wire response —
+  // the exact handler the socket path runs, exposed for protocol-level
+  // tests without a connection.
+  std::string HandleRequest(const Request& request);
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  bool EnqueueConnection(int fd);  // false = queue full (caller sheds)
+  void ShedConnection(int fd);
+  int DequeueConnection();         // -1 = draining and queue empty
+
+  std::string HandleQuery(const Request& request);  // REPORT/TABLE/STATS
+  std::string HandleSleep(const Request& request);
+  Deadline DeadlineFor(const Request& request) const;
+
+  const ServerConfig config_;
+  SessionPool pool_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hpcfail::serve

@@ -1,0 +1,177 @@
+#include "serve/session_pool.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace hpcfail::serve {
+
+namespace {
+
+obs::Counter& PoolCounter(const char* name, const char* help) {
+  return obs::MetricsRegistry::Global().GetCounter(name, help);
+}
+
+}  // namespace
+
+// One in-flight build; waiters hold the shared state so it survives the
+// entry being erased on failure.
+struct SessionPool::Flight {
+  std::shared_ptr<const engine::AnalysisSession> session;
+  bool done = false;
+  bool failed = false;
+  std::string error;
+};
+
+SessionPool::SessionPool(Config config) : config_(config) {
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("SessionPool capacity must be >= 1");
+  }
+}
+
+SessionPool::~SessionPool() = default;
+
+void SessionPool::TouchLocked(std::uint64_t key, Entry& entry) {
+  lru_.erase(entry.lru);
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+}
+
+void SessionPool::EvictIfOverCapacityLocked() {
+  while (lru_.size() > config_.capacity) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+    PoolCounter("hpcfail_serve_pool_evictions_total",
+                "Pooled sessions evicted by the LRU policy")
+        .Increment();
+  }
+}
+
+void SessionPool::PublishGauges(const Stats& s) const {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("hpcfail_serve_pool_resident",
+               "Ready sessions currently retained by the pool")
+      .Set(static_cast<double>(s.resident));
+  reg.GetGauge("hpcfail_serve_pool_building",
+               "Session builds currently in flight")
+      .Set(static_cast<double>(s.building));
+}
+
+SessionPool::Acquired SessionPool::Acquire(std::uint64_t key,
+                                           const BuildFn& build,
+                                           const Deadline& deadline) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.session != nullptr) {
+      TouchLocked(key, it->second);
+      ++stats_.hits;
+      PoolCounter("hpcfail_serve_pool_hits_total",
+                  "Requests served from an already-built pooled session")
+          .Increment();
+      return {it->second.session, Outcome::kHit};
+    }
+    if (it != entries_.end()) {
+      // Someone is building this key: coalesce onto their flight.
+      flight = it->second.flight;
+      ++stats_.build_waits;
+      PoolCounter("hpcfail_serve_pool_build_waits_total",
+                  "Requests that coalesced onto a concurrent build of the "
+                  "same fingerprint")
+          .Increment();
+      const auto ready = [&flight] { return flight->done; };
+      if (deadline.unlimited()) {
+        ready_cv_.wait(lock, ready);
+      } else if (!ready_cv_.wait_until(lock, deadline.at(), ready)) {
+        ++stats_.timeouts;
+        PoolCounter("hpcfail_serve_pool_wait_timeouts_total",
+                    "Coalesced waiters whose deadline expired before the "
+                    "build finished")
+            .Increment();
+        return {nullptr, Outcome::kTimedOut};
+      }
+      if (flight->failed) {
+        throw std::runtime_error("session build failed: " + flight->error);
+      }
+      return {flight->session, Outcome::kCoalesced};
+    }
+    // Absent: this call builds.
+    flight = std::make_shared<Flight>();
+    Entry entry;
+    entry.flight = flight;
+    entries_.emplace(key, std::move(entry));
+    ++stats_.misses;
+    ++stats_.building;
+    stats_.resident = lru_.size();
+    PublishGauges(stats_);
+    PoolCounter("hpcfail_serve_pool_misses_total",
+                "Requests that started a session build")
+        .Increment();
+  }
+
+  // Build with the pool unlocked: distinct keys build in parallel, hits
+  // keep flowing, and the engine's own single-flight guards the artifact
+  // cache underneath.
+  try {
+    obs::ScopedTimer timer("serve_pool_build");
+    auto session =
+        std::make_shared<const engine::AnalysisSession>(build());
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_.at(key);
+    entry.session = session;
+    entry.flight = nullptr;
+    lru_.push_front(key);
+    entry.lru = lru_.begin();
+    EvictIfOverCapacityLocked();
+    --stats_.building;
+    stats_.resident = lru_.size();
+    PublishGauges(stats_);
+    flight->session = session;
+    flight->done = true;
+    ready_cv_.notify_all();
+    return {session, Outcome::kBuilt};
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(key);  // never in the LRU yet
+    --stats_.building;
+    ++stats_.build_failures;
+    stats_.resident = lru_.size();
+    PublishGauges(stats_);
+    PoolCounter("hpcfail_serve_pool_build_failures_total",
+                "Session builds that threw")
+        .Increment();
+    flight->failed = true;
+    flight->error = e.what();
+    flight->done = true;
+    ready_cv_.notify_all();
+    throw;
+  }
+}
+
+void SessionPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.session != nullptr) {
+      it = entries_.erase(it);
+    } else {
+      ++it;  // in-flight build; it will publish into the emptied pool
+    }
+  }
+  lru_.clear();
+  stats_.resident = 0;
+  PublishGauges(stats_);
+}
+
+SessionPool::Stats SessionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.resident = lru_.size();
+  return s;
+}
+
+}  // namespace hpcfail::serve

@@ -1,0 +1,108 @@
+// SessionPool: shares engine::AnalysisSessions across concurrent requests,
+// keyed by trace fingerprint. This is the warm path of hpcfaild — a request
+// for an already-built trace reuses the pooled session's prebuilt SoA
+// stores and EventIndex instead of re-running acquisition.
+//
+// Concurrency contract:
+//   * bounded: at most `capacity` READY sessions are retained; inserting
+//     past that evicts the least-recently-used ready entry. Sessions still
+//     referenced by in-flight requests survive eviction (shared_ptr) — the
+//     pool forgets them, it never frees memory under a live request.
+//   * single-flight: N concurrent Acquires of one absent key run ONE build;
+//     the rest block on a condition variable until the builder publishes
+//     (or fails — failures propagate to every waiter of that round, then
+//     the key becomes buildable again). Entries being built don't count
+//     against capacity until ready and are never evicted mid-build.
+//   * deadline-aware: a waiter whose deadline passes while the builder is
+//     still running gives up with TimedOut (the request answers 504); the
+//     build itself continues for the waiters that remain.
+//
+// Reads of a pooled session are lock-free: AnalysisSession is immutable
+// after construction, so any number of request threads may query one
+// concurrently; the pool's mutex only guards the key->entry map and LRU.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "engine/session.h"
+#include "serve/deadline.h"
+
+namespace hpcfail::serve {
+
+class SessionPool {
+ public:
+  struct Config {
+    std::size_t capacity = 8;  // max READY sessions retained (>= 1)
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;        // builds started
+    std::uint64_t build_waits = 0;   // acquisitions that waited on a build
+    std::uint64_t evictions = 0;
+    std::uint64_t build_failures = 0;
+    std::uint64_t timeouts = 0;
+    std::size_t resident = 0;        // ready sessions currently pooled
+    std::size_t building = 0;        // builds currently in flight
+  };
+
+  enum class Outcome {
+    kHit,       // served from the pool
+    kBuilt,     // this call ran the build
+    kCoalesced, // waited for another caller's build
+    kTimedOut,  // deadline expired while waiting for the build
+  };
+
+  struct Acquired {
+    std::shared_ptr<const engine::AnalysisSession> session;  // null on timeout
+    Outcome outcome = Outcome::kHit;
+  };
+
+  using BuildFn = std::function<engine::AnalysisSession()>;
+
+  explicit SessionPool(Config config);
+  ~SessionPool();
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  // Returns the session for `key`, building it with `build` on a miss.
+  // Throws whatever `build` throws (every waiter of that build round gets
+  // the same failure, wrapped in std::runtime_error with the original
+  // message). On timeout returns {nullptr, kTimedOut}.
+  Acquired Acquire(std::uint64_t key, const BuildFn& build,
+                   const Deadline& deadline = {});
+
+  // Drops every ready entry (in-flight builds publish into an empty pool
+  // slot as usual). Used on drain to release memory before exit.
+  void Clear();
+
+  Stats stats() const;
+  std::size_t capacity() const { return config_.capacity; }
+
+ private:
+  struct Flight;  // one in-flight build; defined in session_pool.cpp
+  struct Entry {
+    std::shared_ptr<const engine::AnalysisSession> session;  // null = building
+    std::shared_ptr<Flight> flight;          // non-null while building
+    std::list<std::uint64_t>::iterator lru;  // valid only when ready
+  };
+
+  void TouchLocked(std::uint64_t key, Entry& entry);
+  void EvictIfOverCapacityLocked();
+  void PublishGauges(const Stats& s) const;
+
+  const Config config_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // front = most recent, only ready keys
+  Stats stats_;
+};
+
+}  // namespace hpcfail::serve

@@ -149,6 +149,49 @@ TEST(ArgParser, UsageListsEveryOptionWithDefaults) {
   EXPECT_NE(usage.find("--help"), std::string::npos);
 }
 
+TEST(ArgParser, UsageShowsDescriptionsAndDefaultValues) {
+  int workers = 4;
+  bool verbose = false;
+  std::string out_path = "/tmp/x";
+  ArgParser p("prog", "test program");
+  p.AddInt("workers", &workers, "request worker threads");
+  p.AddFlag("verbose", &verbose, "chatty logging");
+  p.AddString("out", &out_path, "output path");
+  const std::string usage = p.Usage();
+  // Every option line carries its description AND its default.
+  EXPECT_NE(usage.find("request worker threads (default: 4)"),
+            std::string::npos);
+  EXPECT_NE(usage.find("chatty logging (default: false)"), std::string::npos);
+  EXPECT_NE(usage.find("output path (default: /tmp/x)"), std::string::npos);
+  // Value-taking options advertise the value slot; flags do not.
+  EXPECT_NE(usage.find("--workers <value>"), std::string::npos);
+  EXPECT_EQ(usage.find("--verbose <value>"), std::string::npos);
+}
+
+TEST(ArgParser, UsageWrapsLongHelpTextWithHangingIndent) {
+  std::uint64_t depth = 64;
+  ArgParser p("prog");
+  p.AddUint64("queue-depth", &depth,
+              "bounded admission queue; beyond this connections are answered "
+              "503 and closed instead of waiting without bound for a worker "
+              "to free up");
+  const std::string usage = p.Usage();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < usage.size()) {
+    std::size_t end = usage.find('\n', start);
+    if (end == std::string::npos) end = usage.size();
+    EXPECT_LE(end - start, 79u) << "overlong line: '"
+                                << usage.substr(start, end - start) << "'";
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_GE(lines, 4u) << "long help must wrap onto continuation lines";
+  // Continuation lines are indented to the help column, so the wrapped
+  // words never start at column zero.
+  EXPECT_NE(usage.find("\n                          "), std::string::npos);
+}
+
 TEST(ArgParser, StandardOptionsWireIntoSessionOptions) {
   StandardOptions std_opts;
   ArgParser p("prog");
@@ -178,6 +221,16 @@ TEST(ArgParserDeathTest, UnknownFlagExitsWithCode2) {
         p.ParseOrExit(static_cast<int>(argv.size()), argv.data());
       },
       ::testing::ExitedWithCode(2), "unknown argument '--bogus'");
+}
+
+TEST(ArgParserDeathTest, UnknownFlagErrorPrintsUsage) {
+  const auto argv = Argv({"--bogus"});
+  EXPECT_EXIT(
+      {
+        ArgParser p("prog", "test program");
+        p.ParseOrExit(static_cast<int>(argv.size()), argv.data());
+      },
+      ::testing::ExitedWithCode(2), "usage: prog");
 }
 
 TEST(ArgParserDeathTest, HelpExitsWithCode0) {

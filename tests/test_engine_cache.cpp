@@ -3,16 +3,22 @@
 // bytes, stale schema, wrong key, wrong artifact kind) degrades to a miss
 // with a distinct diagnostic, deletes the bad entry, and regenerates —
 // the cache can cost a rebuild, never a wrong answer.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/window_analysis.h"
 #include "engine/session.h"
+#include "engine/single_flight.h"
 #include "engine/trace_cache.h"
 #include "synth/generate.h"
 #include "synth/scenario.h"
@@ -313,6 +319,83 @@ TEST_F(EngineCacheTest, SerializeRoundTripsThroughReader) {
   const Trace back = DeserializeTrace(&r);
   EXPECT_TRUE(r.AtEnd());
   ExpectSameTrace(trace, back);
+}
+
+// ---- Single-flight: concurrent sessions for one fingerprint -------------
+//
+// Before engine/single_flight.h, N threads cold-starting the same scenario
+// all missed the cache and ran N acquisitions, racing their tmp+rename
+// stores. The KeyedMutex serializes per fingerprint: exactly one thread
+// acquires and stores; everyone who waited loads the stored entry ("hit").
+
+TEST_F(EngineCacheTest, ConcurrentColdStartsBuildOnce) {
+  constexpr int kThreads = 6;
+  std::vector<std::unique_ptr<AnalysisSession>> sessions(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      sessions[static_cast<std::size_t>(i)] =
+          std::make_unique<AnalysisSession>(MakeSession());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  int stored = 0;
+  int hits = 0;
+  for (const auto& session : sessions) {
+    ASSERT_NE(session, nullptr);
+    if (session->stats().cache_stored) ++stored;
+    if (session->stats().cache_hit) {
+      ++hits;
+      EXPECT_EQ(session->stats().cache_diagnostic, "hit");
+    }
+  }
+  EXPECT_EQ(stored, 1) << "exactly one thread may run the acquisition";
+  EXPECT_EQ(hits, kThreads - 1) << "every waiter must load the stored entry";
+
+  // All traces are the same bytes regardless of who built.
+  for (int i = 1; i < kThreads; ++i) {
+    ExpectSameTrace(sessions[0]->trace(),
+                    sessions[static_cast<std::size_t>(i)]->trace());
+  }
+
+  // One entry file; the keyed-mutex table is empty again.
+  EXPECT_TRUE(std::filesystem::exists(EntryPathOf(*sessions[0])));
+  EXPECT_EQ(KeyedMutex::Global().live_keys(), 0u);
+}
+
+TEST(KeyedMutexTest, DistinctKeysDoNotContend) {
+  KeyedMutex& km = KeyedMutex::Global();
+  auto g1 = km.Lock(101);
+  auto g2 = km.Lock(102);  // must not block on g1
+  EXPECT_FALSE(g1.waited());
+  EXPECT_FALSE(g2.waited());
+  EXPECT_EQ(km.live_keys(), 2u);
+}
+
+TEST(KeyedMutexTest, SameKeySerializesAndReportsWaiting) {
+  KeyedMutex& km = KeyedMutex::Global();
+  std::atomic<bool> waited{false};
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      auto guard = km.Lock(777);
+      const int now = ++concurrent;
+      int expected = max_concurrent.load();
+      while (now > expected &&
+             !max_concurrent.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (guard.waited()) waited.store(true);
+      --concurrent;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(max_concurrent.load(), 1) << "keyed mutex must serialize";
+  EXPECT_TRUE(waited.load()) << "at least one thread should have contended";
+  EXPECT_EQ(km.live_keys(), 0u) << "entries are reclaimed at last unlock";
 }
 
 }  // namespace

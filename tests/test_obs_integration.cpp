@@ -6,8 +6,11 @@
 // — the global registry accumulates across test cases by design — and are
 // skipped in a -DHPCFAIL_OBS=OFF build.
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -331,6 +334,74 @@ TEST(ObsIntegration, SpanRingIsBoundedButAggregatesAreNot) {
   const std::vector<obs::SpanAggregate> aggs = tracer.Aggregates();
   ASSERT_EQ(aggs.size(), 1u);
   EXPECT_EQ(aggs[0].count, static_cast<long long>(n));
+}
+
+TEST(ObsIntegration, ConcurrentScrapeDuringActiveIngestIsCoherent) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with HPCFAIL_OBS=OFF";
+  // hpcfaild answers GET /metrics from worker threads while other workers
+  // (and hpcfail_stream --follow) are mid-ingest. Snapshot/PrometheusText
+  // must stay well-formed and monotonic under that race — this is the
+  // regression test for the exporter's thread-safety contract, and the
+  // TSan job in scripts/ci.sh runs it with the race detector live.
+  const Trace trace = synth::GenerateTrace(synth::TinyScenario(), 13);
+  stream::EngineConfig cfg;
+  cfg.stream.reorder_tolerance = kDay;
+  cfg.window.trigger = core::EventFilter::Any();
+  cfg.window.target = core::EventFilter::Any();
+  cfg.window.window = kWeek;
+
+  const long long accepted_before =
+      CounterValue(obs::MetricsRegistry::Global().Snapshot(),
+                   "hpcfail_stream_accepted_total");
+
+  std::atomic<bool> ingesting{true};
+  std::atomic<long long> scrapes{0};
+  std::vector<std::thread> scrapers;
+  std::vector<std::string> failures_seen;
+  std::mutex failures_mu;
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&] {
+      long long last_accepted = 0;
+      // do-while: on a loaded 1-core box the ingest below can finish before
+      // this thread first runs; every scraper still scrapes at least once.
+      do {
+        const obs::MetricsSnapshot snap =
+            obs::MetricsRegistry::Global().Snapshot();
+        const std::string text = obs::PrometheusText(snap);
+        const long long accepted =
+            CounterValue(snap, "hpcfail_stream_accepted_total");
+        ++scrapes;
+        // Well-formed: the exposition ends with a newline and carries the
+        // counter we are racing against once registered.
+        if (text.empty() || text.back() != '\n' || accepted < last_accepted) {
+          std::lock_guard<std::mutex> lock(failures_mu);
+          failures_seen.push_back(
+              accepted < last_accepted
+                  ? "counter went backwards"
+                  : "malformed Prometheus exposition");
+          return;
+        }
+        last_accepted = accepted;
+      } while (ingesting.load(std::memory_order_acquire));
+    });
+  }
+
+  stream::StreamEngine engine(trace.systems(), cfg);
+  for (const FailureRecord& r : trace.failures()) {
+    ASSERT_EQ(engine.Ingest(r), stream::IngestStatus::kAccepted);
+  }
+  engine.Finish();
+  ingesting.store(false, std::memory_order_release);
+  for (std::thread& s : scrapers) s.join();
+
+  EXPECT_TRUE(failures_seen.empty())
+      << "first failure: " << failures_seen.front();
+  EXPECT_GT(scrapes.load(), 0);
+  const long long accepted_after =
+      CounterValue(obs::MetricsRegistry::Global().Snapshot(),
+                   "hpcfail_stream_accepted_total");
+  EXPECT_EQ(accepted_after - accepted_before,
+            static_cast<long long>(trace.failures().size()));
 }
 
 TEST(ObsIntegration, StageHistogramsMirrorIntoRegistry) {

@@ -1,0 +1,152 @@
+// Wire-protocol parsing and framing: every line command and HTTP GET path
+// maps to the right verb/params, malformed input fails with a message (never
+// a crash or a silent default), and responses are framed exactly.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+
+namespace hpcfail::serve {
+namespace {
+
+Request MustParseLine(const std::string& line) {
+  Request request;
+  std::string error;
+  EXPECT_TRUE(ParseCommandLine(line, &request, &error)) << error;
+  return request;
+}
+
+Request MustParseHttp(const std::string& line) {
+  Request request;
+  std::string error;
+  EXPECT_TRUE(ParseHttpRequestLine(line, &request, &error)) << error;
+  return request;
+}
+
+TEST(ParseCommandLine, BareVerbs) {
+  EXPECT_EQ(MustParseLine("PING").verb, Verb::kPing);
+  EXPECT_EQ(MustParseLine("HEALTH").verb, Verb::kHealth);
+  EXPECT_EQ(MustParseLine("METRICS").verb, Verb::kMetrics);
+  EXPECT_EQ(MustParseLine("QUIT").verb, Verb::kQuit);
+  EXPECT_FALSE(MustParseLine("PING").http);
+}
+
+TEST(ParseCommandLine, ReportWithParams) {
+  const Request r = MustParseLine("REPORT scale=0.5 years=1 seed=9");
+  EXPECT_EQ(r.verb, Verb::kReport);
+  EXPECT_DOUBLE_EQ(r.GetDouble("scale", 0), 0.5);
+  EXPECT_DOUBLE_EQ(r.GetDouble("years", 0), 1.0);
+  EXPECT_EQ(r.GetUint64("seed", 0), 9u);
+}
+
+TEST(ParseCommandLine, TableTakesTargetThenParams) {
+  const Request r = MustParseLine("TABLE overview scale=0.25");
+  EXPECT_EQ(r.verb, Verb::kTable);
+  EXPECT_EQ(r.target, "overview");
+  EXPECT_DOUBLE_EQ(r.GetDouble("scale", 0), 0.25);
+}
+
+TEST(ParseCommandLine, ToleratesCrlfAndPadding) {
+  const Request r = MustParseLine("  REPORT seed=3  \r");
+  EXPECT_EQ(r.verb, Verb::kReport);
+  EXPECT_EQ(r.GetUint64("seed", 0), 3u);
+}
+
+TEST(ParseCommandLine, Rejections) {
+  Request r;
+  std::string error;
+  EXPECT_FALSE(ParseCommandLine("", &r, &error));
+  EXPECT_FALSE(ParseCommandLine("NOPE", &r, &error));
+  EXPECT_NE(error.find("NOPE"), std::string::npos);
+  EXPECT_FALSE(ParseCommandLine("TABLE", &r, &error));
+  EXPECT_NE(error.find("table name"), std::string::npos);
+  EXPECT_FALSE(ParseCommandLine("REPORT scale", &r, &error));
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+}
+
+TEST(ParseCommandLine, MalformedNumbersThrowOnAccess) {
+  const Request r = MustParseLine("REPORT scale=abc seed=-1");
+  EXPECT_THROW(r.GetDouble("scale", 0), std::invalid_argument);
+  EXPECT_THROW(r.GetUint64("seed", 0), std::invalid_argument);
+  // Absent keys fall back without throwing.
+  EXPECT_DOUBLE_EQ(r.GetDouble("years", 2.5), 2.5);
+}
+
+TEST(ParseHttpRequestLine, PathMapping) {
+  EXPECT_EQ(MustParseHttp("GET /healthz HTTP/1.1").verb, Verb::kHealth);
+  EXPECT_EQ(MustParseHttp("GET /metrics HTTP/1.1").verb, Verb::kMetrics);
+  EXPECT_EQ(MustParseHttp("GET /stats HTTP/1.1").verb, Verb::kStats);
+  EXPECT_EQ(MustParseHttp("GET /report HTTP/1.1").verb, Verb::kReport);
+  EXPECT_EQ(MustParseHttp("GET /debug/sleep HTTP/1.1").verb, Verb::kSleep);
+  EXPECT_TRUE(MustParseHttp("GET /healthz HTTP/1.1").http);
+}
+
+TEST(ParseHttpRequestLine, TableTargetIsUrlDecoded) {
+  const Request r = MustParseHttp("GET /table/per%73ystem HTTP/1.1");
+  EXPECT_EQ(r.verb, Verb::kTable);
+  EXPECT_EQ(r.target, "persystem");
+}
+
+TEST(ParseHttpRequestLine, QueryParams) {
+  const Request r =
+      MustParseHttp("GET /report?scale=0.5&years=1&seed=9 HTTP/1.1");
+  EXPECT_DOUBLE_EQ(r.GetDouble("scale", 0), 0.5);
+  EXPECT_EQ(r.GetUint64("seed", 0), 9u);
+}
+
+TEST(ParseHttpRequestLine, Rejections) {
+  Request r;
+  std::string error;
+  EXPECT_FALSE(ParseHttpRequestLine("POST /report HTTP/1.1", &r, &error));
+  EXPECT_NE(error.find("GET"), std::string::npos);
+  EXPECT_FALSE(ParseHttpRequestLine("GET /nope HTTP/1.1", &r, &error));
+  EXPECT_NE(error.find("no such path"), std::string::npos);
+  EXPECT_FALSE(ParseHttpRequestLine("GET /table/ HTTP/1.1", &r, &error));
+  EXPECT_FALSE(ParseHttpRequestLine("GET relative HTTP/1.1", &r, &error));
+}
+
+TEST(UrlDecode, Basics) {
+  EXPECT_EQ(UrlDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(UrlDecode("%2Fpath"), "/path");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");  // malformed escapes pass through
+  EXPECT_EQ(UrlDecode("%2"), "%2");
+}
+
+TEST(Framing, LineOkCountsBytes) {
+  EXPECT_EQ(LineOk("hello\n"), "OK 6\nhello\n");
+  EXPECT_EQ(LineOk(""), "OK 0\n");
+}
+
+TEST(Framing, LineErrorStaysOneLine) {
+  EXPECT_EQ(LineError(503, "overloaded"), "ERR 503 overloaded\n");
+  EXPECT_EQ(LineError(400, "two\nlines"), "ERR 400 two lines\n");
+}
+
+TEST(Framing, HttpResponseShape) {
+  const std::string r = HttpResponse(200, "body\n");
+  EXPECT_EQ(r.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(r.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(r.substr(r.size() - 5), "body\n");
+}
+
+TEST(Framing, ErrorResponseFollowsRequestSyntax) {
+  Request line_req;
+  Request http_req;
+  http_req.http = true;
+  EXPECT_EQ(ErrorResponse(line_req, 404, "nope"), "ERR 404 nope\n");
+  const std::string h = ErrorResponse(http_req, 404, "nope");
+  EXPECT_EQ(h.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u);
+  EXPECT_EQ(h.substr(h.size() - 5), "nope\n");
+}
+
+TEST(StatusTextTest, KnownCodes) {
+  EXPECT_EQ(StatusText(kStatusOk), "OK");
+  EXPECT_EQ(StatusText(kStatusOverloaded), "Service Unavailable");
+  EXPECT_EQ(StatusText(kStatusDeadlineExceeded), "Gateway Timeout");
+  EXPECT_EQ(StatusText(599), "Error");
+}
+
+}  // namespace
+}  // namespace hpcfail::serve

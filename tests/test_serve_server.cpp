@@ -1,0 +1,406 @@
+// End-to-end tests for serve::Server over real sockets: both wire syntaxes,
+// byte-parity with the engine renderer, per-request deadlines (504),
+// admission control under overload (bounded queue, explicit 503 shedding,
+// never a hang), and graceful drain (in-flight requests finish, threads
+// join, the process state is reusable).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/report_render.h"
+#include "engine/session.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "synth/scenario.h"
+
+namespace hpcfail::serve {
+namespace {
+
+// ---- Raw test client ------------------------------------------------------
+
+class TestClient {
+ public:
+  explicit TestClient(int port, int recv_timeout_ms = 5000) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  bool Send(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads until EOF or the receive timeout (returns what arrived).
+  std::string ReadAll() {
+    std::string all;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      all.append(chunk, static_cast<std::size_t>(n));
+    }
+    return all;
+  }
+
+  // Reads exactly one line-protocol frame: "OK <n>\n" + n bytes, or an
+  // "ERR ...\n" line. Empty string on timeout/EOF.
+  std::string ReadFrame() {
+    std::string header;
+    if (!ReadLine(&header)) return {};
+    if (header.rfind("ERR", 0) == 0) return header + "\n";
+    if (header.rfind("OK ", 0) != 0) return header + "\n";
+    const std::size_t want = std::stoul(header.substr(3));
+    std::string payload;
+    while (payload.size() < want) {
+      if (buffer_.empty() && !Fill()) break;
+      const std::size_t take =
+          std::min(want - payload.size(), buffer_.size());
+      payload.append(buffer_, 0, take);
+      buffer_.erase(0, take);
+    }
+    return header + "\n" + payload;
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+  }
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      if (!Fill()) return false;
+    }
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+ServerConfig TestConfig() {
+  ServerConfig config;
+  config.port = 0;
+  config.workers = 2;
+  config.session.cache.enabled = false;  // hermetic: no artifact-cache I/O
+  return config;
+}
+
+std::string HttpBody(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string{} : response.substr(at + 4);
+}
+
+// The query every test uses: small enough to build in well under a second.
+constexpr char kQuery[] = "scale=0.05 years=0.5 seed=11";
+
+TEST(ServeServer, LineProtocolBasics) {
+  Server server(TestConfig());
+  server.Start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("PING\nHEALTH\nQUIT\n"));
+  EXPECT_EQ(client.ReadFrame(), "OK 5\npong\n");
+  EXPECT_EQ(client.ReadFrame(), "OK 3\nok\n");
+  EXPECT_EQ(client.ReadFrame(), "OK 4\nbye\n");
+  server.Shutdown();
+}
+
+TEST(ServeServer, HttpHealthzAndMetrics) {
+  Server server(TestConfig());
+  server.Start();
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.Send("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+    const std::string response = client.ReadAll();
+    EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_EQ(HttpBody(response), "ok\n");
+  }
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.Send("GET /metrics HTTP/1.1\r\n\r\n"));
+    const std::string response = client.ReadAll();
+    EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_NE(HttpBody(response).find("hpcfail_serve_requests_total"),
+              std::string::npos);
+  }
+  server.Shutdown();
+}
+
+TEST(ServeServer, ReportBytesMatchEngineRenderer) {
+  Server server(TestConfig());
+  server.Start();
+
+  // What the CLI would print for the same scenario + seed.
+  engine::SessionOptions options;
+  options.cache.enabled = false;
+  const auto session = engine::AnalysisSession::FromScenario(
+      synth::LanlLikeScenario(0.05, kYear / 2), 11, options);
+  std::ostringstream expected;
+  engine::RenderReport(session, expected);
+
+  TestClient line_client(server.port(), /*recv_timeout_ms=*/20000);
+  ASSERT_TRUE(line_client.Send(std::string("REPORT ") + kQuery + "\n"));
+  const std::string frame = line_client.ReadFrame();
+  const std::string header =
+      "OK " + std::to_string(expected.str().size()) + "\n";
+  ASSERT_EQ(frame.substr(0, header.size()), header);
+  EXPECT_EQ(frame.substr(header.size()), expected.str());
+
+  TestClient http_client(server.port(), /*recv_timeout_ms=*/20000);
+  ASSERT_TRUE(http_client.Send(
+      "GET /report?scale=0.05&years=0.5&seed=11 HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(HttpBody(http_client.ReadAll()), expected.str());
+
+  // Both went through one pooled session: a build, then a hit.
+  const auto stats = server.pool().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  server.Shutdown();
+}
+
+TEST(ServeServer, TableSectionsConcatenateToFullReport) {
+  Server server(TestConfig());
+  server.Start();
+  std::string concatenated;
+  for (const char* name :
+       {"overview", "correlations", "persystem", "environment", "usage"}) {
+    TestClient client(server.port(), /*recv_timeout_ms=*/20000);
+    ASSERT_TRUE(client.Send(std::string("TABLE ") + name + " " + kQuery +
+                            "\n"));
+    const std::string frame = client.ReadFrame();
+    ASSERT_EQ(frame.rfind("OK ", 0), 0u) << name << ": " << frame;
+    concatenated += frame.substr(frame.find('\n') + 1);
+  }
+  TestClient client(server.port(), /*recv_timeout_ms=*/20000);
+  ASSERT_TRUE(client.Send(std::string("REPORT ") + kQuery + "\n"));
+  const std::string full = client.ReadFrame();
+  EXPECT_EQ(full.substr(full.find('\n') + 1), concatenated);
+  server.Shutdown();
+}
+
+TEST(ServeServer, ErrorMapping) {
+  Server server(TestConfig());
+  server.Start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send("NOPE\n"));
+  EXPECT_EQ(client.ReadFrame().rfind("ERR 400", 0), 0u);
+
+  ASSERT_TRUE(client.Send("TABLE nosuch scale=0.05 years=0.5\n"));
+  const std::string not_found = client.ReadFrame();
+  EXPECT_EQ(not_found.rfind("ERR 404", 0), 0u);
+  EXPECT_NE(not_found.find("overview"), std::string::npos)
+      << "404 should list known tables: " << not_found;
+
+  ASSERT_TRUE(client.Send("REPORT scale=-1\n"));
+  EXPECT_EQ(client.ReadFrame().rfind("ERR 400", 0), 0u);
+
+  ASSERT_TRUE(client.Send("REPORT scale=abc\n"));
+  EXPECT_EQ(client.ReadFrame().rfind("ERR 400", 0), 0u);
+
+  // Test endpoints default OFF.
+  ASSERT_TRUE(client.Send("SLEEP ms=1\n"));
+  EXPECT_EQ(client.ReadFrame().rfind("ERR 404", 0), 0u);
+
+  TestClient http(server.port());
+  ASSERT_TRUE(http.Send("GET /nosuch HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(http.ReadAll().rfind("HTTP/1.1 404", 0), 0u);
+  server.Shutdown();
+}
+
+TEST(ServeServer, DeadlineExpiryAnswers504) {
+  ServerConfig config = TestConfig();
+  config.enable_test_endpoints = true;
+  Server server(config);
+  server.Start();
+  TestClient client(server.port());
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(client.Send("SLEEP ms=5000 deadline_ms=50\n"));
+  const std::string frame = client.ReadFrame();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(frame.rfind("ERR 504", 0), 0u) << frame;
+  EXPECT_LT(seconds, 2.0) << "deadline must cut the request short";
+  server.Shutdown();
+}
+
+TEST(ServeServer, OverloadShedsWith503AndDrainsCleanly) {
+  ServerConfig config = TestConfig();
+  config.workers = 1;
+  config.queue_depth = 1;
+  config.enable_test_endpoints = true;
+  Server server(config);
+  server.Start();
+
+  // Occupy the single worker: a long sleep cut short by its own deadline,
+  // so the busy window is wide enough to survive scheduler noise on a
+  // loaded 1-core box yet the test still finishes promptly. The sleeper's
+  // 504 answer is irrelevant here; QUIT releases the worker afterwards.
+  TestClient busy(server.port(), /*recv_timeout_ms=*/10000);
+  ASSERT_TRUE(busy.Send("SLEEP ms=60000 deadline_ms=5000\nQUIT\n"));
+  // Deterministic settle: wait until the worker has provably picked the
+  // sleeper up (inflight gauge reads 1), so the queue is empty again.
+  // (With obs compiled out the gauge stays 0 and this degrades to a
+  // bounded wait; the wide busy window still covers that case.)
+  auto& inflight_gauge =
+      obs::MetricsRegistry::Global().GetGauge("hpcfail_serve_inflight");
+  const auto settle_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (inflight_gauge.Value() < 1.0 &&
+         std::chrono::steady_clock::now() < settle_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // One connection fits the queue; everything beyond must be shed with an
+  // explicit 503 — promptly, not after the sleeper finishes.
+  std::vector<std::unique_ptr<TestClient>> extras;
+  int queued = 0;
+  int shed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 6; ++i) {
+    // Generous timeout: under TSan the queued client's answer can take
+    // seconds to arrive. "Never a hang" is still proven — every read is
+    // bounded and every connection must produce a frame.
+    auto client = std::make_unique<TestClient>(server.port(),
+                                               /*recv_timeout_ms=*/10000);
+    ASSERT_TRUE(client->connected());
+    // QUIT after the ping: a queued connection would otherwise hold the
+    // single worker after being answered (line protocol persists until
+    // EOF/idle), starving any later queued client.
+    ASSERT_TRUE(client->Send("PING\nQUIT\n"));
+    extras.push_back(std::move(client));
+  }
+  for (auto& client : extras) {
+    const std::string frame = client->ReadFrame();
+    if (frame.rfind("ERR 503", 0) == 0) {
+      ++shed;
+    } else if (frame == "OK 5\npong\n") {
+      ++queued;
+    } else {
+      ADD_FAILURE() << "unexpected frame: '" << frame << "'";
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(shed, 4) << "queue_depth=1 must shed most of 6 connections";
+  EXPECT_LE(queued, 2);
+  EXPECT_EQ(shed + queued, 6) << "no connection may hang unanswered";
+  EXPECT_LT(seconds, 30.0);
+
+  // The sleeper got both answers (the sleep was cut by its deadline);
+  // its QUIT freed the worker.
+  EXPECT_EQ(busy.ReadFrame().rfind("ERR 504", 0), 0u);
+  EXPECT_EQ(busy.ReadFrame(), "OK 4\nbye\n");
+  // Closing the extra clients returns the worker to the pool (EOF).
+  extras.clear();
+
+  // Graceful drain: a request in flight when Shutdown starts still gets
+  // its answer before the server finishes draining.
+  TestClient inflight(server.port(), /*recv_timeout_ms=*/10000);
+  ASSERT_TRUE(inflight.Send("SLEEP ms=400\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    server.Shutdown();
+    drained.store(true);
+  });
+  const std::string inflight_frame = inflight.ReadFrame();
+  EXPECT_EQ(inflight_frame.rfind("OK ", 0), 0u)
+      << "in-flight request must finish during drain: '" << inflight_frame
+      << "'";
+  drainer.join();
+  EXPECT_TRUE(drained.load());
+  EXPECT_FALSE(server.running());
+
+  // Post-drain connections are refused (nothing listens anymore).
+  TestClient late(server.port());
+  if (late.connected()) {
+    ASSERT_TRUE(late.Send("PING\n"));
+    EXPECT_EQ(late.ReadFrame(), "");
+  }
+}
+
+TEST(ServeServer, ShutdownIsIdempotentAndDestructorSafe) {
+  auto server = std::make_unique<Server>(TestConfig());
+  server->Start();
+  server->Shutdown();
+  server->Shutdown();  // no-op
+  server.reset();      // destructor after explicit shutdown: fine
+
+  Server abandoned(TestConfig());
+  abandoned.Start();
+  // Destructor alone must drain too.
+}
+
+TEST(ServeServer, HandleRequestDispatchWithoutSockets) {
+  Server server(TestConfig());  // never started: pure dispatch
+  Request ping;
+  ping.verb = Verb::kPing;
+  EXPECT_EQ(server.HandleRequest(ping), "OK 5\npong\n");
+
+  Request metrics;
+  metrics.verb = Verb::kMetrics;
+  metrics.http = true;
+  EXPECT_EQ(server.HandleRequest(metrics).rfind("HTTP/1.1 200", 0), 0u);
+
+  Request bad_table;
+  bad_table.verb = Verb::kTable;
+  bad_table.target = "nosuch";
+  bad_table.params["scale"] = "0.05";
+  bad_table.params["years"] = "0.5";
+  EXPECT_EQ(server.HandleRequest(bad_table).rfind("ERR 404", 0), 0u);
+}
+
+}  // namespace
+}  // namespace hpcfail::serve

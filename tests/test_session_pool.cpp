@@ -1,0 +1,189 @@
+// SessionPool's concurrency contract: single-flight builds (N concurrent
+// acquires of one key run ONE build), LRU eviction bounded by capacity,
+// deadline-aware waiters, and failure propagation to every waiter of the
+// failed round — after which the key is buildable again.
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/session.h"
+#include "serve/session_pool.h"
+#include "synth/scenario.h"
+
+namespace hpcfail::serve {
+namespace {
+
+// Builds are real (tiny) sessions: the pool's value type is immovable from
+// the test's perspective, so there is no cheaper stand-in to construct.
+engine::AnalysisSession BuildTiny(std::uint64_t seed) {
+  engine::SessionOptions options;
+  options.cache.enabled = false;
+  return engine::AnalysisSession::FromScenario(synth::TinyScenario(90 * kDay),
+                                               seed, options);
+}
+
+TEST(SessionPool, HitAfterBuild) {
+  SessionPool pool({4});
+  const auto first = pool.Acquire(1, [] { return BuildTiny(1); });
+  EXPECT_EQ(first.outcome, SessionPool::Outcome::kBuilt);
+  ASSERT_NE(first.session, nullptr);
+
+  const auto second = pool.Acquire(1, [] {
+    ADD_FAILURE() << "hit must not rebuild";
+    return BuildTiny(1);
+  });
+  EXPECT_EQ(second.outcome, SessionPool::Outcome::kHit);
+  EXPECT_EQ(second.session.get(), first.session.get());
+
+  const auto s = pool.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.resident, 1u);
+}
+
+TEST(SessionPool, ConcurrentAcquiresRunOneBuild) {
+  SessionPool pool({4});
+  std::atomic<int> builds{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const engine::AnalysisSession>> got(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      const auto acquired = pool.Acquire(42, [&] {
+        ++builds;
+        // Widen the race window so waiters really coalesce.
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return BuildTiny(42);
+      });
+      got[static_cast<std::size_t>(i)] = acquired.session;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(builds.load(), 1);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].get(), got[0].get());
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits + s.build_waits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(SessionPool, LruEvictionIsBoundedAndOrdered) {
+  SessionPool pool({2});
+  (void)pool.Acquire(1, [] { return BuildTiny(1); });
+  (void)pool.Acquire(2, [] { return BuildTiny(2); });
+  // Touch 1 so 2 becomes the LRU victim.
+  (void)pool.Acquire(1, [] { return BuildTiny(1); });
+  (void)pool.Acquire(3, [] { return BuildTiny(3); });  // evicts 2
+
+  EXPECT_EQ(pool.stats().resident, 2u);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+
+  // 1 survived; 2 is gone and rebuilds.
+  EXPECT_EQ(pool.Acquire(1, [] { return BuildTiny(1); }).outcome,
+            SessionPool::Outcome::kHit);
+  EXPECT_EQ(pool.Acquire(2, [] { return BuildTiny(2); }).outcome,
+            SessionPool::Outcome::kBuilt);
+  EXPECT_EQ(pool.stats().resident, 2u);
+}
+
+TEST(SessionPool, EvictedSessionSurvivesWhileReferenced) {
+  SessionPool pool({1});
+  const auto held = pool.Acquire(1, [] { return BuildTiny(1); });
+  (void)pool.Acquire(2, [] { return BuildTiny(2); });  // evicts key 1
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  // The shared_ptr keeps the evicted session alive and usable.
+  ASSERT_NE(held.session, nullptr);
+  EXPECT_GT(held.session->trace().systems().size(), 0u);
+}
+
+TEST(SessionPool, WaiterDeadlineExpiresToTimedOut) {
+  SessionPool pool({2});
+  std::atomic<bool> release{false};
+  std::thread builder([&] {
+    (void)pool.Acquire(7, [&] {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      return BuildTiny(7);
+    });
+  });
+  // Wait until the build is registered as in flight.
+  while (pool.stats().building == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto waited = pool.Acquire(
+      7, [] { return BuildTiny(7); }, Deadline::AfterMillis(30));
+  EXPECT_EQ(waited.outcome, SessionPool::Outcome::kTimedOut);
+  EXPECT_EQ(waited.session, nullptr);
+  EXPECT_EQ(pool.stats().timeouts, 1u);
+
+  release.store(true);
+  builder.join();
+  // The abandoned build still published: the next acquire is a hit.
+  EXPECT_EQ(pool.Acquire(7, [] { return BuildTiny(7); }).outcome,
+            SessionPool::Outcome::kHit);
+}
+
+TEST(SessionPool, BuildFailurePropagatesThenKeyRecovers) {
+  SessionPool pool({2});
+  std::atomic<bool> waiter_started{false};
+  std::atomic<bool> waiter_threw{false};
+  std::thread builder([&] {
+    EXPECT_THROW(pool.Acquire(9,
+                              [&]() -> engine::AnalysisSession {
+                                while (!waiter_started.load()) {
+                                  std::this_thread::sleep_for(
+                                      std::chrono::milliseconds(1));
+                                }
+                                std::this_thread::sleep_for(
+                                    std::chrono::milliseconds(10));
+                                throw std::runtime_error("synthetic failure");
+                              }),
+                 std::runtime_error);
+  });
+  while (pool.stats().building == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread waiter([&] {
+    waiter_started.store(true);
+    try {
+      (void)pool.Acquire(9, [] { return BuildTiny(9); });
+    } catch (const std::runtime_error& e) {
+      waiter_threw.store(true);
+      EXPECT_NE(std::string(e.what()).find("synthetic failure"),
+                std::string::npos);
+    }
+  });
+  builder.join();
+  waiter.join();
+  EXPECT_TRUE(waiter_threw.load());
+  EXPECT_EQ(pool.stats().build_failures, 1u);
+
+  // The failed key is buildable again, not poisoned.
+  EXPECT_EQ(pool.Acquire(9, [] { return BuildTiny(9); }).outcome,
+            SessionPool::Outcome::kBuilt);
+}
+
+TEST(SessionPool, ClearDropsReadyEntries) {
+  SessionPool pool({4});
+  (void)pool.Acquire(1, [] { return BuildTiny(1); });
+  (void)pool.Acquire(2, [] { return BuildTiny(2); });
+  EXPECT_EQ(pool.stats().resident, 2u);
+  pool.Clear();
+  EXPECT_EQ(pool.stats().resident, 0u);
+  EXPECT_EQ(pool.Acquire(1, [] { return BuildTiny(1); }).outcome,
+            SessionPool::Outcome::kBuilt);
+}
+
+TEST(SessionPool, ZeroCapacityRejected) {
+  EXPECT_THROW(SessionPool pool({0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcfail::serve

@@ -36,15 +36,9 @@
 #include <string>
 #include <vector>
 
-#include "core/downtime.h"
 #include "core/parallel.h"
-#include "core/interarrival.h"
-#include "core/node_skew.h"
-#include "core/power_analysis.h"
 #include "core/report.h"
-#include "core/usage_analysis.h"
-#include "core/user_analysis.h"
-#include "core/window_analysis.h"
+#include "engine/report_render.h"
 #include "engine/session.h"
 #include "obs/span.h"
 #include "synth/scenario.h"
@@ -54,110 +48,6 @@ namespace {
 
 using namespace hpcfail;
 using namespace hpcfail::core;
-
-void Report(const engine::AnalysisSession& session) {
-  const Trace& trace = session.trace();
-  const EventIndex& idx = session.index();
-  const WindowAnalyzer analyzer(idx);
-
-  std::cout << "=== trace overview ===\n";
-  Table overview({"system", "group", "nodes", "days", "failures",
-                  "fails/node-yr", "availability"});
-  for (const SystemConfig& s : trace.systems()) {
-    const auto fails = trace.FailuresOfSystem(s.id).size();
-    const double years =
-        static_cast<double>(s.observed.duration()) / kYear;
-    const DowntimeAnalysis down = AnalyzeDowntime(idx, s.id);
-    overview.AddRow(
-        {s.name, std::string(ToString(s.group)), std::to_string(s.num_nodes),
-         std::to_string(s.observed.duration() / kDay), std::to_string(fails),
-         FormatDouble(years > 0 ? fails / (years * s.num_nodes) : 0.0, 2),
-         FormatDouble(down.availability, 4)});
-  }
-  overview.Print(std::cout);
-
-  std::cout << "\n=== failure correlations (all systems pooled) ===\n";
-  Table corr({"measure", "P(random)", "P(conditional)", "factor", "sig"});
-  for (const auto& [label, window] :
-       {std::pair{"same node, next day", kDay},
-        {"same node, next week", kWeek}}) {
-    const auto r = analyzer.Compare(EventFilter::Any(), EventFilter::Any(),
-                                    Scope::kSameNode, window);
-    corr.AddRow({label, FormatPercent(r.baseline),
-                 FormatPercent(r.conditional), FormatFactor(r.factor),
-                 SignificanceMarker(r.test)});
-  }
-  corr.Print(std::cout);
-
-  std::cout << "\nstrongest follow-up triggers (week window):\n";
-  Table trig({"trigger type", "P(any failure | trigger)", "factor", "sig"});
-  for (FailureCategory c : AllFailureCategories()) {
-    const auto r = analyzer.Compare(EventFilter::Of(c), EventFilter::Any(),
-                                    Scope::kSameNode, kWeek);
-    if (r.num_triggers < 10) continue;
-    trig.AddRow({std::string(ToString(c)), FormatPercent(r.conditional),
-                 FormatFactor(r.factor), SignificanceMarker(r.test)});
-  }
-  trig.Print(std::cout);
-
-  std::cout << "\n=== per-system detail ===\n";
-  for (const SystemConfig& s : trace.systems()) {
-    const auto failures = trace.FailuresOfSystem(s.id);
-    if (failures.size() < 10) continue;
-    std::cout << "\n-- " << s.name << " --\n";
-    const NodeSkewSummary skew = AnalyzeNodeSkew(idx, s.id);
-    std::cout << "node skew: max node " << skew.most_failing_node.value
-              << " at " << FormatDouble(skew.max_over_mean, 1)
-              << "x the mean; equal rates "
-              << (skew.equal_rates_test.significant_99 ? "REJECTED"
-                                                       : "not rejected")
-              << "\n";
-    const DowntimeAnalysis down = AnalyzeDowntime(idx, s.id);
-    std::cout << "downtime: median "
-              << FormatDouble(down.overall.median_hours, 1) << "h, p90 "
-              << FormatDouble(down.overall.p90_hours, 1) << "h; worst node "
-              << down.worst_node.value << " at "
-              << FormatDouble(down.worst_node_availability, 4)
-              << " availability\n";
-    try {
-      const InterarrivalAnalysis ia = AnalyzeInterarrivals(idx, s.id);
-      std::cout << "inter-arrival: best fit "
-                << ToString(ia.system_fits.front().distribution)
-                << ", per-node Weibull shape "
-                << FormatDouble(ia.node_weibull.param1, 2)
-                << (ia.node_weibull.param1 < 0.9
-                        ? " (clustered: shape < 1)"
-                        : "")
-                << "\n";
-    } catch (const std::exception&) {
-      // too few events; skip
-    }
-  }
-
-  const EnvironmentBreakdown env = BreakdownEnvironment(idx);
-  if (env.total > 20) {
-    std::cout << "\n=== environmental failures ===\n";
-    Table t({"subcategory", "share"});
-    for (EnvironmentEvent e : AllEnvironmentEvents()) {
-      t.AddRow({std::string(ToString(e)),
-                FormatDouble(env.percent[static_cast<std::size_t>(e)], 1) +
-                    "%"});
-    }
-    t.Print(std::cout);
-  }
-
-  for (SystemId sys : SystemsWithJobs(trace)) {
-    std::cout << "\n=== usage analysis: " << trace.system(sys).name
-              << " ===\n";
-    const UsageAnalysis u = AnalyzeUsage(idx, sys);
-    std::cout << "r(jobs, failures) = " << FormatDouble(u.jobs_vs_failures.r, 3)
-              << " (excluding top node: "
-              << FormatDouble(u.jobs_vs_failures_excl_top.r, 3) << ")\n";
-    const UserAnalysis users = AnalyzeUsers(trace, sys, 50);
-    std::cout << "user-rate heterogeneity: LRT p="
-              << FormatDouble(users.rate_heterogeneity.p_value, 5) << "\n";
-  }
-}
 
 // The header prints even in a -DHPCFAIL_OBS=OFF build (with an explanatory
 // note instead of rows), so `--profile` output stays greppable either way.
@@ -274,7 +164,7 @@ int main(int argc, char** argv) {
     if (std_opts.json) {
       std::cout << session.StatsJson() << "\n";
     } else {
-      Report(session);
+      engine::RenderReport(session, std::cout);
     }
     if (profile) PrintProfile();
   } catch (const std::exception& e) {

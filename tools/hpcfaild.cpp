@@ -1,0 +1,140 @@
+// hpcfaild: the analysis daemon. Serves the figure/table queries of
+// hpcfail_report over TCP — a line protocol for scripts (`REPORT scale=0.5`)
+// and an HTTP/1.1 GET mapping for curl and Prometheus (`/report`, `/metrics`,
+// `/healthz`). Responses are byte-identical to the CLI for the same
+// scenario + seed: both sit on engine::RenderReport over a shared
+// AnalysisSession.
+//
+//   hpcfaild --port 8080 &
+//   curl 'http://127.0.0.1:8080/report?scale=0.5&years=1'
+//   curl 'http://127.0.0.1:8080/metrics'
+//
+// Lifecycle: prints `listening on <host>:<port>` once the socket is bound
+// (port 0 = ephemeral, the printed line is how scripts learn the real one),
+// then blocks until SIGTERM/SIGINT. On signal it drains gracefully — stops
+// accepting, finishes every admitted request, joins all threads — and, with
+// --metrics-out, flushes a final Prometheus snapshot before exiting 0.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "engine/arg_parser.h"
+#include "engine/session.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+namespace {
+
+// Self-pipe signal bridge: handlers may only write a byte; the main thread
+// polls the read end. Async-signal-safe by construction.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char b = 's';
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hpcfail;
+
+  serve::ServerConfig config;
+  engine::StandardOptions std_opts;
+  std::string metrics_out;
+  std::uint64_t queue_depth = config.queue_depth;
+  std::uint64_t pool_capacity = config.pool_capacity;
+  std::uint64_t deadline_ms =
+      static_cast<std::uint64_t>(config.default_deadline_ms);
+  std::uint64_t idle_timeout_ms =
+      static_cast<std::uint64_t>(config.idle_timeout_ms);
+
+  engine::ArgParser parser(
+      "hpcfaild",
+      "Failure-analysis daemon: serves hpcfail_report figures/tables over a "
+      "line-delimited TCP protocol and HTTP GET. Drains gracefully on "
+      "SIGTERM.");
+  parser.AddString("host", &config.host, "listen address");
+  parser.AddInt("port", &config.port,
+                "listen port (0 = ephemeral; the bound port is printed)");
+  parser.AddInt("workers", &config.workers, "request worker threads");
+  parser.AddUint64("queue-depth", &queue_depth,
+                   "bounded admission queue; beyond this connections are "
+                   "answered 503 and closed");
+  parser.AddUint64("pool-capacity", &pool_capacity,
+                   "max resident analysis sessions (LRU-evicted beyond)");
+  parser.AddUint64("deadline-ms", &deadline_ms,
+                   "default per-request deadline (0 = none; requests may "
+                   "override with deadline_ms=)");
+  parser.AddUint64("idle-timeout-ms", &idle_timeout_ms,
+                   "close idle line-protocol connections after this long");
+  parser.AddFlag("enable-test-endpoints", &config.enable_test_endpoints,
+                 "expose SLEEP / /debug/sleep (load tests only)");
+  parser.AddString("metrics-out", &metrics_out,
+                   "write a final Prometheus snapshot here on shutdown");
+  engine::AddStandardOptions(parser, &std_opts);
+  parser.ParseOrExit(argc, argv);
+  engine::ApplyStandardOptions(std_opts);
+
+  config.queue_depth = static_cast<std::size_t>(queue_depth);
+  config.pool_capacity = static_cast<std::size_t>(pool_capacity);
+  config.default_deadline_ms = static_cast<std::int64_t>(deadline_ms);
+  config.idle_timeout_ms = static_cast<std::int64_t>(idle_timeout_ms);
+  config.session = engine::MakeSessionOptions(std_opts);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "hpcfaild: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = OnSignal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  serve::Server server(config);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::cerr << "hpcfaild: " << e.what() << "\n";
+    return 1;
+  }
+
+  // The contract with scripts: one line, flushed, with the real port.
+  std::cout << "listening on " << config.host << ":" << server.port()
+            << std::endl;
+
+  // Block until a drain signal arrives on the self-pipe.
+  pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc > 0) break;
+    if (rc < 0 && errno != EINTR) break;
+  }
+  char drainbuf[16];
+  [[maybe_unused]] const ssize_t n =
+      ::read(g_signal_pipe[0], drainbuf, sizeof(drainbuf));
+
+  std::cout << "draining" << std::endl;
+  server.Shutdown();
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (out) {
+      out << obs::PrometheusText(obs::MetricsRegistry::Global().Snapshot());
+    } else {
+      std::cerr << "hpcfaild: cannot write " << metrics_out << "\n";
+      return 1;
+    }
+  }
+  std::cout << "stopped" << std::endl;
+  return 0;
+}
