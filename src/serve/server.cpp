@@ -161,7 +161,13 @@ void Server::Start() {
 
 void Server::Shutdown() {
   if (!running_.load(std::memory_order_acquire)) return;
-  stopping_.store(true, std::memory_order_release);
+  {
+    // stopping_ is part of queue_cv_'s wait predicate: store it under
+    // queue_mu_ so a worker cannot evaluate the predicate and then block
+    // across the store, missing the notify below (lost wakeup).
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
   // Wake the accept poll; it closes the listen socket (stop accepting).
   if (wake_pipe_[1] >= 0) {
     const char b = 'x';
@@ -449,7 +455,9 @@ void Server::HandleConnection(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
   std::string buffer;
-  const auto idle_start = std::chrono::steady_clock::now();
+  // Reset whenever bytes arrive or a request completes: the budget
+  // measures idleness, not connection lifetime.
+  auto idle_start = std::chrono::steady_clock::now();
   const auto idle_budget =
       std::chrono::milliseconds(config_.idle_timeout_ms);
   bool http = false;
@@ -468,6 +476,7 @@ void Server::HandleConnection(int fd) {
         // Read and discard headers until the blank line, then answer one
         // request and close (Connection: close semantics).
         std::string header_line;
+        bool headers_stalled = false;
         for (;;) {
           const std::size_t hnl = buffer.find('\n');
           if (hnl == std::string::npos) {
@@ -476,10 +485,18 @@ void Server::HandleConnection(int fd) {
             if (n <= 0) {
               if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
                 if (stopping_.load(std::memory_order_acquire)) break;
+                if (std::chrono::steady_clock::now() - idle_start >
+                    idle_budget) {
+                  // A client that never finishes its headers must not pin
+                  // this worker: close without answering.
+                  headers_stalled = true;
+                  break;
+                }
                 continue;
               }
               break;  // client went away mid-headers
             }
+            idle_start = std::chrono::steady_clock::now();
             buffer.append(chunk, static_cast<std::size_t>(n));
             if (buffer.size() > kMaxRequestLine) break;
             continue;
@@ -488,6 +505,7 @@ void Server::HandleConnection(int fd) {
           buffer.erase(0, hnl + 1);
           if (header_line.empty() || header_line == "\r") break;
         }
+        if (headers_stalled) break;  // close
         Request request;
         std::string error;
         std::string response;
@@ -522,6 +540,7 @@ void Server::HandleConnection(int fd) {
       if (!WriteAll(fd, response)) break;
       if (request.verb == Verb::kQuit) break;
       if (stopping_.load(std::memory_order_acquire)) break;  // drain: close
+      idle_start = std::chrono::steady_clock::now();  // request served
       continue;
     }
 
@@ -536,6 +555,7 @@ void Server::HandleConnection(int fd) {
     char chunk[4096];
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
+      idle_start = std::chrono::steady_clock::now();
       buffer.append(chunk, static_cast<std::size_t>(n));
       continue;
     }

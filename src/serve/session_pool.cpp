@@ -114,6 +114,25 @@ SessionPool::Acquired SessionPool::Acquire(std::uint64_t key,
         .Increment();
   }
 
+  // Any exception leaving build() must erase the wedged entry and release
+  // coalesced waiters, or an unlimited-deadline waiter blocks forever and
+  // the key stays stuck as "building".
+  const auto fail_build = [&](const char* what) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(key);  // never in the LRU yet
+    --stats_.building;
+    ++stats_.build_failures;
+    stats_.resident = lru_.size();
+    PublishGauges(stats_);
+    PoolCounter("hpcfail_serve_pool_build_failures_total",
+                "Session builds that threw")
+        .Increment();
+    flight->failed = true;
+    flight->error = what;
+    flight->done = true;
+    ready_cv_.notify_all();
+  };
+
   // Build with the pool unlocked: distinct keys build in parallel, hits
   // keep flowing, and the engine's own single-flight guards the artifact
   // cache underneath.
@@ -136,19 +155,10 @@ SessionPool::Acquired SessionPool::Acquire(std::uint64_t key,
     ready_cv_.notify_all();
     return {session, Outcome::kBuilt};
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_.erase(key);  // never in the LRU yet
-    --stats_.building;
-    ++stats_.build_failures;
-    stats_.resident = lru_.size();
-    PublishGauges(stats_);
-    PoolCounter("hpcfail_serve_pool_build_failures_total",
-                "Session builds that threw")
-        .Increment();
-    flight->failed = true;
-    flight->error = e.what();
-    flight->done = true;
-    ready_cv_.notify_all();
+    fail_build(e.what());
+    throw;
+  } catch (...) {
+    fail_build("non-std exception");
     throw;
   }
 }

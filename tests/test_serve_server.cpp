@@ -257,6 +257,55 @@ TEST(ServeServer, ErrorMapping) {
   server.Shutdown();
 }
 
+TEST(ServeServer, StalledHttpHeadersTimeOutAndFreeTheWorker) {
+  ServerConfig config = TestConfig();
+  config.workers = 1;
+  config.idle_timeout_ms = 300;
+  Server server(config);
+  server.Start();
+
+  // Request line but never the terminating blank line: the worker must
+  // give up after the idle budget instead of spinning on it forever.
+  TestClient stalled(server.port(), /*recv_timeout_ms=*/10000);
+  ASSERT_TRUE(stalled.connected());
+  ASSERT_TRUE(stalled.Send("GET /healthz HTTP/1.1\r\nHost: t\r\n"));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(stalled.ReadAll(), "") << "half-sent request must get no reply";
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(seconds, 5.0) << "close must come from the idle budget, not "
+                             "the client's receive timeout";
+
+  // The single worker is free again: a well-formed request is answered.
+  TestClient ok(server.port(), /*recv_timeout_ms=*/10000);
+  ASSERT_TRUE(ok.Send("GET /healthz HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(ok.ReadAll().rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  server.Shutdown();
+}
+
+TEST(ServeServer, IdleBudgetMeasuresIdlenessNotConnectionLifetime) {
+  ServerConfig config = TestConfig();
+  config.idle_timeout_ms = 800;
+  Server server(config);
+  server.Start();
+  TestClient client(server.port(), /*recv_timeout_ms=*/10000);
+  ASSERT_TRUE(client.connected());
+
+  // Stay active well past the idle budget: every ping must be answered.
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 <
+         std::chrono::milliseconds(2000)) {
+    ASSERT_TRUE(client.Send("PING\n"));
+    ASSERT_EQ(client.ReadFrame(), "OK 5\npong\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Now go silent: the idle budget closes the connection (EOF).
+  EXPECT_EQ(client.ReadFrame(), "");
+  server.Shutdown();
+}
+
 TEST(ServeServer, DeadlineExpiryAnswers504) {
   ServerConfig config = TestConfig();
   config.enable_test_endpoints = true;

@@ -170,6 +170,47 @@ TEST(SessionPool, BuildFailurePropagatesThenKeyRecovers) {
             SessionPool::Outcome::kBuilt);
 }
 
+TEST(SessionPool, NonStdExceptionReleasesWaitersAndRecovers) {
+  SessionPool pool({2});
+  std::atomic<bool> waiter_started{false};
+  std::atomic<bool> waiter_threw{false};
+  std::thread builder([&] {
+    try {
+      (void)pool.Acquire(11, [&]() -> engine::AnalysisSession {
+        while (!waiter_started.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        throw 42;  // not derived from std::exception
+      });
+      ADD_FAILURE() << "non-std exception must propagate to the builder";
+    } catch (int e) {
+      EXPECT_EQ(e, 42);
+    }
+  });
+  while (pool.stats().building == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Unlimited deadline: without catch(...) cleanup in Acquire this waiter
+  // would block forever on a flight that never completes.
+  std::thread waiter([&] {
+    waiter_started.store(true);
+    try {
+      (void)pool.Acquire(11, [] { return BuildTiny(11); });
+    } catch (const std::runtime_error&) {
+      waiter_threw.store(true);
+    }
+  });
+  builder.join();
+  waiter.join();
+  EXPECT_TRUE(waiter_threw.load());
+  EXPECT_EQ(pool.stats().build_failures, 1u);
+
+  // The failed key is buildable again, not wedged as "building".
+  EXPECT_EQ(pool.Acquire(11, [] { return BuildTiny(11); }).outcome,
+            SessionPool::Outcome::kBuilt);
+}
+
 TEST(SessionPool, ClearDropsReadyEntries) {
   SessionPool pool({4});
   (void)pool.Acquire(1, [] { return BuildTiny(1); });
