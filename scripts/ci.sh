@@ -5,9 +5,11 @@
 # stream engine's catch-up replay are where a data race would bite first —
 # a cache-determinism diff, ASan/UBSan runs of the cache and SIMD-kernel
 # suites, a forced-scalar (-DHPCFAIL_SIMD=OFF) build that must answer
-# byte-identically, an hpcfaild end-to-end smoke (concurrent load, served
-# bytes vs CLI bytes, /metrics scrape, SIGTERM drain), and a two-sided perf
-# gate against the committed BENCH_pr7.json baseline.
+# byte-identically, a sharded-session byte-identity diff (SessionSet's
+# merged report vs the monolithic session's, both via the CLI and via the
+# daemon's sharded=1 endpoint), an hpcfaild end-to-end smoke (concurrent
+# load, served bytes vs CLI bytes, /metrics scrape, SIGTERM drain), and a
+# two-sided perf gate against the committed BENCH_pr8.json baseline.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -28,7 +30,8 @@ cmake -B build-tsan -S . -DHPCFAIL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target \
   test_stream_index test_stream_parity test_stream_snapshot \
   test_metrics test_obs_integration test_csv_fuzz hpcfail_stream \
-  test_serve_protocol test_session_pool test_serve_server test_engine_cache
+  test_serve_protocol test_session_pool test_serve_server \
+  test_session_set test_engine_cache
 ./build-tsan/tests/test_stream_index
 ./build-tsan/tests/test_stream_parity
 ./build-tsan/tests/test_stream_snapshot
@@ -39,6 +42,7 @@ cmake --build build-tsan -j "$JOBS" --target \
 ./build-tsan/tests/test_serve_protocol
 ./build-tsan/tests/test_session_pool
 ./build-tsan/tests/test_serve_server
+./build-tsan/tests/test_session_set
 ./build-tsan/tests/test_engine_cache
 
 echo "== cache determinism: warm run must be byte-identical to cold =="
@@ -103,6 +107,24 @@ cmake --build build-nosimd -j "$JOBS" --target \
 diff "$CACHE_TMP/simd.out" "$CACHE_TMP/nosimd.out" \
   || { echo "ci: forced-scalar report differs from SIMD report" >&2; exit 1; }
 
+echo "== sharded byte-identity: SessionSet merged report vs monolithic =="
+# The SessionSet contract (DESIGN.md "Sharded sessions"): partitioning the
+# fleet into (system-block x time-window) shards and merging the views must
+# not change a single output byte. Run the same scenario through a
+# non-trivial grid (60-day windows, 3-system blocks -> mid-window failure
+# runs and cross-shard follow-up windows) and diff against the monolithic
+# report; repeat with a single-system-per-block grid to vary the block axis.
+./build/tools/hpcfail_report --synth --scale 0.2 --years 1 --seed 7 \
+  --no-cache --sharded --shard-window-days 60 --shard-block-systems 3 \
+  > "$CACHE_TMP/sharded.out" 2> /dev/null
+diff "$CACHE_TMP/simd.out" "$CACHE_TMP/sharded.out" \
+  || { echo "ci: sharded report differs from monolithic report" >&2; exit 1; }
+./build/tools/hpcfail_report --synth --scale 0.2 --years 1 --seed 7 \
+  --no-cache --sharded --shard-block-systems 1 \
+  > "$CACHE_TMP/sharded_blocks.out" 2> /dev/null
+diff "$CACHE_TMP/simd.out" "$CACHE_TMP/sharded_blocks.out" \
+  || { echo "ci: block-sharded report differs from monolithic" >&2; exit 1; }
+
 echo "== service smoke: hpcfaild end to end =="
 # Start the daemon on an ephemeral port, drive it with perf_service
 # (concurrent clients, zero tolerance for non-shed failures), check the
@@ -126,6 +148,20 @@ PORT="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$CACHE_TMP/hpcfaild.out")"
   || { echo "ci: GET /report failed" >&2; exit 1; }
 diff "$CACHE_TMP/served.out" "$CACHE_TMP/cold.out" \
   || { echo "ci: served report differs from hpcfail_report's" >&2; exit 1; }
+# The daemon's sharded endpoints: /report?sharded=1 must serve the same
+# bytes as the monolithic report, and /shards must answer with grid JSON.
+./build/bench/perf_service --connect "127.0.0.1:$PORT" \
+  --get '/report?scale=0.2&years=1&seed=7&sharded=1&window_days=60&block_systems=3' \
+  > "$CACHE_TMP/served_sharded.out" \
+  || { echo "ci: GET /report?sharded=1 failed" >&2; exit 1; }
+diff "$CACHE_TMP/served_sharded.out" "$CACHE_TMP/cold.out" \
+  || { echo "ci: served sharded report differs from monolithic" >&2; exit 1; }
+./build/bench/perf_service --connect "127.0.0.1:$PORT" \
+  --get '/shards?scale=0.2&years=1&seed=7&window_days=60&block_systems=3' \
+  > "$CACHE_TMP/shards.json" \
+  || { echo "ci: GET /shards failed" >&2; exit 1; }
+grep -q '"num_shards":' "$CACHE_TMP/shards.json" \
+  || { echo "ci: /shards response missing shard stats" >&2; exit 1; }
 ./build/bench/perf_service --connect "127.0.0.1:$PORT" --get /metrics \
   > "$CACHE_TMP/scrape.txt" \
   || { echo "ci: /metrics scrape failed" >&2; exit 1; }
@@ -137,7 +173,7 @@ wait "$DAEMON_PID" \
 grep -q '^stopped$' "$CACHE_TMP/hpcfaild.out" \
   || { echo "ci: hpcfaild did not drain cleanly" >&2; exit 1; }
 
-echo "== perf smoke: two-sided gate vs BENCH_pr7.json =="
+echo "== perf smoke: two-sided gate vs BENCH_pr8.json =="
 # Guards the headline numbers against the committed baseline: the serial
 # pairwise-matrix time (query kernels) must not be >25% slower, serial
 # stream ingest must not drop >25% below the recorded events/sec, and the
@@ -145,6 +181,16 @@ echo "== perf smoke: two-sided gate vs BENCH_pr7.json =="
 # loaded 1-core host is noisy, so its gate is looser than the kernels').
 # Absolute numbers are machine-dependent; the gate compares against a
 # baseline recorded on the same host, so only genuine slowdowns trip it.
+#
+# The session_set phase gates the sharded engine both ways: correctness
+# flags (merged queries equal monolithic) must hold, the merged query must
+# stay within 1.25x of the monolithic query, and the 4-thread sharded build
+# must stay within 1.1x of the monolithic build when the host has >= 4 real
+# cores to overlap the shard builds on. On a 1-2 core host the threads
+# time-slice and the sharded build pays its extra per-shard scans with no
+# parallel payoff, so the absolute bound is unreachable there; the gate
+# falls back to a relative band against the recorded baseline ratio (the
+# num_cpus field in the JSON says which regime produced each number).
 ./build/bench/perf_engine --json --seed 2013 --reps 8 \
   > "$CACHE_TMP/perf.json"
 ./build/bench/perf_stream --json --seed 2013 --reps 8 \
@@ -153,7 +199,7 @@ echo "== perf smoke: two-sided gate vs BENCH_pr7.json =="
   > "$CACHE_TMP/perf_service.json" \
   || { echo "ci: perf_service reported request failures" >&2; exit 1; }
 python3 - "$CACHE_TMP/perf.json" "$CACHE_TMP/perf_stream.json" \
-  "$CACHE_TMP/perf_service.json" BENCH_pr7.json <<'PYEOF'
+  "$CACHE_TMP/perf_service.json" BENCH_pr8.json <<'PYEOF'
 import json, sys
 now_engine = json.load(open(sys.argv[1]))
 now_stream = json.load(open(sys.argv[2]))
@@ -192,6 +238,42 @@ for phase in ("warm", "cold"):
         print(f"perf: service {phase} phase had "
               f"{now_service[phase]['failed']} failed requests REGRESSION")
         failed = True
+# Side 4: the sharded SessionSet. Correctness flags are hard failures;
+# the merged-query ratio is an absolute bound; the build ratio's bound
+# depends on whether this host can actually overlap the 4 shard builds.
+now_set = now_engine["session_set"]
+base_set = base_engine["session_set"]
+for flag in ("conditional_equal", "count_equal"):
+    if not now_set[flag]:
+        print(f"perf: session_set {flag} is false REGRESSION")
+        failed = True
+got = now_set["query_ratio"]
+status = "ok" if got <= 1.25 else "REGRESSION"
+print(f"perf: session_set merged query x{got:.2f} of monolithic "
+      f"(bound 1.25) {status}")
+failed |= got > 1.25
+got = now_set["build_ratio"]
+cpus = now_set.get("num_cpus", 0)
+if cpus >= 4:
+    status = "ok" if got <= 1.10 else "REGRESSION"
+    print(f"perf: session_set sharded build x{got:.2f} of monolithic "
+          f"(bound 1.10, {cpus} cpus) {status}")
+    failed |= got > 1.10
+else:
+    want = base_set["build_ratio"]
+    rel = got / want if want > 0 else float("inf")
+    status = "ok" if rel <= 1.25 else "REGRESSION"
+    print(f"perf: session_set sharded build x{got:.2f} of monolithic vs "
+          f"baseline x{want:.2f} (rel x{rel:.2f}, {cpus} cpus: no parallel "
+          f"payoff, relative band) {status}")
+    failed |= rel > 1.25
+got = now_set["sharded_build_seconds"]
+want = base_set["sharded_build_seconds"]
+ratio = got / want if want > 0 else float("inf")
+status = "ok" if ratio <= 1.5 else "REGRESSION"
+print(f"perf: session_set sharded build {got:.6g}s vs baseline "
+      f"{want:.6g}s (x{ratio:.2f}) {status}")
+failed |= ratio > 1.5
 if "query_phase_seconds" in now_engine:
     q = now_engine["query_phase_seconds"]
     print(f"perf: query_phase total {q['total']:.6g}s "

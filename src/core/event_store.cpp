@@ -319,6 +319,68 @@ void SystemEventStore::AppendBlock(const RecordBlock& block) {
   }
 }
 
+namespace {
+
+// Bulk column append shared by AppendStore: dst += src.
+template <typename T>
+void AppendColumn(std::vector<T>& dst, const std::vector<T>& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+template <typename T>
+std::size_t ColumnBytes(const std::vector<T>& v) {
+  return v.size() * sizeof(T);
+}
+
+std::size_t EventColumnsBytes(const SystemEventStore::EventColumns& c) {
+  return ColumnBytes(c.times) + ColumnBytes(c.nodes) + ColumnBytes(c.cats) +
+         ColumnBytes(c.subs);
+}
+
+}  // namespace
+
+void SystemEventStore::AppendStore(const SystemEventStore& other) {
+  if (other.id != id || other.by_node.size() != by_node.size() ||
+      other.by_rack.size() != by_rack.size()) {
+    throw std::invalid_argument(
+        "SystemEventStore::AppendStore: stores describe different systems");
+  }
+  if (other.size() == 0) return;
+  if (!starts.empty() && other.starts.front() < starts.back()) {
+    throw std::invalid_argument(
+        "SystemEventStore::AppendStore: appended store starts before this "
+        "one ends");
+  }
+  AppendColumn(starts, other.starts);
+  AppendColumn(ends, other.ends);
+  AppendColumn(nodes, other.nodes);
+  AppendColumn(cats, other.cats);
+  AppendColumn(subs, other.subs);
+  for (std::size_t n = 0; n < by_node.size(); ++n) {
+    AppendColumn(by_node[n].times, other.by_node[n].times);
+    AppendColumn(by_node[n].cats, other.by_node[n].cats);
+    AppendColumn(by_node[n].subs, other.by_node[n].subs);
+  }
+  for (std::size_t r = 0; r < by_rack.size(); ++r) {
+    AppendColumn(by_rack[r].times, other.by_rack[r].times);
+    AppendColumn(by_rack[r].nodes, other.by_rack[r].nodes);
+    AppendColumn(by_rack[r].cats, other.by_rack[r].cats);
+    AppendColumn(by_rack[r].subs, other.by_rack[r].subs);
+  }
+}
+
+std::size_t SystemEventStore::ApproxBytes() const {
+  std::size_t bytes = ColumnBytes(starts) + ColumnBytes(ends) +
+                      ColumnBytes(nodes) + ColumnBytes(cats) +
+                      ColumnBytes(subs);
+  for (const EventColumns& c : by_node) bytes += EventColumnsBytes(c);
+  for (const EventColumns& c : by_rack) bytes += EventColumnsBytes(c);
+  bytes += ColumnBytes(rack_of) + ColumnBytes(rack_size);
+  bytes += by_node.size() * sizeof(EventColumns);
+  bytes += by_rack.size() * sizeof(EventColumns);
+  return bytes;
+}
+
 long long SystemEventStore::CountMatching(const EventFilter& filter) const {
   const CompiledFilter cf = CompiledFilter::From(filter);
   return CountMatchesInRange(cats.data(), subs.data(), RowRange{0, size()},
@@ -435,21 +497,39 @@ const SystemEventStore* EventStoreSet::Find(SystemId sys) const {
   return nullptr;
 }
 
-EventStoreSet EventStoreSet::Build(const Trace& trace,
-                                   std::span<const SystemId> systems) {
-  obs::ScopedTimer timer("index_build");
-  EventStoreSet set;
+namespace {
+
+// The ids Build/Concatenate actually index: the trace's systems when the
+// request is empty, otherwise the requested ids minus invalid (negative)
+// ones — those would index the slot table out of bounds, so they are
+// skipped the same way unknown-system records are skipped. The caller
+// notices when it looks its system up (EventIndex throws).
+std::vector<SystemId> WantedSystems(const Trace& trace,
+                                    std::span<const SystemId> systems) {
   std::vector<SystemId> wanted;
   if (systems.empty()) {
     for (const SystemConfig& s : trace.systems()) wanted.push_back(s.id);
   } else {
-    // Invalid (negative) ids would index the slot table out of bounds below;
-    // skip them the same way unknown-system records are skipped. The caller
-    // notices when it looks its system up (EventIndex throws).
     for (SystemId id : systems) {
       if (id.valid()) wanted.push_back(id);
     }
   }
+  return wanted;
+}
+
+}  // namespace
+
+EventStoreSet EventStoreSet::Build(const Trace& trace,
+                                   std::span<const SystemId> systems) {
+  return Build(trace, systems, kAllStartTimes);
+}
+
+EventStoreSet EventStoreSet::Build(const Trace& trace,
+                                   std::span<const SystemId> systems,
+                                   TimeInterval start_range) {
+  obs::ScopedTimer timer("index_build");
+  EventStoreSet set;
+  const std::vector<SystemId> wanted = WantedSystems(trace, systems);
   set.stores.reserve(wanted.size());
   // slot[system id] -> store index, so the single pass below is O(1) per
   // record. System ids are small dense integers (trace validates them).
@@ -471,7 +551,18 @@ EventStoreSet EventStoreSet::Build(const Trace& trace,
   // through the vectorized block kernel instead of per-record consistent().
   constexpr std::size_t kBuildBlock = 1024;
   std::vector<RecordBlock> blocks(set.stores.size());
-  for (const FailureRecord& f : trace.failures()) {
+  // Binary-search to the requested start range instead of scanning the whole
+  // stream; a shard build touches only its slice of the failure columns.
+  const std::vector<FailureRecord>& failures = trace.failures();
+  auto first = failures.begin();
+  if (start_range.begin > std::numeric_limits<TimeSec>::min()) {
+    first = std::lower_bound(
+        failures.begin(), failures.end(), start_range.begin,
+        [](const FailureRecord& f, TimeSec t) { return f.start < t; });
+  }
+  for (auto it = first; it != failures.end(); ++it) {
+    const FailureRecord& f = *it;
+    if (f.start >= start_range.end) break;
     if (f.system.value < 0 || f.system.value > max_id) continue;
     const std::int32_t s = slot[static_cast<std::size_t>(f.system.value)];
     if (s < 0) continue;
@@ -487,6 +578,35 @@ EventStoreSet EventStoreSet::Build(const Trace& trace,
     if (!blocks[s].empty()) set.stores[s].AppendBlock(blocks[s]);
   }
   return set;
+}
+
+EventStoreSet EventStoreSet::Concatenate(
+    const Trace& trace, std::span<const SystemId> systems,
+    std::span<const EventStoreSet* const> parts) {
+  obs::ScopedTimer timer("index_merge");
+  EventStoreSet set;
+  const std::vector<SystemId> wanted = WantedSystems(trace, systems);
+  set.stores.reserve(wanted.size());
+  for (SystemId id : wanted) {
+    SystemEventStore se;
+    se.Init(trace.system(id));
+    std::size_t total = 0;
+    for (const EventStoreSet* part : parts) {
+      if (const SystemEventStore* ps = part->Find(id)) total += ps->size();
+    }
+    se.Reserve(total);
+    for (const EventStoreSet* part : parts) {
+      if (const SystemEventStore* ps = part->Find(id)) se.AppendStore(*ps);
+    }
+    set.stores.push_back(std::move(se));
+  }
+  return set;
+}
+
+std::size_t EventStoreSet::ApproxBytes() const {
+  std::size_t bytes = 0;
+  for (const SystemEventStore& se : stores) bytes += se.ApproxBytes();
+  return bytes;
 }
 
 }  // namespace hpcfail::core

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <iterator>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -239,6 +240,20 @@ struct SystemEventStore {
   // Append preconditions; release builds trust the caller.
   void AppendTrusted(const FailureRecord& f);
 
+  // Appends every row of `other` after this store's rows. `other` must be a
+  // store of the same system built from the same config (same node/rack
+  // shape) whose first start is >= this store's last start — the shard
+  // stores SessionSet concatenates satisfy this by construction, so the
+  // order check is O(1), not a rescan. The result is column-for-column what
+  // a single store fed both row sequences in order would hold.
+  void AppendStore(const SystemEventStore& other);
+
+  // Deterministic footprint estimate (element sizes * element counts over
+  // every column bundle) used by the SessionSet memory budget. Counts
+  // logical sizes, not capacities, so the same events always report the
+  // same bytes.
+  std::size_t ApproxBytes() const;
+
   // Appends a staged block after one vectorized validation pass over its
   // columns (node range, end >= start, category/subcategory pairing — the
   // same invariants Append enforces per record) plus the time-order check.
@@ -311,6 +326,10 @@ inline FailureRecord RecordSpan::iterator::operator*() const {
   return store_->Record(i_);
 }
 
+// The unbounded start-time range: Build filtered by it keeps every record.
+inline constexpr TimeInterval kAllStartTimes{
+    std::numeric_limits<TimeSec>::min(), std::numeric_limits<TimeSec>::max()};
+
 // An immutable bundle of per-system stores built once per trace and shared
 // (via shared_ptr) by every EventIndex view onto it. Building is one linear
 // pass over the trace's time-sorted failure stream — O(F + N) instead of the
@@ -330,6 +349,29 @@ struct EventStoreSet {
   // system configs.
   static EventStoreSet Build(const Trace& trace,
                              std::span<const SystemId> systems = {});
+
+  // Same, restricted to records whose START falls in the half-open range
+  // [start_range.begin, start_range.end). Because trace.failures() is
+  // start-sorted, the pass binary-searches to the range instead of scanning
+  // the whole stream — the SessionSet shard-build hot path. Build(trace,
+  // systems, kAllStartTimes) is exactly Build(trace, systems).
+  static EventStoreSet Build(const Trace& trace,
+                             std::span<const SystemId> systems,
+                             TimeInterval start_range);
+
+  // Stitches the per-system stores of `parts` (in the given order) into one
+  // set over `systems` (invalid ids skipped, like Build). Parts that lack a
+  // system contribute nothing to it. When the parts partition a trace's
+  // failures by start-time range — every record in exactly one part, ranges
+  // in ascending order — the result is column-for-column identical to
+  // Build(trace, systems) over the whole trace: the merge that makes a
+  // sharded SessionSet's merged view bit-identical to a monolithic session.
+  static EventStoreSet Concatenate(
+      const Trace& trace, std::span<const SystemId> systems,
+      std::span<const EventStoreSet* const> parts);
+
+  // Sum of the member stores' ApproxBytes().
+  std::size_t ApproxBytes() const;
 };
 
 }  // namespace hpcfail::core

@@ -38,11 +38,11 @@ void CheckCancel(const CancelFn& cancel, const char* where) {
 
 }  // namespace
 
-void RenderOverview(const AnalysisSession& session, std::ostream& os,
+void RenderOverview(const AnalysisView& view, std::ostream& os,
                     const CancelFn& cancel) {
   CheckCancel(cancel, "overview");
-  const Trace& trace = session.trace();
-  const EventIndex& idx = session.index();
+  const Trace& trace = view.trace();
+  const EventIndex& idx = view.index();
   os << "=== trace overview ===\n";
   Table overview({"system", "group", "nodes", "days", "failures",
                   "fails/node-yr", "availability"});
@@ -61,10 +61,10 @@ void RenderOverview(const AnalysisSession& session, std::ostream& os,
   overview.Print(os);
 }
 
-void RenderCorrelations(const AnalysisSession& session, std::ostream& os,
+void RenderCorrelations(const AnalysisView& view, std::ostream& os,
                         const CancelFn& cancel) {
   CheckCancel(cancel, "correlations");
-  const WindowAnalyzer analyzer(session.index());
+  const WindowAnalyzer analyzer(view.index());
   os << "\n=== failure correlations (all systems pooled) ===\n";
   Table corr({"measure", "P(random)", "P(conditional)", "factor", "sig"});
   for (const auto& [label, window] :
@@ -92,11 +92,11 @@ void RenderCorrelations(const AnalysisSession& session, std::ostream& os,
   trig.Print(os);
 }
 
-void RenderPerSystem(const AnalysisSession& session, std::ostream& os,
+void RenderPerSystem(const AnalysisView& view, std::ostream& os,
                      const CancelFn& cancel) {
   CheckCancel(cancel, "persystem");
-  const Trace& trace = session.trace();
-  const EventIndex& idx = session.index();
+  const Trace& trace = view.trace();
+  const EventIndex& idx = view.index();
   os << "\n=== per-system detail ===\n";
   for (const SystemConfig& s : trace.systems()) {
     CheckCancel(cancel, "persystem");
@@ -127,10 +127,10 @@ void RenderPerSystem(const AnalysisSession& session, std::ostream& os,
   }
 }
 
-void RenderEnvironment(const AnalysisSession& session, std::ostream& os,
+void RenderEnvironment(const AnalysisView& view, std::ostream& os,
                        const CancelFn& cancel) {
   CheckCancel(cancel, "environment");
-  const EnvironmentBreakdown env = core::BreakdownEnvironment(session.index());
+  const EnvironmentBreakdown env = core::BreakdownEnvironment(view.index());
   if (env.total > 20) {
     os << "\n=== environmental failures ===\n";
     Table t({"subcategory", "share"});
@@ -143,11 +143,11 @@ void RenderEnvironment(const AnalysisSession& session, std::ostream& os,
   }
 }
 
-void RenderUsage(const AnalysisSession& session, std::ostream& os,
+void RenderUsage(const AnalysisView& view, std::ostream& os,
                  const CancelFn& cancel) {
   CheckCancel(cancel, "usage");
-  const Trace& trace = session.trace();
-  const EventIndex& idx = session.index();
+  const Trace& trace = view.trace();
+  const EventIndex& idx = view.index();
   for (SystemId sys : core::SystemsWithJobs(trace)) {
     CheckCancel(cancel, "usage");
     os << "\n=== usage analysis: " << trace.system(sys).name << " ===\n";
@@ -161,29 +161,29 @@ void RenderUsage(const AnalysisSession& session, std::ostream& os,
   }
 }
 
-void RenderReport(const AnalysisSession& session, std::ostream& os,
+void RenderReport(const AnalysisView& view, std::ostream& os,
                   const CancelFn& cancel) {
-  RenderOverview(session, os, cancel);
-  RenderCorrelations(session, os, cancel);
-  RenderPerSystem(session, os, cancel);
-  RenderEnvironment(session, os, cancel);
-  RenderUsage(session, os, cancel);
+  RenderOverview(view, os, cancel);
+  RenderCorrelations(view, os, cancel);
+  RenderPerSystem(view, os, cancel);
+  RenderEnvironment(view, os, cancel);
+  RenderUsage(view, os, cancel);
 }
 
-bool RenderNamed(std::string_view name, const AnalysisSession& session,
+bool RenderNamed(std::string_view name, const AnalysisView& view,
                  std::ostream& os, const CancelFn& cancel) {
   if (name == "report") {
-    RenderReport(session, os, cancel);
+    RenderReport(view, os, cancel);
   } else if (name == "overview") {
-    RenderOverview(session, os, cancel);
+    RenderOverview(view, os, cancel);
   } else if (name == "correlations") {
-    RenderCorrelations(session, os, cancel);
+    RenderCorrelations(view, os, cancel);
   } else if (name == "persystem") {
-    RenderPerSystem(session, os, cancel);
+    RenderPerSystem(view, os, cancel);
   } else if (name == "environment") {
-    RenderEnvironment(session, os, cancel);
+    RenderEnvironment(view, os, cancel);
   } else if (name == "usage") {
-    RenderUsage(session, os, cancel);
+    RenderUsage(view, os, cancel);
   } else {
     return false;
   }

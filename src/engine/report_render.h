@@ -35,25 +35,25 @@ class RenderCancelled : public std::runtime_error {
 // Sections, in report order. Each starts with its own heading; every
 // section after the first begins with the "\n" separator the full report
 // would print there, so concatenating all sections == RenderReport.
-void RenderOverview(const AnalysisSession& session, std::ostream& os,
+void RenderOverview(const AnalysisView& view, std::ostream& os,
                     const CancelFn& cancel = {});
-void RenderCorrelations(const AnalysisSession& session, std::ostream& os,
+void RenderCorrelations(const AnalysisView& view, std::ostream& os,
                         const CancelFn& cancel = {});
-void RenderPerSystem(const AnalysisSession& session, std::ostream& os,
+void RenderPerSystem(const AnalysisView& view, std::ostream& os,
                      const CancelFn& cancel = {});
-void RenderEnvironment(const AnalysisSession& session, std::ostream& os,
+void RenderEnvironment(const AnalysisView& view, std::ostream& os,
                        const CancelFn& cancel = {});
-void RenderUsage(const AnalysisSession& session, std::ostream& os,
+void RenderUsage(const AnalysisView& view, std::ostream& os,
                  const CancelFn& cancel = {});
 
 // The full report: every section above, in order.
-void RenderReport(const AnalysisSession& session, std::ostream& os,
+void RenderReport(const AnalysisView& view, std::ostream& os,
                   const CancelFn& cancel = {});
 
 // Named-section lookup for the service ("overview", "correlations",
 // "persystem", "environment", "usage", "report"). Returns false for an
 // unknown name, leaving `os` untouched.
-bool RenderNamed(std::string_view name, const AnalysisSession& session,
+bool RenderNamed(std::string_view name, const AnalysisView& view,
                  std::ostream& os, const CancelFn& cancel = {});
 
 // The names RenderNamed accepts, sorted, for error messages and --help.

@@ -83,15 +83,11 @@ void AppendJsonString(std::string* out, std::string_view s) {
 
 }  // namespace
 
-namespace {
-
-std::pair<Trace, AnalysisSession::Stats> CacheOrAcquire(
+std::pair<Trace, AnalysisSession::Stats> AcquireTrace(
     const TraceSource& source, const SessionOptions& options) {
   Acquired out = CacheOrAcquireImpl(source, options);
   return {std::move(out.trace), std::move(out.stats)};
 }
-
-}  // namespace
 
 AnalysisSession::AnalysisSession(std::pair<Trace, Stats> acquired)
     : trace_(std::make_shared<const Trace>(std::move(acquired.first))),
@@ -102,7 +98,7 @@ AnalysisSession::AnalysisSession(std::pair<Trace, Stats> acquired)
 
 AnalysisSession::AnalysisSession(std::unique_ptr<TraceSource> source,
                                  SessionOptions options)
-    : AnalysisSession(CacheOrAcquire(*source, options)) {}
+    : AnalysisSession(AcquireTrace(*source, options)) {}
 
 AnalysisSession AnalysisSession::FromScenario(synth::Scenario scenario,
                                               std::uint64_t seed,
@@ -139,30 +135,34 @@ core::EventIndex AnalysisSession::IndexFor(
   return core::EventIndex(*trace_, stores_, systems);
 }
 
-std::string AnalysisSession::StatsJson() const {
+std::string StatsJson(const AnalysisSession::Stats& stats) {
   std::string out = "{\"source\":";
-  AppendJsonString(&out, ToString(stats_.source));
+  AppendJsonString(&out, ToString(stats.source));
   out += ",\"label\":";
-  AppendJsonString(&out, stats_.label);
+  AppendJsonString(&out, stats.label);
   out += ",\"fingerprint\":";
-  if (stats_.fingerprint) {
-    AppendJsonString(&out, FingerprintHex(*stats_.fingerprint));
+  if (stats.fingerprint) {
+    AppendJsonString(&out, FingerprintHex(*stats.fingerprint));
   } else {
     out += "null";
   }
   out += ",\"cache_enabled\":";
-  out += stats_.cache_enabled ? "true" : "false";
+  out += stats.cache_enabled ? "true" : "false";
   out += ",\"cache_hit\":";
-  out += stats_.cache_hit ? "true" : "false";
+  out += stats.cache_hit ? "true" : "false";
   out += ",\"cache_stored\":";
-  out += stats_.cache_stored ? "true" : "false";
+  out += stats.cache_stored ? "true" : "false";
   out += ",\"cache_diagnostic\":";
-  AppendJsonString(&out, stats_.cache_diagnostic);
-  out += ",\"load_seconds\":" + std::to_string(stats_.load_seconds);
-  out += ",\"num_systems\":" + std::to_string(stats_.num_systems);
-  out += ",\"num_failures\":" + std::to_string(stats_.num_failures);
+  AppendJsonString(&out, stats.cache_diagnostic);
+  out += ",\"load_seconds\":" + std::to_string(stats.load_seconds);
+  out += ",\"num_systems\":" + std::to_string(stats.num_systems);
+  out += ",\"num_failures\":" + std::to_string(stats.num_failures);
   out += "}";
   return out;
+}
+
+std::string AnalysisSession::StatsJson() const {
+  return engine::StatsJson(stats_);
 }
 
 void AddStandardOptions(ArgParser& parser, StandardOptions* opts) {

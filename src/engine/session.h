@@ -85,6 +85,12 @@ class AnalysisSession {
   // field; fingerprint is rendered as 16 hex digits.
   std::string StatsJson() const;
 
+  // The session's shared store set (what index() views). SessionSet's
+  // parity tests compare merged shard columns against these directly.
+  const std::shared_ptr<const core::EventStoreSet>& stores() const {
+    return stores_;
+  }
+
  private:
   AnalysisSession(std::pair<Trace, Stats> acquired);
 
@@ -94,6 +100,38 @@ class AnalysisSession {
   core::EventIndex index_;
   Stats stats_;
 };
+
+// What every renderer and analyzer actually consumes: a (trace, index)
+// pair. An AnalysisSession converts implicitly, and a SessionSet's merged
+// shard view constructs one without owning a session — the same report code
+// renders both, which is how sharded output is proven byte-identical to
+// monolithic output. Non-owning: both referents must outlive the view.
+class AnalysisView {
+ public:
+  AnalysisView(const Trace& trace, const core::EventIndex& index)
+      : trace_(&trace), index_(&index) {}
+  AnalysisView(const AnalysisSession& session)  // NOLINT(runtime/explicit)
+      : trace_(&session.trace()), index_(&session.index()) {}
+
+  const Trace& trace() const { return *trace_; }
+  const core::EventIndex& index() const { return *index_; }
+
+ private:
+  const Trace* trace_;
+  const core::EventIndex* index_;
+};
+
+// Runs the session acquisition chain (fingerprint -> cache probe ->
+// TraceSource::Acquire -> cache store, under the per-fingerprint
+// single-flight) WITHOUT building event stores. AnalysisSession's
+// constructor uses it; SessionSet reuses it to acquire the parent trace
+// once and then build per-shard stores its own way.
+std::pair<Trace, AnalysisSession::Stats> AcquireTrace(
+    const TraceSource& source, const SessionOptions& options);
+
+// The JSON object AnalysisSession::StatsJson renders, callable on a bare
+// Stats (SessionSet embeds its parent acquisition stats this way).
+std::string StatsJson(const AnalysisSession::Stats& stats);
 
 // ---- Shared standard flags (--threads, --seed, --cache-dir, --no-cache,
 // --json), used by every bench and tool so the surface stays uniform.

@@ -1,0 +1,480 @@
+#include "engine/session_set.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/parallel.h"
+#include "core/window_analysis.h"
+#include "engine/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace hpcfail::engine {
+
+namespace {
+
+// Success/trial counters merged as integer sums across shards — the sums
+// are order-independent, so the pooled counts match the monolithic
+// WindowAnalyzer accumulation exactly.
+struct Counts {
+  long long successes = 0;
+  long long trials = 0;
+};
+
+Counts MergeCounts(Counts acc, Counts c) {
+  acc.successes += c.successes;
+  acc.trials += c.trials;
+  return acc;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+obs::Counter& SetCounter(const char* name, const char* help) {
+  return obs::MetricsRegistry::Global().GetCounter(name, help);
+}
+
+std::pair<Trace, AnalysisSession::Stats> AcquireParent(
+    const TraceSource& source, const SessionSetOptions& options) {
+  SessionOptions session_options;
+  session_options.cache = options.cache;
+  return AcquireTrace(source, session_options);
+}
+
+std::size_t TotalFailures(const core::EventStoreSet& set) {
+  std::size_t n = 0;
+  for (const core::SystemEventStore& se : set.stores) n += se.size();
+  return n;
+}
+
+}  // namespace
+
+std::size_t SessionSet::MergedView::num_failures() const {
+  return TotalFailures(*stores_);
+}
+
+SessionSet::SessionSet(std::pair<Trace, AnalysisSession::Stats> acquired,
+                       SessionSetOptions options)
+    : trace_(std::make_shared<const Trace>(std::move(acquired.first))),
+      source_stats_(std::move(acquired.second)),
+      options_(std::move(options)),
+      plan_(*trace_, options_.shard, options_.systems) {
+  // Valid-but-unknown systems fail here, once, instead of as a surprise
+  // inside some later shard build on a pool thread.
+  for (SystemId id : plan_.systems()) {
+    if (id.valid()) trace_->system(id);  // throws std::out_of_range
+  }
+  slots_.resize(plan_.num_shards());
+  lru_.reserve(plan_.num_shards());
+}
+
+SessionSet::SessionSet(std::unique_ptr<TraceSource> source,
+                       SessionSetOptions options)
+    // `options` is passed by const reference twice (no move): argument
+    // evaluation order is unspecified, so moving it into one argument could
+    // hand AcquireParent a gutted copy.
+    : SessionSet(AcquireParent(*source, options), options) {}
+
+SessionSet::SessionSet(std::shared_ptr<const Trace> trace,
+                       SessionSetOptions options)
+    : trace_(std::move(trace)),
+      options_(std::move(options)),
+      plan_(*trace_, options_.shard, options_.systems) {
+  source_stats_.label = "preacquired trace";
+  source_stats_.cache_diagnostic = "preacquired trace (no fingerprint)";
+  source_stats_.num_systems = trace_->systems().size();
+  source_stats_.num_failures = trace_->num_failures();
+  for (SystemId id : plan_.systems()) {
+    if (id.valid()) trace_->system(id);
+  }
+  slots_.resize(plan_.num_shards());
+  lru_.reserve(plan_.num_shards());
+}
+
+SessionSet SessionSet::FromScenario(synth::Scenario scenario,
+                                    std::uint64_t seed,
+                                    SessionSetOptions options) {
+  return SessionSet(MakeScenarioSource(std::move(scenario), seed),
+                    std::move(options));
+}
+
+std::uint64_t SessionSet::ShardFingerprintFor(ShardKey key) const {
+  return plan_.ShardFingerprint(source_stats_.fingerprint.value_or(0), key);
+}
+
+void SessionSet::TouchLocked(std::size_t idx) {
+  const auto it = std::find(lru_.begin(), lru_.end(), idx);
+  if (it != lru_.end()) lru_.erase(it);
+  lru_.insert(lru_.begin(), idx);
+}
+
+void SessionSet::EvictOverBudgetLocked(std::size_t keep_idx) {
+  if (options_.memory_budget_bytes == 0) return;
+  while (stats_.resident_bytes > options_.memory_budget_bytes) {
+    // Coldest shard that is not the one just published; publishing a shard
+    // must never evict it (the caller is about to use it).
+    std::size_t victim_pos = lru_.size();
+    for (std::size_t pos = lru_.size(); pos-- > 0;) {
+      if (lru_[pos] != keep_idx) {
+        victim_pos = pos;
+        break;
+      }
+    }
+    if (victim_pos == lru_.size()) return;
+    const std::size_t victim = lru_[victim_pos];
+    lru_.erase(lru_.begin() + static_cast<std::ptrdiff_t>(victim_pos));
+    stats_.resident_bytes -= slots_[victim].shard->resident_bytes;
+    slots_[victim].shard.reset();  // readers' shared_ptrs stay valid
+    ++stats_.evictions;
+    SetCounter("hpcfail_engine_sessionset_evictions_total",
+               "Shards evicted by the SessionSet memory budget")
+        .Increment();
+  }
+}
+
+Trace SessionSet::SliceShardTrace(ShardKey key) const {
+  std::vector<SystemConfig> configs;
+  for (SystemId id : plan_.SystemsOfBlock(key.block)) {
+    if (id.valid()) configs.push_back(trace_->system(id));
+  }
+  const TimeInterval range = plan_.StartRange(key.window);
+  std::vector<FailureRecord> failures;
+  const std::vector<FailureRecord>& all = trace_->failures();
+  auto it = std::lower_bound(
+      all.begin(), all.end(), range.begin,
+      [](const FailureRecord& f, TimeSec t) { return f.start < t; });
+  for (; it != all.end() && it->start < range.end; ++it) {
+    if (plan_.BlockOf(it->system) == key.block) failures.push_back(*it);
+  }
+  // Only the failure stream matters to shard stores; the other streams stay
+  // with the parent trace (merged-view renderers read them from there).
+  return Trace::FromSorted(std::move(configs), std::move(failures), {}, {},
+                           {}, {});
+}
+
+std::shared_ptr<const SessionSet::Shard> SessionSet::BuildShard(
+    ShardKey key, std::uint64_t fp) {
+  obs::ScopedTimer timer("sessionset_shard_build");
+  auto shard = std::make_shared<Shard>();
+  shard->key = key;
+  shard->fingerprint = fp;
+  shard->starts = plan_.StartRange(key.window);
+  const std::span<const SystemId> block = plan_.SystemsOfBlock(key.block);
+  shard->systems.assign(block.begin(), block.end());
+
+  const bool cache_on = options_.cache.enabled && options_.cache_shards &&
+                        source_stats_.fingerprint.has_value();
+  if (cache_on) {
+    ArtifactCache cache(options_.cache);
+    std::string diag;
+    if (std::optional<Trace> cached = cache.TryLoad(fp, &diag)) {
+      auto backing = std::make_shared<const Trace>(*std::move(cached));
+      shard->stores = std::make_shared<const core::EventStoreSet>(
+          core::EventStoreSet::Build(*backing, shard->systems));
+      shard->backing = std::move(backing);
+      shard->from_cache = true;
+    }
+  }
+  if (shard->stores == nullptr) {
+    shard->stores = std::make_shared<const core::EventStoreSet>(
+        core::EventStoreSet::Build(*trace_, shard->systems, shard->starts));
+    if (cache_on) {
+      ArtifactCache cache(options_.cache);
+      std::string diag;
+      shard->cache_stored = cache.Store(fp, SliceShardTrace(key), &diag);
+    }
+  }
+  shard->num_failures = TotalFailures(*shard->stores);
+  shard->resident_bytes = shard->stores->ApproxBytes();
+  return shard;
+}
+
+std::shared_ptr<const SessionSet::Shard> SessionSet::GetShard(ShardKey key) {
+  if (!plan_.Contains(key)) {
+    throw std::out_of_range("SessionSet::GetShard: no shard " +
+                            ToString(key));
+  }
+  const std::size_t idx = plan_.IndexOf(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_[idx].shard != nullptr) {
+      TouchLocked(idx);
+      return slots_[idx].shard;
+    }
+  }
+  const std::uint64_t fp = ShardFingerprintFor(key);
+  // Single-flight per shard fingerprint: concurrent misses for one shard
+  // run ONE build; distinct shards build in parallel.
+  KeyedMutex::Guard flight = flights_.Lock(fp);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_[idx].shard != nullptr) {
+      TouchLocked(idx);
+      if (flight.waited()) {
+        ++stats_.coalesced;
+        SetCounter("hpcfail_engine_sessionset_coalesced_total",
+                   "Shard requests that coalesced onto a concurrent build")
+            .Increment();
+      }
+      return slots_[idx].shard;
+    }
+  }
+  std::shared_ptr<const Shard> shard = BuildShard(key, fp);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = slots_[idx];
+    slot.shard = shard;
+    ++stats_.builds;
+    if (slot.built_before) ++stats_.rebuilds;
+    slot.built_before = true;
+    if (shard->from_cache) ++stats_.cache_hits;
+    if (shard->cache_stored) ++stats_.cache_stores;
+    stats_.resident_bytes += shard->resident_bytes;
+    TouchLocked(idx);
+    EvictOverBudgetLocked(idx);
+  }
+  return shard;
+}
+
+std::shared_ptr<const SessionSet::Shard> SessionSet::FindResident(
+    ShardKey key) const {
+  if (!plan_.Contains(key)) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_[plan_.IndexOf(key)].shard;
+}
+
+std::vector<std::shared_ptr<const SessionSet::Shard>> SessionSet::PinAll() {
+  const std::vector<ShardKey> keys = plan_.Keys();
+  std::vector<std::shared_ptr<const Shard>> shards(keys.size());
+  core::ParallelFor(keys.size(),
+                    [&](std::size_t i) { shards[i] = GetShard(keys[i]); });
+  return shards;
+}
+
+void SessionSet::BuildAll() {
+  obs::ScopedTimer timer("sessionset_build_all");
+  PinAll();
+}
+
+std::shared_ptr<const SessionSet::MergedView> SessionSet::Merged() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (merged_ != nullptr) return merged_;
+  }
+  obs::ScopedTimer timer("sessionset_merge");
+  const std::vector<std::shared_ptr<const Shard>> shards = PinAll();
+  std::vector<const core::EventStoreSet*> parts;
+  parts.reserve(shards.size());
+  for (const auto& shard : shards) parts.push_back(shard->stores.get());
+  auto stores = std::make_shared<const core::EventStoreSet>(
+      core::EventStoreSet::Concatenate(*trace_, plan_.systems(), parts));
+  std::shared_ptr<const MergedView> view(
+      new MergedView(trace_, std::move(stores)));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (merged_ == nullptr) {
+    merged_ = view;
+    ++stats_.merges;
+  }
+  return merged_;
+}
+
+std::shared_ptr<const SessionSet::MergedView> SessionSet::Merged(
+    std::span<const ShardKey> keys) {
+  // Key order determines concatenation order; sorting (block-major, window
+  // ascending — ShardKey's natural order) keeps every system's columns
+  // time-sorted and makes the result independent of the caller's ordering.
+  std::vector<ShardKey> sorted(keys.begin(), keys.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<std::shared_ptr<const Shard>> shards(sorted.size());
+  core::ParallelFor(sorted.size(),
+                    [&](std::size_t i) { shards[i] = GetShard(sorted[i]); });
+  std::vector<bool> block_in(static_cast<std::size_t>(plan_.num_blocks()),
+                             false);
+  for (const ShardKey key : sorted) {
+    block_in[static_cast<std::size_t>(key.block)] = true;
+  }
+  std::vector<SystemId> systems;
+  for (SystemId id : plan_.systems()) {
+    const int b = plan_.BlockOf(id);
+    if (b >= 0 && block_in[static_cast<std::size_t>(b)]) {
+      systems.push_back(id);
+    }
+  }
+  std::vector<const core::EventStoreSet*> parts;
+  parts.reserve(shards.size());
+  for (const auto& shard : shards) parts.push_back(shard->stores.get());
+  auto stores = std::make_shared<const core::EventStoreSet>(
+      core::EventStoreSet::Concatenate(*trace_, systems, parts));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.merges;
+  }
+  return std::shared_ptr<const MergedView>(
+      new MergedView(trace_, std::move(stores)));
+}
+
+void SessionSet::DropMerged() {
+  std::lock_guard<std::mutex> lock(mu_);
+  merged_.reset();
+}
+
+stats::Proportion SessionSet::SameNodeConditional(
+    const core::EventFilter& trigger, const core::EventFilter& target,
+    TimeSec window) {
+  if (window <= 0) {
+    throw std::invalid_argument(
+        "SessionSet::SameNodeConditional: window must be positive, got " +
+        std::to_string(window));
+  }
+  obs::ScopedTimer timer("sessionset_query");
+  const std::vector<ShardKey> keys = plan_.Keys();
+  const std::vector<std::shared_ptr<const Shard>> shards = PinAll();
+  const int num_windows = plan_.num_windows();
+  const auto count_shard = [&](std::size_t i) {
+    const Shard& shard = *shards[i];
+    Counts c;
+    for (const core::SystemEventStore& se : shard.stores->stores) {
+      // Same horizon as the monolithic analyzer: the shard's config is a
+      // copy (cache path) or alias (slice path) of the parent system's, so
+      // censoring decisions are identical.
+      const TimeSec horizon = se.config->observed.end;
+      se.ForEachMatching(trigger, [&](std::size_t r) {
+        const TimeSec start = se.starts[r];
+        if (start + window > horizon) return;  // censored
+        const NodeId node{se.nodes[r]};
+        const TimeInterval w{start, start + window};
+        ++c.trials;
+        // The follow-up window (start, start+window] can cross shard
+        // boundaries; OR the per-shard answers over this and the following
+        // windows of the block. Events never time-travel backwards: a
+        // follow-up starts after the trigger, so earlier windows need no
+        // look. Identical to the monolithic AnyAtNode because the shards
+        // partition the same event sequence.
+        bool hit = se.AnyAtNode(node, w, target);
+        for (int wn = shard.key.window + 1; !hit && wn < num_windows; ++wn) {
+          if (plan_.StartRange(wn).begin > start + window) break;
+          const core::SystemEventStore* later =
+              shards[plan_.IndexOf(ShardKey{shard.key.block, wn})]
+                  ->stores->Find(se.id);
+          if (later != nullptr) hit = later->AnyAtNode(node, w, target);
+        }
+        if (hit) ++c.successes;
+      });
+    }
+    return c;
+  };
+  const Counts total =
+      core::ParallelReduce(keys.size(), Counts{}, count_shard, MergeCounts);
+  return stats::WilsonProportion(total.successes, total.trials);
+}
+
+long long SessionSet::MergedCount(const core::EventFilter& filter) {
+  const std::vector<std::shared_ptr<const Shard>> shards = PinAll();
+  const auto count_shard = [&](std::size_t i) {
+    long long n = 0;
+    for (const core::SystemEventStore& se : shards[i]->stores->stores) {
+      n += se.CountMatching(filter);
+    }
+    return n;
+  };
+  return core::ParallelReduce(
+      shards.size(), 0LL, count_shard,
+      [](long long acc, long long n) { return acc + n; });
+}
+
+void SessionSet::SetMemoryBudget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.memory_budget_bytes = bytes;
+  // keep_idx that matches no slot: applying a tiny budget may evict all.
+  EvictOverBudgetLocked(slots_.size());
+}
+
+SessionSet::Stats SessionSet::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.resident_shards = lru_.size();
+  return s;
+}
+
+std::string SessionSet::ShardJsonLocked(std::size_t idx) const {
+  const ShardKey key{static_cast<int>(idx / static_cast<std::size_t>(
+                                                plan_.num_windows())),
+                     static_cast<int>(idx % static_cast<std::size_t>(
+                                                plan_.num_windows()))};
+  std::string out = "{\"key\":";
+  AppendJsonString(&out, ToString(key));
+  const Slot& slot = slots_[idx];
+  out += ",\"resident\":";
+  out += slot.shard != nullptr ? "true" : "false";
+  out += ",\"built_before\":";
+  out += slot.built_before ? "true" : "false";
+  if (slot.shard != nullptr) {
+    const Shard& shard = *slot.shard;
+    out += ",\"fingerprint\":";
+    AppendJsonString(&out, FingerprintHex(shard.fingerprint));
+    out += ",\"num_systems\":" + std::to_string(shard.systems.size());
+    out += ",\"num_failures\":" + std::to_string(shard.num_failures);
+    out += ",\"resident_bytes\":" + std::to_string(shard.resident_bytes);
+    out += ",\"from_cache\":";
+    out += shard.from_cache ? "true" : "false";
+    out += ",\"cache_stored\":";
+    out += shard.cache_stored ? "true" : "false";
+  }
+  out += "}";
+  return out;
+}
+
+std::string SessionSet::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"parent\":";
+  out += engine::StatsJson(source_stats_);
+  out += ",\"window_seconds\":" + std::to_string(plan_.spec().window);
+  out += ",\"systems_per_block\":" +
+         std::to_string(plan_.spec().systems_per_block);
+  out += ",\"num_blocks\":" + std::to_string(plan_.num_blocks());
+  out += ",\"num_windows\":" + std::to_string(plan_.num_windows());
+  out += ",\"num_shards\":" + std::to_string(plan_.num_shards());
+  out += ",\"memory_budget_bytes\":" +
+         std::to_string(options_.memory_budget_bytes);
+  out += ",\"resident_shards\":" + std::to_string(lru_.size());
+  out += ",\"resident_bytes\":" + std::to_string(stats_.resident_bytes);
+  out += ",\"builds\":" + std::to_string(stats_.builds);
+  out += ",\"rebuilds\":" + std::to_string(stats_.rebuilds);
+  out += ",\"coalesced\":" + std::to_string(stats_.coalesced);
+  out += ",\"shard_cache_hits\":" + std::to_string(stats_.cache_hits);
+  out += ",\"shard_cache_stores\":" + std::to_string(stats_.cache_stores);
+  out += ",\"evictions\":" + std::to_string(stats_.evictions);
+  out += ",\"merges\":" + std::to_string(stats_.merges);
+  out += ",\"merged_resident\":";
+  out += merged_ != nullptr ? "true" : "false";
+  out += ",\"shards\":[";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ShardJsonLocked(i);
+  }
+  out += "]}";
+  return out;
+}
+
+std::optional<std::string> SessionSet::ShardStatsJson(ShardKey key) {
+  if (!plan_.Contains(key)) return std::nullopt;
+  GetShard(key);  // build on demand so the answer has real sizes
+  std::lock_guard<std::mutex> lock(mu_);
+  return ShardJsonLocked(plan_.IndexOf(key));
+}
+
+}  // namespace hpcfail::engine

@@ -1,0 +1,226 @@
+// SessionSet: fleet-scale sharded sessions. Where AnalysisSession owns ONE
+// trace and one store build, a SessionSet partitions a trace's failures
+// across a grid of shards keyed by (system-block, rolling start-time
+// window) — see engine/shard_plan.h — and manages them as independently
+// fingerprinted, independently cached, independently evictable units:
+//
+//   parent TraceSource -> AcquireTrace (shared fingerprint/cache path)
+//     -> ShardPlan over (spec, systems)
+//       -> per-shard EventStoreSet builds, in parallel on the thread pool,
+//          each under per-fingerprint single-flight (KeyedMutex), each
+//          load-or-store'd in the content-addressed artifact cache as a
+//          sliced sub-trace
+//     -> LRU eviction of cold shards down to a configurable memory budget
+//
+// Query surface, two tiers:
+//   1. Merged view (Merged()): the shards' columns concatenated back into
+//      one EventStoreSet + EventIndex. trace.failures() is (start, system,
+//      node)-sorted and shard assignment is a function of (system, start)
+//      alone, so concatenating each system's shard columns in window order
+//      reproduces the monolithic build column-for-column — every analyzer
+//      and report renderer run over the merged AnalysisView is bit-identical
+//      to the monolithic session (the parity suite and the ci.sh byte-
+//      identity gate prove it).
+//   2. Per-shard composition (SameNodeConditional, MergedCount): computed
+//      shard-by-shard and merged as integer count sums, with windows that
+//      cross a shard boundary peeking into the following windows' stores.
+//      Exact, not approximate: same successes/trials as the monolithic
+//      WindowAnalyzer, hence bit-identical Wilson intervals.
+//
+// Thread safety: every public method is safe to call concurrently. Readers
+// hold shared_ptrs to immutable Shard objects, so eviction never invalidates
+// a shard a reader is still using — it only drops the set's own reference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/event_index.h"
+#include "engine/session.h"
+#include "engine/shard_plan.h"
+#include "engine/single_flight.h"
+#include "engine/trace_cache.h"
+#include "engine/trace_source.h"
+#include "stats/proportion.h"
+
+namespace hpcfail::engine {
+
+struct SessionSetOptions {
+  ShardSpec shard;
+  // Systems to cover (empty = all trace systems, trace order). Invalid
+  // (negative) ids are kept in the plan and yield empty shards — the
+  // EventStoreSet::Build skip contract, tested at this layer. Valid ids the
+  // trace does not contain throw std::out_of_range at construction.
+  std::vector<SystemId> systems;
+  // Evict cold shards (LRU) until resident shard bytes fit; 0 = unlimited.
+  // The most recently built shard is never evicted by its own publish.
+  std::size_t memory_budget_bytes = 0;
+  CacheConfig cache;  // parent trace AND per-shard sub-trace entries
+  // Store/load per-shard sub-traces in the artifact cache (only effective
+  // when cache.enabled and the parent source has a fingerprint).
+  bool cache_shards = true;
+};
+
+class SessionSet {
+ public:
+  // One built shard. Immutable after publish; safe to use after eviction
+  // (eviction only drops the SessionSet's reference).
+  struct Shard {
+    ShardKey key;
+    std::uint64_t fingerprint = 0;
+    TimeInterval starts;            // start-range (sentinel-open at edges)
+    std::vector<SystemId> systems;  // the block's ids, invalid ones included
+    std::shared_ptr<const core::EventStoreSet> stores;
+    std::size_t num_failures = 0;
+    std::size_t resident_bytes = 0;
+    bool from_cache = false;    // stores built from a cached sub-trace
+    bool cache_stored = false;  // this build wrote the cache entry
+
+   private:
+    friend class SessionSet;
+    // Keeps a cache-loaded sub-trace alive: the stores' config pointers
+    // point into it. Null when built from the parent trace.
+    std::shared_ptr<const Trace> backing;
+  };
+
+  struct Stats {
+    std::uint64_t builds = 0;       // shard store builds run (incl. rebuilds)
+    std::uint64_t rebuilds = 0;     // builds of previously evicted shards
+    std::uint64_t coalesced = 0;    // GetShard calls that waited on a build
+    std::uint64_t cache_hits = 0;   // shard sub-traces loaded from the cache
+    std::uint64_t cache_stores = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t merges = 0;       // merged views published
+    std::size_t resident_shards = 0;
+    std::size_t resident_bytes = 0;
+  };
+
+  // The merged monolithic-equivalent view over a set of shards. Column data
+  // is copied out of the shards at construction, so it stays valid however
+  // the SessionSet evicts afterwards, and the parent trace is kept alive by
+  // shared ownership.
+  class MergedView {
+   public:
+    const Trace& trace() const { return *trace_; }
+    const core::EventIndex& index() const { return index_; }
+    const core::EventStoreSet& stores() const { return *stores_; }
+    AnalysisView view() const { return AnalysisView(*trace_, index_); }
+    std::size_t num_failures() const;
+
+   private:
+    friend class SessionSet;
+    MergedView(std::shared_ptr<const Trace> trace,
+               std::shared_ptr<const core::EventStoreSet> stores)
+        : trace_(std::move(trace)),
+          stores_(std::move(stores)),
+          index_(*trace_, stores_) {}
+
+    std::shared_ptr<const Trace> trace_;
+    std::shared_ptr<const core::EventStoreSet> stores_;
+    core::EventIndex index_;
+  };
+
+  // Acquires the parent trace through the shared fingerprint -> cache ->
+  // Acquire chain (AcquireTrace), then plans the shard grid. No shard is
+  // built yet; GetShard / BuildAll / Merged build on demand.
+  SessionSet(std::unique_ptr<TraceSource> source, SessionSetOptions options);
+
+  // Plans over an already-acquired trace (benches and tests that want to
+  // time or exercise sharding without re-acquisition). No parent
+  // fingerprint, so shard caching is off.
+  SessionSet(std::shared_ptr<const Trace> trace, SessionSetOptions options);
+
+  static SessionSet FromScenario(synth::Scenario scenario, std::uint64_t seed,
+                                 SessionSetOptions options);
+
+  SessionSet(const SessionSet&) = delete;
+  SessionSet& operator=(const SessionSet&) = delete;
+
+  const Trace& trace() const { return *trace_; }
+  const ShardPlan& plan() const { return plan_; }
+  const AnalysisSession::Stats& source_stats() const { return source_stats_; }
+  std::vector<ShardKey> Keys() const { return plan_.Keys(); }
+
+  // Returns the shard, building (or rebuilding, after eviction) it if it is
+  // not resident. Same-fingerprint builds are single-flighted: concurrent
+  // callers for one shard run ONE build and share the result. Throws
+  // std::out_of_range for a key outside the plan's grid.
+  std::shared_ptr<const Shard> GetShard(ShardKey key);
+
+  // The shard if currently resident, else nullptr (never builds).
+  std::shared_ptr<const Shard> FindResident(ShardKey key) const;
+
+  // Builds every shard of the grid in parallel on the thread pool. With a
+  // memory budget smaller than the grid, trailing builds evict the coldest
+  // shards as they publish.
+  void BuildAll();
+
+  // The merged all-shards view, built once and cached until DropMerged().
+  // Missing shards are (re)built first.
+  std::shared_ptr<const MergedView> Merged();
+  // Merged view over a subset of shards (deduplicated, merged in key order;
+  // throws std::out_of_range on a key outside the grid). Not cached.
+  std::shared_ptr<const MergedView> Merged(std::span<const ShardKey> keys);
+  void DropMerged();
+
+  // Per-shard-composed same-node conditional probability: bit-identical to
+  // WindowAnalyzer(monolithic index).ConditionalProbability(trigger, target,
+  // Scope::kSameNode, window). Follow-up windows that cross a shard
+  // boundary read the following windows' stores. Throws
+  // std::invalid_argument when window <= 0.
+  stats::Proportion SameNodeConditional(const core::EventFilter& trigger,
+                                        const core::EventFilter& target,
+                                        TimeSec window);
+
+  // Per-shard-composed total matching failures; equals the monolithic
+  // EventIndex::Count over the same systems.
+  long long MergedCount(const core::EventFilter& filter);
+
+  // Re-applies a new budget immediately (may evict every resident shard).
+  void SetMemoryBudget(std::size_t bytes);
+
+  Stats stats() const;
+  // One-line JSON: parent acquisition stats + spec + grid shape + the
+  // Stats counters + a per-shard array (resident/evicted, sizes, cache
+  // provenance). The /shards endpoint body.
+  std::string StatsJson() const;
+  // One-line JSON for one shard, building it if needed; nullopt when the
+  // key is outside the grid (the serve layer's 404).
+  std::optional<std::string> ShardStatsJson(ShardKey key);
+
+ private:
+  struct Slot {
+    std::shared_ptr<const Shard> shard;  // null when not resident
+    bool built_before = false;
+  };
+
+  SessionSet(std::pair<Trace, AnalysisSession::Stats> acquired,
+             SessionSetOptions options);
+
+  std::uint64_t ShardFingerprintFor(ShardKey key) const;
+  std::shared_ptr<const Shard> BuildShard(ShardKey key, std::uint64_t fp);
+  Trace SliceShardTrace(ShardKey key) const;
+  void TouchLocked(std::size_t idx);
+  void EvictOverBudgetLocked(std::size_t keep_idx);
+  std::string ShardJsonLocked(std::size_t idx) const;
+  std::vector<std::shared_ptr<const Shard>> PinAll();
+
+  std::shared_ptr<const Trace> trace_;
+  AnalysisSession::Stats source_stats_;
+  SessionSetOptions options_;
+  ShardPlan plan_;
+  KeyedMutex flights_;  // per-shard-fingerprint single-flight
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;        // dense, plan_.IndexOf order
+  std::vector<std::size_t> lru_;   // resident slot indices, front = hottest
+  Stats stats_;
+  std::shared_ptr<const MergedView> merged_;
+};
+
+}  // namespace hpcfail::engine

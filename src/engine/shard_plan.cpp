@@ -1,0 +1,155 @@
+#include "engine/shard_plan.h"
+
+#include <charconv>
+#include <limits>
+#include <stdexcept>
+
+#include "engine/fingerprint.h"
+
+namespace hpcfail::engine {
+
+namespace {
+
+constexpr TimeSec kTimeMin = std::numeric_limits<TimeSec>::min();
+constexpr TimeSec kTimeMax = std::numeric_limits<TimeSec>::max();
+
+std::optional<int> ParseNonNegativeInt(std::string_view s) {
+  int v = 0;
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  if (ec != std::errc{} || ptr != end || v < 0) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::string ToString(ShardKey key) {
+  return std::to_string(key.block) + ":" + std::to_string(key.window);
+}
+
+std::optional<ShardKey> ParseShardKey(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const std::optional<int> block = ParseNonNegativeInt(text.substr(0, colon));
+  const std::optional<int> window =
+      ParseNonNegativeInt(text.substr(colon + 1));
+  if (!block || !window) return std::nullopt;
+  return ShardKey{*block, *window};
+}
+
+ShardPlan::ShardPlan(const Trace& trace, ShardSpec spec,
+                     std::vector<SystemId> systems)
+    : spec_(spec), systems_(std::move(systems)) {
+  if (spec_.window < 0) {
+    throw std::invalid_argument("ShardPlan: window width must be >= 0");
+  }
+  if (spec_.systems_per_block < 0) {
+    throw std::invalid_argument("ShardPlan: systems_per_block must be >= 0");
+  }
+  if (systems_.empty()) {
+    for (const SystemConfig& s : trace.systems()) systems_.push_back(s.id);
+  }
+  if (spec_.systems_per_block == 0 || systems_.empty()) {
+    num_blocks_ = 1;
+  } else {
+    num_blocks_ = static_cast<int>(
+        (systems_.size() + static_cast<std::size_t>(spec_.systems_per_block) -
+         1) /
+        static_cast<std::size_t>(spec_.systems_per_block));
+  }
+  // The grid is anchored at the earliest observation start and extends to
+  // the latest observation end over the plan's systems; invalid ids (which
+  // yield empty shards) and ids the trace does not know contribute nothing
+  // to the anchor.
+  TimeSec extent = 0;
+  bool any = false;
+  for (SystemId id : systems_) {
+    if (!id.valid()) continue;
+    const SystemConfig* config = trace.FindSystem(id);
+    if (config == nullptr) continue;
+    if (!any || config->observed.begin < origin_) {
+      origin_ = config->observed.begin;
+    }
+    if (!any || config->observed.end > extent) extent = config->observed.end;
+    any = true;
+  }
+  if (!any) origin_ = 0;
+  if (spec_.window == 0 || !any || extent <= origin_) {
+    num_windows_ = 1;
+  } else {
+    const TimeSec span = extent - origin_;
+    num_windows_ = static_cast<int>((span + spec_.window - 1) / spec_.window);
+    if (num_windows_ < 1) num_windows_ = 1;
+  }
+}
+
+std::span<const SystemId> ShardPlan::SystemsOfBlock(int block) const {
+  if (block < 0 || block >= num_blocks_) return {};
+  if (spec_.systems_per_block == 0) return systems_;
+  const auto per = static_cast<std::size_t>(spec_.systems_per_block);
+  const std::size_t first = static_cast<std::size_t>(block) * per;
+  const std::size_t count = std::min(per, systems_.size() - first);
+  return std::span<const SystemId>(systems_).subspan(first, count);
+}
+
+int ShardPlan::WindowOf(TimeSec start) const {
+  if (num_windows_ == 1 || start < origin_) return 0;
+  // start >= origin_ and window width > 0 here, so the division is a plain
+  // non-negative floor.
+  const TimeSec w = (start - origin_) / spec_.window;
+  if (w >= num_windows_ - 1) return num_windows_ - 1;
+  return static_cast<int>(w);
+}
+
+int ShardPlan::BlockOf(SystemId sys) const {
+  for (std::size_t i = 0; i < systems_.size(); ++i) {
+    if (systems_[i] == sys) {
+      return spec_.systems_per_block == 0
+                 ? 0
+                 : static_cast<int>(
+                       i / static_cast<std::size_t>(spec_.systems_per_block));
+    }
+  }
+  return -1;
+}
+
+std::optional<ShardKey> ShardPlan::KeyFor(const FailureRecord& record) const {
+  const int block = BlockOf(record.system);
+  if (block < 0) return std::nullopt;
+  return ShardKey{block, WindowOf(record.start)};
+}
+
+TimeInterval ShardPlan::StartRange(int window) const {
+  TimeInterval range{kTimeMin, kTimeMax};
+  if (num_windows_ == 1) return range;
+  if (window > 0) range.begin = origin_ + window * spec_.window;
+  if (window < num_windows_ - 1) {
+    range.end = origin_ + (window + 1) * spec_.window;
+  }
+  return range;
+}
+
+std::vector<ShardKey> ShardPlan::Keys() const {
+  std::vector<ShardKey> keys;
+  keys.reserve(num_shards());
+  for (int b = 0; b < num_blocks_; ++b) {
+    for (int w = 0; w < num_windows_; ++w) keys.push_back(ShardKey{b, w});
+  }
+  return keys;
+}
+
+std::uint64_t ShardPlan::ShardFingerprint(std::uint64_t parent_fingerprint,
+                                          ShardKey key) const {
+  FingerprintHasher h;
+  h.Str("session-set-shard");
+  h.U64(parent_fingerprint);
+  h.I64(spec_.window);
+  h.I64(spec_.systems_per_block);
+  h.U64(systems_.size());
+  for (SystemId id : systems_) h.I64(id.value);
+  h.I64(key.block);
+  h.I64(key.window);
+  return h.value();
+}
+
+}  // namespace hpcfail::engine

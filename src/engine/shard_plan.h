@@ -1,0 +1,128 @@
+// Shard partition arithmetic for engine::SessionSet: pure functions from a
+// trace's shape plus a ShardSpec to the (system-block, time-window) grid of
+// shard keys. Kept separate from the SessionSet itself so the partition
+// invariants — every failure record maps to exactly ONE shard, no record
+// dropped or duplicated, regardless of where the rolling-window boundaries
+// land — are testable without building any stores (the fuzz suite in
+// tests/test_session_set.cpp exercises exactly this class).
+//
+// Keying. A shard key is (block, window):
+//   block  — index into consecutive runs of `systems_per_block` systems in
+//            the plan's system order (trace order unless the caller
+//            restricted the set). 0 = all systems in one block.
+//   window — index of the rolling start-time window of width spec.window
+//            seconds, anchored at the earliest observed.begin across the
+//            plan's systems. 0 = one window covering all time.
+// The FIRST window extends to -infinity and the LAST to +infinity (sentinel
+// bounds), so records that start outside every system's observation period
+// still land in exactly one shard instead of falling off the grid.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/system.h"
+
+namespace hpcfail::engine {
+
+// Identifies one shard: "B:W" in text form (see ToString / ParseShardKey).
+struct ShardKey {
+  int block = 0;
+  int window = 0;
+
+  friend auto operator<=>(const ShardKey&, const ShardKey&) = default;
+};
+
+std::string ToString(ShardKey key);
+// Parses "B:W" (two non-negative decimal ints); nullopt on anything else.
+std::optional<ShardKey> ParseShardKey(std::string_view text);
+
+struct ShardSpec {
+  // Width of each rolling start-time window in seconds; 0 = a single window
+  // spanning all time. Negative widths are rejected by ShardPlan.
+  TimeSec window = 0;
+  // Systems per block, in plan order; 0 = all systems in one block.
+  // Negative counts are rejected by ShardPlan.
+  int systems_per_block = 0;
+};
+
+class ShardPlan {
+ public:
+  // Plans over `systems` (all trace systems, in trace order, when empty —
+  // requested ids are kept verbatim, including invalid negative ones, which
+  // simply yield empty shards downstream because EventStoreSet::Build skips
+  // them). Throws std::invalid_argument on negative spec fields.
+  ShardPlan(const Trace& trace, ShardSpec spec,
+            std::vector<SystemId> systems = {});
+
+  const ShardSpec& spec() const { return spec_; }
+  const std::vector<SystemId>& systems() const { return systems_; }
+
+  int num_blocks() const { return num_blocks_; }
+  int num_windows() const { return num_windows_; }
+  std::size_t num_shards() const {
+    return static_cast<std::size_t>(num_blocks_) *
+           static_cast<std::size_t>(num_windows_);
+  }
+
+  // Earliest observed.begin across the plan's valid systems (0 when none);
+  // window w covers starts in [origin + w*width, origin + (w+1)*width),
+  // widened to the sentinels at the grid edges.
+  TimeSec origin() const { return origin_; }
+
+  std::span<const SystemId> SystemsOfBlock(int block) const;
+
+  // Window index for a record start, clamped into [0, num_windows): starts
+  // before the origin land in window 0, starts at or past the last boundary
+  // land in the last window. Total — never rejects a time.
+  int WindowOf(TimeSec start) const;
+
+  // Block index of a system, or -1 when the plan does not include it.
+  int BlockOf(SystemId sys) const;
+
+  // The one shard a record belongs to; nullopt only when its system is not
+  // in the plan (such records are not indexed by any shard, exactly as
+  // EventStoreSet::Build over the plan's systems would skip them).
+  std::optional<ShardKey> KeyFor(const FailureRecord& record) const;
+
+  // Half-open start-time range [begin, end) of a window, with sentinel
+  // bounds at the grid edges. For every t: StartRange(WindowOf(t))
+  // contains t, and the ranges of consecutive windows tile the time axis —
+  // the no-drop / no-duplicate partition invariant.
+  TimeInterval StartRange(int window) const;
+
+  bool Contains(ShardKey key) const {
+    return key.block >= 0 && key.block < num_blocks_ && key.window >= 0 &&
+           key.window < num_windows_;
+  }
+  // Dense index (block-major) of a valid key.
+  std::size_t IndexOf(ShardKey key) const {
+    return static_cast<std::size_t>(key.block) *
+               static_cast<std::size_t>(num_windows_) +
+           static_cast<std::size_t>(key.window);
+  }
+
+  // Every key of the grid, block-major, windows ascending within a block.
+  std::vector<ShardKey> Keys() const;
+
+  // Content fingerprint of one shard: the parent trace fingerprint mixed
+  // with every plan knob (spec, system list) and the key. Distinct plans
+  // over the same trace, or the same plan over distinct traces, can never
+  // collide in the artifact cache.
+  std::uint64_t ShardFingerprint(std::uint64_t parent_fingerprint,
+                                 ShardKey key) const;
+
+ private:
+  ShardSpec spec_;
+  std::vector<SystemId> systems_;
+  TimeSec origin_ = 0;
+  int num_blocks_ = 1;
+  int num_windows_ = 1;
+};
+
+}  // namespace hpcfail::engine

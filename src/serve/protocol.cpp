@@ -98,6 +98,8 @@ std::string_view ToString(Verb v) {
       return "REPORT";
     case Verb::kTable:
       return "TABLE";
+    case Verb::kShards:
+      return "SHARDS";
     case Verb::kSleep:
       return "SLEEP";
     case Verb::kQuit:
@@ -191,6 +193,8 @@ bool ParseCommandLine(std::string_view line, Request* out,
       if (error != nullptr) *error = "TABLE requires a table name";
       return false;
     }
+  } else if (word == "SHARDS") {
+    out->verb = Verb::kShards;
   } else if (word == "SLEEP") {
     out->verb = Verb::kSleep;
   } else if (word == "QUIT") {
@@ -243,6 +247,8 @@ bool ParseHttpRequestLine(std::string_view line, Request* out,
              tail.find('/') == std::string_view::npos) {
     out->verb = Verb::kTable;
     out->target = UrlDecode(tail);
+  } else if (head == "shards" && tail.empty()) {
+    out->verb = Verb::kShards;
   } else if (head == "debug" && tail == "sleep") {
     out->verb = Verb::kSleep;
   } else {

@@ -7,8 +7,11 @@
 //         HEALTH
 //         METRICS
 //         STATS scale=0.5 years=1 seed=7
+//         STATS scale=0.5 window_days=90 shard=0:1     (one shard's stats)
 //         REPORT scale=0.5 years=1 seed=7 deadline_ms=2000
+//         REPORT scale=0.5 sharded=1 window_days=90    (SessionSet-backed)
 //         TABLE overview scale=0.5 years=1 seed=7
+//         SHARDS scale=0.5 years=1 window_days=90      (shard grid JSON)
 //         SLEEP ms=50            (only with test endpoints enabled)
 //         QUIT
 //     responses: "OK <nbytes>\n" + exactly nbytes of payload, or
@@ -16,7 +19,7 @@
 //
 //   * HTTP/1.1 GET mapping — the same queries as paths, for curl/Prometheus:
 //         GET /healthz | /metrics | /stats | /report | /table/<name>
-//             | /debug/sleep?ms=50
+//             | /shards | /debug/sleep?ms=50
 //     query parameters (?scale=0.5&years=1&seed=7&deadline_ms=2000) are the
 //     line protocol's key=value arguments. Responses are Connection: close
 //     with Content-Length, status 200/400/404/500/503/504.
@@ -48,6 +51,7 @@ enum class Verb {
   kStats,
   kReport,
   kTable,
+  kShards,
   kSleep,
   kQuit,
 };

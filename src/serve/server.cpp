@@ -21,7 +21,9 @@
 #include <thread>
 #include <utility>
 
+#include "engine/fingerprint.h"
 #include "engine/report_render.h"
+#include "engine/session_set.h"
 #include "engine/trace_source.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -285,6 +287,12 @@ Deadline Server::DeadlineFor(const Request& request) const {
 }
 
 std::string Server::HandleQuery(const Request& request) {
+  // SHARDS, STATS shard=B:W, and REPORT/TABLE/STATS sharded=1 resolve to
+  // a pooled SessionSet instead of a monolithic session.
+  if (request.verb == Verb::kShards || request.params.count("shard") > 0 ||
+      request.GetUint64("sharded", 0) != 0) {
+    return HandleShardedQuery(request);
+  }
   obs::ScopedTimer parse_timer("serve_parse");
   const double scale = request.GetDouble("scale", 0.25);
   const double years = request.GetDouble("years", 1.0);
@@ -335,8 +343,8 @@ std::string Server::HandleQuery(const Request& request) {
     acquired = pool_.Acquire(
         *fingerprint,
         [&] {
-          return engine::AnalysisSession::FromScenario(scenario, seed,
-                                                       config_.session);
+          return MakeSessionEntry(engine::AnalysisSession::FromScenario(
+              scenario, seed, config_.session));
         },
         deadline);
   }
@@ -344,17 +352,178 @@ std::string Server::HandleQuery(const Request& request) {
     return ErrorResponse(request, kStatusDeadlineExceeded,
                          "deadline exceeded waiting for session build");
   }
+  if (acquired.entry.session == nullptr) {
+    return ErrorResponse(request, kStatusInternalError,
+                         "pooled entry is not a monolithic session");
+  }
 
   obs::ScopedTimer render_timer("serve_render");
   std::ostringstream body;
   try {
     if (request.verb == Verb::kStats) {
-      body << acquired.session->StatsJson() << "\n";
+      body << acquired.entry.session->StatsJson() << "\n";
     } else {
       const std::string target =
           request.verb == Verb::kReport ? "report" : request.target;
-      engine::RenderNamed(target, *acquired.session, body,
+      engine::RenderNamed(target, *acquired.entry.session, body,
                           deadline.AsCancelFn());
+    }
+  } catch (const engine::RenderCancelled&) {
+    return ErrorResponse(request, kStatusDeadlineExceeded,
+                         "deadline exceeded during render");
+  }
+  render_timer.Stop();
+
+  return request.http ? HttpResponse(kStatusOk, body.str())
+                      : LineOk(body.str());
+}
+
+std::string Server::HandleShardedQuery(const Request& request) {
+  obs::ScopedTimer parse_timer("serve_parse");
+  const double scale = request.GetDouble("scale", 0.25);
+  const double years = request.GetDouble("years", 1.0);
+  const std::uint64_t seed = request.GetUint64("seed", engine::kDefaultSeed);
+  const double window_days =
+      request.GetDouble("window_days", config_.default_window_days);
+  const std::uint64_t block_systems = request.GetUint64(
+      "block_systems",
+      static_cast<std::uint64_t>(config_.default_block_systems));
+  if (!(scale > 0.0) || scale > config_.max_scale) {
+    return ErrorResponse(request, kStatusBadRequest,
+                         "scale must be in (0, " +
+                             std::to_string(config_.max_scale) + "]");
+  }
+  if (!(years > 0.0) || years > config_.max_years) {
+    return ErrorResponse(request, kStatusBadRequest,
+                         "years must be in (0, " +
+                             std::to_string(config_.max_years) + "]");
+  }
+  if (!(window_days >= 0.0)) {
+    return ErrorResponse(request, kStatusBadRequest,
+                         "window_days must be >= 0");
+  }
+  if (window_days > 0.0 &&
+      years * 366.0 / window_days > config_.max_window_count) {
+    return ErrorResponse(request, kStatusBadRequest,
+                         "window_days too small: more than " +
+                             std::to_string(static_cast<long long>(
+                                 config_.max_window_count)) +
+                             " windows");
+  }
+  if (block_systems > 1'000'000) {
+    return ErrorResponse(request, kStatusBadRequest,
+                         "block_systems too large");
+  }
+  std::optional<engine::ShardKey> shard_key;
+  if (const auto it = request.params.find("shard");
+      it != request.params.end()) {
+    if (request.verb != Verb::kStats) {
+      return ErrorResponse(request, kStatusBadRequest,
+                           "shard= applies to STATS only");
+    }
+    shard_key = engine::ParseShardKey(it->second);
+    if (!shard_key) {
+      return ErrorResponse(request, kStatusBadRequest,
+                           "malformed shard key '" + it->second +
+                               "' (want BLOCK:WINDOW)");
+    }
+  }
+  if (request.verb == Verb::kTable &&
+      !std::binary_search(engine::RenderableNames().begin(),
+                          engine::RenderableNames().end(), request.target)) {
+    return ErrorResponse(request, kStatusNotFound,
+                         "unknown table '" + request.target + "'");
+  }
+  parse_timer.Stop();
+
+  const Deadline deadline = DeadlineFor(request);
+  const synth::Scenario scenario = synth::LanlLikeScenario(
+      scale, static_cast<TimeSec>(years * static_cast<double>(kYear)));
+  const std::unique_ptr<engine::TraceSource> source =
+      engine::MakeScenarioSource(scenario, seed);
+  const std::optional<std::uint64_t> fingerprint = source->Fingerprint();
+  if (!fingerprint) {
+    return ErrorResponse(request, kStatusInternalError,
+                         "scenario is unfingerprintable");
+  }
+  if (deadline.expired()) {
+    return ErrorResponse(request, kStatusDeadlineExceeded,
+                         "deadline exceeded before session acquisition");
+  }
+
+  // A SessionSet over the same trace is a different pooled value than the
+  // monolithic session (and than a set with another shard spec): mix the
+  // spec into the pool key.
+  const TimeSec window_sec =
+      static_cast<TimeSec>(window_days * static_cast<double>(kDay));
+  engine::FingerprintHasher key_hash;
+  key_hash.Str("session-set");
+  key_hash.U64(*fingerprint);
+  key_hash.I64(window_sec);
+  key_hash.U64(block_systems);
+  const std::uint64_t pool_key = key_hash.value();
+
+  SessionPool::Acquired acquired;
+  {
+    obs::ScopedTimer session_timer("serve_session");
+    acquired = pool_.Acquire(
+        pool_key,
+        [&] {
+          engine::SessionSetOptions options;
+          options.shard.window = window_sec;
+          options.shard.systems_per_block = static_cast<int>(block_systems);
+          options.memory_budget_bytes = config_.set_memory_budget_bytes;
+          options.cache = config_.session.cache;
+          return MakeSetEntry(std::make_shared<engine::SessionSet>(
+              engine::MakeScenarioSource(scenario, seed),
+              std::move(options)));
+        },
+        deadline);
+  }
+  if (acquired.outcome == SessionPool::Outcome::kTimedOut) {
+    return ErrorResponse(request, kStatusDeadlineExceeded,
+                         "deadline exceeded waiting for session build");
+  }
+  if (acquired.entry.set == nullptr) {
+    return ErrorResponse(request, kStatusInternalError,
+                         "pooled entry is not a session set");
+  }
+  engine::SessionSet& set = *acquired.entry.set;
+
+  obs::ScopedTimer render_timer("serve_render");
+  std::ostringstream body;
+  try {
+    switch (request.verb) {
+      case Verb::kShards:
+        body << set.StatsJson() << "\n";
+        break;
+      case Verb::kStats:
+        if (shard_key) {
+          const std::optional<std::string> json =
+              set.ShardStatsJson(*shard_key);
+          if (!json) {
+            return ErrorResponse(request, kStatusNotFound,
+                                 "unknown shard '" +
+                                     engine::ToString(*shard_key) + "'");
+          }
+          body << *json << "\n";
+        } else {
+          body << set.StatsJson() << "\n";
+        }
+        break;
+      default: {
+        if (deadline.expired()) {
+          return ErrorResponse(request, kStatusDeadlineExceeded,
+                               "deadline exceeded before merged render");
+        }
+        const std::string target =
+            request.verb == Verb::kReport ? "report" : request.target;
+        const std::shared_ptr<const engine::SessionSet::MergedView> merged =
+            set.Merged();
+        engine::RenderNamed(target, merged->view(), body,
+                            deadline.AsCancelFn());
+        break;
+      }
     }
   } catch (const engine::RenderCancelled&) {
     return ErrorResponse(request, kStatusDeadlineExceeded,
@@ -416,6 +585,7 @@ std::string Server::HandleRequest(const Request& request) {
       case Verb::kStats:
       case Verb::kReport:
       case Verb::kTable:
+      case Verb::kShards:
         response = HandleQuery(request);
         break;
       case Verb::kSleep:

@@ -51,6 +51,15 @@ struct ServerConfig {
   double max_scale = 4.0;   // request validation bound for scale=
   double max_years = 10.0;  // request validation bound for years=
   engine::SessionOptions session;  // cache options for built sessions
+
+  // Sharded (SessionSet-backed) queries: SHARDS, STATS shard=B:W, and
+  // REPORT/TABLE sharded=1. window_days=/block_systems= default to these
+  // when a sharded request omits them (0 = one window / one block).
+  double default_window_days = 0.0;
+  int default_block_systems = 0;
+  double max_window_count = 4096.0;  // bound on years*365/window_days
+  // Per-SessionSet shard LRU budget; 0 = keep every built shard resident.
+  std::size_t set_memory_budget_bytes = 0;
 };
 
 class Server {
@@ -89,6 +98,9 @@ class Server {
   int DequeueConnection();         // -1 = draining and queue empty
 
   std::string HandleQuery(const Request& request);  // REPORT/TABLE/STATS
+  // SHARDS, STATS shard=..., and REPORT/TABLE sharded=1 — served from a
+  // pooled SessionSet keyed by (trace fingerprint, shard spec).
+  std::string HandleShardedQuery(const Request& request);
   std::string HandleSleep(const Request& request);
   Deadline DeadlineFor(const Request& request) const;
 

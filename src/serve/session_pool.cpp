@@ -19,11 +19,24 @@ obs::Counter& PoolCounter(const char* name, const char* help) {
 // One in-flight build; waiters hold the shared state so it survives the
 // entry being erased on failure.
 struct SessionPool::Flight {
-  std::shared_ptr<const engine::AnalysisSession> session;
+  PooledEntry value;
   bool done = false;
   bool failed = false;
   std::string error;
 };
+
+PooledEntry MakeSessionEntry(engine::AnalysisSession session) {
+  PooledEntry entry;
+  entry.session = std::make_shared<const engine::AnalysisSession>(
+      std::move(session));
+  return entry;
+}
+
+PooledEntry MakeSetEntry(std::shared_ptr<engine::SessionSet> set) {
+  PooledEntry entry;
+  entry.set = std::move(set);
+  return entry;
+}
 
 SessionPool::SessionPool(Config config) : config_(config) {
   if (config_.capacity == 0) {
@@ -68,13 +81,13 @@ SessionPool::Acquired SessionPool::Acquire(std::uint64_t key,
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = entries_.find(key);
-    if (it != entries_.end() && it->second.session != nullptr) {
+    if (it != entries_.end() && it->second.value.ready()) {
       TouchLocked(key, it->second);
       ++stats_.hits;
       PoolCounter("hpcfail_serve_pool_hits_total",
                   "Requests served from an already-built pooled session")
           .Increment();
-      return {it->second.session, Outcome::kHit};
+      return {it->second.value, Outcome::kHit};
     }
     if (it != entries_.end()) {
       // Someone is building this key: coalesce onto their flight.
@@ -93,12 +106,12 @@ SessionPool::Acquired SessionPool::Acquire(std::uint64_t key,
                     "Coalesced waiters whose deadline expired before the "
                     "build finished")
             .Increment();
-        return {nullptr, Outcome::kTimedOut};
+        return {PooledEntry{}, Outcome::kTimedOut};
       }
       if (flight->failed) {
         throw std::runtime_error("session build failed: " + flight->error);
       }
-      return {flight->session, Outcome::kCoalesced};
+      return {flight->value, Outcome::kCoalesced};
     }
     // Absent: this call builds.
     flight = std::make_shared<Flight>();
@@ -138,11 +151,13 @@ SessionPool::Acquired SessionPool::Acquire(std::uint64_t key,
   // cache underneath.
   try {
     obs::ScopedTimer timer("serve_pool_build");
-    auto session =
-        std::make_shared<const engine::AnalysisSession>(build());
+    PooledEntry built = build();
+    if (!built.ready()) {
+      throw std::runtime_error("build returned an empty pooled entry");
+    }
     std::lock_guard<std::mutex> lock(mu_);
     Entry& entry = entries_.at(key);
-    entry.session = session;
+    entry.value = built;
     entry.flight = nullptr;
     lru_.push_front(key);
     entry.lru = lru_.begin();
@@ -150,10 +165,10 @@ SessionPool::Acquired SessionPool::Acquire(std::uint64_t key,
     --stats_.building;
     stats_.resident = lru_.size();
     PublishGauges(stats_);
-    flight->session = session;
+    flight->value = built;
     flight->done = true;
     ready_cv_.notify_all();
-    return {session, Outcome::kBuilt};
+    return {built, Outcome::kBuilt};
   } catch (const std::exception& e) {
     fail_build(e.what());
     throw;
@@ -166,7 +181,7 @@ SessionPool::Acquired SessionPool::Acquire(std::uint64_t key,
 void SessionPool::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.session != nullptr) {
+    if (it->second.value.ready()) {
       it = entries_.erase(it);
     } else {
       ++it;  // in-flight build; it will publish into the emptied pool

@@ -1,7 +1,10 @@
-// SessionPool: shares engine::AnalysisSessions across concurrent requests,
-// keyed by trace fingerprint. This is the warm path of hpcfaild — a request
-// for an already-built trace reuses the pooled session's prebuilt SoA
-// stores and EventIndex instead of re-running acquisition.
+// SessionPool: shares built engine entries across concurrent requests,
+// keyed by trace fingerprint (monolithic sessions) or by fingerprint mixed
+// with shard-spec knobs (SessionSets). This is the warm path of hpcfaild —
+// a request for an already-built trace reuses the pooled entry's prebuilt
+// SoA stores and EventIndex instead of re-running acquisition. A pooled
+// entry is either an AnalysisSession or a SessionSet (PooledEntry); the
+// pool treats both uniformly — build once, share, LRU-evict.
 //
 // Concurrency contract:
 //   * bounded: at most `capacity` READY sessions are retained; inserting
@@ -31,9 +34,25 @@
 #include <mutex>
 
 #include "engine/session.h"
+#include "engine/session_set.h"
 #include "serve/deadline.h"
 
 namespace hpcfail::serve {
+
+// What the pool retains per key: exactly one of a monolithic session or a
+// sharded SessionSet. AnalysisSession is immutable, so readers share it
+// lock-free; SessionSet is internally synchronized (shard builds/eviction
+// under its own mutex), so sharing the pointer across request threads is
+// equally safe.
+struct PooledEntry {
+  std::shared_ptr<const engine::AnalysisSession> session;
+  std::shared_ptr<engine::SessionSet> set;
+
+  bool ready() const { return session != nullptr || set != nullptr; }
+};
+
+PooledEntry MakeSessionEntry(engine::AnalysisSession session);
+PooledEntry MakeSetEntry(std::shared_ptr<engine::SessionSet> set);
 
 class SessionPool {
  public:
@@ -60,11 +79,13 @@ class SessionPool {
   };
 
   struct Acquired {
-    std::shared_ptr<const engine::AnalysisSession> session;  // null on timeout
+    PooledEntry entry;  // !ready() on timeout
     Outcome outcome = Outcome::kHit;
   };
 
-  using BuildFn = std::function<engine::AnalysisSession()>;
+  // Must return a ready() entry; an empty one is treated as a build
+  // failure (thrown to the caller and every coalesced waiter).
+  using BuildFn = std::function<PooledEntry()>;
 
   explicit SessionPool(Config config);
   ~SessionPool();
@@ -88,7 +109,7 @@ class SessionPool {
  private:
   struct Flight;  // one in-flight build; defined in session_pool.cpp
   struct Entry {
-    std::shared_ptr<const engine::AnalysisSession> session;  // null = building
+    PooledEntry value;  // !ready() = still building
     std::shared_ptr<Flight> flight;          // non-null while building
     std::list<std::uint64_t>::iterator lru;  // valid only when ready
   };

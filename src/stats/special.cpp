@@ -82,7 +82,16 @@ double BetaContinuedFraction(double x, double a, double b) {
 
 double LogGamma(double x) {
   if (!(x > 0.0)) throw std::domain_error("LogGamma requires x > 0");
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam` on every call, so two
+  // threads rendering reports concurrently race on it (TSan flags libm's
+  // write). The reentrant variant returns the sign through a pointer and
+  // never touches the global; for x > 0 the value is identical.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
   return std::lgamma(x);
+#endif
 }
 
 double Digamma(double x) {

@@ -9,8 +9,9 @@
 
 namespace hpcfail::stats {
 
-// Natural log of the gamma function (delegates to std::lgamma, thread-safe
-// signgam-free usage: all our arguments are positive).
+// Natural log of the gamma function for x > 0. Uses lgamma_r where the
+// platform has it: plain lgamma writes the process-global `signgam` on
+// every call, which is a data race between concurrent report renders.
 double LogGamma(double x);
 
 // Digamma (psi) and trigamma functions for x > 0; needed by the negative

@@ -47,6 +47,24 @@ TEST(ParseCommandLine, TableTakesTargetThenParams) {
   EXPECT_DOUBLE_EQ(r.GetDouble("scale", 0), 0.25);
 }
 
+TEST(ParseCommandLine, ShardsAndShardedParams) {
+  EXPECT_EQ(MustParseLine("SHARDS").verb, Verb::kShards);
+  const Request r =
+      MustParseLine("SHARDS scale=0.5 window_days=30 block_systems=2");
+  EXPECT_EQ(r.verb, Verb::kShards);
+  EXPECT_DOUBLE_EQ(r.GetDouble("window_days", 0), 30.0);
+  EXPECT_EQ(r.GetUint64("block_systems", 0), 2u);
+
+  // STATS carries shard= as an opaque key; REPORT carries sharded=1.
+  const Request stats = MustParseLine("STATS shard=1:2 scale=0.5");
+  EXPECT_EQ(stats.verb, Verb::kStats);
+  ASSERT_EQ(stats.params.count("shard"), 1u);
+  EXPECT_EQ(stats.params.at("shard"), "1:2");
+  const Request report = MustParseLine("REPORT sharded=1 scale=0.5");
+  EXPECT_EQ(report.verb, Verb::kReport);
+  EXPECT_EQ(report.GetUint64("sharded", 0), 1u);
+}
+
 TEST(ParseCommandLine, ToleratesCrlfAndPadding) {
   const Request r = MustParseLine("  REPORT seed=3  \r");
   EXPECT_EQ(r.verb, Verb::kReport);
@@ -79,7 +97,22 @@ TEST(ParseHttpRequestLine, PathMapping) {
   EXPECT_EQ(MustParseHttp("GET /stats HTTP/1.1").verb, Verb::kStats);
   EXPECT_EQ(MustParseHttp("GET /report HTTP/1.1").verb, Verb::kReport);
   EXPECT_EQ(MustParseHttp("GET /debug/sleep HTTP/1.1").verb, Verb::kSleep);
+  EXPECT_EQ(MustParseHttp("GET /shards HTTP/1.1").verb, Verb::kShards);
   EXPECT_TRUE(MustParseHttp("GET /healthz HTTP/1.1").http);
+}
+
+TEST(ParseHttpRequestLine, ShardsQueryParams) {
+  const Request r = MustParseHttp(
+      "GET /shards?scale=0.5&window_days=30&block_systems=2 HTTP/1.1");
+  EXPECT_EQ(r.verb, Verb::kShards);
+  EXPECT_DOUBLE_EQ(r.GetDouble("window_days", 0), 30.0);
+  const Request stats = MustParseHttp("GET /stats?shard=0%3A1 HTTP/1.1");
+  EXPECT_EQ(stats.verb, Verb::kStats);
+  EXPECT_EQ(stats.params.at("shard"), "0:1");  // url-decoded
+  // /shards with a trailing path segment is not a route.
+  Request bad;
+  std::string error;
+  EXPECT_FALSE(ParseHttpRequestLine("GET /shards/0 HTTP/1.1", &bad, &error));
 }
 
 TEST(ParseHttpRequestLine, TableTargetIsUrlDecoded) {

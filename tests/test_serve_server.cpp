@@ -226,6 +226,151 @@ TEST(ServeServer, TableSectionsConcatenateToFullReport) {
   server.Shutdown();
 }
 
+TEST(ServeServer, ShardedReportBytesMatchMonolithic) {
+  Server server(TestConfig());
+  server.Start();
+
+  // The monolithic bytes (what the CLI and the plain REPORT print).
+  engine::SessionOptions options;
+  options.cache.enabled = false;
+  const auto session = engine::AnalysisSession::FromScenario(
+      synth::LanlLikeScenario(0.05, kYear / 2), 11, options);
+  std::ostringstream expected;
+  engine::RenderReport(session, expected);
+
+  // Line protocol, sharded through a (30-day x 2-system) grid.
+  TestClient line_client(server.port(), /*recv_timeout_ms=*/20000);
+  ASSERT_TRUE(line_client.Send(std::string("REPORT sharded=1 ") + kQuery +
+                               " window_days=30 block_systems=2\n"));
+  const std::string frame = line_client.ReadFrame();
+  const std::string header =
+      "OK " + std::to_string(expected.str().size()) + "\n";
+  ASSERT_EQ(frame.substr(0, header.size()), header) << frame.substr(0, 120);
+  EXPECT_EQ(frame.substr(header.size()), expected.str());
+
+  // HTTP, same grid: byte-identical again.
+  TestClient http_client(server.port(), /*recv_timeout_ms=*/20000);
+  ASSERT_TRUE(http_client.Send(
+      "GET /report?scale=0.05&years=0.5&seed=11&sharded=1&window_days=30"
+      "&block_systems=2 HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(HttpBody(http_client.ReadAll()), expected.str());
+
+  // One pooled SessionSet served both: a build, then a hit.
+  const auto stats = server.pool().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // A sharded TABLE section is byte-identical to the monolithic section.
+  std::ostringstream overview;
+  engine::RenderOverview(session, overview);
+  TestClient table_client(server.port(), /*recv_timeout_ms=*/20000);
+  ASSERT_TRUE(table_client.Send(std::string("TABLE overview sharded=1 ") +
+                                kQuery +
+                                " window_days=30 block_systems=2\n"));
+  const std::string table_frame = table_client.ReadFrame();
+  ASSERT_EQ(table_frame.rfind("OK ", 0), 0u) << table_frame.substr(0, 120);
+  EXPECT_EQ(table_frame.substr(table_frame.find('\n') + 1), overview.str());
+  server.Shutdown();
+}
+
+TEST(ServeServer, ShardsEndpointAndPerShardStats) {
+  Server server(TestConfig());
+  server.Start();
+
+  // SHARDS returns the whole grid's stats JSON.
+  TestClient client(server.port(), /*recv_timeout_ms=*/20000);
+  ASSERT_TRUE(client.Send(std::string("SHARDS ") + kQuery +
+                          " window_days=30 block_systems=2\n"));
+  const std::string frame = client.ReadFrame();
+  ASSERT_EQ(frame.rfind("OK ", 0), 0u) << frame.substr(0, 120);
+  const std::string body = frame.substr(frame.find('\n') + 1);
+  for (const char* key : {"\"num_shards\":", "\"shards\":", "\"builds\":"}) {
+    EXPECT_NE(body.find(key), std::string::npos) << key << " missing";
+  }
+
+  // STATS shard=0:0 returns that shard's JSON (building it on demand).
+  ASSERT_TRUE(client.Send(std::string("STATS shard=0:0 ") + kQuery +
+                          " window_days=30 block_systems=2\n"));
+  const std::string shard_frame = client.ReadFrame();
+  ASSERT_EQ(shard_frame.rfind("OK ", 0), 0u) << shard_frame.substr(0, 120);
+  EXPECT_NE(shard_frame.find("\"key\":\"0:0\""), std::string::npos);
+
+  // Outside the grid -> 404; malformed key -> 400; shard= on REPORT -> 400.
+  ASSERT_TRUE(client.Send(std::string("STATS shard=99:99 ") + kQuery +
+                          " window_days=30 block_systems=2\n"));
+  EXPECT_EQ(client.ReadFrame().rfind("ERR 404", 0), 0u);
+  ASSERT_TRUE(client.Send(std::string("STATS shard=bogus ") + kQuery + "\n"));
+  EXPECT_EQ(client.ReadFrame().rfind("ERR 400", 0), 0u);
+  ASSERT_TRUE(client.Send(std::string("REPORT shard=0:0 ") + kQuery + "\n"));
+  EXPECT_EQ(client.ReadFrame().rfind("ERR 400", 0), 0u);
+
+  // window_days so small the grid would explode -> 400, not an OOM.
+  ASSERT_TRUE(client.Send(std::string("SHARDS ") + kQuery +
+                          " window_days=0.0001\n"));
+  EXPECT_EQ(client.ReadFrame().rfind("ERR 400", 0), 0u);
+
+  // HTTP /shards works too.
+  TestClient http(server.port(), /*recv_timeout_ms=*/20000);
+  ASSERT_TRUE(http.Send(
+      "GET /shards?scale=0.05&years=0.5&seed=11&window_days=30"
+      "&block_systems=2 HTTP/1.1\r\n\r\n"));
+  const std::string response = http.ReadAll();
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(HttpBody(response).find("\"num_shards\":"), std::string::npos);
+  server.Shutdown();
+}
+
+// Concurrent sharded requests against one server: the pool must coalesce
+// them onto ONE SessionSet build, and concurrent merged-report renders and
+// shard-stats queries over that shared set must be race-free (this test is
+// in scripts/ci.sh's TSan set).
+TEST(ServeServer, ConcurrentShardedRequestsShareOnePooledSet) {
+  Server server(TestConfig());  // never started: pure dispatch, no sockets
+  constexpr int kThreads = 6;
+  std::vector<std::string> bodies(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      Request request;
+      request.params["scale"] = "0.05";
+      request.params["years"] = "0.5";
+      request.params["seed"] = "11";
+      request.params["window_days"] = "30";
+      request.params["block_systems"] = "2";
+      switch (i % 3) {
+        case 0:
+          request.verb = Verb::kReport;
+          request.params["sharded"] = "1";
+          break;
+        case 1:
+          request.verb = Verb::kShards;
+          break;
+        default:
+          request.verb = Verb::kStats;
+          request.params["shard"] = "0:0";
+          break;
+      }
+      bodies[static_cast<std::size_t>(i)] = server.HandleRequest(request);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(bodies[static_cast<std::size_t>(i)].rfind("OK ", 0), 0u)
+        << "request " << i << ": "
+        << bodies[static_cast<std::size_t>(i)].substr(0, 120);
+  }
+  // All six requests shared one pooled SessionSet.
+  const auto stats = server.pool().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.build_waits,
+            static_cast<std::uint64_t>(kThreads - 1));
+
+  // The sharded REPORT bodies are identical to each other.
+  const std::string& first = bodies[0];
+  EXPECT_EQ(bodies[3], first);
+}
+
 TEST(ServeServer, ErrorMapping) {
   Server server(TestConfig());
   server.Start();

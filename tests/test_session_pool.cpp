@@ -1,7 +1,9 @@
 // SessionPool's concurrency contract: single-flight builds (N concurrent
 // acquires of one key run ONE build), LRU eviction bounded by capacity,
 // deadline-aware waiters, and failure propagation to every waiter of the
-// failed round — after which the key is buildable again.
+// failed round — after which the key is buildable again. The pooled value
+// is a PooledEntry (monolithic session OR sharded SessionSet); both kinds
+// share the same pool mechanics.
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
@@ -11,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/session.h"
+#include "engine/session_set.h"
 #include "serve/session_pool.h"
 #include "synth/scenario.h"
 
@@ -19,30 +22,66 @@ namespace {
 
 // Builds are real (tiny) sessions: the pool's value type is immovable from
 // the test's perspective, so there is no cheaper stand-in to construct.
-engine::AnalysisSession BuildTiny(std::uint64_t seed) {
+PooledEntry BuildTiny(std::uint64_t seed) {
   engine::SessionOptions options;
   options.cache.enabled = false;
-  return engine::AnalysisSession::FromScenario(synth::TinyScenario(90 * kDay),
-                                               seed, options);
+  return MakeSessionEntry(engine::AnalysisSession::FromScenario(
+      synth::TinyScenario(90 * kDay), seed, options));
+}
+
+PooledEntry BuildTinySet(std::uint64_t seed) {
+  engine::SessionSetOptions options;
+  options.cache.enabled = false;
+  options.shard.systems_per_block = 1;
+  return MakeSetEntry(std::make_shared<engine::SessionSet>(
+      engine::MakeScenarioSource(synth::TinyScenario(90 * kDay), seed),
+      std::move(options)));
 }
 
 TEST(SessionPool, HitAfterBuild) {
   SessionPool pool({4});
   const auto first = pool.Acquire(1, [] { return BuildTiny(1); });
   EXPECT_EQ(first.outcome, SessionPool::Outcome::kBuilt);
-  ASSERT_NE(first.session, nullptr);
+  ASSERT_NE(first.entry.session, nullptr);
 
   const auto second = pool.Acquire(1, [] {
     ADD_FAILURE() << "hit must not rebuild";
     return BuildTiny(1);
   });
   EXPECT_EQ(second.outcome, SessionPool::Outcome::kHit);
-  EXPECT_EQ(second.session.get(), first.session.get());
+  EXPECT_EQ(second.entry.session.get(), first.entry.session.get());
 
   const auto s = pool.stats();
   EXPECT_EQ(s.hits, 1u);
   EXPECT_EQ(s.misses, 1u);
   EXPECT_EQ(s.resident, 1u);
+}
+
+TEST(SessionPool, SetEntriesPoolLikeSessions) {
+  SessionPool pool({4});
+  const auto built = pool.Acquire(5, [] { return BuildTinySet(5); });
+  EXPECT_EQ(built.outcome, SessionPool::Outcome::kBuilt);
+  EXPECT_EQ(built.entry.session, nullptr);
+  ASSERT_NE(built.entry.set, nullptr);
+  EXPECT_TRUE(built.entry.ready());
+  EXPECT_GT(built.entry.set->plan().num_shards(), 0u);
+
+  // A hit returns the same SessionSet; shard state accumulated by one
+  // request (built shards) is visible to the next.
+  (void)built.entry.set->GetShard({0, 0});
+  const auto hit = pool.Acquire(5, [] {
+    ADD_FAILURE() << "hit must not rebuild";
+    return BuildTinySet(5);
+  });
+  EXPECT_EQ(hit.outcome, SessionPool::Outcome::kHit);
+  ASSERT_EQ(hit.entry.set.get(), built.entry.set.get());
+  EXPECT_NE(hit.entry.set->FindResident({0, 0}), nullptr);
+
+  // Session and set entries coexist under distinct keys.
+  const auto mono = pool.Acquire(6, [] { return BuildTiny(6); });
+  EXPECT_NE(mono.entry.session, nullptr);
+  EXPECT_EQ(mono.entry.set, nullptr);
+  EXPECT_EQ(pool.stats().resident, 2u);
 }
 
 TEST(SessionPool, ConcurrentAcquiresRunOneBuild) {
@@ -59,7 +98,7 @@ TEST(SessionPool, ConcurrentAcquiresRunOneBuild) {
         std::this_thread::sleep_for(std::chrono::milliseconds(30));
         return BuildTiny(42);
       });
-      got[static_cast<std::size_t>(i)] = acquired.session;
+      got[static_cast<std::size_t>(i)] = acquired.entry.session;
     });
   }
   for (auto& t : threads) t.join();
@@ -98,8 +137,8 @@ TEST(SessionPool, EvictedSessionSurvivesWhileReferenced) {
   (void)pool.Acquire(2, [] { return BuildTiny(2); });  // evicts key 1
   EXPECT_EQ(pool.stats().evictions, 1u);
   // The shared_ptr keeps the evicted session alive and usable.
-  ASSERT_NE(held.session, nullptr);
-  EXPECT_GT(held.session->trace().systems().size(), 0u);
+  ASSERT_NE(held.entry.session, nullptr);
+  EXPECT_GT(held.entry.session->trace().systems().size(), 0u);
 }
 
 TEST(SessionPool, WaiterDeadlineExpiresToTimedOut) {
@@ -120,7 +159,8 @@ TEST(SessionPool, WaiterDeadlineExpiresToTimedOut) {
   const auto waited = pool.Acquire(
       7, [] { return BuildTiny(7); }, Deadline::AfterMillis(30));
   EXPECT_EQ(waited.outcome, SessionPool::Outcome::kTimedOut);
-  EXPECT_EQ(waited.session, nullptr);
+  EXPECT_FALSE(waited.entry.ready());
+  EXPECT_EQ(waited.entry.session, nullptr);
   EXPECT_EQ(pool.stats().timeouts, 1u);
 
   release.store(true);
@@ -136,7 +176,7 @@ TEST(SessionPool, BuildFailurePropagatesThenKeyRecovers) {
   std::atomic<bool> waiter_threw{false};
   std::thread builder([&] {
     EXPECT_THROW(pool.Acquire(9,
-                              [&]() -> engine::AnalysisSession {
+                              [&]() -> PooledEntry {
                                 while (!waiter_started.load()) {
                                   std::this_thread::sleep_for(
                                       std::chrono::milliseconds(1));
@@ -170,13 +210,23 @@ TEST(SessionPool, BuildFailurePropagatesThenKeyRecovers) {
             SessionPool::Outcome::kBuilt);
 }
 
+TEST(SessionPool, EmptyEntryIsABuildFailure) {
+  SessionPool pool({2});
+  EXPECT_THROW((void)pool.Acquire(13, [] { return PooledEntry{}; }),
+               std::runtime_error);
+  EXPECT_EQ(pool.stats().build_failures, 1u);
+  // The key is buildable again afterwards.
+  EXPECT_EQ(pool.Acquire(13, [] { return BuildTiny(13); }).outcome,
+            SessionPool::Outcome::kBuilt);
+}
+
 TEST(SessionPool, NonStdExceptionReleasesWaitersAndRecovers) {
   SessionPool pool({2});
   std::atomic<bool> waiter_started{false};
   std::atomic<bool> waiter_threw{false};
   std::thread builder([&] {
     try {
-      (void)pool.Acquire(11, [&]() -> engine::AnalysisSession {
+      (void)pool.Acquire(11, [&]() -> PooledEntry {
         while (!waiter_started.load()) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
@@ -214,7 +264,7 @@ TEST(SessionPool, NonStdExceptionReleasesWaitersAndRecovers) {
 TEST(SessionPool, ClearDropsReadyEntries) {
   SessionPool pool({4});
   (void)pool.Acquire(1, [] { return BuildTiny(1); });
-  (void)pool.Acquire(2, [] { return BuildTiny(2); });
+  (void)pool.Acquire(2, [] { return BuildTinySet(2); });
   EXPECT_EQ(pool.stats().resident, 2u);
   pool.Clear();
   EXPECT_EQ(pool.stats().resident, 0u);

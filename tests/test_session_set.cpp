@@ -1,0 +1,603 @@
+// SessionSet's headline contract: a sharded (system-block x start-window)
+// grid whose merged view and per-shard-composed queries are BIT-IDENTICAL
+// to the monolithic AnalysisSession over the same trace — plus the
+// operational machinery around it (LRU eviction under a memory budget,
+// per-shard artifact caching, single-flight builds, concurrent access).
+// The ShardPlan partition property (every record in exactly one shard, no
+// drops, no duplicates, wherever the window boundaries land) gets its own
+// randomized suite at the bottom.
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/event_index.h"
+#include "core/event_store.h"
+#include "core/window_analysis.h"
+#include "engine/report_render.h"
+#include "engine/session.h"
+#include "engine/session_set.h"
+#include "engine/shard_plan.h"
+#include "stats/rng.h"
+#include "synth/generate.h"
+#include "synth/scenario.h"
+
+namespace hpcfail::engine {
+namespace {
+
+using core::EventFilter;
+using core::EventIndex;
+using core::EventStoreSet;
+using core::Scope;
+using core::WindowAnalyzer;
+
+// A multi-system synthetic trace, generated once: big enough that shards
+// are non-trivial (10 systems, hundreds of failures), small enough that
+// every parity check below runs in milliseconds.
+std::shared_ptr<const Trace> MultiTrace() {
+  static const std::shared_ptr<const Trace> trace =
+      std::make_shared<const Trace>(synth::GenerateTrace(
+          synth::LanlLikeScenario(0.1, static_cast<TimeSec>(kYear)), 2013));
+  return trace;
+}
+
+// A hand-built two-system trace whose failures cluster in days 10..12 of a
+// 100-day observation: a windowed grid over it deterministically contains
+// empty shards.
+std::shared_ptr<const Trace> SparseTrace() {
+  auto t = std::make_shared<Trace>();
+  SystemConfig c;
+  c.id = SystemId{0};
+  c.name = "sys0";
+  c.num_nodes = 8;
+  c.procs_per_node = 2;
+  c.observed = {0, 100 * kDay};
+  c.layout = MachineLayout::Grid(8, 4, 2);
+  t->AddSystem(c);
+  SystemConfig d = c;
+  d.id = SystemId{1};
+  d.name = "sys1";
+  t->AddSystem(d);
+  t->AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{1}, 10 * kDay,
+                                    10 * kDay + kHour,
+                                    HardwareComponent::kCpu));
+  t->AddFailure(MakeHardwareFailure(SystemId{0}, NodeId{1},
+                                    10 * kDay + 2 * kHour,
+                                    10 * kDay + 3 * kHour,
+                                    HardwareComponent::kMemory));
+  t->AddFailure(MakeSoftwareFailure(SystemId{0}, NodeId{2}, 11 * kDay,
+                                    11 * kDay + kHour,
+                                    SoftwareComponent::kDst));
+  t->AddFailure(MakeFailure(SystemId{1}, NodeId{3}, 12 * kDay,
+                            12 * kDay + kHour, FailureCategory::kNetwork));
+  t->Finalize();
+  return t;
+}
+
+SessionSetOptions NoCacheOptions(TimeSec window, int per_block) {
+  SessionSetOptions o;
+  o.shard.window = window;
+  o.shard.systems_per_block = per_block;
+  o.cache.enabled = false;
+  return o;
+}
+
+std::string RenderedReport(const AnalysisView& view) {
+  std::ostringstream os;
+  RenderReport(view, os);
+  return os.str();
+}
+
+void ExpectProportionBitIdentical(const stats::Proportion& got,
+                                  const stats::Proportion& want) {
+  EXPECT_EQ(got.successes, want.successes);
+  EXPECT_EQ(got.trials, want.trials);
+  // Exact double equality on purpose: the composed counts are integer sums,
+  // so the Wilson interval arithmetic sees identical inputs.
+  EXPECT_EQ(got.estimate, want.estimate);
+  EXPECT_EQ(got.ci_low, want.ci_low);
+  EXPECT_EQ(got.ci_high, want.ci_high);
+}
+
+// Asserts the merged store set reproduces the monolithic build
+// column-for-column for every system of the trace.
+void ExpectStoresBitIdentical(const EventStoreSet& merged,
+                              const EventStoreSet& mono) {
+  ASSERT_EQ(merged.stores.size(), mono.stores.size());
+  for (const core::SystemEventStore& want : mono.stores) {
+    const core::SystemEventStore* got = merged.Find(want.id);
+    ASSERT_NE(got, nullptr) << "system " << want.id.value << " missing";
+    EXPECT_EQ(got->starts, want.starts);
+    EXPECT_EQ(got->ends, want.ends);
+    EXPECT_EQ(got->nodes, want.nodes);
+    EXPECT_EQ(got->cats, want.cats);
+    EXPECT_EQ(got->subs, want.subs);
+  }
+}
+
+// Runs the full parity battery for one grid spec over one trace: merged
+// columns, merged report bytes, composed same-node conditionals (windows
+// both smaller and larger than the shard window, so composition must probe
+// across shard boundaries), and merged counts.
+void ExpectGridParity(std::shared_ptr<const Trace> trace, TimeSec window,
+                      int per_block) {
+  SessionSet set(trace, NoCacheOptions(window, per_block));
+  const auto merged = set.Merged();
+
+  const EventIndex mono_index(*trace);
+  ExpectStoresBitIdentical(merged->stores(),
+                           EventStoreSet::Build(*trace, {}));
+  EXPECT_EQ(RenderedReport(merged->view()),
+            RenderedReport(AnalysisView(*trace, mono_index)));
+
+  const WindowAnalyzer mono(mono_index);
+  const std::vector<EventFilter> filters = {
+      EventFilter::Any(), EventFilter::Of(FailureCategory::kHardware),
+      EventFilter::Of(FailureCategory::kSoftware)};
+  for (const TimeSec w : {kDay, kWeek, 30 * kDay}) {
+    for (const EventFilter& trigger : filters) {
+      ExpectProportionBitIdentical(
+          set.SameNodeConditional(trigger, EventFilter::Any(), w),
+          mono.ConditionalProbability(trigger, EventFilter::Any(),
+                                      Scope::kSameNode, w));
+    }
+  }
+  for (const EventFilter& f : filters) {
+    EXPECT_EQ(set.MergedCount(f), mono_index.Count(f));
+  }
+}
+
+TEST(SessionSetParity, SingleShardDegenerate) {
+  SessionSet set(MultiTrace(), NoCacheOptions(0, 0));
+  EXPECT_EQ(set.plan().num_shards(), 1u);
+  ExpectGridParity(MultiTrace(), 0, 0);
+}
+
+TEST(SessionSetParity, BlockPartitionedGrid) {
+  ExpectGridParity(MultiTrace(), 0, 3);
+}
+
+TEST(SessionSetParity, WindowedGridWithMidWindowBoundaries) {
+  // 37 days divides nothing cleanly: every boundary lands mid-stream, and
+  // the kWeek/30-day follow-up windows in the battery cross shard edges.
+  ExpectGridParity(MultiTrace(), 37 * kDay, 4);
+}
+
+TEST(SessionSetParity, FineWindowsForceCrossShardComposition) {
+  // Shard window (3 days) smaller than the kWeek and 30-day follow-ups:
+  // nearly every trigger's follow-up interval spans later shards.
+  ExpectGridParity(MultiTrace(), 3 * kDay, 0);
+}
+
+TEST(SessionSetParity, EmptyShardsMergeCleanly) {
+  const auto trace = SparseTrace();
+  SessionSet set(trace, NoCacheOptions(5 * kDay, 1));
+  EXPECT_GT(set.plan().num_shards(), 10u);
+
+  std::size_t empty_shards = 0;
+  std::size_t total = 0;
+  for (const ShardKey key : set.Keys()) {
+    const auto shard = set.GetShard(key);
+    if (shard->num_failures == 0) ++empty_shards;
+    total += shard->num_failures;
+  }
+  EXPECT_GT(empty_shards, 10u) << "sparse grid should be mostly empty";
+  EXPECT_EQ(total, trace->failures().size());
+
+  ExpectGridParity(trace, 5 * kDay, 1);
+}
+
+TEST(SessionSetParity, MergedSubsetDeduplicatesAndCounts) {
+  SessionSet set(MultiTrace(), NoCacheOptions(0, 4));
+  const std::vector<ShardKey> keys = set.Keys();
+  ASSERT_GE(keys.size(), 2u);
+
+  // A subset with duplicates merges each shard once.
+  const std::vector<ShardKey> dup = {keys[0], keys[1], keys[0], keys[1]};
+  const auto subset = set.Merged(dup);
+  const std::size_t want = set.GetShard(keys[0])->num_failures +
+                           set.GetShard(keys[1])->num_failures;
+  EXPECT_EQ(subset->num_failures(), want);
+  EXPECT_EQ(static_cast<std::size_t>(subset->index().Count(
+                EventFilter::Any())),
+            want);
+
+  // A subset of only-empty shards is valid, not an error.
+  SessionSet sparse(SparseTrace(), NoCacheOptions(5 * kDay, 1));
+  std::vector<ShardKey> empties;
+  for (const ShardKey key : sparse.Keys()) {
+    if (sparse.GetShard(key)->num_failures == 0) empties.push_back(key);
+    if (empties.size() == 3) break;
+  }
+  ASSERT_EQ(empties.size(), 3u);
+  EXPECT_EQ(sparse.Merged(empties)->num_failures(), 0u);
+}
+
+TEST(SessionSet, NegativeSystemIdsYieldEmptyShardNotCrash) {
+  const auto trace = MultiTrace();
+  SessionSetOptions options = NoCacheOptions(0, 2);
+  // One block of real systems, one block holding only rejected ids.
+  options.systems = {trace->systems()[0].id, trace->systems()[1].id,
+                     SystemId{-1}, SystemId{-7}};
+  SessionSet set(trace, std::move(options));
+  ASSERT_EQ(set.plan().num_blocks(), 2);
+
+  const auto junk = set.GetShard({1, 0});
+  EXPECT_EQ(junk->num_failures, 0u);
+  EXPECT_EQ(junk->stores->stores.size(), 0u);
+  EXPECT_EQ(junk->systems, (std::vector<SystemId>{SystemId{-1},
+                                                  SystemId{-7}}));
+  EXPECT_TRUE(set.ShardStatsJson({1, 0}).has_value());
+
+  // The merged view covers exactly the two real systems, bit-identically
+  // to a monolithic build restricted to them.
+  const std::vector<SystemId> real = {trace->systems()[0].id,
+                                      trace->systems()[1].id};
+  const auto merged = set.Merged();
+  ExpectStoresBitIdentical(merged->stores(),
+                           EventStoreSet::Build(*trace, real));
+  const EventIndex mono_index(*trace, std::span<const SystemId>(real));
+  EXPECT_EQ(set.MergedCount(EventFilter::Any()),
+            mono_index.Count(EventFilter::Any()));
+  ExpectProportionBitIdentical(
+      set.SameNodeConditional(EventFilter::Any(), EventFilter::Any(), kWeek),
+      WindowAnalyzer(mono_index)
+          .ConditionalProbability(EventFilter::Any(), EventFilter::Any(),
+                                  Scope::kSameNode, kWeek));
+}
+
+TEST(SessionSet, ValidButAbsentSystemThrows) {
+  SessionSetOptions options = NoCacheOptions(0, 0);
+  options.systems = {SystemId{999}};
+  EXPECT_THROW(SessionSet(MultiTrace(), std::move(options)),
+               std::out_of_range);
+}
+
+TEST(SessionSet, UnknownKeysAreErrorsNotCrashes) {
+  SessionSet set(MultiTrace(), NoCacheOptions(0, 3));
+  EXPECT_THROW((void)set.GetShard({99, 0}), std::out_of_range);
+  EXPECT_THROW((void)set.GetShard({0, 5}), std::out_of_range);
+  EXPECT_THROW((void)set.GetShard({-1, 0}), std::out_of_range);
+  EXPECT_FALSE(set.ShardStatsJson({99, 0}).has_value());
+  const std::vector<ShardKey> bad = {{0, 0}, {99, 0}};
+  EXPECT_THROW((void)set.Merged(bad), std::out_of_range);
+}
+
+TEST(SessionSet, SameNodeConditionalRejectsNonPositiveWindow) {
+  SessionSet set(MultiTrace(), NoCacheOptions(0, 0));
+  EXPECT_THROW((void)set.SameNodeConditional(EventFilter::Any(),
+                                             EventFilter::Any(), 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)set.SameNodeConditional(EventFilter::Any(),
+                                             EventFilter::Any(), -kDay),
+               std::invalid_argument);
+}
+
+TEST(SessionSet, LruEvictionHonorsBudgetAndSurvivingReaders) {
+  const auto trace = MultiTrace();
+  SessionSet set(trace, NoCacheOptions(0, 2));
+  set.BuildAll();
+  const SessionSet::Stats full = set.stats();
+  EXPECT_EQ(full.resident_shards, set.plan().num_shards());
+  EXPECT_EQ(full.evictions, 0u);
+  ASSERT_GT(full.resident_bytes, 0u);
+
+  // A reader pins a shard, then the budget collapses to one shard's bytes:
+  // eviction must drop the set's references without invalidating the
+  // reader's.
+  const auto held = set.GetShard({0, 0});
+  const std::size_t one_shard = held->resident_bytes;
+  set.SetMemoryBudget(std::max<std::size_t>(one_shard, 1));
+  const SessionSet::Stats squeezed = set.stats();
+  EXPECT_GT(squeezed.evictions, 0u);
+  EXPECT_LT(squeezed.resident_shards, full.resident_shards);
+  EXPECT_LE(squeezed.resident_bytes,
+            std::max<std::size_t>(one_shard, 1));
+
+  // The held shard answers queries after eviction.
+  EXPECT_EQ(held->stores->stores.empty(), held->num_failures == 0);
+  std::size_t held_total = 0;
+  for (const auto& store : held->stores->stores) held_total += store.size();
+  EXPECT_EQ(held_total, held->num_failures);
+
+  // Rebuild-after-eviction is counted and bit-identical.
+  const EventIndex mono_index(*trace);
+  const WindowAnalyzer mono(mono_index);
+  ExpectProportionBitIdentical(
+      set.SameNodeConditional(EventFilter::Any(), EventFilter::Any(), kWeek),
+      mono.ConditionalProbability(EventFilter::Any(), EventFilter::Any(),
+                                  Scope::kSameNode, kWeek));
+  EXPECT_GT(set.stats().rebuilds, 0u);
+
+  // Lifting the budget lets the grid become fully resident again.
+  set.SetMemoryBudget(0);
+  set.BuildAll();
+  EXPECT_EQ(set.stats().resident_shards, set.plan().num_shards());
+}
+
+TEST(SessionSet, StatsJsonCarriesGridAndShardState) {
+  SessionSet set(MultiTrace(), NoCacheOptions(0, 3));
+  (void)set.GetShard({0, 0});
+  const std::string json = set.StatsJson();
+  for (const char* key :
+       {"\"parent\":", "\"window_seconds\":", "\"systems_per_block\":",
+        "\"num_blocks\":", "\"num_windows\":", "\"num_shards\":",
+        "\"memory_budget_bytes\":", "\"builds\":", "\"rebuilds\":",
+        "\"coalesced\":", "\"shard_cache_hits\":", "\"evictions\":",
+        "\"merges\":", "\"resident_shards\":", "\"resident_bytes\":",
+        "\"shards\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing: "
+                                                 << json;
+  }
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must be a single line";
+
+  const auto one = set.ShardStatsJson({0, 0});
+  ASSERT_TRUE(one.has_value());
+  EXPECT_NE(one->find("\"key\":\"0:0\""), std::string::npos) << *one;
+  EXPECT_NE(one->find("\"num_failures\":"), std::string::npos) << *one;
+}
+
+// --- concurrency (run under TSan via scripts/ci.sh) ---------------------
+
+TEST(SessionSetConcurrency, SameShardBuildsOnceAcrossThreads) {
+  SessionSet set(MultiTrace(), NoCacheOptions(0, 0));
+  constexpr int kThreads = 8;
+  std::barrier start(kThreads);
+  std::vector<std::shared_ptr<const SessionSet::Shard>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      start.arrive_and_wait();
+      got[static_cast<std::size_t>(i)] = set.GetShard({0, 0});
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Single-flight: one build ran; every thread shares the same shard.
+  EXPECT_EQ(set.stats().builds, 1u);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].get(), got[0].get());
+  }
+}
+
+TEST(SessionSetConcurrency, EvictionRacesReadersSafely) {
+  const auto trace = MultiTrace();
+  SessionSet set(trace, NoCacheOptions(0, 1));
+  const std::vector<ShardKey> keys = set.Keys();
+  const long long mono_count = EventIndex(*trace).Count(EventFilter::Any());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t i = static_cast<std::size_t>(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto shard = set.GetShard(keys[i % keys.size()]);
+        // Query the pinned shard: eviction must never invalidate it.
+        std::size_t n = 0;
+        for (const auto& store : shard->stores->stores) n += store.size();
+        ASSERT_EQ(n, shard->num_failures);
+        ++i;
+      }
+    });
+  }
+  // The evictor starves and restores the budget while readers run.
+  for (int round = 0; round < 50; ++round) {
+    set.SetMemoryBudget(1);
+    set.SetMemoryBudget(0);
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(set.stats().evictions, 0u);
+  EXPECT_EQ(set.MergedCount(EventFilter::Any()), mono_count);
+}
+
+TEST(SessionSetConcurrency, MergedViewsAndQueriesRaceSafely) {
+  const auto trace = MultiTrace();
+  SessionSet set(trace, NoCacheOptions(0, 3));
+  const EventIndex mono_index(*trace);
+  const long long mono_count = mono_index.Count(EventFilter::Any());
+  const stats::Proportion mono_p =
+      WindowAnalyzer(mono_index)
+          .ConditionalProbability(EventFilter::Any(), EventFilter::Any(),
+                                  Scope::kSameNode, kWeek);
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&, i] {
+      for (int round = 0; round < 5; ++round) {
+        switch ((i + round) % 4) {
+          case 0: {
+            const auto merged = set.Merged();
+            ASSERT_EQ(merged->num_failures(), trace->failures().size());
+            break;
+          }
+          case 1: {
+            const stats::Proportion p = set.SameNodeConditional(
+                EventFilter::Any(), EventFilter::Any(), kWeek);
+            ASSERT_EQ(p.successes, mono_p.successes);
+            ASSERT_EQ(p.trials, mono_p.trials);
+            break;
+          }
+          case 2:
+            ASSERT_EQ(set.MergedCount(EventFilter::Any()), mono_count);
+            break;
+          default:
+            ASSERT_FALSE(set.StatsJson().empty());
+            set.DropMerged();
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(set.stats().merges, 0u);
+}
+
+// --- per-shard artifact cache -------------------------------------------
+
+class SessionSetCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/hpcfail_session_set_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  SessionSetOptions CachedOptions() const {
+    SessionSetOptions o;
+    o.shard.window = 0;
+    o.shard.systems_per_block = 1;
+    o.cache.dir = dir_ + "/cache";
+    return o;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SessionSetCacheTest, ShardsHitAcrossInstances) {
+  const synth::Scenario scenario = synth::TinyScenario(90 * kDay);
+
+  SessionSet cold = SessionSet::FromScenario(scenario, 7, CachedOptions());
+  cold.BuildAll();
+  EXPECT_GT(cold.stats().cache_stores, 0u);
+  EXPECT_EQ(cold.stats().cache_hits, 0u);
+  const std::string cold_report = RenderedReport(cold.Merged()->view());
+
+  SessionSet warm = SessionSet::FromScenario(scenario, 7, CachedOptions());
+  const auto shard = warm.GetShard({0, 0});
+  EXPECT_TRUE(shard->from_cache);
+  EXPECT_GT(warm.stats().cache_hits, 0u);
+  // Warm timing path, identical bytes: the cache's core guarantee.
+  EXPECT_EQ(RenderedReport(warm.Merged()->view()), cold_report);
+
+  // A different grid spec must NOT hit the same entries: the shard
+  // fingerprint mixes the spec in.
+  SessionSetOptions other = CachedOptions();
+  other.shard.window = 10 * kDay;
+  SessionSet regrid = SessionSet::FromScenario(scenario, 7, std::move(other));
+  (void)regrid.GetShard({0, 0});
+  EXPECT_EQ(regrid.stats().cache_hits, 0u);
+}
+
+// --- ShardPlan partition property (randomized) --------------------------
+
+TEST(ShardPlanFuzz, EveryRecordLandsInExactlyOneShard) {
+  stats::Rng rng(20130618);
+  for (int iter = 0; iter < 200; ++iter) {
+    // A random little fleet with random observation windows.
+    const int num_systems = 1 + static_cast<int>(rng.Index(5));
+    Trace trace;
+    for (int s = 0; s < num_systems; ++s) {
+      SystemConfig c;
+      c.id = SystemId{s};
+      c.name = "sys" + std::to_string(s);
+      c.num_nodes = 4;
+      c.procs_per_node = 1;
+      const TimeSec begin = rng.Int(0, 50 * kDay);
+      c.observed = {begin, begin + rng.Int(kDay, 300 * kDay)};
+      trace.AddSystem(c);
+    }
+    trace.Finalize();
+
+    ShardSpec spec;
+    spec.window = (rng.Index(4) == 0) ? 0 : rng.Int(kHour, 60 * kDay);
+    spec.systems_per_block =
+        static_cast<int>(rng.Index(static_cast<std::size_t>(num_systems) + 2));
+    const ShardPlan plan(trace, spec);
+
+    // Window ranges tile the whole time axis with sentinel edges.
+    ASSERT_GE(plan.num_windows(), 1);
+    EXPECT_EQ(plan.StartRange(0).begin,
+              std::numeric_limits<TimeSec>::min());
+    EXPECT_EQ(plan.StartRange(plan.num_windows() - 1).end,
+              std::numeric_limits<TimeSec>::max());
+    for (int w = 0; w + 1 < plan.num_windows(); ++w) {
+      EXPECT_EQ(plan.StartRange(w).end, plan.StartRange(w + 1).begin);
+      EXPECT_LT(plan.StartRange(w).begin, plan.StartRange(w).end);
+    }
+
+    // Random records: mostly planned systems, some junk ids, with starts
+    // spread across (and beyond) the observation windows.
+    std::vector<std::size_t> per_shard(plan.num_shards(), 0);
+    std::size_t planned_records = 0;
+    const int num_records = 64;
+    for (int r = 0; r < num_records; ++r) {
+      FailureRecord f;
+      const bool junk = rng.Index(8) == 0;
+      f.system = junk ? SystemId{-1 - static_cast<int>(rng.Index(3))}
+                      : SystemId{static_cast<int>(rng.Index(
+                            static_cast<std::size_t>(num_systems)))};
+      f.node = NodeId{static_cast<int>(rng.Index(4))};
+      f.start = rng.Int(-30 * kDay, 400 * kDay);  // may fall outside observed
+      f.end = f.start + kHour;
+
+      const std::optional<ShardKey> key = plan.KeyFor(f);
+      if (!f.system.valid()) {
+        EXPECT_FALSE(key.has_value()) << "junk system must not map";
+        continue;
+      }
+      ++planned_records;
+      ASSERT_TRUE(key.has_value());
+      ASSERT_TRUE(plan.Contains(*key));
+      // The key is self-consistent: the record's start is inside the
+      // window's range and its system inside the block.
+      const TimeInterval range = plan.StartRange(key->window);
+      EXPECT_GE(f.start, range.begin);
+      EXPECT_LT(f.start, range.end);
+      EXPECT_EQ(plan.WindowOf(f.start), key->window);
+      EXPECT_EQ(plan.BlockOf(f.system), key->block);
+      const std::span<const SystemId> block =
+          plan.SystemsOfBlock(key->block);
+      EXPECT_NE(std::find(block.begin(), block.end(), f.system),
+                block.end());
+      ++per_shard[plan.IndexOf(*key)];
+    }
+
+    // No drops, no duplicates: per-shard counts sum to the planned total.
+    std::size_t total = 0;
+    for (const std::size_t n : per_shard) total += n;
+    EXPECT_EQ(total, planned_records)
+        << "window=" << spec.window
+        << " per_block=" << spec.systems_per_block;
+  }
+}
+
+// The same property at the SessionSet layer with real stores: for random
+// grid specs over a real trace, the shards' failure counts always sum to
+// the trace's, and the merged count matches the monolithic index.
+TEST(ShardPlanFuzz, RandomGridsPartitionARealTrace) {
+  const auto trace = MultiTrace();
+  const long long mono_count =
+      EventIndex(*trace).Count(EventFilter::Any());
+  stats::Rng rng(424242);
+  for (int iter = 0; iter < 8; ++iter) {
+    SessionSetOptions options;
+    options.cache.enabled = false;
+    options.shard.window = (iter % 2 == 0) ? 0 : rng.Int(10 * kDay, kYear);
+    options.shard.systems_per_block = static_cast<int>(rng.Index(6));
+    SessionSet set(trace, std::move(options));
+
+    std::size_t total = 0;
+    for (const ShardKey key : set.Keys()) {
+      total += set.GetShard(key)->num_failures;
+    }
+    EXPECT_EQ(total, trace->failures().size());
+    EXPECT_EQ(set.MergedCount(EventFilter::Any()), mono_count);
+  }
+}
+
+}  // namespace
+}  // namespace hpcfail::engine

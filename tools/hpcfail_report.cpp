@@ -40,6 +40,7 @@
 #include "core/report.h"
 #include "engine/report_render.h"
 #include "engine/session.h"
+#include "engine/session_set.h"
 #include "obs/span.h"
 #include "synth/scenario.h"
 #include "synth/scenario_config.h"
@@ -81,6 +82,10 @@ int main(int argc, char** argv) {
     std::string scenario_file, trace_dir, lanl_file, checkpoint_file;
     double scale = 0.5;
     double years = 2.0;
+    bool sharded = false;
+    double shard_window_days = 0.0;
+    int shard_block_systems = 0;
+    std::uint64_t shard_budget_mb = 0;
     int nodes_per_system = 0;
     std::uint64_t tolerance = 0;
     std::uint64_t window = static_cast<std::uint64_t>(hpcfail::kWeek);
@@ -108,6 +113,18 @@ int main(int argc, char** argv) {
                      "--checkpoint replay out-of-order tolerance in seconds");
     parser.AddUint64("window", &window,
                      "--checkpoint replay follow-up window in seconds");
+    parser.AddFlag("sharded", &sharded,
+                   "analyze through a sharded SessionSet and render the "
+                   "merged view (byte-identical to the monolithic report)");
+    parser.AddDouble("shard-window-days", &shard_window_days,
+                     "shard start-time window width in days (implies "
+                     "--sharded; 0 = one window)");
+    parser.AddInt("shard-block-systems", &shard_block_systems,
+                  "systems per shard block (implies --sharded; 0 = one "
+                  "block)");
+    parser.AddUint64("shard-budget-mb", &shard_budget_mb,
+                     "resident shard budget in MiB, LRU-evicted beyond "
+                     "(0 = unlimited)");
     parser.AddFlag("profile", &profile,
                    "append the observability stage-timing table");
     parser.ParseOrExit(argc, argv);
@@ -126,7 +143,7 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    const auto make_session = [&]() -> engine::AnalysisSession {
+    const auto make_source = [&]() -> std::unique_ptr<engine::TraceSource> {
       if (!checkpoint_file.empty()) {
         if (trace_dir.empty()) {
           throw std::runtime_error(
@@ -138,33 +155,51 @@ int main(int argc, char** argv) {
         cfg.window.trigger = EventFilter::Any();
         cfg.window.target = EventFilter::Any();
         cfg.window.window = static_cast<hpcfail::TimeSec>(window);
-        return engine::AnalysisSession::FromCheckpoint(
-            checkpoint_file, trace_dir, cfg, session_opts);
+        return engine::MakeCheckpointSource(checkpoint_file, trace_dir, cfg);
       }
-      if (!trace_dir.empty()) {
-        return engine::AnalysisSession::FromCsvDir(trace_dir, session_opts);
-      }
+      if (!trace_dir.empty()) return engine::MakeCsvDirSource(trace_dir);
       if (!lanl_file.empty()) {
-        return engine::AnalysisSession::FromLanl(lanl_file, nodes_per_system,
-                                                 session_opts);
+        return engine::MakeLanlSource(lanl_file, nodes_per_system);
       }
       if (!scenario_file.empty()) {
-        return engine::AnalysisSession::FromScenario(
+        return engine::MakeScenarioSource(
             hpcfail::synth::LoadScenarioConfigFile(scenario_file),
-            std_opts.seed, session_opts);
+            std_opts.seed);
       }
-      return engine::AnalysisSession::FromScenario(
+      return engine::MakeScenarioSource(
           hpcfail::synth::LanlLikeScenario(
               scale, static_cast<hpcfail::TimeSec>(years * hpcfail::kYear)),
-          std_opts.seed, session_opts);
+          std_opts.seed);
     };
 
-    const engine::AnalysisSession session = make_session();
-    std::cerr << "hpcfail_report: session " << session.StatsJson() << "\n";
-    if (std_opts.json) {
-      std::cout << session.StatsJson() << "\n";
+    if (sharded || shard_window_days > 0.0 || shard_block_systems > 0) {
+      engine::SessionSetOptions set_opts;
+      set_opts.shard.window = static_cast<hpcfail::TimeSec>(
+          shard_window_days * static_cast<double>(hpcfail::kDay));
+      set_opts.shard.systems_per_block = shard_block_systems;
+      set_opts.memory_budget_bytes =
+          static_cast<std::size_t>(shard_budget_mb) * 1024 * 1024;
+      set_opts.cache = session_opts.cache;
+      engine::SessionSet set(make_source(), std::move(set_opts));
+      if (std_opts.json) {
+        std::cout << set.StatsJson() << "\n";
+        std::cerr << "hpcfail_report: session-set " << set.StatsJson() << "\n";
+      } else {
+        // Merged view first, so the stderr stats describe the built grid.
+        const std::shared_ptr<const engine::SessionSet::MergedView> merged =
+            set.Merged();
+        std::cerr << "hpcfail_report: session-set " << set.StatsJson() << "\n";
+        engine::RenderReport(merged->view(), std::cout);
+      }
     } else {
-      engine::RenderReport(session, std::cout);
+      const engine::AnalysisSession session =
+          engine::AnalysisSession(make_source(), session_opts);
+      std::cerr << "hpcfail_report: session " << session.StatsJson() << "\n";
+      if (std_opts.json) {
+        std::cout << session.StatsJson() << "\n";
+      } else {
+        engine::RenderReport(session, std::cout);
+      }
     }
     if (profile) PrintProfile();
   } catch (const std::exception& e) {

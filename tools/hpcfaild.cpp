@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(config.default_deadline_ms);
   std::uint64_t idle_timeout_ms =
       static_cast<std::uint64_t>(config.idle_timeout_ms);
+  std::uint64_t set_budget_mb = 0;
 
   engine::ArgParser parser(
       "hpcfaild",
@@ -77,6 +78,15 @@ int main(int argc, char** argv) {
                    "close idle line-protocol connections after this long");
   parser.AddFlag("enable-test-endpoints", &config.enable_test_endpoints,
                  "expose SLEEP / /debug/sleep (load tests only)");
+  parser.AddDouble("shard-window-days", &config.default_window_days,
+                   "default start-time window for sharded queries "
+                   "(SHARDS / sharded=1; 0 = one window)");
+  parser.AddInt("shard-block-systems", &config.default_block_systems,
+                "default systems per shard block for sharded queries "
+                "(0 = one block)");
+  parser.AddUint64("shard-budget-mb", &set_budget_mb,
+                   "per-SessionSet resident shard budget in MiB; cold "
+                   "shards are LRU-evicted beyond it (0 = unlimited)");
   parser.AddString("metrics-out", &metrics_out,
                    "write a final Prometheus snapshot here on shutdown");
   engine::AddStandardOptions(parser, &std_opts);
@@ -88,6 +98,8 @@ int main(int argc, char** argv) {
   config.default_deadline_ms = static_cast<std::int64_t>(deadline_ms);
   config.idle_timeout_ms = static_cast<std::int64_t>(idle_timeout_ms);
   config.session = engine::MakeSessionOptions(std_opts);
+  config.set_memory_budget_bytes =
+      static_cast<std::size_t>(set_budget_mb) * 1024 * 1024;
 
   if (::pipe(g_signal_pipe) != 0) {
     std::cerr << "hpcfaild: pipe: " << std::strerror(errno) << "\n";
