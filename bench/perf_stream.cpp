@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ctime>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -27,6 +28,9 @@
 #include "engine/session.h"
 #include "stream/engine.h"
 #include "synth/generate.h"
+#include "trace/adapter.h"
+#include "trace/csv.h"
+#include "trace/lanl_import.h"
 
 namespace hpcfail {
 namespace {
@@ -240,6 +244,114 @@ int RunJsonMode(int argc, const char* const* argv) {
     out << ",\"simd_level\":\"" << core::simd::ToString(kernels.level)
         << "\",\"kernel_seconds\":{\"validate_block\":"
         << validate_s / kKernelIters << "}";
+  }
+
+  // Per-format adapter ingest: the same failure backlog rendered in each
+  // on-disk format, parsed back through the adapter registry (PR 9). The
+  // lanl rows are also run through the legacy direct importer so the CI
+  // gate can hold the adapter path to >= 0.9x legacy throughput — both
+  // call lanl::ParseLanlRow, so any gap is pure dispatch overhead.
+  {
+    const auto fmt_time = [](TimeSec t, const char* spec) {
+      const std::time_t tt = static_cast<std::time_t>(std::max<TimeSec>(t, 0));
+      std::tm tm{};
+      gmtime_r(&tt, &tm);
+      char buf[64];
+      std::strftime(buf, sizeof buf, spec, &tm);
+      return std::string(buf);
+    };
+    const auto lanl_labels =
+        [](FailureCategory c) -> std::pair<const char*, const char*> {
+      switch (c) {
+        case FailureCategory::kHardware: return {"Hardware", "Memory Dimm"};
+        case FailureCategory::kSoftware: return {"Software", "OS"};
+        case FailureCategory::kNetwork: return {"Network", ""};
+        case FailureCategory::kEnvironment: return {"Facilities", "Power Outage"};
+        case FailureCategory::kHuman: return {"Human Error", ""};
+        default: return {"Undetermined", ""};
+      }
+    };
+    std::map<std::string, std::string> payloads;
+    {
+      std::ostringstream os;
+      csv::WriteFailures(os, events);
+      payloads["hpcfail_csv"] = os.str();
+    }
+    {
+      std::ostringstream os;
+      os << "system,node,started,fixed,cause,detail\n";
+      for (const FailureRecord& r : events) {
+        const auto [cause, detail] = lanl_labels(r.category);
+        os << r.system.value << ',' << r.node.value << ','
+           << fmt_time(r.start, "%m/%d/%Y %H:%M:%S") << ','
+           << fmt_time(r.end, "%m/%d/%Y %H:%M:%S") << ',' << cause << ','
+           << detail << '\n';
+      }
+      payloads["lanl_csv"] = os.str();
+    }
+    {
+      std::ostringstream os;
+      os << "RECID,EVENT_TIME,SEVERITY,COMPONENT,SUBCOMPONENT,LOCATION,"
+            "MSG_ID,MESSAGE\n";
+      long long recid = 1;
+      for (const FailureRecord& r : events) {
+        os << recid++ << ',' << fmt_time(r.start, "%Y-%m-%d %H:%M:%S")
+           << ",FATAL,DDR,_DDR_UE,R00-M0-N0" << (r.node.value % 10)
+           << ",00090200,uncorrectable summary count exceeded\n";
+      }
+      payloads["bgq_ras"] = os.str();
+    }
+    {
+      static const char* const kMessages[] = {
+          "kernel: EDAC MC0: UE page 0x42, row 7",
+          "kernel: Machine check events logged",
+          "kernel: Out of memory: Kill process 4242 (mpirun)",
+          "slurmd[311]: error: node drained",
+      };
+      std::ostringstream os;
+      std::size_t m = 0;
+      for (const FailureRecord& r : events) {
+        os << fmt_time(r.start, "%b %d %H:%M:%S") << " node"
+           << (r.node.value % 512) << ' ' << kMessages[m++ % 4] << '\n';
+      }
+      payloads["syslog"] = os.str();
+    }
+    out << ",\"adapter_ingest_lines_per_sec\":{";
+    bool first_fmt = true;
+    for (const trace::LogAdapter* adapter : trace::Registry()) {
+      const std::string& payload = payloads.at(std::string(adapter->name()));
+      const double lines = static_cast<double>(
+          std::count(payload.begin(), payload.end(), '\n'));
+      const double s = BestSeconds(reps, [&] {
+        std::istringstream is(payload);
+        const trace::ParseResult parsed =
+            trace::ParseLog(*adapter, is, trace::AdapterOptions{});
+        benchmark::DoNotOptimize(parsed.counters.records);
+      });
+      out << (first_fmt ? "" : ",") << "\"" << adapter->name()
+          << "\":" << (s > 0.0 ? lines / s : 0.0);
+      first_fmt = false;
+    }
+    out << "}";
+    const std::string& lanl_payload = payloads.at("lanl_csv");
+    const double lanl_lines = static_cast<double>(
+        std::count(lanl_payload.begin(), lanl_payload.end(), '\n'));
+    const double legacy_s = BestSeconds(reps, [&] {
+      std::istringstream is(lanl_payload);
+      const lanl::ImportResult imported =
+          lanl::ImportFailures(is, lanl::ImportConfig{});
+      benchmark::DoNotOptimize(imported.failures.size());
+    });
+    const double adapter_s = BestSeconds(reps, [&] {
+      std::istringstream is(lanl_payload);
+      const trace::ParseResult parsed = trace::ParseLog(
+          *trace::FindAdapter("lanl_csv"), is, trace::AdapterOptions{});
+      benchmark::DoNotOptimize(parsed.counters.records);
+    });
+    out << ",\"lanl_legacy_lines_per_sec\":"
+        << (legacy_s > 0.0 ? lanl_lines / legacy_s : 0.0)
+        << ",\"lanl_adapter_vs_legacy\":"
+        << (adapter_s > 0.0 ? legacy_s / adapter_s : 0.0);
   }
   out << "}";
   std::cout << out.str() << "\n";

@@ -130,6 +130,16 @@ AnalysisSession AnalysisSession::FromLanl(std::string path,
                          std::move(options));
 }
 
+AnalysisSession AnalysisSession::FromLog(
+    std::string path, std::string format,
+    hpcfail::trace::AdapterOptions adapter_options, int nodes_per_system,
+    SessionOptions options) {
+  return AnalysisSession(
+      MakeLogSource(std::move(path), std::move(format),
+                    std::move(adapter_options), nodes_per_system),
+      std::move(options));
+}
+
 core::EventIndex AnalysisSession::IndexFor(
     std::span<const SystemId> systems) const {
   return core::EventIndex(*trace_, stores_, systems);

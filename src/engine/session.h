@@ -66,6 +66,12 @@ class AnalysisSession {
                                         SessionOptions options = {});
   static AnalysisSession FromLanl(std::string path, int nodes_per_system,
                                   SessionOptions options = {});
+  // Any single-file log via the trace/adapter registry; `format` is an
+  // adapter name or "auto" (sniffed from the file head).
+  static AnalysisSession FromLog(std::string path, std::string format,
+                                 hpcfail::trace::AdapterOptions adapter_options,
+                                 int nodes_per_system,
+                                 SessionOptions options = {});
 
   AnalysisSession(AnalysisSession&&) = default;
   AnalysisSession(const AnalysisSession&) = delete;

@@ -15,6 +15,11 @@
 //   lanl        — a raw LANL failure log (lanl::ImportFailures +
 //                 AssembleTrace); fingerprint hashes the log bytes + the
 //                 nodes-per-system assembly parameter
+//   log         — any single-file log through the trace/adapter registry
+//                 (lanl_csv, bgq_ras, syslog, hpcfail_csv, or auto-detected);
+//                 fingerprint hashes the RESOLVED adapter name + every
+//                 adapter option + the log bytes, so two formats' parses of
+//                 one file can never alias in the artifact cache
 #pragma once
 
 #include <cstdint>
@@ -25,6 +30,7 @@
 
 #include "stream/engine.h"
 #include "synth/scenario.h"
+#include "trace/adapter.h"
 #include "trace/system.h"
 
 namespace hpcfail::engine {
@@ -34,6 +40,7 @@ enum class SourceKind : std::uint8_t {
   kCsvDir,
   kStreamCheckpoint,
   kLanlCsv,
+  kLog,
 };
 
 std::string_view ToString(SourceKind k);
@@ -73,5 +80,15 @@ std::unique_ptr<TraceSource> MakeCheckpointSource(std::string checkpoint_path,
 // `nodes_per_system` <= 0 auto-sizes each system from the log itself.
 std::unique_ptr<TraceSource> MakeLanlSource(std::string path,
                                             int nodes_per_system);
+
+// Ingests any single-file log through the trace/adapter registry. `format`
+// is an adapter name or "auto"/"" for sniff-based detection (resolved
+// lazily, so constructing a source for a missing file is fine — Acquire()
+// raises the real error). `nodes_per_system` feeds lanl::AssembleTrace as
+// for MakeLanlSource.
+std::unique_ptr<TraceSource> MakeLogSource(std::string path,
+                                           std::string format,
+                                           trace::AdapterOptions options,
+                                           int nodes_per_system);
 
 }  // namespace hpcfail::engine

@@ -100,6 +100,8 @@ std::string_view ToString(Verb v) {
       return "TABLE";
     case Verb::kShards:
       return "SHARDS";
+    case Verb::kFormats:
+      return "FORMATS";
     case Verb::kSleep:
       return "SLEEP";
     case Verb::kQuit:
@@ -195,6 +197,8 @@ bool ParseCommandLine(std::string_view line, Request* out,
     }
   } else if (word == "SHARDS") {
     out->verb = Verb::kShards;
+  } else if (word == "FORMATS") {
+    out->verb = Verb::kFormats;
   } else if (word == "SLEEP") {
     out->verb = Verb::kSleep;
   } else if (word == "QUIT") {
@@ -249,6 +253,8 @@ bool ParseHttpRequestLine(std::string_view line, Request* out,
     out->target = UrlDecode(tail);
   } else if (head == "shards" && tail.empty()) {
     out->verb = Verb::kShards;
+  } else if (head == "formats" && tail.empty()) {
+    out->verb = Verb::kFormats;
   } else if (head == "debug" && tail == "sleep") {
     out->verb = Verb::kSleep;
   } else {

@@ -12,6 +12,9 @@
 //         REPORT scale=0.5 sharded=1 window_days=90    (SessionSet-backed)
 //         TABLE overview scale=0.5 years=1 seed=7
 //         SHARDS scale=0.5 years=1 window_days=90      (shard grid JSON)
+//         FORMATS                (adapter registry + configured logs, JSON)
+//         STATS log=ras                                (a --serve-log source)
+//         REPORT log=messages format=syslog            (format must match)
 //         SLEEP ms=50            (only with test endpoints enabled)
 //         QUIT
 //     responses: "OK <nbytes>\n" + exactly nbytes of payload, or
@@ -19,7 +22,7 @@
 //
 //   * HTTP/1.1 GET mapping — the same queries as paths, for curl/Prometheus:
 //         GET /healthz | /metrics | /stats | /report | /table/<name>
-//             | /shards | /debug/sleep?ms=50
+//             | /shards | /formats | /debug/sleep?ms=50
 //     query parameters (?scale=0.5&years=1&seed=7&deadline_ms=2000) are the
 //     line protocol's key=value arguments. Responses are Connection: close
 //     with Content-Length, status 200/400/404/500/503/504.
@@ -52,6 +55,7 @@ enum class Verb {
   kReport,
   kTable,
   kShards,
+  kFormats,
   kSleep,
   kQuit,
 };

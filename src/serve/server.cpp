@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -287,10 +288,27 @@ Deadline Server::DeadlineFor(const Request& request) const {
 }
 
 std::string Server::HandleQuery(const Request& request) {
+  const bool sharded = request.verb == Verb::kShards ||
+                       request.params.count("shard") > 0 ||
+                       request.GetUint64("sharded", 0) != 0;
+  // log=<name> selects a configured file-backed source instead of a
+  // synthetic scenario. Sharding is scenario-only, and format= is
+  // meaningful only against a log.
+  if (request.params.count("log") > 0) {
+    if (sharded) {
+      return ErrorResponse(request, kStatusBadRequest,
+                           "log= queries cannot be sharded");
+    }
+    return HandleLogQuery(request);
+  }
+  if (request.params.count("format") > 0) {
+    return ErrorResponse(request, kStatusBadRequest,
+                         "format= requires log= (see FORMATS for the "
+                         "configured logs)");
+  }
   // SHARDS, STATS shard=B:W, and REPORT/TABLE/STATS sharded=1 resolve to
   // a pooled SessionSet instead of a monolithic session.
-  if (request.verb == Verb::kShards || request.params.count("shard") > 0 ||
-      request.GetUint64("sharded", 0) != 0) {
+  if (sharded) {
     return HandleShardedQuery(request);
   }
   obs::ScopedTimer parse_timer("serve_parse");
@@ -535,6 +553,154 @@ std::string Server::HandleShardedQuery(const Request& request) {
                       : LineOk(body.str());
 }
 
+std::string Server::HandleLogQuery(const Request& request) {
+  obs::ScopedTimer parse_timer("serve_parse");
+  const std::string& name = request.params.at("log");
+  const auto spec_it = config_.logs.find(name);
+  if (spec_it == config_.logs.end()) {
+    std::string known;
+    for (const auto& [n, _] : config_.logs) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return ErrorResponse(request, kStatusNotFound,
+                         "unknown log '" + name + "' (configured: " +
+                             (known.empty() ? "none" : known) + ")");
+  }
+  const ServeLogSpec& spec = spec_it->second;
+
+  // Resolve the log's adapter up front so format= can be validated and the
+  // FORMATS/STATS surfaces agree on what this log is.
+  std::string resolved = spec.format;
+  if (resolved.empty() || resolved == "auto") {
+    std::ifstream head_is(spec.path);
+    const hpcfail::trace::LogAdapter* detected =
+        head_is ? hpcfail::trace::DetectAdapter(
+                      hpcfail::trace::SniffHead(head_is))
+                : nullptr;
+    if (detected == nullptr) {
+      return ErrorResponse(request, kStatusInternalError,
+                           "cannot detect format of log '" + name + "' (" +
+                               spec.path + ")");
+    }
+    resolved = detected->name();
+  }
+  if (const auto fmt_it = request.params.find("format");
+      fmt_it != request.params.end()) {
+    if (hpcfail::trace::FindAdapter(fmt_it->second) == nullptr) {
+      std::string known;
+      for (const hpcfail::trace::LogAdapter* a :
+           hpcfail::trace::Registry()) {
+        if (!known.empty()) known += ", ";
+        known += a->name();
+      }
+      return ErrorResponse(request, kStatusBadRequest,
+                           "unknown format '" + fmt_it->second +
+                               "' (known: " + known + ")");
+    }
+    if (fmt_it->second != resolved) {
+      return ErrorResponse(request, kStatusBadRequest,
+                           "log '" + name + "' is format '" + resolved +
+                               "', not '" + fmt_it->second + "'");
+    }
+  }
+  if (request.verb == Verb::kTable &&
+      !std::binary_search(engine::RenderableNames().begin(),
+                          engine::RenderableNames().end(), request.target)) {
+    return ErrorResponse(request, kStatusNotFound,
+                         "unknown table '" + request.target + "'");
+  }
+  parse_timer.Stop();
+
+  const Deadline deadline = DeadlineFor(request);
+  const std::unique_ptr<engine::TraceSource> source = engine::MakeLogSource(
+      spec.path, resolved, spec.adapter, spec.nodes_per_system);
+  const std::optional<std::uint64_t> fingerprint = source->Fingerprint();
+  if (!fingerprint) {
+    return ErrorResponse(request, kStatusInternalError,
+                         "cannot read log '" + name + "' (" + spec.path +
+                             ")");
+  }
+  if (deadline.expired()) {
+    return ErrorResponse(request, kStatusDeadlineExceeded,
+                         "deadline exceeded before session acquisition");
+  }
+
+  SessionPool::Acquired acquired;
+  {
+    obs::ScopedTimer session_timer("serve_session");
+    acquired = pool_.Acquire(
+        *fingerprint,
+        [&] {
+          return MakeSessionEntry(engine::AnalysisSession::FromLog(
+              spec.path, resolved, spec.adapter, spec.nodes_per_system,
+              config_.session));
+        },
+        deadline);
+  }
+  if (acquired.outcome == SessionPool::Outcome::kTimedOut) {
+    return ErrorResponse(request, kStatusDeadlineExceeded,
+                         "deadline exceeded waiting for session build");
+  }
+  if (acquired.entry.session == nullptr) {
+    return ErrorResponse(request, kStatusInternalError,
+                         "pooled entry is not a monolithic session");
+  }
+
+  obs::ScopedTimer render_timer("serve_render");
+  std::ostringstream body;
+  try {
+    if (request.verb == Verb::kStats) {
+      body << acquired.entry.session->StatsJson() << "\n";
+    } else {
+      const std::string target =
+          request.verb == Verb::kReport ? "report" : request.target;
+      engine::RenderNamed(target, *acquired.entry.session, body,
+                          deadline.AsCancelFn());
+    }
+  } catch (const engine::RenderCancelled&) {
+    return ErrorResponse(request, kStatusDeadlineExceeded,
+                         "deadline exceeded during render");
+  }
+  render_timer.Stop();
+
+  return request.http ? HttpResponse(kStatusOk, body.str())
+                      : LineOk(body.str());
+}
+
+std::string Server::HandleFormats(const Request& request) {
+  auto escape = [](std::string_view s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::ostringstream body;
+  body << "{\"formats\":[";
+  bool first = true;
+  for (const hpcfail::trace::LogAdapter* a : hpcfail::trace::Registry()) {
+    if (!first) body << ",";
+    first = false;
+    body << "{\"name\":\"" << escape(a->name()) << "\",\"description\":\""
+         << escape(a->description()) << "\"}";
+  }
+  body << "],\"logs\":[";
+  first = true;
+  for (const auto& [name, spec] : config_.logs) {
+    if (!first) body << ",";
+    first = false;
+    body << "{\"name\":\"" << escape(name) << "\",\"path\":\""
+         << escape(spec.path) << "\",\"format\":\"" << escape(spec.format)
+         << "\"}";
+  }
+  body << "]}\n";
+  return request.http
+             ? HttpResponse(kStatusOk, body.str(), "application/json")
+             : LineOk(body.str());
+}
+
 std::string Server::HandleSleep(const Request& request) {
   if (!config_.enable_test_endpoints) {
     return ErrorResponse(request, kStatusNotFound,
@@ -587,6 +753,9 @@ std::string Server::HandleRequest(const Request& request) {
       case Verb::kTable:
       case Verb::kShards:
         response = HandleQuery(request);
+        break;
+      case Verb::kFormats:
+        response = HandleFormats(request);
         break;
       case Verb::kSleep:
         response = HandleSleep(request);

@@ -28,6 +28,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -38,6 +39,17 @@
 #include "serve/session_pool.h"
 
 namespace hpcfail::serve {
+
+// A file-backed analysis source the daemon serves by name (hpcfaild
+// --serve-log). Queries select it with log=<name>; its sessions share the
+// same pool as scenario queries, keyed by the source fingerprint (which
+// includes the resolved format, so formats never alias).
+struct ServeLogSpec {
+  std::string path;
+  std::string format = "auto";  // adapter name, or "auto" to sniff
+  int nodes_per_system = 0;     // 0 = auto-size systems from the log
+  hpcfail::trace::AdapterOptions adapter;
+};
 
 struct ServerConfig {
   std::string host = "127.0.0.1";
@@ -60,6 +72,9 @@ struct ServerConfig {
   double max_window_count = 4096.0;  // bound on years*365/window_days
   // Per-SessionSet shard LRU budget; 0 = keep every built shard resident.
   std::size_t set_memory_budget_bytes = 0;
+
+  // Named file-backed log sources (log= queries; listed by FORMATS).
+  std::map<std::string, ServeLogSpec> logs;
 };
 
 class Server {
@@ -101,6 +116,10 @@ class Server {
   // SHARDS, STATS shard=..., and REPORT/TABLE sharded=1 — served from a
   // pooled SessionSet keyed by (trace fingerprint, shard spec).
   std::string HandleShardedQuery(const Request& request);
+  // log=<name> queries against a configured ServeLogSpec; format= (when
+  // present) must name the log's resolved adapter.
+  std::string HandleLogQuery(const Request& request);
+  std::string HandleFormats(const Request& request);
   std::string HandleSleep(const Request& request);
   Deadline DeadlineFor(const Request& request) const;
 

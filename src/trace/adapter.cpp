@@ -1,0 +1,836 @@
+#include "trace/adapter.h"
+
+#include <algorithm>
+#include <istream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "trace/csv.h"
+#include "trace/parse_util.h"
+
+namespace hpcfail::trace {
+namespace {
+
+using parse::Contains;
+using parse::Lower;
+using parse::Trim;
+
+// Ingest health counters, the adapter-layer face of the PR 5 validation
+// path: every line any adapter consumes lands in exactly one of
+// records/ignored/rejected, so "how much of that log did we actually use"
+// is answerable from /metrics without re-reading the file.
+struct AdapterMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& lines = reg.GetCounter(
+      "hpcfail_adapter_lines_total",
+      "Non-empty lines consumed by log-format adapters");
+  obs::Counter& records = reg.GetCounter(
+      "hpcfail_adapter_records_total",
+      "Lines an adapter turned into failure records");
+  obs::Counter& ignored = reg.GetCounter(
+      "hpcfail_adapter_ignored_lines_total",
+      "Structural non-event lines (headers, below-severity events)");
+  obs::Counter& rejected = reg.GetCounter(
+      "hpcfail_adapter_rejected_lines_total",
+      "Lines rejected as malformed or unmappable (never dropped silently)");
+
+  static AdapterMetrics& Get() {
+    static AdapterMetrics m;
+    return m;
+  }
+};
+
+bool IsDigitChar(char c) { return c >= '0' && c <= '9'; }
+
+bool IsHexChar(char c) {
+  return IsDigitChar(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+bool IsAlnumChar(char c) {
+  return IsDigitChar(c) || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+// ---------------------------------------------------------------------------
+// hpcfail_csv: our own failures.csv schema, reusing the strict row parser
+// from trace/csv so both entry points stay one grammar.
+
+class NativeCsvReader final : public LineReader {
+ public:
+  LineOutcome Consume(const std::string& line, std::size_t lineno,
+                      FailureRecord* out, std::string* reason) override {
+    if (header_pending_) {
+      header_pending_ = false;
+      if (line != csv::FailuresHeader()) {
+        *reason = "bad header: expected '" + csv::FailuresHeader() + "'";
+        return LineOutcome::kFatal;
+      }
+      return LineOutcome::kIgnored;
+    }
+    const std::vector<std::string> fields = csv::SplitLine(line);
+    try {
+      *out = csv::ParseFailureRow(fields, lineno);
+    } catch (const csv::ParseError& e) {
+      *reason = e.what();
+      return LineOutcome::kRejected;
+    }
+    return LineOutcome::kRecord;
+  }
+
+ private:
+  bool header_pending_ = true;
+};
+
+class NativeCsvAdapter final : public LogAdapter {
+ public:
+  std::string_view name() const override { return "hpcfail_csv"; }
+  std::string_view description() const override {
+    return "native failures.csv (system,node,start,end,category,"
+           "subcategory; epoch-second timestamps)";
+  }
+  int SniffScore(std::string_view head) const override {
+    if (head.substr(0, 3) == "\xEF\xBB\xBF") head.remove_prefix(3);
+    const std::size_t eol = head.find('\n');
+    std::string_view first =
+        eol == std::string_view::npos ? head : head.substr(0, eol);
+    if (!first.empty() && first.back() == '\r') first.remove_suffix(1);
+    return first == csv::FailuresHeader() ? 100 : 0;
+  }
+  std::unique_ptr<LineReader> MakeReader(
+      const AdapterOptions&) const override {
+    return std::make_unique<NativeCsvReader>();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// lanl_csv: the LANL operational-data release. The reader is a thin shell
+// around lanl::ParseLanlRow — the byte-parity guarantee against the legacy
+// lanl::ImportFailures path holds because both run exactly that function
+// with the same header/blank-line discipline.
+
+class LanlCsvReader final : public LineReader {
+ public:
+  explicit LanlCsvReader(const lanl::ImportConfig& config)
+      : config_(config), header_pending_(config.has_header) {}
+
+  LineOutcome Consume(const std::string& line, std::size_t /*lineno*/,
+                      FailureRecord* out, std::string* reason) override {
+    if (header_pending_) {
+      header_pending_ = false;
+      return LineOutcome::kIgnored;
+    }
+    if (auto why = lanl::ParseLanlRow(line, config_, out)) {
+      *reason = std::move(*why);
+      return LineOutcome::kRejected;
+    }
+    return LineOutcome::kRecord;
+  }
+
+ private:
+  lanl::ImportConfig config_;
+  bool header_pending_;
+};
+
+class LanlCsvAdapter final : public LogAdapter {
+ public:
+  std::string_view name() const override { return "lanl_csv"; }
+  std::string_view description() const override {
+    return "LANL operational-data release CSV (MM/DD/YYYY timestamps, "
+           "free-text root-cause labels)";
+  }
+  int SniffScore(std::string_view head) const override {
+    // Look for a comma-separated line whose fields include a US-style
+    // timestamp; the header line (free text, no timestamp) is skipped
+    // naturally because it fails the timestamp check.
+    int lines_checked = 0;
+    std::size_t pos = 0;
+    while (pos < head.size() && lines_checked < 8) {
+      std::size_t eol = head.find('\n', pos);
+      if (eol == std::string_view::npos) eol = head.size();
+      const std::string line(Trim(head.substr(pos, eol - pos)));
+      pos = eol + 1;
+      if (line.empty()) continue;
+      ++lines_checked;
+      const std::vector<std::string> f = parse::SplitTrimmed(line, ',');
+      if (f.size() < 5) continue;
+      for (const std::string& field : f) {
+        if (parse::ParseUsTimestamp(field)) return 70;
+      }
+    }
+    return 0;
+  }
+  std::unique_ptr<LineReader> MakeReader(
+      const AdapterOptions& options) const override {
+    return std::make_unique<LanlCsvReader>(options.lanl);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// bgq_ras: Blue Gene/Q-style structured RAS events.
+//
+//   RECID,EVENT_TIME,SEVERITY,COMPONENT,SUBCOMPONENT,LOCATION,MSG_ID,MESSAGE
+//
+// FATAL/ERROR events become failure records; INFO/WARN/DEBUG are ignored
+// (counted, not errors). LOCATION strings like "R12-M1-N03-J07" address
+// rack / midplane / node board; we flatten them to a node id with
+// 2 midplanes x 16 node boards per rack, the BG/Q arrangement.
+
+struct RasCategory {
+  FailureCategory category = FailureCategory::kUndetermined;
+  std::optional<HardwareComponent> hardware;
+  std::optional<SoftwareComponent> software;
+  std::optional<EnvironmentEvent> environment;
+};
+
+RasCategory MapRasComponent(std::string_view component,
+                            std::string_view subcomponent,
+                            std::string_view msg_id) {
+  const std::string t =
+      Lower(std::string(component) + " " + std::string(subcomponent) + " " +
+            std::string(msg_id));
+  auto hw = [](HardwareComponent c) {
+    RasCategory r;
+    r.category = FailureCategory::kHardware;
+    r.hardware = c;
+    return r;
+  };
+  auto sw = [](SoftwareComponent c) {
+    RasCategory r;
+    r.category = FailureCategory::kSoftware;
+    r.software = c;
+    return r;
+  };
+  auto env = [](EnvironmentEvent c) {
+    RasCategory r;
+    r.category = FailureCategory::kEnvironment;
+    r.environment = c;
+    return r;
+  };
+  if (Contains(t, "ddr") || Contains(t, "memory") || Contains(t, "sram") ||
+      Contains(t, "ecc")) {
+    return hw(HardwareComponent::kMemory);
+  }
+  if (Contains(t, "cpu") || Contains(t, "core") || Contains(t, "fpu") ||
+      Contains(t, "ppc") || Contains(t, "processor")) {
+    return hw(HardwareComponent::kCpu);
+  }
+  if (Contains(t, "nodecard") || Contains(t, "node_card") ||
+      Contains(t, "nodeboard") || Contains(t, "node board")) {
+    return hw(HardwareComponent::kNodeBoard);
+  }
+  if (Contains(t, "fan")) return hw(HardwareComponent::kFan);
+  if (Contains(t, "midplane")) return hw(HardwareComponent::kMidplane);
+  if (Contains(t, "facility") || Contains(t, "utility") ||
+      Contains(t, "outage")) {
+    return env(EnvironmentEvent::kPowerOutage);
+  }
+  if (Contains(t, "coolant") || Contains(t, "chiller") ||
+      Contains(t, "cooling")) {
+    return env(EnvironmentEvent::kChiller);
+  }
+  if (Contains(t, "psu") || Contains(t, "bulk_power") ||
+      Contains(t, "bulk power") || Contains(t, "power")) {
+    return hw(HardwareComponent::kPowerSupply);
+  }
+  if (Contains(t, "torus") || Contains(t, "link") || Contains(t, "optic") ||
+      Contains(t, "ethernet") || Contains(t, "network") ||
+      Contains(t, "ib ")) {
+    RasCategory r;
+    r.category = FailureCategory::kNetwork;
+    return r;
+  }
+  if (Contains(t, "gpfs") || Contains(t, "lustre") || Contains(t, "fs ") ||
+      Contains(t, "filesystem")) {
+    return sw(SoftwareComponent::kPfs);
+  }
+  if (Contains(t, "sched")) return sw(SoftwareComponent::kScheduler);
+  if (Contains(t, "kernel") || Contains(t, "cnk") || Contains(t, "linux") ||
+      Contains(t, "firmware") || Contains(t, "os ")) {
+    return sw(SoftwareComponent::kOs);
+  }
+  if (Contains(t, "mmcs") || Contains(t, "ciod") || Contains(t, "control") ||
+      Contains(t, "software") || Contains(t, "app")) {
+    return sw(SoftwareComponent::kOtherSoftware);
+  }
+  return RasCategory{};  // kUndetermined: a fatal event we cannot classify
+}
+
+// "R12-M1-N03[-J07...]" -> node id. Unknown trailing segments (J/U/C
+// card-level detail) are ignored; R is mandatory, M/N default to 0 so
+// midplane- and rack-scope events land on the first board in scope.
+std::optional<int> ParseRasLocation(std::string_view loc) {
+  int rack = -1, midplane = 0, board = 0;
+  std::size_t i = 0;
+  while (i < loc.size()) {
+    std::size_t dash = loc.find('-', i);
+    if (dash == std::string_view::npos) dash = loc.size();
+    const std::string_view seg = loc.substr(i, dash - i);
+    i = dash + 1;
+    if (seg.size() < 2) return std::nullopt;
+    const char kind = seg[0];
+    const auto value = parse::ParseInt(seg.substr(1));
+    if (!value || *value < 0) {
+      // Card-level segments sometimes carry letters; only R/M/N matter.
+      if (kind == 'R' || kind == 'M' || kind == 'N') return std::nullopt;
+      continue;
+    }
+    switch (kind) {
+      case 'R': rack = static_cast<int>(*value); break;
+      case 'M': midplane = static_cast<int>(*value); break;
+      case 'N': board = static_cast<int>(*value); break;
+      default: break;  // J/U/C etc: finer than node granularity
+    }
+  }
+  if (rack < 0 || midplane < 0 || board < 0) return std::nullopt;
+  return (rack * 2 + midplane) * 16 + board;
+}
+
+class BgqRasReader final : public LineReader {
+ public:
+  explicit BgqRasReader(const AdapterOptions& options)
+      : system_(options.default_system) {}
+
+  LineOutcome Consume(const std::string& line, std::size_t /*lineno*/,
+                      FailureRecord* out, std::string* reason) override {
+    if (Lower(line.substr(0, 6)) == "recid,") return LineOutcome::kIgnored;
+    std::vector<std::string> f = parse::Split(line, ',');
+    // MESSAGE is free text and may contain commas: fold everything past
+    // the 8th field back into it.
+    while (f.size() > 8) {
+      f[7] += "," + f[8];
+      f.erase(f.begin() + 8);
+    }
+    if (f.size() < 7) {
+      *reason = "too few columns";
+      return LineOutcome::kRejected;
+    }
+    const std::string severity = Lower(Trim(f[2]));
+    if (severity == "info" || severity == "warn" || severity == "warning" ||
+        severity == "debug" || severity == "trace") {
+      return LineOutcome::kIgnored;
+    }
+    if (severity != "fatal" && severity != "error") {
+      *reason = "unknown severity '" + severity + "'";
+      return LineOutcome::kRejected;
+    }
+    const auto when = parse::ParseIsoTimestamp(f[1]);
+    if (!when) {
+      *reason = "bad event time '" + f[1] + "'";
+      return LineOutcome::kRejected;
+    }
+    const auto node = ParseRasLocation(Trim(f[5]));
+    if (!node) {
+      *reason = "bad location '" + f[5] + "'";
+      return LineOutcome::kRejected;
+    }
+    const RasCategory mapped = MapRasComponent(f[3], f[4], f[6]);
+    FailureRecord r;
+    r.system = SystemId{system_};
+    r.node = NodeId{*node};
+    r.start = *when;
+    r.end = *when;  // RAS events are instants; downtime comes from analyses
+    r.category = mapped.category;
+    r.hardware = mapped.hardware;
+    r.software = mapped.software;
+    r.environment = mapped.environment;
+    *out = r;
+    return LineOutcome::kRecord;
+  }
+
+ private:
+  int system_;
+};
+
+class BgqRasAdapter final : public LogAdapter {
+ public:
+  std::string_view name() const override { return "bgq_ras"; }
+  std::string_view description() const override {
+    return "Blue Gene/Q-style structured RAS events (RECID,EVENT_TIME,"
+           "SEVERITY,COMPONENT,SUBCOMPONENT,LOCATION,MSG_ID,MESSAGE)";
+  }
+  int SniffScore(std::string_view head) const override {
+    if (head.substr(0, 3) == "\xEF\xBB\xBF") head.remove_prefix(3);
+    if (Lower(head.substr(0, 6)) == "recid,") return 100;
+    // Headerless data: numeric RECID, then an ISO timestamp field.
+    std::size_t eol = head.find('\n');
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string first(Trim(head.substr(0, eol)));
+    const std::vector<std::string> f = parse::Split(first, ',');
+    if (f.size() >= 7 && parse::ParseInt(f[0]) &&
+        parse::ParseIsoTimestamp(f[1])) {
+      return 60;
+    }
+    return 0;
+  }
+  std::unique_ptr<LineReader> MakeReader(
+      const AdapterOptions& options) const override {
+    return std::make_unique<BgqRasReader>(options);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// syslog: RFC 3164 free text with a template-mining pass.
+
+struct SyslogRule {
+  std::string keyword;  // lowercase substring match on the masked template
+  RasCategory target;
+};
+
+// The built-in template->category rules, in priority order. Deliberately
+// small: it covers the event families the paper's taxonomy can absorb, and
+// everything else is rejected-with-count so operators see exactly what a
+// custom rules file (AdapterOptions::syslog_rules) should add.
+const std::vector<SyslogRule>& BuiltinSyslogRules() {
+  auto hw = [](HardwareComponent c) {
+    RasCategory r;
+    r.category = FailureCategory::kHardware;
+    r.hardware = c;
+    return r;
+  };
+  auto sw = [](SoftwareComponent c) {
+    RasCategory r;
+    r.category = FailureCategory::kSoftware;
+    r.software = c;
+    return r;
+  };
+  auto env = [](EnvironmentEvent c) {
+    RasCategory r;
+    r.category = FailureCategory::kEnvironment;
+    r.environment = c;
+    return r;
+  };
+  auto net = [] {
+    RasCategory r;
+    r.category = FailureCategory::kNetwork;
+    return r;
+  };
+  static const std::vector<SyslogRule> kRules = {
+      {"machine check", hw(HardwareComponent::kCpu)},
+      {"mce:", hw(HardwareComponent::kCpu)},
+      {"edac", hw(HardwareComponent::kMemory)},
+      {"ecc error", hw(HardwareComponent::kMemory)},
+      {"memory error", hw(HardwareComponent::kMemory)},
+      {"power supply", hw(HardwareComponent::kPowerSupply)},
+      {"fan fail", hw(HardwareComponent::kFan)},
+      {"i/o error", hw(HardwareComponent::kOtherHardware)},
+      {"scsi error", hw(HardwareComponent::kOtherHardware)},
+      // OS families outrank the network keywords: "panic" would otherwise
+      // match the interior of the "nic" keyword.
+      {"kernel panic", sw(SoftwareComponent::kOs)},
+      {"oops", sw(SoftwareComponent::kOs)},
+      {"out of memory", sw(SoftwareComponent::kOs)},
+      {"oom-killer", sw(SoftwareComponent::kOs)},
+      {"link down", net()},
+      {"link is down", net()},
+      {"network unreachable", net()},
+      {" nic ", net()},
+      {"power fail", env(EnvironmentEvent::kPowerOutage)},
+      {"power lost", env(EnvironmentEvent::kPowerOutage)},
+      {"on ups", env(EnvironmentEvent::kUps)},
+      {"temperature", env(EnvironmentEvent::kChiller)},
+      {"thermal", env(EnvironmentEvent::kChiller)},
+      {"lustre", sw(SoftwareComponent::kPfs)},
+      {"gpfs", sw(SoftwareComponent::kPfs)},
+      {"filesystem error", sw(SoftwareComponent::kPfs)},
+      {"slurm", sw(SoftwareComponent::kScheduler)},
+      {"pbs_mom", sw(SoftwareComponent::kScheduler)},
+      {"segfault", sw(SoftwareComponent::kOtherSoftware)},
+  };
+  return kRules;
+}
+
+// Parses a user rules table ("keyword => category[/subcategory]"). Throws
+// std::runtime_error naming the offending line — a silently-misparsed rule
+// would silently misclassify every matching event.
+std::vector<SyslogRule> ParseSyslogRules(std::string_view text) {
+  std::vector<SyslogRule> rules;
+  std::size_t pos = 0;
+  std::size_t lineno = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = Trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++lineno;
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t arrow = line.find("=>");
+    auto fail = [&](const std::string& why) {
+      throw std::runtime_error("syslog rules line " + std::to_string(lineno) +
+                               ": " + why);
+    };
+    if (arrow == std::string_view::npos) fail("expected 'keyword => category'");
+    const std::string keyword = Lower(Trim(line.substr(0, arrow)));
+    std::string_view target = Trim(line.substr(arrow + 2));
+    if (keyword.empty()) fail("empty keyword");
+    std::string_view cat_text = target;
+    std::string_view sub_text;
+    const std::size_t slash = target.find('/');
+    if (slash != std::string_view::npos) {
+      cat_text = Trim(target.substr(0, slash));
+      sub_text = Trim(target.substr(slash + 1));
+    }
+    const auto category = ParseFailureCategory(Lower(cat_text));
+    if (!category) fail("unknown category '" + std::string(cat_text) + "'");
+    RasCategory mapped;
+    mapped.category = *category;
+    if (!sub_text.empty()) {
+      const std::string sub = Lower(sub_text);
+      switch (*category) {
+        case FailureCategory::kHardware:
+          mapped.hardware = ParseHardwareComponent(sub);
+          if (!mapped.hardware) fail("unknown hardware subcategory '" + sub + "'");
+          break;
+        case FailureCategory::kSoftware:
+          mapped.software = ParseSoftwareComponent(sub);
+          if (!mapped.software) fail("unknown software subcategory '" + sub + "'");
+          break;
+        case FailureCategory::kEnvironment:
+          mapped.environment = ParseEnvironmentEvent(sub);
+          if (!mapped.environment) {
+            fail("unknown environment subcategory '" + sub + "'");
+          }
+          break;
+        default:
+          fail("category '" + std::string(cat_text) + "' takes no subcategory");
+      }
+    }
+    rules.push_back({keyword, mapped});
+  }
+  return rules;
+}
+
+void AppendMaskedToken(std::string_view tok, std::string* out) {
+  if (tok.find('/') != std::string_view::npos) {
+    out->append("PATH");
+    return;
+  }
+  // Bare hex identifiers (uuids, addresses without 0x): mask the alnum core
+  // when it is >= 8 chars of pure hex. Shorter cores stay, so real words
+  // that happen to be hex ("dead", "feed") survive.
+  std::size_t b = 0, e = tok.size();
+  while (b < e && !IsAlnumChar(tok[b])) ++b;
+  while (e > b && !IsAlnumChar(tok[e - 1])) --e;
+  const std::string_view core = tok.substr(b, e - b);
+  if (core.size() >= 8 &&
+      std::all_of(core.begin(), core.end(), IsHexChar)) {
+    out->append(tok.substr(0, b));
+    out->push_back('#');
+    out->append(tok.substr(e));
+    return;
+  }
+  for (std::size_t i = 0; i < tok.size();) {
+    if (tok[i] == '0' && i + 2 < tok.size() &&
+        (tok[i + 1] == 'x' || tok[i + 1] == 'X') && IsHexChar(tok[i + 2])) {
+      out->append("0x#");
+      i += 2;
+      while (i < tok.size() && IsHexChar(tok[i])) ++i;
+    } else if (IsDigitChar(tok[i])) {
+      out->push_back('#');
+      while (i < tok.size() && IsDigitChar(tok[i])) ++i;
+    } else {
+      out->push_back(tok[i]);
+      ++i;
+    }
+  }
+}
+
+class SyslogReader final : public LineReader {
+ public:
+  explicit SyslogReader(const AdapterOptions& options)
+      : system_(options.default_system), year_(options.syslog_base_year) {
+    if (!options.syslog_rules.empty()) {
+      rules_ = ParseSyslogRules(options.syslog_rules);
+    }
+  }
+
+  LineOutcome Consume(const std::string& line, std::size_t /*lineno*/,
+                      FailureRecord* out, std::string* reason) override {
+    std::string_view s = Trim(line);
+    // Optional RFC 3164 priority prefix "<134>".
+    if (!s.empty() && s.front() == '<') {
+      const std::size_t close = s.find('>');
+      if (close != std::string_view::npos && close <= 4) {
+        s.remove_prefix(close + 1);
+      }
+    }
+    if (s.size() < 16) {
+      *reason = "bad timestamp";
+      return LineOutcome::kRejected;
+    }
+    const auto when = parse::ParseSyslogTimestamp(s.substr(0, 15), year_);
+    if (!when || s[15] != ' ') {
+      *reason = "bad timestamp";
+      return LineOutcome::kRejected;
+    }
+    s.remove_prefix(16);
+    while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+    const std::size_t host_end = s.find(' ');
+    if (host_end == std::string_view::npos) {
+      *reason = "missing message";
+      return LineOutcome::kRejected;
+    }
+    const std::string_view host = s.substr(0, host_end);
+    // Node identity: the trailing digit run of the hostname ("node042",
+    // "cn-7"). A host with no digits cannot be placed in the layout.
+    std::size_t dig_end = host.size();
+    while (dig_end > 0 && IsDigitChar(host[dig_end - 1])) --dig_end;
+    if (dig_end == host.size()) {
+      *reason = "no node id in hostname '" + std::string(host) + "'";
+      return LineOutcome::kRejected;
+    }
+    const auto node = parse::ParseInt(host.substr(dig_end));
+    if (!node) {
+      *reason = "no node id in hostname '" + std::string(host) + "'";
+      return LineOutcome::kRejected;
+    }
+    const std::string_view message = Trim(s.substr(host_end + 1));
+    if (message.empty()) {
+      *reason = "missing message";
+      return LineOutcome::kRejected;
+    }
+    const std::string masked = MaskSyslogMessage(message);
+    const std::uint64_t template_id = SyslogTemplateId(masked);
+    const std::string masked_lower = Lower(masked);
+    const RasCategory* mapped = nullptr;
+    for (const SyslogRule& rule : rules_) {  // user rules override built-ins
+      if (Contains(masked_lower, rule.keyword)) {
+        mapped = &rule.target;
+        break;
+      }
+    }
+    if (!mapped) {
+      for (const SyslogRule& rule : BuiltinSyslogRules()) {
+        if (Contains(masked_lower, rule.keyword)) {
+          mapped = &rule.target;
+          break;
+        }
+      }
+    }
+    if (!mapped) {
+      *reason = "unmapped template t=" + TemplateHex(template_id) + " '" +
+                masked + "'";
+      return LineOutcome::kRejected;
+    }
+    FailureRecord r;
+    r.system = SystemId{system_};
+    r.node = NodeId{static_cast<int>(*node)};
+    r.start = *when;
+    r.end = *when;
+    r.category = mapped->category;
+    r.hardware = mapped->hardware;
+    r.software = mapped->software;
+    r.environment = mapped->environment;
+    *out = r;
+    return LineOutcome::kRecord;
+  }
+
+ private:
+  static std::string TemplateHex(std::uint64_t id) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<std::size_t>(i)] = kHex[id & 0xF];
+      id >>= 4;
+    }
+    return out;
+  }
+
+  int system_;
+  int year_;
+  std::vector<SyslogRule> rules_;
+};
+
+class SyslogAdapter final : public LogAdapter {
+ public:
+  std::string_view name() const override { return "syslog"; }
+  std::string_view description() const override {
+    return "RFC 3164 syslog free text, template-mined (masked token "
+           "signatures) and mapped to categories via a rules table";
+  }
+  int SniffScore(std::string_view head) const override {
+    if (head.substr(0, 3) == "\xEF\xBB\xBF") head.remove_prefix(3);
+    int lines_checked = 0;
+    std::size_t pos = 0;
+    while (pos < head.size() && lines_checked < 8) {
+      std::size_t eol = head.find('\n', pos);
+      if (eol == std::string_view::npos) eol = head.size();
+      std::string_view line = Trim(head.substr(pos, eol - pos));
+      pos = eol + 1;
+      if (line.empty()) continue;
+      ++lines_checked;
+      if (!line.empty() && line.front() == '<') {
+        const std::size_t close = line.find('>');
+        if (close != std::string_view::npos && close <= 4) {
+          line.remove_prefix(close + 1);
+        }
+      }
+      if (line.size() >= 15 &&
+          parse::ParseSyslogTimestamp(line.substr(0, 15), 2004)) {
+        return 80;
+      }
+    }
+    return 0;
+  }
+  std::unique_ptr<LineReader> MakeReader(
+      const AdapterOptions& options) const override {
+    return std::make_unique<SyslogReader>(options);
+  }
+};
+
+std::string KnownFormatNames() {
+  std::string out;
+  for (const LogAdapter* a : Registry()) {
+    if (!out.empty()) out += ", ";
+    out += a->name();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MaskSyslogMessage(std::string_view message) {
+  std::string out;
+  out.reserve(message.size());
+  std::size_t i = 0;
+  bool first = true;
+  while (i < message.size()) {
+    while (i < message.size() &&
+           (message[i] == ' ' || message[i] == '\t')) {
+      ++i;
+    }
+    if (i >= message.size()) break;
+    std::size_t j = i;
+    while (j < message.size() && message[j] != ' ' && message[j] != '\t') {
+      ++j;
+    }
+    if (!first) out.push_back(' ');
+    first = false;
+    AppendMaskedToken(message.substr(i, j - i), &out);
+    i = j;
+  }
+  return out;
+}
+
+std::uint64_t SyslogTemplateId(std::string_view masked) {
+  // FNV-1a-64, same constants as engine/fingerprint but reimplemented here:
+  // trace/ must not depend on engine/. A pure content hash makes template
+  // ids stable across runs, processes, and thread counts by construction.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : masked) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+const std::vector<const LogAdapter*>& Registry() {
+  static const NativeCsvAdapter native;
+  static const LanlCsvAdapter lanl_csv;
+  static const BgqRasAdapter bgq_ras;
+  static const SyslogAdapter syslog;
+  static const std::vector<const LogAdapter*> all = {&native, &lanl_csv,
+                                                     &bgq_ras, &syslog};
+  return all;
+}
+
+const LogAdapter* FindAdapter(std::string_view name) {
+  for (const LogAdapter* a : Registry()) {
+    if (a->name() == name) return a;
+  }
+  return nullptr;
+}
+
+const LogAdapter* DetectAdapter(std::string_view head) {
+  const LogAdapter* best = nullptr;
+  int best_score = 0;
+  for (const LogAdapter* a : Registry()) {  // ties: registration order wins
+    const int score = a->SniffScore(head);
+    if (score > best_score) {
+      best = a;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+const LogAdapter& ResolveAdapter(std::string_view format,
+                                 std::string_view head) {
+  if (format.empty() || format == "auto") {
+    const LogAdapter* detected = DetectAdapter(head);
+    if (!detected) {
+      throw std::runtime_error(
+          "cannot auto-detect log format; pass --format explicitly (known: " +
+          KnownFormatNames() + ")");
+    }
+    return *detected;
+  }
+  const LogAdapter* named = FindAdapter(format);
+  if (!named) {
+    throw std::runtime_error("unknown log format '" + std::string(format) +
+                             "' (known: " + KnownFormatNames() + ")");
+  }
+  return *named;
+}
+
+std::string SniffHead(std::istream& is, std::size_t max_bytes) {
+  std::string head(max_bytes, '\0');
+  is.read(head.data(), static_cast<std::streamsize>(max_bytes));
+  head.resize(static_cast<std::size_t>(is.gcount()));
+  is.clear();
+  is.seekg(0);
+  return head;
+}
+
+void CountLineOutcome(LineOutcome outcome) {
+  AdapterMetrics& m = AdapterMetrics::Get();
+  m.lines.Increment();
+  switch (outcome) {
+    case LineOutcome::kRecord: m.records.Increment(); break;
+    case LineOutcome::kIgnored: m.ignored.Increment(); break;
+    case LineOutcome::kRejected: m.rejected.Increment(); break;
+    case LineOutcome::kFatal: m.rejected.Increment(); break;
+  }
+}
+
+ParseResult ParseLog(const LogAdapter& adapter, std::istream& is,
+                     const AdapterOptions& options) {
+  ParseResult out;
+  const std::unique_ptr<LineReader> reader = adapter.MakeReader(options);
+  std::string line;
+  std::size_t lineno = 0;
+  bool first_line = true;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (first_line) {
+      csv::StripLeadingBom(line);
+      first_line = false;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    ++out.counters.lines;
+    FailureRecord record;
+    std::string reason;
+    const LineOutcome outcome = reader->Consume(line, lineno, &record, &reason);
+    CountLineOutcome(outcome);
+    switch (outcome) {
+      case LineOutcome::kRecord:
+        ++out.counters.records;
+        out.failures.push_back(record);
+        break;
+      case LineOutcome::kIgnored:
+        ++out.counters.ignored;
+        break;
+      case LineOutcome::kRejected:
+        ++out.counters.rejected;
+        if (out.issues.size() < ParseResult::kMaxIssues) {
+          out.issues.push_back({lineno, std::move(reason)});
+        }
+        break;
+      case LineOutcome::kFatal:
+        throw std::runtime_error(std::string(adapter.name()) + ": line " +
+                                 std::to_string(lineno) + ": " + reason);
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcfail::trace

@@ -1,0 +1,164 @@
+// Pluggable log-format adapters: the single entry point through which any
+// on-disk log becomes FailureRecords (DESIGN.md §11).
+//
+// Until PR 9 the pipeline was hard-wired to two schemas (our own
+// failures.csv and the LANL release's CSV). The adapter registry turns
+// ingestion into a multi-workload surface:
+//
+//   hpcfail_csv  our native failures.csv (header-checked, strict fields)
+//   lanl_csv     the LANL operational-data release (trace/lanl_import);
+//                byte-identical to the legacy direct path by construction —
+//                both call lanl::ParseLanlRow
+//   bgq_ras      Blue Gene/Q-style structured RAS events (severity /
+//                component / message-id columns mapped onto the taxonomy)
+//   syslog       RFC 3164 free text, clustered into stable template ids by
+//                a masking pass and mapped to categories via a built-in +
+//                user-overridable rules table
+//
+// The contract every consumer relies on:
+//   * adapters are line-oriented and stateful only through their LineReader,
+//     so batch parsing (ParseLog) and streaming tails (hpcfail_stream) share
+//     one grammar per format;
+//   * no line is dropped silently — every line is a record, ignored (header,
+//     comment, below-severity), or rejected with a reason, and all four
+//     outcomes are counted through the PR 5 validation counters;
+//   * format identity feeds the trace fingerprint (engine/trace_source), so
+//     the artifact cache can never alias two formats' parses of one file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/failure.h"
+#include "trace/lanl_import.h"
+
+namespace hpcfail::trace {
+
+// Per-parse knobs. One struct for all adapters (each reads only its own
+// fields) so call sites and fingerprints handle every format uniformly.
+struct AdapterOptions {
+  // lanl_csv: column mapping + header/delimiter conventions.
+  lanl::ImportConfig lanl;
+  // syslog: RFC 3164 timestamps omit the year; this supplies it. 2004 is
+  // mid-span of the LANL release the analyses were built around.
+  int syslog_base_year = 2004;
+  // bgq_ras + syslog: neither format carries our system id; all records
+  // land on this one.
+  int default_system = 0;
+  // syslog: extra template->category rules, one per line, checked BEFORE
+  // the built-ins so users can override them. Syntax (# comments allowed):
+  //     keyword => category
+  //     keyword => category/subcategory
+  // e.g. "lustre => software/pfs". Keyword is a case-insensitive substring
+  // match against the masked template text.
+  std::string syslog_rules;
+};
+
+// What one input line turned into.
+enum class LineOutcome : std::uint8_t {
+  kRecord,    // *out was filled
+  kIgnored,   // structural non-event: header, comment, below-severity
+  kRejected,  // malformed or unmappable; *reason says why
+  kFatal,     // the file cannot be this format at all (e.g. wrong header);
+              // *reason says why and the parse must stop
+};
+
+// A stateful per-file cursor. Created per parse via LogAdapter::MakeReader;
+// holds whatever the format needs between lines (pending header flags,
+// the syslog template miner). Not thread-safe; one reader per file.
+class LineReader {
+ public:
+  virtual ~LineReader() = default;
+
+  // `line` arrives pre-cleaned (BOM and trailing CR already stripped, never
+  // empty). Fills *out on kRecord, *reason on kRejected/kFatal.
+  virtual LineOutcome Consume(const std::string& line, std::size_t lineno,
+                              FailureRecord* out, std::string* reason) = 0;
+};
+
+class LogAdapter {
+ public:
+  virtual ~LogAdapter() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  // Auto-detection: score the first bytes of a file (a few lines). <= 0
+  // means "not mine"; the registry picks the highest positive score,
+  // registration order breaking ties.
+  virtual int SniffScore(std::string_view head) const = 0;
+
+  virtual std::unique_ptr<LineReader> MakeReader(
+      const AdapterOptions& options) const = 0;
+};
+
+// ---- Registry (compile-time: the adapter set is fixed at build time).
+
+// All adapters, in registration order (hpcfail_csv, lanl_csv, bgq_ras,
+// syslog).
+const std::vector<const LogAdapter*>& Registry();
+
+// Lookup by exact name; nullptr if unknown.
+const LogAdapter* FindAdapter(std::string_view name);
+
+// Auto-detection over the first bytes of a file; nullptr when no adapter
+// claims it.
+const LogAdapter* DetectAdapter(std::string_view head);
+
+// Resolves "auto" (or "") via DetectAdapter on `head`, anything else via
+// FindAdapter. Throws std::runtime_error with an actionable message on an
+// unknown name or an undetectable file.
+const LogAdapter& ResolveAdapter(std::string_view format,
+                                 std::string_view head);
+
+// Reads up to `max_bytes` from the stream for sniffing, then rewinds it.
+std::string SniffHead(std::istream& is, std::size_t max_bytes = 4096);
+
+// ---- Batch parsing.
+
+struct ParseCounters {
+  std::uint64_t lines = 0;     // non-empty lines offered to the reader
+  std::uint64_t records = 0;
+  std::uint64_t ignored = 0;
+  std::uint64_t rejected = 0;
+};
+
+struct ParseResult {
+  std::vector<FailureRecord> failures;
+  // Rejected lines with reasons, capped at kMaxIssues (the counters are
+  // exact; the reason list is a diagnostic sample).
+  std::vector<lanl::ImportIssue> issues;
+  ParseCounters counters;
+
+  static constexpr std::size_t kMaxIssues = 64;
+};
+
+// Streams a whole log through one reader: strips a leading BOM and trailing
+// CRs, skips blank lines, counts every outcome through the obs registry
+// (hpcfail_adapter_* counters). Throws std::runtime_error on kFatal.
+ParseResult ParseLog(const LogAdapter& adapter, std::istream& is,
+                     const AdapterOptions& options);
+
+// Updates the hpcfail_adapter_* obs counters for one consumed line.
+// ParseLog calls this internally; streaming consumers that drive a
+// LineReader directly (hpcfail_stream) call it so batch and tail ingest
+// are indistinguishable in /metrics.
+void CountLineOutcome(LineOutcome outcome);
+
+// ---- Syslog template mining (exposed for tests and the FORMATS verb).
+
+// Masks the volatile parts of a syslog message body: digit runs -> '#',
+// 0x-prefixed hex -> "0x#", path-like tokens (containing '/') -> "PATH",
+// bare hex words of >= 4 chars -> '#'. The result is the template text.
+std::string MaskSyslogMessage(std::string_view message);
+
+// Stable template id: FNV-1a-64 over the masked text, so the same input
+// yields the same id across runs, processes, and thread counts.
+std::uint64_t SyslogTemplateId(std::string_view masked);
+
+}  // namespace hpcfail::trace

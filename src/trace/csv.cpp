@@ -1,6 +1,5 @@
 #include "trace/csv.h"
 
-#include <charconv>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -9,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "trace/numeric.h"
+#include "trace/parse_util.h"
 
 namespace hpcfail::csv {
 namespace {
@@ -48,13 +48,11 @@ struct CsvMetrics {
 }
 
 std::int64_t ParseInt(const std::string& field, std::size_t line) {
-  std::int64_t v = 0;
-  auto [ptr, ec] =
-      std::from_chars(field.data(), field.data() + field.size(), v);
-  if (ec != std::errc{} || ptr != field.data() + field.size()) {
-    Fail(line, "expected integer, got '" + field + "'");
-  }
-  return v;
+  // Shared strict-integer grammar (trace/parse_util.h): whole-field match
+  // required, so "12x" and "" fail here just as they always have.
+  const std::optional<long long> v = parse::ParseInt(field);
+  if (!v) Fail(line, "expected integer, got '" + field + "'");
+  return static_cast<std::int64_t>(*v);
 }
 
 double ParseDouble(const std::string& field, std::size_t line) {
@@ -137,18 +135,7 @@ void StripLeadingBom(std::string& line) {
 }
 
 std::vector<std::string> SplitLine(const std::string& line) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (true) {
-    std::size_t comma = line.find(',', start);
-    if (comma == std::string::npos) {
-      out.push_back(line.substr(start));
-      break;
-    }
-    out.push_back(line.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return out;
+  return parse::Split(line, ',');
 }
 
 void WriteFailures(std::ostream& os, const std::vector<FailureRecord>& v) {

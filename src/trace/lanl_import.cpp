@@ -1,114 +1,18 @@
 #include "trace/lanl_import.h"
 
 #include <algorithm>
-#include <cctype>
-#include <charconv>
 #include <istream>
 #include <map>
 
+#include "trace/parse_util.h"
+
 namespace hpcfail::lanl {
-namespace {
 
-std::string Lower(std::string_view s) {
-  std::string out(s);
-  std::transform(out.begin(), out.end(), out.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return out;
-}
-
-bool Contains(const std::string& haystack, std::string_view needle) {
-  return haystack.find(needle) != std::string::npos;
-}
-
-std::optional<long long> ParseInt(std::string_view s) {
-  long long v = 0;
-  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
-  return v;
-}
-
-std::vector<std::string> Split(const std::string& line, char delim) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t pos = line.find(delim, start);
-    if (pos == std::string::npos) {
-      out.push_back(line.substr(start));
-      break;
-    }
-    out.push_back(line.substr(start, pos - start));
-    start = pos + 1;
-  }
-  for (std::string& f : out) {
-    // Trim whitespace and stray quotes.
-    while (!f.empty() && (std::isspace(static_cast<unsigned char>(f.front())) ||
-                          f.front() == '"')) {
-      f.erase(f.begin());
-    }
-    while (!f.empty() && (std::isspace(static_cast<unsigned char>(f.back())) ||
-                          f.back() == '"')) {
-      f.pop_back();
-    }
-  }
-  return out;
-}
-
-bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
-
-int DaysInMonth(int y, int m) {
-  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
-                                  31, 31, 30, 31, 30, 31};
-  if (m == 2 && IsLeap(y)) return 29;
-  return kDays[m - 1];
-}
-
-// Days from 1970-01-01 to y-m-d.
-std::optional<long long> DaysSinceEpoch(int y, int m, int d) {
-  if (y < 1970 || m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) {
-    return std::nullopt;
-  }
-  long long days = 0;
-  for (int year = 1970; year < y; ++year) days += IsLeap(year) ? 366 : 365;
-  for (int month = 1; month < m; ++month) days += DaysInMonth(y, month);
-  return days + (d - 1);
-}
-
-}  // namespace
+using parse::Contains;
+using parse::Lower;
 
 std::optional<TimeSec> ParseLanlTimestamp(std::string_view text) {
-  // Forms: "MM/DD/YYYY HH:MM", "M/D/YY H:MM", optionally ":SS".
-  const std::string s(text);
-  int fields[6] = {0, 0, 0, 0, 0, 0};  // M, D, Y, h, m, s
-  int field = 0;
-  int value = 0;
-  bool have_digit = false;
-  for (std::size_t i = 0; i <= s.size(); ++i) {
-    const char c = i < s.size() ? s[i] : '\0';
-    if (c >= '0' && c <= '9') {
-      value = value * 10 + (c - '0');
-      have_digit = true;
-      if (value > 99999) return std::nullopt;
-    } else if (c == '/' || c == ' ' || c == ':' || c == '\0' || c == '\t') {
-      if (have_digit) {
-        if (field >= 6) return std::nullopt;
-        fields[field++] = value;
-        value = 0;
-        have_digit = false;
-      } else if (c != ' ' && c != '\0' && c != '\t') {
-        return std::nullopt;  // "//" or ":" with no digits
-      }
-    } else {
-      return std::nullopt;
-    }
-  }
-  if (field < 5) return std::nullopt;  // need at least M/D/Y H:M
-  int year = fields[2];
-  // Two-digit years: the release spans 1996-2005, so pivot at 70.
-  if (year < 100) year = year >= 70 ? 1900 + year : 2000 + year;
-  const auto days = DaysSinceEpoch(year, fields[0], fields[1]);
-  if (!days) return std::nullopt;
-  if (fields[3] > 23 || fields[4] > 59 || fields[5] > 60) return std::nullopt;
-  return *days * kDay + fields[3] * kHour + fields[4] * kMinute + fields[5];
+  return parse::ParseUsTimestamp(text);
 }
 
 std::optional<FailureCategory> MapLanlCategory(std::string_view text) {
@@ -202,11 +106,63 @@ std::optional<EnvironmentEvent> MapLanlEnvironment(std::string_view text) {
   return EnvironmentEvent::kOtherEnvironment;
 }
 
-ImportResult ImportFailures(std::istream& is, const ImportConfig& config) {
-  ImportResult out;
+std::optional<std::string> ParseLanlRow(const std::string& line,
+                                        const ImportConfig& config,
+                                        FailureRecord* out) {
   const int max_col =
       std::max({config.col_system, config.col_node, config.col_start,
                 config.col_end, config.col_category, config.col_subcategory});
+  const std::vector<std::string> f =
+      parse::SplitTrimmed(line, config.delimiter);
+  if (static_cast<int>(f.size()) <= max_col) return "too few columns";
+  const auto system =
+      parse::ParseInt(f[static_cast<std::size_t>(config.col_system)]);
+  const auto node =
+      parse::ParseInt(f[static_cast<std::size_t>(config.col_node)]);
+  if (!system || !node || *system < 0 || *node < 0) {
+    return "bad system/node id";
+  }
+  const auto start =
+      ParseLanlTimestamp(f[static_cast<std::size_t>(config.col_start)]);
+  if (!start) return "bad start timestamp";
+  // A missing end timestamp means the outage record was never closed;
+  // treat as a zero-length outage rather than dropping the failure.
+  const auto end =
+      ParseLanlTimestamp(f[static_cast<std::size_t>(config.col_end)]);
+  const TimeSec end_time = end.value_or(*start);
+  if (end_time < *start) return "end before start";
+  const auto category =
+      MapLanlCategory(f[static_cast<std::size_t>(config.col_category)]);
+  if (!category) return "unrecognized root-cause category";
+  FailureRecord r;
+  r.system = SystemId{static_cast<int>(*system)};
+  r.node = NodeId{static_cast<int>(*node)};
+  r.start = *start;
+  r.end = end_time;
+  r.category = *category;
+  if (config.col_subcategory >= 0) {
+    const std::string& sub =
+        f[static_cast<std::size_t>(config.col_subcategory)];
+    switch (*category) {
+      case FailureCategory::kHardware:
+        r.hardware = MapLanlHardware(sub);
+        break;
+      case FailureCategory::kSoftware:
+        r.software = MapLanlSoftware(sub);
+        break;
+      case FailureCategory::kEnvironment:
+        r.environment = MapLanlEnvironment(sub);
+        break;
+      default:
+        break;
+    }
+  }
+  *out = std::move(r);
+  return std::nullopt;
+}
+
+ImportResult ImportFailures(std::istream& is, const ImportConfig& config) {
+  ImportResult out;
   std::string line;
   std::size_t lineno = 0;
   bool header_pending = config.has_header;
@@ -217,64 +173,10 @@ ImportResult ImportFailures(std::istream& is, const ImportConfig& config) {
       header_pending = false;
       continue;
     }
-    const std::vector<std::string> f = Split(line, config.delimiter);
-    auto skip = [&](const std::string& reason) {
-      out.skipped.push_back({lineno, reason});
-    };
-    if (static_cast<int>(f.size()) <= max_col) {
-      skip("too few columns");
-      continue;
-    }
-    const auto system =
-        ParseInt(f[static_cast<std::size_t>(config.col_system)]);
-    const auto node = ParseInt(f[static_cast<std::size_t>(config.col_node)]);
-    if (!system || !node || *system < 0 || *node < 0) {
-      skip("bad system/node id");
-      continue;
-    }
-    const auto start =
-        ParseLanlTimestamp(f[static_cast<std::size_t>(config.col_start)]);
-    if (!start) {
-      skip("bad start timestamp");
-      continue;
-    }
-    // A missing end timestamp means the outage record was never closed;
-    // treat as a zero-length outage rather than dropping the failure.
-    const auto end =
-        ParseLanlTimestamp(f[static_cast<std::size_t>(config.col_end)]);
-    const TimeSec end_time = end.value_or(*start);
-    if (end_time < *start) {
-      skip("end before start");
-      continue;
-    }
-    const auto category =
-        MapLanlCategory(f[static_cast<std::size_t>(config.col_category)]);
-    if (!category) {
-      skip("unrecognized root-cause category");
-      continue;
-    }
     FailureRecord r;
-    r.system = SystemId{static_cast<int>(*system)};
-    r.node = NodeId{static_cast<int>(*node)};
-    r.start = *start;
-    r.end = end_time;
-    r.category = *category;
-    if (config.col_subcategory >= 0) {
-      const std::string& sub =
-          f[static_cast<std::size_t>(config.col_subcategory)];
-      switch (*category) {
-        case FailureCategory::kHardware:
-          r.hardware = MapLanlHardware(sub);
-          break;
-        case FailureCategory::kSoftware:
-          r.software = MapLanlSoftware(sub);
-          break;
-        case FailureCategory::kEnvironment:
-          r.environment = MapLanlEnvironment(sub);
-          break;
-        default:
-          break;
-      }
+    if (auto reason = ParseLanlRow(line, config, &r)) {
+      out.skipped.push_back({lineno, std::move(*reason)});
+      continue;
     }
     out.failures.push_back(std::move(r));
   }

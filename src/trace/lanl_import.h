@@ -65,6 +65,15 @@ std::optional<HardwareComponent> MapLanlHardware(std::string_view text);
 std::optional<SoftwareComponent> MapLanlSoftware(std::string_view text);
 std::optional<EnvironmentEvent> MapLanlEnvironment(std::string_view text);
 
+// Parses one data row (already split out of the header). On success fills
+// `out` and returns nullopt; on failure returns the skip reason. This is
+// the single row grammar shared by ImportFailures and the `lanl_csv`
+// adapter in trace/adapter.cpp — byte parity between the two paths holds
+// by construction because both call exactly this.
+std::optional<std::string> ParseLanlRow(const std::string& line,
+                                        const ImportConfig& config,
+                                        FailureRecord* out);
+
 // Reads a whole failure log. Node outages with end < start or unparsable
 // mandatory fields are reported in `skipped`.
 ImportResult ImportFailures(std::istream& is, const ImportConfig& config);

@@ -1,0 +1,208 @@
+#include "trace/parse_util.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <charconv>
+
+namespace hpcfail::parse {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::optional<long long> ParseInt(std::string_view s) {
+  long long v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::vector<std::string> Split(const std::string& line, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(delim, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitTrimmed(const std::string& line, char delim) {
+  std::vector<std::string> out = Split(line, delim);
+  for (std::string& f : out) {
+    while (!f.empty() && (std::isspace(static_cast<unsigned char>(f.front())) ||
+                          f.front() == '"')) {
+      f.erase(f.begin());
+    }
+    while (!f.empty() && (std::isspace(static_cast<unsigned char>(f.back())) ||
+                          f.back() == '"')) {
+      f.pop_back();
+    }
+  }
+  return out;
+}
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+std::optional<long long> DaysSinceEpoch(int year, int month, int day) {
+  if (year < 1970 || month < 1 || month > 12 || day < 1 ||
+      day > DaysInMonth(year, month)) {
+    return std::nullopt;
+  }
+  long long days = 0;
+  for (int y = 1970; y < year; ++y) days += IsLeapYear(y) ? 366 : 365;
+  for (int m = 1; m < month; ++m) days += DaysInMonth(year, m);
+  return days + (day - 1);
+}
+
+std::optional<TimeSec> EpochSeconds(int year, int month, int day, int hour,
+                                    int minute, int second) {
+  const auto days = DaysSinceEpoch(year, month, day);
+  if (!days) return std::nullopt;
+  if (hour > 23 || hour < 0 || minute > 59 || minute < 0 || second > 60 ||
+      second < 0) {
+    return std::nullopt;
+  }
+  return *days * kDay + hour * kHour + minute * kMinute + second;
+}
+
+std::optional<TimeSec> ParseUsTimestamp(std::string_view text) {
+  // Forms: "MM/DD/YYYY HH:MM", "M/D/YY H:MM", optionally ":SS".
+  const std::string s(text);
+  int fields[6] = {0, 0, 0, 0, 0, 0};  // M, D, Y, h, m, s
+  int field = 0;
+  int value = 0;
+  bool have_digit = false;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    const char c = i < s.size() ? s[i] : '\0';
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + (c - '0');
+      have_digit = true;
+      if (value > 99999) return std::nullopt;
+    } else if (c == '/' || c == ' ' || c == ':' || c == '\0' || c == '\t') {
+      if (have_digit) {
+        if (field >= 6) return std::nullopt;
+        fields[field++] = value;
+        value = 0;
+        have_digit = false;
+      } else if (c != ' ' && c != '\0' && c != '\t') {
+        return std::nullopt;  // "//" or ":" with no digits
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (field < 5) return std::nullopt;  // need at least M/D/Y H:M
+  int year = fields[2];
+  // Two-digit years: the LANL release spans 1996-2005, so pivot at 70.
+  if (year < 100) year = year >= 70 ? 1900 + year : 2000 + year;
+  return EpochSeconds(year, fields[0], fields[1], fields[3], fields[4],
+                      fields[5]);
+}
+
+std::optional<TimeSec> ParseIsoTimestamp(std::string_view text) {
+  // "YYYY-MM-DD HH:MM:SS[.ffffff]" with ' ' or 'T' between date and time.
+  const std::string_view s = Trim(text);
+  // Fixed positions: YYYY-MM-DD is 10 chars, separator, HH:MM:SS is 8.
+  if (s.size() < 19) return std::nullopt;
+  if (s[4] != '-' || s[7] != '-' || (s[10] != ' ' && s[10] != 'T') ||
+      s[13] != ':' || s[16] != ':') {
+    return std::nullopt;
+  }
+  auto digits = [&](std::size_t pos, std::size_t len) -> std::optional<int> {
+    int v = 0;
+    for (std::size_t i = pos; i < pos + len; ++i) {
+      if (s[i] < '0' || s[i] > '9') return std::nullopt;
+      v = v * 10 + (s[i] - '0');
+    }
+    return v;
+  };
+  const auto year = digits(0, 4), month = digits(5, 2), day = digits(8, 2);
+  const auto hour = digits(11, 2), minute = digits(14, 2), sec = digits(17, 2);
+  if (!year || !month || !day || !hour || !minute || !sec) return std::nullopt;
+  // Anything after second 19 must be a fractional-second suffix, which is
+  // truncated (second-granularity analyses; truncation keeps ordering).
+  if (s.size() > 19) {
+    if (s[19] != '.') return std::nullopt;
+    for (std::size_t i = 20; i < s.size(); ++i) {
+      if (s[i] < '0' || s[i] > '9') return std::nullopt;
+    }
+    if (s.size() == 20) return std::nullopt;  // bare trailing '.'
+  }
+  return EpochSeconds(*year, *month, *day, *hour, *minute, *sec);
+}
+
+std::optional<int> ParseMonthName(std::string_view name) {
+  if (name.size() != 3) return std::nullopt;
+  static constexpr std::array<std::string_view, 12> kNames = {
+      "jan", "feb", "mar", "apr", "may", "jun",
+      "jul", "aug", "sep", "oct", "nov", "dec"};
+  const std::string lower = Lower(name);
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (lower == kNames[i]) return static_cast<int>(i) + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<TimeSec> ParseSyslogTimestamp(std::string_view text, int year) {
+  // "Mmm dd HH:MM:SS" — RFC 3164 pads single-digit days with a space
+  // ("Jan  3"), so split on runs of spaces rather than fixed columns.
+  const std::string_view s = Trim(text);
+  if (s.size() < 4) return std::nullopt;
+  const auto month = ParseMonthName(s.substr(0, 3));
+  if (!month) return std::nullopt;
+  std::size_t i = 3;
+  while (i < s.size() && s[i] == ' ') ++i;
+  std::size_t day_end = i;
+  while (day_end < s.size() && s[day_end] >= '0' && s[day_end] <= '9') {
+    ++day_end;
+  }
+  const auto day = ParseInt(s.substr(i, day_end - i));
+  if (!day || day_end >= s.size() || s[day_end] != ' ') return std::nullopt;
+  i = day_end + 1;
+  const std::string_view clock = s.substr(i);
+  if (clock.size() != 8 || clock[2] != ':' || clock[5] != ':') {
+    return std::nullopt;
+  }
+  const auto hour = ParseInt(clock.substr(0, 2));
+  const auto minute = ParseInt(clock.substr(3, 2));
+  const auto sec = ParseInt(clock.substr(6, 2));
+  if (!hour || !minute || !sec) return std::nullopt;
+  return EpochSeconds(year, *month, static_cast<int>(*day),
+                      static_cast<int>(*hour), static_cast<int>(*minute),
+                      static_cast<int>(*sec));
+}
+
+}  // namespace hpcfail::parse

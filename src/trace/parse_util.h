@@ -1,0 +1,75 @@
+// Shared field- and timestamp-parsing helpers for every text log reader
+// (trace/csv.cpp, trace/lanl_import.cpp, trace/adapter.cpp, stream feeds).
+// Before the adapter refactor each reader carried its own copies of these;
+// they live here once so a fix (e.g. the two-digit-year pivot) lands in
+// every format at the same time. Everything is locale-independent: numeric
+// parsing goes through trace/numeric.h's C-locale helpers, and calendar
+// arithmetic is self-contained (no std::mktime, no timezone lookups).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace hpcfail::parse {
+
+// ASCII lowercase copy (log labels are ASCII; high bytes pass through).
+std::string Lower(std::string_view s);
+
+bool Contains(std::string_view haystack, std::string_view needle);
+
+// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+// Parses the ENTIRE string as a signed integer; nullopt on malformed or
+// trailing junk. (The CSV readers' strict integer fields and the LANL
+// importer's tolerant ones both sit on this.)
+std::optional<long long> ParseInt(std::string_view s);
+
+// Splits on `delim`, keeping empty fields. The raw form every reader
+// starts from; csv::SplitLine is this with delim=','.
+std::vector<std::string> Split(const std::string& line, char delim);
+
+// Split + per-field trim of whitespace and stray quotes — the tolerant
+// form the LANL importer (and other real-log adapters) use, since hand-
+// maintained operational CSVs pad fields and quote free text.
+std::vector<std::string> SplitTrimmed(const std::string& line, char delim);
+
+// ---- Calendar arithmetic (shared by every timestamp format).
+
+bool IsLeapYear(int year);
+int DaysInMonth(int year, int month);  // month in [1, 12]
+
+// Days from 1970-01-01 to year-month-day; nullopt when the date is invalid
+// or before the epoch.
+std::optional<long long> DaysSinceEpoch(int year, int month, int day);
+
+// Seconds since the epoch for a full civil time; validates every field
+// (hour <= 23, minute <= 59, second <= 60 for leap-second logs).
+std::optional<TimeSec> EpochSeconds(int year, int month, int day, int hour,
+                                    int minute, int second);
+
+// ---- Timestamp formats.
+
+// "MM/DD/YYYY HH:MM[:SS]" (also "M/D/YY H:MM" with a 1970 pivot) — the LANL
+// release's convention. Wall-clock local time; only differences matter.
+std::optional<TimeSec> ParseUsTimestamp(std::string_view text);
+
+// "YYYY-MM-DD HH:MM:SS[.ffffff]" (also 'T' separator) — the BG/Q RAS
+// convention. Fractional seconds are truncated, not rounded: RAS analyses
+// bucket at second granularity and truncation keeps ordering stable.
+std::optional<TimeSec> ParseIsoTimestamp(std::string_view text);
+
+// "Mmm dd HH:MM:SS" — classic RFC 3164 syslog, which famously omits the
+// year; `year` supplies it. Handles the space-padded day ("Jan  3").
+std::optional<TimeSec> ParseSyslogTimestamp(std::string_view text, int year);
+
+// Three-letter English month abbreviation (case-insensitive) to [1, 12];
+// nullopt otherwise.
+std::optional<int> ParseMonthName(std::string_view name);
+
+}  // namespace hpcfail::parse

@@ -1,0 +1,451 @@
+// The format-adapter registry (trace/adapter.h): registration and sniffing,
+// byte parity between the lanl_csv adapter and the pre-registry direct
+// import path, end-to-end ingestion of the checked-in BG/Q RAS and syslog
+// fixtures, syslog template mining (masking, stable template ids, the
+// rules table), and the format-aware source fingerprints that keep the
+// artifact cache from aliasing formats.
+#include "trace/adapter.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/event_index.h"
+#include "engine/report_render.h"
+#include "engine/session.h"
+#include "engine/trace_source.h"
+#include "obs/metrics.h"
+#include "trace/lanl_import.h"
+
+namespace hpcfail {
+namespace {
+
+std::string DataPath(const char* name) {
+  return std::string(HPCFAIL_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string BgqFixture() { return DataPath("bgq_ras_sample.csv"); }
+std::string SyslogFixture() { return DataPath("syslog_sample.log"); }
+
+// A LANL-convention failure log exercising every skip reason the importer
+// reports, used to prove the adapter and the direct path agree row-for-row.
+constexpr char kLanlSample[] =
+    "system,node,started,fixed,cause,detail\n"
+    "2,0,06/14/2004 03:12,06/14/2004 05:00,Hardware,Memory Dimm\n"
+    "2,1,06/15/2004 10:00,06/15/2004 11:30,Software,Distributed Storage\n"
+    "2,1,06/20/2004 00:00,,Facilities,Power Outage\n"
+    "3,2,07/01/2004 12:00,07/01/2004 12:45,Human Error,\n"
+    "3,0,07/02/2004 09:15,07/02/2004 10:00,Network,\n"
+    "3,1,07/03/2004 08:00,07/03/2004 09:00,Undetermined,\n"
+    "bad,row,here\n"
+    "2,5,99/99/9999 00:00,,Hardware,CPU\n"
+    "2,0,07/04/2004 10:00,07/04/2004 09:00,Hardware,CPU\n";
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(Adapter, RegistryOrderAndLookup) {
+  const auto& registry = trace::Registry();
+  ASSERT_EQ(registry.size(), 4u);
+  EXPECT_EQ(registry[0]->name(), "hpcfail_csv");
+  EXPECT_EQ(registry[1]->name(), "lanl_csv");
+  EXPECT_EQ(registry[2]->name(), "bgq_ras");
+  EXPECT_EQ(registry[3]->name(), "syslog");
+  for (const trace::LogAdapter* a : registry) {
+    EXPECT_EQ(trace::FindAdapter(a->name()), a);
+    EXPECT_FALSE(a->description().empty());
+  }
+  EXPECT_EQ(trace::FindAdapter("no_such_format"), nullptr);
+}
+
+TEST(Adapter, SniffDetectsEveryFormat) {
+  // Fixtures on disk.
+  {
+    std::ifstream is(BgqFixture(), std::ios::binary);
+    ASSERT_TRUE(is.is_open());
+    const trace::LogAdapter* a = trace::DetectAdapter(trace::SniffHead(is));
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->name(), "bgq_ras");
+    // SniffHead rewinds: the stream still reads from byte 0.
+    std::string first;
+    ASSERT_TRUE(std::getline(is, first));
+    EXPECT_EQ(first.rfind("RECID,", 0), 0u);
+  }
+  {
+    std::ifstream is(SyslogFixture(), std::ios::binary);
+    ASSERT_TRUE(is.is_open());
+    const trace::LogAdapter* a = trace::DetectAdapter(trace::SniffHead(is));
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->name(), "syslog");
+  }
+  // In-memory heads.
+  const trace::LogAdapter* lanl = trace::DetectAdapter(kLanlSample);
+  ASSERT_NE(lanl, nullptr);
+  EXPECT_EQ(lanl->name(), "lanl_csv");
+  const trace::LogAdapter* native = trace::DetectAdapter(
+      "system,node,start,end,category,subcategory\n0,0,1,2,hardware,cpu\n");
+  ASSERT_NE(native, nullptr);
+  EXPECT_EQ(native->name(), "hpcfail_csv");
+  EXPECT_EQ(trace::DetectAdapter("completely unrecognizable bytes"), nullptr);
+
+  // ResolveAdapter: named, auto, and the two failure modes.
+  EXPECT_EQ(trace::ResolveAdapter("syslog", "").name(), "syslog");
+  EXPECT_EQ(trace::ResolveAdapter("auto", kLanlSample).name(), "lanl_csv");
+  EXPECT_THROW(trace::ResolveAdapter("nope", ""), std::runtime_error);
+  EXPECT_THROW(trace::ResolveAdapter("auto", "gibberish"),
+               std::runtime_error);
+  try {
+    trace::ResolveAdapter("nope", "");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("lanl_csv"), std::string::npos)
+        << "error should list the known formats: " << e.what();
+  }
+}
+
+// The lanl_csv adapter must agree with the pre-registry direct path
+// (lanl::ImportFailures) on every record AND every skipped row.
+TEST(Adapter, LanlAdapterMatchesDirectImportRowForRow) {
+  std::istringstream direct_is(kLanlSample);
+  const lanl::ImportResult direct =
+      lanl::ImportFailures(direct_is, lanl::ImportConfig{});
+
+  const trace::LogAdapter* adapter = trace::FindAdapter("lanl_csv");
+  ASSERT_NE(adapter, nullptr);
+  std::istringstream adapter_is(kLanlSample);
+  const trace::ParseResult parsed =
+      trace::ParseLog(*adapter, adapter_is, trace::AdapterOptions{});
+
+  EXPECT_EQ(parsed.failures, direct.failures);
+  EXPECT_EQ(direct.failures.size(), 6u);
+  ASSERT_EQ(parsed.issues.size(), direct.skipped.size());
+  for (std::size_t i = 0; i < parsed.issues.size(); ++i) {
+    EXPECT_EQ(parsed.issues[i].line, direct.skipped[i].line) << "issue " << i;
+    EXPECT_EQ(parsed.issues[i].reason, direct.skipped[i].reason)
+        << "issue " << i;
+  }
+  EXPECT_EQ(parsed.counters.records, 6u);
+  EXPECT_EQ(parsed.counters.rejected, 3u);
+  EXPECT_EQ(parsed.counters.ignored, 1u);  // the header row
+}
+
+// Full-report byte parity: the same LANL file rendered through the adapter
+// registry (engine::MakeLogSource) and through the direct import path must
+// produce identical report bytes.
+TEST(Adapter, LanlFullReportByteIdenticalViaRegistry) {
+  const std::string path = ::testing::TempDir() + "/adapter_lanl_parity.csv";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << kLanlSample;
+  }
+
+  std::istringstream is(kLanlSample);
+  const lanl::AssembleResult direct = lanl::AssembleTrace(
+      lanl::ImportFailures(is, lanl::ImportConfig{}), /*nodes_per_system=*/0);
+  const core::EventIndex direct_index(direct.trace);
+  std::ostringstream expected;
+  engine::RenderReport(engine::AnalysisView(direct.trace, direct_index),
+                       expected);
+
+  for (const char* format : {"lanl_csv", "auto"}) {
+    const auto source = engine::MakeLogSource(path, format,
+                                              trace::AdapterOptions{}, 0);
+    const Trace via_registry = source->Acquire();
+    EXPECT_EQ(via_registry.failures(), direct.trace.failures()) << format;
+    const core::EventIndex index(via_registry);
+    std::ostringstream got;
+    engine::RenderReport(engine::AnalysisView(via_registry, index), got);
+    EXPECT_EQ(got.str(), expected.str())
+        << "report bytes diverged for --format " << format;
+  }
+}
+
+TEST(Adapter, BgqFixtureParsesEndToEnd) {
+  const trace::LogAdapter* adapter = trace::FindAdapter("bgq_ras");
+  ASSERT_NE(adapter, nullptr);
+  std::ifstream is(BgqFixture(), std::ios::binary);
+  ASSERT_TRUE(is.is_open());
+  const trace::ParseResult parsed =
+      trace::ParseLog(*adapter, is, trace::AdapterOptions{});
+
+  EXPECT_EQ(parsed.counters.lines, 15u);
+  EXPECT_EQ(parsed.counters.records, 8u);
+  EXPECT_EQ(parsed.counters.ignored, 3u);  // header + INFO + WARN
+  EXPECT_EQ(parsed.counters.rejected, 4u);
+  ASSERT_EQ(parsed.failures.size(), 8u);
+
+  // RECID 1: KERNEL/DDR -> hardware/memory at R00-M0-N01 -> node 1.
+  EXPECT_EQ(parsed.failures[0].category, FailureCategory::kHardware);
+  EXPECT_EQ(parsed.failures[0].hardware, HardwareComponent::kMemory);
+  EXPECT_EQ(parsed.failures[0].node.value, 1);
+  EXPECT_EQ(parsed.failures[0].start, 1333239202);  // 2012-04-01 00:13:22
+  EXPECT_EQ(parsed.failures[0].end, parsed.failures[0].start);
+  // RECID 3: CNK/FPU -> hardware/cpu; R00-M1-N05 -> (0*2+1)*16+5 = 21.
+  EXPECT_EQ(parsed.failures[1].hardware, HardwareComponent::kCpu);
+  EXPECT_EQ(parsed.failures[1].node.value, 21);
+  // RECID 6: MESSAGE contains a comma; BULK_POWER -> power_supply.
+  EXPECT_EQ(parsed.failures[3].hardware, HardwareComponent::kPowerSupply);
+  // RECID 7: TORUS/LINK -> network (no subcategory).
+  EXPECT_EQ(parsed.failures[4].category, FailureCategory::kNetwork);
+  // RECID 8: GPFS -> software/pfs.
+  EXPECT_EQ(parsed.failures[5].software, SoftwareComponent::kPfs);
+  // RECID 10: unclassifiable fatal -> undetermined, location R03 -> 96.
+  EXPECT_EQ(parsed.failures[7].category, FailureCategory::kUndetermined);
+  EXPECT_EQ(parsed.failures[7].node.value, 96);
+  for (const FailureRecord& r : parsed.failures) {
+    EXPECT_TRUE(r.consistent());
+  }
+
+  // Rejections carry reasons; nothing was silently dropped.
+  ASSERT_EQ(parsed.issues.size(), 4u);
+  EXPECT_NE(parsed.issues[0].reason.find("bad location"), std::string::npos);
+  EXPECT_NE(parsed.issues[1].reason.find("bad event time"),
+            std::string::npos);
+  EXPECT_NE(parsed.issues[2].reason.find("unknown severity"),
+            std::string::npos);
+  EXPECT_NE(parsed.issues[3].reason.find("too few columns"),
+            std::string::npos);
+
+  // And the records assemble into a renderable trace (batch report path).
+  lanl::ImportResult imported;
+  imported.failures = parsed.failures;
+  const lanl::AssembleResult assembled = lanl::AssembleTrace(imported, 0);
+  EXPECT_EQ(assembled.trace.num_failures(), 8);
+  const core::EventIndex index(assembled.trace);
+  std::ostringstream report;
+  engine::RenderReport(engine::AnalysisView(assembled.trace, index), report);
+  EXPECT_NE(report.str().find("=== trace overview ==="), std::string::npos);
+}
+
+TEST(Adapter, SyslogFixtureParsesEndToEnd) {
+  const trace::LogAdapter* adapter = trace::FindAdapter("syslog");
+  ASSERT_NE(adapter, nullptr);
+  std::ifstream is(SyslogFixture(), std::ios::binary);
+  ASSERT_TRUE(is.is_open());
+  trace::AdapterOptions options;
+  options.syslog_base_year = 2004;
+  const trace::ParseResult parsed = trace::ParseLog(*adapter, is, options);
+
+  EXPECT_EQ(parsed.counters.lines, 11u);  // blank line not counted
+  EXPECT_EQ(parsed.counters.records, 7u);
+  EXPECT_EQ(parsed.counters.ignored, 0u);
+  EXPECT_EQ(parsed.counters.rejected, 4u);
+  ASSERT_EQ(parsed.failures.size(), 7u);
+
+  // EDAC -> memory on node012 (BOM + CRLF line).
+  EXPECT_EQ(parsed.failures[0].hardware, HardwareComponent::kMemory);
+  EXPECT_EQ(parsed.failures[0].node.value, 12);
+  // mce -> cpu; <4>-prefixed OOM kill -> software/os on cn-204.
+  EXPECT_EQ(parsed.failures[1].hardware, HardwareComponent::kCpu);
+  EXPECT_EQ(parsed.failures[2].software, SoftwareComponent::kOs);
+  EXPECT_EQ(parsed.failures[2].node.value, 204);
+  // LustreError -> software/pfs; slurmd -> software/scheduler.
+  EXPECT_EQ(parsed.failures[3].software, SoftwareComponent::kPfs);
+  EXPECT_EQ(parsed.failures[4].software, SoftwareComponent::kScheduler);
+  // "link down" on cab3-sw17 -> network, node 17.
+  EXPECT_EQ(parsed.failures[5].category, FailureCategory::kNetwork);
+  EXPECT_EQ(parsed.failures[5].node.value, 17);
+  // Kernel panic -> software/os; RFC 3164 time against the base year.
+  EXPECT_EQ(parsed.failures[6].software, SoftwareComponent::kOs);
+  EXPECT_EQ(parsed.failures[6].start, 1087520523);  // Jun 18 01:02:03 2004
+
+  // The four rejects: host without node digits, an unmapped template
+  // (counted with its template id — the operator's cue to add a rule),
+  // binary garbage, and a line with no message.
+  ASSERT_EQ(parsed.issues.size(), 4u);
+  EXPECT_NE(parsed.issues[0].reason.find("no node id in hostname 'mgmt'"),
+            std::string::npos);
+  EXPECT_NE(parsed.issues[1].reason.find("unmapped template t="),
+            std::string::npos);
+  EXPECT_NE(parsed.issues[2].reason.find("bad timestamp"), std::string::npos);
+  EXPECT_NE(parsed.issues[3].reason.find("missing message"),
+            std::string::npos);
+}
+
+TEST(Adapter, SyslogMaskingNormalizesVolatileTokens) {
+  EXPECT_EQ(trace::MaskSyslogMessage(
+                "Out of memory: Kill process 4721 (fluent_mpi) score 905"),
+            "Out of memory: Kill process # (fluent_mpi) score #");
+  EXPECT_EQ(trace::MaskSyslogMessage("page fault at 0xDEADbeef ip 0x42"),
+            "page fault at 0x# ip 0x#");
+  EXPECT_EQ(trace::MaskSyslogMessage("read /var/log/messages failed"),
+            "read PATH failed");
+  EXPECT_EQ(trace::MaskSyslogMessage("session 0123456789abcdef closed"),
+            "session # closed");
+  // Short hex-looking words survive; whitespace collapses.
+  EXPECT_EQ(trace::MaskSyslogMessage("  dead  beef   cafe "),
+            "dead beef cafe");
+}
+
+TEST(Adapter, SyslogTemplateIdsStableAcrossRunsAndThreads) {
+  // Two lines differing only in volatile tokens share one template id.
+  const std::string a =
+      trace::MaskSyslogMessage("I/O error on sda3, sector 123456");
+  const std::string b =
+      trace::MaskSyslogMessage("I/O error on sda7, sector 9");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(trace::SyslogTemplateId(a), trace::SyslogTemplateId(b));
+
+  // Ids are pure content hashes: recomputing under concurrency changes
+  // nothing (the stability contract behind "rejected with template id").
+  const std::string payload = ReadWholeFile(SyslogFixture());
+  const trace::LogAdapter* adapter = trace::FindAdapter("syslog");
+  ASSERT_NE(adapter, nullptr);
+  const auto parse_reasons = [&] {
+    std::istringstream is(payload);
+    std::vector<std::string> reasons;
+    for (const auto& issue :
+         trace::ParseLog(*adapter, is, trace::AdapterOptions{}).issues) {
+      reasons.push_back(issue.reason);
+    }
+    return reasons;
+  };
+  const std::vector<std::string> baseline = parse_reasons();
+  std::vector<std::vector<std::string>> from_threads(4);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < from_threads.size(); ++t) {
+      threads.emplace_back(
+          [&, t] { from_threads[t] = parse_reasons(); });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  for (const auto& reasons : from_threads) {
+    EXPECT_EQ(reasons, baseline);
+  }
+}
+
+TEST(Adapter, SyslogUserRulesOverrideBuiltins) {
+  const std::string payload = ReadWholeFile(SyslogFixture());
+  const trace::LogAdapter* adapter = trace::FindAdapter("syslog");
+  ASSERT_NE(adapter, nullptr);
+
+  trace::AdapterOptions options;
+  options.syslog_rules =
+      "# site-local rules\n"
+      "cron => software/scheduler\n"
+      "kernel panic => hardware/other_hardware\n";
+  std::istringstream is(payload);
+  const trace::ParseResult parsed = trace::ParseLog(*adapter, is, options);
+
+  // The CRON template that the built-ins reject is now mapped...
+  EXPECT_EQ(parsed.counters.records, 8u);
+  EXPECT_EQ(parsed.counters.rejected, 3u);
+  bool saw_cron_node = false;
+  for (const FailureRecord& r : parsed.failures) {
+    if (r.node.value == 100) {
+      saw_cron_node = true;
+      EXPECT_EQ(r.software, SoftwareComponent::kScheduler);
+    }
+    // ...and the user rule beats the built-in "kernel panic => os" rule.
+    if (r.node.value == 7) {
+      EXPECT_EQ(r.category, FailureCategory::kHardware);
+      EXPECT_EQ(r.hardware, HardwareComponent::kOtherHardware);
+    }
+  }
+  EXPECT_TRUE(saw_cron_node);
+
+  // Malformed rules throw (naming the line) instead of silently
+  // misclassifying.
+  const auto reader_for = [&](const std::string& rules) {
+    trace::AdapterOptions bad;
+    bad.syslog_rules = rules;
+    return adapter->MakeReader(bad);
+  };
+  EXPECT_THROW(reader_for("no arrow here"), std::runtime_error);
+  EXPECT_THROW(reader_for("foo => not_a_category"), std::runtime_error);
+  EXPECT_THROW(reader_for("foo => hardware/not_a_component"),
+               std::runtime_error);
+  EXPECT_THROW(reader_for("foo => network/pfs"), std::runtime_error);
+}
+
+TEST(Adapter, ParseCountsFlowIntoMetricsRegistry) {
+  if (!obs::kEnabled) GTEST_SKIP() << "metrics disabled";
+  const auto counter = [](const char* name) {
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::Global().Snapshot();
+    const obs::MetricsSnapshot::CounterValue* c = snap.FindCounter(name);
+    return c != nullptr ? c->value : 0;
+  };
+  const long long lines0 = counter("hpcfail_adapter_lines_total");
+  const long long records0 = counter("hpcfail_adapter_records_total");
+  const long long ignored0 = counter("hpcfail_adapter_ignored_lines_total");
+  const long long rejected0 = counter("hpcfail_adapter_rejected_lines_total");
+
+  std::ifstream is(BgqFixture(), std::ios::binary);
+  ASSERT_TRUE(is.is_open());
+  const trace::ParseResult parsed = trace::ParseLog(
+      *trace::FindAdapter("bgq_ras"), is, trace::AdapterOptions{});
+
+  EXPECT_EQ(counter("hpcfail_adapter_lines_total") - lines0,
+            static_cast<long long>(parsed.counters.lines));
+  EXPECT_EQ(counter("hpcfail_adapter_records_total") - records0,
+            static_cast<long long>(parsed.counters.records));
+  EXPECT_EQ(counter("hpcfail_adapter_ignored_lines_total") - ignored0,
+            static_cast<long long>(parsed.counters.ignored));
+  EXPECT_EQ(counter("hpcfail_adapter_rejected_lines_total") - rejected0,
+            static_cast<long long>(parsed.counters.rejected));
+}
+
+// Fingerprints must separate formats (same bytes, different adapter =>
+// different analysis) while staying stable for auto vs the resolved name.
+TEST(Adapter, LogSourceFingerprintsNeverAliasFormats) {
+  const std::string path = SyslogFixture();
+  const auto fingerprint = [&](const char* format) {
+    return engine::MakeLogSource(path, format, trace::AdapterOptions{}, 0)
+        ->Fingerprint();
+  };
+  const auto syslog_fp = fingerprint("syslog");
+  const auto bgq_fp = fingerprint("bgq_ras");
+  const auto lanl_fp = fingerprint("lanl_csv");
+  const auto auto_fp = fingerprint("auto");
+  ASSERT_TRUE(syslog_fp.has_value());
+  ASSERT_TRUE(bgq_fp.has_value());
+  ASSERT_TRUE(lanl_fp.has_value());
+  ASSERT_TRUE(auto_fp.has_value());
+  std::set<std::uint64_t> distinct{*syslog_fp, *bgq_fp, *lanl_fp};
+  EXPECT_EQ(distinct.size(), 3u) << "formats alias in the artifact cache";
+  EXPECT_EQ(*auto_fp, *syslog_fp) << "auto must resolve to the sniffed name";
+
+  // Adapter options are part of the key: changed options, changed key.
+  trace::AdapterOptions options;
+  options.syslog_base_year = 1999;
+  const auto year_fp =
+      engine::MakeLogSource(path, "syslog", options, 0)->Fingerprint();
+  ASSERT_TRUE(year_fp.has_value());
+  EXPECT_NE(*year_fp, *syslog_fp);
+
+  // A missing file has no fingerprint (and so is never cached).
+  EXPECT_FALSE(engine::MakeLogSource(DataPath("does_not_exist.log"),
+                                     "syslog", trace::AdapterOptions{}, 0)
+                   ->Fingerprint()
+                   .has_value());
+}
+
+// The engine session layer end-to-end: FromLog over both new formats.
+TEST(Adapter, SessionFromLogServesBothNewFormats) {
+  engine::SessionOptions options;
+  options.cache.enabled = false;
+  const engine::AnalysisSession ras = engine::AnalysisSession::FromLog(
+      BgqFixture(), "bgq_ras", trace::AdapterOptions{}, 0, options);
+  EXPECT_EQ(ras.trace().num_failures(), 8);
+  EXPECT_NE(ras.StatsJson().find("\"source\":\"log\""), std::string::npos);
+
+  const engine::AnalysisSession sys = engine::AnalysisSession::FromLog(
+      SyslogFixture(), "auto", trace::AdapterOptions{}, 0, options);
+  EXPECT_EQ(sys.trace().num_failures(), 7);
+  EXPECT_NE(sys.stats().label.find("format=syslog"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcfail

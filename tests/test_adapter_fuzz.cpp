@@ -1,0 +1,203 @@
+// Property/fuzz tests for the format-adapter layer, extending the
+// test_csv_fuzz contract to every registered adapter:
+//
+//   * ParseLog never crashes on corrupted input — it returns (with rejects
+//     counted) or throws std::runtime_error (a kFatal format mismatch);
+//   * every consumed line is accounted: lines == records + ignored +
+//     rejected, both in the returned counters and in the global
+//     hpcfail_adapter_* metrics — malformed, truncated, or binary input is
+//     rejected with counters, never silently dropped;
+//   * truncation at any line boundary parses a clean prefix.
+//
+// Corruptions are deterministic (seeded stats::Rng), so a failure here is
+// reproducible from the adapter name and iteration number alone.
+#include "trace/adapter.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "stats/rng.h"
+
+namespace hpcfail {
+namespace {
+
+long long CounterValue(const char* name) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  const obs::MetricsSnapshot::CounterValue* c = snap.FindCounter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+struct AdapterCounterDelta {
+  long long lines, records, ignored, rejected;
+
+  static AdapterCounterDelta Now() {
+    return {CounterValue("hpcfail_adapter_lines_total"),
+            CounterValue("hpcfail_adapter_records_total"),
+            CounterValue("hpcfail_adapter_ignored_lines_total"),
+            CounterValue("hpcfail_adapter_rejected_lines_total")};
+  }
+  AdapterCounterDelta Since(const AdapterCounterDelta& start) const {
+    return {lines - start.lines, records - start.records,
+            ignored - start.ignored, rejected - start.rejected};
+  }
+};
+
+std::string ReadFixture(const char* name) {
+  std::ifstream is(std::string(HPCFAIL_TEST_DATA_DIR) + "/" + name,
+                   std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << name;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// A clean seed payload per adapter, from the checked-in fixtures (plus a
+// hand-rolled one for the two CSV formats).
+std::string CleanPayload(std::string_view adapter) {
+  if (adapter == "hpcfail_csv") {
+    return "system,node,start,end,category,subcategory\n"
+           "0,0,100,200,hardware,cpu\n"
+           "0,1,300,400,software,os\n"
+           "1,0,500,500,undetermined,\n";
+  }
+  if (adapter == "lanl_csv") {
+    return "system,node,started,fixed,cause,detail\n"
+           "2,0,06/14/2004 03:12,06/14/2004 05:00,Hardware,Memory Dimm\n"
+           "2,1,06/15/2004 10:00,06/15/2004 11:30,Software,OS\n"
+           "3,2,07/01/2004 12:00,07/01/2004 12:45,Network,\n";
+  }
+  if (adapter == "bgq_ras") return ReadFixture("bgq_ras_sample.csv");
+  return ReadFixture("syslog_sample.log");
+}
+
+// One ParseLog run with full accounting checks. Returns true if it threw.
+bool ParseAndCheckAccounting(const trace::LogAdapter& adapter,
+                             const std::string& payload,
+                             const std::string& context) {
+  const AdapterCounterDelta before = AdapterCounterDelta::Now();
+  std::istringstream is(payload);
+  bool threw = false;
+  trace::ParseResult parsed;
+  try {
+    parsed = trace::ParseLog(adapter, is, trace::AdapterOptions{});
+  } catch (const std::runtime_error&) {
+    threw = true;  // kFatal: the payload cannot be this format — fine.
+  }
+  if (!threw) {
+    EXPECT_EQ(parsed.counters.lines, parsed.counters.records +
+                                         parsed.counters.ignored +
+                                         parsed.counters.rejected)
+        << context << ": a consumed line went unaccounted";
+    EXPECT_EQ(parsed.failures.size(), parsed.counters.records) << context;
+    // issues is capped, but never beyond what was rejected.
+    EXPECT_LE(parsed.issues.size(),
+              static_cast<std::size_t>(parsed.counters.rejected))
+        << context;
+  }
+  if (obs::kEnabled) {
+    const AdapterCounterDelta d = AdapterCounterDelta::Now().Since(before);
+    EXPECT_EQ(d.lines, d.records + d.ignored + d.rejected)
+        << context << ": metrics do not account every line";
+    if (!threw) {
+      EXPECT_EQ(d.records, static_cast<long long>(parsed.failures.size()))
+          << context;
+    }
+  }
+  return threw;
+}
+
+TEST(AdapterFuzz, CleanPayloadsParseWithFullAccounting) {
+  for (const trace::LogAdapter* adapter : trace::Registry()) {
+    const bool threw =
+        ParseAndCheckAccounting(*adapter, CleanPayload(adapter->name()),
+                                std::string(adapter->name()) + "/clean");
+    EXPECT_FALSE(threw) << adapter->name();
+  }
+}
+
+TEST(AdapterFuzz, RandomCorruptionsNeverCrashOrMiscount) {
+  stats::Rng rng(20260809);
+  for (const trace::LogAdapter* adapter : trace::Registry()) {
+    const std::string clean = CleanPayload(adapter->name());
+    for (int iter = 0; iter < 150; ++iter) {
+      std::string payload = clean;
+      const int n_corruptions = 1 + static_cast<int>(rng.Index(3));
+      for (int c = 0; c < n_corruptions; ++c) {
+        switch (rng.Index(6)) {
+          case 0:  // truncate at a random offset
+            payload.resize(rng.Index(payload.size() + 1));
+            break;
+          case 1:  // stray NUL byte
+            if (!payload.empty()) payload[rng.Index(payload.size())] = '\0';
+            break;
+          case 2:  // random byte flip
+            if (!payload.empty()) {
+              payload[rng.Index(payload.size())] =
+                  static_cast<char>(rng.Int(0, 255));
+            }
+            break;
+          case 3: {  // overlong field injected mid-file
+            const std::size_t at = rng.Index(payload.size() + 1);
+            payload.insert(at, std::string(rng.Index(5000), 'z'));
+            break;
+          }
+          case 4: {  // duplicated chunk (tears a line in two)
+            const std::size_t at = rng.Index(payload.size() + 1);
+            payload.insert(at, payload.substr(at / 2, rng.Index(64)));
+            break;
+          }
+          case 5: {  // random newline insertion
+            const std::size_t at = rng.Index(payload.size() + 1);
+            payload.insert(at, rng.Bernoulli(0.5) ? "\n" : "\r\n");
+            break;
+          }
+        }
+      }
+      ParseAndCheckAccounting(*adapter, payload,
+                              std::string(adapter->name()) + "/iter " +
+                                  std::to_string(iter));
+    }
+  }
+}
+
+TEST(AdapterFuzz, PureBinaryGarbageIsRejectedWithCounters) {
+  stats::Rng rng(424242);
+  std::string garbage;
+  for (int i = 0; i < 4096; ++i) {
+    garbage.push_back(static_cast<char>(rng.Int(0, 255)));
+  }
+  for (const trace::LogAdapter* adapter : trace::Registry()) {
+    ParseAndCheckAccounting(*adapter, garbage,
+                            std::string(adapter->name()) + "/garbage");
+    // And garbage must not sniff as any format.
+    EXPECT_LE(adapter->SniffScore(garbage), 0) << adapter->name();
+  }
+}
+
+TEST(AdapterFuzz, TruncationAtEveryLineBoundaryParsesPrefix) {
+  for (const trace::LogAdapter* adapter : trace::Registry()) {
+    const std::string clean = CleanPayload(adapter->name());
+    std::vector<std::size_t> boundaries;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      if (clean[i] == '\n') boundaries.push_back(i + 1);
+    }
+    std::size_t prev_records = 0;
+    for (const std::size_t at : boundaries) {
+      std::istringstream is(clean.substr(0, at));
+      const trace::ParseResult parsed =
+          trace::ParseLog(*adapter, is, trace::AdapterOptions{});
+      EXPECT_GE(parsed.failures.size(), prev_records)
+          << adapter->name() << ": a longer prefix lost records (cut at "
+          << at << ")";
+      prev_records = parsed.failures.size();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpcfail

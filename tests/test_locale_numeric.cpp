@@ -12,6 +12,7 @@
 #include <locale>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "engine/arg_parser.h"
 #include "synth/generate.h"
@@ -19,6 +20,7 @@
 #include "synth/scenario_config.h"
 #include "trace/csv.h"
 #include "trace/numeric.h"
+#include "trace/parse_util.h"
 
 namespace hpcfail {
 namespace {
@@ -117,6 +119,40 @@ TEST(LocaleNumeric, ScenarioConfigIgnoresGlobalLocale) {
 
   std::istringstream comma("duration_years = 0,5\n[system]\npreset = group1\n");
   EXPECT_THROW(synth::LoadScenarioConfig(comma), synth::ConfigError);
+}
+
+TEST(LocaleNumeric, ParseUtilIgnoresGlobalLocale) {
+  // The shared field/timestamp helpers behind the LANL importer, the CSV
+  // reader, and every log-format adapter: all integer paths go through
+  // from_chars and hand-rolled calendar math, so a comma-decimal locale
+  // must change nothing.
+  HostileLocale hostile;
+  EXPECT_EQ(parse::ParseInt("12345"), 12345);
+  EXPECT_EQ(parse::ParseInt("-7"), -7);
+  EXPECT_FALSE(parse::ParseInt("1.234").has_value());
+  EXPECT_FALSE(parse::ParseInt("1,234").has_value());
+  EXPECT_FALSE(parse::ParseInt("").has_value());
+
+  // 2004-06-14 03:12:45 UTC == 1087182765, in all three timestamp grammars.
+  EXPECT_EQ(parse::ParseUsTimestamp("06/14/2004 03:12:45"), 1087182765);
+  EXPECT_EQ(parse::ParseUsTimestamp("06/14/2004 03:12"), 1087182765 - 45);
+  EXPECT_EQ(parse::ParseIsoTimestamp("2004-06-14 03:12:45"), 1087182765);
+  EXPECT_EQ(parse::ParseIsoTimestamp("2004-06-14T03:12:45.250000"),
+            1087182765);
+  EXPECT_EQ(parse::ParseSyslogTimestamp("Jun 14 03:12:45", 2004),
+            1087182765);
+  EXPECT_FALSE(parse::ParseIsoTimestamp("2004-06-14 03:12:45.").has_value());
+  EXPECT_FALSE(parse::ParseUsTimestamp("99/99/9999 00:00").has_value());
+  EXPECT_FALSE(parse::ParseSyslogTimestamp("Xyz 14 03:12:45", 2004)
+                   .has_value());
+
+  // Field splitting is byte-oriented: grouping separators don't apply.
+  const std::vector<std::string> fields =
+      parse::SplitTrimmed("a, \"b\" ,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
 }
 
 TEST(LocaleNumeric, CsvRoundTripIgnoresGlobalLocale) {

@@ -65,6 +65,15 @@ TEST(ParseCommandLine, ShardsAndShardedParams) {
   EXPECT_EQ(report.GetUint64("sharded", 0), 1u);
 }
 
+TEST(ParseCommandLine, FormatsVerbAndLogParams) {
+  EXPECT_EQ(MustParseLine("FORMATS").verb, Verb::kFormats);
+  // log= / format= ride through as plain params on query verbs.
+  const Request r = MustParseLine("REPORT log=ras format=bgq_ras");
+  EXPECT_EQ(r.verb, Verb::kReport);
+  EXPECT_EQ(r.params.at("log"), "ras");
+  EXPECT_EQ(r.params.at("format"), "bgq_ras");
+}
+
 TEST(ParseCommandLine, ToleratesCrlfAndPadding) {
   const Request r = MustParseLine("  REPORT seed=3  \r");
   EXPECT_EQ(r.verb, Verb::kReport);
@@ -98,7 +107,18 @@ TEST(ParseHttpRequestLine, PathMapping) {
   EXPECT_EQ(MustParseHttp("GET /report HTTP/1.1").verb, Verb::kReport);
   EXPECT_EQ(MustParseHttp("GET /debug/sleep HTTP/1.1").verb, Verb::kSleep);
   EXPECT_EQ(MustParseHttp("GET /shards HTTP/1.1").verb, Verb::kShards);
+  EXPECT_EQ(MustParseHttp("GET /formats HTTP/1.1").verb, Verb::kFormats);
   EXPECT_TRUE(MustParseHttp("GET /healthz HTTP/1.1").http);
+  // /formats takes no trailing path segment.
+  Request bad;
+  std::string error;
+  EXPECT_FALSE(
+      ParseHttpRequestLine("GET /formats/ras HTTP/1.1", &bad, &error));
+  // log=/format= query parameters ride through url-decoded.
+  const Request r =
+      MustParseHttp("GET /stats?log=messages&format=syslog HTTP/1.1");
+  EXPECT_EQ(r.params.at("log"), "messages");
+  EXPECT_EQ(r.params.at("format"), "syslog");
 }
 
 TEST(ParseHttpRequestLine, ShardsQueryParams) {

@@ -596,5 +596,120 @@ TEST(ServeServer, HandleRequestDispatchWithoutSockets) {
   EXPECT_EQ(server.HandleRequest(bad_table).rfind("ERR 404", 0), 0u);
 }
 
+TEST(ServeServer, FormatsVerbAndLogQueries) {
+  ServerConfig config = TestConfig();
+  ServeLogSpec ras;
+  ras.path = std::string(HPCFAIL_TEST_DATA_DIR) + "/bgq_ras_sample.csv";
+  config.logs["ras"] = ras;  // format stays "auto": sniffed on first use
+  ServeLogSpec messages;
+  messages.path = std::string(HPCFAIL_TEST_DATA_DIR) + "/syslog_sample.log";
+  messages.format = "syslog";
+  config.logs["messages"] = messages;
+  Server server(config);  // never started: pure dispatch
+
+  // FORMATS lists the adapter registry and the configured logs.
+  Request formats;
+  formats.verb = Verb::kFormats;
+  const std::string listing = server.HandleRequest(formats);
+  ASSERT_EQ(listing.rfind("OK ", 0), 0u) << listing.substr(0, 120);
+  for (const char* needle :
+       {"\"hpcfail_csv\"", "\"lanl_csv\"", "\"bgq_ras\"", "\"syslog\"",
+        "\"ras\"", "\"messages\""}) {
+    EXPECT_NE(listing.find(needle), std::string::npos) << needle;
+  }
+
+  // STATS log=ras builds a session from the fixture (8 RAS records) and
+  // surfaces the resolved format in the session label.
+  Request stats;
+  stats.verb = Verb::kStats;
+  stats.params["log"] = "ras";
+  const std::string stats_frame = server.HandleRequest(stats);
+  ASSERT_EQ(stats_frame.rfind("OK ", 0), 0u) << stats_frame.substr(0, 120);
+  EXPECT_NE(stats_frame.find("\"num_failures\":8"), std::string::npos)
+      << stats_frame;
+  EXPECT_NE(stats_frame.find("format=bgq_ras"), std::string::npos)
+      << stats_frame;
+
+  // REPORT log=messages is byte-identical to the CLI's --log rendering.
+  engine::SessionOptions options;
+  options.cache.enabled = false;
+  const auto session = engine::AnalysisSession::FromLog(
+      messages.path, "syslog", {}, 0, options);
+  std::ostringstream expected;
+  engine::RenderReport(session, expected);
+  Request report;
+  report.verb = Verb::kReport;
+  report.params["log"] = "messages";
+  const std::string frame = server.HandleRequest(report);
+  const std::string header =
+      "OK " + std::to_string(expected.str().size()) + "\n";
+  ASSERT_EQ(frame.substr(0, header.size()), header) << frame.substr(0, 120);
+  EXPECT_EQ(frame.substr(header.size()), expected.str());
+
+  // format= must name the log's actual format: match passes, mismatch and
+  // unknown formats answer 400 (listing what is known), format= without
+  // log= is meaningless, unknown logs answer 404 naming the configured
+  // ones, and log= queries cannot be sharded.
+  Request match = report;
+  match.params["format"] = "syslog";
+  EXPECT_EQ(server.HandleRequest(match).substr(0, header.size()), header);
+  Request mismatch = report;
+  mismatch.params["format"] = "bgq_ras";
+  const std::string mismatch_frame = server.HandleRequest(mismatch);
+  EXPECT_EQ(mismatch_frame.rfind("ERR 400", 0), 0u) << mismatch_frame;
+  EXPECT_NE(mismatch_frame.find("syslog"), std::string::npos)
+      << mismatch_frame;
+  Request unknown_format = report;
+  unknown_format.params["format"] = "nope";
+  const std::string uf = server.HandleRequest(unknown_format);
+  EXPECT_EQ(uf.rfind("ERR 400", 0), 0u) << uf;
+  EXPECT_NE(uf.find("lanl_csv"), std::string::npos)
+      << "400 should list known formats: " << uf;
+  Request format_only;
+  format_only.verb = Verb::kStats;
+  format_only.params["format"] = "syslog";
+  EXPECT_EQ(server.HandleRequest(format_only).rfind("ERR 400", 0), 0u);
+  Request unknown_log;
+  unknown_log.verb = Verb::kStats;
+  unknown_log.params["log"] = "nope";
+  const std::string ul = server.HandleRequest(unknown_log);
+  EXPECT_EQ(ul.rfind("ERR 404", 0), 0u) << ul;
+  EXPECT_NE(ul.find("messages"), std::string::npos)
+      << "404 should list configured logs: " << ul;
+  Request sharded_log = report;
+  sharded_log.params["sharded"] = "1";
+  EXPECT_EQ(server.HandleRequest(sharded_log).rfind("ERR 400", 0), 0u);
+}
+
+TEST(ServeServer, HttpFormatsRouteServesJson) {
+  ServerConfig config = TestConfig();
+  ServeLogSpec messages;
+  messages.path = std::string(HPCFAIL_TEST_DATA_DIR) + "/syslog_sample.log";
+  messages.format = "syslog";
+  config.logs["messages"] = messages;
+  Server server(config);
+  server.Start();
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.Send("GET /formats HTTP/1.1\r\n\r\n"));
+  const std::string response = client.ReadAll();
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const std::string body = HttpBody(response);
+  EXPECT_NE(body.find("\"formats\":"), std::string::npos);
+  EXPECT_NE(body.find("\"logs\":"), std::string::npos);
+  EXPECT_NE(body.find("\"messages\""), std::string::npos);
+
+  // And a format=-qualified HTTP log query end-to-end.
+  TestClient query(server.port(), /*recv_timeout_ms=*/20000);
+  ASSERT_TRUE(query.Send(
+      "GET /stats?log=messages&format=syslog HTTP/1.1\r\n\r\n"));
+  const std::string stats_response = query.ReadAll();
+  EXPECT_EQ(stats_response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(HttpBody(stats_response).find("\"num_failures\":7"),
+            std::string::npos);
+  server.Shutdown();
+}
+
 }  // namespace
 }  // namespace hpcfail::serve

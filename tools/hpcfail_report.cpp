@@ -4,6 +4,7 @@
 //   hpcfail_report --scenario <config-file> [--seed S]
 //   hpcfail_report --trace <csv-trace-dir>
 //   hpcfail_report --lanl <failures.csv> [--nodes-per-system N]
+//   hpcfail_report --log <file> [--format auto|lanl_csv|bgq_ras|syslog|...]
 //   hpcfail_report --checkpoint <snapshot> --trace <csv-trace-dir>
 //                  [--tolerance S] [--window S]
 //
@@ -32,7 +33,9 @@
 // logs exist, the usage and user analyses. This is the tool an operator
 // would point at their own logs.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -80,6 +83,10 @@ int main(int argc, char** argv) {
     bool synth = false;
     bool profile = false;
     std::string scenario_file, trace_dir, lanl_file, checkpoint_file;
+    std::string log_file;
+    std::string log_format = "auto";
+    std::string syslog_rules_file;
+    int syslog_base_year = 2004;
     double scale = 0.5;
     double years = 2.0;
     bool sharded = false;
@@ -93,8 +100,9 @@ int main(int argc, char** argv) {
     engine::ArgParser parser(
         "hpcfail_report",
         "One-shot analysis report over a failure trace. Pick exactly one "
-        "source mode: --synth, --scenario, --trace, --lanl, or --checkpoint "
-        "(which replays a stream snapshot over --trace's systems).");
+        "source mode: --synth, --scenario, --trace, --lanl, --log, or "
+        "--checkpoint (which replays a stream snapshot over --trace's "
+        "systems).");
     engine::AddStandardOptions(parser, &std_opts);
     parser.AddFlag("synth", &synth,
                    "synthetic LANL-like trace (--scale/--years/--seed)");
@@ -102,13 +110,26 @@ int main(int argc, char** argv) {
                      "generate from this scenario config file");
     parser.AddString("trace", &trace_dir, "CSV trace directory");
     parser.AddString("lanl", &lanl_file, "raw LANL failure log (CSV)");
+    parser.AddString("log", &log_file,
+                     "any single-file log via the format-adapter registry "
+                     "(see --format)");
+    parser.AddString("format", &log_format,
+                     "--log format: auto (sniffed), hpcfail_csv, lanl_csv, "
+                     "bgq_ras, or syslog");
+    parser.AddInt("syslog-base-year", &syslog_base_year,
+                  "--log syslog: year for RFC 3164 timestamps");
+    parser.AddString("syslog-rules", &syslog_rules_file,
+                     "--log syslog: template->category rules file "
+                     "(\"keyword => category[/subcategory]\" per line, "
+                     "checked before the built-ins)");
     parser.AddString("checkpoint", &checkpoint_file,
                      "replay this stream-engine snapshot (systems from "
                      "--trace)");
     parser.AddDouble("scale", &scale, "--synth scenario scale factor");
     parser.AddDouble("years", &years, "--synth simulated duration in years");
     parser.AddInt("nodes-per-system", &nodes_per_system,
-                  "--lanl assembly parameter (0 = auto-size from the log)");
+                  "--lanl/--log assembly parameter (0 = auto-size from the "
+                  "log)");
     parser.AddUint64("tolerance", &tolerance,
                      "--checkpoint replay out-of-order tolerance in seconds");
     parser.AddUint64("window", &window,
@@ -133,12 +154,12 @@ int main(int argc, char** argv) {
         engine::MakeSessionOptions(std_opts);
 
     const int modes = (synth ? 1 : 0) + (scenario_file.empty() ? 0 : 1) +
-                      (lanl_file.empty() ? 0 : 1) +
+                      (lanl_file.empty() ? 0 : 1) + (log_file.empty() ? 0 : 1) +
                       (checkpoint_file.empty() ? 0 : 1) +
                       (!trace_dir.empty() && checkpoint_file.empty() ? 1 : 0);
     if (modes != 1) {
       std::cerr << "hpcfail_report: pick exactly one of --synth, --scenario, "
-                   "--trace, --lanl, --checkpoint\n"
+                   "--trace, --lanl, --log, --checkpoint\n"
                 << parser.Usage();
       return 2;
     }
@@ -160,6 +181,22 @@ int main(int argc, char** argv) {
       if (!trace_dir.empty()) return engine::MakeCsvDirSource(trace_dir);
       if (!lanl_file.empty()) {
         return engine::MakeLanlSource(lanl_file, nodes_per_system);
+      }
+      if (!log_file.empty()) {
+        hpcfail::trace::AdapterOptions adapter_opts;
+        adapter_opts.syslog_base_year = syslog_base_year;
+        if (!syslog_rules_file.empty()) {
+          std::ifstream rules(syslog_rules_file);
+          if (!rules.is_open()) {
+            throw std::runtime_error("cannot open --syslog-rules file: " +
+                                     syslog_rules_file);
+          }
+          std::ostringstream buf;
+          buf << rules.rdbuf();
+          adapter_opts.syslog_rules = buf.str();
+        }
+        return engine::MakeLogSource(log_file, log_format, adapter_opts,
+                                     nodes_per_system);
       }
       if (!scenario_file.empty()) {
         return engine::MakeScenarioSource(

@@ -7,7 +7,10 @@
 // layout.csv). The failure feed is <dir>/failures.csv by default and can be
 // any file in the same schema — or stdin — via --input:
 //
-//   --input FILE|-       failure feed (failures.csv schema); "-" = stdin
+//   --input FILE|-       failure feed; "-" = stdin
+//   --format NAME        feed format via the adapter registry: auto
+//                        (sniffed; stdin buffers the first lines), or
+//                        hpcfail_csv | lanl_csv | bgq_ras | syslog
 //   --follow             keep tailing the feed for appended rows
 //   --tolerance SECONDS  out-of-order tolerance (default 0 = sorted input)
 //   --window SECONDS     follow-up window length (default one week)
@@ -68,6 +71,7 @@
 #include "stream/engine.h"
 #include "synth/generate.h"
 #include "synth/scenario.h"
+#include "trace/adapter.h"
 #include "trace/csv.h"
 
 namespace {
@@ -77,6 +81,9 @@ using namespace hpcfail;
 struct Options {
   std::string trace_dir;
   std::string input;  // empty = <trace_dir>/failures.csv, "-" = stdin
+  std::string format = "auto";  // adapter name, or "auto" to sniff
+  std::string syslog_rules_file;
+  int syslog_base_year = 2004;
   bool follow = false;
   TimeSec tolerance = 0;
   TimeSec window = kWeek;
@@ -183,20 +190,47 @@ void SaveCheckpoint(const stream::StreamEngine& engine,
   }
 }
 
-// Parses one feed line (already header-validated stream); returns false on
-// a malformed row, which streaming must survive (counted, not fatal).
-bool ParseFeedLine(std::string line, std::size_t line_no, FailureRecord* out) {
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-  if (line.empty()) return false;
-  try {
-    *out = csv::ParseFailureRow(csv::SplitLine(line), line_no);
-  } catch (const csv::ParseError& e) {
-    std::cerr << "hpcfail_stream: skipping line " << e.line() << ": "
-              << e.what() << "\n";
-    return false;
+// Drives one feed line through the format adapter's LineReader: BOM/CRLF
+// tolerant like the batch reader, every outcome counted in the
+// hpcfail_adapter_* registry, malformed rows skipped with a note
+// (streaming must survive them). kFatal — the feed cannot be this format
+// at all, e.g. the native schema's strict header check — throws.
+struct FeedReader {
+  const hpcfail::trace::LogAdapter* adapter;
+  std::unique_ptr<hpcfail::trace::LineReader> reader;
+  std::string source;  // feed path, for diagnostics
+  std::size_t lineno = 0;
+  bool first = true;
+
+  // Returns true when the line yielded a record into *out.
+  bool Consume(std::string line, FailureRecord* out) {
+    ++lineno;
+    if (first) {
+      csv::StripLeadingBom(line);
+      first = false;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) return false;
+    std::string reason;
+    const hpcfail::trace::LineOutcome outcome =
+        reader->Consume(line, lineno, out, &reason);
+    hpcfail::trace::CountLineOutcome(outcome);
+    switch (outcome) {
+      case hpcfail::trace::LineOutcome::kRecord:
+        return true;
+      case hpcfail::trace::LineOutcome::kIgnored:
+        return false;
+      case hpcfail::trace::LineOutcome::kRejected:
+        std::cerr << "hpcfail_stream: skipping line " << lineno << ": "
+                  << reason << "\n";
+        return false;
+      case hpcfail::trace::LineOutcome::kFatal:
+        break;
+    }
+    throw std::runtime_error(source + ": line " + std::to_string(lineno) +
+                             ": " + reason);
   }
-  return true;
-}
+};
 
 int RunStream(const Options& opt) {
   const engine::AnalysisSession config_session =
@@ -256,16 +290,52 @@ int RunStream(const Options& opt) {
   }
   std::istream& is = from_stdin ? std::cin : file;
 
-  // Header row (BOM/CRLF tolerant, like the batch reader).
+  // Resolve the feed's format adapter. Named formats resolve directly;
+  // "auto" sniffs — seekable files via SniffHead, stdin by buffering the
+  // first few lines (buffered lines are replayed through the reader below,
+  // so detection never loses feed data).
   std::string line;
-  if (!std::getline(is, line)) {
-    throw std::runtime_error(input_path + ": empty feed (no header row)");
+  std::vector<std::string> buffered;
+  const hpcfail::trace::LogAdapter* adapter = nullptr;
+  if (opt.format != "auto" && !opt.format.empty()) {
+    adapter = &hpcfail::trace::ResolveAdapter(opt.format, "");
+  } else if (!from_stdin) {
+    adapter =
+        &hpcfail::trace::ResolveAdapter("auto", hpcfail::trace::SniffHead(file));
+  } else {
+    std::string head;
+    while (buffered.size() < 8 && std::getline(is, line)) {
+      buffered.push_back(line);
+      head += line;
+      head += '\n';
+      if ((adapter = hpcfail::trace::DetectAdapter(head)) != nullptr) break;
+    }
+    if (adapter == nullptr) {
+      adapter = &hpcfail::trace::ResolveAdapter("auto", head);  // throws
+    }
   }
-  csv::StripLeadingBom(line);
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-  if (line != csv::FailuresHeader()) {
-    throw std::runtime_error(input_path + ": bad header row '" + line + "'");
+  hpcfail::trace::AdapterOptions adapter_opts;
+  adapter_opts.syslog_base_year = opt.syslog_base_year;
+  if (!opt.syslog_rules_file.empty()) {
+    std::ifstream rules(opt.syslog_rules_file);
+    if (!rules.is_open()) {
+      throw std::runtime_error("cannot open --syslog-rules file: " +
+                               opt.syslog_rules_file);
+    }
+    std::ostringstream buf;
+    buf << rules.rdbuf();
+    adapter_opts.syslog_rules = buf.str();
   }
+  FeedReader feed{adapter, adapter->MakeReader(adapter_opts), input_path};
+  std::cerr << "hpcfail_stream: feed format " << adapter->name() << "\n";
+  std::size_t buffered_next = 0;
+  const auto next_line = [&](std::string* out) {
+    if (buffered_next < buffered.size()) {
+      *out = std::move(buffered[buffered_next++]);
+      return true;
+    }
+    return static_cast<bool>(std::getline(is, *out));
+  };
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed = [&t0] {
@@ -284,7 +354,6 @@ int RunStream(const Options& opt) {
     }
   };
 
-  std::size_t line_no = 1;
   long long since_emit = 0;
   if (!opt.follow && !from_stdin) {
     // Whole file available up front: sharded catch-up replay, one chunk per
@@ -297,10 +366,9 @@ int RunStream(const Options& opt) {
       chunk.clear();
       emit();
     };
-    while (std::getline(is, line)) {
-      ++line_no;
+    while (next_line(&line)) {
       FailureRecord r;
-      if (!ParseFeedLine(std::move(line), line_no, &r)) continue;
+      if (!feed.Consume(std::move(line), &r)) continue;
       chunk.push_back(r);
       if (chunk.size() >= static_cast<std::size_t>(opt.every)) flush_chunk();
     }
@@ -309,15 +377,14 @@ int RunStream(const Options& opt) {
     // Tail mode: ingest line-by-line; on EOF either stop (stdin closed) or
     // poll for appended rows.
     for (;;) {
-      if (!std::getline(is, line)) {
+      if (!next_line(&line)) {
         if (!opt.follow || from_stdin) break;
         is.clear();
         std::this_thread::sleep_for(std::chrono::milliseconds(200));
         continue;
       }
-      ++line_no;
       FailureRecord r;
-      if (!ParseFeedLine(std::move(line), line_no, &r)) continue;
+      if (!feed.Consume(std::move(line), &r)) continue;
       if (engine.Ingest(r) == stream::IngestStatus::kAccepted &&
           ++since_emit >= opt.every) {
         since_emit = 0;
@@ -568,7 +635,16 @@ int main(int argc, char** argv) {
                      "CSV trace directory (systems.csv + layout.csv); the "
                      "feed defaults to <dir>/failures.csv");
     parser.AddString("input", &opt.input,
-                     "failure feed in the failures.csv schema; \"-\" = stdin");
+                     "failure feed; \"-\" = stdin");
+    parser.AddString("format", &opt.format,
+                     "feed format: auto (sniffed), hpcfail_csv, lanl_csv, "
+                     "bgq_ras, or syslog");
+    parser.AddInt("syslog-base-year", &opt.syslog_base_year,
+                  "--format syslog: year for RFC 3164 timestamps");
+    parser.AddString("syslog-rules", &opt.syslog_rules_file,
+                     "--format syslog: template->category rules file "
+                     "(\"keyword => category[/subcategory]\" per line, "
+                     "checked before the built-ins)");
     parser.AddFlag("follow", &opt.follow,
                    "keep tailing the feed for appended rows");
     parser.AddUint64("tolerance", &tolerance,

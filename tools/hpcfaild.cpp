@@ -29,6 +29,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
+#include "trace/adapter.h"
 
 namespace {
 
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
   serve::ServerConfig config;
   engine::StandardOptions std_opts;
   std::string metrics_out;
+  std::string serve_logs;
   std::uint64_t queue_depth = config.queue_depth;
   std::uint64_t pool_capacity = config.pool_capacity;
   std::uint64_t deadline_ms =
@@ -87,6 +89,10 @@ int main(int argc, char** argv) {
   parser.AddUint64("shard-budget-mb", &set_budget_mb,
                    "per-SessionSet resident shard budget in MiB; cold "
                    "shards are LRU-evicted beyond it (0 = unlimited)");
+  parser.AddString("serve-log", &serve_logs,
+                   "serve file-backed logs: NAME=PATH[:FORMAT], "
+                   "comma-separated (FORMAT defaults to auto-detect; query "
+                   "with log=NAME, list with FORMATS / GET /formats)");
   parser.AddString("metrics-out", &metrics_out,
                    "write a final Prometheus snapshot here on shutdown");
   engine::AddStandardOptions(parser, &std_opts);
@@ -100,6 +106,51 @@ int main(int argc, char** argv) {
   config.session = engine::MakeSessionOptions(std_opts);
   config.set_memory_budget_bytes =
       static_cast<std::size_t>(set_budget_mb) * 1024 * 1024;
+
+  // --serve-log NAME=PATH[:FORMAT],NAME=PATH[:FORMAT],...
+  // (one flag, comma-separated: ArgParser flags are single-valued).
+  if (!serve_logs.empty()) {
+    std::size_t start = 0;
+    while (start <= serve_logs.size()) {
+      std::size_t comma = serve_logs.find(',', start);
+      if (comma == std::string::npos) comma = serve_logs.size();
+      const std::string entry = serve_logs.substr(start, comma - start);
+      start = comma + 1;
+      if (entry.empty()) continue;
+      const std::size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+        std::cerr << "hpcfaild: --serve-log entry '" << entry
+                  << "' is not NAME=PATH[:FORMAT]\n";
+        return 2;
+      }
+      const std::string name = entry.substr(0, eq);
+      std::string path = entry.substr(eq + 1);
+      serve::ServeLogSpec spec;
+      // The FORMAT suffix is the text after the LAST colon, and only when
+      // it names a known adapter or "auto" — so absolute paths with
+      // colons in them still parse.
+      const std::size_t colon = path.rfind(':');
+      if (colon != std::string::npos) {
+        const std::string suffix = path.substr(colon + 1);
+        if (suffix == "auto" ||
+            hpcfail::trace::FindAdapter(suffix) != nullptr) {
+          spec.format = suffix;
+          path.resize(colon);
+        }
+      }
+      if (path.empty()) {
+        std::cerr << "hpcfaild: --serve-log entry '" << entry
+                  << "' has an empty path\n";
+        return 2;
+      }
+      spec.path = path;
+      if (!config.logs.emplace(name, std::move(spec)).second) {
+        std::cerr << "hpcfaild: duplicate --serve-log name '" << name
+                  << "'\n";
+        return 2;
+      }
+    }
+  }
 
   if (::pipe(g_signal_pipe) != 0) {
     std::cerr << "hpcfaild: pipe: " << std::strerror(errno) << "\n";
