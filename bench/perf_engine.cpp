@@ -26,8 +26,11 @@
 #include "core/simd.h"
 #include "core/parallel.h"
 #include "core/window_analysis.h"
+#include "engine/bootstrap_table.h"
 #include "engine/session.h"
 #include "engine/session_set.h"
+#include "engine/trace_source.h"
+#include "engine/trace_cache.h"
 #include "stats/bootstrap.h"
 #include "stats/descriptive.h"
 #include "stats/glm.h"
@@ -297,9 +300,108 @@ int RunJsonMode(int argc, const char* const* argv) {
     warm_hit = s.stats().cache_hit;
   });
 
+  // Artifact-kind ablation: a warm session restricted to the trace artifact
+  // rebuilds the SoA indexes from the cached trace, while the full
+  // multi-kind cache also restores the prebuilt index snapshot. The ratio
+  // between the two is the ci.sh perf-gate input for the index artifact.
+  engine::SessionOptions trace_only = cached;
+  trace_only.cache.kinds = engine::ArtifactKindBit(engine::ArtifactKind::kTrace);
+  bool trace_warm_hit = false;
+  const double trace_warm_s = BestSeconds(reps, [&] {
+    const engine::AnalysisSession s = engine::AnalysisSession::FromScenario(
+        scenario, std_opts.seed, trace_only);
+    trace_warm_hit = s.stats().cache_hit;
+  });
+  bool index_warm_hit = false;
+  double index_phase_warm_s = 0.0;
+  const double index_warm_s = BestSeconds(reps, [&] {
+    const engine::AnalysisSession s =
+        engine::AnalysisSession::FromScenario(scenario, std_opts.seed, cached);
+    index_warm_hit = s.stats().index_cache_hit;
+    index_phase_warm_s = s.stats().index_seconds;
+  });
+
+  // Where the index snapshot actually pays: SessionSet shard builds. The
+  // sub-trace fallback (kinds=trace) deserializes and re-validates a sliced
+  // trace per shard, then still builds the columns; the index artifact
+  // restores the prebuilt columns straight against the parent trace. Both
+  // run against a primed cache; set construction (parent acquisition, equal
+  // on both sides) stays outside the timed region.
+  double shard_trace_warm_s = 0.0;
+  double shard_index_warm_s = 0.0;
+  std::uint64_t shard_warm_hits = 0;
+  std::uint64_t shard_count = 0;
+  {
+    // A full-scale multi-year grid: per-shard work must dwarf the fixed
+    // per-shard overheads (file opens, single-flight locks) or the ratio
+    // measures noise instead of the restore path.
+    const auto shard_scenario = synth::LanlLikeScenario(1.0, 2 * kYear);
+    engine::SessionSetOptions sopts;
+    sopts.shard.window = 0;
+    sopts.shard.systems_per_block = 3;
+    sopts.cache = cached.cache;
+    {
+      engine::SessionSet prime(
+          engine::MakeScenarioSource(shard_scenario, std_opts.seed), sopts);
+      prime.BuildAll();
+      shard_count = static_cast<std::uint64_t>(prime.plan().num_shards());
+    }
+    const auto measure_build_all = [&](unsigned kinds,
+                                       std::uint64_t* hits) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < reps; ++i) {
+        engine::SessionSetOptions o = sopts;
+        o.cache.kinds = kinds;
+        engine::SessionSet set(
+            engine::MakeScenarioSource(shard_scenario, std_opts.seed), o);
+        const auto t0 = std::chrono::steady_clock::now();
+        set.BuildAll();
+        best = std::min(
+            best, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+        if (hits != nullptr) *hits = set.stats().cache_hits;
+      }
+      return best;
+    };
+    shard_trace_warm_s = measure_build_all(
+        engine::ArtifactKindBit(engine::ArtifactKind::kTrace), nullptr);
+    shard_index_warm_s =
+        measure_build_all(engine::kAllArtifactKinds, &shard_warm_hits);
+  }
+
   const engine::AnalysisSession session =
       engine::AnalysisSession::FromScenario(scenario, std_opts.seed, cached);
   const WindowAnalyzer analyzer(session.index());
+
+  // Bootstrap replicate tables: cold resampling vs warm decode of the
+  // cached tables, with a byte-equality sentinel over the rendered section.
+  const engine::BootstrapOptions boot_opts;
+  engine::CacheConfig boot_off_cfg = cached.cache;
+  boot_off_cfg.enabled = false;
+  engine::ArtifactCache boot_off(boot_off_cfg);
+  engine::ArtifactCache boot_cache(cached.cache);
+  std::ostringstream boot_cold_body;
+  const double boot_cold_s = BestSeconds(reps, [&] {
+    boot_cold_body.str("");
+    engine::RenderBootstrapTable(session, session.stats().fingerprint,
+                                 boot_off, boot_opts, boot_cold_body);
+  });
+  {
+    std::ostringstream prime;
+    engine::RenderBootstrapTable(session, session.stats().fingerprint,
+                                 boot_cache, boot_opts, prime);
+  }
+  bool boot_warm_hit = false;
+  std::ostringstream boot_warm_body;
+  const double boot_warm_s = BestSeconds(reps, [&] {
+    boot_warm_body.str("");
+    boot_warm_hit = engine::RenderBootstrapTable(
+                        session, session.stats().fingerprint, boot_cache,
+                        boot_opts, boot_warm_body)
+                        .cache_hit;
+  });
+  const bool boot_equal = boot_cold_body.str() == boot_warm_body.str();
 
   std::ostringstream out;
   out.precision(6);
@@ -310,6 +412,25 @@ int RunJsonMode(int argc, const char* const* argv) {
       << ",\"warm_seconds\":" << warm_s << ",\"warm_cache_hit\":"
       << (warm_hit ? "true" : "false") << ",\"warm_speedup\":"
       << (warm_s > 0.0 ? cold_s / warm_s : 0.0) << "}";
+
+  out << ",\"artifacts\":{\"trace_warm_seconds\":" << trace_warm_s
+      << ",\"trace_warm_cache_hit\":" << (trace_warm_hit ? "true" : "false")
+      << ",\"index_warm_seconds\":" << index_warm_s
+      << ",\"index_warm_cache_hit\":" << (index_warm_hit ? "true" : "false")
+      << ",\"index_phase_warm_seconds\":" << index_phase_warm_s
+      << ",\"shard_count\":" << shard_count
+      << ",\"shard_warm_hits\":" << shard_warm_hits
+      << ",\"shard_trace_warm_seconds\":" << shard_trace_warm_s
+      << ",\"shard_index_warm_seconds\":" << shard_index_warm_s
+      << ",\"shard_index_warm_ratio\":"
+      << (shard_trace_warm_s > 0.0 ? shard_index_warm_s / shard_trace_warm_s
+                                   : 0.0)
+      << ",\"bootstrap_cold_seconds\":" << boot_cold_s
+      << ",\"bootstrap_warm_seconds\":" << boot_warm_s
+      << ",\"bootstrap_warm_cache_hit\":" << (boot_warm_hit ? "true" : "false")
+      << ",\"bootstrap_warm_ratio\":"
+      << (boot_cold_s > 0.0 ? boot_warm_s / boot_cold_s : 0.0)
+      << ",\"bootstrap_equal\":" << (boot_equal ? "true" : "false") << "}";
 
   // Query-phase workloads shaped like the figures the analyses feed:
   // per-category conditional-vs-baseline comparisons at each scope

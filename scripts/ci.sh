@@ -11,9 +11,14 @@
 # load, served bytes vs CLI bytes, /metrics scrape, SIGTERM drain), a
 # format-adapter job (checked-in fixture ingest for every registered
 # format, a LANL legacy-vs-adapter byte-parity diff, and the adapter fuzz
-# suite under ASan/UBSan), and a two-sided perf gate against the committed
-# BENCH_pr9.json baseline (which also holds the adapter-path LANL ingest
-# to >= 0.9x the legacy importer's throughput).
+# suite under ASan/UBSan), a multi-kind artifact gate (warm runs restoring
+# the index snapshot and bootstrap replicate table must answer
+# byte-identically to the cold run that stored them, monolithic, sharded,
+# and over the wire), and a two-sided perf gate against the committed
+# BENCH_pr10.json baseline (which also holds the adapter-path LANL ingest
+# to >= 0.9x the legacy importer's throughput, the warm shard build via
+# index snapshots to <= 0.8x the sub-trace fallback, and the cached
+# bootstrap render to <= 0.5x a cold resample).
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -35,7 +40,7 @@ cmake --build build-tsan -j "$JOBS" --target \
   test_stream_index test_stream_parity test_stream_snapshot \
   test_metrics test_obs_integration test_csv_fuzz hpcfail_stream \
   test_serve_protocol test_session_pool test_serve_server \
-  test_session_set test_engine_cache
+  test_session_set test_engine_cache test_cache_contention
 ./build-tsan/tests/test_stream_index
 ./build-tsan/tests/test_stream_parity
 ./build-tsan/tests/test_stream_snapshot
@@ -48,6 +53,7 @@ cmake --build build-tsan -j "$JOBS" --target \
 ./build-tsan/tests/test_serve_server
 ./build-tsan/tests/test_session_set
 ./build-tsan/tests/test_engine_cache
+./build-tsan/tests/test_cache_contention
 
 echo "== cache determinism: warm run must be byte-identical to cold =="
 # The artifact cache's core guarantee (DESIGN.md "Engine layer"): a warm
@@ -70,6 +76,43 @@ grep -q '"cache_stored":true' "$CACHE_TMP/cold.err" \
 grep -q '"cache_hit":true' "$CACHE_TMP/warm.err" \
   || { echo "ci: warm run did not hit the cache" >&2; exit 1; }
 
+echo "== artifact cache: warm index + bootstrap byte-identity =="
+# The multi-kind gate (DESIGN.md "Artifact cache"): run once cold with
+# --bootstrap so the trace, the index snapshot, and the bootstrap replicate
+# table all land in the cache, then rerun with the trace kind disabled
+# (--cache-artifacts index,bootstrap). The warm run regenerates the trace
+# from scratch but must restore the index columns and reuse the replicate
+# table -- and every report byte, bootstrap CI table included, must match.
+# The sharded rerun shares the trace fingerprint, so it must reuse the same
+# bootstrap entry and still answer identically.
+./build/tools/hpcfail_report --synth --scale 0.2 --years 1 --seed 7 \
+  --cache-dir "$CACHE_TMP/artifacts" --bootstrap \
+  > "$CACHE_TMP/boot_cold.out" 2> "$CACHE_TMP/boot_cold.err"
+grep -q '"index_cache_stored":true' "$CACHE_TMP/boot_cold.err" \
+  || { echo "ci: cold run did not store an index snapshot" >&2; exit 1; }
+grep -q 'bootstrap cache_hit=false cache_stored=true' \
+  "$CACHE_TMP/boot_cold.err" \
+  || { echo "ci: cold run did not store a bootstrap table" >&2; exit 1; }
+./build/tools/hpcfail_report --synth --scale 0.2 --years 1 --seed 7 \
+  --cache-dir "$CACHE_TMP/artifacts" --cache-artifacts index,bootstrap \
+  --bootstrap \
+  > "$CACHE_TMP/boot_warm.out" 2> "$CACHE_TMP/boot_warm.err"
+diff "$CACHE_TMP/boot_cold.out" "$CACHE_TMP/boot_warm.out" \
+  || { echo "ci: warm index/bootstrap output differs from cold" >&2; exit 1; }
+grep -q '"index_cache_hit":true' "$CACHE_TMP/boot_warm.err" \
+  || { echo "ci: warm run did not restore the index snapshot" >&2; exit 1; }
+grep -q 'bootstrap cache_hit=true' "$CACHE_TMP/boot_warm.err" \
+  || { echo "ci: warm run did not reuse the bootstrap table" >&2; exit 1; }
+./build/tools/hpcfail_report --synth --scale 0.2 --years 1 --seed 7 \
+  --cache-dir "$CACHE_TMP/artifacts" --cache-artifacts index,bootstrap \
+  --sharded --shard-block-systems 1 --bootstrap \
+  > "$CACHE_TMP/boot_shard.out" 2> "$CACHE_TMP/boot_shard.err"
+diff "$CACHE_TMP/boot_cold.out" "$CACHE_TMP/boot_shard.out" \
+  || { echo "ci: sharded warm bootstrap output differs from cold" >&2
+       exit 1; }
+grep -q 'bootstrap cache_hit=true' "$CACHE_TMP/boot_shard.err" \
+  || { echo "ci: sharded run did not reuse the bootstrap table" >&2; exit 1; }
+
 echo "== asan+ubsan: cache paths and SIMD kernels under sanitizers =="
 # The cache decodes attacker-ish bytes (truncated/corrupt entries) with
 # hand-rolled framing; run the corruption matrix and session tests under
@@ -78,9 +121,10 @@ echo "== asan+ubsan: cache paths and SIMD kernels under sanitizers =="
 # exactly where an off-by-one reads past a column.
 cmake -B build-asan -S . -DHPCFAIL_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target \
-  test_engine_cache test_engine_session test_arg_parser test_simd_kernels \
-  test_adapter test_adapter_fuzz
+  test_engine_cache test_cache_contention test_engine_session \
+  test_arg_parser test_simd_kernels test_adapter test_adapter_fuzz
 ./build-asan/tests/test_engine_cache
+./build-asan/tests/test_cache_contention
 ./build-asan/tests/test_engine_session
 ./build-asan/tests/test_arg_parser
 ./build-asan/tests/test_simd_kernels
@@ -222,6 +266,17 @@ done
 diff "$CACHE_TMP/served_log.out" "$CACHE_TMP/syslog.out" \
   || { echo "ci: served syslog report differs from CLI --log report" >&2
        exit 1; }
+# The bootstrap table over the wire: /table/bootstrap must serve the same
+# replicate table the CLI renders (the served body leads with the blank
+# separator line that precedes the section inside the full report).
+./build/bench/perf_service --connect "127.0.0.1:$PORT" \
+  --get '/table/bootstrap?scale=0.2&years=1&seed=7' \
+  > "$CACHE_TMP/served_boot.out" \
+  || { echo "ci: GET /table/bootstrap failed" >&2; exit 1; }
+sed -n '/^=== bootstrap confidence/,$p' "$CACHE_TMP/boot_cold.out" \
+  > "$CACHE_TMP/cli_boot.out"
+diff <(tail -n +2 "$CACHE_TMP/served_boot.out") "$CACHE_TMP/cli_boot.out" \
+  || { echo "ci: served bootstrap table differs from CLI's" >&2; exit 1; }
 ./build/bench/perf_service --connect "127.0.0.1:$PORT" --get /metrics \
   > "$CACHE_TMP/scrape.txt" \
   || { echo "ci: /metrics scrape failed" >&2; exit 1; }
@@ -233,7 +288,7 @@ wait "$DAEMON_PID" \
 grep -q '^stopped$' "$CACHE_TMP/hpcfaild.out" \
   || { echo "ci: hpcfaild did not drain cleanly" >&2; exit 1; }
 
-echo "== perf smoke: two-sided gate vs BENCH_pr9.json =="
+echo "== perf smoke: two-sided gate vs BENCH_pr10.json =="
 # Guards the headline numbers against the committed baseline: the serial
 # pairwise-matrix time (query kernels) must not be >25% slower, serial
 # stream ingest must not drop >25% below the recorded events/sec, and the
@@ -259,7 +314,7 @@ echo "== perf smoke: two-sided gate vs BENCH_pr9.json =="
   > "$CACHE_TMP/perf_service.json" \
   || { echo "ci: perf_service reported request failures" >&2; exit 1; }
 python3 - "$CACHE_TMP/perf.json" "$CACHE_TMP/perf_stream.json" \
-  "$CACHE_TMP/perf_service.json" BENCH_pr9.json <<'PYEOF'
+  "$CACHE_TMP/perf_service.json" BENCH_pr10.json <<'PYEOF'
 import json, sys
 now_engine = json.load(open(sys.argv[1]))
 now_stream = json.load(open(sys.argv[2]))
@@ -347,6 +402,30 @@ status = "ok" if ratio <= 1.5 else "REGRESSION"
 print(f"perf: session_set sharded build {got:.6g}s vs baseline "
       f"{want:.6g}s (x{ratio:.2f}) {status}")
 failed |= ratio > 1.5
+# Side 5: the multi-kind artifact cache. Warm restores must actually hit
+# (the flags are hard failures), a warm SessionSet shard build via index
+# snapshots must beat the sub-trace-deserialize fallback by >= 20%, and a
+# cached bootstrap table must cost <= half a cold resample (in practice it
+# is ~100x cheaper; 0.5 leaves room for tiny-table noise).
+art = now_engine["artifacts"]
+for flag in ("index_warm_cache_hit", "bootstrap_warm_cache_hit",
+             "bootstrap_equal"):
+    if not art[flag]:
+        print(f"perf: artifacts {flag} is false REGRESSION")
+        failed = True
+if art["shard_warm_hits"] <= 0:
+    print("perf: artifacts shard warm build hit no cache entries REGRESSION")
+    failed = True
+got = art["shard_index_warm_ratio"]
+status = "ok" if got <= 0.8 else "REGRESSION"
+print(f"perf: shard build via index snapshot x{got:.2f} of sub-trace warm "
+      f"(bound 0.80) {status}")
+failed |= got > 0.8
+got = art["bootstrap_warm_ratio"]
+status = "ok" if got <= 0.5 else "REGRESSION"
+print(f"perf: bootstrap cached render x{got:.3f} of cold resample "
+      f"(bound 0.50) {status}")
+failed |= got > 0.5
 if "query_phase_seconds" in now_engine:
     q = now_engine["query_phase_seconds"]
     print(f"perf: query_phase total {q['total']:.6g}s "

@@ -319,6 +319,92 @@ void SystemEventStore::AppendBlock(const RecordBlock& block) {
   }
 }
 
+void SystemEventStore::ValidateRestored() const {
+  const std::size_t n = size();
+  if (ends.size() != n || nodes.size() != n || cats.size() != n ||
+      subs.size() != n) {
+    throw std::invalid_argument(
+        "SystemEventStore::ValidateRestored: global column lengths differ");
+  }
+  if (config == nullptr || by_node.size() != rack_of.size() ||
+      by_node.size() != static_cast<std::size_t>(config->num_nodes) ||
+      by_rack.size() != rack_size.size()) {
+    throw std::invalid_argument(
+        "SystemEventStore::ValidateRestored: store not initialized against "
+        "its system config");
+  }
+  const std::size_t bad = simd::Active().validate_block(
+      starts.data(), ends.data(), nodes.data(), cats.data(), subs.data(), n,
+      static_cast<std::int32_t>(by_node.size()));
+  if (bad < n) {
+    throw std::invalid_argument(
+        "SystemEventStore::ValidateRestored: invalid record at row " +
+        std::to_string(bad));
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (starts[i] < starts[i - 1] ||
+        (starts[i] == starts[i - 1] && nodes[i] < nodes[i - 1])) {
+      throw std::invalid_argument(
+          "SystemEventStore::ValidateRestored: rows not (start, node)-sorted "
+          "at row " +
+          std::to_string(i));
+    }
+  }
+  // Walk the global rows with one cursor per node and rack bundle: each row
+  // must be the next entry of its node's bundle (and its rack's, when the
+  // node has one), and afterwards every cursor must sit at its bundle's
+  // end. That makes the bundles exactly the row-order partition of the
+  // global columns — the invariant PushRow maintains — so a snapshot cannot
+  // smuggle in rows the queries would see but the record view would not.
+  std::vector<std::size_t> node_pos(by_node.size(), 0);
+  std::vector<std::size_t> rack_pos(by_rack.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto node = static_cast<std::size_t>(nodes[i]);
+    const EventColumns& nc = by_node[node];
+    const std::size_t np = node_pos[node]++;
+    if (np >= nc.times.size() || !nc.nodes.empty() ||
+        nc.times[np] != starts[i] || nc.cats[np] != cats[i] ||
+        nc.subs[np] != subs[i]) {
+      throw std::invalid_argument(
+          "SystemEventStore::ValidateRestored: per-node bundle disagrees "
+          "with global row " +
+          std::to_string(i));
+    }
+    const RackId rack = rack_of[node];
+    if (!rack.valid()) continue;
+    if (static_cast<std::size_t>(rack.value) >= by_rack.size()) {
+      throw std::invalid_argument(
+          "SystemEventStore::ValidateRestored: rack id out of range for "
+          "node " +
+          std::to_string(node));
+    }
+    const EventColumns& rc = by_rack[static_cast<std::size_t>(rack.value)];
+    const std::size_t rp = rack_pos[static_cast<std::size_t>(rack.value)]++;
+    if (rp >= rc.times.size() || rc.times[rp] != starts[i] ||
+        rc.nodes[rp] != nodes[i] || rc.cats[rp] != cats[i] ||
+        rc.subs[rp] != subs[i]) {
+      throw std::invalid_argument(
+          "SystemEventStore::ValidateRestored: per-rack bundle disagrees "
+          "with global row " +
+          std::to_string(i));
+    }
+  }
+  for (std::size_t node = 0; node < by_node.size(); ++node) {
+    if (node_pos[node] != by_node[node].times.size()) {
+      throw std::invalid_argument(
+          "SystemEventStore::ValidateRestored: per-node bundle for node " +
+          std::to_string(node) + " holds rows absent from the global columns");
+    }
+  }
+  for (std::size_t rack = 0; rack < by_rack.size(); ++rack) {
+    if (rack_pos[rack] != by_rack[rack].times.size()) {
+      throw std::invalid_argument(
+          "SystemEventStore::ValidateRestored: per-rack bundle for rack " +
+          std::to_string(rack) + " holds rows absent from the global columns");
+    }
+  }
+}
+
 namespace {
 
 // Bulk column append shared by AppendStore: dst += src.

@@ -262,6 +262,17 @@ struct SystemEventStore {
   // RecordBlock does not carry a system column.
   void AppendBlock(const RecordBlock& block);
 
+  // Proves a store whose columns were filled by an external restore path
+  // (the engine's index-snapshot cache) holds exactly what Append-ing the
+  // same rows would have built: global columns equal-length, every row
+  // valid under the block kernel and (start, node)-sorted, and the
+  // per-node / per-rack bundles exactly the row-order partition of the
+  // global columns (checked by a cursor walk, so a snapshot can add, drop,
+  // reorder or relabel nothing). Init(config) must have run first. Throws
+  // std::invalid_argument on the first violation; a store that passes is
+  // indistinguishable from a freshly built one.
+  void ValidateRestored() const;
+
   // Bit i set iff some stored record has category i (category_mask kernel).
   // Analyses iterating all six categories use it to skip absent ones.
   std::uint32_t CategoriesPresent() const;

@@ -1,0 +1,233 @@
+#include "engine/bootstrap_table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/report.h"
+#include "engine/fingerprint.h"
+#include "obs/span.h"
+#include "stats/bootstrap.h"
+#include "stats/rng.h"
+#include "stream/snapshot.h"
+
+namespace hpcfail::engine {
+
+namespace snapshot = stream::snapshot;
+
+namespace {
+
+// A system needs at least this many interarrival gaps for its rows; below
+// that a bootstrap interval is noise.
+constexpr std::size_t kMinSample = 10;
+
+// One (system, statistic) row: everything the renderer needs plus the
+// replicate table the confidence interval is read from.
+struct Row {
+  SystemId system;
+  std::string statistic;  // "mean" | "median"
+  std::uint64_t n = 0;    // interarrival sample size
+  stats::BootstrapTable table;
+};
+
+double Mean(std::span<const double> v) {
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Median(std::span<const double> v) {
+  std::vector<double> copy(v.begin(), v.end());
+  std::sort(copy.begin(), copy.end());
+  const std::size_t n = copy.size();
+  return n % 2 == 1 ? copy[n / 2]
+                    : 0.5 * (copy[n / 2 - 1] + copy[n / 2]);
+}
+
+std::vector<double> InterarrivalSample(const Trace& trace, SystemId sys) {
+  const std::vector<FailureRecord> failures = trace.FailuresOfSystem(sys);
+  std::vector<double> gaps;
+  if (failures.size() < 2) return gaps;
+  gaps.reserve(failures.size() - 1);
+  for (std::size_t i = 1; i < failures.size(); ++i) {
+    gaps.push_back(
+        static_cast<double>(failures[i].start - failures[i - 1].start));
+  }
+  return gaps;
+}
+
+void CheckCancel(const CancelFn& cancel) {
+  if (cancel && cancel()) throw RenderCancelled("bootstrap");
+}
+
+std::vector<Row> ComputeRows(const Trace& trace,
+                             const BootstrapOptions& options,
+                             const CancelFn& cancel) {
+  // One serial Rng across all rows in trace order: the replicate seeds (and
+  // therefore every table) are a pure function of (trace, seed, resamples),
+  // the artifact key.
+  stats::Rng rng(options.seed);
+  std::vector<Row> rows;
+  for (const SystemConfig& s : trace.systems()) {
+    CheckCancel(cancel);
+    const std::vector<double> sample = InterarrivalSample(trace, s.id);
+    if (sample.size() < kMinSample) continue;
+    for (const auto& [name, fn] :
+         {std::pair<const char*, double (*)(std::span<const double>)>{
+              "mean", &Mean},
+          {"median", &Median}}) {
+      Row row;
+      row.system = s.id;
+      row.statistic = name;
+      row.n = sample.size();
+      row.table =
+          stats::BootstrapReplicates(sample, fn, rng, options.resamples);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+void SerializeRows(const std::vector<Row>& rows, snapshot::Writer* w) {
+  w->PutU64(rows.size());
+  for (const Row& row : rows) {
+    w->PutI64(row.system.value);
+    w->PutString(row.statistic);
+    w->PutU64(row.n);
+    w->PutDouble(row.table.estimate);
+    w->PutU64(row.table.replicates.size());
+    for (const double r : row.table.replicates) w->PutDouble(r);
+  }
+}
+
+std::vector<Row> DeserializeRows(const Trace& trace,
+                                 const BootstrapOptions& options,
+                                 snapshot::Reader* r) {
+  std::vector<Row> rows(r->GetSize(8 + 8 + 8 + 8 + 8));
+  for (Row& row : rows) {
+    row.system = SystemId{static_cast<std::int32_t>(r->GetI64())};
+    if (trace.FindSystem(row.system) == nullptr) {
+      throw snapshot::SnapshotError("bootstrap row names unknown system");
+    }
+    row.statistic = r->GetString();
+    if (row.statistic != "mean" && row.statistic != "median") {
+      throw snapshot::SnapshotError("bootstrap row names unknown statistic");
+    }
+    row.n = r->GetU64();
+    row.table.estimate = r->GetDouble();
+    row.table.replicates.resize(r->GetSize(8));
+    if (row.table.replicates.size() !=
+        static_cast<std::size_t>(options.resamples)) {
+      throw snapshot::SnapshotError("bootstrap replicate count mismatch");
+    }
+    double prev = 0.0;
+    for (std::size_t i = 0; i < row.table.replicates.size(); ++i) {
+      const double v = r->GetDouble();
+      if (i > 0 && v < prev) {
+        // ResultFromTable's percentile read assumes a sorted table.
+        throw snapshot::SnapshotError("bootstrap replicates not sorted");
+      }
+      row.table.replicates[i] = v;
+      prev = v;
+    }
+  }
+  if (!r->AtEnd()) {
+    throw snapshot::SnapshotError("trailing bytes after bootstrap payload");
+  }
+  return rows;
+}
+
+void RenderRows(const Trace& trace, const std::vector<Row>& rows,
+                const BootstrapOptions& options, std::ostream& os,
+                const CancelFn& cancel) {
+  os << "\n=== bootstrap confidence intervals (interarrival seconds, "
+     << core::FormatDouble(options.confidence * 100.0, 0) << "% CI, "
+     << options.resamples << " resamples) ===\n";
+  if (rows.empty()) {
+    os << "no system has enough failures (need >= " << kMinSample
+       << " interarrival gaps)\n";
+    return;
+  }
+  core::Table t({"system", "statistic", "n", "estimate", "ci low", "ci high"});
+  for (const Row& row : rows) {
+    CheckCancel(cancel);
+    const stats::BootstrapResult r =
+        stats::ResultFromTable(row.table, options.confidence);
+    t.AddRow({trace.system(row.system).name, row.statistic,
+              std::to_string(row.n), core::FormatDouble(r.estimate, 1),
+              core::FormatDouble(r.ci_low, 1),
+              core::FormatDouble(r.ci_high, 1)});
+  }
+  t.Print(os);
+}
+
+}  // namespace
+
+std::uint64_t BootstrapArtifactKey(std::uint64_t fingerprint,
+                                   const BootstrapOptions& options) {
+  FingerprintHasher h;
+  h.Str("interarrival");
+  h.U64(fingerprint);
+  h.U64(options.seed);
+  h.U64(static_cast<std::uint64_t>(options.resamples));
+  return h.value();
+}
+
+BootstrapRenderStats RenderBootstrapTable(
+    const AnalysisView& view, std::optional<std::uint64_t> fingerprint,
+    ArtifactCache& cache, const BootstrapOptions& options, std::ostream& os,
+    const CancelFn& cancel) {
+  if (options.resamples < 2) {
+    throw std::invalid_argument("RenderBootstrapTable: resamples < 2");
+  }
+  if (!(options.confidence > 0.0) || !(options.confidence < 1.0)) {
+    throw std::invalid_argument(
+        "RenderBootstrapTable: confidence not in (0,1)");
+  }
+  obs::ScopedTimer timer("bootstrap_render");
+  BootstrapRenderStats out;
+  const Trace& trace = view.trace();
+  std::optional<std::vector<Row>> rows;
+  const bool cache_on =
+      fingerprint.has_value() && cache.KindEnabled(ArtifactKind::kBootstrap);
+  std::uint64_t key = 0;
+  if (cache_on) {
+    key = BootstrapArtifactKey(*fingerprint, options);
+    if (std::optional<std::string> body = cache.TryLoadBody(
+            ArtifactKind::kBootstrap, key, &out.diagnostic)) {
+      try {
+        snapshot::Reader r(*body);
+        rows = DeserializeRows(trace, options, &r);
+        out.cache_hit = true;
+      } catch (const snapshot::SnapshotError& e) {
+        cache.EvictCorrupt(ArtifactKind::kBootstrap, key, e.what(),
+                           &out.diagnostic);
+      }
+    }
+  } else {
+    out.diagnostic = !fingerprint.has_value()
+                         ? "unfingerprintable source"
+                         : (cache.enabled() ? "artifact kind disabled"
+                                            : "cache disabled");
+  }
+  if (!rows.has_value()) {
+    rows = ComputeRows(trace, options, cancel);
+    if (cache_on) {
+      snapshot::Writer w;
+      SerializeRows(*rows, &w);
+      std::string store_diag;
+      out.cache_stored = cache.StoreBody(ArtifactKind::kBootstrap, key,
+                                         w.payload(), &store_diag);
+      if (!out.cache_stored) {
+        out.diagnostic += "; store failed: " + store_diag;
+      }
+    }
+  }
+  RenderRows(trace, *rows, options, os, cancel);
+  return out;
+}
+
+}  // namespace hpcfail::engine

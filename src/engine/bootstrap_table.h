@@ -1,0 +1,61 @@
+// The --bootstrap report section: per-system bootstrap confidence intervals
+// for interarrival-time statistics (mean and median of the gaps between
+// consecutive failure starts), backed by the "bootstrap" artifact kind of
+// the cache.
+//
+// The expensive stage — the resampled replicate tables
+// (stats::BootstrapReplicates) — is persisted keyed by (trace fingerprint,
+// "interarrival", seed, resamples); the confidence level is applied at
+// render time (stats::ResultFromTable), so one cached table serves any
+// confidence. Warm renders decode the tables instead of resampling, and the
+// rendered bytes are identical cold vs warm: both paths read the interval
+// off the same (estimate, sorted replicates) rows, stored as exact IEEE-754
+// bit patterns. A body that fails to decode degrades to a miss
+// (ArtifactCache::EvictCorrupt) and the section recomputes.
+//
+// Used by hpcfail_report (--bootstrap) and hpcfaild (target "bootstrap"),
+// which therefore serve byte-identical sections.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "engine/report_render.h"
+#include "engine/session.h"
+#include "engine/trace_cache.h"
+
+namespace hpcfail::engine {
+
+struct BootstrapOptions {
+  std::uint64_t seed = kDefaultSeed;  // replicate RNG seed (cache-keyed)
+  int resamples = 1000;               // replicates per statistic (cache-keyed)
+  double confidence = 0.95;           // applied at render time, NOT keyed
+};
+
+struct BootstrapRenderStats {
+  bool cache_hit = false;     // replicate tables decoded from the cache
+  bool cache_stored = false;  // this render wrote the tables
+  std::string diagnostic;     // "hit", "no cache entry", "corrupt ...", ...
+};
+
+// The artifact key for the replicate tables of `fingerprint`'s trace.
+std::uint64_t BootstrapArtifactKey(std::uint64_t fingerprint,
+                                   const BootstrapOptions& options);
+
+// Renders the bootstrap section (heading + one table row per eligible
+// system and statistic) to `os`, loading or storing the replicate tables
+// through `cache` when `fingerprint` is set. Cancellation follows the
+// report renderers: throws RenderCancelled between systems, nothing more is
+// written. Throws std::invalid_argument when options are out of range
+// (resamples < 2 or confidence outside (0,1)).
+BootstrapRenderStats RenderBootstrapTable(const AnalysisView& view,
+                                          std::optional<std::uint64_t>
+                                              fingerprint,
+                                          ArtifactCache& cache,
+                                          const BootstrapOptions& options,
+                                          std::ostream& os,
+                                          const CancelFn& cancel = {});
+
+}  // namespace hpcfail::engine

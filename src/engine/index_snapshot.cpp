@@ -1,0 +1,198 @@
+#include "engine/index_snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "obs/span.h"
+
+namespace hpcfail::engine {
+
+namespace snapshot = stream::snapshot;
+
+namespace {
+
+// Layout per store: i64 system id, then the five global columns, then the
+// per-node and per-rack bundles (count + columns each). Every column rides
+// as one length-prefixed byte string — a single bulk copy each way, which
+// is what makes the restore cheaper than rebuilding the columns. The bytes
+// are the in-memory element layout (the cache is a host-local artifact
+// behind a schema version and the envelope checksum, not an interchange
+// format), and every restored store still passes ValidateRestored before it
+// is served.
+
+template <typename T>
+void PutColumn(snapshot::Writer* w, const std::vector<T>& v) {
+  w->PutString(std::string_view(reinterpret_cast<const char*>(v.data()),
+                                v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> GetColumn(snapshot::Reader* r) {
+  const std::string s = r->GetString();
+  if (s.size() % sizeof(T) != 0) {
+    throw snapshot::SnapshotError("column byte length not a multiple of " +
+                                  std::to_string(sizeof(T)));
+  }
+  std::vector<T> v(s.size() / sizeof(T));
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+std::vector<std::uint8_t> GetBytes(snapshot::Reader* r, std::size_t expect) {
+  std::vector<std::uint8_t> v = GetColumn<std::uint8_t>(r);
+  if (v.size() != expect) {
+    throw snapshot::SnapshotError("byte column length mismatch");
+  }
+  return v;
+}
+
+void PutStore(snapshot::Writer* w, const core::SystemEventStore& se) {
+  w->PutI64(se.id.value);
+  PutColumn(w, se.starts);
+  PutColumn(w, se.ends);
+  PutColumn(w, se.nodes);
+  PutColumn(w, se.cats);
+  PutColumn(w, se.subs);
+  w->PutU64(se.by_node.size());
+  for (const core::SystemEventStore::EventColumns& c : se.by_node) {
+    PutColumn(w, c.times);
+    PutColumn(w, c.cats);
+    PutColumn(w, c.subs);
+  }
+  w->PutU64(se.by_rack.size());
+  for (const core::SystemEventStore::EventColumns& c : se.by_rack) {
+    PutColumn(w, c.times);
+    PutColumn(w, c.nodes);
+    PutColumn(w, c.cats);
+    PutColumn(w, c.subs);
+  }
+}
+
+// Decode only: column extraction in stream order. Init and ValidateRestored
+// run afterwards, in parallel across stores (they are per-store work and
+// the expensive half of a restore).
+core::SystemEventStore DecodeStore(SystemId expect, snapshot::Reader* r) {
+  const std::int64_t id = r->GetI64();
+  if (id != expect.value) {
+    throw snapshot::SnapshotError(
+        "index snapshot store order mismatch (got system " +
+        std::to_string(id) + ", expected " + std::to_string(expect.value) +
+        ")");
+  }
+  core::SystemEventStore se;
+  se.starts = GetColumn<TimeSec>(r);
+  se.ends = GetColumn<TimeSec>(r);
+  se.nodes = GetColumn<std::int32_t>(r);
+  se.cats = GetBytes(r, se.starts.size());
+  se.subs = GetBytes(r, se.starts.size());
+  const std::size_t num_nodes = r->GetSize(1);
+  se.by_node.resize(num_nodes);
+  for (core::SystemEventStore::EventColumns& c : se.by_node) {
+    c.times = GetColumn<TimeSec>(r);
+    c.cats = GetBytes(r, c.times.size());
+    c.subs = GetBytes(r, c.times.size());
+  }
+  const std::size_t num_racks = r->GetSize(1);
+  se.by_rack.resize(num_racks);
+  for (core::SystemEventStore::EventColumns& c : se.by_rack) {
+    c.times = GetColumn<TimeSec>(r);
+    c.nodes = GetColumn<std::int32_t>(r);
+    c.cats = GetBytes(r, c.times.size());
+    c.subs = GetBytes(r, c.times.size());
+  }
+  return se;
+}
+
+// The store sequence Build would produce: every trace system when
+// `systems` is empty, else the valid requested ids in order.
+std::vector<SystemId> ExpectedSystems(const Trace& trace,
+                                      std::span<const SystemId> systems) {
+  std::vector<SystemId> wanted;
+  if (systems.empty()) {
+    for (const SystemConfig& s : trace.systems()) wanted.push_back(s.id);
+  } else {
+    for (SystemId id : systems) {
+      if (id.valid()) wanted.push_back(id);
+    }
+  }
+  return wanted;
+}
+
+}  // namespace
+
+void SerializeStoreSet(const core::EventStoreSet& set, snapshot::Writer* w) {
+  w->PutU64(set.stores.size());
+  for (const core::SystemEventStore& se : set.stores) PutStore(w, se);
+}
+
+core::EventStoreSet DeserializeStoreSet(const Trace& trace,
+                                        std::span<const SystemId> systems,
+                                        snapshot::Reader* r) {
+  obs::ScopedTimer timer("index_restore");
+  const std::vector<SystemId> wanted = ExpectedSystems(trace, systems);
+  const std::size_t count = r->GetSize(8);
+  if (count != wanted.size()) {
+    throw snapshot::SnapshotError(
+        "index snapshot store count mismatch (got " + std::to_string(count) +
+        ", expected " + std::to_string(wanted.size()) + ")");
+  }
+  core::EventStoreSet set;
+  set.stores.reserve(count);
+  for (SystemId id : wanted) set.stores.push_back(DecodeStore(id, r));
+
+  // Second pass, parallel across stores: resolve the system config (this
+  // also rebuilds rack_of/rack_size and sizes the bundle vectors' expected
+  // shapes) and run the full consistency validation. Exceptions are
+  // captured per store — they must not cross the thread-pool boundary.
+  std::vector<std::string> errors(count);
+  core::ParallelFor(count, [&](std::size_t i) {
+    core::SystemEventStore& se = set.stores[i];
+    // Decode resized the bundles from the stream; Init would clear them, so
+    // move them aside and verify the shapes Init derives match.
+    std::vector<core::SystemEventStore::EventColumns> by_node =
+        std::move(se.by_node);
+    std::vector<core::SystemEventStore::EventColumns> by_rack =
+        std::move(se.by_rack);
+    std::vector<TimeSec> starts = std::move(se.starts);
+    std::vector<TimeSec> ends = std::move(se.ends);
+    std::vector<std::int32_t> nodes = std::move(se.nodes);
+    std::vector<std::uint8_t> cats = std::move(se.cats);
+    std::vector<std::uint8_t> subs = std::move(se.subs);
+    try {
+      se.Init(trace.system(wanted[i]));
+    } catch (const std::exception& e) {
+      errors[i] = std::string("unknown system: ") + e.what();
+      return;
+    }
+    if (se.by_node.size() != by_node.size()) {
+      errors[i] = "per-node bundle count mismatch";
+      return;
+    }
+    if (se.by_rack.size() != by_rack.size()) {
+      errors[i] = "per-rack bundle count mismatch";
+      return;
+    }
+    se.by_node = std::move(by_node);
+    se.by_rack = std::move(by_rack);
+    se.starts = std::move(starts);
+    se.ends = std::move(ends);
+    se.nodes = std::move(nodes);
+    se.cats = std::move(cats);
+    se.subs = std::move(subs);
+    try {
+      se.ValidateRestored();
+    } catch (const std::invalid_argument& e) {
+      errors[i] = e.what();
+    }
+  });
+  for (const std::string& e : errors) {
+    if (!e.empty()) throw snapshot::SnapshotError(e);
+  }
+  return set;
+}
+
+}  // namespace hpcfail::engine

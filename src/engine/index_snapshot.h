@@ -1,0 +1,44 @@
+// Column snapshot codec for the "index" artifact kind: serializes a built
+// core::EventStoreSet (the SoA columns a session or shard queries) so warm
+// runs restore the index from the artifact cache instead of re-running
+// EventStoreSet::Build over the trace's failure stream.
+//
+// The snapshot stores the column data only — system ids, global columns and
+// the per-node / per-rack bundles. Everything derived from the system config
+// (config pointer, rack_of, rack_size, bundle counts) is rebuilt by
+// SystemEventStore::Init against the live trace on restore, so a snapshot
+// can never carry a stale machine layout. After the columns are filled,
+// SystemEventStore::ValidateRestored proves the restored store is
+// row-for-row what Build would have produced (every row valid and sorted,
+// bundles exactly the partition of the global columns); any violation
+// throws stream::snapshot::SnapshotError and the cache treats the entry as
+// corrupt (delete + miss + rebuild).
+//
+// Lives in engine/ (not core/) because core cannot depend on
+// stream/snapshot.h: hpcfail_streaming links hpcfail_core.
+#pragma once
+
+#include <span>
+
+#include "core/event_store.h"
+#include "stream/snapshot.h"
+#include "trace/system.h"
+
+namespace hpcfail::engine {
+
+// Appends the set's columns to `w`. The set must hold finished stores (as
+// produced by EventStoreSet::Build / Concatenate).
+void SerializeStoreSet(const core::EventStoreSet& set,
+                       stream::snapshot::Writer* w);
+
+// Rebuilds a store set over `trace` from a snapshot payload. `systems`
+// names the stores the caller expects, in order (empty = every system of
+// the trace, like EventStoreSet::Build); a snapshot describing any other
+// system sequence is rejected. Throws stream::snapshot::SnapshotError on
+// any mismatch, truncation, or validation failure — callers degrade to a
+// cache miss and rebuild.
+core::EventStoreSet DeserializeStoreSet(const Trace& trace,
+                                        std::span<const SystemId> systems,
+                                        stream::snapshot::Reader* r);
+
+}  // namespace hpcfail::engine

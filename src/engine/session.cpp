@@ -1,12 +1,17 @@
 #include "engine/session.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
 #include <utility>
 
 #include "core/parallel.h"
 #include "engine/fingerprint.h"
+#include "engine/index_snapshot.h"
 #include "engine/single_flight.h"
 #include "obs/span.h"
+#include "stream/snapshot.h"
 
 namespace hpcfail::engine {
 
@@ -89,16 +94,83 @@ std::pair<Trace, AnalysisSession::Stats> AcquireTrace(
   return {std::move(out.trace), std::move(out.stats)};
 }
 
-AnalysisSession::AnalysisSession(std::pair<Trace, Stats> acquired)
-    : trace_(std::make_shared<const Trace>(std::move(acquired.first))),
-      stores_(std::make_shared<const core::EventStoreSet>(
-          core::EventStoreSet::Build(*trace_))),
+core::EventStoreSet RestoreOrBuildStores(
+    const Trace& trace, std::span<const SystemId> systems,
+    TimeInterval start_range, std::optional<std::uint64_t> fingerprint,
+    ArtifactCache& cache, bool* hit, bool* stored, std::string* diagnostic) {
+  *hit = false;
+  *stored = false;
+  if (!fingerprint.has_value()) {
+    *diagnostic = "unfingerprintable source";
+    return core::EventStoreSet::Build(trace, systems, start_range);
+  }
+  if (!cache.KindEnabled(ArtifactKind::kIndex)) {
+    *diagnostic =
+        cache.enabled() ? "artifact kind disabled" : "cache disabled";
+    return core::EventStoreSet::Build(trace, systems, start_range);
+  }
+  const std::uint64_t key = *fingerprint;
+  // Single-flight on a kind-derived key: N concurrent cold builds of one
+  // fingerprint serialize into one snapshot build+store (the waiters then
+  // hit the entry the builder wrote) without contending with the trace
+  // kind's flight on the raw fingerprint.
+  FingerprintHasher flight_key;
+  flight_key.Str("index-flight");
+  flight_key.U64(key);
+  KeyedMutex::Guard flight = KeyedMutex::Global().Lock(flight_key.value());
+  if (std::optional<std::string> body =
+          cache.TryLoadBody(ArtifactKind::kIndex, key, diagnostic)) {
+    try {
+      stream::snapshot::Reader r(*body);
+      core::EventStoreSet set = DeserializeStoreSet(trace, systems, &r);
+      if (!r.AtEnd()) {
+        throw stream::snapshot::SnapshotError(
+            "trailing bytes after index payload");
+      }
+      *hit = true;
+      return set;
+    } catch (const stream::snapshot::SnapshotError& e) {
+      cache.EvictCorrupt(ArtifactKind::kIndex, key, e.what(), diagnostic);
+    }
+  }
+  core::EventStoreSet built =
+      core::EventStoreSet::Build(trace, systems, start_range);
+  stream::snapshot::Writer w;
+  SerializeStoreSet(built, &w);
+  std::string store_diag;
+  *stored = cache.StoreBody(ArtifactKind::kIndex, key, w.payload(),
+                            &store_diag);
+  if (!*stored) *diagnostic += "; store failed: " + store_diag;
+  return built;
+}
+
+AnalysisSession::Prepared AnalysisSession::Prepare(
+    std::pair<Trace, Stats> acquired, const SessionOptions& options) {
+  Prepared p;
+  p.trace = std::make_shared<const Trace>(std::move(acquired.first));
+  p.stats = std::move(acquired.second);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ArtifactCache cache(options.cache);
+  p.stores = std::make_shared<const core::EventStoreSet>(RestoreOrBuildStores(
+      *p.trace, {}, core::kAllStartTimes, p.stats.fingerprint, cache,
+      &p.stats.index_cache_hit, &p.stats.index_cache_stored,
+      &p.stats.index_diagnostic));
+  p.stats.index_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return p;
+}
+
+AnalysisSession::AnalysisSession(Prepared prepared)
+    : trace_(std::move(prepared.trace)),
+      stores_(std::move(prepared.stores)),
       index_(*trace_, stores_),
-      stats_(std::move(acquired.second)) {}
+      stats_(std::move(prepared.stats)) {}
 
 AnalysisSession::AnalysisSession(std::unique_ptr<TraceSource> source,
                                  SessionOptions options)
-    : AnalysisSession(AcquireTrace(*source, options)) {}
+    : AnalysisSession(Prepare(AcquireTrace(*source, options), options)) {}
 
 AnalysisSession AnalysisSession::FromScenario(synth::Scenario scenario,
                                               std::uint64_t seed,
@@ -165,6 +237,13 @@ std::string StatsJson(const AnalysisSession::Stats& stats) {
   out += ",\"cache_diagnostic\":";
   AppendJsonString(&out, stats.cache_diagnostic);
   out += ",\"load_seconds\":" + std::to_string(stats.load_seconds);
+  out += ",\"index_cache_hit\":";
+  out += stats.index_cache_hit ? "true" : "false";
+  out += ",\"index_cache_stored\":";
+  out += stats.index_cache_stored ? "true" : "false";
+  out += ",\"index_diagnostic\":";
+  AppendJsonString(&out, stats.index_diagnostic);
+  out += ",\"index_seconds\":" + std::to_string(stats.index_seconds);
   out += ",\"num_systems\":" + std::to_string(stats.num_systems);
   out += ",\"num_failures\":" + std::to_string(stats.num_failures);
   out += "}";
@@ -185,6 +264,13 @@ void AddStandardOptions(ArgParser& parser, StandardOptions* opts) {
                    ".hpcfail-cache)");
   parser.AddFlag("no-cache", &opts->no_cache,
                  "bypass the artifact cache (no load, no store)");
+  parser.AddString("cache-artifacts", &opts->cache_artifacts,
+                   "artifact kinds the cache serves, comma-separated "
+                   "(trace,index,bootstrap; \"\"/all = every kind, none = "
+                   "no kind)");
+  parser.AddUint64("cache-budget-mb", &opts->cache_budget_mb,
+                   "cache directory size budget in MiB, enforced after each "
+                   "store (0 = $HPCFAIL_CACHE_BUDGET_MB, or unlimited)");
   parser.AddFlag("json", &opts->json, "emit machine-readable JSON output");
 }
 
@@ -196,6 +282,13 @@ SessionOptions MakeSessionOptions(const StandardOptions& opts) {
   SessionOptions session;
   session.cache.dir = opts.cache_dir;
   session.cache.enabled = !opts.no_cache;
+  try {
+    session.cache.kinds = ParseArtifactKinds(opts.cache_artifacts);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: --cache-artifacts: " << e.what() << "\n";
+    std::exit(2);
+  }
+  session.cache.budget_bytes = opts.cache_budget_mb * 1024 * 1024;
   return session;
 }
 

@@ -7,8 +7,12 @@
 // On construction the session fingerprints the source, probes the
 // content-addressed artifact cache (engine/trace_cache.h), falls back to
 // TraceSource::Acquire() on any miss, stores the result for the next run,
-// and builds the per-system event stores once. Cold and warm runs yield
-// bit-identical traces — the cache can change only timing, never results —
+// and builds the per-system event stores once. The stores themselves are a
+// second cached artifact: a warm run restores the prebuilt SoA columns from
+// an index snapshot (engine/index_snapshot.h, kind "index" under the same
+// fingerprint) instead of re-running EventStoreSet::Build, and a cold run
+// stores the snapshot it built. Cold and warm runs yield bit-identical
+// traces AND columns — the cache can change only timing, never results —
 // and every step is visible in stats() / StatsJson().
 //
 // Index access: index() is the all-systems view; IndexFor() makes subset
@@ -34,7 +38,9 @@ namespace hpcfail::engine {
 inline constexpr std::uint64_t kDefaultSeed = 2013;
 
 struct SessionOptions {
-  CacheConfig cache;  // dir (empty = DefaultCacheDir()), enabled
+  // dir (empty = DefaultCacheDir()), enabled, per-kind bitmask
+  // (--cache-artifacts), size budget (--cache-budget-mb).
+  CacheConfig cache;
 };
 
 class AnalysisSession {
@@ -48,6 +54,12 @@ class AnalysisSession {
     bool cache_stored = false;
     std::string cache_diagnostic;  // "hit", "no cache entry", "corrupt ..."
     double load_seconds = 0.0;     // acquire-or-load wall time
+    // The index-snapshot artifact (kind "index", same fingerprint): hit =
+    // stores restored from the cache, stored = this run wrote the snapshot.
+    bool index_cache_hit = false;
+    bool index_cache_stored = false;
+    std::string index_diagnostic;
+    double index_seconds = 0.0;  // store build-or-restore wall time
     std::size_t num_systems = 0;
     std::size_t num_failures = 0;
   };
@@ -98,7 +110,18 @@ class AnalysisSession {
   }
 
  private:
-  AnalysisSession(std::pair<Trace, Stats> acquired);
+  struct Prepared {
+    std::shared_ptr<const Trace> trace;
+    std::shared_ptr<const core::EventStoreSet> stores;
+    Stats stats;
+  };
+
+  // Restore-or-build of the event stores (the index artifact path) on top
+  // of an acquired trace.
+  static Prepared Prepare(std::pair<Trace, Stats> acquired,
+                          const SessionOptions& options);
+
+  explicit AnalysisSession(Prepared prepared);
 
   // Heap-held so the index's internal pointers survive moves of the session.
   std::shared_ptr<const Trace> trace_;
@@ -135,18 +158,40 @@ class AnalysisView {
 std::pair<Trace, AnalysisSession::Stats> AcquireTrace(
     const TraceSource& source, const SessionOptions& options);
 
+// The "index" artifact kind's restore-or-build: probes the cache for a
+// column snapshot under `fingerprint` (single-flighted on a kind-derived
+// key), restores and validates it against `trace` on a hit, and otherwise
+// runs EventStoreSet::Build(trace, systems, start_range) and stores the
+// snapshot it built. Always returns usable stores; `hit` / `stored` /
+// `diagnostic` report what the cache did (store failures append to the
+// diagnostic, they never fail the build). AnalysisSession uses it with the
+// full trace; SessionSet calls it once per shard with the shard's system
+// block, start range, and shard fingerprint.
+core::EventStoreSet RestoreOrBuildStores(
+    const Trace& trace, std::span<const SystemId> systems,
+    TimeInterval start_range, std::optional<std::uint64_t> fingerprint,
+    ArtifactCache& cache, bool* hit, bool* stored, std::string* diagnostic);
+
 // The JSON object AnalysisSession::StatsJson renders, callable on a bare
 // Stats (SessionSet embeds its parent acquisition stats this way).
 std::string StatsJson(const AnalysisSession::Stats& stats);
 
 // ---- Shared standard flags (--threads, --seed, --cache-dir, --no-cache,
-// --json), used by every bench and tool so the surface stays uniform.
+// --cache-artifacts, --cache-budget-mb, --json), used by every bench and
+// tool so the surface stays uniform.
 
 struct StandardOptions {
   int threads = 0;                    // 0 = hardware concurrency
   std::uint64_t seed = kDefaultSeed;  // synthetic-generation seed
   std::string cache_dir;              // empty = DefaultCacheDir()
   bool no_cache = false;
+  // Comma-separated artifact kinds the cache serves ("trace,index,
+  // bootstrap"; "" or "all" = every kind, "none" = none). Parsed by
+  // ParseArtifactKinds in MakeSessionOptions.
+  std::string cache_artifacts;
+  // Cache directory size budget in MiB (0 = $HPCFAIL_CACHE_BUDGET_MB, or
+  // unlimited); enforced best-effort after each store.
+  std::uint64_t cache_budget_mb = 0;
   bool json = false;
 };
 
@@ -155,6 +200,9 @@ void AddStandardOptions(ArgParser& parser, StandardOptions* opts);
 // Applies process-level settings (worker thread count).
 void ApplyStandardOptions(const StandardOptions& opts);
 
+// Builds the session cache config from parsed flags. A malformed
+// --cache-artifacts spec is a usage error like any other bad flag value:
+// reported to stderr and exit 2, matching ArgParser::ParseOrExit.
 SessionOptions MakeSessionOptions(const StandardOptions& opts);
 
 }  // namespace hpcfail::engine

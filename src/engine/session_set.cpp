@@ -7,8 +7,10 @@
 #include "core/parallel.h"
 #include "core/window_analysis.h"
 #include "engine/fingerprint.h"
+#include "engine/index_snapshot.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "stream/snapshot.h"
 
 namespace hpcfail::engine {
 
@@ -177,15 +179,43 @@ std::shared_ptr<const SessionSet::Shard> SessionSet::BuildShard(
 
   const bool cache_on = options_.cache.enabled && options_.cache_shards &&
                         source_stats_.fingerprint.has_value();
+  bool index_hit = false;
   if (cache_on) {
     ArtifactCache cache(options_.cache);
     std::string diag;
-    if (std::optional<Trace> cached = cache.TryLoad(fp, &diag)) {
-      auto backing = std::make_shared<const Trace>(*std::move(cached));
-      shard->stores = std::make_shared<const core::EventStoreSet>(
-          core::EventStoreSet::Build(*backing, shard->systems));
-      shard->backing = std::move(backing);
-      shard->from_cache = true;
+    // Fastest path first: a prebuilt column snapshot (kind "index" under
+    // the shard fingerprint) restores straight against the parent trace —
+    // no sub-trace decode, no column build.
+    if (cache.KindEnabled(ArtifactKind::kIndex)) {
+      if (std::optional<std::string> body =
+              cache.TryLoadBody(ArtifactKind::kIndex, fp, &diag)) {
+        try {
+          stream::snapshot::Reader r(*body);
+          core::EventStoreSet set =
+              DeserializeStoreSet(*trace_, shard->systems, &r);
+          if (!r.AtEnd()) {
+            throw stream::snapshot::SnapshotError(
+                "trailing bytes after index payload");
+          }
+          shard->stores = std::make_shared<const core::EventStoreSet>(
+              std::move(set));
+          shard->from_cache = true;
+          index_hit = true;
+        } catch (const stream::snapshot::SnapshotError& e) {
+          cache.EvictCorrupt(ArtifactKind::kIndex, fp, e.what(), &diag);
+        }
+      }
+    }
+    // Next: the sliced sub-trace (kind "trace"), rebuilding columns from
+    // its (much smaller) failure stream.
+    if (shard->stores == nullptr) {
+      if (std::optional<Trace> cached = cache.TryLoad(fp, &diag)) {
+        auto backing = std::make_shared<const Trace>(*std::move(cached));
+        shard->stores = std::make_shared<const core::EventStoreSet>(
+            core::EventStoreSet::Build(*backing, shard->systems));
+        shard->backing = std::move(backing);
+        shard->from_cache = true;
+      }
     }
   }
   if (shard->stores == nullptr) {
@@ -195,6 +225,19 @@ std::shared_ptr<const SessionSet::Shard> SessionSet::BuildShard(
       ArtifactCache cache(options_.cache);
       std::string diag;
       shard->cache_stored = cache.Store(fp, SliceShardTrace(key), &diag);
+    }
+  }
+  if (cache_on && !index_hit) {
+    // Upgrade the entry set: whichever way the columns were built (parent
+    // build or cached sub-trace), persist the snapshot so the next run
+    // takes the index path.
+    ArtifactCache cache(options_.cache);
+    if (cache.KindEnabled(ArtifactKind::kIndex)) {
+      stream::snapshot::Writer w;
+      SerializeStoreSet(*shard->stores, &w);
+      std::string diag;
+      shard->cache_stored |=
+          cache.StoreBody(ArtifactKind::kIndex, fp, w.payload(), &diag);
     }
   }
   shard->num_failures = TotalFailures(*shard->stores);

@@ -8,8 +8,10 @@
 //     -> ShardPlan over (spec, systems)
 //       -> per-shard EventStoreSet builds, in parallel on the thread pool,
 //          each under per-fingerprint single-flight (KeyedMutex), each
-//          load-or-store'd in the content-addressed artifact cache as a
-//          sliced sub-trace
+//          load-or-store'd in the content-addressed artifact cache — as a
+//          prebuilt column snapshot (kind "index", restored straight
+//          against the parent trace) with a sliced sub-trace (kind
+//          "trace") as the fallback entry
 //     -> LRU eviction of cold shards down to a configurable memory budget
 //
 // Query surface, two tiers:
@@ -78,8 +80,9 @@ class SessionSet {
     std::shared_ptr<const core::EventStoreSet> stores;
     std::size_t num_failures = 0;
     std::size_t resident_bytes = 0;
-    bool from_cache = false;    // stores built from a cached sub-trace
-    bool cache_stored = false;  // this build wrote the cache entry
+    bool from_cache = false;    // stores restored from a cached artifact
+                                // (index snapshot or sub-trace)
+    bool cache_stored = false;  // this build wrote a cache entry
 
    private:
     friend class SessionSet;

@@ -1,12 +1,18 @@
 #include "engine/trace_cache.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "engine/fingerprint.h"
 #include "obs/metrics.h"
@@ -15,10 +21,21 @@
 namespace hpcfail::engine {
 
 namespace snapshot = stream::snapshot;
+namespace fs = std::filesystem;
 
 namespace {
 
-constexpr std::string_view kArtifactTag = "HFTRACE0";
+constexpr std::string_view kKindNames[kNumArtifactKinds] = {"trace", "index",
+                                                            "bootstrap"};
+constexpr std::string_view kKindTags[kNumArtifactKinds] = {
+    "HFTRACE0", "HFINDEX0", "HFBOOT00"};
+constexpr std::uint32_t kKindSchemas[kNumArtifactKinds] = {
+    kTraceSchemaVersion, kIndexSchemaVersion, kBootstrapSchemaVersion};
+
+// Orphaned `*.tmp.*` files younger than this are presumed to belong to a
+// live concurrent writer and are left alone; older ones were abandoned by a
+// crashed or killed process and are removed on the next store.
+constexpr auto kOrphanTmpMaxAge = std::chrono::minutes(10);
 
 obs::Counter& CacheCounter(const char* name, const char* help) {
   return obs::MetricsRegistry::Global().GetCounter(name, help);
@@ -28,6 +45,43 @@ void RecordMiss() {
   CacheCounter("hpcfail_cache_miss_total",
                "Artifact cache lookups that fell back to regeneration")
       .Increment();
+}
+
+// Entry paths this process has stored or hit: its live working set, which
+// the budget sweep must never delete out from under it. Process-global on
+// purpose — every ArtifactCache instance over one directory shares it.
+std::mutex g_live_keys_mu;
+std::unordered_set<std::string>& LiveKeysLocked() {
+  static std::unordered_set<std::string>* keys =
+      new std::unordered_set<std::string>();
+  return *keys;
+}
+
+void RegisterLiveKey(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_live_keys_mu);
+  LiveKeysLocked().insert(path);
+}
+
+bool IsLiveKey(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_live_keys_mu);
+  return LiveKeysLocked().count(path) > 0;
+}
+
+// True when `name` is a cache entry file: "<kind>-<16 lowercase hex>.bin".
+bool IsEntryFileName(std::string_view name) {
+  const std::size_t dash = name.find('-');
+  if (dash == std::string_view::npos) return false;
+  const std::string_view prefix = name.substr(0, dash);
+  bool known = false;
+  for (const std::string_view kind : kKindNames) known |= prefix == kind;
+  if (!known) return false;
+  const std::string_view rest = name.substr(dash + 1);
+  if (rest.size() != 16 + 4 || rest.substr(16) != ".bin") return false;
+  for (const char c : rest.substr(0, 16)) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
 }
 
 void PutSystem(snapshot::Writer* w, const SystemConfig& s) {
@@ -167,6 +221,48 @@ JobRecord GetJob(snapshot::Reader* r) {
 
 }  // namespace
 
+std::string_view ToString(ArtifactKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+std::string_view ArtifactTag(ArtifactKind kind) {
+  return kKindTags[static_cast<std::size_t>(kind)];
+}
+
+std::uint32_t ArtifactSchemaVersion(ArtifactKind kind) {
+  return kKindSchemas[static_cast<std::size_t>(kind)];
+}
+
+unsigned ParseArtifactKinds(std::string_view spec) {
+  if (spec.empty() || spec == "all") return kAllArtifactKinds;
+  if (spec == "none") return 0;
+  unsigned kinds = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string_view name =
+        spec.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                         : comma - pos);
+    bool known = false;
+    for (unsigned k = 0; k < kNumArtifactKinds; ++k) {
+      if (name == kKindNames[k]) {
+        kinds |= 1u << k;
+        known = true;
+      }
+    }
+    if (!known) {
+      // Empty segments ("trace,") are misspellings too, not no-ops: a typo
+      // in a cache spec must fail loudly, never silently change the kinds.
+      throw std::invalid_argument(
+          "unknown artifact kind '" + std::string(name) +
+          "' (valid: trace, index, bootstrap, all, none)");
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return kinds;
+}
+
 void SerializeTrace(const Trace& trace, snapshot::Writer* w) {
   const auto& systems = trace.systems();
   w->PutU64(systems.size());
@@ -235,61 +331,70 @@ std::string DefaultCacheDir() {
   return ".hpcfail-cache";
 }
 
+std::uint64_t DefaultCacheBudgetBytes() {
+  const char* env = std::getenv("HPCFAIL_CACHE_BUDGET_MB");
+  if (env == nullptr || env[0] == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long mb = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<std::uint64_t>(mb) * 1024 * 1024;
+}
+
 ArtifactCache::ArtifactCache(CacheConfig config) : config_(std::move(config)) {
   if (config_.dir.empty()) config_.dir = DefaultCacheDir();
+  if (config_.budget_bytes == 0) config_.budget_bytes = DefaultCacheBudgetBytes();
 }
 
 std::string ArtifactCache::EntryPath(std::uint64_t fingerprint) const {
-  return config_.dir + "/trace-" + FingerprintHex(fingerprint) + ".bin";
+  return EntryPath(ArtifactKind::kTrace, fingerprint);
 }
 
-std::optional<Trace> ArtifactCache::TryLoad(std::uint64_t fingerprint,
-                                            std::string* diagnostic) {
+std::string ArtifactCache::EntryPath(ArtifactKind kind,
+                                     std::uint64_t fingerprint) const {
+  return config_.dir + "/" + std::string(ToString(kind)) + "-" +
+         FingerprintHex(fingerprint) + ".bin";
+}
+
+bool ArtifactCache::ProbeEntry(ArtifactKind kind, std::uint64_t fingerprint,
+                               std::string* body, std::string* diagnostic) {
   if (!config_.enabled) {
     if (diagnostic != nullptr) *diagnostic = "cache disabled";
-    return std::nullopt;
+    return false;
   }
-  const std::string path = EntryPath(fingerprint);
+  if (!KindEnabled(kind)) {
+    if (diagnostic != nullptr) *diagnostic = "artifact kind disabled";
+    return false;
+  }
+  const std::string path = EntryPath(kind, fingerprint);
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     if (diagnostic != nullptr) *diagnostic = "no cache entry";
     RecordMiss();
-    return std::nullopt;
+    return false;
   }
   obs::ScopedTimer timer("cache_load");
   std::string reason;
   try {
     const std::string payload = snapshot::ReadEnvelope(is);
     snapshot::Reader r(payload);
-    if (r.GetString() != kArtifactTag) {
+    if (r.GetString() != ArtifactTag(kind)) {
       throw snapshot::SnapshotError("wrong artifact tag");
     }
     const std::uint32_t schema = r.GetU32();
     const std::uint64_t stored_key = r.GetU64();
-    if (schema != kTraceSchemaVersion) {
+    if (schema != ArtifactSchemaVersion(kind)) {
       reason = "stale cache schema (entry v" + std::to_string(schema) +
-               ", current v" + std::to_string(kTraceSchemaVersion) + ")";
+               ", current v" + std::to_string(ArtifactSchemaVersion(kind)) +
+               ")";
     } else if (stored_key != fingerprint) {
       reason = "cache fingerprint mismatch (entry " +
                FingerprintHex(stored_key) + ", expected " +
                FingerprintHex(fingerprint) + ")";
     } else {
-      Trace trace = DeserializeTrace(&r);
-      if (!r.AtEnd()) {
-        throw snapshot::SnapshotError("trailing bytes after trace payload");
-      }
-      CacheCounter("hpcfail_cache_hit_total",
-                   "Artifact cache lookups served from disk")
-          .Increment();
-      CacheCounter("hpcfail_cache_bytes_read_total",
-                   "Bytes of cached artifacts read")
-          .Add(static_cast<long long>(payload.size()));
-      if (diagnostic != nullptr) *diagnostic = "hit";
-      return trace;
+      *body = payload.substr(payload.size() - r.remaining());
+      return true;
     }
   } catch (const snapshot::SnapshotError& e) {
-    reason = std::string("corrupt cache entry (") + e.what() + ")";
-  } catch (const std::invalid_argument& e) {
     reason = std::string("corrupt cache entry (") + e.what() + ")";
   }
   // Any unusable entry is deleted so the next run stores a fresh one; a
@@ -301,18 +406,92 @@ std::optional<Trace> ArtifactCache::TryLoad(std::uint64_t fingerprint,
                "Unusable cache entries deleted during load")
       .Increment();
   if (diagnostic != nullptr) *diagnostic = reason;
+  return false;
+}
+
+void ArtifactCache::RecordHit(const std::string& path, std::size_t bytes,
+                              std::string* diagnostic) {
+  CacheCounter("hpcfail_cache_hit_total",
+               "Artifact cache lookups served from disk")
+      .Increment();
+  CacheCounter("hpcfail_cache_bytes_read_total",
+               "Bytes of cached artifacts read")
+      .Add(static_cast<long long>(bytes));
+  RegisterLiveKey(path);
+  if (diagnostic != nullptr) *diagnostic = "hit";
+}
+
+std::optional<Trace> ArtifactCache::TryLoad(std::uint64_t fingerprint,
+                                            std::string* diagnostic) {
+  std::string body;
+  if (!ProbeEntry(ArtifactKind::kTrace, fingerprint, &body, diagnostic)) {
+    return std::nullopt;
+  }
+  const std::string path = EntryPath(ArtifactKind::kTrace, fingerprint);
+  try {
+    snapshot::Reader r(body);
+    Trace trace = DeserializeTrace(&r);
+    if (!r.AtEnd()) {
+      throw snapshot::SnapshotError("trailing bytes after trace payload");
+    }
+    RecordHit(path, body.size(), diagnostic);
+    return trace;
+  } catch (const snapshot::SnapshotError& e) {
+    EvictCorrupt(ArtifactKind::kTrace, fingerprint, e.what(), diagnostic);
+  } catch (const std::invalid_argument& e) {
+    EvictCorrupt(ArtifactKind::kTrace, fingerprint, e.what(), diagnostic);
+  }
   return std::nullopt;
+}
+
+std::optional<std::string> ArtifactCache::TryLoadBody(
+    ArtifactKind kind, std::uint64_t fingerprint, std::string* diagnostic) {
+  std::string body;
+  if (!ProbeEntry(kind, fingerprint, &body, diagnostic)) return std::nullopt;
+  RecordHit(EntryPath(kind, fingerprint), body.size(), diagnostic);
+  return body;
+}
+
+void ArtifactCache::EvictCorrupt(ArtifactKind kind, std::uint64_t fingerprint,
+                                 std::string_view reason,
+                                 std::string* diagnostic) {
+  std::remove(EntryPath(kind, fingerprint).c_str());
+  RecordMiss();
+  CacheCounter("hpcfail_cache_evicted_corrupt_total",
+               "Unusable cache entries deleted during load")
+      .Increment();
+  if (diagnostic != nullptr) {
+    *diagnostic = "corrupt cache entry (" + std::string(reason) + ")";
+  }
 }
 
 bool ArtifactCache::Store(std::uint64_t fingerprint, const Trace& trace,
                           std::string* diagnostic) {
+  if (!KindEnabled(ArtifactKind::kTrace)) {
+    if (diagnostic != nullptr) {
+      *diagnostic =
+          config_.enabled ? "artifact kind disabled" : "cache disabled";
+    }
+    return false;
+  }
+  snapshot::Writer w;
+  SerializeTrace(trace, &w);
+  return StoreBody(ArtifactKind::kTrace, fingerprint, w.payload(), diagnostic);
+}
+
+bool ArtifactCache::StoreBody(ArtifactKind kind, std::uint64_t fingerprint,
+                              std::string_view body, std::string* diagnostic) {
   if (!config_.enabled) {
     if (diagnostic != nullptr) *diagnostic = "cache disabled";
     return false;
   }
+  if (!KindEnabled(kind)) {
+    if (diagnostic != nullptr) *diagnostic = "artifact kind disabled";
+    return false;
+  }
   obs::ScopedTimer timer("cache_store");
   std::error_code ec;
-  std::filesystem::create_directories(config_.dir, ec);
+  fs::create_directories(config_.dir, ec);
   if (ec) {
     if (diagnostic != nullptr) {
       *diagnostic =
@@ -321,12 +500,18 @@ bool ArtifactCache::Store(std::uint64_t fingerprint, const Trace& trace,
     return false;
   }
   snapshot::Writer w;
-  w.PutString(kArtifactTag);
-  w.PutU32(kTraceSchemaVersion);
+  w.PutString(ArtifactTag(kind));
+  w.PutU32(ArtifactSchemaVersion(kind));
   w.PutU64(fingerprint);
-  SerializeTrace(trace, &w);
-  const std::string path = EntryPath(fingerprint);
-  const std::string tmp = path + ".tmp";
+  // The body rides after the header verbatim (it was built by a Writer too,
+  // so the concatenation is exactly what a single Writer would produce).
+  const std::string path = EntryPath(kind, fingerprint);
+  // Unique temp name per (process, store): two writers racing on one key
+  // each write their own file and the losing rename just replaces the
+  // winner's identical entry — never interleaved bytes under one name.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_seq.fetch_add(1));
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) {
@@ -334,9 +519,32 @@ bool ArtifactCache::Store(std::uint64_t fingerprint, const Trace& trace,
       return false;
     }
     try {
-      snapshot::WriteEnvelope(os, w.payload());
+      std::string payload = w.payload();
+      payload.append(body);
+      snapshot::WriteEnvelope(os, payload);
     } catch (const std::exception& e) {
+      os.close();
+      std::remove(tmp.c_str());
       if (diagnostic != nullptr) *diagnostic = e.what();
+      return false;
+    }
+    // Flush and close BEFORE the rename, checking both: a full disk or I/O
+    // error must never promote a truncated file to the entry name.
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      if (diagnostic != nullptr) {
+        *diagnostic = "write failed (flush) for " + tmp;
+      }
+      return false;
+    }
+    os.close();
+    if (os.fail()) {
+      std::remove(tmp.c_str());
+      if (diagnostic != nullptr) {
+        *diagnostic = "write failed (close) for " + tmp;
+      }
       return false;
     }
   }
@@ -351,9 +559,69 @@ bool ArtifactCache::Store(std::uint64_t fingerprint, const Trace& trace,
       .Increment();
   CacheCounter("hpcfail_cache_bytes_written_total",
                "Bytes of cached artifacts written")
-      .Add(static_cast<long long>(w.payload().size()));
+      .Add(static_cast<long long>(w.payload().size() + body.size()));
+  RegisterLiveKey(path);
   if (diagnostic != nullptr) *diagnostic = "stored " + path;
+  SweepAfterStore();
   return true;
+}
+
+void ArtifactCache::SweepAfterStore() {
+  // Best effort throughout: stores are rare (cold runs) and a sweep failure
+  // must never fail the store that triggered it.
+  struct Entry {
+    fs::path path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  for (fs::directory_iterator it(config_.dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    std::error_code sec;
+    if (name.find(".tmp.") != std::string::npos) {
+      // An abandoned temp file from a crashed writer; a live writer's temp
+      // is younger than the age threshold and is left alone.
+      const auto mtime = fs::last_write_time(p, sec);
+      if (!sec && now - mtime > kOrphanTmpMaxAge) {
+        if (fs::remove(p, sec) && !sec) {
+          CacheCounter("hpcfail_cache_orphan_tmp_removed_total",
+                       "Abandoned cache temp files removed during store")
+              .Increment();
+        }
+      }
+      continue;
+    }
+    if (config_.budget_bytes == 0 || !IsEntryFileName(name)) continue;
+    Entry e;
+    e.path = p;
+    e.size = fs::file_size(p, sec);
+    if (sec) continue;
+    e.mtime = fs::last_write_time(p, sec);
+    if (sec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (config_.budget_bytes == 0 || total <= config_.budget_bytes) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& e : entries) {
+    if (total <= config_.budget_bytes) break;
+    // Never delete this process's live working set: entries it stored or
+    // hit are what its warm paths are about to read again.
+    if (IsLiveKey(e.path.string())) continue;
+    std::error_code sec;
+    if (fs::remove(e.path, sec) && !sec) {
+      total -= e.size;
+      CacheCounter("hpcfail_cache_evicted_budget_total",
+                   "Cache entries evicted by the size-budget sweep")
+          .Increment();
+    }
+  }
 }
 
 }  // namespace hpcfail::engine

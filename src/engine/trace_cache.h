@@ -1,51 +1,121 @@
-// Content-addressed on-disk artifact cache for acquired traces: a warm run
-// loads the sorted trace from a checksummed binary snapshot instead of
-// regenerating (synthetic) or reparsing (CSV) and re-sorting it.
+// Content-addressed on-disk artifact cache. Originally a single-kind store
+// for acquired traces; now a multi-kind cache keyed by (artifact kind,
+// fingerprint, per-kind schema version):
 //
-// Each entry is one file, `<dir>/trace-<fingerprint16hex>.bin`, using the
-// stream/snapshot.h envelope (magic, format version, payload size, FNV-1a-64
-// checksum) around a payload of
+//   trace      — the acquired, sorted trace (warm runs skip regeneration /
+//                reparsing); payload body = SerializeTrace
+//   index      — a prebuilt EventStoreSet column snapshot (warm sessions and
+//                SessionSet shards skip column building entirely); body =
+//                engine/index_snapshot.h
+//   bootstrap  — bootstrap replicate tables (warm --bootstrap reports and
+//                hpcfaild bootstrap queries reuse the resampled statistics);
+//                body = engine/bootstrap_table.cpp
 //
-//   artifact tag "HFTRACE0"   — rejects snapshots of other artifact kinds
-//   u32 trace schema version  — kTraceSchemaVersion; stale entries miss
-//   u64 key fingerprint       — must equal the requested key; a renamed or
-//                               colliding file misses instead of lying
-//   serialized trace          — systems (incl. layout + observed interval),
-//                               failures, maintenance, jobs, temperatures,
-//                               neutron series, all in Finalize() order
+// Each entry is one file, `<dir>/<kind>-<fingerprint16hex>.bin` (kinds never
+// collide: they live under distinct prefixes), using the stream/snapshot.h
+// envelope (magic, format version, payload size, FNV-1a-64 checksum) around
+// a payload of
+//
+//   artifact tag            — 8-byte per-kind tag ("HFTRACE0", "HFINDEX0",
+//                             "HFBOOT00"); rejects snapshots of other kinds
+//   u32 schema version      — per-kind (kTraceSchemaVersion, ...); stale
+//                             entries miss instead of being misdecoded
+//   u64 key fingerprint     — must equal the requested key; a renamed or
+//                             colliding file misses instead of lying
+//   kind-specific body      — opaque to the cache (TryLoadBody returns it,
+//                             StoreBody writes it); the trace kind's codec
+//                             (SerializeTrace/DeserializeTrace) lives here
 //
 // Every failure mode degrades to a miss with a distinct human-readable
-// diagnostic (TryLoad's `diagnostic` out-param) and the caller regenerates:
-// the cache can cost a rebuild, never a wrong answer. Unreadable entries are
-// deleted so the next store self-heals. Writes go through tmp+rename, so a
-// torn write never leaves a half-entry under the content-addressed name.
+// diagnostic (the `diagnostic` out-params) and the caller regenerates: the
+// cache can cost a rebuild, never a wrong answer. Unreadable entries are
+// deleted so the next store self-heals; callers whose kind-specific body
+// fails to decode report it via EvictCorrupt for the same self-heal.
+//
+// Write path: each store writes to a unique temp name
+// (`<entry>.tmp.<pid>.<seq>` — two processes storing the same key never
+// interleave writes into one file), flushes and closes the stream, checks
+// both for failure, and only then renames into place; a failed write or
+// rename always removes the temp file. Stores also sweep orphaned
+// `*.tmp.*` files older than an age threshold (left by crashed writers)
+// and, when a size budget is configured (`budget_bytes` /
+// $HPCFAIL_CACHE_BUDGET_MB), delete oldest-mtime entries until the
+// directory fits — never touching keys this process has stored or hit
+// (its live working set).
 //
 // Instrumentation (src/obs/): cache_load / cache_store spans plus
-// hpcfail_cache_{hit,miss,store,evicted_corrupt}_total and
-// hpcfail_cache_bytes_{read,written}_total counters.
+// hpcfail_cache_{hit,miss,store,evicted_corrupt,evicted_budget,
+// orphan_tmp_removed}_total and hpcfail_cache_bytes_{read,written}_total
+// counters.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "stream/snapshot.h"
 #include "trace/system.h"
 
 namespace hpcfail::engine {
 
+// The artifact kinds the cache stores. Values are stable (they index the
+// tag/prefix tables and form the `kinds` bitmask).
+enum class ArtifactKind : std::uint8_t {
+  kTrace = 0,
+  kIndex = 1,
+  kBootstrap = 2,
+};
+inline constexpr unsigned kNumArtifactKinds = 3;
+
+constexpr unsigned ArtifactKindBit(ArtifactKind kind) {
+  return 1u << static_cast<unsigned>(kind);
+}
+inline constexpr unsigned kAllArtifactKinds = (1u << kNumArtifactKinds) - 1;
+
+// "trace", "index", "bootstrap" — the CLI spelling and the entry-file
+// prefix.
+std::string_view ToString(ArtifactKind kind);
+
+// The 8-byte payload tag distinguishing kinds inside an envelope.
+std::string_view ArtifactTag(ArtifactKind kind);
+
 // Bump whenever the serialized trace layout or the fingerprint recipe
 // (engine/fingerprint.cpp) changes; older entries then miss as "stale
 // schema" instead of being misdecoded.
 inline constexpr std::uint32_t kTraceSchemaVersion = 1;
+// Bump whenever the EventStoreSet column snapshot layout
+// (engine/index_snapshot.cpp) or the store column semantics change.
+inline constexpr std::uint32_t kIndexSchemaVersion = 1;
+// Bump whenever the bootstrap replicate-table payload or the statistic
+// definitions (engine/bootstrap_table.cpp) change.
+inline constexpr std::uint32_t kBootstrapSchemaVersion = 1;
+
+std::uint32_t ArtifactSchemaVersion(ArtifactKind kind);
+
+// Parses a --cache-artifacts spec ("trace,index,bootstrap") into a kind
+// bitmask. "" and "all" mean every kind, "none" means no kind; unknown
+// names throw std::invalid_argument naming the valid spellings.
+unsigned ParseArtifactKinds(std::string_view spec);
 
 // Cache location resolution: explicit dir > $HPCFAIL_CACHE_DIR > the
 // in-tree default ".hpcfail-cache" (gitignored).
 std::string DefaultCacheDir();
 
+// $HPCFAIL_CACHE_BUDGET_MB in bytes; 0 (unlimited) when unset or
+// unparseable.
+std::uint64_t DefaultCacheBudgetBytes();
+
 struct CacheConfig {
   std::string dir;       // empty = DefaultCacheDir()
   bool enabled = true;   // false (--no-cache) bypasses load AND store
+  // Bitmask of ArtifactKindBit()s the cache serves; disabled kinds miss on
+  // load ("artifact kind disabled") and skip stores.
+  unsigned kinds = kAllArtifactKinds;
+  // Best-effort directory size budget enforced after each store (oldest
+  // mtime evicted first, live keys spared). 0 = DefaultCacheBudgetBytes()
+  // (i.e. $HPCFAIL_CACHE_BUDGET_MB, or unlimited).
+  std::uint64_t budget_bytes = 0;
 };
 
 class ArtifactCache {
@@ -53,9 +123,16 @@ class ArtifactCache {
   explicit ArtifactCache(CacheConfig config);
 
   bool enabled() const { return config_.enabled; }
+  bool KindEnabled(ArtifactKind kind) const {
+    return config_.enabled && (config_.kinds & ArtifactKindBit(kind)) != 0;
+  }
   const std::string& dir() const { return config_.dir; }
-  // Entry path for a key (exists or not).
+  std::uint64_t budget_bytes() const { return config_.budget_bytes; }
+
+  // Entry path for a key (exists or not). The one-argument form is the
+  // trace kind (the original single-kind API).
   std::string EntryPath(std::uint64_t fingerprint) const;
+  std::string EntryPath(ArtifactKind kind, std::uint64_t fingerprint) const;
 
   // Returns the cached trace on a hit; nullopt on any miss, with the reason
   // ("no cache entry", "corrupt cache entry (...)", "stale cache schema
@@ -69,16 +146,41 @@ class ArtifactCache {
   bool Store(std::uint64_t fingerprint, const Trace& trace,
              std::string* diagnostic);
 
+  // Generic kind entry points. TryLoadBody validates the envelope and the
+  // (tag, schema, fingerprint) header and returns the kind-specific body
+  // bytes; the caller decodes them and calls EvictCorrupt if the body turns
+  // out to be undecodable (same delete-and-miss self-heal the header paths
+  // get). StoreBody wraps `body` in the header + envelope and writes it
+  // through the hardened tmp+rename path.
+  std::optional<std::string> TryLoadBody(ArtifactKind kind,
+                                         std::uint64_t fingerprint,
+                                         std::string* diagnostic);
+  bool StoreBody(ArtifactKind kind, std::uint64_t fingerprint,
+                 std::string_view body, std::string* diagnostic);
+  void EvictCorrupt(ArtifactKind kind, std::uint64_t fingerprint,
+                    std::string_view reason, std::string* diagnostic);
+
  private:
+  // Header-validated payload probe shared by TryLoad and TryLoadBody; on
+  // success `body` holds the kind-specific bytes. No hit accounting.
+  bool ProbeEntry(ArtifactKind kind, std::uint64_t fingerprint,
+                  std::string* body, std::string* diagnostic);
+  void RecordHit(const std::string& path, std::size_t bytes,
+                 std::string* diagnostic);
+  // Post-store maintenance: one directory scan removing stale `*.tmp.*`
+  // orphans and, when a budget is set, evicting oldest-mtime entries that
+  // are not in this process's live-key set.
+  void SweepAfterStore();
+
   CacheConfig config_;
 };
 
 // Trace-section codec (the payload minus the tag/schema/fingerprint
-// header), exposed for tests (corruption matrix) and for future artifact
-// kinds. Serialize requires a finalized trace; Deserialize validates every
-// record and stream ordering via Trace::FromSorted and throws
-// snapshot::SnapshotError / std::invalid_argument on any corruption the
-// checksum did not catch.
+// header), exposed for tests (corruption matrix) and for other artifact
+// kinds' sub-payloads. Serialize requires a finalized trace; Deserialize
+// validates every record and stream ordering via Trace::FromSorted and
+// throws snapshot::SnapshotError / std::invalid_argument on any corruption
+// the checksum did not catch.
 void SerializeTrace(const Trace& trace, stream::snapshot::Writer* w);
 Trace DeserializeTrace(stream::snapshot::Reader* r);
 

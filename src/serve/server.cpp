@@ -22,6 +22,7 @@
 #include <thread>
 #include <utility>
 
+#include "engine/bootstrap_table.h"
 #include "engine/fingerprint.h"
 #include "engine/report_render.h"
 #include "engine/session_set.h"
@@ -326,12 +327,12 @@ std::string Server::HandleQuery(const Request& request) {
                          "years must be in (0, " +
                              std::to_string(config_.max_years) + "]");
   }
-  if (request.verb == Verb::kTable &&
+  if (request.verb == Verb::kTable && request.target != "bootstrap" &&
       !std::binary_search(engine::RenderableNames().begin(),
                           engine::RenderableNames().end(), request.target)) {
-    std::string known;
+    std::string known = "bootstrap";
     for (const std::string& n : engine::RenderableNames()) {
-      if (!known.empty()) known += ", ";
+      known += ", ";
       known += n;
     }
     return ErrorResponse(request, kStatusNotFound,
@@ -380,6 +381,15 @@ std::string Server::HandleQuery(const Request& request) {
   try {
     if (request.verb == Verb::kStats) {
       body << acquired.entry.session->StatsJson() << "\n";
+    } else if (request.verb == Verb::kTable &&
+               request.target == "bootstrap") {
+      // Replicate tables ride the artifact cache under the trace
+      // fingerprint, so repeated requests (and the CLI's --bootstrap on the
+      // same trace) decode one entry instead of resampling.
+      engine::ArtifactCache cache(config_.session.cache);
+      engine::RenderBootstrapTable(*acquired.entry.session, fingerprint,
+                                   cache, engine::BootstrapOptions{}, body,
+                                   deadline.AsCancelFn());
     } else {
       const std::string target =
           request.verb == Verb::kReport ? "report" : request.target;
@@ -446,7 +456,7 @@ std::string Server::HandleShardedQuery(const Request& request) {
                                "' (want BLOCK:WINDOW)");
     }
   }
-  if (request.verb == Verb::kTable &&
+  if (request.verb == Verb::kTable && request.target != "bootstrap" &&
       !std::binary_search(engine::RenderableNames().begin(),
                           engine::RenderableNames().end(), request.target)) {
     return ErrorResponse(request, kStatusNotFound,
@@ -538,8 +548,19 @@ std::string Server::HandleShardedQuery(const Request& request) {
             request.verb == Verb::kReport ? "report" : request.target;
         const std::shared_ptr<const engine::SessionSet::MergedView> merged =
             set.Merged();
-        engine::RenderNamed(target, merged->view(), body,
-                            deadline.AsCancelFn());
+        if (request.verb == Verb::kTable && target == "bootstrap") {
+          // Keyed by the trace fingerprint (not the shard spec): the merged
+          // view sees the same failures as a monolithic session, so both
+          // surfaces share one replicate-table entry and render identical
+          // bytes.
+          engine::ArtifactCache cache(config_.session.cache);
+          engine::RenderBootstrapTable(merged->view(), fingerprint, cache,
+                                       engine::BootstrapOptions{}, body,
+                                       deadline.AsCancelFn());
+        } else {
+          engine::RenderNamed(target, merged->view(), body,
+                              deadline.AsCancelFn());
+        }
         break;
       }
     }
@@ -604,7 +625,7 @@ std::string Server::HandleLogQuery(const Request& request) {
                                "', not '" + fmt_it->second + "'");
     }
   }
-  if (request.verb == Verb::kTable &&
+  if (request.verb == Verb::kTable && request.target != "bootstrap" &&
       !std::binary_search(engine::RenderableNames().begin(),
                           engine::RenderableNames().end(), request.target)) {
     return ErrorResponse(request, kStatusNotFound,
@@ -652,6 +673,15 @@ std::string Server::HandleLogQuery(const Request& request) {
   try {
     if (request.verb == Verb::kStats) {
       body << acquired.entry.session->StatsJson() << "\n";
+    } else if (request.verb == Verb::kTable &&
+               request.target == "bootstrap") {
+      // Replicate tables ride the artifact cache under the trace
+      // fingerprint, so repeated requests (and the CLI's --bootstrap on the
+      // same trace) decode one entry instead of resampling.
+      engine::ArtifactCache cache(config_.session.cache);
+      engine::RenderBootstrapTable(*acquired.entry.session, fingerprint,
+                                   cache, engine::BootstrapOptions{}, body,
+                                   deadline.AsCancelFn());
     } else {
       const std::string target =
           request.verb == Verb::kReport ? "report" : request.target;

@@ -10,34 +10,45 @@
 
 namespace hpcfail::stats {
 
-BootstrapResult BootstrapCi(
+BootstrapTable BootstrapReplicates(
     std::span<const double> sample,
     const std::function<double(std::span<const double>)>& statistic, Rng& rng,
-    int resamples, double confidence) {
+    int resamples) {
   if (sample.empty()) throw std::invalid_argument("BootstrapCi: empty sample");
   if (resamples < 2) throw std::invalid_argument("BootstrapCi: resamples < 2");
-  if (!(confidence > 0.0) || !(confidence < 1.0)) {
-    throw std::invalid_argument("BootstrapCi: confidence not in (0,1)");
-  }
   obs::ScopedTimer timer("bootstrap");
-  BootstrapResult out;
-  out.estimate = statistic(sample);
-  out.resamples = resamples;
+  BootstrapTable table;
+  table.estimate = statistic(sample);
   // Derive one child seed per replicate from the caller's stream (serially,
   // so the seeds depend only on the caller's Rng state), then fan the
   // replicates out. Each replicate draws from its own stream, which makes
   // the resampled statistics identical for every thread count.
   std::vector<std::uint64_t> seeds(static_cast<std::size_t>(resamples));
   for (std::uint64_t& s : seeds) s = rng.engine()() ^ 0x9e3779b97f4a7c15ULL;
-  std::vector<double> stats(static_cast<std::size_t>(resamples));
+  table.replicates.resize(static_cast<std::size_t>(resamples));
   core::ParallelFor(
       static_cast<std::size_t>(resamples), [&](std::size_t b) {
         Rng replicate_rng(seeds[b]);
         std::vector<double> resample(sample.size());
         for (double& v : resample) v = sample[replicate_rng.Index(sample.size())];
-        stats[b] = statistic(resample);
+        table.replicates[b] = statistic(resample);
       });
-  std::sort(stats.begin(), stats.end());
+  std::sort(table.replicates.begin(), table.replicates.end());
+  return table;
+}
+
+BootstrapResult ResultFromTable(const BootstrapTable& table,
+                                double confidence) {
+  if (table.replicates.size() < 2) {
+    throw std::invalid_argument("BootstrapCi: resamples < 2");
+  }
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument("BootstrapCi: confidence not in (0,1)");
+  }
+  const std::vector<double>& stats = table.replicates;
+  BootstrapResult out;
+  out.estimate = table.estimate;
+  out.resamples = static_cast<int>(stats.size());
   const double alpha = (1.0 - confidence) / 2.0;
   auto at = [&stats](double q) {
     const double pos = q * static_cast<double>(stats.size() - 1);
@@ -49,6 +60,19 @@ BootstrapResult BootstrapCi(
   out.ci_low = at(alpha);
   out.ci_high = at(1.0 - alpha);
   return out;
+}
+
+BootstrapResult BootstrapCi(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    int resamples, double confidence) {
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    // Checked before the resampling runs, matching the original single-call
+    // API (a bad confidence must not cost a full replicate pass).
+    throw std::invalid_argument("BootstrapCi: confidence not in (0,1)");
+  }
+  return ResultFromTable(BootstrapReplicates(sample, statistic, rng, resamples),
+                         confidence);
 }
 
 }  // namespace hpcfail::stats

@@ -1,4 +1,13 @@
 // Percentile bootstrap confidence intervals for arbitrary statistics.
+//
+// Split into two stages so the expensive one is cacheable: BootstrapReplicates
+// computes the (estimate, sorted replicate statistics) table — all the
+// resampling work — and ResultFromTable reads a confidence interval off it.
+// The table depends only on (sample, statistic, rng state, resamples), not on
+// the confidence level, which is exactly the shape the engine's bootstrap
+// artifact cache persists: a warm run decodes the table and re-reads the
+// percentiles. BootstrapCi composes the two and is byte-for-byte the original
+// single-call API.
 #pragma once
 
 #include <functional>
@@ -16,11 +25,35 @@ struct BootstrapResult {
   int resamples = 0;
 };
 
+// The resampling stage's output: the statistic on the original sample plus
+// every replicate's statistic, sorted ascending. Confidence-free, so one
+// table serves any confidence level.
+struct BootstrapTable {
+  double estimate = 0.0;
+  std::vector<double> replicates;  // sorted ascending, size == resamples
+};
+
+// Runs the resampling: derives one child seed per replicate from `rng`
+// (serially, so the seeds depend only on the caller's Rng state), fans the
+// replicates out in parallel (core::SetDefaultThreadCount) on independent
+// RNG streams, and sorts the replicate statistics. Results depend only on
+// the seed — never on the thread count — and `statistic` must be safe to
+// call concurrently. Throws std::invalid_argument on an empty sample or
+// resamples < 2.
+BootstrapTable BootstrapReplicates(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    int resamples);
+
+// Reads the percentile interval for `confidence` off a replicate table.
+// Throws std::invalid_argument when confidence is outside (0,1) or the
+// table holds fewer than 2 replicates.
+BootstrapResult ResultFromTable(const BootstrapTable& table,
+                                double confidence);
+
 // Percentile bootstrap for a statistic of a single sample.
 // `statistic` receives a resampled vector (same size as `sample`).
-// Replicates run in parallel (core::SetDefaultThreadCount) on independent
-// RNG streams derived from `rng`, so results depend only on the seed — never
-// on the thread count — and `statistic` must be safe to call concurrently.
+// Equivalent to ResultFromTable(BootstrapReplicates(...), confidence).
 BootstrapResult BootstrapCi(
     std::span<const double> sample,
     const std::function<double(std::span<const double>)>& statistic, Rng& rng,

@@ -1,0 +1,182 @@
+// Cache write-path hardening under real contention: multiple processes and
+// threads hammering one artifact key must never expose a torn entry to a
+// reader. The unique-temp-name + flush-check + atomic-rename store means a
+// reader sees either no entry or one complete, checksum-valid entry; the
+// corrupt-entry diagnostic appearing here at all is a regression.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/trace_cache.h"
+
+namespace hpcfail::engine {
+namespace {
+
+class CacheContentionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/hpcfail_contend_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  CacheConfig Config() const {
+    CacheConfig c;
+    c.dir = dir_;
+    return c;
+  }
+
+  std::string dir_;
+};
+
+constexpr std::uint64_t kKey = 0xc0ffee0123456789ULL;
+
+std::string WriterPayload(char fill) { return std::string(32 * 1024, fill); }
+
+// Counts leftover temp files in the cache directory.
+int CountTmpFiles(const std::string& dir) {
+  int n = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().filename().string().find(".tmp.") != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST_F(CacheContentionTest, TwoProcessesStormOneKeyWithoutTornReads) {
+  constexpr int kStoresPerChild = 60;
+  const std::string payloads[2] = {WriterPayload('A'), WriterPayload('B')};
+
+  // Two child processes repeatedly store the same key with different (but
+  // individually valid) bodies. Without per-process temp names both would
+  // write `<entry>.tmp` and the parent could observe an interleaved file
+  // promoted by a torn rename.
+  pid_t children[2] = {0, 0};
+  for (int c = 0; c < 2; ++c) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: plain exits only — no gtest assertions in the forked copy.
+      ArtifactCache cache(Config());
+      for (int i = 0; i < kStoresPerChild; ++i) {
+        std::string diag;
+        if (!cache.StoreBody(ArtifactKind::kIndex, kKey,
+                             payloads[static_cast<std::size_t>(c)], &diag)) {
+          _exit(2);
+        }
+      }
+      _exit(0);
+    }
+    children[c] = pid;
+  }
+
+  // Parent: read the key continuously while the writers race. Every load
+  // must be a clean miss ("no cache entry", before the first store lands)
+  // or a complete payload from exactly one writer.
+  ArtifactCache cache(Config());
+  int hits = 0;
+  bool done[2] = {false, false};
+  int status[2] = {0, 0};
+  while (!done[0] || !done[1]) {
+    for (int c = 0; c < 2; ++c) {
+      if (!done[c] &&
+          waitpid(children[c], &status[c], WNOHANG) == children[c]) {
+        done[c] = true;
+      }
+    }
+    std::string diag;
+    const std::optional<std::string> body =
+        cache.TryLoadBody(ArtifactKind::kIndex, kKey, &diag);
+    if (body.has_value()) {
+      ++hits;
+      EXPECT_TRUE(*body == payloads[0] || *body == payloads[1])
+          << "reader observed a torn entry (" << body->size() << " bytes)";
+    } else {
+      EXPECT_EQ(diag, "no cache entry")
+          << "reader observed an unusable entry mid-race: " << diag;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    ASSERT_TRUE(WIFEXITED(status[c]));
+    EXPECT_EQ(WEXITSTATUS(status[c]), 0) << "writer " << c << " failed";
+  }
+
+  // After the dust settles: one valid entry, no temp residue.
+  std::string diag;
+  const std::optional<std::string> final_body =
+      cache.TryLoadBody(ArtifactKind::kIndex, kKey, &diag);
+  ASSERT_TRUE(final_body.has_value()) << diag;
+  EXPECT_TRUE(*final_body == payloads[0] || *final_body == payloads[1]);
+  EXPECT_GT(hits, 0) << "race window never exercised a hit";
+  EXPECT_EQ(CountTmpFiles(dir_), 0);
+}
+
+TEST_F(CacheContentionTest, ThreadedWritersAndReadersStayConsistent) {
+  constexpr int kWriters = 4;
+  constexpr int kStoresPerWriter = 40;
+  std::vector<std::string> payloads;
+  for (int w = 0; w < kWriters; ++w) {
+    payloads.push_back(WriterPayload(static_cast<char>('a' + w)));
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      ArtifactCache cache(Config());
+      for (int i = 0; i < kStoresPerWriter; ++i) {
+        std::string diag;
+        if (!cache.StoreBody(ArtifactKind::kBootstrap, kKey,
+                             payloads[static_cast<std::size_t>(w)], &diag)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  std::thread reader([&] {
+    ArtifactCache cache(Config());
+    while (!stop.load()) {
+      std::string diag;
+      const std::optional<std::string> body =
+          cache.TryLoadBody(ArtifactKind::kBootstrap, kKey, &diag);
+      if (body.has_value()) {
+        bool known = false;
+        for (const std::string& p : payloads) known = known || *body == p;
+        if (!known) ++failures;
+      } else if (diag != "no cache entry") {
+        ++failures;
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(CountTmpFiles(dir_), 0);
+  ArtifactCache cache(Config());
+  std::string diag;
+  const std::optional<std::string> final_body =
+      cache.TryLoadBody(ArtifactKind::kBootstrap, kKey, &diag);
+  ASSERT_TRUE(final_body.has_value()) << diag;
+  bool known = false;
+  for (const std::string& p : payloads) known = known || *final_body == p;
+  EXPECT_TRUE(known) << "final entry matches no writer's payload";
+}
+
+}  // namespace
+}  // namespace hpcfail::engine

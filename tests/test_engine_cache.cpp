@@ -364,6 +364,297 @@ TEST_F(EngineCacheTest, ConcurrentColdStartsBuildOnce) {
   EXPECT_EQ(KeyedMutex::Global().live_keys(), 0u);
 }
 
+// ---- Multi-kind artifacts: the generic TryLoadBody/StoreBody surface, the
+// per-kind corruption matrix, the budget sweep, and orphan-tmp cleanup.
+
+class MultiKindTest : public EngineCacheTest {
+ protected:
+  ArtifactCache Cache() const { return ArtifactCache(Options().cache); }
+
+  // Hand-composes an entry for `kind`'s path with the given header fields.
+  void ComposeKindEntry(ArtifactKind kind, std::string_view tag,
+                        std::uint32_t schema, std::uint64_t stored_key,
+                        std::uint64_t path_key,
+                        std::string_view body) const {
+    ArtifactCache cache = Cache();
+    std::filesystem::create_directories(cache.dir());
+    stream::snapshot::Writer w;
+    w.PutString(tag);
+    w.PutU32(schema);
+    w.PutU64(stored_key);
+    for (const char c : body) w.PutU8(static_cast<std::uint8_t>(c));
+    std::ofstream os(cache.EntryPath(kind, path_key),
+                     std::ios::binary | std::ios::trunc);
+    stream::snapshot::WriteEnvelope(os, w.payload());
+  }
+};
+
+TEST_F(MultiKindTest, ParseArtifactKindsSpecs) {
+  EXPECT_EQ(ParseArtifactKinds(""), kAllArtifactKinds);
+  EXPECT_EQ(ParseArtifactKinds("all"), kAllArtifactKinds);
+  EXPECT_EQ(ParseArtifactKinds("none"), 0u);
+  EXPECT_EQ(ParseArtifactKinds("trace"),
+            ArtifactKindBit(ArtifactKind::kTrace));
+  EXPECT_EQ(ParseArtifactKinds("index,bootstrap"),
+            ArtifactKindBit(ArtifactKind::kIndex) |
+                ArtifactKindBit(ArtifactKind::kBootstrap));
+  EXPECT_EQ(ParseArtifactKinds("trace,index,bootstrap"), kAllArtifactKinds);
+  EXPECT_EQ(ParseArtifactKinds("trace,trace"),
+            ArtifactKindBit(ArtifactKind::kTrace));
+  EXPECT_THROW(ParseArtifactKinds("frobnicate"), std::invalid_argument);
+  EXPECT_THROW(ParseArtifactKinds("trace,"), std::invalid_argument);
+}
+
+TEST_F(MultiKindTest, BodyRoundTripsPerKindUnderOneKey) {
+  ArtifactCache cache = Cache();
+  const std::uint64_t key = 0x1234abcd5678ef00ULL;
+  const std::string index_body = "prebuilt-index-bytes";
+  const std::string boot_body = "replicate-table-bytes";
+  std::string diag;
+  ASSERT_TRUE(cache.StoreBody(ArtifactKind::kIndex, key, index_body, &diag))
+      << diag;
+  ASSERT_TRUE(
+      cache.StoreBody(ArtifactKind::kBootstrap, key, boot_body, &diag))
+      << diag;
+
+  // One key, one file per kind: the kinds must not collide.
+  EXPECT_NE(cache.EntryPath(ArtifactKind::kIndex, key),
+            cache.EntryPath(ArtifactKind::kBootstrap, key));
+  EXPECT_TRUE(
+      std::filesystem::exists(cache.EntryPath(ArtifactKind::kIndex, key)));
+  EXPECT_TRUE(std::filesystem::exists(
+      cache.EntryPath(ArtifactKind::kBootstrap, key)));
+
+  const auto index_back =
+      cache.TryLoadBody(ArtifactKind::kIndex, key, &diag);
+  ASSERT_TRUE(index_back.has_value()) << diag;
+  EXPECT_EQ(*index_back, index_body);
+  EXPECT_EQ(diag, "hit");
+  const auto boot_back =
+      cache.TryLoadBody(ArtifactKind::kBootstrap, key, &diag);
+  ASSERT_TRUE(boot_back.has_value()) << diag;
+  EXPECT_EQ(*boot_back, boot_body);
+
+  // Wrong kind for the key: a miss, not the other kind's bytes.
+  EXPECT_FALSE(
+      cache.TryLoadBody(ArtifactKind::kTrace, key, &diag).has_value());
+  EXPECT_EQ(diag, "no cache entry");
+}
+
+TEST_F(MultiKindTest, DisabledKindMissesAndSkipsStores) {
+  CacheConfig config = Options().cache;
+  config.kinds = ArtifactKindBit(ArtifactKind::kTrace);
+  ArtifactCache cache(config);
+  std::string diag;
+  EXPECT_FALSE(cache.StoreBody(ArtifactKind::kIndex, 42, "body", &diag));
+  EXPECT_EQ(diag, "artifact kind disabled");
+  EXPECT_FALSE(cache.TryLoadBody(ArtifactKind::kIndex, 42, &diag));
+  EXPECT_EQ(diag, "artifact kind disabled");
+  EXPECT_FALSE(
+      std::filesystem::exists(cache.EntryPath(ArtifactKind::kIndex, 42)));
+}
+
+TEST_F(MultiKindTest, CorruptionMatrixCoversIndexAndBootstrapKinds) {
+  for (const ArtifactKind kind :
+       {ArtifactKind::kIndex, ArtifactKind::kBootstrap}) {
+    SCOPED_TRACE(std::string(ToString(kind)));
+    ArtifactCache cache = Cache();
+    const std::uint64_t key = 99;
+    const std::string path = cache.EntryPath(kind, key);
+    const std::string_view tag = ArtifactTag(kind);
+    const std::uint32_t schema = ArtifactSchemaVersion(kind);
+    std::string diag;
+
+    // Flipped byte: checksum failure, entry deleted.
+    ASSERT_TRUE(cache.StoreBody(kind, key, "some payload", &diag)) << diag;
+    {
+      std::ifstream is(path, std::ios::binary);
+      std::string bytes{std::istreambuf_iterator<char>(is),
+                        std::istreambuf_iterator<char>()};
+      bytes[bytes.size() / 2] ^= 0x5a;
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_FALSE(cache.TryLoadBody(kind, key, &diag).has_value());
+    EXPECT_NE(diag.find("corrupt cache entry"), std::string::npos) << diag;
+    EXPECT_FALSE(std::filesystem::exists(path)) << "bad entry not deleted";
+
+    // Stale schema.
+    ComposeKindEntry(kind, tag, schema + 1, key, key, "body");
+    EXPECT_FALSE(cache.TryLoadBody(kind, key, &diag).has_value());
+    EXPECT_NE(diag.find("stale cache schema"), std::string::npos) << diag;
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    // Wrong tag (another kind's entry renamed into this kind's path).
+    ComposeKindEntry(kind, "HFOTHER0", schema, key, key, "body");
+    EXPECT_FALSE(cache.TryLoadBody(kind, key, &diag).has_value());
+    EXPECT_NE(diag.find("wrong artifact tag"), std::string::npos) << diag;
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    // Fingerprint mismatch (file renamed across keys).
+    ComposeKindEntry(kind, tag, schema, key ^ 0x1, key, "body");
+    EXPECT_FALSE(cache.TryLoadBody(kind, key, &diag).has_value());
+    EXPECT_NE(diag.find("cache fingerprint mismatch"), std::string::npos)
+        << diag;
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    // EvictCorrupt: the caller-side self-heal for undecodable bodies.
+    ASSERT_TRUE(cache.StoreBody(kind, key, "undecodable", &diag)) << diag;
+    cache.EvictCorrupt(kind, key, "body decode failed", &diag);
+    EXPECT_NE(diag.find("body decode failed"), std::string::npos) << diag;
+    EXPECT_FALSE(std::filesystem::exists(path));
+  }
+}
+
+TEST_F(MultiKindTest, BudgetSweepEvictsOldestButSparesLiveKeys) {
+  CacheConfig config = Options().cache;
+  config.budget_bytes = 4 * 1024;
+  ArtifactCache cache(config);
+  std::filesystem::create_directories(cache.dir());
+
+  // Filler entries this process never stored or hit (hand-written files
+  // with valid entry names), backdated so they are the eviction order.
+  std::vector<std::string> filler;
+  for (int i = 0; i < 6; ++i) {
+    const std::string path = cache.EntryPath(
+        ArtifactKind::kIndex, 0xf111e20000ULL + static_cast<unsigned>(i));
+    std::ofstream os(path, std::ios::binary);
+    const std::string blob(2 * 1024, static_cast<char>('a' + i));
+    os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    os.close();
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now() -
+                  std::chrono::hours(1) - std::chrono::minutes(i));
+    filler.push_back(path);
+  }
+
+  // The store's post-write sweep must bring the directory under budget by
+  // deleting backdated filler — never the entry this process just wrote.
+  std::string diag;
+  ASSERT_TRUE(cache.StoreBody(ArtifactKind::kBootstrap, 7, "live", &diag))
+      << diag;
+  EXPECT_TRUE(std::filesystem::exists(
+      cache.EntryPath(ArtifactKind::kBootstrap, 7)));
+  std::uintmax_t total = 0;
+  std::size_t filler_left = 0;
+  for (const std::string& path : filler) {
+    if (std::filesystem::exists(path)) {
+      ++filler_left;
+      total += std::filesystem::file_size(path);
+    }
+  }
+  EXPECT_LT(filler_left, filler.size()) << "no filler was evicted";
+  EXPECT_LE(total, config.budget_bytes);
+  // Oldest-first: every survivor must be newer than every evicted file,
+  // i.e. the survivors are a prefix of the (newest-first) filler order.
+  for (std::size_t i = 0; i + 1 < filler.size(); ++i) {
+    if (!std::filesystem::exists(filler[i])) {
+      EXPECT_FALSE(std::filesystem::exists(filler[i + 1]))
+          << "newer filler evicted while older filler survived";
+    }
+  }
+}
+
+TEST_F(MultiKindTest, StoreSweepsStaleOrphanTmpFiles) {
+  ArtifactCache cache = Cache();
+  std::filesystem::create_directories(cache.dir());
+  const std::string stale = cache.dir() + "/trace-deadbeef.bin.tmp.999.1";
+  const std::string fresh = cache.dir() + "/trace-deadbeef.bin.tmp.999.2";
+  { std::ofstream(stale) << "half-written"; }
+  { std::ofstream(fresh) << "in-flight"; }
+  std::filesystem::last_write_time(
+      stale, std::filesystem::file_time_type::clock::now() -
+                 std::chrono::hours(2));
+
+  std::string diag;
+  ASSERT_TRUE(cache.StoreBody(ArtifactKind::kIndex, 5, "body", &diag))
+      << diag;
+  EXPECT_FALSE(std::filesystem::exists(stale))
+      << "crashed writer's tmp not reclaimed";
+  EXPECT_TRUE(std::filesystem::exists(fresh))
+      << "a possibly-live tmp was deleted";
+}
+
+TEST_F(MultiKindTest, UnwritableDirFailsStoreWithoutTmpResidue) {
+  // Point the cache at a path that cannot be a directory (it is a file):
+  // the store must fail as a warning and leave nothing behind.
+  const std::string blocker = dir_ + ".blocker";
+  { std::ofstream(blocker) << "x"; }
+  CacheConfig config = Options().cache;
+  config.dir = blocker;
+  ArtifactCache cache(config);
+  std::string diag;
+  EXPECT_FALSE(cache.StoreBody(ArtifactKind::kIndex, 1, "body", &diag));
+  EXPECT_FALSE(diag.empty());
+  EXPECT_TRUE(std::filesystem::is_regular_file(blocker));
+  std::filesystem::remove(blocker);
+}
+
+// ---- Index snapshots through the session: a warm session restores the
+// prebuilt columns and answers identically to the cold build.
+
+TEST_F(EngineCacheTest, WarmSessionRestoresIndexSnapshot) {
+  const AnalysisSession cold = MakeSession();
+  ASSERT_FALSE(cold.stats().index_cache_hit);
+  ASSERT_TRUE(cold.stats().index_cache_stored)
+      << cold.stats().index_diagnostic;
+
+  const AnalysisSession warm = MakeSession();
+  EXPECT_TRUE(warm.stats().cache_hit);
+  EXPECT_TRUE(warm.stats().index_cache_hit) << warm.stats().index_diagnostic;
+  EXPECT_EQ(warm.stats().index_diagnostic, "hit");
+
+  const WindowAnalyzer a(cold.index());
+  const WindowAnalyzer b(warm.index());
+  const EventFilter any = EventFilter::Any();
+  for (const Scope scope :
+       {Scope::kSameNode, Scope::kRackPeers, Scope::kSystemPeers}) {
+    for (const TimeSec window : {kDay, kWeek, kMonth}) {
+      SCOPED_TRACE(std::string(ToString(scope)) + " window=" +
+                   std::to_string(window));
+      ExpectSameResult(a.Compare(any, any, scope, window),
+                       b.Compare(any, any, scope, window));
+    }
+  }
+}
+
+TEST_F(EngineCacheTest, IndexKindDisabledFallsBackToColumnBuild) {
+  const AnalysisSession prime = MakeSession();
+  ASSERT_TRUE(prime.stats().index_cache_stored);
+
+  SessionOptions o = Options();
+  o.cache.kinds = ArtifactKindBit(ArtifactKind::kTrace);
+  const AnalysisSession s =
+      AnalysisSession::FromScenario(synth::TinyScenario(), 7, o);
+  EXPECT_TRUE(s.stats().cache_hit);  // trace kind still serves
+  EXPECT_FALSE(s.stats().index_cache_hit);
+  EXPECT_EQ(s.stats().index_diagnostic, "artifact kind disabled");
+}
+
+TEST_F(EngineCacheTest, CorruptIndexSnapshotSelfHealsToBuild) {
+  const AnalysisSession prime = MakeSession();
+  ASSERT_TRUE(prime.stats().index_cache_stored);
+  ArtifactCache cache(Options().cache);
+  const std::string path =
+      cache.EntryPath(ArtifactKind::kIndex, *prime.stats().fingerprint);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::string bytes{std::istreambuf_iterator<char>(is),
+                      std::istreambuf_iterator<char>()};
+    bytes[bytes.size() - 1] ^= 0x1;
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const AnalysisSession healed = MakeSession();
+  EXPECT_FALSE(healed.stats().index_cache_hit);
+  EXPECT_TRUE(healed.stats().index_cache_stored)
+      << healed.stats().index_diagnostic;
+  const AnalysisSession warm = MakeSession();
+  EXPECT_TRUE(warm.stats().index_cache_hit) << warm.stats().index_diagnostic;
+}
+
 TEST(KeyedMutexTest, DistinctKeysDoNotContend) {
   KeyedMutex& km = KeyedMutex::Global();
   auto g1 = km.Lock(101);

@@ -11,9 +11,17 @@
 // Every mode is an engine::AnalysisSession: the trace is fingerprinted,
 // probed in the content-addressed artifact cache, and acquired only on a
 // miss — a second run over the same inputs loads the cached binary trace
-// instead of regenerating/re-importing. `--no-cache` bypasses the cache,
-// `--cache-dir` relocates it, and the session summary (hit/miss, load
-// time) goes to stderr so stdout stays identical cold vs warm.
+// and restores the prebuilt index snapshot instead of regenerating.
+// `--no-cache` bypasses the cache, `--cache-dir` relocates it,
+// `--cache-artifacts trace,index,bootstrap` selects kinds, and
+// `--cache-budget-mb` bounds its size. The session summary (hit/miss,
+// load time) goes to stderr so stdout stays identical cold vs warm.
+//
+// `--bootstrap` appends per-system bootstrap confidence intervals for
+// mean/median interarrival time (--bootstrap-resamples/--bootstrap-seed
+// tune it); the replicate tables ride the artifact cache under the trace
+// fingerprint, so reruns and the daemon's /table/bootstrap endpoint
+// decode one entry instead of resampling.
 //
 // The --checkpoint mode replays a `hpcfail_stream --checkpoint` snapshot
 // into a batch trace (systems from the --trace dir) and reports on it —
@@ -41,6 +49,7 @@
 
 #include "core/parallel.h"
 #include "core/report.h"
+#include "engine/bootstrap_table.h"
 #include "engine/report_render.h"
 #include "engine/session.h"
 #include "engine/session_set.h"
@@ -89,6 +98,8 @@ int main(int argc, char** argv) {
     int syslog_base_year = 2004;
     double scale = 0.5;
     double years = 2.0;
+    bool bootstrap = false;
+    engine::BootstrapOptions bootstrap_opts;
     bool sharded = false;
     double shard_window_days = 0.0;
     int shard_block_systems = 0;
@@ -146,6 +157,14 @@ int main(int argc, char** argv) {
     parser.AddUint64("shard-budget-mb", &shard_budget_mb,
                      "resident shard budget in MiB, LRU-evicted beyond "
                      "(0 = unlimited)");
+    parser.AddFlag("bootstrap", &bootstrap,
+                   "append per-system bootstrap confidence intervals for "
+                   "interarrival statistics (replicate tables ride the "
+                   "artifact cache)");
+    parser.AddInt("bootstrap-resamples", &bootstrap_opts.resamples,
+                  "--bootstrap replicates per statistic (cache-keyed)");
+    parser.AddUint64("bootstrap-seed", &bootstrap_opts.seed,
+                     "--bootstrap replicate RNG seed (cache-keyed)");
     parser.AddFlag("profile", &profile,
                    "append the observability stage-timing table");
     parser.ParseOrExit(argc, argv);
@@ -227,6 +246,16 @@ int main(int argc, char** argv) {
             set.Merged();
         std::cerr << "hpcfail_report: session-set " << set.StatsJson() << "\n";
         engine::RenderReport(merged->view(), std::cout);
+        if (bootstrap) {
+          engine::ArtifactCache cache(session_opts.cache);
+          const engine::BootstrapRenderStats bs = engine::RenderBootstrapTable(
+              merged->view(), set.source_stats().fingerprint, cache,
+              bootstrap_opts, std::cout);
+          std::cerr << "hpcfail_report: bootstrap cache_hit="
+                    << (bs.cache_hit ? "true" : "false") << " cache_stored="
+                    << (bs.cache_stored ? "true" : "false") << " ("
+                    << bs.diagnostic << ")\n";
+        }
       }
     } else {
       const engine::AnalysisSession session =
@@ -236,6 +265,16 @@ int main(int argc, char** argv) {
         std::cout << session.StatsJson() << "\n";
       } else {
         engine::RenderReport(session, std::cout);
+        if (bootstrap) {
+          engine::ArtifactCache cache(session_opts.cache);
+          const engine::BootstrapRenderStats bs = engine::RenderBootstrapTable(
+              session, session.stats().fingerprint, cache, bootstrap_opts,
+              std::cout);
+          std::cerr << "hpcfail_report: bootstrap cache_hit="
+                    << (bs.cache_hit ? "true" : "false") << " cache_stored="
+                    << (bs.cache_stored ? "true" : "false") << " ("
+                    << bs.diagnostic << ")\n";
+        }
       }
     }
     if (profile) PrintProfile();
